@@ -1,0 +1,133 @@
+// E4/E5 — Composition (elaboration) performance and the Kepler
+// configuration-space enumeration.
+//
+// Series: compose time for the three paper systems; scaling with cluster
+// size on synthetic XScluster-style systems (1..64 nodes); configuration
+// enumeration of the configurable Kepler meta-model.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+xpdl::repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+void BM_ComposePaperSystem(benchmark::State& state, const char* ref) {
+  xpdl::compose::Composer composer(repo());
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    auto model = composer.compose(ref);
+    if (!model.is_ok()) {
+      state.SkipWithError(model.status().to_string().c_str());
+      return;
+    }
+    elements = model->root().subtree_size();
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["elements"] = static_cast<double>(elements);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elements));
+}
+BENCHMARK_CAPTURE(BM_ComposePaperSystem, liu_gpu_server, "liu_gpu_server");
+BENCHMARK_CAPTURE(BM_ComposePaperSystem, myriad_server, "myriad_server");
+BENCHMARK_CAPTURE(BM_ComposePaperSystem, XScluster, "XScluster");
+
+/// An XScluster-style system with `nodes` nodes (2 CPUs + 1 K20c each).
+std::string synthetic_cluster(int nodes) {
+  std::ostringstream os;
+  os << "<system id=\"synth\"><cluster>\n"
+     << "  <group prefix=\"n\" quantity=\"" << nodes << "\">\n"
+     << "    <node>\n"
+     << "      <group id=\"cpu1\">\n"
+     << "        <socket><cpu id=\"PE0\" type=\"Intel_Xeon_E5_2630L\"/>"
+        "</socket>\n"
+     << "        <socket><cpu id=\"PE1\" type=\"Intel_Xeon_E5_2630L\"/>"
+        "</socket>\n"
+     << "      </group>\n"
+     << "      <device id=\"gpu1\" type=\"Nvidia_K20c\">\n"
+     << "        <param name=\"L1size\" size=\"16\" unit=\"KB\"/>\n"
+     << "        <param name=\"shmsize\" size=\"48\" unit=\"KB\"/>\n"
+     << "      </device>\n"
+     << "      <interconnects>\n"
+     << "        <interconnect id=\"c1\" type=\"pcie3\" head=\"cpu1\" "
+        "tail=\"gpu1\"/>\n"
+     << "      </interconnects>\n"
+     << "    </node>\n"
+     << "  </group>\n"
+     << "</cluster></system>\n";
+  return os.str();
+}
+
+void BM_ComposeClusterScaling(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto doc = xpdl::xml::parse(synthetic_cluster(nodes));
+  assert(doc.is_ok());
+  xpdl::compose::Composer composer(repo());
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    auto model = composer.compose(*doc.value().root);
+    if (!model.is_ok()) {
+      state.SkipWithError(model.status().to_string().c_str());
+      return;
+    }
+    elements = model->root().subtree_size();
+  }
+  state.counters["nodes"] = nodes;
+  state.counters["elements"] = static_cast<double>(elements);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elements));
+}
+BENCHMARK(BM_ComposeClusterScaling)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateKeplerConfigurations(benchmark::State& state) {
+  auto meta = repo().lookup("Nvidia_Kepler");
+  assert(meta.is_ok());
+  std::size_t configs = 0;
+  for (auto _ : state) {
+    auto result = xpdl::compose::enumerate_configurations(**meta, &repo());
+    if (!result.is_ok()) {
+      state.SkipWithError(result.status().to_string().c_str());
+      return;
+    }
+    configs = result->size();
+  }
+  state.counters["valid_configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_EnumerateKeplerConfigurations);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E4/E5: model composition and configuration space ==\n");
+  // E4 headline: the Kepler L1/shared-memory split has exactly the three
+  // valid configurations the paper names (16+48, 32+32, 48+16 KB).
+  auto meta = repo().lookup("Nvidia_Kepler");
+  if (meta.is_ok()) {
+    auto configs = xpdl::compose::enumerate_configurations(**meta, &repo());
+    if (configs.is_ok()) {
+      std::printf("E4  Kepler valid configurations (paper: 3):  %zu\n",
+                  configs->size());
+      for (const auto& c : *configs) {
+        std::printf("    L1size=%2.0f KB  shmsize=%2.0f KB\n",
+                    c.values_si.at("L1size") / 1000,
+                    c.values_si.at("shmsize") / 1000);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// E8 — DVFS energy optimization on the power state machine of the
+// shipped E5-2630L power model (Listing 13 shape).
+//
+// Headline series: energy of (a) race-to-idle in the fastest state,
+// (b) the best single state, (c) the optimal two-state mix, as the
+// deadline slack varies — the crossover where DVFS pacing beats
+// race-to-idle is the experiment's shape. A second sweep shows the
+// workload size below which transition overheads make switching
+// pointless.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "xpdl/util/strings.h"
+
+#include "xpdl/energy/energy.h"
+#include "xpdl/energy/thermal.h"
+#include "xpdl/model/power.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+using xpdl::energy::DvfsPlanner;
+using xpdl::energy::Schedule;
+using xpdl::energy::Workload;
+
+const xpdl::model::PowerStateMachine& e5_psm() {
+  static const auto* fsm = [] {
+    auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    auto pm_doc = (*repo)->lookup("power_model_E5_2630L");
+    assert(pm_doc.is_ok());
+    auto pm = xpdl::model::PowerModel::parse(**pm_doc);
+    assert(pm.is_ok());
+    assert(!pm->state_machines.empty());
+    return new xpdl::model::PowerStateMachine(pm->state_machines.front());
+  }();
+  return *fsm;
+}
+
+void BM_BestSingleState(benchmark::State& state) {
+  DvfsPlanner planner(e5_psm());
+  Workload w{.cycles = 2.4e9, .deadline_s = 1.5, .idle_power_w = 2.0};
+  for (auto _ : state) {
+    auto s = planner.best_single_state(w);
+    if (!s.is_ok()) state.SkipWithError("infeasible");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BestSingleState);
+
+void BM_BestTwoStateMix(benchmark::State& state) {
+  DvfsPlanner planner(e5_psm());
+  Workload w{.cycles = 2.4e9, .deadline_s = 1.5, .idle_power_w = 2.0};
+  for (auto _ : state) {
+    auto s = planner.best_two_state(w, "P4");
+    if (!s.is_ok()) state.SkipWithError("infeasible");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BestTwoStateMix);
+
+void BM_ScheduleEnergyAccounting(benchmark::State& state) {
+  DvfsPlanner planner(e5_psm());
+  std::vector<xpdl::energy::ScheduleLeg> legs = {
+      {"P4", 0.25, 0.6e9}, {"P2", 0.5, 0.8e9}, {"P1", 0.8, 0.96e9}};
+  for (auto _ : state) {
+    auto e = planner.schedule_energy(legs, "P4");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ScheduleEnergyAccounting);
+
+void print_deadline_sweep() {
+  // Fixed work, sweep deadline slack: slack = deadline / min_time - 1.
+  const double cycles = 2.4e9;  // 1 s at P4 (2.4 GHz)
+  DvfsPlanner planner(e5_psm());
+  std::printf(
+      "\nE8  DVFS optimization: energy [J] vs deadline slack\n"
+      "    workload: %.1fG cycles; idle power 2 W (C1)\n"
+      "    slack   race-to-idle(P4)  best-single  two-state-mix  winner\n",
+      cycles / 1e9);
+  for (double slack : {0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+    double deadline = (cycles / 2.4e9) * (1.0 + slack);
+    Workload w{.cycles = cycles, .deadline_s = deadline, .idle_power_w = 2.0};
+    auto race = planner.single_state("P4", w);
+    auto single = planner.best_single_state(w);
+    auto mix = planner.best_two_state(w, "P4");
+    if (!race.is_ok() || !single.is_ok() || !mix.is_ok()) continue;
+    const char* winner = "race";
+    double best = race->energy_j;
+    if (single->energy_j < best) {
+      best = single->energy_j;
+      winner = "single";
+    }
+    if (mix->energy_j < best - 1e-9) winner = "mix";
+    std::printf("    %4.2f  %16.2f  %11.2f  %13.2f  %s\n", slack,
+                race->energy_j, single->energy_j, mix->energy_j, winner);
+  }
+}
+
+void print_workload_sweep() {
+  // Transition-overhead amortization: small workloads cannot pay for a
+  // switch; the table shows where the two-state mix stops helping.
+  DvfsPlanner planner(e5_psm());
+  std::printf(
+      "\nE8b transition amortization: workload size vs best strategy\n"
+      "    (deadline = 1.25x the P4 runtime)\n"
+      "    cycles      single[J]     mix[J]   mix gain\n");
+  for (double cycles :
+       {1e6, 1e7, 1e8, 1e9, 1e10}) {
+    double deadline = cycles / 2.4e9 * 1.25;
+    Workload w{.cycles = cycles, .deadline_s = deadline, .idle_power_w = 2.0};
+    auto single = planner.best_single_state(w);
+    auto mix = planner.best_two_state(w, "P4");
+    if (!single.is_ok() || !mix.is_ok()) continue;
+    std::printf("    %6.0e  %11.4g  %9.4g  %+6.2f%%\n", cycles,
+                single->energy_j, mix->energy_j,
+                (single->energy_j - mix->energy_j) / single->energy_j *
+                    100.0);
+  }
+}
+
+void print_thermal_table() {
+  // E8c: thermal throttling on the big.LITTLE A15 cluster (8 K/W,
+  // 85 C cap, 45 C ambient -> 5 W sustainable).
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  if (!repo.is_ok()) return;
+  auto a15 = (*repo)->lookup("ARM_Cortex_A15");
+  if (!a15.is_ok()) return;
+  auto params = xpdl::energy::thermal_of(**a15);
+  if (!params.is_ok()) return;
+  xpdl::energy::ThermalModel thermal(*params);
+  auto pm_doc = (*repo)->lookup("power_model_A15");
+  if (!pm_doc.is_ok()) return;
+  auto pm = xpdl::model::PowerModel::parse(**pm_doc);
+  if (!pm.is_ok() || pm->state_machines.empty()) return;
+  const auto& fsm = pm->state_machines.front();
+  std::printf(
+      "\nE8c thermal throttling on the A15 cluster "
+      "(R=%.0f K/W, cap %.0f C, sustainable %.2f W)\n"
+      "    state   power[W]  steady[C]  boost-from-45C[s]  duty@idle0.05W\n",
+      params->resistance_k_per_w, params->max_junction_k - 273.15,
+      thermal.max_sustainable_power_w());
+  for (const auto& state : fsm.states) {
+    if (state.frequency_hz <= 0) continue;
+    double boost =
+        thermal.time_until_throttle_s(params->ambient_k, state.power_w);
+    std::printf("    %-6s  %8.2f  %9.1f  %17s  %13.0f%%\n",
+                state.name.c_str(), state.power_w,
+                thermal.steady_state_k(state.power_w) - 273.15,
+                std::isinf(boost)
+                    ? "sustained"
+                    : xpdl::strings::format("%.1f", boost).c_str(),
+                thermal.sustainable_duty_cycle(state.power_w, 0.05) * 100);
+  }
+  auto fastest = thermal.fastest_sustainable_state(fsm);
+  std::printf("    fastest thermally sustainable state: %s\n",
+              fastest.has_value() ? (*fastest)->name.c_str() : "none");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E8: DVFS energy optimization on the E5 power model ==\n");
+  print_deadline_sweep();
+  print_workload_sweep();
+  print_thermal_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// E7 — Hierarchical energy modeling: synthesized static power roll-up
+// (Sec. III-D) and interconnect transfer costs (Listing 3).
+//
+// Headline table: aggregated static power per paper system, hand-checked
+// in EXPERIMENTS.md; message transfer time/energy curves on the composed
+// PCIe-3 link.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/energy/energy.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+xpdl::repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+const xpdl::compose::ComposedModel& cluster() {
+  static const auto* m = [] {
+    xpdl::compose::Composer composer(repo());
+    auto composed = composer.compose("XScluster");
+    assert(composed.is_ok());
+    return new xpdl::compose::ComposedModel(std::move(composed).value());
+  }();
+  return *m;
+}
+
+void BM_StaticPowerRollUp(benchmark::State& state) {
+  // Recursive aggregation over the full cluster tree (the synthesized-
+  // attribute rule evaluated from scratch).
+  const auto& model = cluster();
+  // Strip the annotation so the recursive path is measured.
+  auto copy = model.root().clone();
+  copy->remove_attribute(std::string(xpdl::compose::kStaticPowerTotalAttr));
+  for (auto _ : state) {
+    auto p = xpdl::energy::static_power_of(*copy);
+    if (!p.is_ok()) state.SkipWithError("roll-up failed");
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(copy->subtree_size()));
+}
+BENCHMARK(BM_StaticPowerRollUp);
+
+void BM_ChannelCostEvaluation(benchmark::State& state) {
+  auto pcie = repo().lookup("pcie3");
+  assert(pcie.is_ok());
+  const xpdl::xml::Element* up = (*pcie)->first_child("channel");
+  assert(up != nullptr);
+  for (auto _ : state) {
+    auto cost = xpdl::energy::channel_cost(*up);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_ChannelCostEvaluation);
+
+void BM_SwitchOffCheck(benchmark::State& state) {
+  auto pm_doc = repo().lookup("power_model_Myriad1");
+  assert(pm_doc.is_ok());
+  auto pm = xpdl::model::PowerModel::parse(**pm_doc);
+  assert(pm.is_ok() && pm->domains.has_value());
+  std::vector<std::string> off;
+  for (int i = 0; i < 8; ++i) off.push_back("Shave_pd" + std::to_string(i));
+  for (auto _ : state) {
+    auto allowed = xpdl::energy::may_switch_off(*pm->domains, "CMX_pd", off);
+    benchmark::DoNotOptimize(allowed);
+  }
+}
+BENCHMARK(BM_SwitchOffCheck);
+
+void print_static_power_table() {
+  std::printf(
+      "\nE7  synthesized static power (Sec. III-D roll-up)\n"
+      "    system            aggregated [W]   hand-computed [W]\n");
+  struct Row {
+    const char* ref;
+    double expected;
+  };
+  // liu: 15 + 4x3 + 2x4 + 25 = 60; myriad: 18 + 2x4 + 0.6 + 0.35 + 0.12
+  //   + 8x0.045 + 0.08 + 0.11 = 27.62; XScluster: 4 x 115.8 = 463.2.
+  for (Row row : {Row{"liu_gpu_server", 60.0}, Row{"myriad_server", 27.62},
+                  Row{"XScluster", 463.2}}) {
+    xpdl::compose::Composer composer(repo());
+    auto model = composer.compose(row.ref);
+    if (!model.is_ok()) continue;
+    auto p = xpdl::energy::static_power_of(model->root());
+    std::printf("    %-16s  %14.2f  %17.2f\n", row.ref,
+                p.is_ok() ? p.value() : -1.0, row.expected);
+  }
+}
+
+void print_transfer_cost_curve() {
+  // Listing 3's channel model applied to the composed liu link.
+  xpdl::compose::Composer composer(repo());
+  auto model = composer.compose("liu_gpu_server");
+  if (!model.is_ok()) return;
+  const xpdl::xml::Element* conn = model->find_by_id("connection1");
+  if (conn == nullptr) return;
+  const xpdl::xml::Element* up = conn->first_child("channel");
+  if (up == nullptr) return;
+  auto cost = xpdl::energy::channel_cost(*up);
+  if (!cost.is_ok()) return;
+  std::printf(
+      "\nE7b PCIe-3 up-link transfer cost (8 pJ/B, effective bandwidth "
+      "%.1f GiB/s)\n"
+      "    message     time [us]    energy [uJ]\n",
+      cost->bandwidth_bps / (1024.0 * 1024 * 1024));
+  for (double bytes : {4e3, 64e3, 1e6, 16e6, 256e6}) {
+    std::printf("    %7.0e  %10.2f  %12.2f\n", bytes,
+                cost->transfer_time_s(bytes) * 1e6,
+                cost->transfer_energy_j(bytes) * 1e6);
+  }
+}
+
+void print_offload_table() {
+  // Offload advisor on the composed liu link: SpMV-like kernels of
+  // varying size; where does the K20c start paying off?
+  xpdl::compose::Composer composer(repo());
+  auto model = composer.compose("liu_gpu_server");
+  if (!model.is_ok()) return;
+  const xpdl::xml::Element* conn = model->find_by_id("connection1");
+  if (conn == nullptr || conn->first_child("channel") == nullptr) return;
+  auto down = xpdl::energy::channel_cost(*conn->first_child("channel"));
+  if (!down.is_ok()) return;
+  xpdl::energy::OffloadParameters p;
+  p.host_flops = 4 * 2e9 * 2;        // 4 host cores x 2 GHz x FMA
+  p.device_flops = 13 * 192 * 706e6 * 2 * 0.08;  // K20c, SpMV efficiency
+  p.host_power_w = 60;
+  p.device_power_w = 85;
+  p.host_idle_power_w = 20;
+  std::printf(
+      "\nE7c offload advisor (liu_gpu_server, PCIe-3 + K20c model)\n"
+      "    work[GFLOP]  data[MiB]  host[ms]  offload[ms]  faster  "
+      "greener\n");
+  // Fixed 64 MiB input / 16 MiB output: small kernels are transfer-bound
+  // (host wins), large kernels amortize the PCIe cost (device wins).
+  p.bytes_to_device = 64.0 * 1024 * 1024;
+  p.bytes_from_device = 16.0 * 1024 * 1024;
+  for (double gflop : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    p.work_flops = gflop * 1e9;
+    auto d = xpdl::energy::evaluate_offload(p, *down, *down);
+    std::printf("    %11.2f  %9.1f  %8.2f  %11.2f  %6s  %7s\n", gflop,
+                p.bytes_to_device / (1024.0 * 1024), d.host_time_s * 1e3,
+                d.offload_time_s * 1e3, d.offload_faster ? "yes" : "no",
+                d.offload_greener ? "yes" : "no");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E7: hierarchical energy modeling ==\n");
+  print_static_power_table();
+  print_transfer_cost_curve();
+  print_offload_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E2 — Deployment-time energy-model bootstrapping.
+//
+// Headline table: the divsd frequency/energy table of the paper's
+// Listing 14 (paper-measured values) vs. the values the bootstrapper
+// recovers from the simulated power sensor under realistic noise and
+// counter quantization.
+//
+// Ablation A3: bootstrap accuracy vs. measurement-loop iteration count
+// under sensor noise (larger loops amortize quantization and noise).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/microbench/simmachine.h"
+
+namespace {
+
+using namespace xpdl::microbench;
+
+constexpr std::pair<double, double> kPaperDivsd[] = {
+    {2.8, 18.625}, {2.9, 19.573}, {3.0, 19.978}, {3.1, 20.237},
+    {3.2, 20.512}, {3.3, 20.779}, {3.4, 21.023},
+};
+
+/// Bootstraps one placeholder divsd entry and returns the measured table
+/// (frequency GHz -> energy nJ).
+xpdl::Result<xpdl::model::InstructionSet> bootstrap_divsd(
+    const BootstrapOptions& opts, const SimMachineConfig& cfg) {
+  SimMachine machine(cfg, paper_x86_ground_truth());
+  Bootstrapper bootstrapper(machine, opts);
+  xpdl::model::InstructionSet isa;
+  isa.name = "x86_base_isa";
+  xpdl::model::InstructionEnergy divsd;
+  divsd.name = "divsd";
+  divsd.placeholder = true;
+  isa.instructions.push_back(divsd);
+  XPDL_ASSIGN_OR_RETURN(auto report, bootstrapper.bootstrap(isa));
+  (void)report;
+  return isa;
+}
+
+void BM_BootstrapSingleInstruction(benchmark::State& state) {
+  BootstrapOptions opts;
+  opts.iterations = static_cast<std::uint64_t>(state.range(0));
+  opts.frequencies_hz = {2.8e9, 3.0e9, 3.2e9, 3.4e9};
+  for (auto _ : state) {
+    auto isa = bootstrap_divsd(opts, SimMachineConfig{});
+    if (!isa.is_ok()) state.SkipWithError("bootstrap failed");
+    benchmark::DoNotOptimize(isa);
+  }
+  state.counters["loop_iterations"] = static_cast<double>(opts.iterations);
+}
+BENCHMARK(BM_BootstrapSingleInstruction)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(2'000'000);
+
+void BM_BootstrapFullIsa(benchmark::State& state) {
+  BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 2.9e9, 3.0e9, 3.1e9, 3.2e9, 3.3e9, 3.4e9};
+  for (auto _ : state) {
+    SimMachine machine(SimMachineConfig{}, paper_x86_ground_truth());
+    Bootstrapper bootstrapper(machine, opts);
+    xpdl::model::InstructionSet isa;
+    isa.name = "x86_base_isa";
+    for (const char* name :
+         {"fmul", "fadd", "mov", "nop", "load", "store", "divsd"}) {
+      xpdl::model::InstructionEnergy inst;
+      inst.name = name;
+      inst.placeholder = true;
+      isa.instructions.push_back(inst);
+    }
+    auto report = bootstrapper.bootstrap(isa);
+    if (!report.is_ok()) state.SkipWithError("bootstrap failed");
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["instructions"] = 7;
+  state.counters["frequencies"] = 7;
+}
+BENCHMARK(BM_BootstrapFullIsa)->Unit(benchmark::kMillisecond);
+
+/// A3: maximum relative error over the divsd table per iteration count
+/// and noise level.
+void BM_A3_AccuracyVsIterations(benchmark::State& state) {
+  BootstrapOptions opts;
+  opts.iterations = static_cast<std::uint64_t>(state.range(0));
+  opts.frequencies_hz = {2.8e9, 3.4e9};
+  SimMachineConfig cfg;
+  cfg.noise_stddev = 0.02;  // 2% sensor noise
+  double worst_err = 0.0;
+  for (auto _ : state) {
+    auto isa = bootstrap_divsd(opts, cfg);
+    if (!isa.is_ok()) {
+      state.SkipWithError("bootstrap failed");
+      return;
+    }
+    for (auto [f_ghz, truth_nj] : {std::pair{2.8, 18.625}, {3.4, 21.023}}) {
+      double measured = isa->find("divsd")->energy_at(f_ghz * 1e9).value();
+      worst_err = std::max(
+          worst_err, std::fabs(measured * 1e9 - truth_nj) / truth_nj);
+    }
+  }
+  state.counters["max_rel_error_pct"] = worst_err * 100.0;
+}
+BENCHMARK(BM_A3_AccuracyVsIterations)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
+void print_divsd_table() {
+  std::printf(
+      "\nE2  divsd instruction energy: paper table vs bootstrapped\n"
+      "    (simulated sensor: 1%% noise, 15.3 uJ counter quantum)\n"
+      "    freq[GHz]  paper[nJ]  measured[nJ]  error\n");
+  BootstrapOptions opts;
+  opts.frequencies_hz.clear();
+  for (auto [f, e] : kPaperDivsd) {
+    (void)e;
+    opts.frequencies_hz.push_back(f * 1e9);
+  }
+  auto isa = bootstrap_divsd(opts, SimMachineConfig{});
+  if (!isa.is_ok()) {
+    std::printf("    bootstrap failed: %s\n",
+                isa.status().to_string().c_str());
+    return;
+  }
+  for (auto [f_ghz, paper_nj] : kPaperDivsd) {
+    double measured_nj =
+        isa->find("divsd")->energy_at(f_ghz * 1e9).value() * 1e9;
+    std::printf("    %8.1f  %9.3f  %12.3f  %+5.2f%%\n", f_ghz, paper_nj,
+                measured_nj, (measured_nj - paper_nj) / paper_nj * 100.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E2: energy-model bootstrapping (+ ablation A3) ==\n");
+  print_divsd_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

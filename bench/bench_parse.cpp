@@ -1,0 +1,104 @@
+// E1/E5 — XML parsing throughput (the front end of the toolchain).
+//
+// Series: parse time vs. descriptor size on synthetic models, plus the
+// shipped paper-listing descriptors. Reported as elements/second.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/io.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+/// A synthetic cpu descriptor with `cores` embedded core+cache pairs.
+std::string synthetic_cpu(int cores) {
+  std::ostringstream os;
+  os << "<cpu name=\"Synth\" frequency=\"2\" frequency_unit=\"GHz\">\n";
+  for (int i = 0; i < cores; ++i) {
+    os << "  <core id=\"c" << i
+       << "\" frequency=\"2\" frequency_unit=\"GHz\">\n"
+       << "    <cache name=\"L1\" size=\"32\" unit=\"KiB\" sets=\"8\" "
+          "replacement=\"LRU\"/>\n"
+       << "  </core>\n";
+  }
+  os << "  <cache name=\"L3\" size=\"15\" unit=\"MiB\"/>\n</cpu>\n";
+  return os.str();
+}
+
+void BM_ParseSynthetic(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  std::string text = synthetic_cpu(cores);
+  std::size_t elements = 0;
+  for (auto _ : state) {
+    auto doc = xpdl::xml::parse(text);
+    if (!doc.is_ok()) state.SkipWithError("parse failed");
+    elements = doc.value().root->subtree_size();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elements));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+  state.counters["elements"] = static_cast<double>(elements);
+}
+BENCHMARK(BM_ParseSynthetic)->Arg(4)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_ParseShippedDescriptor(benchmark::State& state,
+                               const std::string& relative) {
+  auto text = xpdl::io::read_file(std::string(XPDL_MODELS_DIR) + "/" +
+                                  relative);
+  if (!text.is_ok()) {
+    state.SkipWithError("cannot read descriptor");
+    return;
+  }
+  for (auto _ : state) {
+    auto doc = xpdl::xml::parse(*text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text->size()));
+}
+BENCHMARK_CAPTURE(BM_ParseShippedDescriptor, listing1_xeon,
+                  "hardware/cpu/Intel_Xeon_E5_2630L.xpdl");
+BENCHMARK_CAPTURE(BM_ParseShippedDescriptor, listing8_kepler,
+                  "hardware/gpu/Nvidia_Kepler.xpdl");
+BENCHMARK_CAPTURE(BM_ParseShippedDescriptor, listing11_cluster,
+                  "systems/XScluster.xpdl");
+BENCHMARK_CAPTURE(BM_ParseShippedDescriptor, listing13_15_power,
+                  "power/power_model_E5_2630L.xpdl");
+
+void BM_ValidateSynthetic(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  auto doc = xpdl::xml::parse(synthetic_cpu(cores));
+  for (auto _ : state) {
+    auto report = xpdl::schema::Schema::core().validate(*doc.value().root);
+    if (!report.ok()) state.SkipWithError("validation failed");
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(doc.value().root->subtree_size()));
+}
+BENCHMARK(BM_ValidateSynthetic)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_WriteRoundTrip(benchmark::State& state) {
+  auto doc = xpdl::xml::parse(synthetic_cpu(256));
+  for (auto _ : state) {
+    std::string out = xpdl::xml::write(*doc.value().root);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WriteRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E1/E5: XPDL parsing and validation throughput ==\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

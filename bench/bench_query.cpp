@@ -1,0 +1,204 @@
+// E6 — Runtime Query API latency.
+//
+// The paper's dynamic-optimization use case requires introspection cheap
+// enough to run inside application code at run time. Series: attribute
+// getter, find-by-id, tree navigation, and the analysis getters on the
+// composed XScluster; plus ablation A2 (binary runtime file load vs.
+// re-parsing and re-composing the XML at startup).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/capi.h"
+#include "xpdl/query/query.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+xpdl::repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+const xpdl::runtime::Model& cluster_model() {
+  static const auto* m = [] {
+    xpdl::compose::Composer composer(repo());
+    auto composed = composer.compose("XScluster");
+    assert(composed.is_ok());
+    auto model = xpdl::runtime::Model::from_composed(*composed);
+    assert(model.is_ok());
+    return new xpdl::runtime::Model(std::move(model).value());
+  }();
+  return *m;
+}
+
+const std::string& model_file() {
+  static const auto* path = [] {
+    auto* p = new std::string(
+        (fs::temp_directory_path() / "xpdl_bench_query.xpdlrt").string());
+    auto st = cluster_model().save(*p);
+    assert(st.is_ok());
+    (void)st;
+    return p;
+  }();
+  return *path;
+}
+
+void BM_AttributeGetter(benchmark::State& state) {
+  const auto& m = cluster_model();
+  auto gpu = m.find_by_id("XScluster.n0.gpu1");
+  assert(gpu.has_value());
+  for (auto _ : state) {
+    auto v = gpu->attribute("compute_capability");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AttributeGetter);
+
+void BM_QuantityGetter(benchmark::State& state) {
+  const auto& m = cluster_model();
+  auto mem = m.find_by_id("XScluster.n0.main_mem0");
+  assert(mem.has_value());
+  for (auto _ : state) {
+    auto q = mem->quantity("size");
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_QuantityGetter);
+
+void BM_FindById(benchmark::State& state) {
+  const auto& m = cluster_model();
+  for (auto _ : state) {
+    auto n = m.find_by_id("XScluster.n2.gpu2");
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_FindById);
+
+void BM_TreeWalkChildren(benchmark::State& state) {
+  const auto& m = cluster_model();
+  for (auto _ : state) {
+    // Visit the whole tree through the browsing API.
+    std::size_t count = 0;
+    std::vector<xpdl::runtime::Node> stack = {m.root()};
+    while (!stack.empty()) {
+      xpdl::runtime::Node n = stack.back();
+      stack.pop_back();
+      ++count;
+      for (std::size_t i = 0; i < n.child_count(); ++i) {
+        stack.push_back(n.child(i));
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.node_count()));
+}
+BENCHMARK(BM_TreeWalkChildren);
+
+void BM_CountCores(benchmark::State& state) {
+  const auto& m = cluster_model();
+  for (auto _ : state) {
+    std::size_t n = m.count_cores();
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_CountCores);
+
+void BM_TotalStaticPower(benchmark::State& state) {
+  const auto& m = cluster_model();
+  for (auto _ : state) {
+    double w = m.total_static_power_w();
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_TotalStaticPower);
+
+void BM_HasInstalled(benchmark::State& state) {
+  const auto& m = cluster_model();
+  for (auto _ : state) {
+    bool b = m.has_installed("CUBLAS");
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_HasInstalled);
+
+void BM_CApiGetter(benchmark::State& state) {
+  if (xpdl_init(model_file().c_str()) != 0) {
+    state.SkipWithError("xpdl_init failed");
+    return;
+  }
+  xpdl_node_t gpu = xpdl_find_by_id("XScluster.n0.gpu1");
+  for (auto _ : state) {
+    const char* v = xpdl_get_attribute(gpu, "compute_capability");
+    benchmark::DoNotOptimize(v);
+  }
+  xpdl_shutdown();
+}
+BENCHMARK(BM_CApiGetter);
+
+void BM_QueryLanguageSimple(benchmark::State& state) {
+  const auto& m = cluster_model();
+  auto q = xpdl::query::Query::parse("//device[@type=\"Nvidia_K20c\"]");
+  assert(q.is_ok());
+  for (auto _ : state) {
+    auto nodes = q->evaluate(m);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_QueryLanguageSimple);
+
+void BM_QueryLanguageUnitAware(benchmark::State& state) {
+  const auto& m = cluster_model();
+  auto q = xpdl::query::Query::parse("//cache[@size>=1MiB]");
+  assert(q.is_ok());
+  for (auto _ : state) {
+    auto nodes = q->evaluate(m);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_QueryLanguageUnitAware);
+
+// --- A2: binary runtime file vs re-parsing XML at startup --------------
+
+void BM_StartupLoadBinary(benchmark::State& state) {
+  model_file();  // ensure written
+  for (auto _ : state) {
+    auto m = xpdl::runtime::Model::load(model_file());
+    if (!m.is_ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_StartupLoadBinary)->Unit(benchmark::kMillisecond);
+
+void BM_StartupRecomposeXml(benchmark::State& state) {
+  for (auto _ : state) {
+    xpdl::compose::Composer composer(repo());
+    auto composed = composer.compose("XScluster");
+    if (!composed.is_ok()) state.SkipWithError("compose failed");
+    auto m = xpdl::runtime::Model::from_composed(*composed);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_StartupRecomposeXml)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E6: runtime Query API latency (+ ablation A2) ==\n");
+  std::printf("model: composed XScluster, %zu nodes in the runtime arena\n",
+              cluster_model().node_count());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

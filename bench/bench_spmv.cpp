@@ -1,0 +1,146 @@
+// E3 — The conditional-composition SpMV case study (Sec. II / ref [3]).
+//
+// Headline series: execution time of every implementation variant and of
+// the XPDL-guided tuned selection, swept over the density of nonzero
+// elements. The shape to reproduce: the tuned component tracks the best
+// variant everywhere ("overall performance improvement"), with the
+// dense kernel taking over at high density and the GPU winning on large
+// sparse inputs (modeled timing; see DESIGN.md substitutions).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "xpdl/composition/spmv.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+using xpdl::composition::CsrMatrix;
+using xpdl::composition::SpmvComponent;
+
+const xpdl::runtime::Model& platform() {
+  static const auto* m = [] {
+    auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    xpdl::compose::Composer composer(**repo);
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    auto model = xpdl::runtime::Model::from_composed(*composed);
+    assert(model.is_ok());
+    return new xpdl::runtime::Model(std::move(model).value());
+  }();
+  return *m;
+}
+
+SpmvComponent& component() {
+  static auto* comp = [] {
+    auto c = SpmvComponent::create(platform());
+    assert(c.is_ok());
+    return new SpmvComponent(std::move(c).value());
+  }();
+  return *comp;
+}
+
+/// Density for a benchmark argument index (log-ish sweep 0.1%..100%).
+constexpr double kDensities[] = {0.001, 0.005, 0.02, 0.08, 0.25, 0.6, 1.0};
+
+void BM_Variant(benchmark::State& state, const char* variant) {
+  const double density = kDensities[state.range(0)];
+  const std::size_t n = 1024;
+  CsrMatrix a = CsrMatrix::random(n, n, density, 42);
+  std::vector<double> x(n, 1.0);
+  for (auto _ : state) {
+    auto r = component().run_variant(variant, a, x);
+    if (!r.is_ok()) {
+      state.SkipWithError(r.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->y);
+  }
+  state.counters["density"] = density;
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK_CAPTURE(BM_Variant, csr_serial, "csr_serial")
+    ->DenseRange(0, 6);
+BENCHMARK_CAPTURE(BM_Variant, csr_parallel, "csr_parallel")
+    ->DenseRange(0, 6);
+BENCHMARK_CAPTURE(BM_Variant, dense_serial, "dense_serial")
+    ->DenseRange(0, 6);
+
+void BM_TunedSelection(benchmark::State& state) {
+  const double density = kDensities[state.range(0)];
+  const std::size_t n = 1024;
+  CsrMatrix a = CsrMatrix::random(n, n, density, 42);
+  std::vector<double> x(n, 1.0);
+  std::string chosen;
+  for (auto _ : state) {
+    auto r = component().run_tuned(a, x);
+    if (!r.is_ok()) {
+      state.SkipWithError(r.status().to_string().c_str());
+      return;
+    }
+    chosen = r->variant;
+    benchmark::DoNotOptimize(r->y);
+  }
+  state.counters["density"] = density;
+  state.SetLabel(chosen);
+}
+BENCHMARK(BM_TunedSelection)->DenseRange(0, 6);
+
+void BM_SelectionOverhead(benchmark::State& state) {
+  // The decision itself must be cheap enough for per-call dispatch.
+  CsrMatrix a = CsrMatrix::random(1024, 1024, 0.05, 42);
+  for (auto _ : state) {
+    auto report = component().select(a);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SelectionOverhead);
+
+void print_density_series() {
+  const std::size_t n = 2048;
+  std::printf(
+      "\nE3  SpMV (n=%zu): measured/modeled time [ms] per variant vs "
+      "density\n"
+      "    density     csr_serial  csr_parallel  dense_serial  "
+      "gpu_offload*     tuned -> choice\n",
+      n);
+  std::vector<double> x(n, 1.0);
+  for (double density : kDensities) {
+    CsrMatrix a = CsrMatrix::random(n, n, density, 7);
+    std::printf("    %7.3f", density);
+    for (const char* variant :
+         {"csr_serial", "csr_parallel", "dense_serial", "gpu_offload"}) {
+      auto r = component().run_variant(variant, a, x);
+      if (r.is_ok()) {
+        std::printf("  %12.3f", r->seconds * 1e3);
+      } else {
+        std::printf("  %12s", "n/a");
+      }
+    }
+    auto tuned = component().run_tuned(a, x);
+    if (tuned.is_ok()) {
+      std::printf("  %9.3f -> %s\n", tuned->seconds * 1e3,
+                  tuned->variant.c_str());
+    } else {
+      std::printf("  tuned failed\n");
+    }
+  }
+  std::printf("    (* gpu_offload time is modeled from the XPDL platform "
+              "model; see DESIGN.md)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E3: conditional composition SpMV case study ==\n");
+  print_density_series();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

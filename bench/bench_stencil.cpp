@@ -1,0 +1,114 @@
+// E12 (extension) — energy-aware composition on the Jacobi stencil:
+// variant selection with structural query requirements plus per-call
+// DVFS recommendation ("tuned selection of implementation variants" and
+// tuned "system settings" in one dispatch, the paper's two optimization
+// axes combined).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "xpdl/composition/stencil.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+using xpdl::composition::Grid;
+using xpdl::composition::StencilComponent;
+
+const xpdl::runtime::Model& platform(const char* ref) {
+  static std::map<std::string, xpdl::runtime::Model*> cache;
+  auto it = cache.find(ref);
+  if (it != cache.end()) return *it->second;
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  assert(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose(ref);
+  assert(composed.is_ok());
+  auto model = xpdl::runtime::Model::from_composed(*composed);
+  assert(model.is_ok());
+  auto* stored = new xpdl::runtime::Model(std::move(model).value());
+  cache.emplace(ref, stored);
+  return *stored;
+}
+
+void BM_StencilVariant(benchmark::State& state, const char* variant) {
+  auto comp = StencilComponent::create(platform("liu_gpu_server"));
+  assert(comp.is_ok());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Grid g = Grid::random(n, n, 17);
+  for (auto _ : state) {
+    auto r = comp->run_variant(variant, g, 4);
+    if (!r.is_ok()) {
+      state.SkipWithError(r.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->grid);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK_CAPTURE(BM_StencilVariant, naive, "jacobi_naive")
+    ->Arg(128)->Arg(512)->Arg(1024);
+BENCHMARK_CAPTURE(BM_StencilVariant, blocked, "jacobi_blocked")
+    ->Arg(128)->Arg(512)->Arg(1024);
+BENCHMARK_CAPTURE(BM_StencilVariant, parallel, "jacobi_parallel")
+    ->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_StencilTuned(benchmark::State& state) {
+  auto comp = StencilComponent::create(platform("liu_gpu_server"));
+  assert(comp.is_ok());
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Grid g = Grid::random(n, n, 17);
+  std::string chosen;
+  for (auto _ : state) {
+    auto r = comp->run_tuned(g, 4);
+    if (!r.is_ok()) {
+      state.SkipWithError(r.status().to_string().c_str());
+      return;
+    }
+    chosen = r->variant;
+    benchmark::DoNotOptimize(r->grid);
+  }
+  state.SetLabel(chosen);
+}
+BENCHMARK(BM_StencilTuned)->Arg(128)->Arg(512)->Arg(1024);
+
+void print_dispatch_table() {
+  auto comp = StencilComponent::create(platform("liu_gpu_server"));
+  if (!comp.is_ok()) return;
+  std::printf(
+      "\nE12 energy-aware dispatch (liu_gpu_server, 4 sweeps)\n"
+      "    grid     deadline    choice            DVFS    energy[J]\n");
+  struct Case {
+    std::size_t n;
+    double deadline;
+  };
+  for (Case c : {Case{256, 0.0}, Case{256, 1e-3}, Case{1024, 0.0},
+                 Case{1024, 0.05}, Case{2048, 0.0}}) {
+    Grid g = Grid::random(c.n, c.n, 5);
+    auto r = comp->run_tuned(g, 4, c.deadline);
+    if (!r.is_ok()) continue;
+    std::printf("    %4zu^2  %8.4fs    %-16s  %-5s  %10.4g\n", c.n,
+                c.deadline, r->variant.c_str(),
+                r->recommended_state.empty() ? "-"
+                                             : r->recommended_state.c_str(),
+                r->predicted_energy_j);
+  }
+  std::printf("    (deadline 0 = unconstrained: the slowest P-state "
+              "minimizes energy)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E12: energy-aware stencil composition ==\n");
+  print_dispatch_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E5 — Full toolchain pipeline stage timings (Sec. IV):
+// repository scan -> compose -> bootstrap -> serialize -> load.
+//
+// Ablation A1: composing from the modular multi-file repository vs. a
+// monolithic pre-merged descriptor (the PDL default the paper argues
+// against). The monolithic variant embeds every referenced meta-model
+// in-line, so no repository lookups happen during composition.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/microbench/simmachine.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+xpdl::repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+void BM_Stage1_RepositoryScan(benchmark::State& state) {
+  for (auto _ : state) {
+    xpdl::repository::Repository fresh({XPDL_MODELS_DIR});
+    auto st = fresh.scan();
+    if (!st.is_ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(fresh.size());
+  }
+  state.counters["descriptors"] = static_cast<double>(repo().size());
+}
+BENCHMARK(BM_Stage1_RepositoryScan)->Unit(benchmark::kMillisecond);
+
+void BM_Stage2_Compose(benchmark::State& state, const char* ref) {
+  xpdl::compose::Composer composer(repo());
+  for (auto _ : state) {
+    auto model = composer.compose(ref);
+    if (!model.is_ok()) state.SkipWithError("compose failed");
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK_CAPTURE(BM_Stage2_Compose, liu_gpu_server, "liu_gpu_server")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Stage2_Compose, XScluster, "XScluster")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Stage3_Bootstrap(benchmark::State& state) {
+  xpdl::compose::Composer composer(repo());
+  auto composed = composer.compose("liu_gpu_server");
+  assert(composed.is_ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = composed->root().clone();
+    xpdl::microbench::SimMachine machine(
+        xpdl::microbench::SimMachineConfig{},
+        xpdl::microbench::paper_x86_ground_truth());
+    xpdl::microbench::BootstrapOptions opts;
+    opts.frequencies_hz = {2.8e9, 3.1e9, 3.4e9};
+    xpdl::microbench::Bootstrapper bootstrapper(machine, opts);
+    state.ResumeTiming();
+    auto report = bootstrapper.bootstrap_model(*copy);
+    if (!report.is_ok()) state.SkipWithError("bootstrap failed");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Stage3_Bootstrap)->Unit(benchmark::kMillisecond);
+
+void BM_Stage4_Serialize(benchmark::State& state) {
+  xpdl::compose::Composer composer(repo());
+  auto composed = composer.compose("XScluster");
+  assert(composed.is_ok());
+  auto model = xpdl::runtime::Model::from_composed(*composed);
+  assert(model.is_ok());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string blob = model->serialize();
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["file_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Stage4_Serialize)->Unit(benchmark::kMillisecond);
+
+void BM_Stage5_LoadRuntimeModel(benchmark::State& state) {
+  xpdl::compose::Composer composer(repo());
+  auto composed = composer.compose("XScluster");
+  assert(composed.is_ok());
+  auto model = xpdl::runtime::Model::from_composed(*composed);
+  assert(model.is_ok());
+  fs::path path = fs::temp_directory_path() / "xpdl_bench_toolchain.xpdlrt";
+  auto st = model->save(path.string());
+  assert(st.is_ok());
+  (void)st;
+  for (auto _ : state) {
+    auto loaded = xpdl::runtime::Model::load(path.string());
+    if (!loaded.is_ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_Stage5_LoadRuntimeModel)->Unit(benchmark::kMillisecond);
+
+// --- A1: modular repository vs monolithic descriptor -------------------
+
+/// Builds a monolithic liu_gpu_server: composition output written back to
+/// XML is a self-contained descriptor with no external references.
+const std::string& monolithic_xml() {
+  static const auto* text = [] {
+    xpdl::compose::Composer composer(repo());
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    return new std::string(xpdl::xml::write(composed->root()));
+  }();
+  return *text;
+}
+
+void BM_A1_ModularComposeWithLookups(benchmark::State& state) {
+  xpdl::compose::Composer composer(repo());
+  for (auto _ : state) {
+    auto model = composer.compose("liu_gpu_server");
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_A1_ModularComposeWithLookups)->Unit(benchmark::kMillisecond);
+
+void BM_A1_MonolithicReparse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto doc = xpdl::xml::parse(monolithic_xml());
+    if (!doc.is_ok()) state.SkipWithError("parse failed");
+    xpdl::compose::Composer composer(repo());
+    auto model = composer.compose(*doc.value().root);
+    benchmark::DoNotOptimize(model);
+  }
+  state.counters["monolith_bytes"] =
+      static_cast<double>(monolithic_xml().size());
+}
+BENCHMARK(BM_A1_MonolithicReparse)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E5: toolchain pipeline stages (+ ablation A1) ==\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

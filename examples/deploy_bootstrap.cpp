@@ -1,0 +1,105 @@
+// deploy_bootstrap: what the toolchain does at system deployment time
+// (Sec. III-C / IV).
+//
+//   $ ./deploy_bootstrap [output-dir]       (default: /tmp/xpdl_deploy)
+//
+// Steps performed:
+//   1. compose liu_gpu_server from the repository,
+//   2. generate the microbenchmark driver code tree for every suite
+//      referenced from the model (one C++ driver per instruction, build
+//      file, runner script),
+//   3. run the bootstrap protocol against the simulated power sensor to
+//      fill every '?' energy entry,
+//   4. write the finished runtime model file for xpdl_init().
+#include <cstdio>
+#include <string>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/util/io.h"
+#include "xpdl/microbench/drivergen.h"
+#include "xpdl/microbench/simmachine.h"
+#include "xpdl/model/power.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+int main(int argc, char** argv) {
+  std::string out_dir = argc > 1 ? argv[1] : "/tmp/xpdl_deploy";
+
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  if (!repo.is_ok()) {
+    std::fprintf(stderr, "%s\n", repo.status().to_string().c_str());
+    return 1;
+  }
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("liu_gpu_server");
+  if (!composed.is_ok()) {
+    std::fprintf(stderr, "%s\n", composed.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("composed liu_gpu_server (%zu elements)\n",
+              composed->root().subtree_size());
+
+  // Driver code generation for every microbenchmark suite in the model.
+  std::vector<const xpdl::xml::Element*> stack = {&composed->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "microbenchmarks") continue;
+    auto suite = xpdl::model::MicrobenchmarkSuite::parse(*e);
+    if (!suite.is_ok()) continue;
+    std::string dir = out_dir + "/drivers/" + suite->id;
+    if (auto st = xpdl::microbench::generate_driver_tree(*suite, dir);
+        st.is_ok()) {
+      std::printf("generated %zu driver(s) in %s\n",
+                  suite->benchmarks.size(), dir.c_str());
+    }
+  }
+
+  // Bootstrap against the simulated sensor (stand-in for RAPL / external
+  // power meters; see DESIGN.md).
+  xpdl::microbench::SimMachine machine(
+      xpdl::microbench::SimMachineConfig{},
+      xpdl::microbench::paper_x86_ground_truth());
+  xpdl::microbench::BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 2.9e9, 3.0e9, 3.1e9, 3.2e9, 3.3e9, 3.4e9};
+  xpdl::microbench::Bootstrapper bootstrapper(machine, opts);
+  auto report = bootstrapper.bootstrap_model(composed->mutable_root());
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  composed->reindex();
+  std::printf("bootstrapped %zu instruction(s); measured background power "
+              "%.2f W (machine truth: %.2f W)\n",
+              report->measured_instructions,
+              report->estimated_static_power_w,
+              machine.config().static_power_w);
+  for (const auto& entry : report->entries) {
+    if (entry.frequency_hz != 3.0e9) continue;  // one line per instruction
+    std::printf("  %-6s @ 3.0 GHz: %7.3f nJ\n", entry.instruction.c_str(),
+                entry.measured_energy_j * 1e9);
+  }
+
+  // Final runtime model file.
+  auto rt = xpdl::runtime::Model::from_composed(*composed);
+  if (!rt.is_ok()) {
+    std::fprintf(stderr, "%s\n", rt.status().to_string().c_str());
+    return 1;
+  }
+  std::string model_file = out_dir + "/liu_gpu_server.xpdlrt";
+  if (auto st = xpdl::io::make_directories(out_dir); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = rt->save(model_file); !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote runtime model (%zu nodes) to %s\n", rt->node_count(),
+              model_file.c_str());
+  std::printf("applications load it with xpdl_init(\"%s\")\n",
+              model_file.c_str());
+  return 0;
+}

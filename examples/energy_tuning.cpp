@@ -1,0 +1,109 @@
+// energy_tuning: use the XPDL power model to pick energy-minimal DVFS
+// schedules — the "adaptive optimization of system settings for improved
+// energy efficiency" the paper targets.
+//
+//   $ ./energy_tuning
+//
+// For a batch of jobs with different deadlines, the planner consults the
+// E5-2630L power state machine (states, powers, transition overheads)
+// and prints the chosen schedule next to naive race-to-idle.
+#include <cstdio>
+
+#include "xpdl/energy/energy.h"
+#include "xpdl/model/power.h"
+#include "xpdl/repository/repository.h"
+
+int main() {
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  if (!repo.is_ok()) {
+    std::fprintf(stderr, "%s\n", repo.status().to_string().c_str());
+    return 1;
+  }
+  auto pm_doc = (*repo)->lookup("power_model_E5_2630L");
+  if (!pm_doc.is_ok()) {
+    std::fprintf(stderr, "%s\n", pm_doc.status().to_string().c_str());
+    return 1;
+  }
+  auto pm = xpdl::model::PowerModel::parse(**pm_doc);
+  if (!pm.is_ok() || pm->state_machines.empty()) {
+    std::fprintf(stderr, "no power state machine in the model\n");
+    return 1;
+  }
+  const xpdl::model::PowerStateMachine& fsm = pm->state_machines.front();
+  xpdl::energy::DvfsPlanner planner(fsm);
+
+  std::printf("power states of '%s':\n", fsm.name.c_str());
+  for (const auto* s : planner.states_by_frequency()) {
+    std::printf("  %-3s %4.1f GHz  %5.1f W\n", s->name.c_str(),
+                s->frequency_hz / 1e9, s->power_w);
+  }
+
+  struct Job {
+    const char* name;
+    double cycles;
+    double deadline_s;
+  };
+  const Job jobs[] = {
+      {"frame_decode", 0.6e9, 0.30},
+      {"batch_filter", 2.4e9, 1.25},
+      {"nightly_index", 12.0e9, 10.0},
+      {"tight_control", 1.2e9, 0.52},
+  };
+
+  std::printf("\n%-14s %9s | race-to-idle | optimal schedule\n", "job",
+              "deadline");
+  for (const Job& job : jobs) {
+    xpdl::energy::Workload w{.cycles = job.cycles,
+                             .deadline_s = job.deadline_s,
+                             .idle_power_w = 2.0};  // C1 sleep power
+    auto race = planner.single_state("P4", w);
+    auto best = planner.best_two_state(w, "P4");
+    std::printf("%-14s %7.2f s |", job.name, job.deadline_s);
+    if (race.is_ok() && race->feasible) {
+      std::printf(" %9.2f J |", race->energy_j);
+    } else {
+      std::printf(" %10s |", "infeasible");
+    }
+    if (!best.is_ok()) {
+      std::printf(" infeasible\n");
+      continue;
+    }
+    std::printf(" %7.2f J  (", best->energy_j);
+    bool first = true;
+    for (const auto& leg : best->legs) {
+      if (leg.duration_s < 1e-9) continue;
+      std::printf("%s%s %.2fs", first ? "" : ", ", leg.state.c_str(),
+                  leg.duration_s);
+      first = false;
+    }
+    std::printf(")");
+    if (race.is_ok() && race->feasible && best->energy_j < race->energy_j) {
+      std::printf("  saves %.1f%%",
+                  (race->energy_j - best->energy_j) / race->energy_j * 100);
+    }
+    std::printf("\n");
+  }
+
+  // Power-domain gating on the Myriad1 (Listing 12): when is CMX allowed
+  // to power down?
+  auto myriad_pm_doc = (*repo)->lookup("power_model_Myriad1");
+  if (myriad_pm_doc.is_ok()) {
+    auto myriad_pm = xpdl::model::PowerModel::parse(**myriad_pm_doc);
+    if (myriad_pm.is_ok() && myriad_pm->domains.has_value()) {
+      std::printf("\nMyriad1 power gating (Listing 12 semantics):\n");
+      std::vector<std::string> off;
+      for (int shaves_off = 6; shaves_off <= 8; ++shaves_off) {
+        off.clear();
+        for (int i = 0; i < shaves_off; ++i) {
+          off.push_back("Shave_pd" + std::to_string(i));
+        }
+        auto allowed = xpdl::energy::may_switch_off(*myriad_pm->domains,
+                                                    "CMX_pd", off);
+        std::printf("  %d/8 SHAVEs off -> CMX may power down: %s\n",
+                    shaves_off,
+                    allowed.is_ok() && allowed.value() ? "yes" : "no");
+      }
+    }
+  }
+  return 0;
+}

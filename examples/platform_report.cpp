@@ -1,0 +1,152 @@
+// platform_report: compose a system from the shipped model repository and
+// print a human-readable platform report — the "machine-readable data
+// sheet" of Sec. III rendered for humans.
+//
+//   $ ./platform_report [system-ref]        (default: liu_gpu_server)
+//
+// Reported: hardware tree with ids/types/key metrics, interconnects with
+// the composed effective bandwidth, installed software, power domains and
+// power states, and the derived analysis values.
+#include <cstdio>
+#include <string>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/energy/energy.h"
+#include "xpdl/model/power.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+void print_hardware(const xpdl::xml::Element& e, int depth) {
+  // Skip non-hardware subtrees in the tree rendering.
+  if (e.tag() == "software" || e.tag() == "properties" ||
+      e.tag() == "power_model" || e.tag() == "interconnects") {
+    return;
+  }
+  std::printf("%*s<%s>", depth * 2, "", e.tag().c_str());
+  for (const char* attr : {"id", "name", "type"}) {
+    if (auto v = e.attribute(attr)) {
+      std::printf(" %s=%s", attr, std::string(*v).c_str());
+    }
+  }
+  for (const char* metric : {"frequency", "size", "static_power"}) {
+    auto m = xpdl::model::metric_of(e, metric);
+    if (m.is_ok() && m->has_value() && (*m)->is_number()) {
+      std::printf("  %s=%s", metric, (*m)->quantity().to_string().c_str());
+    }
+  }
+  std::printf("\n");
+  // Groups with many identical members are summarized.
+  if (e.tag() == "group" && e.attribute_or("expanded", "") == "true" &&
+      e.child_count() > 8) {
+    std::printf("%*s  ... %zu expanded members ...\n", depth * 2, "",
+                e.child_count());
+    print_hardware(*e.children().front(), depth + 1);
+    return;
+  }
+  for (const auto& c : e.children()) print_hardware(*c, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ref = argc > 1 ? argv[1] : "liu_gpu_server";
+
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  if (!repo.is_ok()) {
+    std::fprintf(stderr, "%s\n", repo.status().to_string().c_str());
+    return 1;
+  }
+  xpdl::compose::Composer composer(**repo);
+  auto model = composer.compose(ref);
+  if (!model.is_ok()) {
+    std::fprintf(stderr, "compose %s: %s\n", ref.c_str(),
+                 model.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("=== platform report: %s ===\n\n-- hardware --\n",
+              ref.c_str());
+  print_hardware(model->root(), 0);
+
+  std::printf("\n-- interconnects --\n");
+  std::vector<const xpdl::xml::Element*> stack = {&model->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "interconnect") continue;
+    std::printf("  %-12s %-12s %s -> %s",
+                std::string(e->attribute_or("id", "?")).c_str(),
+                std::string(e->attribute_or("type", "")).c_str(),
+                std::string(e->attribute_or("head", "?")).c_str(),
+                std::string(e->attribute_or("tail", "?")).c_str());
+    if (auto bw = e->attribute(xpdl::compose::kEffectiveBandwidthAttr)) {
+      double bps = std::strtod(std::string(*bw).c_str(), nullptr);
+      std::printf("   effective %s",
+                  xpdl::units::bytes_per_second(bps).to_string().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- software --\n");
+  stack = {&model->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() == "installed" || e->tag() == "hostOS") {
+      std::printf("  %-10s %-16s %s\n", e->tag().c_str(),
+                  std::string(e->attribute_or(
+                      "type", e->attribute_or("name", "?"))).c_str(),
+                  std::string(e->attribute_or("path", "")).c_str());
+    }
+  }
+
+  std::printf("\n-- power model --\n");
+  stack = {&model->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() == "power_state_machine") {
+      auto fsm = xpdl::model::PowerStateMachine::parse(*e);
+      if (!fsm.is_ok()) continue;
+      std::printf("  state machine '%s' (domain %s): ", fsm->name.c_str(),
+                  fsm->power_domain.c_str());
+      for (const auto& s : fsm->states) {
+        std::printf("%s(%.1fGHz/%.0fW) ", s.name.c_str(),
+                    s.frequency_hz / 1e9, s.power_w);
+      }
+      std::printf("- %zu transitions, %s\n", fsm->transitions.size(),
+                  fsm->strongly_connected() ? "strongly connected"
+                                            : "NOT strongly connected");
+    }
+    if (e->tag() == "instructions") {
+      auto isa = xpdl::model::InstructionSet::parse(*e);
+      if (!isa.is_ok()) continue;
+      std::size_t placeholders = 0;
+      for (const auto& inst : isa->instructions) {
+        if (inst.placeholder) ++placeholders;
+      }
+      std::printf("  ISA '%s': %zu instructions, %zu awaiting "
+                  "microbenchmarking\n",
+                  isa->name.c_str(), isa->instructions.size(),
+                  placeholders);
+    }
+  }
+
+  auto rt = xpdl::runtime::Model::from_composed(*model);
+  if (rt.is_ok()) {
+    std::printf("\n-- derived analysis (Query API category 4) --\n");
+    std::printf("  cores:          %zu\n", rt->count_cores());
+    std::printf("  devices:        %zu (%zu CUDA)\n", rt->count_devices(),
+                rt->count_cuda_devices());
+    std::printf("  static power:   %.2f W\n", rt->total_static_power_w());
+  }
+  for (const std::string& w : model->warnings()) {
+    std::printf("note: %s\n", w.c_str());
+  }
+  return 0;
+}

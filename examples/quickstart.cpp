@@ -1,0 +1,105 @@
+// Quickstart: model a small platform in XPDL, run it through the
+// toolchain, and introspect it through the Runtime Query API.
+//
+//   $ ./quickstart
+//
+// What it shows, end to end:
+//   1. an XPDL descriptor as a string (normally a .xpdl file),
+//   2. schema validation,
+//   3. composition (group expansion, static analyses),
+//   4. the runtime model + Query API (tree browsing, typed getters,
+//      derived-attribute analysis functions).
+#include <cstdio>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+constexpr const char* kMyLaptop = R"(
+<system id="my_laptop">
+  <socket>
+    <cpu id="cpu0" frequency="2.4" frequency_unit="GHz"
+         static_power="12" static_power_unit="W">
+      <group prefix="core" quantity="4">
+        <core frequency="2.4" frequency_unit="GHz"
+              static_power="1.5" static_power_unit="W" />
+        <cache name="L1" size="48" unit="KiB" />
+      </group>
+      <cache name="L3" size="8" unit="MiB" />
+    </cpu>
+  </socket>
+  <memory id="ram" size="16" unit="GiB"
+          static_power="3" static_power_unit="W" />
+  <software>
+    <installed type="OpenBLAS_0.3" path="/usr/lib" />
+  </software>
+</system>)";
+
+}  // namespace
+
+int main() {
+  // 1. Parse the descriptor.
+  auto doc = xpdl::xml::parse(kMyLaptop, "my_laptop.xpdl");
+  if (!doc.is_ok()) {
+    std::fprintf(stderr, "parse: %s\n", doc.status().to_string().c_str());
+    return 1;
+  }
+
+  // 2. Validate against the XPDL core schema.
+  auto report = xpdl::schema::Schema::core().validate(*doc.value().root);
+  if (!report.ok()) {
+    std::fprintf(stderr, "validate: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("descriptor valid (%zu lint warning(s))\n",
+              report.warnings.size());
+
+  // 3. Compose: expand the core group, run the static analyses.
+  xpdl::repository::Repository repo;  // no external references needed
+  xpdl::compose::Composer composer(repo);
+  auto composed = composer.compose(*doc.value().root);
+  if (!composed.is_ok()) {
+    std::fprintf(stderr, "compose: %s\n",
+                 composed.status().to_string().c_str());
+    return 1;
+  }
+
+  // 4. Build the runtime model and query it.
+  auto model = xpdl::runtime::Model::from_composed(*composed);
+  if (!model.is_ok()) {
+    std::fprintf(stderr, "runtime: %s\n",
+                 model.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("cores:             %zu\n", model->count_cores());
+  std::printf("static power:      %.1f W\n", model->total_static_power_w());
+  std::printf("OpenBLAS present:  %s\n",
+              model->has_installed("OpenBLAS") ? "yes" : "no");
+
+  // Tree browsing + typed getters: list every core with its L1.
+  auto cpu = model->find_by_id("cpu0");
+  if (cpu.has_value()) {
+    for (const xpdl::runtime::Node& group : cpu->children("group")) {
+      for (const xpdl::runtime::Node& core : group.children("core")) {
+        auto freq = core.quantity("frequency");
+        std::printf("  core %-8s  %s\n",
+                    std::string(core.id()).c_str(),
+                    freq.is_ok() ? freq->to_string().c_str() : "?");
+      }
+    }
+  }
+
+  // Round-trip through the runtime model file, exactly like a deployed
+  // application would (xpdl_init loads this file).
+  std::string bytes = model->serialize();
+  auto loaded = xpdl::runtime::Model::deserialize(bytes);
+  std::printf("runtime model file: %zu bytes, reload %s\n", bytes.size(),
+              loaded.is_ok() ? "ok" : "FAILED");
+  return loaded.is_ok() ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Schema-driven C++ code generation (Sec. IV).
+//
+// "The major part of the XPDL (run-time) query API (namely the C++
+// classes corresponding to model element types, with getters and setters
+// for attribute values and model navigation support) is generated
+// automatically from the central xpdl.xsd schema specification."
+//
+// For every element kind of a schema the generator emits
+//   * a `<Kind>View` over xpdl::runtime::Node — typed getters for every
+//     declared attribute plus navigation methods for every allowed child
+//     kind, and
+//   * a `<Kind>Builder` over xpdl::xml::Element — the setter side, used
+//     by tools that synthesize or patch descriptors.
+//
+// The generated header is self-contained modulo the xpdl runtime/xml
+// headers; the build generates it via the xpdl-codegen tool and the test
+// suite compiles against it, which keeps the generator honest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::codegen {
+
+/// C++ class-name stem for an element tag: "power_state_machine" ->
+/// "PowerStateMachine", "hostOS" -> "HostOS".
+[[nodiscard]] std::string class_name(std::string_view tag);
+
+/// C++ method-name-safe identifier for an attribute: "switchoffCondition"
+/// -> "switchoff_condition" (camelCase split to snake_case).
+[[nodiscard]] std::string method_name(std::string_view attribute);
+
+/// Generates the complete header text for `schema` into namespace `ns`.
+[[nodiscard]] std::string generate_header(const schema::Schema& schema,
+                                          std::string_view ns =
+                                              "xpdl::generated");
+
+/// Generates and writes the header to `path`.
+[[nodiscard]] Status write_header(const schema::Schema& schema,
+                                  const std::string& path,
+                                  std::string_view ns = "xpdl::generated");
+
+/// Generates a markdown reference of the schema: one section per element
+/// kind with its attributes (type, required, documentation) and allowed
+/// children — the human-readable companion of the shareable xpdl.xsd.
+[[nodiscard]] std::string generate_markdown(const schema::Schema& schema);
+
+}  // namespace xpdl::codegen

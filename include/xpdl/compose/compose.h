@@ -1,0 +1,137 @@
+// Model composition / elaboration (Sec. IV).
+//
+// The composer turns a concrete top-level model (a <system> like Listing 4,
+// 7 or 11) into a fully elaborated, self-contained model tree:
+//
+//   1. *Type resolution* — every `type="T"` reference is resolved in the
+//      model repository and the referenced meta-model is merged into the
+//      instance (instance attributes override meta-model attributes).
+//   2. *Inheritance flattening* — meta-models may `extends` one or more
+//      supertypes (Listing 8/9: Nvidia_K20c extends Nvidia_Kepler). The
+//      chain is flattened depth-first, later/derived definitions
+//      overriding earlier/base ones; cycles are detected.
+//   3. *Parameter binding* — <const>/<param> declarations are collected
+//      per scope; instance models bind open parameters (Listing 10 fixes
+//      L1size/shmsize); metric attributes and group quantities that
+//      reference parameters are substituted with the bound values.
+//   4. *Constraint checking* — every fully bound <constraint> must hold;
+//      constraints over unbound configurable parameters must be
+//      satisfiable within the declared ranges.
+//   5. *Group expansion* — homogeneous groups (quantity=N) are expanded
+//      into N members with auto-assigned ids prefix0..prefixN-1.
+//   6. *Static analysis* — effective interconnect bandwidth is downgraded
+//      to the slowest component on the link, and static power is rolled
+//      up bottom-up as a synthesized attribute (Sec. III-D).
+//
+// The result is the input for the runtime-model serializer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::compose {
+
+/// Composer options.
+struct Options {
+  /// Run the static analysis passes after elaboration.
+  bool run_static_analysis = true;
+  /// Fail when a configurable parameter that is used structurally (group
+  /// quantity, metric value) is left unbound. When false, such subtrees
+  /// keep the symbolic reference and a warning is recorded.
+  bool require_bound_params = true;
+  /// Unresolvable `type` references on software elements (<installed>,
+  /// <hostOS>) degrade to warnings; hardware references always fail.
+  bool tolerate_missing_software = true;
+  /// Guard against runaway meta-model chains.
+  std::size_t max_type_depth = 64;
+  /// Guard for configuration-space enumeration.
+  std::size_t max_configurations = 1u << 20;
+};
+
+/// Attribute names the composer writes on elaborated elements.
+/// `kEffectiveBandwidth` / `kStaticPowerTotal` are synthesized attributes
+/// (Sec. III-D); values are stored in SI units (B/s and W).
+inline constexpr std::string_view kEffectiveBandwidthAttr =
+    "effective_bandwidth";
+inline constexpr std::string_view kStaticPowerTotalAttr = "static_power_total";
+
+/// A fully elaborated model.
+class ComposedModel {
+ public:
+  ComposedModel() = default;
+  ComposedModel(ComposedModel&&) noexcept = default;
+  ComposedModel& operator=(ComposedModel&&) noexcept = default;
+
+  [[nodiscard]] const xml::Element& root() const noexcept { return *root_; }
+  [[nodiscard]] xml::Element& mutable_root() noexcept { return *root_; }
+
+  /// Elements by qualified path ("n0.gpu1") or by unique local id
+  /// ("gpu1"). Returns nullptr when unknown or ambiguous.
+  [[nodiscard]] const xml::Element* find_by_id(std::string_view id) const;
+
+  /// All qualified ids, sorted.
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+  [[nodiscard]] const std::vector<std::string>& warnings() const noexcept {
+    return warnings_;
+  }
+
+  /// Rebuilds the id index (used by tools that mutate the tree).
+  void reindex();
+
+ private:
+  friend class Composer;
+  std::unique_ptr<xml::Element> root_;
+  std::map<std::string, const xml::Element*, std::less<>> qualified_index_;
+  std::map<std::string, const xml::Element*, std::less<>> local_index_;
+  std::vector<std::string> warnings_;
+};
+
+/// The elaboration engine. Holds a reference to the repository; does not
+/// own it. One Composer may compose many models.
+class Composer {
+ public:
+  explicit Composer(repository::Repository& repo, Options options = {});
+
+  /// Composes the model registered under `ref` in the repository.
+  [[nodiscard]] Result<ComposedModel> compose(std::string_view ref);
+
+  /// Composes an explicitly provided model tree (it is cloned first).
+  [[nodiscard]] Result<ComposedModel> compose(const xml::Element& root);
+
+ private:
+  class Impl;
+  repository::Repository& repo_;
+  Options options_;
+};
+
+/// The static analysis passes of the toolchain (Sec. IV), usable on their
+/// own by tools. Currently: interconnect endpoint resolution with
+/// effective-bandwidth downgrade (min over channels and endpoints), and
+/// bottom-up static power roll-up into `static_power_total` (watts).
+/// Appends human-readable notes to `warnings`.
+[[nodiscard]] Status run_static_analyses(ComposedModel& model,
+                                         std::vector<std::string>& warnings);
+
+/// One point of a configurable parameter space: values in SI by name.
+struct Configuration {
+  std::map<std::string, double> values_si;
+};
+
+/// Enumerates all configurations of the configurable parameters declared
+/// directly on `meta` (after inheritance flattening if `repo` is given)
+/// that satisfy every constraint. Listing 8's Kepler yields exactly the
+/// three valid L1/shared-memory splits.
+[[nodiscard]] Result<std::vector<Configuration>> enumerate_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const Options& options = {});
+
+}  // namespace xpdl::compose

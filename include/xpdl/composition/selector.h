@@ -1,0 +1,94 @@
+// Conditional composition (Sec. II, case study of [3]).
+//
+// A multi-variant component declares, per implementation variant, its
+// selectability constraints: required installed software (sparse BLAS,
+// CUDA, ...) and a guard expression over problem parameters and platform
+// introspection variables, evaluated against the XPDL runtime model. The
+// selector picks, among admissible variants, the one with the lowest
+// predicted cost — "leading to an overall performance improvement" in
+// the paper's SpMV study.
+//
+// Platform variables available to guards and cost models:
+//   num_cores, num_host_cores, num_devices, num_cuda_devices,
+//   total_static_power_w
+// plus every key of the per-call context (e.g. n, nnz, density).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::composition {
+
+/// Problem parameters of one component invocation.
+struct CallContext {
+  std::map<std::string, double, std::less<>> values;
+};
+
+/// Metadata of one implementation variant.
+struct VariantInfo {
+  std::string name;
+  /// Prefixes of <installed> software types that must be present
+  /// (e.g. "CUBLAS", "CUDA"). All must match.
+  std::vector<std::string> required_installed;
+  /// Structural requirements as query-language expressions evaluated
+  /// against the platform model (e.g. "//cache[@size>=1MiB]",
+  /// "//device[@compute_capability>=3.5]"). All must match at least one
+  /// node.
+  std::vector<std::string> required_queries;
+  /// Selectability guard over context + platform variables; absent means
+  /// always selectable.
+  std::optional<expr::Expression> guard;
+  /// Predicted execution cost in seconds given a variable resolver;
+  /// absent means "no cost model" (such variants lose against any variant
+  /// that has one and are otherwise taken in registration order).
+  std::function<Result<double>(const expr::VariableResolver&)> predicted_cost;
+};
+
+/// Outcome of a selection, including why variants were rejected — the
+/// paper stresses introspectability of the decision data.
+struct SelectionReport {
+  std::string selected;
+  double predicted_cost_s = 0.0;
+  std::vector<std::pair<std::string, std::string>> rejected;  ///< name, why
+  std::vector<std::pair<std::string, double>> considered;     ///< name, cost
+};
+
+/// Variant selector bound to one platform model.
+class Selector {
+ public:
+  explicit Selector(const runtime::Model& platform) : platform_(platform) {}
+
+  /// Registers a variant. Names must be unique.
+  [[nodiscard]] Status add(VariantInfo variant);
+
+  /// Builds the variable resolver exposing context + platform variables.
+  [[nodiscard]] expr::VariableResolver resolver(const CallContext& ctx) const;
+
+  /// Names of variants whose software requirements and guard hold.
+  [[nodiscard]] std::vector<std::string> admissible(
+      const CallContext& ctx) const;
+
+  /// Picks the admissible variant with minimal predicted cost.
+  [[nodiscard]] Result<SelectionReport> select(const CallContext& ctx) const;
+
+  [[nodiscard]] const runtime::Model& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] std::size_t variant_count() const noexcept {
+    return variants_.size();
+  }
+
+ private:
+  const runtime::Model& platform_;
+  std::vector<VariantInfo> variants_;
+};
+
+}  // namespace xpdl::composition

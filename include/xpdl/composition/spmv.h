@@ -1,0 +1,135 @@
+// The sparse matrix-vector multiply case study (Sec. II of the paper /
+// ref. [3]): one PEPPHER-style component with CPU and GPU implementation
+// variants whose selectability constraints reference library availability
+// in the XPDL model and whose selection depends on the density of nonzero
+// elements.
+//
+// Variants:
+//   csr_serial    — CSR SpMV on one core (always available)
+//   csr_parallel  — row-partitioned CSR over num_cores threads
+//                   (guard: num_cores > 1 and the problem is large enough
+//                   to amortize thread startup)
+//   dense_serial  — dense row-major GEMV; profitable at high density where
+//                   index indirection dominates CSR
+//   gpu_offload   — GPU execution; requires a CUDA device and a CUBLAS/
+//                   cuSPARSE installation in the platform model. The GPU
+//                   itself is *simulated* (see DESIGN.md): the result is
+//                   computed on the host while the reported time comes
+//                   from the XPDL-derived cost model (PCIe transfer over
+//                   the composed effective bandwidth + kernel time from
+//                   the device's SM/core/frequency parameters).
+//
+// Cost models are calibrated at construction by short host probes (the
+// per-element CSR/dense costs), mirroring deployment-time
+// microbenchmarking; the GPU model is analytic from the platform model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpdl/composition/selector.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::composition {
+
+/// Compressed-sparse-row matrix.
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> values;
+  std::vector<std::uint32_t> col_index;
+  std::vector<std::size_t> row_ptr;  ///< rows+1 entries
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+  [[nodiscard]] double density() const noexcept {
+    return rows == 0 || cols == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows) * static_cast<double>(cols));
+  }
+
+  /// Uniformly random matrix with the given density; deterministic in
+  /// `seed`. Every row receives at least one nonzero so results differ
+  /// from zero everywhere.
+  [[nodiscard]] static CsrMatrix random(std::size_t rows, std::size_t cols,
+                                        double density, std::uint64_t seed);
+
+  /// Dense row-major copy (rows*cols doubles).
+  [[nodiscard]] std::vector<double> to_dense() const;
+};
+
+/// Result of one SpMV execution.
+struct SpmvResult {
+  std::string variant;
+  std::vector<double> y;
+  double seconds = 0.0;    ///< measured (CPU) or modeled (GPU) time
+  bool simulated = false;  ///< true for the GPU variant
+};
+
+/// The multi-variant SpMV component.
+class SpmvComponent {
+ public:
+  /// Binds the component to a platform model and calibrates the CPU cost
+  /// models with short probes.
+  [[nodiscard]] static Result<SpmvComponent> create(
+      const runtime::Model& platform);
+
+  /// Runs with the variant the selector picks for this input.
+  [[nodiscard]] Result<SpmvResult> run_tuned(const CsrMatrix& a,
+                                             const std::vector<double>& x);
+
+  /// Runs a specific variant (for baseline comparisons).
+  [[nodiscard]] Result<SpmvResult> run_variant(std::string_view variant,
+                                               const CsrMatrix& a,
+                                               const std::vector<double>& x);
+
+  /// The selection decision without executing.
+  [[nodiscard]] Result<SelectionReport> select(const CsrMatrix& a) const;
+
+  /// Registered variant names in registration order.
+  [[nodiscard]] static std::vector<std::string> variant_names();
+
+  /// Calibrated per-nonzero CSR cost (seconds), exposed for tests.
+  [[nodiscard]] double csr_cost_per_nnz() const noexcept {
+    return csr_cost_per_nnz_;
+  }
+  [[nodiscard]] double dense_cost_per_element() const noexcept {
+    return dense_cost_per_element_;
+  }
+
+ private:
+  explicit SpmvComponent(const runtime::Model& platform)
+      : platform_(platform), selector_(platform) {}
+
+  [[nodiscard]] Status calibrate();
+  [[nodiscard]] Status register_variants();
+  [[nodiscard]] CallContext context_for(const CsrMatrix& a) const;
+
+  /// GPU model parameters extracted from the platform model.
+  struct GpuModel {
+    bool available = false;
+    double flops = 0.0;              ///< peak device FLOP/s
+    double pcie_bandwidth_bps = 0.0; ///< composed effective bandwidth
+    double transfer_offset_s = 5e-5; ///< per-offload launch/driver overhead
+  };
+  [[nodiscard]] GpuModel gpu_model() const;
+
+  const runtime::Model& platform_;
+  Selector selector_;
+  double csr_cost_per_nnz_ = 2e-9;
+  double dense_cost_per_element_ = 8e-10;
+  double thread_spawn_cost_s_ = 3e-5;
+};
+
+/// Reference kernels, exposed for tests and benches.
+void spmv_csr_serial(const CsrMatrix& a, const std::vector<double>& x,
+                     std::vector<double>& y);
+void spmv_csr_parallel(const CsrMatrix& a, const std::vector<double>& x,
+                       std::vector<double>& y, unsigned threads);
+void gemv_dense_serial(const std::vector<double>& dense, std::size_t rows,
+                       std::size_t cols, const std::vector<double>& x,
+                       std::vector<double>& y);
+
+}  // namespace xpdl::composition

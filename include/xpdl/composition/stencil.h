@@ -1,0 +1,101 @@
+// Second case-study component: 2D Jacobi stencil with energy-aware
+// dispatch.
+//
+// Where SpMV exercises variant *selection* (Sec. II), the stencil
+// component exercises the other optimization axis the paper names:
+// tuning "system settings" — it consults the platform's power state
+// machine and recommends the DVFS state for the chosen variant (the
+// energy-minimal state meeting the caller's deadline, via
+// energy::DvfsPlanner), alongside picking among implementation variants
+// with structural platform requirements expressed in the query language
+// (e.g. the blocked variant requires a large-enough L3:
+// //cache[@size>=4MiB]).
+//
+// Variants:
+//   jacobi_naive    — row-major sweep (always available)
+//   jacobi_blocked  — cache-blocked sweep; requires a big shared cache
+//   jacobi_parallel — row-partitioned threads (needs >1 host core)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpdl/composition/selector.h"
+#include "xpdl/energy/energy.h"
+#include "xpdl/model/power.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::composition {
+
+/// A dense 2D grid, row-major, with a fixed boundary.
+struct Grid {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> cells;
+
+  [[nodiscard]] static Grid random(std::size_t rows, std::size_t cols,
+                                   std::uint64_t seed);
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return cells[r * cols + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return cells[r * cols + c];
+  }
+};
+
+/// Result of a stencil run.
+struct StencilResult {
+  std::string variant;
+  Grid grid;           ///< grid after the sweeps
+  double seconds = 0;  ///< measured host time
+  /// Recommended DVFS state for this call under the given deadline
+  /// ("" when the platform carries no power state machine).
+  std::string recommended_state;
+  double predicted_energy_j = 0.0;  ///< energy at the recommended state
+};
+
+/// The multi-variant Jacobi component.
+class StencilComponent {
+ public:
+  [[nodiscard]] static Result<StencilComponent> create(
+      const runtime::Model& platform);
+
+  /// Runs `sweeps` Jacobi iterations with the selected variant and
+  /// returns the DVFS recommendation for `deadline_s` (0 = none).
+  [[nodiscard]] Result<StencilResult> run_tuned(const Grid& input,
+                                                int sweeps,
+                                                double deadline_s = 0.0);
+
+  [[nodiscard]] Result<StencilResult> run_variant(std::string_view variant,
+                                                  const Grid& input,
+                                                  int sweeps);
+
+  /// The selection decision for an input shape.
+  [[nodiscard]] Result<SelectionReport> select(const Grid& input,
+                                               int sweeps) const;
+
+  [[nodiscard]] static std::vector<std::string> variant_names();
+
+ private:
+  explicit StencilComponent(const runtime::Model& platform)
+      : platform_(platform), selector_(platform) {}
+
+  [[nodiscard]] Status register_variants();
+  [[nodiscard]] CallContext context_for(const Grid& g, int sweeps) const;
+  /// Estimated work in cycles for the DVFS recommendation (5 flops per
+  /// interior cell per sweep at ~1 flop/cycle).
+  [[nodiscard]] static double work_cycles(const Grid& g, int sweeps);
+
+  const runtime::Model& platform_;
+  Selector selector_;
+  double cost_per_cell_s_ = 2e-9;
+};
+
+/// Reference kernels (exposed for tests/benches).
+void jacobi_naive(Grid& g, int sweeps);
+void jacobi_blocked(Grid& g, int sweeps, std::size_t block);
+void jacobi_parallel(Grid& g, int sweeps, unsigned threads);
+
+}  // namespace xpdl::composition

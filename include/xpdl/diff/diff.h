@@ -1,0 +1,65 @@
+// Structural diff of XPDL models.
+//
+// Model repositories evolve — a vendor publishes a revised descriptor, a
+// site tunes power numbers after re-benchmarking — and the interesting
+// question is what changed *semantically*: which attributes on which
+// addressable elements. This module diffs two element trees by aligning
+// children on (tag, id/name) and reports attribute-level changes keyed
+// by qualified path, with numeric+unit values compared in SI so that
+// `size="1" unit="MiB"` and `size="1048576" unit="B"` are equal.
+//
+// Used by the xpdl-diff tool; works on raw descriptors and on composed
+// models alike.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::diff {
+
+enum class ChangeKind : std::uint8_t {
+  kElementAdded,      ///< present only in the right model
+  kElementRemoved,    ///< present only in the left model
+  kAttributeAdded,
+  kAttributeRemoved,
+  kAttributeChanged,
+};
+
+std::string_view to_string(ChangeKind k) noexcept;
+
+/// One reported change.
+struct Change {
+  ChangeKind kind;
+  std::string path;       ///< qualified path of the affected element
+  std::string attribute;  ///< empty for element-level changes
+  std::string left;       ///< old value ("" when absent)
+  std::string right;      ///< new value ("" when absent)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Diff options.
+struct Options {
+  /// Compare dimensional metrics in SI (unit-insensitive equality).
+  bool unit_aware = true;
+  /// Ignore the composer's bookkeeping attributes (expanded, resolved,
+  /// effective_bandwidth, static_power_total) so a raw descriptor can be
+  /// diffed against a composed one meaningfully.
+  bool ignore_composer_attributes = false;
+};
+
+/// Diffs two trees; changes are ordered by path.
+[[nodiscard]] std::vector<Change> diff(const xml::Element& left,
+                                       const xml::Element& right,
+                                       const Options& options = {});
+
+/// True when diff(left, right) is empty.
+[[nodiscard]] bool equivalent(const xml::Element& left,
+                              const xml::Element& right,
+                              const Options& options = {});
+
+}  // namespace xpdl::diff

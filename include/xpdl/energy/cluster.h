@@ -1,0 +1,99 @@
+// Cluster-level time/energy estimation and task mapping.
+//
+// The EXCESS framework's goal — "system-wide energy optimization" — needs
+// exactly the platform facts XPDL models: per-node compute rates (cores x
+// frequency from the composed tree), static/active powers (synthesized
+// static_power_total, Sec. III-D), and inter-node communication costs
+// (the InfiniBand channel model of Listing 11/3). This module pulls those
+// out of a composed cluster model and answers: given a set of dependent
+// tasks, what do a placement's makespan and energy look like, and which
+// greedy placement minimizes either objective.
+//
+// The model is deliberately first-order (tasks serialize per node,
+// communications overlap nothing): it is the estimator an optimization
+// layer consults, not a discrete-event simulator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/energy/energy.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::energy {
+
+/// One task of a static task set. Inputs reference producer tasks by
+/// name with the transferred volume; a transfer is free when producer
+/// and consumer are placed on the same node.
+struct ClusterTask {
+  std::string name;
+  double flops = 0.0;
+  std::vector<std::pair<std::string, double>> inputs;  ///< producer, bytes
+};
+
+/// Per-node capabilities extracted from the composed model.
+struct NodeCapability {
+  std::string id;
+  double flops = 0.0;           ///< host cores x frequency x 2 (FMA)
+  double active_power_w = 0.0;  ///< drawn while computing
+  double static_power_w = 0.0;  ///< drawn always (synthesized attribute)
+};
+
+/// A placement: task name -> node id.
+using Placement = std::map<std::string, std::string, std::less<>>;
+
+/// Estimation result.
+struct ClusterEstimate {
+  double makespan_s = 0.0;       ///< max over nodes of busy + comm time
+  double compute_energy_j = 0.0;
+  double comm_energy_j = 0.0;
+  double static_energy_j = 0.0;  ///< all nodes powered for the makespan
+  std::map<std::string, double, std::less<>> node_busy_s;
+
+  [[nodiscard]] double total_energy_j() const noexcept {
+    return compute_energy_j + comm_energy_j + static_energy_j;
+  }
+};
+
+/// Mapping objective.
+enum class Objective : std::uint8_t { kMakespan, kEnergy };
+
+/// The estimator bound to one composed cluster model.
+class ClusterEstimator {
+ public:
+  /// Extracts node capabilities and the inter-node channel cost from the
+  /// composed model. `active_watts_per_gflops` calibrates dynamic power
+  /// (energy per unit work); the inter-node link is the first
+  /// cluster-level interconnect found (InfiniBand in XScluster).
+  [[nodiscard]] static Result<ClusterEstimator> create(
+      const compose::ComposedModel& cluster,
+      double active_watts_per_gflops = 0.35);
+
+  [[nodiscard]] const std::vector<NodeCapability>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const ChannelCost& link() const noexcept { return link_; }
+
+  /// Time/energy of running `tasks` under `placement`. Every task must
+  /// be placed on a known node and every input must name another task.
+  [[nodiscard]] Result<ClusterEstimate> estimate(
+      const std::vector<ClusterTask>& tasks,
+      const Placement& placement) const;
+
+  /// Greedy list scheduling: tasks in given order, each assigned to the
+  /// node minimizing the objective's increment. Returns the placement
+  /// and its estimate.
+  [[nodiscard]] Result<std::pair<Placement, ClusterEstimate>> greedy_map(
+      const std::vector<ClusterTask>& tasks, Objective objective) const;
+
+ private:
+  ClusterEstimator() = default;
+
+  std::vector<NodeCapability> nodes_;
+  ChannelCost link_;
+};
+
+}  // namespace xpdl::energy

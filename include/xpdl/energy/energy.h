@@ -1,0 +1,190 @@
+// Energy modeling and optimization on top of XPDL power models.
+//
+// This library consumes the typed power IR (power state machines,
+// instruction energy, power domains) and the composed model tree to
+// answer the questions the paper's "upper optimization layers" ask
+// (Sec. IV): what is the energy cost of running a workload in a given
+// DVFS state, what is the energy-minimal state schedule under a deadline,
+// what does a message transfer over an interconnect cost, and what is the
+// aggregated static power of a model subtree.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/model/power.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::energy {
+
+// ===========================================================================
+// DVFS optimization on power state machines (Listing 13)
+
+/// A compute workload expressed in frequency-independent work units
+/// (cycles): running at f Hz completes `cycles` of work in cycles/f
+/// seconds.
+struct Workload {
+  double cycles = 0.0;       ///< total work
+  double deadline_s = 0.0;   ///< completion deadline (0 = unconstrained)
+  /// Power drawn in the domain when idling after early completion (the
+  /// shallowest sleep state's power); used by race-to-idle accounting.
+  double idle_power_w = 0.0;
+};
+
+/// One leg of a DVFS schedule: stay in `state` for `duration_s`.
+struct ScheduleLeg {
+  std::string state;
+  double duration_s = 0.0;
+  double work_done = 0.0;  ///< cycles completed in this leg
+};
+
+/// A complete schedule with its accounted costs. Transition overheads
+/// between consecutive legs are included per the state machine.
+struct Schedule {
+  std::vector<ScheduleLeg> legs;
+  double energy_j = 0.0;
+  double time_s = 0.0;
+  bool feasible = false;
+};
+
+/// Energy/DVFS planner for one power domain's state machine.
+class DvfsPlanner {
+ public:
+  /// `fsm` must outlive the planner and satisfy validate().
+  explicit DvfsPlanner(const model::PowerStateMachine& fsm);
+
+  /// Energy and time of running the whole workload in a single state
+  /// (no transitions). Fails if the state is unknown or has frequency 0.
+  [[nodiscard]] Result<Schedule> single_state(std::string_view state,
+                                              const Workload& w) const;
+
+  /// Best single state under the deadline: minimal energy among all
+  /// states fast enough to finish in time, accounting for idle power
+  /// until the deadline (race-to-idle when the fastest state wins).
+  [[nodiscard]] Result<Schedule> best_single_state(const Workload& w) const;
+
+  /// Optimal two-state schedule: split the work between two states with
+  /// one transition, choosing the pair and split minimizing energy while
+  /// meeting the deadline. With convex power/frequency curves this
+  /// realizes the classic "run at the two frequencies bracketing the
+  /// ideal one" result; transition costs make short workloads prefer a
+  /// single state (the crossover bench_dvfs sweeps).
+  [[nodiscard]] Result<Schedule> best_two_state(const Workload& w,
+                                                std::string_view from_state)
+      const;
+
+  /// Energy of an explicit schedule, validating that every consecutive
+  /// leg pair has a modeled transition (the paper requires all
+  /// programmer-initiable switchings be modeled).
+  [[nodiscard]] Result<double> schedule_energy(
+      const std::vector<ScheduleLeg>& legs,
+      std::string_view initial_state) const;
+
+  /// States sorted by frequency descending.
+  [[nodiscard]] std::vector<const model::PowerState*> states_by_frequency()
+      const;
+
+ private:
+  const model::PowerStateMachine& fsm_;
+};
+
+// ===========================================================================
+// Communication costs (Listing 3)
+
+/// Cost model of one directed interconnect channel.
+struct ChannelCost {
+  double bandwidth_bps = 0.0;          ///< B/s
+  double time_offset_s = 0.0;          ///< per message
+  double energy_per_byte_j = 0.0;
+  double energy_offset_j = 0.0;        ///< per message
+
+  /// Transfer time of a message of `bytes`.
+  [[nodiscard]] double transfer_time_s(double bytes) const noexcept {
+    double t = time_offset_s;
+    if (bandwidth_bps > 0) t += bytes / bandwidth_bps;
+    return t;
+  }
+  /// Transfer energy of a message of `bytes`.
+  [[nodiscard]] double transfer_energy_j(double bytes) const noexcept {
+    return energy_offset_j + bytes * energy_per_byte_j;
+  }
+};
+
+/// Reads the channel cost metrics from a <channel> (or <interconnect>)
+/// element. Placeholder ('?') metrics read as 0 with a note appended to
+/// `missing` — they are the entries microbenchmarking must fill.
+[[nodiscard]] Result<ChannelCost> channel_cost(
+    const xml::Element& channel, std::vector<std::string>* missing = nullptr);
+
+// ===========================================================================
+// Hierarchical energy accounting (Sec. III-D)
+
+/// Aggregated static power (W) over the model subtree rooted at `e`:
+/// the sum of all `static_power` metrics. Prefers the synthesized
+/// `static_power_total` attribute when the composer has run.
+[[nodiscard]] Result<double> static_power_of(const xml::Element& e);
+
+/// Energy of holding the subtree powered for `duration_s` seconds.
+[[nodiscard]] Result<double> static_energy_of(const xml::Element& e,
+                                              double duration_s);
+
+/// Dynamic energy of an instruction mix at a given core frequency:
+/// sum over (instruction, count) of the per-instruction energy from the
+/// instruction set (frequency-interpolated, Listing 14).
+struct InstructionMix {
+  std::vector<std::pair<std::string, double>> counts;
+};
+[[nodiscard]] Result<double> dynamic_energy_of(
+    const model::InstructionSet& isa, const InstructionMix& mix,
+    double frequency_hz);
+
+// ===========================================================================
+// Offload advisor (Sec. IV: the query API answers "what the expected
+// communication time or the energy cost to use an accelerator is")
+
+/// Inputs of an offload decision for one kernel invocation.
+struct OffloadParameters {
+  double work_flops = 0.0;          ///< kernel arithmetic work
+  double bytes_to_device = 0.0;     ///< input transfer volume
+  double bytes_from_device = 0.0;   ///< result transfer volume
+  double host_flops = 0.0;          ///< host sustained compute rate
+  double device_flops = 0.0;        ///< device sustained compute rate
+  double host_power_w = 0.0;        ///< host active power
+  double device_power_w = 0.0;      ///< device active power
+  /// Power the host draws while waiting for the device (it idles or
+  /// sleeps during the offloaded section).
+  double host_idle_power_w = 0.0;
+};
+
+/// Time/energy of both alternatives plus the verdicts.
+struct OffloadDecision {
+  double host_time_s = 0.0;
+  double host_energy_j = 0.0;
+  double offload_time_s = 0.0;       ///< down-transfer + kernel + up-transfer
+  double offload_energy_j = 0.0;     ///< device + transfers + idle host
+  bool offload_faster = false;
+  bool offload_greener = false;
+
+  /// Work size (flops) above which offloading becomes faster given the
+  /// same per-byte and per-flop rates, or +inf when it never is.
+  double breakeven_flops = 0.0;
+};
+
+/// Evaluates the decision for given channel cost models (down = host to
+/// device, up = device to host).
+[[nodiscard]] OffloadDecision evaluate_offload(const OffloadParameters& p,
+                                               const ChannelCost& down,
+                                               const ChannelCost& up);
+
+/// Checks the switch-off conditions of a power domain set against a
+/// domain on/off assignment (Listing 12: CMX_pd may switch off only if
+/// all Shave domains are off). `off` holds the names of domains that are
+/// off; group member domains are named <group><rank>.
+[[nodiscard]] Result<bool> may_switch_off(const model::PowerDomainSet& set,
+                                          std::string_view domain,
+                                          const std::vector<std::string>& off);
+
+}  // namespace xpdl::energy

@@ -1,0 +1,94 @@
+// First-order thermal modeling.
+//
+// The paper's case for hardware-structural organization is that "power
+// consumption and temperature metrics and measurement values naturally
+// can be attributed to coarse-grain hardware blocks" (Sec. II-A). This
+// module gives those temperature metrics semantics: a component may
+// declare a junction-to-ambient thermal resistance, a thermal
+// capacitance, and a junction temperature cap:
+//
+//   <cpu ... thermal_resistance="2.5"          (K/W)
+//            thermal_capacitance="12"          (J/K)
+//            max_temperature="85" max_temperature_unit="C" />
+//
+// and the classic one-pole RC model
+//
+//   T(t) = T_inf + (T_0 - T_inf) * exp(-t / (R*C)),   T_inf = T_amb + P*R
+//
+// answers the throttling questions a DVFS governor asks: the steady-state
+// temperature of a power level, the max indefinitely-sustainable power,
+// how long a boost state may be held from a given start temperature, and
+// which power state of a machine is the fastest thermally sustainable one.
+#pragma once
+
+#include <optional>
+
+#include "xpdl/model/power.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::energy {
+
+/// Thermal constants of one hardware block.
+struct ThermalParameters {
+  double resistance_k_per_w = 0.0;    ///< junction-to-ambient
+  double capacitance_j_per_k = 0.0;
+  double ambient_k = 318.15;          ///< 45 C enclosure default
+  double max_junction_k = 358.15;     ///< 85 C cap default
+
+  [[nodiscard]] double time_constant_s() const noexcept {
+    return resistance_k_per_w * capacitance_j_per_k;
+  }
+};
+
+/// Reads the thermal metrics off a component element. Fails when
+/// thermal_resistance is absent (no thermal model declared); capacitance
+/// defaults to 0 (purely static model), ambient/max to the defaults.
+[[nodiscard]] Result<ThermalParameters> thermal_of(const xml::Element& e);
+
+/// The RC model.
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParameters params) noexcept
+      : p_(params) {}
+
+  [[nodiscard]] const ThermalParameters& parameters() const noexcept {
+    return p_;
+  }
+
+  /// Steady-state junction temperature under constant `power_w`.
+  [[nodiscard]] double steady_state_k(double power_w) const noexcept {
+    return p_.ambient_k + power_w * p_.resistance_k_per_w;
+  }
+
+  /// Temperature after holding `power_w` for `duration_s` starting from
+  /// `t0_k`. With zero capacitance the response is instantaneous.
+  [[nodiscard]] double temperature_after(double t0_k, double power_w,
+                                         double duration_s) const noexcept;
+
+  /// Highest power sustainable indefinitely without crossing the cap.
+  [[nodiscard]] double max_sustainable_power_w() const noexcept {
+    return (p_.max_junction_k - p_.ambient_k) / p_.resistance_k_per_w;
+  }
+
+  /// How long `power_w` may be held from `t0_k` before the junction hits
+  /// the cap: 0 when already over, +inf when sustainable forever.
+  [[nodiscard]] double time_until_throttle_s(double t0_k,
+                                             double power_w) const noexcept;
+
+  /// Duty cycle d in [0,1] such that alternating `active_power_w` and
+  /// `idle_power_w` (fast relative to the RC constant) holds the average
+  /// steady-state temperature at the cap: d*Pa + (1-d)*Pi = P_max.
+  [[nodiscard]] double sustainable_duty_cycle(
+      double active_power_w, double idle_power_w) const noexcept;
+
+  /// Fastest state of `fsm` whose steady-state temperature stays at or
+  /// under the cap; nullopt when even the slowest running state throttles.
+  [[nodiscard]] std::optional<const model::PowerState*>
+  fastest_sustainable_state(const model::PowerStateMachine& fsm) const;
+
+ private:
+  ThermalParameters p_;
+};
+
+}  // namespace xpdl::energy

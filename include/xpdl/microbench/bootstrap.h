@@ -1,0 +1,91 @@
+// Deployment-time energy-model bootstrapping (Sec. III-C / IV).
+//
+// "With these specifications, the processor's energy model can be
+// bootstrapped at system deployment time automatically by running the
+// microbenchmarks to derive the unspecified entries in the power model
+// where necessary."
+//
+// The Bootstrapper runs the measurement protocol against a SimMachine
+// (stand-in for the physical power sensor): estimate the background
+// static power from idle intervals, then for every instruction whose
+// energy is the '?' placeholder run a counted execution loop per DVFS
+// frequency, subtract the background, and divide by the iteration count.
+// Results are written back into the typed InstructionSet and/or the
+// composed XML model tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xpdl/microbench/simmachine.h"
+#include "xpdl/model/power.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::microbench {
+
+/// Bootstrap protocol parameters.
+struct BootstrapOptions {
+  /// Dynamic instances of the instruction per measurement loop. Larger
+  /// loops amortize counter quantization; bench_microbench sweeps this.
+  std::uint64_t iterations = 2'000'000;
+  /// Measurement repetitions averaged per (instruction, frequency).
+  int repetitions = 5;
+  /// Idle time per static-power estimation interval, seconds (virtual).
+  double idle_interval_s = 0.01;
+  /// DVFS frequencies to sample. Empty: single measurement at
+  /// `default_frequency_hz` producing a constant energy entry; more than
+  /// one: a frequency table is produced.
+  std::vector<double> frequencies_hz;
+  double default_frequency_hz = 3.0e9;
+  /// Re-measure and override entries that already have energy data
+  /// ("On request, microbenchmarking can also be applied to instructions
+  /// with given energy cost and will then override the specified values").
+  bool force = false;
+};
+
+/// What the bootstrap run did.
+struct BootstrapReport {
+  struct Entry {
+    std::string instruction;
+    double frequency_hz = 0.0;
+    double measured_energy_j = 0.0;
+  };
+  std::vector<Entry> entries;
+  double estimated_static_power_w = 0.0;
+  std::size_t measured_instructions = 0;
+  std::size_t skipped_instructions = 0;
+};
+
+/// Runs the bootstrap protocol.
+class Bootstrapper {
+ public:
+  Bootstrapper(SimMachine& machine, BootstrapOptions options = {});
+
+  /// Fills every placeholder entry of `isa` in place (all entries with
+  /// `force`). Instructions the machine does not implement are errors —
+  /// a deployment with a missing microbenchmark must be loud.
+  [[nodiscard]] Result<BootstrapReport> bootstrap(model::InstructionSet& isa);
+
+  /// Walks a (composed) model tree, bootstrapping every <instructions>
+  /// element found and writing the results back into the XML: constant
+  /// energies as energy="..nJ.." attributes, frequency sweeps as <data>
+  /// children (Listing 14's table form).
+  [[nodiscard]] Result<BootstrapReport> bootstrap_model(xml::Element& root);
+
+  /// Measured background power from the most recent run.
+  [[nodiscard]] double estimated_static_power_w() const noexcept {
+    return static_power_w_;
+  }
+
+ private:
+  [[nodiscard]] Result<double> measure_static_power();
+  [[nodiscard]] Result<double> measure_instruction(std::string_view name,
+                                                   double frequency_hz);
+
+  SimMachine& machine_;
+  BootstrapOptions options_;
+  double static_power_w_ = 0.0;
+};
+
+}  // namespace xpdl::microbench

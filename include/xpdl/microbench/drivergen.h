@@ -1,0 +1,48 @@
+// Microbenchmark driver-code generation (Sec. IV: the toolchain
+// "generates microbenchmarking driver code").
+//
+// For every <microbenchmark> of a suite (Listing 15) the generator emits
+// a self-contained C++ driver source implementing the measurement
+// protocol (pin frequency, warm up, timed counted loop between two
+// energy-counter reads, CSV result on stdout), plus a build script and a
+// suite runner mirroring the `command="mbscript.sh"` convention. On a
+// real deployment the drivers would link the vendor's sensor library;
+// here they target the xpdl::microbench::SimMachine, which implements
+// the identical counter interface.
+#pragma once
+
+#include <string>
+
+#include "xpdl/model/power.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::microbench {
+
+/// Parameters baked into generated drivers.
+struct DriverGenOptions {
+  std::uint64_t iterations = 2'000'000;
+  int repetitions = 5;
+  /// Frequencies the driver sweeps, in GHz (as the DVFS governor would).
+  std::vector<double> frequencies_ghz = {2.8, 2.9, 3.0, 3.1, 3.2, 3.3, 3.4};
+};
+
+/// Generates the C++ source of the driver for one microbenchmark.
+[[nodiscard]] std::string generate_driver_source(
+    const model::MicrobenchmarkSuite& suite, const model::Microbenchmark& mb,
+    const DriverGenOptions& options = {});
+
+/// Generates the suite runner script (the `command` entry point).
+[[nodiscard]] std::string generate_runner_script(
+    const model::MicrobenchmarkSuite& suite);
+
+/// Generates a CMakeLists.txt that builds every driver of the suite.
+[[nodiscard]] std::string generate_build_file(
+    const model::MicrobenchmarkSuite& suite);
+
+/// Writes the complete driver tree for a suite into `output_dir`:
+/// one <id>.cpp per microbenchmark, CMakeLists.txt, and run_suite.sh.
+[[nodiscard]] Status generate_driver_tree(
+    const model::MicrobenchmarkSuite& suite, const std::string& output_dir,
+    const DriverGenOptions& options = {});
+
+}  // namespace xpdl::microbench

@@ -1,0 +1,130 @@
+// Intermediate representation of XPDL descriptors.
+//
+// The composed model tree itself stays an xpdl::xml::Element tree (the
+// composer rewrites it in place: inheritance flattening, group expansion,
+// parameter binding). This header provides the *typed views* over that
+// tree: metric attributes with units resolved to SI, parameter/constant
+// declarations, constraints, and the meta-model vs concrete-model
+// distinction of Sec. III-A.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/expr.h"
+#include "xpdl/util/status.h"
+#include "xpdl/util/units.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::model {
+
+/// How a metric attribute's value is given in the descriptor.
+enum class MetricKind : std::uint8_t {
+  kNumber,       ///< literal number (with optional unit)
+  kParamRef,     ///< references a <param>/<const> by name (Listing 8)
+  kPlaceholder,  ///< "?" — derived by microbenchmarking (Listing 14)
+};
+
+/// One metric attribute (static_power="4" static_power_unit="W", ...)
+/// with its unit resolved: numeric values are stored in SI base units.
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kNumber;
+  double value_si = 0.0;             ///< valid when kind == kNumber
+  units::Dimension dimension = units::Dimension::kDimensionless;
+  std::string param_ref;             ///< valid when kind == kParamRef
+  std::string raw;                   ///< original attribute text
+  std::string unit_symbol;           ///< original unit text ("" if none)
+
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == MetricKind::kNumber;
+  }
+  [[nodiscard]] units::Quantity quantity() const noexcept {
+    return {value_si, dimension};
+  }
+};
+
+/// A <const> or <param> declaration (Listing 8). Constants are
+/// non-configurable params with a fixed value.
+struct Param {
+  std::string name;
+  bool is_const = false;
+  bool configurable = false;
+  std::string declared_type;             ///< msize / integer / frequency ...
+  std::vector<double> range_si;          ///< admissible values (SI)
+  std::optional<double> value_si;        ///< bound value (SI) if fixed
+  units::Dimension dimension = units::Dimension::kDimensionless;
+  std::string unit_symbol;               ///< unit the range/value used
+  SourceLocation location;
+
+  [[nodiscard]] bool is_bound() const noexcept { return value_si.has_value(); }
+};
+
+/// A <constraint expr="..."/>; must hold for every valid configuration.
+struct Constraint {
+  expr::Expression expression;
+  SourceLocation location;
+};
+
+/// Identification of a descriptor element per Sec. III-A: `name` declares
+/// a meta-model, `id` a concrete element; both may reference a meta-model
+/// through `type` and supertypes through `extends`.
+struct Identity {
+  std::string name;                  ///< meta-model name ("" if none)
+  std::string id;                    ///< concrete element id ("" if none)
+  std::string type_ref;              ///< referenced meta-model ("" if none)
+  std::vector<std::string> extends;  ///< supertype names
+  std::string role;                  ///< master / worker / hybrid / ""
+
+  [[nodiscard]] bool is_meta() const noexcept { return !name.empty(); }
+  /// The name under which this element can be referenced, if any.
+  [[nodiscard]] const std::string& reference_name() const noexcept {
+    return name.empty() ? id : name;
+  }
+};
+
+/// Reads the identity attributes of an element.
+[[nodiscard]] Identity identity_of(const xml::Element& e);
+
+/// Attribute names that are structural rather than metrics.
+[[nodiscard]] bool is_structural_attribute(std::string_view name) noexcept;
+
+/// Extracts all metric attributes of `e` (everything that is not a
+/// structural attribute or a unit attribute), resolving units to SI.
+/// The `size`/`unit` exception of Sec. III-A is honored.
+[[nodiscard]] Result<std::vector<Metric>> metrics_of(const xml::Element& e);
+
+/// Extracts a single metric by name, or nullopt if absent.
+[[nodiscard]] Result<std::optional<Metric>> metric_of(const xml::Element& e,
+                                                      std::string_view name);
+
+/// Parses one <param> or <const> child element.
+[[nodiscard]] Result<Param> parse_param(const xml::Element& e);
+
+/// Collects the <const>, <param> and <constraints> declarations directly
+/// inside `e` (meta-model scope, Listing 8).
+struct ParamScope {
+  std::vector<Param> params;
+  std::vector<Constraint> constraints;
+
+  [[nodiscard]] const Param* find(std::string_view name) const noexcept;
+};
+[[nodiscard]] Result<ParamScope> parse_param_scope(const xml::Element& e);
+
+/// The group construct (Sec. III-A): with `quantity` the group is
+/// homogeneous; `prefix` auto-assigns member ids.
+struct GroupSpec {
+  std::string prefix;             ///< "" if absent
+  std::string quantity_raw;       ///< literal or parameter reference
+  std::optional<std::uint64_t> quantity;  ///< if literal
+  bool homogeneous = false;       ///< quantity attribute present
+};
+[[nodiscard]] Result<GroupSpec> parse_group(const xml::Element& e);
+
+/// True for tags whose subtree constitutes hardware structure that the
+/// energy roll-up walks (Sec. III-D).
+[[nodiscard]] bool is_hardware_tag(std::string_view tag) noexcept;
+
+}  // namespace xpdl::model

@@ -1,0 +1,180 @@
+// Typed power-modeling IR (Sec. III-C).
+//
+// Power modeling in XPDL consists of power domains (groups of components
+// switched together), per-domain power state machines abstracting the
+// DVFS P-states / sleep C-states with transition costs, per-instruction
+// dynamic energy (constant, frequency table, or '?' to be derived by
+// microbenchmarking), and microbenchmark suite metadata for deployment-
+// time bootstrapping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::model {
+
+/// One power state (P-state/C-state) with operating frequency and the
+/// domain's power draw while in the state (Listing 13).
+struct PowerState {
+  std::string name;
+  double frequency_hz = 0.0;  ///< 0 for sleep states
+  double power_w = 0.0;
+  SourceLocation location;
+};
+
+/// A programmer-initiable switching between two power states, with its
+/// overhead costs (Listing 13).
+struct PowerTransition {
+  std::string from;  ///< attribute `head`
+  std::string to;    ///< attribute `tail`
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  SourceLocation location;
+};
+
+/// The power state machine of one power domain.
+struct PowerStateMachine {
+  std::string name;
+  std::string power_domain;  ///< governed domain (reference)
+  std::vector<PowerState> states;
+  std::vector<PowerTransition> transitions;
+
+  [[nodiscard]] const PowerState* find_state(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const PowerTransition* find_transition(
+      std::string_view from, std::string_view to) const noexcept;
+
+  /// Checks FSM sanity: at least one state, unique state names, all
+  /// transitions reference existing states, no self-loops.
+  [[nodiscard]] Status validate() const;
+
+  /// True if every state can reach every other state through transitions
+  /// (the paper requires *all* programmer-initiable switchings modeled;
+  /// a disconnected FSM usually indicates a descriptor bug).
+  [[nodiscard]] bool strongly_connected() const;
+
+  [[nodiscard]] static Result<PowerStateMachine> parse(const xml::Element& e);
+};
+
+/// Reference to hardware members of a power domain: members are referenced
+/// by component kind + meta-model type (Listing 12: <core type="Leon"/>).
+struct PowerDomainMember {
+  std::string tag;   ///< core / memory / cache / cpu / device
+  std::string type;  ///< referenced meta-model name
+};
+
+/// Condition under which a domain may be switched off, e.g.
+/// switchoffCondition="Shave_pds off" (Listing 12).
+struct SwitchoffCondition {
+  std::string domain;  ///< domain or domain-group name
+  std::string state;   ///< required state, e.g. "off"
+};
+
+/// One power island (Listing 12).
+struct PowerDomain {
+  std::string name;
+  bool enable_switch_off = true;
+  std::optional<SwitchoffCondition> switchoff_condition;
+  std::vector<PowerDomainMember> members;
+  SourceLocation location;
+
+  [[nodiscard]] static Result<PowerDomain> parse(const xml::Element& e);
+};
+
+/// A named group of identical power domains (Listing 12's Shave_pds).
+struct PowerDomainGroup {
+  std::string name;
+  std::uint64_t quantity = 1;
+  PowerDomain prototype;
+};
+
+/// The <power_domains> set of a power model.
+struct PowerDomainSet {
+  std::string name;
+  std::vector<PowerDomain> domains;
+  std::vector<PowerDomainGroup> groups;
+
+  /// All domains with groups expanded (group member k named "<name>k").
+  [[nodiscard]] std::vector<PowerDomain> expanded() const;
+
+  [[nodiscard]] static Result<PowerDomainSet> parse(const xml::Element& e);
+};
+
+/// Per-instruction dynamic energy (Listing 14).
+struct InstructionEnergy {
+  std::string name;                 ///< mnemonic, e.g. "fmul"
+  std::string microbenchmark;       ///< mb reference ("" = suite default)
+  bool placeholder = false;         ///< energy="?"
+  std::optional<double> energy_j;   ///< constant energy if given
+  /// Frequency-dependent table, (Hz, J) pairs sorted by frequency.
+  std::vector<std::pair<double, double>> table;
+  SourceLocation location;
+
+  /// Energy at `frequency_hz`: exact table entry, linear interpolation
+  /// between neighbours, clamped extrapolation at the ends; falls back to
+  /// the constant. Fails if no data is available (placeholder not yet
+  /// bootstrapped).
+  [[nodiscard]] Result<double> energy_at(double frequency_hz) const;
+
+  [[nodiscard]] static Result<InstructionEnergy> parse(const xml::Element& e);
+};
+
+/// An instruction set with energy metadata (Listing 14).
+struct InstructionSet {
+  std::string name;
+  std::string microbenchmark_suite;  ///< default mb suite reference
+  std::vector<InstructionEnergy> instructions;
+
+  [[nodiscard]] const InstructionEnergy* find(
+      std::string_view name) const noexcept;
+  [[nodiscard]] InstructionEnergy* find(std::string_view name) noexcept;
+
+  [[nodiscard]] static Result<InstructionSet> parse(const xml::Element& e);
+};
+
+/// One microbenchmark source (Listing 15).
+struct Microbenchmark {
+  std::string id;
+  std::string type;   ///< instruction / effect measured
+  std::string file;
+  std::string cflags;
+  std::string lflags;
+};
+
+/// A microbenchmark suite with deployment info (Listing 15).
+struct MicrobenchmarkSuite {
+  std::string id;
+  std::string instruction_set;
+  std::string path;
+  std::string command;
+  std::vector<Microbenchmark> benchmarks;
+
+  [[nodiscard]] const Microbenchmark* find(std::string_view id) const noexcept;
+
+  [[nodiscard]] static Result<MicrobenchmarkSuite> parse(const xml::Element& e);
+};
+
+/// A complete power model: domains + state machines + instruction energy
+/// + microbenchmarks (Sec. III-C: "A power model thus consists of a
+/// description of its power domains, their power state machines, and of
+/// the microbenchmarks with deployment information").
+struct PowerModel {
+  Identity identity;
+  std::optional<PowerDomainSet> domains;
+  std::vector<PowerStateMachine> state_machines;
+  std::vector<InstructionSet> instruction_sets;
+  std::vector<MicrobenchmarkSuite> microbenchmark_suites;
+
+  [[nodiscard]] const PowerStateMachine* machine_for_domain(
+      std::string_view domain) const noexcept;
+
+  [[nodiscard]] static Result<PowerModel> parse(const xml::Element& e);
+};
+
+}  // namespace xpdl::model

@@ -1,0 +1,61 @@
+// PDL compatibility importer (Sec. II).
+//
+// PEPPHER's PDL [Sandrieser et al. 2012] organizes a platform as a
+// *control hierarchy* of processing units with roles Master / Hybrid /
+// Worker, plus memory regions, interconnects, and free-form key-value
+// properties. The XPDL paper reviews PDL's limitations and adopts a
+// hardware-structural organization instead, keeping control roles as an
+// optional secondary aspect.
+//
+// This importer converts PDL-style documents into XPDL models:
+//
+//   PDL                                  XPDL
+//   ------------------------------------ --------------------------------
+//   <Platform name=N>                    <system id=N>
+//   <ProcessingUnit role=Master|Hybrid>  <cpu role=master|hybrid>
+//   <ProcessingUnit role=Worker>         <device role=worker>
+//   <MemoryRegion>                       <memory>
+//   <Interconnect> <From>/<To>           <interconnect head= tail=>
+//   <Property key=K value=V>             <properties><property .../>
+//
+// Well-known PDL property keys are promoted to first-class XPDL metric
+// attributes (the paper: "mandatory properties should better be modeled
+// as predefined XML tags or attributes, to allow for static checking"):
+//
+//   x86_MAX_CLOCK_FREQUENCY [MHz]  -> frequency / frequency_unit
+//   MEMORY_SIZE [MB]               -> size / unit
+//   STATIC_POWER [W]               -> static_power / static_power_unit
+//   NUM_CORES                      -> a core group of that quantity
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::pdl {
+
+/// What the importer did, for tooling output: promotions of well-known
+/// properties, dropped/unmappable constructs, role assignments.
+struct ImportReport {
+  std::vector<std::string> notes;
+  std::size_t processing_units = 0;
+  std::size_t memory_regions = 0;
+  std::size_t interconnects = 0;
+  std::size_t promoted_properties = 0;
+  std::size_t kept_properties = 0;
+};
+
+/// Converts a parsed PDL document into an XPDL <system> model.
+/// The PDL root must be <Platform> (case-sensitive, as in PDL).
+[[nodiscard]] Result<std::unique_ptr<xml::Element>> import_platform(
+    const xml::Element& pdl_root, ImportReport* report = nullptr);
+
+/// Convenience: parse PDL XML text and convert.
+[[nodiscard]] Result<std::unique_ptr<xml::Element>> import_platform_text(
+    std::string_view pdl_xml, ImportReport* report = nullptr);
+
+}  // namespace xpdl::pdl

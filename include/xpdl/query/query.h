@@ -1,0 +1,100 @@
+// XPDL query language.
+//
+// PDL offered "a basic query language" to look up the existence and
+// values of properties (Sec. II); XPDL's counterpart is this XPath-lite
+// over the runtime model, used by tools and by conditional-composition
+// constraints that need structural selection beyond bare ids.
+//
+// Grammar:
+//   query     := step+
+//   step      := ('/' | '//') (TAG | '*') predicate*
+//   predicate := '[' '@' ATTR (op value)? ']'
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   value     := '"' text '"' | NUMBER UNIT?
+//
+// '/' selects children, '//' descendants-or-self. A predicate without an
+// operator tests attribute existence. A value with a unit suffix
+// (e.g. 32KiB, 2GHz) is compared in SI against the node's metric with
+// its own unit resolved — `//cache[@size>=64KiB]` works across models
+// that spell sizes in KB, KiB or MiB.
+//
+// Examples:
+//   //device[@type="Nvidia_K20c"]
+//   /system/socket/cpu
+//   //cache[@size>=64KiB]
+//   //installed[@path]
+//   //core[@frequency>1GHz]
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::query {
+
+/// Comparison operator of a predicate.
+enum class Op : std::uint8_t {
+  kExists,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One [@attr op value] predicate.
+struct Predicate {
+  std::string attribute;
+  Op op = Op::kExists;
+  std::string text_value;     ///< for string comparison
+  double numeric_si = 0.0;    ///< for numeric/unit comparison
+  bool is_numeric = false;
+  bool has_unit = false;      ///< numeric value carried a unit suffix
+};
+
+/// One location step.
+struct Step {
+  bool descendant = false;  ///< '//' vs '/'
+  std::string tag;          ///< "*" matches any kind
+  std::vector<Predicate> predicates;
+};
+
+/// A parsed query.
+class Query {
+ public:
+  /// Parses the query text; errors carry the offending offset.
+  [[nodiscard]] static Result<Query> parse(std::string_view text);
+
+  /// All nodes matching the query, from the model root, in BFS order,
+  /// deduplicated.
+  [[nodiscard]] std::vector<runtime::Node> evaluate(
+      const runtime::Model& model) const;
+  /// Evaluation rooted at an arbitrary node.
+  [[nodiscard]] std::vector<runtime::Node> evaluate(runtime::Node root) const;
+
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+ private:
+  Query(std::vector<Step> steps, std::string source)
+      : steps_(std::move(steps)), source_(std::move(source)) {}
+
+  std::vector<Step> steps_;
+  std::string source_;
+};
+
+/// One-shot convenience: parse + evaluate.
+[[nodiscard]] Result<std::vector<runtime::Node>> select(
+    const runtime::Model& model, std::string_view query);
+
+/// True if any node matches.
+[[nodiscard]] Result<bool> exists(const runtime::Model& model,
+                                  std::string_view query);
+
+}  // namespace xpdl::query

@@ -1,0 +1,102 @@
+// The distributed XPDL model repository (Sec. III).
+//
+// XPDL descriptors are separate `.xpdl` files placed in model libraries;
+// a model references submodels by unique name/id and the toolchain
+// retrieves them via the *model search path*. In the paper's vision the
+// repository is distributed (descriptors downloadable from manufacturer
+// sites); here every repository root is a local directory tree, which
+// preserves the lookup/namespace behaviour.
+//
+// Files are indexed by scanning each root recursively for `*.xpdl`; a file
+// may contain one top-level descriptor whose `name` (meta-model) or `id`
+// (concrete model) registers it. Parsing is lazy and cached; every loaded
+// descriptor is validated against the core schema.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::repository {
+
+/// One indexed descriptor.
+struct DescriptorInfo {
+  std::string reference_name;  ///< name or id of the root element
+  std::string tag;             ///< root element kind (cpu, device, ...)
+  std::string path;            ///< file path ("<memory>" for injected models)
+  bool is_meta = false;        ///< declared with `name` (vs `id`)
+};
+
+/// A model repository over one or more root directories.
+class Repository {
+ public:
+  /// Creates a repository with the given search path (ordered; earlier
+  /// roots shadow later ones on name clashes, with a warning).
+  explicit Repository(std::vector<std::string> search_path = {});
+
+  /// Adds another root directory at the end of the search path.
+  void add_root(std::string directory);
+
+  /// Scans all roots for descriptor files and indexes them by reference
+  /// name. Files that fail to parse are reported as errors; duplicate
+  /// names inside one root are errors, across roots warnings (shadowing).
+  [[nodiscard]] Status scan();
+
+  /// Looks up a descriptor by reference name, parsing and validating its
+  /// file on first access. The returned element stays owned by the
+  /// repository and is immutable.
+  [[nodiscard]] Result<const xml::Element*> lookup(std::string_view ref);
+
+  /// True if `ref` is indexed (does not force a parse).
+  [[nodiscard]] bool contains(std::string_view ref) const noexcept;
+
+  /// Parses, validates and registers a descriptor file outside the
+  /// indexed roots (e.g. a user-supplied top-level system model).
+  /// Returns its root element.
+  [[nodiscard]] Result<const xml::Element*> load_file(
+      const std::string& path);
+
+  /// Registers an in-memory descriptor (used by tests and by tools that
+  /// synthesize models). The root element must carry a name or id.
+  [[nodiscard]] Result<const xml::Element*> add_descriptor(
+      std::unique_ptr<xml::Element> root);
+
+  /// Info for every indexed descriptor, sorted by reference name.
+  [[nodiscard]] std::vector<DescriptorInfo> descriptors() const;
+
+  /// Accumulated non-fatal diagnostics (shadowing, lint warnings from
+  /// schema validation, lenient-XML notes).
+  [[nodiscard]] const std::vector<std::string>& warnings() const noexcept {
+    return warnings_;
+  }
+
+  /// Number of indexed descriptors.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    DescriptorInfo info;
+    std::unique_ptr<xml::Element> root;  ///< null until parsed
+  };
+
+  [[nodiscard]] Status index_file(const std::string& path,
+                                  const std::string& root_dir);
+
+  std::vector<std::string> search_path_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::vector<std::string> warnings_;
+  bool scanned_ = false;
+};
+
+/// Convenience: builds a repository over `roots`, scans it, and fails on
+/// any scan error.
+[[nodiscard]] Result<std::unique_ptr<Repository>> open_repository(
+    std::vector<std::string> roots);
+
+}  // namespace xpdl::repository

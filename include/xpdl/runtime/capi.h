@@ -1,0 +1,62 @@
+// C entry points of the XPDL Runtime Query API (Sec. IV).
+//
+// The paper's category-1 function `int xpdl_init(char *filename)`
+// initializes the query environment and loads the runtime model file
+// produced by the toolchain; the remaining functions expose browsing,
+// attribute lookup and the analysis getters to C callers. The richer,
+// type-safe interface is the C++ API in xpdl/runtime/model.h; this
+// header is the stable ABI for composition code generated into
+// applications.
+//
+// Nodes are opaque handles; 0 is the null node. Returned strings point
+// into the loaded model and stay valid until xpdl_shutdown().
+#pragma once
+
+#include <stddef.h>  // NOLINT(modernize-deprecated-headers) — C ABI header
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef unsigned xpdl_node_t;
+
+/// Loads the runtime model file. Returns 0 on success, nonzero on error
+/// (and leaves any previously loaded model in place).
+int xpdl_init(const char* filename);
+
+/// Unloads the model. Idempotent.
+void xpdl_shutdown(void);
+
+/// 1 if a model is loaded.
+int xpdl_is_initialized(void);
+
+/// Root node of the model, or 0 if not initialized.
+xpdl_node_t xpdl_root(void);
+
+/// Node with the given unique id / qualified dotted path, or 0.
+xpdl_node_t xpdl_find_by_id(const char* id);
+
+/// Element kind of a node ("cpu", "core", ...), or NULL for the null node.
+const char* xpdl_tag(xpdl_node_t node);
+
+/// Attribute value, or NULL when absent. (API category 3.)
+const char* xpdl_get_attribute(xpdl_node_t node, const char* name);
+
+/// Tree browsing. (API category 2.)
+unsigned xpdl_num_children(xpdl_node_t node);
+xpdl_node_t xpdl_child_at(xpdl_node_t node, unsigned index);
+xpdl_node_t xpdl_parent(xpdl_node_t node);
+
+/// Model analysis functions. (API category 4.) `subtree` of 0 means the
+/// whole model.
+unsigned xpdl_count_tag(const char* tag, xpdl_node_t subtree);
+unsigned xpdl_count_cores(xpdl_node_t subtree);
+unsigned xpdl_count_cuda_devices(xpdl_node_t subtree);
+double xpdl_total_static_power(xpdl_node_t subtree);
+
+/// 1 if a software package whose type starts with `prefix` is installed.
+int xpdl_has_installed(const char* prefix);
+
+#ifdef __cplusplus
+}  // extern "C"
+#endif

@@ -1,0 +1,199 @@
+// The XPDL run-time model and Query API (Sec. IV).
+//
+// The toolchain "builds a light-weight run-time data structure for the
+// composed model that is finally written into a file"; applications load
+// it at startup (xpdl_init) and introspect the platform dynamically for
+// platform-aware optimizations such as conditional composition.
+//
+// Representation: a flat arena. Nodes live in one contiguous vector laid
+// out breadth-first so each node's children form a contiguous range;
+// attribute key/value pairs live in a second flat vector; all text is
+// interned in a string table. Queries are pointer-chase-free index
+// arithmetic — getter latency is what bench_query measures.
+//
+// The four API categories of the paper map as:
+//   1. initialization      -> Model::load / xpdl_init (C API, capi.h)
+//   2. tree browsing       -> Node::child/children/first/parent
+//   3. attribute getters   -> Node::attribute/number/quantity + generated
+//                             typed classes (xpdl_codegen)
+//   4. model analysis      -> Model::count_cores() etc. (analysis.cpp;
+//                             hand-written, per the paper)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+#include "xpdl/util/units.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::compose {
+class ComposedModel;
+}
+
+namespace xpdl::runtime {
+
+class Model;
+
+/// A lightweight handle to one node of a runtime model. Copyable, 8+4
+/// bytes; valid as long as the Model lives.
+class Node {
+ public:
+  Node(const Model* model, std::uint32_t index) noexcept
+      : model_(model), index_(index) {}
+
+  [[nodiscard]] std::string_view tag() const noexcept;
+  /// Shorthands for the identity attributes ("" when absent).
+  [[nodiscard]] std::string_view id() const noexcept;
+  [[nodiscard]] std::string_view name() const noexcept;
+  [[nodiscard]] std::string_view type() const noexcept;
+
+  /// Generic attribute getter (API category 3).
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view name) const noexcept;
+  [[nodiscard]] std::string_view attribute_or(
+      std::string_view name, std::string_view fallback) const noexcept;
+
+  /// Numeric attribute (SI conversion NOT applied — raw number).
+  [[nodiscard]] Result<double> number(std::string_view name) const;
+
+  /// Metric attribute with its unit resolved to an SI quantity
+  /// (size/unit exception handled).
+  [[nodiscard]] Result<units::Quantity> quantity(
+      std::string_view metric) const;
+
+  /// Tree browsing (API category 2).
+  [[nodiscard]] std::size_t child_count() const noexcept;
+  [[nodiscard]] Node child(std::size_t i) const noexcept;
+  [[nodiscard]] std::optional<Node> parent() const noexcept;
+  [[nodiscard]] std::optional<Node> first(std::string_view tag) const noexcept;
+  [[nodiscard]] std::vector<Node> children(std::string_view tag) const;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] const Model& model() const noexcept { return *model_; }
+
+  friend bool operator==(const Node& a, const Node& b) noexcept {
+    return a.model_ == b.model_ && a.index_ == b.index_;
+  }
+
+ private:
+  const Model* model_;
+  std::uint32_t index_;
+};
+
+/// The immutable runtime model.
+class Model {
+ public:
+  /// Builds the runtime structure from a composed model tree.
+  [[nodiscard]] static Result<Model> from_xml(const xml::Element& root);
+  [[nodiscard]] static Result<Model> from_composed(
+      const compose::ComposedModel& composed);
+
+  /// Binary round-trip (the runtime model file of Sec. IV).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static Result<Model> deserialize(std::string_view bytes);
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<Model> load(const std::string& path);
+
+  [[nodiscard]] Node root() const noexcept { return Node(this, 0); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Memory footprint of the arena ("light-weight run-time data
+  /// structure", Sec. IV): node records, attribute records, and interned
+  /// string bytes.
+  struct MemoryStats {
+    std::size_t node_bytes = 0;
+    std::size_t attribute_bytes = 0;
+    std::size_t string_bytes = 0;
+    std::size_t string_count = 0;
+
+    [[nodiscard]] std::size_t total_bytes() const noexcept {
+      return node_bytes + attribute_bytes + string_bytes;
+    }
+  };
+  [[nodiscard]] MemoryStats memory_stats() const noexcept;
+
+  /// Finds a node by its unique id (or meta name). Qualified dotted paths
+  /// composed of ids also resolve ("n0.gpu1").
+  [[nodiscard]] std::optional<Node> find_by_id(std::string_view id) const;
+
+  /// All nodes with the given tag, in BFS order.
+  [[nodiscard]] std::vector<Node> find_all(std::string_view tag) const;
+
+  // --- model analysis functions (API category 4) -----------------------
+  /// Number of nodes with `tag` in the subtree of `within` (whole model
+  /// when nullopt).
+  [[nodiscard]] std::size_t count(std::string_view tag,
+                                  std::optional<Node> within = {}) const;
+  /// Total number of processor cores (expanded group members included).
+  [[nodiscard]] std::size_t count_cores(std::optional<Node> within = {}) const;
+  /// Host CPU cores only: cores that do not live inside an accelerator
+  /// (<device>/<gpu>) subtree. The thread-count the CPU variants of a
+  /// multi-variant component should use.
+  [[nodiscard]] std::size_t count_host_cores(
+      std::optional<Node> within = {}) const;
+  /// Number of accelerator devices.
+  [[nodiscard]] std::size_t count_devices(
+      std::optional<Node> within = {}) const;
+  /// Devices whose <programming_model> lists a cuda* entry.
+  [[nodiscard]] std::size_t count_cuda_devices(
+      std::optional<Node> within = {}) const;
+  /// Aggregated static power (W) over a subtree — the synthesized
+  /// attribute of Sec. III-D, recomputed if the composer annotation is
+  /// absent.
+  [[nodiscard]] double total_static_power_w(
+      std::optional<Node> within = {}) const;
+  /// True if software descriptor `type_prefix`* is installed (conditional
+  /// composition's library-availability checks).
+  [[nodiscard]] bool has_installed(std::string_view type_prefix) const;
+
+  Model(Model&&) noexcept = default;
+  Model& operator=(Model&&) noexcept = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+ private:
+  friend class Node;
+  Model() = default;
+
+  struct NodeData {
+    std::uint32_t tag = 0;          ///< string table index
+    std::uint32_t parent = kNoNode;
+    std::uint32_t first_child = 0;
+    std::uint32_t child_count = 0;
+    std::uint32_t attr_start = 0;
+    std::uint32_t attr_count = 0;
+  };
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  struct AttrData {
+    std::uint32_t key;    ///< string table index
+    std::uint32_t value;  ///< string table index
+  };
+
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+  [[nodiscard]] std::string_view str(std::uint32_t idx) const noexcept {
+    return strings_[idx];
+  }
+  void build_id_index();
+  /// Iterates the subtree rooted at `start` (BFS ranges are contiguous
+  /// only per node, so this walks explicitly).
+  template <typename F>
+  void for_each_in_subtree(std::uint32_t start, F&& fn) const;
+
+  std::vector<NodeData> nodes_;
+  std::vector<AttrData> attrs_;
+  std::vector<std::string> strings_;
+  // Keyed by owned strings: views into strings_ would dangle when the
+  // vector reallocates (SSO strings move their character storage).
+  std::map<std::string, std::uint32_t, std::less<>> id_index_;
+  std::map<std::string, std::uint32_t, std::less<>> intern_index_;
+};
+
+}  // namespace xpdl::runtime

@@ -1,0 +1,133 @@
+// The XPDL core metamodel ("xpdl.xsd" of the paper, Sec. IV).
+//
+// The schema declares, for every XPDL element kind: which attributes it may
+// carry (typed), which are required, which child elements are allowed, and
+// whether it accepts free-form *metric attributes* — the `<metric>` /
+// `<metric>_unit` pairs of Sec. III-A (static_power="4"
+// static_power_unit="W", energy_per_byte="8" energy_per_byte_unit="pJ", ...).
+//
+// A single built-in instance, Schema::core(), describes XPDL as presented
+// in the paper; it can be serialized to XML (the downloadable schema of
+// Sec. IV) and is the input from which xpdl_codegen generates the C++
+// Query-API classes.
+//
+// Validation is two-stage by design: the *structural* rules here are
+// strict, but metric values are accepted when they are a number, a
+// parameter reference (Listing 8 uses frequency="cfrq"), or the `?`
+// placeholder to be filled by microbenchmarking (Listing 14). Numeric
+// bindings and dimensional checks happen later, during composition.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::schema {
+
+/// Value domain of an attribute.
+enum class AttrType : std::uint8_t {
+  kString,          ///< free text
+  kIdentifier,      ///< XPDL identifier (name/id/type/prefix ...)
+  kIdentifierList,  ///< comma-separated identifiers ("cuda6.0,opencl")
+  kUInt,            ///< non-negative integer, or a parameter reference
+  kNumber,          ///< floating point, or a parameter reference
+  kBool,            ///< true/false
+  kMetric,          ///< number | parameter reference | "?" placeholder
+  kUnitSymbol,      ///< a unit from xpdl::units
+  kExpression,      ///< constraint / rule expression
+  kPath,            ///< filesystem path
+};
+
+std::string_view to_string(AttrType t) noexcept;
+
+/// Declaration of one attribute on an element kind.
+struct AttributeSpec {
+  std::string name;
+  AttrType type = AttrType::kString;
+  bool required = false;
+  std::string documentation;
+};
+
+/// Declaration of one XPDL element kind.
+struct ElementSpec {
+  std::string tag;
+  std::string documentation;
+  std::vector<AttributeSpec> attributes;
+  /// Tags of allowed child elements.
+  std::vector<std::string> child_tags;
+  /// Accept any child element (used by <properties> containers).
+  bool allow_any_children = false;
+  /// Accept `<metric>` + `<metric>_unit` attribute pairs beyond the
+  /// declared attributes (hardware components).
+  bool allow_metric_attributes = false;
+  /// Accept arbitrary additional attributes (the <property> escape hatch).
+  bool allow_unknown_attributes = false;
+  /// True for hardware/software component kinds that participate in the
+  /// model tree and may carry name/id/type/extends (Sec. III-A).
+  bool is_component = false;
+
+  [[nodiscard]] const AttributeSpec* find_attribute(
+      std::string_view name) const noexcept;
+  [[nodiscard]] bool allows_child(std::string_view tag) const noexcept;
+};
+
+/// Outcome of validating a document: all errors (not just the first) plus
+/// non-fatal lint warnings (e.g. numeric metric without a unit).
+struct ValidationReport {
+  std::vector<Status> errors;
+  std::vector<std::string> warnings;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+  /// First error or OK.
+  [[nodiscard]] Status status() const;
+};
+
+/// The XPDL metamodel: a set of element specs plus validation logic.
+class Schema {
+ public:
+  /// The built-in core XPDL metamodel covering every construct in the
+  /// paper (Listings 1-15). Thread-safe; constructed once.
+  [[nodiscard]] static const Schema& core();
+
+  /// Spec for `tag`, or nullptr if the tag is not part of the schema.
+  [[nodiscard]] const ElementSpec* find(std::string_view tag) const noexcept;
+
+  [[nodiscard]] const std::vector<ElementSpec>& elements() const noexcept {
+    return elements_;
+  }
+
+  /// Validates a descriptor tree rooted at `root`.
+  [[nodiscard]] ValidationReport validate(const xml::Element& root) const;
+
+  /// Serializes the schema itself as an XML document (the shareable
+  /// xpdl.xsd equivalent of Sec. IV).
+  [[nodiscard]] std::string to_xml() const;
+
+  /// Rebuilds a schema from its XML form; round-trips with to_xml().
+  [[nodiscard]] static Result<Schema> from_xml(const xml::Element& root);
+
+  /// Registers an additional element kind. Used by toolchain extensions;
+  /// the tag must not already exist.
+  [[nodiscard]] Status add_element(ElementSpec spec);
+
+  Schema() = default;
+
+ private:
+  void validate_element(const xml::Element& e, ValidationReport& report) const;
+  void validate_attribute_value(const xml::Element& e,
+                                const AttributeSpec& spec,
+                                std::string_view value,
+                                ValidationReport& report) const;
+
+  std::vector<ElementSpec> elements_;
+};
+
+/// Tags that denote hardware/software components usable as model tree
+/// nodes (cpu, core, cache, memory, device, socket, node, cluster, system,
+/// interconnect, channel, ...). Exposed for the composer and runtime.
+[[nodiscard]] bool is_component_tag(std::string_view tag) noexcept;
+
+}  // namespace xpdl::schema

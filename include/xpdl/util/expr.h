@@ -1,0 +1,100 @@
+// Arithmetic/boolean expression engine.
+//
+// XPDL constraints (Listing 8: `L1size + shmsize == shmtotalsize`) and the
+// rules for synthesized attributes (Sec. III-D) are arithmetic expressions
+// over named parameters. Expressions are parsed once into an AST and can be
+// evaluated many times against different variable bindings — the composer
+// re-evaluates each constraint for every point of a configurable parameter
+// space.
+//
+// Grammar (C-like precedence):
+//   expr  := or ;            or  := and ('||' and)*
+//   and   := cmp ('&&' cmp)* ;
+//   cmp   := add (('=='|'!='|'<='|'>='|'<'|'>') add)?
+//   add   := mul (('+'|'-') mul)* ;
+//   mul   := unary (('*'|'/'|'%') unary)*
+//   unary := ('-'|'!')* primary
+//   primary := NUMBER | IDENT ['(' expr (',' expr)* ')'] | '(' expr ')'
+//
+// Booleans are doubles: 0.0 is false, anything else is true; comparisons
+// yield 1.0/0.0. Built-in functions: min, max, abs, floor, ceil, round,
+// sqrt, pow, log2.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::expr {
+
+/// Resolves a free variable name to its numeric value.
+using VariableResolver =
+    std::function<Result<double>(std::string_view name)>;
+
+/// Node kinds of the expression AST.
+enum class NodeKind : std::uint8_t {
+  kNumber,
+  kVariable,
+  kUnaryOp,   // '-' '!'
+  kBinaryOp,  // arithmetic / comparison / logical
+  kCall,      // built-in function
+};
+
+/// One AST node. Children are owned.
+struct Node {
+  NodeKind kind;
+  double number = 0.0;        // kNumber
+  std::string symbol;         // kVariable: name; kUnaryOp/kBinaryOp: operator
+                              // text; kCall: function name
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+/// A parsed, immutable expression.
+class Expression {
+ public:
+  /// Parses `text` into an expression; reports offset-precise errors.
+  [[nodiscard]] static Result<Expression> parse(std::string_view text);
+
+  /// Evaluates against `resolver` for free variables. Division by zero,
+  /// unknown variables and resolver failures surface as errors.
+  [[nodiscard]] Result<double> evaluate(
+      const VariableResolver& resolver) const;
+
+  /// Evaluates an expression with no free variables.
+  [[nodiscard]] Result<double> evaluate() const;
+
+  /// Evaluates and interprets the result as a boolean.
+  [[nodiscard]] Result<bool> evaluate_bool(
+      const VariableResolver& resolver) const;
+
+  /// Names of all free variables, deduplicated, in first-occurrence order.
+  /// Drives enumeration of configurable parameter spaces.
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Canonical, fully parenthesized text form (for diagnostics and tests).
+  [[nodiscard]] std::string to_string() const;
+
+  /// The original source text.
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// True if the expression consists of a single number.
+  [[nodiscard]] bool is_constant() const noexcept;
+
+  Expression(Expression&&) noexcept = default;
+  Expression& operator=(Expression&&) noexcept = default;
+  Expression(const Expression& other);
+  Expression& operator=(const Expression& other);
+
+ private:
+  Expression(std::unique_ptr<Node> root, std::string source)
+      : root_(std::move(root)), source_(std::move(source)) {}
+
+  std::unique_ptr<Node> root_;
+  std::string source_;
+};
+
+}  // namespace xpdl::expr

@@ -1,0 +1,25 @@
+// Minimal file I/O helpers with Status-based error reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::io {
+
+/// Reads a whole file into a string.
+[[nodiscard]] Result<std::string> read_file(const std::string& path);
+
+/// Writes (replaces) a whole file atomically-enough for our purposes:
+/// writes to `path` directly; partial writes surface as errors.
+[[nodiscard]] Status write_file(const std::string& path,
+                                std::string_view contents);
+
+/// True if a regular file exists at `path`.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Creates a directory (and parents). OK if it already exists.
+[[nodiscard]] Status make_directories(const std::string& path);
+
+}  // namespace xpdl::io

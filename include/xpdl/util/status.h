@@ -1,0 +1,160 @@
+// XPDL -- Extensible Platform Description Language toolchain.
+//
+// Error-handling primitives. Recoverable failures (malformed XML, schema
+// violations, unresolved references, ...) travel through Status / Result<T>
+// instead of exceptions, so that the library can be used from code bases
+// that compile with -fno-exceptions and so that every failure carries a
+// source location pointing into the offending .xpdl file.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace xpdl {
+
+/// Broad classification of a failure. Used by tests and tools to react
+/// programmatically; the human-readable detail lives in Status::message().
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kParseError,        ///< malformed XML / unparseable attribute value
+  kSchemaViolation,   ///< well-formed XML that is not valid XPDL
+  kUnresolvedRef,     ///< name/id/type reference with no matching descriptor
+  kCycle,             ///< cyclic inheritance or inclusion
+  kConstraintViolation,
+  kIoError,           ///< file not found / unreadable / unwritable
+  kFormatError,       ///< corrupt runtime model file
+  kInvalidArgument,   ///< caller misuse detected at a public API boundary
+  kNotFound,          ///< lookup with no result where one was required
+  kInternal,          ///< invariant breach inside the toolchain
+};
+
+/// Human-readable name of an ErrorCode ("parse-error", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// Position inside a descriptor file, for diagnostics. Line/column are
+/// 1-based; 0 means "unknown".
+struct SourceLocation {
+  std::string file;   ///< path of the .xpdl / model file, may be empty
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line != 0; }
+  /// "file:line:col" (omitting unknown parts); empty if nothing is known.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of an operation that can fail recoverably. Cheap to move;
+/// the OK state allocates nothing.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a failure. `code` must not be kOk.
+  Status(ErrorCode code, std::string message, SourceLocation loc = {})
+      : code_(code), message_(std::move(message)), location_(std::move(loc)) {
+    assert(code != ErrorCode::kOk && "failure status requires non-OK code");
+  }
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] const SourceLocation& location() const noexcept {
+    return location_;
+  }
+
+  /// Full diagnostic: "file:line:col: error-kind: message".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Prepends `context + ": "` to the message of a failure; no-op on OK.
+  Status& with_context(std::string_view context);
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  SourceLocation location_;
+};
+
+/// Either a value of T or a failure Status. Analogous to std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return 42;`
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a failure status: `return some_status;`
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result<T> must not be built from an OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// The contained value; must be OK.
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  /// The failure; must not be OK.
+  [[nodiscard]] const Status& status() const& {
+    assert(!is_ok());
+    return std::get<Status>(data_);
+  }
+  [[nodiscard]] Status&& status() && {
+    assert(!is_ok());
+    return std::get<Status>(std::move(data_));
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate a failed Status from the current function.
+#define XPDL_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::xpdl::Status xpdl_status_ = (expr);         \
+    if (!xpdl_status_.is_ok()) return xpdl_status_; \
+  } while (0)
+
+/// Unwrap a Result<T> into `lhs`, propagating failure.
+#define XPDL_ASSIGN_OR_RETURN(lhs, expr)             \
+  XPDL_ASSIGN_OR_RETURN_IMPL_(                       \
+      XPDL_CONCAT_(xpdl_result_, __LINE__), lhs, expr)
+#define XPDL_CONCAT_INNER_(a, b) a##b
+#define XPDL_CONCAT_(a, b) XPDL_CONCAT_INNER_(a, b)
+#define XPDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.is_ok()) return std::move(tmp).status(); \
+  lhs = std::move(tmp).value()
+
+}  // namespace xpdl

@@ -1,0 +1,64 @@
+// Small string utilities shared across the XPDL toolchain. All functions
+// are allocation-conscious: predicates and views never allocate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::strings {
+
+/// True if `c` is ASCII whitespace (space, tab, CR, LF, FF, VT).
+[[nodiscard]] constexpr bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+/// View of `s` with leading/trailing ASCII whitespace removed.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on `sep`, trimming each piece; empty pieces are dropped.
+/// "16, 32, 64" -> {"16", "32", "64"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on `sep` keeping empty pieces and without trimming.
+[[nodiscard]] std::vector<std::string> split_keep_empty(std::string_view s,
+                                                        char sep);
+
+/// ASCII case-insensitive equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parses a double, requiring the whole (trimmed) string to be consumed.
+[[nodiscard]] Result<double> parse_double(std::string_view s);
+
+/// Parses a non-negative integer, requiring full consumption.
+[[nodiscard]] Result<std::uint64_t> parse_uint(std::string_view s);
+
+/// Parses a boolean: true/false, yes/no, on/off, 1/0 (case-insensitive).
+[[nodiscard]] Result<bool> parse_bool(std::string_view s);
+
+/// True if `s` is the XPDL "unknown value" placeholder "?" (Listing 14),
+/// meaning the value must be derived by microbenchmarking at deployment.
+[[nodiscard]] constexpr bool is_placeholder(std::string_view s) noexcept {
+  return s == "?";
+}
+
+/// True if `name` is a valid XPDL identifier / XML name:
+/// [A-Za-z_][A-Za-z0-9_.-]*.
+[[nodiscard]] bool is_identifier(std::string_view name) noexcept;
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Concatenates `prefix` and `rank`: group member ids (Sec. III-A),
+/// e.g. ("core", 3) -> "core3".
+[[nodiscard]] std::string member_id(std::string_view prefix,
+                                    std::size_t rank);
+
+}  // namespace xpdl::strings

@@ -1,0 +1,137 @@
+// XPDL unit system.
+//
+// Every metric attribute in an XPDL descriptor carries an explicit unit in a
+// sibling `<metric>_unit` attribute (Sec. III-A; the metric `size` uses the
+// bare attribute name `unit`). This module parses unit symbols, classifies
+// them by physical dimension and converts values to canonical SI base units
+// so the rest of the toolchain computes in a single consistent system:
+//
+//   size       -> bytes        frequency -> Hz        power -> W
+//   energy     -> J            time      -> s         bandwidth -> B/s
+//   voltage    -> V            temperature -> K       dimensionless -> 1
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::units {
+
+/// Physical dimension of a quantity.
+enum class Dimension : std::uint8_t {
+  kDimensionless = 0,
+  kSize,         ///< information size; SI base: byte
+  kFrequency,    ///< SI base: hertz
+  kPower,        ///< SI base: watt
+  kEnergy,       ///< SI base: joule
+  kTime,         ///< SI base: second
+  kBandwidth,    ///< SI base: byte/second
+  kVoltage,      ///< SI base: volt
+  kTemperature,  ///< SI base: kelvin
+};
+
+/// Human-readable dimension name ("size", "frequency", ...).
+std::string_view to_string(Dimension d) noexcept;
+
+/// Canonical SI unit symbol for a dimension ("B", "Hz", "W", ...).
+std::string_view si_symbol(Dimension d) noexcept;
+
+/// A parsed unit: its dimension and the factor that converts a value in
+/// this unit to the dimension's SI base unit. Additive offsets (only
+/// Celsius) are carried separately.
+struct Unit {
+  Dimension dimension = Dimension::kDimensionless;
+  double to_si_factor = 1.0;
+  double to_si_offset = 0.0;  ///< value_si = value * factor + offset
+  std::string symbol;         ///< symbol as written in the descriptor
+
+  [[nodiscard]] double to_si(double value) const noexcept {
+    return value * to_si_factor + to_si_offset;
+  }
+  [[nodiscard]] double from_si(double value_si) const noexcept {
+    return (value_si - to_si_offset) / to_si_factor;
+  }
+};
+
+/// Looks up a unit symbol. Symbols are matched exactly first, then
+/// case-insensitively as a fallback (the paper's own listings mix
+/// "KiB"/"kB"/"KB"/"MB"). Fails on unknown symbols.
+[[nodiscard]] Result<Unit> parse_unit(std::string_view symbol);
+
+/// Like parse_unit, but additionally checks the dimension.
+[[nodiscard]] Result<Unit> parse_unit(std::string_view symbol,
+                                      Dimension expected);
+
+/// A value with a dimension, stored in SI base units.
+class Quantity {
+ public:
+  Quantity() noexcept = default;
+  Quantity(double value_si, Dimension dim) noexcept
+      : si_value_(value_si), dimension_(dim) {}
+
+  /// Parses `value` expressed in `unit_symbol`; e.g. ("256","KiB").
+  [[nodiscard]] static Result<Quantity> parse(std::string_view value,
+                                              std::string_view unit_symbol);
+  /// Parses with a required dimension.
+  [[nodiscard]] static Result<Quantity> parse(std::string_view value,
+                                              std::string_view unit_symbol,
+                                              Dimension expected);
+
+  [[nodiscard]] double si() const noexcept { return si_value_; }
+  [[nodiscard]] Dimension dimension() const noexcept { return dimension_; }
+
+  /// Value converted into `unit` (dimension must match; asserts).
+  [[nodiscard]] double in(const Unit& unit) const noexcept;
+  /// Value converted into the unit named `symbol`; fails on unknown symbol
+  /// or dimension mismatch.
+  [[nodiscard]] Result<double> in(std::string_view symbol) const;
+
+  /// Pretty form with an auto-scaled human-friendly unit ("256 KiB",
+  /// "2 GHz", "18.6 nJ").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Quantity& a, const Quantity& b) noexcept {
+    return a.dimension_ == b.dimension_ && a.si_value_ == b.si_value_;
+  }
+
+ private:
+  double si_value_ = 0.0;
+  Dimension dimension_ = Dimension::kDimensionless;
+};
+
+std::ostream& operator<<(std::ostream& os, const Quantity& q);
+
+// Convenience factories for the common dimensions (arguments in SI).
+[[nodiscard]] inline Quantity bytes(double b) {
+  return {b, Dimension::kSize};
+}
+[[nodiscard]] inline Quantity hertz(double hz) {
+  return {hz, Dimension::kFrequency};
+}
+[[nodiscard]] inline Quantity watts(double w) {
+  return {w, Dimension::kPower};
+}
+[[nodiscard]] inline Quantity joules(double j) {
+  return {j, Dimension::kEnergy};
+}
+[[nodiscard]] inline Quantity seconds(double s) {
+  return {s, Dimension::kTime};
+}
+[[nodiscard]] inline Quantity bytes_per_second(double bps) {
+  return {bps, Dimension::kBandwidth};
+}
+
+/// Maps a metric attribute name to the dimension its values carry, e.g.
+/// "static_power" -> kPower, "frequency" -> kFrequency, "size" -> kSize,
+/// "energy_per_byte" -> kEnergy, "max_bandwidth" -> kBandwidth.
+/// Returns kDimensionless for unrecognized metrics.
+[[nodiscard]] Dimension metric_dimension(std::string_view metric) noexcept;
+
+/// The name of the attribute that carries the unit for `metric`:
+/// "unit" for "size" (the paper's exception), "<metric>_unit" otherwise.
+[[nodiscard]] std::string unit_attribute_name(std::string_view metric);
+
+}  // namespace xpdl::units

@@ -1,0 +1,49 @@
+// Alternative views of XPDL models (Sec. III: "XPDL offers multiple
+// views: XML, UML, and C++. These views only differ in syntax but are
+// semantically equivalent").
+//
+// The XML view is the Element tree itself; the C++ view is the runtime
+// model plus the generated Query-API classes. This module renders the
+// remaining, documentation-oriented views:
+//   * PlantUML class/object diagrams of a model or of the core schema,
+//   * Graphviz DOT of a composed model's hardware structure (components
+//     as nodes, containment plus interconnect edges).
+#pragma once
+
+#include <string>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::views {
+
+/// Options for the DOT renderer.
+struct DotOptions {
+  /// Collapse expanded homogeneous groups with more members than this to
+  /// a single representative node labeled "xN" (keeps cluster graphs
+  /// readable); 0 disables collapsing.
+  std::size_t collapse_groups_larger_than = 4;
+  /// Include interconnect edges (head -> tail, labeled with the
+  /// composed effective bandwidth when present).
+  bool interconnect_edges = true;
+  /// Graph name.
+  std::string graph_name = "xpdl";
+};
+
+/// Renders a (composed) model tree as a Graphviz digraph.
+[[nodiscard]] std::string to_dot(const xml::Element& root,
+                                 const DotOptions& options = {});
+[[nodiscard]] std::string to_dot(const compose::ComposedModel& model,
+                                 const DotOptions& options = {});
+
+/// Renders a model tree as a PlantUML object diagram: one object per
+/// named component with its metric attributes as fields.
+[[nodiscard]] std::string to_plantuml(const xml::Element& root);
+
+/// Renders the metamodel itself (the element kinds with their attributes
+/// and containment) as a PlantUML class diagram — the "UML view" of the
+/// language definition.
+[[nodiscard]] std::string schema_to_plantuml(const schema::Schema& schema);
+
+}  // namespace xpdl::views

@@ -1,0 +1,150 @@
+// DOM-lite XML reader/writer.
+//
+// The XPDL toolchain in the paper used Xerces-C; this is a self-contained
+// replacement implementing the XML subset that .xpdl descriptors use:
+// elements, attributes, comments, CDATA, processing instructions (skipped),
+// DOCTYPE (skipped), the five predefined entities plus numeric character
+// references, and UTF-8 pass-through. Every node records its source
+// line/column so schema and composition errors point into the descriptor.
+//
+// A lenient option accepts unquoted attribute values (`quantity=2`), which
+// the paper's own Listing 1 uses.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::xml {
+
+/// One name="value" attribute, with the location of its name token.
+struct Attribute {
+  std::string name;
+  std::string value;
+  SourceLocation location;
+};
+
+/// An XML element node. Children are owned; `parent` is a non-owning
+/// back-pointer (null for the root).
+class Element {
+ public:
+  explicit Element(std::string tag) : tag_(std::move(tag)) {}
+
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  [[nodiscard]] const SourceLocation& location() const noexcept {
+    return location_;
+  }
+  void set_location(SourceLocation loc) { location_ = std::move(loc); }
+
+  // --- attributes -------------------------------------------------------
+  [[nodiscard]] const std::vector<Attribute>& attributes() const noexcept {
+    return attributes_;
+  }
+  /// Value of attribute `name`, or nullopt.
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view name) const noexcept;
+  /// Value of attribute `name`, or `fallback`.
+  [[nodiscard]] std::string_view attribute_or(
+      std::string_view name, std::string_view fallback) const noexcept;
+  /// Value of attribute `name`, or a kSchemaViolation error naming the
+  /// element and its location.
+  [[nodiscard]] Result<std::string> require_attribute(
+      std::string_view name) const;
+  [[nodiscard]] bool has_attribute(std::string_view name) const noexcept {
+    return attribute(name).has_value();
+  }
+  /// Sets or replaces an attribute.
+  void set_attribute(std::string_view name, std::string_view value);
+  /// Removes an attribute if present; returns whether it existed.
+  bool remove_attribute(std::string_view name);
+
+  // --- children ---------------------------------------------------------
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children()
+      const noexcept {
+    return children_;
+  }
+  [[nodiscard]] Element* parent() const noexcept { return parent_; }
+
+  /// Appends a child and returns a handle to it.
+  Element& add_child(std::unique_ptr<Element> child);
+  Element& add_child(std::string tag);
+
+  /// First child with the given tag, or nullptr.
+  [[nodiscard]] const Element* first_child(std::string_view tag) const noexcept;
+  [[nodiscard]] Element* first_child(std::string_view tag) noexcept;
+  /// All children with the given tag, in document order.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view tag) const;
+
+  /// Number of children (any tag).
+  [[nodiscard]] std::size_t child_count() const noexcept {
+    return children_.size();
+  }
+
+  /// Concatenated character data directly inside this element, trimmed.
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  void append_text(std::string_view t) { text_.append(t); }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  /// Deep copy (without parent linkage into the original tree).
+  [[nodiscard]] std::unique_ptr<Element> clone() const;
+
+  /// Total number of elements in this subtree including this one.
+  [[nodiscard]] std::size_t subtree_size() const noexcept;
+
+ private:
+  std::string tag_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+  std::string text_;
+  SourceLocation location_;
+  Element* parent_ = nullptr;
+};
+
+/// A parsed document: the root element plus any non-fatal warnings
+/// (e.g. unquoted attribute values accepted in lenient mode).
+struct Document {
+  std::unique_ptr<Element> root;
+  std::vector<std::string> warnings;
+};
+
+/// Parser options.
+struct ParseOptions {
+  /// Accept unquoted attribute values (`quantity=2`). The paper's own
+  /// Listing 1 contains such an attribute, so the repository loader
+  /// enables this.
+  bool allow_unquoted_attributes = true;
+  /// Hard cap on element nesting depth (guards against pathological or
+  /// adversarial inputs).
+  std::size_t max_depth = 256;
+};
+
+/// Parses XML text. `source_name` labels diagnostics (usually a path).
+[[nodiscard]] Result<Document> parse(std::string_view text,
+                                     std::string source_name = "<memory>",
+                                     const ParseOptions& options = {});
+
+/// Reads and parses a file.
+[[nodiscard]] Result<Document> parse_file(const std::string& path,
+                                          const ParseOptions& options = {});
+
+/// Serialization options.
+struct WriteOptions {
+  int indent = 2;             ///< spaces per nesting level
+  bool xml_declaration = true;
+};
+
+/// Serializes an element subtree to XML text.
+[[nodiscard]] std::string write(const Element& root,
+                                const WriteOptions& options = {});
+
+/// Escapes text for use in XML character data / attribute values.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace xpdl::xml

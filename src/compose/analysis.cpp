@@ -1,0 +1,136 @@
+// Static analysis passes over a composed model (Sec. IV): the toolchain
+// "performs static analysis of the model (for instance, downgrading
+// bandwidth of interconnections where applicable as the effective
+// bandwidth should be determined by the slowest hardware components
+// involved in a communication link)".
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+
+namespace xpdl::compose {
+namespace {
+
+std::string number_text(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return strings::format("%.15g", v);
+}
+
+/// Numeric SI value of a metric on `e`, if present and numeric.
+std::optional<double> metric_si(const xml::Element& e,
+                                std::string_view name) {
+  auto m = model::metric_of(e, name);
+  if (!m.is_ok() || !m.value().has_value() || !m.value()->is_number()) {
+    return std::nullopt;
+  }
+  return m.value()->value_si;
+}
+
+/// Resolves an interconnect endpoint id against the nearest enclosing
+/// scope: starting at the interconnect's grandparent (the element that
+/// contains the <interconnects> list), search each ancestor's subtree for
+/// a descendant with that local id; closest ancestor wins (Listing 11's
+/// conn1 resolves cpu1/gpu1 inside the same node).
+const xml::Element* resolve_endpoint(const xml::Element& interconnect,
+                                     std::string_view id) {
+  const xml::Element* scope = interconnect.parent();
+  if (scope != nullptr && scope->tag() == "interconnects") {
+    scope = scope->parent();
+  }
+  while (scope != nullptr) {
+    // BFS over the subtree, excluding the interconnects themselves.
+    std::vector<const xml::Element*> queue = {scope};
+    while (!queue.empty()) {
+      const xml::Element* cur = queue.back();
+      queue.pop_back();
+      if (cur->attribute_or("id", "") == id) return cur;
+      for (const auto& c : cur->children()) queue.push_back(c.get());
+    }
+    scope = scope->parent();
+  }
+  return nullptr;
+}
+
+/// Pass 1: endpoint resolution + effective bandwidth downgrade.
+Status analyze_interconnects(ComposedModel& model,
+                             std::vector<std::string>& warnings) {
+  std::vector<xml::Element*> stack = {&model.mutable_root()};
+  while (!stack.empty()) {
+    xml::Element* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "interconnect") continue;
+
+    double min_bw = std::numeric_limits<double>::infinity();
+    if (auto own = metric_si(*e, "max_bandwidth")) {
+      min_bw = std::min(min_bw, *own);
+    }
+    for (const auto& ch : e->children()) {
+      if (ch->tag() != "channel") continue;
+      if (auto bw = metric_si(*ch, "max_bandwidth")) {
+        min_bw = std::min(min_bw, *bw);
+      }
+    }
+
+    for (std::string_view endpoint_attr : {"head", "tail"}) {
+      auto id = e->attribute(endpoint_attr);
+      if (!id.has_value()) continue;
+      const xml::Element* endpoint = resolve_endpoint(*e, *id);
+      if (endpoint == nullptr) {
+        return Status(ErrorCode::kUnresolvedRef,
+                      "interconnect endpoint '" + std::string(*id) +
+                          "' (attribute '" + std::string(endpoint_attr) +
+                          "') does not resolve to any component",
+                      e->location());
+      }
+      // The endpoint itself may cap the link (slowest component rule).
+      if (auto cap = metric_si(*endpoint, "max_bandwidth")) {
+        if (*cap < min_bw) {
+          warnings.push_back(
+              e->location().to_string() + ": effective bandwidth of '" +
+              std::string(e->attribute_or("id", e->tag())) +
+              "' downgraded by endpoint '" + std::string(*id) + "'");
+          min_bw = *cap;
+        }
+      }
+    }
+
+    if (std::isfinite(min_bw)) {
+      e->set_attribute(kEffectiveBandwidthAttr, number_text(min_bw));
+      e->set_attribute(std::string(kEffectiveBandwidthAttr) + "_unit", "B/s");
+    }
+  }
+  return Status::ok();
+}
+
+/// Pass 2: bottom-up static power roll-up (Sec. III-D synthesized
+/// attributes). Every hardware node's `static_power_total` is its own
+/// static_power plus the sum over its children's totals.
+double roll_up_static_power(xml::Element& e) {
+  double total = 0.0;
+  for (const auto& c : e.children()) {
+    total += roll_up_static_power(*c);
+  }
+  if (auto own = metric_si(e, "static_power")) total += *own;
+  if (model::is_hardware_tag(e.tag()) && total > 0.0) {
+    e.set_attribute(kStaticPowerTotalAttr, number_text(total));
+    e.set_attribute(std::string(kStaticPowerTotalAttr) + "_unit", "W");
+  }
+  return total;
+}
+
+}  // namespace
+
+Status run_static_analyses(ComposedModel& model,
+                           std::vector<std::string>& warnings) {
+  XPDL_RETURN_IF_ERROR(analyze_interconnects(model, warnings));
+  roll_up_static_power(model.mutable_root());
+  return Status::ok();
+}
+
+}  // namespace xpdl::compose

@@ -1,0 +1,663 @@
+#include "xpdl/compose/compose.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+
+namespace xpdl::compose {
+
+using model::Metric;
+using model::MetricKind;
+using model::Param;
+using model::ParamScope;
+
+namespace {
+
+/// Formats a double as the shortest round-trippable-enough text.
+std::string number_text(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return strings::format("%.15g", v);
+}
+
+/// Tags whose `type` attribute is a *reference* into the model repository
+/// (as opposed to an abstract kind string like param's "msize").
+bool type_is_reference(std::string_view tag) noexcept {
+  return schema::is_component_tag(tag) || tag == "power_model";
+}
+
+bool is_software_tag(std::string_view tag) noexcept {
+  return tag == "installed" || tag == "hostOS";
+}
+
+}  // namespace
+
+// ===========================================================================
+// ComposedModel
+
+const xml::Element* ComposedModel::find_by_id(std::string_view id) const {
+  if (auto it = qualified_index_.find(id); it != qualified_index_.end()) {
+    return it->second;
+  }
+  if (auto it = local_index_.find(id); it != local_index_.end()) {
+    return it->second;  // nullptr when the local id is ambiguous
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ComposedModel::ids() const {
+  std::vector<std::string> out;
+  out.reserve(qualified_index_.size());
+  for (const auto& [k, v] : qualified_index_) out.push_back(k);
+  return out;
+}
+
+void ComposedModel::reindex() {
+  qualified_index_.clear();
+  local_index_.clear();
+  // Qualified paths concatenate the ids (or meta names) of *named*
+  // elements only — naming "is only necessary if there is a need to be
+  // referenced" (Sec. III-A), so anonymous containers contribute no
+  // segment. Local ids additionally index the element directly when
+  // globally unique; ambiguous local ids map to nullptr so lookups fail
+  // closed.
+  struct Frame {
+    const xml::Element* element;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), ""});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const xml::Element& e = *f.element;
+
+    std::string segment(e.attribute_or("id", ""));
+    if (segment.empty()) segment = std::string(e.attribute_or("name", ""));
+    std::string path = f.path;
+    if (!segment.empty()) {
+      if (!path.empty()) path += '.';
+      path += segment;
+      qualified_index_.emplace(path, &e);
+      auto [it, inserted] = local_index_.emplace(segment, &e);
+      if (!inserted && it->second != &e) it->second = nullptr;  // ambiguous
+    }
+    for (const auto& c : e.children()) {
+      stack.push_back({c.get(), path});
+    }
+  }
+}
+
+// ===========================================================================
+// Composer implementation
+
+class Composer::Impl {
+ public:
+  Impl(repository::Repository& repo, const Options& options)
+      : repo_(repo), options_(options) {}
+
+  Result<ComposedModel> run(const xml::Element& root) {
+    ComposedModel out;
+    out.root_ = root.clone();
+    ParamEnv env;
+    XPDL_RETURN_IF_ERROR(elaborate(*out.root_, env, 0));
+    out.reindex();
+    if (options_.run_static_analysis) {
+      XPDL_RETURN_IF_ERROR(analyze(out));
+      out.reindex();  // analysis adds attributes only, but stay safe
+    }
+    out.warnings_ = std::move(warnings_);
+    return out;
+  }
+
+ private:
+  using ParamEnv = std::map<std::string, Param, std::less<>>;
+
+  void warn(std::string message) { warnings_.push_back(std::move(message)); }
+
+  // --- inheritance flattening -------------------------------------------
+
+  /// Returns a deep copy of meta-model `type_name` with its `extends`
+  /// chain flattened into it (derived definitions override base ones).
+  Result<std::unique_ptr<xml::Element>> flatten_meta(
+      std::string_view type_name, std::size_t depth) {
+    if (depth > options_.max_type_depth) {
+      return Status(ErrorCode::kCycle,
+                    "meta-model chain deeper than " +
+                        std::to_string(options_.max_type_depth) +
+                        " while resolving '" + std::string(type_name) + "'");
+    }
+    for (const std::string& on_stack : type_stack_) {
+      if (on_stack == type_name) {
+        std::string cycle;
+        for (const std::string& s : type_stack_) cycle += s + " -> ";
+        cycle += std::string(type_name);
+        return Status(ErrorCode::kCycle,
+                      "cyclic meta-model inheritance: " + cycle);
+      }
+    }
+    XPDL_ASSIGN_OR_RETURN(const xml::Element* meta, repo_.lookup(type_name));
+    type_stack_.emplace_back(type_name);
+    auto result = meta->clone();
+
+    if (auto ext = result->attribute("extends")) {
+      std::vector<std::string> bases = strings::split(*ext, ',');
+      result->remove_attribute("extends");
+      // Left-to-right base order; every later definition (and finally the
+      // derived meta-model itself) overrides earlier ones, so bases are
+      // merged *under* the current content.
+      for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+        XPDL_ASSIGN_OR_RETURN(auto base, flatten_meta(*it, depth + 1));
+        merge_under(*result, *base);
+      }
+    }
+    type_stack_.pop_back();
+    return result;
+  }
+
+  /// Merges `base` under `derived`: attributes of `base` are copied only
+  /// when absent on `derived`; children of `base` are prepended (so that
+  /// derived children come later and win in by-name deduplication).
+  static void merge_under(xml::Element& derived, const xml::Element& base) {
+    for (const xml::Attribute& a : base.attributes()) {
+      if (a.name == "name" || a.name == "id") continue;
+      if (!derived.has_attribute(a.name)) {
+        derived.set_attribute(a.name, a.value);
+      }
+    }
+    // Prepend base children by rebuilding the child list.
+    std::vector<std::unique_ptr<xml::Element>> merged;
+    merged.reserve(base.children().size() + derived.children().size());
+    for (const auto& c : base.children()) merged.push_back(c->clone());
+    auto& dst = const_cast<std::vector<std::unique_ptr<xml::Element>>&>(
+        derived.children());
+    for (auto& c : dst) merged.push_back(std::move(c));
+    dst = std::move(merged);
+    dedupe_named(derived, "param");
+    dedupe_named(derived, "const");
+  }
+
+  /// Collapses duplicate <param>/<const> children by name: the last
+  /// occurrence (derived/instance) wins, inheriting any attributes the
+  /// earlier declaration had and it lacks (configurable, range, type).
+  static void dedupe_named(xml::Element& e, std::string_view tag) {
+    auto& children = const_cast<std::vector<std::unique_ptr<xml::Element>>&>(
+        e.children());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (children[i]->tag() != tag) continue;
+      auto name_i = children[i]->attribute("name");
+      if (!name_i) continue;
+      for (std::size_t j = i + 1; j < children.size(); ++j) {
+        if (children[j]->tag() != tag) continue;
+        auto name_j = children[j]->attribute("name");
+        if (!name_j || *name_j != *name_i) continue;
+        // j is the later (winning) declaration: inherit missing attrs.
+        for (const xml::Attribute& a : children[i]->attributes()) {
+          if (!children[j]->has_attribute(a.name)) {
+            children[j]->set_attribute(a.name, a.value);
+          }
+        }
+        children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        break;
+      }
+    }
+  }
+
+  // --- parameter environment ---------------------------------------------
+
+  static Result<double> resolve_in_env(const ParamEnv& env,
+                                       std::string_view name) {
+    auto it = env.find(name);
+    if (it == env.end() || !it->second.is_bound()) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "parameter '" + std::string(name) + "' is not bound");
+    }
+    return *it->second.value_si;
+  }
+
+  /// Substitutes bound parameter references in the attribute values of
+  /// `e` (metrics, group quantities, Listing 8's frequency="cfrq").
+  Status substitute_attributes(xml::Element& e, const ParamEnv& env) {
+    // Only element kinds that carry metric attributes participate in
+    // parameter substitution; free-form kinds like <property> hold
+    // arbitrary strings that must never be misread as parameter
+    // references.
+    const schema::ElementSpec* spec = schema::Schema::core().find(e.tag());
+    const bool metrics_allowed =
+        spec != nullptr && spec->allow_metric_attributes;
+    // Collect replacements first; mutating while iterating invalidates.
+    std::vector<std::pair<std::string, std::string>> updates;
+    std::vector<std::pair<std::string, std::string>> unit_updates;
+    for (const xml::Attribute& a : e.attributes()) {
+      if (a.name == "quantity") {
+        if (strings::parse_uint(a.value).is_ok()) continue;
+        auto it = env.find(a.value);
+        if (it == env.end() || !it->second.is_bound()) {
+          if (options_.require_bound_params) {
+            return Status(ErrorCode::kUnresolvedRef,
+                          "group quantity references unbound parameter '" +
+                              a.value + "'",
+                          e.location());
+          }
+          warn(e.location().to_string() + ": unbound group quantity '" +
+               a.value + "'");
+          continue;
+        }
+        double v = *it->second.value_si;
+        if (v < 0 || v != std::floor(v)) {
+          return Status(ErrorCode::kConstraintViolation,
+                        "group quantity parameter '" + a.value +
+                            "' is not a non-negative integer",
+                        e.location());
+        }
+        updates.emplace_back(a.name, number_text(v));
+        continue;
+      }
+      if (!metrics_allowed) continue;
+      if (model::is_structural_attribute(a.name)) continue;
+      if (a.name == "unit" ||
+          (a.name.size() > 5 &&
+           std::string_view(a.name).substr(a.name.size() - 5) == "_unit")) {
+        continue;
+      }
+      // Metric attribute with an identifier value -> parameter reference.
+      if (!strings::is_identifier(a.value) ||
+          strings::parse_double(a.value).is_ok()) {
+        continue;
+      }
+      auto it = env.find(a.value);
+      if (it == env.end() || !it->second.is_bound()) {
+        // Unbound references on <param> children are bindings handled
+        // elsewhere; on metrics they are open configuration.
+        if (options_.require_bound_params && e.tag() != "param") {
+          return Status(ErrorCode::kUnresolvedRef,
+                        "metric '" + a.name +
+                            "' references unbound parameter '" + a.value +
+                            "'",
+                        e.location());
+        }
+        continue;
+      }
+      const Param& p = it->second;
+      double si = *p.value_si;
+      if (!p.unit_symbol.empty()) {
+        auto unit = units::parse_unit(p.unit_symbol);
+        assert(unit.is_ok());
+        updates.emplace_back(a.name, number_text(unit.value().from_si(si)));
+        std::string unit_attr = units::unit_attribute_name(a.name);
+        if (!e.has_attribute(unit_attr)) {
+          unit_updates.emplace_back(unit_attr, p.unit_symbol);
+        }
+      } else {
+        updates.emplace_back(a.name, number_text(si));
+      }
+    }
+    for (auto& [k, v] : updates) e.set_attribute(k, v);
+    for (auto& [k, v] : unit_updates) e.set_attribute(k, v);
+    return Status::ok();
+  }
+
+  /// Verifies constraints of `scope` under `env`. Fully bound constraints
+  /// must hold; constraints with unbound configurable parameters must be
+  /// satisfiable within the declared ranges.
+  Status check_constraints(const xml::Element& e, const ParamScope& scope,
+                           const ParamEnv& env) {
+    for (const model::Constraint& c : scope.constraints) {
+      std::vector<std::string> vars = c.expression.variables();
+      std::vector<const Param*> unbound;
+      bool all_known = true;
+      for (const std::string& v : vars) {
+        auto it = env.find(v);
+        if (it == env.end()) {
+          return Status(ErrorCode::kUnresolvedRef,
+                        "constraint '" + c.expression.source() +
+                            "' references unknown parameter '" + v + "'",
+                        c.location);
+        }
+        if (!it->second.is_bound()) {
+          all_known = false;
+          unbound.push_back(&it->second);
+        }
+      }
+      if (all_known) {
+        auto resolver = [&env](std::string_view name) {
+          return resolve_in_env(env, name);
+        };
+        XPDL_ASSIGN_OR_RETURN(bool ok, c.expression.evaluate_bool(resolver));
+        if (!ok) {
+          return Status(ErrorCode::kConstraintViolation,
+                        "constraint violated on <" + e.tag() +
+                            ">: " + c.expression.source(),
+                        c.location);
+        }
+        continue;
+      }
+      // Partially bound: require satisfiability over the configurable
+      // ranges (the open Kepler configuration space of Listing 8).
+      for (const Param* p : unbound) {
+        if (!p->configurable || p->range_si.empty()) {
+          if (options_.require_bound_params) {
+            return Status(ErrorCode::kUnresolvedRef,
+                          "constraint '" + c.expression.source() +
+                              "' depends on unbound non-configurable "
+                              "parameter '" +
+                              p->name + "'",
+                          c.location);
+          }
+          warn(c.location.to_string() + ": constraint '" +
+               c.expression.source() + "' left open (unbound parameter '" +
+               p->name + "')");
+          return Status::ok();
+        }
+      }
+      XPDL_ASSIGN_OR_RETURN(bool satisfiable,
+                            satisfiable_over_ranges(c, unbound, env));
+      if (!satisfiable) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "constraint '" + c.expression.source() +
+                          "' is unsatisfiable for every configuration",
+                      c.location);
+      }
+    }
+    return Status::ok();
+  }
+
+  Result<bool> satisfiable_over_ranges(const model::Constraint& c,
+                                       const std::vector<const Param*>& open,
+                                       const ParamEnv& env) {
+    std::vector<std::size_t> idx(open.size(), 0);
+    std::size_t tried = 0;
+    while (true) {
+      if (++tried > options_.max_configurations) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "configuration space too large while checking '" +
+                          c.expression.source() + "'");
+      }
+      auto resolver = [&](std::string_view name) -> Result<double> {
+        for (std::size_t i = 0; i < open.size(); ++i) {
+          if (open[i]->name == name) return open[i]->range_si[idx[i]];
+        }
+        return resolve_in_env(env, name);
+      };
+      XPDL_ASSIGN_OR_RETURN(bool ok, c.expression.evaluate_bool(resolver));
+      if (ok) return true;
+      // Advance the odometer.
+      std::size_t k = 0;
+      while (k < idx.size()) {
+        if (++idx[k] < open[k]->range_si.size()) break;
+        idx[k] = 0;
+        ++k;
+      }
+      if (k == idx.size()) return false;
+    }
+  }
+
+  // --- group expansion -----------------------------------------------------
+
+  /// Expands one homogeneous group in place: its body is replicated
+  /// `quantity` times; member components without an id are assigned
+  /// prefix<rank> (single-component bodies) or prefix<rank>_<tag><k>.
+  Status expand_group(xml::Element& group) {
+    XPDL_ASSIGN_OR_RETURN(model::GroupSpec spec, model::parse_group(group));
+    if (!spec.homogeneous) return Status::ok();
+    if (!spec.quantity.has_value()) {
+      // Substitution happened before expansion; a remaining symbolic
+      // quantity means the parameter is unbound (already warned).
+      return Status::ok();
+    }
+    const std::uint64_t q = *spec.quantity;
+
+    // Move the prototype body out.
+    auto& children = const_cast<std::vector<std::unique_ptr<xml::Element>>&>(
+        group.children());
+    std::vector<std::unique_ptr<xml::Element>> body = std::move(children);
+    children.clear();
+
+    // Member-id assignment (Sec. III-A: prefix "core" + quantity 4 yields
+    // core0..core3): the prefix<rank> id goes to body components that have
+    // neither an id nor a meta name yet — named siblings (e.g. the private
+    // L1 cache next to the core in Listing 1) are already identified.
+    // With several unnamed components per member, ids are disambiguated as
+    // prefix<rank>_<tag><index>.
+    auto is_anonymous_component = [](const xml::Element& e) {
+      return (schema::is_component_tag(e.tag()) || e.tag() == "group") &&
+             !e.has_attribute("id") && !e.has_attribute("name");
+    };
+    std::size_t anonymous_count = 0;
+    for (const auto& b : body) {
+      if (is_anonymous_component(*b)) ++anonymous_count;
+    }
+
+    for (std::uint64_t r = 0; r < q; ++r) {
+      std::size_t anon_index = 0;
+      for (const auto& proto : body) {
+        auto clone = proto->clone();
+        if (!spec.prefix.empty() && is_anonymous_component(*clone)) {
+          std::string id = strings::member_id(spec.prefix, r);
+          if (anonymous_count > 1) {
+            id += "_" + clone->tag() + std::to_string(anon_index);
+          }
+          clone->set_attribute("id", id);
+          ++anon_index;
+        }
+        group.add_child(std::move(clone));
+      }
+    }
+    group.set_attribute("expanded", "true");
+    return Status::ok();
+  }
+
+  // --- main elaboration ----------------------------------------------------
+
+  Status elaborate(xml::Element& e, ParamEnv env, std::size_t depth) {
+    if (depth > options_.max_type_depth * 4) {
+      return Status(ErrorCode::kCycle, "model tree too deep", e.location());
+    }
+
+    // Power-domain members reference hardware *within* the same model by
+    // kind+type (Listing 12: <core type="Leon"/>); they are references,
+    // not instances, and must not pull meta-models in.
+    const bool inside_power_domain =
+        e.parent() != nullptr && e.parent()->tag() == "power_domain";
+
+    // 1. Resolve the meta-model reference, if this kind carries one.
+    //    The `resolved` marker makes re-composition of an already
+    //    elaborated tree a no-op (idempotence).
+    if (auto type_ref = e.attribute("type");
+        type_ref.has_value() && type_is_reference(e.tag()) &&
+        !inside_power_domain &&
+        e.attribute_or("resolved", "") != "true") {
+      std::string type_name(*type_ref);
+      if (repo_.contains(type_name)) {
+        XPDL_ASSIGN_OR_RETURN(auto meta, flatten_meta(type_name, 0));
+        if (meta->tag() != e.tag() && e.tag() != "gpu" &&
+            meta->tag() != "gpu") {
+          return Status(ErrorCode::kSchemaViolation,
+                        "<" + e.tag() + "> references meta-model '" +
+                            type_name + "' of kind <" + meta->tag() + ">",
+                        e.location());
+        }
+        merge_under(e, *meta);
+        e.set_attribute("resolved", "true");
+      } else if (is_software_tag(e.tag())) {
+        if (!options_.tolerate_missing_software) {
+          return Status(ErrorCode::kUnresolvedRef,
+                        "software descriptor '" + type_name + "' not found",
+                        e.location());
+        }
+        warn(e.location().to_string() + ": software descriptor '" +
+             type_name + "' not in repository; keeping inline info");
+      } else {
+        // Kind strings like "DDR3" / "SRAM" are legitimate; record a note
+        // so typos in real references remain discoverable.
+        warn(e.location().to_string() + ": type '" + type_name + "' on <" +
+             e.tag() + "> does not name a repository descriptor; treated "
+             "as a plain kind string");
+      }
+    } else if (auto ext = e.attribute("extends");
+               ext.has_value() && type_is_reference(e.tag())) {
+      // A meta-model composed directly (rare but legal): flatten its own
+      // inheritance chain in place.
+      std::vector<std::string> bases = strings::split(*ext, ',');
+      e.remove_attribute("extends");
+      for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+        XPDL_ASSIGN_OR_RETURN(auto base, flatten_meta(*it, 0));
+        merge_under(e, *base);
+      }
+    }
+
+    // 2. Parameter scope of this element.
+    XPDL_ASSIGN_OR_RETURN(ParamScope scope, model::parse_param_scope(e));
+    for (const Param& p : scope.params) {
+      // Range membership check for bound configurable parameters
+      // (Listing 10 must pick one of 16/32/48 KB).
+      if (p.is_bound() && !p.range_si.empty()) {
+        bool in_range = std::any_of(
+            p.range_si.begin(), p.range_si.end(), [&](double v) {
+              return std::fabs(v - *p.value_si) <=
+                     1e-9 * std::max(1.0, std::fabs(v));
+            });
+        if (!in_range) {
+          return Status(ErrorCode::kConstraintViolation,
+                        "parameter '" + p.name + "' value is outside its "
+                        "declared range",
+                        p.location);
+        }
+      }
+      env.insert_or_assign(p.name, p);
+    }
+
+    // 3. Constraints.
+    XPDL_RETURN_IF_ERROR(check_constraints(e, scope, env));
+
+    // 4. Substitute bound parameter references in attributes.
+    XPDL_RETURN_IF_ERROR(substitute_attributes(e, env));
+
+    // 5. Recurse. The container scoping of Sec. III-B means children see
+    //    this element's parameter environment.
+    for (const auto& child : e.children()) {
+      XPDL_RETURN_IF_ERROR(elaborate(*child, env, depth + 1));
+    }
+
+    // 6. Expand homogeneous groups among the children (after their own
+    //    elaboration so nested groups are already expanded).
+    for (const auto& child : e.children()) {
+      if (child->tag() == "group" &&
+          child->attribute_or("expanded", "") != "true") {
+        XPDL_RETURN_IF_ERROR(expand_group(*child));
+      }
+    }
+    return Status::ok();
+  }
+
+  // --- static analysis (implemented in analysis.cpp) ---------------------
+  Status analyze(ComposedModel& model) {
+    return run_static_analyses(model, warnings_);
+  }
+
+  repository::Repository& repo_;
+  const Options& options_;
+  std::vector<std::string> warnings_;
+  std::vector<std::string> type_stack_;
+};
+
+// ===========================================================================
+
+Composer::Composer(repository::Repository& repo, Options options)
+    : repo_(repo), options_(options) {}
+
+Result<ComposedModel> Composer::compose(std::string_view ref) {
+  XPDL_ASSIGN_OR_RETURN(const xml::Element* root, repo_.lookup(ref));
+  return compose(*root);
+}
+
+Result<ComposedModel> Composer::compose(const xml::Element& root) {
+  Impl impl(repo_, options_);
+  return impl.run(root);
+}
+
+// ===========================================================================
+// Configuration enumeration
+
+Result<std::vector<Configuration>> enumerate_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const Options& options) {
+  // Flatten inheritance if possible so inherited params/constraints count.
+  std::unique_ptr<xml::Element> flattened;
+  const xml::Element* source = &meta;
+  if (repo != nullptr && meta.has_attribute("extends")) {
+    Composer composer(*repo, [&] {
+      Options o = options;
+      o.require_bound_params = false;
+      o.run_static_analysis = false;
+      return o;
+    }());
+    XPDL_ASSIGN_OR_RETURN(ComposedModel composed, composer.compose(meta));
+    // Steal the elaborated tree.
+    flattened = composed.root().clone();
+    source = flattened.get();
+  }
+
+  XPDL_ASSIGN_OR_RETURN(ParamScope scope, model::parse_param_scope(*source));
+  std::vector<const Param*> open;
+  std::map<std::string, double, std::less<>> fixed;
+  for (const Param& p : scope.params) {
+    if (p.is_bound()) {
+      fixed.emplace(p.name, *p.value_si);
+    } else if (p.configurable && !p.range_si.empty()) {
+      open.push_back(&p);
+    }
+  }
+
+  std::vector<Configuration> result;
+  std::vector<std::size_t> idx(open.size(), 0);
+  std::size_t tried = 0;
+  if (open.empty()) {
+    // Zero open parameters: the single (possibly empty) configuration is
+    // valid iff all fully bound constraints hold — checked below once.
+  }
+  while (true) {
+    if (++tried > options.max_configurations) {
+      return Status(ErrorCode::kConstraintViolation,
+                    "configuration space exceeds the enumeration limit");
+    }
+    auto resolver = [&](std::string_view name) -> Result<double> {
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        if (open[i]->name == name) return open[i]->range_si[idx[i]];
+      }
+      if (auto it = fixed.find(name); it != fixed.end()) return it->second;
+      return Status(ErrorCode::kUnresolvedRef,
+                    "parameter '" + std::string(name) + "' is not bound");
+    };
+    bool ok = true;
+    for (const model::Constraint& c : scope.constraints) {
+      auto holds = c.expression.evaluate_bool(resolver);
+      if (!holds.is_ok() || !holds.value()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      Configuration conf;
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        conf.values_si.emplace(open[i]->name, open[i]->range_si[idx[i]]);
+      }
+      result.push_back(std::move(conf));
+    }
+    if (open.empty()) break;
+    std::size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < open[k]->range_si.size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) break;
+  }
+  return result;
+}
+
+}  // namespace xpdl::compose

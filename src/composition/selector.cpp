@@ -1,0 +1,155 @@
+#include "xpdl/composition/selector.h"
+
+#include <limits>
+
+#include "xpdl/query/query.h"
+
+namespace xpdl::composition {
+
+Status Selector::add(VariantInfo variant) {
+  for (const VariantInfo& v : variants_) {
+    if (v.name == variant.name) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "variant '" + variant.name + "' already registered");
+    }
+  }
+  variants_.push_back(std::move(variant));
+  return Status::ok();
+}
+
+expr::VariableResolver Selector::resolver(const CallContext& ctx) const {
+  // Capture by value where cheap; the platform reference outlives calls.
+  const runtime::Model* model = &platform_;
+  // Copy the context map: the resolver may outlive the CallContext in
+  // caller code (it is only a map of doubles).
+  auto values = ctx.values;
+  return [model, values = std::move(values)](
+             std::string_view name) -> Result<double> {
+    if (auto it = values.find(name); it != values.end()) return it->second;
+    if (name == "num_cores") {
+      return static_cast<double>(model->count_cores());
+    }
+    if (name == "num_host_cores") {
+      return static_cast<double>(model->count_host_cores());
+    }
+    if (name == "num_devices") {
+      return static_cast<double>(model->count_devices());
+    }
+    if (name == "num_cuda_devices") {
+      return static_cast<double>(model->count_cuda_devices());
+    }
+    if (name == "total_static_power_w") {
+      return model->total_static_power_w();
+    }
+    return Status(ErrorCode::kUnresolvedRef,
+                  "selection variable '" + std::string(name) +
+                      "' is neither a context value nor a platform "
+                      "introspection variable");
+  };
+}
+
+std::vector<std::string> Selector::admissible(const CallContext& ctx) const {
+  std::vector<std::string> out;
+  expr::VariableResolver vars = resolver(ctx);
+  for (const VariantInfo& v : variants_) {
+    bool software_ok = true;
+    for (const std::string& req : v.required_installed) {
+      if (!platform_.has_installed(req)) {
+        software_ok = false;
+        break;
+      }
+    }
+    if (!software_ok) continue;
+    bool structure_ok = true;
+    for (const std::string& q : v.required_queries) {
+      auto found = query::exists(platform_, q);
+      if (!found.is_ok() || !found.value()) {
+        structure_ok = false;
+        break;
+      }
+    }
+    if (!structure_ok) continue;
+    if (v.guard.has_value()) {
+      auto holds = v.guard->evaluate_bool(vars);
+      if (!holds.is_ok() || !holds.value()) continue;
+    }
+    out.push_back(v.name);
+  }
+  return out;
+}
+
+Result<SelectionReport> Selector::select(const CallContext& ctx) const {
+  if (variants_.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "selector has no registered variants");
+  }
+  SelectionReport report;
+  expr::VariableResolver vars = resolver(ctx);
+
+  const VariantInfo* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const VariantInfo* first_admissible_without_cost = nullptr;
+
+  for (const VariantInfo& v : variants_) {
+    std::string rejection;
+    for (const std::string& req : v.required_installed) {
+      if (!platform_.has_installed(req)) {
+        rejection = "missing installed software '" + req + "'";
+        break;
+      }
+    }
+    if (rejection.empty()) {
+      for (const std::string& q : v.required_queries) {
+        auto found = query::exists(platform_, q);
+        if (!found.is_ok()) {
+          rejection = "requirement query error: " +
+                      found.status().message();
+          break;
+        }
+        if (!found.value()) {
+          rejection = "platform requirement '" + q + "' not met";
+          break;
+        }
+      }
+    }
+    if (rejection.empty() && v.guard.has_value()) {
+      auto holds = v.guard->evaluate_bool(vars);
+      if (!holds.is_ok()) {
+        rejection = "guard error: " + holds.status().message();
+      } else if (!holds.value()) {
+        rejection = "guard '" + v.guard->source() + "' is false";
+      }
+    }
+    if (!rejection.empty()) {
+      report.rejected.emplace_back(v.name, std::move(rejection));
+      continue;
+    }
+    if (!v.predicted_cost) {
+      if (first_admissible_without_cost == nullptr) {
+        first_admissible_without_cost = &v;
+      }
+      continue;
+    }
+    XPDL_ASSIGN_OR_RETURN(double cost, v.predicted_cost(vars));
+    report.considered.emplace_back(v.name, cost);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &v;
+    }
+  }
+
+  if (best == nullptr && first_admissible_without_cost != nullptr) {
+    report.selected = first_admissible_without_cost->name;
+    report.predicted_cost_s = 0.0;
+    return report;
+  }
+  if (best == nullptr) {
+    return Status(ErrorCode::kConstraintViolation,
+                  "no admissible variant for this call on this platform");
+  }
+  report.selected = best->name;
+  report.predicted_cost_s = best_cost;
+  return report;
+}
+
+}  // namespace xpdl::composition

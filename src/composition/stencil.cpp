@@ -1,0 +1,293 @@
+#include "xpdl/composition/stencil.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "xpdl/model/power.h"
+
+namespace xpdl::composition {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One Jacobi sweep source -> dest over the interior.
+void sweep(const Grid& src, Grid& dst, std::size_t r0, std::size_t r1) {
+  for (std::size_t r = std::max<std::size_t>(r0, 1);
+       r < std::min(r1, src.rows - 1); ++r) {
+    for (std::size_t c = 1; c < src.cols - 1; ++c) {
+      dst.cells[r * src.cols + c] =
+          0.25 * (src.at(r - 1, c) + src.at(r + 1, c) + src.at(r, c - 1) +
+                  src.at(r, c + 1));
+    }
+  }
+}
+
+/// Finds the first power state machine in the platform model, if any.
+std::optional<model::PowerStateMachine> find_psm(
+    const runtime::Model& platform) {
+  // Rebuild the FSM from the runtime nodes.
+  for (const runtime::Node& n : platform.find_all("power_state_machine")) {
+    model::PowerStateMachine fsm;
+    fsm.name = std::string(n.attribute_or("name", ""));
+    fsm.power_domain = std::string(n.attribute_or("power_domain", ""));
+    if (auto states = n.first("power_states")) {
+      for (const runtime::Node& s : states->children("power_state")) {
+        model::PowerState ps;
+        ps.name = std::string(s.attribute_or("name", ""));
+        if (auto f = s.quantity("frequency"); f.is_ok()) {
+          ps.frequency_hz = f->si();
+        }
+        if (auto p = s.quantity("power"); p.is_ok()) ps.power_w = p->si();
+        fsm.states.push_back(std::move(ps));
+      }
+    }
+    if (auto transitions = n.first("transitions")) {
+      for (const runtime::Node& t : transitions->children("transition")) {
+        model::PowerTransition tr;
+        tr.from = std::string(t.attribute_or("head", ""));
+        tr.to = std::string(t.attribute_or("tail", ""));
+        if (auto q = t.quantity("time"); q.is_ok()) tr.time_s = q->si();
+        if (auto q = t.quantity("energy"); q.is_ok()) tr.energy_j = q->si();
+        fsm.transitions.push_back(std::move(tr));
+      }
+    }
+    if (fsm.validate().is_ok() && !fsm.states.empty()) return fsm;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ===========================================================================
+// Grid + kernels
+
+Grid Grid::random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Grid g;
+  g.rows = rows;
+  g.cols = cols;
+  g.cells.resize(rows * cols);
+  std::uint64_t state = seed ? seed : 1;
+  for (double& v : g.cells) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    v = static_cast<double>(state % 1000) / 1000.0;
+  }
+  return g;
+}
+
+void jacobi_naive(Grid& g, int sweeps) {
+  Grid other = g;
+  Grid* src = &g;
+  Grid* dst = &other;
+  for (int s = 0; s < sweeps; ++s) {
+    sweep(*src, *dst, 0, src->rows);
+    std::swap(src, dst);
+  }
+  if (src != &g) g = *src;
+}
+
+void jacobi_blocked(Grid& g, int sweeps, std::size_t block) {
+  Grid other = g;
+  Grid* src = &g;
+  Grid* dst = &other;
+  block = std::max<std::size_t>(block, 8);
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t r0 = 1; r0 < src->rows - 1; r0 += block) {
+      std::size_t r1 = std::min(r0 + block, src->rows - 1);
+      for (std::size_t c0 = 1; c0 < src->cols - 1; c0 += block) {
+        std::size_t c1 = std::min(c0 + block, src->cols - 1);
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            dst->cells[r * src->cols + c] =
+                0.25 * (src->at(r - 1, c) + src->at(r + 1, c) +
+                        src->at(r, c - 1) + src->at(r, c + 1));
+          }
+        }
+      }
+    }
+    std::swap(src, dst);
+  }
+  if (src != &g) g = *src;
+}
+
+void jacobi_parallel(Grid& g, int sweeps, unsigned threads) {
+  if (threads <= 1 || g.rows < threads * 4) {
+    jacobi_naive(g, sweeps);
+    return;
+  }
+  Grid other = g;
+  Grid* src = &g;
+  Grid* dst = &other;
+  std::size_t chunk = (g.rows + threads - 1) / threads;
+  for (int s = 0; s < sweeps; ++s) {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      std::size_t r0 = t * chunk;
+      std::size_t r1 = std::min(g.rows, r0 + chunk);
+      if (r0 >= r1) break;
+      pool.emplace_back([&, r0, r1] { sweep(*src, *dst, r0, r1); });
+    }
+    for (std::thread& th : pool) th.join();
+    std::swap(src, dst);
+  }
+  if (src != &g) g = *src;
+}
+
+// ===========================================================================
+// Component
+
+Result<StencilComponent> StencilComponent::create(
+    const runtime::Model& platform) {
+  StencilComponent comp(platform);
+  // Calibrate the per-cell cost with a short probe.
+  Grid probe = Grid::random(128, 128, 3);
+  jacobi_naive(probe, 2);  // warm-up
+  double t0 = now_seconds();
+  constexpr int kReps = 10;
+  jacobi_naive(probe, kReps);
+  double elapsed = now_seconds() - t0;
+  comp.cost_per_cell_s_ =
+      elapsed / (kReps * 126.0 * 126.0);
+  XPDL_RETURN_IF_ERROR(comp.register_variants());
+  return comp;
+}
+
+double StencilComponent::work_cycles(const Grid& g, int sweeps) {
+  double interior = static_cast<double>(g.rows > 2 ? g.rows - 2 : 0) *
+                    static_cast<double>(g.cols > 2 ? g.cols - 2 : 0);
+  return interior * 5.0 * sweeps;  // 3 adds + 1 mul + 1 store per cell
+}
+
+CallContext StencilComponent::context_for(const Grid& g, int sweeps) const {
+  CallContext ctx;
+  ctx.values["rows"] = static_cast<double>(g.rows);
+  ctx.values["cols"] = static_cast<double>(g.cols);
+  ctx.values["cells"] = static_cast<double>(g.rows * g.cols);
+  ctx.values["sweeps"] = sweeps;
+  return ctx;
+}
+
+std::vector<std::string> StencilComponent::variant_names() {
+  return {"jacobi_naive", "jacobi_blocked", "jacobi_parallel"};
+}
+
+Status StencilComponent::register_variants() {
+  const double cell_c = cost_per_cell_s_;
+  const double host_cores = static_cast<double>(
+      std::max<std::size_t>(platform_.count_host_cores(), 1));
+
+  XPDL_RETURN_IF_ERROR(selector_.add(VariantInfo{
+      .name = "jacobi_naive",
+      .predicted_cost =
+          [cell_c](const expr::VariableResolver& vars) -> Result<double> {
+        XPDL_ASSIGN_OR_RETURN(double cells, vars("cells"));
+        XPDL_ASSIGN_OR_RETURN(double sweeps, vars("sweeps"));
+        return cell_c * cells * sweeps;
+      }}));
+
+  // Blocked variant: profitable when the working set spills the last
+  // level cache; requires the platform to *have* a large shared cache
+  // (structural requirement in the query language).
+  XPDL_RETURN_IF_ERROR(selector_.add(VariantInfo{
+      .name = "jacobi_blocked",
+      .required_queries = {"//cache[@size>=4MiB]"},
+      .predicted_cost =
+          [cell_c](const expr::VariableResolver& vars) -> Result<double> {
+        XPDL_ASSIGN_OR_RETURN(double cells, vars("cells"));
+        XPDL_ASSIGN_OR_RETURN(double sweeps, vars("sweeps"));
+        // Blocking pays a small loop overhead but saves on big grids
+        // (modeled as 15% improvement beyond 4M cells).
+        double factor = cells > 4e6 ? 0.85 : 1.08;
+        return cell_c * cells * sweeps * factor;
+      }}));
+
+  {
+    XPDL_ASSIGN_OR_RETURN(auto guard,
+                          expr::Expression::parse("num_host_cores > 1"));
+    XPDL_RETURN_IF_ERROR(selector_.add(VariantInfo{
+        .name = "jacobi_parallel",
+        .guard = std::move(guard),
+        .predicted_cost =
+            [cell_c, host_cores](
+                const expr::VariableResolver& vars) -> Result<double> {
+          XPDL_ASSIGN_OR_RETURN(double cells, vars("cells"));
+          XPDL_ASSIGN_OR_RETURN(double sweeps, vars("sweeps"));
+          return cell_c * cells * sweeps / host_cores +
+                 sweeps * host_cores * 4e-5;  // per-sweep join barrier
+        }}));
+  }
+  return Status::ok();
+}
+
+Result<SelectionReport> StencilComponent::select(const Grid& input,
+                                                 int sweeps) const {
+  return selector_.select(context_for(input, sweeps));
+}
+
+Result<StencilResult> StencilComponent::run_variant(std::string_view variant,
+                                                    const Grid& input,
+                                                    int sweeps) {
+  if (input.rows < 3 || input.cols < 3) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "stencil grids need at least 3x3 cells");
+  }
+  if (sweeps < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative sweep count");
+  }
+  StencilResult result;
+  result.variant = std::string(variant);
+  result.grid = input;
+  double t0 = now_seconds();
+  if (variant == "jacobi_naive") {
+    jacobi_naive(result.grid, sweeps);
+  } else if (variant == "jacobi_blocked") {
+    jacobi_blocked(result.grid, sweeps, 64);
+  } else if (variant == "jacobi_parallel") {
+    jacobi_parallel(result.grid, sweeps,
+                    static_cast<unsigned>(std::max<std::size_t>(
+                        platform_.count_host_cores(), 1)));
+  } else {
+    return Status(ErrorCode::kNotFound,
+                  "unknown stencil variant '" + std::string(variant) + "'");
+  }
+  result.seconds = now_seconds() - t0;
+  return result;
+}
+
+Result<StencilResult> StencilComponent::run_tuned(const Grid& input,
+                                                  int sweeps,
+                                                  double deadline_s) {
+  XPDL_ASSIGN_OR_RETURN(SelectionReport report,
+                        select(input, sweeps));
+  XPDL_ASSIGN_OR_RETURN(StencilResult result,
+                        run_variant(report.selected, input, sweeps));
+
+  // System-setting recommendation: the energy-minimal DVFS state for
+  // this call's work under the deadline, from the platform's PSM.
+  if (auto fsm = find_psm(platform_); fsm.has_value()) {
+    energy::DvfsPlanner planner(*fsm);
+    energy::Workload w;
+    w.cycles = work_cycles(input, sweeps);
+    w.deadline_s = deadline_s;
+    // Idle power: the lowest-power state of the machine.
+    w.idle_power_w = fsm->states.front().power_w;
+    for (const model::PowerState& s : fsm->states) {
+      w.idle_power_w = std::min(w.idle_power_w, s.power_w);
+    }
+    auto best = planner.best_single_state(w);
+    if (best.is_ok() && !best->legs.empty()) {
+      result.recommended_state = best->legs.front().state;
+      result.predicted_energy_j = best->energy_j;
+    }
+  }
+  return result;
+}
+
+}  // namespace xpdl::composition

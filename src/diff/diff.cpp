@@ -1,0 +1,191 @@
+#include "xpdl/diff/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/model/ir.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+
+namespace xpdl::diff {
+namespace {
+
+bool is_composer_attribute(std::string_view name) noexcept {
+  return name == "expanded" || name == "resolved" ||
+         name == compose::kEffectiveBandwidthAttr ||
+         name == std::string(compose::kEffectiveBandwidthAttr) + "_unit" ||
+         name == compose::kStaticPowerTotalAttr ||
+         name == std::string(compose::kStaticPowerTotalAttr) + "_unit";
+}
+
+/// SI-normalized comparison of one attribute value pair on two elements.
+bool values_equal(const xml::Element& le, const xml::Element& re,
+                  std::string_view attr, std::string_view lv,
+                  std::string_view rv, const Options& options) {
+  if (lv == rv) return true;
+  if (!options.unit_aware) return false;
+  // Attempt unit-aware numeric comparison for metric attributes.
+  if (model::is_structural_attribute(attr)) return false;
+  auto lm = model::metric_of(le, attr);
+  auto rm = model::metric_of(re, attr);
+  if (!lm.is_ok() || !rm.is_ok() || !lm->has_value() || !rm->has_value()) {
+    return false;
+  }
+  if (!(*lm)->is_number() || !(*rm)->is_number()) return false;
+  double a = (*lm)->value_si;
+  double b = (*rm)->value_si;
+  return std::fabs(a - b) <= 1e-12 * std::max({1.0, std::fabs(a),
+                                               std::fabs(b)});
+}
+
+/// Alignment key of a child: tag plus id/name (ordinal fallback keyed by
+/// per-tag occurrence index for anonymous children).
+std::string child_key(const xml::Element& e, std::size_t anon_ordinal) {
+  std::string ident(e.attribute_or("id", e.attribute_or("name", "")));
+  if (ident.empty()) {
+    return e.tag() + "#" + std::to_string(anon_ordinal);
+  }
+  return e.tag() + ":" + ident;
+}
+
+std::string path_segment(const xml::Element& e, std::size_t anon_ordinal) {
+  std::string ident(e.attribute_or("id", e.attribute_or("name", "")));
+  if (ident.empty()) {
+    return e.tag() + "[" + std::to_string(anon_ordinal) + "]";
+  }
+  return ident;
+}
+
+class Differ {
+ public:
+  Differ(const Options& options, std::vector<Change>& out)
+      : options_(options), out_(out) {}
+
+  void run(const xml::Element& left, const xml::Element& right,
+           const std::string& path) {
+    compare_attributes(left, right, path);
+
+    // Align children by key.
+    std::map<std::string, const xml::Element*> lmap, rmap;
+    std::vector<std::string> order;  // left order first, then right-only
+    index_children(left, lmap, &order);
+    index_children(right, rmap, nullptr);
+    for (const auto& [key, re] : rmap) {
+      if (lmap.find(key) == lmap.end()) order.push_back(key);
+    }
+    std::map<std::string, std::size_t> seg_ordinal;
+    for (const std::string& key : order) {
+      auto li = lmap.find(key);
+      auto ri = rmap.find(key);
+      const xml::Element* any =
+          li != lmap.end() ? li->second : ri->second;
+      std::size_t ordinal = seg_ordinal[any->tag()]++;
+      std::string child_path =
+          path + "." + path_segment(*any, ordinal);
+      if (li == lmap.end()) {
+        out_.push_back({ChangeKind::kElementAdded, child_path, "", "",
+                        "<" + any->tag() + ">"});
+        continue;
+      }
+      if (ri == rmap.end()) {
+        out_.push_back({ChangeKind::kElementRemoved, child_path, "",
+                        "<" + any->tag() + ">", ""});
+        continue;
+      }
+      run(*li->second, *ri->second, child_path);
+    }
+  }
+
+ private:
+  void index_children(const xml::Element& e,
+                      std::map<std::string, const xml::Element*>& map,
+                      std::vector<std::string>* order) {
+    std::map<std::string, std::size_t> anon;
+    for (const auto& c : e.children()) {
+      std::string key = child_key(*c, anon[c->tag()]);
+      if (!c->has_attribute("id") && !c->has_attribute("name")) {
+        ++anon[c->tag()];
+      }
+      if (map.emplace(key, c.get()).second && order != nullptr) {
+        order->push_back(key);
+      }
+    }
+  }
+
+  void compare_attributes(const xml::Element& left,
+                          const xml::Element& right,
+                          const std::string& path) {
+    auto skip = [&](std::string_view name) {
+      return options_.ignore_composer_attributes &&
+             is_composer_attribute(name);
+    };
+    for (const xml::Attribute& a : left.attributes()) {
+      if (skip(a.name)) continue;
+      auto rv = right.attribute(a.name);
+      if (!rv.has_value()) {
+        out_.push_back({ChangeKind::kAttributeRemoved, path, a.name,
+                        a.value, ""});
+      } else if (!values_equal(left, right, a.name, a.value, *rv,
+                               options_)) {
+        out_.push_back({ChangeKind::kAttributeChanged, path, a.name,
+                        a.value, std::string(*rv)});
+      }
+    }
+    for (const xml::Attribute& a : right.attributes()) {
+      if (skip(a.name)) continue;
+      if (!left.has_attribute(a.name)) {
+        out_.push_back(
+            {ChangeKind::kAttributeAdded, path, a.name, "", a.value});
+      }
+    }
+  }
+
+  const Options& options_;
+  std::vector<Change>& out_;
+};
+
+}  // namespace
+
+std::string_view to_string(ChangeKind k) noexcept {
+  switch (k) {
+    case ChangeKind::kElementAdded: return "element-added";
+    case ChangeKind::kElementRemoved: return "element-removed";
+    case ChangeKind::kAttributeAdded: return "attribute-added";
+    case ChangeKind::kAttributeRemoved: return "attribute-removed";
+    case ChangeKind::kAttributeChanged: return "attribute-changed";
+  }
+  return "unknown";
+}
+
+std::string Change::to_string() const {
+  std::string out(diff::to_string(kind));
+  out += "  " + path;
+  if (!attribute.empty()) out += " @" + attribute;
+  if (!left.empty() || !right.empty()) {
+    out += "  '" + left + "' -> '" + right + "'";
+  }
+  return out;
+}
+
+std::vector<Change> diff(const xml::Element& left, const xml::Element& right,
+                         const Options& options) {
+  std::vector<Change> out;
+  std::string root_path(left.attribute_or(
+      "id", left.attribute_or("name", left.tag())));
+  Differ differ(options, out);
+  differ.run(left, right, root_path);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.path < b.path;
+                   });
+  return out;
+}
+
+bool equivalent(const xml::Element& left, const xml::Element& right,
+                const Options& options) {
+  return diff(left, right, options).empty();
+}
+
+}  // namespace xpdl::diff

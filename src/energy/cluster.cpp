@@ -1,0 +1,192 @@
+#include "xpdl/energy/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::energy {
+namespace {
+
+/// Sums cores x frequency over the host (non-accelerator) subtree of a
+/// node element; 2 flops/cycle (FMA).
+double node_flops(const xml::Element& node) {
+  double flops = 0.0;
+  std::vector<const xml::Element*> stack = {&node};
+  while (!stack.empty()) {
+    const xml::Element* e = stack.back();
+    stack.pop_back();
+    if (e->tag() == "device" || e->tag() == "gpu" ||
+        e->tag() == "power_domain" || e->tag() == "power_model") {
+      continue;  // host compute only
+    }
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "core") continue;
+    auto freq = model::metric_of(*e, "frequency");
+    if (freq.is_ok() && freq->has_value() && (*freq)->is_number()) {
+      flops += (*freq)->value_si * 2.0;
+    }
+  }
+  return flops;
+}
+
+}  // namespace
+
+Result<ClusterEstimator> ClusterEstimator::create(
+    const compose::ComposedModel& cluster, double active_watts_per_gflops) {
+  ClusterEstimator est;
+
+  // Nodes: every <node> with an id in the composed tree.
+  std::vector<const xml::Element*> stack = {&cluster.root()};
+  const xml::Element* cluster_elem = nullptr;
+  while (!stack.empty()) {
+    const xml::Element* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() == "cluster" && cluster_elem == nullptr) cluster_elem = e;
+    if (e->tag() != "node") continue;
+    NodeCapability cap;
+    cap.id = std::string(e->attribute_or("id", ""));
+    if (cap.id.empty()) continue;
+    cap.flops = node_flops(*e);
+    XPDL_ASSIGN_OR_RETURN(cap.static_power_w, static_power_of(*e));
+    cap.active_power_w =
+        cap.flops / 1e9 * active_watts_per_gflops;  // dynamic share
+    est.nodes_.push_back(std::move(cap));
+  }
+  if (est.nodes_.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "the composed model contains no <node> elements with ids; "
+                  "not a cluster model");
+  }
+  std::sort(est.nodes_.begin(), est.nodes_.end(),
+            [](const NodeCapability& a, const NodeCapability& b) {
+              return a.id < b.id;
+            });
+
+  // Inter-node link: the first interconnect under the cluster element
+  // (Listing 11's InfiniBand ring); its channel carries the cost model.
+  est.link_ = ChannelCost{};
+  if (cluster_elem != nullptr) {
+    for (const auto& c : cluster_elem->children()) {
+      if (c->tag() != "interconnects") continue;
+      for (const auto& ic : c->children()) {
+        if (ic->tag() != "interconnect") continue;
+        const xml::Element* channel = ic->first_child("channel");
+        const xml::Element* source = channel != nullptr ? channel : ic.get();
+        XPDL_ASSIGN_OR_RETURN(est.link_, channel_cost(*source));
+        break;
+      }
+      break;
+    }
+  }
+  if (est.link_.bandwidth_bps <= 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "no cluster-level interconnect with a bandwidth found");
+  }
+  return est;
+}
+
+Result<ClusterEstimate> ClusterEstimator::estimate(
+    const std::vector<ClusterTask>& tasks, const Placement& placement) const {
+  ClusterEstimate out;
+  auto find_node = [&](std::string_view id) -> const NodeCapability* {
+    for (const NodeCapability& n : nodes_) {
+      if (n.id == id) return &n;
+    }
+    return nullptr;
+  };
+  std::map<std::string, const ClusterTask*, std::less<>> by_name;
+  for (const ClusterTask& t : tasks) {
+    if (!by_name.emplace(t.name, &t).second) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "duplicate task name '" + t.name + "'");
+    }
+  }
+
+  for (const ClusterTask& t : tasks) {
+    auto placed = placement.find(t.name);
+    if (placed == placement.end()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "task '" + t.name + "' has no placement");
+    }
+    const NodeCapability* node = find_node(placed->second);
+    if (node == nullptr) {
+      return Status(ErrorCode::kNotFound,
+                    "placement of '" + t.name + "' names unknown node '" +
+                        placed->second + "'");
+    }
+    if (node->flops <= 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "node '" + node->id + "' has no compute capability");
+    }
+    double compute_t = t.flops / node->flops;
+    out.node_busy_s[node->id] += compute_t;
+    out.compute_energy_j += compute_t * node->active_power_w;
+
+    for (const auto& [producer, bytes] : t.inputs) {
+      auto it = by_name.find(producer);
+      if (it == by_name.end()) {
+        return Status(ErrorCode::kUnresolvedRef,
+                      "task '" + t.name + "' consumes unknown task '" +
+                          producer + "'");
+      }
+      auto producer_placed = placement.find(producer);
+      if (producer_placed == placement.end()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "task '" + producer + "' has no placement");
+      }
+      if (producer_placed->second == placed->second) continue;  // local
+      double comm_t = link_.transfer_time_s(bytes);
+      // The receiving node is busy for the transfer (first-order model).
+      out.node_busy_s[node->id] += comm_t;
+      out.comm_energy_j += link_.transfer_energy_j(bytes);
+    }
+  }
+
+  for (const auto& [id, busy] : out.node_busy_s) {
+    out.makespan_s = std::max(out.makespan_s, busy);
+  }
+  // All nodes draw static power for the whole makespan (nothing powers
+  // down in this first-order model).
+  double static_w = 0.0;
+  for (const NodeCapability& n : nodes_) static_w += n.static_power_w;
+  out.static_energy_j = static_w * out.makespan_s;
+  return out;
+}
+
+Result<std::pair<Placement, ClusterEstimate>> ClusterEstimator::greedy_map(
+    const std::vector<ClusterTask>& tasks, Objective objective) const {
+  Placement placement;
+  std::vector<ClusterTask> placed_so_far;
+  placed_so_far.reserve(tasks.size());
+  for (const ClusterTask& t : tasks) {
+    placed_so_far.push_back(t);
+    const NodeCapability* best_node = nullptr;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const NodeCapability& n : nodes_) {
+      if (n.flops <= 0) continue;
+      placement[t.name] = n.id;
+      auto est = estimate(placed_so_far, placement);
+      if (!est.is_ok()) return est.status();
+      double score = objective == Objective::kMakespan
+                         ? est->makespan_s
+                         : est->total_energy_j();
+      if (score < best_score) {
+        best_score = score;
+        best_node = &n;
+      }
+    }
+    if (best_node == nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "no node can run task '" + t.name + "'");
+    }
+    placement[t.name] = best_node->id;
+  }
+  XPDL_ASSIGN_OR_RETURN(ClusterEstimate final_estimate,
+                        estimate(tasks, placement));
+  return std::make_pair(std::move(placement), std::move(final_estimate));
+}
+
+}  // namespace xpdl::energy

@@ -1,0 +1,349 @@
+#include "xpdl/energy/energy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::energy {
+
+// ===========================================================================
+// DvfsPlanner
+
+DvfsPlanner::DvfsPlanner(const model::PowerStateMachine& fsm) : fsm_(fsm) {
+  assert(fsm.validate().is_ok() && "planner requires a valid state machine");
+}
+
+std::vector<const model::PowerState*> DvfsPlanner::states_by_frequency()
+    const {
+  std::vector<const model::PowerState*> out;
+  out.reserve(fsm_.states.size());
+  for (const model::PowerState& s : fsm_.states) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const model::PowerState* a, const model::PowerState* b) {
+              return a->frequency_hz > b->frequency_hz;
+            });
+  return out;
+}
+
+Result<Schedule> DvfsPlanner::single_state(std::string_view state,
+                                           const Workload& w) const {
+  const model::PowerState* s = fsm_.find_state(state);
+  if (s == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "unknown power state '" + std::string(state) + "' in '" +
+                      fsm_.name + "'");
+  }
+  if (s->frequency_hz <= 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "state '" + std::string(state) +
+                      "' has zero frequency; cannot execute work in it");
+  }
+  Schedule sched;
+  double run_t = w.cycles / s->frequency_hz;
+  sched.legs.push_back(ScheduleLeg{s->name, run_t, w.cycles});
+  sched.time_s = run_t;
+  sched.energy_j = run_t * s->power_w;
+  sched.feasible = w.deadline_s <= 0 || run_t <= w.deadline_s;
+  // Race-to-idle accounting: if a deadline is given and we finish early,
+  // the domain idles at idle_power until the deadline.
+  if (w.deadline_s > 0 && run_t < w.deadline_s) {
+    double idle_t = w.deadline_s - run_t;
+    sched.legs.push_back(ScheduleLeg{"<idle>", idle_t, 0.0});
+    sched.energy_j += idle_t * w.idle_power_w;
+    sched.time_s = w.deadline_s;
+  }
+  return sched;
+}
+
+Result<Schedule> DvfsPlanner::best_single_state(const Workload& w) const {
+  Schedule best;
+  best.feasible = false;
+  best.energy_j = std::numeric_limits<double>::infinity();
+  for (const model::PowerState& s : fsm_.states) {
+    if (s.frequency_hz <= 0) continue;
+    XPDL_ASSIGN_OR_RETURN(Schedule cand, single_state(s.name, w));
+    if (cand.feasible && cand.energy_j < best.energy_j) best = cand;
+  }
+  if (!best.feasible) {
+    return Status(ErrorCode::kConstraintViolation,
+                  "no state of '" + fsm_.name +
+                      "' meets the deadline for this workload");
+  }
+  return best;
+}
+
+Result<Schedule> DvfsPlanner::best_two_state(const Workload& w,
+                                             std::string_view from_state)
+    const {
+  if (fsm_.find_state(from_state) == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "unknown initial state '" + std::string(from_state) + "'");
+  }
+  // Candidate schedules: every ordered pair (A, B) of distinct runnable
+  // states with a modeled A->B transition, splitting the work so the
+  // deadline is met exactly (or as fast as possible), plus every single
+  // state. The continuous split admits a closed form: with deadline T and
+  // frequencies fa > fb, time in A is
+  //   ta = (W - fb*(T - tx)) / (fa - fb),  clamped to [0, T - tx],
+  // which uses the slow state as much as the deadline allows (slow states
+  // draw less power under convex P(f)).
+  Schedule best;
+  best.feasible = false;
+  best.energy_j = std::numeric_limits<double>::infinity();
+
+  if (auto single = best_single_state(w); single.is_ok()) {
+    best = std::move(single).value();
+  }
+
+  for (const model::PowerState& a : fsm_.states) {
+    if (a.frequency_hz <= 0) continue;
+    for (const model::PowerState& b : fsm_.states) {
+      if (&a == &b || b.frequency_hz <= 0) continue;
+      const model::PowerTransition* tr = fsm_.find_transition(a.name, b.name);
+      if (tr == nullptr) continue;  // not programmer-initiable
+      double fa = a.frequency_hz, fb = b.frequency_hz;
+      if (fa == fb) continue;
+      double T = w.deadline_s;
+      if (T <= 0) T = w.cycles / std::min(fa, fb);  // unconstrained: any
+      double avail = T - tr->time_s;
+      if (avail <= 0) continue;
+      // Work-conservation: ta*fa + tb*fb = W with ta + tb <= avail.
+      double ta = (w.cycles - fb * avail) / (fa - fb);
+      ta = std::clamp(ta, 0.0, avail);
+      double remaining = w.cycles - ta * fa;
+      double tb = remaining > 0 ? remaining / fb : 0.0;
+      if (ta + tb > avail + 1e-12) continue;  // infeasible pair
+      Schedule cand;
+      cand.legs.push_back(ScheduleLeg{a.name, ta, ta * fa});
+      cand.legs.push_back(ScheduleLeg{b.name, tb, tb * fb});
+      cand.time_s = ta + tr->time_s + tb;
+      cand.energy_j = ta * a.power_w + tr->energy_j + tb * b.power_w;
+      cand.feasible = w.deadline_s <= 0 || cand.time_s <= w.deadline_s + 1e-12;
+      if (w.deadline_s > 0 && cand.time_s < w.deadline_s) {
+        double idle_t = w.deadline_s - cand.time_s;
+        cand.legs.push_back(ScheduleLeg{"<idle>", idle_t, 0.0});
+        cand.energy_j += idle_t * w.idle_power_w;
+        cand.time_s = w.deadline_s;
+      }
+      if (cand.feasible && cand.energy_j < best.energy_j) {
+        best = std::move(cand);
+      }
+    }
+  }
+  if (!best.feasible) {
+    return Status(ErrorCode::kConstraintViolation,
+                  "no feasible schedule under the deadline");
+  }
+  return best;
+}
+
+Result<double> DvfsPlanner::schedule_energy(
+    const std::vector<ScheduleLeg>& legs,
+    std::string_view initial_state) const {
+  double energy = 0.0;
+  std::string current(initial_state);
+  for (const ScheduleLeg& leg : legs) {
+    const model::PowerState* s = fsm_.find_state(leg.state);
+    if (s == nullptr) {
+      return Status(ErrorCode::kNotFound,
+                    "schedule uses unknown state '" + leg.state + "'");
+    }
+    if (leg.state != current) {
+      const model::PowerTransition* tr =
+          fsm_.find_transition(current, leg.state);
+      if (tr == nullptr) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "no modeled transition " + current + " -> " +
+                          leg.state + " in '" + fsm_.name + "'");
+      }
+      energy += tr->energy_j;
+      current = leg.state;
+    }
+    if (leg.duration_s < 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "negative leg duration in schedule");
+    }
+    energy += leg.duration_s * s->power_w;
+  }
+  return energy;
+}
+
+// ===========================================================================
+// Channel cost
+
+Result<ChannelCost> channel_cost(const xml::Element& channel,
+                                 std::vector<std::string>* missing) {
+  ChannelCost cost;
+  struct Field {
+    std::string_view metric;
+    double ChannelCost::* member;
+  };
+  static constexpr Field kFields[] = {
+      {"max_bandwidth", &ChannelCost::bandwidth_bps},
+      {"time_offset_per_message", &ChannelCost::time_offset_s},
+      {"energy_per_byte", &ChannelCost::energy_per_byte_j},
+      {"energy_offset_per_message", &ChannelCost::energy_offset_j},
+  };
+  for (const Field& f : kFields) {
+    XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> m,
+                          model::metric_of(channel, f.metric));
+    if (!m.has_value()) continue;
+    if (m->kind == model::MetricKind::kNumber) {
+      cost.*(f.member) = m->value_si;
+    } else if (m->kind == model::MetricKind::kPlaceholder) {
+      if (missing != nullptr) {
+        missing->push_back(std::string(channel.attribute_or("name", "channel")) +
+                           ": metric '" + std::string(f.metric) +
+                           "' awaits microbenchmarking");
+      }
+    } else {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "channel metric '" + std::string(f.metric) +
+                        "' is an unbound parameter reference",
+                    channel.location());
+    }
+  }
+  // Fall back to the composed effective bandwidth on the parent
+  // interconnect when the channel itself does not declare one.
+  if (cost.bandwidth_bps == 0 && channel.parent() != nullptr) {
+    if (auto eff = channel.parent()->attribute(
+            compose::kEffectiveBandwidthAttr)) {
+      if (auto v = strings::parse_double(*eff); v.is_ok()) {
+        cost.bandwidth_bps = v.value();
+      }
+    }
+  }
+  return cost;
+}
+
+// ===========================================================================
+// Hierarchical accounting
+
+Result<double> static_power_of(const xml::Element& e) {
+  // The composer's synthesized attribute is authoritative when present.
+  if (auto total = e.attribute(compose::kStaticPowerTotalAttr)) {
+    return strings::parse_double(*total);
+  }
+  double sum = 0.0;
+  XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> own,
+                        model::metric_of(e, "static_power"));
+  if (own.has_value() && own->is_number()) sum += own->value_si;
+  for (const auto& c : e.children()) {
+    XPDL_ASSIGN_OR_RETURN(double child, static_power_of(*c));
+    sum += child;
+  }
+  return sum;
+}
+
+Result<double> static_energy_of(const xml::Element& e, double duration_s) {
+  if (duration_s < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative duration");
+  }
+  XPDL_ASSIGN_OR_RETURN(double p, static_power_of(e));
+  return p * duration_s;
+}
+
+Result<double> dynamic_energy_of(const model::InstructionSet& isa,
+                                 const InstructionMix& mix,
+                                 double frequency_hz) {
+  double total = 0.0;
+  for (const auto& [name, count] : mix.counts) {
+    const model::InstructionEnergy* inst = isa.find(name);
+    if (inst == nullptr) {
+      return Status(ErrorCode::kNotFound,
+                    "instruction '" + name + "' not in ISA '" + isa.name +
+                        "'");
+    }
+    XPDL_ASSIGN_OR_RETURN(double e, inst->energy_at(frequency_hz));
+    total += e * count;
+  }
+  return total;
+}
+
+OffloadDecision evaluate_offload(const OffloadParameters& p,
+                                 const ChannelCost& down,
+                                 const ChannelCost& up) {
+  OffloadDecision d;
+  // Host-only execution.
+  d.host_time_s = p.host_flops > 0 ? p.work_flops / p.host_flops : 0.0;
+  d.host_energy_j = d.host_time_s * p.host_power_w;
+
+  // Offloaded execution: transfer down, compute, transfer up. Energies:
+  // link energy from the channel model, device energy while computing,
+  // host idle power for the whole offloaded window.
+  double t_down = down.transfer_time_s(p.bytes_to_device);
+  double t_up = up.transfer_time_s(p.bytes_from_device);
+  double t_kernel =
+      p.device_flops > 0 ? p.work_flops / p.device_flops : 0.0;
+  d.offload_time_s = t_down + t_kernel + t_up;
+  d.offload_energy_j = down.transfer_energy_j(p.bytes_to_device) +
+                       up.transfer_energy_j(p.bytes_from_device) +
+                       t_kernel * p.device_power_w +
+                       d.offload_time_s * p.host_idle_power_w;
+
+  d.offload_faster = d.offload_time_s < d.host_time_s;
+  d.offload_greener = d.offload_energy_j < d.host_energy_j;
+
+  // Break-even work: W/h = t_down + W/d + t_up  =>
+  // W (1/h - 1/d) = t_down + t_up.
+  if (p.host_flops > 0 && p.device_flops > p.host_flops) {
+    double transfer = t_down + t_up;
+    d.breakeven_flops =
+        transfer / (1.0 / p.host_flops - 1.0 / p.device_flops);
+  } else {
+    d.breakeven_flops = std::numeric_limits<double>::infinity();
+  }
+  return d;
+}
+
+Result<bool> may_switch_off(const model::PowerDomainSet& set,
+                            std::string_view domain,
+                            const std::vector<std::string>& off) {
+  // Find the domain (group members are named <prototype-or-group><rank>).
+  std::vector<model::PowerDomain> all = set.expanded();
+  const model::PowerDomain* target = nullptr;
+  for (const model::PowerDomain& d : all) {
+    if (d.name == domain) {
+      target = &d;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return Status(ErrorCode::kNotFound,
+                  "unknown power domain '" + std::string(domain) + "'");
+  }
+  if (!target->enable_switch_off) return false;
+  if (!target->switchoff_condition.has_value()) return true;
+
+  const model::SwitchoffCondition& cond = *target->switchoff_condition;
+  if (cond.state != "off") {
+    return Status(ErrorCode::kSchemaViolation,
+                  "unsupported switchoff condition state '" + cond.state +
+                      "'");
+  }
+  // The condition names either a single domain or a domain group; a group
+  // requires *all* members in the given state (Listing 12).
+  auto is_off = [&off](std::string_view name) {
+    return std::find(off.begin(), off.end(), name) != off.end();
+  };
+  for (const model::PowerDomainGroup& g : set.groups) {
+    if (g.name == cond.domain) {
+      std::string base = g.prototype.name.empty() ? g.name : g.prototype.name;
+      for (std::uint64_t r = 0; r < g.quantity; ++r) {
+        if (!is_off(strings::member_id(base, r))) return false;
+      }
+      return true;
+    }
+  }
+  for (const model::PowerDomain& d : all) {
+    if (d.name == cond.domain) return is_off(d.name);
+  }
+  return Status(ErrorCode::kUnresolvedRef,
+                "switchoff condition references unknown domain '" +
+                    cond.domain + "'");
+}
+
+}  // namespace xpdl::energy

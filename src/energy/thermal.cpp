@@ -1,0 +1,97 @@
+#include "xpdl/energy/thermal.h"
+
+#include <cmath>
+#include <limits>
+
+#include "xpdl/model/ir.h"
+
+namespace xpdl::energy {
+
+Result<ThermalParameters> thermal_of(const xml::Element& e) {
+  ThermalParameters p;
+  XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> r,
+                        model::metric_of(e, "thermal_resistance"));
+  if (!r.has_value() || !r->is_number()) {
+    return Status(ErrorCode::kNotFound,
+                  "<" + e.tag() +
+                      "> declares no thermal_resistance metric; no thermal "
+                      "model available",
+                  e.location());
+  }
+  // thermal_resistance is dimensionally K/W, which the unit table does
+  // not model as a compound; the convention is a bare number in K/W.
+  p.resistance_k_per_w = r->value_si;
+  if (p.resistance_k_per_w <= 0) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "thermal_resistance must be positive", e.location());
+  }
+  XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> c,
+                        model::metric_of(e, "thermal_capacitance"));
+  if (c.has_value() && c->is_number()) {
+    p.capacitance_j_per_k = c->value_si;
+  }
+  XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> cap,
+                        model::metric_of(e, "max_temperature"));
+  if (cap.has_value() && cap->is_number()) {
+    p.max_junction_k = cap->value_si;  // unit attr converts C -> K
+  }
+  XPDL_ASSIGN_OR_RETURN(std::optional<model::Metric> amb,
+                        model::metric_of(e, "ambient_temperature"));
+  if (amb.has_value() && amb->is_number()) {
+    p.ambient_k = amb->value_si;
+  }
+  if (p.max_junction_k <= p.ambient_k) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "max_temperature must exceed the ambient temperature",
+                  e.location());
+  }
+  return p;
+}
+
+double ThermalModel::temperature_after(double t0_k, double power_w,
+                                       double duration_s) const noexcept {
+  double t_inf = steady_state_k(power_w);
+  double tau = p_.time_constant_s();
+  if (tau <= 0 || duration_s <= 0) {
+    return duration_s > 0 ? t_inf : t0_k;
+  }
+  return t_inf + (t0_k - t_inf) * std::exp(-duration_s / tau);
+}
+
+double ThermalModel::time_until_throttle_s(double t0_k,
+                                           double power_w) const noexcept {
+  if (t0_k >= p_.max_junction_k) return 0.0;
+  double t_inf = steady_state_k(power_w);
+  if (t_inf <= p_.max_junction_k) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double tau = p_.time_constant_s();
+  if (tau <= 0) return 0.0;  // instantaneous response overshoots the cap
+  // Solve T(t) = cap: t = tau * ln((T0 - Tinf) / (cap - Tinf)).
+  return tau * std::log((t0_k - t_inf) / (p_.max_junction_k - t_inf));
+}
+
+double ThermalModel::sustainable_duty_cycle(
+    double active_power_w, double idle_power_w) const noexcept {
+  double p_max = max_sustainable_power_w();
+  if (active_power_w <= p_max) return 1.0;
+  if (idle_power_w >= p_max || active_power_w <= idle_power_w) return 0.0;
+  return (p_max - idle_power_w) / (active_power_w - idle_power_w);
+}
+
+std::optional<const model::PowerState*>
+ThermalModel::fastest_sustainable_state(
+    const model::PowerStateMachine& fsm) const {
+  const model::PowerState* best = nullptr;
+  for (const model::PowerState& s : fsm.states) {
+    if (s.frequency_hz <= 0) continue;  // sleep states do no work
+    if (steady_state_k(s.power_w) > p_.max_junction_k) continue;
+    if (best == nullptr || s.frequency_hz > best->frequency_hz) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best;
+}
+
+}  // namespace xpdl::energy

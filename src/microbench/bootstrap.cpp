@@ -1,0 +1,138 @@
+#include "xpdl/microbench/bootstrap.h"
+
+#include <cmath>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::microbench {
+
+Bootstrapper::Bootstrapper(SimMachine& machine, BootstrapOptions options)
+    : machine_(machine), options_(std::move(options)) {
+  if (options_.frequencies_hz.empty()) {
+    options_.frequencies_hz.push_back(options_.default_frequency_hz);
+  }
+}
+
+Result<double> Bootstrapper::measure_static_power() {
+  if (options_.idle_interval_s <= 0 || options_.repetitions <= 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "bootstrap options require positive idle interval and "
+                  "repetition count");
+  }
+  double sum = 0.0;
+  for (int r = 0; r < options_.repetitions; ++r) {
+    double e0 = machine_.read_energy_counter();
+    double t0 = machine_.now();
+    machine_.idle(options_.idle_interval_s);
+    double e1 = machine_.read_energy_counter();
+    double t1 = machine_.now();
+    sum += (e1 - e0) / (t1 - t0);
+  }
+  return sum / options_.repetitions;
+}
+
+Result<double> Bootstrapper::measure_instruction(std::string_view name,
+                                                 double frequency_hz) {
+  double sum = 0.0;
+  for (int r = 0; r < options_.repetitions; ++r) {
+    double e0 = machine_.read_energy_counter();
+    double t0 = machine_.now();
+    XPDL_RETURN_IF_ERROR(
+        machine_.execute(name, options_.iterations, frequency_hz));
+    double e1 = machine_.read_energy_counter();
+    double t1 = machine_.now();
+    double dynamic = (e1 - e0) - static_power_w_ * (t1 - t0);
+    sum += dynamic / static_cast<double>(options_.iterations);
+  }
+  double mean = sum / options_.repetitions;
+  // Energy can come out slightly negative for near-zero-cost instructions
+  // under noise; clamp — a negative per-instruction energy is unphysical.
+  return std::max(mean, 0.0);
+}
+
+Result<BootstrapReport> Bootstrapper::bootstrap(model::InstructionSet& isa) {
+  BootstrapReport report;
+  XPDL_ASSIGN_OR_RETURN(static_power_w_, measure_static_power());
+  report.estimated_static_power_w = static_power_w_;
+
+  for (model::InstructionEnergy& inst : isa.instructions) {
+    bool needs = inst.placeholder ||
+                 (!inst.energy_j.has_value() && inst.table.empty());
+    if (!needs && !options_.force) {
+      ++report.skipped_instructions;
+      continue;
+    }
+    std::vector<std::pair<double, double>> table;
+    for (double f : options_.frequencies_hz) {
+      XPDL_ASSIGN_OR_RETURN(double e, measure_instruction(inst.name, f));
+      table.emplace_back(f, e);
+      report.entries.push_back(
+          BootstrapReport::Entry{inst.name, f, e});
+    }
+    if (table.size() == 1) {
+      inst.energy_j = table.front().second;
+      inst.table.clear();
+    } else {
+      inst.table = std::move(table);
+      inst.energy_j.reset();
+    }
+    inst.placeholder = false;
+    ++report.measured_instructions;
+  }
+  return report;
+}
+
+Result<BootstrapReport> Bootstrapper::bootstrap_model(xml::Element& root) {
+  BootstrapReport total;
+  // Depth-first over the tree, bootstrapping each <instructions> element.
+  std::vector<xml::Element*> stack = {&root};
+  while (!stack.empty()) {
+    xml::Element* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "instructions") continue;
+
+    XPDL_ASSIGN_OR_RETURN(model::InstructionSet isa,
+                          model::InstructionSet::parse(*e));
+    XPDL_ASSIGN_OR_RETURN(BootstrapReport report, bootstrap(isa));
+
+    // Write results back into the XML (Listing 14 shapes).
+    for (const auto& inst_elem : e->children()) {
+      if (inst_elem->tag() != "inst") continue;
+      auto name = inst_elem->attribute("name");
+      if (!name.has_value()) continue;
+      const model::InstructionEnergy* inst = isa.find(*name);
+      if (inst == nullptr || inst->placeholder) continue;
+      if (inst->energy_j.has_value()) {
+        inst_elem->set_attribute(
+            "energy", strings::format("%.6g", *inst->energy_j * 1e9));
+        inst_elem->set_attribute("energy_unit", "nJ");
+      } else if (!inst->table.empty()) {
+        inst_elem->remove_attribute("energy");
+        inst_elem->remove_attribute("energy_unit");
+        // Replace any existing <data> children with the measured table.
+        auto& children =
+            const_cast<std::vector<std::unique_ptr<xml::Element>>&>(
+                inst_elem->children());
+        std::erase_if(children, [](const std::unique_ptr<xml::Element>& c) {
+          return c->tag() == "data";
+        });
+        for (const auto& [f, en] : inst->table) {
+          xml::Element& d = inst_elem->add_child("data");
+          d.set_attribute("frequency", strings::format("%.6g", f / 1e9));
+          d.set_attribute("frequency_unit", "GHz");
+          d.set_attribute("energy", strings::format("%.6g", en * 1e9));
+          d.set_attribute("energy_unit", "nJ");
+        }
+      }
+    }
+
+    total.estimated_static_power_w = report.estimated_static_power_w;
+    total.measured_instructions += report.measured_instructions;
+    total.skipped_instructions += report.skipped_instructions;
+    for (auto& entry : report.entries) total.entries.push_back(std::move(entry));
+  }
+  return total;
+}
+
+}  // namespace xpdl::microbench

@@ -1,0 +1,237 @@
+#include "xpdl/model/ir.h"
+
+#include <algorithm>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::model {
+
+Identity identity_of(const xml::Element& e) {
+  Identity out;
+  out.name = std::string(e.attribute_or("name", ""));
+  out.id = std::string(e.attribute_or("id", ""));
+  out.type_ref = std::string(e.attribute_or("type", ""));
+  out.role = std::string(e.attribute_or("role", ""));
+  if (auto ext = e.attribute("extends")) {
+    out.extends = strings::split(*ext, ',');
+  }
+  return out;
+}
+
+bool is_structural_attribute(std::string_view name) noexcept {
+  static constexpr std::string_view kStructural[] = {
+      "name", "id", "type", "extends", "role", "prefix", "quantity",
+      "head", "tail", "endian", "sets", "replacement", "write_policy",
+      "level", "slices", "configurable", "range", "path", "command",
+      "file", "cflags", "lflags", "expr", "instruction_set", "mb",
+      "version", "enableSwitchOff", "switchoffCondition", "power_domain",
+      "compute_capability", "doc",
+      // Composer-written markers (not metrics).
+      "expanded", "resolved",
+  };
+  return std::find(std::begin(kStructural), std::end(kStructural), name) !=
+         std::end(kStructural);
+}
+
+namespace {
+
+[[nodiscard]] bool is_unit_attribute(std::string_view name) noexcept {
+  return name == "unit" ||
+         (name.size() > 5 && name.substr(name.size() - 5) == "_unit");
+}
+
+/// Builds one Metric from attribute `name` with raw text `raw` on `e`.
+Result<Metric> build_metric(const xml::Element& e, std::string_view name,
+                            std::string_view raw) {
+  Metric m;
+  m.name = std::string(name);
+  m.raw = std::string(raw);
+  m.dimension = units::metric_dimension(name);
+  std::string unit_attr = units::unit_attribute_name(name);
+  if (auto u = e.attribute(unit_attr)) m.unit_symbol = std::string(*u);
+
+  if (strings::is_placeholder(raw)) {
+    m.kind = MetricKind::kPlaceholder;
+    return m;
+  }
+  if (auto num = strings::parse_double(raw); num.is_ok()) {
+    m.kind = MetricKind::kNumber;
+    if (!m.unit_symbol.empty()) {
+      XPDL_ASSIGN_OR_RETURN(units::Unit unit, units::parse_unit(m.unit_symbol));
+      if (m.dimension != units::Dimension::kDimensionless &&
+          unit.dimension != m.dimension) {
+        return Status(ErrorCode::kSchemaViolation,
+                      "metric '" + m.name + "' on <" + e.tag() +
+                          "> uses unit '" + m.unit_symbol +
+                          "' of the wrong dimension",
+                      e.location());
+      }
+      m.dimension = unit.dimension;
+      m.value_si = unit.to_si(num.value());
+    } else {
+      m.value_si = num.value();
+    }
+    return m;
+  }
+  if (strings::is_identifier(raw)) {
+    m.kind = MetricKind::kParamRef;
+    m.param_ref = std::string(raw);
+    return m;
+  }
+  return Status(ErrorCode::kSchemaViolation,
+                "metric '" + m.name + "' on <" + e.tag() + "> has value '" +
+                    std::string(raw) +
+                    "' which is not a number, parameter reference or '?'",
+                e.location());
+}
+
+}  // namespace
+
+Result<std::vector<Metric>> metrics_of(const xml::Element& e) {
+  std::vector<Metric> out;
+  for (const xml::Attribute& a : e.attributes()) {
+    if (is_structural_attribute(a.name) || is_unit_attribute(a.name)) continue;
+    XPDL_ASSIGN_OR_RETURN(Metric m, build_metric(e, a.name, a.value));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Result<std::optional<Metric>> metric_of(const xml::Element& e,
+                                        std::string_view name) {
+  auto raw = e.attribute(name);
+  if (!raw.has_value()) return std::optional<Metric>{};
+  XPDL_ASSIGN_OR_RETURN(Metric m, build_metric(e, name, *raw));
+  return std::optional<Metric>(std::move(m));
+}
+
+Result<Param> parse_param(const xml::Element& e) {
+  Param p;
+  p.is_const = e.tag() == "const";
+  p.location = e.location();
+  XPDL_ASSIGN_OR_RETURN(p.name, e.require_attribute("name"));
+  if (auto c = e.attribute("configurable")) {
+    XPDL_ASSIGN_OR_RETURN(p.configurable, strings::parse_bool(*c));
+  }
+  p.declared_type = std::string(e.attribute_or("type", ""));
+  if (auto u = e.attribute("unit")) {
+    p.unit_symbol = std::string(*u);
+  }
+
+  // The value can be given as value="13" (Listing 9), or through a
+  // dimension-specific metric attribute: size="5" unit="GB",
+  // frequency="706" frequency_unit="MHz" (Listings 8/9).
+  units::Unit unit;  // defaults to dimensionless / factor 1
+  if (!p.unit_symbol.empty()) {
+    XPDL_ASSIGN_OR_RETURN(unit, units::parse_unit(p.unit_symbol));
+    p.dimension = unit.dimension;
+  }
+
+  auto bind_from = [&](std::string_view attr_name,
+                       std::string_view raw) -> Status {
+    if (strings::is_placeholder(raw)) return Status::ok();
+    XPDL_ASSIGN_OR_RETURN(double v, strings::parse_double(raw));
+    if (attr_name == "value") {
+      p.value_si = unit.to_si(v);
+      return Status::ok();
+    }
+    // Metric-named attribute: its own unit attribute wins.
+    std::string unit_attr = units::unit_attribute_name(attr_name);
+    units::Unit metric_unit = unit;
+    if (auto us = e.attribute(unit_attr)) {
+      XPDL_ASSIGN_OR_RETURN(metric_unit, units::parse_unit(*us));
+      p.unit_symbol = std::string(*us);
+    }
+    p.dimension = metric_unit.dimension != units::Dimension::kDimensionless
+                      ? metric_unit.dimension
+                      : units::metric_dimension(attr_name);
+    p.value_si = metric_unit.to_si(v);
+    return Status::ok();
+  };
+
+  if (auto v = e.attribute("value")) {
+    XPDL_RETURN_IF_ERROR(bind_from("value", *v));
+  }
+  for (const xml::Attribute& a : e.attributes()) {
+    if (a.name == "value" || is_structural_attribute(a.name) ||
+        is_unit_attribute(a.name) || a.name == "name") {
+      continue;
+    }
+    XPDL_RETURN_IF_ERROR(bind_from(a.name, a.value));
+  }
+
+  if (auto r = e.attribute("range")) {
+    for (const std::string& part : strings::split(*r, ',')) {
+      XPDL_ASSIGN_OR_RETURN(double v, strings::parse_double(part));
+      p.range_si.push_back(unit.to_si(v));
+    }
+  }
+  // Dimension fallback from the declared abstract type.
+  if (p.dimension == units::Dimension::kDimensionless) {
+    if (p.declared_type == "msize") p.dimension = units::Dimension::kSize;
+    else if (p.declared_type == "frequency")
+      p.dimension = units::Dimension::kFrequency;
+  }
+  return p;
+}
+
+const Param* ParamScope::find(std::string_view name) const noexcept {
+  for (const Param& p : params) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Result<ParamScope> parse_param_scope(const xml::Element& e) {
+  ParamScope scope;
+  for (const auto& child : e.children()) {
+    if (child->tag() == "const" || child->tag() == "param") {
+      XPDL_ASSIGN_OR_RETURN(Param p, parse_param(*child));
+      if (scope.find(p.name) != nullptr) {
+        return Status(ErrorCode::kSchemaViolation,
+                      "duplicate parameter '" + p.name + "'",
+                      child->location());
+      }
+      scope.params.push_back(std::move(p));
+    } else if (child->tag() == "constraints") {
+      for (const auto& c : child->children()) {
+        if (c->tag() != "constraint") continue;
+        XPDL_ASSIGN_OR_RETURN(std::string text, c->require_attribute("expr"));
+        XPDL_ASSIGN_OR_RETURN(auto parsed, expr::Expression::parse(text));
+        scope.constraints.push_back(
+            Constraint{std::move(parsed), c->location()});
+      }
+    }
+  }
+  return scope;
+}
+
+Result<GroupSpec> parse_group(const xml::Element& e) {
+  GroupSpec g;
+  g.prefix = std::string(e.attribute_or("prefix", ""));
+  if (auto q = e.attribute("quantity")) {
+    g.homogeneous = true;
+    g.quantity_raw = std::string(*q);
+    if (auto parsed = strings::parse_uint(*q); parsed.is_ok()) {
+      g.quantity = parsed.value();
+    } else if (!strings::is_identifier(*q)) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "group quantity '" + g.quantity_raw +
+                        "' is neither an integer nor a parameter reference",
+                    e.location());
+    }
+  }
+  return g;
+}
+
+bool is_hardware_tag(std::string_view tag) noexcept {
+  static constexpr std::string_view kHardware[] = {
+      "system", "cluster", "node",   "socket", "cpu",    "core",
+      "cache",  "memory",  "device", "gpu",    "interconnect", "channel",
+      "group",
+  };
+  return std::find(std::begin(kHardware), std::end(kHardware), tag) !=
+         std::end(kHardware);
+}
+
+}  // namespace xpdl::model

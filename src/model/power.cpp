@@ -1,0 +1,427 @@
+#include "xpdl/model/power.h"
+
+#include <algorithm>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::model {
+namespace {
+
+/// Numeric SI value of metric `name` on `e`, or `fallback` when absent.
+/// Placeholder and param-ref values are rejected where a number is needed.
+Result<double> metric_number(const xml::Element& e, std::string_view name,
+                             double fallback) {
+  XPDL_ASSIGN_OR_RETURN(std::optional<Metric> m, metric_of(e, name));
+  if (!m.has_value()) return fallback;
+  if (m->kind != MetricKind::kNumber) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "metric '" + std::string(name) + "' on <" + e.tag() +
+                      "> must be a literal number here",
+                  e.location());
+  }
+  return m->value_si;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PowerStateMachine
+
+const PowerState* PowerStateMachine::find_state(
+    std::string_view name) const noexcept {
+  for (const PowerState& s : states) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const PowerTransition* PowerStateMachine::find_transition(
+    std::string_view from, std::string_view to) const noexcept {
+  for (const PowerTransition& t : transitions) {
+    if (t.from == from && t.to == to) return &t;
+  }
+  return nullptr;
+}
+
+Status PowerStateMachine::validate() const {
+  if (states.empty()) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "power state machine '" + name + "' has no states");
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    for (std::size_t j = i + 1; j < states.size(); ++j) {
+      if (states[i].name == states[j].name) {
+        return Status(ErrorCode::kSchemaViolation,
+                      "duplicate power state '" + states[i].name + "' in '" +
+                          name + "'",
+                      states[j].location);
+      }
+    }
+  }
+  for (const PowerTransition& t : transitions) {
+    if (find_state(t.from) == nullptr) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "transition head '" + t.from + "' is not a state of '" +
+                        name + "'",
+                    t.location);
+    }
+    if (find_state(t.to) == nullptr) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "transition tail '" + t.to + "' is not a state of '" +
+                        name + "'",
+                    t.location);
+    }
+    if (t.from == t.to) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "self-loop transition on state '" + t.from + "' in '" +
+                        name + "'",
+                    t.location);
+    }
+    if (t.time_s < 0 || t.energy_j < 0) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "negative transition cost in '" + name + "'", t.location);
+    }
+  }
+  return Status::ok();
+}
+
+bool PowerStateMachine::strongly_connected() const {
+  if (states.size() <= 1) return true;
+  // Reachability via BFS in both directions from state 0; a digraph is
+  // strongly connected iff node 0 reaches all and all reach node 0.
+  auto reach = [&](bool forward) {
+    std::vector<bool> seen(states.size(), false);
+    std::vector<std::size_t> stack = {0};
+    seen[0] = true;
+    auto index_of = [&](std::string_view n) -> std::size_t {
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (states[i].name == n) return i;
+      }
+      return states.size();
+    };
+    while (!stack.empty()) {
+      std::size_t cur = stack.back();
+      stack.pop_back();
+      for (const PowerTransition& t : transitions) {
+        std::string_view src = forward ? t.from : t.to;
+        std::string_view dst = forward ? t.to : t.from;
+        if (src == states[cur].name) {
+          std::size_t d = index_of(dst);
+          if (d < states.size() && !seen[d]) {
+            seen[d] = true;
+            stack.push_back(d);
+          }
+        }
+      }
+    }
+    return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+  };
+  return reach(true) && reach(false);
+}
+
+Result<PowerStateMachine> PowerStateMachine::parse(const xml::Element& e) {
+  if (e.tag() != "power_state_machine") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <power_state_machine>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  PowerStateMachine fsm;
+  fsm.name = std::string(e.attribute_or("name", ""));
+  fsm.power_domain = std::string(e.attribute_or("power_domain", ""));
+  if (const xml::Element* states = e.first_child("power_states")) {
+    for (const auto& s : states->children()) {
+      if (s->tag() != "power_state") continue;
+      PowerState ps;
+      XPDL_ASSIGN_OR_RETURN(ps.name, s->require_attribute("name"));
+      XPDL_ASSIGN_OR_RETURN(ps.frequency_hz,
+                            metric_number(*s, "frequency", 0.0));
+      XPDL_ASSIGN_OR_RETURN(ps.power_w, metric_number(*s, "power", 0.0));
+      ps.location = s->location();
+      fsm.states.push_back(std::move(ps));
+    }
+  }
+  if (const xml::Element* transitions = e.first_child("transitions")) {
+    for (const auto& t : transitions->children()) {
+      if (t->tag() != "transition") continue;
+      PowerTransition tr;
+      XPDL_ASSIGN_OR_RETURN(tr.from, t->require_attribute("head"));
+      XPDL_ASSIGN_OR_RETURN(tr.to, t->require_attribute("tail"));
+      XPDL_ASSIGN_OR_RETURN(tr.time_s, metric_number(*t, "time", 0.0));
+      XPDL_ASSIGN_OR_RETURN(tr.energy_j, metric_number(*t, "energy", 0.0));
+      tr.location = t->location();
+      fsm.transitions.push_back(std::move(tr));
+    }
+  }
+  XPDL_RETURN_IF_ERROR(fsm.validate());
+  return fsm;
+}
+
+// ---------------------------------------------------------------------------
+// PowerDomain
+
+Result<PowerDomain> PowerDomain::parse(const xml::Element& e) {
+  if (e.tag() != "power_domain") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <power_domain>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  PowerDomain d;
+  d.name = std::string(e.attribute_or("name", ""));
+  d.location = e.location();
+  if (auto sw = e.attribute("enableSwitchOff")) {
+    XPDL_ASSIGN_OR_RETURN(d.enable_switch_off, strings::parse_bool(*sw));
+  }
+  if (auto cond = e.attribute("switchoffCondition")) {
+    // Syntax (Listing 12): "<domain-or-group> <state>", e.g.
+    // "Shave_pds off".
+    std::vector<std::string> parts = strings::split(*cond, ' ');
+    if (parts.size() != 2) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "switchoffCondition '" + std::string(*cond) +
+                        "' must be of the form '<domain> <state>'",
+                    e.location());
+    }
+    d.switchoff_condition = SwitchoffCondition{parts[0], parts[1]};
+  }
+  for (const auto& m : e.children()) {
+    if (!is_hardware_tag(m->tag())) continue;
+    PowerDomainMember member;
+    member.tag = m->tag();
+    member.type = std::string(m->attribute_or("type", ""));
+    d.members.push_back(std::move(member));
+  }
+  return d;
+}
+
+std::vector<PowerDomain> PowerDomainSet::expanded() const {
+  std::vector<PowerDomain> out = domains;
+  for (const PowerDomainGroup& g : groups) {
+    for (std::uint64_t i = 0; i < g.quantity; ++i) {
+      PowerDomain d = g.prototype;
+      d.name = strings::member_id(
+          g.prototype.name.empty() ? g.name : g.prototype.name, i);
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+Result<PowerDomainSet> PowerDomainSet::parse(const xml::Element& e) {
+  if (e.tag() != "power_domains") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <power_domains>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  PowerDomainSet set;
+  set.name = std::string(e.attribute_or("name", ""));
+  for (const auto& c : e.children()) {
+    if (c->tag() == "power_domain") {
+      XPDL_ASSIGN_OR_RETURN(PowerDomain d, PowerDomain::parse(*c));
+      set.domains.push_back(std::move(d));
+    } else if (c->tag() == "group") {
+      // Listing 12: <group name="Shave_pds" quantity="8"> around one
+      // prototype power_domain.
+      PowerDomainGroup g;
+      g.name = std::string(c->attribute_or("name", ""));
+      XPDL_ASSIGN_OR_RETURN(GroupSpec spec, parse_group(*c));
+      if (!spec.quantity.has_value()) {
+        return Status(ErrorCode::kSchemaViolation,
+                      "power-domain group requires a literal quantity",
+                      c->location());
+      }
+      g.quantity = *spec.quantity;
+      const xml::Element* proto = c->first_child("power_domain");
+      if (proto == nullptr) {
+        return Status(ErrorCode::kSchemaViolation,
+                      "power-domain group has no <power_domain> prototype",
+                      c->location());
+      }
+      XPDL_ASSIGN_OR_RETURN(g.prototype, PowerDomain::parse(*proto));
+      set.groups.push_back(std::move(g));
+    }
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// Instruction energy
+
+Result<double> InstructionEnergy::energy_at(double frequency_hz) const {
+  if (!table.empty()) {
+    // Table is sorted by frequency; clamp outside, interpolate inside.
+    if (frequency_hz <= table.front().first) return table.front().second;
+    if (frequency_hz >= table.back().first) return table.back().second;
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      if (frequency_hz <= table[i].first) {
+        const auto& [f0, e0] = table[i - 1];
+        const auto& [f1, e1] = table[i];
+        double t = (frequency_hz - f0) / (f1 - f0);
+        return e0 + t * (e1 - e0);
+      }
+    }
+  }
+  if (energy_j.has_value()) return *energy_j;
+  return Status(ErrorCode::kNotFound,
+                "instruction '" + name +
+                    "' has no energy data (placeholder not bootstrapped)");
+}
+
+Result<InstructionEnergy> InstructionEnergy::parse(const xml::Element& e) {
+  if (e.tag() != "inst") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <inst>, got <" + e.tag() + ">", e.location());
+  }
+  InstructionEnergy inst;
+  XPDL_ASSIGN_OR_RETURN(inst.name, e.require_attribute("name"));
+  inst.microbenchmark = std::string(e.attribute_or("mb", ""));
+  inst.location = e.location();
+  XPDL_ASSIGN_OR_RETURN(std::optional<Metric> m, metric_of(e, "energy"));
+  if (m.has_value()) {
+    if (m->kind == MetricKind::kPlaceholder) {
+      inst.placeholder = true;
+    } else if (m->kind == MetricKind::kNumber) {
+      inst.energy_j = m->value_si;
+    } else {
+      return Status(ErrorCode::kSchemaViolation,
+                    "instruction energy must be a number or '?'",
+                    e.location());
+    }
+  }
+  for (const auto& d : e.children()) {
+    if (d->tag() != "data") continue;
+    XPDL_ASSIGN_OR_RETURN(std::optional<Metric> f, metric_of(*d, "frequency"));
+    XPDL_ASSIGN_OR_RETURN(std::optional<Metric> en, metric_of(*d, "energy"));
+    if (!f.has_value() || !en.has_value() || !f->is_number() ||
+        !en->is_number()) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "<data> requires numeric frequency and energy",
+                    d->location());
+    }
+    // Listing 14 gives bare frequencies ("2.8") meaning GHz; with no unit
+    // attribute, treat values < 1e3 as GHz for table entries.
+    double freq = f->value_si;
+    if (f->unit_symbol.empty() && freq < 1e3) freq *= 1e9;
+    inst.table.emplace_back(freq, en->value_si);
+  }
+  std::sort(inst.table.begin(), inst.table.end());
+  if (!inst.table.empty()) inst.placeholder = false;
+  return inst;
+}
+
+const InstructionEnergy* InstructionSet::find(
+    std::string_view name) const noexcept {
+  for (const InstructionEnergy& i : instructions) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+InstructionEnergy* InstructionSet::find(std::string_view name) noexcept {
+  for (InstructionEnergy& i : instructions) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+Result<InstructionSet> InstructionSet::parse(const xml::Element& e) {
+  if (e.tag() != "instructions") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <instructions>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  InstructionSet set;
+  XPDL_ASSIGN_OR_RETURN(set.name, e.require_attribute("name"));
+  set.microbenchmark_suite = std::string(e.attribute_or("mb", ""));
+  for (const auto& c : e.children()) {
+    if (c->tag() != "inst") continue;
+    XPDL_ASSIGN_OR_RETURN(InstructionEnergy inst, InstructionEnergy::parse(*c));
+    if (set.find(inst.name) != nullptr) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "duplicate instruction '" + inst.name + "'",
+                    c->location());
+    }
+    set.instructions.push_back(std::move(inst));
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks
+
+const Microbenchmark* MicrobenchmarkSuite::find(
+    std::string_view id) const noexcept {
+  for (const Microbenchmark& b : benchmarks) {
+    if (b.id == id) return &b;
+  }
+  return nullptr;
+}
+
+Result<MicrobenchmarkSuite> MicrobenchmarkSuite::parse(const xml::Element& e) {
+  if (e.tag() != "microbenchmarks") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <microbenchmarks>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  MicrobenchmarkSuite suite;
+  XPDL_ASSIGN_OR_RETURN(suite.id, e.require_attribute("id"));
+  suite.instruction_set = std::string(e.attribute_or("instruction_set", ""));
+  suite.path = std::string(e.attribute_or("path", ""));
+  suite.command = std::string(e.attribute_or("command", ""));
+  for (const auto& c : e.children()) {
+    if (c->tag() != "microbenchmark") continue;
+    Microbenchmark b;
+    XPDL_ASSIGN_OR_RETURN(b.id, c->require_attribute("id"));
+    b.type = std::string(c->attribute_or("type", ""));
+    b.file = std::string(c->attribute_or("file", ""));
+    b.cflags = std::string(c->attribute_or("cflags", ""));
+    b.lflags = std::string(c->attribute_or("lflags", ""));
+    if (suite.find(b.id) != nullptr) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "duplicate microbenchmark id '" + b.id + "'",
+                    c->location());
+    }
+    suite.benchmarks.push_back(std::move(b));
+  }
+  return suite;
+}
+
+// ---------------------------------------------------------------------------
+// PowerModel
+
+const PowerStateMachine* PowerModel::machine_for_domain(
+    std::string_view domain) const noexcept {
+  for (const PowerStateMachine& m : state_machines) {
+    if (m.power_domain == domain) return &m;
+  }
+  return nullptr;
+}
+
+Result<PowerModel> PowerModel::parse(const xml::Element& e) {
+  if (e.tag() != "power_model") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "expected <power_model>, got <" + e.tag() + ">",
+                  e.location());
+  }
+  PowerModel pm;
+  pm.identity = identity_of(e);
+  for (const auto& c : e.children()) {
+    if (c->tag() == "power_domains") {
+      XPDL_ASSIGN_OR_RETURN(PowerDomainSet set, PowerDomainSet::parse(*c));
+      pm.domains = std::move(set);
+    } else if (c->tag() == "power_state_machine") {
+      XPDL_ASSIGN_OR_RETURN(PowerStateMachine fsm,
+                            PowerStateMachine::parse(*c));
+      pm.state_machines.push_back(std::move(fsm));
+    } else if (c->tag() == "instructions") {
+      XPDL_ASSIGN_OR_RETURN(InstructionSet set, InstructionSet::parse(*c));
+      pm.instruction_sets.push_back(std::move(set));
+    } else if (c->tag() == "microbenchmarks") {
+      XPDL_ASSIGN_OR_RETURN(MicrobenchmarkSuite suite,
+                            MicrobenchmarkSuite::parse(*c));
+      pm.microbenchmark_suites.push_back(std::move(suite));
+    }
+  }
+  return pm;
+}
+
+}  // namespace xpdl::model

@@ -1,0 +1,257 @@
+#include "xpdl/pdl/pdl.h"
+
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::pdl {
+namespace {
+
+void note(ImportReport* report, std::string message) {
+  if (report != nullptr) report->notes.push_back(std::move(message));
+}
+
+/// Collects PDL <Property key=... value=.../> children of `src`:
+/// well-known keys become XPDL metric attributes on `dst`, the rest go
+/// into a <properties> escape hatch (exactly PDL's mechanism, which XPDL
+/// keeps for ad-hoc extension).
+void convert_properties(const xml::Element& src, xml::Element& dst,
+                        ImportReport* report) {
+  xml::Element* props = nullptr;
+  for (const auto& child : src.children()) {
+    if (child->tag() != "Property") continue;
+    std::string key(child->attribute_or("key", ""));
+    std::string value(child->attribute_or("value", ""));
+    if (key.empty()) continue;
+
+    if (key == "x86_MAX_CLOCK_FREQUENCY" &&
+        strings::parse_double(value).is_ok()) {
+      // The paper's own example of a property that should have been a
+      // predefined attribute. PDL specified it in MHz.
+      dst.set_attribute("frequency", value);
+      dst.set_attribute("frequency_unit", "MHz");
+      if (report != nullptr) ++report->promoted_properties;
+      note(report, "promoted property '" + key + "' to frequency attribute");
+      continue;
+    }
+    if (key == "MEMORY_SIZE" && strings::parse_double(value).is_ok()) {
+      dst.set_attribute("size", value);
+      dst.set_attribute("unit", "MB");
+      if (report != nullptr) ++report->promoted_properties;
+      note(report, "promoted property '" + key + "' to size attribute");
+      continue;
+    }
+    if (key == "STATIC_POWER" && strings::parse_double(value).is_ok()) {
+      dst.set_attribute("static_power", value);
+      dst.set_attribute("static_power_unit", "W");
+      if (report != nullptr) ++report->promoted_properties;
+      note(report, "promoted property '" + key +
+                       "' to static_power attribute");
+      continue;
+    }
+    if (key == "NUM_CORES" && strings::parse_uint(value).is_ok()) {
+      xml::Element& group = dst.add_child("group");
+      group.set_attribute("prefix", "core");
+      group.set_attribute("quantity", value);
+      group.add_child("core");
+      if (report != nullptr) ++report->promoted_properties;
+      note(report, "promoted property '" + key + "' to a core group of " +
+                       value);
+      continue;
+    }
+    // Everything else stays a free-form property.
+    if (props == nullptr) props = &dst.add_child("properties");
+    xml::Element& p = props->add_child("property");
+    // PDL keys are free-form strings; XPDL property names must be
+    // identifiers. Sanitize conservatively.
+    std::string name;
+    for (char c : key) {
+      name += (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '.' || c == '-')
+                  ? c
+                  : '_';
+    }
+    if (name.empty() || !strings::is_identifier(name)) {
+      name = "prop_" + std::to_string(p.location().line);
+    }
+    p.set_attribute("name", name);
+    p.set_attribute("value", value);
+    if (report != nullptr) ++report->kept_properties;
+  }
+}
+
+/// Normalizes a PDL role string to the XPDL role attribute value.
+Result<std::string> normalize_role(std::string_view role,
+                                   const SourceLocation& loc) {
+  if (strings::iequals(role, "Master")) return std::string("master");
+  if (strings::iequals(role, "Hybrid")) return std::string("hybrid");
+  if (strings::iequals(role, "Worker")) return std::string("worker");
+  return Status(ErrorCode::kSchemaViolation,
+                "PDL control role '" + std::string(role) +
+                    "' is not Master/Hybrid/Worker",
+                loc);
+}
+
+/// Reads the role of a PDL ProcessingUnit: either a role attribute or a
+/// <ControlRelationship role=.../> child.
+Result<std::string> role_of(const xml::Element& pu) {
+  if (auto r = pu.attribute("role")) {
+    return normalize_role(*r, pu.location());
+  }
+  if (const xml::Element* rel = pu.first_child("ControlRelationship")) {
+    if (auto r = rel->attribute("role")) {
+      return normalize_role(*r, rel->location());
+    }
+  }
+  return Status(ErrorCode::kSchemaViolation,
+                "PDL ProcessingUnit without a control role",
+                pu.location());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<xml::Element>> import_platform(
+    const xml::Element& pdl_root, ImportReport* report) {
+  if (pdl_root.tag() != "Platform") {
+    return Status(ErrorCode::kFormatError,
+                  "expected PDL <Platform> root, found <" + pdl_root.tag() +
+                      ">",
+                  pdl_root.location());
+  }
+  auto system = std::make_unique<xml::Element>("system");
+  std::string name(pdl_root.attribute_or(
+      "name", pdl_root.attribute_or("id", "imported_platform")));
+  system->set_attribute("id", name);
+
+  std::size_t masters = 0;
+
+  // Processing units: PDL groups them in <ProcessingUnits> or lists them
+  // directly; both shapes are accepted.
+  auto convert_pu = [&](const xml::Element& pu) -> Status {
+    XPDL_ASSIGN_OR_RETURN(std::string role, role_of(pu));
+    std::string id(pu.attribute_or("id", ""));
+    if (role == "worker") {
+      // Specialized PU that cannot launch computations: an accelerator
+      // device in XPDL's hardware-structural view.
+      xml::Element& dev = system->add_child("device");
+      if (!id.empty()) dev.set_attribute("id", id);
+      dev.set_attribute("role", "worker");
+      if (auto type = pu.attribute("type")) {
+        dev.set_attribute("type", *type);
+      }
+      convert_properties(pu, dev, report);
+    } else {
+      if (role == "master") ++masters;
+      xml::Element& socket = system->add_child("socket");
+      xml::Element& cpu = socket.add_child("cpu");
+      if (!id.empty()) cpu.set_attribute("id", id);
+      cpu.set_attribute("role", role);
+      if (auto type = pu.attribute("type")) {
+        cpu.set_attribute("type", *type);
+      }
+      convert_properties(pu, cpu, report);
+    }
+    if (report != nullptr) ++report->processing_units;
+    return Status::ok();
+  };
+
+  auto convert_memory = [&](const xml::Element& mr) -> Status {
+    xml::Element& mem = system->add_child("memory");
+    if (auto id = mr.attribute("id")) mem.set_attribute("id", *id);
+    if (auto type = mr.attribute("type")) {
+      // PDL memory types like GLOBAL/SHARED are kind strings.
+      mem.set_attribute("type", strings::to_lower(*type));
+    }
+    convert_properties(mr, mem, report);
+    if (report != nullptr) ++report->memory_regions;
+    return Status::ok();
+  };
+
+  xml::Element* interconnects = nullptr;
+  auto convert_interconnect = [&](const xml::Element& ic) -> Status {
+    if (interconnects == nullptr) {
+      interconnects = &system->add_child("interconnects");
+    }
+    xml::Element& link = interconnects->add_child("interconnect");
+    if (auto id = ic.attribute("id")) link.set_attribute("id", *id);
+    // Endpoints: <From>/<To> children (xADML style) or attributes.
+    std::string head(ic.attribute_or("from", ""));
+    std::string tail(ic.attribute_or("to", ""));
+    if (const xml::Element* from = ic.first_child("From")) {
+      head = from->text();
+    }
+    if (const xml::Element* to = ic.first_child("To")) {
+      tail = to->text();
+    }
+    if (head.empty() || tail.empty()) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "PDL Interconnect without From/To endpoints",
+                    ic.location());
+    }
+    link.set_attribute("head", head);
+    link.set_attribute("tail", tail);
+    convert_properties(ic, link, report);
+    if (report != nullptr) ++report->interconnects;
+    return Status::ok();
+  };
+
+  for (const auto& child : pdl_root.children()) {
+    if (child->tag() == "ProcessingUnits") {
+      for (const auto& pu : child->children()) {
+        if (pu->tag() == "ProcessingUnit") {
+          XPDL_RETURN_IF_ERROR(convert_pu(*pu));
+        }
+      }
+    } else if (child->tag() == "ProcessingUnit") {
+      XPDL_RETURN_IF_ERROR(convert_pu(*child));
+    } else if (child->tag() == "MemoryRegions") {
+      for (const auto& mr : child->children()) {
+        if (mr->tag() == "MemoryRegion") {
+          XPDL_RETURN_IF_ERROR(convert_memory(*mr));
+        }
+      }
+    } else if (child->tag() == "MemoryRegion") {
+      XPDL_RETURN_IF_ERROR(convert_memory(*child));
+    } else if (child->tag() == "Interconnects") {
+      for (const auto& ic : child->children()) {
+        if (ic->tag() == "Interconnect") {
+          XPDL_RETURN_IF_ERROR(convert_interconnect(*ic));
+        }
+      }
+    } else if (child->tag() == "Interconnect") {
+      XPDL_RETURN_IF_ERROR(convert_interconnect(*child));
+    } else if (child->tag() == "Property") {
+      // Platform-level properties attach to the system.
+    } else {
+      note(report, "dropped unmappable PDL element <" + child->tag() + ">");
+    }
+  }
+  convert_properties(pdl_root, *system, report);
+
+  // PDL requires exactly one Master; XPDL treats the control relation as
+  // secondary, so a missing or duplicated master is only a note (the
+  // paper questions "the specification of a unique, specific Master PU",
+  // e.g. in a dual-CPU server).
+  if (masters == 0) {
+    note(report, "PDL platform has no Master PU; XPDL does not require one");
+  } else if (masters > 1) {
+    note(report,
+         "PDL platform has " + std::to_string(masters) +
+             " Master PUs; XPDL keeps all of them as role annotations");
+  }
+
+  // The result must be valid XPDL.
+  auto validation = schema::Schema::core().validate(*system);
+  if (!validation.ok()) {
+    return validation.status();
+  }
+  return system;
+}
+
+Result<std::unique_ptr<xml::Element>> import_platform_text(
+    std::string_view pdl_xml, ImportReport* report) {
+  XPDL_ASSIGN_OR_RETURN(xml::Document doc,
+                        xml::parse(pdl_xml, "<pdl>"));
+  return import_platform(*doc.root, report);
+}
+
+}  // namespace xpdl::pdl

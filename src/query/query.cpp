@@ -1,0 +1,293 @@
+#include "xpdl/query/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+
+namespace xpdl::query {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Step>> run() {
+    std::vector<Step> steps;
+    skip_ws();
+    if (at_end()) return error("empty query");
+    while (!at_end()) {
+      XPDL_ASSIGN_OR_RETURN(Step step, parse_step());
+      steps.push_back(std::move(step));
+      skip_ws();
+    }
+    return steps;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept {
+    return at_end() ? '\0' : text_[pos_];
+  }
+  void skip_ws() {
+    while (!at_end() && strings::is_space(text_[pos_])) ++pos_;
+  }
+
+  Status error(std::string_view what) const {
+    return Status(ErrorCode::kParseError,
+                  "query error at offset " + std::to_string(pos_) + " in '" +
+                      std::string(text_) + "': " + std::string(what));
+  }
+
+  Result<Step> parse_step() {
+    Step step;
+    if (peek() != '/') return error("expected '/'");
+    ++pos_;
+    if (peek() == '/') {
+      step.descendant = true;
+      ++pos_;
+    }
+    if (peek() == '*') {
+      step.tag = "*";
+      ++pos_;
+    } else {
+      std::size_t start = pos_;
+      while (!at_end() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start) return error("expected an element kind or '*'");
+      step.tag = std::string(text_.substr(start, pos_ - start));
+    }
+    skip_ws();
+    while (peek() == '[') {
+      XPDL_ASSIGN_OR_RETURN(Predicate pred, parse_predicate());
+      step.predicates.push_back(std::move(pred));
+      skip_ws();
+    }
+    return step;
+  }
+
+  Result<Predicate> parse_predicate() {
+    Predicate pred;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() != '@') return error("expected '@' in predicate");
+    ++pos_;
+    std::size_t start = pos_;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected an attribute name");
+    pred.attribute = std::string(text_.substr(start, pos_ - start));
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      pred.op = Op::kExists;
+      return pred;
+    }
+    // Operator.
+    if (text_.substr(pos_, 2) == "!=") {
+      pred.op = Op::kNe;
+      pos_ += 2;
+    } else if (text_.substr(pos_, 2) == "<=") {
+      pred.op = Op::kLe;
+      pos_ += 2;
+    } else if (text_.substr(pos_, 2) == ">=") {
+      pred.op = Op::kGe;
+      pos_ += 2;
+    } else if (peek() == '=') {
+      pred.op = Op::kEq;
+      ++pos_;
+    } else if (peek() == '<') {
+      pred.op = Op::kLt;
+      ++pos_;
+    } else if (peek() == '>') {
+      pred.op = Op::kGt;
+      ++pos_;
+    } else {
+      return error("expected a comparison operator or ']'");
+    }
+    skip_ws();
+    XPDL_RETURN_IF_ERROR(parse_value(pred));
+    skip_ws();
+    if (peek() != ']') return error("expected ']'");
+    ++pos_;
+    return pred;
+  }
+
+  Status parse_value(Predicate& pred) {
+    if (peek() == '"' || peek() == '\'') {
+      char quote = text_[pos_++];
+      std::size_t start = pos_;
+      while (!at_end() && text_[pos_] != quote) ++pos_;
+      if (at_end()) return error("unterminated string value");
+      pred.text_value = std::string(text_.substr(start, pos_ - start));
+      ++pos_;
+      pred.is_numeric = false;
+      return Status::ok();
+    }
+    // Number with optional unit suffix: 32KiB, 2.4GHz, 15.
+    std::size_t start = pos_;
+    while (!at_end() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      // 'e' might begin a unit ("eV"?) — accept exponent only when
+      // followed by digit/sign; here keep it simple: consume and let the
+      // number parse decide via backtracking below.
+      ++pos_;
+    }
+    // Backtrack trailing non-numeric characters until the prefix parses.
+    std::size_t end = pos_;
+    while (end > start) {
+      auto parsed = strings::parse_double(text_.substr(start, end - start));
+      if (parsed.is_ok()) {
+        pred.numeric_si = parsed.value();
+        break;
+      }
+      --end;
+    }
+    if (end == start) return error("expected a value");
+    pos_ = end;
+    // Optional unit suffix (letters and '/').
+    std::size_t unit_start = pos_;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '/' || text_[pos_] == '%')) {
+      ++pos_;
+    }
+    std::string_view unit_text = text_.substr(unit_start, pos_ - unit_start);
+    pred.is_numeric = true;
+    if (!unit_text.empty()) {
+      XPDL_ASSIGN_OR_RETURN(units::Unit unit, units::parse_unit(unit_text));
+      pred.numeric_si = unit.to_si(pred.numeric_si);
+      pred.has_unit = true;
+    }
+    return Status::ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool compare(Op op, int cmp) {
+  switch (op) {
+    case Op::kEq: return cmp == 0;
+    case Op::kNe: return cmp != 0;
+    case Op::kLt: return cmp < 0;
+    case Op::kLe: return cmp <= 0;
+    case Op::kGt: return cmp > 0;
+    case Op::kGe: return cmp >= 0;
+    case Op::kExists: return true;
+  }
+  return false;
+}
+
+bool matches(const runtime::Node& node, const Predicate& pred) {
+  auto raw = node.attribute(pred.attribute);
+  if (!raw.has_value()) return false;
+  if (pred.op == Op::kExists) return true;
+  if (pred.is_numeric) {
+    double lhs;
+    if (pred.has_unit) {
+      // Unit-aware: resolve the node's metric through its own unit.
+      auto q = node.quantity(pred.attribute);
+      if (!q.is_ok()) return false;
+      lhs = q->si();
+    } else {
+      auto v = strings::parse_double(*raw);
+      if (!v.is_ok()) return false;
+      lhs = v.value();
+    }
+    int cmp = lhs < pred.numeric_si ? -1 : (lhs > pred.numeric_si ? 1 : 0);
+    return compare(pred.op, cmp);
+  }
+  int cmp = std::string_view(*raw).compare(pred.text_value);
+  return compare(pred.op, cmp < 0 ? -1 : (cmp > 0 ? 1 : 0));
+}
+
+bool matches(const runtime::Node& node, const Step& step) {
+  if (step.tag != "*" && node.tag() != step.tag) return false;
+  for (const Predicate& p : step.predicates) {
+    if (!matches(node, p)) return false;
+  }
+  return true;
+}
+
+void collect_descendants(const runtime::Node& node,
+                         std::vector<runtime::Node>& out) {
+  out.push_back(node);
+  for (std::size_t i = 0; i < node.child_count(); ++i) {
+    collect_descendants(node.child(i), out);
+  }
+}
+
+}  // namespace
+
+Result<Query> Query::parse(std::string_view text) {
+  Parser parser(text);
+  XPDL_ASSIGN_OR_RETURN(std::vector<Step> steps, parser.run());
+  return Query(std::move(steps), std::string(text));
+}
+
+std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
+  // Current frontier; the first step applies to the root itself for '//'
+  // and to the root's own matching for '/' (XPath-like with the root as
+  // the implicit context node's document).
+  std::vector<runtime::Node> frontier = {root};
+  bool first = true;
+  for (const Step& step : steps_) {
+    std::vector<runtime::Node> next;
+    for (const runtime::Node& node : frontier) {
+      std::vector<runtime::Node> candidates;
+      if (step.descendant) {
+        collect_descendants(node, candidates);
+      } else if (first) {
+        // Leading '/tag' addresses the root element itself.
+        candidates.push_back(node);
+      } else {
+        for (std::size_t i = 0; i < node.child_count(); ++i) {
+          candidates.push_back(node.child(i));
+        }
+      }
+      for (const runtime::Node& c : candidates) {
+        if (matches(c, step)) next.push_back(c);
+      }
+    }
+    // Deduplicate (descendant steps can reach a node repeatedly) while
+    // preserving order.
+    std::vector<runtime::Node> dedup;
+    for (const runtime::Node& n : next) {
+      if (std::find(dedup.begin(), dedup.end(), n) == dedup.end()) {
+        dedup.push_back(n);
+      }
+    }
+    frontier = std::move(dedup);
+    first = false;
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::vector<runtime::Node> Query::evaluate(
+    const runtime::Model& model) const {
+  return evaluate(model.root());
+}
+
+Result<std::vector<runtime::Node>> select(const runtime::Model& model,
+                                          std::string_view query) {
+  XPDL_ASSIGN_OR_RETURN(Query q, Query::parse(query));
+  return q.evaluate(model);
+}
+
+Result<bool> exists(const runtime::Model& model, std::string_view query) {
+  XPDL_ASSIGN_OR_RETURN(auto nodes, select(model, query));
+  return !nodes.empty();
+}
+
+}  // namespace xpdl::query

@@ -1,0 +1,162 @@
+#include "xpdl/repository/repository.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "xpdl/model/ir.h"
+
+namespace xpdl::repository {
+
+namespace fs = std::filesystem;
+
+Repository::Repository(std::vector<std::string> search_path)
+    : search_path_(std::move(search_path)) {}
+
+void Repository::add_root(std::string directory) {
+  search_path_.push_back(std::move(directory));
+  scanned_ = false;
+}
+
+Status Repository::index_file(const std::string& path,
+                              const std::string& root_dir) {
+  // Index cheaply: parse the file now (descriptors are small); the parsed
+  // tree doubles as the cache entry.
+  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
+  for (std::string& w : doc.warnings) warnings_.push_back(std::move(w));
+
+  schema::ValidationReport report =
+      schema::Schema::core().validate(*doc.root);
+  for (std::string& w : report.warnings) warnings_.push_back(std::move(w));
+  if (!report.ok()) {
+    return report.status();
+  }
+
+  model::Identity ident = model::identity_of(*doc.root);
+  const std::string& ref = ident.reference_name();
+  if (ref.empty()) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "descriptor root <" + doc.root->tag() +
+                      "> has neither 'name' nor 'id'; it cannot be "
+                      "referenced from other models",
+                  doc.root->location());
+  }
+
+  auto it = entries_.find(ref);
+  if (it != entries_.end()) {
+    // Shadowing across roots is allowed with a warning (earlier search
+    // path roots win); duplicates inside the same root are hard errors.
+    if (it->second.info.path.rfind(root_dir, 0) == 0) {
+      return Status(ErrorCode::kSchemaViolation,
+                    "duplicate descriptor name '" + ref + "' in '" + path +
+                        "' (already defined in '" + it->second.info.path +
+                        "')",
+                    doc.root->location());
+    }
+    warnings_.push_back("descriptor '" + ref + "' from '" + path +
+                        "' is shadowed by '" + it->second.info.path + "'");
+    return Status::ok();
+  }
+
+  Entry entry;
+  entry.info = DescriptorInfo{ref, doc.root->tag(), path, ident.is_meta()};
+  entry.root = std::move(doc.root);
+  entries_.emplace(ref, std::move(entry));
+  return Status::ok();
+}
+
+Status Repository::scan() {
+  entries_.clear();
+  warnings_.clear();
+  for (const std::string& root : search_path_) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      return Status(ErrorCode::kIoError,
+                    "model search path entry is not a directory",
+                    SourceLocation{root, 0, 0});
+    }
+    // Deterministic order: collect and sort paths first.
+    std::vector<std::string> files;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        return Status(ErrorCode::kIoError,
+                      "error walking repository: " + ec.message(),
+                      SourceLocation{root, 0, 0});
+      }
+      if (it->is_regular_file() && it->path().extension() == ".xpdl") {
+        files.push_back(it->path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) {
+      XPDL_RETURN_IF_ERROR(index_file(f, root).with_context(
+          "indexing repository file '" + f + "'"));
+    }
+  }
+  scanned_ = true;
+  return Status::ok();
+}
+
+bool Repository::contains(std::string_view ref) const noexcept {
+  return entries_.find(ref) != entries_.end();
+}
+
+Result<const xml::Element*> Repository::lookup(std::string_view ref) {
+  auto it = entries_.find(ref);
+  if (it == entries_.end()) {
+    return Status(ErrorCode::kUnresolvedRef,
+                  "no descriptor named '" + std::string(ref) +
+                      "' in the model repository (" +
+                      std::to_string(entries_.size()) + " descriptors, " +
+                      std::to_string(search_path_.size()) +
+                      " search path root(s))");
+  }
+  return it->second.root.get();
+}
+
+Result<const xml::Element*> Repository::load_file(const std::string& path) {
+  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
+  for (std::string& w : doc.warnings) warnings_.push_back(std::move(w));
+  schema::ValidationReport report =
+      schema::Schema::core().validate(*doc.root);
+  for (std::string& w : report.warnings) warnings_.push_back(std::move(w));
+  if (!report.ok()) return report.status();
+  return add_descriptor(std::move(doc.root));
+}
+
+Result<const xml::Element*> Repository::add_descriptor(
+    std::unique_ptr<xml::Element> root) {
+  model::Identity ident = model::identity_of(*root);
+  const std::string& ref = ident.reference_name();
+  if (ref.empty()) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "descriptor root <" + root->tag() +
+                      "> has neither 'name' nor 'id'",
+                  root->location());
+  }
+  Entry entry;
+  entry.info = DescriptorInfo{ref, root->tag(), "<memory>", ident.is_meta()};
+  entry.root = std::move(root);
+  auto [it, inserted] = entries_.insert_or_assign(ref, std::move(entry));
+  if (!inserted) {
+    warnings_.push_back("descriptor '" + ref +
+                        "' replaced by an injected definition");
+  }
+  return it->second.root.get();
+}
+
+std::vector<DescriptorInfo> Repository::descriptors() const {
+  std::vector<DescriptorInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [ref, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+Result<std::unique_ptr<Repository>> open_repository(
+    std::vector<std::string> roots) {
+  auto repo = std::make_unique<Repository>(std::move(roots));
+  XPDL_RETURN_IF_ERROR(repo->scan());
+  return repo;
+}
+
+}  // namespace xpdl::repository

@@ -1,0 +1,136 @@
+#include "xpdl/runtime/capi.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+// The process-wide model behind the C API. Guarded for concurrent init;
+// queries after a successful init are lock-free reads of an immutable
+// structure.
+std::mutex g_mutex;
+std::unique_ptr<xpdl::runtime::Model> g_model;
+
+const xpdl::runtime::Model* model() noexcept { return g_model.get(); }
+
+std::optional<xpdl::runtime::Node> to_node(xpdl_node_t handle) noexcept {
+  const auto* m = model();
+  if (m == nullptr || handle == 0 || handle > m->node_count()) {
+    return std::nullopt;
+  }
+  return xpdl::runtime::Node(m, handle - 1);
+}
+
+xpdl_node_t to_handle(const xpdl::runtime::Node& node) noexcept {
+  return node.index() + 1;
+}
+
+/// Validates a subtree handle: 0 selects the whole model; an invalid
+/// nonzero handle is reported so callers can fail closed instead of
+/// silently widening the query to the whole model.
+bool subtree_arg(xpdl_node_t handle,
+                 std::optional<xpdl::runtime::Node>& out) noexcept {
+  if (handle == 0) {
+    out = std::nullopt;  // whole model
+    return true;
+  }
+  out = to_node(handle);
+  return out.has_value();
+}
+
+}  // namespace
+
+extern "C" {
+
+int xpdl_init(const char* filename) {
+  if (filename == nullptr) return 1;
+  auto loaded = xpdl::runtime::Model::load(filename);
+  if (!loaded.is_ok()) return 2;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_model = std::make_unique<xpdl::runtime::Model>(std::move(loaded).value());
+  return 0;
+}
+
+void xpdl_shutdown(void) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_model.reset();
+}
+
+int xpdl_is_initialized(void) { return model() != nullptr ? 1 : 0; }
+
+xpdl_node_t xpdl_root(void) {
+  return model() != nullptr ? to_handle(model()->root()) : 0;
+}
+
+xpdl_node_t xpdl_find_by_id(const char* id) {
+  if (model() == nullptr || id == nullptr) return 0;
+  auto node = model()->find_by_id(id);
+  return node.has_value() ? to_handle(*node) : 0;
+}
+
+const char* xpdl_tag(xpdl_node_t handle) {
+  auto node = to_node(handle);
+  return node.has_value() ? node->tag().data() : nullptr;
+}
+
+const char* xpdl_get_attribute(xpdl_node_t handle, const char* name) {
+  auto node = to_node(handle);
+  if (!node.has_value() || name == nullptr) return nullptr;
+  auto value = node->attribute(name);
+  // Interned strings are NUL-terminated std::strings; .data() is safe.
+  return value.has_value() ? value->data() : nullptr;
+}
+
+unsigned xpdl_num_children(xpdl_node_t handle) {
+  auto node = to_node(handle);
+  return node.has_value() ? static_cast<unsigned>(node->child_count()) : 0;
+}
+
+xpdl_node_t xpdl_child_at(xpdl_node_t handle, unsigned index) {
+  auto node = to_node(handle);
+  if (!node.has_value() || index >= node->child_count()) return 0;
+  return to_handle(node->child(index));
+}
+
+xpdl_node_t xpdl_parent(xpdl_node_t handle) {
+  auto node = to_node(handle);
+  if (!node.has_value()) return 0;
+  auto parent = node->parent();
+  return parent.has_value() ? to_handle(*parent) : 0;
+}
+
+unsigned xpdl_count_tag(const char* tag, xpdl_node_t subtree) {
+  std::optional<xpdl::runtime::Node> within;
+  if (model() == nullptr || tag == nullptr || !subtree_arg(subtree, within)) {
+    return 0;
+  }
+  return static_cast<unsigned>(model()->count(tag, within));
+}
+
+unsigned xpdl_count_cores(xpdl_node_t subtree) {
+  std::optional<xpdl::runtime::Node> within;
+  if (model() == nullptr || !subtree_arg(subtree, within)) return 0;
+  return static_cast<unsigned>(model()->count_cores(within));
+}
+
+unsigned xpdl_count_cuda_devices(xpdl_node_t subtree) {
+  std::optional<xpdl::runtime::Node> within;
+  if (model() == nullptr || !subtree_arg(subtree, within)) return 0;
+  return static_cast<unsigned>(model()->count_cuda_devices(within));
+}
+
+double xpdl_total_static_power(xpdl_node_t subtree) {
+  std::optional<xpdl::runtime::Node> within;
+  if (model() == nullptr || !subtree_arg(subtree, within)) return 0.0;
+  return model()->total_static_power_w(within);
+}
+
+int xpdl_has_installed(const char* prefix) {
+  if (model() == nullptr || prefix == nullptr) return 0;
+  return model()->has_installed(prefix) ? 1 : 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,321 @@
+#include "xpdl/runtime/model.h"
+
+#include <deque>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::runtime {
+
+// ===========================================================================
+// Node
+
+std::string_view Node::tag() const noexcept {
+  return model_->str(model_->nodes_[index_].tag);
+}
+
+std::optional<std::string_view> Node::attribute(
+    std::string_view name) const noexcept {
+  const Model::NodeData& n = model_->nodes_[index_];
+  for (std::uint32_t i = 0; i < n.attr_count; ++i) {
+    const Model::AttrData& a = model_->attrs_[n.attr_start + i];
+    if (model_->str(a.key) == name) return model_->str(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Node::attribute_or(std::string_view name,
+                                    std::string_view fallback) const noexcept {
+  auto v = attribute(name);
+  return v.has_value() ? *v : fallback;
+}
+
+std::string_view Node::id() const noexcept { return attribute_or("id", ""); }
+std::string_view Node::name() const noexcept {
+  return attribute_or("name", "");
+}
+std::string_view Node::type() const noexcept {
+  return attribute_or("type", "");
+}
+
+Result<double> Node::number(std::string_view name) const {
+  auto v = attribute(name);
+  if (!v.has_value()) {
+    return Status(ErrorCode::kNotFound,
+                  "node <" + std::string(tag()) + "> has no attribute '" +
+                      std::string(name) + "'");
+  }
+  return strings::parse_double(*v);
+}
+
+Result<units::Quantity> Node::quantity(std::string_view metric) const {
+  auto v = attribute(metric);
+  if (!v.has_value()) {
+    return Status(ErrorCode::kNotFound,
+                  "node <" + std::string(tag()) + "> has no metric '" +
+                      std::string(metric) + "'");
+  }
+  std::string unit_attr = units::unit_attribute_name(metric);
+  std::string_view unit = attribute_or(unit_attr, "");
+  if (unit.empty()) {
+    XPDL_ASSIGN_OR_RETURN(double num, strings::parse_double(*v));
+    return units::Quantity(num, units::metric_dimension(metric));
+  }
+  return units::Quantity::parse(*v, unit, units::metric_dimension(metric));
+}
+
+std::size_t Node::child_count() const noexcept {
+  return model_->nodes_[index_].child_count;
+}
+
+Node Node::child(std::size_t i) const noexcept {
+  assert(i < child_count());
+  return Node(model_, model_->nodes_[index_].first_child +
+                          static_cast<std::uint32_t>(i));
+}
+
+std::optional<Node> Node::parent() const noexcept {
+  std::uint32_t p = model_->nodes_[index_].parent;
+  if (p == Model::kNoNode) return std::nullopt;
+  return Node(model_, p);
+}
+
+std::optional<Node> Node::first(std::string_view tag) const noexcept {
+  for (std::size_t i = 0; i < child_count(); ++i) {
+    Node c = child(i);
+    if (c.tag() == tag) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<Node> Node::children(std::string_view tag) const {
+  std::vector<Node> out;
+  for (std::size_t i = 0; i < child_count(); ++i) {
+    Node c = child(i);
+    if (c.tag() == tag) out.push_back(c);
+  }
+  return out;
+}
+
+// ===========================================================================
+// Model construction
+
+std::uint32_t Model::intern(std::string_view s) {
+  if (auto it = intern_index_.find(s); it != intern_index_.end()) {
+    return it->second;
+  }
+  auto idx = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  intern_index_.emplace(std::string(s), idx);
+  return idx;
+}
+
+Result<Model> Model::from_xml(const xml::Element& root) {
+  Model m;
+  // BFS layout: children of every node occupy one contiguous index range.
+  std::deque<std::pair<const xml::Element*, std::uint32_t>> queue;
+  queue.emplace_back(&root, kNoNode);
+  while (!queue.empty()) {
+    auto [elem, parent] = queue.front();
+    queue.pop_front();
+    auto index = static_cast<std::uint32_t>(m.nodes_.size());
+    if (index == kNoNode) {
+      return Status(ErrorCode::kInvalidArgument, "model too large");
+    }
+    NodeData node;
+    node.tag = m.intern(elem->tag());
+    node.parent = parent;
+    node.attr_start = static_cast<std::uint32_t>(m.attrs_.size());
+    node.attr_count = static_cast<std::uint32_t>(elem->attributes().size());
+    for (const xml::Attribute& a : elem->attributes()) {
+      m.attrs_.push_back(AttrData{m.intern(a.name), m.intern(a.value)});
+    }
+    m.nodes_.push_back(node);
+    if (parent != kNoNode) {
+      NodeData& p = m.nodes_[parent];
+      if (p.child_count == 0) p.first_child = index;
+      ++p.child_count;
+    }
+    for (const auto& c : elem->children()) {
+      queue.emplace_back(c.get(), index);
+    }
+  }
+  // The BFS above assigns child indices only after all earlier levels,
+  // but first_child is set when the first child is *popped*; since
+  // children are pushed in order and popped contiguously, the range is
+  // correct. Rebuild the id index last.
+  m.build_id_index();
+  return m;
+}
+
+Result<Model> Model::from_composed(const compose::ComposedModel& composed) {
+  return from_xml(composed.root());
+}
+
+void Model::build_id_index() {
+  id_index_.clear();
+  // Qualified dotted path from ids/names along the ancestry; bare unique
+  // ids are indexed directly, ambiguous ones removed (fail closed).
+  std::map<std::string, std::uint32_t, std::less<>> local;
+  std::map<std::string, int, std::less<>> local_count;
+  std::vector<std::string> paths(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    Node n(this, i);
+    std::string_view ident = n.id();
+    if (ident.empty()) ident = n.name();
+    std::string path =
+        nodes_[i].parent == kNoNode ? "" : paths[nodes_[i].parent];
+    if (!ident.empty()) {
+      if (!path.empty()) path += '.';
+      path += ident;
+      ++local_count[std::string(ident)];
+      local.emplace(std::string(ident), i);
+      id_index_.emplace(path, i);
+    }
+    paths[i] = std::move(path);
+  }
+  for (const auto& [ident, count] : local_count) {
+    if (count == 1 && id_index_.find(ident) == id_index_.end()) {
+      id_index_.emplace(ident, local[ident]);
+    }
+  }
+}
+
+Model::MemoryStats Model::memory_stats() const noexcept {
+  MemoryStats stats;
+  stats.node_bytes = nodes_.size() * sizeof(NodeData);
+  stats.attribute_bytes = attrs_.size() * sizeof(AttrData);
+  stats.string_count = strings_.size();
+  for (const std::string& s : strings_) {
+    stats.string_bytes += s.size() + 1;
+  }
+  return stats;
+}
+
+std::optional<Node> Model::find_by_id(std::string_view id) const {
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) return std::nullopt;
+  return Node(this, it->second);
+}
+
+std::vector<Node> Model::find_all(std::string_view tag) const {
+  std::vector<Node> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (str(nodes_[i].tag) == tag) out.emplace_back(this, i);
+  }
+  return out;
+}
+
+template <typename F>
+void Model::for_each_in_subtree(std::uint32_t start, F&& fn) const {
+  std::vector<std::uint32_t> stack = {start};
+  while (!stack.empty()) {
+    std::uint32_t cur = stack.back();
+    stack.pop_back();
+    fn(cur);
+    const NodeData& n = nodes_[cur];
+    for (std::uint32_t i = 0; i < n.child_count; ++i) {
+      stack.push_back(n.first_child + i);
+    }
+  }
+}
+
+// ===========================================================================
+// Analysis functions (API category 4) — hand-written per the paper; the
+// attribute getters are generated, these are not.
+
+std::size_t Model::count(std::string_view tag,
+                         std::optional<Node> within) const {
+  std::size_t n = 0;
+  for_each_in_subtree(within.has_value() ? within->index() : 0,
+                      [&](std::uint32_t i) {
+                        if (str(nodes_[i].tag) != tag) return;
+                        // Elements inside a <power_domain> are references
+                        // to hardware, not hardware (Listing 12); they
+                        // must not inflate structural counts.
+                        for (std::uint32_t p = nodes_[i].parent;
+                             p != kNoNode; p = nodes_[p].parent) {
+                          if (str(nodes_[p].tag) == "power_domain") return;
+                        }
+                        ++n;
+                      });
+  return n;
+}
+
+std::size_t Model::count_cores(std::optional<Node> within) const {
+  return count("core", within);
+}
+
+std::size_t Model::count_host_cores(std::optional<Node> within) const {
+  std::size_t n = 0;
+  for_each_in_subtree(within.has_value() ? within->index() : 0,
+                      [&](std::uint32_t i) {
+                        if (str(nodes_[i].tag) != "core") return;
+                        for (std::uint32_t p = nodes_[i].parent;
+                             p != kNoNode; p = nodes_[p].parent) {
+                          std::string_view tag = str(nodes_[p].tag);
+                          if (tag == "device" || tag == "gpu" ||
+                              tag == "power_domain") {
+                            return;
+                          }
+                        }
+                        ++n;
+                      });
+  return n;
+}
+
+std::size_t Model::count_devices(std::optional<Node> within) const {
+  return count("device", within) + count("gpu", within);
+}
+
+std::size_t Model::count_cuda_devices(std::optional<Node> within) const {
+  std::size_t n = 0;
+  for_each_in_subtree(
+      within.has_value() ? within->index() : 0, [&](std::uint32_t i) {
+        std::string_view tag = str(nodes_[i].tag);
+        if (tag != "device" && tag != "gpu") return;
+        Node dev(this, i);
+        for (std::size_t c = 0; c < dev.child_count(); ++c) {
+          Node child = dev.child(c);
+          if (child.tag() != "programming_model") continue;
+          for (const std::string& pm :
+               strings::split(child.attribute_or("type", ""), ',')) {
+            if (pm.rfind("cuda", 0) == 0) {
+              ++n;
+              return;
+            }
+          }
+        }
+      });
+  return n;
+}
+
+double Model::total_static_power_w(std::optional<Node> within) const {
+  std::uint32_t start = within.has_value() ? within->index() : 0;
+  // Prefer the composer's synthesized attribute on the subtree root.
+  Node root_node(this, start);
+  if (auto total = root_node.attribute(compose::kStaticPowerTotalAttr)) {
+    if (auto v = strings::parse_double(*total); v.is_ok()) return v.value();
+  }
+  double sum = 0.0;
+  for_each_in_subtree(start, [&](std::uint32_t i) {
+    Node n(this, i);
+    if (auto q = n.quantity("static_power"); q.is_ok()) {
+      sum += q->si();
+    }
+  });
+  return sum;
+}
+
+bool Model::has_installed(std::string_view type_prefix) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (str(nodes_[i].tag) != "installed") continue;
+    Node n(this, i);
+    if (n.type().rfind(type_prefix, 0) == 0) return true;
+    // Also match the referenced descriptor's meta name after composition.
+    if (n.name().rfind(type_prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace xpdl::runtime

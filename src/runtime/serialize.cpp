@@ -1,0 +1,192 @@
+// Binary (de)serialization of the runtime model file (Sec. IV: the
+// composed model "is finally written into a file" and loaded by the
+// application at startup).
+//
+// Format XPDLRT01 (little-endian):
+//   magic[8]  "XPDLRT01"
+//   u32 string_count { u32 len, bytes }*
+//   u32 node_count   { u32 tag, parent, first_child, child_count,
+//                      attr_start, attr_count }*
+//   u32 attr_count   { u32 key, u32 value }*
+//   u32 checksum     (FNV-1a over everything after the magic)
+#include <cstring>
+
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/io.h"
+
+namespace xpdl::runtime {
+namespace {
+
+constexpr char kMagic[8] = {'X', 'P', 'D', 'L', 'R', 'T', '0', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Result<std::uint32_t> u32() {
+    if (pos_ + 4 > data_.size()) {
+      return Status(ErrorCode::kFormatError,
+                    "runtime model file truncated at offset " +
+                        std::to_string(pos_));
+    }
+    std::uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::string_view> bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status(ErrorCode::kFormatError,
+                    "runtime model file truncated at offset " +
+                        std::to_string(pos_));
+    }
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::uint32_t fnv1a(std::string_view data) {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Model::serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  std::string body;
+  put_u32(body, static_cast<std::uint32_t>(strings_.size()));
+  for (const std::string& s : strings_) {
+    put_u32(body, static_cast<std::uint32_t>(s.size()));
+    body.append(s);
+  }
+  put_u32(body, static_cast<std::uint32_t>(nodes_.size()));
+  for (const NodeData& n : nodes_) {
+    put_u32(body, n.tag);
+    put_u32(body, n.parent);
+    put_u32(body, n.first_child);
+    put_u32(body, n.child_count);
+    put_u32(body, n.attr_start);
+    put_u32(body, n.attr_count);
+  }
+  put_u32(body, static_cast<std::uint32_t>(attrs_.size()));
+  for (const AttrData& a : attrs_) {
+    put_u32(body, a.key);
+    put_u32(body, a.value);
+  }
+  out += body;
+  put_u32(out, fnv1a(body));
+  return out;
+}
+
+Result<Model> Model::deserialize(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status(ErrorCode::kFormatError,
+                  "not an XPDL runtime model file (bad magic)");
+  }
+  std::string_view body =
+      bytes.substr(sizeof(kMagic), bytes.size() - sizeof(kMagic) - 4);
+  std::uint32_t stored_checksum;
+  std::memcpy(&stored_checksum, bytes.data() + bytes.size() - 4, 4);
+  if (fnv1a(body) != stored_checksum) {
+    return Status(ErrorCode::kFormatError,
+                  "runtime model file checksum mismatch (corrupt file)");
+  }
+
+  Cursor cur(body);
+  Model m;
+  XPDL_ASSIGN_OR_RETURN(std::uint32_t string_count, cur.u32());
+  m.strings_.reserve(string_count);
+  for (std::uint32_t i = 0; i < string_count; ++i) {
+    XPDL_ASSIGN_OR_RETURN(std::uint32_t len, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(std::string_view s, cur.bytes(len));
+    m.strings_.emplace_back(s);
+  }
+  XPDL_ASSIGN_OR_RETURN(std::uint32_t node_count, cur.u32());
+  if (node_count == 0) {
+    return Status(ErrorCode::kFormatError, "runtime model has no nodes");
+  }
+  m.nodes_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    NodeData n;
+    XPDL_ASSIGN_OR_RETURN(n.tag, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(n.parent, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(n.first_child, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(n.child_count, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(n.attr_start, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(n.attr_count, cur.u32());
+    m.nodes_.push_back(n);
+  }
+  XPDL_ASSIGN_OR_RETURN(std::uint32_t attr_count, cur.u32());
+  m.attrs_.reserve(attr_count);
+  for (std::uint32_t i = 0; i < attr_count; ++i) {
+    AttrData a;
+    XPDL_ASSIGN_OR_RETURN(a.key, cur.u32());
+    XPDL_ASSIGN_OR_RETURN(a.value, cur.u32());
+    m.attrs_.push_back(a);
+  }
+  if (!cur.exhausted()) {
+    return Status(ErrorCode::kFormatError,
+                  "trailing bytes in runtime model file");
+  }
+
+  // Referential integrity: every index must be in range. A malformed
+  // file must never produce out-of-bounds access later.
+  auto check_str = [&](std::uint32_t idx) {
+    return idx < m.strings_.size();
+  };
+  for (const NodeData& n : m.nodes_) {
+    if (!check_str(n.tag) ||
+        (n.parent != kNoNode && n.parent >= m.nodes_.size()) ||
+        (n.child_count > 0 &&
+         (n.first_child >= m.nodes_.size() ||
+          n.first_child + n.child_count > m.nodes_.size())) ||
+        n.attr_start + n.attr_count > m.attrs_.size()) {
+      return Status(ErrorCode::kFormatError,
+                    "runtime model file has out-of-range indices");
+    }
+  }
+  for (const AttrData& a : m.attrs_) {
+    if (!check_str(a.key) || !check_str(a.value)) {
+      return Status(ErrorCode::kFormatError,
+                    "runtime model file has out-of-range string indices");
+    }
+  }
+  for (std::uint32_t i = 0; i < m.strings_.size(); ++i) {
+    m.intern_index_.emplace(m.strings_[i], i);
+  }
+  m.build_id_index();
+  return m;
+}
+
+Status Model::save(const std::string& path) const {
+  return io::write_file(path, serialize());
+}
+
+Result<Model> Model::load(const std::string& path) {
+  XPDL_ASSIGN_OR_RETURN(std::string bytes, io::read_file(path));
+  return deserialize(bytes);
+}
+
+}  // namespace xpdl::runtime

@@ -1,0 +1,727 @@
+#include "xpdl/schema/schema.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "xpdl/util/expr.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+
+namespace xpdl::schema {
+namespace {
+
+using strings::is_identifier;
+using strings::is_placeholder;
+
+/// Attributes every component kind may carry (Sec. III-A): `name` declares
+/// a meta-model, `id` a concrete model element, `type` references a
+/// meta-model, `extends` lists supertypes, `role` an optional control role
+/// (master/worker/hybrid — kept from PDL as a secondary aspect).
+std::vector<AttributeSpec> component_attrs(
+    std::initializer_list<AttributeSpec> extra = {}) {
+  std::vector<AttributeSpec> attrs = {
+      {"name", AttrType::kIdentifier, false, "meta-model name"},
+      {"id", AttrType::kIdentifier, false, "concrete model element id"},
+      {"type", AttrType::kIdentifier, false, "referenced meta-model"},
+      {"extends", AttrType::kIdentifierList, false,
+       "supertypes for (multiple) inheritance"},
+      {"role", AttrType::kString, false,
+       "optional control role: master / worker / hybrid"},
+      {"resolved", AttrType::kBool, false,
+       "set by the composer once the type reference has been merged"},
+  };
+  attrs.insert(attrs.end(), extra.begin(), extra.end());
+  return attrs;
+}
+
+constexpr std::string_view kComponentTags[] = {
+    "cpu",    "core",   "cache",  "memory",       "socket",
+    "node",   "cluster", "system", "device",      "gpu",
+    "interconnect", "channel",  "hostOS",  "installed",
+};
+
+}  // namespace
+
+std::string_view to_string(AttrType t) noexcept {
+  switch (t) {
+    case AttrType::kString: return "string";
+    case AttrType::kIdentifier: return "identifier";
+    case AttrType::kIdentifierList: return "identifier-list";
+    case AttrType::kUInt: return "uint";
+    case AttrType::kNumber: return "number";
+    case AttrType::kBool: return "bool";
+    case AttrType::kMetric: return "metric";
+    case AttrType::kUnitSymbol: return "unit";
+    case AttrType::kExpression: return "expression";
+    case AttrType::kPath: return "path";
+  }
+  return "unknown";
+}
+
+bool is_component_tag(std::string_view tag) noexcept {
+  return std::find(std::begin(kComponentTags), std::end(kComponentTags),
+                   tag) != std::end(kComponentTags);
+}
+
+const AttributeSpec* ElementSpec::find_attribute(
+    std::string_view name) const noexcept {
+  for (const AttributeSpec& a : attributes) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+bool ElementSpec::allows_child(std::string_view tag) const noexcept {
+  if (allow_any_children) return true;
+  return std::find(child_tags.begin(), child_tags.end(), tag) !=
+         child_tags.end();
+}
+
+Status ValidationReport::status() const {
+  if (errors.empty()) return Status::ok();
+  if (errors.size() == 1) return errors.front();
+  Status first = errors.front();
+  return Status(first.code(),
+                first.message() + " (and " +
+                    std::to_string(errors.size() - 1) + " more error(s))",
+                first.location());
+}
+
+const Schema& Schema::core() {
+  static const Schema* schema = [] {
+    auto* s = new Schema();
+    auto add = [&](ElementSpec spec) {
+      Status st = s->add_element(std::move(spec));
+      assert(st.is_ok());
+      (void)st;
+    };
+
+    // Child sets reused across the structural kinds. Hardware containers
+    // may nest groups, parameters and power modeling anywhere the paper's
+    // listings do.
+    const std::vector<std::string> cpu_children = {
+        "group", "core",  "cache",      "memory",     "power_model",
+        "const", "param", "constraints", "properties",
+    };
+    const std::vector<std::string> node_children = {
+        "group",  "socket", "cpu",        "memory",     "device", "gpu",
+        "cache",  "interconnects", "power_model", "const", "param",
+        "constraints", "properties",
+    };
+    const std::vector<std::string> device_children = {
+        "group", "socket", "cpu",  "core",  "cache", "memory",
+        "const", "param",  "constraints", "power_model",
+        "programming_model", "properties", "interconnects",
+    };
+
+    add({.tag = "system",
+         .documentation =
+             "Top-level concrete model of a complete computer system "
+             "(single-node or multi-node), Listing 4/7/11.",
+         .attributes = component_attrs(),
+         .child_tags = {"cluster", "node", "socket", "cpu", "device", "gpu",
+                        "memory", "group", "interconnects", "software",
+                        "properties", "power_model", "const", "param",
+                        "constraints"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "cluster",
+         .documentation = "Multi-node aggregate connected by a network "
+                          "(Listing 11).",
+         .attributes = component_attrs(),
+         .child_tags = {"group", "node", "interconnects", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "node",
+         .documentation = "One compute node of a cluster.",
+         .attributes = component_attrs(),
+         .child_tags = node_children,
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "socket",
+         .documentation = "A CPU socket holding one processor.",
+         .attributes = component_attrs(),
+         .child_tags = {"cpu", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "cpu",
+         .documentation =
+             "A processor: cores, caches, on-chip memories, power model "
+             "(Listings 1 and 6).",
+         .attributes = component_attrs(
+             {{"frequency", AttrType::kMetric, false, "nominal clock"},
+              {"frequency_unit", AttrType::kUnitSymbol, false, ""},
+              {"endian", AttrType::kString, false, "BE / LE"}}),
+         .child_tags = cpu_children,
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "core",
+         .documentation = "One processor core (Listing 1/6).",
+         .attributes = component_attrs(
+             {{"frequency", AttrType::kMetric, false, "core clock"},
+              {"frequency_unit", AttrType::kUnitSymbol, false, ""},
+              {"endian", AttrType::kString, false, "BE / LE"}}),
+         .child_tags = {"cache", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "cache",
+         .documentation =
+             "A cache; sharing is expressed by hierarchical scoping "
+             "(Sec. III-B).",
+         .attributes = component_attrs(
+             {{"size", AttrType::kMetric, false, "capacity"},
+              {"unit", AttrType::kUnitSymbol, false,
+               "unit of size (the paper's exception rule)"},
+              {"sets", AttrType::kUInt, false, "associativity sets"},
+              {"replacement", AttrType::kString, false, "e.g. LRU"},
+              {"write_policy", AttrType::kString, false,
+               "writethrough / copyback"},
+              {"level", AttrType::kUInt, false, "cache level"}}),
+         .child_tags = {"properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "memory",
+         .documentation = "A memory module / region (Listing 2).",
+         .attributes = component_attrs(
+             {{"size", AttrType::kMetric, false, "capacity"},
+              {"unit", AttrType::kUnitSymbol, false, ""},
+              {"slices", AttrType::kUInt, false, "banked slices (CMX)"},
+              {"endian", AttrType::kString, false, "BE / LE"}}),
+         .child_tags = {"properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "device",
+         .documentation =
+             "An accelerator device: GPU, DSP board, ... (Listings 5, 8-10).",
+         .attributes = component_attrs(
+             {{"compute_capability", AttrType::kNumber, false,
+               "CUDA compute capability"}}),
+         .child_tags = device_children,
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "gpu",
+         .documentation = "Alias kind for GPU devices (Sec. III-D).",
+         .attributes = component_attrs(
+             {{"compute_capability", AttrType::kNumber, false, ""}}),
+         .child_tags = device_children,
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "group",
+         .documentation =
+             "Groups elements; with `quantity` the group is homogeneous and "
+             "`prefix` auto-assigns member ids prefix0..prefixN-1 "
+             "(Sec. III-A).",
+         .attributes = component_attrs(
+             {{"prefix", AttrType::kIdentifier, false, "member id prefix"},
+              {"quantity", AttrType::kUInt, false,
+               "member count; literal or parameter reference"},
+              {"expanded", AttrType::kBool, false,
+               "set by the composer once the group has been expanded"}}),
+         .child_tags = {"group", "core", "cpu", "cache", "memory", "socket",
+                        "node", "device", "gpu", "interconnects",
+                        "power_domain", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = false});
+
+    add({.tag = "interconnects",
+         .documentation = "Container for interconnect instances.",
+         .attributes = {},
+         .child_tags = {"interconnect", "group"}});
+
+    add({.tag = "interconnect",
+         .documentation =
+             "An interconnect (PCIe, QPI, Infiniband, SPI...); instances "
+             "carry head/tail endpoints (Listings 3, 4, 11).",
+         .attributes = component_attrs(
+             {{"head", AttrType::kIdentifier, false, "source endpoint id"},
+              {"tail", AttrType::kIdentifier, false, "sink endpoint id"}}),
+         .child_tags = {"channel", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    add({.tag = "channel",
+         .documentation =
+             "One directed channel of an interconnect, with bandwidth and "
+             "per-message/per-byte time and energy costs (Listing 3).",
+         .attributes = component_attrs(),
+         .child_tags = {"properties"},
+         .allow_metric_attributes = true,
+         .is_component = true});
+
+    // --- power modeling (Sec. III-C) -----------------------------------
+    add({.tag = "power_model",
+         .documentation =
+             "A processor's power model: power domains, their power state "
+             "machines, and microbenchmark deployment info.",
+         .attributes = component_attrs(),
+         .child_tags = {"power_domains", "power_state_machine",
+                        "instructions", "microbenchmarks", "properties"},
+         .allow_metric_attributes = true,
+         .is_component = false});
+
+    add({.tag = "power_domains",
+         .documentation = "Set of power domains / islands (Listing 12).",
+         .attributes = {{"name", AttrType::kIdentifier, false, ""}},
+         .child_tags = {"power_domain", "group"}});
+
+    add({.tag = "power_domain",
+         .documentation =
+             "A power island: components switched together in power state "
+             "transitions (Listing 12).",
+         .attributes = {{"name", AttrType::kIdentifier, false, ""},
+                        {"enableSwitchOff", AttrType::kBool, false,
+                         "false for the main/default domain"},
+                        {"switchoffCondition", AttrType::kString, false,
+                         "e.g. 'Shave_pds off'"}},
+         .child_tags = {"core", "cpu", "memory", "cache", "device", "gpu",
+                        "group"}});
+
+    add({.tag = "power_state_machine",
+         .documentation =
+             "Finite state machine of DVFS/sleep states for a power domain "
+             "(Listing 13).",
+         .attributes = {{"name", AttrType::kIdentifier, false, ""},
+                        {"power_domain", AttrType::kIdentifier, false,
+                         "the governed domain"}},
+         .child_tags = {"power_states", "transitions"}});
+
+    add({.tag = "power_states",
+         .documentation = "Container for power states.",
+         .attributes = {},
+         .child_tags = {"power_state"}});
+
+    add({.tag = "power_state",
+         .documentation =
+             "One P/C-state with its frequency and static power level.",
+         .attributes = {{"name", AttrType::kIdentifier, true, ""}},
+         .allow_metric_attributes = true});
+
+    add({.tag = "transitions",
+         .documentation = "Container for power state transitions.",
+         .attributes = {},
+         .child_tags = {"transition"}});
+
+    add({.tag = "transition",
+         .documentation =
+             "A programmer-initiable switching between power states with "
+             "time and energy overheads (Listing 13).",
+         .attributes = {{"head", AttrType::kIdentifier, true, "from state"},
+                        {"tail", AttrType::kIdentifier, true, "to state"}},
+         .allow_metric_attributes = true});
+
+    add({.tag = "instructions",
+         .documentation =
+             "Instruction set with per-instruction dynamic energy, possibly "
+             "frequency-dependent (Listing 14).",
+         .attributes = {{"name", AttrType::kIdentifier, true, "ISA name"},
+                        {"mb", AttrType::kIdentifier, false,
+                         "default microbenchmark suite"}},
+         .child_tags = {"inst"}});
+
+    add({.tag = "inst",
+         .documentation =
+             "One instruction; energy is a constant, a frequency table "
+             "(child <data>), or '?' derived by microbenchmarking.",
+         .attributes = {{"name", AttrType::kIdentifier, true, "mnemonic"},
+                        {"mb", AttrType::kIdentifier, false,
+                         "microbenchmark id"}},
+         .child_tags = {"data"},
+         .allow_metric_attributes = true});
+
+    add({.tag = "data",
+         .documentation = "One (frequency, energy) sample of an instruction "
+                          "energy table (Listing 14).",
+         .attributes = {},
+         .allow_metric_attributes = true});
+
+    add({.tag = "microbenchmarks",
+         .documentation =
+             "Microbenchmark suite with build/run deployment information "
+             "(Listing 15).",
+         .attributes = {{"id", AttrType::kIdentifier, true, ""},
+                        {"instruction_set", AttrType::kIdentifier, false, ""},
+                        {"path", AttrType::kPath, false, "source directory"},
+                        {"command", AttrType::kString, false,
+                         "build-and-run script"}},
+         .child_tags = {"microbenchmark"}});
+
+    add({.tag = "microbenchmark",
+         .documentation = "One microbenchmark source with build flags.",
+         .attributes = {{"id", AttrType::kIdentifier, true, ""},
+                        {"type", AttrType::kIdentifier, false,
+                         "instruction / effect measured"},
+                        {"file", AttrType::kPath, false, ""},
+                        {"cflags", AttrType::kString, false, ""},
+                        {"lflags", AttrType::kString, false, ""}}});
+
+    // --- software (Sec. III-A, Listing 11) ------------------------------
+    add({.tag = "software",
+         .documentation = "Installed system software of a system.",
+         .attributes = {},
+         .child_tags = {"hostOS", "installed", "properties"}});
+
+    add({.tag = "hostOS",
+         .documentation = "The node's operating system.",
+         .attributes = component_attrs(
+             {{"version", AttrType::kString, false, ""}}),
+         .child_tags = {"properties"},
+         .is_component = true});
+
+    add({.tag = "installed",
+         .documentation =
+             "One installed software package (library, compiler, runtime), "
+             "referencing its own descriptor by type.",
+         .attributes = component_attrs(
+             {{"path", AttrType::kPath, false, "install prefix"},
+              {"version", AttrType::kString, false, ""}}),
+         .child_tags = {"properties"},
+         .is_component = true});
+
+    add({.tag = "properties",
+         .documentation =
+             "Escape hatch: ad-hoc key-value properties not modeled by own "
+             "descriptors (Sec. III-A).",
+         .attributes = {},
+         .child_tags = {"property"}});
+
+    add({.tag = "property",
+         .documentation = "One free-form property.",
+         .attributes = {{"name", AttrType::kIdentifier, true, ""},
+                        {"value", AttrType::kString, false, ""},
+                        {"type", AttrType::kString, false, ""},
+                        {"command", AttrType::kString, false, ""}},
+         .allow_unknown_attributes = true});
+
+    // --- parameterization (Listing 8) -----------------------------------
+    add({.tag = "const",
+         .documentation = "A named constant of a meta-model.",
+         .attributes = {{"name", AttrType::kIdentifier, true, ""},
+                        {"value", AttrType::kMetric, false, ""}},
+         .allow_metric_attributes = true});
+
+    add({.tag = "param",
+         .documentation =
+             "A formal parameter; `configurable` parameters range over "
+             "`range` and are fixed by concrete models (Listings 8-10).",
+         .attributes = {{"name", AttrType::kIdentifier, true, ""},
+                        {"configurable", AttrType::kBool, false, ""},
+                        {"type", AttrType::kIdentifier, false,
+                         "msize / integer / frequency / ..."},
+                        {"range", AttrType::kString, false,
+                         "comma-separated admissible values"},
+                        {"value", AttrType::kMetric, false, ""}},
+         .allow_metric_attributes = true});
+
+    add({.tag = "constraints",
+         .documentation = "Container for constraints.",
+         .attributes = {},
+         .child_tags = {"constraint"}});
+
+    add({.tag = "constraint",
+         .documentation =
+             "Boolean expression over consts/params that every valid "
+             "configuration must satisfy (Listing 8).",
+         .attributes = {{"expr", AttrType::kExpression, true, ""}}});
+
+    add({.tag = "programming_model",
+         .documentation =
+             "Programming models a device supports (Listing 8).",
+         .attributes = {{"type", AttrType::kIdentifierList, true,
+                         "e.g. cuda6.0,opencl"}}});
+
+    return s;
+  }();
+  return *schema;
+}
+
+Status Schema::add_element(ElementSpec spec) {
+  if (find(spec.tag) != nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "element kind '" + spec.tag + "' already registered");
+  }
+  elements_.push_back(std::move(spec));
+  return Status::ok();
+}
+
+const ElementSpec* Schema::find(std::string_view tag) const noexcept {
+  for (const ElementSpec& e : elements_) {
+    if (e.tag == tag) return &e;
+  }
+  return nullptr;
+}
+
+ValidationReport Schema::validate(const xml::Element& root) const {
+  ValidationReport report;
+  validate_element(root, report);
+  return report;
+}
+
+void Schema::validate_attribute_value(const xml::Element& e,
+                                      const AttributeSpec& spec,
+                                      std::string_view value,
+                                      ValidationReport& report) const {
+  auto err = [&](std::string msg) {
+    report.errors.emplace_back(ErrorCode::kSchemaViolation,
+                               "<" + e.tag() + "> attribute '" + spec.name +
+                                   "': " + std::move(msg),
+                               e.location());
+  };
+  switch (spec.type) {
+    case AttrType::kString:
+    case AttrType::kPath:
+      break;
+    case AttrType::kIdentifier:
+      if (!is_identifier(value)) {
+        err("'" + std::string(value) + "' is not a valid identifier");
+      }
+      break;
+    case AttrType::kIdentifierList: {
+      for (const std::string& part : strings::split(value, ',')) {
+        if (!is_identifier(part)) {
+          err("'" + part + "' is not a valid identifier");
+        }
+      }
+      break;
+    }
+    case AttrType::kUInt:
+      // Group quantities may reference a parameter (Listing 8:
+      // quantity="num_SM"); the composer checks the binding.
+      if (!strings::parse_uint(value).is_ok() && !is_identifier(value)) {
+        err("'" + std::string(value) +
+            "' is neither a non-negative integer nor a parameter reference");
+      }
+      break;
+    case AttrType::kNumber:
+      if (!strings::parse_double(value).is_ok() && !is_identifier(value)) {
+        err("'" + std::string(value) +
+            "' is neither a number nor a parameter reference");
+      }
+      break;
+    case AttrType::kBool:
+      if (!strings::parse_bool(value).is_ok()) {
+        err("'" + std::string(value) + "' is not a boolean");
+      }
+      break;
+    case AttrType::kMetric:
+      if (!is_placeholder(value) && !strings::parse_double(value).is_ok() &&
+          !is_identifier(value)) {
+        err("'" + std::string(value) +
+            "' is not a number, parameter reference or '?' placeholder");
+      }
+      break;
+    case AttrType::kUnitSymbol:
+      if (!units::parse_unit(value).is_ok()) {
+        err("unknown unit '" + std::string(value) + "'");
+      }
+      break;
+    case AttrType::kExpression:
+      if (auto parsed = expr::Expression::parse(value); !parsed.is_ok()) {
+        err(parsed.status().message());
+      }
+      break;
+  }
+}
+
+void Schema::validate_element(const xml::Element& e,
+                              ValidationReport& report) const {
+  const ElementSpec* spec = find(e.tag());
+  if (spec == nullptr) {
+    report.errors.emplace_back(
+        ErrorCode::kSchemaViolation,
+        "unknown XPDL element <" + e.tag() + ">", e.location());
+    return;
+  }
+
+  // Required attributes.
+  for (const AttributeSpec& a : spec->attributes) {
+    if (a.required && !e.has_attribute(a.name)) {
+      report.errors.emplace_back(
+          ErrorCode::kSchemaViolation,
+          "<" + e.tag() + "> is missing required attribute '" + a.name + "'",
+          e.location());
+    }
+  }
+
+  // Attribute values. Undeclared attributes are accepted as metric/unit
+  // pairs where the element kind allows them.
+  for (const xml::Attribute& attr : e.attributes()) {
+    if (const AttributeSpec* a = spec->find_attribute(attr.name)) {
+      validate_attribute_value(e, *a, attr.value, report);
+      continue;
+    }
+    if (spec->allow_unknown_attributes) continue;
+    if (spec->allow_metric_attributes) {
+      // `X_unit` (and the bare `unit` for size) must name a known unit
+      // whose dimension matches metric X where the dimension is known.
+      std::string_view name = attr.name;
+      bool is_unit_attr =
+          name == "unit" ||
+          (name.size() > 5 && name.substr(name.size() - 5) == "_unit");
+      if (is_unit_attr) {
+        std::string metric =
+            name == "unit" ? "size"
+                           : std::string(name.substr(0, name.size() - 5));
+        auto unit = units::parse_unit(attr.value);
+        if (!unit.is_ok()) {
+          report.errors.emplace_back(
+              ErrorCode::kSchemaViolation,
+              "<" + e.tag() + "> attribute '" + attr.name +
+                  "': unknown unit '" + attr.value + "'",
+              attr.location);
+        } else {
+          units::Dimension want = units::metric_dimension(metric);
+          if (want != units::Dimension::kDimensionless &&
+              unit.value().dimension != want) {
+            report.errors.emplace_back(
+                ErrorCode::kSchemaViolation,
+                "<" + e.tag() + "> unit '" + attr.value + "' for metric '" +
+                    metric + "' has dimension " +
+                    std::string(units::to_string(unit.value().dimension)) +
+                    ", expected " + std::string(units::to_string(want)),
+                attr.location);
+          }
+        }
+        continue;
+      }
+      // The metric value itself: number, parameter reference, or '?'.
+      if (!is_placeholder(attr.value) &&
+          !strings::parse_double(attr.value).is_ok() &&
+          !is_identifier(attr.value)) {
+        report.errors.emplace_back(
+            ErrorCode::kSchemaViolation,
+            "<" + e.tag() + "> metric attribute '" + attr.name + "': '" +
+                attr.value +
+                "' is not a number, parameter reference or '?'",
+            attr.location);
+        continue;
+      }
+      // Lint: numeric dimensional metric without a unit attribute.
+      if (strings::parse_double(attr.value).is_ok() &&
+          units::metric_dimension(attr.name) !=
+              units::Dimension::kDimensionless &&
+          !e.has_attribute(units::unit_attribute_name(attr.name))) {
+        report.warnings.push_back(
+            attr.location.to_string() + ": <" + e.tag() + "> metric '" +
+            attr.name + "' is numeric but has no '" +
+            units::unit_attribute_name(attr.name) + "' attribute");
+      }
+      continue;
+    }
+    report.errors.emplace_back(
+        ErrorCode::kSchemaViolation,
+        "<" + e.tag() + "> does not allow attribute '" + attr.name + "'",
+        attr.location);
+  }
+
+  // Children.
+  for (const auto& child : e.children()) {
+    if (!spec->allows_child(child->tag())) {
+      report.errors.emplace_back(
+          ErrorCode::kSchemaViolation,
+          "<" + e.tag() + "> does not allow child <" + child->tag() + ">",
+          child->location());
+      // Still validate the subtree to surface all problems in one run.
+    }
+    validate_element(*child, report);
+  }
+}
+
+std::string Schema::to_xml() const {
+  xml::Element root("xpdl_schema");
+  root.set_attribute("version", "1.0");
+  for (const ElementSpec& e : elements_) {
+    xml::Element& el = root.add_child("element");
+    el.set_attribute("tag", e.tag);
+    if (!e.documentation.empty()) el.set_attribute("doc", e.documentation);
+    if (e.allow_any_children) el.set_attribute("any_children", "true");
+    if (e.allow_metric_attributes) el.set_attribute("metrics", "true");
+    if (e.allow_unknown_attributes) el.set_attribute("open", "true");
+    if (e.is_component) el.set_attribute("component", "true");
+    for (const AttributeSpec& a : e.attributes) {
+      xml::Element& at = el.add_child("attribute");
+      at.set_attribute("name", a.name);
+      at.set_attribute("type", std::string(to_string(a.type)));
+      if (a.required) at.set_attribute("required", "true");
+      if (!a.documentation.empty()) at.set_attribute("doc", a.documentation);
+    }
+    for (const std::string& c : e.child_tags) {
+      xml::Element& ch = el.add_child("child");
+      ch.set_attribute("tag", c);
+    }
+  }
+  return xml::write(root);
+}
+
+Result<Schema> Schema::from_xml(const xml::Element& root) {
+  if (root.tag() != "xpdl_schema") {
+    return Status(ErrorCode::kFormatError,
+                  "expected <xpdl_schema> root, found <" + root.tag() + ">",
+                  root.location());
+  }
+  Schema schema;
+  for (const auto& el : root.children()) {
+    if (el->tag() != "element") {
+      return Status(ErrorCode::kFormatError,
+                    "expected <element>, found <" + el->tag() + ">",
+                    el->location());
+    }
+    ElementSpec spec;
+    XPDL_ASSIGN_OR_RETURN(spec.tag, el->require_attribute("tag"));
+    spec.documentation = std::string(el->attribute_or("doc", ""));
+    spec.allow_any_children =
+        el->attribute_or("any_children", "false") == "true";
+    spec.allow_metric_attributes = el->attribute_or("metrics", "false") == "true";
+    spec.allow_unknown_attributes = el->attribute_or("open", "false") == "true";
+    spec.is_component = el->attribute_or("component", "false") == "true";
+    for (const auto& child : el->children()) {
+      if (child->tag() == "attribute") {
+        AttributeSpec a;
+        XPDL_ASSIGN_OR_RETURN(a.name, child->require_attribute("name"));
+        std::string_view type = child->attribute_or("type", "string");
+        bool matched = false;
+        for (AttrType t :
+             {AttrType::kString, AttrType::kIdentifier,
+              AttrType::kIdentifierList, AttrType::kUInt, AttrType::kNumber,
+              AttrType::kBool, AttrType::kMetric, AttrType::kUnitSymbol,
+              AttrType::kExpression, AttrType::kPath}) {
+          if (to_string(t) == type) {
+            a.type = t;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return Status(ErrorCode::kFormatError,
+                        "unknown attribute type '" + std::string(type) + "'",
+                        child->location());
+        }
+        a.required = child->attribute_or("required", "false") == "true";
+        a.documentation = std::string(child->attribute_or("doc", ""));
+        spec.attributes.push_back(std::move(a));
+      } else if (child->tag() == "child") {
+        XPDL_ASSIGN_OR_RETURN(std::string tag,
+                              child->require_attribute("tag"));
+        spec.child_tags.push_back(std::move(tag));
+      } else {
+        return Status(ErrorCode::kFormatError,
+                      "unexpected <" + child->tag() + "> inside <element>",
+                      child->location());
+      }
+    }
+    XPDL_RETURN_IF_ERROR(schema.add_element(std::move(spec)));
+  }
+  return schema;
+}
+
+}  // namespace xpdl::schema

@@ -1,0 +1,78 @@
+// xpdl-codegen -- generates the C++ Query-API classes and the shareable
+// XML schema from the built-in XPDL core metamodel (Sec. IV).
+//
+// Usage:
+//   xpdl-codegen --out HEADER.h [--schema-out SCHEMA.xml] [--ns NAMESPACE]
+#include <cstdio>
+#include <string>
+
+#include "xpdl/codegen/codegen.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/io.h"
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::string schema_out;
+  std::string doc_out;
+  std::string ns = "xpdl::generated";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--out") {
+      const char* v = next();
+      if (v == nullptr) break;
+      out = v;
+    } else if (a == "--schema-out") {
+      const char* v = next();
+      if (v == nullptr) break;
+      schema_out = v;
+    } else if (a == "--doc") {
+      const char* v = next();
+      if (v == nullptr) break;
+      doc_out = v;
+    } else if (a == "--ns") {
+      const char* v = next();
+      if (v == nullptr) break;
+      ns = v;
+    } else {
+      std::fprintf(stderr, "xpdl-codegen: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (out.empty() && schema_out.empty() && doc_out.empty()) {
+    std::fputs(
+        "usage: xpdl-codegen [--out HEADER.h] [--schema-out SCHEMA.xml] "
+        "[--doc REFERENCE.md] [--ns NAMESPACE]\n",
+        stderr);
+    return 2;
+  }
+  const xpdl::schema::Schema& schema = xpdl::schema::Schema::core();
+  if (!out.empty()) {
+    if (auto st = xpdl::codegen::write_header(schema, out, ns); !st.is_ok()) {
+      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("xpdl-codegen: wrote %s (%zu element kinds)\n", out.c_str(),
+                schema.elements().size());
+  }
+  if (!doc_out.empty()) {
+    if (auto st = xpdl::io::write_file(
+            doc_out, xpdl::codegen::generate_markdown(schema));
+        !st.is_ok()) {
+      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("xpdl-codegen: wrote %s\n", doc_out.c_str());
+  }
+  if (!schema_out.empty()) {
+    if (auto st = xpdl::io::write_file(schema_out, schema.to_xml());
+        !st.is_ok()) {
+      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("xpdl-codegen: wrote %s\n", schema_out.c_str());
+  }
+  return 0;
+}

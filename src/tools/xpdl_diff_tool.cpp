@@ -1,0 +1,77 @@
+// xpdl-diff -- semantic diff of two XPDL descriptors.
+//
+// Usage:
+//   xpdl-diff --repo DIR REF_A REF_B          # two repository descriptors
+//   xpdl-diff FILE_A FILE_B                   # two descriptor files
+//
+// Exit status: 0 when equivalent, 1 when differences were found,
+// 2 on errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpdl/diff/diff.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/xml/xml.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> repos;
+  std::vector<std::string> operands;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--repo" && i + 1 < argc) {
+      repos.emplace_back(argv[++i]);
+    } else {
+      operands.emplace_back(argv[i]);
+    }
+  }
+  if (operands.size() != 2) {
+    std::fputs("usage: xpdl-diff [--repo DIR] A B  (repository references "
+               "when --repo is given, files otherwise)\n",
+               stderr);
+    return 2;
+  }
+
+  const xpdl::xml::Element* left = nullptr;
+  const xpdl::xml::Element* right = nullptr;
+  xpdl::xml::Document doc_a, doc_b;
+  xpdl::repository::Repository repo(repos);
+  if (!repos.empty()) {
+    if (auto st = repo.scan(); !st.is_ok()) {
+      std::fprintf(stderr, "xpdl-diff: %s\n", st.to_string().c_str());
+      return 2;
+    }
+    auto la = repo.lookup(operands[0]);
+    auto rb = repo.lookup(operands[1]);
+    if (!la.is_ok() || !rb.is_ok()) {
+      std::fprintf(stderr, "xpdl-diff: %s\n",
+                   (!la.is_ok() ? la.status() : rb.status())
+                       .to_string()
+                       .c_str());
+      return 2;
+    }
+    left = *la;
+    right = *rb;
+  } else {
+    auto pa = xpdl::xml::parse_file(operands[0]);
+    auto pb = xpdl::xml::parse_file(operands[1]);
+    if (!pa.is_ok() || !pb.is_ok()) {
+      std::fprintf(stderr, "xpdl-diff: %s\n",
+                   (!pa.is_ok() ? pa.status() : pb.status())
+                       .to_string()
+                       .c_str());
+      return 2;
+    }
+    doc_a = std::move(pa).value();
+    doc_b = std::move(pb).value();
+    left = doc_a.root.get();
+    right = doc_b.root.get();
+  }
+
+  auto changes = xpdl::diff::diff(*left, *right);
+  for (const auto& c : changes) {
+    std::printf("%s\n", c.to_string().c_str());
+  }
+  std::printf("%zu difference(s)\n", changes.size());
+  return changes.empty() ? 0 : 1;
+}

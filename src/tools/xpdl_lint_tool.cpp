@@ -1,0 +1,64 @@
+// xpdl-lint -- consistency checker for XPDL model repositories.
+//
+// Usage:
+//   xpdl-lint --repo DIR [--repo DIR]... [--no-unreferenced] [--quiet]
+//
+// Exit status: 0 clean / notes only, 1 warnings, 2 errors, 3 usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xpdl/lint/lint.h"
+#include "xpdl/repository/repository.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> repos;
+  xpdl::lint::Options options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "--repo" && i + 1 < argc) {
+      repos.emplace_back(argv[++i]);
+    } else if (a == "--no-unreferenced") {
+      options.unreferenced_meta = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: xpdl-lint --repo DIR [--repo DIR]... "
+                   "[--no-unreferenced] [--quiet]\n");
+      return 3;
+    }
+  }
+  if (repos.empty()) {
+    std::fputs("xpdl-lint: at least one --repo is required\n", stderr);
+    return 3;
+  }
+
+  xpdl::repository::Repository repo(repos);
+  if (auto st = repo.scan(); !st.is_ok()) {
+    std::fprintf(stderr, "xpdl-lint: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  auto findings = xpdl::lint::lint_repository(repo, options);
+  if (!findings.is_ok()) {
+    std::fprintf(stderr, "xpdl-lint: %s\n",
+                 findings.status().to_string().c_str());
+    return 2;
+  }
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  for (const auto& f : *findings) {
+    switch (f.severity) {
+      case xpdl::lint::Severity::kError: ++errors; break;
+      case xpdl::lint::Severity::kWarning: ++warnings; break;
+      case xpdl::lint::Severity::kNote: ++notes; break;
+    }
+    if (!quiet) std::printf("%s\n", f.to_string().c_str());
+  }
+  std::printf("xpdl-lint: %zu descriptor(s): %zu error(s), %zu warning(s), "
+              "%zu note(s)\n",
+              repo.size(), errors, warnings, notes);
+  if (errors > 0) return 2;
+  if (warnings > 0) return 1;
+  return 0;
+}

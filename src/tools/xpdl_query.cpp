@@ -1,0 +1,137 @@
+// xpdl-query -- command-line inspector for runtime model files.
+//
+// Exercises the Runtime Query API (Sec. IV) from the shell:
+//   xpdl-query FILE info                   # summary + analysis getters
+//   xpdl-query FILE ls [ID]                # children of a node
+//   xpdl-query FILE get ID [ATTR]          # attributes of a node
+//   xpdl-query FILE find TAG               # all nodes of a kind
+//   xpdl-query FILE installed PREFIX       # software availability check
+//   xpdl-query FILE query EXPR             # query language, e.g.
+//                                          #   //cache[@size>=64KiB]
+#include <cstdio>
+#include <string>
+
+#include "xpdl/query/query.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+int fail(const xpdl::Status& status) {
+  std::fprintf(stderr, "xpdl-query: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+void print_node_line(const xpdl::runtime::Node& node) {
+  std::printf("<%.*s>", static_cast<int>(node.tag().size()),
+              node.tag().data());
+  for (std::string_view attr : {"id", "name", "type"}) {
+    auto v = node.attribute(attr);
+    if (v.has_value()) {
+      std::printf(" %.*s=\"%.*s\"", static_cast<int>(attr.size()),
+                  attr.data(), static_cast<int>(v->size()), v->data());
+    }
+  }
+  std::printf("  (%zu children)\n", node.child_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fputs(
+        "usage: xpdl-query FILE (info | ls [ID] | get ID [ATTR] | find TAG "
+        "| installed PREFIX | query EXPR)\n",
+        stderr);
+    return 2;
+  }
+  auto loaded = xpdl::runtime::Model::load(argv[1]);
+  if (!loaded.is_ok()) return fail(loaded.status());
+  const xpdl::runtime::Model& model = loaded.value();
+  std::string cmd = argv[2];
+
+  if (cmd == "info") {
+    std::printf("nodes:              %zu\n", model.node_count());
+    std::printf("cores:              %zu\n", model.count_cores());
+    std::printf("devices:            %zu\n", model.count_devices());
+    std::printf("cuda devices:       %zu\n", model.count_cuda_devices());
+    std::printf("static power (W):   %.3f\n", model.total_static_power_w());
+    auto stats = model.memory_stats();
+    std::printf("arena bytes:        %zu (%zu strings)\n",
+                stats.total_bytes(), stats.string_count);
+    return 0;
+  }
+  if (cmd == "ls") {
+    xpdl::runtime::Node node = model.root();
+    if (argc >= 4) {
+      auto found = model.find_by_id(argv[3]);
+      if (!found.has_value()) {
+        std::fprintf(stderr, "xpdl-query: no node with id '%s'\n", argv[3]);
+        return 1;
+      }
+      node = *found;
+    }
+    print_node_line(node);
+    for (std::size_t i = 0; i < node.child_count(); ++i) {
+      std::printf("  [%zu] ", i);
+      print_node_line(node.child(i));
+    }
+    return 0;
+  }
+  if (cmd == "get") {
+    if (argc < 4) {
+      std::fputs("xpdl-query: get requires an ID\n", stderr);
+      return 2;
+    }
+    auto found = model.find_by_id(argv[3]);
+    if (!found.has_value()) {
+      std::fprintf(stderr, "xpdl-query: no node with id '%s'\n", argv[3]);
+      return 1;
+    }
+    if (argc >= 5) {
+      auto v = found->attribute(argv[4]);
+      if (!v.has_value()) {
+        std::fprintf(stderr, "xpdl-query: node has no attribute '%s'\n",
+                     argv[4]);
+        return 1;
+      }
+      std::printf("%.*s\n", static_cast<int>(v->size()), v->data());
+      return 0;
+    }
+    print_node_line(*found);
+    return 0;
+  }
+  if (cmd == "find") {
+    if (argc < 4) {
+      std::fputs("xpdl-query: find requires a TAG\n", stderr);
+      return 2;
+    }
+    for (const xpdl::runtime::Node& n : model.find_all(argv[3])) {
+      print_node_line(n);
+    }
+    return 0;
+  }
+  if (cmd == "query") {
+    if (argc < 4) {
+      std::fputs("xpdl-query: query requires an expression\n", stderr);
+      return 2;
+    }
+    auto nodes = xpdl::query::select(model, argv[3]);
+    if (!nodes.is_ok()) return fail(nodes.status());
+    for (const xpdl::runtime::Node& n : *nodes) {
+      print_node_line(n);
+    }
+    std::printf("%zu match(es)\n", nodes->size());
+    return 0;
+  }
+  if (cmd == "installed") {
+    if (argc < 4) {
+      std::fputs("xpdl-query: installed requires a PREFIX\n", stderr);
+      return 2;
+    }
+    bool has = model.has_installed(argv[3]);
+    std::printf("%s\n", has ? "yes" : "no");
+    return has ? 0 : 1;
+  }
+  std::fprintf(stderr, "xpdl-query: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,259 @@
+// xpdlc -- the XPDL processing tool (Sec. IV).
+//
+// Browses the model repository for all XPDL files recursively referenced
+// from a concrete model, parses them, composes the model, optionally
+// generates microbenchmark driver code and bootstraps unspecified energy
+// entries (against the simulated sensor machine), runs the static
+// analyses, and writes the light-weight runtime data structure to a file
+// for xpdl_init() / the Query API.
+//
+// Usage:
+//   xpdlc --repo DIR [--repo DIR]... (--model REF | --file PATH)
+//         [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]
+//         [--print-xml] [--quiet]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/microbench/drivergen.h"
+#include "xpdl/microbench/simmachine.h"
+#include "xpdl/model/power.h"
+#include "xpdl/pdl/pdl.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/io.h"
+#include "xpdl/views/views.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> repos;
+  std::string model_ref;
+  std::string file;
+  std::string pdl_file;
+  std::string out;
+  std::string drivers_dir;
+  std::string dot_out;
+  std::string uml_out;
+  bool bootstrap = false;
+  bool print_xml = false;
+  bool quiet = false;
+};
+
+void usage() {
+  std::fputs(
+      "usage: xpdlc --repo DIR [--repo DIR]... \n"
+      "             (--model REF | --file PATH | --pdl PDL_FILE)\n"
+      "             [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]\n"
+      "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
+      "             [--quiet]\n",
+      stderr);
+}
+
+int fail(const xpdl::Status& status) {
+  std::fprintf(stderr, "xpdlc: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--repo") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.repos.emplace_back(v);
+    } else if (a == "--model") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.model_ref = v;
+    } else if (a == "--file") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.file = v;
+    } else if (a == "--pdl") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.pdl_file = v;
+    } else if (a == "--out") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.out = v;
+    } else if (a == "--drivers") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.drivers_dir = v;
+    } else if (a == "--dot") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.dot_out = v;
+    } else if (a == "--uml") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.uml_out = v;
+    } else if (a == "--bootstrap") {
+      args.bootstrap = true;
+    } else if (a == "--print-xml") {
+      args.print_xml = true;
+    } else if (a == "--quiet") {
+      args.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "xpdlc: unknown option '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+  int inputs = (!args.model_ref.empty() ? 1 : 0) +
+               (!args.file.empty() ? 1 : 0) +
+               (!args.pdl_file.empty() ? 1 : 0);
+  if (inputs != 1) {
+    usage();
+    return 2;
+  }
+
+  xpdl::repository::Repository repo(args.repos);
+  if (auto st = repo.scan(); !st.is_ok()) return fail(st);
+  if (!args.quiet) {
+    std::printf("xpdlc: indexed %zu descriptor(s) from %zu repository "
+                "root(s)\n",
+                repo.size(), args.repos.size());
+  }
+
+  std::string ref = args.model_ref;
+  if (!args.pdl_file.empty()) {
+    // PDL compatibility path: import the PEPPHER-PDL platform and
+    // register the resulting XPDL system in the repository.
+    auto text = xpdl::io::read_file(args.pdl_file);
+    if (!text.is_ok()) return fail(text.status());
+    xpdl::pdl::ImportReport import_report;
+    auto imported =
+        xpdl::pdl::import_platform_text(*text, &import_report);
+    if (!imported.is_ok()) return fail(imported.status());
+    if (!args.quiet) {
+      std::printf("xpdlc: imported PDL platform (%zu PU(s), %zu memory "
+                  "region(s), %zu interconnect(s); %zu properties "
+                  "promoted)\n",
+                  import_report.processing_units,
+                  import_report.memory_regions,
+                  import_report.interconnects,
+                  import_report.promoted_properties);
+      for (const std::string& n : import_report.notes) {
+        std::printf("xpdlc: note: %s\n", n.c_str());
+      }
+    }
+    auto registered = repo.add_descriptor(std::move(imported).value());
+    if (!registered.is_ok()) return fail(registered.status());
+    ref = std::string((*registered)->attribute_or("id", ""));
+  }
+  if (!args.file.empty()) {
+    auto loaded = repo.load_file(args.file);
+    if (!loaded.is_ok()) return fail(loaded.status());
+    ref = std::string(loaded.value()->attribute_or(
+        "id", loaded.value()->attribute_or("name", "")));
+  }
+
+  xpdl::compose::Composer composer(repo);
+  auto composed = composer.compose(ref);
+  if (!composed.is_ok()) return fail(composed.status());
+  if (!args.quiet) {
+    std::printf("xpdlc: composed '%s': %zu elements, %zu id(s)\n",
+                ref.c_str(), composed->root().subtree_size(),
+                composed->ids().size());
+    for (const std::string& w : composed->warnings()) {
+      std::printf("xpdlc: note: %s\n", w.c_str());
+    }
+  }
+
+  if (!args.drivers_dir.empty()) {
+    // Emit driver code for every microbenchmark suite in the model.
+    std::vector<const xpdl::xml::Element*> stack = {&composed->root()};
+    std::size_t suites = 0;
+    while (!stack.empty()) {
+      const xpdl::xml::Element* e = stack.back();
+      stack.pop_back();
+      for (const auto& c : e->children()) stack.push_back(c.get());
+      if (e->tag() != "microbenchmarks") continue;
+      auto suite = xpdl::model::MicrobenchmarkSuite::parse(*e);
+      if (!suite.is_ok()) return fail(suite.status());
+      std::string dir = args.drivers_dir + "/" + suite->id;
+      if (auto st = xpdl::microbench::generate_driver_tree(*suite, dir);
+          !st.is_ok()) {
+        return fail(st);
+      }
+      ++suites;
+    }
+    if (!args.quiet) {
+      std::printf("xpdlc: generated driver code for %zu suite(s) in %s\n",
+                  suites, args.drivers_dir.c_str());
+    }
+  }
+
+  if (args.bootstrap) {
+    xpdl::microbench::SimMachine machine(
+        xpdl::microbench::SimMachineConfig{},
+        xpdl::microbench::paper_x86_ground_truth());
+    xpdl::microbench::BootstrapOptions opts;
+    opts.frequencies_hz = {2.8e9, 2.9e9, 3.0e9, 3.1e9, 3.2e9, 3.3e9, 3.4e9};
+    xpdl::microbench::Bootstrapper bootstrapper(machine, opts);
+    auto report = bootstrapper.bootstrap_model(composed->mutable_root());
+    if (!report.is_ok()) return fail(report.status());
+    composed->reindex();
+    if (!args.quiet) {
+      std::printf("xpdlc: bootstrapped %zu instruction(s) (%zu already "
+                  "specified), background power %.2f W\n",
+                  report->measured_instructions,
+                  report->skipped_instructions,
+                  report->estimated_static_power_w);
+    }
+  }
+
+  if (!args.dot_out.empty()) {
+    if (auto st = xpdl::io::write_file(args.dot_out,
+                                       xpdl::views::to_dot(*composed));
+        !st.is_ok()) {
+      return fail(st);
+    }
+    if (!args.quiet) {
+      std::printf("xpdlc: wrote Graphviz view to %s\n",
+                  args.dot_out.c_str());
+    }
+  }
+  if (!args.uml_out.empty()) {
+    if (auto st = xpdl::io::write_file(
+            args.uml_out, xpdl::views::to_plantuml(composed->root()));
+        !st.is_ok()) {
+      return fail(st);
+    }
+    if (!args.quiet) {
+      std::printf("xpdlc: wrote PlantUML view to %s\n",
+                  args.uml_out.c_str());
+    }
+  }
+
+  if (args.print_xml) {
+    std::fputs(xpdl::xml::write(composed->root()).c_str(), stdout);
+  }
+
+  if (!args.out.empty()) {
+    auto rt = xpdl::runtime::Model::from_composed(*composed);
+    if (!rt.is_ok()) return fail(rt.status());
+    if (auto st = rt->save(args.out); !st.is_ok()) return fail(st);
+    if (!args.quiet) {
+      std::printf("xpdlc: wrote runtime model (%zu nodes) to %s\n",
+                  rt->node_count(), args.out.c_str());
+    }
+  }
+  return 0;
+}

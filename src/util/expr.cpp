@@ -1,0 +1,433 @@
+#include "xpdl/util/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::expr {
+namespace {
+
+std::unique_ptr<Node> clone(const Node& n) {
+  auto out = std::make_unique<Node>();
+  out->kind = n.kind;
+  out->number = n.number;
+  out->symbol = n.symbol;
+  out->children.reserve(n.children.size());
+  for (const auto& c : n.children) out->children.push_back(clone(*c));
+  return out;
+}
+
+/// Recursive-descent parser over the raw text; keeps a cursor for
+/// offset-precise error messages.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Node>> run() {
+    XPDL_ASSIGN_OR_RETURN(auto node, parse_or());
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("unexpected trailing input");
+    }
+    return node;
+  }
+
+ private:
+  Status error(std::string_view what) const {
+    return Status(ErrorCode::kParseError,
+                  "expression error at offset " + std::to_string(pos_) +
+                      " in '" + std::string(text_) + "': " +
+                      std::string(what));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && strings::is_space(text_[pos_])) ++pos_;
+  }
+
+  bool eat(std::string_view tok) {
+    skip_ws();
+    if (text_.substr(pos_, tok.size()) == tok) {
+      // Avoid treating "<=" prefix "<" as a match when "<=" was intended;
+      // callers must try longer operators first (they do).
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static std::unique_ptr<Node> make_binary(std::string op,
+                                           std::unique_ptr<Node> lhs,
+                                           std::unique_ptr<Node> rhs) {
+    auto n = std::make_unique<Node>();
+    n->kind = NodeKind::kBinaryOp;
+    n->symbol = std::move(op);
+    n->children.push_back(std::move(lhs));
+    n->children.push_back(std::move(rhs));
+    return n;
+  }
+
+  Result<std::unique_ptr<Node>> parse_or() {
+    XPDL_ASSIGN_OR_RETURN(auto lhs, parse_and());
+    while (eat("||")) {
+      XPDL_ASSIGN_OR_RETURN(auto rhs, parse_and());
+      lhs = make_binary("||", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Node>> parse_and() {
+    XPDL_ASSIGN_OR_RETURN(auto lhs, parse_cmp());
+    while (eat("&&")) {
+      XPDL_ASSIGN_OR_RETURN(auto rhs, parse_cmp());
+      lhs = make_binary("&&", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Node>> parse_cmp() {
+    XPDL_ASSIGN_OR_RETURN(auto lhs, parse_add());
+    for (std::string_view op : {"==", "!=", "<=", ">=", "<", ">"}) {
+      skip_ws();
+      // '<' must not match the '<' of '<='; longer operators are tried
+      // first so a bare '<'/'>' here is genuine.
+      if (eat(op)) {
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_add());
+        return make_binary(std::string(op), std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Node>> parse_add() {
+    XPDL_ASSIGN_OR_RETURN(auto lhs, parse_mul());
+    while (true) {
+      if (eat("+")) {
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_mul());
+        lhs = make_binary("+", std::move(lhs), std::move(rhs));
+      } else if (peek() == '-' && text_.substr(pos_, 2) != "->") {
+        ++pos_;
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_mul());
+        lhs = make_binary("-", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Node>> parse_mul() {
+    XPDL_ASSIGN_OR_RETURN(auto lhs, parse_unary());
+    while (true) {
+      if (eat("*")) {
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_unary());
+        lhs = make_binary("*", std::move(lhs), std::move(rhs));
+      } else if (eat("/")) {
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_unary());
+        lhs = make_binary("/", std::move(lhs), std::move(rhs));
+      } else if (eat("%")) {
+        XPDL_ASSIGN_OR_RETURN(auto rhs, parse_unary());
+        lhs = make_binary("%", std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<std::unique_ptr<Node>> parse_unary() {
+    if (eat("!")) {
+      XPDL_ASSIGN_OR_RETURN(auto operand, parse_unary());
+      auto n = std::make_unique<Node>();
+      n->kind = NodeKind::kUnaryOp;
+      n->symbol = "!";
+      n->children.push_back(std::move(operand));
+      return n;
+    }
+    skip_ws();
+    if (peek() == '-') {
+      ++pos_;
+      XPDL_ASSIGN_OR_RETURN(auto operand, parse_unary());
+      auto n = std::make_unique<Node>();
+      n->kind = NodeKind::kUnaryOp;
+      n->symbol = "-";
+      n->children.push_back(std::move(operand));
+      return n;
+    }
+    return parse_primary();
+  }
+
+  Result<std::unique_ptr<Node>> parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) return error("unexpected end of expression");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      XPDL_ASSIGN_OR_RETURN(auto inner, parse_or());
+      if (!eat(")")) return error("expected ')'");
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parse_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parse_ident_or_call();
+    }
+    return error("unexpected character '" + std::string(1, c) + "'");
+  }
+
+  Result<std::unique_ptr<Node>> parse_number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    XPDL_ASSIGN_OR_RETURN(double v,
+                          strings::parse_double(text_.substr(start, pos_ - start)));
+    auto n = std::make_unique<Node>();
+    n->kind = NodeKind::kNumber;
+    n->number = v;
+    return n;
+  }
+
+  Result<std::unique_ptr<Node>> parse_ident_or_call() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      auto n = std::make_unique<Node>();
+      n->kind = NodeKind::kCall;
+      n->symbol = std::move(name);
+      if (peek() != ')') {
+        while (true) {
+          XPDL_ASSIGN_OR_RETURN(auto arg, parse_or());
+          n->children.push_back(std::move(arg));
+          if (!eat(",")) break;
+        }
+      }
+      if (!eat(")")) return error("expected ')' after call arguments");
+      return n;
+    }
+    auto n = std::make_unique<Node>();
+    n->kind = NodeKind::kVariable;
+    n->symbol = std::move(name);
+    return n;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<double> eval(const Node& n, const VariableResolver& resolver) {
+  switch (n.kind) {
+    case NodeKind::kNumber:
+      return n.number;
+    case NodeKind::kVariable: {
+      if (!resolver) {
+        return Status(ErrorCode::kUnresolvedRef,
+                      "free variable '" + n.symbol +
+                          "' in expression with no resolver");
+      }
+      return resolver(n.symbol);
+    }
+    case NodeKind::kUnaryOp: {
+      XPDL_ASSIGN_OR_RETURN(double v, eval(*n.children[0], resolver));
+      if (n.symbol == "-") return -v;
+      return v == 0.0 ? 1.0 : 0.0;  // '!'
+    }
+    case NodeKind::kBinaryOp: {
+      XPDL_ASSIGN_OR_RETURN(double a, eval(*n.children[0], resolver));
+      // Short-circuit logical operators.
+      if (n.symbol == "&&") {
+        if (a == 0.0) return 0.0;
+        XPDL_ASSIGN_OR_RETURN(double b2, eval(*n.children[1], resolver));
+        return b2 != 0.0 ? 1.0 : 0.0;
+      }
+      if (n.symbol == "||") {
+        if (a != 0.0) return 1.0;
+        XPDL_ASSIGN_OR_RETURN(double b2, eval(*n.children[1], resolver));
+        return b2 != 0.0 ? 1.0 : 0.0;
+      }
+      XPDL_ASSIGN_OR_RETURN(double b, eval(*n.children[1], resolver));
+      if (n.symbol == "+") return a + b;
+      if (n.symbol == "-") return a - b;
+      if (n.symbol == "*") return a * b;
+      if (n.symbol == "/") {
+        if (b == 0.0) {
+          return Status(ErrorCode::kConstraintViolation,
+                        "division by zero in expression");
+        }
+        return a / b;
+      }
+      if (n.symbol == "%") {
+        if (b == 0.0) {
+          return Status(ErrorCode::kConstraintViolation,
+                        "modulo by zero in expression");
+        }
+        return std::fmod(a, b);
+      }
+      if (n.symbol == "==") return a == b ? 1.0 : 0.0;
+      if (n.symbol == "!=") return a != b ? 1.0 : 0.0;
+      if (n.symbol == "<") return a < b ? 1.0 : 0.0;
+      if (n.symbol == "<=") return a <= b ? 1.0 : 0.0;
+      if (n.symbol == ">") return a > b ? 1.0 : 0.0;
+      if (n.symbol == ">=") return a >= b ? 1.0 : 0.0;
+      return Status(ErrorCode::kInternal, "unknown operator " + n.symbol);
+    }
+    case NodeKind::kCall: {
+      std::vector<double> args;
+      args.reserve(n.children.size());
+      for (const auto& c : n.children) {
+        XPDL_ASSIGN_OR_RETURN(double v, eval(*c, resolver));
+        args.push_back(v);
+      }
+      auto arity = [&](std::size_t want) -> Status {
+        if (args.size() != want) {
+          return Status(ErrorCode::kParseError,
+                        "function '" + n.symbol + "' expects " +
+                            std::to_string(want) + " argument(s), got " +
+                            std::to_string(args.size()));
+        }
+        return Status::ok();
+      };
+      if (n.symbol == "min" || n.symbol == "max") {
+        if (args.empty()) {
+          return Status(ErrorCode::kParseError,
+                        n.symbol + "() requires at least one argument");
+        }
+        double acc = args[0];
+        for (double v : args) {
+          acc = n.symbol == "min" ? std::min(acc, v) : std::max(acc, v);
+        }
+        return acc;
+      }
+      if (n.symbol == "abs") { XPDL_RETURN_IF_ERROR(arity(1)); return std::fabs(args[0]); }
+      if (n.symbol == "floor") { XPDL_RETURN_IF_ERROR(arity(1)); return std::floor(args[0]); }
+      if (n.symbol == "ceil") { XPDL_RETURN_IF_ERROR(arity(1)); return std::ceil(args[0]); }
+      if (n.symbol == "round") { XPDL_RETURN_IF_ERROR(arity(1)); return std::round(args[0]); }
+      if (n.symbol == "sqrt") {
+        XPDL_RETURN_IF_ERROR(arity(1));
+        if (args[0] < 0) {
+          return Status(ErrorCode::kConstraintViolation, "sqrt of negative value");
+        }
+        return std::sqrt(args[0]);
+      }
+      if (n.symbol == "log2") {
+        XPDL_RETURN_IF_ERROR(arity(1));
+        if (args[0] <= 0) {
+          return Status(ErrorCode::kConstraintViolation, "log2 of non-positive value");
+        }
+        return std::log2(args[0]);
+      }
+      if (n.symbol == "pow") { XPDL_RETURN_IF_ERROR(arity(2)); return std::pow(args[0], args[1]); }
+      return Status(ErrorCode::kUnresolvedRef,
+                    "unknown function '" + n.symbol + "'");
+    }
+  }
+  return Status(ErrorCode::kInternal, "corrupt expression node");
+}
+
+void collect_variables(const Node& n, std::vector<std::string>& out) {
+  if (n.kind == NodeKind::kVariable) {
+    for (const std::string& existing : out) {
+      if (existing == n.symbol) return;
+    }
+    out.push_back(n.symbol);
+    return;
+  }
+  for (const auto& c : n.children) collect_variables(*c, out);
+}
+
+void print(const Node& n, std::ostream& os) {
+  switch (n.kind) {
+    case NodeKind::kNumber:
+      os << n.number;
+      return;
+    case NodeKind::kVariable:
+      os << n.symbol;
+      return;
+    case NodeKind::kUnaryOp:
+      os << '(' << n.symbol;
+      print(*n.children[0], os);
+      os << ')';
+      return;
+    case NodeKind::kBinaryOp:
+      os << '(';
+      print(*n.children[0], os);
+      os << ' ' << n.symbol << ' ';
+      print(*n.children[1], os);
+      os << ')';
+      return;
+    case NodeKind::kCall:
+      os << n.symbol << '(';
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        if (i != 0) os << ", ";
+        print(*n.children[i], os);
+      }
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+Result<Expression> Expression::parse(std::string_view text) {
+  Parser p(text);
+  XPDL_ASSIGN_OR_RETURN(auto root, p.run());
+  return Expression(std::move(root), std::string(text));
+}
+
+Result<double> Expression::evaluate(const VariableResolver& resolver) const {
+  return eval(*root_, resolver);
+}
+
+Result<double> Expression::evaluate() const {
+  return eval(*root_, VariableResolver{});
+}
+
+Result<bool> Expression::evaluate_bool(const VariableResolver& resolver) const {
+  XPDL_ASSIGN_OR_RETURN(double v, evaluate(resolver));
+  return v != 0.0;
+}
+
+std::vector<std::string> Expression::variables() const {
+  std::vector<std::string> out;
+  collect_variables(*root_, out);
+  return out;
+}
+
+std::string Expression::to_string() const {
+  std::ostringstream os;
+  print(*root_, os);
+  return os.str();
+}
+
+bool Expression::is_constant() const noexcept {
+  return root_->kind == NodeKind::kNumber;
+}
+
+Expression::Expression(const Expression& other)
+    : root_(clone(*other.root_)), source_(other.source_) {}
+
+Expression& Expression::operator=(const Expression& other) {
+  if (this != &other) {
+    root_ = clone(*other.root_);
+    source_ = other.source_;
+  }
+  return *this;
+}
+
+}  // namespace xpdl::expr

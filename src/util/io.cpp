@@ -1,0 +1,55 @@
+#include "xpdl/util/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace xpdl::io {
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kIoError, "cannot open file for reading",
+                  SourceLocation{path, 0, 0});
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status(ErrorCode::kIoError, "read failure",
+                  SourceLocation{path, 0, 0});
+  }
+  return buf.str();
+}
+
+Status write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open file for writing",
+                  SourceLocation{path, 0, 0});
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status(ErrorCode::kIoError, "write failure",
+                  SourceLocation{path, 0, 0});
+  }
+  return Status::ok();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+Status make_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status(ErrorCode::kIoError,
+                  "cannot create directory: " + ec.message(),
+                  SourceLocation{path, 0, 0});
+  }
+  return Status::ok();
+}
+
+}  // namespace xpdl::io

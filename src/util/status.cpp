@@ -1,0 +1,55 @@
+#include "xpdl/util/status.h"
+
+namespace xpdl {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kSchemaViolation: return "schema-violation";
+    case ErrorCode::kUnresolvedRef: return "unresolved-reference";
+    case ErrorCode::kCycle: return "cycle";
+    case ErrorCode::kConstraintViolation: return "constraint-violation";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kFormatError: return "format-error";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kInternal: return "internal-error";
+  }
+  return "unknown-error";
+}
+
+std::string SourceLocation::to_string() const {
+  std::string out = file;
+  if (line != 0) {
+    if (!out.empty()) out += ':';
+    out += std::to_string(line);
+    if (column != 0) {
+      out += ':';
+      out += std::to_string(column);
+    }
+  }
+  return out;
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = location_.to_string();
+  if (!out.empty()) out += ": ";
+  out += xpdl::to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status& Status::with_context(std::string_view context) {
+  if (!is_ok()) {
+    std::string prefixed(context);
+    prefixed += ": ";
+    prefixed += message_;
+    message_ = std::move(prefixed);
+  }
+  return *this;
+}
+
+}  // namespace xpdl

@@ -1,0 +1,144 @@
+#include "xpdl/util/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xpdl::strings {
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0, e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view piece = trim(s.substr(start, pos - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<double> parse_double(std::string_view s) {
+  std::string buf(trim(s));
+  if (buf.empty()) {
+    return Status(ErrorCode::kParseError, "empty string where number expected");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status(ErrorCode::kParseError,
+                  "'" + buf + "' is not a valid number");
+  }
+  return v;
+}
+
+Result<std::uint64_t> parse_uint(std::string_view s) {
+  std::string buf(trim(s));
+  if (buf.empty() || buf[0] == '-') {
+    return Status(ErrorCode::kParseError,
+                  "'" + buf + "' is not a valid non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status(ErrorCode::kParseError,
+                  "'" + buf + "' is not a valid non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+Result<bool> parse_bool(std::string_view s) {
+  std::string_view t = trim(s);
+  if (iequals(t, "true") || iequals(t, "yes") || iequals(t, "on") || t == "1") {
+    return true;
+  }
+  if (iequals(t, "false") || iequals(t, "no") || iequals(t, "off") ||
+      t == "0") {
+    return false;
+  }
+  return Status(ErrorCode::kParseError,
+                "'" + std::string(t) + "' is not a valid boolean");
+}
+
+bool is_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  char c0 = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_')) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string member_id(std::string_view prefix, std::size_t rank) {
+  std::string out(prefix);
+  out += std::to_string(rank);
+  return out;
+}
+
+}  // namespace xpdl::strings

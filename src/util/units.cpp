@@ -1,0 +1,295 @@
+#include "xpdl/util/units.h"
+
+#include <array>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::units {
+namespace {
+
+struct UnitEntry {
+  std::string_view symbol;
+  Dimension dimension;
+  double factor;
+  double offset = 0.0;
+};
+
+// The unit table. Exact-match symbols; lookup falls back to a
+// case-insensitive scan because the paper's listings themselves mix
+// "KiB"/"kB"/"KB" spellings. Binary (Ki/Mi/Gi/Ti) and decimal (k/M/G/T)
+// size prefixes are both supported and distinct.
+constexpr double kKi = 1024.0;
+constexpr std::array<UnitEntry, 68> kUnits = {{
+    // --- size (SI base: byte) ---
+    {"B", Dimension::kSize, 1.0},
+    {"bit", Dimension::kSize, 1.0 / 8.0},
+    {"kB", Dimension::kSize, 1e3},
+    {"KB", Dimension::kSize, 1e3},
+    {"MB", Dimension::kSize, 1e6},
+    {"GB", Dimension::kSize, 1e9},
+    {"TB", Dimension::kSize, 1e12},
+    {"KiB", Dimension::kSize, kKi},
+    {"MiB", Dimension::kSize, kKi * kKi},
+    {"GiB", Dimension::kSize, kKi * kKi * kKi},
+    {"TiB", Dimension::kSize, kKi * kKi * kKi * kKi},
+    // --- frequency (SI base: Hz) ---
+    {"Hz", Dimension::kFrequency, 1.0},
+    {"kHz", Dimension::kFrequency, 1e3},
+    {"MHz", Dimension::kFrequency, 1e6},
+    {"GHz", Dimension::kFrequency, 1e9},
+    {"THz", Dimension::kFrequency, 1e12},
+    // --- power (SI base: W) ---
+    {"nW", Dimension::kPower, 1e-9},
+    {"uW", Dimension::kPower, 1e-6},
+    {"mW", Dimension::kPower, 1e-3},
+    {"W", Dimension::kPower, 1.0},
+    {"kW", Dimension::kPower, 1e3},
+    {"MW", Dimension::kPower, 1e6},
+    // --- energy (SI base: J) ---
+    {"fJ", Dimension::kEnergy, 1e-15},
+    {"pJ", Dimension::kEnergy, 1e-12},
+    {"nJ", Dimension::kEnergy, 1e-9},
+    {"uJ", Dimension::kEnergy, 1e-6},
+    {"mJ", Dimension::kEnergy, 1e-3},
+    {"J", Dimension::kEnergy, 1.0},
+    {"kJ", Dimension::kEnergy, 1e3},
+    {"Wh", Dimension::kEnergy, 3600.0},
+    {"kWh", Dimension::kEnergy, 3.6e6},
+    // --- time (SI base: s) ---
+    {"ps", Dimension::kTime, 1e-12},
+    {"ns", Dimension::kTime, 1e-9},
+    {"us", Dimension::kTime, 1e-6},
+    {"ms", Dimension::kTime, 1e-3},
+    {"s", Dimension::kTime, 1.0},
+    {"sec", Dimension::kTime, 1.0},
+    {"min", Dimension::kTime, 60.0},
+    {"h", Dimension::kTime, 3600.0},
+    // --- bandwidth (SI base: B/s) ---
+    {"B/s", Dimension::kBandwidth, 1.0},
+    {"kB/s", Dimension::kBandwidth, 1e3},
+    {"KB/s", Dimension::kBandwidth, 1e3},
+    {"MB/s", Dimension::kBandwidth, 1e6},
+    {"GB/s", Dimension::kBandwidth, 1e9},
+    {"TB/s", Dimension::kBandwidth, 1e12},
+    {"KiB/s", Dimension::kBandwidth, kKi},
+    {"MiB/s", Dimension::kBandwidth, kKi * kKi},
+    {"GiB/s", Dimension::kBandwidth, kKi * kKi * kKi},
+    {"TiB/s", Dimension::kBandwidth, kKi * kKi * kKi * kKi},
+    {"bit/s", Dimension::kBandwidth, 1.0 / 8.0},
+    {"kbit/s", Dimension::kBandwidth, 1e3 / 8.0},
+    {"Mbit/s", Dimension::kBandwidth, 1e6 / 8.0},
+    {"Gbit/s", Dimension::kBandwidth, 1e9 / 8.0},
+    {"Tbit/s", Dimension::kBandwidth, 1e12 / 8.0},
+    {"GT/s", Dimension::kBandwidth, 1e9},  // PCIe transfer rate, 1B/T approx.
+    // --- voltage (SI base: V) ---
+    {"uV", Dimension::kVoltage, 1e-6},
+    {"mV", Dimension::kVoltage, 1e-3},
+    {"V", Dimension::kVoltage, 1.0},
+    // --- temperature (SI base: K) ---
+    {"K", Dimension::kTemperature, 1.0},
+    {"C", Dimension::kTemperature, 1.0, 273.15},
+    {"degC", Dimension::kTemperature, 1.0, 273.15},
+    // --- dimensionless ---
+    {"", Dimension::kDimensionless, 1.0},
+    {"1", Dimension::kDimensionless, 1.0},
+    {"ratio", Dimension::kDimensionless, 1.0},
+    {"percent", Dimension::kDimensionless, 0.01},
+    {"%", Dimension::kDimensionless, 0.01},
+    {"count", Dimension::kDimensionless, 1.0},
+    {"flops/W", Dimension::kDimensionless, 1.0},
+}};
+
+const UnitEntry* find_entry(std::string_view symbol) {
+  for (const UnitEntry& e : kUnits) {
+    if (e.symbol == symbol) return &e;
+  }
+  // Case-insensitive fallback: the first case-folded match wins. This keeps
+  // "KiB" vs "kb" tolerant without conflating distinct exact symbols.
+  for (const UnitEntry& e : kUnits) {
+    if (strings::iequals(e.symbol, symbol)) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string_view to_string(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kDimensionless: return "dimensionless";
+    case Dimension::kSize: return "size";
+    case Dimension::kFrequency: return "frequency";
+    case Dimension::kPower: return "power";
+    case Dimension::kEnergy: return "energy";
+    case Dimension::kTime: return "time";
+    case Dimension::kBandwidth: return "bandwidth";
+    case Dimension::kVoltage: return "voltage";
+    case Dimension::kTemperature: return "temperature";
+  }
+  return "unknown";
+}
+
+std::string_view si_symbol(Dimension d) noexcept {
+  switch (d) {
+    case Dimension::kDimensionless: return "";
+    case Dimension::kSize: return "B";
+    case Dimension::kFrequency: return "Hz";
+    case Dimension::kPower: return "W";
+    case Dimension::kEnergy: return "J";
+    case Dimension::kTime: return "s";
+    case Dimension::kBandwidth: return "B/s";
+    case Dimension::kVoltage: return "V";
+    case Dimension::kTemperature: return "K";
+  }
+  return "";
+}
+
+Result<Unit> parse_unit(std::string_view symbol) {
+  std::string_view trimmed = strings::trim(symbol);
+  const UnitEntry* e = find_entry(trimmed);
+  if (e == nullptr) {
+    return Status(ErrorCode::kParseError,
+                  "unknown unit symbol '" + std::string(trimmed) + "'");
+  }
+  return Unit{e->dimension, e->factor, e->offset, std::string(trimmed)};
+}
+
+Result<Unit> parse_unit(std::string_view symbol, Dimension expected) {
+  XPDL_ASSIGN_OR_RETURN(Unit u, parse_unit(symbol));
+  if (u.dimension != expected) {
+    return Status(ErrorCode::kParseError,
+                  "unit '" + u.symbol + "' has dimension " +
+                      std::string(to_string(u.dimension)) + ", expected " +
+                      std::string(to_string(expected)));
+  }
+  return u;
+}
+
+Result<Quantity> Quantity::parse(std::string_view value,
+                                 std::string_view unit_symbol) {
+  XPDL_ASSIGN_OR_RETURN(double v, strings::parse_double(value));
+  XPDL_ASSIGN_OR_RETURN(Unit u, parse_unit(unit_symbol));
+  return Quantity(u.to_si(v), u.dimension);
+}
+
+Result<Quantity> Quantity::parse(std::string_view value,
+                                 std::string_view unit_symbol,
+                                 Dimension expected) {
+  XPDL_ASSIGN_OR_RETURN(double v, strings::parse_double(value));
+  XPDL_ASSIGN_OR_RETURN(Unit u, parse_unit(unit_symbol, expected));
+  return Quantity(u.to_si(v), u.dimension);
+}
+
+double Quantity::in(const Unit& unit) const noexcept {
+  assert(unit.dimension == dimension_ && "dimension mismatch in conversion");
+  return unit.from_si(si_value_);
+}
+
+Result<double> Quantity::in(std::string_view symbol) const {
+  XPDL_ASSIGN_OR_RETURN(Unit u, parse_unit(symbol, dimension_));
+  return in(u);
+}
+
+namespace {
+
+struct Scale {
+  double factor;
+  std::string_view suffix;
+};
+
+std::string scaled(double si, std::initializer_list<Scale> scales,
+                   std::string_view base) {
+  for (const Scale& s : scales) {
+    if (std::fabs(si) >= s.factor) {
+      std::ostringstream os;
+      os << (si / s.factor) << ' ' << s.suffix;
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  os << si << ' ' << base;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Quantity::to_string() const {
+  const double v = si_value_;
+  switch (dimension_) {
+    case Dimension::kSize:
+      return scaled(v,
+                    {{kKi * kKi * kKi * kKi, "TiB"},
+                     {kKi * kKi * kKi, "GiB"},
+                     {kKi * kKi, "MiB"},
+                     {kKi, "KiB"}},
+                    "B");
+    case Dimension::kFrequency:
+      return scaled(v, {{1e9, "GHz"}, {1e6, "MHz"}, {1e3, "kHz"}}, "Hz");
+    case Dimension::kPower:
+      return scaled(v, {{1e3, "kW"}, {1.0, "W"}, {1e-3, "mW"}, {1e-6, "uW"}},
+                    "nW");
+    case Dimension::kEnergy:
+      return scaled(
+          v, {{1.0, "J"}, {1e-3, "mJ"}, {1e-6, "uJ"}, {1e-9, "nJ"}}, "pJ");
+    case Dimension::kTime:
+      return scaled(v, {{1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}}, "ns");
+    case Dimension::kBandwidth:
+      return scaled(
+          v, {{kKi * kKi * kKi, "GiB/s"}, {kKi * kKi, "MiB/s"}, {kKi, "KiB/s"}},
+          "B/s");
+    case Dimension::kVoltage:
+      return scaled(v, {{1.0, "V"}}, "mV");
+    case Dimension::kTemperature: {
+      std::ostringstream os;
+      os << v << " K";
+      return os.str();
+    }
+    case Dimension::kDimensionless: {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::ostream& operator<<(std::ostream& os, const Quantity& q) {
+  return os << q.to_string();
+}
+
+Dimension metric_dimension(std::string_view metric) noexcept {
+  // Suffix rules first: XPDL composes metric names like energy_per_byte,
+  // energy_offset_per_message, time_offset_per_message, static_power.
+  auto ends_with = [&](std::string_view sfx) {
+    return metric.size() >= sfx.size() &&
+           metric.substr(metric.size() - sfx.size()) == sfx;
+  };
+  auto contains = [&](std::string_view part) {
+    return metric.find(part) != std::string_view::npos;
+  };
+  if (metric == "size" || ends_with("size") || ends_with("_sz") ||
+      metric == "gmsz" || metric == "msize") {
+    return Dimension::kSize;
+  }
+  if (contains("bandwidth")) return Dimension::kBandwidth;
+  if (contains("frequency") || metric == "cfrq") return Dimension::kFrequency;
+  if (contains("power")) return Dimension::kPower;
+  if (contains("energy")) return Dimension::kEnergy;
+  if (contains("time") || contains("latency")) return Dimension::kTime;
+  if (contains("voltage")) return Dimension::kVoltage;
+  if (contains("temperature")) return Dimension::kTemperature;
+  return Dimension::kDimensionless;
+}
+
+std::string unit_attribute_name(std::string_view metric) {
+  // Sec. III-A: "As an exception, the unit for the metric size is
+  // implicitly specified as unit."
+  if (metric == "size") return "unit";
+  std::string out(metric);
+  out += "_unit";
+  return out;
+}
+
+}  // namespace xpdl::units

@@ -1,0 +1,212 @@
+#include "xpdl/views/views.h"
+
+#include <map>
+#include <sstream>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::views {
+namespace {
+
+/// Escapes a string for a DOT/PlantUML label.
+std::string escape_label(std::string_view raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Display label of an element: kind plus id/name plus headline metrics.
+std::string element_label(const xml::Element& e) {
+  std::string label = e.tag();
+  std::string ident(e.attribute_or("id", e.attribute_or("name", "")));
+  if (!ident.empty()) label += "\\n" + ident;
+  for (const char* metric : {"frequency", "size", "static_power"}) {
+    auto m = model::metric_of(e, metric);
+    if (m.is_ok() && m->has_value() && (*m)->is_number()) {
+      label += "\\n" + std::string(metric) + " = " +
+               (*m)->quantity().to_string();
+    }
+  }
+  return label;
+}
+
+class DotRenderer {
+ public:
+  DotRenderer(const DotOptions& options, std::ostringstream& os)
+      : options_(options), os_(os) {}
+
+  void run(const xml::Element& root) {
+    os_ << "digraph " << options_.graph_name << " {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n"
+        << "  edge [fontname=\"Helvetica\", fontsize=9];\n";
+    render(root);
+    if (options_.interconnect_edges) {
+      for (const auto& [from, to, label] : interconnects_) {
+        auto f = node_ids_.find(from);
+        auto t = node_ids_.find(to);
+        if (f == node_ids_.end() || t == node_ids_.end()) continue;
+        os_ << "  " << f->second << " -> " << t->second
+            << " [style=dashed, color=blue";
+        if (!label.empty()) os_ << ", label=\"" << label << "\"";
+        os_ << "];\n";
+      }
+    }
+    os_ << "}\n";
+  }
+
+ private:
+  /// Returns the DOT node id for `e`, emitting its declaration once.
+  std::string declare(const xml::Element& e) {
+    std::string id = "n" + std::to_string(counter_++);
+    os_ << "  " << id << " [label=\"" << escape_label(element_label(e))
+        << "\"];\n";
+    std::string ident(e.attribute_or("id", ""));
+    if (!ident.empty()) node_ids_.emplace(ident, id);
+    return id;
+  }
+
+  /// Renders the subtree; returns the DOT id of the element's node, or
+  /// "" when the element is a pass-through container.
+  std::string render(const xml::Element& e) {
+    // Skip non-structural subtrees entirely.
+    if (e.tag() == "software" || e.tag() == "properties" ||
+        e.tag() == "power_model" || e.tag() == "const" ||
+        e.tag() == "param" || e.tag() == "constraints" ||
+        e.tag() == "programming_model") {
+      return "";
+    }
+    if (e.tag() == "interconnects") {
+      for (const auto& c : e.children()) {
+        if (c->tag() != "interconnect") continue;
+        std::string label(c->attribute_or("type", ""));
+        if (auto bw = c->attribute(compose::kEffectiveBandwidthAttr)) {
+          auto v = strings::parse_double(*bw);
+          if (v.is_ok()) {
+            label += label.empty() ? "" : "\\n";
+            label += units::bytes_per_second(v.value()).to_string();
+          }
+        }
+        interconnects_.emplace_back(
+            std::string(c->attribute_or("head", "")),
+            std::string(c->attribute_or("tail", "")), escape_label(label));
+      }
+      return "";
+    }
+    // Collapse large expanded groups to one representative member.
+    if (e.tag() == "group" && e.attribute_or("expanded", "") == "true" &&
+        options_.collapse_groups_larger_than > 0 &&
+        e.child_count() > options_.collapse_groups_larger_than) {
+      std::string id = "n" + std::to_string(counter_++);
+      os_ << "  " << id << " [label=\"group x" << e.child_count()
+          << " members\\n(collapsed)\", style=dashed];\n";
+      std::string child_id = render(*e.children().front());
+      if (!child_id.empty()) {
+        os_ << "  " << id << " -> " << child_id << ";\n";
+      }
+      return id;
+    }
+    // Anonymous non-component groups pass their children through.
+    bool passthrough = e.tag() == "group" && !e.has_attribute("id") &&
+                       !e.has_attribute("name");
+    std::string id = passthrough ? "" : declare(e);
+    for (const auto& c : e.children()) {
+      std::string child_id = render(*c);
+      if (!id.empty() && !child_id.empty()) {
+        os_ << "  " << id << " -> " << child_id << ";\n";
+      }
+    }
+    return id;
+  }
+
+  const DotOptions& options_;
+  std::ostringstream& os_;
+  int counter_ = 0;
+  std::map<std::string, std::string> node_ids_;
+  std::vector<std::tuple<std::string, std::string, std::string>>
+      interconnects_;
+};
+
+}  // namespace
+
+std::string to_dot(const xml::Element& root, const DotOptions& options) {
+  std::ostringstream os;
+  DotRenderer renderer(options, os);
+  renderer.run(root);
+  return os.str();
+}
+
+std::string to_dot(const compose::ComposedModel& model,
+                   const DotOptions& options) {
+  return to_dot(model.root(), options);
+}
+
+namespace {
+
+void plantuml_object(const xml::Element& e, std::ostringstream& os,
+                     int& counter,
+                     std::vector<std::pair<std::string, std::string>>& links,
+                     const std::string& parent_obj) {
+  if (e.tag() == "properties" || e.tag() == "constraints") return;
+  std::string obj = "o" + std::to_string(counter++);
+  std::string ident(e.attribute_or("id", e.attribute_or("name", "")));
+  os << "object \"" << escape_label(e.tag())
+     << (ident.empty() ? "" : " " + escape_label(ident)) << "\" as " << obj
+     << " {\n";
+  for (const xml::Attribute& a : e.attributes()) {
+    if (a.name == "id" || a.name == "name") continue;
+    os << "  " << a.name << " = " << escape_label(a.value) << "\n";
+  }
+  os << "}\n";
+  if (!parent_obj.empty()) links.emplace_back(parent_obj, obj);
+  for (const auto& c : e.children()) {
+    plantuml_object(*c, os, counter, links, obj);
+  }
+}
+
+}  // namespace
+
+std::string to_plantuml(const xml::Element& root) {
+  std::ostringstream os;
+  os << "@startuml\n";
+  int counter = 0;
+  std::vector<std::pair<std::string, std::string>> links;
+  plantuml_object(root, os, counter, links, "");
+  for (const auto& [parent, child] : links) {
+    os << parent << " *-- " << child << "\n";
+  }
+  os << "@enduml\n";
+  return os.str();
+}
+
+std::string schema_to_plantuml(const schema::Schema& schema) {
+  std::ostringstream os;
+  os << "@startuml\n"
+     << "' XPDL core metamodel (generated from xpdl::schema::Schema)\n";
+  for (const schema::ElementSpec& e : schema.elements()) {
+    os << "class " << e.tag << " {\n";
+    for (const schema::AttributeSpec& a : e.attributes) {
+      os << "  " << (a.required ? "+" : "-") << a.name << " : "
+         << schema::to_string(a.type) << "\n";
+    }
+    if (e.allow_metric_attributes) {
+      os << "  .. metric attributes ..\n";
+    }
+    os << "}\n";
+  }
+  // Containment associations.
+  for (const schema::ElementSpec& e : schema.elements()) {
+    for (const std::string& child : e.child_tags) {
+      if (schema.find(child) == nullptr) continue;
+      os << e.tag << " o-- " << child << "\n";
+    }
+  }
+  os << "@enduml\n";
+  return os.str();
+}
+
+}  // namespace xpdl::views

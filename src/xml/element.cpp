@@ -1,0 +1,99 @@
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::xml {
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view name) const noexcept {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::attribute_or(std::string_view name,
+                                       std::string_view fallback) const noexcept {
+  auto v = attribute(name);
+  return v.has_value() ? *v : fallback;
+}
+
+Result<std::string> Element::require_attribute(std::string_view name) const {
+  auto v = attribute(name);
+  if (!v.has_value()) {
+    return Status(ErrorCode::kSchemaViolation,
+                  "element <" + tag_ + "> is missing required attribute '" +
+                      std::string(name) + "'",
+                  location_);
+  }
+  return std::string(*v);
+}
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back(Attribute{std::string(name), std::string(value), {}});
+}
+
+bool Element::remove_attribute(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == name) {
+      attributes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Element& Element::add_child(std::unique_ptr<Element> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::add_child(std::string tag) {
+  return add_child(std::make_unique<Element>(std::move(tag)));
+}
+
+const Element* Element::first_child(std::string_view tag) const noexcept {
+  for (const auto& c : children_) {
+    if (c->tag_ == tag) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::first_child(std::string_view tag) noexcept {
+  for (auto& c : children_) {
+    if (c->tag_ == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view tag) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->tag_ == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::unique_ptr<Element> Element::clone() const {
+  auto out = std::make_unique<Element>(tag_);
+  out->attributes_ = attributes_;
+  out->text_ = text_;
+  out->location_ = location_;
+  for (const auto& c : children_) {
+    out->add_child(c->clone());
+  }
+  return out;
+}
+
+std::size_t Element::subtree_size() const noexcept {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->subtree_size();
+  return n;
+}
+
+}  // namespace xpdl::xml

@@ -1,0 +1,360 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "xpdl/util/io.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::xml {
+namespace {
+
+/// Single-pass, line/column-tracking XML scanner producing the Element tree.
+class Reader {
+ public:
+  Reader(std::string_view text, std::string source, ParseOptions options)
+      : text_(text), source_(std::move(source)), options_(options) {}
+
+  Result<Document> run() {
+    Document doc;
+    skip_prolog_and_misc();
+    if (at_end()) {
+      return fail("document contains no root element");
+    }
+    XPDL_ASSIGN_OR_RETURN(auto root, parse_element(0));
+    doc.root = std::move(root);
+    // Only comments/whitespace may follow the root element.
+    skip_misc();
+    if (!at_end()) {
+      return fail("content after root element");
+    }
+    doc.warnings = std::move(warnings_);
+    return doc;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  [[nodiscard]] char peek_at(std::size_t off) const noexcept {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+
+  char advance() noexcept {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void advance_by(std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view s) const noexcept {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  [[nodiscard]] SourceLocation here() const {
+    return SourceLocation{source_, line_, column_};
+  }
+
+  [[nodiscard]] Status fail(std::string_view what) const {
+    return Status(ErrorCode::kParseError, std::string(what), here());
+  }
+
+  void skip_ws() {
+    while (!at_end() && strings::is_space(peek())) advance();
+  }
+
+  /// Skips comments, PIs and whitespace between markup.
+  Status skip_misc_once(bool& progressed) {
+    progressed = false;
+    std::size_t before = pos_;
+    skip_ws();
+    if (starts_with("<!--")) {
+      advance_by(4);
+      while (!at_end() && !starts_with("-->")) advance();
+      if (at_end()) return fail("unterminated comment");
+      advance_by(3);
+    } else if (starts_with("<?")) {
+      advance_by(2);
+      while (!at_end() && !starts_with("?>")) advance();
+      if (at_end()) return fail("unterminated processing instruction");
+      advance_by(2);
+    } else if (starts_with("<!DOCTYPE")) {
+      // Skip a (non-nested-subset) DOCTYPE declaration.
+      while (!at_end() && peek() != '>') advance();
+      if (at_end()) return fail("unterminated DOCTYPE");
+      advance();
+    }
+    progressed = pos_ != before;
+    return Status::ok();
+  }
+
+  void skip_misc() {
+    bool progressed = true;
+    while (progressed) {
+      if (!skip_misc_once(progressed).is_ok()) return;
+    }
+  }
+
+  void skip_prolog_and_misc() { skip_misc(); }
+
+  static bool is_name_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> parse_name() {
+    if (at_end() || !is_name_start(peek())) {
+      return fail("expected a name");
+    }
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  /// Decodes entity and character references in `raw`.
+  Result<std::string> decode_text(std::string_view raw,
+                                  const SourceLocation& loc) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (c != '&') {
+        out += c;
+        continue;
+      }
+      std::size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Status(ErrorCode::kParseError, "unterminated entity reference",
+                      loc);
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "amp") out += '&';
+      else if (ent == "apos") out += '\'';
+      else if (ent == "quot") out += '"';
+      else if (!ent.empty() && ent[0] == '#') {
+        std::string_view num = ent.substr(1);
+        int base = 10;
+        if (!num.empty() && (num[0] == 'x' || num[0] == 'X')) {
+          base = 16;
+          num = num.substr(1);
+        }
+        char* end = nullptr;
+        std::string buf(num);
+        unsigned long cp = std::strtoul(buf.c_str(), &end, base);
+        if (end != buf.c_str() + buf.size() || cp == 0 || cp > 0x10FFFF) {
+          return Status(ErrorCode::kParseError,
+                        "invalid character reference '&" + std::string(ent) +
+                            ";'",
+                        loc);
+        }
+        // Encode as UTF-8.
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (cp >> 18));
+          out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+      } else {
+        return Status(ErrorCode::kParseError,
+                      "unknown entity '&" + std::string(ent) + ";'", loc);
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<Attribute> parse_attribute() {
+    SourceLocation loc = here();
+    XPDL_ASSIGN_OR_RETURN(std::string name, parse_name());
+    skip_ws();
+    if (peek() != '=') {
+      return Status(ErrorCode::kParseError,
+                    "expected '=' after attribute name '" + name + "'", loc);
+    }
+    advance();
+    skip_ws();
+    char quote = peek();
+    std::string raw;
+    if (quote == '"' || quote == '\'') {
+      advance();
+      while (!at_end() && peek() != quote) raw += advance();
+      if (at_end()) {
+        return Status(ErrorCode::kParseError,
+                      "unterminated attribute value for '" + name + "'", loc);
+      }
+      advance();  // closing quote
+    } else {
+      if (!options_.allow_unquoted_attributes) {
+        return Status(ErrorCode::kParseError,
+                      "unquoted value for attribute '" + name + "'", loc);
+      }
+      // Lenient mode (paper Listing 1 writes quantity=2): read up to
+      // whitespace or tag end.
+      while (!at_end() && !strings::is_space(peek()) && peek() != '>' &&
+             !(peek() == '/' && peek_at(1) == '>')) {
+        raw += advance();
+      }
+      if (raw.empty()) {
+        return Status(ErrorCode::kParseError,
+                      "empty unquoted value for attribute '" + name + "'",
+                      loc);
+      }
+      warnings_.push_back(loc.to_string() + ": unquoted attribute value '" +
+                          name + "=" + raw + "' accepted (lenient mode)");
+    }
+    XPDL_ASSIGN_OR_RETURN(std::string value, decode_text(raw, loc));
+    return Attribute{std::move(name), std::move(value), std::move(loc)};
+  }
+
+  Result<std::unique_ptr<Element>> parse_element(std::size_t depth) {
+    if (depth > options_.max_depth) {
+      return fail("maximum element nesting depth exceeded");
+    }
+    SourceLocation open_loc = here();
+    if (peek() != '<') return fail("expected '<'");
+    advance();
+    XPDL_ASSIGN_OR_RETURN(std::string tag, parse_name());
+    auto element = std::make_unique<Element>(tag);
+    element->set_location(open_loc);
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (at_end()) return fail("unterminated start tag <" + tag + ">");
+      char c = peek();
+      if (c == '/') {
+        advance();
+        if (peek() != '>') return fail("expected '>' after '/'");
+        advance();
+        return element;  // self-closing
+      }
+      if (c == '>') {
+        advance();
+        break;
+      }
+      XPDL_ASSIGN_OR_RETURN(Attribute attr, parse_attribute());
+      if (element->has_attribute(attr.name)) {
+        return Status(ErrorCode::kParseError,
+                      "duplicate attribute '" + attr.name + "' on <" + tag +
+                          ">",
+                      attr.location);
+      }
+      element->set_attribute(attr.name, attr.value);
+    }
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      std::string_view trimmed = strings::trim(pending_text);
+      if (!trimmed.empty()) {
+        XPDL_ASSIGN_OR_RETURN(std::string decoded,
+                              decode_text(trimmed, open_loc));
+        element->append_text(decoded);
+      }
+      pending_text.clear();
+      return Status::ok();
+    };
+
+    while (true) {
+      if (at_end()) {
+        return Status(ErrorCode::kParseError,
+                      "unterminated element <" + tag + ">", open_loc);
+      }
+      if (starts_with("</")) {
+        XPDL_RETURN_IF_ERROR(flush_text());
+        advance_by(2);
+        SourceLocation close_loc = here();
+        XPDL_ASSIGN_OR_RETURN(std::string close_tag, parse_name());
+        skip_ws();
+        if (peek() != '>') {
+          return Status(ErrorCode::kParseError,
+                        "expected '>' in closing tag", close_loc);
+        }
+        advance();
+        if (close_tag != tag) {
+          return Status(ErrorCode::kParseError,
+                        "mismatched closing tag </" + close_tag +
+                            "> for element <" + tag + ">",
+                        close_loc);
+        }
+        return element;
+      }
+      if (starts_with("<!--")) {
+        advance_by(4);
+        while (!at_end() && !starts_with("-->")) advance();
+        if (at_end()) return fail("unterminated comment");
+        advance_by(3);
+        continue;
+      }
+      if (starts_with("<![CDATA[")) {
+        advance_by(9);
+        std::string cdata;
+        while (!at_end() && !starts_with("]]>")) cdata += advance();
+        if (at_end()) return fail("unterminated CDATA section");
+        advance_by(3);
+        element->append_text(cdata);
+        continue;
+      }
+      if (starts_with("<?")) {
+        advance_by(2);
+        while (!at_end() && !starts_with("?>")) advance();
+        if (at_end()) return fail("unterminated processing instruction");
+        advance_by(2);
+        continue;
+      }
+      if (peek() == '<') {
+        XPDL_RETURN_IF_ERROR(flush_text());
+        XPDL_ASSIGN_OR_RETURN(auto child, parse_element(depth + 1));
+        element->add_child(std::move(child));
+        continue;
+      }
+      pending_text += advance();
+    }
+  }
+
+  std::string_view text_;
+  std::string source_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace
+
+Result<Document> parse(std::string_view text, std::string source_name,
+                       const ParseOptions& options) {
+  Reader reader(text, std::move(source_name), options);
+  return reader.run();
+}
+
+Result<Document> parse_file(const std::string& path,
+                            const ParseOptions& options) {
+  XPDL_ASSIGN_OR_RETURN(std::string text, io::read_file(path));
+  return parse(text, path, options);
+}
+
+}  // namespace xpdl::xml

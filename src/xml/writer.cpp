@@ -1,0 +1,60 @@
+#include <sstream>
+
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::xml {
+namespace {
+
+void write_element(const Element& e, std::ostream& os, int depth,
+                   const WriteOptions& options) {
+  std::string indent(static_cast<std::size_t>(depth * options.indent), ' ');
+  os << indent << '<' << e.tag();
+  for (const Attribute& a : e.attributes()) {
+    os << ' ' << a.name << "=\"" << escape(a.value) << '"';
+  }
+  const bool has_children = e.child_count() > 0;
+  const bool has_text = !e.text().empty();
+  if (!has_children && !has_text) {
+    os << " />\n";
+    return;
+  }
+  os << '>';
+  if (has_text) os << escape(e.text());
+  if (has_children) {
+    os << '\n';
+    for (const auto& c : e.children()) {
+      write_element(*c, os, depth + 1, options);
+    }
+    os << indent;
+  }
+  os << "</" << e.tag() << ">\n";
+}
+
+}  // namespace
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string write(const Element& root, const WriteOptions& options) {
+  std::ostringstream os;
+  if (options.xml_declaration) {
+    os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
+  write_element(root, os, 0, options);
+  return os.str();
+}
+
+}  // namespace xpdl::xml

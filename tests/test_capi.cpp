@@ -1,0 +1,116 @@
+// Tests for the C entry points of the Runtime Query API (Sec. IV):
+// xpdl_init and friends.
+#include "xpdl/runtime/capi.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes the composed liu_gpu_server runtime model to a temp file once.
+const std::string& model_file() {
+  static const std::string* path = [] {
+    auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    xpdl::compose::Composer composer(**repo);
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    auto model = xpdl::runtime::Model::from_composed(*composed);
+    assert(model.is_ok());
+    auto* p = new std::string(
+        (fs::temp_directory_path() / "xpdl_capi_test.xpdlrt").string());
+    auto st = model->save(*p);
+    assert(st.is_ok());
+    (void)st;
+    return p;
+  }();
+  return *path;
+}
+
+class CApi : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(xpdl_init(model_file().c_str()), 0); }
+  void TearDown() override { xpdl_shutdown(); }
+};
+
+TEST(CApiLifecycle, InitFailureModes) {
+  xpdl_shutdown();
+  EXPECT_EQ(xpdl_is_initialized(), 0);
+  EXPECT_NE(xpdl_init(nullptr), 0);
+  EXPECT_NE(xpdl_init("/no/such/file.xpdlrt"), 0);
+  EXPECT_EQ(xpdl_is_initialized(), 0);
+  // Queries against an uninitialized API are safe no-ops.
+  EXPECT_EQ(xpdl_root(), 0u);
+  EXPECT_EQ(xpdl_find_by_id("gpu1"), 0u);
+  EXPECT_EQ(xpdl_tag(1), nullptr);
+  EXPECT_EQ(xpdl_count_cores(0), 0u);
+  EXPECT_EQ(xpdl_total_static_power(0), 0.0);
+  // Successful init flips the flag; shutdown is idempotent.
+  ASSERT_EQ(xpdl_init(model_file().c_str()), 0);
+  EXPECT_EQ(xpdl_is_initialized(), 1);
+  xpdl_shutdown();
+  xpdl_shutdown();
+  EXPECT_EQ(xpdl_is_initialized(), 0);
+}
+
+TEST_F(CApi, RootAndTag) {
+  xpdl_node_t root = xpdl_root();
+  ASSERT_NE(root, 0u);
+  EXPECT_STREQ(xpdl_tag(root), "system");
+  EXPECT_EQ(xpdl_parent(root), 0u);
+}
+
+TEST_F(CApi, FindByIdAndAttributes) {
+  xpdl_node_t gpu = xpdl_find_by_id("gpu1");
+  ASSERT_NE(gpu, 0u);
+  EXPECT_STREQ(xpdl_tag(gpu), "device");
+  EXPECT_STREQ(xpdl_get_attribute(gpu, "compute_capability"), "3.5");
+  EXPECT_EQ(xpdl_get_attribute(gpu, "nosuch"), nullptr);
+  EXPECT_EQ(xpdl_get_attribute(gpu, nullptr), nullptr);
+  EXPECT_EQ(xpdl_find_by_id("nope"), 0u);
+  EXPECT_EQ(xpdl_find_by_id(nullptr), 0u);
+}
+
+TEST_F(CApi, ChildrenIteration) {
+  xpdl_node_t root = xpdl_root();
+  unsigned n = xpdl_num_children(root);
+  ASSERT_GT(n, 0u);
+  for (unsigned i = 0; i < n; ++i) {
+    xpdl_node_t child = xpdl_child_at(root, i);
+    ASSERT_NE(child, 0u);
+    EXPECT_EQ(xpdl_parent(child), root);
+  }
+  EXPECT_EQ(xpdl_child_at(root, n), 0u);  // out of range
+  EXPECT_EQ(xpdl_child_at(0, 0), 0u);     // null node
+}
+
+TEST_F(CApi, AnalysisGetters) {
+  EXPECT_EQ(xpdl_count_cores(0), 4u + 13u * 192u);
+  EXPECT_EQ(xpdl_count_cuda_devices(0), 1u);
+  EXPECT_EQ(xpdl_count_tag("memory", 0), 2u + 13u + 1u);
+  EXPECT_NEAR(xpdl_total_static_power(0), 60.0, 1e-9);
+  // Subtree-scoped.
+  xpdl_node_t host = xpdl_find_by_id("gpu_host");
+  ASSERT_NE(host, 0u);
+  EXPECT_EQ(xpdl_count_cores(host), 4u);
+  // Invalid subtree handle fails closed.
+  EXPECT_EQ(xpdl_count_cores(999999), 0u);
+  EXPECT_EQ(xpdl_count_tag(nullptr, 0), 0u);
+}
+
+TEST_F(CApi, InstalledSoftwareChecks) {
+  EXPECT_EQ(xpdl_has_installed("CUDA"), 1);
+  EXPECT_EQ(xpdl_has_installed("CUBLAS"), 1);
+  EXPECT_EQ(xpdl_has_installed("FancyLib"), 0);
+  EXPECT_EQ(xpdl_has_installed(nullptr), 0);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Tests for the cluster-level time/energy estimator and greedy mapper.
+#include "xpdl/energy/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::energy {
+namespace {
+
+const compose::ComposedModel& xscluster() {
+  static const auto* m = [] {
+    auto repo = repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    compose::Composer composer(**repo);
+    auto composed = composer.compose("XScluster");
+    assert(composed.is_ok());
+    return new compose::ComposedModel(std::move(composed).value());
+  }();
+  return *m;
+}
+
+ClusterEstimator make_estimator() {
+  auto est = ClusterEstimator::create(xscluster());
+  EXPECT_TRUE(est.is_ok()) << (est.is_ok() ? "" : est.status().to_string());
+  return std::move(est).value();
+}
+
+TEST(Create, ExtractsFourIdenticalNodesAndInfinibandLink) {
+  ClusterEstimator est = make_estimator();
+  ASSERT_EQ(est.nodes().size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const NodeCapability& n = est.nodes()[i];
+    EXPECT_EQ(n.id, "n" + std::to_string(i));
+    // 2 CPUs x 4 cores x 2 GHz x 2 flops = 32 GFLOP/s per node.
+    EXPECT_DOUBLE_EQ(n.flops, 32e9);
+    EXPECT_NEAR(n.static_power_w, 115.8, 1e-9);
+    EXPECT_GT(n.active_power_w, 0.0);
+  }
+  // 56 Gbit/s InfiniBand.
+  EXPECT_DOUBLE_EQ(est.link().bandwidth_bps, 7e9);
+  EXPECT_DOUBLE_EQ(est.link().time_offset_s, 700e-9);
+}
+
+TEST(Create, FailsOnNonClusterModels) {
+  auto repo = repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  compose::Composer composer(**repo);
+  auto single = composer.compose("liu_gpu_server");
+  ASSERT_TRUE(single.is_ok());
+  auto est = ClusterEstimator::create(*single);
+  EXPECT_FALSE(est.is_ok());  // no <node> elements
+}
+
+TEST(Estimate, SingleTaskMathChecksOut) {
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks = {{"t0", 64e9, {}}};  // 2 s on one node
+  Placement placement = {{"t0", "n0"}};
+  auto e = est.estimate(tasks, placement);
+  ASSERT_TRUE(e.is_ok()) << e.status().to_string();
+  EXPECT_DOUBLE_EQ(e->makespan_s, 2.0);
+  EXPECT_DOUBLE_EQ(e->node_busy_s.at("n0"), 2.0);
+  // Static energy: all four nodes powered for 2 s.
+  EXPECT_NEAR(e->static_energy_j, 4 * 115.8 * 2.0, 1e-6);
+  EXPECT_GT(e->compute_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(e->comm_energy_j, 0.0);
+}
+
+TEST(Estimate, RemoteInputsPayCommunication) {
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks = {
+      {"produce", 32e9, {}},
+      {"consume", 32e9, {{"produce", 7e9}}},  // 1 s transfer at 7 GB/s
+  };
+  Placement local = {{"produce", "n0"}, {"consume", "n0"}};
+  Placement remote = {{"produce", "n0"}, {"consume", "n1"}};
+  auto e_local = est.estimate(tasks, local);
+  auto e_remote = est.estimate(tasks, remote);
+  ASSERT_TRUE(e_local.is_ok());
+  ASSERT_TRUE(e_remote.is_ok());
+  EXPECT_DOUBLE_EQ(e_local->comm_energy_j, 0.0);
+  EXPECT_GT(e_remote->comm_energy_j, 0.0);
+  // Local: both on n0 -> makespan 2 s. Remote: 1 s each + 1 s transfer.
+  EXPECT_DOUBLE_EQ(e_local->makespan_s, 2.0);
+  EXPECT_NEAR(e_remote->makespan_s, 2.0, 1e-3);
+}
+
+TEST(Estimate, ErrorsOnBadInput) {
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks = {{"t", 1e9, {}}};
+  EXPECT_FALSE(est.estimate(tasks, {}).is_ok());  // unplaced
+  EXPECT_FALSE(
+      est.estimate(tasks, {{"t", "node_zz"}}).is_ok());  // unknown node
+  std::vector<ClusterTask> dangling = {{"t", 1e9, {{"ghost", 1.0}}}};
+  EXPECT_FALSE(est.estimate(dangling, {{"t", "n0"}}).is_ok());
+  std::vector<ClusterTask> dup = {{"t", 1e9, {}}, {"t", 1e9, {}}};
+  EXPECT_FALSE(est.estimate(dup, {{"t", "n0"}}).is_ok());
+}
+
+TEST(GreedyMap, IndependentTasksSpreadAcrossNodes) {
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back({"t" + std::to_string(i), 32e9, {}});
+  }
+  auto mapped = est.greedy_map(tasks, Objective::kMakespan);
+  ASSERT_TRUE(mapped.is_ok()) << mapped.status().to_string();
+  const auto& [placement, estimate] = *mapped;
+  // 8 equal tasks on 4 equal nodes: 2 per node, makespan = 2 tasks.
+  EXPECT_NEAR(estimate.makespan_s, 2.0, 1e-9);
+  std::map<std::string, int> per_node;
+  for (const auto& [task, node] : placement) ++per_node[node];
+  for (const auto& [node, count] : per_node) EXPECT_EQ(count, 2) << node;
+}
+
+TEST(GreedyMap, CommunicationHeavyChainsStayOnOneNode) {
+  ClusterEstimator est = make_estimator();
+  // A chain with enormous intermediate data: any split pays a transfer
+  // far costlier than serializing the compute.
+  std::vector<ClusterTask> tasks = {
+      {"a", 1e9, {}},
+      {"b", 1e9, {{"a", 70e9}}},  // 10 s transfer if split
+      {"c", 1e9, {{"b", 70e9}}},
+  };
+  auto mapped = est.greedy_map(tasks, Objective::kMakespan);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto& [placement, estimate] = *mapped;
+  EXPECT_EQ(placement.at("a"), placement.at("b"));
+  EXPECT_EQ(placement.at("b"), placement.at("c"));
+  EXPECT_DOUBLE_EQ(estimate.comm_energy_j, 0.0);
+}
+
+TEST(GreedyMap, EnergyObjectiveAvoidsNeedlessTransfers) {
+  ClusterEstimator est = make_estimator();
+  // The consumer is tiny, so moving it to another node cannot shorten
+  // the makespan — the only effect of a split is the added transfer time
+  // and energy. The energy objective must co-locate.
+  std::vector<ClusterTask> tasks = {
+      {"a", 32e9, {}},               // 1 s
+      {"b", 0.032e9, {{"a", 7e9}}},  // 1 ms compute, 1 s transfer if split
+  };
+  auto energy_mapped = est.greedy_map(tasks, Objective::kEnergy);
+  ASSERT_TRUE(energy_mapped.is_ok());
+  EXPECT_EQ(energy_mapped->first.at("a"), energy_mapped->first.at("b"));
+  EXPECT_DOUBLE_EQ(energy_mapped->second.comm_energy_j, 0.0);
+  // The estimate's energy breakdown is internally consistent.
+  const ClusterEstimate& e = energy_mapped->second;
+  EXPECT_NEAR(e.total_energy_j(),
+              e.compute_energy_j + e.comm_energy_j + e.static_energy_j,
+              1e-9);
+}
+
+TEST(GreedyMap, EnergyObjectiveExploitsParallelismWhenStaticDominates) {
+  // Dual of the previous test: with all nodes powered regardless, a
+  // shorter makespan saves static energy, so splitting equal independent
+  // tasks is the energy-optimal choice despite nonzero transfer cost.
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks = {
+      {"a", 32e9, {}},
+      {"b", 32e9, {{"a", 1e6}}},  // negligible 1 MB input
+  };
+  auto mapped = est.greedy_map(tasks, Objective::kEnergy);
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_NE(mapped->first.at("a"), mapped->first.at("b"));
+  EXPECT_LT(mapped->second.makespan_s, 2.0);
+}
+
+TEST(GreedyMap, MakespanNeverWorseThanSingleNode) {
+  // Property: the greedy makespan is never worse than putting everything
+  // on one node.
+  ClusterEstimator est = make_estimator();
+  std::vector<ClusterTask> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(
+        {"t" + std::to_string(i), (8.0 + i * 8) * 1e9,
+         i > 0 ? std::vector<std::pair<std::string, double>>{
+                     {"t" + std::to_string(i - 1), 1e6}}
+               : std::vector<std::pair<std::string, double>>{}});
+  }
+  Placement all_on_one;
+  for (const auto& t : tasks) all_on_one[t.name] = "n0";
+  auto baseline = est.estimate(tasks, all_on_one);
+  auto mapped = est.greedy_map(tasks, Objective::kMakespan);
+  ASSERT_TRUE(baseline.is_ok());
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_LE(mapped->second.makespan_s, baseline->makespan_s + 1e-9);
+}
+
+}  // namespace
+}  // namespace xpdl::energy

@@ -1,0 +1,157 @@
+// Tests for the schema-driven code generator (Sec. IV). The build runs
+// xpdl-codegen to produce generated/xpdl_classes.h; this suite both
+// checks the generator's text output and *uses* the generated classes
+// against a real runtime model — the strongest possible check that the
+// generated Query API works.
+#include "xpdl/codegen/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "generated/xpdl_classes.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+using xpdl::codegen::class_name;
+using xpdl::codegen::generate_header;
+using xpdl::codegen::method_name;
+using xpdl::schema::Schema;
+
+TEST(ClassName, CamelCasesTags) {
+  EXPECT_EQ(class_name("cpu"), "Cpu");
+  EXPECT_EQ(class_name("power_state_machine"), "PowerStateMachine");
+  EXPECT_EQ(class_name("hostOS"), "HostOS");
+  EXPECT_EQ(class_name("programming_model"), "ProgrammingModel");
+}
+
+TEST(MethodName, SnakeCasesAttributes) {
+  EXPECT_EQ(method_name("name"), "name");
+  EXPECT_EQ(method_name("switchoffCondition"), "switchoff_condition");
+  EXPECT_EQ(method_name("enableSwitchOff"), "enable_switch_off");
+  EXPECT_EQ(method_name("max_bandwidth"), "max_bandwidth");
+}
+
+TEST(GenerateHeader, EmitsViewAndBuilderPerElementKind) {
+  std::string header = generate_header(Schema::core());
+  for (const auto& spec : Schema::core().elements()) {
+    std::string cls = class_name(spec.tag);
+    EXPECT_NE(header.find("class " + cls + "View"), std::string::npos)
+        << spec.tag;
+    EXPECT_NE(header.find("class " + cls + "Builder"), std::string::npos)
+        << spec.tag;
+  }
+  // Getters and setters for a known attribute.
+  EXPECT_NE(header.find("get_compute_capability"), std::string::npos);
+  EXPECT_NE(header.find("set_compute_capability"), std::string::npos);
+  // Navigation accessors.
+  EXPECT_NE(header.find("core_children"), std::string::npos);
+}
+
+TEST(GenerateMarkdown, CoversEveryElementKind) {
+  std::string doc = xpdl::codegen::generate_markdown(Schema::core());
+  for (const auto& spec : Schema::core().elements()) {
+    EXPECT_NE(doc.find("## `<" + spec.tag + ">`"), std::string::npos)
+        << spec.tag;
+  }
+  // Attribute tables and metric notes render.
+  EXPECT_NE(doc.find("| attribute | type | required | description |"),
+            std::string::npos);
+  EXPECT_NE(doc.find("free-form metric attributes"), std::string::npos);
+  EXPECT_NE(doc.find("Allowed children:"), std::string::npos);
+}
+
+TEST(GenerateHeader, RespectsCustomNamespace) {
+  std::string header = generate_header(Schema::core(), "acme::platform");
+  EXPECT_NE(header.find("namespace acme::platform {"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Using the *generated* classes (compiled at build time by xpdl-codegen).
+
+const xpdl::runtime::Model& liu_model() {
+  static const auto* model = [] {
+    auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    xpdl::compose::Composer composer(**repo);
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    auto m = xpdl::runtime::Model::from_composed(*composed);
+    assert(m.is_ok());
+    return new xpdl::runtime::Model(std::move(m).value());
+  }();
+  return *model;
+}
+
+TEST(GeneratedViews, TypedGettersOnRealModel) {
+  const auto& model = liu_model();
+  xpdl::generated::SystemView system(model.root());
+  ASSERT_TRUE(system.valid());
+  EXPECT_EQ(system.get_id(), "liu_gpu_server");
+  EXPECT_TRUE(system.has_id());
+  EXPECT_FALSE(system.has_name());
+
+  auto gpu_node = model.find_by_id("gpu1");
+  ASSERT_TRUE(gpu_node.has_value());
+  xpdl::generated::DeviceView gpu(*gpu_node);
+  ASSERT_TRUE(gpu.valid());
+  EXPECT_EQ(gpu.get_type(), "Nvidia_K20c");
+  auto cc = gpu.get_compute_capability();
+  ASSERT_TRUE(cc.is_ok());
+  EXPECT_DOUBLE_EQ(cc.value(), 3.5);
+}
+
+TEST(GeneratedViews, NavigationAccessors) {
+  const auto& model = liu_model();
+  auto host = model.find_by_id("gpu_host");
+  ASSERT_TRUE(host.has_value());
+  xpdl::generated::CpuView cpu(*host);
+  ASSERT_TRUE(cpu.valid());
+  // The Xeon has one top-level (expanded) group and the L3 cache.
+  EXPECT_EQ(cpu.group_children().size(), 1u);
+  ASSERT_EQ(cpu.cache_children().size(), 1u);
+  xpdl::generated::CacheView l3(cpu.cache_children()[0].node());
+  EXPECT_EQ(l3.get_name(), "L3");
+  auto size = l3.get_size();
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_DOUBLE_EQ(size.value(), 15.0);  // raw number; unit is MiB
+  EXPECT_EQ(l3.get_unit(), "MiB");
+}
+
+TEST(GeneratedViews, WrongKindIsDetected) {
+  const auto& model = liu_model();
+  xpdl::generated::MemoryView wrong(model.root());  // root is <system>
+  EXPECT_FALSE(wrong.valid());
+}
+
+TEST(GeneratedBuilders, SettersProduceValidXpdl) {
+  xpdl::xml::Element root("system");
+  xpdl::generated::SystemBuilder system(root);
+  system.set_id("built");
+  auto cpu = xpdl::generated::CpuBuilder::create(root);
+  cpu.set_id("c0").set_frequency("2").set_frequency_unit("GHz");
+  auto report = Schema::core().validate(root);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(root.attribute("id"), "built");
+  const xpdl::xml::Element* built_cpu = root.first_child("cpu");
+  ASSERT_NE(built_cpu, nullptr);
+  EXPECT_EQ(built_cpu->attribute("frequency"), "2");
+}
+
+TEST(GeneratedViews, IdentifierListGetter) {
+  const auto& model = liu_model();
+  auto gpu = model.find_by_id("gpu1");
+  ASSERT_TRUE(gpu.has_value());
+  bool checked = false;
+  for (const auto& pm_node : gpu->children("programming_model")) {
+    xpdl::generated::ProgrammingModelView pm(pm_node);
+    auto types = pm.get_type();
+    if (std::find(types.begin(), types.end(), "cuda6.0") != types.end()) {
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace

@@ -1,0 +1,442 @@
+// Unit and integration tests for the composer: type resolution,
+// inheritance flattening, parameter binding, constraint checking, group
+// expansion and the static analyses.
+#include "xpdl/compose/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::compose {
+namespace {
+
+/// Repository over the shipped model library, shared by the suite.
+repository::Repository& shipped_repo() {
+  static repository::Repository* repo = [] {
+    auto* r = new repository::Repository({XPDL_MODELS_DIR});
+    Status st = r->scan();
+    assert(st.is_ok());
+    (void)st;
+    return r;
+  }();
+  return *repo;
+}
+
+ComposedModel compose_ok(std::string_view ref) {
+  Composer composer(shipped_repo());
+  auto result = composer.compose(ref);
+  EXPECT_TRUE(result.is_ok())
+      << (result.is_ok() ? "" : result.status().to_string());
+  return std::move(result).value();
+}
+
+Result<ComposedModel> compose_text(std::string_view text,
+                                   Options options = {}) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok());
+  Composer composer(shipped_repo(), options);
+  return composer.compose(*doc.value().root);
+}
+
+TEST(GroupExpansion, Listing1CoreIdsAndSharingScope) {
+  ComposedModel model = compose_ok("Intel_Xeon_E5_2630L");
+  // 2 core groups x 2 cores; members named per Sec. III-A.
+  // Inner cores live at core_group<k>.core<j> qualified paths.
+  for (const char* path :
+       {"Intel_Xeon_E5_2630L.core_group0.core0",
+        "Intel_Xeon_E5_2630L.core_group0.core1",
+        "Intel_Xeon_E5_2630L.core_group1.core0",
+        "Intel_Xeon_E5_2630L.core_group1.core1"}) {
+    EXPECT_NE(model.find_by_id(path), nullptr) << path;
+  }
+  // Hierarchical scoping (Sec. III-B): each expanded core_group member
+  // holds its two cores with their private L1s; the shared L2 sits in the
+  // same scope as the member (sibling inside the outer group).
+  const xml::Element* cg0 =
+      model.find_by_id("Intel_Xeon_E5_2630L.core_group0");
+  ASSERT_NE(cg0, nullptr);
+  int l1 = 0, cores = 0;
+  for (const auto& c : cg0->children()) {
+    if (c->tag() == "core") ++cores;
+    if (c->tag() == "cache") ++l1;  // private L1s
+  }
+  EXPECT_EQ(cores, 2);
+  EXPECT_EQ(l1, 2);
+  // The outer group carries one L2 per member, in member scope.
+  const xml::Element* outer = cg0->parent();
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->children_named("cache").size(), 2u);  // two L2 clones
+}
+
+TEST(GroupExpansion, MultiComponentBodiesGetSuffixedIds) {
+  auto model = compose_text(R"(
+    <cpu id="c">
+      <group prefix="p" quantity="2">
+        <core/>
+        <memory/>
+      </group>
+    </cpu>)");
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  // Two anonymous components per member: ids p<rank>_<tag><idx>.
+  EXPECT_NE(model->find_by_id("c.p0_core0"), nullptr);
+  EXPECT_NE(model->find_by_id("c.p1_core0"), nullptr);
+  EXPECT_NE(model->find_by_id("c.p0_memory1"), nullptr);
+}
+
+TEST(GroupExpansion, QuantityZeroYieldsEmptyGroup) {
+  auto model = compose_text(R"(
+    <cpu id="c"><group prefix="x" quantity="0"><core/></group></cpu>)");
+  ASSERT_TRUE(model.is_ok());
+  const xml::Element* group = model->root().first_child("group");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->child_count(), 0u);
+  EXPECT_EQ(group->attribute("expanded"), "true");
+}
+
+TEST(Inheritance, K20cOverridesKeplerAttributes) {
+  // Listing 9: K20c extends Nvidia_Kepler and overwrites
+  // compute_capability (3.0 -> 3.5).
+  ComposedModel model = compose_ok("liu_gpu_server");
+  const xml::Element* gpu = model.find_by_id("gpu1");
+  ASSERT_NE(gpu, nullptr);
+  EXPECT_EQ(gpu->attribute("compute_capability"), "3.5");
+  EXPECT_EQ(gpu->attribute("role"), "worker");  // from Nvidia_GPU root
+  // Kepler's programming model is inherited.
+  bool has_cuda = false;
+  for (const auto& c : gpu->children()) {
+    if (c->tag() == "programming_model" &&
+        std::string(c->attribute_or("type", "")).find("cuda") !=
+            std::string::npos) {
+      has_cuda = true;
+    }
+  }
+  EXPECT_TRUE(has_cuda);
+}
+
+TEST(Inheritance, ParameterSubstitutionFromListing9And10) {
+  ComposedModel model = compose_ok("liu_gpu_server");
+  const xml::Element* gpu = model.find_by_id("gpu1");
+  ASSERT_NE(gpu, nullptr);
+  // num_SM=13 expands the SMs group to 13 members with ids SM0..SM12.
+  EXPECT_NE(model.find_by_id("liu_gpu_server.gpu1.SMs.SM0"), nullptr);
+  EXPECT_NE(model.find_by_id("liu_gpu_server.gpu1.SMs.SM12"), nullptr);
+  EXPECT_EQ(model.find_by_id("liu_gpu_server.gpu1.SMs.SM13"), nullptr);
+  // Each SM holds 192 cores at cfrq=706 MHz (substituted).
+  const xml::Element* sm0 = model.find_by_id("liu_gpu_server.gpu1.SMs.SM0");
+  const xml::Element* inner_group = sm0->first_child("group");
+  ASSERT_NE(inner_group, nullptr);
+  EXPECT_EQ(inner_group->children_named("core").size(), 192u);
+  const xml::Element* core = inner_group->first_child("core");
+  EXPECT_EQ(core->attribute("frequency"), "706");
+  EXPECT_EQ(core->attribute("frequency_unit"), "MHz");
+  // L1/shm split fixed to 32+32 KB by Listing 10's bindings.
+  const xml::Element* l1 = sm0->first_child("cache");
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(l1->attribute("size"), "32");
+  EXPECT_EQ(l1->attribute("unit"), "KB");
+  // Global memory picked up gmsz = 5 GB.
+  bool found_gmem = false;
+  for (const auto& c : gpu->children()) {
+    if (c->tag() == "memory" && c->attribute_or("name", "") == "gmem") {
+      EXPECT_EQ(c->attribute("size"), "5");
+      EXPECT_EQ(c->attribute("unit"), "GB");
+      found_gmem = true;
+    }
+  }
+  EXPECT_TRUE(found_gmem);
+}
+
+TEST(Inheritance, CycleIsDetected) {
+  // Inject two mutually-extending metas into a scratch repository.
+  repository::Repository repo;
+  auto a = xml::parse("<device name=\"CycA\" extends=\"CycB\"/>");
+  auto b = xml::parse("<device name=\"CycB\" extends=\"CycA\"/>");
+  ASSERT_TRUE(repo.add_descriptor(std::move(a.value().root)).is_ok());
+  ASSERT_TRUE(repo.add_descriptor(std::move(b.value().root)).is_ok());
+  auto sys = xml::parse("<system id=\"s\"><device id=\"d\" "
+                        "type=\"CycA\"/></system>");
+  Composer composer(repo);
+  auto result = composer.compose(*sys.value().root);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kCycle);
+  EXPECT_NE(result.status().message().find("CycA"), std::string::npos);
+}
+
+TEST(Constraints, ViolatedConstraintFailsComposition) {
+  // 16+16 != 64 KB: Listing 8's constraint must reject this.
+  auto result = compose_text(R"(
+    <system id="bad">
+      <device id="g" type="Nvidia_K20c">
+        <param name="L1size" size="16" unit="KB"/>
+        <param name="shmsize" size="16" unit="KB"/>
+      </device>
+    </system>)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kConstraintViolation);
+  EXPECT_NE(result.status().message().find("shmtotalsize"),
+            std::string::npos);
+}
+
+TEST(Constraints, OutOfRangeParameterValueFails) {
+  auto result = compose_text(R"(
+    <system id="bad">
+      <device id="g" type="Nvidia_K20c">
+        <param name="L1size" size="24" unit="KB"/>
+        <param name="shmsize" size="40" unit="KB"/>
+      </device>
+    </system>)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kConstraintViolation);
+  EXPECT_NE(result.status().message().find("range"), std::string::npos);
+}
+
+TEST(Constraints, AllThreeValidSplitsCompose) {
+  for (auto [l1, shm] : {std::pair{16, 48}, {32, 32}, {48, 16}}) {
+    auto result = compose_text(strings::format(
+        R"(<system id="s">
+             <device id="g" type="Nvidia_K20c">
+               <param name="L1size" size="%d" unit="KB"/>
+               <param name="shmsize" size="%d" unit="KB"/>
+             </device>
+           </system>)",
+        l1, shm));
+    EXPECT_TRUE(result.is_ok())
+        << l1 << "+" << shm << ": "
+        << (result.is_ok() ? "" : result.status().to_string());
+  }
+}
+
+TEST(Enumerate, KeplerConfigurationSpaceHasExactlyThreePoints) {
+  auto meta = shipped_repo().lookup("Nvidia_Kepler");
+  ASSERT_TRUE(meta.is_ok());
+  auto configs = enumerate_configurations(**meta, &shipped_repo());
+  ASSERT_TRUE(configs.is_ok()) << configs.status().to_string();
+  ASSERT_EQ(configs->size(), 3u);
+  for (const Configuration& c : *configs) {
+    double l1 = c.values_si.at("L1size");
+    double shm = c.values_si.at("shmsize");
+    EXPECT_DOUBLE_EQ(l1 + shm, 64000.0);
+  }
+}
+
+TEST(Enumerate, NoConstraintsMeansFullCross) {
+  auto doc = xml::parse(R"(
+    <device name="D">
+      <param name="a" configurable="true" range="1, 2"/>
+      <param name="b" configurable="true" range="1, 2, 3"/>
+    </device>)");
+  auto configs = enumerate_configurations(*doc.value().root, nullptr);
+  ASSERT_TRUE(configs.is_ok());
+  EXPECT_EQ(configs->size(), 6u);
+}
+
+TEST(Enumerate, UnsatisfiableYieldsEmpty) {
+  auto doc = xml::parse(R"(
+    <device name="D">
+      <param name="a" configurable="true" range="1, 2"/>
+      <constraints><constraint expr="a > 10"/></constraints>
+    </device>)");
+  auto configs = enumerate_configurations(*doc.value().root, nullptr);
+  ASSERT_TRUE(configs.is_ok());
+  EXPECT_TRUE(configs->empty());
+}
+
+TEST(Substitution, UnboundStructuralParameterFailsByDefault) {
+  auto result = compose_text(R"(
+    <cpu id="c">
+      <param name="n" type="integer"/>
+      <group prefix="x" quantity="n"><core/></group>
+    </cpu>)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnresolvedRef);
+}
+
+TEST(Substitution, UnboundToleratedWhenRelaxed) {
+  Options relaxed;
+  relaxed.require_bound_params = false;
+  auto result = compose_text(R"(
+    <cpu id="c">
+      <param name="n" type="integer"/>
+      <group prefix="x" quantity="n"><core/></group>
+    </cpu>)",
+                             relaxed);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_FALSE(result->warnings().empty());
+}
+
+TEST(Substitution, NonIntegerQuantityIsAnError) {
+  auto result = compose_text(R"(
+    <cpu id="c">
+      <param name="n" value="2.5"/>
+      <group prefix="x" quantity="n"><core/></group>
+    </cpu>)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kConstraintViolation);
+}
+
+TEST(TypeResolution, UnknownHardwareKindIsAWarningNotAnError) {
+  auto result = compose_text(
+      "<system id=\"s\"><memory id=\"m\" type=\"SomeExoticRam\"/></system>");
+  ASSERT_TRUE(result.is_ok());
+  bool noted = false;
+  for (const std::string& w : result->warnings()) {
+    if (w.find("SomeExoticRam") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(TypeResolution, MissingSoftwareToleratedByDefault) {
+  auto result = compose_text(
+      "<system id=\"s\"><software><installed type=\"NotShipped_9.9\"/>"
+      "</software></system>");
+  ASSERT_TRUE(result.is_ok());
+  Options strict;
+  strict.tolerate_missing_software = false;
+  auto strict_result = compose_text(
+      "<system id=\"s\"><software><installed type=\"NotShipped_9.9\"/>"
+      "</software></system>",
+      strict);
+  ASSERT_FALSE(strict_result.is_ok());
+  EXPECT_EQ(strict_result.status().code(), ErrorCode::kUnresolvedRef);
+}
+
+TEST(TypeResolution, KindMismatchIsAnError) {
+  // A <memory> must not reference a cpu meta-model.
+  auto result = compose_text(
+      "<system id=\"s\"><memory id=\"m\" type=\"Intel_Xeon_E5_2630L\"/>"
+      "</system>");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kSchemaViolation);
+}
+
+TEST(Analysis, EffectiveBandwidthIsChannelMinimum) {
+  ComposedModel model = compose_ok("liu_gpu_server");
+  const xml::Element* conn = model.find_by_id("connection1");
+  ASSERT_NE(conn, nullptr);
+  auto eff = conn->attribute(kEffectiveBandwidthAttr);
+  ASSERT_TRUE(eff.has_value());
+  double bps = strings::parse_double(*eff).value();
+  EXPECT_DOUBLE_EQ(bps, 6.0 * 1024 * 1024 * 1024);  // 6 GiB/s channels
+}
+
+TEST(Analysis, EndpointCapDowngradesBandwidth) {
+  auto result = compose_text(R"(
+    <system id="s">
+      <cpu id="host" max_bandwidth="1" max_bandwidth_unit="GiB/s"/>
+      <device id="dev"/>
+      <interconnects>
+        <interconnect id="link" type="pcie3" head="host" tail="dev"/>
+      </interconnects>
+    </system>)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const xml::Element* link = result->find_by_id("link");
+  double bps = strings::parse_double(
+                   *link->attribute(kEffectiveBandwidthAttr))
+                   .value();
+  // The host's 1 GiB/s cap beats the 6 GiB/s channels (slowest-component
+  // rule of Sec. IV).
+  EXPECT_DOUBLE_EQ(bps, 1.0 * 1024 * 1024 * 1024);
+  bool noted = false;
+  for (const std::string& w : result->warnings()) {
+    if (w.find("downgraded") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Analysis, UnresolvableEndpointIsAnError) {
+  auto result = compose_text(R"(
+    <system id="s">
+      <cpu id="host"/>
+      <interconnects>
+        <interconnect id="link" head="host" tail="ghost"/>
+      </interconnects>
+    </system>)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnresolvedRef);
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(Analysis, StaticPowerRollsUpBottomUp) {
+  auto result = compose_text(R"(
+    <system id="s">
+      <node id="n">
+        <cpu id="c" static_power="10" static_power_unit="W">
+          <core static_power="2" static_power_unit="W"/>
+          <core static_power="2" static_power_unit="W"/>
+        </cpu>
+        <memory id="m" static_power="4" static_power_unit="W"/>
+      </node>
+    </system>)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  auto total_of = [&](const char* id) {
+    const xml::Element* e = result->find_by_id(id);
+    EXPECT_NE(e, nullptr) << id;
+    return strings::parse_double(
+               e->attribute_or(kStaticPowerTotalAttr, "0"))
+        .value();
+  };
+  EXPECT_DOUBLE_EQ(total_of("c"), 14.0);   // 10 + 2 + 2
+  EXPECT_DOUBLE_EQ(total_of("n"), 18.0);   // + memory 4
+  EXPECT_DOUBLE_EQ(total_of("s"), 18.0);
+}
+
+TEST(Index, QualifiedAndUniqueLocalIds) {
+  ComposedModel model = compose_ok("XScluster");
+  // Unique local ids resolve bare.
+  EXPECT_NE(model.find_by_id("conn3"), nullptr);
+  // Duplicated locals (gpu1 exists in all four nodes) are ambiguous and
+  // fail closed...
+  EXPECT_EQ(model.find_by_id("gpu1"), nullptr);
+  // ...but qualified paths resolve.
+  EXPECT_NE(model.find_by_id("XScluster.n0.gpu1"), nullptr);
+  EXPECT_NE(model.find_by_id("XScluster.n3.gpu2"), nullptr);
+}
+
+TEST(Index, IdsAreSortedAndNonEmpty) {
+  ComposedModel model = compose_ok("myriad_server");
+  auto ids = model.ids();
+  ASSERT_FALSE(ids.empty());
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LE(ids[i - 1], ids[i]);
+  }
+  EXPECT_NE(model.find_by_id("mv153board"), nullptr);
+}
+
+TEST(FullSystems, AllThreePaperSystemsCompose) {
+  for (const char* ref : {"liu_gpu_server", "myriad_server", "XScluster"}) {
+    Composer composer(shipped_repo());
+    auto result = composer.compose(ref);
+    ASSERT_TRUE(result.is_ok())
+        << ref << ": " << result.status().to_string();
+    // Composition must leave zero unexpanded homogeneous groups.
+    std::vector<const xml::Element*> stack = {&result->root()};
+    while (!stack.empty()) {
+      const xml::Element* e = stack.back();
+      stack.pop_back();
+      for (const auto& c : e->children()) stack.push_back(c.get());
+      if (e->tag() == "group" && e->has_attribute("quantity")) {
+        EXPECT_EQ(e->attribute_or("expanded", ""), "true") << ref;
+      }
+    }
+  }
+}
+
+TEST(FullSystems, XSclusterShapeMatchesListing11) {
+  ComposedModel model = compose_ok("XScluster");
+  // Four nodes n0..n3, each with the cpu1 group, 4 memories, 2 GPUs,
+  // 2 PCIe links; 4 InfiniBand links at cluster level.
+  for (int n = 0; n < 4; ++n) {
+    std::string base = "XScluster.n" + std::to_string(n);
+    EXPECT_NE(model.find_by_id(base + ".cpu1"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".cpu1.PE0"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".cpu1.PE1"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".gpu1"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".gpu2"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".main_mem0"), nullptr);
+    EXPECT_NE(model.find_by_id(base + ".main_mem3"), nullptr);
+  }
+  EXPECT_EQ(model.find_by_id("XScluster.n4"), nullptr);
+}
+
+}  // namespace
+}  // namespace xpdl::compose

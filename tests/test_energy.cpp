@@ -1,0 +1,438 @@
+// Unit tests for energy modeling: DVFS planning on power state machines,
+// communication channel costs, and hierarchical energy accounting.
+#include "xpdl/energy/energy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::energy {
+namespace {
+
+/// A 3-state machine with convex power-vs-frequency (1 GHz/10 W,
+/// 2 GHz/40 W, 3 GHz/90 W — superlinear, so slower states are more
+/// energy-efficient per cycle) and all-pairs transitions of 1 ms / 1 mJ.
+model::PowerStateMachine test_fsm() {
+  model::PowerStateMachine fsm;
+  fsm.name = "test";
+  fsm.power_domain = "pd";
+  fsm.states = {
+      {"S1", 1e9, 10.0, {}},
+      {"S2", 2e9, 40.0, {}},
+      {"S3", 3e9, 90.0, {}},
+  };
+  for (const char* a : {"S1", "S2", "S3"}) {
+    for (const char* b : {"S1", "S2", "S3"}) {
+      if (std::string_view(a) != b) {
+        fsm.transitions.push_back({a, b, 1e-3, 1e-3, {}});
+      }
+    }
+  }
+  return fsm;
+}
+
+TEST(SingleState, EnergyIsPowerTimesTime) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 2e9, .deadline_s = 0.0, .idle_power_w = 0.0};
+  auto s = planner.single_state("S2", w);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_DOUBLE_EQ(s->time_s, 1.0);       // 2e9 cycles at 2 GHz
+  EXPECT_DOUBLE_EQ(s->energy_j, 40.0);    // 1 s at 40 W
+  EXPECT_TRUE(s->feasible);
+}
+
+TEST(SingleState, UnknownOrSleepStatesFail) {
+  model::PowerStateMachine fsm = test_fsm();
+  fsm.states.push_back({"C1", 0.0, 1.0, {}});
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 1e9, .deadline_s = 0, .idle_power_w = 0};
+  EXPECT_FALSE(planner.single_state("nosuch", w).is_ok());
+  EXPECT_FALSE(planner.single_state("C1", w).is_ok());  // f = 0
+}
+
+TEST(SingleState, RaceToIdleAccountsIdlePower) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner_fsm(fsm);
+  // Finish 1e9 cycles within 2 s: S1 takes exactly 1 s, then idles 1 s.
+  Workload w{.cycles = 1e9, .deadline_s = 2.0, .idle_power_w = 2.0};
+  auto s = planner_fsm.single_state("S1", w);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_DOUBLE_EQ(s->energy_j, 10.0 + 2.0);  // run + idle
+  EXPECT_DOUBLE_EQ(s->time_s, 2.0);
+  ASSERT_EQ(s->legs.size(), 2u);
+  EXPECT_EQ(s->legs[1].state, "<idle>");
+}
+
+TEST(SingleState, MissedDeadlineIsInfeasible) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 4e9, .deadline_s = 1.0, .idle_power_w = 0};
+  auto s = planner.single_state("S1", w);  // needs 4 s at 1 GHz
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_FALSE(s->feasible);
+}
+
+TEST(BestSingleState, PicksSlowestStateThatMeetsDeadline) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  // 2e9 cycles, deadline 2.1 s: S1 takes 2 s (20 J), S2 1 s (40 J),
+  // S3 0.67 s (60 J). S1 wins under convex power.
+  Workload w{.cycles = 2e9, .deadline_s = 2.1, .idle_power_w = 0.0};
+  auto s = planner.best_single_state(w);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(s->legs[0].state, "S1");
+  // Tight deadline forces the fast state.
+  Workload tight{.cycles = 2e9, .deadline_s = 0.7, .idle_power_w = 0.0};
+  auto fast = planner.best_single_state(tight);
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_EQ(fast->legs[0].state, "S3");
+}
+
+TEST(BestSingleState, ImpossibleDeadlineFails) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 10e9, .deadline_s = 0.1, .idle_power_w = 0};
+  auto s = planner.best_single_state(w);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), ErrorCode::kConstraintViolation);
+}
+
+TEST(BestTwoState, MixBeatsSingleStateBetweenFrequencies) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  // 3e9 cycles with deadline 2 s: ideal frequency is 1.5 GHz (between S1
+  // and S2). Single best: S2 in 1.5 s = 60 J (+idle 0). Two-state mix:
+  // run S2 for t2, S1 for t1, t1+t2 ~ 2s, work conservation -> t1 = 1,
+  // t2 = 1 -> 10 + 40 = 50 J + transition 1 mJ. The mix must win.
+  Workload w{.cycles = 3e9, .deadline_s = 2.0, .idle_power_w = 0.0};
+  auto single = planner.best_single_state(w);
+  auto mixed = planner.best_two_state(w, "S1");
+  ASSERT_TRUE(single.is_ok());
+  ASSERT_TRUE(mixed.is_ok());
+  EXPECT_LT(mixed->energy_j, single->energy_j);
+  EXPECT_NEAR(mixed->energy_j, 50.0, 0.1);
+  EXPECT_LE(mixed->time_s, w.deadline_s + 1e-9);
+  // Work conservation over legs.
+  double work = 0;
+  for (const ScheduleLeg& leg : mixed->legs) work += leg.work_done;
+  EXPECT_NEAR(work, w.cycles, 1.0);
+}
+
+TEST(BestTwoState, TransitionOverheadMakesShortWorkloadsStaySingle) {
+  // Heavy transitions: 0.5 s, 100 J. A mix can never pay off.
+  model::PowerStateMachine fsm = test_fsm();
+  for (auto& t : fsm.transitions) {
+    t.time_s = 0.5;
+    t.energy_j = 100.0;
+  }
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 3e9, .deadline_s = 2.0, .idle_power_w = 0.0};
+  auto mixed = planner.best_two_state(w, "S1");
+  ASSERT_TRUE(mixed.is_ok());
+  // Falls back to the best single state (S2, 1.5 s, 60 J).
+  EXPECT_NEAR(mixed->energy_j, 60.0, 0.1);
+}
+
+TEST(BestTwoState, OnlyModeledTransitionsAreUsed) {
+  model::PowerStateMachine fsm = test_fsm();
+  // Remove every transition: no pair is admissible.
+  fsm.transitions.clear();
+  DvfsPlanner planner(fsm);
+  Workload w{.cycles = 3e9, .deadline_s = 2.0, .idle_power_w = 0.0};
+  auto mixed = planner.best_two_state(w, "S1");
+  ASSERT_TRUE(mixed.is_ok());
+  // Single-state fallback: exactly one leg performs work (a trailing
+  // idle leg accounts the time to the deadline).
+  int work_legs = 0;
+  for (const ScheduleLeg& leg : mixed->legs) {
+    if (leg.state != "<idle>") ++work_legs;
+  }
+  EXPECT_EQ(work_legs, 1);
+}
+
+TEST(ScheduleEnergy, ValidatesTransitionsAndSumsCosts) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  std::vector<ScheduleLeg> legs = {
+      {"S1", 1.0, 1e9},
+      {"S3", 0.5, 1.5e9},
+  };
+  auto e = planner.schedule_energy(legs, "S1");
+  ASSERT_TRUE(e.is_ok());
+  // 1 s at 10 W + transition 1 mJ + 0.5 s at 90 W.
+  EXPECT_NEAR(e.value(), 10.0 + 1e-3 + 45.0, 1e-9);
+}
+
+TEST(ScheduleEnergy, UnmodeledTransitionIsAnError) {
+  model::PowerStateMachine fsm = test_fsm();
+  fsm.transitions.clear();
+  fsm.transitions.push_back({"S1", "S2", 0, 0, {}});
+  DvfsPlanner planner(fsm);
+  std::vector<ScheduleLeg> legs = {{"S1", 1.0, 0}, {"S3", 1.0, 0}};
+  auto e = planner.schedule_energy(legs, "S1");
+  ASSERT_FALSE(e.is_ok());
+  EXPECT_EQ(e.status().code(), ErrorCode::kConstraintViolation);
+  // Unknown state in a leg.
+  EXPECT_FALSE(
+      planner.schedule_energy({{"SX", 1.0, 0}}, "S1").is_ok());
+  // Negative duration.
+  EXPECT_FALSE(
+      planner.schedule_energy({{"S1", -1.0, 0}}, "S1").is_ok());
+}
+
+TEST(StatesByFrequency, SortedDescending) {
+  model::PowerStateMachine fsm = test_fsm();
+  DvfsPlanner planner(fsm);
+  auto states = planner.states_by_frequency();
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0]->name, "S3");
+  EXPECT_EQ(states[2]->name, "S1");
+}
+
+// ---------------------------------------------------------------------------
+// Channel costs
+
+TEST(ChannelCost, ReadsListing3Metrics) {
+  auto doc = xml::parse(R"(
+    <channel name="up_link"
+             max_bandwidth="6" max_bandwidth_unit="GiB/s"
+             time_offset_per_message="700"
+             time_offset_per_message_unit="ns"
+             energy_per_byte="8" energy_per_byte_unit="pJ"
+             energy_offset_per_message="120"
+             energy_offset_per_message_unit="pJ"/>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto cost = channel_cost(*doc.value().root);
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_DOUBLE_EQ(cost->bandwidth_bps, 6.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(cost->time_offset_s, 700e-9);
+  EXPECT_DOUBLE_EQ(cost->energy_per_byte_j, 8e-12);
+  EXPECT_DOUBLE_EQ(cost->energy_offset_j, 120e-12);
+  // 1 MiB message.
+  double bytes = 1024.0 * 1024.0;
+  EXPECT_NEAR(cost->transfer_time_s(bytes),
+              700e-9 + bytes / (6.0 * 1024 * 1024 * 1024), 1e-12);
+  EXPECT_NEAR(cost->transfer_energy_j(bytes), 120e-12 + bytes * 8e-12,
+              1e-15);
+}
+
+TEST(ChannelCost, PlaceholdersReportedAsMissing) {
+  auto doc = xml::parse(R"(
+    <channel name="up" max_bandwidth="1" max_bandwidth_unit="GiB/s"
+             energy_offset_per_message="?"/>)");
+  std::vector<std::string> missing;
+  auto cost = channel_cost(*doc.value().root, &missing);
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_DOUBLE_EQ(cost->energy_offset_j, 0.0);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("energy_offset_per_message"),
+            std::string::npos);
+}
+
+TEST(ChannelCost, FallsBackToComposedEffectiveBandwidth) {
+  auto doc = xml::parse(R"(
+    <interconnect id="ic" effective_bandwidth="1000000"
+                  effective_bandwidth_unit="B/s">
+      <channel name="up" energy_per_byte="1" energy_per_byte_unit="pJ"/>
+    </interconnect>)");
+  ASSERT_TRUE(doc.is_ok());
+  const xml::Element* ch = doc.value().root->first_child("channel");
+  auto cost = channel_cost(*ch);
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_DOUBLE_EQ(cost->bandwidth_bps, 1e6);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical accounting
+
+TEST(StaticPower, RecursiveSumWithoutAnnotations) {
+  auto doc = xml::parse(R"(
+    <node id="n">
+      <cpu static_power="10" static_power_unit="W">
+        <core static_power="2" static_power_unit="W"/>
+      </cpu>
+      <memory static_power="4" static_power_unit="W"/>
+    </node>)");
+  auto p = static_power_of(*doc.value().root);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_DOUBLE_EQ(p.value(), 16.0);
+  auto e = static_energy_of(*doc.value().root, 2.0);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_DOUBLE_EQ(e.value(), 32.0);
+  EXPECT_FALSE(static_energy_of(*doc.value().root, -1.0).is_ok());
+}
+
+TEST(StaticPower, PrefersComposerAnnotation) {
+  auto doc = xml::parse(
+      "<node id=\"n\" static_power_total=\"99\" "
+      "static_power_total_unit=\"W\"><cpu static_power=\"1\" "
+      "static_power_unit=\"W\"/></node>");
+  auto p = static_power_of(*doc.value().root);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_DOUBLE_EQ(p.value(), 99.0);
+}
+
+TEST(DynamicEnergy, InstructionMixAtFrequency) {
+  model::InstructionSet isa;
+  isa.name = "test";
+  model::InstructionEnergy fmul;
+  fmul.name = "fmul";
+  fmul.energy_j = 2e-9;
+  isa.instructions.push_back(fmul);
+  model::InstructionEnergy divsd;
+  divsd.name = "divsd";
+  divsd.table = {{2.8e9, 18.625e-9}, {3.4e9, 21.023e-9}};
+  isa.instructions.push_back(divsd);
+
+  InstructionMix mix;
+  mix.counts = {{"fmul", 1000.0}, {"divsd", 10.0}};
+  auto e = dynamic_energy_of(isa, mix, 2.8e9);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_NEAR(e.value(), 1000 * 2e-9 + 10 * 18.625e-9, 1e-15);
+  // Unknown instruction is an error.
+  mix.counts.push_back({"bogus", 1.0});
+  EXPECT_FALSE(dynamic_energy_of(isa, mix, 2.8e9).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Switch-off conditions (Listing 12)
+
+model::PowerDomainSet myriad_domains() {
+  auto doc = xml::parse(R"(
+    <power_domains name="m">
+      <power_domain name="main_pd" enableSwitchOff="false">
+        <core type="Leon"/>
+      </power_domain>
+      <group name="Shave_pds" quantity="8">
+        <power_domain name="Shave_pd"><core type="Myriad1_Shave"/></power_domain>
+      </group>
+      <power_domain name="CMX_pd" switchoffCondition="Shave_pds off">
+        <memory type="CMX"/>
+      </power_domain>
+    </power_domains>)");
+  auto set = model::PowerDomainSet::parse(*doc.value().root);
+  EXPECT_TRUE(set.is_ok());
+  return std::move(set).value();
+}
+
+TEST(SwitchOff, MainDomainNeverSwitchesOff) {
+  auto set = myriad_domains();
+  auto r = may_switch_off(set, "main_pd", {});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST(SwitchOff, ShaveDomainsAreFree) {
+  auto set = myriad_domains();
+  auto r = may_switch_off(set, "Shave_pd3", {});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value());
+}
+
+TEST(SwitchOff, CmxRequiresAllShavesOff) {
+  auto set = myriad_domains();
+  // Only 7 of 8 shaves off: denied.
+  std::vector<std::string> off;
+  for (int i = 0; i < 7; ++i) off.push_back("Shave_pd" + std::to_string(i));
+  auto denied = may_switch_off(set, "CMX_pd", off);
+  ASSERT_TRUE(denied.is_ok());
+  EXPECT_FALSE(denied.value());
+  // All 8: allowed.
+  off.push_back("Shave_pd7");
+  auto allowed = may_switch_off(set, "CMX_pd", off);
+  ASSERT_TRUE(allowed.is_ok());
+  EXPECT_TRUE(allowed.value());
+}
+
+TEST(SwitchOff, UnknownDomainFails) {
+  auto set = myriad_domains();
+  EXPECT_FALSE(may_switch_off(set, "nosuch", {}).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Offload advisor
+
+ChannelCost pcie_like() {
+  ChannelCost c;
+  c.bandwidth_bps = 6.0 * 1024 * 1024 * 1024;
+  c.time_offset_s = 5e-6;
+  c.energy_per_byte_j = 8e-12;
+  c.energy_offset_j = 120e-12;
+  return c;
+}
+
+TEST(Offload, LargeKernelsOffloadSmallOnesStayHome) {
+  OffloadParameters p;
+  p.host_flops = 20e9;     // 20 GFLOP/s host
+  p.device_flops = 200e9;  // 10x device
+  p.host_power_w = 60;
+  p.device_power_w = 120;
+  p.host_idle_power_w = 20;
+  p.bytes_to_device = 64e6;
+  p.bytes_from_device = 64e6;
+
+  // Tiny kernel: transfers dominate.
+  p.work_flops = 1e6;
+  OffloadDecision tiny = evaluate_offload(p, pcie_like(), pcie_like());
+  EXPECT_FALSE(tiny.offload_faster);
+  // Huge kernel: device wins on time.
+  p.work_flops = 1e12;
+  OffloadDecision huge = evaluate_offload(p, pcie_like(), pcie_like());
+  EXPECT_TRUE(huge.offload_faster);
+  // The break-even estimate separates the two regimes.
+  EXPECT_GT(huge.breakeven_flops, 1e6);
+  EXPECT_LT(huge.breakeven_flops, 1e12);
+}
+
+TEST(Offload, BreakevenMatchesDirectEvaluation) {
+  OffloadParameters p;
+  p.host_flops = 20e9;
+  p.device_flops = 200e9;
+  p.host_power_w = 60;
+  p.device_power_w = 120;
+  p.bytes_to_device = 8e6;
+  p.bytes_from_device = 8e6;
+  p.work_flops = 1.0;
+  OffloadDecision probe = evaluate_offload(p, pcie_like(), pcie_like());
+  // Slightly below break-even: host faster; slightly above: device.
+  p.work_flops = probe.breakeven_flops * 0.9;
+  EXPECT_FALSE(
+      evaluate_offload(p, pcie_like(), pcie_like()).offload_faster);
+  p.work_flops = probe.breakeven_flops * 1.1;
+  EXPECT_TRUE(
+      evaluate_offload(p, pcie_like(), pcie_like()).offload_faster);
+}
+
+TEST(Offload, EnergyVerdictIsIndependentOfTimeVerdict) {
+  // A device that is faster but power-hungry: offload wins time, loses
+  // energy once the host could run in a low-power state.
+  OffloadParameters p;
+  p.work_flops = 1e11;
+  p.host_flops = 50e9;
+  p.device_flops = 100e9;
+  p.host_power_w = 20;      // efficient host
+  p.device_power_w = 300;   // hungry device
+  p.host_idle_power_w = 10;
+  p.bytes_to_device = 1e6;
+  p.bytes_from_device = 1e6;
+  OffloadDecision d = evaluate_offload(p, pcie_like(), pcie_like());
+  EXPECT_TRUE(d.offload_faster);
+  EXPECT_FALSE(d.offload_greener);
+}
+
+TEST(Offload, SlowerDeviceNeverBreaksEven) {
+  OffloadParameters p;
+  p.host_flops = 100e9;
+  p.device_flops = 50e9;  // slower than host
+  p.work_flops = 1e12;
+  OffloadDecision d = evaluate_offload(p, pcie_like(), pcie_like());
+  EXPECT_FALSE(d.offload_faster);
+  EXPECT_TRUE(std::isinf(d.breakeven_flops));
+}
+
+}  // namespace
+}  // namespace xpdl::energy

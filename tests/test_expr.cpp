@@ -1,0 +1,177 @@
+// Unit tests for the expression engine behind XPDL constraints and
+// synthesized-attribute rules.
+#include "xpdl/util/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace xpdl::expr {
+namespace {
+
+/// Resolver over a plain map; unknown names fail.
+VariableResolver map_resolver(std::map<std::string, double> values) {
+  return [values = std::move(values)](std::string_view name) -> Result<double> {
+    auto it = values.find(std::string(name));
+    if (it == values.end()) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "unknown '" + std::string(name) + "'");
+    }
+    return it->second;
+  };
+}
+
+struct EvalCase {
+  const char* text;
+  double expected;
+};
+
+class ConstantEval : public ::testing::TestWithParam<EvalCase> {};
+
+TEST_P(ConstantEval, MatchesCSemantics) {
+  auto e = Expression::parse(GetParam().text);
+  ASSERT_TRUE(e.is_ok()) << GetParam().text << ": "
+                         << e.status().to_string();
+  auto v = e->evaluate();
+  ASSERT_TRUE(v.is_ok()) << GetParam().text;
+  EXPECT_DOUBLE_EQ(v.value(), GetParam().expected) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArithmeticAndLogic, ConstantEval,
+    ::testing::Values(
+        EvalCase{"1 + 2 * 3", 7.0}, EvalCase{"(1 + 2) * 3", 9.0},
+        EvalCase{"10 - 4 - 3", 3.0},  // left associative
+        EvalCase{"8 / 4 / 2", 1.0}, EvalCase{"7 % 3", 1.0},
+        EvalCase{"-5 + 2", -3.0}, EvalCase{"--4", 4.0},
+        EvalCase{"2 < 3", 1.0}, EvalCase{"3 <= 3", 1.0},
+        EvalCase{"4 > 5", 0.0}, EvalCase{"5 >= 5", 1.0},
+        EvalCase{"1 == 1", 1.0}, EvalCase{"1 != 1", 0.0},
+        EvalCase{"1 && 0", 0.0}, EvalCase{"1 || 0", 1.0},
+        EvalCase{"!0", 1.0}, EvalCase{"!3", 0.0},
+        EvalCase{"1 + 2 == 3 && 4 > 2", 1.0},
+        EvalCase{"2 + 3 * 4 == 14", 1.0},
+        EvalCase{"min(3, 1, 2)", 1.0}, EvalCase{"max(3, 1, 2)", 3.0},
+        EvalCase{"abs(-2.5)", 2.5}, EvalCase{"floor(2.7)", 2.0},
+        EvalCase{"ceil(2.1)", 3.0}, EvalCase{"round(2.5)", 3.0},
+        EvalCase{"sqrt(16)", 4.0}, EvalCase{"pow(2, 10)", 1024.0},
+        EvalCase{"log2(8)", 3.0}, EvalCase{"1.5e3 + 1", 1501.0},
+        EvalCase{"min(max(1, 2), 5)", 2.0}));
+
+TEST(Parse, ReportsErrors) {
+  EXPECT_FALSE(Expression::parse("").is_ok());
+  EXPECT_FALSE(Expression::parse("1 +").is_ok());
+  EXPECT_FALSE(Expression::parse("(1 + 2").is_ok());
+  EXPECT_FALSE(Expression::parse("1 2").is_ok());
+  EXPECT_FALSE(Expression::parse("min(1,").is_ok());
+  EXPECT_FALSE(Expression::parse("@").is_ok());
+}
+
+TEST(Evaluate, DivisionByZeroIsAnError) {
+  auto e = Expression::parse("1 / 0");
+  ASSERT_TRUE(e.is_ok());
+  auto v = e->evaluate();
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kConstraintViolation);
+  EXPECT_FALSE(Expression::parse("5 % 0")->evaluate().is_ok());
+  EXPECT_FALSE(Expression::parse("sqrt(-1)")->evaluate().is_ok());
+  EXPECT_FALSE(Expression::parse("log2(0)")->evaluate().is_ok());
+}
+
+TEST(Evaluate, UnknownFunctionAndArityErrors) {
+  EXPECT_FALSE(Expression::parse("nosuch(1)")->evaluate().is_ok());
+  EXPECT_FALSE(Expression::parse("abs(1, 2)")->evaluate().is_ok());
+  EXPECT_FALSE(Expression::parse("pow(2)")->evaluate().is_ok());
+  EXPECT_FALSE(Expression::parse("min()")->evaluate().is_ok());
+}
+
+TEST(Evaluate, FreeVariablesNeedResolver) {
+  auto e = Expression::parse("x + 1");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_FALSE(e->evaluate().is_ok());
+  EXPECT_DOUBLE_EQ(e->evaluate(map_resolver({{"x", 41.0}})).value(), 42.0);
+  EXPECT_FALSE(e->evaluate(map_resolver({{"y", 1.0}})).is_ok());
+}
+
+TEST(Evaluate, PaperKeplerConstraint) {
+  // Listing 8: L1size + shmsize == shmtotalsize.
+  auto e = Expression::parse("L1size + shmsize == shmtotalsize");
+  ASSERT_TRUE(e.is_ok());
+  auto holds = [&](double l1, double shm) {
+    return e->evaluate_bool(map_resolver(
+                                {{"L1size", l1},
+                                 {"shmsize", shm},
+                                 {"shmtotalsize", 65536.0}}))
+        .value();
+  };
+  EXPECT_TRUE(holds(16384, 49152));
+  EXPECT_TRUE(holds(32768, 32768));
+  EXPECT_TRUE(holds(49152, 16384));
+  EXPECT_FALSE(holds(16384, 16384));
+}
+
+TEST(Evaluate, ShortCircuitSkipsErrors) {
+  // "0 && (1/0)" must not evaluate the division.
+  auto e = Expression::parse("0 && 1 / 0");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_DOUBLE_EQ(e->evaluate().value(), 0.0);
+  auto e2 = Expression::parse("1 || 1 / 0");
+  EXPECT_DOUBLE_EQ(e2->evaluate().value(), 1.0);
+}
+
+TEST(Variables, DeduplicatedFirstOccurrenceOrder) {
+  auto e = Expression::parse("b + a * b - c / a");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e->variables(), (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_TRUE(Expression::parse("1 + 2")->variables().empty());
+  // Function names are not variables.
+  EXPECT_EQ(Expression::parse("min(x, 2)")->variables(),
+            std::vector<std::string>{"x"});
+}
+
+TEST(ToString, FullyParenthesizedCanonicalForm) {
+  auto e = Expression::parse("1 + 2 * x");
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e->to_string(), "(1 + (2 * x))");
+  EXPECT_EQ(Expression::parse("min(a, b)")->to_string(), "min(a, b)");
+  EXPECT_EQ(Expression::parse("-x")->to_string(), "(-x)");
+}
+
+TEST(ToString, ReparsesToSameValue) {
+  // Property: parse(to_string(e)) evaluates identically.
+  for (const char* text :
+       {"1 + 2 * 3 - 4 / 2", "min(3, 2) * max(1, 5)", "2 < 3 && 1 != 0",
+        "pow(2, 3) % 5"}) {
+    auto e1 = Expression::parse(text);
+    ASSERT_TRUE(e1.is_ok()) << text;
+    auto e2 = Expression::parse(e1->to_string());
+    ASSERT_TRUE(e2.is_ok()) << e1->to_string();
+    EXPECT_DOUBLE_EQ(e1->evaluate().value(), e2->evaluate().value()) << text;
+  }
+}
+
+TEST(CopySemantics, DeepCopyIsIndependent) {
+  auto e1 = Expression::parse("x * 2");
+  ASSERT_TRUE(e1.is_ok());
+  Expression copy = *e1;  // copy constructor
+  EXPECT_EQ(copy.to_string(), e1->to_string());
+  EXPECT_DOUBLE_EQ(copy.evaluate(map_resolver({{"x", 21.0}})).value(), 42.0);
+  Expression assigned = *Expression::parse("1");
+  assigned = copy;  // copy assignment
+  EXPECT_EQ(assigned.to_string(), "(x * 2)");
+}
+
+TEST(IsConstant, OnlySingleNumbers) {
+  EXPECT_TRUE(Expression::parse("42")->is_constant());
+  EXPECT_FALSE(Expression::parse("x")->is_constant());
+  EXPECT_FALSE(Expression::parse("1 + 1")->is_constant());
+}
+
+TEST(Source, PreservesOriginalText) {
+  auto e = Expression::parse("L1size + shmsize == shmtotalsize");
+  EXPECT_EQ(e->source(), "L1size + shmsize == shmtotalsize");
+}
+
+}  // namespace
+}  // namespace xpdl::expr

@@ -1,0 +1,199 @@
+// Tests for the lint rules.
+#include "xpdl/lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::lint {
+namespace {
+
+std::vector<Finding> lint_text(std::string_view text,
+                               const Options& options = {}) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return lint_descriptor(*doc.value().root, options);
+}
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(MissingUnit, FlagsDimensionalMetricsOnly) {
+  auto findings = lint_text(
+      "<memory name=\"m\" static_power=\"4\" slices=\"8\"/>");
+  EXPECT_TRUE(has_rule(findings, "missing-unit"));
+  // With a unit: clean.
+  auto clean = lint_text(
+      "<memory name=\"m\" static_power=\"4\" static_power_unit=\"W\"/>");
+  EXPECT_FALSE(has_rule(clean, "missing-unit"));
+  // Dimensionless metrics are exempt.
+  auto dimless = lint_text(
+      "<device name=\"d\" compute_capability=\"3.5\"/>");
+  EXPECT_FALSE(has_rule(dimless, "missing-unit"));
+  // Parameter references are exempt (no number yet).
+  auto paramref = lint_text("<cache name=\"c\" size=\"L1size\"/>");
+  EXPECT_FALSE(has_rule(paramref, "missing-unit"));
+}
+
+TEST(PlaceholderWithoutMb, RequiresDerivationPath) {
+  auto bad = lint_text(R"(
+    <instructions name="isa">
+      <inst name="fmul" energy="?" energy_unit="pJ"/>
+    </instructions>)");
+  ASSERT_TRUE(has_rule(bad, "placeholder-without-mb"));
+  EXPECT_EQ(max_severity(bad), Severity::kError);
+  // Instruction-level mb reference satisfies the rule.
+  auto with_mb = lint_text(R"(
+    <instructions name="isa">
+      <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+    </instructions>)");
+  EXPECT_FALSE(has_rule(with_mb, "placeholder-without-mb"));
+  // A suite default also satisfies it.
+  auto with_suite = lint_text(R"(
+    <instructions name="isa" mb="suite1">
+      <inst name="fmul" energy="?" energy_unit="pJ"/>
+    </instructions>)");
+  EXPECT_FALSE(has_rule(with_suite, "placeholder-without-mb"));
+}
+
+TEST(FsmConnectivity, FlagsUnreachableStates) {
+  auto bad = lint_text(R"(
+    <power_model name="pm">
+      <power_state_machine name="m" power_domain="pd">
+        <power_states>
+          <power_state name="A" power="1" power_unit="W"/>
+          <power_state name="B" power="2" power_unit="W"/>
+        </power_states>
+        <transitions>
+          <transition head="A" tail="B" time="1" time_unit="us"/>
+        </transitions>
+      </power_state_machine>
+      <power_domains>
+        <power_domain name="pd"/>
+      </power_domains>
+    </power_model>)");
+  EXPECT_TRUE(has_rule(bad, "fsm-not-strongly-connected"));
+  EXPECT_FALSE(has_rule(bad, "fsm-domain-unknown"));
+}
+
+TEST(FsmDomain, FlagsUnknownGovernedDomain) {
+  auto bad = lint_text(R"(
+    <power_model name="pm">
+      <power_state_machine name="m" power_domain="ghost_pd">
+        <power_states><power_state name="A"/></power_states>
+      </power_state_machine>
+      <power_domains>
+        <power_domain name="real_pd"/>
+      </power_domains>
+    </power_model>)");
+  EXPECT_TRUE(has_rule(bad, "fsm-domain-unknown"));
+}
+
+TEST(DuplicateSiblingId, FlagsCollisions) {
+  auto bad = lint_text(R"(
+    <system id="s">
+      <device id="gpu1"/>
+      <device id="gpu1"/>
+    </system>)");
+  ASSERT_TRUE(has_rule(bad, "duplicate-sibling-id"));
+  EXPECT_EQ(max_severity(bad), Severity::kError);
+  // The same id in *different* scopes is fine (XScluster nodes).
+  auto ok = lint_text(R"(
+    <system id="s">
+      <node id="n0"><device id="gpu1"/></node>
+      <node id="n1"><device id="gpu1"/></node>
+    </system>)");
+  EXPECT_FALSE(has_rule(ok, "duplicate-sibling-id"));
+}
+
+TEST(GroupWithoutPrefix, NotesUnreferenceableMembers) {
+  auto noted = lint_text(R"(
+    <cpu name="c"><group quantity="4"><core/></group></cpu>)");
+  EXPECT_TRUE(has_rule(noted, "group-without-prefix"));
+  auto with_prefix = lint_text(R"(
+    <cpu name="c"><group prefix="core" quantity="4"><core/></group></cpu>)");
+  EXPECT_FALSE(has_rule(with_prefix, "group-without-prefix"));
+  // Named members need no prefix.
+  auto named = lint_text(R"(
+    <cpu name="c"><group quantity="4"><cache name="L1"/></group></cpu>)");
+  EXPECT_FALSE(has_rule(named, "group-without-prefix"));
+}
+
+TEST(UnknownRole, FlagsNonPdlRoles) {
+  auto bad = lint_text("<cpu name=\"c\" role=\"overlord\"/>");
+  EXPECT_TRUE(has_rule(bad, "unknown-role"));
+  for (const char* role : {"master", "worker", "hybrid"}) {
+    auto ok = lint_text("<cpu name=\"c\" role=\"" + std::string(role) +
+                        "\"/>");
+    EXPECT_FALSE(has_rule(ok, "unknown-role")) << role;
+  }
+}
+
+TEST(Options, RulesCanBeDisabled) {
+  Options off;
+  off.missing_unit = false;
+  auto findings = lint_text(
+      "<memory name=\"m\" static_power=\"4\"/>", off);
+  EXPECT_FALSE(has_rule(findings, "missing-unit"));
+}
+
+TEST(Repository, ShippedModelLibraryIsLintClean) {
+  repository::Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto findings = lint_repository(repo);
+  ASSERT_TRUE(findings.is_ok()) << findings.status().to_string();
+  // The shipped library must be free of errors and warnings; notes are
+  // acceptable (the Kepler CUDA-core group is intentionally anonymous).
+  for (const Finding& f : *findings) {
+    EXPECT_NE(f.severity, Severity::kError) << f.to_string();
+    EXPECT_NE(f.severity, Severity::kWarning) << f.to_string();
+  }
+}
+
+TEST(Repository, DetectsUnresolvedTypeAndUnreferencedMeta) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "xpdl_lint_repo_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "orphan.xpdl")
+      << "<cpu name=\"OrphanCpu\"/>";
+  std::ofstream(dir / "typo.xpdl")
+      << "<system id=\"sys\"><device id=\"d\" type=\"Nvidai_K20c\"/>"
+         "</system>";
+  repository::Repository repo({dir.string()});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto findings = lint_repository(repo);
+  ASSERT_TRUE(findings.is_ok());
+  EXPECT_TRUE(has_rule(*findings, "unresolved-type"));
+  EXPECT_TRUE(has_rule(*findings, "unreferenced-meta"));
+  fs::remove_all(dir);
+}
+
+TEST(Finding, ToStringCarriesRuleAndSeverity) {
+  Finding f{Severity::kWarning, "missing-unit", "some message",
+            SourceLocation{"f.xpdl", 3, 1}};
+  std::string text = f.to_string();
+  EXPECT_NE(text.find("f.xpdl:3:1"), std::string::npos);
+  EXPECT_NE(text.find("warning"), std::string::npos);
+  EXPECT_NE(text.find("[missing-unit]"), std::string::npos);
+}
+
+TEST(MaxSeverity, OrdersCorrectly) {
+  EXPECT_EQ(max_severity({}), Severity::kNote);
+  std::vector<Finding> mixed = {
+      {Severity::kNote, "a", "", {}},
+      {Severity::kError, "b", "", {}},
+      {Severity::kWarning, "c", "", {}},
+  };
+  EXPECT_EQ(max_severity(mixed), Severity::kError);
+}
+
+}  // namespace
+}  // namespace xpdl::lint

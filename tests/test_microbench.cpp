@@ -1,0 +1,287 @@
+// Unit tests for the simulated measurement machine, the deployment-time
+// bootstrapper and the driver-code generator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/microbench/drivergen.h"
+#include "xpdl/microbench/simmachine.h"
+#include "xpdl/util/io.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::microbench {
+namespace {
+
+SimMachineConfig noiseless() {
+  SimMachineConfig cfg;
+  cfg.noise_stddev = 0.0;
+  cfg.counter_quantum_j = 0.0;
+  return cfg;
+}
+
+TEST(SimMachine, CounterAdvancesWithStaticPowerWhileIdle) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  double e0 = m.read_energy_counter();
+  m.idle(2.0);
+  EXPECT_DOUBLE_EQ(m.read_energy_counter() - e0,
+                   2.0 * m.config().static_power_w);
+  EXPECT_DOUBLE_EQ(m.now(), 2.0);
+}
+
+TEST(SimMachine, ExecuteAddsDynamicPlusBackgroundEnergy) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  double e0 = m.read_energy_counter();
+  // 1e6 divsd at 2.8 GHz: dynamic = 1e6 * 18.625 nJ; duration = 1e6/2.8e9.
+  ASSERT_TRUE(m.execute("divsd", 1'000'000, 2.8e9).is_ok());
+  double duration = 1e6 / 2.8e9;
+  double expected = 1e6 * 18.625e-9 + duration * m.config().static_power_w;
+  EXPECT_NEAR(m.read_energy_counter() - e0, expected, 1e-9);
+  EXPECT_NEAR(m.now(), duration, 1e-15);
+}
+
+TEST(SimMachine, UnknownInstructionFails) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  EXPECT_FALSE(m.execute("vfmadd231pd", 10, 3e9).is_ok());
+  EXPECT_FALSE(m.execute("divsd", 10, 0.0).is_ok());
+}
+
+TEST(SimMachine, FrequencyCapRejectsOverclock) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  m.set_frequency_cap(3.0e9);
+  EXPECT_TRUE(m.execute("divsd", 10, 2.8e9).is_ok());
+  EXPECT_FALSE(m.execute("divsd", 10, 3.4e9).is_ok());
+}
+
+TEST(SimMachine, CounterQuantizationFloorsReadings) {
+  SimMachineConfig cfg = noiseless();
+  cfg.counter_quantum_j = 1.0;  // giant quantum for visibility
+  cfg.static_power_w = 0.4;
+  SimMachine m(cfg, paper_x86_ground_truth());
+  m.idle(1.0);  // 0.4 J accumulated
+  EXPECT_DOUBLE_EQ(m.read_energy_counter(), 0.0);
+  m.idle(2.0);  // 1.2 J total
+  EXPECT_DOUBLE_EQ(m.read_energy_counter(), 1.0);
+}
+
+TEST(SimMachine, NoiseIsDeterministicPerSeed) {
+  SimMachineConfig cfg;
+  cfg.noise_stddev = 0.05;
+  SimMachine a(cfg, paper_x86_ground_truth());
+  SimMachine b(cfg, paper_x86_ground_truth());
+  ASSERT_TRUE(a.execute("fmul", 1000, 3e9).is_ok());
+  ASSERT_TRUE(b.execute("fmul", 1000, 3e9).is_ok());
+  EXPECT_DOUBLE_EQ(a.read_energy_counter(), b.read_energy_counter());
+  cfg.seed = 1234;
+  SimMachine c(cfg, paper_x86_ground_truth());
+  ASSERT_TRUE(c.execute("fmul", 1000, 3e9).is_ok());
+  EXPECT_NE(c.read_energy_counter(), a.read_energy_counter());
+}
+
+TEST(GroundTruth, DivsdMatchesPaperListing14) {
+  model::InstructionSet isa = paper_x86_ground_truth();
+  const model::InstructionEnergy* divsd = isa.find("divsd");
+  ASSERT_NE(divsd, nullptr);
+  EXPECT_DOUBLE_EQ(divsd->energy_at(2.8e9).value(), 18.625e-9);
+  EXPECT_DOUBLE_EQ(divsd->energy_at(2.9e9).value(), 19.573e-9);
+  EXPECT_DOUBLE_EQ(divsd->energy_at(3.4e9).value(), 21.023e-9);
+}
+
+TEST(Bootstrap, RecoversGroundTruthNoiseless) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 3.1e9, 3.4e9};
+  Bootstrapper bootstrapper(m, opts);
+
+  model::InstructionSet isa;
+  isa.name = "x86_base_isa";
+  for (const char* name : {"fmul", "fadd", "mov"}) {
+    model::InstructionEnergy inst;
+    inst.name = name;
+    inst.placeholder = true;
+    isa.instructions.push_back(inst);
+  }
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->measured_instructions, 3u);
+  EXPECT_NEAR(report->estimated_static_power_w,
+              m.config().static_power_w, 1e-6);
+  // Noiseless measurements match ground truth to float precision.
+  for (const char* name : {"fmul", "fadd", "mov"}) {
+    const model::InstructionEnergy* measured = isa.find(name);
+    const model::InstructionEnergy* truth = m.ground_truth().find(name);
+    ASSERT_FALSE(measured->placeholder);
+    for (double f : opts.frequencies_hz) {
+      EXPECT_NEAR(measured->energy_at(f).value(),
+                  truth->energy_at(f).value(),
+                  1e-4 * truth->energy_at(f).value())
+          << name << " @ " << f;
+    }
+  }
+}
+
+TEST(Bootstrap, AccurateWithinTwoPercentUnderRealisticNoise) {
+  // E2 acceptance: 1% multiplicative noise + RAPL-like quantization must
+  // still recover the divsd table within 2%.
+  SimMachine m(SimMachineConfig{}, paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 2.9e9, 3.4e9};
+  opts.repetitions = 7;
+  Bootstrapper bootstrapper(m, opts);
+  model::InstructionSet isa;
+  isa.name = "isa";
+  model::InstructionEnergy divsd;
+  divsd.name = "divsd";
+  divsd.placeholder = true;
+  isa.instructions.push_back(divsd);
+  ASSERT_TRUE(bootstrapper.bootstrap(isa).is_ok());
+  for (auto [f, truth] : {std::pair{2.8e9, 18.625e-9},
+                          {2.9e9, 19.573e-9},
+                          {3.4e9, 21.023e-9}}) {
+    double measured = isa.find("divsd")->energy_at(f).value();
+    EXPECT_NEAR(measured, truth, 0.02 * truth) << f;
+  }
+}
+
+TEST(Bootstrap, SkipsSpecifiedEntriesUnlessForced) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  Bootstrapper bootstrapper(m, {});
+  model::InstructionSet isa;
+  isa.name = "isa";
+  model::InstructionEnergy fmul;
+  fmul.name = "fmul";
+  fmul.energy_j = 99e-9;  // deliberately wrong, but specified
+  isa.instructions.push_back(fmul);
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->measured_instructions, 0u);
+  EXPECT_EQ(report->skipped_instructions, 1u);
+  EXPECT_DOUBLE_EQ(*isa.find("fmul")->energy_j, 99e-9);  // untouched
+
+  // "On request, microbenchmarking can also be applied to instructions
+  // with given energy cost and will then override the specified values."
+  BootstrapOptions force;
+  force.force = true;
+  Bootstrapper forced(m, force);
+  ASSERT_TRUE(forced.bootstrap(isa).is_ok());
+  EXPECT_NE(*isa.find("fmul")->energy_j, 99e-9);
+}
+
+TEST(Bootstrap, UnknownInstructionIsALoudError) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  Bootstrapper bootstrapper(m, {});
+  model::InstructionSet isa;
+  isa.name = "isa";
+  model::InstructionEnergy exotic;
+  exotic.name = "not_in_machine";
+  exotic.placeholder = true;
+  isa.instructions.push_back(exotic);
+  EXPECT_FALSE(bootstrapper.bootstrap(isa).is_ok());
+}
+
+TEST(Bootstrap, WritesResultsBackIntoModelXml) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 3.4e9};
+  Bootstrapper bootstrapper(m, opts);
+  auto doc = xml::parse(R"(
+    <cpu id="c">
+      <power_model>
+        <instructions name="isa" mb="suite">
+          <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+        </instructions>
+      </power_model>
+    </cpu>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto report = bootstrapper.bootstrap_model(*doc.value().root);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->measured_instructions, 1u);
+  // Two frequencies -> a <data> table replaces the '?' attribute.
+  const xml::Element* inst = doc.value()
+                                 .root->first_child("power_model")
+                                 ->first_child("instructions")
+                                 ->first_child("inst");
+  EXPECT_FALSE(inst->has_attribute("energy"));
+  EXPECT_EQ(inst->children_named("data").size(), 2u);
+  // The written table re-parses into the measured values.
+  auto reparsed = model::InstructionEnergy::parse(*inst);
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_NEAR(reparsed->energy_at(2.8e9).value(),
+              m.ground_truth().find("fmul")->energy_at(2.8e9).value(),
+              1e-2 * 2.1e-9);
+}
+
+TEST(Bootstrap, SingleFrequencyWritesConstantAttribute) {
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;  // default: one frequency
+  Bootstrapper bootstrapper(m, opts);
+  auto doc = xml::parse(R"(
+    <instructions name="isa">
+      <inst name="nop" energy="?" energy_unit="pJ"/>
+    </instructions>)");
+  auto report = bootstrapper.bootstrap_model(*doc.value().root);
+  ASSERT_TRUE(report.is_ok());
+  const xml::Element* inst = doc.value().root->first_child("inst");
+  EXPECT_TRUE(inst->has_attribute("energy"));
+  EXPECT_EQ(inst->attribute("energy_unit"), "nJ");
+  EXPECT_TRUE(inst->children_named("data").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Driver generation
+
+model::MicrobenchmarkSuite test_suite() {
+  model::MicrobenchmarkSuite suite;
+  suite.id = "mb_x86_base_1";
+  suite.instruction_set = "x86_base_isa";
+  suite.path = "/usr/local/micr/src";
+  suite.command = "mbscript.sh";
+  suite.benchmarks = {
+      {"fa1", "fadd", "fadd.c", "-O0", ""},
+      {"fm1", "fmul", "fmul.c", "-O0", ""},
+  };
+  return suite;
+}
+
+TEST(DriverGen, SourceContainsProtocolAndMetadata) {
+  auto suite = test_suite();
+  std::string src = generate_driver_source(suite, suite.benchmarks[0]);
+  EXPECT_NE(src.find("Auto-generated"), std::string::npos);
+  EXPECT_NE(src.find("fa1"), std::string::npos);
+  EXPECT_NE(src.find("fadd"), std::string::npos);
+  EXPECT_NE(src.find("Bootstrapper"), std::string::npos);
+  EXPECT_NE(src.find("int main()"), std::string::npos);
+  EXPECT_NE(src.find("x86_base_isa"), std::string::npos);
+}
+
+TEST(DriverGen, RunnerScriptRunsEveryDriver) {
+  auto suite = test_suite();
+  std::string script = generate_runner_script(suite);
+  EXPECT_NE(script.find("#!/bin/sh"), std::string::npos);
+  EXPECT_NE(script.find("./build/fa1"), std::string::npos);
+  EXPECT_NE(script.find("./build/fm1"), std::string::npos);
+}
+
+TEST(DriverGen, BuildFileDeclaresEveryDriver) {
+  auto suite = test_suite();
+  std::string cml = generate_build_file(suite);
+  EXPECT_NE(cml.find("add_executable(fa1 fa1.cpp)"), std::string::npos);
+  EXPECT_NE(cml.find("add_executable(fm1 fm1.cpp)"), std::string::npos);
+  EXPECT_NE(cml.find("-O0"), std::string::npos);
+}
+
+TEST(DriverGen, TreeWritesAllFiles) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "xpdl_drivergen_test";
+  fs::remove_all(dir);
+  auto suite = test_suite();
+  ASSERT_TRUE(generate_driver_tree(suite, dir.string()).is_ok());
+  EXPECT_TRUE(fs::is_regular_file(dir / "fa1.cpp"));
+  EXPECT_TRUE(fs::is_regular_file(dir / "fm1.cpp"));
+  EXPECT_TRUE(fs::is_regular_file(dir / "CMakeLists.txt"));
+  EXPECT_TRUE(fs::is_regular_file(dir / "mbscript.sh"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xpdl::microbench

@@ -1,0 +1,237 @@
+// Unit tests for the typed model IR: identity, metrics, params,
+// constraints, groups.
+#include "xpdl/model/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::model {
+namespace {
+
+std::unique_ptr<xml::Element> elem(std::string_view text) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return std::move(doc.value().root);
+}
+
+TEST(Identity, MetaVsConcrete) {
+  auto meta = elem("<cpu name=\"Xeon\" role=\"master\"/>");
+  Identity mi = identity_of(*meta);
+  EXPECT_TRUE(mi.is_meta());
+  EXPECT_EQ(mi.reference_name(), "Xeon");
+  EXPECT_EQ(mi.role, "master");
+
+  auto inst = elem("<cpu id=\"gpu_host\" type=\"Xeon\"/>");
+  Identity ii = identity_of(*inst);
+  EXPECT_FALSE(ii.is_meta());
+  EXPECT_EQ(ii.reference_name(), "gpu_host");
+  EXPECT_EQ(ii.type_ref, "Xeon");
+}
+
+TEST(Identity, MultipleInheritanceList) {
+  auto e = elem("<device name=\"d\" extends=\"A, B , C\"/>");
+  Identity i = identity_of(*e);
+  EXPECT_EQ(i.extends, (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(Metrics, NumbersConvertToSi) {
+  auto e = elem(
+      "<memory name=\"m\" size=\"16\" unit=\"GB\" static_power=\"4\" "
+      "static_power_unit=\"W\"/>");
+  auto metrics = metrics_of(*e);
+  ASSERT_TRUE(metrics.is_ok()) << metrics.status().to_string();
+  ASSERT_EQ(metrics->size(), 2u);
+  const Metric* size = nullptr;
+  const Metric* power = nullptr;
+  for (const Metric& m : *metrics) {
+    if (m.name == "size") size = &m;
+    if (m.name == "static_power") power = &m;
+  }
+  ASSERT_NE(size, nullptr);
+  ASSERT_NE(power, nullptr);
+  EXPECT_EQ(size->kind, MetricKind::kNumber);
+  EXPECT_DOUBLE_EQ(size->value_si, 16e9);
+  EXPECT_EQ(size->dimension, units::Dimension::kSize);
+  EXPECT_DOUBLE_EQ(power->value_si, 4.0);
+}
+
+TEST(Metrics, UnitAndStructuralAttributesAreNotMetrics) {
+  auto e = elem(
+      "<cache name=\"L1\" id=\"x\" type=\"t\" sets=\"8\" "
+      "replacement=\"LRU\" size=\"32\" unit=\"KiB\"/>");
+  auto metrics = metrics_of(*e);
+  ASSERT_TRUE(metrics.is_ok());
+  ASSERT_EQ(metrics->size(), 1u);
+  EXPECT_EQ(metrics->front().name, "size");
+}
+
+TEST(Metrics, PlaceholderAndParamRef) {
+  auto e = elem(
+      "<channel name=\"up\" energy_per_byte=\"?\" max_bandwidth=\"bw\"/>");
+  auto metrics = metrics_of(*e);
+  ASSERT_TRUE(metrics.is_ok());
+  for (const Metric& m : *metrics) {
+    if (m.name == "energy_per_byte") {
+      EXPECT_EQ(m.kind, MetricKind::kPlaceholder);
+    } else {
+      EXPECT_EQ(m.kind, MetricKind::kParamRef);
+      EXPECT_EQ(m.param_ref, "bw");
+    }
+  }
+}
+
+TEST(Metrics, WrongDimensionUnitFails) {
+  auto e = elem("<memory name=\"m\" size=\"16\" unit=\"GHz\"/>");
+  // "unit" names the size unit; GHz is frequency.
+  EXPECT_FALSE(metrics_of(*e).is_ok());
+}
+
+TEST(Metrics, SingleLookupByName) {
+  auto e = elem("<core frequency=\"2\" frequency_unit=\"GHz\"/>");
+  auto m = metric_of(*e, "frequency");
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_TRUE(m->has_value());
+  EXPECT_DOUBLE_EQ((*m)->value_si, 2e9);
+  auto absent = metric_of(*e, "static_power");
+  ASSERT_TRUE(absent.is_ok());
+  EXPECT_FALSE(absent->has_value());
+}
+
+TEST(Params, ConstWithSizeMetric) {
+  // Listing 8: <const name="shmtotalsize" size="64" unit="KB"/>
+  auto e = elem("<const name=\"shmtotalsize\" size=\"64\" unit=\"KB\"/>");
+  auto p = parse_param(*e);
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_TRUE(p->is_const);
+  ASSERT_TRUE(p->is_bound());
+  EXPECT_DOUBLE_EQ(*p->value_si, 64000.0);
+  EXPECT_EQ(p->dimension, units::Dimension::kSize);
+}
+
+TEST(Params, ConfigurableWithRange) {
+  // Listing 8: configurable msize over {16,32,48} KB.
+  auto e = elem(
+      "<param name=\"L1size\" configurable=\"true\" type=\"msize\" "
+      "range=\"16, 32, 48\" unit=\"KB\"/>");
+  auto p = parse_param(*e);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_TRUE(p->configurable);
+  EXPECT_FALSE(p->is_bound());
+  EXPECT_EQ(p->range_si, (std::vector<double>{16000.0, 32000.0, 48000.0}));
+  EXPECT_EQ(p->declared_type, "msize");
+}
+
+TEST(Params, ValueAttributeBindsPlainNumbers) {
+  // Listing 9: <param name="num_SM" value="13"/>
+  auto e = elem("<param name=\"num_SM\" value=\"13\"/>");
+  auto p = parse_param(*e);
+  ASSERT_TRUE(p.is_ok());
+  ASSERT_TRUE(p->is_bound());
+  EXPECT_DOUBLE_EQ(*p->value_si, 13.0);
+}
+
+TEST(Params, FrequencyMetricBinding) {
+  // Listing 9: <param name="cfrq" frequency="706" frequency_unit="MHz"/>
+  auto e = elem(
+      "<param name=\"cfrq\" frequency=\"706\" frequency_unit=\"MHz\"/>");
+  auto p = parse_param(*e);
+  ASSERT_TRUE(p.is_ok());
+  ASSERT_TRUE(p->is_bound());
+  EXPECT_DOUBLE_EQ(*p->value_si, 7.06e8);
+  EXPECT_EQ(p->dimension, units::Dimension::kFrequency);
+}
+
+TEST(Params, AbstractTypeGivesDimensionFallback) {
+  auto e = elem("<param name=\"gmsz\" type=\"msize\"/>");
+  auto p = parse_param(*e);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p->dimension, units::Dimension::kSize);
+  EXPECT_FALSE(p->is_bound());
+}
+
+TEST(ParamScope, CollectsParamsConstsAndConstraints) {
+  auto e = elem(R"(
+    <device name="K">
+      <const name="total" size="64" unit="KB"/>
+      <param name="a" configurable="true" range="16, 32, 48" unit="KB"/>
+      <param name="b" configurable="true" range="16, 32, 48" unit="KB"/>
+      <constraints>
+        <constraint expr="a + b == total"/>
+      </constraints>
+    </device>)");
+  auto scope = parse_param_scope(*e);
+  ASSERT_TRUE(scope.is_ok()) << scope.status().to_string();
+  EXPECT_EQ(scope->params.size(), 3u);
+  EXPECT_EQ(scope->constraints.size(), 1u);
+  ASSERT_NE(scope->find("total"), nullptr);
+  EXPECT_TRUE(scope->find("total")->is_const);
+  EXPECT_EQ(scope->find("nosuch"), nullptr);
+}
+
+TEST(ParamScope, DuplicateNamesAreErrors) {
+  auto e = elem(R"(
+    <device name="K">
+      <param name="a" value="1"/>
+      <param name="a" value="2"/>
+    </device>)");
+  auto scope = parse_param_scope(*e);
+  ASSERT_FALSE(scope.is_ok());
+  EXPECT_EQ(scope.status().code(), ErrorCode::kSchemaViolation);
+}
+
+TEST(Groups, HomogeneousWithLiteralQuantity) {
+  auto e = elem("<group prefix=\"core\" quantity=\"4\"/>");
+  auto g = parse_group(*e);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_TRUE(g->homogeneous);
+  EXPECT_EQ(g->prefix, "core");
+  ASSERT_TRUE(g->quantity.has_value());
+  EXPECT_EQ(*g->quantity, 4u);
+}
+
+TEST(Groups, ParamReferenceQuantity) {
+  auto e = elem("<group name=\"SMs\" quantity=\"num_SM\"/>");
+  auto g = parse_group(*e);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_TRUE(g->homogeneous);
+  EXPECT_FALSE(g->quantity.has_value());
+  EXPECT_EQ(g->quantity_raw, "num_SM");
+}
+
+TEST(Groups, HeterogeneousWithoutQuantity) {
+  auto e = elem("<group id=\"cpu1\"/>");
+  auto g = parse_group(*e);
+  ASSERT_TRUE(g.is_ok());
+  EXPECT_FALSE(g->homogeneous);
+}
+
+TEST(Groups, MalformedQuantityFails) {
+  auto e = elem("<group quantity=\"4.5x\"/>");
+  EXPECT_FALSE(parse_group(*e).is_ok());
+}
+
+TEST(HardwareTags, EnergyRollUpScope) {
+  for (const char* t : {"system", "cluster", "node", "socket", "cpu",
+                        "core", "cache", "memory", "device", "gpu",
+                        "interconnect", "channel", "group"}) {
+    EXPECT_TRUE(is_hardware_tag(t)) << t;
+  }
+  EXPECT_FALSE(is_hardware_tag("software"));
+  EXPECT_FALSE(is_hardware_tag("power_state"));
+  EXPECT_FALSE(is_hardware_tag("property"));
+}
+
+TEST(StructuralAttributes, MetricsExcluded) {
+  for (const char* a : {"name", "id", "type", "extends", "role", "prefix",
+                        "quantity", "head", "tail", "sets", "replacement",
+                        "write_policy", "endian", "configurable", "range"}) {
+    EXPECT_TRUE(is_structural_attribute(a)) << a;
+  }
+  EXPECT_FALSE(is_structural_attribute("static_power"));
+  EXPECT_FALSE(is_structural_attribute("frequency"));
+  EXPECT_FALSE(is_structural_attribute("size"));
+}
+
+}  // namespace
+}  // namespace xpdl::model

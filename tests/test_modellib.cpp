@@ -1,0 +1,151 @@
+// Tests for the extended model library beyond the paper's listings:
+// the big.LITTLE embedded board, Ethernet, and the added software
+// descriptors. Guards the repository against regressions as it grows.
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/energy/energy.h"
+#include "xpdl/model/power.h"
+#include "xpdl/query/query.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+xpdl::repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+const xpdl::runtime::Model& odroid() {
+  static const auto* m = [] {
+    xpdl::compose::Composer composer(repo());
+    auto composed = composer.compose("odroid_board");
+    assert(composed.is_ok());
+    auto model = xpdl::runtime::Model::from_composed(*composed);
+    assert(model.is_ok());
+    return new xpdl::runtime::Model(std::move(model).value());
+  }();
+  return *m;
+}
+
+TEST(BigLittle, HeterogeneousClustersCompose) {
+  const auto& m = odroid();
+  EXPECT_EQ(m.count_cores(), 8u);  // 4 big + 4 LITTLE
+  // The two clusters run at different frequencies.
+  auto big = xpdl::query::select(m, "//core[@frequency>1.5GHz]");
+  auto little = xpdl::query::select(m, "//core[@frequency<1.5GHz]");
+  ASSERT_TRUE(big.is_ok());
+  ASSERT_TRUE(little.is_ok());
+  EXPECT_EQ(big->size(), 4u);
+  EXPECT_EQ(little->size(), 4u);
+  // Member naming from the group prefixes.
+  EXPECT_TRUE(m.find_by_id("odroid_board.big_cluster.big0").has_value());
+  EXPECT_TRUE(
+      m.find_by_id("odroid_board.little_cluster.little3").has_value());
+}
+
+TEST(BigLittle, StaticPowerRollUp) {
+  const auto& m = odroid();
+  // big: 1.2 + 4*0.35 = 2.6; LITTLE: 0.3 + 4*0.08 = 0.62; LPDDR3: 0.4.
+  EXPECT_NEAR(m.total_static_power_w(), 2.6 + 0.62 + 0.4, 1e-9);
+}
+
+TEST(BigLittle, TwoIndependentPowerStateMachines) {
+  // Both clusters carry their own PSM with distinct state sets; the big
+  // cluster can power off entirely, the LITTLE one cannot.
+  xpdl::compose::Composer composer(repo());
+  auto composed = composer.compose("odroid_board");
+  ASSERT_TRUE(composed.is_ok());
+  std::vector<xpdl::model::PowerStateMachine> machines;
+  std::vector<const xpdl::xml::Element*> stack = {&composed->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "power_state_machine") continue;
+    auto fsm = xpdl::model::PowerStateMachine::parse(*e);
+    ASSERT_TRUE(fsm.is_ok());
+    machines.push_back(std::move(fsm).value());
+  }
+  ASSERT_EQ(machines.size(), 2u);
+  const auto* a15 = machines[0].name == "A15_psm" ? &machines[0]
+                                                  : &machines[1];
+  const auto* a7 = machines[0].name == "A7_psm" ? &machines[0]
+                                                : &machines[1];
+  ASSERT_EQ(a15->name, "A15_psm");
+  ASSERT_EQ(a7->name, "A7_psm");
+  EXPECT_EQ(a15->states.size(), 4u);  // off + 3 P-states
+  EXPECT_EQ(a7->states.size(), 2u);
+  EXPECT_NE(a15->find_state("off"), nullptr);
+  EXPECT_EQ(a7->find_state("off"), nullptr);
+  EXPECT_TRUE(a15->strongly_connected());
+  EXPECT_TRUE(a7->strongly_connected());
+}
+
+TEST(BigLittle, ClusterMigrationEnergyDecision) {
+  // The classic big.LITTLE question answered from the model: for a fixed
+  // workload with slack, the LITTLE cluster at P_high beats the big one
+  // at P_low on energy, while the big cluster wins when the deadline is
+  // tight. (big P_low: 0.8 GHz/1.4 W; LITTLE P_high: 1.2 GHz/0.7 W.)
+  xpdl::compose::Composer composer(repo());
+  auto composed = composer.compose("odroid_board");
+  ASSERT_TRUE(composed.is_ok());
+  xpdl::model::PowerStateMachine a15, a7;
+  std::vector<const xpdl::xml::Element*> stack = {&composed->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "power_state_machine") continue;
+    auto fsm = xpdl::model::PowerStateMachine::parse(*e);
+    ASSERT_TRUE(fsm.is_ok());
+    if (fsm->name == "A15_psm") a15 = std::move(fsm).value();
+    if (fsm->name == "A7_psm") a7 = std::move(fsm).value();
+  }
+  xpdl::energy::DvfsPlanner big(a15), little(a7);
+  xpdl::energy::Workload relaxed{.cycles = 1.2e9, .deadline_s = 2.0,
+                                 .idle_power_w = 0.0};
+  auto big_best = big.best_single_state(relaxed);
+  auto little_best = little.best_single_state(relaxed);
+  ASSERT_TRUE(big_best.is_ok());
+  ASSERT_TRUE(little_best.is_ok());
+  EXPECT_LT(little_best->energy_j, big_best->energy_j);
+  // Tight deadline: only the big cluster can make it.
+  xpdl::energy::Workload tight{.cycles = 2.7e9, .deadline_s = 1.6,
+                               .idle_power_w = 0.0};
+  EXPECT_TRUE(big.best_single_state(tight).is_ok());
+  EXPECT_FALSE(little.best_single_state(tight).is_ok());
+}
+
+TEST(Ethernet, ChannelModelLoads) {
+  auto eth = repo().lookup("ethernet10g");
+  ASSERT_TRUE(eth.is_ok());
+  const xpdl::xml::Element* link = (*eth)->first_child("channel");
+  ASSERT_NE(link, nullptr);
+  auto cost = xpdl::energy::channel_cost(*link);
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_DOUBLE_EQ(cost->bandwidth_bps, 1.25e9);  // 10 Gbit/s
+  EXPECT_DOUBLE_EQ(cost->time_offset_s, 12e-6);
+  // Ethernet per-message offset dwarfs InfiniBand's (12 us vs 700 ns):
+  // small messages cost more despite comparable bandwidth.
+  auto ib = repo().lookup("infiniband1");
+  ASSERT_TRUE(ib.is_ok());
+  auto ib_cost =
+      xpdl::energy::channel_cost(*(*ib)->first_child("channel"));
+  ASSERT_TRUE(ib_cost.is_ok());
+  EXPECT_LT(ib_cost->transfer_time_s(4096), cost->transfer_time_s(4096));
+}
+
+TEST(Software, NewDescriptorsResolve) {
+  const auto& m = odroid();
+  EXPECT_TRUE(m.has_installed("OpenMP"));
+  EXPECT_FALSE(m.has_installed("CUDA"));
+  EXPECT_TRUE(repo().contains("OpenMPI_1.8"));
+}
+
+}  // namespace

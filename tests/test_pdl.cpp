@@ -1,0 +1,198 @@
+// Tests for the PDL compatibility importer (Sec. II).
+#include "xpdl/pdl/pdl.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/model/ir.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/schema/schema.h"
+
+namespace xpdl::pdl {
+namespace {
+
+/// A PDL-style description of a GPU server: one Master CPU, one Worker
+/// GPU, global memory, a PCIe link, and the paper's notorious
+/// x86_MAX_CLOCK_FREQUENCY property.
+constexpr const char* kPdlGpuServer = R"(
+<Platform name="pdl_gpu_server">
+  <ProcessingUnits>
+    <ProcessingUnit id="pu_cpu" type="CPU">
+      <ControlRelationship role="Master"/>
+      <Property key="x86_MAX_CLOCK_FREQUENCY" value="2800"/>
+      <Property key="NUM_CORES" value="4"/>
+      <Property key="VENDOR" value="Intel"/>
+    </ProcessingUnit>
+    <ProcessingUnit id="pu_gpu" type="GPU" role="Worker">
+      <Property key="CUDA_ARCH" value="sm_35"/>
+    </ProcessingUnit>
+  </ProcessingUnits>
+  <MemoryRegions>
+    <MemoryRegion id="mr_main" type="GLOBAL">
+      <Property key="MEMORY_SIZE" value="16384"/>
+    </MemoryRegion>
+  </MemoryRegions>
+  <Interconnects>
+    <Interconnect id="ic_pcie">
+      <From>pu_cpu</From>
+      <To>pu_gpu</To>
+    </Interconnect>
+  </Interconnects>
+</Platform>)";
+
+TEST(Import, ProducesValidXpdlSystem) {
+  ImportReport report;
+  auto system = import_platform_text(kPdlGpuServer, &report);
+  ASSERT_TRUE(system.is_ok()) << system.status().to_string();
+  EXPECT_EQ((*system)->tag(), "system");
+  EXPECT_EQ((*system)->attribute("id"), "pdl_gpu_server");
+  auto validation = schema::Schema::core().validate(**system);
+  EXPECT_TRUE(validation.ok()) << validation.status().to_string();
+  EXPECT_EQ(report.processing_units, 2u);
+  EXPECT_EQ(report.memory_regions, 1u);
+  EXPECT_EQ(report.interconnects, 1u);
+}
+
+TEST(Import, RolesMapToHardwareStructure) {
+  auto system = import_platform_text(kPdlGpuServer);
+  ASSERT_TRUE(system.is_ok());
+  // Master PU -> cpu in a socket with role annotation.
+  const xml::Element* socket = (*system)->first_child("socket");
+  ASSERT_NE(socket, nullptr);
+  const xml::Element* cpu = socket->first_child("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->attribute("id"), "pu_cpu");
+  EXPECT_EQ(cpu->attribute("role"), "master");
+  // Worker PU -> device.
+  const xml::Element* dev = (*system)->first_child("device");
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->attribute("id"), "pu_gpu");
+  EXPECT_EQ(dev->attribute("role"), "worker");
+}
+
+TEST(Import, PromotesWellKnownProperties) {
+  ImportReport report;
+  auto system = import_platform_text(kPdlGpuServer, &report);
+  ASSERT_TRUE(system.is_ok());
+  const xml::Element* cpu =
+      (*system)->first_child("socket")->first_child("cpu");
+  // x86_MAX_CLOCK_FREQUENCY [MHz] -> frequency attribute (the paper's
+  // "should better be specified as a predefined attribute").
+  EXPECT_EQ(cpu->attribute("frequency"), "2800");
+  EXPECT_EQ(cpu->attribute("frequency_unit"), "MHz");
+  // NUM_CORES -> core group.
+  const xml::Element* group = cpu->first_child("group");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->attribute("quantity"), "4");
+  // MEMORY_SIZE -> size on the memory element.
+  const xml::Element* mem = (*system)->first_child("memory");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->attribute("size"), "16384");
+  EXPECT_EQ(mem->attribute("unit"), "MB");
+  EXPECT_GE(report.promoted_properties, 3u);
+}
+
+TEST(Import, KeepsUnknownPropertiesAsEscapeHatch) {
+  ImportReport report;
+  auto system = import_platform_text(kPdlGpuServer, &report);
+  ASSERT_TRUE(system.is_ok());
+  const xml::Element* cpu =
+      (*system)->first_child("socket")->first_child("cpu");
+  const xml::Element* props = cpu->first_child("properties");
+  ASSERT_NE(props, nullptr);
+  bool vendor = false;
+  for (const auto& p : props->children()) {
+    if (p->attribute_or("name", "") == "VENDOR") {
+      EXPECT_EQ(p->attribute("value"), "Intel");
+      vendor = true;
+    }
+  }
+  EXPECT_TRUE(vendor);
+  EXPECT_GE(report.kept_properties, 2u);  // VENDOR + CUDA_ARCH
+}
+
+TEST(Import, InterconnectEndpointsBecomeHeadTail) {
+  auto system = import_platform_text(kPdlGpuServer);
+  ASSERT_TRUE(system.is_ok());
+  const xml::Element* ics = (*system)->first_child("interconnects");
+  ASSERT_NE(ics, nullptr);
+  const xml::Element* link = ics->first_child("interconnect");
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->attribute("head"), "pu_cpu");
+  EXPECT_EQ(link->attribute("tail"), "pu_gpu");
+}
+
+TEST(Import, ImportedModelComposesAndQueries) {
+  // End to end: PDL text -> XPDL -> composer -> runtime Query API.
+  auto system = import_platform_text(kPdlGpuServer);
+  ASSERT_TRUE(system.is_ok());
+  repository::Repository repo;
+  compose::Composer composer(repo);
+  auto composed = composer.compose(**system);
+  ASSERT_TRUE(composed.is_ok()) << composed.status().to_string();
+  auto model = runtime::Model::from_composed(*composed);
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(model->count_cores(), 4u);  // from the promoted NUM_CORES
+  EXPECT_EQ(model->count_devices(), 1u);
+  EXPECT_TRUE(model->find_by_id("pu_gpu").has_value());
+}
+
+TEST(Import, ErrorsAndEdgeCases) {
+  // Wrong root.
+  EXPECT_FALSE(import_platform_text("<NotPdl/>").is_ok());
+  // Unknown role.
+  EXPECT_FALSE(import_platform_text(R"(
+    <Platform name="p">
+      <ProcessingUnit id="x" role="Emperor"/>
+    </Platform>)").is_ok());
+  // Missing role entirely.
+  EXPECT_FALSE(import_platform_text(R"(
+    <Platform name="p"><ProcessingUnit id="x"/></Platform>)").is_ok());
+  // Interconnect without endpoints.
+  EXPECT_FALSE(import_platform_text(R"(
+    <Platform name="p"><Interconnect id="i"/></Platform>)").is_ok());
+}
+
+TEST(Import, MasterCountNotes) {
+  // No master: allowed with a note (the Cell/B.E. stand-alone case).
+  ImportReport no_master;
+  auto ok = import_platform_text(R"(
+    <Platform name="p">
+      <ProcessingUnit id="w" role="Worker"/>
+    </Platform>)", &no_master);
+  ASSERT_TRUE(ok.is_ok());
+  bool noted = false;
+  for (const auto& n : no_master.notes) {
+    if (n.find("no Master") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+  // Two masters: the dual-CPU-server case the paper raises.
+  ImportReport dual;
+  auto dual_ok = import_platform_text(R"(
+    <Platform name="p">
+      <ProcessingUnit id="a" role="Master"/>
+      <ProcessingUnit id="b" role="Master"/>
+    </Platform>)", &dual);
+  ASSERT_TRUE(dual_ok.is_ok());
+  noted = false;
+  for (const auto& n : dual.notes) {
+    if (n.find("2 Master") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(Import, HybridRoleStaysOnCpu) {
+  auto system = import_platform_text(R"(
+    <Platform name="p">
+      <ProcessingUnit id="h" role="Hybrid" type="CellPPE"/>
+    </Platform>)");
+  ASSERT_TRUE(system.is_ok());
+  const xml::Element* cpu =
+      (*system)->first_child("socket")->first_child("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->attribute("role"), "hybrid");
+}
+
+}  // namespace
+}  // namespace xpdl::pdl

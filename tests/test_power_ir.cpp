@@ -1,0 +1,314 @@
+// Unit tests for the power-modeling IR (Sec. III-C): power state
+// machines, power domains, instruction energy and microbenchmark suites.
+#include <gtest/gtest.h>
+
+#include "xpdl/model/power.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::model {
+namespace {
+
+std::unique_ptr<xml::Element> elem(std::string_view text) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return std::move(doc.value().root);
+}
+
+// Paper Listing 13's power state machine.
+constexpr const char* kListing13 = R"(
+  <power_state_machine name="power_state_machine1"
+                       power_domain="xyCPU_core_pd">
+    <power_states>
+      <power_state name="P1" frequency="1.2" frequency_unit="GHz"
+                   power="20" power_unit="W" />
+      <power_state name="P2" frequency="1.6" frequency_unit="GHz"
+                   power="28" power_unit="W" />
+      <power_state name="P3" frequency="2.0" frequency_unit="GHz"
+                   power="38" power_unit="W" />
+    </power_states>
+    <transitions>
+      <transition head="P2" tail="P1" time="1" time_unit="us"
+                  energy="2" energy_unit="nJ"/>
+      <transition head="P3" tail="P2" time="1" time_unit="us"
+                  energy="2" energy_unit="nJ"/>
+      <transition head="P1" tail="P3" time="2" time_unit="us"
+                  energy="5" energy_unit="nJ"/>
+    </transitions>
+  </power_state_machine>)";
+
+TEST(PowerStateMachine, ParsesListing13) {
+  auto fsm = PowerStateMachine::parse(*elem(kListing13));
+  ASSERT_TRUE(fsm.is_ok()) << fsm.status().to_string();
+  EXPECT_EQ(fsm->name, "power_state_machine1");
+  EXPECT_EQ(fsm->power_domain, "xyCPU_core_pd");
+  ASSERT_EQ(fsm->states.size(), 3u);
+  ASSERT_EQ(fsm->transitions.size(), 3u);
+  const PowerState* p2 = fsm->find_state("P2");
+  ASSERT_NE(p2, nullptr);
+  EXPECT_DOUBLE_EQ(p2->frequency_hz, 1.6e9);
+  EXPECT_DOUBLE_EQ(p2->power_w, 28.0);
+  const PowerTransition* t = fsm->find_transition("P2", "P1");
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->time_s, 1e-6);
+  EXPECT_DOUBLE_EQ(t->energy_j, 2e-9);
+  EXPECT_EQ(fsm->find_transition("P1", "P2"), nullptr);
+}
+
+TEST(PowerStateMachine, Listing13IsStronglyConnected) {
+  auto fsm = PowerStateMachine::parse(*elem(kListing13));
+  ASSERT_TRUE(fsm.is_ok());
+  // P2->P1, P3->P2, P1->P3 forms a cycle over all three states.
+  EXPECT_TRUE(fsm->strongly_connected());
+}
+
+TEST(PowerStateMachine, DisconnectedFsmDetected) {
+  auto fsm = PowerStateMachine::parse(*elem(R"(
+    <power_state_machine name="m">
+      <power_states>
+        <power_state name="A" power="1" power_unit="W"/>
+        <power_state name="B" power="2" power_unit="W"/>
+      </power_states>
+      <transitions>
+        <transition head="A" tail="B" time="1" time_unit="us"/>
+      </transitions>
+    </power_state_machine>)"));
+  ASSERT_TRUE(fsm.is_ok());
+  EXPECT_FALSE(fsm->strongly_connected());  // no way back from B
+}
+
+TEST(PowerStateMachine, ValidationRejectsBadDescriptors) {
+  // Duplicate state name.
+  EXPECT_FALSE(PowerStateMachine::parse(*elem(R"(
+    <power_state_machine name="m">
+      <power_states>
+        <power_state name="A"/><power_state name="A"/>
+      </power_states>
+    </power_state_machine>)")).is_ok());
+  // Transition to unknown state.
+  EXPECT_FALSE(PowerStateMachine::parse(*elem(R"(
+    <power_state_machine name="m">
+      <power_states><power_state name="A"/></power_states>
+      <transitions><transition head="A" tail="Z"/></transitions>
+    </power_state_machine>)")).is_ok());
+  // Self-loop.
+  EXPECT_FALSE(PowerStateMachine::parse(*elem(R"(
+    <power_state_machine name="m">
+      <power_states><power_state name="A"/></power_states>
+      <transitions><transition head="A" tail="A"/></transitions>
+    </power_state_machine>)")).is_ok());
+  // No states at all.
+  EXPECT_FALSE(PowerStateMachine::parse(*elem(
+      "<power_state_machine name=\"m\"/>")).is_ok());
+}
+
+TEST(PowerDomain, ParsesEnableSwitchOffAndMembers) {
+  auto d = PowerDomain::parse(*elem(R"(
+    <power_domain name="main_pd" enableSwitchOff="false">
+      <core type="Leon"/>
+    </power_domain>)"));
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d->name, "main_pd");
+  EXPECT_FALSE(d->enable_switch_off);
+  ASSERT_EQ(d->members.size(), 1u);
+  EXPECT_EQ(d->members[0].tag, "core");
+  EXPECT_EQ(d->members[0].type, "Leon");
+}
+
+TEST(PowerDomain, ParsesSwitchoffCondition) {
+  auto d = PowerDomain::parse(*elem(R"(
+    <power_domain name="CMX_pd" switchoffCondition="Shave_pds off">
+      <memory type="CMX"/>
+    </power_domain>)"));
+  ASSERT_TRUE(d.is_ok());
+  ASSERT_TRUE(d->switchoff_condition.has_value());
+  EXPECT_EQ(d->switchoff_condition->domain, "Shave_pds");
+  EXPECT_EQ(d->switchoff_condition->state, "off");
+}
+
+TEST(PowerDomain, MalformedSwitchoffConditionFails) {
+  EXPECT_FALSE(PowerDomain::parse(*elem(
+      "<power_domain name=\"x\" switchoffCondition=\"too many words "
+      "here\"/>")).is_ok());
+}
+
+// Paper Listing 12's power domain set.
+constexpr const char* kListing12 = R"(
+  <power_domains name="Myriad1_power_domains">
+    <power_domain name="main_pd" enableSwitchOff="false">
+      <core type="Leon" />
+    </power_domain>
+    <group name="Shave_pds" quantity="8">
+      <power_domain name="Shave_pd">
+        <core type="Myriad1_Shave" />
+      </power_domain>
+    </group>
+    <power_domain name="CMX_pd" switchoffCondition="Shave_pds off">
+      <memory type="CMX" />
+    </power_domain>
+  </power_domains>)";
+
+TEST(PowerDomainSet, ParsesListing12) {
+  auto set = PowerDomainSet::parse(*elem(kListing12));
+  ASSERT_TRUE(set.is_ok()) << set.status().to_string();
+  EXPECT_EQ(set->name, "Myriad1_power_domains");
+  EXPECT_EQ(set->domains.size(), 2u);
+  ASSERT_EQ(set->groups.size(), 1u);
+  EXPECT_EQ(set->groups[0].quantity, 8u);
+}
+
+TEST(PowerDomainSet, ExpansionNamesGroupMembers) {
+  auto set = PowerDomainSet::parse(*elem(kListing12));
+  ASSERT_TRUE(set.is_ok());
+  std::vector<PowerDomain> all = set->expanded();
+  // 2 singleton domains + 8 expanded Shave domains.
+  ASSERT_EQ(all.size(), 10u);
+  int shaves = 0;
+  for (const PowerDomain& d : all) {
+    if (d.name.rfind("Shave_pd", 0) == 0 && d.name != "Shave_pd") ++shaves;
+  }
+  EXPECT_EQ(shaves, 8);
+}
+
+TEST(InstructionEnergy, PlaceholderParses) {
+  auto inst = InstructionEnergy::parse(
+      *elem("<inst name=\"fmul\" energy=\"?\" energy_unit=\"pJ\" "
+            "mb=\"fm1\"/>"));
+  ASSERT_TRUE(inst.is_ok());
+  EXPECT_TRUE(inst->placeholder);
+  EXPECT_EQ(inst->microbenchmark, "fm1");
+  EXPECT_FALSE(inst->energy_at(3e9).is_ok());  // no data yet
+}
+
+TEST(InstructionEnergy, ConstantEnergy) {
+  auto inst = InstructionEnergy::parse(
+      *elem("<inst name=\"nop\" energy=\"300\" energy_unit=\"pJ\"/>"));
+  ASSERT_TRUE(inst.is_ok());
+  EXPECT_FALSE(inst->placeholder);
+  EXPECT_DOUBLE_EQ(inst->energy_at(1e9).value(), 300e-12);
+  EXPECT_DOUBLE_EQ(inst->energy_at(9e9).value(), 300e-12);
+}
+
+// The divsd table exactly as printed in Listing 14.
+constexpr const char* kDivsd = R"(
+  <inst name="divsd">
+    <data frequency="2.8" energy="18.625" energy_unit="nJ"/>
+    <data frequency="2.9" energy="19.573" energy_unit="nJ"/>
+    <data frequency="3.4" energy="21.023" energy_unit="nJ"/>
+  </inst>)";
+
+TEST(InstructionEnergy, PaperDivsdTableExactPoints) {
+  auto inst = InstructionEnergy::parse(*elem(kDivsd));
+  ASSERT_TRUE(inst.is_ok()) << inst.status().to_string();
+  ASSERT_EQ(inst->table.size(), 3u);
+  // Bare frequencies below 1e3 are interpreted as GHz (Listing 14 prints
+  // "2.8" meaning 2.8 GHz).
+  EXPECT_DOUBLE_EQ(inst->energy_at(2.8e9).value(), 18.625e-9);
+  EXPECT_DOUBLE_EQ(inst->energy_at(2.9e9).value(), 19.573e-9);
+  EXPECT_DOUBLE_EQ(inst->energy_at(3.4e9).value(), 21.023e-9);
+}
+
+TEST(InstructionEnergy, InterpolatesAndClamps) {
+  auto inst = InstructionEnergy::parse(*elem(kDivsd));
+  ASSERT_TRUE(inst.is_ok());
+  // Midway between 2.8 and 2.9 GHz.
+  EXPECT_NEAR(inst->energy_at(2.85e9).value(), (18.625e-9 + 19.573e-9) / 2,
+              1e-15);
+  // Clamped outside the table.
+  EXPECT_DOUBLE_EQ(inst->energy_at(1e9).value(), 18.625e-9);
+  EXPECT_DOUBLE_EQ(inst->energy_at(5e9).value(), 21.023e-9);
+  // Monotone inside: interpolation never exceeds neighbours.
+  double a = inst->energy_at(2.95e9).value();
+  EXPECT_GT(a, 19.573e-9);
+  EXPECT_LT(a, 21.023e-9);
+}
+
+TEST(InstructionSet, ParsesListing14Shape) {
+  auto isa = InstructionSet::parse(*elem(R"(
+    <instructions name="x86_base_isa" mb="mb_x86_base_1">
+      <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+      <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1"/>
+    </instructions>)"));
+  ASSERT_TRUE(isa.is_ok());
+  EXPECT_EQ(isa->name, "x86_base_isa");
+  EXPECT_EQ(isa->microbenchmark_suite, "mb_x86_base_1");
+  EXPECT_EQ(isa->instructions.size(), 2u);
+  EXPECT_NE(isa->find("fmul"), nullptr);
+  EXPECT_EQ(isa->find("divsd"), nullptr);
+}
+
+TEST(InstructionSet, DuplicateInstructionFails) {
+  EXPECT_FALSE(InstructionSet::parse(*elem(R"(
+    <instructions name="isa">
+      <inst name="a"/><inst name="a"/>
+    </instructions>)")).is_ok());
+}
+
+TEST(MicrobenchmarkSuite, ParsesListing15) {
+  auto suite = MicrobenchmarkSuite::parse(*elem(R"(
+    <microbenchmarks id="mb_x86_base_1" instruction_set="x86_base_isa"
+                     path="/usr/local/micr/src" command="mbscript.sh">
+      <microbenchmark id="fa1" type="fadd" file="fadd.c" cflags="-O0"/>
+      <microbenchmark id="mo1" type="mov" file="mov.c" cflags="-O0"/>
+    </microbenchmarks>)"));
+  ASSERT_TRUE(suite.is_ok()) << suite.status().to_string();
+  EXPECT_EQ(suite->id, "mb_x86_base_1");
+  EXPECT_EQ(suite->path, "/usr/local/micr/src");
+  EXPECT_EQ(suite->command, "mbscript.sh");
+  ASSERT_EQ(suite->benchmarks.size(), 2u);
+  const Microbenchmark* fa1 = suite->find("fa1");
+  ASSERT_NE(fa1, nullptr);
+  EXPECT_EQ(fa1->type, "fadd");
+  EXPECT_EQ(fa1->file, "fadd.c");
+  EXPECT_EQ(fa1->cflags, "-O0");
+  EXPECT_EQ(suite->find("zz"), nullptr);
+}
+
+TEST(MicrobenchmarkSuite, DuplicateIdFails) {
+  EXPECT_FALSE(MicrobenchmarkSuite::parse(*elem(R"(
+    <microbenchmarks id="s">
+      <microbenchmark id="a"/><microbenchmark id="a"/>
+    </microbenchmarks>)")).is_ok());
+}
+
+TEST(PowerModel, ParsesShippedE5Descriptor) {
+  auto doc = xml::parse_file(std::string(XPDL_MODELS_DIR) +
+                             "/power/power_model_E5_2630L.xpdl");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto pm = PowerModel::parse(*doc.value().root);
+  ASSERT_TRUE(pm.is_ok()) << pm.status().to_string();
+  EXPECT_EQ(pm->identity.name, "power_model_E5_2630L");
+  ASSERT_TRUE(pm->domains.has_value());
+  EXPECT_EQ(pm->state_machines.size(), 1u);
+  ASSERT_EQ(pm->instruction_sets.size(), 1u);
+  EXPECT_EQ(pm->microbenchmark_suites.size(), 1u);
+  // The machine is resolvable by its governed domain.
+  EXPECT_NE(pm->machine_for_domain("core_pd"), nullptr);
+  EXPECT_EQ(pm->machine_for_domain("nosuch"), nullptr);
+  // The divsd table is present with the paper's values.
+  const InstructionEnergy* divsd =
+      pm->instruction_sets[0].find("divsd");
+  ASSERT_NE(divsd, nullptr);
+  EXPECT_DOUBLE_EQ(divsd->energy_at(2.8e9).value(), 18.625e-9);
+  // Every placeholder instruction names a microbenchmark that exists in
+  // the suite (deployment-time bootstrapping must be able to run).
+  const MicrobenchmarkSuite& suite = pm->microbenchmark_suites[0];
+  for (const InstructionEnergy& inst :
+       pm->instruction_sets[0].instructions) {
+    if (inst.placeholder) {
+      EXPECT_NE(suite.find(inst.microbenchmark), nullptr) << inst.name;
+    }
+  }
+}
+
+TEST(PowerModel, ParsesShippedMyriadDescriptor) {
+  auto doc = xml::parse_file(std::string(XPDL_MODELS_DIR) +
+                             "/power/power_model_Myriad1.xpdl");
+  ASSERT_TRUE(doc.is_ok());
+  auto pm = PowerModel::parse(*doc.value().root);
+  ASSERT_TRUE(pm.is_ok()) << pm.status().to_string();
+  ASSERT_TRUE(pm->domains.has_value());
+  EXPECT_EQ(pm->domains->expanded().size(), 10u);  // main + 8 shaves + CMX
+}
+
+}  // namespace
+}  // namespace xpdl::model

@@ -1,0 +1,371 @@
+// Property-based tests: randomized structures exercised through the
+// serializers, the parser and the composer, asserting invariants rather
+// than single examples. All generators are deterministic in the seed
+// (TEST_P over seeds), so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/query/query.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+/// Deterministic xorshift PRNG for the generators.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+  double uniform() {
+    return static_cast<double>(next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---------------------------------------------------------------------------
+// Random element trees round-trip through the XML writer/parser and the
+// runtime-model serializer.
+
+constexpr const char* kTags[] = {"system", "node",  "cpu",   "core",
+                                 "cache",  "memory", "device", "group"};
+constexpr const char* kAttrNames[] = {"id",        "name",   "type",
+                                      "frequency", "size",   "static_power",
+                                      "endian"};
+
+std::unique_ptr<xpdl::xml::Element> random_tree(Rng& rng, int depth,
+                                                int& id_counter) {
+  auto e = std::make_unique<xpdl::xml::Element>(
+      kTags[rng.below(std::size(kTags))]);
+  // A unique id keeps runtime lookups meaningful.
+  e->set_attribute("id", "e" + std::to_string(id_counter++));
+  std::size_t attrs = rng.below(4);
+  for (std::size_t i = 0; i < attrs; ++i) {
+    const char* name = kAttrNames[rng.below(std::size(kAttrNames))];
+    // Values include XML-hostile characters to stress escaping.
+    std::string value = std::to_string(rng.below(1000));
+    if (rng.below(4) == 0) value += "<&\"'>";
+    e->set_attribute(name, value);
+  }
+  if (depth > 0) {
+    std::size_t children = rng.below(4);
+    for (std::size_t i = 0; i < children; ++i) {
+      e->add_child(random_tree(rng, depth - 1, id_counter));
+    }
+  }
+  if (rng.below(5) == 0) e->set_text("text & <payload>");
+  return e;
+}
+
+bool trees_equal(const xpdl::xml::Element& a, const xpdl::xml::Element& b) {
+  if (a.tag() != b.tag() || a.text() != b.text() ||
+      a.attributes().size() != b.attributes().size() ||
+      a.child_count() != b.child_count()) {
+    return false;
+  }
+  for (const auto& attr : a.attributes()) {
+    if (b.attribute_or(attr.name, "\x01") != attr.value) return false;
+  }
+  for (std::size_t i = 0; i < a.child_count(); ++i) {
+    if (!trees_equal(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+class RandomTreeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeRoundTrip, XmlWriteParseIsIdentity) {
+  Rng rng(GetParam());
+  int ids = 0;
+  auto tree = random_tree(rng, 4, ids);
+  std::string text = xpdl::xml::write(*tree);
+  auto reparsed = xpdl::xml::parse(text);
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_TRUE(trees_equal(*tree, *reparsed.value().root))
+      << "seed " << GetParam() << "\n" << text;
+}
+
+TEST_P(RandomTreeRoundTrip, RuntimeSerializeDeserializeIsIdentity) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  int ids = 0;
+  auto tree = random_tree(rng, 4, ids);
+  auto model = xpdl::runtime::Model::from_xml(*tree);
+  ASSERT_TRUE(model.is_ok());
+  std::string bytes = model->serialize();
+  auto restored = xpdl::runtime::Model::deserialize(bytes);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->node_count(), model->node_count());
+  EXPECT_EQ(restored->serialize(), bytes);  // canonical fixed point
+  // Every id resolves in both models to a node with the same tag.
+  for (int i = 0; i < ids; ++i) {
+    std::string id = "e" + std::to_string(i);
+    auto a = model->find_by_id(id);
+    auto b = restored->find_by_id(id);
+    ASSERT_EQ(a.has_value(), b.has_value()) << id;
+    if (a.has_value()) {
+      EXPECT_EQ(a->tag(), b->tag()) << id;
+      EXPECT_EQ(a->child_count(), b->child_count()) << id;
+    }
+  }
+}
+
+TEST_P(RandomTreeRoundTrip, CloneIsDeepEqual) {
+  Rng rng(GetParam() ^ 0x5555AAAA);
+  int ids = 0;
+  auto tree = random_tree(rng, 3, ids);
+  auto clone = tree->clone();
+  EXPECT_TRUE(trees_equal(*tree, *clone));
+  EXPECT_EQ(tree->subtree_size(), clone->subtree_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u, 144u, 233u));
+
+// ---------------------------------------------------------------------------
+// Random arithmetic expressions: to_string() re-parses to the same value.
+
+std::string random_expr(Rng& rng, int depth) {
+  if (depth == 0 || rng.below(3) == 0) {
+    // Leaf: integer 1..9 (avoids division-by-zero and precision traps).
+    return std::to_string(1 + rng.below(9));
+  }
+  static constexpr const char* kOps[] = {"+", "-", "*"};
+  std::string lhs = random_expr(rng, depth - 1);
+  std::string rhs = random_expr(rng, depth - 1);
+  switch (rng.below(5)) {
+    case 0:
+      return "min(" + lhs + ", " + rhs + ")";
+    case 1:
+      return "max(" + lhs + ", " + rhs + ")";
+    default:
+      return "(" + lhs + " " + kOps[rng.below(std::size(kOps))] + " " +
+             rhs + ")";
+  }
+}
+
+class RandomExpression : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomExpression, CanonicalFormReparsesToSameValue) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    std::string text = random_expr(rng, 4);
+    auto e1 = xpdl::expr::Expression::parse(text);
+    ASSERT_TRUE(e1.is_ok()) << text;
+    auto v1 = e1->evaluate();
+    ASSERT_TRUE(v1.is_ok()) << text;
+    auto e2 = xpdl::expr::Expression::parse(e1->to_string());
+    ASSERT_TRUE(e2.is_ok()) << e1->to_string();
+    auto v2 = e2->evaluate();
+    ASSERT_TRUE(v2.is_ok());
+    EXPECT_DOUBLE_EQ(v1.value(), v2.value()) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpression,
+                         ::testing::Values(7u, 11u, 19u, 42u, 1337u));
+
+// ---------------------------------------------------------------------------
+// Group expansion: for arbitrary (quantity, body-size), the expanded
+// group has exactly quantity * body members and ids prefix0..prefixN-1.
+
+class GroupExpansionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GroupExpansionSweep, MemberCountAndNaming) {
+  auto [quantity, body] = GetParam();
+  std::string xml = "<cpu id=\"c\"><group prefix=\"m\" quantity=\"" +
+                    std::to_string(quantity) + "\">";
+  for (int i = 0; i < body; ++i) xml += "<core/>";
+  xml += "</group></cpu>";
+  auto doc = xpdl::xml::parse(xml);
+  ASSERT_TRUE(doc.is_ok());
+  xpdl::repository::Repository repo;
+  xpdl::compose::Composer composer(repo);
+  auto model = composer.compose(*doc.value().root);
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  const xpdl::xml::Element* group = model->root().first_child("group");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->child_count(),
+            static_cast<std::size_t>(quantity * body));
+  // Naming convention: single anonymous component -> m<rank>; several ->
+  // m<rank>_core<idx>.
+  if (quantity > 0 && body == 1) {
+    EXPECT_NE(model->find_by_id("c.m0"), nullptr);
+    EXPECT_NE(model->find_by_id(
+                  "c.m" + std::to_string(quantity - 1)),
+              nullptr);
+    EXPECT_EQ(model->find_by_id("c.m" + std::to_string(quantity)), nullptr);
+  } else if (quantity > 0 && body > 1) {
+    EXPECT_NE(model->find_by_id("c.m0_core0"), nullptr);
+    EXPECT_NE(model->find_by_id(
+                  "c.m" + std::to_string(quantity - 1) + "_core" +
+                  std::to_string(body - 1)),
+              nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantityBody, GroupExpansionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 7, 32),
+                       ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Unit algebra: conversion through any intermediate unit of the same
+// dimension is exact to relative 1e-12.
+
+class UnitTriangleSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(UnitTriangleSweep, ConversionIsTransitive) {
+  auto [u1, u2] = GetParam();
+  auto a = xpdl::units::parse_unit(u1);
+  auto b = xpdl::units::parse_unit(u2);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->dimension, b->dimension);
+  for (double v : {0.001, 1.0, 42.5, 8192.0}) {
+    // v in u1 -> SI -> u2 -> SI must equal v in u1 -> SI.
+    double si_direct = a->to_si(v);
+    double via = b->to_si(b->from_si(si_direct));
+    EXPECT_NEAR(via, si_direct, 1e-12 * std::fabs(si_direct))
+        << u1 << "->" << u2 << " at " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizePairs, UnitTriangleSweep,
+    ::testing::Values(std::tuple{"KiB", "MB"}, std::tuple{"GiB", "kB"},
+                      std::tuple{"MiB", "TiB"}, std::tuple{"B", "GiB"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    EnergyPairs, UnitTriangleSweep,
+    ::testing::Values(std::tuple{"pJ", "J"}, std::tuple{"nJ", "Wh"},
+                      std::tuple{"uJ", "mJ"}));
+
+// ---------------------------------------------------------------------------
+// Composition idempotence: composing an already-composed model changes
+// nothing (groups stay expanded, attributes stable).
+
+// ---------------------------------------------------------------------------
+// Robustness fuzzing: byte-level mutations of valid inputs must produce
+// clean errors (or benign successes), never crashes or hangs.
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, XmlParserSurvivesMutations) {
+  Rng rng(GetParam());
+  int ids = 0;
+  auto tree = random_tree(rng, 3, ids);
+  std::string text = xpdl::xml::write(*tree);
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = text;
+    std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<char>(rng.below(256));
+    }
+    auto result = xpdl::xml::parse(mutated);
+    // Either outcome is fine; the process must survive and errors must
+    // carry a message.
+    if (!result.is_ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(MutationFuzz, RuntimeDeserializerSurvivesMutations) {
+  Rng rng(GetParam() ^ 0xF00D);
+  int ids = 0;
+  auto tree = random_tree(rng, 3, ids);
+  auto model = xpdl::runtime::Model::from_xml(*tree);
+  ASSERT_TRUE(model.is_ok());
+  std::string bytes = model->serialize();
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = bytes;
+    std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<char>(rng.below(256));
+    }
+    auto result = xpdl::runtime::Model::deserialize(mutated);
+    // The checksum catches essentially all mutations; a survivor must
+    // still be internally consistent enough to walk.
+    if (result.is_ok()) {
+      std::size_t count = 0;
+      std::vector<xpdl::runtime::Node> stack = {result->root()};
+      while (!stack.empty() && count < 100000) {
+        auto n = stack.back();
+        stack.pop_back();
+        ++count;
+        (void)n.tag();
+        for (std::size_t i = 0; i < n.child_count(); ++i) {
+          stack.push_back(n.child(i));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MutationFuzz, QueryParserSurvivesMutations) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const std::string base = "//device[@type=\"Nvidia_K20c\"]/param[@size>=16KB]";
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = base;
+    mutated[rng.below(mutated.size())] =
+        static_cast<char>(32 + rng.below(95));
+    auto q = xpdl::query::Query::parse(mutated);
+    if (!q.is_ok()) {
+      EXPECT_FALSE(q.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+TEST(ComposeIdempotence, SecondCompositionIsIdentity) {
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto once = composer.compose("liu_gpu_server");
+  ASSERT_TRUE(once.is_ok());
+  auto twice = composer.compose(once->root());
+  ASSERT_TRUE(twice.is_ok()) << twice.status().to_string();
+  EXPECT_EQ(once->root().subtree_size(), twice->root().subtree_size());
+  // Runtime models serialize identically.
+  auto m1 = xpdl::runtime::Model::from_composed(*once);
+  auto m2 = xpdl::runtime::Model::from_composed(*twice);
+  ASSERT_TRUE(m1.is_ok());
+  ASSERT_TRUE(m2.is_ok());
+  EXPECT_EQ(m1->serialize(), m2->serialize());
+}
+
+TEST(ComposeDeterminism, SameInputSameBytes) {
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto a = composer.compose("XScluster");
+  auto b = composer.compose("XScluster");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  auto ma = xpdl::runtime::Model::from_composed(*a);
+  auto mb = xpdl::runtime::Model::from_composed(*b);
+  EXPECT_EQ(ma->serialize(), mb->serialize());
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Tests for the XPDL query language (XPath-lite over runtime models).
+#include "xpdl/query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::query {
+namespace {
+
+const runtime::Model& liu_model() {
+  static const auto* m = [] {
+    auto repo = repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    compose::Composer composer(**repo);
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    auto model = runtime::Model::from_composed(*composed);
+    assert(model.is_ok());
+    return new runtime::Model(std::move(model).value());
+  }();
+  return *m;
+}
+
+TEST(Parse, StepsAndPredicates) {
+  auto q = Query::parse("//device[@type=\"Nvidia_K20c\"]/param[@name]");
+  ASSERT_TRUE(q.is_ok()) << q.status().to_string();
+  ASSERT_EQ(q->steps().size(), 2u);
+  EXPECT_TRUE(q->steps()[0].descendant);
+  EXPECT_EQ(q->steps()[0].tag, "device");
+  ASSERT_EQ(q->steps()[0].predicates.size(), 1u);
+  EXPECT_EQ(q->steps()[0].predicates[0].op, Op::kEq);
+  EXPECT_EQ(q->steps()[0].predicates[0].text_value, "Nvidia_K20c");
+  EXPECT_FALSE(q->steps()[1].descendant);
+  EXPECT_EQ(q->steps()[1].predicates[0].op, Op::kExists);
+}
+
+TEST(Parse, NumericAndUnitValues) {
+  auto q = Query::parse("//cache[@size>=64KiB]");
+  ASSERT_TRUE(q.is_ok()) << q.status().to_string();
+  const Predicate& p = q->steps()[0].predicates[0];
+  EXPECT_EQ(p.op, Op::kGe);
+  EXPECT_TRUE(p.is_numeric);
+  EXPECT_TRUE(p.has_unit);
+  EXPECT_DOUBLE_EQ(p.numeric_si, 65536.0);
+
+  auto plain = Query::parse("//param[@value=13]");
+  ASSERT_TRUE(plain.is_ok());
+  EXPECT_FALSE(plain->steps()[0].predicates[0].has_unit);
+  EXPECT_DOUBLE_EQ(plain->steps()[0].predicates[0].numeric_si, 13.0);
+}
+
+TEST(Parse, Errors) {
+  EXPECT_FALSE(Query::parse("").is_ok());
+  EXPECT_FALSE(Query::parse("cpu").is_ok());           // missing '/'
+  EXPECT_FALSE(Query::parse("//cpu[").is_ok());        // open predicate
+  EXPECT_FALSE(Query::parse("//cpu[@]").is_ok());      // missing attr
+  EXPECT_FALSE(Query::parse("//cpu[@a=]").is_ok());    // missing value
+  EXPECT_FALSE(Query::parse("//cpu[@a~1]").is_ok());   // bad operator
+  EXPECT_FALSE(Query::parse("//c[@a=\"x]").is_ok());   // open string
+  EXPECT_FALSE(Query::parse("//c[@a=5zz]").is_ok());   // unknown unit
+}
+
+TEST(Evaluate, RootedAndDescendantSteps) {
+  const auto& m = liu_model();
+  // Leading /system matches the root itself.
+  auto root = select(m, "/system");
+  ASSERT_TRUE(root.is_ok());
+  ASSERT_EQ(root->size(), 1u);
+  EXPECT_EQ(root->front().id(), "liu_gpu_server");
+  // Child chain.
+  auto cpu = select(m, "/system/socket/cpu");
+  ASSERT_TRUE(cpu.is_ok());
+  ASSERT_EQ(cpu->size(), 1u);
+  EXPECT_EQ(cpu->front().id(), "gpu_host");
+  // No match.
+  auto none = select(m, "/system/cluster");
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(Evaluate, DescendantsAndWildcard) {
+  const auto& m = liu_model();
+  auto cores = select(m, "//core");
+  ASSERT_TRUE(cores.is_ok());
+  EXPECT_EQ(cores->size(), 4u + 13u * 192u + 4u);  // + power-domain refs
+  auto named = select(m, "//*[@name=\"L3\"]");
+  ASSERT_TRUE(named.is_ok());
+  ASSERT_EQ(named->size(), 1u);
+  EXPECT_EQ(named->front().tag(), "cache");
+}
+
+TEST(Evaluate, StringPredicate) {
+  const auto& m = liu_model();
+  auto k20 = select(m, "//device[@type=\"Nvidia_K20c\"]");
+  ASSERT_TRUE(k20.is_ok());
+  ASSERT_EQ(k20->size(), 1u);
+  EXPECT_EQ(k20->front().id(), "gpu1");
+  auto other = select(m, "//device[@type!=\"Nvidia_K20c\"]");
+  ASSERT_TRUE(other.is_ok());
+  EXPECT_TRUE(other->empty());
+}
+
+TEST(Evaluate, UnitAwareComparison) {
+  const auto& m = liu_model();
+  // L3 is 15 MiB; L1/L2 are 32/256 KiB; SM L1s are 32 KB. The unit-aware
+  // threshold must pick only the caches >= 1 MiB regardless of spelling.
+  auto big = select(m, "//cache[@size>=1MiB]");
+  ASSERT_TRUE(big.is_ok());
+  ASSERT_EQ(big->size(), 1u);
+  EXPECT_EQ(big->front().attribute_or("name", ""), "L3");
+  // Everything else is smaller.
+  auto small = select(m, "//cache[@size<1MiB]");
+  ASSERT_TRUE(small.is_ok());
+  EXPECT_GT(small->size(), 10u);
+}
+
+TEST(Evaluate, FrequencyComparisonAcrossUnits) {
+  const auto& m = liu_model();
+  // Host cores run at 2 GHz, CUDA cores at 706 MHz; both spelled in
+  // their own units in the model.
+  auto fast = select(m, "//core[@frequency>1GHz]");
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_EQ(fast->size(), 4u);
+  auto slow = select(m, "//core[@frequency<1GHz]");
+  ASSERT_TRUE(slow.is_ok());
+  EXPECT_EQ(slow->size(), 13u * 192u);
+}
+
+TEST(Evaluate, ExistencePredicate) {
+  const auto& m = liu_model();
+  auto with_path = select(m, "//installed[@path]");
+  ASSERT_TRUE(with_path.is_ok());
+  EXPECT_EQ(with_path->size(), 4u);  // all four installed entries
+  auto with_version = select(m, "//installed[@version]");
+  ASSERT_TRUE(with_version.is_ok());
+  EXPECT_EQ(with_version->size(), 4u);  // merged from the descriptors
+}
+
+TEST(Evaluate, MultiplePredicatesAnd) {
+  const auto& m = liu_model();
+  auto q = select(m, "//param[@name=\"L1size\"][@size=32]");
+  ASSERT_TRUE(q.is_ok());
+  ASSERT_EQ(q->size(), 1u);
+}
+
+TEST(Evaluate, ChainedDescendantSteps) {
+  const auto& m = liu_model();
+  auto caches = select(m, "//device//cache");
+  ASSERT_TRUE(caches.is_ok());
+  EXPECT_EQ(caches->size(), 13u);  // one L1 per SM
+}
+
+TEST(Exists, ConvenienceWrapper) {
+  const auto& m = liu_model();
+  EXPECT_TRUE(exists(m, "//installed[@type=\"CUDA_6.0\"]").value());
+  EXPECT_FALSE(exists(m, "//installed[@type=\"ROCm\"]").value());
+  EXPECT_FALSE(exists(m, "broken[").is_ok());
+}
+
+TEST(Evaluate, WildcardRootAndDeepChains) {
+  const auto& m = liu_model();
+  // /* matches the root element regardless of kind.
+  auto any_root = select(m, "/*");
+  ASSERT_TRUE(any_root.is_ok());
+  ASSERT_EQ(any_root->size(), 1u);
+  EXPECT_EQ(any_root->front().tag(), "system");
+  // Child steps after a descendant step.
+  auto params = select(m, "//device/param[@name=\"num_SM\"]");
+  ASSERT_TRUE(params.is_ok());
+  ASSERT_EQ(params->size(), 1u);
+  EXPECT_EQ(params->front().attribute_or("value", ""), "13");
+  // // after // deduplicates correctly (every cache reachable once).
+  auto caches_direct = select(m, "//cache");
+  auto caches_double = select(m, "//*//cache");
+  ASSERT_TRUE(caches_direct.is_ok());
+  ASSERT_TRUE(caches_double.is_ok());
+  EXPECT_EQ(caches_double->size(), caches_direct->size());
+}
+
+TEST(Evaluate, WorksFromSubtreeRoots) {
+  const auto& m = liu_model();
+  auto gpu = m.find_by_id("gpu1");
+  ASSERT_TRUE(gpu.has_value());
+  auto q = Query::parse("//memory");
+  ASSERT_TRUE(q.is_ok());
+  auto in_gpu = q->evaluate(*gpu);
+  // 13 per-SM shm memories + 1 global memory.
+  EXPECT_EQ(in_gpu.size(), 14u);
+}
+
+TEST(Evaluate, MissingAttributeNeverMatches) {
+  const auto& m = liu_model();
+  auto q = select(m, "//core[@nonexistent=1]");
+  ASSERT_TRUE(q.is_ok());
+  EXPECT_TRUE(q->empty());
+}
+
+}  // namespace
+}  // namespace xpdl::query

@@ -1,0 +1,202 @@
+// Unit tests for the distributed model repository.
+#include "xpdl/repository/repository.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "xpdl/util/io.h"
+
+namespace xpdl::repository {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temporary repository root on disk, removed on destruction.
+class TempRepo {
+ public:
+  TempRepo() {
+    dir_ = fs::temp_directory_path() /
+           ("xpdl_repo_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempRepo() { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, std::string_view contents) {
+    fs::path p = dir_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << contents;
+  }
+
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+TEST(Repository, ScansTheShippedModelLibrary) {
+  Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  // Systems, hardware, power models and software must all be indexed.
+  EXPECT_TRUE(repo.contains("liu_gpu_server"));
+  EXPECT_TRUE(repo.contains("myriad_server"));
+  EXPECT_TRUE(repo.contains("XScluster"));
+  EXPECT_TRUE(repo.contains("Intel_Xeon_E5_2630L"));
+  EXPECT_TRUE(repo.contains("Nvidia_K20c"));
+  EXPECT_TRUE(repo.contains("pcie3"));
+  EXPECT_TRUE(repo.contains("power_model_E5_2630L"));
+  EXPECT_TRUE(repo.contains("CUDA_6.0"));
+  EXPECT_TRUE(repo.contains("ShaveL2"));
+  EXPECT_GE(repo.size(), 30u);
+}
+
+TEST(Repository, LookupReturnsParsedDescriptor) {
+  Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto cpu = repo.lookup("Intel_Xeon_E5_2630L");
+  ASSERT_TRUE(cpu.is_ok()) << cpu.status().to_string();
+  EXPECT_EQ((*cpu)->tag(), "cpu");
+  EXPECT_EQ((*cpu)->attribute("name"), "Intel_Xeon_E5_2630L");
+}
+
+TEST(Repository, UnknownReferenceFailsWithContext) {
+  Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto missing = repo.lookup("No_Such_Component");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kUnresolvedRef);
+  // The message mentions the searched name and repository size.
+  EXPECT_NE(missing.status().message().find("No_Such_Component"),
+            std::string::npos);
+}
+
+TEST(Repository, DescriptorInfoIsSorted) {
+  Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto infos = repo.descriptors();
+  ASSERT_EQ(infos.size(), repo.size());
+  for (std::size_t i = 1; i < infos.size(); ++i) {
+    EXPECT_LT(infos[i - 1].reference_name, infos[i].reference_name);
+  }
+}
+
+TEST(Repository, MetaVsConcreteClassification) {
+  Repository repo({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.scan().is_ok());
+  for (const DescriptorInfo& info : repo.descriptors()) {
+    if (info.reference_name == "liu_gpu_server") {
+      EXPECT_FALSE(info.is_meta);
+    }
+    if (info.reference_name == "Nvidia_Kepler") {
+      EXPECT_TRUE(info.is_meta);
+    }
+  }
+}
+
+TEST(Repository, DuplicateNameInOneRootIsAnError) {
+  TempRepo tmp;
+  tmp.write("a.xpdl", "<cpu name=\"Dup\"/>");
+  tmp.write("b.xpdl", "<cpu name=\"Dup\"/>");
+  Repository repo({tmp.path()});
+  auto st = repo.scan();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(Repository, EarlierRootShadowsLaterWithWarning) {
+  TempRepo first, second;
+  first.write("x.xpdl", "<cpu name=\"Shadowed\" frequency=\"1\" "
+                        "frequency_unit=\"GHz\"/>");
+  second.write("x.xpdl", "<cpu name=\"Shadowed\" frequency=\"2\" "
+                         "frequency_unit=\"GHz\"/>");
+  Repository repo({first.path(), second.path()});
+  ASSERT_TRUE(repo.scan().is_ok());
+  auto found = repo.lookup("Shadowed");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ((*found)->attribute("frequency"), "1");  // first root wins
+  bool warned = false;
+  for (const std::string& w : repo.warnings()) {
+    if (w.find("shadowed") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Repository, InvalidDescriptorFailsTheScan) {
+  TempRepo tmp;
+  tmp.write("bad.xpdl", "<cpu name=\"B\"><bogus_tag/></cpu>");
+  Repository repo({tmp.path()});
+  auto st = repo.scan();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kSchemaViolation);
+}
+
+TEST(Repository, RootlessDescriptorFailsTheScan) {
+  TempRepo tmp;
+  tmp.write("anon.xpdl", "<cpu frequency=\"1\" frequency_unit=\"GHz\"/>");
+  Repository repo({tmp.path()});
+  auto st = repo.scan();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("neither 'name' nor 'id'"),
+            std::string::npos);
+}
+
+TEST(Repository, NonXpdlFilesAreIgnored) {
+  TempRepo tmp;
+  tmp.write("readme.txt", "not xml at all <<<");
+  tmp.write("ok.xpdl", "<cpu name=\"OK\"/>");
+  Repository repo({tmp.path()});
+  ASSERT_TRUE(repo.scan().is_ok());
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(Repository, MissingRootDirectoryFails) {
+  Repository repo({"/nonexistent/xpdl/root"});
+  auto st = repo.scan();
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+}
+
+TEST(Repository, LoadFileRegistersTopLevelModel) {
+  TempRepo tmp;
+  tmp.write("sys.xpdl", "<system id=\"adhoc\"><socket><cpu id=\"c\"/>"
+                        "</socket></system>");
+  Repository repo;
+  auto loaded = repo.load_file(tmp.path() + "/sys.xpdl");
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_TRUE(repo.contains("adhoc"));
+  EXPECT_EQ((*loaded)->tag(), "system");
+}
+
+TEST(Repository, AddDescriptorInjectsInMemoryModels) {
+  Repository repo;
+  auto doc = xml::parse("<memory name=\"TestMem\" size=\"1\" unit=\"GB\"/>");
+  ASSERT_TRUE(doc.is_ok());
+  auto added = repo.add_descriptor(std::move(doc.value().root));
+  ASSERT_TRUE(added.is_ok());
+  EXPECT_TRUE(repo.contains("TestMem"));
+  // Replacing records a warning rather than failing.
+  auto doc2 = xml::parse("<memory name=\"TestMem\" size=\"2\" unit=\"GB\"/>");
+  ASSERT_TRUE(repo.add_descriptor(std::move(doc2.value().root)).is_ok());
+  auto found = repo.lookup("TestMem");
+  EXPECT_EQ((*found)->attribute("size"), "2");
+  EXPECT_FALSE(repo.warnings().empty());
+}
+
+TEST(Repository, AddDescriptorWithoutIdentityFails) {
+  Repository repo;
+  auto doc = xml::parse("<memory size=\"1\" unit=\"GB\"/>");
+  EXPECT_FALSE(repo.add_descriptor(std::move(doc.value().root)).is_ok());
+}
+
+TEST(OpenRepository, ConvenienceWrapper) {
+  auto repo = open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  EXPECT_GE((*repo)->size(), 30u);
+  EXPECT_FALSE(open_repository({"/no/such/dir"}).is_ok());
+}
+
+}  // namespace
+}  // namespace xpdl::repository

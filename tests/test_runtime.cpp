@@ -1,0 +1,306 @@
+// Unit tests for the runtime model: construction, queries, analysis
+// functions, and the binary serialization round-trip.
+#include "xpdl/runtime/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::runtime {
+namespace {
+
+Model model_from(std::string_view text) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok());
+  auto m = Model::from_xml(*doc.value().root);
+  EXPECT_TRUE(m.is_ok()) << (m.is_ok() ? "" : m.status().to_string());
+  return std::move(m).value();
+}
+
+/// The composed liu_gpu_server, built once.
+const Model& liu_model() {
+  static const Model* model = [] {
+    auto repo = repository::open_repository({XPDL_MODELS_DIR});
+    assert(repo.is_ok());
+    compose::Composer composer(**repo);
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    auto m = Model::from_composed(*composed);
+    assert(m.is_ok());
+    return new Model(std::move(m).value());
+  }();
+  return *model;
+}
+
+TEST(Node, TagAndAttributeGetters) {
+  Model m = model_from(
+      "<cpu id=\"c\" type=\"Xeon\" frequency=\"2\" "
+      "frequency_unit=\"GHz\"><core id=\"c0\"/></cpu>");
+  Node root = m.root();
+  EXPECT_EQ(root.tag(), "cpu");
+  EXPECT_EQ(root.id(), "c");
+  EXPECT_EQ(root.type(), "Xeon");
+  EXPECT_EQ(root.name(), "");
+  EXPECT_EQ(root.attribute_or("frequency", ""), "2");
+  EXPECT_FALSE(root.attribute("nosuch").has_value());
+  EXPECT_DOUBLE_EQ(root.number("frequency").value(), 2.0);
+  EXPECT_FALSE(root.number("nosuch").is_ok());
+  EXPECT_FALSE(root.number("type").is_ok());  // not numeric
+}
+
+TEST(Node, QuantityResolvesUnits) {
+  Model m = model_from(
+      "<cache id=\"l1\" size=\"32\" unit=\"KiB\" "
+      "static_power=\"2\" static_power_unit=\"W\"/>");
+  auto size = m.root().quantity("size");
+  ASSERT_TRUE(size.is_ok());
+  EXPECT_DOUBLE_EQ(size->si(), 32768.0);
+  EXPECT_EQ(size->dimension(), units::Dimension::kSize);
+  auto power = m.root().quantity("static_power");
+  ASSERT_TRUE(power.is_ok());
+  EXPECT_DOUBLE_EQ(power->si(), 2.0);
+  EXPECT_FALSE(m.root().quantity("nosuch").is_ok());
+}
+
+TEST(Node, TreeNavigation) {
+  Model m = model_from(R"(
+    <system id="s">
+      <cpu id="c"><core id="k0"/><core id="k1"/></cpu>
+      <memory id="mem"/>
+    </system>)");
+  Node root = m.root();
+  ASSERT_EQ(root.child_count(), 2u);
+  Node cpu = root.child(0);
+  EXPECT_EQ(cpu.tag(), "cpu");
+  EXPECT_EQ(cpu.children("core").size(), 2u);
+  EXPECT_TRUE(cpu.first("core").has_value());
+  EXPECT_FALSE(cpu.first("memory").has_value());
+  ASSERT_TRUE(cpu.parent().has_value());
+  EXPECT_EQ(*cpu.parent(), root);
+  EXPECT_FALSE(root.parent().has_value());
+  // BFS layout: children of one node are contiguous.
+  EXPECT_EQ(cpu.child(0).tag(), "core");
+  EXPECT_EQ(cpu.child(1).attribute_or("id", ""), "k1");
+}
+
+TEST(Model, FindByIdLocalAndQualified) {
+  Model m = model_from(R"(
+    <system id="s">
+      <node id="n0"><device id="g"/></node>
+      <node id="n1"><device id="g"/></node>
+      <memory id="unique_mem"/>
+    </system>)");
+  // Unique local id.
+  ASSERT_TRUE(m.find_by_id("unique_mem").has_value());
+  // Ambiguous local id fails closed.
+  EXPECT_FALSE(m.find_by_id("g").has_value());
+  // Qualified paths resolve both.
+  ASSERT_TRUE(m.find_by_id("s.n0.g").has_value());
+  ASSERT_TRUE(m.find_by_id("s.n1.g").has_value());
+  EXPECT_FALSE(m.find_by_id("s.n2.g").has_value());
+}
+
+TEST(Model, FindAllByTag) {
+  Model m = model_from(
+      "<system id=\"s\"><cpu id=\"a\"/><cpu id=\"b\"/><memory id=\"m\"/>"
+      "</system>");
+  EXPECT_EQ(m.find_all("cpu").size(), 2u);
+  EXPECT_EQ(m.find_all("memory").size(), 1u);
+  EXPECT_TRUE(m.find_all("gpu").empty());
+}
+
+TEST(Analysis, CountsOnComposedPaperSystem) {
+  const Model& m = liu_model();
+  // 4 host cores + 13 SMs x 192 CUDA cores.
+  EXPECT_EQ(m.count_cores(), 4u + 13u * 192u);
+  EXPECT_EQ(m.count_devices(), 1u);
+  EXPECT_EQ(m.count_cuda_devices(), 1u);
+  // Subtree-scoped count: cores under the host cpu only.
+  auto host = m.find_by_id("gpu_host");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(m.count_cores(host), 4u);
+}
+
+TEST(Analysis, PowerDomainMembersAreNotCounted) {
+  Model m = model_from(R"(
+    <cpu id="c">
+      <core id="k"/>
+      <power_model>
+        <power_domains>
+          <power_domain name="pd"><core type="k"/></power_domain>
+        </power_domains>
+      </power_model>
+    </cpu>)");
+  EXPECT_EQ(m.count_cores(), 1u);  // the reference inside pd is excluded
+}
+
+TEST(Analysis, TotalStaticPowerMatchesComposerAnnotation) {
+  const Model& m = liu_model();
+  // 15 (cpu) + 4x3 (cores) + 2x4 (DDR3_16G) + 25 (K20c) = 60 W.
+  EXPECT_NEAR(m.total_static_power_w(), 60.0, 1e-9);
+  // Subtree query: just the GPU.
+  auto gpu = m.find_by_id("gpu1");
+  ASSERT_TRUE(gpu.has_value());
+  EXPECT_NEAR(m.total_static_power_w(gpu), 25.0, 1e-9);
+}
+
+TEST(Analysis, HasInstalledMatchesPrefixes) {
+  const Model& m = liu_model();
+  EXPECT_TRUE(m.has_installed("CUDA"));
+  EXPECT_TRUE(m.has_installed("CUBLAS"));
+  EXPECT_TRUE(m.has_installed("SparseBLAS"));
+  EXPECT_TRUE(m.has_installed("StarPU"));
+  EXPECT_FALSE(m.has_installed("OpenCL_SDK"));
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Model& m = liu_model();
+  std::string bytes = m.serialize();
+  auto restored = Model::deserialize(bytes);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->node_count(), m.node_count());
+  EXPECT_EQ(restored->count_cores(), m.count_cores());
+  EXPECT_EQ(restored->count_cuda_devices(), m.count_cuda_devices());
+  EXPECT_DOUBLE_EQ(restored->total_static_power_w(),
+                   m.total_static_power_w());
+  // Structural equality along a path.
+  auto gpu = restored->find_by_id("gpu1");
+  ASSERT_TRUE(gpu.has_value());
+  EXPECT_EQ(gpu->attribute_or("compute_capability", ""), "3.5");
+  // Deterministic bytes.
+  EXPECT_EQ(restored->serialize(), bytes);
+}
+
+TEST(Serialize, SaveAndLoadFile) {
+  namespace fs = std::filesystem;
+  fs::path path = fs::temp_directory_path() / "xpdl_runtime_test.xpdlrt";
+  const Model& m = liu_model();
+  ASSERT_TRUE(m.save(path.string()).is_ok());
+  auto loaded = Model::load(path.string());
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded->node_count(), m.node_count());
+  fs::remove(path);
+  EXPECT_FALSE(Model::load(path.string()).is_ok());
+}
+
+TEST(Serialize, RejectsCorruptFiles) {
+  const Model& m = liu_model();
+  std::string bytes = m.serialize();
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Y';
+  auto r1 = Model::deserialize(bad_magic);
+  ASSERT_FALSE(r1.is_ok());
+  EXPECT_EQ(r1.status().code(), ErrorCode::kFormatError);
+
+  // Flipped byte in the body -> checksum mismatch.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x5A;
+  auto r2 = Model::deserialize(flipped);
+  ASSERT_FALSE(r2.is_ok());
+  EXPECT_NE(r2.status().message().find("checksum"), std::string::npos);
+
+  // Truncation at every 97th byte must fail, never crash.
+  for (std::size_t len = 0; len < bytes.size(); len += 97) {
+    EXPECT_FALSE(Model::deserialize(bytes.substr(0, len)).is_ok()) << len;
+  }
+
+  // Empty input.
+  EXPECT_FALSE(Model::deserialize("").is_ok());
+}
+
+TEST(Serialize, RejectsOutOfRangeIndices) {
+  // Handcraft a tiny model, then corrupt a node's tag index beyond the
+  // string table. The checksum must be recomputed so the integrity check
+  // itself is what fires.
+  Model small = model_from("<cpu id=\"c\"/>");
+  std::string bytes = small.serialize();
+  // Layout: magic(8) + string_count(4) + strings... find the node section
+  // by rebuilding: strings are "cpu","id","c". Node tag index lives right
+  // after node_count. Compute offsets.
+  std::size_t off = 8 + 4;
+  for (int i = 0; i < 3; ++i) {
+    std::uint32_t len;
+    std::memcpy(&len, bytes.data() + off, 4);
+    off += 4 + len;
+  }
+  off += 4;  // node_count
+  std::uint32_t huge = 0xFFFF;
+  std::memcpy(bytes.data() + off, &huge, 4);  // node[0].tag
+  // Recompute checksum over the body.
+  std::string body = bytes.substr(8, bytes.size() - 8 - 4);
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : body) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  std::memcpy(bytes.data() + bytes.size() - 4, &h, 4);
+  auto r = Model::deserialize(bytes);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("out-of-range"), std::string::npos);
+}
+
+TEST(Model, MemoryStatsAreConsistent) {
+  const Model& m = liu_model();
+  auto stats = m.memory_stats();
+  EXPECT_GT(stats.node_bytes, 0u);
+  EXPECT_GT(stats.attribute_bytes, 0u);
+  EXPECT_GT(stats.string_bytes, 0u);
+  EXPECT_GT(stats.string_count, 0u);
+  EXPECT_EQ(stats.total_bytes(),
+            stats.node_bytes + stats.attribute_bytes + stats.string_bytes);
+  // Interning keeps the string table far smaller than the node count
+  // (repeated tags/attrs share entries).
+  EXPECT_LT(stats.string_count, m.node_count());
+}
+
+TEST(Model, ConcurrentReadersAreSafe) {
+  // The runtime model is immutable after construction; the paper's use
+  // case is introspection from running (threaded) applications. Hammer
+  // the query surface from several threads and verify identical results.
+  const Model& m = liu_model();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> pool;
+  std::vector<std::size_t> cores(kThreads, 0);
+  std::vector<double> power(kThreads, 0.0);
+  std::vector<bool> found(kThreads, false);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        cores[t] = m.count_cores();
+        power[t] = m.total_static_power_w();
+        auto gpu = m.find_by_id("gpu1");
+        found[t] = gpu.has_value() &&
+                   gpu->attribute_or("compute_capability", "") == "3.5";
+        auto q = m.find_all("cache");
+        if (q.empty()) found[t] = false;
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(cores[t], 4u + 13u * 192u) << t;
+    EXPECT_NEAR(power[t], 60.0, 1e-9) << t;
+    EXPECT_TRUE(found[t]) << t;
+  }
+}
+
+TEST(Model, EmptyishModelStillWorks) {
+  Model m = model_from("<system id=\"only\"/>");
+  EXPECT_EQ(m.node_count(), 1u);
+  EXPECT_EQ(m.count_cores(), 0u);
+  EXPECT_DOUBLE_EQ(m.total_static_power_w(), 0.0);
+  EXPECT_TRUE(m.find_by_id("only").has_value());
+  auto round = Model::deserialize(m.serialize());
+  ASSERT_TRUE(round.is_ok());
+  EXPECT_EQ(round->node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xpdl::runtime

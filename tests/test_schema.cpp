@@ -1,0 +1,212 @@
+// Unit tests for the XPDL core schema and validator.
+#include "xpdl/schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::schema {
+namespace {
+
+const xml::Document parse_ok(std::string_view text) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return std::move(doc).value();
+}
+
+ValidationReport validate(std::string_view text) {
+  auto doc = parse_ok(text);
+  return Schema::core().validate(*doc.root);
+}
+
+class CoreSchemaTags : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CoreSchemaTags, EveryPaperConstructIsRegistered) {
+  EXPECT_NE(Schema::core().find(GetParam()), nullptr) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTags, CoreSchemaTags,
+    ::testing::Values("system", "cluster", "node", "socket", "cpu", "core",
+                      "cache", "memory", "device", "gpu", "group",
+                      "interconnects", "interconnect", "channel",
+                      "power_model", "power_domains", "power_domain",
+                      "power_state_machine", "power_states", "power_state",
+                      "transitions", "transition", "instructions", "inst",
+                      "data", "microbenchmarks", "microbenchmark",
+                      "software", "hostOS", "installed", "properties",
+                      "property", "const", "param", "constraints",
+                      "constraint", "programming_model"));
+
+TEST(CoreSchema, UnknownTagIsRejected) {
+  EXPECT_EQ(Schema::core().find("flux_capacitor"), nullptr);
+  auto report = validate("<flux_capacitor/>");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.errors[0].code(), ErrorCode::kSchemaViolation);
+}
+
+TEST(Validate, ValidCpuDescriptorPasses) {
+  auto report = validate(R"(
+    <cpu name="X" frequency="2" frequency_unit="GHz">
+      <core frequency="2" frequency_unit="GHz"/>
+      <cache name="L1" size="32" unit="KiB"/>
+    </cpu>)");
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+}
+
+TEST(Validate, MissingRequiredAttributeIsAnError) {
+  // <inst> requires name; <constraint> requires expr.
+  auto r1 = validate("<instructions name=\"isa\"><inst/></instructions>");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.errors[0].message().find("name"), std::string::npos);
+  auto r2 = validate("<constraints><constraint/></constraints>");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(Validate, DisallowedChildIsAnError) {
+  // A socket may hold a cpu but not a cache.
+  auto report = validate("<socket><cache name=\"L1\"/></socket>");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].message().find("does not allow child"),
+            std::string::npos);
+}
+
+TEST(Validate, DisallowedAttributeIsAnError) {
+  // <constraint> carries only expr.
+  auto report = validate(
+      "<constraints><constraint expr=\"1\" bogus=\"x\"/></constraints>");
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(Validate, UnknownUnitIsAnError) {
+  auto report = validate("<cache name=\"L1\" size=\"32\" unit=\"XB\"/>");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].message().find("unknown unit"),
+            std::string::npos);
+}
+
+TEST(Validate, WrongUnitDimensionIsAnError) {
+  // static_power is a power metric; GHz is frequency.
+  auto report = validate(
+      "<memory name=\"m\" static_power=\"4\" static_power_unit=\"GHz\"/>");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].message().find("dimension"), std::string::npos);
+}
+
+TEST(Validate, MetricAcceptsNumberParamRefAndPlaceholder) {
+  EXPECT_TRUE(validate("<cache name=\"c\" size=\"32\" unit=\"KB\"/>").ok());
+  EXPECT_TRUE(validate("<cache name=\"c\" size=\"L1size\"/>").ok());
+  EXPECT_TRUE(
+      validate("<channel name=\"c\" energy_per_byte=\"?\"/>").ok());
+  auto bad = validate("<cache name=\"c\" size=\"32px\"/>");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Validate, NumericMetricWithoutUnitIsLintWarning) {
+  auto report = validate("<memory name=\"m\" static_power=\"4\"/>");
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("static_power_unit"), std::string::npos);
+}
+
+TEST(Validate, BadConstraintExpressionIsAnError) {
+  auto report = validate(
+      "<constraints><constraint expr=\"1 +\"/></constraints>");
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(Validate, BadIdentifierIsAnError) {
+  auto report = validate("<cpu name=\"0bad name\"/>");
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(Validate, PropertyAcceptsArbitraryAttributes) {
+  auto report = validate(R"(
+    <properties>
+      <property name="ExternalPowerMeter" type="pm1" command="run.sh"
+                anything_else="goes"/>
+    </properties>)");
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+}
+
+TEST(Validate, CollectsAllErrorsNotJustFirst) {
+  auto report = validate(R"(
+    <cpu name="X">
+      <cache name="a" unit="XB" size="1"/>
+      <cache name="b" unit="YB" size="1"/>
+    </cpu>)");
+  EXPECT_EQ(report.errors.size(), 2u);
+  // status() summarizes the count.
+  EXPECT_NE(report.status().message().find("1 more error"),
+            std::string::npos);
+}
+
+TEST(Validate, GroupQuantityLiteralOrParamRef) {
+  EXPECT_TRUE(validate("<group prefix=\"c\" quantity=\"4\"/>").ok());
+  EXPECT_TRUE(validate("<group prefix=\"c\" quantity=\"num_SM\"/>").ok());
+  EXPECT_FALSE(validate("<group prefix=\"c\" quantity=\"-2\"/>").ok());
+}
+
+TEST(ComponentTags, MatchSecIIID) {
+  for (const char* t : {"cpu", "socket", "device", "gpu", "memory", "node",
+                        "interconnect", "cluster", "system", "cache",
+                        "core", "channel"}) {
+    EXPECT_TRUE(is_component_tag(t)) << t;
+  }
+  EXPECT_FALSE(is_component_tag("group"));
+  EXPECT_FALSE(is_component_tag("param"));
+  EXPECT_FALSE(is_component_tag("power_state"));
+}
+
+TEST(SchemaXml, RoundTripsThroughItsXmlForm) {
+  const Schema& core = Schema::core();
+  std::string xml_text = core.to_xml();
+  auto doc = xml::parse(xml_text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto rebuilt = Schema::from_xml(*doc.value().root);
+  ASSERT_TRUE(rebuilt.is_ok()) << rebuilt.status().to_string();
+  ASSERT_EQ(rebuilt->elements().size(), core.elements().size());
+  for (const ElementSpec& e : core.elements()) {
+    const ElementSpec* r = rebuilt->find(e.tag);
+    ASSERT_NE(r, nullptr) << e.tag;
+    EXPECT_EQ(r->attributes.size(), e.attributes.size()) << e.tag;
+    EXPECT_EQ(r->child_tags, e.child_tags) << e.tag;
+    EXPECT_EQ(r->allow_metric_attributes, e.allow_metric_attributes);
+    EXPECT_EQ(r->is_component, e.is_component);
+    for (const AttributeSpec& a : e.attributes) {
+      const AttributeSpec* ra = r->find_attribute(a.name);
+      ASSERT_NE(ra, nullptr) << e.tag << "." << a.name;
+      EXPECT_EQ(ra->type, a.type);
+      EXPECT_EQ(ra->required, a.required);
+    }
+  }
+}
+
+TEST(SchemaXml, RejectsMalformedSchemaDocuments) {
+  auto doc1 = xml::parse("<not_a_schema/>");
+  EXPECT_FALSE(Schema::from_xml(*doc1.value().root).is_ok());
+  auto doc2 = xml::parse(
+      "<xpdl_schema><element tag=\"x\"><attribute name=\"a\" "
+      "type=\"nosuch\"/></element></xpdl_schema>");
+  EXPECT_FALSE(Schema::from_xml(*doc2.value().root).is_ok());
+}
+
+TEST(SchemaApi, AddElementRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.add_element({.tag = "widget"}).is_ok());
+  EXPECT_FALSE(s.add_element({.tag = "widget"}).is_ok());
+  EXPECT_NE(s.find("widget"), nullptr);
+}
+
+TEST(ValidateFiles, EveryShippedDescriptorIsValid) {
+  // The whole models/ tree must pass schema validation; the repository
+  // test covers indexing, this covers raw validity with zero errors.
+  auto doc = xml::parse_file(std::string(XPDL_MODELS_DIR) +
+                             "/systems/XScluster.xpdl");
+  ASSERT_TRUE(doc.is_ok());
+  auto report = Schema::core().validate(*doc.value().root);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+}
+
+}  // namespace
+}  // namespace xpdl::schema

@@ -1,0 +1,174 @@
+// Tests for the Jacobi stencil component: kernel correctness, query-based
+// structural requirements, and the energy-aware DVFS recommendation.
+#include "xpdl/composition/stencil.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::composition {
+namespace {
+
+runtime::Model make_model(std::string_view ref) {
+  auto repo = repository::open_repository({XPDL_MODELS_DIR});
+  EXPECT_TRUE(repo.is_ok());
+  compose::Composer composer(**repo);
+  auto composed = composer.compose(ref);
+  EXPECT_TRUE(composed.is_ok());
+  auto model = runtime::Model::from_composed(*composed);
+  EXPECT_TRUE(model.is_ok());
+  return std::move(model).value();
+}
+
+const runtime::Model& gpu_server() {
+  static const auto* m = new runtime::Model(make_model("liu_gpu_server"));
+  return *m;
+}
+
+const runtime::Model& odroid() {
+  static const auto* m = new runtime::Model(make_model("odroid_board"));
+  return *m;
+}
+
+TEST(Grid, RandomGridIsDeterministic) {
+  Grid a = Grid::random(16, 24, 7);
+  Grid b = Grid::random(16, 24, 7);
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.rows, 16u);
+  EXPECT_EQ(a.cols, 24u);
+  Grid c = Grid::random(16, 24, 8);
+  EXPECT_NE(c.cells, a.cells);
+}
+
+TEST(Kernels, OneSweepMatchesHandComputation) {
+  Grid g = Grid::random(3, 3, 1);
+  double expected = 0.25 * (g.at(0, 1) + g.at(2, 1) + g.at(1, 0) +
+                            g.at(1, 2));
+  Grid naive = g;
+  jacobi_naive(naive, 1);
+  EXPECT_NEAR(naive.at(1, 1), expected, 1e-12);
+  // Boundary untouched.
+  EXPECT_DOUBLE_EQ(naive.at(0, 0), g.at(0, 0));
+  EXPECT_DOUBLE_EQ(naive.at(2, 2), g.at(2, 2));
+}
+
+class StencilSweepCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilSweepCount, AllKernelsAgree) {
+  int sweeps = GetParam();
+  Grid g = Grid::random(33, 47, 11);
+  Grid naive = g, blocked = g, parallel = g;
+  jacobi_naive(naive, sweeps);
+  jacobi_blocked(blocked, sweeps, 8);
+  jacobi_parallel(parallel, sweeps, 2);
+  for (std::size_t i = 0; i < g.cells.size(); ++i) {
+    EXPECT_NEAR(naive.cells[i], blocked.cells[i], 1e-12) << i;
+    EXPECT_NEAR(naive.cells[i], parallel.cells[i], 1e-12) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, StencilSweepCount,
+                         ::testing::Values(0, 1, 2, 5, 8));
+
+TEST(Kernels, ZeroSweepsIsIdentity) {
+  Grid g = Grid::random(10, 10, 5);
+  Grid copy = g;
+  jacobi_naive(copy, 0);
+  EXPECT_EQ(copy.cells, g.cells);
+}
+
+TEST(Component, InvalidInputsFail) {
+  auto comp = StencilComponent::create(gpu_server());
+  ASSERT_TRUE(comp.is_ok());
+  Grid tiny = Grid::random(2, 2, 1);
+  EXPECT_FALSE(comp->run_variant("jacobi_naive", tiny, 1).is_ok());
+  Grid ok = Grid::random(8, 8, 1);
+  EXPECT_FALSE(comp->run_variant("jacobi_naive", ok, -1).is_ok());
+  EXPECT_FALSE(comp->run_variant("nosuch", ok, 1).is_ok());
+}
+
+TEST(Component, BlockedVariantRequiresBigSharedCache) {
+  // liu_gpu_server has a 15 MiB L3 -> blocked admissible; the odroid's
+  // largest cache is 2 MiB -> the //cache[@size>=4MiB] requirement fails.
+  auto with_l3 = StencilComponent::create(gpu_server());
+  ASSERT_TRUE(with_l3.is_ok());
+  Grid g = Grid::random(64, 64, 2);
+  auto report = with_l3->select(g, 1);
+  ASSERT_TRUE(report.is_ok());
+  bool blocked_rejected_on_liu = false;
+  for (const auto& [name, why] : report->rejected) {
+    if (name == "jacobi_blocked") blocked_rejected_on_liu = true;
+  }
+  EXPECT_FALSE(blocked_rejected_on_liu);
+
+  auto small_cache = StencilComponent::create(odroid());
+  ASSERT_TRUE(small_cache.is_ok());
+  auto odroid_report = small_cache->select(g, 1);
+  ASSERT_TRUE(odroid_report.is_ok());
+  bool rejected = false;
+  for (const auto& [name, why] : odroid_report->rejected) {
+    if (name == "jacobi_blocked" &&
+        why.find("//cache[@size>=4MiB]") != std::string::npos) {
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST(Component, TunedRunMatchesNaiveNumerically) {
+  auto comp = StencilComponent::create(gpu_server());
+  ASSERT_TRUE(comp.is_ok());
+  Grid g = Grid::random(96, 96, 9);
+  Grid reference = g;
+  jacobi_naive(reference, 4);
+  auto tuned = comp->run_tuned(g, 4);
+  ASSERT_TRUE(tuned.is_ok()) << tuned.status().to_string();
+  ASSERT_EQ(tuned->grid.cells.size(), reference.cells.size());
+  for (std::size_t i = 0; i < reference.cells.size(); ++i) {
+    EXPECT_NEAR(tuned->grid.cells[i], reference.cells[i], 1e-12);
+  }
+}
+
+TEST(Component, DvfsRecommendationRespectsDeadline) {
+  auto comp = StencilComponent::create(gpu_server());
+  ASSERT_TRUE(comp.is_ok());
+  Grid g = Grid::random(256, 256, 13);
+  // Relaxed deadline: a slow, low-power P-state is recommended.
+  auto relaxed = comp->run_tuned(g, 4, /*deadline_s=*/10.0);
+  ASSERT_TRUE(relaxed.is_ok());
+  ASSERT_FALSE(relaxed->recommended_state.empty());
+  EXPECT_EQ(relaxed->recommended_state, "P1");  // 1.2 GHz / 20 W
+  EXPECT_GT(relaxed->predicted_energy_j, 0.0);
+  // The tighter the deadline, the faster (and hungrier) the state; the
+  // work (256^2 interior x 5 x 4 sweeps ~ 1.3e6 cycles) is tiny, so even
+  // P1 makes microsecond deadlines — push to where only P4 fits.
+  double work_s_at_p1 = 254.0 * 254.0 * 5 * 4 / 1.2e9;
+  auto tight = comp->run_tuned(g, 4, work_s_at_p1 * 0.55);
+  ASSERT_TRUE(tight.is_ok());
+  EXPECT_EQ(tight->recommended_state, "P4");  // 2.4 GHz: 2x P1 speed
+}
+
+TEST(Component, NoPsmMeansNoRecommendation) {
+  // A platform without any power_state_machine yields no recommendation
+  // but still runs.
+  auto doc = xml::parse(
+      "<system id=\"plain\"><socket><cpu id=\"c\"><core id=\"k\"/></cpu>"
+      "</socket></system>");
+  ASSERT_TRUE(doc.is_ok());
+  repository::Repository repo;
+  compose::Composer composer(repo);
+  auto composed = composer.compose(*doc.value().root);
+  ASSERT_TRUE(composed.is_ok());
+  auto model = runtime::Model::from_composed(*composed);
+  ASSERT_TRUE(model.is_ok());
+  auto comp = StencilComponent::create(*model);
+  ASSERT_TRUE(comp.is_ok());
+  Grid g = Grid::random(32, 32, 3);
+  auto run = comp->run_tuned(g, 2, 1.0);
+  ASSERT_TRUE(run.is_ok());
+  EXPECT_TRUE(run->recommended_state.empty());
+}
+
+}  // namespace
+}  // namespace xpdl::composition

@@ -1,0 +1,128 @@
+// Unit tests for xpdl::strings.
+#include "xpdl/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace xpdl::strings {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(trim("nothing"), "nothing");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n\f\v"), "");
+}
+
+TEST(Split, SplitsAndTrimsDroppingEmpties) {
+  EXPECT_EQ(split("16, 32, 64", ','),
+            (std::vector<std::string>{"16", "32", "64"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("", ','), std::vector<std::string>{});
+  EXPECT_EQ(split("  lone  ", ','), std::vector<std::string>{"lone"});
+  EXPECT_EQ(split("cuda6.0,opencl", ','),
+            (std::vector<std::string>{"cuda6.0", "opencl"}));
+}
+
+TEST(SplitKeepEmpty, PreservesEmptyPieces) {
+  EXPECT_EQ(split_keep_empty("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(split_keep_empty(",", ','),
+            (std::vector<std::string>{"", ""}));
+}
+
+TEST(IEquals, CaseInsensitiveAsciiComparison) {
+  EXPECT_TRUE(iequals("KiB", "kib"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("KiB", "KB"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+}
+
+TEST(ToLower, LowersAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(ParseDouble, AcceptsFullNumbersOnly) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -3e2 ").value(), -300.0);
+  EXPECT_DOUBLE_EQ(parse_double("0").value(), 0.0);
+  EXPECT_FALSE(parse_double("").is_ok());
+  EXPECT_FALSE(parse_double("2.5x").is_ok());
+  EXPECT_FALSE(parse_double("abc").is_ok());
+  EXPECT_FALSE(parse_double("1e999999").is_ok());  // overflow
+}
+
+TEST(ParseUint, RejectsNegativeAndPartial) {
+  EXPECT_EQ(parse_uint("42").value(), 42u);
+  EXPECT_EQ(parse_uint(" 0 ").value(), 0u);
+  EXPECT_FALSE(parse_uint("-1").is_ok());
+  EXPECT_FALSE(parse_uint("1.5").is_ok());
+  EXPECT_FALSE(parse_uint("").is_ok());
+  EXPECT_FALSE(parse_uint("12abc").is_ok());
+}
+
+struct BoolCase {
+  const char* text;
+  bool expected;
+};
+
+class ParseBoolAccepts : public ::testing::TestWithParam<BoolCase> {};
+
+TEST_P(ParseBoolAccepts, RecognizedSpellings) {
+  auto result = xpdl::strings::parse_bool(GetParam().text);
+  ASSERT_TRUE(result.is_ok()) << GetParam().text;
+  EXPECT_EQ(result.value(), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpellings, ParseBoolAccepts,
+    ::testing::Values(BoolCase{"true", true}, BoolCase{"TRUE", true},
+                      BoolCase{"yes", true}, BoolCase{"on", true},
+                      BoolCase{"1", true}, BoolCase{"false", false},
+                      BoolCase{"False", false}, BoolCase{"no", false},
+                      BoolCase{"off", false}, BoolCase{"0", false},
+                      BoolCase{" true ", true}));
+
+TEST(ParseBool, RejectsEverythingElse) {
+  EXPECT_FALSE(parse_bool("maybe").is_ok());
+  EXPECT_FALSE(parse_bool("").is_ok());
+  EXPECT_FALSE(parse_bool("2").is_ok());
+}
+
+TEST(IsPlaceholder, OnlyQuestionMark) {
+  EXPECT_TRUE(is_placeholder("?"));
+  EXPECT_FALSE(is_placeholder("??"));
+  EXPECT_FALSE(is_placeholder(""));
+  EXPECT_FALSE(is_placeholder(" ?"));
+}
+
+TEST(IsIdentifier, XpdlNamingRules) {
+  EXPECT_TRUE(is_identifier("Intel_Xeon_E5_2630L"));
+  EXPECT_TRUE(is_identifier("usb_2.0"));
+  EXPECT_TRUE(is_identifier("_private"));
+  EXPECT_TRUE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("0abc"));
+  EXPECT_FALSE(is_identifier("has space"));
+  EXPECT_FALSE(is_identifier(".dot"));
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+class MemberIdRanks : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MemberIdRanks, ConcatenatesPrefixAndRank) {
+  std::size_t rank = GetParam();
+  EXPECT_EQ(member_id("core", rank), "core" + std::to_string(rank));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperExample, MemberIdRanks,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 100u));
+
+}  // namespace
+}  // namespace xpdl::strings

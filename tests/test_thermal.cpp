@@ -1,0 +1,143 @@
+// Tests for the RC thermal model and throttling-aware state selection.
+#include "xpdl/energy/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::energy {
+namespace {
+
+ThermalParameters test_params() {
+  ThermalParameters p;
+  p.resistance_k_per_w = 2.0;   // K/W
+  p.capacitance_j_per_k = 10.0;  // J/K -> tau = 20 s
+  p.ambient_k = 300.0;
+  p.max_junction_k = 360.0;      // 60 K headroom -> 30 W sustainable
+  return p;
+}
+
+TEST(ThermalOf, ReadsMetricsWithUnits) {
+  auto doc = xml::parse(R"(
+    <cpu id="c" thermal_resistance="2.5" thermal_capacitance="12"
+         max_temperature="85" max_temperature_unit="C"
+         ambient_temperature="25" ambient_temperature_unit="C"/>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto p = thermal_of(*doc.value().root);
+  ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+  EXPECT_DOUBLE_EQ(p->resistance_k_per_w, 2.5);
+  EXPECT_DOUBLE_EQ(p->capacitance_j_per_k, 12.0);
+  EXPECT_NEAR(p->max_junction_k, 273.15 + 85, 1e-9);
+  EXPECT_NEAR(p->ambient_k, 273.15 + 25, 1e-9);
+  EXPECT_NEAR(p->time_constant_s(), 30.0, 1e-9);
+}
+
+TEST(ThermalOf, ErrorsOnMissingOrBogusDeclarations) {
+  auto no_thermal = xml::parse("<cpu id=\"c\"/>");
+  EXPECT_FALSE(thermal_of(*no_thermal.value().root).is_ok());
+  auto negative = xml::parse("<cpu id=\"c\" thermal_resistance=\"-1\"/>");
+  EXPECT_FALSE(thermal_of(*negative.value().root).is_ok());
+  auto inverted = xml::parse(
+      "<cpu id=\"c\" thermal_resistance=\"2\" max_temperature=\"10\" "
+      "max_temperature_unit=\"C\" ambient_temperature=\"45\" "
+      "ambient_temperature_unit=\"C\"/>");
+  EXPECT_FALSE(thermal_of(*inverted.value().root).is_ok());
+}
+
+TEST(Model, SteadyStateAndSustainablePower) {
+  ThermalModel m(test_params());
+  EXPECT_DOUBLE_EQ(m.steady_state_k(0.0), 300.0);
+  EXPECT_DOUBLE_EQ(m.steady_state_k(10.0), 320.0);
+  EXPECT_DOUBLE_EQ(m.max_sustainable_power_w(), 30.0);
+  // The sustainable power's steady state sits exactly at the cap.
+  EXPECT_DOUBLE_EQ(m.steady_state_k(m.max_sustainable_power_w()), 360.0);
+}
+
+TEST(Model, ExponentialApproach) {
+  ThermalModel m(test_params());
+  // From ambient under 10 W: T_inf = 320. After one tau (20 s):
+  // 320 - 20*exp(-1).
+  double after_tau = m.temperature_after(300.0, 10.0, 20.0);
+  EXPECT_NEAR(after_tau, 320.0 - 20.0 * std::exp(-1.0), 1e-9);
+  // Monotone towards T_inf and convergent.
+  double t1 = m.temperature_after(300.0, 10.0, 5.0);
+  double t2 = m.temperature_after(300.0, 10.0, 10.0);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, 320.0);
+  EXPECT_NEAR(m.temperature_after(300.0, 10.0, 1e6), 320.0, 1e-6);
+  // Cooling works the same way.
+  EXPECT_GT(m.temperature_after(350.0, 0.0, 10.0), 300.0);
+  EXPECT_LT(m.temperature_after(350.0, 0.0, 10.0), 350.0);
+}
+
+TEST(Model, ZeroCapacitanceIsInstantaneous) {
+  ThermalParameters p = test_params();
+  p.capacitance_j_per_k = 0.0;
+  ThermalModel m(p);
+  EXPECT_DOUBLE_EQ(m.temperature_after(300.0, 10.0, 0.001), 320.0);
+}
+
+TEST(Model, TimeUntilThrottle) {
+  ThermalModel m(test_params());
+  // Sustainable power never throttles.
+  EXPECT_TRUE(std::isinf(m.time_until_throttle_s(300.0, 20.0)));
+  // Already at the cap: zero.
+  EXPECT_DOUBLE_EQ(m.time_until_throttle_s(360.0, 50.0), 0.0);
+  // 60 W boost from ambient: T_inf = 420; cap hit when
+  // 420 - 120 exp(-t/20) = 360 -> t = 20 ln(2).
+  double t = m.time_until_throttle_s(300.0, 60.0);
+  EXPECT_NEAR(t, 20.0 * std::log(2.0), 1e-9);
+  // Consistency: integrating the model to that time lands on the cap.
+  EXPECT_NEAR(m.temperature_after(300.0, 60.0, t), 360.0, 1e-9);
+  // Hotter start throttles sooner.
+  EXPECT_LT(m.time_until_throttle_s(340.0, 60.0), t);
+}
+
+TEST(Model, SustainableDutyCycle) {
+  ThermalModel m(test_params());
+  // 60 W active / 0 W idle against 30 W sustainable: 50% duty.
+  EXPECT_DOUBLE_EQ(m.sustainable_duty_cycle(60.0, 0.0), 0.5);
+  // Sustainable power runs flat out.
+  EXPECT_DOUBLE_EQ(m.sustainable_duty_cycle(25.0, 0.0), 1.0);
+  // Idle power alone already over the cap: nothing is sustainable.
+  EXPECT_DOUBLE_EQ(m.sustainable_duty_cycle(60.0, 40.0), 0.0);
+  // Mixed case: d*60 + (1-d)*10 = 30 -> d = 0.4.
+  EXPECT_NEAR(m.sustainable_duty_cycle(60.0, 10.0), 0.4, 1e-12);
+}
+
+TEST(Model, FastestSustainableStateOnShippedPsm) {
+  // The E5 PSM: P1 20 W, P2 28 W, P3 38 W, P4 54 W (+C1 sleep). With a
+  // thermal budget allowing 40 W, P3 is the fastest sustainable state;
+  // with 25 W only P1 fits; with 10 W nothing runs sustainably.
+  auto repo = repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  auto pm_doc = (*repo)->lookup("power_model_E5_2630L");
+  ASSERT_TRUE(pm_doc.is_ok());
+  auto pm = model::PowerModel::parse(**pm_doc);
+  ASSERT_TRUE(pm.is_ok());
+  const model::PowerStateMachine& fsm = pm->state_machines.front();
+
+  auto with_budget = [&](double watts) {
+    ThermalParameters p;
+    p.resistance_k_per_w = 1.0;
+    p.ambient_k = 300.0;
+    p.max_junction_k = 300.0 + watts;
+    return ThermalModel(p);
+  };
+  auto p3 = with_budget(40.0).fastest_sustainable_state(fsm);
+  ASSERT_TRUE(p3.has_value());
+  EXPECT_EQ((*p3)->name, "P3");
+  auto p1 = with_budget(25.0).fastest_sustainable_state(fsm);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ((*p1)->name, "P1");
+  EXPECT_FALSE(with_budget(10.0).fastest_sustainable_state(fsm).has_value());
+  // C1 (frequency 0) is never chosen even though its power fits.
+  auto generous = with_budget(1000.0).fastest_sustainable_state(fsm);
+  ASSERT_TRUE(generous.has_value());
+  EXPECT_EQ((*generous)->name, "P4");
+}
+
+}  // namespace
+}  // namespace xpdl::energy

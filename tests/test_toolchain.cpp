@@ -1,0 +1,144 @@
+// End-to-end integration of the full toolchain pipeline (Sec. IV):
+// repository scan -> composition -> microbenchmark bootstrap -> runtime
+// serialization -> Query API, as a library (the xpdlc tool wraps exactly
+// this sequence).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/microbench/bootstrap.h"
+#include "xpdl/microbench/drivergen.h"
+#include "xpdl/model/power.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Toolchain, FullPipelineOnXScluster) {
+  // 1. Browse the repository.
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+
+  // 2. Compose the cluster model (type resolution, inheritance, groups,
+  //    constraints, static analyses).
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("XScluster");
+  ASSERT_TRUE(composed.is_ok()) << composed.status().to_string();
+
+  // 3. Bootstrap energy placeholders against the simulated sensor.
+  xpdl::microbench::SimMachine machine(
+      xpdl::microbench::SimMachineConfig{},
+      xpdl::microbench::paper_x86_ground_truth());
+  xpdl::microbench::BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 3.1e9, 3.4e9};
+  xpdl::microbench::Bootstrapper bootstrapper(machine, opts);
+  auto report = bootstrapper.bootstrap_model(composed->mutable_root());
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report->measured_instructions, 0u);
+  composed->reindex();
+
+  // 4. Serialize the runtime model to a file and load it back.
+  auto rt = xpdl::runtime::Model::from_composed(*composed);
+  ASSERT_TRUE(rt.is_ok());
+  fs::path path = fs::temp_directory_path() / "xpdl_toolchain_test.xpdlrt";
+  ASSERT_TRUE(rt->save(path.string()).is_ok());
+  auto loaded = xpdl::runtime::Model::load(path.string());
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  fs::remove(path);
+
+  // 5. Query API answers match the pre-serialization model and the
+  //    hand-computed Listing 11 shape.
+  EXPECT_EQ(loaded->node_count(), rt->node_count());
+  // 4 nodes x (2 CPUs x 4 cores + (13 + 15) SMs x 192 cores).
+  std::size_t expected_cores = 4 * (2 * 4 + (13 + 15) * 192);
+  EXPECT_EQ(loaded->count_cores(), expected_cores);
+  EXPECT_EQ(loaded->count_cuda_devices(), 8u);
+  // Static power: per node 2*(15+12) + 4*1.2 + 25 + 32 = 115.8 W.
+  EXPECT_NEAR(loaded->total_static_power_w(), 4 * 115.8, 1e-6);
+
+  // 6. Bootstrapped energies are visible through the loaded model: the
+  //    fmul entries are no longer placeholders.
+  bool found_bootstrapped_table = false;
+  for (const auto& inst : loaded->find_all("inst")) {
+    if (inst.attribute_or("name", "") == "fmul" &&
+        !inst.children("data").empty()) {
+      found_bootstrapped_table = true;
+    }
+  }
+  EXPECT_TRUE(found_bootstrapped_table);
+}
+
+TEST(Toolchain, DriverGenerationForEverySuiteInModel) {
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("liu_gpu_server");
+  ASSERT_TRUE(composed.is_ok());
+
+  fs::path dir = fs::temp_directory_path() / "xpdl_toolchain_drivers";
+  fs::remove_all(dir);
+  std::size_t suites = 0;
+  std::vector<const xpdl::xml::Element*> stack = {&composed->root()};
+  while (!stack.empty()) {
+    const auto* e = stack.back();
+    stack.pop_back();
+    for (const auto& c : e->children()) stack.push_back(c.get());
+    if (e->tag() != "microbenchmarks") continue;
+    auto suite = xpdl::model::MicrobenchmarkSuite::parse(*e);
+    ASSERT_TRUE(suite.is_ok());
+    ASSERT_TRUE(xpdl::microbench::generate_driver_tree(
+                    *suite, (dir / suite->id).string())
+                    .is_ok());
+    ++suites;
+  }
+  EXPECT_GE(suites, 1u);
+  EXPECT_TRUE(fs::is_regular_file(dir / "mb_x86_base_1" / "dv1.cpp"));
+  EXPECT_TRUE(fs::is_regular_file(dir / "mb_x86_base_1" / "mbscript.sh"));
+  fs::remove_all(dir);
+}
+
+TEST(Toolchain, RecomposingBootstrappedModelIsStable) {
+  // The XML written back by the bootstrapper must itself be valid XPDL:
+  // re-validating and re-building the runtime structure succeeds.
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("liu_gpu_server");
+  ASSERT_TRUE(composed.is_ok());
+  xpdl::microbench::SimMachine machine(
+      xpdl::microbench::SimMachineConfig{},
+      xpdl::microbench::paper_x86_ground_truth());
+  xpdl::microbench::Bootstrapper bootstrapper(machine, {});
+  ASSERT_TRUE(
+      bootstrapper.bootstrap_model(composed->mutable_root()).is_ok());
+  auto report = xpdl::schema::Schema::core().validate(composed->root());
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  auto rt = xpdl::runtime::Model::from_composed(*composed);
+  EXPECT_TRUE(rt.is_ok());
+}
+
+TEST(Toolchain, ComposedXmlRoundTripsThroughTheParser) {
+  // write(compose(x)) must re-parse and re-validate: tools can exchange
+  // elaborated models as XML.
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("myriad_server");
+  ASSERT_TRUE(composed.is_ok());
+  std::string text = xpdl::xml::write(composed->root());
+  auto reparsed = xpdl::xml::parse(text, "composed.xpdl");
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().root->subtree_size(),
+            composed->root().subtree_size());
+  auto report =
+      xpdl::schema::Schema::core().validate(*reparsed.value().root);
+  // The composer's synthesized attributes (effective_bandwidth,
+  // static_power_total, expanded) are metric-shaped and must stay
+  // schema-clean on hardware elements.
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+}
+
+}  // namespace

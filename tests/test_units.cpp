@@ -1,0 +1,175 @@
+// Unit tests for the xpdl::units system — symbol parsing, SI conversion,
+// dimension classification and the metric/unit attribute naming rules of
+// Sec. III-A.
+#include "xpdl/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace xpdl::units {
+namespace {
+
+struct ConversionCase {
+  const char* value;
+  const char* unit;
+  Dimension dimension;
+  double expected_si;
+};
+
+class UnitConversion : public ::testing::TestWithParam<ConversionCase> {};
+
+TEST_P(UnitConversion, ConvertsToSi) {
+  const ConversionCase& c = GetParam();
+  auto q = Quantity::parse(c.value, c.unit);
+  ASSERT_TRUE(q.is_ok()) << c.unit << ": " << q.status().to_string();
+  EXPECT_EQ(q->dimension(), c.dimension) << c.unit;
+  EXPECT_DOUBLE_EQ(q->si(), c.expected_si) << c.value << " " << c.unit;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDimensions, UnitConversion,
+    ::testing::Values(
+        // size: binary vs decimal prefixes are distinct
+        ConversionCase{"32", "KiB", Dimension::kSize, 32768.0},
+        ConversionCase{"32", "kB", Dimension::kSize, 32000.0},
+        ConversionCase{"15", "MiB", Dimension::kSize, 15.0 * 1048576},
+        ConversionCase{"16", "GB", Dimension::kSize, 16e9},
+        ConversionCase{"1", "TiB", Dimension::kSize, 1099511627776.0},
+        ConversionCase{"8", "bit", Dimension::kSize, 1.0},
+        ConversionCase{"5", "B", Dimension::kSize, 5.0},
+        // frequency
+        ConversionCase{"2", "GHz", Dimension::kFrequency, 2e9},
+        ConversionCase{"180", "MHz", Dimension::kFrequency, 1.8e8},
+        ConversionCase{"706", "MHz", Dimension::kFrequency, 7.06e8},
+        ConversionCase{"1", "kHz", Dimension::kFrequency, 1e3},
+        // power
+        ConversionCase{"4", "W", Dimension::kPower, 4.0},
+        ConversionCase{"20", "mW", Dimension::kPower, 0.02},
+        ConversionCase{"1.5", "kW", Dimension::kPower, 1500.0},
+        // energy (the instruction-energy scales of Listing 14)
+        ConversionCase{"8", "pJ", Dimension::kEnergy, 8e-12},
+        ConversionCase{"18.625", "nJ", Dimension::kEnergy, 18.625e-9},
+        ConversionCase{"2", "uJ", Dimension::kEnergy, 2e-6},
+        ConversionCase{"1", "Wh", Dimension::kEnergy, 3600.0},
+        // time
+        ConversionCase{"10", "us", Dimension::kTime, 1e-5},
+        ConversionCase{"700", "ns", Dimension::kTime, 7e-7},
+        ConversionCase{"1", "min", Dimension::kTime, 60.0},
+        // bandwidth
+        ConversionCase{"6", "GiB/s", Dimension::kBandwidth, 6.0 * 1073741824},
+        ConversionCase{"56", "Gbit/s", Dimension::kBandwidth, 7e9},
+        ConversionCase{"480", "Mbit/s", Dimension::kBandwidth, 6e7},
+        // voltage / temperature
+        ConversionCase{"900", "mV", Dimension::kVoltage, 0.9},
+        ConversionCase{"300", "K", Dimension::kTemperature, 300.0}));
+
+TEST(ParseUnit, CelsiusHasAdditiveOffset) {
+  auto q = Quantity::parse("25", "C");
+  ASSERT_TRUE(q.is_ok());
+  EXPECT_NEAR(q->si(), 298.15, 1e-9);
+}
+
+TEST(ParseUnit, UnknownSymbolFails) {
+  EXPECT_FALSE(parse_unit("parsec").is_ok());
+  EXPECT_FALSE(parse_unit("XYZ").is_ok());
+}
+
+TEST(ParseUnit, CaseInsensitiveFallback) {
+  // The paper's own listings mix "kB"/"KB"/"KiB"; unknown-case spellings
+  // resolve case-insensitively.
+  auto u = parse_unit("mhz");
+  ASSERT_TRUE(u.is_ok());
+  EXPECT_EQ(u->dimension, Dimension::kFrequency);
+  EXPECT_DOUBLE_EQ(u->to_si_factor, 1e6);
+}
+
+TEST(ParseUnit, DimensionCheckRejectsMismatch) {
+  EXPECT_TRUE(parse_unit("GHz", Dimension::kFrequency).is_ok());
+  EXPECT_FALSE(parse_unit("GHz", Dimension::kPower).is_ok());
+  EXPECT_FALSE(parse_unit("W", Dimension::kEnergy).is_ok());
+}
+
+TEST(Quantity, ConversionBackIntoUnits) {
+  auto q = Quantity::parse("2", "GHz");
+  ASSERT_TRUE(q.is_ok());
+  EXPECT_DOUBLE_EQ(q->in("MHz").value(), 2000.0);
+  EXPECT_DOUBLE_EQ(q->in("GHz").value(), 2.0);
+  EXPECT_FALSE(q->in("W").is_ok());  // dimension mismatch
+}
+
+TEST(Quantity, RoundTripThroughEveryUnitIsIdentity) {
+  // Property: from_si(to_si(x)) == x for all registered units we use.
+  for (const char* sym :
+       {"KiB", "MiB", "GB", "GHz", "MHz", "W", "mW", "pJ", "nJ", "uJ",
+        "ns", "us", "ms", "GiB/s", "Gbit/s", "mV"}) {
+    auto u = parse_unit(sym);
+    ASSERT_TRUE(u.is_ok()) << sym;
+    for (double v : {0.0, 1.0, 42.5, 1e-3, 1e6}) {
+      EXPECT_NEAR(u->from_si(u->to_si(v)), v, 1e-9 * std::max(1.0, v))
+          << sym << " " << v;
+    }
+  }
+}
+
+TEST(QuantityParse, RejectsBadNumbers) {
+  EXPECT_FALSE(Quantity::parse("abc", "W").is_ok());
+  EXPECT_FALSE(Quantity::parse("1..2", "W").is_ok());
+}
+
+TEST(QuantityToString, PicksHumanScale) {
+  EXPECT_EQ(bytes(262144).to_string(), "256 KiB");
+  EXPECT_EQ(hertz(2e9).to_string(), "2 GHz");
+  EXPECT_EQ(joules(18.625e-9).to_string(), "18.625 nJ");
+  EXPECT_EQ(seconds(1e-5).to_string(), "10 us");
+  EXPECT_EQ(watts(4).to_string(), "4 W");
+}
+
+struct MetricDimCase {
+  const char* metric;
+  Dimension expected;
+};
+
+class MetricDimension : public ::testing::TestWithParam<MetricDimCase> {};
+
+TEST_P(MetricDimension, ClassifiesByName) {
+  EXPECT_EQ(metric_dimension(GetParam().metric), GetParam().expected)
+      << GetParam().metric;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperMetrics, MetricDimension,
+    ::testing::Values(
+        MetricDimCase{"size", Dimension::kSize},
+        MetricDimCase{"gmsz", Dimension::kSize},
+        MetricDimCase{"L1size", Dimension::kSize},
+        MetricDimCase{"frequency", Dimension::kFrequency},
+        MetricDimCase{"cfrq", Dimension::kFrequency},
+        MetricDimCase{"static_power", Dimension::kPower},
+        MetricDimCase{"power", Dimension::kPower},
+        MetricDimCase{"energy", Dimension::kEnergy},
+        MetricDimCase{"energy_per_byte", Dimension::kEnergy},
+        MetricDimCase{"energy_offset_per_message", Dimension::kEnergy},
+        MetricDimCase{"time", Dimension::kTime},
+        MetricDimCase{"time_offset_per_message", Dimension::kTime},
+        MetricDimCase{"max_bandwidth", Dimension::kBandwidth},
+        MetricDimCase{"quantity", Dimension::kDimensionless},
+        MetricDimCase{"compute_capability", Dimension::kDimensionless}));
+
+TEST(UnitAttributeName, SizeIsTheException) {
+  // Sec. III-A: "the unit for the metric size is implicitly specified
+  // as unit".
+  EXPECT_EQ(unit_attribute_name("size"), "unit");
+  EXPECT_EQ(unit_attribute_name("static_power"), "static_power_unit");
+  EXPECT_EQ(unit_attribute_name("frequency"), "frequency_unit");
+}
+
+TEST(SiSymbols, CoverAllDimensions) {
+  EXPECT_EQ(si_symbol(Dimension::kSize), "B");
+  EXPECT_EQ(si_symbol(Dimension::kFrequency), "Hz");
+  EXPECT_EQ(si_symbol(Dimension::kPower), "W");
+  EXPECT_EQ(si_symbol(Dimension::kEnergy), "J");
+  EXPECT_EQ(si_symbol(Dimension::kTime), "s");
+  EXPECT_EQ(si_symbol(Dimension::kBandwidth), "B/s");
+}
+
+}  // namespace
+}  // namespace xpdl::units

@@ -1,0 +1,142 @@
+// Tests for the util layer: Status/Result semantics, the propagation
+// macros, and file I/O helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "xpdl/util/io.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Status, OkAndFailureStates) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+  EXPECT_EQ(ok.to_string(), "ok");
+
+  Status fail(ErrorCode::kParseError, "bad token",
+              SourceLocation{"a.xpdl", 3, 7});
+  EXPECT_FALSE(fail.is_ok());
+  EXPECT_EQ(fail.code(), ErrorCode::kParseError);
+  EXPECT_EQ(fail.message(), "bad token");
+  EXPECT_EQ(fail.location().line, 3u);
+  EXPECT_EQ(fail.to_string(), "a.xpdl:3:7: parse-error: bad token");
+}
+
+TEST(Status, WithContextPrefixesFailuresOnly) {
+  Status fail(ErrorCode::kIoError, "cannot open");
+  fail.with_context("loading model");
+  EXPECT_EQ(fail.message(), "loading model: cannot open");
+  Status ok = Status::ok();
+  ok.with_context("ignored");
+  EXPECT_TRUE(ok.is_ok());
+}
+
+TEST(Status, ErrorCodeNames) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kParseError), "parse-error");
+  EXPECT_EQ(to_string(ErrorCode::kSchemaViolation), "schema-violation");
+  EXPECT_EQ(to_string(ErrorCode::kUnresolvedRef), "unresolved-reference");
+  EXPECT_EQ(to_string(ErrorCode::kCycle), "cycle");
+  EXPECT_EQ(to_string(ErrorCode::kConstraintViolation),
+            "constraint-violation");
+  EXPECT_EQ(to_string(ErrorCode::kIoError), "io-error");
+  EXPECT_EQ(to_string(ErrorCode::kFormatError), "format-error");
+  EXPECT_EQ(to_string(ErrorCode::kNotFound), "not-found");
+}
+
+TEST(SourceLocation, ToStringVariants) {
+  EXPECT_EQ((SourceLocation{"f", 1, 2}).to_string(), "f:1:2");
+  EXPECT_EQ((SourceLocation{"f", 1, 0}).to_string(), "f:1");
+  EXPECT_EQ((SourceLocation{"f", 0, 0}).to_string(), "f");
+  EXPECT_EQ((SourceLocation{"", 5, 3}).to_string(), "5:3");
+  EXPECT_EQ((SourceLocation{}).to_string(), "");
+  EXPECT_TRUE((SourceLocation{"f", 1, 1}).known());
+  EXPECT_FALSE((SourceLocation{"f", 0, 0}).known());
+}
+
+TEST(ResultT, ValueAndStatusAccess) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> bad = Status(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(ResultT, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Status(ErrorCode::kInvalidArgument, "not positive");
+  return v;
+}
+
+Status twice_check(int v, int* out) {
+  XPDL_ASSIGN_OR_RETURN(int checked, parse_positive(v));
+  XPDL_RETURN_IF_ERROR(parse_positive(checked - 1).is_ok()
+                           ? Status::ok()
+                           : Status(ErrorCode::kInvalidArgument,
+                                    "must be at least 2"));
+  *out = checked * 2;
+  return Status::ok();
+}
+
+TEST(Macros, PropagateErrorsAndValues) {
+  int out = 0;
+  EXPECT_TRUE(twice_check(3, &out).is_ok());
+  EXPECT_EQ(out, 6);
+  Status bad = twice_check(-1, &out);
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.message(), "not positive");
+  EXPECT_FALSE(twice_check(1, &out).is_ok());
+}
+
+TEST(Io, WriteReadRoundTrip) {
+  fs::path path = fs::temp_directory_path() / "xpdl_io_test.txt";
+  std::string payload = "line1\nline2\0binary\x7f tail";
+  ASSERT_TRUE(io::write_file(path.string(), payload).is_ok());
+  EXPECT_TRUE(io::file_exists(path.string()));
+  auto read = io::read_file(path.string());
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(*read, payload);
+  fs::remove(path);
+  EXPECT_FALSE(io::file_exists(path.string()));
+}
+
+TEST(Io, ReadMissingFileFails) {
+  auto read = io::read_file("/no/such/xpdl/file");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(read.status().location().file, "/no/such/xpdl/file");
+}
+
+TEST(Io, WriteToUnwritablePathFails) {
+  auto st = io::write_file("/no/such/dir/file.txt", "x");
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+}
+
+TEST(Io, MakeDirectoriesIsIdempotent) {
+  fs::path dir = fs::temp_directory_path() / "xpdl_io_dirs" / "a" / "b";
+  ASSERT_TRUE(io::make_directories(dir.string()).is_ok());
+  ASSERT_TRUE(io::make_directories(dir.string()).is_ok());  // again
+  EXPECT_TRUE(fs::is_directory(dir));
+  fs::remove_all(fs::temp_directory_path() / "xpdl_io_dirs");
+}
+
+}  // namespace
+}  // namespace xpdl

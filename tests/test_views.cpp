@@ -1,0 +1,112 @@
+// Tests for the alternative model views (Sec. III: XML / UML / C++ are
+// semantically equivalent views): Graphviz DOT and PlantUML rendering.
+#include "xpdl/views/views.h"
+
+#include <gtest/gtest.h>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::views {
+namespace {
+
+repository::Repository& repo() {
+  static auto* r = [] {
+    auto opened = repository::open_repository({XPDL_MODELS_DIR});
+    assert(opened.is_ok());
+    return opened.value().release();
+  }();
+  return *r;
+}
+
+const compose::ComposedModel& liu() {
+  static const auto* m = [] {
+    compose::Composer composer(repo());
+    auto composed = composer.compose("liu_gpu_server");
+    assert(composed.is_ok());
+    return new compose::ComposedModel(std::move(composed).value());
+  }();
+  return *m;
+}
+
+TEST(Dot, WellFormedDigraph) {
+  std::string dot = to_dot(liu());
+  EXPECT_EQ(dot.rfind("digraph xpdl {", 0), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, ContainsComponentsAndInterconnectEdge) {
+  std::string dot = to_dot(liu());
+  EXPECT_NE(dot.find("gpu_host"), std::string::npos);
+  EXPECT_NE(dot.find("gpu1"), std::string::npos);
+  // The PCIe edge is dashed/blue with the effective bandwidth label.
+  EXPECT_NE(dot.find("style=dashed, color=blue"), std::string::npos);
+  EXPECT_NE(dot.find("GiB/s"), std::string::npos);
+}
+
+TEST(Dot, CollapsesLargeExpandedGroups) {
+  std::string dot = to_dot(liu());
+  // The 13-member SMs group and 192-core groups must be collapsed.
+  EXPECT_NE(dot.find("(collapsed)"), std::string::npos);
+  // Far fewer nodes than model elements.
+  std::size_t node_count = 0;
+  for (std::size_t pos = dot.find("[label=");
+       pos != std::string::npos; pos = dot.find("[label=", pos + 1)) {
+    ++node_count;
+  }
+  EXPECT_LT(node_count, 100u);
+  EXPECT_GT(node_count, 5u);
+}
+
+TEST(Dot, CollapseCanBeDisabled) {
+  DotOptions options;
+  options.collapse_groups_larger_than = 0;
+  std::string dot = to_dot(liu().root(), options);
+  EXPECT_EQ(dot.find("(collapsed)"), std::string::npos);
+}
+
+TEST(Dot, GraphNameOption) {
+  DotOptions options;
+  options.graph_name = "my_platform";
+  std::string dot = to_dot(liu().root(), options);
+  EXPECT_EQ(dot.rfind("digraph my_platform {", 0), 0u);
+}
+
+TEST(Dot, EscapesQuotesInLabels) {
+  xml::Element root("system");
+  root.set_attribute("id", "s");
+  xml::Element& cpu = root.add_child("cpu");
+  cpu.set_attribute("id", "we\"ird");
+  std::string dot = to_dot(root);
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(PlantUml, ObjectDiagramStructure) {
+  std::string uml = to_plantuml(liu().root());
+  EXPECT_EQ(uml.rfind("@startuml", 0), 0u);
+  EXPECT_NE(uml.find("@enduml"), std::string::npos);
+  EXPECT_NE(uml.find("object \"system liu_gpu_server\""), std::string::npos);
+  EXPECT_NE(uml.find("*--"), std::string::npos);  // containment links
+  EXPECT_NE(uml.find("compute_capability = 3.5"), std::string::npos);
+}
+
+TEST(PlantUml, SchemaClassDiagramCoversAllKinds) {
+  std::string uml = schema_to_plantuml(schema::Schema::core());
+  EXPECT_EQ(uml.rfind("@startuml", 0), 0u);
+  for (const auto& spec : schema::Schema::core().elements()) {
+    EXPECT_NE(uml.find("class " + spec.tag + " {"), std::string::npos)
+        << spec.tag;
+  }
+  // Containment edges exist (cpu contains core).
+  EXPECT_NE(uml.find("cpu o-- core"), std::string::npos);
+  // Required attributes marked '+', optional '-'.
+  EXPECT_NE(uml.find("+expr : expression"), std::string::npos);
+  EXPECT_NE(uml.find("-role : string"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpdl::views

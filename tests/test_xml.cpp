@@ -1,0 +1,238 @@
+// Unit tests for the XML substrate (reader, writer, Element API).
+#include "xpdl/xml/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace xpdl::xml {
+namespace {
+
+Document must_parse(std::string_view text, const ParseOptions& opts = {}) {
+  auto doc = parse(text, "<test>", opts);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return std::move(doc).value();
+}
+
+TEST(Reader, MinimalElement) {
+  Document doc = must_parse("<cpu/>");
+  EXPECT_EQ(doc.root->tag(), "cpu");
+  EXPECT_EQ(doc.root->child_count(), 0u);
+  EXPECT_TRUE(doc.root->attributes().empty());
+}
+
+TEST(Reader, AttributesBothQuoteStyles) {
+  Document doc = must_parse(R"(<m a="1" b='two' c="x y"/>)");
+  EXPECT_EQ(doc.root->attribute("a"), "1");
+  EXPECT_EQ(doc.root->attribute("b"), "two");
+  EXPECT_EQ(doc.root->attribute("c"), "x y");
+  EXPECT_FALSE(doc.root->attribute("d").has_value());
+}
+
+TEST(Reader, NestedChildrenInDocumentOrder) {
+  Document doc = must_parse(
+      "<cpu><core id=\"c0\"/><cache name=\"L1\"/><core id=\"c1\"/></cpu>");
+  ASSERT_EQ(doc.root->child_count(), 3u);
+  EXPECT_EQ(doc.root->children()[0]->tag(), "core");
+  EXPECT_EQ(doc.root->children()[1]->tag(), "cache");
+  EXPECT_EQ(doc.root->children()[2]->attribute("id"), "c1");
+  EXPECT_EQ(doc.root->children()[0]->parent(), doc.root.get());
+}
+
+TEST(Reader, PredefinedEntities) {
+  Document doc = must_parse(
+      R"(<p v="&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;"/>)");
+  EXPECT_EQ(doc.root->attribute("v"), "<a> & \"b\" 'c'");
+}
+
+TEST(Reader, NumericCharacterReferences) {
+  Document doc = must_parse(R"(<p v="&#65;&#x42;&#xE9;"/>)");
+  EXPECT_EQ(doc.root->attribute("v"), "AB\xC3\xA9");  // A B é(UTF-8)
+}
+
+TEST(Reader, BadEntityFails) {
+  EXPECT_FALSE(parse("<p v=\"&nosuch;\"/>").is_ok());
+  EXPECT_FALSE(parse("<p v=\"&#x110000;\"/>").is_ok());  // beyond Unicode
+  EXPECT_FALSE(parse("<p>&unterminated</p>").is_ok());
+}
+
+TEST(Reader, TextContentTrimmedAndDecoded) {
+  Document doc = must_parse("<p>  hello &amp; goodbye  </p>");
+  EXPECT_EQ(doc.root->text(), "hello & goodbye");
+}
+
+TEST(Reader, CdataPassesThroughVerbatim) {
+  Document doc = must_parse("<p><![CDATA[a < b && c]]></p>");
+  EXPECT_EQ(doc.root->text(), "a < b && c");
+}
+
+TEST(Reader, CommentsAndPrologSkipped) {
+  Document doc = must_parse(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n"
+      "<cpu><!-- inner --><core/></cpu>\n<!-- trailer -->");
+  EXPECT_EQ(doc.root->tag(), "cpu");
+  EXPECT_EQ(doc.root->child_count(), 1u);
+}
+
+TEST(Reader, DoctypeSkipped) {
+  Document doc = must_parse("<!DOCTYPE xpdl SYSTEM \"xpdl.dtd\"><m/>");
+  EXPECT_EQ(doc.root->tag(), "m");
+}
+
+TEST(Reader, MismatchedTagsFail) {
+  auto doc = parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_EQ(doc.status().code(), ErrorCode::kParseError);
+}
+
+TEST(Reader, UnterminatedConstructsFail) {
+  EXPECT_FALSE(parse("<a>").is_ok());
+  EXPECT_FALSE(parse("<a attr=\"x>").is_ok());
+  EXPECT_FALSE(parse("<!-- no end").is_ok());
+  EXPECT_FALSE(parse("<a><![CDATA[ x ]]</a>").is_ok());
+  EXPECT_FALSE(parse("").is_ok());
+}
+
+TEST(Reader, ContentAfterRootFails) {
+  EXPECT_FALSE(parse("<a/><b/>").is_ok());
+  EXPECT_FALSE(parse("<a/>junk").is_ok());
+}
+
+TEST(Reader, DuplicateAttributeFails) {
+  EXPECT_FALSE(parse("<a x=\"1\" x=\"2\"/>").is_ok());
+}
+
+TEST(Reader, UnquotedAttributeLenientModeWithWarning) {
+  // Paper Listing 1 writes quantity=2 without quotes.
+  Document doc = must_parse("<group prefix=\"core\" quantity=2 />");
+  EXPECT_EQ(doc.root->attribute("quantity"), "2");
+  ASSERT_EQ(doc.warnings.size(), 1u);
+  EXPECT_NE(doc.warnings[0].find("unquoted"), std::string::npos);
+}
+
+TEST(Reader, UnquotedAttributeStrictModeFails) {
+  ParseOptions strict;
+  strict.allow_unquoted_attributes = false;
+  EXPECT_FALSE(parse("<g quantity=2 />", "<t>", strict).is_ok());
+}
+
+TEST(Reader, DepthLimitGuardsAgainstBombs) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<a>";
+  for (int i = 0; i < 300; ++i) deep += "</a>";
+  auto doc = parse(deep);
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("depth"), std::string::npos);
+}
+
+TEST(Reader, TracksLineAndColumn) {
+  auto doc = parse("<a>\n  <b bad=\"&nosuch;\"/>\n</a>", "file.xpdl");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_EQ(doc.status().location().file, "file.xpdl");
+  EXPECT_EQ(doc.status().location().line, 2u);
+}
+
+TEST(Writer, RoundTripPreservesStructure) {
+  const char* text =
+      "<system id=\"s\"><cpu id=\"c\" frequency=\"2\" "
+      "frequency_unit=\"GHz\"><core id=\"c0\"/></cpu></system>";
+  Document doc = must_parse(text);
+  std::string written = write(*doc.root);
+  Document again = must_parse(written);
+  EXPECT_EQ(again.root->tag(), "system");
+  EXPECT_EQ(again.root->child_count(), 1u);
+  const Element* cpu = again.root->first_child("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->attribute("frequency"), "2");
+  EXPECT_EQ(cpu->first_child("core")->attribute("id"), "c0");
+}
+
+TEST(Writer, EscapesSpecialCharacters) {
+  Element e("p");
+  e.set_attribute("v", "<&\">'");
+  std::string out = write(e, {.indent = 0, .xml_declaration = false});
+  EXPECT_NE(out.find("&lt;&amp;&quot;&gt;&apos;"), std::string::npos);
+  Document round = must_parse(out);
+  EXPECT_EQ(round.root->attribute("v"), "<&\">'");
+}
+
+TEST(Writer, TextContentRoundTrips) {
+  Element e("p");
+  e.set_text("a < b & c");
+  Document round = must_parse(write(e));
+  EXPECT_EQ(round.root->text(), "a < b & c");
+}
+
+TEST(ElementApi, SetAndRemoveAttribute) {
+  Element e("m");
+  e.set_attribute("a", "1");
+  e.set_attribute("a", "2");  // overwrite
+  EXPECT_EQ(e.attribute("a"), "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_TRUE(e.remove_attribute("a"));
+  EXPECT_FALSE(e.remove_attribute("a"));
+  EXPECT_FALSE(e.has_attribute("a"));
+}
+
+TEST(ElementApi, RequireAttributeErrorNamesElement) {
+  Element e("cpu");
+  auto r = e.require_attribute("name");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("cpu"), std::string::npos);
+  EXPECT_EQ(r.status().code(), ErrorCode::kSchemaViolation);
+}
+
+TEST(ElementApi, ChildrenNamedAndFirstChild) {
+  Document doc = must_parse("<a><b i=\"0\"/><c/><b i=\"1\"/></a>");
+  auto bs = doc.root->children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[1]->attribute("i"), "1");
+  EXPECT_EQ(doc.root->first_child("c")->tag(), "c");
+  EXPECT_EQ(doc.root->first_child("zz"), nullptr);
+}
+
+TEST(ElementApi, CloneIsDeepAndDetached) {
+  Document doc = must_parse("<a x=\"1\"><b><c/></b></a>");
+  auto clone = doc.root->clone();
+  EXPECT_EQ(clone->attribute("x"), "1");
+  EXPECT_EQ(clone->subtree_size(), 3u);
+  EXPECT_EQ(clone->parent(), nullptr);
+  // Mutating the clone leaves the original untouched.
+  clone->set_attribute("x", "2");
+  EXPECT_EQ(doc.root->attribute("x"), "1");
+}
+
+TEST(ElementApi, SubtreeSizeCountsSelf) {
+  Element leaf("x");
+  EXPECT_EQ(leaf.subtree_size(), 1u);
+  Document doc = must_parse("<a><b/><c><d/></c></a>");
+  EXPECT_EQ(doc.root->subtree_size(), 4u);
+}
+
+TEST(Reader, PaperListing1ParsesVerbatim) {
+  // Exactly the paper's Listing 1 (including the unquoted quantity=2),
+  // minus nothing.
+  const char* listing1 = R"(
+<cpu name="Intel_Xeon_E5_2630L">
+  <group prefix="core_group" quantity="2">
+    <group prefix="core" quantity=2>
+      <!-- Embedded definition -->
+      <core frequency="2" frequency_unit="GHz" />
+      <cache name="L1" size="32" unit="KiB" />
+    </group>
+    <cache name="L2" size="256" unit="KiB" />
+  </group>
+  <cache name="L3" size="15" unit="MiB" />
+  <power_model type="power_model_E5_2630L" />
+</cpu>)";
+  Document doc = must_parse(listing1);
+  EXPECT_EQ(doc.root->tag(), "cpu");
+  EXPECT_EQ(doc.root->attribute("name"), "Intel_Xeon_E5_2630L");
+  const Element* outer = doc.root->first_child("group");
+  ASSERT_NE(outer, nullptr);
+  const Element* inner = outer->first_child("group");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->attribute("quantity"), "2");
+  EXPECT_EQ(doc.warnings.size(), 1u);  // the unquoted quantity
+}
+
+}  // namespace
+}  // namespace xpdl::xml
