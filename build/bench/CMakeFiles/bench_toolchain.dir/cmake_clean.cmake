@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toolchain.dir/bench_toolchain.cpp.o"
+  "CMakeFiles/bench_toolchain.dir/bench_toolchain.cpp.o.d"
+  "bench_toolchain"
+  "bench_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_bootstrap.dir/deploy_bootstrap.cpp.o"
+  "CMakeFiles/deploy_bootstrap.dir/deploy_bootstrap.cpp.o.d"
+  "deploy_bootstrap"
+  "deploy_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

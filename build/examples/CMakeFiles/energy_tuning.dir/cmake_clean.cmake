@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tuning.dir/energy_tuning.cpp.o"
+  "CMakeFiles/energy_tuning.dir/energy_tuning.cpp.o.d"
+  "energy_tuning"
+  "energy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdl_migration.dir/pdl_migration.cpp.o"
+  "CMakeFiles/pdl_migration.dir/pdl_migration.cpp.o.d"
+  "pdl_migration"
+  "pdl_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdl_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

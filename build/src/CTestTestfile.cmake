@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("schema")
+subdirs("model")
+subdirs("repository")
+subdirs("compose")
+subdirs("energy")
+subdirs("microbench")
+subdirs("runtime")
+subdirs("codegen")
+subdirs("views")
+subdirs("query")
+subdirs("lint")
+subdirs("pdl")
+subdirs("diff")
+subdirs("composition")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/xpdl_codegen.dir/codegen.cpp.o.d"
+  "libxpdl_codegen.a"
+  "libxpdl_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_compose.dir/analysis.cpp.o"
+  "CMakeFiles/xpdl_compose.dir/analysis.cpp.o.d"
+  "CMakeFiles/xpdl_compose.dir/compose.cpp.o"
+  "CMakeFiles/xpdl_compose.dir/compose.cpp.o.d"
+  "libxpdl_compose.a"
+  "libxpdl_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_composition.dir/selector.cpp.o"
+  "CMakeFiles/xpdl_composition.dir/selector.cpp.o.d"
+  "CMakeFiles/xpdl_composition.dir/spmv.cpp.o"
+  "CMakeFiles/xpdl_composition.dir/spmv.cpp.o.d"
+  "CMakeFiles/xpdl_composition.dir/stencil.cpp.o"
+  "CMakeFiles/xpdl_composition.dir/stencil.cpp.o.d"
+  "libxpdl_composition.a"
+  "libxpdl_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diff/diff.cpp" "src/diff/CMakeFiles/xpdl_diff.dir/diff.cpp.o" "gcc" "src/diff/CMakeFiles/xpdl_diff.dir/diff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compose/CMakeFiles/xpdl_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/xpdl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/xpdl_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/xpdl_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xpdl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_diff.dir/diff.cpp.o"
+  "CMakeFiles/xpdl_diff.dir/diff.cpp.o.d"
+  "libxpdl_diff.a"
+  "libxpdl_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_energy.dir/cluster.cpp.o"
+  "CMakeFiles/xpdl_energy.dir/cluster.cpp.o.d"
+  "CMakeFiles/xpdl_energy.dir/energy.cpp.o"
+  "CMakeFiles/xpdl_energy.dir/energy.cpp.o.d"
+  "CMakeFiles/xpdl_energy.dir/thermal.cpp.o"
+  "CMakeFiles/xpdl_energy.dir/thermal.cpp.o.d"
+  "libxpdl_energy.a"
+  "libxpdl_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_lint.dir/lint.cpp.o"
+  "CMakeFiles/xpdl_lint.dir/lint.cpp.o.d"
+  "libxpdl_lint.a"
+  "libxpdl_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

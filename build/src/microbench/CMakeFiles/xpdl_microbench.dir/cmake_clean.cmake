@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_microbench.dir/bootstrap.cpp.o"
+  "CMakeFiles/xpdl_microbench.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/xpdl_microbench.dir/drivergen.cpp.o"
+  "CMakeFiles/xpdl_microbench.dir/drivergen.cpp.o.d"
+  "CMakeFiles/xpdl_microbench.dir/simmachine.cpp.o"
+  "CMakeFiles/xpdl_microbench.dir/simmachine.cpp.o.d"
+  "libxpdl_microbench.a"
+  "libxpdl_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

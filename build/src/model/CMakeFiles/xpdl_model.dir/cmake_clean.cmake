@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_model.dir/ir.cpp.o"
+  "CMakeFiles/xpdl_model.dir/ir.cpp.o.d"
+  "CMakeFiles/xpdl_model.dir/power.cpp.o"
+  "CMakeFiles/xpdl_model.dir/power.cpp.o.d"
+  "libxpdl_model.a"
+  "libxpdl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xpdl_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_pdl.dir/pdl.cpp.o"
+  "CMakeFiles/xpdl_pdl.dir/pdl.cpp.o.d"
+  "libxpdl_pdl.a"
+  "libxpdl_pdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

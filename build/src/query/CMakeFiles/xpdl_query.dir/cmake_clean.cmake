@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_query.dir/query.cpp.o"
+  "CMakeFiles/xpdl_query.dir/query.cpp.o.d"
+  "libxpdl_query.a"
+  "libxpdl_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_repository.dir/repository.cpp.o"
+  "CMakeFiles/xpdl_repository.dir/repository.cpp.o.d"
+  "libxpdl_repository.a"
+  "libxpdl_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

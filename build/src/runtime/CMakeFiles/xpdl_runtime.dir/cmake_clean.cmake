@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_runtime.dir/capi.cpp.o"
+  "CMakeFiles/xpdl_runtime.dir/capi.cpp.o.d"
+  "CMakeFiles/xpdl_runtime.dir/model.cpp.o"
+  "CMakeFiles/xpdl_runtime.dir/model.cpp.o.d"
+  "CMakeFiles/xpdl_runtime.dir/serialize.cpp.o"
+  "CMakeFiles/xpdl_runtime.dir/serialize.cpp.o.d"
+  "libxpdl_runtime.a"
+  "libxpdl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

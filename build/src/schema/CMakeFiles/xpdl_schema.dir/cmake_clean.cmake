@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_schema.dir/schema.cpp.o"
+  "CMakeFiles/xpdl_schema.dir/schema.cpp.o.d"
+  "libxpdl_schema.a"
+  "libxpdl_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

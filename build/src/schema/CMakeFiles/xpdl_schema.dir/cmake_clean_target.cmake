@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpdl_schema.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl-codegen.dir/xpdl_codegen_tool.cpp.o"
+  "CMakeFiles/xpdl-codegen.dir/xpdl_codegen_tool.cpp.o.d"
+  "xpdl-codegen"
+  "xpdl-codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl-codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

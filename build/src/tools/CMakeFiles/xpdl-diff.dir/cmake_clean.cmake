@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl-diff.dir/xpdl_diff_tool.cpp.o"
+  "CMakeFiles/xpdl-diff.dir/xpdl_diff_tool.cpp.o.d"
+  "xpdl-diff"
+  "xpdl-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl-diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl-lint.dir/xpdl_lint_tool.cpp.o"
+  "CMakeFiles/xpdl-lint.dir/xpdl_lint_tool.cpp.o.d"
+  "xpdl-lint"
+  "xpdl-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

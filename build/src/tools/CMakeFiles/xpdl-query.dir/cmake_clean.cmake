@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl-query.dir/xpdl_query.cpp.o"
+  "CMakeFiles/xpdl-query.dir/xpdl_query.cpp.o.d"
+  "xpdl-query"
+  "xpdl-query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl-query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

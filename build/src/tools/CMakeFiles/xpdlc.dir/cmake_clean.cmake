@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdlc.dir/xpdlc.cpp.o"
+  "CMakeFiles/xpdlc.dir/xpdlc.cpp.o.d"
+  "xpdlc"
+  "xpdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/expr.cpp" "src/util/CMakeFiles/xpdl_util.dir/expr.cpp.o" "gcc" "src/util/CMakeFiles/xpdl_util.dir/expr.cpp.o.d"
+  "/root/repo/src/util/io.cpp" "src/util/CMakeFiles/xpdl_util.dir/io.cpp.o" "gcc" "src/util/CMakeFiles/xpdl_util.dir/io.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/xpdl_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/xpdl_util.dir/status.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/xpdl_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/xpdl_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/xpdl_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/xpdl_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

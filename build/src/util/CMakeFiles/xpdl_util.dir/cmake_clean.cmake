@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_util.dir/expr.cpp.o"
+  "CMakeFiles/xpdl_util.dir/expr.cpp.o.d"
+  "CMakeFiles/xpdl_util.dir/io.cpp.o"
+  "CMakeFiles/xpdl_util.dir/io.cpp.o.d"
+  "CMakeFiles/xpdl_util.dir/status.cpp.o"
+  "CMakeFiles/xpdl_util.dir/status.cpp.o.d"
+  "CMakeFiles/xpdl_util.dir/strings.cpp.o"
+  "CMakeFiles/xpdl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/xpdl_util.dir/units.cpp.o"
+  "CMakeFiles/xpdl_util.dir/units.cpp.o.d"
+  "libxpdl_util.a"
+  "libxpdl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_views.dir/views.cpp.o"
+  "CMakeFiles/xpdl_views.dir/views.cpp.o.d"
+  "libxpdl_views.a"
+  "libxpdl_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_xml.dir/element.cpp.o"
+  "CMakeFiles/xpdl_xml.dir/element.cpp.o.d"
+  "CMakeFiles/xpdl_xml.dir/reader.cpp.o"
+  "CMakeFiles/xpdl_xml.dir/reader.cpp.o.d"
+  "CMakeFiles/xpdl_xml.dir/writer.cpp.o"
+  "CMakeFiles/xpdl_xml.dir/writer.cpp.o.d"
+  "libxpdl_xml.a"
+  "libxpdl_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpdl_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

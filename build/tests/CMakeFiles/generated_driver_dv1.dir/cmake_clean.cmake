@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_driver_dv1.dir/generated_drivers/mb_x86_base_1/dv1.cpp.o"
+  "CMakeFiles/generated_driver_dv1.dir/generated_drivers/mb_x86_base_1/dv1.cpp.o.d"
+  "generated_driver_dv1"
+  "generated_driver_dv1.pdb"
+  "generated_drivers/mb_x86_base_1/dv1.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_driver_dv1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

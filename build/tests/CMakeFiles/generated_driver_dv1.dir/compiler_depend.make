@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for generated_driver_dv1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_ir.dir/test_model_ir.cpp.o"
+  "CMakeFiles/test_model_ir.dir/test_model_ir.cpp.o.d"
+  "test_model_ir"
+  "test_model_ir.pdb"
+  "test_model_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

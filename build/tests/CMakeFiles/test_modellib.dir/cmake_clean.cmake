@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modellib.dir/test_modellib.cpp.o"
+  "CMakeFiles/test_modellib.dir/test_modellib.cpp.o.d"
+  "test_modellib"
+  "test_modellib.pdb"
+  "test_modellib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modellib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

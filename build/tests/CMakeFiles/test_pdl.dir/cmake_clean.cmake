@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdl.dir/test_pdl.cpp.o"
+  "CMakeFiles/test_pdl.dir/test_pdl.cpp.o.d"
+  "test_pdl"
+  "test_pdl.pdb"
+  "test_pdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_ir.dir/test_power_ir.cpp.o"
+  "CMakeFiles/test_power_ir.dir/test_power_ir.cpp.o.d"
+  "test_power_ir"
+  "test_power_ir.pdb"
+  "test_power_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

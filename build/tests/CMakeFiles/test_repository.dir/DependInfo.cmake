@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_repository.cpp" "tests/CMakeFiles/test_repository.dir/test_repository.cpp.o" "gcc" "tests/CMakeFiles/test_repository.dir/test_repository.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microbench/CMakeFiles/xpdl_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/xpdl_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/composition/CMakeFiles/xpdl_composition.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/xpdl_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/views/CMakeFiles/xpdl_views.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/xpdl_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xpdl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lint/CMakeFiles/xpdl_lint.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdl/CMakeFiles/xpdl_pdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/xpdl_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/xpdl_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/xpdl_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/xpdl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/xpdl_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xpdl_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xpdl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpdl_generated_header"
+  "generated/xpdl_classes.h"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/xpdl_generated_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for xpdl_generated_header.
+# This may be replaced when dependencies are built.
