@@ -1,0 +1,200 @@
+// Process-wide metrics registry of the observability layer (xpdl::obs).
+//
+// Counters, gauges and log-scale latency histograms, registered by name in
+// a global registry. The hot path is allocation-free: instrumentation
+// sites resolve their metric once (function-local static reference) and
+// then only touch relaxed atomics. Compile out every site by building
+// with -DXPDL_OBS_ENABLED=0; at run time, timing-based instrumentation
+// (spans, duration histograms) is additionally gated behind
+// xpdl::obs::timing_enabled() so that an un-observed run pays at most a
+// relaxed atomic per counter bump.
+//
+// Naming convention (see docs/observability.md):
+//   <subsystem>.<noun>[.<qualifier>]       e.g. xml.parse.bytes,
+//   repo.lookup.hits, compose.constraints.checked
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef XPDL_OBS_ENABLED
+#define XPDL_OBS_ENABLED 1
+#endif
+
+namespace xpdl::obs {
+
+/// Monotonic event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. descriptors indexed, arena bytes).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency/size histogram over fixed log2-scale buckets: bucket b counts
+/// samples v with 2^(b-1) <= v < 2^b (bucket 0 counts v == 0). Recording
+/// is lock-free and allocation-free; 64 buckets cover the full uint64
+/// range, so microsecond latencies from sub-us to ~584000 years fit.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // Racy max update; relaxed CAS loop keeps it exact.
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket `value` falls into.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    std::size_t b = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Smallest value mapping to bucket `i` (0 for bucket 0).
+  [[nodiscard]] static std::uint64_t bucket_min(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  /// Largest value mapping to bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_max(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i == kBuckets) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  /// Upper-bound estimate of the p-quantile (p in [0,1]): the max value
+  /// of the bucket containing the p-th sample.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets + 1] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// A metric listed by Registry::snapshot-style accessors.
+struct MetricInfo {
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Type type;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+};
+
+/// The process-wide metric registry. Registration takes a lock; the
+/// returned references are stable for the process lifetime, so call sites
+/// cache them in function-local statics. reset_values() zeroes every
+/// metric but never removes entries (cached references stay valid).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All registered metrics, sorted by name.
+  [[nodiscard]] std::vector<MetricInfo> metrics() const;
+
+  /// Zeroes all metric values (entries survive; see class comment).
+  void reset_values();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Master switch for timing-based instrumentation (spans, duration
+/// histograms). Off by default; tools enable it for --stats / --trace.
+void set_timing_enabled(bool enabled) noexcept;
+[[nodiscard]] bool timing_enabled() noexcept;
+
+/// Shorthands for instrumentation sites.
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace xpdl::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. These compile to nothing with
+// -DXPDL_OBS_ENABLED=0; with observability compiled in, the metric is
+// resolved once per site and the hot path is one relaxed atomic op.
+
+#if XPDL_OBS_ENABLED
+#define XPDL_OBS_COUNT(name, delta)                          \
+  do {                                                       \
+    static ::xpdl::obs::Counter& xpdl_obs_counter_ =         \
+        ::xpdl::obs::counter(name);                          \
+    xpdl_obs_counter_.add(delta);                            \
+  } while (0)
+#define XPDL_OBS_GAUGE_SET(name, v)                          \
+  do {                                                       \
+    static ::xpdl::obs::Gauge& xpdl_obs_gauge_ =             \
+        ::xpdl::obs::gauge(name);                            \
+    xpdl_obs_gauge_.set(v);                                  \
+  } while (0)
+#else
+#define XPDL_OBS_COUNT(name, delta) ((void)0)
+#define XPDL_OBS_GAUGE_SET(name, v) ((void)0)
+#endif

@@ -1,0 +1,81 @@
+// Human-readable reporting and CLI integration for xpdl::obs.
+//
+// format_report() renders the per-phase timing tree and the metric tables
+// (counters, gauges, histograms) as text; ToolSession wires the layer
+// into a command-line tool: it understands `--trace FILE.json` /
+// `--stats` and the XPDL_TRACE / XPDL_STATS environment variables, and on
+// destruction writes the Chrome trace and prints the report.
+#pragma once
+
+#include <string>
+
+#include "xpdl/obs/trace.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::obs {
+
+struct ReportOptions {
+  bool include_phases = true;
+  bool include_counters = true;
+  bool include_gauges = true;
+  bool include_histograms = true;
+  /// Skip zero-valued counters/gauges and empty histograms.
+  bool skip_zero = true;
+};
+
+/// The per-phase timing tree ("" when no spans were recorded).
+[[nodiscard]] std::string format_phase_tree();
+
+/// The metric tables ("" when nothing was recorded).
+[[nodiscard]] std::string format_metrics(const ReportOptions& options = {});
+
+/// Full report: phase tree + metric tables.
+[[nodiscard]] std::string format_report(const ReportOptions& options = {});
+
+/// Per-tool observability session. Typical usage in main():
+///
+///   xpdl::obs::ToolSession obs("xpdlc");
+///   for (...) {                       // argument loop
+///     ...
+///     else if (obs.parse_flag(argc, argv, i)) continue;
+///   }
+///   obs.begin();                      // after argument parsing
+///   ...                               // pipeline; early returns are fine
+///   // ~ToolSession writes the trace file and prints --stats output
+///
+/// The environment variables XPDL_TRACE=FILE.json and XPDL_STATS=1 act
+/// like the corresponding flags, so any tool run can be observed without
+/// touching its command line.
+class ToolSession {
+ public:
+  explicit ToolSession(std::string tool_name);
+  ~ToolSession();
+  ToolSession(const ToolSession&) = delete;
+  ToolSession& operator=(const ToolSession&) = delete;
+
+  /// Consumes `--trace FILE` / `--stats` at argv[i], advancing i past any
+  /// flag value. Returns false (leaving i untouched) for other options.
+  /// A `--trace` with no argument is a usage error: exits with status 2.
+  bool parse_flag(int argc, char** argv, int& i);
+
+  void set_trace_path(std::string path);
+  void set_stats(bool enabled) { stats_ = enabled; }
+  [[nodiscard]] bool stats_requested() const noexcept { return stats_; }
+
+  /// Activates timing/tracing as requested; call after argument parsing,
+  /// before the tool's pipeline work.
+  void begin();
+
+  /// Writes the trace file and prints the stats report (idempotent; the
+  /// destructor calls it). Returns the trace-write status.
+  Status finish();
+
+ private:
+  std::string tool_name_;
+  std::string trace_path_;
+  bool stats_ = false;
+  bool begun_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace xpdl::obs

@@ -1,0 +1,131 @@
+// Tracing spans of the observability layer (xpdl::obs).
+//
+// A Span is an RAII scope timer: it records begin/end on the calling
+// thread, nests (per-thread span stack), and feeds two consumers:
+//
+//  * the global phase aggregation tree (count + inclusive time per
+//    span path), printed by xpdl::obs::format_report() and the tools'
+//    --stats flag, and
+//  * when tracing is started, a buffer of complete trace events
+//    exportable as Chrome trace_event JSON (open in chrome://tracing or
+//    https://ui.perfetto.dev).
+//
+// When timing is disabled (the default), constructing a Span costs one
+// relaxed atomic load and records nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/obs/metrics.h"
+#include "xpdl/util/json.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::obs {
+
+/// One completed span, in Chrome trace_event "X" (complete event) terms.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;       ///< sequential per-process thread id
+  std::uint64_t start_ns = 0;  ///< steady-clock, relative to trace start
+  std::uint64_t duration_ns = 0;
+  std::vector<std::pair<std::string, json::Value>> args;
+};
+
+/// Aggregated statistics for one node of the phase tree.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<PhaseStats> children;  ///< sorted by name
+};
+
+/// Steady-clock timestamp in nanoseconds.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// The process-wide trace collector.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts collecting trace events (implies set_timing_enabled(true)).
+  /// `process_name` labels the process in the trace viewer.
+  void start(std::string process_name = "xpdl");
+  /// Stops collecting (timing stays enabled until disabled explicitly).
+  void stop();
+  [[nodiscard]] bool collecting() const noexcept;
+
+  /// Completed events collected so far (snapshot).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// The aggregated phase tree (root is a synthetic node whose children
+  /// are the top-level spans). Includes spans recorded while timing was
+  /// enabled even if trace collection was off.
+  [[nodiscard]] PhaseStats phase_tree() const;
+
+  /// Serializes the collected events in Chrome trace_event JSON object
+  /// format: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  [[nodiscard]] json::Value to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`.
+  [[nodiscard]] Status write_chrome_trace(const std::string& path) const;
+
+  /// Drops all collected events and phase statistics.
+  void reset();
+
+  // Internal: called by Span.
+  void record(TraceEvent event, const std::vector<std::string_view>& path);
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII tracing span. Usage:
+///   obs::Span span("compose");
+///   span.arg("model", ref);
+#if XPDL_OBS_ENABLED
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (timing_enabled()) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value argument shown in the trace viewer. No-op when
+  /// the span is inactive.
+  void arg(std::string_view key, json::Value value) {
+    if (active_) args_.emplace_back(std::string(key), std::move(value));
+  }
+
+  /// True when this span is recording (timing was enabled at entry).
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  void begin(std::string_view name);
+  void end();
+
+  bool active_ = false;
+  std::uint64_t start_ns_ = 0;
+  std::string name_;
+  std::vector<std::pair<std::string, json::Value>> args_;
+};
+#else
+/// With observability compiled out, Span is a no-op shell.
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+  void arg(std::string_view, json::Value) {}
+  [[nodiscard]] bool active() const noexcept { return false; }
+};
+#endif
+
+}  // namespace xpdl::obs

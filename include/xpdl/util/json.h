@@ -1,0 +1,112 @@
+// Minimal JSON value model, parser and writer.
+//
+// Used by the observability layer to emit Chrome trace_event files whose
+// validity is checkable in-process, and generally wherever the toolchain
+// exchanges JSON. Objects keep sorted keys, so output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// A JSON value: null, bool, number, string, array or object.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() noexcept : data_(nullptr) {}
+  Value(std::nullptr_t) noexcept : data_(nullptr) {}  // NOLINT
+  Value(bool b) noexcept : data_(b) {}                // NOLINT
+  Value(double d) noexcept : data_(d) {}              // NOLINT
+  Value(int i) noexcept : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::int64_t i) noexcept : data_(static_cast<double>(i)) {}   // NOLINT
+  Value(std::uint64_t i) noexcept : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}       // NOLINT
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}     // NOLINT
+  Value(Array a) : data_(std::move(a)) {}             // NOLINT
+  Value(Object o) : data_(std::move(o)) {}            // NOLINT
+
+  // Out-of-line special members: the recursive variant's destructor,
+  // inlined into every consumer, trips GCC 12's uninitialized-use
+  // analysis (spurious -Wmaybe-uninitialized under -Werror).
+  Value(const Value& other);
+  Value(Value&& other) noexcept;
+  Value& operator=(const Value& other);
+  Value& operator=(Value&& other) noexcept;
+  ~Value();
+
+  [[nodiscard]] Kind kind() const noexcept {
+    return static_cast<Kind>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind() == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind() == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind() == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind() == Kind::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    return std::get<Array>(data_);
+  }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object member access; converts a null value into an empty object.
+  Value& operator[](std::string_view key);
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Array append; converts a null value into an empty array.
+  void push_back(Value element);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+/// Parses JSON text (strict: no comments, no trailing commas).
+[[nodiscard]] Result<Value> parse(std::string_view text);
+
+/// Serializes a value. `indent` == 0 produces compact single-line output;
+/// otherwise that many spaces per nesting level.
+[[nodiscard]] std::string write(const Value& value, int indent = 0);
+
+/// Escapes `raw` for use inside a JSON string literal (without quotes).
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace xpdl::json

@@ -8,6 +8,8 @@
 #include <limits>
 
 #include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/util/units.h"
 
@@ -65,6 +67,7 @@ Status analyze_interconnects(ComposedModel& model,
     stack.pop_back();
     for (const auto& c : e->children()) stack.push_back(c.get());
     if (e->tag() != "interconnect") continue;
+    XPDL_OBS_COUNT("analysis.interconnects_resolved", 1);
 
     double min_bw = std::numeric_limits<double>::infinity();
     if (auto own = metric_si(*e, "max_bandwidth")) {
@@ -128,6 +131,8 @@ double roll_up_static_power(xml::Element& e) {
 
 Status run_static_analyses(ComposedModel& model,
                            std::vector<std::string>& warnings) {
+  obs::Span span("compose.analysis");
+  XPDL_OBS_COUNT("analysis.runs", 1);
   XPDL_RETURN_IF_ERROR(analyze_interconnects(model, warnings));
   roll_up_static_power(model.mutable_root());
   return Status::ok();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/util/units.h"
 
@@ -140,6 +142,7 @@ class Composer::Impl {
       }
     }
     XPDL_ASSIGN_OR_RETURN(const xml::Element* meta, repo_.lookup(type_name));
+    XPDL_OBS_COUNT("compose.inheritance_resolutions", 1);
     type_stack_.emplace_back(type_name);
     auto result = meta->clone();
 
@@ -306,6 +309,7 @@ class Composer::Impl {
   /// satisfiable within the declared ranges.
   Status check_constraints(const xml::Element& e, const ParamScope& scope,
                            const ParamEnv& env) {
+    XPDL_OBS_COUNT("compose.constraints_checked", scope.constraints.size());
     for (const model::Constraint& c : scope.constraints) {
       std::vector<std::string> vars = c.expression.variables();
       std::vector<const Param*> unbound;
@@ -448,6 +452,8 @@ class Composer::Impl {
       }
     }
     group.set_attribute("expanded", "true");
+    XPDL_OBS_COUNT("compose.groups_expanded", 1);
+    XPDL_OBS_COUNT("compose.group_members_created", q);
     return Status::ok();
   }
 
@@ -473,6 +479,7 @@ class Composer::Impl {
         e.attribute_or("resolved", "") != "true") {
       std::string type_name(*type_ref);
       if (repo_.contains(type_name)) {
+        XPDL_OBS_COUNT("compose.type_resolutions", 1);
         XPDL_ASSIGN_OR_RETURN(auto meta, flatten_meta(type_name, 0));
         if (meta->tag() != e.tag() && e.tag() != "gpu" &&
             meta->tag() != "gpu") {
@@ -576,6 +583,12 @@ Result<ComposedModel> Composer::compose(std::string_view ref) {
 }
 
 Result<ComposedModel> Composer::compose(const xml::Element& root) {
+  obs::Span span("compose");
+  if (span.active()) {
+    span.arg("model", std::string(root.attribute_or(
+                          "id", root.attribute_or("name", root.tag()))));
+  }
+  XPDL_OBS_COUNT("compose.models_composed", 1);
   Impl impl(repo_, options_);
   return impl.run(root);
 }

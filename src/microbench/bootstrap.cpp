@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
 
 namespace xpdl::microbench {
@@ -33,6 +35,8 @@ Result<double> Bootstrapper::measure_static_power() {
 
 Result<double> Bootstrapper::measure_instruction(std::string_view name,
                                                  double frequency_hz) {
+  XPDL_OBS_COUNT("bootstrap.sim_runs",
+                 static_cast<std::uint64_t>(options_.repetitions));
   double sum = 0.0;
   for (int r = 0; r < options_.repetitions; ++r) {
     double e0 = machine_.read_energy_counter();
@@ -79,10 +83,15 @@ Result<BootstrapReport> Bootstrapper::bootstrap(model::InstructionSet& isa) {
     inst.placeholder = false;
     ++report.measured_instructions;
   }
+  XPDL_OBS_COUNT("bootstrap.instructions_measured",
+                 report.measured_instructions);
+  XPDL_OBS_COUNT("bootstrap.instructions_skipped",
+                 report.skipped_instructions);
   return report;
 }
 
 Result<BootstrapReport> Bootstrapper::bootstrap_model(xml::Element& root) {
+  obs::Span span("bootstrap");
   BootstrapReport total;
   // Depth-first over the tree, bootstrapping each <instructions> element.
   std::vector<xml::Element*> stack = {&root};
@@ -131,6 +140,11 @@ Result<BootstrapReport> Bootstrapper::bootstrap_model(xml::Element& root) {
     total.measured_instructions += report.measured_instructions;
     total.skipped_instructions += report.skipped_instructions;
     for (auto& entry : report.entries) total.entries.push_back(std::move(entry));
+  }
+  XPDL_OBS_COUNT("bootstrap.placeholders_filled", total.measured_instructions);
+  if (span.active()) {
+    span.arg("measured", total.measured_instructions);
+    span.arg("skipped", total.skipped_instructions);
   }
   return total;
 }

@@ -1,0 +1,141 @@
+#include "xpdl/obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace xpdl::obs {
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the p-th sample (1-based, ceil).
+  auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b <= kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) {
+      // Clamp the bucket's upper bound by the exact max for the tail.
+      return b + 1 > kBuckets || bucket_max(b) > max() ? max()
+                                                       : bucket_max(b);
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ===========================================================================
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Node-based maps: element addresses are stable across insertions, so
+  // references handed out to instrumentation sites never dangle.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricInfo> Registry::metrics() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::vector<MetricInfo> out;
+  out.reserve(i.counters.size() + i.gauges.size() + i.histograms.size());
+  for (const auto& [name, c] : i.counters) {
+    out.push_back({name, MetricInfo::Type::kCounter, c.get(), nullptr,
+                   nullptr});
+  }
+  for (const auto& [name, g] : i.gauges) {
+    out.push_back({name, MetricInfo::Type::kGauge, nullptr, g.get(),
+                   nullptr});
+  }
+  for (const auto& [name, h] : i.histograms) {
+    out.push_back(
+        {name, MetricInfo::Type::kHistogram, nullptr, nullptr, h.get()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricInfo& a, const MetricInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset_values() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& [name, c] : i.counters) c->reset();
+  for (auto& [name, g] : i.gauges) g->reset();
+  for (auto& [name, h] : i.histograms) h->reset();
+}
+
+// ===========================================================================
+// Timing switch
+
+namespace {
+std::atomic<bool> g_timing_enabled{false};
+}  // namespace
+
+void set_timing_enabled(bool enabled) noexcept {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() noexcept {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace xpdl::obs

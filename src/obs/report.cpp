@@ -1,0 +1,193 @@
+#include "xpdl/obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "xpdl/util/strings.h"
+
+namespace xpdl::obs {
+
+namespace {
+
+std::string duration_text(std::uint64_t ns) {
+  double ms = static_cast<double>(ns) / 1e6;
+  if (ms >= 1000.0) return strings::format("%.2f s", ms / 1000.0);
+  if (ms >= 1.0) return strings::format("%.2f ms", ms);
+  return strings::format("%.1f us", static_cast<double>(ns) / 1e3);
+}
+
+void format_phase(const PhaseStats& node, int depth, std::uint64_t parent_ns,
+                  std::string& out) {
+  if (depth >= 0) {
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += node.name;
+    double share = parent_ns > 0 ? 100.0 * static_cast<double>(node.total_ns) /
+                                       static_cast<double>(parent_ns)
+                                 : 100.0;
+    out += strings::format("  %-40s %8llu x %12s  %5.1f%%\n", label.c_str(),
+                           static_cast<unsigned long long>(node.count),
+                           duration_text(node.total_ns).c_str(), share);
+  }
+  for (const PhaseStats& child : node.children) {
+    format_phase(child, depth + 1, depth >= 0 ? node.total_ns : 0, out);
+  }
+}
+
+}  // namespace
+
+std::string format_phase_tree() {
+  PhaseStats root = Tracer::instance().phase_tree();
+  if (root.children.empty()) return "";
+  std::string out;
+  out += "phase                                        count        total"
+         "   %par\n";
+  format_phase(root, -1, 0, out);
+  return out;
+}
+
+std::string format_metrics(const ReportOptions& options) {
+  std::string counters, gauges, histograms;
+  for (const MetricInfo& m : Registry::instance().metrics()) {
+    switch (m.type) {
+      case MetricInfo::Type::kCounter: {
+        std::uint64_t v = m.counter->value();
+        if (v == 0 && options.skip_zero) break;
+        counters += strings::format(
+            "  %-40s %14llu\n", m.name.c_str(),
+            static_cast<unsigned long long>(v));
+        break;
+      }
+      case MetricInfo::Type::kGauge: {
+        double v = m.gauge->value();
+        if (v == 0.0 && options.skip_zero) break;
+        gauges += strings::format("  %-40s %14.6g\n", m.name.c_str(), v);
+        break;
+      }
+      case MetricInfo::Type::kHistogram: {
+        const Histogram& h = *m.histogram;
+        if (h.count() == 0 && options.skip_zero) break;
+        histograms += strings::format(
+            "  %-40s n=%-8llu mean=%-10.1f p50=%-8llu p90=%-8llu "
+            "p99=%-8llu max=%llu\n",
+            m.name.c_str(), static_cast<unsigned long long>(h.count()),
+            h.mean(), static_cast<unsigned long long>(h.percentile(0.50)),
+            static_cast<unsigned long long>(h.percentile(0.90)),
+            static_cast<unsigned long long>(h.percentile(0.99)),
+            static_cast<unsigned long long>(h.max()));
+        break;
+      }
+    }
+  }
+  std::string out;
+  if (options.include_counters && !counters.empty()) {
+    out += "counters\n" + counters;
+  }
+  if (options.include_gauges && !gauges.empty()) {
+    out += "gauges\n" + gauges;
+  }
+  if (options.include_histograms && !histograms.empty()) {
+    out += "histograms\n" + histograms;
+  }
+  return out;
+}
+
+std::string format_report(const ReportOptions& options) {
+  std::string out;
+  if (options.include_phases) {
+    std::string phases = format_phase_tree();
+    if (!phases.empty()) {
+      out += "== phase timing "
+             "==================================================\n";
+      out += phases;
+    }
+  }
+  std::string metrics = format_metrics(options);
+  if (!metrics.empty()) {
+    out += "== metrics "
+           "=======================================================\n";
+    out += metrics;
+  }
+  return out;
+}
+
+// ===========================================================================
+// ToolSession
+
+ToolSession::ToolSession(std::string tool_name)
+    : tool_name_(std::move(tool_name)) {
+  if (const char* path = std::getenv("XPDL_TRACE");
+      path != nullptr && path[0] != '\0') {
+    trace_path_ = path;
+  }
+  if (const char* stats = std::getenv("XPDL_STATS");
+      stats != nullptr && stats[0] != '\0' &&
+      std::string_view(stats) != "0") {
+    stats_ = true;
+  }
+}
+
+ToolSession::~ToolSession() {
+  if (auto st = finish(); !st.is_ok()) {
+    std::fprintf(stderr, "%s: warning: %s\n", tool_name_.c_str(),
+                 st.to_string().c_str());
+  }
+}
+
+bool ToolSession::parse_flag(int argc, char** argv, int& i) {
+  std::string_view a = argv[i];
+  if (a == "--stats") {
+    stats_ = true;
+    return true;
+  }
+  if (a == "--trace") {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: --trace requires a FILE.json argument\n",
+                   tool_name_.c_str());
+      std::exit(2);
+    }
+    trace_path_ = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+void ToolSession::set_trace_path(std::string path) {
+  trace_path_ = std::move(path);
+}
+
+void ToolSession::begin() {
+  begun_ = true;
+  if (!trace_path_.empty()) {
+    Tracer::instance().start(tool_name_);
+  } else if (stats_) {
+    set_timing_enabled(true);
+  }
+}
+
+Status ToolSession::finish() {
+  if (finished_) return Status::ok();
+  finished_ = true;
+  if (!begun_) return Status::ok();
+  Status result = Status::ok();
+  if (!trace_path_.empty()) {
+    Tracer& tracer = Tracer::instance();
+    tracer.stop();
+    result = tracer.write_chrome_trace(trace_path_);
+    if (result.is_ok()) {
+      std::fprintf(stderr,
+                   "%s: wrote trace to %s (open in chrome://tracing or "
+                   "https://ui.perfetto.dev)\n",
+                   tool_name_.c_str(), trace_path_.c_str());
+    }
+  }
+  if (stats_) {
+    std::string report = format_report();
+    if (report.empty()) report = "(no observations recorded)\n";
+    std::printf("== %s run statistics "
+                "=============================================\n%s",
+                tool_name_.c_str(), report.c_str());
+  }
+  return result;
+}
+
+}  // namespace xpdl::obs

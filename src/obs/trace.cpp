@@ -1,0 +1,218 @@
+#include "xpdl/obs/trace.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "xpdl/util/io.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::obs {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Per-thread span state: a sequential thread id for the trace, and the
+/// stack of open span names (string_views into the live Span objects;
+/// children always end before their parent, so the views stay valid).
+struct ThreadState {
+  std::uint32_t tid;
+  std::vector<std::string_view> stack;
+};
+
+[[maybe_unused]] ThreadState& thread_state() {
+  static std::atomic<std::uint32_t> next_tid{1};
+  thread_local ThreadState state{
+      next_tid.fetch_add(1, std::memory_order_relaxed), {}};
+  return state;
+}
+
+/// One node of the internal phase aggregation tree.
+struct PhaseNode {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::map<std::string, PhaseNode, std::less<>> children;
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mutex;
+  bool collecting = false;
+  std::string process_name = "xpdl";
+  std::uint64_t base_ns = 0;
+  std::vector<TraceEvent> events;
+  PhaseNode phase_root;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void Tracer::start(std::string process_name) {
+  Impl& i = impl();
+  {
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.collecting = true;
+    i.process_name = std::move(process_name);
+    if (i.base_ns == 0) i.base_ns = now_ns();
+  }
+  set_timing_enabled(true);
+}
+
+void Tracer::stop() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.collecting = false;
+}
+
+bool Tracer::collecting() const noexcept {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.collecting;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.events;
+}
+
+void Tracer::record(TraceEvent event,
+                    const std::vector<std::string_view>& path) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  PhaseNode* node = &i.phase_root;
+  for (std::string_view segment : path) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) {
+      it = node->children.emplace(std::string(segment), PhaseNode{}).first;
+    }
+    node = &it->second;
+  }
+  node->count += 1;
+  node->total_ns += event.duration_ns;
+  if (i.collecting) {
+    event.start_ns =
+        event.start_ns > i.base_ns ? event.start_ns - i.base_ns : 0;
+    i.events.push_back(std::move(event));
+  }
+}
+
+namespace {
+
+PhaseStats to_stats(std::string name, const PhaseNode& node) {
+  PhaseStats out;
+  out.name = std::move(name);
+  out.count = node.count;
+  out.total_ns = node.total_ns;
+  out.children.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    out.children.push_back(to_stats(child_name, child));
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseStats Tracer::phase_tree() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return to_stats("<root>", i.phase_root);
+}
+
+json::Value Tracer::to_chrome_json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  json::Array events;
+  events.reserve(i.events.size() + 1);
+  {
+    // Process metadata: names the process in the trace viewer.
+    json::Value meta;
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = 0;
+    meta["args"]["name"] = i.process_name;
+    events.push_back(std::move(meta));
+  }
+  for (const TraceEvent& e : i.events) {
+    json::Value ev;
+    ev["name"] = e.name;
+    ev["cat"] = "xpdl";
+    ev["ph"] = "X";
+    ev["ts"] = static_cast<double>(e.start_ns) / 1000.0;
+    ev["dur"] = static_cast<double>(e.duration_ns) / 1000.0;
+    ev["pid"] = 1;
+    ev["tid"] = static_cast<std::uint64_t>(e.tid);
+    if (!e.args.empty()) {
+      json::Value& args = ev["args"];
+      for (const auto& [key, value] : e.args) args[key] = value;
+    }
+    events.push_back(std::move(ev));
+  }
+  json::Value doc;
+  doc["traceEvents"] = json::Value(std::move(events));
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+Status Tracer::write_chrome_trace(const std::string& path) const {
+  return io::write_file(path, json::write(to_chrome_json(), 1));
+}
+
+void Tracer::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.events.clear();
+  i.phase_root = PhaseNode{};
+  i.base_ns = 0;
+}
+
+// ===========================================================================
+// Span
+
+#if XPDL_OBS_ENABLED
+
+void Span::begin(std::string_view name) {
+  active_ = true;
+  name_ = std::string(name);
+  thread_state().stack.push_back(name_);
+  start_ns_ = now_ns();
+}
+
+void Span::end() {
+  std::uint64_t end_ns = now_ns();
+  std::uint64_t duration = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  ThreadState& state = thread_state();
+
+  TraceEvent event;
+  event.name = name_;
+  event.tid = state.tid;
+  event.start_ns = start_ns_;
+  event.duration_ns = duration;
+  event.args = std::move(args_);
+  Tracer::instance().record(std::move(event), state.stack);
+
+  // Duration histogram per span name, in microseconds.
+  histogram(name_ + ".duration_us").record(duration / 1000);
+
+  if (!state.stack.empty()) state.stack.pop_back();
+  active_ = false;
+}
+
+#endif  // XPDL_OBS_ENABLED
+
+}  // namespace xpdl::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/util/units.h"
 
@@ -230,12 +232,14 @@ void collect_descendants(const runtime::Node& node,
 }  // namespace
 
 Result<Query> Query::parse(std::string_view text) {
+  XPDL_OBS_COUNT("query.parses", 1);
   Parser parser(text);
   XPDL_ASSIGN_OR_RETURN(std::vector<Step> steps, parser.run());
   return Query(std::move(steps), std::string(text));
 }
 
 std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
+  XPDL_OBS_COUNT("query.evaluations", 1);
   // Current frontier; the first step applies to the root itself for '//'
   // and to the root's own matching for '/' (XPath-like with the root as
   // the implicit context node's document).
@@ -271,6 +275,7 @@ std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
     first = false;
     if (frontier.empty()) break;
   }
+  XPDL_OBS_COUNT("query.matches", frontier.size());
   return frontier;
 }
 
@@ -281,6 +286,8 @@ std::vector<runtime::Node> Query::evaluate(
 
 Result<std::vector<runtime::Node>> select(const runtime::Model& model,
                                           std::string_view query) {
+  obs::Span span("query.select");
+  if (span.active()) span.arg("query", std::string(query));
   XPDL_ASSIGN_OR_RETURN(Query q, Query::parse(query));
   return q.evaluate(model);
 }

@@ -4,6 +4,8 @@
 #include <filesystem>
 
 #include "xpdl/model/ir.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 
 namespace xpdl::repository {
 
@@ -65,9 +67,11 @@ Status Repository::index_file(const std::string& path,
 }
 
 Status Repository::scan() {
+  obs::Span span("repo.scan");
   entries_.clear();
   warnings_.clear();
   for (const std::string& root : search_path_) {
+    XPDL_OBS_COUNT("repo.scan.search_path_probes", 1);
     std::error_code ec;
     if (!fs::is_directory(root, ec)) {
       return Status(ErrorCode::kIoError,
@@ -88,12 +92,15 @@ Status Repository::scan() {
       }
     }
     std::sort(files.begin(), files.end());
+    XPDL_OBS_COUNT("repo.scan.files_probed", files.size());
     for (const std::string& f : files) {
       XPDL_RETURN_IF_ERROR(index_file(f, root).with_context(
           "indexing repository file '" + f + "'"));
     }
   }
   scanned_ = true;
+  XPDL_OBS_COUNT("repo.scan.descriptors_indexed", entries_.size());
+  if (span.active()) span.arg("descriptors", std::uint64_t{entries_.size()});
   return Status::ok();
 }
 
@@ -104,6 +111,7 @@ bool Repository::contains(std::string_view ref) const noexcept {
 Result<const xml::Element*> Repository::lookup(std::string_view ref) {
   auto it = entries_.find(ref);
   if (it == entries_.end()) {
+    XPDL_OBS_COUNT("repo.lookup.misses", 1);
     return Status(ErrorCode::kUnresolvedRef,
                   "no descriptor named '" + std::string(ref) +
                       "' in the model repository (" +
@@ -111,6 +119,7 @@ Result<const xml::Element*> Repository::lookup(std::string_view ref) {
                       std::to_string(search_path_.size()) +
                       " search path root(s))");
   }
+  XPDL_OBS_COUNT("repo.lookup.hits", 1);
   return it->second.root.get();
 }
 
@@ -134,6 +143,7 @@ Result<const xml::Element*> Repository::add_descriptor(
                       "> has neither 'name' nor 'id'",
                   root->location());
   }
+  XPDL_OBS_COUNT("repo.descriptors_injected", 1);
   Entry entry;
   entry.info = DescriptorInfo{ref, root->tag(), "<memory>", ident.is_meta()};
   entry.root = std::move(root);

@@ -3,6 +3,8 @@
 #include <deque>
 
 #include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
 
 namespace xpdl::runtime {
@@ -111,6 +113,7 @@ std::uint32_t Model::intern(std::string_view s) {
 }
 
 Result<Model> Model::from_xml(const xml::Element& root) {
+  obs::Span span("runtime.build");
   Model m;
   // BFS layout: children of every node occupy one contiguous index range.
   std::deque<std::pair<const xml::Element*, std::uint32_t>> queue;
@@ -145,6 +148,8 @@ Result<Model> Model::from_xml(const xml::Element& root) {
   // children are pushed in order and popped contiguously, the range is
   // correct. Rebuild the id index last.
   m.build_id_index();
+  XPDL_OBS_COUNT("runtime.nodes_built", m.nodes_.size());
+  if (span.active()) span.arg("nodes", std::uint64_t{m.nodes_.size()});
   return m;
 }
 

@@ -11,6 +11,8 @@
 //   u32 checksum     (FNV-1a over everything after the magic)
 #include <cstring>
 
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/runtime/model.h"
 #include "xpdl/util/io.h"
 
@@ -96,10 +98,14 @@ std::string Model::serialize() const {
   }
   out += body;
   put_u32(out, fnv1a(body));
+  XPDL_OBS_COUNT("runtime.serialize.calls", 1);
+  XPDL_OBS_COUNT("runtime.serialize.bytes", out.size());
   return out;
 }
 
 Result<Model> Model::deserialize(std::string_view bytes) {
+  XPDL_OBS_COUNT("runtime.deserialize.calls", 1);
+  XPDL_OBS_COUNT("runtime.deserialize.bytes", bytes.size());
   if (bytes.size() < sizeof(kMagic) + 4 ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status(ErrorCode::kFormatError,
@@ -181,10 +187,14 @@ Result<Model> Model::deserialize(std::string_view bytes) {
 }
 
 Status Model::save(const std::string& path) const {
+  obs::Span span("runtime.save");
+  if (span.active()) span.arg("path", path);
   return io::write_file(path, serialize());
 }
 
 Result<Model> Model::load(const std::string& path) {
+  obs::Span span("runtime.load");
+  if (span.active()) span.arg("path", path);
   XPDL_ASSIGN_OR_RETURN(std::string bytes, io::read_file(path));
   return deserialize(bytes);
 }

@@ -1,0 +1,45 @@
+// Shared helpers for the XPDL command-line tools.
+//
+// Every tool reports failures in the same shape so that scripts (and
+// humans) can parse diagnostics uniformly:
+//
+//   <tool>: error: <error-kind>: <message> [file:line:col]
+//
+// with the bracketed location omitted when the Status carries none.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::tools {
+
+/// Renders `status` in the unified diagnostic format (no trailing \n).
+inline std::string format_error(std::string_view tool,
+                                const Status& status) {
+  std::string out;
+  out += tool;
+  out += ": error: ";
+  out += to_string(status.code());
+  out += ": ";
+  out += status.message();
+  std::string loc = status.location().to_string();
+  if (!loc.empty()) {
+    out += " [";
+    out += loc;
+    out += "]";
+  }
+  return out;
+}
+
+/// Prints the unified diagnostic to stderr and returns `exit_code`,
+/// so call sites can write `return fail_with(...)`.
+inline int fail_with(std::string_view tool, const Status& status,
+                     int exit_code = 1) {
+  std::string line = format_error(tool, status);
+  std::fprintf(stderr, "%s\n", line.c_str());
+  return exit_code;
+}
+
+}  // namespace xpdl::tools

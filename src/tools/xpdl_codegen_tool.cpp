@@ -3,10 +3,13 @@
 //
 // Usage:
 //   xpdl-codegen --out HEADER.h [--schema-out SCHEMA.xml] [--ns NAMESPACE]
+//                [--stats] [--trace FILE.json]
 #include <cstdio>
 #include <string>
 
+#include "tool_common.h"
 #include "xpdl/codegen/codegen.h"
+#include "xpdl/obs/report.h"
 #include "xpdl/schema/schema.h"
 #include "xpdl/util/io.h"
 
@@ -15,6 +18,7 @@ int main(int argc, char** argv) {
   std::string schema_out;
   std::string doc_out;
   std::string ns = "xpdl::generated";
+  xpdl::obs::ToolSession obs("xpdl-codegen");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     auto next = [&]() -> const char* {
@@ -36,6 +40,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) break;
       ns = v;
+    } else if (obs.parse_flag(argc, argv, i)) {
+      continue;
     } else {
       std::fprintf(stderr, "xpdl-codegen: unknown option '%s'\n", argv[i]);
       return 2;
@@ -44,15 +50,16 @@ int main(int argc, char** argv) {
   if (out.empty() && schema_out.empty() && doc_out.empty()) {
     std::fputs(
         "usage: xpdl-codegen [--out HEADER.h] [--schema-out SCHEMA.xml] "
-        "[--doc REFERENCE.md] [--ns NAMESPACE]\n",
+        "[--doc REFERENCE.md] [--ns NAMESPACE] [--stats] "
+        "[--trace FILE.json]\n",
         stderr);
     return 2;
   }
+  obs.begin();
   const xpdl::schema::Schema& schema = xpdl::schema::Schema::core();
   if (!out.empty()) {
     if (auto st = xpdl::codegen::write_header(schema, out, ns); !st.is_ok()) {
-      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
-      return 1;
+      return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s (%zu element kinds)\n", out.c_str(),
                 schema.elements().size());
@@ -61,16 +68,14 @@ int main(int argc, char** argv) {
     if (auto st = xpdl::io::write_file(
             doc_out, xpdl::codegen::generate_markdown(schema));
         !st.is_ok()) {
-      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
-      return 1;
+      return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s\n", doc_out.c_str());
   }
   if (!schema_out.empty()) {
     if (auto st = xpdl::io::write_file(schema_out, schema.to_xml());
         !st.is_ok()) {
-      std::fprintf(stderr, "xpdl-codegen: %s\n", st.to_string().c_str());
-      return 1;
+      return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s\n", schema_out.c_str());
   }

@@ -10,27 +10,34 @@
 #include <string>
 #include <vector>
 
+#include "tool_common.h"
 #include "xpdl/diff/diff.h"
+#include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/xml/xml.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> repos;
   std::vector<std::string> operands;
+  xpdl::obs::ToolSession obs("xpdl-diff");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
       repos.emplace_back(argv[++i]);
+    } else if (obs.parse_flag(argc, argv, i)) {
+      continue;
     } else {
       operands.emplace_back(argv[i]);
     }
   }
   if (operands.size() != 2) {
-    std::fputs("usage: xpdl-diff [--repo DIR] A B  (repository references "
+    std::fputs("usage: xpdl-diff [--repo DIR] [--stats] "
+               "[--trace FILE.json] A B  (repository references "
                "when --repo is given, files otherwise)\n",
                stderr);
     return 2;
   }
+  obs.begin();
 
   const xpdl::xml::Element* left = nullptr;
   const xpdl::xml::Element* right = nullptr;
@@ -38,17 +45,13 @@ int main(int argc, char** argv) {
   xpdl::repository::Repository repo(repos);
   if (!repos.empty()) {
     if (auto st = repo.scan(); !st.is_ok()) {
-      std::fprintf(stderr, "xpdl-diff: %s\n", st.to_string().c_str());
-      return 2;
+      return xpdl::tools::fail_with("xpdl-diff", st, 2);
     }
     auto la = repo.lookup(operands[0]);
     auto rb = repo.lookup(operands[1]);
     if (!la.is_ok() || !rb.is_ok()) {
-      std::fprintf(stderr, "xpdl-diff: %s\n",
-                   (!la.is_ok() ? la.status() : rb.status())
-                       .to_string()
-                       .c_str());
-      return 2;
+      return xpdl::tools::fail_with(
+          "xpdl-diff", !la.is_ok() ? la.status() : rb.status(), 2);
     }
     left = *la;
     right = *rb;
@@ -56,11 +59,8 @@ int main(int argc, char** argv) {
     auto pa = xpdl::xml::parse_file(operands[0]);
     auto pb = xpdl::xml::parse_file(operands[1]);
     if (!pa.is_ok() || !pb.is_ok()) {
-      std::fprintf(stderr, "xpdl-diff: %s\n",
-                   (!pa.is_ok() ? pa.status() : pb.status())
-                       .to_string()
-                       .c_str());
-      return 2;
+      return xpdl::tools::fail_with(
+          "xpdl-diff", !pa.is_ok() ? pa.status() : pb.status(), 2);
     }
     doc_a = std::move(pa).value();
     doc_b = std::move(pb).value();

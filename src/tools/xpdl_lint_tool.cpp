@@ -2,19 +2,23 @@
 //
 // Usage:
 //   xpdl-lint --repo DIR [--repo DIR]... [--no-unreferenced] [--quiet]
+//            [--stats] [--trace FILE.json]
 //
 // Exit status: 0 clean / notes only, 1 warnings, 2 errors, 3 usage.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "tool_common.h"
 #include "xpdl/lint/lint.h"
+#include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> repos;
   xpdl::lint::Options options;
   bool quiet = false;
+  xpdl::obs::ToolSession obs("xpdl-lint");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
@@ -23,10 +27,13 @@ int main(int argc, char** argv) {
       options.unreferenced_meta = false;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (obs.parse_flag(argc, argv, i)) {
+      continue;
     } else {
       std::fprintf(stderr,
                    "usage: xpdl-lint --repo DIR [--repo DIR]... "
-                   "[--no-unreferenced] [--quiet]\n");
+                   "[--no-unreferenced] [--quiet] [--stats] "
+                   "[--trace FILE.json]\n");
       return 3;
     }
   }
@@ -34,17 +41,15 @@ int main(int argc, char** argv) {
     std::fputs("xpdl-lint: at least one --repo is required\n", stderr);
     return 3;
   }
+  obs.begin();
 
   xpdl::repository::Repository repo(repos);
   if (auto st = repo.scan(); !st.is_ok()) {
-    std::fprintf(stderr, "xpdl-lint: %s\n", st.to_string().c_str());
-    return 2;
+    return xpdl::tools::fail_with("xpdl-lint", st, 2);
   }
   auto findings = xpdl::lint::lint_repository(repo, options);
   if (!findings.is_ok()) {
-    std::fprintf(stderr, "xpdl-lint: %s\n",
-                 findings.status().to_string().c_str());
-    return 2;
+    return xpdl::tools::fail_with("xpdl-lint", findings.status(), 2);
   }
   std::size_t errors = 0, warnings = 0, notes = 0;
   for (const auto& f : *findings) {

@@ -11,14 +11,15 @@
 #include <cstdio>
 #include <string>
 
+#include "tool_common.h"
+#include "xpdl/obs/report.h"
 #include "xpdl/query/query.h"
 #include "xpdl/runtime/model.h"
 
 namespace {
 
 int fail(const xpdl::Status& status) {
-  std::fprintf(stderr, "xpdl-query: %s\n", status.to_string().c_str());
-  return 1;
+  return xpdl::tools::fail_with("xpdl-query", status);
 }
 
 void print_node_line(const xpdl::runtime::Node& node) {
@@ -37,13 +38,24 @@ void print_node_line(const xpdl::runtime::Node& node) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  xpdl::obs::ToolSession obs("xpdl-query");
+  // The commands are positional; filter the observability flags out of
+  // argv first so they may appear anywhere.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (obs.parse_flag(argc, argv, i)) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   if (argc < 3) {
     std::fputs(
-        "usage: xpdl-query FILE (info | ls [ID] | get ID [ATTR] | find TAG "
+        "usage: xpdl-query [--stats] [--trace FILE.json] FILE\n"
+        "                  (info | ls [ID] | get ID [ATTR] | find TAG "
         "| installed PREFIX | query EXPR)\n",
         stderr);
     return 2;
   }
+  obs.begin();
   auto loaded = xpdl::runtime::Model::load(argv[1]);
   if (!loaded.is_ok()) return fail(loaded.status());
   const xpdl::runtime::Model& model = loaded.value();

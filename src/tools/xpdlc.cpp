@@ -10,17 +10,19 @@
 // Usage:
 //   xpdlc --repo DIR [--repo DIR]... (--model REF | --file PATH)
 //         [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]
-//         [--print-xml] [--quiet]
+//         [--print-xml] [--quiet] [--stats] [--trace FILE.json]
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "tool_common.h"
 #include "xpdl/compose/compose.h"
 #include "xpdl/microbench/bootstrap.h"
 #include "xpdl/microbench/drivergen.h"
 #include "xpdl/microbench/simmachine.h"
 #include "xpdl/model/power.h"
+#include "xpdl/obs/report.h"
 #include "xpdl/pdl/pdl.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
@@ -50,19 +52,19 @@ void usage() {
       "             (--model REF | --file PATH | --pdl PDL_FILE)\n"
       "             [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]\n"
       "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
-      "             [--quiet]\n",
+      "             [--quiet] [--stats] [--trace FILE.json]\n",
       stderr);
 }
 
 int fail(const xpdl::Status& status) {
-  std::fprintf(stderr, "xpdlc: %s\n", status.to_string().c_str());
-  return 1;
+  return xpdl::tools::fail_with("xpdlc", status);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
+  xpdl::obs::ToolSession obs("xpdlc");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     auto next = [&]() -> const char* {
@@ -109,6 +111,8 @@ int main(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
+    } else if (obs.parse_flag(argc, argv, i)) {
+      continue;
     } else {
       std::fprintf(stderr, "xpdlc: unknown option '%s'\n", argv[i]);
       usage();
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  obs.begin();
 
   xpdl::repository::Repository repo(args.repos);
   if (auto st = repo.scan(); !st.is_ok()) return fail(st);

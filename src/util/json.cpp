@@ -1,0 +1,370 @@
+#include "xpdl/util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "xpdl/util/strings.h"
+
+// GCC 12 reports a spurious -Wmaybe-uninitialized from the variant
+// destructor when a parsed Value is moved into the returned Result<Value>
+// (the recursive vector<Value> alternative confuses the inliner's
+// uninitialized-use analysis).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace xpdl::json {
+
+Value::Value(const Value& other) = default;
+Value::Value(Value&& other) noexcept = default;
+Value& Value::operator=(const Value& other) = default;
+Value& Value::operator=(Value&& other) noexcept = default;
+Value::~Value() = default;
+
+Value& Value::operator[](std::string_view key) {
+  if (is_null()) data_ = Object{};
+  return as_object()[std::string(key)];
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  const Object& obj = as_object();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void Value::push_back(Value element) {
+  if (is_null()) data_ = Array{};
+  as_array().push_back(std::move(element));
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += strings::format("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// ===========================================================================
+// Parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    XPDL_ASSIGN_OR_RETURN(Value v, parse_value(0));
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  [[nodiscard]] Status fail(std::string_view what) const {
+    return Status(ErrorCode::kParseError,
+                  std::string(what) + " at offset " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] char peek() const noexcept {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(std::string_view token) noexcept {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  Result<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("JSON nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        XPDL_ASSIGN_OR_RETURN(std::string s, parse_string());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (consume("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size() ||
+        !std::isfinite(v)) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    return Value(v);
+  }
+
+  Result<std::string> parse_string() {
+    if (peek() != '"') return fail("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          XPDL_ASSIGN_OR_RETURN(unsigned cp, parse_hex4());
+          // Surrogate pair -> single code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF && consume("\\u")) {
+            XPDL_ASSIGN_OR_RETURN(unsigned low, parse_hex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Result<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("invalid \\u escape");
+    }
+    return cp;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<Value> parse_array(int depth) {
+    ++pos_;  // '['
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      XPDL_ASSIGN_OR_RETURN(Value v, parse_value(depth + 1));
+      out.push_back(std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_object(int depth) {
+    ++pos_;  // '{'
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      XPDL_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (peek() != ':') return fail("expected ':' in object");
+      ++pos_;
+      XPDL_ASSIGN_OR_RETURN(Value v, parse_value(depth + 1));
+      out.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value(std::move(out));
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ===========================================================================
+// Writer
+
+std::string number_text(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return strings::format("%.17g", v);
+}
+
+void write_value(const Value& v, int indent, int depth, std::string& out) {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Kind::kNumber: out += number_text(v.as_number()); break;
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(depth + 1);
+        write_value(a[i], indent, depth + 1, out);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : o) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        write_value(member, indent, depth + 1, out);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  Parser parser(text);
+  return parser.run();
+}
+
+std::string write(const Value& value, int indent) {
+  std::string out;
+  write_value(value, indent, 0, out);
+  return out;
+}
+
+}  // namespace xpdl::json

@@ -1,6 +1,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/io.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/xml/xml.h"
@@ -238,6 +240,7 @@ class Reader {
     XPDL_ASSIGN_OR_RETURN(std::string tag, parse_name());
     auto element = std::make_unique<Element>(tag);
     element->set_location(open_loc);
+    ++element_count_;
 
     // Attributes.
     while (true) {
@@ -334,12 +337,19 @@ class Reader {
     }
   }
 
+ public:
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return element_count_;
+  }
+
+ private:
   std::string_view text_;
   std::string source_;
   ParseOptions options_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   std::uint32_t column_ = 1;
+  std::size_t element_count_ = 0;
   std::vector<std::string> warnings_;
 };
 
@@ -347,8 +357,15 @@ class Reader {
 
 Result<Document> parse(std::string_view text, std::string source_name,
                        const ParseOptions& options) {
+  obs::Span span("xml.parse");
+  if (span.active()) span.arg("source", source_name);
   Reader reader(text, std::move(source_name), options);
-  return reader.run();
+  auto result = reader.run();
+  XPDL_OBS_COUNT("xml.parse.documents", 1);
+  XPDL_OBS_COUNT("xml.parse.bytes", text.size());
+  XPDL_OBS_COUNT("xml.parse.elements", reader.element_count());
+  if (!result.is_ok()) XPDL_OBS_COUNT("xml.parse.errors", 1);
+  return result;
 }
 
 Result<Document> parse_file(const std::string& path,

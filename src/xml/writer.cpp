@@ -1,5 +1,6 @@
 #include <sstream>
 
+#include "xpdl/obs/metrics.h"
 #include "xpdl/xml/xml.h"
 
 namespace xpdl::xml {
@@ -54,7 +55,10 @@ std::string write(const Element& root, const WriteOptions& options) {
     os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
   }
   write_element(root, os, 0, options);
-  return os.str();
+  std::string out = os.str();
+  XPDL_OBS_COUNT("xml.write.documents", 1);
+  XPDL_OBS_COUNT("xml.write.bytes", out.size());
+  return out;
 }
 
 }  // namespace xpdl::xml

@@ -1,0 +1,308 @@
+// Tests for the observability layer (xpdl::obs): metrics registry,
+// histogram bucketing, span nesting / phase aggregation, and the Chrome
+// trace_event JSON export (round-tripped through xpdl::json).
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/report.h"
+#include "xpdl/obs/trace.h"
+#include "xpdl/util/json.h"
+
+namespace obs = xpdl::obs;
+namespace json = xpdl::json;
+
+namespace {
+
+// Timing is process-global; every test leaves it disabled.
+struct TimingGuard {
+  explicit TimingGuard(bool enabled) { obs::set_timing_enabled(enabled); }
+  ~TimingGuard() {
+    obs::set_timing_enabled(false);
+    obs::Tracer::instance().stop();
+  }
+};
+
+[[maybe_unused]] const obs::PhaseStats* find_child(
+    const obs::PhaseStats& node, std::string_view name) {
+  for (const obs::PhaseStats& c : node.children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+// ===========================================================================
+// Counters
+
+TEST(Counter, AddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreAtomic) {
+  obs::Counter& c = obs::counter("test.obs.atomic_counter");
+  c.reset();
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Counter, MacroCachesRegistryEntry) {
+  obs::counter("test.obs.macro_counter").reset();
+  for (int i = 0; i < 3; ++i) {
+    XPDL_OBS_COUNT("test.obs.macro_counter", 2);
+  }
+#if XPDL_OBS_ENABLED
+  EXPECT_EQ(obs::counter("test.obs.macro_counter").value(), 6u);
+#else
+  EXPECT_EQ(obs::counter("test.obs.macro_counter").value(), 0u);
+#endif
+}
+
+// ===========================================================================
+// Histograms
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 64u);
+  for (std::size_t b = 0; b <= obs::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_min(b)), b);
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_max(b)), b);
+  }
+}
+
+TEST(Histogram, RecordsIntoLogBuckets) {
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(100);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0
+  EXPECT_EQ(h.bucket(1), 1u);  // 1
+  EXPECT_EQ(h.bucket(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64, 127]
+}
+
+TEST(Histogram, PercentileUpperBounds) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(1000);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.9), 1u);
+  // The tail sample is clamped by the exact max.
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+  obs::Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// ===========================================================================
+// Registry
+
+TEST(Registry, ReturnsStableReferences) {
+  obs::Counter& a = obs::counter("test.obs.stable");
+  obs::Counter& b = obs::counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g = obs::gauge("test.obs.stable");  // same name, own namespace
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.obs.stable").value(), 2.5);
+}
+
+TEST(Registry, MetricsListedSortedByName) {
+  obs::counter("test.obs.zz");
+  obs::counter("test.obs.aa");
+  auto metrics = obs::Registry::instance().metrics();
+  ASSERT_GE(metrics.size(), 2u);
+  for (std::size_t i = 1; i < metrics.size(); ++i) {
+    EXPECT_LE(metrics[i - 1].name, metrics[i].name);
+  }
+}
+
+// ===========================================================================
+// Spans and phase aggregation
+
+TEST(Span, DisabledSpanIsInactive) {
+  TimingGuard guard(false);
+  obs::Span span("test.obs.disabled_span");
+  EXPECT_FALSE(span.active());
+  span.arg("ignored", 1);  // must be a harmless no-op
+}
+
+#if XPDL_OBS_ENABLED
+
+TEST(Span, NestingBuildsPhaseTree) {
+  TimingGuard guard(true);
+  obs::Tracer::instance().reset();
+  {
+    obs::Span outer("outer_phase");
+    ASSERT_TRUE(outer.active());
+    for (int i = 0; i < 3; ++i) {
+      obs::Span inner("inner_phase");
+    }
+  }
+  obs::set_timing_enabled(false);
+
+  obs::PhaseStats root = obs::Tracer::instance().phase_tree();
+  const obs::PhaseStats* outer = find_child(root, "outer_phase");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const obs::PhaseStats* inner = find_child(*outer, "inner_phase");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 3u);
+  // Children's inclusive time can never exceed the parent's.
+  EXPECT_LE(inner->total_ns, outer->total_ns);
+  // The report renders both phases.
+  std::string report = obs::format_phase_tree();
+  EXPECT_NE(report.find("outer_phase"), std::string::npos);
+  EXPECT_NE(report.find("inner_phase"), std::string::npos);
+}
+
+TEST(Span, SpansOnDifferentThreadsNestIndependently) {
+  TimingGuard guard(true);
+  obs::Tracer::instance().reset();
+  std::thread t1([] { obs::Span s("thread_phase_a"); });
+  std::thread t2([] { obs::Span s("thread_phase_b"); });
+  t1.join();
+  t2.join();
+  obs::set_timing_enabled(false);
+  obs::PhaseStats root = obs::Tracer::instance().phase_tree();
+  // Both are top-level phases: neither thread saw the other's stack.
+  EXPECT_NE(find_child(root, "thread_phase_a"), nullptr);
+  EXPECT_NE(find_child(root, "thread_phase_b"), nullptr);
+}
+
+TEST(Tracer, ChromeTraceJsonRoundTrip) {
+  TimingGuard guard(true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.start("test-process");
+  {
+    obs::Span span("traced_phase");
+    span.arg("model", "liu_gpu_server");
+    span.arg("elements", std::uint64_t{285});
+  }
+  tracer.stop();
+
+  // Serialize and re-parse through the JSON utilities.
+  std::string text = json::write(tracer.to_chrome_json(), 1);
+  auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const json::Value& doc = *parsed;
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->as_array().size(), 2u);
+
+  // Event 0 is the process_name metadata record.
+  const json::Value& meta = events->as_array()[0];
+  EXPECT_EQ(meta.find("ph")->as_string(), "M");
+  EXPECT_EQ(meta.find("name")->as_string(), "process_name");
+  EXPECT_EQ(meta.find("args")->find("name")->as_string(), "test-process");
+
+  // The span shows up as a complete ("X") event with ts/dur in
+  // microseconds and its args attached.
+  const json::Value* span_event = nullptr;
+  for (const json::Value& e : events->as_array()) {
+    const json::Value* name = e.find("name");
+    if (name != nullptr && name->as_string() == "traced_phase") {
+      span_event = &e;
+    }
+  }
+  ASSERT_NE(span_event, nullptr);
+  EXPECT_EQ(span_event->find("ph")->as_string(), "X");
+  EXPECT_EQ(span_event->find("cat")->as_string(), "xpdl");
+  ASSERT_NE(span_event->find("ts"), nullptr);
+  EXPECT_TRUE(span_event->find("ts")->is_number());
+  ASSERT_NE(span_event->find("dur"), nullptr);
+  EXPECT_TRUE(span_event->find("dur")->is_number());
+  EXPECT_GE(span_event->find("dur")->as_number(), 0.0);
+  EXPECT_TRUE(span_event->find("tid")->is_number());
+  const json::Value* args = span_event->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("model")->as_string(), "liu_gpu_server");
+  EXPECT_DOUBLE_EQ(args->find("elements")->as_number(), 285.0);
+}
+
+TEST(Tracer, StopEndsCollection) {
+  TimingGuard guard(true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.start();
+  EXPECT_TRUE(tracer.collecting());
+  { obs::Span s("collected"); }
+  tracer.stop();
+  EXPECT_FALSE(tracer.collecting());
+  std::size_t n = tracer.events().size();
+  { obs::Span s("not_collected"); }
+  EXPECT_EQ(tracer.events().size(), n);
+}
+
+#endif  // XPDL_OBS_ENABLED
+
+// ===========================================================================
+// JSON utilities
+
+TEST(Json, ParseWriteRoundTrip) {
+  const char* text =
+      R"({"array":[1,2.5,true,null],"nested":{"k":"v"},"s":"a\"b\\c\nd"})";
+  auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(json::write(*parsed), text);  // keys stay sorted -> exact match
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("{").is_ok());
+  EXPECT_FALSE(json::parse("[1,]").is_ok());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").is_ok());
+  EXPECT_FALSE(json::parse("nul").is_ok());
+  EXPECT_FALSE(json::parse("").is_ok());
+}
+
+TEST(Json, UnicodeEscapes) {
+  // é is U+00E9 (two UTF-8 bytes); 😀 is the surrogate
+  // pair for U+1F600 (four UTF-8 bytes).
+  auto parsed = json::parse("\"\\u00e9-\\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->as_string(), "\xC3\xA9-\xF0\x9F\x98\x80");
+  // Raw UTF-8 passes through untouched.
+  auto raw = json::parse("\"A\xC3\xA9\"");
+  ASSERT_TRUE(raw.is_ok());
+  EXPECT_EQ(raw->as_string(), "A\xC3\xA9");
+}
+
+TEST(Json, IntegersWriteExactly) {
+  json::Value v;
+  v["n"] = json::Value(std::uint64_t{1234567});
+  v["f"] = json::Value(2.5);
+  EXPECT_EQ(json::write(v), R"({"f":2.5,"n":1234567})");
+}
+
+}  // namespace

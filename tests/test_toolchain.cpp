@@ -10,6 +10,9 @@
 #include "xpdl/microbench/bootstrap.h"
 #include "xpdl/microbench/drivergen.h"
 #include "xpdl/model/power.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/report.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
 
@@ -70,6 +73,43 @@ TEST(Toolchain, FullPipelineOnXScluster) {
   }
   EXPECT_TRUE(found_bootstrapped_table);
 }
+
+#if XPDL_OBS_ENABLED
+TEST(Toolchain, ObservabilityCapturesThePipeline) {
+  // The same counters and phase tree that `xpdlc --stats` prints must
+  // move when the pipeline runs as a library.
+  std::uint64_t parses_before =
+      xpdl::obs::counter("xml.parse.documents").value();
+  xpdl::obs::Tracer::instance().reset();
+  xpdl::obs::set_timing_enabled(true);
+
+  auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
+  ASSERT_TRUE(repo.is_ok());
+  xpdl::compose::Composer composer(**repo);
+  auto composed = composer.compose("liu_gpu_server");
+  xpdl::obs::set_timing_enabled(false);
+  ASSERT_TRUE(composed.is_ok()) << composed.status().to_string();
+
+  EXPECT_GT(xpdl::obs::counter("xml.parse.documents").value(),
+            parses_before);
+  EXPECT_GT(xpdl::obs::counter("repo.scan.descriptors_indexed").value(), 0u);
+  EXPECT_GT(xpdl::obs::counter("compose.models_composed").value(), 0u);
+
+  xpdl::obs::PhaseStats root = xpdl::obs::Tracer::instance().phase_tree();
+  bool saw_scan = false, saw_compose = false;
+  for (const auto& phase : root.children) {
+    if (phase.name == "repo.scan") saw_scan = true;
+    if (phase.name == "compose") saw_compose = true;
+  }
+  EXPECT_TRUE(saw_scan);
+  EXPECT_TRUE(saw_compose);
+
+  std::string report = xpdl::obs::format_report();
+  EXPECT_NE(report.find("phase timing"), std::string::npos);
+  EXPECT_NE(report.find("compose"), std::string::npos);
+  EXPECT_NE(report.find("xml.parse.documents"), std::string::npos);
+}
+#endif  // XPDL_OBS_ENABLED
 
 TEST(Toolchain, DriverGenerationForEverySuiteInModel) {
   auto repo = xpdl::repository::open_repository({XPDL_MODELS_DIR});
