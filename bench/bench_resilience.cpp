@@ -1,0 +1,110 @@
+// E14 — overhead of the resilience layer on the fast path.
+//
+// Series: what instrumented code pays when nothing is failing. The
+// numbers that matter operationally are the no-plan FaultInjector check
+// (one relaxed atomic load — every transport read and sensor repetition
+// pays it) and the first-try-success RetryPolicy::run (one classifier
+// short-circuit, no backoff). The with-plans numbers bound the cost once
+// an operator actually installs a fault plan or the breaker trips.
+#include <benchmark/benchmark.h>
+
+#include "xpdl/resilience/breaker.h"
+#include "xpdl/resilience/fault.h"
+#include "xpdl/resilience/retry.h"
+#include "xpdl/util/status.h"
+
+namespace {
+
+using xpdl::Status;
+
+void BM_FaultCheckNoPlans(benchmark::State& state) {
+  xpdl::resilience::FaultInjector injector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.check("transport.read:/some/file"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckNoPlans);
+
+void BM_FaultCheckPlannedSiteMiss(benchmark::State& state) {
+  // Plans exist, but none match the queried site: the slow path runs a
+  // map lookup plus the wildcard sweep under the mutex.
+  xpdl::resilience::FaultInjector injector;
+  xpdl::resilience::FaultPlan plan;
+  plan.probability = 0.0;
+  injector.set_plan("sensor.execute*", plan);
+  injector.set_plan("transport.list:/other/root", plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.check("transport.read:/some/file"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckPlannedSiteMiss);
+
+void BM_FaultCheckPlannedSiteHitNoFire(benchmark::State& state) {
+  // The queried site has a plan that never fires (p = 0): exact-key hit,
+  // one PRNG-free branch.
+  xpdl::resilience::FaultInjector injector;
+  xpdl::resilience::FaultPlan plan;
+  plan.probability = 0.0;
+  injector.set_plan("transport.read:/some/file", plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.check("transport.read:/some/file"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultCheckPlannedSiteHitNoFire);
+
+void BM_RetryFirstTrySuccess(benchmark::State& state) {
+  xpdl::resilience::RetryOptions options;
+  options.sleep = false;
+  xpdl::resilience::RetryPolicy retry(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retry.run("bench", [] { return Status::ok(); }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RetryFirstTrySuccess);
+
+void BM_RetryExhaustedFourAttempts(benchmark::State& state) {
+  // Worst case without sleeping: 4 attempts, 3 jittered backoff
+  // computations, context construction for the final error.
+  xpdl::resilience::RetryOptions options;
+  options.sleep = false;
+  xpdl::resilience::RetryPolicy retry(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retry.run("bench", [] {
+      return Status(xpdl::ErrorCode::kUnavailable, "down");
+    }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RetryExhaustedFourAttempts);
+
+void BM_BreakerClosedAcquireRecord(benchmark::State& state) {
+  xpdl::resilience::CircuitBreaker breaker("bench");
+  Status ok = Status::ok();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(breaker.acquire());
+    breaker.record(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BreakerClosedAcquireRecord);
+
+void BM_BreakerOpenFastFail(benchmark::State& state) {
+  xpdl::resilience::CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_ms = 1e12;  // stays open for the whole benchmark
+  xpdl::resilience::CircuitBreaker breaker("bench_open", options);
+  breaker.record(Status(xpdl::ErrorCode::kIoError, "down"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(breaker.acquire());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BreakerOpenFastFail);
+
+}  // namespace
+
+BENCHMARK_MAIN();

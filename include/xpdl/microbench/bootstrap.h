@@ -19,6 +19,7 @@
 
 #include "xpdl/microbench/simmachine.h"
 #include "xpdl/model/power.h"
+#include "xpdl/resilience/retry.h"
 #include "xpdl/util/status.h"
 #include "xpdl/xml/xml.h"
 
@@ -42,7 +43,32 @@ struct BootstrapOptions {
   /// ("On request, microbenchmarking can also be applied to instructions
   /// with given energy cost and will then override the specified values").
   bool force = false;
+  /// Retry policy for individual measurements: a repetition that fails
+  /// with a retryable error (transient sensor fault, injected fault at
+  /// site `sensor.execute.<instruction>` / `sensor.idle`) is re-run with
+  /// backoff. Defaults to virtual (non-sleeping) backoff — measurement
+  /// time in the simulator is virtual anyway; real sensor deployments
+  /// should set `retry.sleep = true`.
+  resilience::RetryOptions retry = [] {
+    resilience::RetryOptions r;
+    r.sleep = false;
+    return r;
+  }();
+  /// Keep bootstrapping when an instruction stays unmeasurable after all
+  /// retries: it is recorded in BootstrapReport::unmeasurable and its `?`
+  /// placeholder is left intact (loud in the model), instead of the
+  /// whole deployment failing.
+  bool keep_going = false;
+  /// Outlier-robust aggregation across repetitions (median/MAD trimming)
+  /// instead of the plain mean — one glitched reading cannot poison an
+  /// energy entry.
+  bool robust = true;
 };
+
+/// Median/MAD-trimmed mean: samples farther than 3 scaled MADs from the
+/// median are discarded, the rest averaged. With MAD == 0 (all samples
+/// identical) the median itself is returned. Empty input yields 0.
+[[nodiscard]] double robust_mean(std::vector<double> samples);
 
 /// What the bootstrap run did.
 struct BootstrapReport {
@@ -51,10 +77,23 @@ struct BootstrapReport {
     double frequency_hz = 0.0;
     double measured_energy_j = 0.0;
   };
+  /// An instruction that stayed unmeasurable after all retries (only
+  /// under BootstrapOptions::keep_going); its `?` placeholder survives.
+  struct Unmeasurable {
+    std::string instruction;
+    Status reason;
+  };
   std::vector<Entry> entries;
+  std::vector<Unmeasurable> unmeasurable;
   double estimated_static_power_w = 0.0;
   std::size_t measured_instructions = 0;
-  std::size_t skipped_instructions = 0;
+  std::size_t skipped_instructions = 0;  ///< already specified, not re-run
+  std::size_t measurement_retries = 0;   ///< transient faults retried away
+
+  /// True when instructions had to be left unmeasured.
+  [[nodiscard]] bool degraded() const noexcept {
+    return !unmeasurable.empty();
+  }
 };
 
 /// Runs the bootstrap protocol.
@@ -82,10 +121,13 @@ class Bootstrapper {
   [[nodiscard]] Result<double> measure_static_power();
   [[nodiscard]] Result<double> measure_instruction(std::string_view name,
                                                    double frequency_hz);
+  [[nodiscard]] double aggregate(std::vector<double> samples) const;
 
   SimMachine& machine_;
   BootstrapOptions options_;
+  resilience::RetryPolicy retry_;
   double static_power_w_ = 0.0;
+  std::size_t run_retries_ = 0;  ///< accumulated over the current run
 };
 
 }  // namespace xpdl::microbench

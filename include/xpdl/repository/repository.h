@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xpdl/repository/transport.h"
+#include "xpdl/resilience/retry.h"
 #include "xpdl/schema/schema.h"
 #include "xpdl/util/status.h"
 #include "xpdl/xml/xml.h"
@@ -33,6 +35,40 @@ struct DescriptorInfo {
   bool is_meta = false;        ///< declared with `name` (vs `id`)
 };
 
+/// How a scan treats broken inputs.
+struct ScanOptions {
+  /// Fail-fast: the first unreadable/malformed/duplicate descriptor
+  /// aborts the scan (the pre-resilience behaviour, kept for
+  /// open_repository and the tools' --strict flag). When false the scan
+  /// *degrades*: bad files are quarantined into the ScanReport and
+  /// indexing continues.
+  bool strict = false;
+  /// Retry policy for transport calls (transient I/O faults). The
+  /// defaults retry transient failures a few times with exponential
+  /// backoff; set max_attempts = 1 to disable.
+  resilience::RetryOptions retry;
+};
+
+/// What a scan did — including everything it had to leave behind.
+struct ScanReport {
+  /// One descriptor file the scan could not index, and why.
+  struct Quarantined {
+    std::string path;
+    Status reason;
+  };
+  std::size_t files_seen = 0;     ///< candidate .xpdl files discovered
+  std::size_t indexed = 0;        ///< descriptors registered
+  std::size_t transport_retries = 0;  ///< transient faults retried away
+  std::vector<Quarantined> quarantined;
+
+  /// True when the scan had to leave files behind (degraded result).
+  [[nodiscard]] bool degraded() const noexcept {
+    return !quarantined.empty();
+  }
+  /// One warning line per quarantined file (for tool stderr output).
+  [[nodiscard]] std::vector<std::string> to_warnings() const;
+};
+
 /// A model repository over one or more root directories.
 class Repository {
  public:
@@ -43,9 +79,20 @@ class Repository {
   /// Adds another root directory at the end of the search path.
   void add_root(std::string directory);
 
+  /// Replaces the descriptor transport (default: LocalFsTransport behind
+  /// the fault-injection seam, see make_default_transport()).
+  void set_transport(std::unique_ptr<Transport> transport);
+
   /// Scans all roots for descriptor files and indexes them by reference
-  /// name. Files that fail to parse are reported as errors; duplicate
-  /// names inside one root are errors, across roots warnings (shadowing).
+  /// name. In strict mode any unreadable/malformed/duplicate descriptor
+  /// fails the scan; otherwise such files are quarantined into the
+  /// returned ScanReport and indexing continues (degraded mode).
+  /// Transport calls are retried per `options.retry`. Duplicate names
+  /// inside one root are errors (strict) / quarantined (degraded);
+  /// across roots the earlier search-path root wins with a warning.
+  [[nodiscard]] Result<ScanReport> scan(const ScanOptions& options);
+
+  /// Strict fail-fast scan (the original interface).
   [[nodiscard]] Status scan();
 
   /// Looks up a descriptor by reference name, parsing and validating its
@@ -85,18 +132,27 @@ class Repository {
     std::unique_ptr<xml::Element> root;  ///< null until parsed
   };
 
-  [[nodiscard]] Status index_file(const std::string& path,
+  [[nodiscard]] Status index_text(const std::string& path,
+                                  std::string_view text,
                                   const std::string& root_dir);
 
   std::vector<std::string> search_path_;
+  std::unique_ptr<Transport> transport_;
   std::map<std::string, Entry, std::less<>> entries_;
   std::vector<std::string> warnings_;
   bool scanned_ = false;
 };
 
 /// Convenience: builds a repository over `roots`, scans it, and fails on
-/// any scan error.
+/// any scan error (strict mode).
 [[nodiscard]] Result<std::unique_ptr<Repository>> open_repository(
     std::vector<std::string> roots);
+
+/// open_repository with explicit scan semantics: in degraded mode the
+/// repository is returned even when files were quarantined; the report
+/// (written to `*report` when non-null) says what was left behind.
+[[nodiscard]] Result<std::unique_ptr<Repository>> open_repository(
+    std::vector<std::string> roots, const ScanOptions& options,
+    ScanReport* report = nullptr);
 
 }  // namespace xpdl::repository

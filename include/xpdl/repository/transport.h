@@ -1,0 +1,75 @@
+// Descriptor transport for the model repository.
+//
+// The paper's repository is distributed: descriptors are fetched from
+// manufacturer sites via the model search path. The Transport interface
+// isolates the repository from *how* descriptor bytes arrive — a local
+// directory tree today, a remote mirror tomorrow — and gives the
+// resilience layer a seam: the repository wraps every transport call in a
+// RetryPolicy, and FaultInjectingTransport recreates flaky-mirror
+// behaviour deterministically in tests (sites `transport.list:<root>`
+// and `transport.read:<path>` against the process-wide FaultInjector).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::repository {
+
+/// Fetches descriptor listings and contents for the repository.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// All descriptor files (paths ending in `.xpdl`) under `root`,
+  /// sorted for deterministic scan order. A missing or unreadable root
+  /// is an error.
+  [[nodiscard]] virtual Result<std::vector<std::string>> list(
+      const std::string& root) = 0;
+
+  /// The full contents of one descriptor file.
+  [[nodiscard]] virtual Result<std::string> read(const std::string& path) = 0;
+
+  /// Human-readable transport kind for diagnostics ("local-fs", ...).
+  [[nodiscard]] virtual std::string_view describe() const noexcept = 0;
+};
+
+/// Reads descriptors from local directory trees (the default).
+class LocalFsTransport final : public Transport {
+ public:
+  [[nodiscard]] Result<std::vector<std::string>> list(
+      const std::string& root) override;
+  [[nodiscard]] Result<std::string> read(const std::string& path) override;
+  [[nodiscard]] std::string_view describe() const noexcept override {
+    return "local-fs";
+  }
+};
+
+/// Decorator consulting the process-wide resilience::FaultInjector before
+/// each call, at site `transport.list:<root>` for listings and
+/// `transport.read:<path>` for reads — so `transport.read*` in a fault
+/// plan hits every read and `transport.read:/exact/file.xpdl` hits one.
+/// With no plans installed the overhead is one relaxed atomic load per
+/// call.
+class FaultInjectingTransport final : public Transport {
+ public:
+  explicit FaultInjectingTransport(std::unique_ptr<Transport> inner);
+
+  [[nodiscard]] Result<std::vector<std::string>> list(
+      const std::string& root) override;
+  [[nodiscard]] Result<std::string> read(const std::string& path) override;
+  [[nodiscard]] std::string_view describe() const noexcept override {
+    return "fault-injecting";
+  }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+};
+
+/// The repository's default: LocalFsTransport behind the fault-injection
+/// seam, so XPDL_FAULTS / --fault-plan reach every tool's scan.
+[[nodiscard]] std::unique_ptr<Transport> make_default_transport();
+
+}  // namespace xpdl::repository

@@ -1,0 +1,90 @@
+// Circuit breaker (xpdl::resilience).
+//
+// Protects callers from hammering a dependency that is down: after
+// `failure_threshold` consecutive failures the breaker *opens* and every
+// acquire() fails fast with kUnavailable (no work attempted). After
+// `open_duration_ms` it transitions to *half-open* and lets a limited
+// number of trial calls through; enough consecutive successes close it
+// again, any failure re-opens it. The classic state machine:
+//
+//      closed --(N consecutive failures)--> open
+//      open   --(open_duration elapsed)---> half-open
+//      half-open --(M successes)----------> closed
+//      half-open --(any failure)----------> open
+//
+// The clock is injectable so tests drive transitions deterministically.
+// State is exported as an xpdl::obs gauge (`resilience.breaker.<name>`:
+// 0 closed, 1 half-open, 2 open) plus rejection/trip counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::resilience {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before probing, milliseconds.
+  double open_duration_ms = 1000.0;
+  /// Consecutive half-open successes required to close again.
+  int half_open_successes = 2;
+  /// Time source in milliseconds; defaults to std::chrono::steady_clock.
+  /// Injectable for deterministic tests.
+  std::function<double()> clock_ms;
+};
+
+/// Thread-safe circuit breaker.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  explicit CircuitBreaker(std::string name,
+                          CircuitBreakerOptions options = {});
+
+  /// Permission to attempt the protected operation. Fails fast with
+  /// kUnavailable while the breaker is open.
+  [[nodiscard]] Status acquire();
+
+  /// Reports the outcome of an attempted operation.
+  void record(const Status& outcome);
+
+  /// acquire() + fn() + record() in one call; when open, `fn` is not
+  /// invoked and the fast-fail status is returned.
+  [[nodiscard]] Status run(const std::function<Status()>& fn);
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Consecutive-failure count in the current closed period (tests).
+  [[nodiscard]] int consecutive_failures() const;
+
+  /// Times the breaker tripped open over its lifetime.
+  [[nodiscard]] std::uint64_t trips() const;
+
+  /// Back to a pristine closed state.
+  void reset();
+
+ private:
+  [[nodiscard]] double now_ms() const;
+  void transition_locked(State next);
+
+  std::string name_;
+  CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double opened_at_ms_ = 0.0;
+  std::uint64_t trips_ = 0;
+};
+
+/// Human-readable state name ("closed", "half-open", "open").
+[[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace xpdl::resilience

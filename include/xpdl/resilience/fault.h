@@ -1,0 +1,118 @@
+// Deterministic fault injection for resilience testing (xpdl::resilience).
+//
+// The paper's repository is *distributed* (descriptors fetched from
+// manufacturer sites over the model search path) and energy models are
+// bootstrapped on freshly deployed machines — both environments where
+// reads time out, sensors glitch and files arrive truncated. The
+// FaultInjector lets tests and operators recreate those failures
+// deterministically: named *sites* in the code base (e.g. `transport.read`,
+// `sensor.execute.divsd`) consult the injector, and a site-keyed *fault
+// plan* decides whether the call fails, with which error code, and after
+// how much injected latency.
+//
+// Plans are configured programmatically (set_plan) or from a compact spec
+// string (`configure`, also read from the XPDL_FAULTS environment variable
+// and the tools' --fault-plan flag):
+//
+//   spec   := entry (';' entry)*
+//   entry  := site '=' action (',' action)*
+//   action := 'fail:' N [':' code]   fail the first N calls
+//           | 'prob:' P [':' code]   fail each call with probability P
+//           | 'delay:' MS            sleep MS milliseconds per call
+//           | 'seed:' S              PRNG seed for 'prob' (deterministic)
+//   code   := 'io' | 'unavailable' | 'parse' | 'format'
+//           | 'not-found' | 'internal'
+//
+// A site key ending in '*' is a prefix wildcard: `sensor.execute.*`
+// matches every instruction measurement site. Probabilistic plans use a
+// seeded xorshift64* PRNG per site, so a given (spec, call sequence) pair
+// always injects the same faults.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::resilience {
+
+/// The faults to inject at one site. All three mechanisms compose: a plan
+/// may delay every call, fail the first N, and then keep failing
+/// probabilistically.
+struct FaultPlan {
+  /// Fail the first `fail_n` calls (0 disables).
+  int fail_n = 0;
+  /// After the fail_n budget, fail each call with this probability
+  /// (0 disables) under a PRNG seeded with `seed`.
+  double probability = 0.0;
+  /// Injected latency per call, milliseconds (0 disables).
+  double delay_ms = 0.0;
+  /// Error code of injected failures. kUnavailable and kIoError are
+  /// retryable under the default RetryPolicy classification.
+  ErrorCode code = ErrorCode::kUnavailable;
+  /// Deterministic seed for the probabilistic mode.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Message of injected failures ("" = a default naming the site).
+  std::string message;
+};
+
+/// Site-keyed fault injection. Thread-safe; the no-plans fast path is one
+/// relaxed atomic load (see bench_resilience).
+class FaultInjector {
+ public:
+  FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// The process-wide injector consulted by the library's built-in sites.
+  /// Tests may also build private instances.
+  static FaultInjector& instance();
+
+  /// Parses a spec string (grammar above) and installs its plans on top
+  /// of any existing ones.
+  [[nodiscard]] Status configure(std::string_view spec);
+
+  /// Installs (or replaces) the plan for one site.
+  void set_plan(std::string_view site, FaultPlan plan);
+
+  /// Removes all plans and resets all per-site state.
+  void clear();
+
+  /// True when no plans are installed — the instrumented-site fast path.
+  [[nodiscard]] bool empty() const noexcept {
+    return plan_count_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Consults the plan for `site` (exact key first, then the longest
+  /// matching '*' prefix). Sleeps for any configured delay, then returns
+  /// an injected failure or OK. Without a matching plan: OK.
+  [[nodiscard]] Status check(std::string_view site);
+
+  /// Number of failures injected at `site` so far (exact key only).
+  [[nodiscard]] std::uint64_t injected(std::string_view site) const;
+
+  /// Number of times `site` consulted a matching plan (exact key only).
+  [[nodiscard]] std::uint64_t calls(std::string_view site) const;
+
+  /// Total failures injected across all sites.
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+  /// Configures instance() from the XPDL_FAULTS environment variable
+  /// (no-op when unset). Returns the configure() status.
+  static Status install_from_env();
+
+ private:
+  struct Impl;
+
+  std::atomic<std::size_t> plan_count_{0};
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parses one error-code name from the spec grammar ('io', 'parse', ...).
+[[nodiscard]] Result<ErrorCode> parse_error_code(std::string_view name);
+
+}  // namespace xpdl::resilience

@@ -1,0 +1,110 @@
+// Retry with exponential backoff and jitter (xpdl::resilience).
+//
+// Wraps operations that can fail *transiently* — a descriptor fetch from a
+// flaky repository mirror, a sensor read during deployment-time
+// bootstrapping — in a bounded retry loop: exponential backoff with
+// deterministic jitter, an attempt cap, an optional total-backoff
+// deadline, and retryable-error classification over util::Status codes.
+// Every retry, give-up and backoff delay is visible through xpdl::obs
+// (`resilience.retry.*` counters, `resilience.retry.backoff_us`
+// histogram), so `--stats` shows exactly how hard a run had to fight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::resilience {
+
+/// Tuning knobs of a retry loop.
+struct RetryOptions {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Backoff before the first retry, milliseconds.
+  double initial_backoff_ms = 1.0;
+  /// Growth factor per retry (2 = classic exponential backoff).
+  double backoff_multiplier = 2.0;
+  /// Cap on a single backoff interval, milliseconds.
+  double max_backoff_ms = 250.0;
+  /// Fraction of each interval randomized away: the effective delay is
+  /// uniform in [nominal*(1-jitter), nominal]. Deterministic per `seed`.
+  double jitter = 0.5;
+  /// Budget for the *sum* of backoff delays, milliseconds; a retry whose
+  /// delay would exceed it is not attempted. 0 = unlimited.
+  double deadline_ms = 0.0;
+  /// When false, delays are accounted (deadline, histogram) but not
+  /// slept — deterministic and fast for tests and simulated sensors.
+  bool sleep = true;
+  /// Seed of the jitter PRNG, for reproducible schedules.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Default classification: which failures are worth retrying. I/O errors
+/// and kUnavailable (injected faults, open circuits, transient transport
+/// failures) are; schema violations, parse errors and caller misuse are
+/// deterministic and are not.
+[[nodiscard]] bool default_retryable(const Status& status) noexcept;
+
+/// A configured retry loop. Cheap to construct; not thread-safe (build
+/// one per thread or per operation).
+class RetryPolicy {
+ public:
+  using Classifier = std::function<bool(const Status&)>;
+
+  explicit RetryPolicy(RetryOptions options = {});
+
+  /// Replaces the retryable-error predicate (default_retryable otherwise).
+  void set_classifier(Classifier classifier);
+
+  /// Runs `fn` until it returns OK, a non-retryable failure, or the
+  /// attempt/deadline budget is exhausted; returns the final status.
+  /// `op` labels the operation in diagnostics.
+  [[nodiscard]] Status run(std::string_view op,
+                           const std::function<Status()>& fn);
+
+  /// run() for functions returning Result<T>.
+  template <typename Fn>
+  [[nodiscard]] auto run_result(std::string_view op, Fn&& fn)
+      -> std::invoke_result_t<Fn> {
+    using R = std::invoke_result_t<Fn>;
+    std::optional<R> out;
+    Status st = run(op, [&]() -> Status {
+      out.emplace(fn());
+      return out->is_ok() ? Status::ok() : Status(out->status());
+    });
+    if (st.is_ok()) return std::move(*out);
+    return R(std::move(st));
+  }
+
+  /// Nominal (pre-jitter) backoff before the retry with 0-based index
+  /// `retry_index`: initial * multiplier^retry_index, capped.
+  [[nodiscard]] double nominal_backoff_ms(int retry_index) const noexcept;
+
+  /// Statistics of the most recent run().
+  struct RunStats {
+    int attempts = 0;          ///< tries performed (>= 1)
+    int retries = 0;           ///< attempts - 1, when any were needed
+    double total_backoff_ms = 0.0;
+    bool exhausted = false;    ///< gave up on a retryable failure
+  };
+  [[nodiscard]] const RunStats& last_run() const noexcept { return last_; }
+
+  [[nodiscard]] const RetryOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] double jittered_backoff_ms(int retry_index);
+
+  RetryOptions options_;
+  Classifier classifier_;
+  std::uint64_t rng_state_;
+  RunStats last_;
+};
+
+}  // namespace xpdl::resilience

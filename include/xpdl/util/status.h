@@ -27,6 +27,7 @@ enum class ErrorCode : std::uint8_t {
   kCycle,             ///< cyclic inheritance or inclusion
   kConstraintViolation,
   kIoError,           ///< file not found / unreadable / unwritable
+  kUnavailable,       ///< transient failure: injected fault, open circuit
   kFormatError,       ///< corrupt runtime model file
   kInvalidArgument,   ///< caller misuse detected at a public API boundary
   kNotFound,          ///< lookup with no result where one was required

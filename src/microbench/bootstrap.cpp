@@ -1,18 +1,63 @@
 #include "xpdl/microbench/bootstrap.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
+#include "xpdl/resilience/fault.h"
 #include "xpdl/util/strings.h"
 
 namespace xpdl::microbench {
 
+double robust_mean(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  auto median_of = [](const std::vector<double>& s) {
+    std::size_t n = s.size();
+    return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+  };
+  double median = median_of(sorted);
+
+  std::vector<double> deviations;
+  deviations.reserve(sorted.size());
+  for (double v : sorted) deviations.push_back(std::fabs(v - median));
+  std::sort(deviations.begin(), deviations.end());
+  double mad = median_of(deviations);
+  if (mad <= 0.0) return median;
+
+  // 1.4826 scales the MAD to the stddev of a normal distribution; keep
+  // everything within 3 sigma-equivalents of the median.
+  double threshold = 3.0 * 1.4826 * mad;
+  double sum = 0.0;
+  std::size_t kept = 0;
+  for (double v : samples) {
+    if (std::fabs(v - median) <= threshold) {
+      sum += v;
+      ++kept;
+    }
+  }
+  if (kept == 0) return median;  // unreachable: the median always survives
+  if (kept < samples.size()) {
+    XPDL_OBS_COUNT("bootstrap.samples_trimmed", samples.size() - kept);
+  }
+  return sum / static_cast<double>(kept);
+}
+
 Bootstrapper::Bootstrapper(SimMachine& machine, BootstrapOptions options)
-    : machine_(machine), options_(std::move(options)) {
+    : machine_(machine), options_(std::move(options)), retry_(options_.retry) {
   if (options_.frequencies_hz.empty()) {
     options_.frequencies_hz.push_back(options_.default_frequency_hz);
   }
+}
+
+double Bootstrapper::aggregate(std::vector<double> samples) const {
+  if (samples.empty()) return 0.0;
+  if (options_.robust) return robust_mean(std::move(samples));
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
 }
 
 Result<double> Bootstrapper::measure_static_power() {
@@ -21,41 +66,66 @@ Result<double> Bootstrapper::measure_static_power() {
                   "bootstrap options require positive idle interval and "
                   "repetition count");
   }
-  double sum = 0.0;
+  resilience::FaultInjector& injector = resilience::FaultInjector::instance();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options_.repetitions));
   for (int r = 0; r < options_.repetitions; ++r) {
-    double e0 = machine_.read_energy_counter();
-    double t0 = machine_.now();
-    machine_.idle(options_.idle_interval_s);
-    double e1 = machine_.read_energy_counter();
-    double t1 = machine_.now();
-    sum += (e1 - e0) / (t1 - t0);
+    Status st = retry_.run("idle power measurement", [&]() -> Status {
+      if (!injector.empty()) {
+        XPDL_RETURN_IF_ERROR(injector.check("sensor.idle"));
+      }
+      double e0 = machine_.read_energy_counter();
+      double t0 = machine_.now();
+      machine_.idle(options_.idle_interval_s);
+      double e1 = machine_.read_energy_counter();
+      double t1 = machine_.now();
+      samples.push_back((e1 - e0) / (t1 - t0));
+      return Status::ok();
+    });
+    run_retries_ += static_cast<std::size_t>(retry_.last_run().retries);
+    XPDL_RETURN_IF_ERROR(st);
   }
-  return sum / options_.repetitions;
+  return aggregate(std::move(samples));
 }
 
 Result<double> Bootstrapper::measure_instruction(std::string_view name,
                                                  double frequency_hz) {
   XPDL_OBS_COUNT("bootstrap.sim_runs",
                  static_cast<std::uint64_t>(options_.repetitions));
-  double sum = 0.0;
+  resilience::FaultInjector& injector = resilience::FaultInjector::instance();
+  const std::string site = "sensor.execute." + std::string(name);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options_.repetitions));
   for (int r = 0; r < options_.repetitions; ++r) {
-    double e0 = machine_.read_energy_counter();
-    double t0 = machine_.now();
-    XPDL_RETURN_IF_ERROR(
-        machine_.execute(name, options_.iterations, frequency_hz));
-    double e1 = machine_.read_energy_counter();
-    double t1 = machine_.now();
-    double dynamic = (e1 - e0) - static_power_w_ * (t1 - t0);
-    sum += dynamic / static_cast<double>(options_.iterations);
+    // One repetition = one counted measurement loop; a transient sensor
+    // fault voids the whole repetition, so the retry re-runs it from the
+    // first counter read.
+    Status st = retry_.run(site, [&]() -> Status {
+      if (!injector.empty()) {
+        XPDL_RETURN_IF_ERROR(injector.check(site));
+      }
+      double e0 = machine_.read_energy_counter();
+      double t0 = machine_.now();
+      XPDL_RETURN_IF_ERROR(
+          machine_.execute(name, options_.iterations, frequency_hz));
+      double e1 = machine_.read_energy_counter();
+      double t1 = machine_.now();
+      double dynamic = (e1 - e0) - static_power_w_ * (t1 - t0);
+      samples.push_back(dynamic / static_cast<double>(options_.iterations));
+      return Status::ok();
+    });
+    run_retries_ += static_cast<std::size_t>(retry_.last_run().retries);
+    XPDL_RETURN_IF_ERROR(st);
   }
-  double mean = sum / options_.repetitions;
+  double energy = aggregate(std::move(samples));
   // Energy can come out slightly negative for near-zero-cost instructions
   // under noise; clamp — a negative per-instruction energy is unphysical.
-  return std::max(mean, 0.0);
+  return std::max(energy, 0.0);
 }
 
 Result<BootstrapReport> Bootstrapper::bootstrap(model::InstructionSet& isa) {
   BootstrapReport report;
+  run_retries_ = 0;
   XPDL_ASSIGN_OR_RETURN(static_power_w_, measure_static_power());
   report.estimated_static_power_w = static_power_w_;
 
@@ -67,11 +137,32 @@ Result<BootstrapReport> Bootstrapper::bootstrap(model::InstructionSet& isa) {
       continue;
     }
     std::vector<std::pair<double, double>> table;
+    std::vector<BootstrapReport::Entry> entries;
+    Status failure = Status::ok();
     for (double f : options_.frequencies_hz) {
-      XPDL_ASSIGN_OR_RETURN(double e, measure_instruction(inst.name, f));
-      table.emplace_back(f, e);
-      report.entries.push_back(
-          BootstrapReport::Entry{inst.name, f, e});
+      auto e = measure_instruction(inst.name, f);
+      if (!e.is_ok()) {
+        failure = std::move(e).status();
+        break;
+      }
+      table.emplace_back(f, *e);
+      entries.push_back(BootstrapReport::Entry{inst.name, f, *e});
+    }
+    if (!failure.is_ok()) {
+      if (!options_.keep_going) {
+        report.measurement_retries = run_retries_;
+        return failure.with_context("bootstrapping instruction '" +
+                                    inst.name + "'");
+      }
+      // Degraded mode: leave the '?' placeholder intact and loud, record
+      // why, and keep measuring the remaining instructions.
+      XPDL_OBS_COUNT("bootstrap.instructions_unmeasurable", 1);
+      report.unmeasurable.push_back(
+          BootstrapReport::Unmeasurable{inst.name, std::move(failure)});
+      continue;
+    }
+    for (BootstrapReport::Entry& entry : entries) {
+      report.entries.push_back(std::move(entry));
     }
     if (table.size() == 1) {
       inst.energy_j = table.front().second;
@@ -83,6 +174,7 @@ Result<BootstrapReport> Bootstrapper::bootstrap(model::InstructionSet& isa) {
     inst.placeholder = false;
     ++report.measured_instructions;
   }
+  report.measurement_retries = run_retries_;
   XPDL_OBS_COUNT("bootstrap.instructions_measured",
                  report.measured_instructions);
   XPDL_OBS_COUNT("bootstrap.instructions_skipped",
@@ -139,12 +231,17 @@ Result<BootstrapReport> Bootstrapper::bootstrap_model(xml::Element& root) {
     total.estimated_static_power_w = report.estimated_static_power_w;
     total.measured_instructions += report.measured_instructions;
     total.skipped_instructions += report.skipped_instructions;
+    total.measurement_retries += report.measurement_retries;
     for (auto& entry : report.entries) total.entries.push_back(std::move(entry));
+    for (auto& um : report.unmeasurable) {
+      total.unmeasurable.push_back(std::move(um));
+    }
   }
   XPDL_OBS_COUNT("bootstrap.placeholders_filled", total.measured_instructions);
   if (span.active()) {
     span.arg("measured", total.measured_instructions);
     span.arg("skipped", total.skipped_instructions);
+    span.arg("unmeasurable", total.unmeasurable.size());
   }
   return total;
 }

@@ -1,7 +1,6 @@
 #include "xpdl/repository/repository.h"
 
 #include <algorithm>
-#include <filesystem>
 
 #include "xpdl/model/ir.h"
 #include "xpdl/obs/metrics.h"
@@ -9,21 +8,34 @@
 
 namespace xpdl::repository {
 
-namespace fs = std::filesystem;
-
 Repository::Repository(std::vector<std::string> search_path)
-    : search_path_(std::move(search_path)) {}
+    : search_path_(std::move(search_path)),
+      transport_(make_default_transport()) {}
 
 void Repository::add_root(std::string directory) {
   search_path_.push_back(std::move(directory));
   scanned_ = false;
 }
 
-Status Repository::index_file(const std::string& path,
+void Repository::set_transport(std::unique_ptr<Transport> transport) {
+  transport_ = std::move(transport);
+  scanned_ = false;
+}
+
+std::vector<std::string> ScanReport::to_warnings() const {
+  std::vector<std::string> out;
+  out.reserve(quarantined.size());
+  for (const Quarantined& q : quarantined) {
+    out.push_back("quarantined '" + q.path + "': " + q.reason.to_string());
+  }
+  return out;
+}
+
+Status Repository::index_text(const std::string& path, std::string_view text,
                               const std::string& root_dir) {
-  // Index cheaply: parse the file now (descriptors are small); the parsed
+  // Index cheaply: parse the text now (descriptors are small); the parsed
   // tree doubles as the cache entry.
-  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
+  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(text, path));
   for (std::string& w : doc.warnings) warnings_.push_back(std::move(w));
 
   schema::ValidationReport report =
@@ -66,41 +78,65 @@ Status Repository::index_file(const std::string& path,
   return Status::ok();
 }
 
-Status Repository::scan() {
+Result<ScanReport> Repository::scan(const ScanOptions& options) {
   obs::Span span("repo.scan");
   entries_.clear();
   warnings_.clear();
+  ScanReport report;
+  resilience::RetryPolicy retry(options.retry);
+
   for (const std::string& root : search_path_) {
     XPDL_OBS_COUNT("repo.scan.search_path_probes", 1);
-    std::error_code ec;
-    if (!fs::is_directory(root, ec)) {
-      return Status(ErrorCode::kIoError,
-                    "model search path entry is not a directory",
-                    SourceLocation{root, 0, 0});
+    auto files = retry.run_result(
+        "listing repository root '" + root + "'",
+        [&] { return transport_->list(root); });
+    report.transport_retries +=
+        static_cast<std::size_t>(retry.last_run().retries);
+    if (!files.is_ok()) {
+      // A whole root failing to list is a configuration-level fault; in
+      // degraded mode it is quarantined like a file so the remaining
+      // roots still serve.
+      if (options.strict) return std::move(files).status();
+      report.quarantined.push_back(
+          ScanReport::Quarantined{root, std::move(files).status()});
+      continue;
     }
-    // Deterministic order: collect and sort paths first.
-    std::vector<std::string> files;
-    for (auto it = fs::recursive_directory_iterator(root, ec);
-         it != fs::recursive_directory_iterator(); it.increment(ec)) {
-      if (ec) {
-        return Status(ErrorCode::kIoError,
-                      "error walking repository: " + ec.message(),
-                      SourceLocation{root, 0, 0});
+    report.files_seen += files->size();
+    XPDL_OBS_COUNT("repo.scan.files_probed", files->size());
+
+    for (const std::string& f : *files) {
+      auto text = retry.run_result(
+          "reading repository file '" + f + "'",
+          [&] { return transport_->read(f); });
+      report.transport_retries +=
+          static_cast<std::size_t>(retry.last_run().retries);
+      Status st = text.is_ok()
+                      ? index_text(f, *text, root)
+                      : std::move(text).status();
+      if (!st.is_ok()) {
+        st.with_context("indexing repository file '" + f + "'");
+        if (options.strict) return st;
+        XPDL_OBS_COUNT("repo.scan.files_quarantined", 1);
+        report.quarantined.push_back(
+            ScanReport::Quarantined{f, std::move(st)});
       }
-      if (it->is_regular_file() && it->path().extension() == ".xpdl") {
-        files.push_back(it->path().string());
-      }
-    }
-    std::sort(files.begin(), files.end());
-    XPDL_OBS_COUNT("repo.scan.files_probed", files.size());
-    for (const std::string& f : files) {
-      XPDL_RETURN_IF_ERROR(index_file(f, root).with_context(
-          "indexing repository file '" + f + "'"));
     }
   }
   scanned_ = true;
+  report.indexed = entries_.size();
   XPDL_OBS_COUNT("repo.scan.descriptors_indexed", entries_.size());
-  if (span.active()) span.arg("descriptors", std::uint64_t{entries_.size()});
+  if (span.active()) {
+    span.arg("descriptors", std::uint64_t{entries_.size()});
+    span.arg("quarantined", std::uint64_t{report.quarantined.size()});
+  }
+  return report;
+}
+
+Status Repository::scan() {
+  ScanOptions options;
+  options.strict = true;
+  XPDL_ASSIGN_OR_RETURN(ScanReport report, scan(options));
+  (void)report;
   return Status::ok();
 }
 
@@ -164,8 +200,17 @@ std::vector<DescriptorInfo> Repository::descriptors() const {
 
 Result<std::unique_ptr<Repository>> open_repository(
     std::vector<std::string> roots) {
+  ScanOptions options;
+  options.strict = true;
+  return open_repository(std::move(roots), options);
+}
+
+Result<std::unique_ptr<Repository>> open_repository(
+    std::vector<std::string> roots, const ScanOptions& options,
+    ScanReport* report) {
   auto repo = std::make_unique<Repository>(std::move(roots));
-  XPDL_RETURN_IF_ERROR(repo->scan());
+  XPDL_ASSIGN_OR_RETURN(ScanReport scan_report, repo->scan(options));
+  if (report != nullptr) *report = std::move(scan_report);
   return repo;
 }
 

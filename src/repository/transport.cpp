@@ -1,0 +1,67 @@
+#include "xpdl/repository/transport.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "xpdl/resilience/fault.h"
+#include "xpdl/util/io.h"
+
+namespace xpdl::repository {
+
+namespace fs = std::filesystem;
+
+Result<std::vector<std::string>> LocalFsTransport::list(
+    const std::string& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status(ErrorCode::kIoError,
+                  "model search path entry is not a directory",
+                  SourceLocation{root, 0, 0});
+  }
+  std::vector<std::string> files;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status(ErrorCode::kIoError,
+                    "error walking repository: " + ec.message(),
+                    SourceLocation{root, 0, 0});
+    }
+    if (it->is_regular_file() && it->path().extension() == ".xpdl") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::string> LocalFsTransport::read(const std::string& path) {
+  return io::read_file(path);
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner)
+    : inner_(std::move(inner)) {}
+
+Result<std::vector<std::string>> FaultInjectingTransport::list(
+    const std::string& root) {
+  resilience::FaultInjector& injector = resilience::FaultInjector::instance();
+  if (!injector.empty()) {
+    XPDL_RETURN_IF_ERROR(injector.check("transport.list:" + root));
+  }
+  return inner_->list(root);
+}
+
+Result<std::string> FaultInjectingTransport::read(const std::string& path) {
+  resilience::FaultInjector& injector = resilience::FaultInjector::instance();
+  if (!injector.empty()) {
+    XPDL_RETURN_IF_ERROR(injector.check("transport.read:" + path));
+  }
+  return inner_->read(path);
+}
+
+std::unique_ptr<Transport> make_default_transport() {
+  return std::make_unique<FaultInjectingTransport>(
+      std::make_unique<LocalFsTransport>());
+}
+
+}  // namespace xpdl::repository

@@ -1,0 +1,120 @@
+#include "xpdl/resilience/breaker.h"
+
+#include <chrono>
+
+#include "xpdl/obs/metrics.h"
+
+namespace xpdl::resilience {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+    case CircuitBreaker::State::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name,
+                               CircuitBreakerOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (!options_.clock_ms) options_.clock_ms = steady_now_ms;
+}
+
+double CircuitBreaker::now_ms() const { return options_.clock_ms(); }
+
+void CircuitBreaker::transition_locked(State next) {
+  state_ = next;
+#if XPDL_OBS_ENABLED
+  obs::gauge("resilience.breaker." + name_)
+      .set(static_cast<double>(static_cast<std::uint8_t>(next)));
+#endif
+}
+
+Status CircuitBreaker::acquire() {
+  std::lock_guard lock(mutex_);
+  if (state_ == State::kOpen) {
+    if (now_ms() - opened_at_ms_ >= options_.open_duration_ms) {
+      half_open_successes_ = 0;
+      transition_locked(State::kHalfOpen);
+    } else {
+      XPDL_OBS_COUNT("resilience.breaker.rejected", 1);
+      return Status(ErrorCode::kUnavailable,
+                    "circuit breaker '" + name_ +
+                        "' is open (failing fast)");
+    }
+  }
+  return Status::ok();
+}
+
+void CircuitBreaker::record(const Status& outcome) {
+  std::lock_guard lock(mutex_);
+  if (outcome.is_ok()) {
+    if (state_ == State::kHalfOpen) {
+      if (++half_open_successes_ >= options_.half_open_successes) {
+        consecutive_failures_ = 0;
+        transition_locked(State::kClosed);
+      }
+    } else {
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kHalfOpen) {
+    // A failed trial re-opens immediately.
+    opened_at_ms_ = now_ms();
+    ++trips_;
+    XPDL_OBS_COUNT("resilience.breaker.trips", 1);
+    transition_locked(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    opened_at_ms_ = now_ms();
+    ++trips_;
+    XPDL_OBS_COUNT("resilience.breaker.trips", 1);
+    transition_locked(State::kOpen);
+  }
+}
+
+Status CircuitBreaker::run(const std::function<Status()>& fn) {
+  XPDL_RETURN_IF_ERROR(acquire());
+  Status outcome = fn();
+  record(outcome);
+  return outcome;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard lock(mutex_);
+  return consecutive_failures_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard lock(mutex_);
+  return trips_;
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard lock(mutex_);
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  opened_at_ms_ = 0.0;
+  transition_locked(State::kClosed);
+}
+
+}  // namespace xpdl::resilience

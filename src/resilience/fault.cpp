@@ -1,0 +1,238 @@
+#include "xpdl/resilience/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "xpdl/obs/metrics.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::resilience {
+
+namespace {
+
+std::uint64_t next_u64(std::uint64_t& state) {
+  // xorshift64* — the same generator the SimMachine uses for noise.
+  std::uint64_t x = state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double next_uniform(std::uint64_t& state) {
+  return static_cast<double>(next_u64(state) >> 11) / 9007199254740992.0;
+}
+
+}  // namespace
+
+Result<ErrorCode> parse_error_code(std::string_view name) {
+  if (name == "io") return ErrorCode::kIoError;
+  if (name == "unavailable") return ErrorCode::kUnavailable;
+  if (name == "parse") return ErrorCode::kParseError;
+  if (name == "format") return ErrorCode::kFormatError;
+  if (name == "not-found") return ErrorCode::kNotFound;
+  if (name == "internal") return ErrorCode::kInternal;
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown fault error code '" + std::string(name) +
+                    "' (expected io, unavailable, parse, format, "
+                    "not-found or internal)");
+}
+
+struct FaultInjector::Impl {
+  struct SiteState {
+    FaultPlan plan;
+    int failures_remaining = 0;  ///< fail_n budget left
+    std::uint64_t rng = 1;
+    std::uint64_t injected = 0;  ///< failures injected here
+    std::uint64_t calls = 0;     ///< checks that matched this plan
+  };
+
+  mutable std::mutex mutex;
+  /// Exact site keys, plus keys ending in '*' (prefix wildcards).
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+FaultInjector::FaultInjector() : impl_(std::make_unique<Impl>()) {}
+FaultInjector::~FaultInjector() = default;
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::set_plan(std::string_view site, FaultPlan plan) {
+  std::lock_guard lock(impl_->mutex);
+  Impl::SiteState state;
+  state.failures_remaining = plan.fail_n;
+  state.rng = plan.seed == 0 ? 1 : plan.seed;
+  state.plan = std::move(plan);
+  impl_->sites.insert_or_assign(std::string(site), std::move(state));
+  plan_count_.store(impl_->sites.size(), std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard lock(impl_->mutex);
+  impl_->sites.clear();
+  plan_count_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjector::configure(std::string_view spec) {
+  for (const std::string& entry : strings::split(spec, ';')) {
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "fault plan entry '" + entry +
+                        "' is not of the form site=action[,action...]");
+    }
+    std::string site(strings::trim(entry.substr(0, eq)));
+    FaultPlan plan;
+    bool any_action = false;
+    for (const std::string& action : strings::split(entry.substr(eq + 1), ',')) {
+      std::vector<std::string> parts = strings::split(action, ':');
+      if (parts.empty()) continue;
+      const std::string& verb = parts[0];
+      auto arg = [&](std::size_t i) -> std::string_view {
+        return i < parts.size() ? std::string_view(parts[i])
+                                : std::string_view();
+      };
+      if (verb == "fail" || verb == "prob") {
+        if (parts.size() < 2 || parts.size() > 3) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "fault action '" + action + "' wants " + verb +
+                            ":VALUE[:code]");
+        }
+        if (parts.size() == 3) {
+          XPDL_ASSIGN_OR_RETURN(plan.code, parse_error_code(arg(2)));
+        }
+        if (verb == "fail") {
+          XPDL_ASSIGN_OR_RETURN(std::uint64_t n, strings::parse_uint(arg(1)));
+          plan.fail_n = static_cast<int>(n);
+        } else {
+          XPDL_ASSIGN_OR_RETURN(plan.probability,
+                                strings::parse_double(arg(1)));
+          if (plan.probability < 0.0 || plan.probability > 1.0) {
+            return Status(ErrorCode::kInvalidArgument,
+                          "fault probability must be within [0,1] in '" +
+                              action + "'");
+          }
+        }
+      } else if (verb == "delay") {
+        if (parts.size() != 2) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "fault action '" + action + "' wants delay:MS");
+        }
+        XPDL_ASSIGN_OR_RETURN(plan.delay_ms, strings::parse_double(arg(1)));
+        if (plan.delay_ms < 0.0) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "fault delay must be non-negative in '" + action +
+                            "'");
+        }
+      } else if (verb == "seed") {
+        if (parts.size() != 2) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "fault action '" + action + "' wants seed:N");
+        }
+        XPDL_ASSIGN_OR_RETURN(plan.seed, strings::parse_uint(arg(1)));
+      } else {
+        return Status(ErrorCode::kInvalidArgument,
+                      "unknown fault action '" + verb +
+                          "' (expected fail, prob, delay or seed)");
+      }
+      any_action = true;
+    }
+    if (!any_action) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "fault plan entry '" + entry + "' has no actions");
+    }
+    set_plan(site, std::move(plan));
+  }
+  return Status::ok();
+}
+
+Status FaultInjector::check(std::string_view site) {
+  if (empty()) return Status::ok();
+
+  double delay_ms = 0.0;
+  Status injected = Status::ok();
+  {
+    std::lock_guard lock(impl_->mutex);
+    Impl::SiteState* state = nullptr;
+    auto it = impl_->sites.find(site);
+    if (it != impl_->sites.end()) {
+      state = &it->second;
+    } else {
+      // Longest '*'-suffixed key whose prefix matches wins.
+      std::size_t best_len = 0;
+      for (auto& [key, candidate] : impl_->sites) {
+        if (key.empty() || key.back() != '*') continue;
+        std::string_view prefix(key.data(), key.size() - 1);
+        if (site.substr(0, prefix.size()) == prefix &&
+            prefix.size() >= best_len) {
+          best_len = prefix.size();
+          state = &candidate;
+        }
+      }
+    }
+    if (state == nullptr) return Status::ok();
+    ++state->calls;
+    delay_ms = state->plan.delay_ms;
+
+    bool fire = false;
+    if (state->failures_remaining > 0) {
+      --state->failures_remaining;
+      fire = true;
+    } else if (state->plan.probability > 0.0 &&
+               next_uniform(state->rng) < state->plan.probability) {
+      fire = true;
+    }
+    if (fire) {
+      ++state->injected;
+      std::string msg = state->plan.message.empty()
+                            ? "injected fault at site '" +
+                                  std::string(site) + "'"
+                            : state->plan.message;
+      injected = Status(state->plan.code, std::move(msg));
+    }
+  }
+
+  if (delay_ms > 0.0) {
+    XPDL_OBS_COUNT("resilience.faults.delays", 1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  if (!injected.is_ok()) XPDL_OBS_COUNT("resilience.faults.injected", 1);
+  return injected;
+}
+
+std::uint64_t FaultInjector::injected(std::string_view site) const {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.injected;
+}
+
+std::uint64_t FaultInjector::calls(std::string_view site) const {
+  std::lock_guard lock(impl_->mutex);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::lock_guard lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& [key, state] : impl_->sites) total += state.injected;
+  return total;
+}
+
+Status FaultInjector::install_from_env() {
+  const char* spec = std::getenv("XPDL_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::ok();
+  return instance().configure(spec).with_context(
+      "parsing the XPDL_FAULTS environment variable");
+}
+
+}  // namespace xpdl::resilience

@@ -1,0 +1,95 @@
+#include "xpdl/resilience/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "xpdl/obs/metrics.h"
+
+namespace xpdl::resilience {
+
+bool default_retryable(const Status& status) noexcept {
+  switch (status.code()) {
+    case ErrorCode::kIoError:
+    case ErrorCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(std::move(options)),
+      classifier_(default_retryable),
+      rng_state_(options_.seed == 0 ? 1 : options_.seed) {}
+
+void RetryPolicy::set_classifier(Classifier classifier) {
+  classifier_ = classifier ? std::move(classifier)
+                           : Classifier(default_retryable);
+}
+
+double RetryPolicy::nominal_backoff_ms(int retry_index) const noexcept {
+  double backoff = options_.initial_backoff_ms;
+  for (int i = 0; i < retry_index; ++i) {
+    backoff *= options_.backoff_multiplier;
+    if (backoff >= options_.max_backoff_ms) break;
+  }
+  return std::min(backoff, options_.max_backoff_ms);
+}
+
+double RetryPolicy::jittered_backoff_ms(int retry_index) {
+  double nominal = nominal_backoff_ms(retry_index);
+  double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+  if (jitter <= 0.0) return nominal;
+  // xorshift64* -> uniform in [0,1); effective delay keeps at least
+  // (1-jitter) of the nominal interval.
+  std::uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  double u = static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) /
+             9007199254740992.0;
+  return nominal * (1.0 - jitter * u);
+}
+
+Status RetryPolicy::run(std::string_view op,
+                        const std::function<Status()>& fn) {
+  last_ = RunStats{};
+  const int max_attempts = std::max(options_.max_attempts, 1);
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    ++last_.attempts;
+    XPDL_OBS_COUNT("resilience.retry.attempts", 1);
+    status = fn();
+    if (status.is_ok()) return status;
+    if (!classifier_(status)) {
+      XPDL_OBS_COUNT("resilience.retry.nonretryable", 1);
+      return status;
+    }
+    if (attempt >= max_attempts) break;
+    double backoff_ms = jittered_backoff_ms(attempt - 1);
+    if (options_.deadline_ms > 0.0 &&
+        last_.total_backoff_ms + backoff_ms > options_.deadline_ms) {
+      break;
+    }
+    last_.total_backoff_ms += backoff_ms;
+    ++last_.retries;
+    XPDL_OBS_COUNT("resilience.retry.retries", 1);
+#if XPDL_OBS_ENABLED
+    obs::histogram("resilience.retry.backoff_us")
+        .record(static_cast<std::uint64_t>(backoff_ms * 1000.0));
+#endif
+    if (options_.sleep && backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+  last_.exhausted = true;
+  XPDL_OBS_COUNT("resilience.retry.exhausted", 1);
+  return status.with_context("'" + std::string(op) + "' failed after " +
+                             std::to_string(last_.attempts) +
+                             " attempt(s)");
+}
+
+}  // namespace xpdl::resilience

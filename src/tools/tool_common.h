@@ -4,16 +4,33 @@
 // humans) can parse diagnostics uniformly:
 //
 //   <tool>: error: <error-kind>: <message> [file:line:col]
+//   <tool>: warning: <message>
 //
 // with the bracketed location omitted when the Status carries none.
+//
+// Exit-code contract (see docs/robustness.md):
+//   0  success — including *degraded* success (some inputs quarantined or
+//      skipped); every degradation is reported as a warning on stderr
+//   1  data error: bad input the tool could not (or, under --strict, was
+//      not allowed to) work around
+//   2  usage error: bad command line
+// Tool-specific refinements keep within these bands and are documented in
+// each tool's header comment (xpdl-diff exits 1 when models differ;
+// xpdl-lint exits 1 when lint errors were found).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "xpdl/resilience/fault.h"
 #include "xpdl/util/status.h"
 
 namespace xpdl::tools {
+
+inline constexpr int kExitOk = 0;         ///< success, possibly degraded
+inline constexpr int kExitDataError = 1;  ///< bad input data
+inline constexpr int kExitUsage = 2;      ///< bad command line
 
 /// Renders `status` in the unified diagnostic format (no trailing \n).
 inline std::string format_error(std::string_view tool,
@@ -36,10 +53,74 @@ inline std::string format_error(std::string_view tool,
 /// Prints the unified diagnostic to stderr and returns `exit_code`,
 /// so call sites can write `return fail_with(...)`.
 inline int fail_with(std::string_view tool, const Status& status,
-                     int exit_code = 1) {
+                     int exit_code = kExitDataError) {
   std::string line = format_error(tool, status);
   std::fprintf(stderr, "%s\n", line.c_str());
   return exit_code;
 }
+
+/// Prints a unified warning line to stderr (degraded-success reporting).
+inline void warn(std::string_view tool, std::string_view message) {
+  std::fprintf(stderr, "%.*s: warning: %.*s\n",
+               static_cast<int>(tool.size()), tool.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+/// Shared resilience flags. Construction installs any XPDL_FAULTS
+/// environment plan into the process-wide FaultInjector (mirroring how
+/// ToolSession honours XPDL_STATS/XPDL_TRACE); parse_flag() consumes
+///
+///   --fault-plan SPEC   install a fault plan (see docs/robustness.md)
+///   --strict            fail fast instead of degrading
+///   --keep-going        degrade harder: skip unmeasurable work
+///
+/// so every tool exposes the same resilience surface. A malformed spec
+/// is a usage error: the tool exits with kExitUsage.
+class ResilienceFlags {
+ public:
+  explicit ResilienceFlags(std::string tool_name)
+      : tool_name_(std::move(tool_name)) {
+    if (Status st = resilience::FaultInjector::install_from_env();
+        !st.is_ok()) {
+      std::exit(fail_with(tool_name_, st, kExitUsage));
+    }
+  }
+
+  /// Consumes a resilience flag at argv[i], advancing i past any value.
+  /// Returns false (leaving i untouched) for other options.
+  bool parse_flag(int argc, char** argv, int& i) {
+    std::string_view a = argv[i];
+    if (a == "--strict") {
+      strict_ = true;
+      return true;
+    }
+    if (a == "--keep-going") {
+      keep_going_ = true;
+      return true;
+    }
+    if (a == "--fault-plan") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --fault-plan requires a SPEC argument\n",
+                     tool_name_.c_str());
+        std::exit(kExitUsage);
+      }
+      Status st =
+          resilience::FaultInjector::instance().configure(argv[++i]);
+      if (!st.is_ok()) {
+        std::exit(fail_with(tool_name_, st, kExitUsage));
+      }
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool strict() const noexcept { return strict_; }
+  [[nodiscard]] bool keep_going() const noexcept { return keep_going_; }
+
+ private:
+  std::string tool_name_;
+  bool strict_ = false;
+  bool keep_going_ = false;
+};
 
 }  // namespace xpdl::tools

@@ -3,15 +3,34 @@
 //
 // Usage:
 //   xpdl-codegen --out HEADER.h [--schema-out SCHEMA.xml] [--ns NAMESPACE]
-//                [--stats] [--trace FILE.json]
+//                [--stats] [--trace FILE.json] [--fault-plan SPEC]
+//
+// Output writes go through the retry policy (fault site `codegen.write`):
+// a transient filesystem failure is retried with backoff before the tool
+// gives up with exit 1.
 #include <cstdio>
 #include <string>
 
 #include "tool_common.h"
 #include "xpdl/codegen/codegen.h"
 #include "xpdl/obs/report.h"
+#include "xpdl/resilience/retry.h"
 #include "xpdl/schema/schema.h"
 #include "xpdl/util/io.h"
+
+namespace {
+
+xpdl::Status write_with_retry(const std::string& path,
+                              const std::string& content) {
+  xpdl::resilience::RetryPolicy retry;
+  return retry.run("writing '" + path + "'", [&]() -> xpdl::Status {
+    XPDL_RETURN_IF_ERROR(
+        xpdl::resilience::FaultInjector::instance().check("codegen.write"));
+    return xpdl::io::write_file(path, content);
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string out;
@@ -19,6 +38,7 @@ int main(int argc, char** argv) {
   std::string doc_out;
   std::string ns = "xpdl::generated";
   xpdl::obs::ToolSession obs("xpdl-codegen");
+  xpdl::tools::ResilienceFlags rflags("xpdl-codegen");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     auto next = [&]() -> const char* {
@@ -40,44 +60,47 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) break;
       ns = v;
-    } else if (obs.parse_flag(argc, argv, i)) {
+    } else if (obs.parse_flag(argc, argv, i) ||
+               rflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
       std::fprintf(stderr, "xpdl-codegen: unknown option '%s'\n", argv[i]);
-      return 2;
+      return xpdl::tools::kExitUsage;
     }
   }
   if (out.empty() && schema_out.empty() && doc_out.empty()) {
     std::fputs(
         "usage: xpdl-codegen [--out HEADER.h] [--schema-out SCHEMA.xml] "
         "[--doc REFERENCE.md] [--ns NAMESPACE] [--stats] "
-        "[--trace FILE.json]\n",
+        "[--trace FILE.json] [--fault-plan SPEC]\n",
         stderr);
-    return 2;
+    return xpdl::tools::kExitUsage;
   }
   obs.begin();
   const xpdl::schema::Schema& schema = xpdl::schema::Schema::core();
   if (!out.empty()) {
-    if (auto st = xpdl::codegen::write_header(schema, out, ns); !st.is_ok()) {
+    if (auto st =
+            write_with_retry(out, xpdl::codegen::generate_header(schema, ns));
+        !st.is_ok()) {
       return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s (%zu element kinds)\n", out.c_str(),
                 schema.elements().size());
   }
   if (!doc_out.empty()) {
-    if (auto st = xpdl::io::write_file(
-            doc_out, xpdl::codegen::generate_markdown(schema));
+    if (auto st =
+            write_with_retry(doc_out, xpdl::codegen::generate_markdown(schema));
         !st.is_ok()) {
       return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s\n", doc_out.c_str());
   }
   if (!schema_out.empty()) {
-    if (auto st = xpdl::io::write_file(schema_out, schema.to_xml());
+    if (auto st = write_with_retry(schema_out, schema.to_xml());
         !st.is_ok()) {
       return xpdl::tools::fail_with("xpdl-codegen", st);
     }
     std::printf("xpdl-codegen: wrote %s\n", schema_out.c_str());
   }
-  return 0;
+  return xpdl::tools::kExitOk;
 }

@@ -4,8 +4,11 @@
 //   xpdl-diff --repo DIR REF_A REF_B          # two repository descriptors
 //   xpdl-diff FILE_A FILE_B                   # two descriptor files
 //
-// Exit status: 0 when equivalent, 1 when differences were found,
-// 2 on errors.
+// Exit status (tool_common.h contract): 0 when equivalent, 1 when
+// differences were found or an input could not be read, 2 usage.
+// Repository scans degrade by default (quarantined files become warnings
+// on stderr as long as both operands still resolve); --strict fails on
+// the first bad repository file.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,11 +23,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> repos;
   std::vector<std::string> operands;
   xpdl::obs::ToolSession obs("xpdl-diff");
+  xpdl::tools::ResilienceFlags rflags("xpdl-diff");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
       repos.emplace_back(argv[++i]);
-    } else if (obs.parse_flag(argc, argv, i)) {
+    } else if (obs.parse_flag(argc, argv, i) ||
+               rflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
       operands.emplace_back(argv[i]);
@@ -32,10 +37,11 @@ int main(int argc, char** argv) {
   }
   if (operands.size() != 2) {
     std::fputs("usage: xpdl-diff [--repo DIR] [--stats] "
-               "[--trace FILE.json] A B  (repository references "
-               "when --repo is given, files otherwise)\n",
+               "[--trace FILE.json] [--strict] [--fault-plan SPEC] A B  "
+               "(repository references when --repo is given, files "
+               "otherwise)\n",
                stderr);
-    return 2;
+    return xpdl::tools::kExitUsage;
   }
   obs.begin();
 
@@ -44,14 +50,22 @@ int main(int argc, char** argv) {
   xpdl::xml::Document doc_a, doc_b;
   xpdl::repository::Repository repo(repos);
   if (!repos.empty()) {
-    if (auto st = repo.scan(); !st.is_ok()) {
-      return xpdl::tools::fail_with("xpdl-diff", st, 2);
+    xpdl::repository::ScanOptions scan_options;
+    scan_options.strict = rflags.strict();
+    auto scan_report = repo.scan(scan_options);
+    if (!scan_report.is_ok()) {
+      return xpdl::tools::fail_with("xpdl-diff", scan_report.status(),
+                                    xpdl::tools::kExitDataError);
+    }
+    for (const std::string& w : scan_report->to_warnings()) {
+      xpdl::tools::warn("xpdl-diff", w);
     }
     auto la = repo.lookup(operands[0]);
     auto rb = repo.lookup(operands[1]);
     if (!la.is_ok() || !rb.is_ok()) {
       return xpdl::tools::fail_with(
-          "xpdl-diff", !la.is_ok() ? la.status() : rb.status(), 2);
+          "xpdl-diff", !la.is_ok() ? la.status() : rb.status(),
+          xpdl::tools::kExitDataError);
     }
     left = *la;
     right = *rb;
@@ -60,7 +74,8 @@ int main(int argc, char** argv) {
     auto pb = xpdl::xml::parse_file(operands[1]);
     if (!pa.is_ok() || !pb.is_ok()) {
       return xpdl::tools::fail_with(
-          "xpdl-diff", !pa.is_ok() ? pa.status() : pb.status(), 2);
+          "xpdl-diff", !pa.is_ok() ? pa.status() : pb.status(),
+          xpdl::tools::kExitDataError);
     }
     doc_a = std::move(pa).value();
     doc_b = std::move(pb).value();
@@ -73,5 +88,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", c.to_string().c_str());
   }
   std::printf("%zu difference(s)\n", changes.size());
-  return changes.empty() ? 0 : 1;
+  return changes.empty() ? xpdl::tools::kExitOk
+                         : xpdl::tools::kExitDataError;
 }

@@ -2,9 +2,12 @@
 //
 // Usage:
 //   xpdl-lint --repo DIR [--repo DIR]... [--no-unreferenced] [--quiet]
-//            [--stats] [--trace FILE.json]
+//            [--stats] [--trace FILE.json] [--strict] [--fault-plan SPEC]
 //
-// Exit status: 0 clean / notes only, 1 warnings, 2 errors, 3 usage.
+// Exit status (tool_common.h contract): 0 clean / warnings / notes only,
+// 1 when lint errors were found or the repository could not be read,
+// 2 usage. Quarantined repository files (unreadable or malformed) are
+// reported as lint errors; --strict aborts on the first one instead.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,11 +17,24 @@
 #include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xpdl-lint --repo DIR [--repo DIR]... "
+               "[--no-unreferenced] [--quiet] [--stats] "
+               "[--trace FILE.json] [--strict] [--fault-plan SPEC]\n");
+  return xpdl::tools::kExitUsage;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> repos;
   xpdl::lint::Options options;
   bool quiet = false;
   xpdl::obs::ToolSession obs("xpdl-lint");
+  xpdl::tools::ResilienceFlags rflags("xpdl-lint");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
@@ -27,31 +43,42 @@ int main(int argc, char** argv) {
       options.unreferenced_meta = false;
     } else if (a == "--quiet") {
       quiet = true;
-    } else if (obs.parse_flag(argc, argv, i)) {
+    } else if (obs.parse_flag(argc, argv, i) ||
+               rflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
-      std::fprintf(stderr,
-                   "usage: xpdl-lint --repo DIR [--repo DIR]... "
-                   "[--no-unreferenced] [--quiet] [--stats] "
-                   "[--trace FILE.json]\n");
-      return 3;
+      return usage();
     }
   }
   if (repos.empty()) {
     std::fputs("xpdl-lint: at least one --repo is required\n", stderr);
-    return 3;
+    return usage();
   }
   obs.begin();
 
   xpdl::repository::Repository repo(repos);
-  if (auto st = repo.scan(); !st.is_ok()) {
-    return xpdl::tools::fail_with("xpdl-lint", st, 2);
+  xpdl::repository::ScanOptions scan_options;
+  scan_options.strict = rflags.strict();
+  auto scan_report = repo.scan(scan_options);
+  if (!scan_report.is_ok()) {
+    return xpdl::tools::fail_with("xpdl-lint", scan_report.status(),
+                                  xpdl::tools::kExitDataError);
   }
   auto findings = xpdl::lint::lint_repository(repo, options);
   if (!findings.is_ok()) {
-    return xpdl::tools::fail_with("xpdl-lint", findings.status(), 2);
+    return xpdl::tools::fail_with("xpdl-lint", findings.status(),
+                                  xpdl::tools::kExitDataError);
   }
   std::size_t errors = 0, warnings = 0, notes = 0;
+  // A quarantined file is a repository consistency error by definition —
+  // count it with the findings so the summary and exit code reflect it.
+  for (const auto& q : scan_report->quarantined) {
+    ++errors;
+    if (!quiet) {
+      std::printf("error: quarantined '%s': %s\n", q.path.c_str(),
+                  q.reason.to_string().c_str());
+    }
+  }
   for (const auto& f : *findings) {
     switch (f.severity) {
       case xpdl::lint::Severity::kError: ++errors; break;
@@ -63,7 +90,5 @@ int main(int argc, char** argv) {
   std::printf("xpdl-lint: %zu descriptor(s): %zu error(s), %zu warning(s), "
               "%zu note(s)\n",
               repo.size(), errors, warnings, notes);
-  if (errors > 0) return 2;
-  if (warnings > 0) return 1;
-  return 0;
+  return errors > 0 ? xpdl::tools::kExitDataError : xpdl::tools::kExitOk;
 }

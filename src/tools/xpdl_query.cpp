@@ -14,6 +14,7 @@
 #include "tool_common.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/query/query.h"
+#include "xpdl/resilience/retry.h"
 #include "xpdl/runtime/model.h"
 
 namespace {
@@ -39,24 +40,37 @@ void print_node_line(const xpdl::runtime::Node& node) {
 
 int main(int argc, char** argv) {
   xpdl::obs::ToolSession obs("xpdl-query");
-  // The commands are positional; filter the observability flags out of
-  // argv first so they may appear anywhere.
+  xpdl::tools::ResilienceFlags rflags("xpdl-query");
+  // The commands are positional; filter the observability and resilience
+  // flags out of argv first so they may appear anywhere.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (obs.parse_flag(argc, argv, i)) continue;
+    if (obs.parse_flag(argc, argv, i) || rflags.parse_flag(argc, argv, i)) {
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
   if (argc < 3) {
     std::fputs(
-        "usage: xpdl-query [--stats] [--trace FILE.json] FILE\n"
+        "usage: xpdl-query [--stats] [--trace FILE.json] "
+        "[--fault-plan SPEC] FILE\n"
         "                  (info | ls [ID] | get ID [ATTR] | find TAG "
         "| installed PREFIX | query EXPR)\n",
         stderr);
-    return 2;
+    return xpdl::tools::kExitUsage;
   }
   obs.begin();
-  auto loaded = xpdl::runtime::Model::load(argv[1]);
+  // Loading the runtime model file is the tool's only I/O; a transient
+  // read failure (NFS hiccup, injected fault at site `runtime.load`)
+  // is retried with backoff before giving up.
+  xpdl::resilience::RetryPolicy retry;
+  auto loaded = retry.run_result(
+      "loading runtime model", [&]() -> xpdl::Result<xpdl::runtime::Model> {
+        XPDL_RETURN_IF_ERROR(
+            xpdl::resilience::FaultInjector::instance().check("runtime.load"));
+        return xpdl::runtime::Model::load(argv[1]);
+      });
   if (!loaded.is_ok()) return fail(loaded.status());
   const xpdl::runtime::Model& model = loaded.value();
   std::string cmd = argv[2];

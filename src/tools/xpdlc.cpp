@@ -11,6 +11,13 @@
 //   xpdlc --repo DIR [--repo DIR]... (--model REF | --file PATH)
 //         [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]
 //         [--print-xml] [--quiet] [--stats] [--trace FILE.json]
+//         [--strict] [--keep-going] [--fault-plan SPEC]
+//
+// Degradation: unreadable/malformed repository files are quarantined with
+// a warning and the rest of the repository still serves (exit 0);
+// --strict restores fail-fast (exit 1 on the first bad file). With
+// --bootstrap --keep-going, instructions that stay unmeasurable after all
+// retries are reported and skipped instead of failing the run.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -52,7 +59,8 @@ void usage() {
       "             (--model REF | --file PATH | --pdl PDL_FILE)\n"
       "             [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]\n"
       "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
-      "             [--quiet] [--stats] [--trace FILE.json]\n",
+      "             [--quiet] [--stats] [--trace FILE.json]\n"
+      "             [--strict] [--keep-going] [--fault-plan SPEC]\n",
       stderr);
 }
 
@@ -65,6 +73,7 @@ int fail(const xpdl::Status& status) {
 int main(int argc, char** argv) {
   Args args;
   xpdl::obs::ToolSession obs("xpdlc");
+  xpdl::tools::ResilienceFlags rflags("xpdlc");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     auto next = [&]() -> const char* {
@@ -111,7 +120,8 @@ int main(int argc, char** argv) {
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
-    } else if (obs.parse_flag(argc, argv, i)) {
+    } else if (obs.parse_flag(argc, argv, i) ||
+               rflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
       std::fprintf(stderr, "xpdlc: unknown option '%s'\n", argv[i]);
@@ -129,11 +139,21 @@ int main(int argc, char** argv) {
   obs.begin();
 
   xpdl::repository::Repository repo(args.repos);
-  if (auto st = repo.scan(); !st.is_ok()) return fail(st);
+  xpdl::repository::ScanOptions scan_options;
+  scan_options.strict = rflags.strict();
+  auto scan_report = repo.scan(scan_options);
+  if (!scan_report.is_ok()) return fail(scan_report.status());
+  for (const std::string& w : scan_report->to_warnings()) {
+    xpdl::tools::warn("xpdlc", w);
+  }
   if (!args.quiet) {
     std::printf("xpdlc: indexed %zu descriptor(s) from %zu repository "
-                "root(s)\n",
+                "root(s)",
                 repo.size(), args.repos.size());
+    if (scan_report->degraded()) {
+      std::printf(" (%zu quarantined)", scan_report->quarantined.size());
+    }
+    std::printf("\n");
   }
 
   std::string ref = args.model_ref;
@@ -211,16 +231,26 @@ int main(int argc, char** argv) {
         xpdl::microbench::paper_x86_ground_truth());
     xpdl::microbench::BootstrapOptions opts;
     opts.frequencies_hz = {2.8e9, 2.9e9, 3.0e9, 3.1e9, 3.2e9, 3.3e9, 3.4e9};
+    opts.keep_going = rflags.keep_going();
     xpdl::microbench::Bootstrapper bootstrapper(machine, opts);
     auto report = bootstrapper.bootstrap_model(composed->mutable_root());
     if (!report.is_ok()) return fail(report.status());
     composed->reindex();
+    for (const auto& um : report->unmeasurable) {
+      xpdl::tools::warn("xpdlc", "instruction '" + um.instruction +
+                                     "' left unmeasured: " +
+                                     um.reason.to_string());
+    }
     if (!args.quiet) {
       std::printf("xpdlc: bootstrapped %zu instruction(s) (%zu already "
-                  "specified), background power %.2f W\n",
+                  "specified), background power %.2f W",
                   report->measured_instructions,
                   report->skipped_instructions,
                   report->estimated_static_power_w);
+      if (report->degraded()) {
+        std::printf(" (%zu unmeasurable)", report->unmeasurable.size());
+      }
+      std::printf("\n");
     }
   }
 

@@ -140,11 +140,13 @@ class Parser {
   }
 
   Result<std::unique_ptr<Node>> parse_unary() {
+    // The symbol is assigned via a sized string: GCC 12 at -O3 raises a
+    // bogus -Wrestrict on operator=(const char*) here (PR 105329).
     if (eat("!")) {
       XPDL_ASSIGN_OR_RETURN(auto operand, parse_unary());
       auto n = std::make_unique<Node>();
       n->kind = NodeKind::kUnaryOp;
-      n->symbol = "!";
+      n->symbol.assign(1, '!');
       n->children.push_back(std::move(operand));
       return n;
     }
@@ -154,7 +156,7 @@ class Parser {
       XPDL_ASSIGN_OR_RETURN(auto operand, parse_unary());
       auto n = std::make_unique<Node>();
       n->kind = NodeKind::kUnaryOp;
-      n->symbol = "-";
+      n->symbol.assign(1, '-');
       n->children.push_back(std::move(operand));
       return n;
     }

@@ -11,6 +11,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kCycle: return "cycle";
     case ErrorCode::kConstraintViolation: return "constraint-violation";
     case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kFormatError: return "format-error";
     case ErrorCode::kInvalidArgument: return "invalid-argument";
     case ErrorCode::kNotFound: return "not-found";

@@ -7,6 +7,7 @@
 #include "xpdl/microbench/bootstrap.h"
 #include "xpdl/microbench/drivergen.h"
 #include "xpdl/microbench/simmachine.h"
+#include "xpdl/resilience/fault.h"
 #include "xpdl/util/io.h"
 #include "xpdl/xml/xml.h"
 
@@ -225,6 +226,197 @@ TEST(Bootstrap, SingleFrequencyWritesConstantAttribute) {
   EXPECT_TRUE(inst->has_attribute("energy"));
   EXPECT_EQ(inst->attribute("energy_unit"), "nJ");
   EXPECT_TRUE(inst->children_named("data").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: robust aggregation, sensor-fault retries, keep_going
+
+/// Clears the process-wide fault injector around a test.
+class FaultGuard {
+ public:
+  FaultGuard() { resilience::FaultInjector::instance().clear(); }
+  ~FaultGuard() { resilience::FaultInjector::instance().clear(); }
+};
+
+TEST(RobustMean, HandlesDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(robust_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(robust_mean({7.5}), 7.5);
+  EXPECT_DOUBLE_EQ(robust_mean({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(RobustMean, MadZeroFallsBackToMedian) {
+  // Four identical samples put the MAD at zero; the glitch cannot move
+  // the result.
+  EXPECT_DOUBLE_EQ(robust_mean({10.0, 10.0, 10.0, 10.0, 1000.0}), 10.0);
+}
+
+TEST(RobustMean, TrimsOutliersBeyondThreeScaledMads) {
+  // median 3, MAD 1: the 100 is far outside 3*1.4826 and is dropped.
+  EXPECT_DOUBLE_EQ(robust_mean({1.0, 2.0, 3.0, 4.0, 100.0}), 2.5);
+  // Without an outlier the result is the plain mean of everything.
+  EXPECT_DOUBLE_EQ(robust_mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(BootstrapResilience, RetriesAwayTransientSensorFaults) {
+  FaultGuard guard;
+  // The first two instruction measurements glitch, then the sensor
+  // recovers — the acceptance scenario for fail-twice-then-succeed.
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("sensor.execute*=fail:2")
+                  .is_ok());
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.frequencies_hz = {2.8e9, 3.4e9};
+  Bootstrapper bootstrapper(m, opts);
+  model::InstructionSet isa;
+  isa.name = "isa";
+  model::InstructionEnergy fmul;
+  fmul.name = "fmul";
+  fmul.placeholder = true;
+  isa.instructions.push_back(fmul);
+
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->measured_instructions, 1u);
+  EXPECT_GE(report->measurement_retries, 2u);
+  EXPECT_TRUE(report->unmeasurable.empty());
+  EXPECT_EQ(
+      resilience::FaultInjector::instance().injected("sensor.execute*"), 2u);
+  // The retried measurements are still exact: a voided repetition is
+  // re-run from the first counter read, never averaged in.
+  for (double f : opts.frequencies_hz) {
+    EXPECT_NEAR(isa.find("fmul")->energy_at(f).value(),
+                m.ground_truth().find("fmul")->energy_at(f).value(),
+                1e-4 * m.ground_truth().find("fmul")->energy_at(f).value());
+  }
+}
+
+TEST(BootstrapResilience, IdlePowerMeasurementRetriesToo) {
+  FaultGuard guard;
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("sensor.idle=fail:1")
+                  .is_ok());
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  Bootstrapper bootstrapper(m, {});
+  model::InstructionSet isa;
+  isa.name = "isa";
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_NEAR(report->estimated_static_power_w, m.config().static_power_w,
+              1e-6);
+  EXPECT_GE(report->measurement_retries, 1u);
+}
+
+TEST(BootstrapResilience, PermanentFaultFailsLoudlyWithoutKeepGoing) {
+  FaultGuard guard;
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("sensor.execute.fadd=fail:1000000")
+                  .is_ok());
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  Bootstrapper bootstrapper(m, {});
+  model::InstructionSet isa;
+  isa.name = "isa";
+  for (const char* name : {"fmul", "fadd"}) {
+    model::InstructionEnergy inst;
+    inst.name = name;
+    inst.placeholder = true;
+    isa.instructions.push_back(inst);
+  }
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_NE(report.status().message().find("bootstrapping instruction 'fadd'"),
+            std::string::npos);
+}
+
+TEST(BootstrapResilience, KeepGoingSkipsUnmeasurableAndMeasuresTheRest) {
+  FaultGuard guard;
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("sensor.execute.fadd=fail:1000000")
+                  .is_ok());
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.keep_going = true;
+  Bootstrapper bootstrapper(m, opts);
+  model::InstructionSet isa;
+  isa.name = "isa";
+  for (const char* name : {"fmul", "fadd", "mov"}) {
+    model::InstructionEnergy inst;
+    inst.name = name;
+    inst.placeholder = true;
+    isa.instructions.push_back(inst);
+  }
+  auto report = bootstrapper.bootstrap(isa);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->degraded());
+  EXPECT_EQ(report->measured_instructions, 2u);
+  ASSERT_EQ(report->unmeasurable.size(), 1u);
+  EXPECT_EQ(report->unmeasurable[0].instruction, "fadd");
+  EXPECT_FALSE(report->unmeasurable[0].reason.is_ok());
+  // The unmeasurable instruction keeps its loud '?' placeholder; the
+  // others were measured normally.
+  EXPECT_TRUE(isa.find("fadd")->placeholder);
+  EXPECT_FALSE(isa.find("fmul")->placeholder);
+  EXPECT_FALSE(isa.find("mov")->placeholder);
+  EXPECT_NEAR(*isa.find("fmul")->energy_j,
+              m.ground_truth().find("fmul")->energy_at(3.0e9).value(),
+              1e-4 * 2e-9);
+}
+
+TEST(BootstrapResilience, KeepGoingLeavesThePlaceholderInTheXml) {
+  FaultGuard guard;
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("sensor.execute.fadd=fail:1000000")
+                  .is_ok());
+  SimMachine m(noiseless(), paper_x86_ground_truth());
+  BootstrapOptions opts;
+  opts.keep_going = true;
+  Bootstrapper bootstrapper(m, opts);
+  auto doc = xml::parse(R"(
+    <instructions name="isa">
+      <inst name="fmul" energy="?" energy_unit="pJ"/>
+      <inst name="fadd" energy="?" energy_unit="pJ"/>
+    </instructions>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto report = bootstrapper.bootstrap_model(*doc.value().root);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->unmeasurable.size(), 1u);
+  for (const auto& inst : doc.value().root->children_named("inst")) {
+    if (inst->attribute_or("name", "") == "fadd") {
+      EXPECT_EQ(inst->attribute("energy"), "?");  // survives, loud
+    } else {
+      EXPECT_NE(inst->attribute_or("energy", "?"), "?");
+    }
+  }
+}
+
+TEST(BootstrapResilience, ProbabilisticFaultsAreDeterministicPerSeed) {
+  auto run_once = [] {
+    resilience::FaultInjector::instance().clear();
+    EXPECT_TRUE(resilience::FaultInjector::instance()
+                    .configure("sensor.execute*=prob:0.2,seed:99")
+                    .is_ok());
+    SimMachine m(noiseless(), paper_x86_ground_truth());
+    BootstrapOptions opts;
+    opts.keep_going = true;
+    Bootstrapper bootstrapper(m, opts);
+    model::InstructionSet isa;
+    isa.name = "isa";
+    for (const char* name : {"fmul", "fadd", "mov", "divsd"}) {
+      model::InstructionEnergy inst;
+      inst.name = name;
+      inst.placeholder = true;
+      isa.instructions.push_back(inst);
+    }
+    auto report = bootstrapper.bootstrap(isa);
+    EXPECT_TRUE(report.is_ok());
+    return std::pair{report->measurement_retries,
+                     report->unmeasurable.size()};
+  };
+  FaultGuard guard;
+  auto first = run_once();
+  auto second = run_once();
+  EXPECT_GT(first.first, 0u);  // the plan did fire
+  EXPECT_EQ(first, second);    // ... identically on both runs
 }
 
 // ---------------------------------------------------------------------------

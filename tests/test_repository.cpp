@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "xpdl/compose/compose.h"
+#include "xpdl/resilience/fault.h"
 #include "xpdl/util/io.h"
 
 namespace xpdl::repository {
@@ -196,6 +198,199 @@ TEST(OpenRepository, ConvenienceWrapper) {
   ASSERT_TRUE(repo.is_ok());
   EXPECT_GE((*repo)->size(), 30u);
   EXPECT_FALSE(open_repository({"/no/such/dir"}).is_ok());
+}
+
+// ---------------------------------------------------- degraded scanning
+
+/// Clears the process-wide fault injector around a test, so plans never
+/// leak into other tests in this binary.
+class FaultGuard {
+ public:
+  FaultGuard() { resilience::FaultInjector::instance().clear(); }
+  ~FaultGuard() { resilience::FaultInjector::instance().clear(); }
+};
+
+/// The acceptance corpus: ten descriptor files, three of them broken in
+/// three distinct ways (unparsable XML, schema violation, missing
+/// identity).
+void fill_mixed_corpus(TempRepo& tmp) {
+  tmp.write("meta_cpu.xpdl",
+            "<cpu name=\"CorpusCpu\" frequency=\"2\" "
+            "frequency_unit=\"GHz\"/>");
+  tmp.write("meta_mem.xpdl",
+            "<memory name=\"CorpusMem\" size=\"4\" unit=\"GB\"/>");
+  tmp.write("sys.xpdl",
+            "<system id=\"corpus_sys\"><socket>"
+            "<cpu id=\"c0\" type=\"CorpusCpu\"/></socket></system>");
+  tmp.write("good4.xpdl", "<cpu name=\"Good4\"/>");
+  tmp.write("good5.xpdl", "<cpu name=\"Good5\"/>");
+  tmp.write("good6.xpdl", "<memory name=\"Good6\" size=\"1\" unit=\"GB\"/>");
+  tmp.write("good7.xpdl", "<cpu name=\"Good7\"/>");
+  tmp.write("bad_truncated.xpdl", "<cpu name=\"Trunc\"><core");
+  tmp.write("bad_schema.xpdl", "<cpu name=\"BadSchema\"><bogus_tag/></cpu>");
+  tmp.write("bad_anonymous.xpdl", "<cpu frequency=\"1\" "
+                                  "frequency_unit=\"GHz\"/>");
+}
+
+TEST(DegradedScan, QuarantinesBadFilesAndIndexesTheRest) {
+  TempRepo tmp;
+  fill_mixed_corpus(tmp);
+  Repository repo({tmp.path()});
+  auto report = repo.scan(ScanOptions{});
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  EXPECT_EQ(report->files_seen, 10u);
+  EXPECT_EQ(report->indexed, 7u);
+  ASSERT_EQ(report->quarantined.size(), 3u);
+  EXPECT_TRUE(report->degraded());
+  EXPECT_EQ(repo.size(), 7u);
+  for (const char* ref : {"CorpusCpu", "CorpusMem", "corpus_sys", "Good4",
+                          "Good5", "Good6", "Good7"}) {
+    EXPECT_TRUE(repo.contains(ref)) << ref;
+  }
+
+  // Every quarantine record carries the file and a located reason; the
+  // truncated file's diagnostic points into the file (line 1).
+  bool saw_truncated = false;
+  for (const auto& q : report->quarantined) {
+    EXPECT_FALSE(q.reason.is_ok());
+    EXPECT_NE(q.path.find(tmp.path()), std::string::npos);
+    if (q.path.find("bad_truncated") != std::string::npos) {
+      saw_truncated = true;
+      EXPECT_EQ(q.reason.location().line, 1);
+      EXPECT_NE(q.reason.to_string().find("bad_truncated.xpdl"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_truncated);
+  EXPECT_EQ(report->to_warnings().size(), 3u);
+}
+
+TEST(DegradedScan, CrossFileReferencesStillResolve) {
+  TempRepo tmp;
+  fill_mixed_corpus(tmp);
+  ScanReport report;
+  auto repo = open_repository({tmp.path()}, ScanOptions{}, &report);
+  ASSERT_TRUE(repo.is_ok()) << repo.status().to_string();
+  ASSERT_EQ(report.quarantined.size(), 3u);
+
+  // corpus_sys references CorpusCpu from another surviving file; the
+  // composed cpu must have inherited the meta-model's attributes.
+  compose::Composer composer(**repo);
+  auto composed = composer.compose("corpus_sys");
+  ASSERT_TRUE(composed.is_ok()) << composed.status().to_string();
+  const xml::Element* cpu = composed->find_by_id("c0");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->attribute_or("frequency", ""), "2");
+}
+
+TEST(DegradedScan, StrictModeStillFailsFast) {
+  TempRepo tmp;
+  fill_mixed_corpus(tmp);
+  Repository repo({tmp.path()});
+  ScanOptions strict;
+  strict.strict = true;
+  auto report = repo.scan(strict);
+  ASSERT_FALSE(report.is_ok());
+  // The error names the offending file for actionable diagnostics.
+  EXPECT_NE(report.status().message().find("indexing repository file"),
+            std::string::npos);
+  // And the legacy interface keeps the same fail-fast contract.
+  EXPECT_FALSE(repo.scan().is_ok());
+  EXPECT_FALSE(open_repository({tmp.path()}).is_ok());
+}
+
+TEST(DegradedScan, DuplicateInOneRootIsQuarantinedNotFatal) {
+  TempRepo tmp;
+  tmp.write("a.xpdl", "<cpu name=\"Dup\" frequency=\"1\" "
+                      "frequency_unit=\"GHz\"/>");
+  tmp.write("b.xpdl", "<cpu name=\"Dup\" frequency=\"2\" "
+                      "frequency_unit=\"GHz\"/>");
+  Repository repo({tmp.path()});
+  auto report = repo.scan(ScanOptions{});
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_NE(report->quarantined[0].reason.message().find("duplicate"),
+            std::string::npos);
+  // The first file (scan order is sorted) won and stays served.
+  auto found = repo.lookup("Dup");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ((*found)->attribute("frequency"), "1");
+}
+
+TEST(DegradedScan, MissingRootIsQuarantinedOtherRootsServe) {
+  TempRepo tmp;
+  tmp.write("ok.xpdl", "<cpu name=\"SurvivorCpu\"/>");
+  Repository repo({"/nonexistent/xpdl/root", tmp.path()});
+  auto report = repo.scan(ScanOptions{});
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_EQ(report->quarantined[0].path, "/nonexistent/xpdl/root");
+  EXPECT_TRUE(repo.contains("SurvivorCpu"));
+}
+
+TEST(DegradedScan, UnreadableFileIsQuarantinedAfterRetries) {
+  FaultGuard guard;
+  TempRepo tmp;
+  tmp.write("good.xpdl", "<cpu name=\"ReadableCpu\"/>");
+  tmp.write("locked.xpdl", "<cpu name=\"UnreadableCpu\"/>");
+  // The injected fault outlives every retry: a permanently unreadable file.
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("transport.read:" + tmp.path() +
+                             "/locked.xpdl=fail:1000:io")
+                  .is_ok());
+  Repository repo({tmp.path()});
+  ScanOptions options;
+  options.retry.sleep = false;
+  auto report = repo.scan(options);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_NE(report->quarantined[0].path.find("locked.xpdl"),
+            std::string::npos);
+  EXPECT_EQ(report->quarantined[0].reason.code(), ErrorCode::kIoError);
+  EXPECT_TRUE(repo.contains("ReadableCpu"));
+  EXPECT_FALSE(repo.contains("UnreadableCpu"));
+  // All four attempts of the default policy were spent on the bad file.
+  EXPECT_GE(report->transport_retries, 3u);
+}
+
+TEST(DegradedScan, TransientTransportFaultIsRetriedAway) {
+  FaultGuard guard;
+  TempRepo tmp;
+  tmp.write("flaky.xpdl", "<cpu name=\"FlakyButFineCpu\"/>");
+  // Fail the first two reads of every file, then recover: the retry loop
+  // must absorb the fault with no quarantine.
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("transport.read:*=fail:2:unavailable")
+                  .is_ok());
+  Repository repo({tmp.path()});
+  ScanOptions options;
+  options.retry.sleep = false;
+  auto report = repo.scan(options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->quarantined.empty());
+  EXPECT_EQ(report->indexed, 1u);
+  EXPECT_TRUE(repo.contains("FlakyButFineCpu"));
+  EXPECT_EQ(report->transport_retries, 2u);
+  EXPECT_EQ(resilience::FaultInjector::instance().injected(
+                "transport.read:*"),
+            2u);
+}
+
+TEST(DegradedScan, StrictScanStillFailsOnPermanentTransportFault) {
+  FaultGuard guard;
+  TempRepo tmp;
+  tmp.write("x.xpdl", "<cpu name=\"NeverServedCpu\"/>");
+  ASSERT_TRUE(resilience::FaultInjector::instance()
+                  .configure("transport.read:*=fail:1000:io")
+                  .is_ok());
+  Repository repo({tmp.path()});
+  ScanOptions options;
+  options.strict = true;
+  options.retry.sleep = false;
+  auto report = repo.scan(options);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kIoError);
 }
 
 }  // namespace

@@ -1,0 +1,404 @@
+// Unit tests for xpdl::resilience: deterministic fault injection, retry
+// with backoff, and the circuit breaker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xpdl/obs/metrics.h"
+#include "xpdl/resilience/breaker.h"
+#include "xpdl/resilience/fault.h"
+#include "xpdl/resilience/retry.h"
+
+namespace xpdl::resilience {
+namespace {
+
+// ---------------------------------------------------------------- faults
+
+TEST(FaultInjector, EmptyInjectorPassesEverything) {
+  FaultInjector injector;
+  EXPECT_TRUE(injector.empty());
+  EXPECT_TRUE(injector.check("transport.read:/any/file").is_ok());
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjector, FailNInjectsExactlyNFailures) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.fail_n = 2;
+  injector.set_plan("sensor.idle", plan);
+  EXPECT_FALSE(injector.empty());
+
+  Status first = injector.check("sensor.idle");
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_EQ(first.code(), ErrorCode::kUnavailable);
+  EXPECT_NE(first.message().find("sensor.idle"), std::string::npos);
+  EXPECT_FALSE(injector.check("sensor.idle").is_ok());
+  EXPECT_TRUE(injector.check("sensor.idle").is_ok());
+  EXPECT_TRUE(injector.check("sensor.idle").is_ok());
+
+  EXPECT_EQ(injector.injected("sensor.idle"), 2u);
+  EXPECT_EQ(injector.calls("sensor.idle"), 4u);
+  EXPECT_EQ(injector.total_injected(), 2u);
+}
+
+TEST(FaultInjector, UnplannedSitesAreUnaffected) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.fail_n = 100;
+  injector.set_plan("sensor.idle", plan);
+  EXPECT_TRUE(injector.check("sensor.execute.fadd").is_ok());
+}
+
+TEST(FaultInjector, WildcardPrefixMatchesAndLongestWins) {
+  FaultInjector injector;
+  FaultPlan broad;
+  broad.fail_n = 100;
+  broad.code = ErrorCode::kIoError;
+  injector.set_plan("transport.*", broad);
+  FaultPlan narrow;
+  narrow.fail_n = 100;
+  narrow.code = ErrorCode::kNotFound;
+  injector.set_plan("transport.read*", narrow);
+
+  // The longer matching prefix (transport.read*) decides the code.
+  Status read = injector.check("transport.read:/a.xpdl");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.code(), ErrorCode::kNotFound);
+  // Sites matching only the broad plan fall back to it.
+  Status list = injector.check("transport.list:/root");
+  ASSERT_FALSE(list.is_ok());
+  EXPECT_EQ(list.code(), ErrorCode::kIoError);
+  // Stats accumulate under the wildcard key itself.
+  EXPECT_EQ(injector.injected("transport.read*"), 1u);
+  EXPECT_EQ(injector.injected("transport.*"), 1u);
+}
+
+TEST(FaultInjector, ProbabilisticPlansAreDeterministicPerSeed) {
+  auto sequence = [](std::uint64_t seed) {
+    FaultInjector injector;
+    FaultPlan plan;
+    plan.probability = 0.5;
+    plan.seed = seed;
+    injector.set_plan("s", plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!injector.check("s").is_ok());
+    return fired;
+  };
+  EXPECT_EQ(sequence(42), sequence(42));
+  EXPECT_NE(sequence(42), sequence(43));
+  // Roughly half the calls should fire at p = 0.5.
+  std::vector<bool> fired = sequence(42);
+  int count = 0;
+  for (bool f : fired) count += f ? 1 : 0;
+  EXPECT_GT(count, 16);
+  EXPECT_LT(count, 48);
+}
+
+TEST(FaultInjector, ConfigureParsesTheSpecGrammar) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .configure("transport.read*=fail:2:io;"
+                             "sensor.execute.*=prob:0.25:unavailable,seed:7")
+                  .is_ok());
+  Status st = injector.check("transport.read:/x.xpdl");
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), ErrorCode::kIoError);
+}
+
+TEST(FaultInjector, ConfigureRejectsMalformedSpecs) {
+  FaultInjector injector;
+  EXPECT_EQ(injector.configure("no-equals-sign").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.configure("site=").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.configure("site=explode:1").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.configure("site=fail:2:bogus-code").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.configure("site=prob:1.5").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.configure("site=delay:-1").code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FaultInjector, ClearRemovesAllPlans) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.configure("s=fail:5").is_ok());
+  EXPECT_FALSE(injector.check("s").is_ok());
+  injector.clear();
+  EXPECT_TRUE(injector.empty());
+  EXPECT_TRUE(injector.check("s").is_ok());
+}
+
+TEST(FaultInjector, ParseErrorCodeCoversTheGrammar) {
+  EXPECT_EQ(*parse_error_code("io"), ErrorCode::kIoError);
+  EXPECT_EQ(*parse_error_code("unavailable"), ErrorCode::kUnavailable);
+  EXPECT_EQ(*parse_error_code("parse"), ErrorCode::kParseError);
+  EXPECT_EQ(*parse_error_code("format"), ErrorCode::kFormatError);
+  EXPECT_EQ(*parse_error_code("not-found"), ErrorCode::kNotFound);
+  EXPECT_EQ(*parse_error_code("internal"), ErrorCode::kInternal);
+  EXPECT_FALSE(parse_error_code("nope").is_ok());
+}
+
+// ----------------------------------------------------------------- retry
+
+RetryOptions fast_retry() {
+  RetryOptions options;
+  options.sleep = false;  // deterministic, no wall-clock in tests
+  return options;
+}
+
+TEST(RetryPolicy, FirstTrySuccessDoesNotRetry) {
+  RetryPolicy retry(fast_retry());
+  int calls = 0;
+  Status st = retry.run("op", [&] {
+    ++calls;
+    return Status::ok();
+  });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retry.last_run().attempts, 1);
+  EXPECT_EQ(retry.last_run().retries, 0);
+  EXPECT_FALSE(retry.last_run().exhausted);
+}
+
+TEST(RetryPolicy, RetriesTransientFailuresUntilSuccess) {
+  RetryPolicy retry(fast_retry());
+  int calls = 0;
+  Status st = retry.run("op", [&] {
+    return ++calls < 3 ? Status(ErrorCode::kIoError, "flaky") : Status::ok();
+  });
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retry.last_run().attempts, 3);
+  EXPECT_EQ(retry.last_run().retries, 2);
+  EXPECT_GT(retry.last_run().total_backoff_ms, 0.0);
+}
+
+TEST(RetryPolicy, NonRetryableErrorsFailImmediately) {
+  RetryPolicy retry(fast_retry());
+  int calls = 0;
+  Status st = retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kParseError, "deterministic");
+  });
+  EXPECT_EQ(st.code(), ErrorCode::kParseError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(retry.last_run().exhausted);
+}
+
+TEST(RetryPolicy, ExhaustionReportsTheAttemptCount) {
+  RetryOptions options = fast_retry();
+  options.max_attempts = 3;
+  RetryPolicy retry(options);
+  int calls = 0;
+  Status st = retry.run("fetch descriptor", [&] {
+    ++calls;
+    return Status(ErrorCode::kUnavailable, "still down");
+  });
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(retry.last_run().exhausted);
+  EXPECT_NE(st.message().find("'fetch descriptor' failed after 3 attempt"),
+            std::string::npos);
+}
+
+TEST(RetryPolicy, DeadlineBoundsTotalBackoff) {
+  RetryOptions options = fast_retry();
+  options.max_attempts = 100;
+  options.initial_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  options.deadline_ms = 35.0;  // allows 10 + 20 = 30, not another 40
+  RetryPolicy retry(options);
+  int calls = 0;
+  Status st = retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kIoError, "down");
+  });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(retry.last_run().exhausted);
+  EXPECT_LE(retry.last_run().total_backoff_ms, options.deadline_ms);
+}
+
+TEST(RetryPolicy, NominalBackoffIsExponentialAndCapped) {
+  RetryOptions options = fast_retry();
+  options.initial_backoff_ms = 1.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 8.0;
+  RetryPolicy retry(options);
+  EXPECT_DOUBLE_EQ(retry.nominal_backoff_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(retry.nominal_backoff_ms(1), 2.0);
+  EXPECT_DOUBLE_EQ(retry.nominal_backoff_ms(2), 4.0);
+  EXPECT_DOUBLE_EQ(retry.nominal_backoff_ms(3), 8.0);
+  EXPECT_DOUBLE_EQ(retry.nominal_backoff_ms(4), 8.0);  // capped
+}
+
+TEST(RetryPolicy, JitterScheduleIsDeterministicPerSeed) {
+  auto total_backoff = [](std::uint64_t seed) {
+    RetryOptions options;
+    options.sleep = false;
+    options.max_attempts = 6;
+    options.seed = seed;
+    RetryPolicy retry(options);
+    (void)retry.run("op", [] { return Status(ErrorCode::kIoError, "x"); });
+    return retry.last_run().total_backoff_ms;
+  };
+  EXPECT_DOUBLE_EQ(total_backoff(1), total_backoff(1));
+  EXPECT_NE(total_backoff(1), total_backoff(2));
+}
+
+TEST(RetryPolicy, RunResultPropagatesValuesAndFailures) {
+  RetryPolicy retry(fast_retry());
+  int calls = 0;
+  Result<int> ok = retry.run_result("op", [&]() -> Result<int> {
+    if (++calls < 2) return Status(ErrorCode::kIoError, "flaky");
+    return 42;
+  });
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(retry.last_run().retries, 1);
+
+  Result<int> bad = retry.run_result(
+      "op", [&]() -> Result<int> { return Status(ErrorCode::kNotFound, "no"); });
+  EXPECT_EQ(bad.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(RetryPolicy, CustomClassifierOverridesTheDefault) {
+  RetryPolicy retry(fast_retry());
+  retry.set_classifier(
+      [](const Status& s) { return s.code() == ErrorCode::kInternal; });
+  int calls = 0;
+  (void)retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kInternal, "retry me");
+  });
+  EXPECT_EQ(calls, retry.options().max_attempts);
+  calls = 0;
+  (void)retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kIoError, "not under this classifier");
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicy, RetriesAreVisibleThroughObs) {
+  obs::Counter& retries = obs::counter("resilience.retry.retries");
+  std::uint64_t before = retries.value();
+  RetryPolicy retry(fast_retry());
+  int calls = 0;
+  (void)retry.run("op", [&] {
+    return ++calls < 2 ? Status(ErrorCode::kIoError, "x") : Status::ok();
+  });
+  EXPECT_EQ(retries.value(), before + 1);
+}
+
+TEST(DefaultRetryable, ClassifiesCodes) {
+  EXPECT_TRUE(default_retryable(Status(ErrorCode::kIoError, "x")));
+  EXPECT_TRUE(default_retryable(Status(ErrorCode::kUnavailable, "x")));
+  EXPECT_FALSE(default_retryable(Status(ErrorCode::kParseError, "x")));
+  EXPECT_FALSE(default_retryable(Status(ErrorCode::kSchemaViolation, "x")));
+  EXPECT_FALSE(default_retryable(Status::ok()));
+}
+
+// --------------------------------------------------------------- breaker
+
+struct FakeClock {
+  double now_ms = 0.0;
+  CircuitBreakerOptions options(int threshold = 3) {
+    CircuitBreakerOptions o;
+    o.failure_threshold = threshold;
+    o.open_duration_ms = 100.0;
+    o.half_open_successes = 2;
+    o.clock_ms = [this] { return now_ms; };
+    return o;
+  }
+};
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(3));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.acquire().is_ok());
+    breaker.record(Status(ErrorCode::kIoError, "down"));
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  Status rejected = breaker.acquire();
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::kUnavailable);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(3));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  breaker.record(Status::ok());
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 1);
+}
+
+TEST(CircuitBreaker, RecoversThroughHalfOpen) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(2));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.now_ms += 101.0;  // past open_duration: probing allowed
+  ASSERT_TRUE(breaker.acquire().is_ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.record(Status::ok());
+  breaker.record(Status::ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopens) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(2));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  clock.now_ms += 101.0;
+  ASSERT_TRUE(breaker.acquire().is_ok());
+  breaker.record(Status(ErrorCode::kIoError, "still down"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.acquire().is_ok());
+}
+
+TEST(CircuitBreaker, RunShortCircuitsWhenOpen) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(1));
+  int calls = 0;
+  (void)breaker.run([&] {
+    ++calls;
+    return Status(ErrorCode::kIoError, "down");
+  });
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  Status st = breaker.run([&] {
+    ++calls;
+    return Status::ok();
+  });
+  EXPECT_EQ(st.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 1);  // the open breaker never invoked fn
+}
+
+TEST(CircuitBreaker, ResetRestoresPristineState) {
+  FakeClock clock;
+  CircuitBreaker breaker("dep", clock.options(1));
+  breaker.record(Status(ErrorCode::kIoError, "x"));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.acquire().is_ok());
+}
+
+TEST(CircuitBreaker, StateNamesForDiagnostics) {
+  EXPECT_EQ(to_string(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_EQ(to_string(CircuitBreaker::State::kHalfOpen), "half-open");
+  EXPECT_EQ(to_string(CircuitBreaker::State::kOpen), "open");
+}
+
+}  // namespace
+}  // namespace xpdl::resilience
