@@ -1,0 +1,121 @@
+// E15 — throughput of the xpdl::analysis diagnostic-pass engine.
+//
+// Series: full-repository analysis over the shipped models/ corpus,
+// serial (threads=1) vs. work-stealing parallel (threads=hardware), and
+// the per-descriptor pass cost in isolation. The parallel and serial
+// reports are asserted identical here too — the determinism contract is
+// cheap enough to re-check on every benchmark run.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "xpdl/analysis/analysis.h"
+#include "xpdl/analysis/pool.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+xpdl::repository::Repository& shipped_repo() {
+  static auto* repo = [] {
+    auto* r = new xpdl::repository::Repository({XPDL_MODELS_DIR});
+    if (!r->scan().is_ok()) {
+      std::fprintf(stderr, "bench_analysis: cannot scan %s\n",
+                   XPDL_MODELS_DIR);
+      std::abort();
+    }
+    // Warm the descriptor cache so the benchmark measures analysis, not
+    // first-touch parsing.
+    xpdl::analysis::Engine engine;
+    (void)engine.analyze_repository(*r);
+    return r;
+  }();
+  return *repo;
+}
+
+void run_repo(benchmark::State& state, std::size_t threads,
+              bool analyze_models) {
+  xpdl::repository::Repository& repo = shipped_repo();
+  xpdl::analysis::Options options;
+  options.threads = threads;
+  options.analyze_models = analyze_models;
+  xpdl::analysis::Engine engine(std::move(options));
+  std::size_t descriptors = 0;
+  for (auto _ : state) {
+    auto report = engine.analyze_repository(repo);
+    if (!report.is_ok()) {
+      state.SkipWithError(report.status().to_string().c_str());
+      return;
+    }
+    descriptors = report->descriptors;
+    benchmark::DoNotOptimize(report->findings);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(descriptors));
+  state.counters["descriptors"] = static_cast<double>(descriptors);
+}
+
+void BM_RepoSerial(benchmark::State& state) { run_repo(state, 1, true); }
+BENCHMARK(BM_RepoSerial)->Unit(benchmark::kMillisecond);
+
+void BM_RepoParallel(benchmark::State& state) {
+  run_repo(state, xpdl::analysis::pool::default_threads(), true);
+}
+BENCHMARK(BM_RepoParallel)->Unit(benchmark::kMillisecond);
+
+void BM_RepoSerialNoModels(benchmark::State& state) {
+  run_repo(state, 1, false);
+}
+BENCHMARK(BM_RepoSerialNoModels)->Unit(benchmark::kMillisecond);
+
+void BM_RepoParallelNoModels(benchmark::State& state) {
+  run_repo(state, xpdl::analysis::pool::default_threads(), false);
+}
+BENCHMARK(BM_RepoParallelNoModels)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // The floor of the work-stealing pool itself: empty tasks.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    xpdl::analysis::pool::parallel_for(threads, 64, [](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->Arg(8);
+
+void verify_determinism() {
+  xpdl::repository::Repository& repo = shipped_repo();
+  xpdl::analysis::Options serial;
+  serial.threads = 1;
+  xpdl::analysis::Options parallel;
+  parallel.threads = xpdl::analysis::pool::default_threads();
+  auto a = xpdl::analysis::Engine(std::move(serial)).analyze_repository(repo);
+  auto b =
+      xpdl::analysis::Engine(std::move(parallel)).analyze_repository(repo);
+  if (!a.is_ok() || !b.is_ok() ||
+      a->findings.size() != b->findings.size()) {
+    std::fprintf(stderr, "bench_analysis: determinism check FAILED\n");
+    std::abort();
+  }
+  for (std::size_t i = 0; i < a->findings.size(); ++i) {
+    if (a->findings[i].to_string() != b->findings[i].to_string()) {
+      std::fprintf(stderr, "bench_analysis: determinism check FAILED\n");
+      std::abort();
+    }
+  }
+  std::printf("determinism: serial and parallel reports identical "
+              "(%zu finding(s) over %zu descriptor(s))\n",
+              a->findings.size(), a->descriptors);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  verify_determinism();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,250 @@
+// XPDL static-analysis engine (Sec. IV).
+//
+// The paper puts static analysis at the center of the toolchain ("e.g.
+// bandwidth downgrade to the slowest link component, constraint
+// checking"). This subsystem is a pluggable diagnostic-pass engine over
+// three scopes:
+//
+//   descriptor  one parsed descriptor tree in isolation (the migrated
+//               xpdl::lint rules plus unit/constraint/power checks)
+//   repository  all indexed descriptors together (reference resolution,
+//               `extends=` cycle / diamond / unit-conflict analysis)
+//   model       one fully composed system model (the Sec. IV
+//               bandwidth-downgrade invariant)
+//
+// Rules implement AnalysisRule, register themselves in the process-wide
+// Registry under a stable rule id, and report Findings through a Sink
+// that applies per-rule severity remapping (--Werror=<rule>) and
+// disabling (--disable=<rule>). The Engine runs descriptor passes in
+// parallel on a work-stealing pool with per-descriptor result slots, so
+// parallel and serial runs produce byte-identical ordered findings.
+// Findings can be rendered as text, JSON or SARIF 2.1.0 (sarif.h) and
+// suppressed against a checked-in Baseline file.
+//
+// docs/analysis.md documents every rule id, its severity and rationale.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::analysis {
+
+/// Severity of a finding. Errors fail the build; warnings are reported
+/// but tolerated (unless promoted); notes are informational.
+enum class Severity : std::uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+[[nodiscard]] Result<Severity> parse_severity(std::string_view text);
+
+/// One diagnostic produced by an analysis rule.
+struct Finding {
+  Severity severity = Severity::kWarning;
+  std::string rule;     ///< stable rule id, e.g. "missing-unit"
+  std::string message;
+  SourceLocation location;
+
+  /// "file:line:col: severity [rule]: message".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Highest severity among `findings` (kNote when empty).
+[[nodiscard]] Severity max_severity(const std::vector<Finding>& findings);
+
+/// Which scope a rule analyzes.
+enum class RuleScope : std::uint8_t { kDescriptor, kRepository, kModel };
+
+[[nodiscard]] std::string_view to_string(RuleScope s) noexcept;
+
+/// Static metadata of one rule: identity, default severity and the
+/// one-line documentation shown by `xpdl-lint --list-rules` and embedded
+/// in SARIF output.
+struct RuleInfo {
+  std::string id;
+  RuleScope scope = RuleScope::kDescriptor;
+  Severity default_severity = Severity::kWarning;
+  std::string summary;
+};
+
+/// Per-run rule configuration: disabled rules and severity overrides.
+struct RuleConfig {
+  std::set<std::string, std::less<>> disabled;
+  std::map<std::string, Severity, std::less<>> overrides;
+  /// Promote every warning-severity finding to an error (--strict).
+  bool warnings_as_errors = false;
+
+  [[nodiscard]] bool enabled(std::string_view rule) const {
+    return disabled.find(rule) == disabled.end();
+  }
+  [[nodiscard]] Severity effective(std::string_view rule,
+                                   Severity default_severity) const;
+};
+
+/// Collects findings for one pass, applying the RuleConfig's severity
+/// remapping at report time. Not thread-safe; the engine gives each
+/// parallel task its own Sink.
+class Sink {
+ public:
+  Sink(const RuleConfig& config, std::vector<Finding>& out)
+      : config_(config), out_(out) {}
+
+  void report(const RuleInfo& rule, std::string message,
+              SourceLocation location);
+
+ private:
+  const RuleConfig& config_;
+  std::vector<Finding>& out_;
+};
+
+/// Context handed to descriptor-scope rules.
+struct DescriptorContext {
+  const xml::Element& root;
+  std::string path;  ///< descriptor file ("" when analyzing a bare tree)
+};
+
+/// Context handed to repository-scope rules. Every descriptor has been
+/// parsed already; `lookup` never touches the filesystem again.
+struct RepositoryContext {
+  repository::Repository& repo;
+  const std::vector<repository::DescriptorInfo>& infos;
+};
+
+/// Context handed to model-scope rules (a composed system).
+struct ModelContext {
+  const compose::ComposedModel& model;
+  std::string ref;   ///< reference name of the composed system
+  std::string path;  ///< its descriptor file ("" when unknown)
+};
+
+/// One diagnostic pass. Implementations override the method matching
+/// their info().scope; the other scopes' defaults are no-ops.
+class AnalysisRule {
+ public:
+  virtual ~AnalysisRule() = default;
+
+  [[nodiscard]] virtual const RuleInfo& info() const noexcept = 0;
+
+  virtual void analyze_descriptor(const DescriptorContext& ctx,
+                                  Sink& sink) const;
+  [[nodiscard]] virtual Status analyze_repository(
+      const RepositoryContext& ctx, Sink& sink) const;
+  virtual void analyze_model(const ModelContext& ctx, Sink& sink) const;
+};
+
+/// The process-wide rule registry. Built-in rules are registered on first
+/// access; register_rule() adds external passes (plugins, tests).
+class Registry {
+ public:
+  /// The registry with all built-in rules registered.
+  static Registry& instance();
+
+  /// Registers a rule; fails on a duplicate id.
+  Status register_rule(std::unique_ptr<AnalysisRule> rule);
+
+  /// Rule by id, or nullptr.
+  [[nodiscard]] const AnalysisRule* find(std::string_view id) const noexcept;
+
+  /// All rules, sorted by id (the engine's deterministic run order).
+  [[nodiscard]] std::vector<const AnalysisRule*> rules() const;
+
+  /// Rules of one scope, sorted by id.
+  [[nodiscard]] std::vector<const AnalysisRule*> rules(RuleScope scope) const;
+
+ private:
+  Registry() = default;
+  std::map<std::string, std::unique_ptr<AnalysisRule>, std::less<>> rules_;
+};
+
+/// Baseline suppression file: one fingerprint per line, '#' comments.
+/// Fingerprints are `rule|basename(file)|message`, so a baseline survives
+/// both repository relocation and unrelated line-number churn.
+class Baseline {
+ public:
+  Baseline() = default;
+
+  [[nodiscard]] static Result<Baseline> load(const std::string& path);
+  [[nodiscard]] static Baseline from_findings(
+      const std::vector<Finding>& findings);
+  [[nodiscard]] static std::string fingerprint(const Finding& finding);
+
+  [[nodiscard]] bool contains(const Finding& finding) const;
+  /// Stable serialized form (sorted, one fingerprint per line).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return fingerprints_.size();
+  }
+
+ private:
+  std::set<std::string> fingerprints_;
+};
+
+/// Engine options.
+struct Options {
+  RuleConfig rules;
+  /// Compose every concrete <system> descriptor and run the model-scope
+  /// passes over it.
+  bool analyze_models = true;
+  /// Worker threads for the per-descriptor passes: 0 = one per hardware
+  /// thread, 1 = serial. Results are identical either way.
+  std::size_t threads = 0;
+};
+
+/// The outcome of an engine run.
+struct Report {
+  std::vector<Finding> findings;  ///< canonically ordered (sort())
+  std::size_t descriptors = 0;    ///< descriptors analyzed
+  std::size_t models_composed = 0;
+  std::size_t suppressed = 0;     ///< findings removed by the baseline
+
+  [[nodiscard]] std::size_t count(Severity s) const noexcept;
+  [[nodiscard]] Severity max_severity() const noexcept {
+    return analysis::max_severity(findings);
+  }
+
+  /// Canonical ordering: (file, line, column, rule, message).
+  void sort();
+
+  /// Removes findings matched by `baseline`; returns how many (also
+  /// accumulated into `suppressed`).
+  std::size_t apply_baseline(const Baseline& baseline);
+
+  /// "N error(s), M warning(s), K note(s)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// The pass manager.
+class Engine {
+ public:
+  explicit Engine(Options options = {});
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Descriptor-scope passes over one parsed tree (no repository needed).
+  [[nodiscard]] std::vector<Finding> analyze_descriptor(
+      const xml::Element& root, std::string_view path = {}) const;
+
+  /// Model-scope passes over one composed system.
+  [[nodiscard]] std::vector<Finding> analyze_model(
+      const compose::ComposedModel& model, std::string_view ref = {},
+      std::string_view path = {}) const;
+
+  /// Everything: per-descriptor passes (parallel), repository passes,
+  /// then — when options().analyze_models — composition plus model
+  /// passes for every concrete <system>. The report is canonically
+  /// sorted, so serial and parallel runs are byte-identical.
+  [[nodiscard]] Result<Report> analyze_repository(
+      repository::Repository& repo) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace xpdl::analysis

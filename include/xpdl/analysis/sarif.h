@@ -1,0 +1,38 @@
+// Finding renderers: SARIF 2.1.0 and plain JSON.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS) is the
+// lingua franca of CI code scanning; `xpdl-lint --format=sarif` output
+// uploads directly to GitHub code scanning. One run object carries the
+// tool driver with the full rule table (so viewers can show rule docs)
+// and one result per finding with a physical location.
+#pragma once
+
+#include <string>
+
+#include "xpdl/analysis/analysis.h"
+#include "xpdl/util/json.h"
+
+namespace xpdl::analysis {
+
+struct SarifOptions {
+  std::string tool_name = "xpdl-lint";
+  std::string tool_version = "1.0.0";
+  std::string information_uri =
+      "https://github.com/xpdl/xpdl/blob/main/docs/analysis.md";
+  /// When non-empty, file paths under this directory are emitted as
+  /// relative URIs (stable golden output, portable SARIF).
+  std::string base_dir;
+};
+
+/// The report as a SARIF 2.1.0 log (one run).
+[[nodiscard]] json::Value to_sarif(const Report& report,
+                                   const SarifOptions& options = {});
+
+/// The report as plain JSON: {"findings": [...], "summary": {...}}.
+[[nodiscard]] json::Value to_json(const Report& report);
+
+/// Serialized SARIF with 2-space indentation and a trailing newline.
+[[nodiscard]] std::string write_sarif(const Report& report,
+                                      const SarifOptions& options = {});
+
+}  // namespace xpdl::analysis

@@ -1,63 +1,48 @@
-// XPDL lint: consistency rules beyond per-file schema validity.
+// XPDL lint: compatibility shim over the xpdl::analysis engine.
 //
-// The paper's critique of PDL's free-form properties is exactly that
-// "lack of standardization of naming conventions ... can lead to
-// inconsistencies and confusion" (Sec. II-C); this pass is the
-// toolchain's answer for XPDL repositories. Rules:
-//
-//   missing-unit              numeric dimensional metric without a unit
-//                             attribute (portability hazard)
-//   placeholder-without-mb    '?' energy entry with no microbenchmark to
-//                             derive it (bootstrapping would fail)
-//   fsm-not-strongly-connected  a power state the programmer cannot reach
-//                             or leave (Listing 13 contract)
-//   fsm-domain-unknown        state machine governs a domain that its
-//                             power model never declares
-//   unresolved-type           component type reference matching no
-//                             repository descriptor (typo detector)
-//   unreferenced-meta         meta-model no other descriptor references
-//                             (dead entry in the library)
-//   duplicate-sibling-id      two siblings with the same id
-//   group-without-prefix      homogeneous group whose anonymous members
-//                             can never be referenced
-//   unknown-role              role other than master/worker/hybrid
+// The lint rules now live in xpdl::analysis as registered diagnostic
+// passes (see include/xpdl/analysis/analysis.h and docs/analysis.md for
+// the full rule table with ids, severities and rationale). This header
+// keeps the original narrow lint API — boolean Options toggles and plain
+// finding vectors — for callers that predate the engine. New code should
+// use analysis::Engine directly: it adds per-rule severity remapping,
+// baselines, parallel execution and SARIF output.
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "xpdl/analysis/analysis.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/util/status.h"
 #include "xpdl/xml/xml.h"
 
 namespace xpdl::lint {
 
-enum class Severity : std::uint8_t { kNote, kWarning, kError };
+using Severity = analysis::Severity;
+using Finding = analysis::Finding;
+using analysis::max_severity;
+using analysis::to_string;
 
-std::string_view to_string(Severity s) noexcept;
-
-/// One lint finding.
-struct Finding {
-  Severity severity = Severity::kWarning;
-  std::string rule;      ///< rule slug, e.g. "missing-unit"
-  std::string message;
-  SourceLocation location;
-
-  [[nodiscard]] std::string to_string() const;
-};
-
-/// Which rules run.
+/// Which of the legacy rules run. Rules added after the lint-to-analysis
+/// migration are not reachable through this struct — use
+/// analysis::RuleConfig for those.
 struct Options {
   bool missing_unit = true;
   bool placeholder_without_mb = true;
-  bool fsm_connectivity = true;
+  bool fsm_connectivity = true;  ///< both fsm-* rules
   bool unresolved_type = true;
   bool unreferenced_meta = true;
   bool duplicate_sibling_id = true;
   bool group_without_prefix = true;
   bool unknown_role = true;
 };
+
+/// The analysis::RuleConfig equivalent of `options`: legacy toggles map
+/// to disabled-rule entries and every non-legacy rule is disabled, so the
+/// shim behaves exactly like the pre-engine lint pass.
+[[nodiscard]] analysis::RuleConfig to_rule_config(const Options& options);
 
 /// Rules that need only one descriptor.
 [[nodiscard]] std::vector<Finding> lint_descriptor(const xml::Element& root,
@@ -67,8 +52,5 @@ struct Options {
 /// unresolved-type, unreferenced-meta).
 [[nodiscard]] Result<std::vector<Finding>> lint_repository(
     repository::Repository& repo, const Options& options = {});
-
-/// Highest severity among findings (kNote when empty).
-[[nodiscard]] Severity max_severity(const std::vector<Finding>& findings);
 
 }  // namespace xpdl::lint

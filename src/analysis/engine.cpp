@@ -1,0 +1,152 @@
+// The pass manager: preloads descriptors, fans the descriptor-scope
+// passes out over the work-stealing pool into per-descriptor result
+// slots, then runs the repository- and model-scope passes serially.
+// The canonical final sort makes serial and parallel runs byte-identical.
+#include "xpdl/analysis/analysis.h"
+
+#include <utility>
+
+#include "xpdl/analysis/pool.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
+
+namespace xpdl::analysis {
+namespace {
+
+std::vector<const AnalysisRule*> enabled_rules(const RuleConfig& config,
+                                               RuleScope scope) {
+  std::vector<const AnalysisRule*> out;
+  for (const AnalysisRule* rule : Registry::instance().rules(scope)) {
+    if (config.enabled(rule->info().id)) out.push_back(rule);
+  }
+  return out;
+}
+
+void fill_file(std::vector<Finding>& findings, const std::string& path) {
+  for (Finding& f : findings) {
+    if (f.location.file.empty()) f.location.file = path;
+  }
+}
+
+}  // namespace
+
+Engine::Engine(Options options) : options_(std::move(options)) {}
+
+std::vector<Finding> Engine::analyze_descriptor(const xml::Element& root,
+                                                std::string_view path) const {
+  std::vector<Finding> out;
+  Sink sink(options_.rules, out);
+  DescriptorContext ctx{root, std::string(path)};
+  for (const AnalysisRule* rule :
+       enabled_rules(options_.rules, RuleScope::kDescriptor)) {
+    rule->analyze_descriptor(ctx, sink);
+  }
+  fill_file(out, ctx.path);
+  return out;
+}
+
+std::vector<Finding> Engine::analyze_model(const compose::ComposedModel& model,
+                                           std::string_view ref,
+                                           std::string_view path) const {
+  std::vector<Finding> out;
+  Sink sink(options_.rules, out);
+  ModelContext ctx{model, std::string(ref), std::string(path)};
+  for (const AnalysisRule* rule :
+       enabled_rules(options_.rules, RuleScope::kModel)) {
+    rule->analyze_model(ctx, sink);
+  }
+  fill_file(out, ctx.path);
+  return out;
+}
+
+Result<Report> Engine::analyze_repository(repository::Repository& repo) const {
+  Report report;
+  std::vector<repository::DescriptorInfo> infos = repo.descriptors();
+  report.descriptors = infos.size();
+
+  // Repository::lookup caches lazily and is not thread-safe; load every
+  // descriptor once, serially, before the parallel fan-out.
+  std::vector<const xml::Element*> roots;
+  roots.reserve(infos.size());
+  {
+    obs::Span span("analysis.preload");
+    for (const auto& info : infos) {
+      XPDL_ASSIGN_OR_RETURN(const xml::Element* root,
+                            repo.lookup(info.reference_name));
+      roots.push_back(root);
+    }
+  }
+
+  // Descriptor passes, one task per descriptor, one result slot per task:
+  // no task ever touches another task's slot, and the slot order is the
+  // (deterministic) descriptor index order.
+  {
+    obs::Span span("analysis.descriptor_passes");
+    std::vector<const AnalysisRule*> rules =
+        enabled_rules(options_.rules, RuleScope::kDescriptor);
+    std::vector<std::vector<Finding>> slots(infos.size());
+    std::size_t threads = options_.threads == 0 ? pool::default_threads()
+                                                : options_.threads;
+    pool::parallel_for(threads, infos.size(), [&](std::size_t i) {
+      Sink sink(options_.rules, slots[i]);
+      DescriptorContext ctx{*roots[i], infos[i].path};
+      for (const AnalysisRule* rule : rules) {
+        rule->analyze_descriptor(ctx, sink);
+      }
+      fill_file(slots[i], infos[i].path);
+      XPDL_OBS_COUNT("analysis.descriptors_analyzed", 1);
+    });
+    for (std::vector<Finding>& slot : slots) {
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(slot.begin()),
+                             std::make_move_iterator(slot.end()));
+    }
+  }
+
+  {
+    obs::Span span("analysis.repository_passes");
+    Sink sink(options_.rules, report.findings);
+    RepositoryContext ctx{repo, infos};
+    for (const AnalysisRule* rule :
+         enabled_rules(options_.rules, RuleScope::kRepository)) {
+      XPDL_RETURN_IF_ERROR(rule->analyze_repository(ctx, sink));
+    }
+  }
+
+  if (options_.analyze_models) {
+    obs::Span span("analysis.model_passes");
+    const AnalysisRule* compose_error =
+        Registry::instance().find("compose-error");
+    compose::Composer composer(repo);
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      const auto& info = infos[i];
+      if (info.is_meta || info.tag != "system") continue;
+      auto model = composer.compose(info.reference_name);
+      if (!model.is_ok()) {
+        if (compose_error != nullptr &&
+            options_.rules.enabled(compose_error->info().id)) {
+          Sink sink(options_.rules, report.findings);
+          sink.report(compose_error->info(),
+                      "system '" + info.reference_name +
+                          "' fails to compose: " + model.status().message(),
+                      SourceLocation{info.path, 0, 0});
+        }
+        continue;
+      }
+      ++report.models_composed;
+      XPDL_OBS_COUNT("analysis.models_composed", 1);
+      std::vector<Finding> findings =
+          analyze_model(*model, info.reference_name, info.path);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(findings.begin()),
+                             std::make_move_iterator(findings.end()));
+    }
+  }
+
+  XPDL_OBS_COUNT("analysis.findings", report.findings.size());
+  report.sort();
+  return report;
+}
+
+}  // namespace xpdl::analysis

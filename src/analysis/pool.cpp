@@ -1,0 +1,74 @@
+#include "xpdl/analysis/pool.h"
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace xpdl::analysis::pool {
+namespace {
+
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+
+  std::optional<std::size_t> pop_front() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return std::nullopt;
+    std::size_t t = tasks.front();
+    tasks.pop_front();
+    return t;
+  }
+  std::optional<std::size_t> steal_back() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return std::nullopt;
+    std::size_t t = tasks.back();
+    tasks.pop_back();
+    return t;
+  }
+};
+
+}  // namespace
+
+std::size_t default_threads() noexcept {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  if (threads > count) threads = count;
+
+  // All tasks are queued up front (round-robin), so a worker terminates
+  // once every deque is empty: no task ever spawns another task.
+  std::vector<WorkQueue> queues(threads);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues[i % threads].tasks.push_back(i);
+  }
+
+  auto worker = [&](std::size_t self) {
+    for (;;) {
+      std::optional<std::size_t> task = queues[self].pop_front();
+      for (std::size_t k = 1; !task.has_value() && k < threads; ++k) {
+        task = queues[(self + k) % threads].steal_back();
+      }
+      if (!task.has_value()) return;
+      fn(*task);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    workers.emplace_back(worker, t);
+  }
+  worker(0);
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace xpdl::analysis::pool

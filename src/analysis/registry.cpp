@@ -1,0 +1,220 @@
+// Core types of the analysis engine: severities, findings, the rule
+// registry, per-run rule configuration and the baseline suppression file.
+#include "xpdl/analysis/analysis.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "xpdl/util/io.h"
+#include "xpdl/util/strings.h"
+#include "rules_internal.h"
+
+namespace xpdl::analysis {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+Result<Severity> parse_severity(std::string_view text) {
+  if (text == "note") return Severity::kNote;
+  if (text == "warning") return Severity::kWarning;
+  if (text == "error") return Severity::kError;
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown severity '" + std::string(text) +
+                    "' (expected note, warning or error)");
+}
+
+std::string_view to_string(RuleScope s) noexcept {
+  switch (s) {
+    case RuleScope::kDescriptor: return "descriptor";
+    case RuleScope::kRepository: return "repository";
+    case RuleScope::kModel: return "model";
+  }
+  return "unknown";
+}
+
+std::string Finding::to_string() const {
+  std::string out = location.to_string();
+  if (!out.empty()) out += ": ";
+  out += std::string(analysis::to_string(severity));
+  out += " [" + rule + "]: " + message;
+  return out;
+}
+
+Severity max_severity(const std::vector<Finding>& findings) {
+  Severity max = Severity::kNote;
+  for (const Finding& f : findings) {
+    if (static_cast<int>(f.severity) > static_cast<int>(max)) {
+      max = f.severity;
+    }
+  }
+  return max;
+}
+
+Severity RuleConfig::effective(std::string_view rule,
+                               Severity default_severity) const {
+  Severity s = default_severity;
+  if (auto it = overrides.find(rule); it != overrides.end()) s = it->second;
+  if (warnings_as_errors && s == Severity::kWarning) s = Severity::kError;
+  return s;
+}
+
+void Sink::report(const RuleInfo& rule, std::string message,
+                  SourceLocation location) {
+  out_.push_back(Finding{config_.effective(rule.id, rule.default_severity),
+                         rule.id, std::move(message), std::move(location)});
+}
+
+void AnalysisRule::analyze_descriptor(const DescriptorContext&,
+                                      Sink&) const {}
+
+Status AnalysisRule::analyze_repository(const RepositoryContext&,
+                                        Sink&) const {
+  return Status::ok();
+}
+
+void AnalysisRule::analyze_model(const ModelContext&, Sink&) const {}
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    internal::register_descriptor_rules(*r);
+    internal::register_repository_rules(*r);
+    internal::register_model_rules(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status Registry::register_rule(std::unique_ptr<AnalysisRule> rule) {
+  const std::string& id = rule->info().id;
+  if (id.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "analysis rule with empty id");
+  }
+  auto [it, inserted] = rules_.emplace(id, std::move(rule));
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "analysis rule '" + id + "' registered twice");
+  }
+  return Status::ok();
+}
+
+const AnalysisRule* Registry::find(std::string_view id) const noexcept {
+  auto it = rules_.find(id);
+  return it == rules_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const AnalysisRule*> Registry::rules() const {
+  std::vector<const AnalysisRule*> out;
+  out.reserve(rules_.size());
+  for (const auto& [id, rule] : rules_) out.push_back(rule.get());
+  return out;  // map iteration order == sorted by id
+}
+
+std::vector<const AnalysisRule*> Registry::rules(RuleScope scope) const {
+  std::vector<const AnalysisRule*> out;
+  for (const auto& [id, rule] : rules_) {
+    if (rule->info().scope == scope) out.push_back(rule.get());
+  }
+  return out;
+}
+
+// --- baseline -----------------------------------------------------------
+
+std::string Baseline::fingerprint(const Finding& finding) {
+  std::string base = finding.location.file.empty()
+                         ? std::string()
+                         : std::filesystem::path(finding.location.file)
+                               .filename()
+                               .string();
+  return finding.rule + "|" + base + "|" + finding.message;
+}
+
+Result<Baseline> Baseline::load(const std::string& path) {
+  XPDL_ASSIGN_OR_RETURN(std::string text, io::read_file(path));
+  Baseline b;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    b.fingerprints_.emplace(trimmed);
+  }
+  return b;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  for (const Finding& f : findings) b.fingerprints_.insert(fingerprint(f));
+  return b;
+}
+
+bool Baseline::contains(const Finding& finding) const {
+  return fingerprints_.find(fingerprint(finding)) != fingerprints_.end();
+}
+
+std::string Baseline::serialize() const {
+  std::string out =
+      "# xpdl-lint baseline: one suppressed finding per line\n"
+      "# (fingerprint: rule|file-basename|message)\n";
+  for (const std::string& fp : fingerprints_) {
+    out += fp;
+    out += '\n';
+  }
+  return out;
+}
+
+// --- report -------------------------------------------------------------
+
+std::size_t Report::count(Severity s) const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+void Report::sort() {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.location.file != b.location.file) {
+                       return a.location.file < b.location.file;
+                     }
+                     if (a.location.line != b.location.line) {
+                       return a.location.line < b.location.line;
+                     }
+                     if (a.location.column != b.location.column) {
+                       return a.location.column < b.location.column;
+                     }
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.message < b.message;
+                   });
+}
+
+std::size_t Report::apply_baseline(const Baseline& baseline) {
+  std::size_t before = findings.size();
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return baseline.contains(f);
+                                }),
+                 findings.end());
+  std::size_t removed = before - findings.size();
+  suppressed += removed;
+  return removed;
+}
+
+std::string Report::summary() const {
+  return strings::format("%zu error(s), %zu warning(s), %zu note(s)",
+                         count(Severity::kError), count(Severity::kWarning),
+                         count(Severity::kNote));
+}
+
+}  // namespace xpdl::analysis

@@ -1,0 +1,583 @@
+// Descriptor-scope passes: the rules migrated from the old xpdl::lint
+// monolith plus the unit-algebra, constraint-satisfiability and
+// power-model sanity passes over a single parsed descriptor.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/model/power.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+#include "rules_internal.h"
+
+namespace xpdl::analysis {
+namespace {
+
+void walk(const xml::Element& e,
+          const std::function<void(const xml::Element&)>& fn) {
+  fn(e);
+  for (const auto& c : e.children()) walk(*c, fn);
+}
+
+// --- missing-unit -------------------------------------------------------
+
+class MissingUnitRule final : public internal::RuleBase {
+ public:
+  MissingUnitRule()
+      : RuleBase("missing-unit", RuleScope::kDescriptor, Severity::kWarning,
+                 "numeric dimensional metric without a unit attribute "
+                 "(portability hazard, Sec. III-A)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      const schema::ElementSpec* spec = schema::Schema::core().find(e.tag());
+      if (spec == nullptr || !spec->allow_metric_attributes) return;
+      for (const xml::Attribute& a : e.attributes()) {
+        if (model::is_structural_attribute(a.name)) continue;
+        if (a.name == "unit" ||
+            (a.name.size() > 5 &&
+             std::string_view(a.name).substr(a.name.size() - 5) ==
+                 "_unit")) {
+          continue;
+        }
+        if (!strings::parse_double(a.value).is_ok()) continue;
+        units::Dimension dim = units::metric_dimension(a.name);
+        if (dim == units::Dimension::kDimensionless) continue;
+        if (!e.has_attribute(units::unit_attribute_name(a.name))) {
+          sink.report(info(),
+                      "<" + e.tag() + "> metric '" + a.name +
+                          "' is numeric and dimensional (" +
+                          std::string(units::to_string(dim)) +
+                          ") but carries no '" +
+                          units::unit_attribute_name(a.name) + "' attribute",
+                      e.location());
+        }
+      }
+    });
+  }
+};
+
+// --- unit-dimension-mismatch --------------------------------------------
+
+class UnitDimensionMismatchRule final : public internal::RuleBase {
+ public:
+  UnitDimensionMismatchRule()
+      : RuleBase("unit-dimension-mismatch", RuleScope::kDescriptor,
+                 Severity::kError,
+                 "metric carries a unit of the wrong physical dimension "
+                 "or an unknown unit symbol") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      for (const xml::Attribute& a : e.attributes()) {
+        bool is_unit_attr =
+            a.name == "unit" ||
+            (a.name.size() > 5 &&
+             std::string_view(a.name).substr(a.name.size() - 5) == "_unit");
+        if (!is_unit_attr) continue;
+        std::string metric =
+            a.name == "unit" ? "size"
+                             : a.name.substr(0, a.name.size() - 5);
+        auto unit = units::parse_unit(a.value);
+        if (!unit.is_ok()) {
+          sink.report(info(),
+                      "<" + e.tag() + "> metric '" + metric +
+                          "' uses unknown unit '" + a.value + "'",
+                      a.location);
+          continue;
+        }
+        units::Dimension want = units::metric_dimension(metric);
+        if (want != units::Dimension::kDimensionless &&
+            unit->dimension != want) {
+          sink.report(
+              info(),
+              "<" + e.tag() + "> metric '" + metric + "' uses unit '" +
+                  a.value + "' of dimension " +
+                  std::string(units::to_string(unit->dimension)) +
+                  " where " + std::string(units::to_string(want)) +
+                  " is required",
+              a.location);
+        }
+      }
+    });
+  }
+};
+
+// --- placeholder-without-mb ---------------------------------------------
+
+class PlaceholderWithoutMbRule final : public internal::RuleBase {
+ public:
+  PlaceholderWithoutMbRule()
+      : RuleBase("placeholder-without-mb", RuleScope::kDescriptor,
+                 Severity::kError,
+                 "'?' energy entry with no microbenchmark to derive it "
+                 "(deployment-time bootstrapping would fail, Listing 14)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "instructions") return;
+      auto isa = model::InstructionSet::parse(e);
+      if (!isa.is_ok()) return;  // schema/validation reports parse problems
+      for (const auto& inst : isa->instructions) {
+        if (inst.placeholder && inst.microbenchmark.empty() &&
+            isa->microbenchmark_suite.empty()) {
+          sink.report(info(),
+                      "instruction '" + inst.name +
+                          "' has energy '?' but neither an mb reference "
+                          "nor a suite default; deployment-time "
+                          "bootstrapping cannot derive it",
+                      inst.location);
+        }
+      }
+    });
+  }
+};
+
+// --- fsm-not-strongly-connected / fsm-domain-unknown --------------------
+
+class FsmConnectivityRule final : public internal::RuleBase {
+ public:
+  FsmConnectivityRule()
+      : RuleBase("fsm-not-strongly-connected", RuleScope::kDescriptor,
+                 Severity::kWarning,
+                 "a power state the programmer cannot reach or leave "
+                 "(Listing 13 contract)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "power_model") return;
+      auto pm = model::PowerModel::parse(e);
+      if (!pm.is_ok()) return;
+      for (const auto& fsm : pm->state_machines) {
+        if (!fsm.strongly_connected()) {
+          sink.report(info(),
+                      "power state machine '" + fsm.name +
+                          "' has states that cannot be reached or left "
+                          "through the modeled transitions",
+                      e.location());
+        }
+      }
+    });
+  }
+};
+
+class FsmDomainUnknownRule final : public internal::RuleBase {
+ public:
+  FsmDomainUnknownRule()
+      : RuleBase("fsm-domain-unknown", RuleScope::kDescriptor,
+                 Severity::kWarning,
+                 "state machine governs a domain its power model never "
+                 "declares") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "power_model") return;
+      auto pm = model::PowerModel::parse(e);
+      if (!pm.is_ok()) return;
+      std::set<std::string> domains;
+      if (pm->domains.has_value()) {
+        for (const auto& d : pm->domains->expanded()) domains.insert(d.name);
+        for (const auto& d : pm->domains->domains) domains.insert(d.name);
+        for (const auto& g : pm->domains->groups) {
+          domains.insert(g.prototype.name);
+          domains.insert(g.name);
+        }
+      }
+      for (const auto& fsm : pm->state_machines) {
+        if (!fsm.power_domain.empty() && pm->domains.has_value() &&
+            domains.find(fsm.power_domain) == domains.end()) {
+          sink.report(info(),
+                      "power state machine '" + fsm.name +
+                          "' governs domain '" + fsm.power_domain +
+                          "' which the power model's domain set does not "
+                          "declare",
+                      e.location());
+        }
+      }
+    });
+  }
+};
+
+// --- power-sanity -------------------------------------------------------
+
+class PowerSanityRule final : public internal::RuleBase {
+ public:
+  PowerSanityRule()
+      : RuleBase("power-sanity", RuleScope::kDescriptor, Severity::kError,
+                 "negative power, energy or time in power states, "
+                 "transitions or instruction energy tables") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "power_model") return;
+      auto pm = model::PowerModel::parse(e);
+      if (!pm.is_ok()) return;
+      for (const auto& fsm : pm->state_machines) {
+        for (const auto& s : fsm.states) {
+          if (s.power_w < 0.0) {
+            sink.report(info(),
+                        "power state '" + s.name + "' of machine '" +
+                            fsm.name + "' draws negative power (" +
+                            units::watts(s.power_w).to_string() + ")",
+                        s.location);
+          }
+          if (s.frequency_hz < 0.0) {
+            sink.report(info(),
+                        "power state '" + s.name + "' of machine '" +
+                            fsm.name + "' has a negative frequency",
+                        s.location);
+          }
+        }
+        for (const auto& t : fsm.transitions) {
+          if (t.time_s < 0.0 || t.energy_j < 0.0) {
+            sink.report(info(),
+                        "transition '" + t.from + "' -> '" + t.to +
+                            "' of machine '" + fsm.name +
+                            "' has a negative time or energy cost",
+                        t.location);
+          }
+        }
+      }
+      for (const auto& isa : pm->instruction_sets) {
+        for (const auto& inst : isa.instructions) {
+          if (inst.energy_j.has_value() && *inst.energy_j < 0.0) {
+            sink.report(info(),
+                        "instruction '" + inst.name +
+                            "' has negative energy",
+                        inst.location);
+          }
+          for (const auto& [freq, energy] : inst.table) {
+            if (energy < 0.0) {
+              sink.report(info(),
+                          "instruction '" + inst.name +
+                              "' has a negative energy table entry at " +
+                              units::hertz(freq).to_string(),
+                          inst.location);
+            }
+          }
+        }
+      }
+    });
+  }
+};
+
+// --- energy-table-non-monotone ------------------------------------------
+
+class EnergyTableMonotonicityRule final : public internal::RuleBase {
+ public:
+  EnergyTableMonotonicityRule()
+      : RuleBase("energy-table-non-monotone", RuleScope::kDescriptor,
+                 Severity::kWarning,
+                 "per-instruction frequency->energy table decreases with "
+                 "rising frequency (suspicious measurement, Listing 14)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "instructions") return;
+      auto isa = model::InstructionSet::parse(e);
+      if (!isa.is_ok()) return;
+      for (const auto& inst : isa->instructions) {
+        for (std::size_t i = 1; i < inst.table.size(); ++i) {
+          if (inst.table[i].second < inst.table[i - 1].second) {
+            sink.report(
+                info(),
+                "instruction '" + inst.name + "' energy at " +
+                    units::hertz(inst.table[i].first).to_string() + " (" +
+                    units::joules(inst.table[i].second).to_string() +
+                    ") is below the energy at " +
+                    units::hertz(inst.table[i - 1].first).to_string() +
+                    " (" +
+                    units::joules(inst.table[i - 1].second).to_string() +
+                    "); dynamic energy per operation normally rises with "
+                    "frequency",
+                inst.location);
+            break;  // one finding per instruction table
+          }
+        }
+      }
+    });
+  }
+};
+
+// --- duplicate-sibling-id -----------------------------------------------
+
+class DuplicateSiblingIdRule final : public internal::RuleBase {
+ public:
+  DuplicateSiblingIdRule()
+      : RuleBase("duplicate-sibling-id", RuleScope::kDescriptor,
+                 Severity::kError, "two siblings share the same id") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      std::map<std::string_view, const xml::Element*> seen;
+      for (const auto& c : e.children()) {
+        auto id = c->attribute("id");
+        if (!id.has_value() || id->empty()) continue;
+        auto [it, inserted] = seen.emplace(*id, c.get());
+        (void)it;
+        if (!inserted) {
+          sink.report(info(),
+                      "siblings share id '" + std::string(*id) +
+                          "' under <" + e.tag() + ">",
+                      c->location());
+        }
+      }
+    });
+  }
+};
+
+// --- group-without-prefix -----------------------------------------------
+
+class GroupWithoutPrefixRule final : public internal::RuleBase {
+ public:
+  GroupWithoutPrefixRule()
+      : RuleBase("group-without-prefix", RuleScope::kDescriptor,
+                 Severity::kNote,
+                 "homogeneous group whose anonymous members can never be "
+                 "referenced (Sec. III-A)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      if (e.tag() != "group" || !e.has_attribute("quantity")) return;
+      if (e.has_attribute("prefix") ||
+          e.attribute_or("expanded", "") == "true") {
+        return;
+      }
+      bool has_anonymous_component = false;
+      for (const auto& c : e.children()) {
+        if ((schema::is_component_tag(c->tag()) || c->tag() == "group") &&
+            !c->has_attribute("id") && !c->has_attribute("name")) {
+          has_anonymous_component = true;
+        }
+      }
+      if (has_anonymous_component) {
+        sink.report(info(),
+                    "homogeneous group has anonymous members and no "
+                    "'prefix'; the expanded members will not be "
+                    "referenceable by id",
+                    e.location());
+      }
+    });
+  }
+};
+
+// --- unknown-role -------------------------------------------------------
+
+class UnknownRoleRule final : public internal::RuleBase {
+ public:
+  UnknownRoleRule()
+      : RuleBase("unknown-role", RuleScope::kDescriptor, Severity::kWarning,
+                 "role other than the PDL control roles "
+                 "master/worker/hybrid") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto role = e.attribute("role");
+      if (!role.has_value()) return;
+      // Roles are matched case-insensitively ("Master" is fine).
+      if (strings::iequals(*role, "master") ||
+          strings::iequals(*role, "worker") ||
+          strings::iequals(*role, "hybrid")) {
+        return;
+      }
+      sink.report(info(),
+                  "<" + e.tag() + "> has unknown role '" +
+                      std::string(*role) +
+                      "'; allowed roles are master, worker and hybrid "
+                      "(case-insensitive; XPDL keeps PDL's control roles "
+                      "as an optional secondary aspect)",
+                  e.location());
+    });
+  }
+};
+
+// --- constraint satisfiability ------------------------------------------
+
+/// Outcome of enumerating one constraint over the declared ranges of its
+/// free parameters.
+struct ConstraintVerdict {
+  const model::Constraint* constraint = nullptr;
+  std::vector<std::string> variables;
+  std::size_t configurations = 0;  ///< points enumerated
+  std::size_t satisfied = 0;
+  bool has_choice = false;  ///< at least one variable had > 1 value
+  bool decidable = false;   ///< every variable had a value or a range
+};
+
+/// Enumerates the cross product of the declared parameter domains and
+/// counts satisfying assignments. Constraints referencing parameters the
+/// scope does not bind (e.g. inherited ones) are reported undecidable and
+/// skipped by both rules.
+std::vector<ConstraintVerdict> evaluate_scope(const model::ParamScope& scope) {
+  constexpr std::size_t kMaxConfigurations = 1u << 16;
+  std::vector<ConstraintVerdict> verdicts;
+  for (const model::Constraint& c : scope.constraints) {
+    ConstraintVerdict v;
+    v.constraint = &c;
+    v.variables = c.expression.variables();
+    std::vector<std::vector<double>> domains;
+    v.decidable = true;
+    for (const std::string& name : v.variables) {
+      const model::Param* p = scope.find(name);
+      if (p == nullptr) {
+        v.decidable = false;
+        break;
+      }
+      if (p->is_bound()) {
+        domains.push_back({*p->value_si});
+      } else if (!p->range_si.empty()) {
+        domains.push_back(p->range_si);
+        if (p->range_si.size() > 1) v.has_choice = true;
+      } else {
+        v.decidable = false;
+        break;
+      }
+    }
+    if (v.decidable) {
+      std::size_t total = 1;
+      for (const auto& d : domains) {
+        if (total > kMaxConfigurations / std::max<std::size_t>(d.size(), 1)) {
+          total = kMaxConfigurations + 1;
+          break;
+        }
+        total *= d.size();
+      }
+      if (total > kMaxConfigurations) {
+        v.decidable = false;  // space too large to enumerate statically
+      } else {
+        std::map<std::string, double, std::less<>> binding;
+        std::vector<std::size_t> idx(domains.size(), 0);
+        for (std::size_t point = 0; point < total; ++point) {
+          std::size_t rest = point;
+          for (std::size_t d = 0; d < domains.size(); ++d) {
+            binding[v.variables[d]] = domains[d][rest % domains[d].size()];
+            rest /= domains[d].size();
+          }
+          auto ok = c.expression.evaluate_bool(
+              [&](std::string_view name) -> Result<double> {
+                auto it = binding.find(name);
+                if (it == binding.end()) {
+                  return Status(ErrorCode::kNotFound,
+                                "unbound variable " + std::string(name));
+                }
+                return it->second;
+              });
+          ++v.configurations;
+          if (ok.is_ok() && *ok) ++v.satisfied;
+        }
+      }
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+std::string join_variables(const std::vector<std::string>& vars) {
+  std::string out;
+  for (const std::string& v : vars) {
+    if (!out.empty()) out += ", ";
+    out += v;
+  }
+  return out;
+}
+
+class ConstraintUnsatisfiableRule final : public internal::RuleBase {
+ public:
+  ConstraintUnsatisfiableRule()
+      : RuleBase("constraint-unsatisfiable", RuleScope::kDescriptor,
+                 Severity::kError,
+                 "constraint holds for no point of the declared parameter "
+                 "ranges (the configuration space is empty, Listing 8)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto scope = model::parse_param_scope(e);
+      if (!scope.is_ok() || scope->constraints.empty()) return;
+      for (const ConstraintVerdict& v : evaluate_scope(*scope)) {
+        if (!v.decidable || v.satisfied > 0) continue;
+        sink.report(info(),
+                    "constraint '" + v.constraint->expression.source() +
+                        "' is satisfied by none of the " +
+                        std::to_string(v.configurations) +
+                        " configuration(s) of {" +
+                        join_variables(v.variables) +
+                        "}; no valid configuration exists",
+                    v.constraint->location);
+      }
+    });
+  }
+};
+
+class ConstraintVacuousRule final : public internal::RuleBase {
+ public:
+  ConstraintVacuousRule()
+      : RuleBase("constraint-vacuous", RuleScope::kDescriptor,
+                 Severity::kNote,
+                 "constraint holds for every point of the declared "
+                 "parameter ranges (it constrains nothing)") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto scope = model::parse_param_scope(e);
+      if (!scope.is_ok() || scope->constraints.empty()) return;
+      for (const ConstraintVerdict& v : evaluate_scope(*scope)) {
+        if (!v.decidable || !v.has_choice ||
+            v.satisfied != v.configurations || v.configurations == 0) {
+          continue;
+        }
+        sink.report(info(),
+                    "constraint '" + v.constraint->expression.source() +
+                        "' holds for all " +
+                        std::to_string(v.configurations) +
+                        " configuration(s) of {" +
+                        join_variables(v.variables) +
+                        "}; it does not restrict the configuration space",
+                    v.constraint->location);
+      }
+    });
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+void register_descriptor_rules(Registry& registry) {
+  auto add = [&](std::unique_ptr<AnalysisRule> rule) {
+    Status st = registry.register_rule(std::move(rule));
+    (void)st;  // duplicate registration is impossible for built-ins
+  };
+  add(std::make_unique<MissingUnitRule>());
+  add(std::make_unique<UnitDimensionMismatchRule>());
+  add(std::make_unique<PlaceholderWithoutMbRule>());
+  add(std::make_unique<FsmConnectivityRule>());
+  add(std::make_unique<FsmDomainUnknownRule>());
+  add(std::make_unique<PowerSanityRule>());
+  add(std::make_unique<EnergyTableMonotonicityRule>());
+  add(std::make_unique<DuplicateSiblingIdRule>());
+  add(std::make_unique<GroupWithoutPrefixRule>());
+  add(std::make_unique<UnknownRoleRule>());
+  add(std::make_unique<ConstraintUnsatisfiableRule>());
+  add(std::make_unique<ConstraintVacuousRule>());
+}
+
+}  // namespace internal
+}  // namespace xpdl::analysis

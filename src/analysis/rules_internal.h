@@ -1,0 +1,38 @@
+// Internal: registration entry points for the built-in rule packs.
+//
+// The rules live in separate translation units inside a static library;
+// relying on static-initializer self-registration would let the linker
+// drop them. Registry::instance() calls these once instead; external
+// rules still go through Registry::register_rule().
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "xpdl/analysis/analysis.h"
+
+namespace xpdl::analysis {
+
+namespace internal {
+
+/// Convenience base carrying the static RuleInfo.
+class RuleBase : public AnalysisRule {
+ public:
+  RuleBase(std::string id, RuleScope scope, Severity severity,
+           std::string summary)
+      : info_{std::move(id), scope, severity, std::move(summary)} {}
+
+  [[nodiscard]] const RuleInfo& info() const noexcept override {
+    return info_;
+  }
+
+ private:
+  RuleInfo info_;
+};
+
+void register_descriptor_rules(Registry& registry);
+void register_repository_rules(Registry& registry);
+void register_model_rules(Registry& registry);
+
+}  // namespace internal
+}  // namespace xpdl::analysis

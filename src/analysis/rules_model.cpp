@@ -1,0 +1,91 @@
+// Model-scope passes over a fully composed system: the Sec. IV
+// bandwidth-downgrade invariant ("effective bandwidth should be
+// determined by the slowest hardware components involved").
+#include <cmath>
+#include <functional>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/model/ir.h"
+#include "xpdl/util/units.h"
+#include "rules_internal.h"
+
+namespace xpdl::analysis {
+namespace {
+
+void walk(const xml::Element& e,
+          const std::function<void(const xml::Element&)>& fn) {
+  fn(e);
+  for (const auto& c : e.children()) walk(*c, fn);
+}
+
+std::optional<double> metric_si(const xml::Element& e,
+                                std::string_view name) {
+  auto m = model::metric_of(e, name);
+  if (!m.is_ok() || !m.value().has_value() || !m.value()->is_number()) {
+    return std::nullopt;
+  }
+  return m.value()->value_si;
+}
+
+// --- bandwidth-downgrade ------------------------------------------------
+
+class BandwidthDowngradeRule final : public internal::RuleBase {
+ public:
+  BandwidthDowngradeRule()
+      : RuleBase("bandwidth-downgrade", RuleScope::kModel, Severity::kWarning,
+                 "interconnect declares an aggregate bandwidth above the "
+                 "slowest link component; the effective bandwidth is "
+                 "downgraded (Sec. IV)") {}
+
+  void analyze_model(const ModelContext& ctx, Sink& sink) const override {
+    walk(ctx.model.root(), [&](const xml::Element& e) {
+      if (e.tag() != "interconnect") return;
+      auto declared = metric_si(e, "max_bandwidth");
+      auto effective = metric_si(e, compose::kEffectiveBandwidthAttr);
+      if (!declared.has_value() || !effective.has_value()) return;
+      // Tolerate rounding from the composer's number formatting.
+      if (*declared <= *effective * (1.0 + 1e-9)) return;
+      sink.report(
+          info(),
+          "interconnect '" + std::string(e.attribute_or("id", e.tag())) +
+              "' declares " +
+              units::Quantity(*declared, units::Dimension::kBandwidth)
+                  .to_string() +
+              " but the slowest channel or endpoint sustains only " +
+              units::Quantity(*effective, units::Dimension::kBandwidth)
+                  .to_string() +
+              "; the aggregate claim can never be met end-to-end",
+          e.location());
+    });
+  }
+};
+
+// --- compose-error ------------------------------------------------------
+
+/// Composition failures are detected by the engine (Composer::compose
+/// returning an error); this registration provides the stable id,
+/// severity and documentation under which the engine reports them.
+class ComposeErrorRule final : public internal::RuleBase {
+ public:
+  ComposeErrorRule()
+      : RuleBase("compose-error", RuleScope::kModel, Severity::kError,
+                 "concrete <system> descriptor that fails to compose "
+                 "(unresolved references, unsatisfied constraints, "
+                 "inheritance cycles, ...)") {}
+};
+
+}  // namespace
+
+namespace internal {
+
+void register_model_rules(Registry& registry) {
+  auto add = [&](std::unique_ptr<AnalysisRule> rule) {
+    Status st = registry.register_rule(std::move(rule));
+    (void)st;
+  };
+  add(std::make_unique<BandwidthDowngradeRule>());
+  add(std::make_unique<ComposeErrorRule>());
+}
+
+}  // namespace internal
+}  // namespace xpdl::analysis

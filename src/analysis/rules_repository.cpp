@@ -1,0 +1,376 @@
+// Repository-scope passes: cross-descriptor reference and inheritance
+// analysis (extends= cycles, diamond conflicts, unit conflicts across the
+// inheritance chain) plus the migrated unresolved-type / unreferenced-meta
+// lint rules.
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/strings.h"
+#include "xpdl/util/units.h"
+#include "rules_internal.h"
+
+namespace xpdl::analysis {
+namespace {
+
+void walk(const xml::Element& e,
+          const std::function<void(const xml::Element&)>& fn) {
+  fn(e);
+  for (const auto& c : e.children()) walk(*c, fn);
+}
+
+/// Root element of each indexed descriptor, by reference name. The engine
+/// pre-loads every descriptor before the repository passes run, so lookup
+/// never fails here; descriptors that cannot load are simply absent.
+std::map<std::string, const xml::Element*> load_roots(
+    const RepositoryContext& ctx) {
+  std::map<std::string, const xml::Element*> roots;
+  for (const auto& info : ctx.infos) {
+    auto root = ctx.repo.lookup(info.reference_name);
+    if (root.is_ok()) roots.emplace(info.reference_name, *root);
+  }
+  return roots;
+}
+
+std::vector<std::string> extends_of(const xml::Element& root) {
+  return model::identity_of(root).extends;
+}
+
+// --- unresolved-type ----------------------------------------------------
+
+class UnresolvedTypeRule final : public internal::RuleBase {
+ public:
+  UnresolvedTypeRule()
+      : RuleBase("unresolved-type", RuleScope::kRepository,
+                 Severity::kWarning,
+                 "type= reference that no repository descriptor defines "
+                 "(kind string or typo)") {}
+
+  Status analyze_repository(const RepositoryContext& ctx,
+                            Sink& sink) const override {
+    for (const auto& desc : ctx.infos) {
+      XPDL_ASSIGN_OR_RETURN(const xml::Element* root,
+                            ctx.repo.lookup(desc.reference_name));
+      walk(*root, [&](const xml::Element& e) {
+        if (!schema::is_component_tag(e.tag()) && e.tag() != "power_model") {
+          return;
+        }
+        if (e.parent() != nullptr && e.parent()->tag() == "power_domain") {
+          return;  // intra-model references (Listing 12)
+        }
+        auto type = e.attribute("type");
+        if (!type.has_value() || ctx.repo.contains(*type)) return;
+        sink.report(info(),
+                    "<" + e.tag() + "> references type '" +
+                        std::string(*type) +
+                        "' which no repository descriptor defines (kind "
+                        "string or typo?)",
+                    e.location());
+      });
+    }
+    return Status::ok();
+  }
+};
+
+// --- unreferenced-meta --------------------------------------------------
+
+class UnreferencedMetaRule final : public internal::RuleBase {
+ public:
+  UnreferencedMetaRule()
+      : RuleBase("unreferenced-meta", RuleScope::kRepository, Severity::kNote,
+                 "meta-model no other descriptor references (dead "
+                 "descriptor or repository split)") {}
+
+  Status analyze_repository(const RepositoryContext& ctx,
+                            Sink& sink) const override {
+    std::set<std::string> referenced;
+    for (const auto& info : ctx.infos) {
+      XPDL_ASSIGN_OR_RETURN(const xml::Element* root,
+                            ctx.repo.lookup(info.reference_name));
+      walk(*root, [&](const xml::Element& e) {
+        if (auto type = e.attribute("type")) {
+          // A root's type reference counts unless it names itself.
+          if (*type != info.reference_name) referenced.emplace(*type);
+        }
+        if (auto ext = e.attribute("extends")) {
+          for (const std::string& base : strings::split(*ext, ',')) {
+            referenced.insert(base);
+          }
+        }
+      });
+    }
+    for (const auto& info : ctx.infos) {
+      if (info.is_meta && info.tag != "system" &&
+          referenced.find(info.reference_name) == referenced.end()) {
+        sink.report(this->info(),
+                    "meta-model '" + info.reference_name +
+                        "' is not referenced by any other descriptor in "
+                        "the repository",
+                    SourceLocation{info.path, 0, 0});
+      }
+    }
+    return Status::ok();
+  }
+};
+
+// --- extends-cycle ------------------------------------------------------
+
+class ExtendsCycleRule final : public internal::RuleBase {
+ public:
+  ExtendsCycleRule()
+      : RuleBase("extends-cycle", RuleScope::kRepository, Severity::kError,
+                 "extends= inheritance chain that loops back on itself "
+                 "(composition of any involved model must fail)") {}
+
+  Status analyze_repository(const RepositoryContext& ctx,
+                            Sink& sink) const override {
+    std::map<std::string, const xml::Element*> roots = load_roots(ctx);
+    // Iterative DFS with tricolor marking; each cycle is reported once,
+    // anchored at its lexicographically smallest member.
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::set<std::string> reported;
+    for (const auto& [name, root] : roots) {
+      (void)root;
+      if (color[name] != 0) continue;
+      std::vector<std::string> stack;
+      dfs(name, roots, color, stack, reported, sink);
+    }
+    return Status::ok();
+  }
+
+ private:
+  void dfs(const std::string& name,
+           const std::map<std::string, const xml::Element*>& roots,
+           std::map<std::string, int>& color,
+           std::vector<std::string>& stack, std::set<std::string>& reported,
+           Sink& sink) const {
+    color[name] = 1;
+    stack.push_back(name);
+    auto it = roots.find(name);
+    if (it != roots.end()) {
+      for (const std::string& base : extends_of(*it->second)) {
+        auto bit = roots.find(base);
+        if (bit == roots.end()) continue;  // unresolved-type's business
+        int c = color[base];
+        if (c == 0) {
+          dfs(base, roots, color, stack, reported, sink);
+        } else if (c == 1) {
+          report_cycle(base, stack, roots, reported, sink);
+        }
+      }
+    }
+    stack.pop_back();
+    color[name] = 2;
+  }
+
+  void report_cycle(const std::string& entry,
+                    const std::vector<std::string>& stack,
+                    const std::map<std::string, const xml::Element*>& roots,
+                    std::set<std::string>& reported, Sink& sink) const {
+    auto start = std::find(stack.begin(), stack.end(), entry);
+    std::vector<std::string> cycle(start, stack.end());
+    const std::string& anchor =
+        *std::min_element(cycle.begin(), cycle.end());
+    if (!reported.insert(anchor).second) return;
+    std::string path;
+    // Rotate so the anchor leads: stable message regardless of DFS entry.
+    auto pivot = std::find(cycle.begin(), cycle.end(), anchor);
+    std::rotate(cycle.begin(), pivot, cycle.end());
+    for (const std::string& n : cycle) path += n + " -> ";
+    path += cycle.front();
+    auto it = roots.find(anchor);
+    sink.report(info(),
+                "extends chain forms a cycle: " + path +
+                    "; inheritance flattening cannot terminate",
+                it != roots.end() ? it->second->location()
+                                  : SourceLocation{});
+  }
+};
+
+// --- extends-diamond ----------------------------------------------------
+
+/// Attributes that identify an element rather than describe it; these are
+/// expected to differ between supertypes and are not diamond conflicts.
+bool is_identity_attribute(std::string_view name) {
+  return name == "name" || name == "id" || name == "type" ||
+         name == "extends" || name == "doc" || name == "expanded" ||
+         name == "resolved";
+}
+
+class ExtendsDiamondRule final : public internal::RuleBase {
+ public:
+  ExtendsDiamondRule()
+      : RuleBase("extends-diamond", RuleScope::kRepository,
+                 Severity::kWarning,
+                 "multiple inheritance where two supertypes give the same "
+                 "attribute different values and the child does not "
+                 "override it (flattening order decides silently)") {}
+
+  Status analyze_repository(const RepositoryContext& ctx,
+                            Sink& sink) const override {
+    std::map<std::string, const xml::Element*> roots = load_roots(ctx);
+    for (const auto& [name, root] : roots) {
+      std::vector<std::string> bases = extends_of(*root);
+      if (bases.size() < 2) continue;
+      // attribute -> (supertype, value) seen in an earlier base's chain.
+      // Each base contributes its *flattened* view (the most-derived
+      // definition inside one chain wins), so overriding within a single
+      // chain is not mistaken for a diamond.
+      std::map<std::string, std::pair<std::string, std::string>> seen;
+      for (const std::string& base : bases) {
+        std::map<std::string, std::pair<std::string, std::string>> flat;
+        std::set<std::string> visited;
+        flatten(base, roots, visited, flat);
+        for (const auto& [attr, def] : flat) {
+          if (root->has_attribute(attr)) continue;  // child overrides
+          auto [it, inserted] = seen.emplace(attr, def);
+          if (!inserted && it->second.second != def.second) {
+            sink.report(info(),
+                        "'" + name + "' inherits attribute '" + attr +
+                            "' from both '" + it->second.first + "' (" +
+                            it->second.second + ") and '" + def.first +
+                            "' (" + def.second +
+                            ") with different values and does not "
+                            "override it; the flattening order decides",
+                        root->location());
+            it->second = def;  // report each conflicting pair once
+          }
+        }
+      }
+    }
+    return Status::ok();
+  }
+
+ private:
+  /// Pre-order DFS over one supertype chain; the first (most-derived)
+  /// definition of each attribute wins, mirroring the composer.
+  void flatten(
+      const std::string& name,
+      const std::map<std::string, const xml::Element*>& roots,
+      std::set<std::string>& visited,
+      std::map<std::string, std::pair<std::string, std::string>>& flat)
+      const {
+    if (!visited.insert(name).second) return;  // cycle-safe
+    auto it = roots.find(name);
+    if (it == roots.end()) return;
+    for (const xml::Attribute& a : it->second->attributes()) {
+      if (is_identity_attribute(a.name)) continue;
+      flat.emplace(a.name, std::make_pair(name, a.value));
+    }
+    for (const std::string& base : extends_of(*it->second)) {
+      flatten(base, roots, visited, flat);
+    }
+  }
+};
+
+// --- extends-unit-conflict ----------------------------------------------
+
+class ExtendsUnitConflictRule final : public internal::RuleBase {
+ public:
+  ExtendsUnitConflictRule()
+      : RuleBase("extends-unit-conflict", RuleScope::kRepository,
+                 Severity::kError,
+                 "descriptor redeclares an inherited metric with a unit of "
+                 "a different physical dimension") {}
+
+  Status analyze_repository(const RepositoryContext& ctx,
+                            Sink& sink) const override {
+    std::map<std::string, const xml::Element*> roots = load_roots(ctx);
+    for (const auto& [name, root] : roots) {
+      std::map<std::string, units::Unit> own = units_of(*root);
+      if (own.empty()) continue;
+      std::set<std::string> visited{name};
+      for (const std::string& base : extends_of(*root)) {
+        check_against(name, *root, own, base, roots, visited, sink);
+      }
+    }
+    return Status::ok();
+  }
+
+ private:
+  static std::map<std::string, units::Unit> units_of(const xml::Element& e) {
+    std::map<std::string, units::Unit> out;
+    for (const xml::Attribute& a : e.attributes()) {
+      bool is_unit = a.name == "unit" ||
+                     (a.name.size() > 5 &&
+                      std::string_view(a.name).substr(a.name.size() - 5) ==
+                          "_unit");
+      if (!is_unit) continue;
+      std::string metric =
+          a.name == "unit" ? "size" : a.name.substr(0, a.name.size() - 5);
+      auto unit = units::parse_unit(a.value);
+      if (unit.is_ok()) out.emplace(metric, *unit);
+    }
+    return out;
+  }
+
+  void check_against(const std::string& child_name,
+                     const xml::Element& child,
+                     const std::map<std::string, units::Unit>& own,
+                     const std::string& base,
+                     const std::map<std::string, const xml::Element*>& roots,
+                     std::set<std::string>& visited, Sink& sink) const {
+    if (!visited.insert(base).second) return;  // cycle-safe
+    auto it = roots.find(base);
+    if (it == roots.end()) return;
+    for (const auto& [metric, base_unit] : units_of(*it->second)) {
+      auto oit = own.find(metric);
+      if (oit == own.end()) continue;
+      if (oit->second.dimension != base_unit.dimension) {
+        sink.report(
+            info(),
+            "'" + child_name + "' declares metric '" + metric +
+                "' in unit '" + oit->second.symbol + "' (" +
+                std::string(units::to_string(oit->second.dimension)) +
+                ") but inherits it from '" + base + "' in unit '" +
+                base_unit.symbol + "' (" +
+                std::string(units::to_string(base_unit.dimension)) +
+                "); the dimensions are incompatible",
+            child.location());
+      }
+    }
+    for (const std::string& next : extends_of(*it->second)) {
+      check_against(child_name, child, own, next, roots, visited, sink);
+    }
+  }
+};
+
+// --- quarantined-file ---------------------------------------------------
+
+/// The scan itself quarantines unloadable files before any rule runs, so
+/// this rule's work happens in the driver (which holds the ScanReport);
+/// the registration provides the stable id, severity, documentation and
+/// SARIF rule entry.
+class QuarantinedFileRule final : public internal::RuleBase {
+ public:
+  QuarantinedFileRule()
+      : RuleBase("quarantined-file", RuleScope::kRepository, Severity::kError,
+                 "descriptor file the repository scan could not load "
+                 "(parse or schema failure); it is excluded from analysis") {
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+void register_repository_rules(Registry& registry) {
+  auto add = [&](std::unique_ptr<AnalysisRule> rule) {
+    Status st = registry.register_rule(std::move(rule));
+    (void)st;
+  };
+  add(std::make_unique<UnresolvedTypeRule>());
+  add(std::make_unique<UnreferencedMetaRule>());
+  add(std::make_unique<ExtendsCycleRule>());
+  add(std::make_unique<ExtendsDiamondRule>());
+  add(std::make_unique<ExtendsUnitConflictRule>());
+  add(std::make_unique<QuarantinedFileRule>());
+}
+
+}  // namespace internal
+}  // namespace xpdl::analysis

@@ -1,0 +1,143 @@
+// SARIF 2.1.0 and plain-JSON renderers for analysis reports.
+//
+// The SARIF log embeds the full registered rule table in the tool driver
+// (results reference it through ruleIndex), emits one result per finding
+// with a physical location, and relativizes URIs against
+// SarifOptions::base_dir for stable golden output. json::Object is a
+// sorted map, so serialization is deterministic.
+#include "xpdl/analysis/sarif.h"
+
+#include <map>
+
+namespace xpdl::analysis {
+namespace {
+
+constexpr std::string_view kSarifSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json";
+
+/// SARIF `level` values happen to match our severity names exactly.
+std::string_view sarif_level(Severity s) noexcept { return to_string(s); }
+
+std::string relative_uri(const std::string& file,
+                         const std::string& base_dir) {
+  if (!base_dir.empty()) {
+    std::string prefix = base_dir;
+    if (prefix.back() != '/') prefix += '/';
+    if (file.size() > prefix.size() &&
+        file.compare(0, prefix.size(), prefix) == 0) {
+      return file.substr(prefix.size());
+    }
+  }
+  return file;
+}
+
+}  // namespace
+
+json::Value to_sarif(const Report& report, const SarifOptions& options) {
+  // Tool driver with the complete rule table; ruleIndex refers into it.
+  json::Array rules;
+  std::map<std::string, std::size_t> rule_index;
+  for (const AnalysisRule* rule : Registry::instance().rules()) {
+    const RuleInfo& info = rule->info();
+    rule_index.emplace(info.id, rules.size());
+    rules.push_back(json::Object{
+        {"id", info.id},
+        {"shortDescription", json::Object{{"text", info.summary}}},
+        {"defaultConfiguration",
+         json::Object{
+             {"level", std::string(sarif_level(info.default_severity))}}},
+        {"properties",
+         json::Object{{"scope", std::string(to_string(info.scope))}}},
+    });
+  }
+
+  json::Array results;
+  for (const Finding& f : report.findings) {
+    json::Object result{
+        {"ruleId", f.rule},
+        {"level", std::string(sarif_level(f.severity))},
+        {"message", json::Object{{"text", f.message}}},
+    };
+    if (auto it = rule_index.find(f.rule); it != rule_index.end()) {
+      result.emplace("ruleIndex",
+                     static_cast<std::uint64_t>(it->second));
+    }
+    if (!f.location.file.empty()) {
+      json::Object physical{
+          {"artifactLocation",
+           json::Object{
+               {"uri", relative_uri(f.location.file, options.base_dir)}}},
+      };
+      if (f.location.line != 0) {
+        json::Object region{
+            {"startLine", static_cast<std::uint64_t>(f.location.line)}};
+        if (f.location.column != 0) {
+          region.emplace("startColumn",
+                         static_cast<std::uint64_t>(f.location.column));
+        }
+        physical.emplace("region", std::move(region));
+      }
+      result.emplace(
+          "locations",
+          json::Array{json::Object{
+              {"physicalLocation", std::move(physical)}}});
+    }
+    results.push_back(std::move(result));
+  }
+
+  json::Object run{
+      {"tool",
+       json::Object{{"driver",
+                     json::Object{
+                         {"name", options.tool_name},
+                         {"version", options.tool_version},
+                         {"informationUri", options.information_uri},
+                         {"rules", std::move(rules)},
+                     }}}},
+      {"results", std::move(results)},
+      {"columnKind", "utf16CodeUnits"},
+  };
+
+  return json::Object{
+      {"$schema", std::string(kSarifSchema)},
+      {"version", "2.1.0"},
+      {"runs", json::Array{std::move(run)}},
+  };
+}
+
+json::Value to_json(const Report& report) {
+  json::Array findings;
+  for (const Finding& f : report.findings) {
+    findings.push_back(json::Object{
+        {"severity", std::string(to_string(f.severity))},
+        {"rule", f.rule},
+        {"message", f.message},
+        {"file", f.location.file},
+        {"line", static_cast<std::uint64_t>(f.location.line)},
+        {"column", static_cast<std::uint64_t>(f.location.column)},
+    });
+  }
+  return json::Object{
+      {"findings", std::move(findings)},
+      {"summary",
+       json::Object{
+           {"errors", static_cast<std::uint64_t>(
+                          report.count(Severity::kError))},
+           {"warnings", static_cast<std::uint64_t>(
+                            report.count(Severity::kWarning))},
+           {"notes", static_cast<std::uint64_t>(
+                         report.count(Severity::kNote))},
+           {"suppressed", static_cast<std::uint64_t>(report.suppressed)},
+           {"descriptors", static_cast<std::uint64_t>(report.descriptors)},
+           {"models_composed",
+            static_cast<std::uint64_t>(report.models_composed)},
+       }},
+  };
+}
+
+std::string write_sarif(const Report& report, const SarifOptions& options) {
+  return json::write(to_sarif(report, options), 2) + "\n";
+}
+
+}  // namespace xpdl::analysis

@@ -1,253 +1,66 @@
+// Compatibility shim: the rules themselves live in src/analysis/.
 #include "xpdl/lint/lint.h"
 
-#include <algorithm>
-#include <functional>
-#include <map>
 #include <set>
-
-#include "xpdl/model/ir.h"
-#include "xpdl/model/power.h"
-#include "xpdl/schema/schema.h"
-#include "xpdl/util/strings.h"
-#include "xpdl/util/units.h"
 
 namespace xpdl::lint {
 namespace {
 
-void add(std::vector<Finding>& out, Severity severity, std::string rule,
-         std::string message, SourceLocation location) {
-  out.push_back(Finding{severity, std::move(rule), std::move(message),
-                        std::move(location)});
-}
+/// Rule ids the legacy Options toggles cover, keyed by their toggle.
+struct LegacyRule {
+  bool Options::* toggle;
+  std::string_view id;
+};
 
-void walk(const xml::Element& e,
-          const std::function<void(const xml::Element&)>& fn) {
-  fn(e);
-  for (const auto& c : e.children()) walk(*c, fn);
-}
-
-void rule_missing_unit(const xml::Element& e, std::vector<Finding>& out) {
-  const schema::ElementSpec* spec = schema::Schema::core().find(e.tag());
-  if (spec == nullptr || !spec->allow_metric_attributes) return;
-  for (const xml::Attribute& a : e.attributes()) {
-    if (model::is_structural_attribute(a.name)) continue;
-    if (a.name == "unit" ||
-        (a.name.size() > 5 &&
-         std::string_view(a.name).substr(a.name.size() - 5) == "_unit")) {
-      continue;
-    }
-    if (!strings::parse_double(a.value).is_ok()) continue;
-    units::Dimension dim = units::metric_dimension(a.name);
-    if (dim == units::Dimension::kDimensionless) continue;
-    if (!e.has_attribute(units::unit_attribute_name(a.name))) {
-      add(out, Severity::kWarning, "missing-unit",
-          "<" + e.tag() + "> metric '" + a.name +
-              "' is numeric and dimensional (" +
-              std::string(units::to_string(dim)) + ") but carries no '" +
-              units::unit_attribute_name(a.name) + "' attribute",
-          e.location());
-    }
-  }
-}
-
-void rule_placeholder_without_mb(const xml::Element& e,
-                                 std::vector<Finding>& out) {
-  if (e.tag() != "instructions") return;
-  auto isa = model::InstructionSet::parse(e);
-  if (!isa.is_ok()) return;  // schema/validation reports parse problems
-  for (const auto& inst : isa->instructions) {
-    if (inst.placeholder && inst.microbenchmark.empty() &&
-        isa->microbenchmark_suite.empty()) {
-      add(out, Severity::kError, "placeholder-without-mb",
-          "instruction '" + inst.name +
-              "' has energy '?' but neither an mb reference nor a suite "
-              "default; deployment-time bootstrapping cannot derive it",
-          inst.location);
-    }
-  }
-}
-
-void rule_fsm(const xml::Element& root, std::vector<Finding>& out) {
-  walk(root, [&](const xml::Element& e) {
-    if (e.tag() != "power_model") return;
-    auto pm = model::PowerModel::parse(e);
-    if (!pm.is_ok()) return;
-    std::set<std::string> domains;
-    if (pm->domains.has_value()) {
-      for (const auto& d : pm->domains->expanded()) domains.insert(d.name);
-      for (const auto& d : pm->domains->domains) domains.insert(d.name);
-      for (const auto& g : pm->domains->groups) {
-        domains.insert(g.prototype.name);
-        domains.insert(g.name);
-      }
-    }
-    for (const auto& fsm : pm->state_machines) {
-      if (!fsm.strongly_connected()) {
-        add(out, Severity::kWarning, "fsm-not-strongly-connected",
-            "power state machine '" + fsm.name +
-                "' has states that cannot be reached or left through the "
-                "modeled transitions",
-            e.location());
-      }
-      if (!fsm.power_domain.empty() && pm->domains.has_value() &&
-          domains.find(fsm.power_domain) == domains.end()) {
-        add(out, Severity::kWarning, "fsm-domain-unknown",
-            "power state machine '" + fsm.name + "' governs domain '" +
-                fsm.power_domain +
-                "' which the power model's domain set does not declare",
-            e.location());
-      }
-    }
-  });
-}
-
-void rule_duplicate_sibling_id(const xml::Element& e,
-                               std::vector<Finding>& out) {
-  std::map<std::string_view, const xml::Element*> seen;
-  for (const auto& c : e.children()) {
-    auto id = c->attribute("id");
-    if (!id.has_value() || id->empty()) continue;
-    auto [it, inserted] = seen.emplace(*id, c.get());
-    if (!inserted) {
-      add(out, Severity::kError, "duplicate-sibling-id",
-          "siblings share id '" + std::string(*id) + "' under <" + e.tag() +
-              ">",
-          c->location());
-    }
-  }
-}
-
-void rule_group_without_prefix(const xml::Element& e,
-                               std::vector<Finding>& out) {
-  if (e.tag() != "group" || !e.has_attribute("quantity")) return;
-  if (e.has_attribute("prefix") || e.attribute_or("expanded", "") == "true") {
-    return;
-  }
-  bool has_anonymous_component = false;
-  for (const auto& c : e.children()) {
-    if ((schema::is_component_tag(c->tag()) || c->tag() == "group") &&
-        !c->has_attribute("id") && !c->has_attribute("name")) {
-      has_anonymous_component = true;
-    }
-  }
-  if (has_anonymous_component) {
-    add(out, Severity::kNote, "group-without-prefix",
-        "homogeneous group has anonymous members and no 'prefix'; the "
-        "expanded members will not be referenceable by id",
-        e.location());
-  }
-}
-
-void rule_unknown_role(const xml::Element& e, std::vector<Finding>& out) {
-  auto role = e.attribute("role");
-  if (!role.has_value()) return;
-  if (*role != "master" && *role != "worker" && *role != "hybrid") {
-    add(out, Severity::kWarning, "unknown-role",
-        "<" + e.tag() + "> has role '" + std::string(*role) +
-            "'; XPDL keeps PDL's control roles master/worker/hybrid as an "
-            "optional secondary aspect",
-        e.location());
-  }
-}
+constexpr LegacyRule kLegacyRules[] = {
+    {&Options::missing_unit, "missing-unit"},
+    {&Options::placeholder_without_mb, "placeholder-without-mb"},
+    {&Options::fsm_connectivity, "fsm-not-strongly-connected"},
+    {&Options::fsm_connectivity, "fsm-domain-unknown"},
+    {&Options::unresolved_type, "unresolved-type"},
+    {&Options::unreferenced_meta, "unreferenced-meta"},
+    {&Options::duplicate_sibling_id, "duplicate-sibling-id"},
+    {&Options::group_without_prefix, "group-without-prefix"},
+    {&Options::unknown_role, "unknown-role"},
+};
 
 }  // namespace
 
-std::string_view to_string(Severity s) noexcept {
-  switch (s) {
-    case Severity::kNote: return "note";
-    case Severity::kWarning: return "warning";
-    case Severity::kError: return "error";
+analysis::RuleConfig to_rule_config(const Options& options) {
+  analysis::RuleConfig config;
+  std::set<std::string_view> legacy;
+  for (const LegacyRule& rule : kLegacyRules) {
+    legacy.insert(rule.id);
+    if (!(options.*rule.toggle)) config.disabled.emplace(rule.id);
   }
-  return "unknown";
-}
-
-std::string Finding::to_string() const {
-  std::string out = location.to_string();
-  if (!out.empty()) out += ": ";
-  out += std::string(lint::to_string(severity));
-  out += " [" + rule + "]: " + message;
-  return out;
+  // Post-migration rules stay off: legacy callers expect exactly the old
+  // finding set (the shipped-library-is-clean test pins this).
+  for (const analysis::AnalysisRule* rule :
+       analysis::Registry::instance().rules()) {
+    if (legacy.find(rule->info().id) == legacy.end()) {
+      config.disabled.insert(rule->info().id);
+    }
+  }
+  return config;
 }
 
 std::vector<Finding> lint_descriptor(const xml::Element& root,
                                      const Options& options) {
-  std::vector<Finding> out;
-  walk(root, [&](const xml::Element& e) {
-    if (options.missing_unit) rule_missing_unit(e, out);
-    if (options.placeholder_without_mb) rule_placeholder_without_mb(e, out);
-    if (options.duplicate_sibling_id) rule_duplicate_sibling_id(e, out);
-    if (options.group_without_prefix) rule_group_without_prefix(e, out);
-    if (options.unknown_role) rule_unknown_role(e, out);
-  });
-  if (options.fsm_connectivity) rule_fsm(root, out);
-  return out;
+  analysis::Options engine_options;
+  engine_options.rules = to_rule_config(options);
+  engine_options.analyze_models = false;
+  return analysis::Engine(std::move(engine_options)).analyze_descriptor(root);
 }
 
 Result<std::vector<Finding>> lint_repository(repository::Repository& repo,
                                              const Options& options) {
-  std::vector<Finding> out;
-  // Per-descriptor rules plus reference graph construction.
-  std::set<std::string> referenced;
-  std::vector<repository::DescriptorInfo> infos = repo.descriptors();
-  for (const auto& info : infos) {
-    XPDL_ASSIGN_OR_RETURN(const xml::Element* root,
-                          repo.lookup(info.reference_name));
-    for (Finding& f : lint_descriptor(*root, options)) {
-      if (f.location.file.empty()) f.location.file = info.path;
-      out.push_back(std::move(f));
-    }
-    walk(*root, [&](const xml::Element& e) {
-      if (auto type = e.attribute("type")) {
-        // A root's type reference counts unless it names itself.
-        if (*type != info.reference_name) referenced.emplace(*type);
-      }
-      if (auto ext = e.attribute("extends")) {
-        for (const std::string& base : strings::split(*ext, ',')) {
-          referenced.insert(base);
-        }
-      }
-    });
-  }
-
-  for (const auto& info : infos) {
-    if (options.unreferenced_meta && info.is_meta && info.tag != "system" &&
-        referenced.find(info.reference_name) == referenced.end()) {
-      add(out, Severity::kNote, "unreferenced-meta",
-          "meta-model '" + info.reference_name +
-              "' is not referenced by any other descriptor in the "
-              "repository",
-          SourceLocation{info.path, 0, 0});
-    }
-    if (!options.unresolved_type) continue;
-    XPDL_ASSIGN_OR_RETURN(const xml::Element* root,
-                          repo.lookup(info.reference_name));
-    walk(*root, [&](const xml::Element& e) {
-      if (!schema::is_component_tag(e.tag()) && e.tag() != "power_model") {
-        return;
-      }
-      if (e.parent() != nullptr && e.parent()->tag() == "power_domain") {
-        return;  // intra-model references (Listing 12)
-      }
-      auto type = e.attribute("type");
-      if (!type.has_value() || repo.contains(*type)) return;
-      add(out, Severity::kWarning, "unresolved-type",
-          "<" + e.tag() + "> references type '" + std::string(*type) +
-              "' which no repository descriptor defines (kind string or "
-              "typo?)",
-          e.location());
-    });
-  }
-  return out;
-}
-
-Severity max_severity(const std::vector<Finding>& findings) {
-  Severity max = Severity::kNote;
-  for (const Finding& f : findings) {
-    if (static_cast<int>(f.severity) > static_cast<int>(max)) {
-      max = f.severity;
-    }
-  }
-  return max;
+  analysis::Options engine_options;
+  engine_options.rules = to_rule_config(options);
+  engine_options.analyze_models = false;
+  XPDL_ASSIGN_OR_RETURN(
+      analysis::Report report,
+      analysis::Engine(std::move(engine_options)).analyze_repository(repo));
+  return std::move(report.findings);
 }
 
 }  // namespace xpdl::lint

@@ -1,46 +1,128 @@
-// xpdl-lint -- consistency checker for XPDL model repositories.
+// xpdl-lint -- static analysis driver for XPDL model repositories.
 //
 // Usage:
-//   xpdl-lint --repo DIR [--repo DIR]... [--no-unreferenced] [--quiet]
-//            [--stats] [--trace FILE.json] [--strict] [--fault-plan SPEC]
+//   xpdl-lint --repo DIR [--repo DIR]...
+//             [--format=text|json|sarif] [--out FILE]
+//             [--baseline FILE] [--write-baseline FILE]
+//             [--disable=RULE]... [--Werror[=RULE]]... [--list-rules]
+//             [--jobs N | --serial] [--no-models] [--no-unreferenced]
+//             [--quiet] [--stats] [--trace FILE.json] [--strict]
+//             [--keep-going] [--fault-plan SPEC]
 //
-// Exit status (tool_common.h contract): 0 clean / warnings / notes only,
-// 1 when lint errors were found or the repository could not be read,
-// 2 usage. Quarantined repository files (unreadable or malformed) are
-// reported as lint errors; --strict aborts on the first one instead.
+// Findings (text) or the full report (json/sarif) go to stdout or --out;
+// the one-line summary always goes to stderr. Exit status
+// (tool_common.h contract): 0 clean or warnings/notes only, 1 when
+// errors were found (quarantined files count as errors) or the
+// repository could not be read, 2 usage. --strict promotes warnings to
+// errors and aborts the scan on the first quarantined file.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "tool_common.h"
-#include "xpdl/lint/lint.h"
+#include "xpdl/analysis/analysis.h"
+#include "xpdl/analysis/sarif.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
+#include "xpdl/util/io.h"
+#include "xpdl/util/strings.h"
 
 namespace {
 
+namespace analysis = xpdl::analysis;
+namespace tools = xpdl::tools;
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: xpdl-lint --repo DIR [--repo DIR]... "
-               "[--no-unreferenced] [--quiet] [--stats] "
-               "[--trace FILE.json] [--strict] [--fault-plan SPEC]\n");
-  return xpdl::tools::kExitUsage;
+  std::fprintf(
+      stderr,
+      "usage: xpdl-lint --repo DIR [--repo DIR]...\n"
+      "                 [--format=text|json|sarif] [--out FILE]\n"
+      "                 [--baseline FILE] [--write-baseline FILE]\n"
+      "                 [--disable=RULE]... [--Werror[=RULE]]...\n"
+      "                 [--list-rules] [--jobs N | --serial] [--no-models]\n"
+      "                 [--no-unreferenced] [--quiet] [--stats]\n"
+      "                 [--trace FILE.json] [--strict] [--keep-going]\n"
+      "                 [--fault-plan SPEC]\n");
+  return tools::kExitUsage;
+}
+
+int list_rules() {
+  std::printf("%-28s %-10s %-8s %s\n", "RULE", "SCOPE", "SEVERITY",
+              "SUMMARY");
+  for (const analysis::AnalysisRule* rule :
+       analysis::Registry::instance().rules()) {
+    const analysis::RuleInfo& info = rule->info();
+    std::printf("%-28s %-10s %-8s %s\n", info.id.c_str(),
+                std::string(analysis::to_string(info.scope)).c_str(),
+                std::string(analysis::to_string(info.default_severity))
+                    .c_str(),
+                info.summary.c_str());
+  }
+  return tools::kExitOk;
+}
+
+int emit(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (xpdl::Status st = xpdl::io::write_file(out_path, text); !st.is_ok()) {
+    return tools::fail_with("xpdl-lint", st, tools::kExitDataError);
+  }
+  return tools::kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> repos;
-  xpdl::lint::Options options;
+  analysis::Options options;
+  std::string format = "text";
+  std::string out_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   bool quiet = false;
   xpdl::obs::ToolSession obs("xpdl-lint");
-  xpdl::tools::ResilienceFlags rflags("xpdl-lint");
+  tools::ResilienceFlags rflags("xpdl-lint");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
       repos.emplace_back(argv[++i]);
+    } else if (a.rfind("--format=", 0) == 0) {
+      format = std::string(a.substr(9));
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "xpdl-lint: unknown format '%s'\n",
+                     format.c_str());
+        return usage();
+      }
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (a == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (a.rfind("--disable=", 0) == 0) {
+      options.rules.disabled.emplace(a.substr(10));
+    } else if (a == "--Werror") {
+      options.rules.warnings_as_errors = true;
+    } else if (a.rfind("--Werror=", 0) == 0) {
+      options.rules.overrides.emplace(std::string(a.substr(9)),
+                                      analysis::Severity::kError);
+    } else if (a == "--list-rules") {
+      return list_rules();
+    } else if (a == "--jobs" && i + 1 < argc) {
+      auto n = xpdl::strings::parse_double(argv[++i]);
+      if (!n.is_ok() || *n < 1) {
+        std::fputs("xpdl-lint: --jobs expects a positive integer\n", stderr);
+        return usage();
+      }
+      options.threads = static_cast<std::size_t>(*n);
+    } else if (a == "--serial") {
+      options.threads = 1;
+    } else if (a == "--no-models") {
+      options.analyze_models = false;
     } else if (a == "--no-unreferenced") {
-      options.unreferenced_meta = false;
+      options.rules.disabled.emplace("unreferenced-meta");
     } else if (a == "--quiet") {
       quiet = true;
     } else if (obs.parse_flag(argc, argv, i) ||
@@ -54,6 +136,7 @@ int main(int argc, char** argv) {
     std::fputs("xpdl-lint: at least one --repo is required\n", stderr);
     return usage();
   }
+  options.rules.warnings_as_errors |= rflags.strict();
   obs.begin();
 
   xpdl::repository::Repository repo(repos);
@@ -61,34 +144,81 @@ int main(int argc, char** argv) {
   scan_options.strict = rflags.strict();
   auto scan_report = repo.scan(scan_options);
   if (!scan_report.is_ok()) {
-    return xpdl::tools::fail_with("xpdl-lint", scan_report.status(),
-                                  xpdl::tools::kExitDataError);
+    return tools::fail_with("xpdl-lint", scan_report.status(),
+                            tools::kExitDataError);
   }
-  auto findings = xpdl::lint::lint_repository(repo, options);
-  if (!findings.is_ok()) {
-    return xpdl::tools::fail_with("xpdl-lint", findings.status(),
-                                  xpdl::tools::kExitDataError);
+
+  auto result = analysis::Engine(options).analyze_repository(repo);
+  if (!result.is_ok()) {
+    return tools::fail_with("xpdl-lint", result.status(),
+                            tools::kExitDataError);
   }
-  std::size_t errors = 0, warnings = 0, notes = 0;
-  // A quarantined file is a repository consistency error by definition —
-  // count it with the findings so the summary and exit code reflect it.
-  for (const auto& q : scan_report->quarantined) {
-    ++errors;
+  analysis::Report report = std::move(*result);
+
+  // A quarantined file is a repository consistency error by definition;
+  // report it through the registered rule so it reaches every format.
+  if (const analysis::AnalysisRule* rule =
+          analysis::Registry::instance().find("quarantined-file");
+      rule != nullptr && options.rules.enabled(rule->info().id)) {
+    analysis::Sink sink(options.rules, report.findings);
+    for (const auto& q : scan_report->quarantined) {
+      sink.report(rule->info(), "quarantined: " + q.reason.to_string(),
+                  xpdl::SourceLocation{q.path, 0, 0});
+    }
+    report.sort();
+  }
+
+  if (!write_baseline_path.empty()) {
+    analysis::Baseline baseline =
+        analysis::Baseline::from_findings(report.findings);
+    if (xpdl::Status st = xpdl::io::write_file(write_baseline_path,
+                                               baseline.serialize());
+        !st.is_ok()) {
+      return tools::fail_with("xpdl-lint", st, tools::kExitDataError);
+    }
+    std::fprintf(stderr, "xpdl-lint: wrote baseline with %zu finding(s)\n",
+                 baseline.size());
+    return tools::kExitOk;
+  }
+
+  if (!baseline_path.empty()) {
+    auto baseline = analysis::Baseline::load(baseline_path);
+    if (!baseline.is_ok()) {
+      return tools::fail_with("xpdl-lint", baseline.status(),
+                              tools::kExitDataError);
+    }
+    report.apply_baseline(*baseline);
+  }
+
+  int emit_status = tools::kExitOk;
+  if (format == "sarif") {
+    emit_status = emit(analysis::write_sarif(report), out_path);
+  } else if (format == "json") {
+    emit_status =
+        emit(xpdl::json::write(analysis::to_json(report), 2) + "\n",
+             out_path);
+  } else {
+    std::string text;
     if (!quiet) {
-      std::printf("error: quarantined '%s': %s\n", q.path.c_str(),
-                  q.reason.to_string().c_str());
+      for (const auto& f : report.findings) {
+        text += f.to_string();
+        text += '\n';
+      }
     }
+    emit_status = emit(text, out_path);
   }
-  for (const auto& f : *findings) {
-    switch (f.severity) {
-      case xpdl::lint::Severity::kError: ++errors; break;
-      case xpdl::lint::Severity::kWarning: ++warnings; break;
-      case xpdl::lint::Severity::kNote: ++notes; break;
-    }
-    if (!quiet) std::printf("%s\n", f.to_string().c_str());
-  }
-  std::printf("xpdl-lint: %zu descriptor(s): %zu error(s), %zu warning(s), "
-              "%zu note(s)\n",
-              repo.size(), errors, warnings, notes);
-  return errors > 0 ? xpdl::tools::kExitDataError : xpdl::tools::kExitOk;
+  if (emit_status != tools::kExitOk) return emit_status;
+
+  std::size_t errors = report.count(analysis::Severity::kError);
+  std::fprintf(stderr,
+               "xpdl-lint: %zu descriptor(s), %zu model(s) composed: "
+               "%s%s%s\n",
+               report.descriptors, report.models_composed,
+               report.summary().c_str(),
+               report.suppressed > 0 ? ", " : "",
+               report.suppressed > 0
+                   ? (std::to_string(report.suppressed) + " suppressed")
+                         .c_str()
+                   : "");
+  return errors > 0 ? tools::kExitDataError : tools::kExitOk;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tool_common.h"
+#include "xpdl/analysis/analysis.h"
 #include "xpdl/compose/compose.h"
 #include "xpdl/microbench/bootstrap.h"
 #include "xpdl/microbench/drivergen.h"
@@ -49,6 +50,7 @@ struct Args {
   std::string dot_out;
   std::string uml_out;
   bool bootstrap = false;
+  bool analyze = false;
   bool print_xml = false;
   bool quiet = false;
 };
@@ -57,7 +59,8 @@ void usage() {
   std::fputs(
       "usage: xpdlc --repo DIR [--repo DIR]... \n"
       "             (--model REF | --file PATH | --pdl PDL_FILE)\n"
-      "             [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]\n"
+      "             [--out FILE.xpdlrt] [--bootstrap] [--analyze]\n"
+      "             [--drivers DIR]\n"
       "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
       "             [--quiet] [--stats] [--trace FILE.json]\n"
       "             [--strict] [--keep-going] [--fault-plan SPEC]\n",
@@ -113,6 +116,8 @@ int main(int argc, char** argv) {
       args.uml_out = v;
     } else if (a == "--bootstrap") {
       args.bootstrap = true;
+    } else if (a == "--analyze") {
+      args.analyze = true;
     } else if (a == "--print-xml") {
       args.print_xml = true;
     } else if (a == "--quiet") {
@@ -198,6 +203,33 @@ int main(int argc, char** argv) {
                 composed->ids().size());
     for (const std::string& w : composed->warnings()) {
       std::printf("xpdlc: note: %s\n", w.c_str());
+    }
+  }
+
+  if (args.analyze) {
+    // Diagnostic passes over the elaborated model: the descriptor-scope
+    // rules on the composed tree plus the model-scope invariants
+    // (bandwidth downgrade, Sec. IV).
+    xpdl::analysis::Options aopts;
+    aopts.rules.warnings_as_errors = rflags.strict();
+    xpdl::analysis::Engine engine(aopts);
+    xpdl::analysis::Report areport;
+    areport.findings = engine.analyze_descriptor(composed->root());
+    std::vector<xpdl::analysis::Finding> model_findings =
+        engine.analyze_model(*composed, ref);
+    areport.findings.insert(areport.findings.end(),
+                            std::make_move_iterator(model_findings.begin()),
+                            std::make_move_iterator(model_findings.end()));
+    areport.sort();
+    if (!args.quiet) {
+      for (const auto& f : areport.findings) {
+        std::printf("%s\n", f.to_string().c_str());
+      }
+    }
+    std::fprintf(stderr, "xpdlc: analyze '%s': %s\n", ref.c_str(),
+                 areport.summary().c_str());
+    if (areport.count(xpdl::analysis::Severity::kError) > 0) {
+      return xpdl::tools::kExitDataError;
     }
   }
 

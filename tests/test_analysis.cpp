@@ -1,0 +1,364 @@
+// Tests for the xpdl::analysis diagnostic-pass engine: registry, rule
+// configuration, the semantic passes (units, constraints, inheritance,
+// power, bandwidth), parallel-vs-serial determinism, baselines and the
+// SARIF renderer (golden file; set XPDL_UPDATE_GOLDEN=1 to regenerate).
+#include "xpdl/analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "xpdl/analysis/pool.h"
+#include "xpdl/analysis/sarif.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/util/io.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::analysis {
+namespace {
+
+std::vector<Finding> analyze_text(std::string_view text,
+                                  Options options = {}) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return Engine(std::move(options)).analyze_descriptor(*doc.value().root);
+}
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+const Finding* find_rule(const std::vector<Finding>& findings,
+                         std::string_view rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+Report analyze_fixture_repo(Options options = {}) {
+  repository::Repository repo({XPDL_ANALYSIS_REPO_DIR});
+  EXPECT_TRUE(repo.scan().is_ok());
+  auto report = Engine(std::move(options)).analyze_repository(repo);
+  EXPECT_TRUE(report.is_ok())
+      << (report.is_ok() ? "" : report.status().to_string());
+  return std::move(*report);
+}
+
+TEST(Registry, BuiltInRulesAreRegisteredAndSorted) {
+  const char* expected[] = {
+      "bandwidth-downgrade",      "compose-error",
+      "constraint-unsatisfiable", "constraint-vacuous",
+      "duplicate-sibling-id",     "energy-table-non-monotone",
+      "extends-cycle",            "extends-diamond",
+      "extends-unit-conflict",    "fsm-domain-unknown",
+      "fsm-not-strongly-connected", "group-without-prefix",
+      "missing-unit",             "placeholder-without-mb",
+      "power-sanity",             "quarantined-file",
+      "unit-dimension-mismatch",  "unknown-role",
+      "unreferenced-meta",        "unresolved-type",
+  };
+  std::vector<const AnalysisRule*> rules = Registry::instance().rules();
+  ASSERT_EQ(rules.size(), std::size(expected));
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i]->info().id, expected[i]);
+    EXPECT_FALSE(rules[i]->info().summary.empty()) << expected[i];
+  }
+  EXPECT_NE(Registry::instance().find("missing-unit"), nullptr);
+  EXPECT_EQ(Registry::instance().find("no-such-rule"), nullptr);
+}
+
+TEST(Registry, RejectsDuplicateIds) {
+  class Dup : public AnalysisRule {
+   public:
+    [[nodiscard]] const RuleInfo& info() const noexcept override {
+      static const RuleInfo info{"missing-unit", RuleScope::kDescriptor,
+                                 Severity::kWarning, "dup"};
+      return info;
+    }
+  };
+  EXPECT_FALSE(
+      Registry::instance().register_rule(std::make_unique<Dup>()).is_ok());
+}
+
+TEST(Severity, ParseAndPrintRoundTrip) {
+  for (Severity s : {Severity::kNote, Severity::kWarning, Severity::kError}) {
+    auto parsed = parse_severity(to_string(s));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_severity("fatal").is_ok());
+}
+
+TEST(RuleConfig, DisableOverridePromote) {
+  RuleConfig config;
+  config.disabled.insert("missing-unit");
+  EXPECT_FALSE(config.enabled("missing-unit"));
+  EXPECT_TRUE(config.enabled("unknown-role"));
+
+  config.overrides.emplace("unknown-role", Severity::kError);
+  EXPECT_EQ(config.effective("unknown-role", Severity::kWarning),
+            Severity::kError);
+
+  config.warnings_as_errors = true;
+  EXPECT_EQ(config.effective("missing-unit", Severity::kWarning),
+            Severity::kError);
+  EXPECT_EQ(config.effective("group-without-prefix", Severity::kNote),
+            Severity::kNote);
+}
+
+TEST(UnitDimensionMismatch, FlagsWrongAndUnknownUnits) {
+  auto wrong = analyze_text(
+      "<memory name=\"m\" static_power=\"4\" static_power_unit=\"KB\"/>");
+  const Finding* f = find_rule(wrong, "unit-dimension-mismatch");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+
+  auto unknown = analyze_text(
+      "<memory name=\"m\" size=\"4\" unit=\"parsecs\"/>");
+  EXPECT_TRUE(has_rule(unknown, "unit-dimension-mismatch"));
+
+  auto ok = analyze_text(
+      "<memory name=\"m\" static_power=\"4\" static_power_unit=\"W\"/>");
+  EXPECT_FALSE(has_rule(ok, "unit-dimension-mismatch"));
+}
+
+TEST(PowerSanity, FlagsNegativeValues) {
+  auto findings = analyze_text(R"(
+    <power_model name="pm">
+      <power_state_machine name="m" power_domain="pd">
+        <power_states>
+          <power_state name="A" power="-1" power_unit="W"/>
+        </power_states>
+      </power_state_machine>
+      <power_domains><power_domain name="pd"/></power_domains>
+    </power_model>)");
+  const Finding* f = find_rule(findings, "power-sanity");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(EnergyTable, FlagsNonMonotoneTables) {
+  auto bad = analyze_text(R"(
+    <instructions name="isa" mb="s">
+      <inst name="divsd" mb="d">
+        <data frequency="2.8" frequency_unit="GHz" energy="18" energy_unit="nJ"/>
+        <data frequency="3.0" frequency_unit="GHz" energy="12" energy_unit="nJ"/>
+      </inst>
+    </instructions>)");
+  EXPECT_TRUE(has_rule(bad, "energy-table-non-monotone"));
+  auto good = analyze_text(R"(
+    <instructions name="isa" mb="s">
+      <inst name="divsd" mb="d">
+        <data frequency="2.8" frequency_unit="GHz" energy="12" energy_unit="nJ"/>
+        <data frequency="3.0" frequency_unit="GHz" energy="18" energy_unit="nJ"/>
+      </inst>
+    </instructions>)");
+  EXPECT_FALSE(has_rule(good, "energy-table-non-monotone"));
+}
+
+TEST(Constraints, UnsatisfiableIsErrorVacuousIsNote) {
+  auto unsat = analyze_text(R"(
+    <cpu name="c">
+      <const name="total" size="64" unit="KB"/>
+      <param name="a" configurable="true" type="msize" range="16, 32" unit="KB"/>
+      <param name="b" configurable="true" type="msize" range="16, 32" unit="KB"/>
+      <constraints><constraint expr="a + b &gt; total"/></constraints>
+    </cpu>)");
+  const Finding* f = find_rule(unsat, "constraint-unsatisfiable");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_FALSE(has_rule(unsat, "constraint-vacuous"));
+
+  auto vacuous = analyze_text(R"(
+    <cpu name="c">
+      <param name="x" configurable="true" type="msize" range="16, 32" unit="KB"/>
+      <constraints><constraint expr="x &gt; 0"/></constraints>
+    </cpu>)");
+  const Finding* v = find_rule(vacuous, "constraint-vacuous");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->severity, Severity::kNote);
+  EXPECT_FALSE(has_rule(vacuous, "constraint-unsatisfiable"));
+
+  // A properly restricting constraint raises neither diagnostic.
+  auto restricting = analyze_text(R"(
+    <cpu name="c">
+      <const name="total" size="64" unit="KB"/>
+      <param name="a" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+      <param name="b" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+      <constraints><constraint expr="a + b == total"/></constraints>
+    </cpu>)");
+  EXPECT_FALSE(has_rule(restricting, "constraint-unsatisfiable"));
+  EXPECT_FALSE(has_rule(restricting, "constraint-vacuous"));
+
+  // Constraints over unbound variables are undecidable: no finding.
+  auto open = analyze_text(R"(
+    <cpu name="c">
+      <constraints><constraint expr="n &gt; 0"/></constraints>
+    </cpu>)");
+  EXPECT_FALSE(has_rule(open, "constraint-unsatisfiable"));
+  EXPECT_FALSE(has_rule(open, "constraint-vacuous"));
+}
+
+TEST(UnknownRole, CaseInsensitiveWithHelpfulMessage) {
+  for (const char* role : {"master", "Master", "WORKER", "Hybrid"}) {
+    auto ok = analyze_text("<cpu name=\"c\" role=\"" + std::string(role) +
+                           "\"/>");
+    EXPECT_FALSE(has_rule(ok, "unknown-role")) << role;
+  }
+  auto bad = analyze_text("<cpu name=\"c\" role=\"overlord\"/>");
+  const Finding* f = find_rule(bad, "unknown-role");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("overlord"), std::string::npos);
+  EXPECT_NE(f->message.find("master"), std::string::npos);
+  EXPECT_NE(f->message.find("worker"), std::string::npos);
+  EXPECT_NE(f->message.find("hybrid"), std::string::npos);
+}
+
+TEST(FixtureRepo, EveryNewPassHasAFailingFixture) {
+  Report report = analyze_fixture_repo();
+  for (const char* rule :
+       {"constraint-unsatisfiable", "constraint-vacuous", "extends-cycle",
+        "extends-diamond", "extends-unit-conflict", "bandwidth-downgrade",
+        "power-sanity", "energy-table-non-monotone"}) {
+    EXPECT_TRUE(has_rule(report.findings, rule)) << rule;
+  }
+  EXPECT_EQ(report.count(Severity::kError), 4u);
+  EXPECT_EQ(report.count(Severity::kWarning), 3u);
+  EXPECT_GT(report.models_composed, 0u);
+}
+
+TEST(FixtureRepo, CycleMessageNamesBothModels) {
+  Report report = analyze_fixture_repo();
+  const Finding* f = find_rule(report.findings, "extends-cycle");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("CycleA"), std::string::npos);
+  EXPECT_NE(f->message.find("CycleB"), std::string::npos);
+}
+
+TEST(FixtureRepo, ParallelAndSerialRunsAreIdentical) {
+  Options serial;
+  serial.threads = 1;
+  Options parallel;
+  parallel.threads = 8;
+  Report a = analyze_fixture_repo(serial);
+  Report b = analyze_fixture_repo(parallel);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].to_string(), b.findings[i].to_string()) << i;
+    EXPECT_EQ(a.findings[i].severity, b.findings[i].severity) << i;
+  }
+  EXPECT_EQ(a.descriptors, b.descriptors);
+  EXPECT_EQ(a.models_composed, b.models_composed);
+}
+
+TEST(FixtureRepo, DisablingAndPromotingRulesWorksEndToEnd) {
+  Options options;
+  options.rules.disabled.insert("unreferenced-meta");
+  options.rules.overrides.emplace("extends-diamond", Severity::kError);
+  Report report = analyze_fixture_repo(std::move(options));
+  EXPECT_FALSE(has_rule(report.findings, "unreferenced-meta"));
+  const Finding* f = find_rule(report.findings, "extends-diamond");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(Pool, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool::parallel_for(8, kCount,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  // Degenerate shapes.
+  pool::parallel_for(8, 0, [](std::size_t) { FAIL(); });
+  int calls = 0;
+  pool::parallel_for(1, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Baseline, SuppressesFingerprintedFindings) {
+  Report report = analyze_fixture_repo();
+  std::size_t before = report.findings.size();
+  ASSERT_GT(before, 0u);
+
+  Baseline baseline = Baseline::from_findings(report.findings);
+
+  // Round-trip through the serialized form.
+  std::string path = testing::TempDir() + "xpdl_analysis_baseline.txt";
+  ASSERT_TRUE(io::write_file(path, baseline.serialize()).is_ok());
+  auto loaded = Baseline::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded->size(), baseline.size());
+
+  EXPECT_EQ(report.apply_baseline(*loaded), before);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, before);
+}
+
+TEST(Baseline, FingerprintIgnoresDirectoryAndLine) {
+  Finding a{Severity::kError, "r", "msg", SourceLocation{"/x/y/f.xpdl", 3, 1}};
+  Finding b{Severity::kError, "r", "msg", SourceLocation{"/z/f.xpdl", 99, 7}};
+  EXPECT_EQ(Baseline::fingerprint(a), Baseline::fingerprint(b));
+  Finding c{Severity::kError, "r", "other", a.location};
+  EXPECT_NE(Baseline::fingerprint(a), Baseline::fingerprint(c));
+}
+
+TEST(Sarif, MatchesGoldenFile) {
+  Report report = analyze_fixture_repo();
+  SarifOptions options;
+  options.base_dir = XPDL_ANALYSIS_REPO_DIR;
+  std::string actual = write_sarif(report, options);
+
+  const char* update = std::getenv("XPDL_UPDATE_GOLDEN");
+  if (update != nullptr && update[0] == '1') {
+    ASSERT_TRUE(io::write_file(XPDL_ANALYSIS_GOLDEN_SARIF, actual).is_ok());
+    GTEST_SKIP() << "golden regenerated";
+  }
+  auto expected = io::read_file(XPDL_ANALYSIS_GOLDEN_SARIF);
+  ASSERT_TRUE(expected.is_ok()) << "run with XPDL_UPDATE_GOLDEN=1 once";
+  EXPECT_EQ(actual, *expected);
+}
+
+TEST(Sarif, StructureIsWellFormed) {
+  Report report = analyze_fixture_repo();
+  json::Value log = to_sarif(report);
+  EXPECT_EQ(log.as_object().at("version").as_string(), "2.1.0");
+  const json::Array& runs = log.as_object().at("runs").as_array();
+  ASSERT_EQ(runs.size(), 1u);
+  const json::Object& run = runs[0].as_object();
+  const json::Array& results = run.at("results").as_array();
+  EXPECT_EQ(results.size(), report.findings.size());
+  const json::Object& driver =
+      run.at("tool").as_object().at("driver").as_object();
+  const json::Array& rules = driver.at("rules").as_array();
+  EXPECT_EQ(rules.size(), Registry::instance().rules().size());
+  // Every result's ruleIndex points at the result's own ruleId.
+  for (const json::Value& entry : results) {
+    const json::Object& result = entry.as_object();
+    auto idx = static_cast<std::size_t>(result.at("ruleIndex").as_number());
+    ASSERT_LT(idx, rules.size());
+    EXPECT_EQ(result.at("ruleId").as_string(),
+              rules[idx].as_object().at("id").as_string());
+  }
+}
+
+TEST(JsonReport, CarriesSummaryCounts) {
+  Report report = analyze_fixture_repo();
+  json::Value v = to_json(report);
+  const json::Object& summary = v.as_object().at("summary").as_object();
+  EXPECT_EQ(summary.at("errors").as_number(),
+            static_cast<double>(report.count(Severity::kError)));
+  EXPECT_EQ(v.as_object().at("findings").as_array().size(),
+            report.findings.size());
+}
+
+}  // namespace
+}  // namespace xpdl::analysis
