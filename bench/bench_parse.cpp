@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "json_report.h"
 #include "xpdl/schema/schema.h"
 #include "xpdl/util/io.h"
 #include "xpdl/xml/xml.h"
@@ -96,9 +97,5 @@ BENCHMARK(BM_WriteRoundTrip);
 
 int main(int argc, char** argv) {
   std::printf("== E1/E5: XPDL parsing and validation throughput ==\n");
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return xpdl::benchjson::run_with_json_report(argc, argv, "parse");
 }

@@ -7,13 +7,18 @@
 // in-line, so no repository lookups happen during composition.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
+#include "json_report.h"
+#include "synthetic_repo.h"
 #include "xpdl/compose/compose.h"
 #include "xpdl/microbench/bootstrap.h"
 #include "xpdl/microbench/simmachine.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
+#include "xpdl/util/io.h"
 
 namespace {
 
@@ -145,13 +150,144 @@ void BM_A1_MonolithicReparse(benchmark::State& state) {
 }
 BENCHMARK(BM_A1_MonolithicReparse)->Unit(benchmark::kMillisecond);
 
+// --- E16: warm snapshot cache vs cold xpdlc pipeline -------------------
+//
+// The `xpdlc --model liu_gpu_server --out FILE` pipeline end to end:
+// scan the shipped repository, compose, build the runtime model,
+// serialize, write the output file. "Cold" forces the full derivation
+// (cache disabled); "warm" serves the descriptors from content-hash
+// snapshots and the final serialized runtime model from the artifact
+// blob snapshot -- the warm run reduces to hashing the repository and
+// copying bytes. Acceptance target: warm >= 3x faster than cold.
+
+fs::path e16_cache_dir() {
+  static const auto* dir = [] {
+    auto* p = new fs::path(fs::temp_directory_path() /
+                           ("xpdl_bench_e16_cache_" +
+                            std::to_string(::getpid())));
+    fs::remove_all(*p);
+    return p;
+  }();
+  return *dir;
+}
+
+fs::path e16_out_file() {
+  return fs::temp_directory_path() /
+         ("xpdl_bench_e16_out_" + std::to_string(::getpid()) + ".xpdlrt");
+}
+
+void xpdlc_pipeline(benchmark::State& state, bool cache_enabled) {
+  xpdl::repository::ScanOptions options;
+  options.threads = 1;
+  options.cache.enabled = cache_enabled;
+  options.cache.directory = e16_cache_dir().string();
+  const std::string out = e16_out_file().string();
+  for (auto _ : state) {
+    xpdl::repository::Repository fresh({XPDL_MODELS_DIR});
+    auto report = fresh.scan(options);
+    if (!report.is_ok()) state.SkipWithError("scan failed");
+    xpdl::compose::Composer composer(fresh);
+    auto artifact = composer.compose_runtime("liu_gpu_server");
+    if (!artifact.is_ok()) state.SkipWithError("compose_runtime failed");
+    if (!xpdl::io::write_file(out, artifact->bytes).is_ok()) {
+      state.SkipWithError("write failed");
+    }
+    benchmark::DoNotOptimize(artifact->bytes.size());
+  }
+}
+
+void BM_E16_ColdXpdlcPipeline(benchmark::State& state) {
+  xpdlc_pipeline(state, /*cache_enabled=*/false);
+}
+BENCHMARK(BM_E16_ColdXpdlcPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_E16_WarmXpdlcPipeline(benchmark::State& state) {
+  {  // populate the snapshot cache once, outside the timed loop
+    xpdl::repository::Repository warmup({XPDL_MODELS_DIR});
+    xpdl::repository::ScanOptions options;
+    options.cache.enabled = true;
+    options.cache.directory = e16_cache_dir().string();
+    auto report = warmup.scan(options);
+    if (!report.is_ok()) {
+      state.SkipWithError("warmup scan failed");
+      return;
+    }
+    xpdl::compose::Composer composer(warmup);
+    auto artifact = composer.compose_runtime("liu_gpu_server");
+    if (!artifact.is_ok()) {
+      state.SkipWithError("warmup compose_runtime failed");
+      return;
+    }
+  }
+  xpdlc_pipeline(state, /*cache_enabled=*/true);
+}
+BENCHMARK(BM_E16_WarmXpdlcPipeline)->Unit(benchmark::kMillisecond);
+
+// --- synthetic 500-descriptor repository scan --------------------------
+
+const fs::path& synthetic_repo_dir() {
+  static const auto* dir = [] {
+    auto* p = new fs::path(fs::temp_directory_path() /
+                           ("xpdl_bench_synrepo_" +
+                            std::to_string(::getpid())));
+    fs::remove_all(*p);
+    xpdl::testing::write_synthetic_repo(*p);
+    return p;
+  }();
+  return *dir;
+}
+
+void BM_SyntheticRepoScan(benchmark::State& state) {
+  xpdl::repository::ScanOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t indexed = 0;
+  for (auto _ : state) {
+    xpdl::repository::Repository fresh({synthetic_repo_dir().string()});
+    auto report = fresh.scan(options);
+    if (!report.is_ok()) state.SkipWithError("scan failed");
+    indexed = fresh.size();
+    benchmark::DoNotOptimize(indexed);
+  }
+  state.counters["descriptors"] = static_cast<double>(indexed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(indexed));
+}
+BENCHMARK(BM_SyntheticRepoScan)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SyntheticRepoScanWarmCache(benchmark::State& state) {
+  xpdl::repository::ScanOptions options;
+  options.threads = 1;
+  options.cache.enabled = true;
+  options.cache.directory =
+      (synthetic_repo_dir().parent_path() /
+       (synthetic_repo_dir().filename().string() + "_cache")).string();
+  {  // populate
+    xpdl::repository::Repository warmup({synthetic_repo_dir().string()});
+    auto report = warmup.scan(options);
+    if (!report.is_ok()) {
+      state.SkipWithError("warmup scan failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    xpdl::repository::Repository fresh({synthetic_repo_dir().string()});
+    auto report = fresh.scan(options);
+    if (!report.is_ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(fresh.size());
+  }
+}
+BENCHMARK(BM_SyntheticRepoScanWarmCache)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("== E5: toolchain pipeline stages (+ ablation A1) ==\n");
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  std::printf("== E5: toolchain pipeline stages (+ A1, E16 cache) ==\n");
+  int rc = xpdl::benchjson::run_with_json_report(argc, argv, "toolchain");
+  fs::remove_all(e16_cache_dir());
+  fs::remove(e16_out_file());
+  fs::remove_all(synthetic_repo_dir());
+  fs::remove_all(synthetic_repo_dir().parent_path() /
+                 (synthetic_repo_dir().filename().string() + "_cache"));
+  return rc;
 }

@@ -1,0 +1,100 @@
+// Machine-readable benchmark output for the CI regression gate.
+//
+// run_with_json_report() drives google-benchmark as usual (console table
+// unchanged) while teeing every measurement into a compact JSON file:
+//
+//   {"benchmarks": [{"name": "...", "ops_per_s": ..., "real_ns_per_op":
+//    ..., "p50_ns": ..., "p95_ns": ..., "samples": N}, ...]}
+//
+// With --benchmark_repetitions=N the percentiles are taken across the N
+// repetition samples; a single run degenerates to p50 == p95 == the one
+// measurement (documented in docs/performance.md). The output path
+// defaults to BENCH_<suite>.json in the working directory and can be
+// redirected with $XPDL_BENCH_JSON_DIR. scripts/check_bench_regression.py
+// compares these files against the checked-in bench/baselines/.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xpdl::benchjson {
+
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      // Aggregate rows (mean/median/stddev) would double-count; the
+      // percentiles below are computed from the raw repetition samples.
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations == 0 || run.real_accumulated_time <= 0) continue;
+      double ns_per_op = run.real_accumulated_time * 1e9 /
+                         static_cast<double>(run.iterations);
+      samples_[run.benchmark_name()].push_back(ns_per_op);
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  /// Writes the collected samples as JSON. Returns false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmarks\": [");
+    bool first = true;
+    for (const auto& [name, raw] : samples_) {
+      std::vector<double> s = raw;
+      std::sort(s.begin(), s.end());
+      auto pct = [&](double p) {
+        auto idx = static_cast<std::size_t>(p * static_cast<double>(s.size()));
+        return s[std::min(idx, s.size() - 1)];
+      };
+      double p50 = pct(0.50);
+      double p95 = pct(0.95);
+      double mean = 0;
+      for (double v : s) mean += v;
+      mean /= static_cast<double>(s.size());
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"ops_per_s\": %.6g, "
+                   "\"real_ns_per_op\": %.6g, \"p50_ns\": %.6g, "
+                   "\"p95_ns\": %.6g, \"samples\": %zu}",
+                   first ? "" : ",", name.c_str(),
+                   mean > 0 ? 1e9 / mean : 0.0, mean, p50, p95, s.size());
+      first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+/// Shared main() body: initializes google-benchmark, runs with the
+/// collecting reporter, and writes BENCH_<suite>.json.
+inline int run_with_json_report(int argc, char** argv, const char* suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string dir;
+  if (const char* env = std::getenv("XPDL_BENCH_JSON_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = std::string(env) + "/";
+  }
+  std::string path = dir + "BENCH_" + suite + ".json";
+  if (!reporter.write_json(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace xpdl::benchjson

@@ -1,28 +1,22 @@
-// Work-stealing parallel-for used by the analysis engine.
-//
-// Descriptor passes are embarrassingly parallel but wildly uneven (a
-// 4-line interconnect vs. a 100-line power model), so static chunking
-// wastes workers. parallel_for seeds one deque per worker round-robin;
-// each worker drains its own deque from the front and, when empty,
-// steals from the back of its neighbours. All tasks are queued before
-// the workers start, so completion is simply "all deques empty" — no
-// condition variables, no futures. Results must be written to
-// task-indexed slots by the caller; then the output is independent of
-// the execution schedule.
+// Compatibility shim: the work-stealing pool moved to the util layer
+// (xpdl/util/parallel.h) when the repository scanner started sharing it.
+// Existing analysis-engine callers keep compiling unchanged.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "xpdl/util/parallel.h"
+
 namespace xpdl::analysis::pool {
 
-/// Runs fn(0) .. fn(count-1) on `threads` workers (including the calling
-/// thread). `threads` <= 1 degenerates to a plain serial loop. `fn` must
-/// be thread-safe across distinct indices.
-void parallel_for(std::size_t threads, std::size_t count,
-                  const std::function<void(std::size_t)>& fn);
+inline void parallel_for(std::size_t threads, std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  util::parallel::parallel_for(threads, count, fn);
+}
 
-/// Hardware concurrency with a sane floor of 1.
-[[nodiscard]] std::size_t default_threads() noexcept;
+[[nodiscard]] inline std::size_t default_threads() noexcept {
+  return util::parallel::default_threads();
+}
 
 }  // namespace xpdl::analysis::pool

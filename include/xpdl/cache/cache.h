@@ -1,0 +1,118 @@
+// XPDL -- Extensible Platform Description Language toolchain.
+//
+// Content-hash snapshot cache. The paper's toolchain re-browses the same
+// repository on every invocation; parsing and validating the same bytes
+// again is pure waste. SnapshotCache persists parsed descriptor trees
+// (and composed platform models) as small versioned binary snapshots
+// under `.xpdl.cache/`, keyed by an FNV-1a hash of the source bytes, so
+// a warm run skips XML entirely.
+//
+// Invalidation is structural, never time-based:
+//   - the key embeds the source path and full file content, so any edit
+//     changes the key and the stale snapshot is simply never read again;
+//   - the header embeds the snapshot format version and a fingerprint of
+//     the core schema, so a toolchain upgrade invalidates every snapshot;
+//   - a corrupt, truncated or mis-keyed snapshot fails checksum or bounds
+//     validation and is treated as a miss (the caller re-parses and
+//     overwrites it).
+// Writes go to a temp file and are renamed into place, so concurrent
+// scanners never observe half-written snapshots. Hit/miss/corruption
+// counts are reported through xpdl::obs ("cache.*" counters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::cache {
+
+/// 64-bit FNV-1a. Fold more data into an existing hash by passing it as
+/// `seed` (used for repository-level content digests).
+[[nodiscard]] std::uint64_t fnv1a64(
+    std::string_view data, std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Key for a single source file: hashes the path (diagnostics embed it)
+/// and the full content.
+[[nodiscard]] std::uint64_t content_key(std::string_view path,
+                                        std::string_view content) noexcept;
+
+/// Fingerprint of the core schema (hash of its XML serialization),
+/// embedded in every snapshot so schema changes invalidate the cache.
+[[nodiscard]] std::uint64_t schema_fingerprint();
+
+/// Snapshot kinds share one codec but never collide on disk.
+enum class Kind : char {
+  kDescriptor = 'd',  ///< parsed + schema-validated descriptor document
+  kModel = 'm',       ///< composed platform model
+  kRuntime = 'r',     ///< serialized runtime model (opaque byte artifact)
+};
+
+/// A deserialized snapshot: the element tree plus the parse/validation
+/// warnings the original derivation produced (replayed on hits so warm
+/// and cold runs emit identical diagnostics).
+struct Snapshot {
+  std::unique_ptr<xml::Element> root;
+  std::vector<std::string> warnings;
+};
+
+/// An opaque byte artifact (Kind::kRuntime): the toolchain's final output
+/// plus the diagnostics and summary numbers the derivation printed, so a
+/// warm run can replay the cold run's output verbatim without redoing
+/// compose / runtime-model construction / serialization.
+struct BlobSnapshot {
+  std::string bytes;
+  std::vector<std::string> warnings;
+  std::vector<std::uint64_t> stats;  ///< caller-defined, replayed verbatim
+};
+
+/// Cache configuration, shared by the tools' --no-cache/--cache-dir
+/// flags and the XPDL_NO_CACHE/XPDL_CACHE_DIR environment switches.
+struct Options {
+  bool enabled = true;
+  std::string directory;  ///< empty: $XPDL_CACHE_DIR or <root>/.xpdl.cache
+};
+
+/// True when $XPDL_NO_CACHE is set to a non-empty value.
+[[nodiscard]] bool env_disabled() noexcept;
+
+class SnapshotCache {
+ public:
+  /// `default_root` anchors the default directory (`<root>/.xpdl.cache`)
+  /// when neither `options.directory` nor $XPDL_CACHE_DIR names one.
+  /// The directory is created lazily on first store.
+  SnapshotCache(std::string_view default_root, const Options& options);
+
+  /// Disabled caches miss on every load and drop every store.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+
+  /// Returns the snapshot for `key`, or nullopt on miss/corruption.
+  [[nodiscard]] std::optional<Snapshot> load(Kind kind, std::uint64_t key);
+
+  /// Persists a snapshot; failures are counted but not fatal (the cache
+  /// is an optimization, never a correctness dependency).
+  void store(Kind kind, std::uint64_t key, const xml::Element& root,
+             const std::vector<std::string>& warnings);
+
+  /// Byte-artifact variants (Kind::kRuntime), same framing and the same
+  /// miss-on-anything-wrong contract as the tree snapshots.
+  [[nodiscard]] std::optional<BlobSnapshot> load_blob(Kind kind,
+                                                      std::uint64_t key);
+  void store_blob(Kind kind, std::uint64_t key, const BlobSnapshot& snap);
+
+ private:
+  void store_encoded(Kind kind, std::uint64_t key, std::string encoded);
+  [[nodiscard]] std::string path_for(Kind kind, std::uint64_t key) const;
+
+  bool enabled_;
+  std::string directory_;
+};
+
+}  // namespace xpdl::cache

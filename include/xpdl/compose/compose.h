@@ -26,6 +26,7 @@
 // The result is the input for the runtime-model serializer.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -95,6 +96,19 @@ class ComposedModel {
   std::vector<std::string> warnings_;
 };
 
+/// The end product of the `compose -> runtime::Model -> serialize`
+/// pipeline, plus everything the toolchain prints about it. Cacheable as
+/// one opaque blob: a warm run that replays `warnings` and the summary
+/// counts is observationally identical to the cold run that derived them.
+struct RuntimeArtifact {
+  std::string bytes;                  ///< runtime::Model::serialize output
+  std::vector<std::string> warnings;  ///< compose warnings
+  std::size_t element_count = 0;      ///< composed tree size
+  std::size_t id_count = 0;           ///< composed id index size
+  std::size_t node_count = 0;         ///< runtime model node count
+  bool cache_hit = false;
+};
+
 /// The elaboration engine. Holds a reference to the repository; does not
 /// own it. One Composer may compose many models.
 class Composer {
@@ -107,8 +121,19 @@ class Composer {
   /// Composes an explicitly provided model tree (it is cloned first).
   [[nodiscard]] Result<ComposedModel> compose(const xml::Element& root);
 
+  /// The fast path for `xpdlc --model REF --out FILE`: compose `ref`,
+  /// build the runtime model, and serialize it — returning the bytes to
+  /// write. When the repository content digest is valid and the cache is
+  /// enabled, the whole artifact is cached as a single blob snapshot, so
+  /// a warm run skips composition, runtime-model construction *and*
+  /// serialization: it reduces to hashing the repository and copying the
+  /// blob. Defined in the xpdl_runtime library (it builds a
+  /// runtime::Model); link xpdl_runtime to call it.
+  [[nodiscard]] Result<RuntimeArtifact> compose_runtime(std::string_view ref);
+
  private:
   class Impl;
+  [[nodiscard]] std::uint64_t snapshot_key(std::string_view ref) const;
   repository::Repository& repo_;
   Options options_;
 };

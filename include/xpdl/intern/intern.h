@@ -1,0 +1,114 @@
+// XPDL -- Extensible Platform Description Language toolchain.
+//
+// String interning. The toolchain parses the same small vocabulary of
+// tag and attribute names (the schema's element universe) and the same
+// file paths over and over; owning a fresh heap std::string per
+// occurrence dominated parse cost in the seed. AtomTable pools each
+// distinct string once and hands out stable pointers; Atom wraps such a
+// pointer as a value type that copies in O(1) and usually compares by
+// pointer.
+//
+// Lifetime guarantee: atoms interned through AtomTable::global() are
+// never freed, so a `const std::string&` obtained from an Atom (for
+// example xml::Element::tag()) stays valid for the rest of the process.
+// The table is sharded and mutex-protected, so interning is safe from
+// the parallel repository scan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_set>
+
+namespace xpdl::intern {
+
+/// Pool occupancy, reported through `xpdl::obs` and memory statistics.
+struct PoolStats {
+  std::size_t atoms = 0;  ///< distinct strings pooled
+  std::size_t bytes = 0;  ///< characters owned by the pool
+};
+
+/// Sharded, thread-safe pool of immutable strings. `intern` returns the
+/// pooled copy; the pointer is stable for the lifetime of the table
+/// (node-based storage, never erased).
+class AtomTable {
+ public:
+  /// The process-wide table backing Atom and the XML layer.
+  static AtomTable& global() noexcept;
+
+  const std::string* intern(std::string_view s);
+
+  [[nodiscard]] PoolStats stats() const;
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<std::string, TransparentHash, std::equal_to<>> pool;
+    std::size_t bytes = 0;
+  };
+  static constexpr std::size_t kShards = 16;
+  Shard shards_[kShards];
+};
+
+/// The pooled empty string (shared by default-constructed atoms).
+const std::string* empty_atom() noexcept;
+
+/// A pooled immutable string handle. Copying is a pointer copy; equal
+/// atoms usually compare by pointer. Implicitly constructible from any
+/// string-ish value (which interns it) and implicitly convertible to
+/// `const std::string&`, so it drops into code written for owned
+/// strings. Use `view()` where a std::string_view is required (the
+/// chain Atom -> const std::string& -> string_view needs two
+/// conversions, which implicit conversion rules do not allow).
+class Atom {
+ public:
+  Atom() noexcept : str_(empty_atom()) {}
+  Atom(std::string_view value)  // NOLINT(google-explicit-constructor)
+      : str_(value.empty() ? empty_atom()
+                           : AtomTable::global().intern(value)) {}
+  Atom(const std::string& value)  // NOLINT(google-explicit-constructor)
+      : Atom(std::string_view(value)) {}
+  Atom(const char* value)  // NOLINT(google-explicit-constructor)
+      : Atom(std::string_view(value)) {}
+
+  [[nodiscard]] const std::string& str() const noexcept { return *str_; }
+  [[nodiscard]] std::string_view view() const noexcept { return *str_; }
+  [[nodiscard]] const char* c_str() const noexcept { return str_->c_str(); }
+  [[nodiscard]] bool empty() const noexcept { return str_->empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return str_->size(); }
+  operator const std::string&() const noexcept {  // NOLINT
+    return *str_;
+  }
+
+  friend bool operator==(const Atom& a, const Atom& b) noexcept {
+    return a.str_ == b.str_ || *a.str_ == *b.str_;
+  }
+  friend bool operator<(const Atom& a, const Atom& b) noexcept {
+    return a.str_ != b.str_ && *a.str_ < *b.str_;
+  }
+  /// Heterogeneous compare binds the raw operand directly, so comparing
+  /// against a literal neither interns it nor allocates.
+  template <typename T, typename = std::enable_if_t<
+                            std::is_convertible_v<const T&, std::string_view>>>
+  friend bool operator==(const Atom& a, const T& b) noexcept {
+    return a.view() == std::string_view(b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Atom& a) {
+    return os << *a.str_;
+  }
+
+ private:
+  const std::string* str_;
+};
+
+}  // namespace xpdl::intern

@@ -13,12 +13,14 @@
 // descriptor is validated against the core schema.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "xpdl/cache/cache.h"
 #include "xpdl/repository/transport.h"
 #include "xpdl/resilience/retry.h"
 #include "xpdl/schema/schema.h"
@@ -47,6 +49,16 @@ struct ScanOptions {
   /// defaults retry transient failures a few times with exponential
   /// backoff; set max_attempts = 1 to disable.
   resilience::RetryOptions retry;
+  /// Worker threads for the parse/validate phase (0 = one per hardware
+  /// thread). Descriptor files are read, hashed, parsed and validated in
+  /// parallel; registration stays serial in listing order, so the
+  /// resulting index, warnings and quarantine lists are byte-identical
+  /// to a single-threaded scan.
+  std::size_t threads = 0;
+  /// Snapshot cache for parsed descriptors (see xpdl/cache/cache.h).
+  /// Off by default at the library level; the CLI tools switch it on
+  /// (and expose --no-cache / XPDL_NO_CACHE to turn it back off).
+  cache::Options cache{/*enabled=*/false, /*directory=*/{}};
 };
 
 /// What a scan did — including everything it had to leave behind.
@@ -59,6 +71,8 @@ struct ScanReport {
   std::size_t files_seen = 0;     ///< candidate .xpdl files discovered
   std::size_t indexed = 0;        ///< descriptors registered
   std::size_t transport_retries = 0;  ///< transient faults retried away
+  std::size_t cache_hits = 0;     ///< descriptors restored from snapshots
+  std::size_t cache_misses = 0;   ///< descriptors parsed from XML
   std::vector<Quarantined> quarantined;
 
   /// True when the scan had to leave files behind (degraded result).
@@ -105,7 +119,9 @@ class Repository {
 
   /// Parses, validates and registers a descriptor file outside the
   /// indexed roots (e.g. a user-supplied top-level system model).
-  /// Returns its root element.
+  /// Returns its root element. Repeated calls with the same path within
+  /// one run are memoized: the already-registered descriptor is returned
+  /// without re-reading or re-parsing the file.
   [[nodiscard]] Result<const xml::Element*> load_file(
       const std::string& path);
 
@@ -126,20 +142,49 @@ class Repository {
   /// Number of indexed descriptors.
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Order-sensitive FNV digest of every file the last scan (and any
+  /// later load_file) derived the index from. Quarantined files never
+  /// enter the index, so degraded scans keep the digest valid; it is
+  /// invalidated when the index stops being a pure function of on-disk
+  /// content (an injected in-memory descriptor, or a strict scan that
+  /// aborted midway). The composer keys composed-model snapshots off
+  /// this digest.
+  [[nodiscard]] bool content_digest_valid() const noexcept {
+    return digest_valid_;
+  }
+  [[nodiscard]] std::uint64_t content_digest() const noexcept {
+    return content_digest_;
+  }
+
+  /// Cache options of the last scan, and the directory anchoring the
+  /// default cache location (first search-path root).
+  [[nodiscard]] const cache::Options& cache_options() const noexcept {
+    return cache_options_;
+  }
+  [[nodiscard]] std::string cache_anchor() const {
+    return search_path_.empty() ? std::string() : search_path_.front();
+  }
+
  private:
   struct Entry {
     DescriptorInfo info;
     std::unique_ptr<xml::Element> root;  ///< null until parsed
   };
+  struct Parsed;  // one parse/validate result (see repository.cpp)
 
-  [[nodiscard]] Status index_text(const std::string& path,
-                                  std::string_view text,
-                                  const std::string& root_dir);
+  [[nodiscard]] Status register_parsed(const std::string& path,
+                                       const std::string& root_dir,
+                                       Parsed&& parsed);
+  void fold_digest(std::string_view path, std::uint64_t key) noexcept;
 
   std::vector<std::string> search_path_;
   std::unique_ptr<Transport> transport_;
   std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, std::string, std::less<>> loaded_files_;
   std::vector<std::string> warnings_;
+  cache::Options cache_options_{/*enabled=*/false, /*directory=*/{}};
+  std::uint64_t content_digest_ = 0;
+  bool digest_valid_ = false;
   bool scanned_ = false;
 };
 

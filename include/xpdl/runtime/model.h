@@ -25,6 +25,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "xpdl/util/status.h"
@@ -123,8 +124,21 @@ class Model {
   /// composed of ids also resolve ("n0.gpu1").
   [[nodiscard]] std::optional<Node> find_by_id(std::string_view id) const;
 
-  /// All nodes with the given tag, in BFS order.
+  /// All nodes with the given tag, in BFS order. Served from the
+  /// per-tag index built at load time, not by walking the arena.
   [[nodiscard]] std::vector<Node> find_all(std::string_view tag) const;
+
+  /// The subtree rooted at `within` — descendants-or-self — in document
+  /// (preorder) order, the traversal order the query engine exposes.
+  /// Served by slicing the precomputed preorder permutation; no
+  /// recursion.
+  [[nodiscard]] std::vector<Node> subtree(Node within) const;
+
+  /// Subtree members (descendants-or-self) of `within` carrying `tag`,
+  /// document order. A binary search over the rank-sorted tag bucket
+  /// replaces the full subtree walk.
+  [[nodiscard]] std::vector<Node> subtree_with_tag(
+      Node within, std::string_view tag) const;
 
   // --- model analysis functions (API category 4) -----------------------
   /// Number of nodes with `tag` in the subtree of `within` (whole model
@@ -182,10 +196,23 @@ class Model {
     return strings_[idx];
   }
   void build_id_index();
+  /// Builds the preorder permutation, subtree extents, ancestor-context
+  /// flags, and the per-tag node buckets (rank-sorted). Together these
+  /// turn subtree membership into one range check and tag scans into
+  /// bucket slices.
+  void build_structure_index();
+  [[nodiscard]] const std::vector<std::uint32_t>* tag_bucket(
+      std::string_view tag) const noexcept;
   /// Iterates the subtree rooted at `start` (BFS ranges are contiguous
   /// only per node, so this walks explicitly).
   template <typename F>
   void for_each_in_subtree(std::uint32_t start, F&& fn) const;
+
+  /// Ancestor-context bits, derived once per build: whether any strict
+  /// ancestor is a <power_domain> (reference scope, excluded from
+  /// structural counts) or an accelerator (<device>/<gpu>).
+  static constexpr std::uint8_t kUnderPowerDomain = 1u << 0;
+  static constexpr std::uint8_t kUnderAccelerator = 1u << 1;
 
   std::vector<NodeData> nodes_;
   std::vector<AttrData> attrs_;
@@ -194,6 +221,12 @@ class Model {
   // vector reallocates (SSO strings move their character storage).
   std::map<std::string, std::uint32_t, std::less<>> id_index_;
   std::map<std::string, std::uint32_t, std::less<>> intern_index_;
+  // Structure index (see build_structure_index).
+  std::vector<std::uint32_t> preorder_nodes_;  ///< rank -> node index
+  std::vector<std::uint32_t> rank_of_;         ///< node index -> rank
+  std::vector<std::uint32_t> extent_;          ///< subtree node count
+  std::vector<std::uint8_t> context_flags_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> tag_index_;
 };
 
 }  // namespace xpdl::runtime

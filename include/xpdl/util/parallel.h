@@ -1,0 +1,30 @@
+// Work-stealing parallel-for.
+//
+// Originally private to the analysis engine, now shared with the
+// repository scanner, so it lives in the bottom util layer. The work
+// units are embarrassingly parallel but wildly uneven (a 4-line
+// interconnect vs. a 100-line power model), so static chunking wastes
+// workers. parallel_for seeds one deque per worker round-robin; each
+// worker drains its own deque from the front and, when empty, steals
+// from the back of its neighbours. All tasks are queued before the
+// workers start, so completion is simply "all deques empty" — no
+// condition variables, no futures. Results must be written to
+// task-indexed slots by the caller; then the output is independent of
+// the execution schedule.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace xpdl::util::parallel {
+
+/// Runs fn(0) .. fn(count-1) on `threads` workers (including the calling
+/// thread). `threads` <= 1 degenerates to a plain serial loop. `fn` must
+/// be thread-safe across distinct indices.
+void parallel_for(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Hardware concurrency with a sane floor of 1.
+[[nodiscard]] std::size_t default_threads() noexcept;
+
+}  // namespace xpdl::util::parallel

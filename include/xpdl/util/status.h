@@ -15,6 +15,8 @@
 #include <utility>
 #include <variant>
 
+#include "xpdl/intern/intern.h"
+
 namespace xpdl {
 
 /// Broad classification of a failure. Used by tests and tools to react
@@ -38,9 +40,11 @@ enum class ErrorCode : std::uint8_t {
 std::string_view to_string(ErrorCode code) noexcept;
 
 /// Position inside a descriptor file, for diagnostics. Line/column are
-/// 1-based; 0 means "unknown".
+/// 1-based; 0 means "unknown". The file path is interned: copying a
+/// location (which every xml::Element and Attribute carries) is two
+/// pointer copies instead of a heap string copy.
 struct SourceLocation {
-  std::string file;   ///< path of the .xpdl / model file, may be empty
+  intern::Atom file;  ///< path of the .xpdl / model file, may be empty
   std::uint32_t line = 0;
   std::uint32_t column = 0;
 

@@ -17,25 +17,36 @@
 #include <string_view>
 #include <vector>
 
+#include "xpdl/intern/intern.h"
 #include "xpdl/util/status.h"
 
 namespace xpdl::xml {
 
 /// One name="value" attribute, with the location of its name token.
+/// Attribute names come from the schema's bounded vocabulary, so they
+/// are interned; values stay owned strings (they are mutated freely by
+/// composition).
 struct Attribute {
-  std::string name;
+  intern::Atom name;
   std::string value;
   SourceLocation location;
 };
 
 /// An XML element node. Children are owned; `parent` is a non-owning
 /// back-pointer (null for the root).
+///
+/// Tags are interned atoms: constructing an element from an already
+/// interned `intern::Atom` is allocation-free, `tag()` still returns a
+/// `const std::string&` (valid for the rest of the process, see
+/// xpdl/intern/intern.h), and two elements with the same tag share one
+/// pooled string.
 class Element {
  public:
-  explicit Element(std::string tag) : tag_(std::move(tag)) {}
+  explicit Element(intern::Atom tag) noexcept : tag_(tag) {}
 
-  [[nodiscard]] const std::string& tag() const noexcept { return tag_; }
-  void set_tag(std::string tag) { tag_ = std::move(tag); }
+  [[nodiscard]] const std::string& tag() const noexcept { return tag_.str(); }
+  [[nodiscard]] intern::Atom tag_atom() const noexcept { return tag_; }
+  void set_tag(intern::Atom tag) noexcept { tag_ = tag; }
 
   [[nodiscard]] const SourceLocation& location() const noexcept {
     return location_;
@@ -73,7 +84,7 @@ class Element {
 
   /// Appends a child and returns a handle to it.
   Element& add_child(std::unique_ptr<Element> child);
-  Element& add_child(std::string tag);
+  Element& add_child(intern::Atom tag);
 
   /// First child with the given tag, or nullptr.
   [[nodiscard]] const Element* first_child(std::string_view tag) const noexcept;
@@ -99,7 +110,7 @@ class Element {
   [[nodiscard]] std::size_t subtree_size() const noexcept;
 
  private:
-  std::string tag_;
+  intern::Atom tag_;
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Element>> children_;
   std::string text_;

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares BENCH_*.json files produced by the benchmark binaries (see
+bench/json_report.h) against checked-in baselines and fails when any
+benchmark's throughput (ops_per_s) regressed by more than the allowed
+fraction. Stdlib only, so it runs anywhere CI does.
+
+Usage:
+  check_bench_regression.py --baseline-dir bench/baselines \
+      [--threshold 0.25] BENCH_parse.json BENCH_toolchain.json
+
+Benchmarks present only on one side are reported but never fail the
+gate (new benchmarks need a baseline update, retired ones a cleanup —
+both intentional, reviewable changes).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional ops/s regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    for result_path in args.results:
+        name = os.path.basename(result_path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"note: no baseline for {name}, skipping")
+            continue
+        current = load(result_path)
+        baseline = load(baseline_path)
+        for bench, base in sorted(baseline.items()):
+            if bench not in current:
+                print(f"note: {bench} missing from {name} (retired?)")
+                continue
+            base_ops = base.get("ops_per_s", 0.0)
+            cur_ops = current[bench].get("ops_per_s", 0.0)
+            if base_ops <= 0:
+                continue
+            ratio = cur_ops / base_ops
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {bench}: {base_ops:.4g} -> {cur_ops:.4g} ops/s "
+                    f"({(1.0 - ratio) * 100:.1f}% slower)"
+                )
+            print(
+                f"{status:>10}  {bench}: {cur_ops:.4g} ops/s "
+                f"(baseline {base_ops:.4g}, x{ratio:.2f})"
+            )
+        for bench in sorted(set(current) - set(baseline)):
+            print(f"note: {bench} has no baseline entry yet")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -132,7 +132,7 @@ std::vector<const AnalysisRule*> Registry::rules(RuleScope scope) const {
 std::string Baseline::fingerprint(const Finding& finding) {
   std::string base = finding.location.file.empty()
                          ? std::string()
-                         : std::filesystem::path(finding.location.file)
+                         : std::filesystem::path(finding.location.file.str())
                                .filename()
                                .string();
   return finding.rule + "|" + base + "|" + finding.message;

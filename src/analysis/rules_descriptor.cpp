@@ -40,23 +40,22 @@ class MissingUnitRule final : public internal::RuleBase {
       const schema::ElementSpec* spec = schema::Schema::core().find(e.tag());
       if (spec == nullptr || !spec->allow_metric_attributes) return;
       for (const xml::Attribute& a : e.attributes()) {
-        if (model::is_structural_attribute(a.name)) continue;
+        if (model::is_structural_attribute(a.name.view())) continue;
         if (a.name == "unit" ||
             (a.name.size() > 5 &&
-             std::string_view(a.name).substr(a.name.size() - 5) ==
-                 "_unit")) {
+             a.name.view().substr(a.name.size() - 5) == "_unit")) {
           continue;
         }
         if (!strings::parse_double(a.value).is_ok()) continue;
-        units::Dimension dim = units::metric_dimension(a.name);
+        units::Dimension dim = units::metric_dimension(a.name.view());
         if (dim == units::Dimension::kDimensionless) continue;
-        if (!e.has_attribute(units::unit_attribute_name(a.name))) {
+        if (!e.has_attribute(units::unit_attribute_name(a.name.view()))) {
           sink.report(info(),
-                      "<" + e.tag() + "> metric '" + a.name +
+                      "<" + e.tag() + "> metric '" + a.name.str() +
                           "' is numeric and dimensional (" +
                           std::string(units::to_string(dim)) +
                           ") but carries no '" +
-                          units::unit_attribute_name(a.name) + "' attribute",
+                          units::unit_attribute_name(a.name.view()) + "' attribute",
                       e.location());
         }
       }
@@ -81,11 +80,12 @@ class UnitDimensionMismatchRule final : public internal::RuleBase {
         bool is_unit_attr =
             a.name == "unit" ||
             (a.name.size() > 5 &&
-             std::string_view(a.name).substr(a.name.size() - 5) == "_unit");
+             a.name.view().substr(a.name.size() - 5) == "_unit");
         if (!is_unit_attr) continue;
         std::string metric =
-            a.name == "unit" ? "size"
-                             : a.name.substr(0, a.name.size() - 5);
+            a.name == "unit"
+                ? "size"
+                : std::string(a.name.view().substr(0, a.name.size() - 5));
         auto unit = units::parse_unit(a.value);
         if (!unit.is_ok()) {
           sink.report(info(),

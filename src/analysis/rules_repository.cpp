@@ -259,7 +259,7 @@ class ExtendsDiamondRule final : public internal::RuleBase {
     auto it = roots.find(name);
     if (it == roots.end()) return;
     for (const xml::Attribute& a : it->second->attributes()) {
-      if (is_identity_attribute(a.name)) continue;
+      if (is_identity_attribute(a.name.view())) continue;
       flat.emplace(a.name, std::make_pair(name, a.value));
     }
     for (const std::string& base : extends_of(*it->second)) {
@@ -298,11 +298,12 @@ class ExtendsUnitConflictRule final : public internal::RuleBase {
     for (const xml::Attribute& a : e.attributes()) {
       bool is_unit = a.name == "unit" ||
                      (a.name.size() > 5 &&
-                      std::string_view(a.name).substr(a.name.size() - 5) ==
-                          "_unit");
+                      a.name.view().substr(a.name.size() - 5) == "_unit");
       if (!is_unit) continue;
       std::string metric =
-          a.name == "unit" ? "size" : a.name.substr(0, a.name.size() - 5);
+          a.name == "unit"
+              ? std::string("size")
+              : std::string(a.name.view().substr(0, a.name.size() - 5));
       auto unit = units::parse_unit(a.value);
       if (unit.is_ok()) out.emplace(metric, *unit);
     }

@@ -113,7 +113,7 @@ json::Value to_json(const Report& report) {
         {"severity", std::string(to_string(f.severity))},
         {"rule", f.rule},
         {"message", f.message},
-        {"file", f.location.file},
+        {"file", f.location.file.str()},
         {"line", static_cast<std::uint64_t>(f.location.line)},
         {"column", static_cast<std::uint64_t>(f.location.column)},
     });

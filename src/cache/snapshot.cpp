@@ -1,0 +1,471 @@
+#include "xpdl/cache/cache.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <unordered_map>
+#include <utility>
+
+#include "xpdl/intern/intern.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/schema/schema.h"
+#include "xpdl/util/io.h"
+
+namespace xpdl::cache {
+namespace {
+
+constexpr std::string_view kMagic = "XPDLSNAP";
+constexpr std::uint32_t kFormatVersion = 1;
+// Everything a hostile snapshot could claim is bounds-checked against
+// the actual payload size; these caps just keep the checks cheap.
+constexpr std::uint32_t kMaxCount = 1u << 26;
+
+std::uint32_t fnv1a32(std::string_view data) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Checksum for blob bodies, which can run to megabytes: FNV-1a folded
+/// over 8-byte chunks with a byte-wise tail. One serial multiply per 8
+/// bytes instead of per byte; integrity-only, and host-endian (snapshot
+/// caches are per-machine, never shipped).
+std::uint32_t chunked_checksum(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, data.data() + i, 8);
+    h = (h ^ chunk) * 0x100000001b3ULL;
+  }
+  for (; i < data.size(); ++i) {
+    h = (h ^ static_cast<unsigned char>(data[i])) * 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Forgiving byte reader: any overrun flips `ok` and the caller bails.
+struct Cursor {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() noexcept {
+    if (pos + 4 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() noexcept {
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return ok ? (hi << 32) | lo : 0;
+  }
+  std::string_view bytes(std::size_t n) noexcept {
+    if (pos + n > data.size() || n > data.size()) {
+      ok = false;
+      return {};
+    }
+    std::string_view v = data.substr(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+/// Deduplicating string table; views must outlive serialization (they
+/// point into the tree being written).
+struct StringTable {
+  std::vector<std::string_view> entries;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+
+  std::uint32_t add(std::string_view s) {
+    auto [it, inserted] =
+        index.emplace(s, static_cast<std::uint32_t>(entries.size()));
+    if (inserted) entries.push_back(s);
+    return it->second;
+  }
+};
+
+void write_element(const xml::Element& e, StringTable& strings,
+                   std::string& nodes) {
+  put_u32(nodes, strings.add(e.tag()));
+  put_u32(nodes, strings.add(e.location().file.view()));
+  put_u32(nodes, e.location().line);
+  put_u32(nodes, e.location().column);
+  put_u32(nodes, strings.add(e.text()));
+  put_u32(nodes, static_cast<std::uint32_t>(e.attributes().size()));
+  for (const xml::Attribute& a : e.attributes()) {
+    put_u32(nodes, strings.add(a.name.view()));
+    put_u32(nodes, strings.add(a.value));
+  }
+  put_u32(nodes, static_cast<std::uint32_t>(e.children().size()));
+  for (const auto& c : e.children()) {
+    write_element(*c, strings, nodes);
+  }
+}
+
+std::string serialize(Kind kind, std::uint64_t key, const xml::Element& root,
+                      const std::vector<std::string>& warnings) {
+  StringTable strings;
+  std::string nodes;
+  std::string warning_refs;
+  put_u32(warning_refs, static_cast<std::uint32_t>(warnings.size()));
+  for (const std::string& w : warnings) put_u32(warning_refs, strings.add(w));
+  write_element(root, strings, nodes);
+
+  std::string body;
+  put_u32(body, kFormatVersion);
+  put_u64(body, schema_fingerprint());
+  body.push_back(static_cast<char>(kind));
+  put_u64(body, key);
+  put_u32(body, static_cast<std::uint32_t>(strings.entries.size()));
+  for (std::string_view s : strings.entries) {
+    put_u32(body, static_cast<std::uint32_t>(s.size()));
+    body.append(s);
+  }
+  body += warning_refs;
+  body += nodes;
+
+  std::string out;
+  out.reserve(kMagic.size() + body.size() + 4);
+  out.append(kMagic);
+  out += body;
+  put_u32(out, fnv1a32(body));
+  return out;
+}
+
+/// Rebuilds one element (and, via the explicit child counts, its whole
+/// subtree) from `c`. Iterative so corrupt child counts cannot blow the
+/// stack; `budget` caps total node count against the payload size.
+std::unique_ptr<xml::Element> read_tree(
+    Cursor& c, const std::vector<std::string_view>& strings) {
+  auto string_at = [&](std::uint32_t idx) -> std::string_view {
+    if (idx >= strings.size()) {
+      c.ok = false;
+      return {};
+    }
+    return strings[idx];
+  };
+
+  struct Pending {
+    xml::Element* parent;
+    std::uint32_t remaining;
+  };
+  std::unique_ptr<xml::Element> root;
+  std::vector<Pending> stack;
+  // The payload cannot describe more nodes than it has bytes for (each
+  // node record is at least 7 u32 fields).
+  std::size_t budget = c.data.size() / 7 + 1;
+
+  do {
+    if (budget-- == 0) {
+      c.ok = false;
+      return nullptr;
+    }
+    std::string_view tag = string_at(c.u32());
+    std::string_view file = string_at(c.u32());
+    std::uint32_t line = c.u32();
+    std::uint32_t column = c.u32();
+    std::string_view text = string_at(c.u32());
+    std::uint32_t attr_count = c.u32();
+    if (!c.ok || attr_count > kMaxCount) {
+      c.ok = false;
+      return nullptr;
+    }
+    auto element = std::make_unique<xml::Element>(intern::Atom(tag));
+    element->set_location(
+        SourceLocation{intern::Atom(file), line, column});
+    if (!text.empty()) element->set_text(std::string(text));
+    for (std::uint32_t i = 0; i < attr_count; ++i) {
+      std::string_view name = string_at(c.u32());
+      std::string_view value = string_at(c.u32());
+      if (!c.ok) return nullptr;
+      element->set_attribute(name, value);
+    }
+    std::uint32_t child_count = c.u32();
+    if (!c.ok || child_count > kMaxCount) {
+      c.ok = false;
+      return nullptr;
+    }
+    xml::Element* handle = element.get();
+    if (stack.empty()) {
+      root = std::move(element);
+    } else {
+      stack.back().parent->add_child(std::move(element));
+      if (--stack.back().remaining == 0) stack.pop_back();
+    }
+    if (child_count > 0) stack.push_back(Pending{handle, child_count});
+    // Keep popping exhausted frames (possible when child_count was the
+    // last slot of several ancestors at once).
+    while (!stack.empty() && stack.back().remaining == 0) stack.pop_back();
+  } while (!stack.empty());
+
+  return root;
+}
+
+std::optional<Snapshot> deserialize(std::string_view data, Kind kind,
+                                    std::uint64_t key) {
+  if (data.size() < kMagic.size() + 4 ||
+      data.substr(0, kMagic.size()) != kMagic) {
+    return std::nullopt;
+  }
+  std::string_view body =
+      data.substr(kMagic.size(), data.size() - kMagic.size() - 4);
+  std::string_view tail = data.substr(data.size() - 4);
+  Cursor check{tail};
+  if (check.u32() != fnv1a32(body)) return std::nullopt;
+
+  Cursor c{body};
+  if (c.u32() != kFormatVersion) return std::nullopt;
+  if (c.u64() != schema_fingerprint()) return std::nullopt;
+  std::string_view k = c.bytes(1);
+  if (!c.ok || k[0] != static_cast<char>(kind)) return std::nullopt;
+  if (c.u64() != key) return std::nullopt;
+
+  std::uint32_t string_count = c.u32();
+  if (!c.ok || string_count > kMaxCount) return std::nullopt;
+  std::vector<std::string_view> strings;
+  strings.reserve(string_count);
+  for (std::uint32_t i = 0; i < string_count; ++i) {
+    std::uint32_t len = c.u32();
+    std::string_view s = c.bytes(len);
+    if (!c.ok) return std::nullopt;
+    strings.push_back(s);
+  }
+
+  Snapshot snap;
+  std::uint32_t warning_count = c.u32();
+  if (!c.ok || warning_count > kMaxCount) return std::nullopt;
+  snap.warnings.reserve(warning_count);
+  for (std::uint32_t i = 0; i < warning_count; ++i) {
+    std::uint32_t idx = c.u32();
+    if (!c.ok || idx >= strings.size()) return std::nullopt;
+    snap.warnings.emplace_back(strings[idx]);
+  }
+
+  snap.root = read_tree(c, strings);
+  if (!c.ok || snap.root == nullptr || c.pos != body.size()) {
+    return std::nullopt;
+  }
+  return snap;
+}
+
+std::string serialize_blob(Kind kind, std::uint64_t key,
+                           const BlobSnapshot& snap) {
+  std::string body;
+  put_u32(body, kFormatVersion);
+  put_u64(body, schema_fingerprint());
+  body.push_back(static_cast<char>(kind));
+  put_u64(body, key);
+  put_u32(body, static_cast<std::uint32_t>(snap.warnings.size()));
+  for (const std::string& w : snap.warnings) {
+    put_u32(body, static_cast<std::uint32_t>(w.size()));
+    body.append(w);
+  }
+  put_u32(body, static_cast<std::uint32_t>(snap.stats.size()));
+  for (std::uint64_t s : snap.stats) put_u64(body, s);
+  put_u64(body, snap.bytes.size());
+  body += snap.bytes;
+
+  std::string out;
+  out.reserve(kMagic.size() + body.size() + 4);
+  out.append(kMagic);
+  out += body;
+  put_u32(out, chunked_checksum(body));
+  return out;
+}
+
+std::optional<BlobSnapshot> deserialize_blob(std::string_view data, Kind kind,
+                                             std::uint64_t key) {
+  if (data.size() < kMagic.size() + 4 ||
+      data.substr(0, kMagic.size()) != kMagic) {
+    return std::nullopt;
+  }
+  std::string_view body =
+      data.substr(kMagic.size(), data.size() - kMagic.size() - 4);
+  std::string_view tail = data.substr(data.size() - 4);
+  Cursor check{tail};
+  if (check.u32() != chunked_checksum(body)) return std::nullopt;
+
+  Cursor c{body};
+  if (c.u32() != kFormatVersion) return std::nullopt;
+  if (c.u64() != schema_fingerprint()) return std::nullopt;
+  std::string_view k = c.bytes(1);
+  if (!c.ok || k[0] != static_cast<char>(kind)) return std::nullopt;
+  if (c.u64() != key) return std::nullopt;
+
+  BlobSnapshot snap;
+  std::uint32_t warning_count = c.u32();
+  if (!c.ok || warning_count > kMaxCount) return std::nullopt;
+  snap.warnings.reserve(warning_count);
+  for (std::uint32_t i = 0; i < warning_count; ++i) {
+    std::uint32_t len = c.u32();
+    std::string_view w = c.bytes(len);
+    if (!c.ok) return std::nullopt;
+    snap.warnings.emplace_back(w);
+  }
+  std::uint32_t stat_count = c.u32();
+  if (!c.ok || stat_count > kMaxCount) return std::nullopt;
+  snap.stats.reserve(stat_count);
+  for (std::uint32_t i = 0; i < stat_count; ++i) snap.stats.push_back(c.u64());
+  std::uint64_t byte_count = c.u64();
+  if (!c.ok || byte_count > body.size()) return std::nullopt;
+  std::string_view bytes = c.bytes(static_cast<std::size_t>(byte_count));
+  if (!c.ok || c.pos != body.size()) return std::nullopt;
+  snap.bytes.assign(bytes);
+  return snap;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t content_key(std::string_view path,
+                          std::string_view content) noexcept {
+  std::uint64_t h = fnv1a64(path);
+  h = fnv1a64(std::string_view("\0", 1), h);
+  return fnv1a64(content, h);
+}
+
+std::uint64_t schema_fingerprint() {
+  static const std::uint64_t fp = fnv1a64(schema::Schema::core().to_xml());
+  return fp;
+}
+
+bool env_disabled() noexcept {
+  const char* v = std::getenv("XPDL_NO_CACHE");
+  return v != nullptr && v[0] != '\0';
+}
+
+SnapshotCache::SnapshotCache(std::string_view default_root,
+                             const Options& options)
+    : enabled_(options.enabled && !env_disabled()) {
+  if (!options.directory.empty()) {
+    directory_ = options.directory;
+  } else if (const char* env = std::getenv("XPDL_CACHE_DIR");
+             env != nullptr && env[0] != '\0') {
+    directory_ = env;
+  } else if (!default_root.empty()) {
+    directory_ = std::string(default_root) + "/.xpdl.cache";
+  } else {
+    directory_ = ".xpdl.cache";
+  }
+}
+
+std::string SnapshotCache::path_for(Kind kind, std::uint64_t key) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%c%016llx.snap", static_cast<char>(kind),
+                static_cast<unsigned long long>(key));
+  return directory_ + "/" + buf;
+}
+
+std::optional<Snapshot> SnapshotCache::load(Kind kind, std::uint64_t key) {
+  if (!enabled_) {
+    XPDL_OBS_COUNT("cache.disabled_loads", 1);
+    return std::nullopt;
+  }
+  auto text = io::read_file(path_for(kind, key));
+  if (!text.is_ok()) {
+    XPDL_OBS_COUNT("cache.misses", 1);
+    return std::nullopt;
+  }
+  auto snap = deserialize(*text, kind, key);
+  if (!snap.has_value()) {
+    // Truncated, corrupt, wrong format version or wrong schema: callers
+    // fall back to the XML parse and overwrite the snapshot.
+    XPDL_OBS_COUNT("cache.corrupt", 1);
+    XPDL_OBS_COUNT("cache.misses", 1);
+    return std::nullopt;
+  }
+  XPDL_OBS_COUNT("cache.hits", 1);
+  return snap;
+}
+
+void SnapshotCache::store(Kind kind, std::uint64_t key,
+                          const xml::Element& root,
+                          const std::vector<std::string>& warnings) {
+  if (!enabled_) return;
+  store_encoded(kind, key, serialize(kind, key, root, warnings));
+}
+
+std::optional<BlobSnapshot> SnapshotCache::load_blob(Kind kind,
+                                                     std::uint64_t key) {
+  if (!enabled_) {
+    XPDL_OBS_COUNT("cache.disabled_loads", 1);
+    return std::nullopt;
+  }
+  auto text = io::read_file(path_for(kind, key));
+  if (!text.is_ok()) {
+    XPDL_OBS_COUNT("cache.misses", 1);
+    return std::nullopt;
+  }
+  auto snap = deserialize_blob(*text, kind, key);
+  if (!snap.has_value()) {
+    XPDL_OBS_COUNT("cache.corrupt", 1);
+    XPDL_OBS_COUNT("cache.misses", 1);
+    return std::nullopt;
+  }
+  XPDL_OBS_COUNT("cache.hits", 1);
+  return snap;
+}
+
+void SnapshotCache::store_blob(Kind kind, std::uint64_t key,
+                               const BlobSnapshot& snap) {
+  if (!enabled_) return;
+  store_encoded(kind, key, serialize_blob(kind, key, snap));
+}
+
+void SnapshotCache::store_encoded(Kind kind, std::uint64_t key,
+                                  std::string encoded) {
+  if (!io::make_directories(directory_).is_ok()) {
+    XPDL_OBS_COUNT("cache.store_failures", 1);
+    return;
+  }
+  std::string path = path_for(kind, key);
+  std::string tmp = path + ".tmp" + std::to_string(::getpid());
+  if (!io::write_file(tmp, encoded).is_ok()) {
+    XPDL_OBS_COUNT("cache.store_failures", 1);
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    XPDL_OBS_COUNT("cache.store_failures", 1);
+    return;
+  }
+  XPDL_OBS_COUNT("cache.stores", 1);
+}
+
+}  // namespace xpdl::cache

@@ -5,7 +5,9 @@
 // involved in a communication link)".
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
 
 #include "xpdl/compose/compose.h"
 #include "xpdl/obs/metrics.h"
@@ -33,34 +35,103 @@ std::optional<double> metric_si(const xml::Element& e,
   return m.value()->value_si;
 }
 
-/// Resolves an interconnect endpoint id against the nearest enclosing
+/// Resolves interconnect endpoint ids against the nearest enclosing
 /// scope: starting at the interconnect's grandparent (the element that
-/// contains the <interconnects> list), search each ancestor's subtree for
-/// a descendant with that local id; closest ancestor wins (Listing 11's
-/// conn1 resolves cpu1/gpu1 inside the same node).
-const xml::Element* resolve_endpoint(const xml::Element& interconnect,
-                                     std::string_view id) {
-  const xml::Element* scope = interconnect.parent();
-  if (scope != nullptr && scope->tag() == "interconnects") {
-    scope = scope->parent();
-  }
-  while (scope != nullptr) {
-    // BFS over the subtree, excluding the interconnects themselves.
-    std::vector<const xml::Element*> queue = {scope};
+/// contains the <interconnects> list), the closest ancestor whose
+/// subtree contains that local id wins (Listing 11's conn1 resolves
+/// cpu1/gpu1 inside the same node).
+///
+/// Built once per model: instead of re-walking each ancestor's subtree
+/// per endpoint, every element gets a rank in the original traversal
+/// order plus a subtree extent, and ids map to rank-sorted candidate
+/// lists. "First hit in the old subtree walk" is then exactly "smallest
+/// candidate rank inside the scope's contiguous rank range", found by
+/// one binary search — identical answers, even for duplicate ids.
+class EndpointIndex {
+ public:
+  explicit EndpointIndex(const xml::Element& root) {
+    // Same stack order as the walk this replaces (children pushed in
+    // order, popped from the back), so ranks reproduce its visit order.
+    // Parenthood is tracked by traversal rank, not Element::parent():
+    // subtrees grafted during composition can carry stale parent
+    // pointers, while the children links walked here are authoritative.
+    struct Item {
+      const xml::Element* element;
+      std::uint32_t parent_rank;
+    };
+    std::vector<Item> queue = {{&root, 0}};
+    std::vector<const xml::Element*> order;
+    std::vector<std::uint32_t> parent_rank;
+    std::vector<std::uint32_t> extent;
     while (!queue.empty()) {
-      const xml::Element* cur = queue.back();
+      Item item = queue.back();
       queue.pop_back();
-      if (cur->attribute_or("id", "") == id) return cur;
-      for (const auto& c : cur->children()) queue.push_back(c.get());
+      auto rank = static_cast<std::uint32_t>(order.size());
+      order.push_back(item.element);
+      parent_rank.push_back(item.parent_rank);
+      extent.push_back(1);
+      spans_.emplace(item.element, Span{rank, 1});
+      by_id_[std::string(item.element->attribute_or("id", ""))].push_back(
+          Candidate{rank, item.element});
+      for (const auto& c : item.element->children()) {
+        queue.push_back({c.get(), rank});
+      }
     }
-    scope = scope->parent();
+    // Any DFS gives contiguous subtree rank ranges; accumulate extents
+    // children-before-parents by sweeping ranks in reverse (rank 0 is
+    // the root, its recorded parent is itself and must not be folded).
+    for (auto r = static_cast<std::uint32_t>(order.size()); r > 1; --r) {
+      extent[parent_rank[r - 1]] += extent[r - 1];
+    }
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      spans_.find(order[r])->second.extent = extent[r];
+    }
   }
-  return nullptr;
-}
+
+  [[nodiscard]] const xml::Element* resolve(
+      const xml::Element& interconnect, std::string_view id) const {
+    auto candidates = by_id_.find(id);
+    if (candidates == by_id_.end()) return nullptr;
+    const xml::Element* scope = interconnect.parent();
+    if (scope != nullptr && scope->tag() == "interconnects") {
+      scope = scope->parent();
+    }
+    while (scope != nullptr) {
+      auto span = spans_.find(scope);
+      if (span != spans_.end()) {
+        std::uint32_t r0 = span->second.rank;
+        std::uint32_t r1 = r0 + span->second.extent;
+        auto lo = std::lower_bound(
+            candidates->second.begin(), candidates->second.end(), r0,
+            [](const Candidate& c, std::uint32_t r) { return c.rank < r; });
+        if (lo != candidates->second.end() && lo->rank < r1) {
+          return lo->element;
+        }
+      }
+      scope = scope->parent();
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Span {
+    std::uint32_t rank;
+    std::uint32_t extent;
+  };
+  struct Candidate {
+    std::uint32_t rank;
+    const xml::Element* element;
+  };
+  std::map<const xml::Element*, Span> spans_;
+  std::map<std::string, std::vector<Candidate>, std::less<>> by_id_;
+};
 
 /// Pass 1: endpoint resolution + effective bandwidth downgrade.
 Status analyze_interconnects(ComposedModel& model,
                              std::vector<std::string>& warnings) {
+  // Attribute writes below never change structure or ids, so the index
+  // stays valid for the whole pass.
+  EndpointIndex endpoints(model.root());
   std::vector<xml::Element*> stack = {&model.mutable_root()};
   while (!stack.empty()) {
     xml::Element* e = stack.back();
@@ -83,7 +154,7 @@ Status analyze_interconnects(ComposedModel& model,
     for (std::string_view endpoint_attr : {"head", "tail"}) {
       auto id = e->attribute(endpoint_attr);
       if (!id.has_value()) continue;
-      const xml::Element* endpoint = resolve_endpoint(*e, *id);
+      const xml::Element* endpoint = endpoints.resolve(*e, *id);
       if (endpoint == nullptr) {
         return Status(ErrorCode::kUnresolvedRef,
                       "interconnect endpoint '" + std::string(*id) +

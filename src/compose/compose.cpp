@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "xpdl/cache/cache.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
 #include "xpdl/util/strings.h"
@@ -167,8 +168,8 @@ class Composer::Impl {
   static void merge_under(xml::Element& derived, const xml::Element& base) {
     for (const xml::Attribute& a : base.attributes()) {
       if (a.name == "name" || a.name == "id") continue;
-      if (!derived.has_attribute(a.name)) {
-        derived.set_attribute(a.name, a.value);
+      if (!derived.has_attribute(a.name.view())) {
+        derived.set_attribute(a.name.view(), a.value);
       }
     }
     // Prepend base children by rebuilding the child list.
@@ -199,8 +200,8 @@ class Composer::Impl {
         if (!name_j || *name_j != *name_i) continue;
         // j is the later (winning) declaration: inherit missing attrs.
         for (const xml::Attribute& a : children[i]->attributes()) {
-          if (!children[j]->has_attribute(a.name)) {
-            children[j]->set_attribute(a.name, a.value);
+          if (!children[j]->has_attribute(a.name.view())) {
+            children[j]->set_attribute(a.name.view(), a.value);
           }
         }
         children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
@@ -257,14 +258,14 @@ class Composer::Impl {
                             "' is not a non-negative integer",
                         e.location());
         }
-        updates.emplace_back(a.name, number_text(v));
+        updates.emplace_back(a.name.str(), number_text(v));
         continue;
       }
       if (!metrics_allowed) continue;
-      if (model::is_structural_attribute(a.name)) continue;
+      if (model::is_structural_attribute(a.name.view())) continue;
       if (a.name == "unit" ||
           (a.name.size() > 5 &&
-           std::string_view(a.name).substr(a.name.size() - 5) == "_unit")) {
+           a.name.view().substr(a.name.size() - 5) == "_unit")) {
         continue;
       }
       // Metric attribute with an identifier value -> parameter reference.
@@ -278,7 +279,7 @@ class Composer::Impl {
         // elsewhere; on metrics they are open configuration.
         if (options_.require_bound_params && e.tag() != "param") {
           return Status(ErrorCode::kUnresolvedRef,
-                        "metric '" + a.name +
+                        "metric '" + a.name.str() +
                             "' references unbound parameter '" + a.value +
                             "'",
                         e.location());
@@ -290,13 +291,14 @@ class Composer::Impl {
       if (!p.unit_symbol.empty()) {
         auto unit = units::parse_unit(p.unit_symbol);
         assert(unit.is_ok());
-        updates.emplace_back(a.name, number_text(unit.value().from_si(si)));
-        std::string unit_attr = units::unit_attribute_name(a.name);
+        updates.emplace_back(a.name.str(),
+                             number_text(unit.value().from_si(si)));
+        std::string unit_attr = units::unit_attribute_name(a.name.view());
         if (!e.has_attribute(unit_attr)) {
           unit_updates.emplace_back(unit_attr, p.unit_symbol);
         }
       } else {
-        updates.emplace_back(a.name, number_text(si));
+        updates.emplace_back(a.name.str(), number_text(si));
       }
     }
     for (auto& [k, v] : updates) e.set_attribute(k, v);
@@ -577,9 +579,46 @@ class Composer::Impl {
 Composer::Composer(repository::Repository& repo, Options options)
     : repo_(repo), options_(options) {}
 
+std::uint64_t Composer::snapshot_key(std::string_view ref) const {
+  // The snapshot key pins everything a composition depends on: the full
+  // repository content (digest), the entry point, and the composer
+  // options. The schema fingerprint is checked by the snapshot codec.
+  std::uint64_t key = repo_.content_digest();
+  key = cache::fnv1a64(ref, key);
+  key = cache::fnv1a64(std::string_view("\0", 1), key);
+  std::string options_fp;
+  options_fp += options_.run_static_analysis ? 'A' : 'a';
+  options_fp += options_.require_bound_params ? 'B' : 'b';
+  options_fp += options_.tolerate_missing_software ? 'S' : 's';
+  options_fp += ':';
+  options_fp += std::to_string(options_.max_type_depth);
+  options_fp += ':';
+  options_fp += std::to_string(options_.max_configurations);
+  return cache::fnv1a64(options_fp, key);
+}
+
 Result<ComposedModel> Composer::compose(std::string_view ref) {
   XPDL_ASSIGN_OR_RETURN(const xml::Element* root, repo_.lookup(ref));
-  return compose(*root);
+  if (!repo_.content_digest_valid() || !repo_.cache_options().enabled) {
+    return compose(*root);
+  }
+
+  std::uint64_t key = snapshot_key(ref);
+  cache::SnapshotCache snapshots(repo_.cache_anchor(), repo_.cache_options());
+  if (auto snap = snapshots.load(cache::Kind::kModel, key)) {
+    XPDL_OBS_COUNT("compose.model_cache_hits", 1);
+    ComposedModel out;
+    out.root_ = std::move(snap->root);
+    out.warnings_ = std::move(snap->warnings);
+    out.reindex();
+    return out;
+  }
+  auto composed = compose(*root);
+  if (composed.is_ok()) {
+    snapshots.store(cache::Kind::kModel, key, composed->root(),
+                    composed->warnings());
+  }
+  return composed;
 }
 
 Result<ComposedModel> Composer::compose(const xml::Element& root) {

@@ -122,22 +122,22 @@ class Differ {
              is_composer_attribute(name);
     };
     for (const xml::Attribute& a : left.attributes()) {
-      if (skip(a.name)) continue;
-      auto rv = right.attribute(a.name);
+      if (skip(a.name.view())) continue;
+      auto rv = right.attribute(a.name.view());
       if (!rv.has_value()) {
-        out_.push_back({ChangeKind::kAttributeRemoved, path, a.name,
+        out_.push_back({ChangeKind::kAttributeRemoved, path, a.name.str(),
                         a.value, ""});
-      } else if (!values_equal(left, right, a.name, a.value, *rv,
+      } else if (!values_equal(left, right, a.name.view(), a.value, *rv,
                                options_)) {
-        out_.push_back({ChangeKind::kAttributeChanged, path, a.name,
+        out_.push_back({ChangeKind::kAttributeChanged, path, a.name.str(),
                         a.value, std::string(*rv)});
       }
     }
     for (const xml::Attribute& a : right.attributes()) {
-      if (skip(a.name)) continue;
-      if (!left.has_attribute(a.name)) {
+      if (skip(a.name.view())) continue;
+      if (!left.has_attribute(a.name.view())) {
         out_.push_back(
-            {ChangeKind::kAttributeAdded, path, a.name, "", a.value});
+            {ChangeKind::kAttributeAdded, path, a.name.str(), "", a.value});
       }
     }
   }

@@ -1,0 +1,36 @@
+#include "xpdl/intern/intern.h"
+
+namespace xpdl::intern {
+
+AtomTable& AtomTable::global() noexcept {
+  static AtomTable table;
+  return table;
+}
+
+const std::string* AtomTable::intern(std::string_view s) {
+  Shard& shard = shards_[TransparentHash{}(s) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pool.find(s);
+  if (it == shard.pool.end()) {
+    it = shard.pool.emplace(s).first;
+    shard.bytes += it->size();
+  }
+  return &*it;
+}
+
+PoolStats AtomTable::stats() const {
+  PoolStats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.atoms += shard.pool.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+const std::string* empty_atom() noexcept {
+  static const std::string empty;
+  return &empty;
+}
+
+}  // namespace xpdl::intern

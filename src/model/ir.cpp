@@ -90,8 +90,8 @@ Result<Metric> build_metric(const xml::Element& e, std::string_view name,
 Result<std::vector<Metric>> metrics_of(const xml::Element& e) {
   std::vector<Metric> out;
   for (const xml::Attribute& a : e.attributes()) {
-    if (is_structural_attribute(a.name) || is_unit_attribute(a.name)) continue;
-    XPDL_ASSIGN_OR_RETURN(Metric m, build_metric(e, a.name, a.value));
+    if (is_structural_attribute(a.name.view()) || is_unit_attribute(a.name.view())) continue;
+    XPDL_ASSIGN_OR_RETURN(Metric m, build_metric(e, a.name.view(), a.value));
     out.push_back(std::move(m));
   }
   return out;
@@ -153,11 +153,11 @@ Result<Param> parse_param(const xml::Element& e) {
     XPDL_RETURN_IF_ERROR(bind_from("value", *v));
   }
   for (const xml::Attribute& a : e.attributes()) {
-    if (a.name == "value" || is_structural_attribute(a.name) ||
-        is_unit_attribute(a.name) || a.name == "name") {
+    if (a.name == "value" || is_structural_attribute(a.name.view()) ||
+        is_unit_attribute(a.name.view()) || a.name == "name") {
       continue;
     }
-    XPDL_RETURN_IF_ERROR(bind_from(a.name, a.value));
+    XPDL_RETURN_IF_ERROR(bind_from(a.name.view(), a.value));
   }
 
   if (auto r = e.attribute("range")) {

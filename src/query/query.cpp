@@ -221,14 +221,6 @@ bool matches(const runtime::Node& node, const Step& step) {
   return true;
 }
 
-void collect_descendants(const runtime::Node& node,
-                         std::vector<runtime::Node>& out) {
-  out.push_back(node);
-  for (std::size_t i = 0; i < node.child_count(); ++i) {
-    collect_descendants(node.child(i), out);
-  }
-}
-
 }  // namespace
 
 Result<Query> Query::parse(std::string_view text) {
@@ -243,6 +235,7 @@ std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
   // Current frontier; the first step applies to the root itself for '//'
   // and to the root's own matching for '/' (XPath-like with the root as
   // the implicit context node's document).
+  const runtime::Model& model = root.model();
   std::vector<runtime::Node> frontier = {root};
   bool first = true;
   for (const Step& step : steps_) {
@@ -250,7 +243,12 @@ std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
     for (const runtime::Node& node : frontier) {
       std::vector<runtime::Node> candidates;
       if (step.descendant) {
-        collect_descendants(node, candidates);
+        // Descendant-or-self, in document order, off the model's
+        // structure index: a concrete tag narrows to the rank-sorted
+        // tag bucket instead of walking the whole subtree.
+        candidates = step.tag == "*"
+                         ? model.subtree(node)
+                         : model.subtree_with_tag(node, step.tag);
       } else if (first) {
         // Leading '/tag' addresses the root element itself.
         candidates.push_back(node);
@@ -264,10 +262,13 @@ std::vector<runtime::Node> Query::evaluate(runtime::Node root) const {
       }
     }
     // Deduplicate (descendant steps can reach a node repeatedly) while
-    // preserving order.
+    // preserving order; a seen-bitset over node indices keeps this
+    // linear.
     std::vector<runtime::Node> dedup;
+    std::vector<bool> seen(model.node_count(), false);
     for (const runtime::Node& n : next) {
-      if (std::find(dedup.begin(), dedup.end(), n) == dedup.end()) {
+      if (!seen[n.index()]) {
+        seen[n.index()] = true;
         dedup.push_back(n);
       }
     }

@@ -1,12 +1,51 @@
 #include "xpdl/repository/repository.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "xpdl/model/ir.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
+#include "xpdl/util/io.h"
+#include "xpdl/util/parallel.h"
 
 namespace xpdl::repository {
+
+/// Everything the parallel phase derives from one descriptor file. The
+/// slots are task-indexed, so the scan result is independent of the
+/// worker schedule.
+struct Repository::Parsed {
+  std::unique_ptr<xml::Element> root;
+  std::vector<std::string> warnings;  ///< parse + validation warnings
+  Status status;                      ///< read/parse/validate failure
+  std::uint64_t key = 0;              ///< cache::content_key of the file
+  std::size_t retries = 0;            ///< transport retries spent reading
+  bool read_ok = false;
+  bool from_cache = false;
+};
+
+namespace {
+
+/// Parses and schema-validates one descriptor. Pure function of its
+/// inputs (safe to run concurrently across files): warnings go to the
+/// caller-owned vector, never to shared state.
+Status parse_and_validate(const std::string& path, std::string_view text,
+                          std::unique_ptr<xml::Element>& root,
+                          std::vector<std::string>& warnings) {
+  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(text, path));
+  for (std::string& w : doc.warnings) warnings.push_back(std::move(w));
+
+  schema::ValidationReport report =
+      schema::Schema::core().validate(*doc.root);
+  for (std::string& w : report.warnings) warnings.push_back(std::move(w));
+  if (!report.ok()) {
+    return report.status();
+  }
+  root = std::move(doc.root);
+  return Status::ok();
+}
+
+}  // namespace
 
 Repository::Repository(std::vector<std::string> search_path)
     : search_path_(std::move(search_path)),
@@ -31,28 +70,26 @@ std::vector<std::string> ScanReport::to_warnings() const {
   return out;
 }
 
-Status Repository::index_text(const std::string& path, std::string_view text,
-                              const std::string& root_dir) {
-  // Index cheaply: parse the text now (descriptors are small); the parsed
-  // tree doubles as the cache entry.
-  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse(text, path));
-  for (std::string& w : doc.warnings) warnings_.push_back(std::move(w));
+void Repository::fold_digest(std::string_view path,
+                             std::uint64_t key) noexcept {
+  content_digest_ = cache::fnv1a64(path, content_digest_);
+  content_digest_ = cache::fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(&key), sizeof key),
+      content_digest_);
+}
 
-  schema::ValidationReport report =
-      schema::Schema::core().validate(*doc.root);
-  for (std::string& w : report.warnings) warnings_.push_back(std::move(w));
-  if (!report.ok()) {
-    return report.status();
-  }
-
-  model::Identity ident = model::identity_of(*doc.root);
+Status Repository::register_parsed(const std::string& path,
+                                   const std::string& root_dir,
+                                   Parsed&& parsed) {
+  std::unique_ptr<xml::Element> root = std::move(parsed.root);
+  model::Identity ident = model::identity_of(*root);
   const std::string& ref = ident.reference_name();
   if (ref.empty()) {
     return Status(ErrorCode::kSchemaViolation,
-                  "descriptor root <" + doc.root->tag() +
+                  "descriptor root <" + root->tag() +
                       "> has neither 'name' nor 'id'; it cannot be "
                       "referenced from other models",
-                  doc.root->location());
+                  root->location());
   }
 
   auto it = entries_.find(ref);
@@ -64,7 +101,7 @@ Status Repository::index_text(const std::string& path, std::string_view text,
                     "duplicate descriptor name '" + ref + "' in '" + path +
                         "' (already defined in '" + it->second.info.path +
                         "')",
-                    doc.root->location());
+                    root->location());
     }
     warnings_.push_back("descriptor '" + ref + "' from '" + path +
                         "' is shadowed by '" + it->second.info.path + "'");
@@ -72,8 +109,8 @@ Status Repository::index_text(const std::string& path, std::string_view text,
   }
 
   Entry entry;
-  entry.info = DescriptorInfo{ref, doc.root->tag(), path, ident.is_meta()};
-  entry.root = std::move(doc.root);
+  entry.info = DescriptorInfo{ref, root->tag(), path, ident.is_meta()};
+  entry.root = std::move(root);
   entries_.emplace(ref, std::move(entry));
   return Status::ok();
 }
@@ -82,10 +119,30 @@ Result<ScanReport> Repository::scan(const ScanOptions& options) {
   obs::Span span("repo.scan");
   entries_.clear();
   warnings_.clear();
+  loaded_files_.clear();
+  cache_options_ = options.cache;
+  content_digest_ = cache::fnv1a64(std::string_view{});
+  digest_valid_ = true;
   ScanReport report;
+
+  // Phase 1 (serial): list every root, in search-path order. Produces
+  // the definitive event order — quarantined roots interleaved with file
+  // ranges exactly where a serial scan would have visited them.
+  struct FileTask {
+    std::string path;
+    std::size_t root_index;
+  };
+  struct Event {
+    bool is_file;
+    std::size_t index;  ///< into `tasks` or `root_failures`
+  };
+  std::vector<FileTask> tasks;
+  std::vector<Event> events;
+  std::vector<ScanReport::Quarantined> root_failures;
   resilience::RetryPolicy retry(options.retry);
 
-  for (const std::string& root : search_path_) {
+  for (std::size_t r = 0; r < search_path_.size(); ++r) {
+    const std::string& root = search_path_[r];
     XPDL_OBS_COUNT("repo.scan.search_path_probes", 1);
     auto files = retry.run_result(
         "listing repository root '" + root + "'",
@@ -96,30 +153,101 @@ Result<ScanReport> Repository::scan(const ScanOptions& options) {
       // A whole root failing to list is a configuration-level fault; in
       // degraded mode it is quarantined like a file so the remaining
       // roots still serve.
-      if (options.strict) return std::move(files).status();
-      report.quarantined.push_back(
+      if (options.strict) {
+        digest_valid_ = false;
+        return std::move(files).status();
+      }
+      events.push_back(Event{false, root_failures.size()});
+      root_failures.push_back(
           ScanReport::Quarantined{root, std::move(files).status()});
       continue;
     }
     report.files_seen += files->size();
     XPDL_OBS_COUNT("repo.scan.files_probed", files->size());
+    for (std::string& f : *files) {
+      events.push_back(Event{true, tasks.size()});
+      tasks.push_back(FileTask{std::move(f), r});
+    }
+  }
 
-    for (const std::string& f : *files) {
-      auto text = retry.run_result(
-          "reading repository file '" + f + "'",
-          [&] { return transport_->read(f); });
-      report.transport_retries +=
-          static_cast<std::size_t>(retry.last_run().retries);
-      Status st = text.is_ok()
-                      ? index_text(f, *text, root)
-                      : std::move(text).status();
-      if (!st.is_ok()) {
-        st.with_context("indexing repository file '" + f + "'");
-        if (options.strict) return st;
-        XPDL_OBS_COUNT("repo.scan.files_quarantined", 1);
-        report.quarantined.push_back(
-            ScanReport::Quarantined{f, std::move(st)});
+  // Phase 2 (parallel): read, hash, and either restore each file from
+  // its snapshot or parse + validate it. Results land in task-indexed
+  // slots; nothing here touches repository state, so the work is
+  // embarrassingly parallel and the outcome is schedule-independent.
+  cache::SnapshotCache snapshots(cache_anchor(), options.cache);
+  std::vector<Parsed> slots(tasks.size());
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : util::parallel::default_threads();
+  util::parallel::parallel_for(threads, tasks.size(), [&](std::size_t i) {
+    const std::string& f = tasks[i].path;
+    Parsed& slot = slots[i];
+    resilience::RetryPolicy file_retry(options.retry);
+    auto text = file_retry.run_result(
+        "reading repository file '" + f + "'",
+        [&] { return transport_->read(f); });
+    slot.retries = static_cast<std::size_t>(file_retry.last_run().retries);
+    if (!text.is_ok()) {
+      slot.status = std::move(text).status();
+      return;
+    }
+    slot.read_ok = true;
+    slot.key = cache::content_key(f, *text);
+    if (auto snap = snapshots.load(cache::Kind::kDescriptor, slot.key)) {
+      slot.root = std::move(snap->root);
+      slot.warnings = std::move(snap->warnings);
+      slot.from_cache = true;
+      return;
+    }
+    slot.status = parse_and_validate(f, *text, slot.root, slot.warnings);
+    if (slot.status.is_ok()) {
+      // Only clean parses are snapshotted; their warnings ride along so
+      // a warm run replays identical diagnostics.
+      snapshots.store(cache::Kind::kDescriptor, slot.key, *slot.root,
+                      slot.warnings);
+    }
+  });
+
+  // Phase 3 (serial): register in listing order. Warnings, quarantine
+  // entries, duplicate/shadowing decisions and strict-mode first-error
+  // semantics all replay exactly as the serial scan produced them.
+  for (const Event& ev : events) {
+    if (!ev.is_file) {
+      report.quarantined.push_back(std::move(root_failures[ev.index]));
+      continue;
+    }
+    FileTask& task = tasks[ev.index];
+    Parsed& slot = slots[ev.index];
+    report.transport_retries += slot.retries;
+    if (slot.read_ok) {
+      if (slot.from_cache) {
+        ++report.cache_hits;
+      } else {
+        ++report.cache_misses;
       }
+    }
+    std::uint64_t key = slot.key;
+    for (std::string& w : slot.warnings) warnings_.push_back(std::move(w));
+    Status st = slot.status.is_ok()
+                    ? register_parsed(task.path,
+                                      search_path_[task.root_index],
+                                      std::move(slot))
+                    : std::move(slot.status);
+    if (!st.is_ok()) {
+      st.with_context("indexing repository file '" + task.path + "'");
+      if (options.strict) {
+        digest_valid_ = false;
+        return st;
+      }
+      XPDL_OBS_COUNT("repo.scan.files_quarantined", 1);
+      report.quarantined.push_back(
+          ScanReport::Quarantined{task.path, std::move(st)});
+    } else {
+      // Registered (or shadowed): the file's content shaped the index,
+      // so it enters the repository content digest. Quarantined files
+      // contribute nothing to the index and stay out of the digest,
+      // keeping it a pure function of what the index actually holds.
+      fold_digest(task.path, key);
     }
   }
   scanned_ = true;
@@ -160,13 +288,45 @@ Result<const xml::Element*> Repository::lookup(std::string_view ref) {
 }
 
 Result<const xml::Element*> Repository::load_file(const std::string& path) {
-  XPDL_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
-  for (std::string& w : doc.warnings) warnings_.push_back(std::move(w));
-  schema::ValidationReport report =
-      schema::Schema::core().validate(*doc.root);
-  for (std::string& w : report.warnings) warnings_.push_back(std::move(w));
-  if (!report.ok()) return report.status();
-  return add_descriptor(std::move(doc.root));
+  if (auto memo = loaded_files_.find(path); memo != loaded_files_.end()) {
+    if (auto it = entries_.find(memo->second); it != entries_.end()) {
+      XPDL_OBS_COUNT("repo.load_file.memo_hits", 1);
+      return it->second.root.get();
+    }
+  }
+  XPDL_ASSIGN_OR_RETURN(std::string text, io::read_file(path));
+  std::uint64_t key = cache::content_key(path, text);
+  cache::SnapshotCache snapshots(cache_anchor(), cache_options_);
+
+  std::unique_ptr<xml::Element> root;
+  std::vector<std::string> file_warnings;
+  if (auto snap = snapshots.load(cache::Kind::kDescriptor, key)) {
+    root = std::move(snap->root);
+    file_warnings = std::move(snap->warnings);
+  } else {
+    Status st = parse_and_validate(path, text, root, file_warnings);
+    if (!st.is_ok()) {
+      for (std::string& w : file_warnings) warnings_.push_back(std::move(w));
+      return st;
+    }
+    snapshots.store(cache::Kind::kDescriptor, key, *root, file_warnings);
+  }
+  for (std::string& w : file_warnings) warnings_.push_back(std::move(w));
+
+  // add_descriptor pessimistically invalidates the content digest (it
+  // normally injects in-memory definitions); a descriptor loaded from a
+  // file is still on-disk content, so fold it back in instead.
+  bool digest_was_valid = digest_valid_;
+  std::uint64_t digest_before = content_digest_;
+  auto registered = add_descriptor(std::move(root));
+  if (registered.is_ok()) {
+    loaded_files_.insert_or_assign(
+        path, model::identity_of(**registered).reference_name());
+    digest_valid_ = digest_was_valid;
+    content_digest_ = digest_before;
+    fold_digest(path, key);
+  }
+  return registered;
 }
 
 Result<const xml::Element*> Repository::add_descriptor(
@@ -180,6 +340,7 @@ Result<const xml::Element*> Repository::add_descriptor(
                   root->location());
   }
   XPDL_OBS_COUNT("repo.descriptors_injected", 1);
+  digest_valid_ = false;  // index no longer derivable from disk content
   Entry entry;
   entry.info = DescriptorInfo{ref, root->tag(), "<memory>", ident.is_meta()};
   entry.root = std::move(root);
@@ -187,6 +348,12 @@ Result<const xml::Element*> Repository::add_descriptor(
   if (!inserted) {
     warnings_.push_back("descriptor '" + ref +
                         "' replaced by an injected definition");
+    // Any memoized load_file whose descriptor was just replaced must
+    // re-parse next time rather than serve the replacement.
+    for (auto memo = loaded_files_.begin(); memo != loaded_files_.end();) {
+      memo = memo->second == ref ? loaded_files_.erase(memo)
+                                 : std::next(memo);
+    }
   }
   return it->second.root.get();
 }

@@ -1,0 +1,59 @@
+// Composer::compose_runtime -- the cached end-to-end fast path.
+//
+// Defined here (not in compose.cpp) because it builds a runtime::Model
+// and xpdl_runtime already links against xpdl_compose; the reverse edge
+// would make the two static libraries circular. Callers link
+// xpdl_runtime to use it.
+#include "xpdl/cache/cache.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/runtime/model.h"
+
+namespace xpdl::compose {
+
+Result<RuntimeArtifact> Composer::compose_runtime(std::string_view ref) {
+  const bool cacheable =
+      repo_.content_digest_valid() && repo_.cache_options().enabled;
+  if (cacheable) {
+    // Same key as the composed-model snapshot (digest + ref + options);
+    // the kind byte keeps the two from colliding on disk.
+    std::uint64_t key = snapshot_key(ref);
+    cache::SnapshotCache snapshots(repo_.cache_anchor(),
+                                   repo_.cache_options());
+    if (auto blob = snapshots.load_blob(cache::Kind::kRuntime, key);
+        blob.has_value() && blob->stats.size() == 3) {
+      XPDL_OBS_COUNT("compose.runtime_cache_hits", 1);
+      RuntimeArtifact out;
+      out.bytes = std::move(blob->bytes);
+      out.warnings = std::move(blob->warnings);
+      out.element_count = static_cast<std::size_t>(blob->stats[0]);
+      out.id_count = static_cast<std::size_t>(blob->stats[1]);
+      out.node_count = static_cast<std::size_t>(blob->stats[2]);
+      out.cache_hit = true;
+      return out;
+    }
+  }
+
+  XPDL_ASSIGN_OR_RETURN(ComposedModel composed, compose(ref));
+  XPDL_ASSIGN_OR_RETURN(runtime::Model model,
+                        runtime::Model::from_composed(composed));
+  RuntimeArtifact out;
+  out.bytes = model.serialize();
+  out.warnings = composed.warnings();
+  out.element_count = composed.root().subtree_size();
+  out.id_count = composed.ids().size();
+  out.node_count = model.node_count();
+
+  if (cacheable) {
+    cache::BlobSnapshot blob;
+    blob.bytes = out.bytes;
+    blob.warnings = out.warnings;
+    blob.stats = {out.element_count, out.id_count, out.node_count};
+    cache::SnapshotCache snapshots(repo_.cache_anchor(),
+                                   repo_.cache_options());
+    snapshots.store_blob(cache::Kind::kRuntime, snapshot_key(ref), blob);
+  }
+  return out;
+}
+
+}  // namespace xpdl::compose

@@ -1,5 +1,6 @@
 #include "xpdl/runtime/model.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "xpdl/compose/compose.h"
@@ -131,7 +132,7 @@ Result<Model> Model::from_xml(const xml::Element& root) {
     node.attr_start = static_cast<std::uint32_t>(m.attrs_.size());
     node.attr_count = static_cast<std::uint32_t>(elem->attributes().size());
     for (const xml::Attribute& a : elem->attributes()) {
-      m.attrs_.push_back(AttrData{m.intern(a.name), m.intern(a.value)});
+      m.attrs_.push_back(AttrData{m.intern(a.name.view()), m.intern(a.value)});
     }
     m.nodes_.push_back(node);
     if (parent != kNoNode) {
@@ -184,6 +185,74 @@ void Model::build_id_index() {
       id_index_.emplace(ident, local[ident]);
     }
   }
+  build_structure_index();
+}
+
+void Model::build_structure_index() {
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  preorder_nodes_.assign(n, 0);
+  rank_of_.assign(n, 0);
+  extent_.assign(n, 1);
+  context_flags_.assign(n, 0);
+  tag_index_.clear();
+  if (n == 0) return;
+
+  // Preorder (document-order) permutation. Children of a node occupy a
+  // contiguous index range, pushed reversed so they pop in order.
+  std::vector<std::uint32_t> stack = {0};
+  std::uint32_t rank = 0;
+  while (!stack.empty()) {
+    std::uint32_t cur = stack.back();
+    stack.pop_back();
+    rank_of_[cur] = rank;
+    preorder_nodes_[rank] = cur;
+    ++rank;
+    const NodeData& nd = nodes_[cur];
+    for (std::uint32_t i = nd.child_count; i > 0; --i) {
+      stack.push_back(nd.first_child + i - 1);
+    }
+  }
+
+  // Subtree extents: every node's rank precedes its descendants', so a
+  // reverse-rank sweep accumulates child extents before the parent is
+  // folded into *its* parent. A subtree is then the contiguous rank
+  // range [rank, rank + extent).
+  for (std::uint32_t r = n; r > 0; --r) {
+    std::uint32_t idx = preorder_nodes_[r - 1];
+    std::uint32_t p = nodes_[idx].parent;
+    if (p != kNoNode) extent_[p] += extent_[idx];
+  }
+
+  // Ancestor-context flags: in the BFS arena every parent index is
+  // smaller than its children's, so one ascending pass propagates them.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    std::uint32_t p = nodes_[i].parent;
+    std::uint8_t flags = context_flags_[p];
+    std::string_view ptag = str(nodes_[p].tag);
+    if (ptag == "power_domain") flags |= kUnderPowerDomain;
+    if (ptag == "device" || ptag == "gpu") flags |= kUnderAccelerator;
+    context_flags_[i] = flags;
+  }
+
+  // Per-tag buckets, rank-sorted so a subtree's members form one
+  // binary-searchable slice.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tag_index_[nodes_[i].tag].push_back(i);
+  }
+  for (auto& [tag, bucket] : tag_index_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return rank_of_[a] < rank_of_[b];
+              });
+  }
+}
+
+const std::vector<std::uint32_t>* Model::tag_bucket(
+    std::string_view tag) const noexcept {
+  auto sid = intern_index_.find(tag);
+  if (sid == intern_index_.end()) return nullptr;
+  auto bucket = tag_index_.find(sid->second);
+  return bucket == tag_index_.end() ? nullptr : &bucket->second;
 }
 
 Model::MemoryStats Model::memory_stats() const noexcept {
@@ -205,8 +274,41 @@ std::optional<Node> Model::find_by_id(std::string_view id) const {
 
 std::vector<Node> Model::find_all(std::string_view tag) const {
   std::vector<Node> out;
-  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    if (str(nodes_[i].tag) == tag) out.emplace_back(this, i);
+  const std::vector<std::uint32_t>* bucket = tag_bucket(tag);
+  if (bucket == nullptr) return out;
+  // Buckets are rank-sorted for subtree slicing; BFS order is ascending
+  // node index, so re-sort the (typically short) match list.
+  std::vector<std::uint32_t> indices = *bucket;
+  std::sort(indices.begin(), indices.end());
+  out.reserve(indices.size());
+  for (std::uint32_t i : indices) out.emplace_back(this, i);
+  return out;
+}
+
+std::vector<Node> Model::subtree(Node within) const {
+  std::uint32_t r0 = rank_of_[within.index()];
+  std::uint32_t r1 = r0 + extent_[within.index()];
+  std::vector<Node> out;
+  out.reserve(r1 - r0);
+  for (std::uint32_t r = r0; r < r1; ++r) {
+    out.emplace_back(this, preorder_nodes_[r]);
+  }
+  return out;
+}
+
+std::vector<Node> Model::subtree_with_tag(Node within,
+                                              std::string_view tag) const {
+  std::vector<Node> out;
+  const std::vector<std::uint32_t>* bucket = tag_bucket(tag);
+  if (bucket == nullptr) return out;
+  std::uint32_t r0 = rank_of_[within.index()];
+  std::uint32_t r1 = r0 + extent_[within.index()];
+  auto lo = std::lower_bound(bucket->begin(), bucket->end(), r0,
+                             [&](std::uint32_t idx, std::uint32_t r) {
+                               return rank_of_[idx] < r;
+                             });
+  for (auto it = lo; it != bucket->end() && rank_of_[*it] < r1; ++it) {
+    out.emplace_back(this, *it);
   }
   return out;
 }
@@ -231,19 +333,20 @@ void Model::for_each_in_subtree(std::uint32_t start, F&& fn) const {
 
 std::size_t Model::count(std::string_view tag,
                          std::optional<Node> within) const {
+  // Elements inside a <power_domain> are references to hardware, not
+  // hardware (Listing 12); they must not inflate structural counts.
+  const std::vector<std::uint32_t>* bucket = tag_bucket(tag);
+  if (bucket == nullptr) return 0;
+  std::uint32_t start = within.has_value() ? within->index() : 0;
+  std::uint32_t r0 = rank_of_[start];
+  std::uint32_t r1 = r0 + extent_[start];
   std::size_t n = 0;
-  for_each_in_subtree(within.has_value() ? within->index() : 0,
-                      [&](std::uint32_t i) {
-                        if (str(nodes_[i].tag) != tag) return;
-                        // Elements inside a <power_domain> are references
-                        // to hardware, not hardware (Listing 12); they
-                        // must not inflate structural counts.
-                        for (std::uint32_t p = nodes_[i].parent;
-                             p != kNoNode; p = nodes_[p].parent) {
-                          if (str(nodes_[p].tag) == "power_domain") return;
-                        }
-                        ++n;
-                      });
+  for (std::uint32_t idx : *bucket) {
+    std::uint32_t r = rank_of_[idx];
+    if (r < r0 || r >= r1) continue;
+    if ((context_flags_[idx] & kUnderPowerDomain) != 0) continue;
+    ++n;
+  }
   return n;
 }
 
@@ -252,20 +355,19 @@ std::size_t Model::count_cores(std::optional<Node> within) const {
 }
 
 std::size_t Model::count_host_cores(std::optional<Node> within) const {
+  const std::vector<std::uint32_t>* bucket = tag_bucket("core");
+  if (bucket == nullptr) return 0;
+  std::uint32_t start = within.has_value() ? within->index() : 0;
+  std::uint32_t r0 = rank_of_[start];
+  std::uint32_t r1 = r0 + extent_[start];
+  constexpr std::uint8_t kExcluded = kUnderPowerDomain | kUnderAccelerator;
   std::size_t n = 0;
-  for_each_in_subtree(within.has_value() ? within->index() : 0,
-                      [&](std::uint32_t i) {
-                        if (str(nodes_[i].tag) != "core") return;
-                        for (std::uint32_t p = nodes_[i].parent;
-                             p != kNoNode; p = nodes_[p].parent) {
-                          std::string_view tag = str(nodes_[p].tag);
-                          if (tag == "device" || tag == "gpu" ||
-                              tag == "power_domain") {
-                            return;
-                          }
-                        }
-                        ++n;
-                      });
+  for (std::uint32_t idx : *bucket) {
+    std::uint32_t r = rank_of_[idx];
+    if (r < r0 || r >= r1) continue;
+    if ((context_flags_[idx] & kExcluded) != 0) continue;
+    ++n;
+  }
   return n;
 }
 
@@ -274,24 +376,34 @@ std::size_t Model::count_devices(std::optional<Node> within) const {
 }
 
 std::size_t Model::count_cuda_devices(std::optional<Node> within) const {
+  std::uint32_t start = within.has_value() ? within->index() : 0;
+  std::uint32_t r0 = rank_of_[start];
+  std::uint32_t r1 = r0 + extent_[start];
   std::size_t n = 0;
-  for_each_in_subtree(
-      within.has_value() ? within->index() : 0, [&](std::uint32_t i) {
-        std::string_view tag = str(nodes_[i].tag);
-        if (tag != "device" && tag != "gpu") return;
-        Node dev(this, i);
-        for (std::size_t c = 0; c < dev.child_count(); ++c) {
-          Node child = dev.child(c);
-          if (child.tag() != "programming_model") continue;
-          for (const std::string& pm :
-               strings::split(child.attribute_or("type", ""), ',')) {
-            if (pm.rfind("cuda", 0) == 0) {
-              ++n;
-              return;
-            }
+  auto count_bucket = [&](std::string_view tag) {
+    const std::vector<std::uint32_t>* bucket = tag_bucket(tag);
+    if (bucket == nullptr) return;
+    for (std::uint32_t idx : *bucket) {
+      std::uint32_t r = rank_of_[idx];
+      if (r < r0 || r >= r1) continue;
+      Node dev(this, idx);
+      bool cuda = false;
+      for (std::size_t c = 0; c < dev.child_count() && !cuda; ++c) {
+        Node child = dev.child(c);
+        if (child.tag() != "programming_model") continue;
+        for (const std::string& pm :
+             strings::split(child.attribute_or("type", ""), ',')) {
+          if (pm.rfind("cuda", 0) == 0) {
+            cuda = true;
+            break;
           }
         }
-      });
+      }
+      if (cuda) ++n;
+    }
+  };
+  count_bucket("device");
+  count_bucket("gpu");
   return n;
 }
 
@@ -313,8 +425,9 @@ double Model::total_static_power_w(std::optional<Node> within) const {
 }
 
 bool Model::has_installed(std::string_view type_prefix) const {
-  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
-    if (str(nodes_[i].tag) != "installed") continue;
+  const std::vector<std::uint32_t>* bucket = tag_bucket("installed");
+  if (bucket == nullptr) return false;
+  for (std::uint32_t i : *bucket) {
     Node n(this, i);
     if (n.type().rfind(type_prefix, 0) == 0) return true;
     // Also match the referenced descriptor's meta name after composition.

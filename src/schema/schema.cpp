@@ -556,7 +556,7 @@ void Schema::validate_element(const xml::Element& e,
   // Attribute values. Undeclared attributes are accepted as metric/unit
   // pairs where the element kind allows them.
   for (const xml::Attribute& attr : e.attributes()) {
-    if (const AttributeSpec* a = spec->find_attribute(attr.name)) {
+    if (const AttributeSpec* a = spec->find_attribute(attr.name.view())) {
       validate_attribute_value(e, *a, attr.value, report);
       continue;
     }
@@ -564,7 +564,7 @@ void Schema::validate_element(const xml::Element& e,
     if (spec->allow_metric_attributes) {
       // `X_unit` (and the bare `unit` for size) must name a known unit
       // whose dimension matches metric X where the dimension is known.
-      std::string_view name = attr.name;
+      std::string_view name = attr.name.view();
       bool is_unit_attr =
           name == "unit" ||
           (name.size() > 5 && name.substr(name.size() - 5) == "_unit");
@@ -576,7 +576,7 @@ void Schema::validate_element(const xml::Element& e,
         if (!unit.is_ok()) {
           report.errors.emplace_back(
               ErrorCode::kSchemaViolation,
-              "<" + e.tag() + "> attribute '" + attr.name +
+              "<" + e.tag() + "> attribute '" + attr.name.str() +
                   "': unknown unit '" + attr.value + "'",
               attr.location);
         } else {
@@ -600,7 +600,7 @@ void Schema::validate_element(const xml::Element& e,
           !is_identifier(attr.value)) {
         report.errors.emplace_back(
             ErrorCode::kSchemaViolation,
-            "<" + e.tag() + "> metric attribute '" + attr.name + "': '" +
+            "<" + e.tag() + "> metric attribute '" + attr.name.str() + "': '" +
                 attr.value +
                 "' is not a number, parameter reference or '?'",
             attr.location);
@@ -608,19 +608,19 @@ void Schema::validate_element(const xml::Element& e,
       }
       // Lint: numeric dimensional metric without a unit attribute.
       if (strings::parse_double(attr.value).is_ok() &&
-          units::metric_dimension(attr.name) !=
+          units::metric_dimension(attr.name.view()) !=
               units::Dimension::kDimensionless &&
-          !e.has_attribute(units::unit_attribute_name(attr.name))) {
+          !e.has_attribute(units::unit_attribute_name(attr.name.view()))) {
         report.warnings.push_back(
             attr.location.to_string() + ": <" + e.tag() + "> metric '" +
-            attr.name + "' is numeric but has no '" +
-            units::unit_attribute_name(attr.name) + "' attribute");
+            attr.name.str() + "' is numeric but has no '" +
+            units::unit_attribute_name(attr.name.view()) + "' attribute");
       }
       continue;
     }
     report.errors.emplace_back(
         ErrorCode::kSchemaViolation,
-        "<" + e.tag() + "> does not allow attribute '" + attr.name + "'",
+        "<" + e.tag() + "> does not allow attribute '" + attr.name.str() + "'",
         attr.location);
   }
 

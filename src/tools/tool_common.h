@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "xpdl/repository/repository.h"
 #include "xpdl/resilience/fault.h"
 #include "xpdl/util/status.h"
 
@@ -121,6 +122,77 @@ class ResilienceFlags {
   std::string tool_name_;
   bool strict_ = false;
   bool keep_going_ = false;
+};
+
+/// Shared fast-path flags (see docs/performance.md). parse_flag()
+/// consumes
+///
+///   --no-cache       bypass the snapshot cache (read and write nothing;
+///                    XPDL_NO_CACHE=1 has the same effect)
+///   --cache-dir DIR  snapshot location (default: $XPDL_CACHE_DIR or
+///                    <first repo root>/.xpdl.cache)
+///   --jobs N         worker threads for the repository scan's parse
+///                    phase (default 0 = one per hardware thread)
+///
+/// so every tool exposes the same performance surface. The cache is on
+/// by default in the tools: results are byte-identical warm or cold, so
+/// there is nothing to opt into.
+class PerfFlags {
+ public:
+  explicit PerfFlags(std::string tool_name)
+      : tool_name_(std::move(tool_name)) {}
+
+  /// Consumes a perf flag at argv[i], advancing i past any value.
+  /// Returns false (leaving i untouched) for other options.
+  bool parse_flag(int argc, char** argv, int& i) {
+    std::string_view a = argv[i];
+    if (a == "--no-cache") {
+      cache_.enabled = false;
+      return true;
+    }
+    if (a == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --cache-dir requires a DIR argument\n",
+                     tool_name_.c_str());
+        std::exit(kExitUsage);
+      }
+      cache_.directory = argv[++i];
+      return true;
+    }
+    if (a == "--jobs" || a == "-j") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a thread count\n",
+                     tool_name_.c_str(), std::string(a).c_str());
+        std::exit(kExitUsage);
+      }
+      char* end = nullptr;
+      unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr, "%s: invalid thread count '%s'\n",
+                     tool_name_.c_str(), argv[i]);
+        std::exit(kExitUsage);
+      }
+      threads_ = static_cast<std::size_t>(v);
+      return true;
+    }
+    return false;
+  }
+
+  /// Applies the flags to a repository scan.
+  void apply(repository::ScanOptions& options) const {
+    options.cache = cache_;
+    options.threads = threads_;
+  }
+
+  [[nodiscard]] const cache::Options& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::string tool_name_;
+  cache::Options cache_{/*enabled=*/true, /*directory=*/{}};
+  std::size_t threads_ = 0;
 };
 
 }  // namespace xpdl::tools

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
   std::string ns = "xpdl::generated";
   xpdl::obs::ToolSession obs("xpdl-codegen");
   xpdl::tools::ResilienceFlags rflags("xpdl-codegen");
+  // Uniform flag surface: codegen scans no repository, but still accepts
+  // the shared perf flags so wrappers can pass one flag set everywhere.
+  xpdl::tools::PerfFlags pflags("xpdl-codegen");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     auto next = [&]() -> const char* {
@@ -61,7 +64,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) break;
       ns = v;
     } else if (obs.parse_flag(argc, argv, i) ||
-               rflags.parse_flag(argc, argv, i)) {
+               rflags.parse_flag(argc, argv, i) ||
+               pflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
       std::fprintf(stderr, "xpdl-codegen: unknown option '%s'\n", argv[i]);

@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> operands;
   xpdl::obs::ToolSession obs("xpdl-diff");
   xpdl::tools::ResilienceFlags rflags("xpdl-diff");
+  xpdl::tools::PerfFlags pflags("xpdl-diff");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
       repos.emplace_back(argv[++i]);
     } else if (obs.parse_flag(argc, argv, i) ||
-               rflags.parse_flag(argc, argv, i)) {
+               rflags.parse_flag(argc, argv, i) ||
+               pflags.parse_flag(argc, argv, i)) {
       continue;
     } else {
       operands.emplace_back(argv[i]);
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
   }
   if (operands.size() != 2) {
     std::fputs("usage: xpdl-diff [--repo DIR] [--stats] "
-               "[--trace FILE.json] [--strict] [--fault-plan SPEC] A B  "
+               "[--trace FILE.json] [--strict] [--fault-plan SPEC] "
+               "[--no-cache] [--cache-dir DIR] [--jobs N] A B  "
                "(repository references when --repo is given, files "
                "otherwise)\n",
                stderr);
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
   if (!repos.empty()) {
     xpdl::repository::ScanOptions scan_options;
     scan_options.strict = rflags.strict();
+    pflags.apply(scan_options);
     auto scan_report = repo.scan(scan_options);
     if (!scan_report.is_ok()) {
       return xpdl::tools::fail_with("xpdl-diff", scan_report.status(),

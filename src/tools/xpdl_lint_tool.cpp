@@ -42,7 +42,7 @@ int usage() {
       "                 [--list-rules] [--jobs N | --serial] [--no-models]\n"
       "                 [--no-unreferenced] [--quiet] [--stats]\n"
       "                 [--trace FILE.json] [--strict] [--keep-going]\n"
-      "                 [--fault-plan SPEC]\n");
+      "                 [--fault-plan SPEC] [--no-cache] [--cache-dir DIR]\n");
   return tools::kExitUsage;
 }
 
@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   xpdl::obs::ToolSession obs("xpdl-lint");
   tools::ResilienceFlags rflags("xpdl-lint");
+  tools::PerfFlags pflags("xpdl-lint");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
@@ -126,7 +127,10 @@ int main(int argc, char** argv) {
     } else if (a == "--quiet") {
       quiet = true;
     } else if (obs.parse_flag(argc, argv, i) ||
-               rflags.parse_flag(argc, argv, i)) {
+               rflags.parse_flag(argc, argv, i) ||
+               pflags.parse_flag(argc, argv, i)) {
+      // Note: xpdl-lint's own --jobs (analysis threads) is matched
+      // above; PerfFlags contributes --no-cache / --cache-dir here.
       continue;
     } else {
       return usage();
@@ -142,6 +146,8 @@ int main(int argc, char** argv) {
   xpdl::repository::Repository repo(repos);
   xpdl::repository::ScanOptions scan_options;
   scan_options.strict = rflags.strict();
+  pflags.apply(scan_options);
+  if (options.threads != 0) scan_options.threads = options.threads;
   auto scan_report = repo.scan(scan_options);
   if (!scan_report.is_ok()) {
     return tools::fail_with("xpdl-lint", scan_report.status(),

@@ -41,11 +41,16 @@ void print_node_line(const xpdl::runtime::Node& node) {
 int main(int argc, char** argv) {
   xpdl::obs::ToolSession obs("xpdl-query");
   xpdl::tools::ResilienceFlags rflags("xpdl-query");
-  // The commands are positional; filter the observability and resilience
-  // flags out of argv first so they may appear anywhere.
+  // Uniform flag surface: runtime model files already embed the composed
+  // result, so the snapshot cache has nothing to do here, but the shared
+  // perf flags are still accepted for scripting symmetry.
+  xpdl::tools::PerfFlags pflags("xpdl-query");
+  // The commands are positional; filter the observability, resilience
+  // and perf flags out of argv first so they may appear anywhere.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (obs.parse_flag(argc, argv, i) || rflags.parse_flag(argc, argv, i)) {
+    if (obs.parse_flag(argc, argv, i) || rflags.parse_flag(argc, argv, i) ||
+        pflags.parse_flag(argc, argv, i)) {
       continue;
     }
     argv[kept++] = argv[i];

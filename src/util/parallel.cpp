@@ -1,4 +1,4 @@
-#include "xpdl/analysis/pool.h"
+#include "xpdl/util/parallel.h"
 
 #include <deque>
 #include <mutex>
@@ -6,7 +6,7 @@
 #include <thread>
 #include <vector>
 
-namespace xpdl::analysis::pool {
+namespace xpdl::util::parallel {
 namespace {
 
 struct WorkQueue {
@@ -71,4 +71,4 @@ void parallel_for(std::size_t threads, std::size_t count,
   for (std::thread& w : workers) w.join();
 }
 
-}  // namespace xpdl::analysis::pool
+}  // namespace xpdl::util::parallel

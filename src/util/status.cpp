@@ -21,7 +21,7 @@ std::string_view to_string(ErrorCode code) noexcept {
 }
 
 std::string SourceLocation::to_string() const {
-  std::string out = file;
+  std::string out = file.str();
   if (line != 0) {
     if (!out.empty()) out += ':';
     out += std::to_string(line);

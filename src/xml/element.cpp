@@ -20,7 +20,7 @@ Result<std::string> Element::require_attribute(std::string_view name) const {
   auto v = attribute(name);
   if (!v.has_value()) {
     return Status(ErrorCode::kSchemaViolation,
-                  "element <" + tag_ + "> is missing required attribute '" +
+                  "element <" + tag_.str() + "> is missing required attribute '" +
                       std::string(name) + "'",
                   location_);
   }
@@ -34,7 +34,8 @@ void Element::set_attribute(std::string_view name, std::string_view value) {
       return;
     }
   }
-  attributes_.push_back(Attribute{std::string(name), std::string(value), {}});
+  attributes_.push_back(
+      Attribute{intern::Atom(name), std::string(value), {}});
 }
 
 bool Element::remove_attribute(std::string_view name) {
@@ -53,8 +54,8 @@ Element& Element::add_child(std::unique_ptr<Element> child) {
   return *children_.back();
 }
 
-Element& Element::add_child(std::string tag) {
-  return add_child(std::make_unique<Element>(std::move(tag)));
+Element& Element::add_child(intern::Atom tag) {
+  return add_child(std::make_unique<Element>(tag));
 }
 
 const Element* Element::first_child(std::string_view tag) const noexcept {

@@ -1,6 +1,7 @@
-#include <cctype>
 #include <cstdlib>
+#include <cstring>
 
+#include "xpdl/intern/intern.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
 #include "xpdl/util/io.h"
@@ -10,15 +11,31 @@
 namespace xpdl::xml {
 namespace {
 
-/// Single-pass, line/column-tracking XML scanner producing the Element tree.
+constexpr bool is_name_start(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+constexpr bool is_name_char(char c) noexcept {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+/// Slice-oriented XML scanner producing the Element tree.
+///
+/// The scanner works on whole runs (names, attribute values, text, CDATA,
+/// comments) found with std::string_view::find / memchr instead of a
+/// byte-at-a-time loop; line/column bookkeeping is paid once per consumed
+/// slice (newlines located with memchr), so large text or CDATA runs cost
+/// O(length), not O(length x column-updates). Tags and attribute names are
+/// interned, and the source path is interned once per document, so building
+/// a node costs no per-node string allocations.
 class Reader {
  public:
-  Reader(std::string_view text, std::string source, ParseOptions options)
-      : text_(text), source_(std::move(source)), options_(options) {}
+  Reader(std::string_view text, std::string_view source, ParseOptions options)
+      : text_(text), source_(source), options_(options) {}
 
   Result<Document> run() {
     Document doc;
-    skip_prolog_and_misc();
+    skip_misc();
     if (at_end()) {
       return fail("document contains no root element");
     }
@@ -34,27 +51,35 @@ class Reader {
   }
 
  private:
+  static constexpr std::size_t npos = std::string_view::npos;
+
   [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
   [[nodiscard]] char peek() const noexcept {
     return pos_ < text_.size() ? text_[pos_] : '\0';
   }
-  [[nodiscard]] char peek_at(std::size_t off) const noexcept {
-    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
-  }
 
-  char advance() noexcept {
-    char c = text_[pos_++];
-    if (c == '\n') {
+  /// Consumes `n` bytes, updating the line/column state in one pass over
+  /// the slice (newlines located with memchr).
+  void consume(std::size_t n) noexcept {
+    const char* base = text_.data();
+    const char* p = base + pos_;
+    const char* limit = p + n;
+    while (p < limit) {
+      const void* nl =
+          std::memchr(p, '\n', static_cast<std::size_t>(limit - p));
+      if (nl == nullptr) break;
       ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
+      p = static_cast<const char*>(nl) + 1;
+      line_start_ = static_cast<std::size_t>(p - base);
     }
-    return c;
+    pos_ += n;
   }
 
-  void advance_by(std::size_t n) noexcept {
-    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+  /// Consumes up to (but not including) absolute offset `end`; npos means
+  /// "to the end of input".
+  void consume_to(std::size_t end) noexcept {
+    if (end == npos) end = text_.size();
+    consume(end - pos_);
   }
 
   [[nodiscard]] bool starts_with(std::string_view s) const noexcept {
@@ -62,7 +87,9 @@ class Reader {
   }
 
   [[nodiscard]] SourceLocation here() const {
-    return SourceLocation{source_, line_, column_};
+    return SourceLocation{
+        source_, line_,
+        static_cast<std::uint32_t>(pos_ - line_start_ + 1)};
   }
 
   [[nodiscard]] Status fail(std::string_view what) const {
@@ -70,29 +97,39 @@ class Reader {
   }
 
   void skip_ws() {
-    while (!at_end() && strings::is_space(peek())) advance();
+    std::size_t end = text_.find_first_not_of(" \t\r\n\f\v", pos_);
+    consume_to(end);
   }
 
   /// Skips comments, PIs and whitespace between markup.
   Status skip_misc_once(bool& progressed) {
-    progressed = false;
     std::size_t before = pos_;
     skip_ws();
     if (starts_with("<!--")) {
-      advance_by(4);
-      while (!at_end() && !starts_with("-->")) advance();
-      if (at_end()) return fail("unterminated comment");
-      advance_by(3);
+      std::size_t end = text_.find("-->", pos_ + 4);
+      if (end == npos) {
+        consume_to(npos);
+        progressed = true;
+        return fail("unterminated comment");
+      }
+      consume_to(end + 3);
     } else if (starts_with("<?")) {
-      advance_by(2);
-      while (!at_end() && !starts_with("?>")) advance();
-      if (at_end()) return fail("unterminated processing instruction");
-      advance_by(2);
+      std::size_t end = text_.find("?>", pos_ + 2);
+      if (end == npos) {
+        consume_to(npos);
+        progressed = true;
+        return fail("unterminated processing instruction");
+      }
+      consume_to(end + 2);
     } else if (starts_with("<!DOCTYPE")) {
       // Skip a (non-nested-subset) DOCTYPE declaration.
-      while (!at_end() && peek() != '>') advance();
-      if (at_end()) return fail("unterminated DOCTYPE");
-      advance();
+      std::size_t end = text_.find('>', pos_);
+      if (end == npos) {
+        consume_to(npos);
+        progressed = true;
+        return fail("unterminated DOCTYPE");
+      }
+      consume_to(end + 1);
     }
     progressed = pos_ != before;
     return Status::ok();
@@ -105,42 +142,37 @@ class Reader {
     }
   }
 
-  void skip_prolog_and_misc() { skip_misc(); }
-
-  static bool is_name_start(char c) noexcept {
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
-  }
-  static bool is_name_char(char c) noexcept {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-           c == ':' || c == '-' || c == '.';
-  }
-
-  Result<std::string> parse_name() {
-    if (at_end() || !is_name_start(peek())) {
+  Result<std::string_view> parse_name() {
+    if (at_end() || !is_name_start(text_[pos_])) {
       return fail("expected a name");
     }
-    std::string name;
-    while (!at_end() && is_name_char(peek())) name += advance();
+    std::size_t p = pos_ + 1;
+    while (p < text_.size() && is_name_char(text_[p])) ++p;
+    std::string_view name = text_.substr(pos_, p - pos_);
+    pos_ = p;  // names never contain newlines, so no line bookkeeping
     return name;
   }
 
-  /// Decodes entity and character references in `raw`.
+  /// Decodes entity and character references in `raw`. Callers go through
+  /// decode_or_copy, so this only runs when a '&' is actually present.
   Result<std::string> decode_text(std::string_view raw,
                                   const SourceLocation& loc) {
     std::string out;
     out.reserve(raw.size());
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      char c = raw[i];
-      if (c != '&') {
-        out += c;
-        continue;
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      std::size_t amp = raw.find('&', i);
+      if (amp == npos) {
+        out.append(raw.substr(i));
+        break;
       }
-      std::size_t semi = raw.find(';', i + 1);
-      if (semi == std::string_view::npos) {
+      out.append(raw.substr(i, amp - i));
+      std::size_t semi = raw.find(';', amp + 1);
+      if (semi == npos) {
         return Status(ErrorCode::kParseError, "unterminated entity reference",
                       loc);
       }
-      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      std::string_view ent = raw.substr(amp + 1, semi - amp - 1);
       if (ent == "lt") out += '<';
       else if (ent == "gt") out += '>';
       else if (ent == "amp") out += '&';
@@ -182,52 +214,74 @@ class Reader {
         return Status(ErrorCode::kParseError,
                       "unknown entity '&" + std::string(ent) + ";'", loc);
       }
-      i = semi;
+      i = semi + 1;
     }
     return out;
   }
 
+  /// Single-allocation copy when `raw` contains no references.
+  Result<std::string> decode_or_copy(std::string_view raw,
+                                     const SourceLocation& loc) {
+    if (raw.find('&') == npos) return std::string(raw);
+    return decode_text(raw, loc);
+  }
+
   Result<Attribute> parse_attribute() {
     SourceLocation loc = here();
-    XPDL_ASSIGN_OR_RETURN(std::string name, parse_name());
+    XPDL_ASSIGN_OR_RETURN(std::string_view name, parse_name());
     skip_ws();
     if (peek() != '=') {
       return Status(ErrorCode::kParseError,
-                    "expected '=' after attribute name '" + name + "'", loc);
+                    "expected '=' after attribute name '" + std::string(name) +
+                        "'",
+                    loc);
     }
-    advance();
+    consume(1);
     skip_ws();
     char quote = peek();
-    std::string raw;
+    std::string_view raw;
     if (quote == '"' || quote == '\'') {
-      advance();
-      while (!at_end() && peek() != quote) raw += advance();
-      if (at_end()) {
+      consume(1);
+      std::size_t end = text_.find(quote, pos_);
+      if (end == npos) {
+        consume_to(npos);
         return Status(ErrorCode::kParseError,
-                      "unterminated attribute value for '" + name + "'", loc);
+                      "unterminated attribute value for '" + std::string(name) +
+                          "'",
+                      loc);
       }
-      advance();  // closing quote
+      raw = text_.substr(pos_, end - pos_);
+      consume_to(end + 1);  // value + closing quote
     } else {
       if (!options_.allow_unquoted_attributes) {
         return Status(ErrorCode::kParseError,
-                      "unquoted value for attribute '" + name + "'", loc);
+                      "unquoted value for attribute '" + std::string(name) +
+                          "'",
+                      loc);
       }
       // Lenient mode (paper Listing 1 writes quantity=2): read up to
       // whitespace or tag end.
-      while (!at_end() && !strings::is_space(peek()) && peek() != '>' &&
-             !(peek() == '/' && peek_at(1) == '>')) {
-        raw += advance();
+      std::size_t p = pos_;
+      while (p < text_.size() && !strings::is_space(text_[p]) &&
+             text_[p] != '>' &&
+             !(text_[p] == '/' && p + 1 < text_.size() &&
+               text_[p + 1] == '>')) {
+        ++p;
       }
+      raw = text_.substr(pos_, p - pos_);
       if (raw.empty()) {
         return Status(ErrorCode::kParseError,
-                      "empty unquoted value for attribute '" + name + "'",
+                      "empty unquoted value for attribute '" +
+                          std::string(name) + "'",
                       loc);
       }
+      pos_ = p;  // stops at whitespace, so the slice has no newlines
       warnings_.push_back(loc.to_string() + ": unquoted attribute value '" +
-                          name + "=" + raw + "' accepted (lenient mode)");
+                          std::string(name) + "=" + std::string(raw) +
+                          "' accepted (lenient mode)");
     }
-    XPDL_ASSIGN_OR_RETURN(std::string value, decode_text(raw, loc));
-    return Attribute{std::move(name), std::move(value), std::move(loc)};
+    XPDL_ASSIGN_OR_RETURN(std::string value, decode_or_copy(raw, loc));
+    return Attribute{intern::Atom(name), std::move(value), std::move(loc)};
   }
 
   Result<std::unique_ptr<Element>> parse_element(std::size_t depth) {
@@ -236,35 +290,37 @@ class Reader {
     }
     SourceLocation open_loc = here();
     if (peek() != '<') return fail("expected '<'");
-    advance();
-    XPDL_ASSIGN_OR_RETURN(std::string tag, parse_name());
-    auto element = std::make_unique<Element>(tag);
+    consume(1);
+    XPDL_ASSIGN_OR_RETURN(std::string_view tag, parse_name());
+    auto element = std::make_unique<Element>(intern::Atom(tag));
     element->set_location(open_loc);
     ++element_count_;
 
     // Attributes.
     while (true) {
       skip_ws();
-      if (at_end()) return fail("unterminated start tag <" + tag + ">");
+      if (at_end()) {
+        return fail("unterminated start tag <" + std::string(tag) + ">");
+      }
       char c = peek();
       if (c == '/') {
-        advance();
+        consume(1);
         if (peek() != '>') return fail("expected '>' after '/'");
-        advance();
+        consume(1);
         return element;  // self-closing
       }
       if (c == '>') {
-        advance();
+        consume(1);
         break;
       }
       XPDL_ASSIGN_OR_RETURN(Attribute attr, parse_attribute());
-      if (element->has_attribute(attr.name)) {
+      if (element->has_attribute(attr.name.view())) {
         return Status(ErrorCode::kParseError,
-                      "duplicate attribute '" + attr.name + "' on <" + tag +
-                          ">",
+                      "duplicate attribute '" + attr.name.str() + "' on <" +
+                          std::string(tag) + ">",
                       attr.location);
       }
-      element->set_attribute(attr.name, attr.value);
+      element->set_attribute(attr.name.view(), attr.value);
     }
 
     // Content.
@@ -273,7 +329,7 @@ class Reader {
       std::string_view trimmed = strings::trim(pending_text);
       if (!trimmed.empty()) {
         XPDL_ASSIGN_OR_RETURN(std::string decoded,
-                              decode_text(trimmed, open_loc));
+                              decode_or_copy(trimmed, open_loc));
         element->append_text(decoded);
       }
       pending_text.clear();
@@ -283,57 +339,69 @@ class Reader {
     while (true) {
       if (at_end()) {
         return Status(ErrorCode::kParseError,
-                      "unterminated element <" + tag + ">", open_loc);
+                      "unterminated element <" + std::string(tag) + ">",
+                      open_loc);
+      }
+      if (text_[pos_] != '<') {
+        // Character-data run up to the next markup (or end of input).
+        std::size_t lt = text_.find('<', pos_);
+        if (lt == npos) lt = text_.size();
+        pending_text.append(text_.substr(pos_, lt - pos_));
+        consume(lt - pos_);
+        continue;
       }
       if (starts_with("</")) {
         XPDL_RETURN_IF_ERROR(flush_text());
-        advance_by(2);
+        consume(2);
         SourceLocation close_loc = here();
-        XPDL_ASSIGN_OR_RETURN(std::string close_tag, parse_name());
+        XPDL_ASSIGN_OR_RETURN(std::string_view close_tag, parse_name());
         skip_ws();
         if (peek() != '>') {
           return Status(ErrorCode::kParseError,
                         "expected '>' in closing tag", close_loc);
         }
-        advance();
+        consume(1);
         if (close_tag != tag) {
           return Status(ErrorCode::kParseError,
-                        "mismatched closing tag </" + close_tag +
-                            "> for element <" + tag + ">",
+                        "mismatched closing tag </" + std::string(close_tag) +
+                            "> for element <" + std::string(tag) + ">",
                         close_loc);
         }
         return element;
       }
       if (starts_with("<!--")) {
-        advance_by(4);
-        while (!at_end() && !starts_with("-->")) advance();
-        if (at_end()) return fail("unterminated comment");
-        advance_by(3);
+        std::size_t end = text_.find("-->", pos_ + 4);
+        if (end == npos) {
+          consume_to(npos);
+          return fail("unterminated comment");
+        }
+        consume_to(end + 3);
         continue;
       }
       if (starts_with("<![CDATA[")) {
-        advance_by(9);
-        std::string cdata;
-        while (!at_end() && !starts_with("]]>")) cdata += advance();
-        if (at_end()) return fail("unterminated CDATA section");
-        advance_by(3);
-        element->append_text(cdata);
+        consume(9);
+        std::size_t end = text_.find("]]>", pos_);
+        if (end == npos) {
+          consume_to(npos);
+          return fail("unterminated CDATA section");
+        }
+        element->append_text(text_.substr(pos_, end - pos_));
+        consume_to(end + 3);
         continue;
       }
       if (starts_with("<?")) {
-        advance_by(2);
-        while (!at_end() && !starts_with("?>")) advance();
-        if (at_end()) return fail("unterminated processing instruction");
-        advance_by(2);
+        std::size_t end = text_.find("?>", pos_ + 2);
+        if (end == npos) {
+          consume_to(npos);
+          return fail("unterminated processing instruction");
+        }
+        consume_to(end + 2);
         continue;
       }
-      if (peek() == '<') {
-        XPDL_RETURN_IF_ERROR(flush_text());
-        XPDL_ASSIGN_OR_RETURN(auto child, parse_element(depth + 1));
-        element->add_child(std::move(child));
-        continue;
-      }
-      pending_text += advance();
+      // Child element.
+      XPDL_RETURN_IF_ERROR(flush_text());
+      XPDL_ASSIGN_OR_RETURN(auto child, parse_element(depth + 1));
+      element->add_child(std::move(child));
     }
   }
 
@@ -344,11 +412,11 @@ class Reader {
 
  private:
   std::string_view text_;
-  std::string source_;
+  intern::Atom source_;
   ParseOptions options_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
-  std::uint32_t column_ = 1;
+  std::size_t line_start_ = 0;
   std::size_t element_count_ = 0;
   std::vector<std::string> warnings_;
 };
@@ -359,7 +427,7 @@ Result<Document> parse(std::string_view text, std::string source_name,
                        const ParseOptions& options) {
   obs::Span span("xml.parse");
   if (span.active()) span.arg("source", source_name);
-  Reader reader(text, std::move(source_name), options);
+  Reader reader(text, source_name, options);
   auto result = reader.run();
   XPDL_OBS_COUNT("xml.parse.documents", 1);
   XPDL_OBS_COUNT("xml.parse.bytes", text.size());

@@ -1,0 +1,78 @@
+// Deterministic synthetic repository builder shared by the snapshot
+// cache tests (parallel-scan determinism) and the scan benchmarks.
+//
+// write_synthetic_repo() lays out ~500 schema-valid descriptors under a
+// nested directory tree: CPU meta-models plus system descriptors that
+// reference them by type. Content depends only on the descriptor index,
+// never on time or randomness, so two invocations with the same
+// arguments produce byte-identical trees — the property the
+// determinism tests lean on.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace xpdl::testing {
+
+inline std::string synthetic_cpu_xml(std::size_t i) {
+  const std::size_t cores = 2 + (i % 7);
+  const std::size_t l1_kib = 16u << (i % 3);       // 16/32/64 KiB
+  const std::size_t l2_mib = 1 + (i % 4);          // 1..4 MiB
+  const double freq_ghz = 1.2 + 0.1 * static_cast<double>(i % 16);
+  const double static_w = 0.5 + 0.05 * static_cast<double>(i % 10);
+  std::string s = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  s += "<cpu name=\"syn_cpu_" + std::to_string(i) + "\" frequency=\"" +
+       std::to_string(freq_ghz) + "\" frequency_unit=\"GHz\"\n";
+  s += "     static_power=\"" + std::to_string(static_w) +
+       "\" static_power_unit=\"W\">\n";
+  s += "  <group prefix=\"c" + std::to_string(i) + "\" quantity=\"" +
+       std::to_string(cores) + "\">\n";
+  s += "    <core frequency=\"" + std::to_string(freq_ghz) +
+       "\" frequency_unit=\"GHz\" />\n";
+  s += "    <cache name=\"L1\" size=\"" + std::to_string(l1_kib) +
+       "\" unit=\"KiB\" sets=\"2\" replacement=\"LRU\" />\n";
+  s += "  </group>\n";
+  s += "  <cache name=\"L2\" size=\"" + std::to_string(l2_mib) +
+       "\" unit=\"MiB\" sets=\"16\" replacement=\"LRU\" />\n";
+  s += "</cpu>\n";
+  return s;
+}
+
+inline std::string synthetic_system_xml(std::size_t j, std::size_t cpus) {
+  const std::size_t ref = (j * 13) % (cpus == 0 ? 1 : cpus);
+  std::string s = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  s += "<system id=\"syn_system_" + std::to_string(j) + "\">\n";
+  s += "  <socket>\n";
+  s += "    <cpu id=\"host" + std::to_string(j) + "\" type=\"syn_cpu_" +
+       std::to_string(ref) + "\" />\n";
+  s += "  </socket>\n";
+  s += "</system>\n";
+  return s;
+}
+
+/// Writes `cpus` CPU descriptors and `systems` system descriptors under
+/// `root` (created if missing), spread over nested subdirectories to
+/// exercise the recursive directory walk. Returns the total number of
+/// files written. Defaults produce a ~500-descriptor repository.
+inline std::size_t write_synthetic_repo(const std::filesystem::path& root,
+                                        std::size_t cpus = 480,
+                                        std::size_t systems = 20) {
+  namespace fs = std::filesystem;
+  for (std::size_t i = 0; i < cpus; ++i) {
+    fs::path dir = root / "hardware" / ("shard_" + std::to_string(i / 64));
+    fs::create_directories(dir);
+    std::ofstream(dir / ("syn_cpu_" + std::to_string(i) + ".xpdl"))
+        << synthetic_cpu_xml(i);
+  }
+  for (std::size_t j = 0; j < systems; ++j) {
+    fs::path dir = root / "systems";
+    fs::create_directories(dir);
+    std::ofstream(dir / ("syn_system_" + std::to_string(j) + ".xpdl"))
+        << synthetic_system_xml(j, cpus);
+  }
+  return cpus + systems;
+}
+
+}  // namespace xpdl::testing

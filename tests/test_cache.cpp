@@ -1,0 +1,615 @@
+// Tests for the content-hash snapshot cache (xpdl::cache) and the
+// parallel repository scan built on it: warm runs must skip XML without
+// changing a single observable byte, and every failure mode (corrupt
+// snapshot, stale hash, disabled cache) must fall back to a plain parse.
+#include "xpdl/cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "synthetic_repo.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/query/query.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temporary directory tree, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("xpdl_cache_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, std::string_view contents) {
+    fs::path p = dir_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << contents;
+  }
+
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+  [[nodiscard]] fs::path dir() const { return dir_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+constexpr std::string_view kCpu = R"(<?xml version="1.0"?>
+<cpu name="cached_cpu" frequency="2.0" frequency_unit="GHz">
+  <core frequency="2.0" frequency_unit="GHz" />
+  <cache name="L2" size="1" unit="MiB" sets="8" replacement="LRU" />
+</cpu>
+)";
+
+constexpr std::string_view kSystem = R"(<?xml version="1.0"?>
+<system id="cached_system">
+  <socket><cpu id="c1" type="cached_cpu" /></socket>
+</system>
+)";
+
+std::size_t snap_files(const fs::path& cache_dir) {
+  if (!fs::exists(cache_dir)) return 0;
+  std::size_t n = 0;
+  for (const auto& e : fs::directory_iterator(cache_dir)) {
+    if (e.path().extension() == ".snap") ++n;
+  }
+  return n;
+}
+
+// --- hashing ------------------------------------------------------------
+
+TEST(ContentKey, SensitiveToPathAndContent) {
+  EXPECT_EQ(content_key("a.xpdl", "<cpu/>"), content_key("a.xpdl", "<cpu/>"));
+  EXPECT_NE(content_key("a.xpdl", "<cpu/>"), content_key("b.xpdl", "<cpu/>"));
+  EXPECT_NE(content_key("a.xpdl", "<cpu/>"), content_key("a.xpdl", "<gpu/>"));
+  // Path/content boundary is unambiguous: ("ab", "c") != ("a", "bc").
+  EXPECT_NE(content_key("ab", "c"), content_key("a", "bc"));
+}
+
+TEST(ContentKey, SchemaFingerprintIsStable) {
+  EXPECT_EQ(schema_fingerprint(), schema_fingerprint());
+  EXPECT_NE(schema_fingerprint(), 0u);
+}
+
+// --- snapshot codec -----------------------------------------------------
+
+TEST(Snapshots, RoundTripsElementTreeAndWarnings) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  std::vector<std::string> warnings = {"w1", "warning two"};
+  Options options{/*enabled=*/true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  cache.store(Kind::kDescriptor, 42, *parsed.value().root, warnings);
+
+  auto snap = cache.load(Kind::kDescriptor, 42);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(xml::write(*snap->root), xml::write(*parsed.value().root));
+  EXPECT_EQ(snap->warnings, warnings);
+}
+
+TEST(Snapshots, KindsAndKeysDoNotCollide) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  Options options{true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  cache.store(Kind::kDescriptor, 7, *parsed.value().root, {});
+  EXPECT_FALSE(cache.load(Kind::kModel, 7).has_value());
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 8).has_value());
+}
+
+TEST(Snapshots, CorruptAndTruncatedFilesAreMisses) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  Options options{true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  cache.store(Kind::kDescriptor, 99, *parsed.value().root, {});
+  ASSERT_TRUE(cache.load(Kind::kDescriptor, 99).has_value());
+
+  // Locate the snapshot and clobber it in every unpleasant way.
+  fs::path snap_path;
+  for (const auto& e : fs::directory_iterator(options.directory)) {
+    if (e.path().extension() == ".snap") snap_path = e.path();
+  }
+  ASSERT_FALSE(snap_path.empty());
+  std::string bytes;
+  {
+    std::ifstream in(snap_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::ofstream(snap_path, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);  // truncated
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 99).has_value());
+
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x5a;  // bit rot -> checksum failure
+  std::ofstream(snap_path, std::ios::binary) << flipped;
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 99).has_value());
+
+  std::ofstream(snap_path, std::ios::binary) << "not a snapshot";
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 99).has_value());
+
+  std::ofstream(snap_path, std::ios::binary) << "";  // zero bytes
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 99).has_value());
+
+  // A correct store overwrites the wreckage.
+  cache.store(Kind::kDescriptor, 99, *parsed.value().root, {});
+  EXPECT_TRUE(cache.load(Kind::kDescriptor, 99).has_value());
+}
+
+TEST(Snapshots, DisabledCacheNeverReadsOrWrites) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  Options options{/*enabled=*/false, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  EXPECT_FALSE(cache.enabled());
+  cache.store(Kind::kDescriptor, 1, *parsed.value().root, {});
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 1).has_value());
+  EXPECT_FALSE(fs::exists(options.directory));
+}
+
+TEST(Snapshots, EnvVariableDisablesTheCache) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  ::setenv("XPDL_NO_CACHE", "1", 1);
+  Options options{/*enabled=*/true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  ::unsetenv("XPDL_NO_CACHE");
+  EXPECT_FALSE(cache.enabled());
+  cache.store(Kind::kDescriptor, 1, *parsed.value().root, {});
+  EXPECT_FALSE(fs::exists(options.directory));
+}
+
+// --- cached repository scans --------------------------------------------
+
+repository::ScanOptions cached_scan(const std::string& dir,
+                                    std::size_t threads = 1) {
+  repository::ScanOptions options;
+  options.threads = threads;
+  options.cache.enabled = true;
+  options.cache.directory = dir;
+  return options;
+}
+
+TEST(CachedScan, WarmScanHitsAndMatchesColdScan) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+  auto options = cached_scan(cache_dir.path());
+
+  repository::Repository cold({repo_dir.path()});
+  auto cold_report = cold.scan(options);
+  ASSERT_TRUE(cold_report.is_ok());
+  EXPECT_EQ(cold_report->cache_hits, 0u);
+  EXPECT_EQ(cold_report->cache_misses, 2u);
+  EXPECT_EQ(snap_files(cache_dir.path()), 2u);
+
+  repository::Repository warm({repo_dir.path()});
+  auto warm_report = warm.scan(options);
+  ASSERT_TRUE(warm_report.is_ok());
+  EXPECT_EQ(warm_report->cache_hits, 2u);
+  EXPECT_EQ(warm_report->cache_misses, 0u);
+
+  // Same index, same digest, same warnings.
+  EXPECT_EQ(cold.size(), warm.size());
+  EXPECT_EQ(cold.warnings(), warm.warnings());
+  ASSERT_TRUE(cold.content_digest_valid());
+  ASSERT_TRUE(warm.content_digest_valid());
+  EXPECT_EQ(cold.content_digest(), warm.content_digest());
+}
+
+TEST(CachedScan, WarmComposeAndQueriesAreByteIdentical) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+
+  auto run = [&](bool cache_enabled) {
+    repository::Repository repo({repo_dir.path()});
+    repository::ScanOptions options = cached_scan(cache_dir.path());
+    options.cache.enabled = cache_enabled;
+    auto report = repo.scan(options);
+    EXPECT_TRUE(report.is_ok());
+    compose::Composer composer(repo);
+    auto composed = composer.compose("cached_system");
+    EXPECT_TRUE(composed.is_ok()) << composed.status().to_string();
+    auto model = runtime::Model::from_composed(*composed);
+    EXPECT_TRUE(model.is_ok());
+    auto cores = query::select(*model, "//core");
+    EXPECT_TRUE(cores.is_ok());
+    struct Out {
+      std::string xml;
+      std::vector<std::string> warnings;
+      std::string runtime_blob;
+      std::size_t core_matches;
+    };
+    return Out{xml::write(composed->root()), composed->warnings(),
+               model->serialize(), cores->size()};
+  };
+
+  auto serial_uncached = run(false);   // reference: plain parse path
+  auto cold_cached = run(true);        // populates descriptor+model cache
+  auto warm_cached = run(true);        // served entirely from snapshots
+
+  EXPECT_EQ(serial_uncached.xml, cold_cached.xml);
+  EXPECT_EQ(serial_uncached.xml, warm_cached.xml);
+  EXPECT_EQ(serial_uncached.warnings, warm_cached.warnings);
+  EXPECT_EQ(serial_uncached.runtime_blob, warm_cached.runtime_blob);
+  EXPECT_EQ(serial_uncached.core_matches, warm_cached.core_matches);
+  EXPECT_EQ(serial_uncached.core_matches, 1u);
+}
+
+TEST(CachedScan, EditedFileInvalidatesItsSnapshot) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  TempDir cache_dir;
+  auto options = cached_scan(cache_dir.path());
+
+  repository::Repository first({repo_dir.path()});
+  ASSERT_TRUE(first.scan(options).is_ok());
+
+  // Warm hit before the edit...
+  repository::Repository warm({repo_dir.path()});
+  auto warm_report = warm.scan(options);
+  ASSERT_TRUE(warm_report.is_ok());
+  EXPECT_EQ(warm_report->cache_hits, 1u);
+
+  // ...and a guaranteed miss after: the key embeds the content hash.
+  std::string edited(kCpu);
+  edited.replace(edited.find("2.0"), 3, "3.5");
+  repo_dir.write("cpu.xpdl", edited);
+  repository::Repository stale({repo_dir.path()});
+  auto stale_report = stale.scan(options);
+  ASSERT_TRUE(stale_report.is_ok());
+  EXPECT_EQ(stale_report->cache_hits, 0u);
+  EXPECT_EQ(stale_report->cache_misses, 1u);
+  auto cpu = stale.lookup("cached_cpu");
+  ASSERT_TRUE(cpu.is_ok());
+  EXPECT_EQ((*cpu)->attribute_or("frequency", ""), "3.5");
+}
+
+TEST(CachedScan, CorruptSnapshotsFallBackToParsing) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+  auto options = cached_scan(cache_dir.path());
+
+  repository::Repository cold({repo_dir.path()});
+  ASSERT_TRUE(cold.scan(options).is_ok());
+  for (const auto& e : fs::directory_iterator(cache_dir.path())) {
+    if (e.path().extension() == ".snap") {
+      std::ofstream(e.path(), std::ios::binary) << "garbage";
+    }
+  }
+
+  repository::Repository recovered({repo_dir.path()});
+  auto report = recovered.scan(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->cache_hits, 0u);
+  EXPECT_EQ(report->cache_misses, 2u);
+  EXPECT_TRUE(recovered.contains("cached_cpu"));
+  EXPECT_TRUE(recovered.contains("cached_system"));
+  EXPECT_EQ(cold.content_digest(), recovered.content_digest());
+}
+
+TEST(CachedScan, NoCacheBypassLeavesNoFiles) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  TempDir cache_dir;
+  repository::ScanOptions options = cached_scan(cache_dir.path());
+  options.cache.enabled = false;
+
+  repository::Repository repo({repo_dir.path()});
+  auto report = repo.scan(options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->cache_hits, 0u);
+  EXPECT_EQ(snap_files(cache_dir.path()), 0u);
+}
+
+TEST(CachedScan, WarningsAreReplayedOnWarmHits) {
+  TempDir repo_dir;
+  // An undeclared-but-plausible metric attribute produces a validation
+  // warning on the cold parse; a warm hit must replay it verbatim.
+  repo_dir.write("cpu.xpdl",
+                 "<cpu name=\"warny\" frequency=\"2.0\" "
+                 "frequency_unit=\"GHz\" bogus_metric=\"7\" "
+                 "bogus_metric_unit=\"W\"><core /></cpu>\n");
+  TempDir cache_dir;
+  auto options = cached_scan(cache_dir.path());
+
+  repository::Repository cold({repo_dir.path()});
+  ASSERT_TRUE(cold.scan(options).is_ok());
+  repository::Repository warm({repo_dir.path()});
+  auto warm_report = warm.scan(options);
+  ASSERT_TRUE(warm_report.is_ok());
+  EXPECT_EQ(warm_report->cache_hits, 1u);
+  EXPECT_EQ(cold.warnings(), warm.warnings());
+}
+
+// --- parallel scan determinism ------------------------------------------
+
+TEST(ParallelScan, SyntheticRepoIsDeterministicAcrossThreadCounts) {
+  TempDir repo_dir;
+  std::size_t files = xpdl::testing::write_synthetic_repo(repo_dir.dir());
+  ASSERT_EQ(files, 500u);
+  TempDir cache_dir;
+
+  // Reference: serial, uncached.
+  repository::Repository serial({repo_dir.path()});
+  repository::ScanOptions serial_options;
+  serial_options.threads = 1;
+  auto serial_report = serial.scan(serial_options);
+  ASSERT_TRUE(serial_report.is_ok());
+  EXPECT_EQ(serial_report->files_seen, files);
+  EXPECT_EQ(serial.size(), files);
+
+  compose::Composer serial_composer(serial);
+  auto serial_composed = serial_composer.compose("syn_system_3");
+  ASSERT_TRUE(serial_composed.is_ok());
+  std::string serial_xml = xml::write(serial_composed->root());
+
+  for (std::size_t threads : {2u, 8u}) {
+    repository::Repository parallel({repo_dir.path()});
+    auto report = parallel.scan(cached_scan(cache_dir.path(), threads));
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    EXPECT_EQ(parallel.warnings(), serial.warnings());
+    EXPECT_EQ(parallel.content_digest(), serial.content_digest());
+    EXPECT_EQ(parallel.descriptors().size(), serial.descriptors().size());
+
+    compose::Composer composer(parallel);
+    auto composed = composer.compose("syn_system_3");
+    ASSERT_TRUE(composed.is_ok());
+    EXPECT_EQ(xml::write(composed->root()), serial_xml);
+  }
+}
+
+TEST(ParallelScan, QuarantinesAreIdenticalToSerialScan) {
+  TempDir repo_dir;
+  repo_dir.write("good.xpdl", kCpu);
+  repo_dir.write("bad.xpdl", "<cpu name='broken'");  // unterminated
+  repo_dir.write("worse.xpdl", "<banana name=\"x\" />\n");
+
+  auto scan_with = [&](std::size_t threads) {
+    repository::Repository repo({repo_dir.path()});
+    repository::ScanOptions options;
+    options.threads = threads;
+    auto report = repo.scan(options);
+    EXPECT_TRUE(report.is_ok());
+    std::vector<std::string> quarantined;
+    for (const auto& q : report->quarantined) {
+      quarantined.push_back(q.path + ": " + q.reason.to_string());
+    }
+    return quarantined;
+  };
+  auto serial = scan_with(1);
+  auto parallel = scan_with(8);
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- load_file memoization ----------------------------------------------
+
+TEST(LoadFile, RepeatedLoadsAreMemoized) {
+  TempDir dir;
+  dir.write("model.xpdl", kCpu);
+  repository::Repository repo;
+  auto first = repo.load_file(dir.path() + "/model.xpdl");
+  ASSERT_TRUE(first.is_ok());
+  auto second = repo.load_file(dir.path() + "/model.xpdl");
+  ASSERT_TRUE(second.is_ok());
+  // Same registered element, not a re-parse.
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(LoadFile, EditedFileStillServesTheRegisteredDescriptor) {
+  // Memoization is per-run by design: within one tool invocation the
+  // first parse wins, matching the scan's index-once semantics.
+  TempDir dir;
+  dir.write("model.xpdl", kCpu);
+  repository::Repository repo;
+  auto first = repo.load_file(dir.path() + "/model.xpdl");
+  ASSERT_TRUE(first.is_ok());
+  dir.write("model.xpdl", "<cpu name=\"cached_cpu\" frequency=\"9.9\" "
+                          "frequency_unit=\"GHz\"><core /></cpu>\n");
+  auto second = repo.load_file(dir.path() + "/model.xpdl");
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ((*second)->attribute_or("frequency", ""), "2.0");
+}
+
+// --- composed-model cache ----------------------------------------------
+
+TEST(ModelCache, SecondComposeIsServedFromSnapshot) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+
+  repository::Repository repo({repo_dir.path()});
+  ASSERT_TRUE(repo.scan(cached_scan(cache_dir.path())).is_ok());
+  ASSERT_TRUE(repo.content_digest_valid());
+
+  std::size_t before = snap_files(cache_dir.path());
+  compose::Composer composer(repo);
+  auto cold = composer.compose("cached_system");
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_EQ(snap_files(cache_dir.path()), before + 1);  // model snapshot
+
+  auto warm = composer.compose("cached_system");
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_EQ(xml::write(warm->root()), xml::write(cold->root()));
+  EXPECT_EQ(warm->warnings(), cold->warnings());
+  // The restored model is fully indexed (id lookup works on hits).
+  EXPECT_NE(warm->find_by_id("c1"), nullptr);
+}
+
+// --- byte-artifact snapshots (Kind::kRuntime) ---------------------------
+
+TEST(BlobSnapshots, RoundTripsBytesWarningsAndStats) {
+  TempDir dir;
+  SnapshotCache cache("", Options{true, dir.path()});
+  BlobSnapshot in;
+  in.bytes = std::string("XPDLRT\0\x01\xFF" "binary payload", 23);
+  in.warnings = {"warning one", "warning two"};
+  in.stats = {7, 42, 1ull << 40};
+  cache.store_blob(Kind::kRuntime, 0xfeedULL, in);
+
+  auto out = cache.load_blob(Kind::kRuntime, 0xfeedULL);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->bytes, in.bytes);
+  EXPECT_EQ(out->warnings, in.warnings);
+  EXPECT_EQ(out->stats, in.stats);
+
+  // Wrong key or kind is a miss, never a mis-decode.
+  EXPECT_FALSE(cache.load_blob(Kind::kRuntime, 0xfeeeULL).has_value());
+  EXPECT_FALSE(cache.load_blob(Kind::kModel, 0xfeedULL).has_value());
+}
+
+TEST(BlobSnapshots, CorruptBlobIsAMiss) {
+  TempDir dir;
+  SnapshotCache cache("", Options{true, dir.path()});
+  BlobSnapshot in;
+  in.bytes = std::string(4096, 'x');
+  cache.store_blob(Kind::kRuntime, 5, in);
+
+  fs::path snap;
+  for (const auto& e : fs::directory_iterator(dir.path())) snap = e.path();
+  ASSERT_FALSE(snap.empty());
+  auto size = fs::file_size(snap);
+  {  // flip one payload byte: checksum must reject the file
+    std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.put('y');
+  }
+  EXPECT_FALSE(cache.load_blob(Kind::kRuntime, 5).has_value());
+  fs::resize_file(snap, size / 3);  // truncation too
+  EXPECT_FALSE(cache.load_blob(Kind::kRuntime, 5).has_value());
+
+  cache.store_blob(Kind::kRuntime, 5, in);  // store recovers
+  EXPECT_TRUE(cache.load_blob(Kind::kRuntime, 5).has_value());
+}
+
+// --- the cached xpdlc artifact fast path --------------------------------
+
+TEST(RuntimeArtifact, WarmArtifactIsByteIdenticalToCold) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+
+  // Reference: no cache anywhere.
+  repository::Repository plain({repo_dir.path()});
+  ASSERT_TRUE(plain.scan().is_ok());
+  compose::Composer plain_composer(plain);
+  auto reference = plain_composer.compose_runtime("cached_system");
+  ASSERT_TRUE(reference.is_ok());
+  EXPECT_FALSE(reference->cache_hit);
+
+  // Cold cached run derives the artifact and stores the blob.
+  repository::Repository cold({repo_dir.path()});
+  ASSERT_TRUE(cold.scan(cached_scan(cache_dir.path())).is_ok());
+  compose::Composer cold_composer(cold);
+  auto cold_art = cold_composer.compose_runtime("cached_system");
+  ASSERT_TRUE(cold_art.is_ok());
+  EXPECT_FALSE(cold_art->cache_hit);
+
+  // Warm run serves it from the blob without composing.
+  repository::Repository warm({repo_dir.path()});
+  ASSERT_TRUE(warm.scan(cached_scan(cache_dir.path())).is_ok());
+  compose::Composer warm_composer(warm);
+  auto warm_art = warm_composer.compose_runtime("cached_system");
+  ASSERT_TRUE(warm_art.is_ok());
+  EXPECT_TRUE(warm_art->cache_hit);
+
+  EXPECT_EQ(reference->bytes, cold_art->bytes);
+  EXPECT_EQ(cold_art->bytes, warm_art->bytes);
+  EXPECT_EQ(cold_art->warnings, warm_art->warnings);
+  EXPECT_EQ(cold_art->element_count, warm_art->element_count);
+  EXPECT_EQ(cold_art->id_count, warm_art->id_count);
+  EXPECT_EQ(cold_art->node_count, warm_art->node_count);
+
+  // The cached bytes are a loadable runtime model.
+  auto model = runtime::Model::deserialize(warm_art->bytes);
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(model->node_count(), warm_art->node_count);
+  EXPECT_TRUE(model->find_by_id("c1").has_value());
+}
+
+TEST(RuntimeArtifact, EditedRepositoryInvalidatesTheArtifact) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+
+  {
+    repository::Repository repo({repo_dir.path()});
+    ASSERT_TRUE(repo.scan(cached_scan(cache_dir.path())).is_ok());
+    compose::Composer composer(repo);
+    ASSERT_TRUE(composer.compose_runtime("cached_system").is_ok());
+  }
+
+  std::string edited(kCpu);
+  auto pos = edited.find("2.0");
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, 3, "3.5");
+  repo_dir.write("cpu.xpdl", edited);
+
+  repository::Repository repo({repo_dir.path()});
+  ASSERT_TRUE(repo.scan(cached_scan(cache_dir.path())).is_ok());
+  compose::Composer composer(repo);
+  auto art = composer.compose_runtime("cached_system");
+  ASSERT_TRUE(art.is_ok());
+  EXPECT_FALSE(art->cache_hit);  // new digest, new key
+  auto model = runtime::Model::deserialize(art->bytes);
+  ASSERT_TRUE(model.is_ok());
+  auto cpu = model->find_by_id("c1");
+  ASSERT_TRUE(cpu.has_value());
+  EXPECT_EQ(cpu->attribute_or("frequency", ""), "3.5");
+}
+
+TEST(ModelCache, InjectedDescriptorDisablesModelCaching) {
+  TempDir repo_dir;
+  repo_dir.write("cpu.xpdl", kCpu);
+  repo_dir.write("system.xpdl", kSystem);
+  TempDir cache_dir;
+
+  repository::Repository repo({repo_dir.path()});
+  ASSERT_TRUE(repo.scan(cached_scan(cache_dir.path())).is_ok());
+  auto injected = xml::parse("<gpu name=\"inmem\" />");
+  ASSERT_TRUE(injected.is_ok());
+  ASSERT_TRUE(repo.add_descriptor(std::move(injected.value().root)).is_ok());
+  EXPECT_FALSE(repo.content_digest_valid());
+
+  std::size_t before = snap_files(cache_dir.path());
+  compose::Composer composer(repo);
+  ASSERT_TRUE(composer.compose("cached_system").is_ok());
+  // No model snapshot was written: the digest no longer describes disk.
+  EXPECT_EQ(snap_files(cache_dir.path()), before);
+}
+
+}  // namespace
+}  // namespace xpdl::cache

@@ -77,7 +77,7 @@ bool trees_equal(const xpdl::xml::Element& a, const xpdl::xml::Element& b) {
     return false;
   }
   for (const auto& attr : a.attributes()) {
-    if (b.attribute_or(attr.name, "\x01") != attr.value) return false;
+    if (b.attribute_or(attr.name.view(), "\x01") != attr.value) return false;
   }
   for (std::size_t i = 0; i < a.child_count(); ++i) {
     if (!trees_equal(*a.children()[i], *b.children()[i])) return false;

@@ -302,5 +302,82 @@ TEST(Model, EmptyishModelStillWorks) {
   EXPECT_EQ(round->node_count(), 1u);
 }
 
+// --- structure index vs. naive recursion --------------------------------
+
+/// Reference implementation: recursive descendant-or-self preorder walk,
+/// the shape the indexed subtree()/find_all() fast paths replaced (the
+/// query engine's descendant axis includes the context node).
+void naive_subtree(Node node, std::string_view tag,
+                   std::vector<Node>& out) {
+  if (tag.empty() || node.tag() == tag) out.push_back(node);
+  for (std::size_t i = 0; i < node.child_count(); ++i) {
+    naive_subtree(node.child(i), tag, out);
+  }
+}
+
+TEST(StructureIndex, SubtreeMatchesNaiveWalkOnRealModel) {
+  const Model& m = liu_model();
+  std::vector<Node> expected;
+  naive_subtree(m.root(), "", expected);
+  EXPECT_EQ(m.subtree(m.root()), expected);
+  EXPECT_EQ(expected.size(), m.node_count());
+
+  auto gpu = m.find_by_id("gpu1");
+  ASSERT_TRUE(gpu.has_value());
+  expected.clear();
+  naive_subtree(*gpu, "", expected);
+  EXPECT_EQ(m.subtree(*gpu), expected);
+}
+
+TEST(StructureIndex, TaggedSubtreeMatchesNaiveWalk) {
+  const Model& m = liu_model();
+  for (std::string_view tag : {"core", "cache", "device", "sm",
+                               "no_such_tag", "installed"}) {
+    std::vector<Node> expected;
+    naive_subtree(m.root(), tag, expected);
+    EXPECT_EQ(m.subtree_with_tag(m.root(), tag), expected) << tag;
+    auto gpu = m.find_by_id("gpu1");
+    ASSERT_TRUE(gpu.has_value());
+    expected.clear();
+    naive_subtree(*gpu, tag, expected);
+    EXPECT_EQ(m.subtree_with_tag(*gpu, tag), expected) << tag;
+  }
+}
+
+TEST(StructureIndex, SubtreeScopingExcludesSiblingsAndIncludesSelf) {
+  Model m = model_from(
+      "<system id=\"s\">"
+      "<cpu id=\"a\"><core id=\"a0\"/><core id=\"a1\"/></cpu>"
+      "<cpu id=\"b\"><core id=\"b0\"/></cpu>"
+      "</system>");
+  auto a = m.find_by_id("a");
+  auto b = m.find_by_id("b");
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  auto in_a = m.subtree_with_tag(*a, "core");
+  ASSERT_EQ(in_a.size(), 2u);
+  EXPECT_EQ(in_a[0].id(), "a0");
+  EXPECT_EQ(in_a[1].id(), "a1");
+  auto in_b = m.subtree_with_tag(*b, "core");
+  ASSERT_EQ(in_b.size(), 1u);
+  EXPECT_EQ(in_b[0].id(), "b0");
+  // Descendant-or-self: b itself is the only cpu in its subtree; its
+  // sibling a never leaks in.
+  auto cpus_in_b = m.subtree_with_tag(*b, "cpu");
+  ASSERT_EQ(cpus_in_b.size(), 1u);
+  EXPECT_EQ(cpus_in_b[0].id(), "b");
+  EXPECT_TRUE(m.subtree_with_tag(*b, "system").empty());
+}
+
+TEST(StructureIndex, SurvivesSerializationRoundTrip) {
+  const Model& m = liu_model();
+  auto round = Model::deserialize(m.serialize());
+  ASSERT_TRUE(round.is_ok());
+  EXPECT_EQ(round->subtree(round->root()).size(), round->node_count());
+  EXPECT_EQ(round->subtree_with_tag(round->root(), "core").size(),
+            m.subtree_with_tag(m.root(), "core").size());
+  EXPECT_EQ(round->count_cores(), m.count_cores());
+  EXPECT_EQ(round->count_cuda_devices(), m.count_cuda_devices());
+}
+
 }  // namespace
 }  // namespace xpdl::runtime
