@@ -1,0 +1,186 @@
+// E17 — Distributed repository serving (xpdld / HttpTransport, Sec. III):
+// request-level latency of the loopback server (healthz, full descriptor
+// transfer, ETag revalidation, composed-artifact fetch) and scan-level
+// cost of resolving the model search path over HTTP — cold (every
+// descriptor transfers) vs warm (one conditional request per descriptor,
+// all answered 304) vs the local-filesystem scan they bracket.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cassert>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "json_report.h"
+#include "xpdl/net/client.h"
+#include "xpdl/net/http_transport.h"
+#include "xpdl/net/repo_service.h"
+#include "xpdl/net/server.h"
+#include "xpdl/repository/repository.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path bench_cache_dir() {
+  return fs::temp_directory_path() /
+         ("xpdl_bench_net_" + std::to_string(::getpid()));
+}
+
+/// One shared loopback server over the shipped model library.
+struct Loopback {
+  std::unique_ptr<xpdl::net::RepoService> service;
+  xpdl::net::HttpServer server;
+  std::string base_url;
+
+  Loopback() {
+    auto created = xpdl::net::RepoService::create(
+        {XPDL_MODELS_DIR}, xpdl::repository::ScanOptions{}, nullptr);
+    assert(created.is_ok());
+    service = std::move(*created);
+    auto st = server.start([svc = service.get()](
+                               const xpdl::net::Request& r) {
+      return svc->handle(r);
+    });
+    assert(st.is_ok());
+    (void)st;
+    base_url = "http://127.0.0.1:" + std::to_string(server.port());
+  }
+};
+
+Loopback& loopback() {
+  static auto* lb = new Loopback();
+  return *lb;
+}
+
+void BM_HealthzRoundTrip(benchmark::State& state) {
+  xpdl::net::HttpClient client;
+  for (auto _ : state) {
+    auto resp = client.get(loopback().base_url + "/healthz");
+    if (!resp.is_ok() || resp->status != 200) {
+      state.SkipWithError("healthz failed");
+    }
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_HealthzRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_DescriptorFetch(benchmark::State& state) {
+  xpdl::net::HttpClient client;
+  std::string url = loopback().base_url + "/v1/descriptors/XScluster";
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto resp = client.get(url);
+    if (!resp.is_ok() || resp->status != 200) {
+      state.SkipWithError("fetch failed");
+      break;
+    }
+    bytes = resp->body.size();
+    benchmark::DoNotOptimize(resp->body);
+  }
+  state.counters["body_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_DescriptorFetch)->Unit(benchmark::kMicrosecond);
+
+void BM_DescriptorRevalidate304(benchmark::State& state) {
+  xpdl::net::HttpClient client;
+  std::string url = loopback().base_url + "/v1/descriptors/XScluster";
+  auto first = client.get(url);
+  assert(first.is_ok() && first->status == 200);
+  std::string etag(first->header("ETag"));
+  for (auto _ : state) {
+    auto resp = client.get(url, {{"If-None-Match", etag}});
+    if (!resp.is_ok() || resp->status != 304) {
+      state.SkipWithError("revalidation failed");
+      break;
+    }
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_DescriptorRevalidate304)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelArtifactFetch(benchmark::State& state) {
+  xpdl::net::HttpClient client;
+  std::string url = loopback().base_url + "/v1/models/XScluster";
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto resp = client.get(url);
+    if (!resp.is_ok() || resp->status != 200) {
+      state.SkipWithError("artifact fetch failed");
+      break;
+    }
+    bytes = resp->body.size();
+    benchmark::DoNotOptimize(resp->body);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ModelArtifactFetch)->Unit(benchmark::kMicrosecond);
+
+void BM_LocalScan(benchmark::State& state) {
+  for (auto _ : state) {
+    xpdl::repository::Repository repo({XPDL_MODELS_DIR});
+    auto report = repo.scan(xpdl::repository::ScanOptions{});
+    if (!report.is_ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(repo.size());
+  }
+}
+BENCHMARK(BM_LocalScan)->Unit(benchmark::kMillisecond);
+
+void BM_HttpColdScan(benchmark::State& state) {
+  // A fresh ETag cache directory per iteration: every descriptor
+  // transfers in full.
+  std::size_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::path dir = bench_cache_dir() / ("cold_" + std::to_string(n++));
+    xpdl::net::HttpTransportOptions options;
+    options.cache_dir = dir.string();
+    state.ResumeTiming();
+    xpdl::repository::Repository repo({loopback().base_url});
+    repo.set_transport(xpdl::net::make_http_aware_transport(options));
+    auto report = repo.scan(xpdl::repository::ScanOptions{});
+    if (!report.is_ok()) state.SkipWithError("cold scan failed");
+    benchmark::DoNotOptimize(repo.size());
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_HttpColdScan)->Unit(benchmark::kMillisecond);
+
+void BM_HttpWarmScan(benchmark::State& state) {
+  // Shared ETag cache, populated once: the steady state of a deployed
+  // tool re-resolving its search path — one conditional request per
+  // descriptor, every body served from disk after a 304.
+  xpdl::net::HttpTransportOptions options;
+  options.cache_dir = (bench_cache_dir() / "warm").string();
+  {
+    xpdl::repository::Repository warmup({loopback().base_url});
+    warmup.set_transport(xpdl::net::make_http_aware_transport(options));
+    auto report = warmup.scan(xpdl::repository::ScanOptions{});
+    if (!report.is_ok()) {
+      state.SkipWithError("warmup scan failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    xpdl::repository::Repository repo({loopback().base_url});
+    repo.set_transport(xpdl::net::make_http_aware_transport(options));
+    auto report = repo.scan(xpdl::repository::ScanOptions{});
+    if (!report.is_ok()) state.SkipWithError("warm scan failed");
+    benchmark::DoNotOptimize(repo.size());
+  }
+}
+BENCHMARK(BM_HttpWarmScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E17: distributed repository serving (xpdld) ==\n");
+  int rc = xpdl::benchjson::run_with_json_report(argc, argv, "net");
+  loopback().server.stop();
+  fs::remove_all(bench_cache_dir());
+  return rc;
+}

@@ -1,0 +1,44 @@
+// Minimal blocking HTTP/1.1 client (xpdl::net).
+//
+// One request per connection (the client sends `Connection: close` and
+// reads to EOF), which keeps the state machine trivial and is exactly
+// the access pattern of a repository scan: N independent descriptor
+// fetches, already parallelized by the scan's worker pool. Handles both
+// Content-Length and chunked response bodies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xpdl/net/http.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::net {
+
+struct ClientOptions {
+  /// Connect/receive/send timeout per request.
+  double timeout_ms = 5000.0;
+  /// Cap on the decoded response body.
+  std::size_t max_body_bytes = 64u << 20;
+};
+
+class HttpClient {
+ public:
+  explicit HttpClient(ClientOptions options = {}) : options_(options) {}
+
+  /// Issues a GET for `url` with optional extra headers (e.g.
+  /// If-None-Match). Network failures come back as kUnavailable — the
+  /// retryable class — never as synthesized HTTP statuses; HTTP-level
+  /// errors (404, ...) come back as a Response for the caller to map.
+  [[nodiscard]] Result<Response> get(
+      const std::string& url, const std::vector<Header>& extra_headers = {});
+
+  [[nodiscard]] const ClientOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  ClientOptions options_;
+};
+
+}  // namespace xpdl::net

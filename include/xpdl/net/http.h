@@ -1,0 +1,137 @@
+// HTTP/1.1 message layer of the networking subsystem (xpdl::net).
+//
+// The paper's repository is *distributed*: descriptors are retrieved from
+// manufacturer sites over the model search path (Sec. III). xpdl::net
+// reproduces that half of the design without external dependencies: this
+// header defines the wire-level message model — requests, responses, an
+// incremental request parser for the server, a response parser for the
+// client, and the chunked / Content-Length body codecs — on top of which
+// server.h and client.h build the `xpdld` daemon and the HttpTransport.
+//
+// Scope is deliberately small: HTTP/1.1 GET with keep-alive, strong
+// ETags, Content-Length and chunked transfer coding. Everything a model
+// repository needs; nothing it does not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::net {
+
+/// One header field. Name matching is case-insensitive per RFC 9110.
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive ASCII string comparison (header names, token values).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// An HTTP request. `target` is the raw request target (path + optional
+/// '?query'); path()/query() split it.
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  std::vector<Header> headers;
+  std::string body;
+
+  /// Value of the first header with this (case-insensitive) name, or "".
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+  void set_header(std::string_view name, std::string_view value);
+
+  [[nodiscard]] std::string_view path() const noexcept;
+  [[nodiscard]] std::string_view query() const noexcept;
+};
+
+/// An HTTP response. When `chunked` is set the serializer emits the body
+/// with chunked transfer coding instead of Content-Length.
+struct Response {
+  int status = 200;
+  std::vector<Header> headers;
+  std::string body;
+  bool chunked = false;
+
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+  void set_header(std::string_view name, std::string_view value);
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+[[nodiscard]] std::string_view reason_phrase(int status) noexcept;
+
+/// Maps an HTTP status to the toolchain's error taxonomy: 404 → kNotFound,
+/// 400 → kInvalidArgument, 405/4xx → kIoError, 5xx → kUnavailable (the
+/// retryable class). 2xx/3xx map to kOk.
+[[nodiscard]] ErrorCode error_code_for_status(int status) noexcept;
+
+// ---------------------------------------------------------------- parsing
+
+/// Finds the end of the header section in `buffer` (the offset just past
+/// the blank line, accepting both CRLF and bare-LF line endings).
+/// Returns std::string::npos while the head is still incomplete.
+[[nodiscard]] std::size_t find_head_end(std::string_view buffer) noexcept;
+
+/// Parses a complete request head (request line + headers, no body).
+[[nodiscard]] Result<Request> parse_request_head(std::string_view head);
+
+/// Parses a complete response head (status line + headers, no body).
+[[nodiscard]] Result<Response> parse_response_head(std::string_view head);
+
+/// Parses Content-Length from `headers_of`; 0 when absent. A malformed or
+/// duplicate-and-conflicting value is an error.
+[[nodiscard]] Result<std::size_t> content_length(const Request& request);
+[[nodiscard]] Result<std::size_t> content_length(const Response& response);
+
+// ------------------------------------------------------------ body codecs
+
+/// Encodes `body` with chunked transfer coding, splitting at
+/// `chunk_size`-byte boundaries (the terminating 0-chunk is included).
+[[nodiscard]] std::string encode_chunked(std::string_view body,
+                                         std::size_t chunk_size = 16384);
+
+/// Decodes a complete chunked body (everything after the head). Trailing
+/// trailer fields are ignored.
+[[nodiscard]] Result<std::string> decode_chunked(std::string_view raw);
+
+// ------------------------------------------------------------ serializing
+
+/// Serializes a full response, adding Content-Length (or Transfer-
+/// Encoding: chunked) and a Date-free minimal header set.
+[[nodiscard]] std::string write_response(const Response& response);
+
+/// Serializes a full request, adding Content-Length when a body is set.
+[[nodiscard]] std::string write_request(const Request& request);
+
+// ------------------------------------------------------------------- URLs
+
+/// Percent-decodes a URL component ('+' is not treated as space).
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+/// Percent-encodes everything outside the unreserved set.
+[[nodiscard]] std::string url_encode(std::string_view text);
+
+/// Splits "a=1&b=x%20y" into a decoded key/value map (last key wins).
+[[nodiscard]] std::map<std::string, std::string, std::less<>> parse_query(
+    std::string_view query);
+
+/// A split http:// URL. `path_query` always starts with '/'.
+struct Url {
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path_query = "/";
+};
+
+/// Parses "http://host[:port][/path[?query]]". Only the http scheme is
+/// supported (the repository serves read-only public descriptors).
+[[nodiscard]] Result<Url> parse_url(std::string_view url);
+
+/// True when `text` looks like an HTTP URL ("http://..."); used by the
+/// transport router to tell remote search-path roots from directories.
+[[nodiscard]] bool is_http_url(std::string_view text) noexcept;
+
+}  // namespace xpdl::net

@@ -1,0 +1,109 @@
+// HTTP descriptor transport (xpdl::net).
+//
+// Lets every tool's model search path mix local directories with remote
+// xpdld repositories: an `http://host:port` entry is scanned through
+// HttpTransport while plain paths keep going through LocalFsTransport
+// (RoutingTransport dispatches per entry). This is the paper's
+// distributed-repository story made concrete — descriptors fetched from
+// manufacturer servers over the same search path the compiler already
+// resolves.
+//
+// Resilience integration:
+//   * every fetch consults the FaultInjector at site `net.fetch:<url>`
+//     (and `net.fetch:*` for wildcard plans), so tests inject resets
+//     without a misbehaving server;
+//   * a per-host CircuitBreaker (injectable clock) fails fast once a
+//     mirror is clearly down — HTTP 4xx counts as breaker *success*
+//     (the host answered; the error is deterministic), 5xx and network
+//     failures count as breaker failures;
+//   * transient network errors surface as kUnavailable, the retryable
+//     class, so the repository scan's RetryPolicy retries them for free.
+//
+// Caching: responses are persisted to an on-disk ETag cache (one file
+// per URL under `<cache_dir>`). A warm re-scan sends one conditional
+// request (If-None-Match) per descriptor and serves bytes locally on
+// 304 — the remote analogue of the PR-4 snapshot cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpdl/net/client.h"
+#include "xpdl/repository/transport.h"
+#include "xpdl/resilience/breaker.h"
+#include "xpdl/resilience/fault.h"
+
+namespace xpdl::net {
+
+struct HttpTransportOptions {
+  ClientOptions client;
+  /// ETag cache directory; "" selects default_net_cache_dir().
+  std::string cache_dir;
+  /// Disables the on-disk ETag cache (every read refetches fully).
+  bool use_cache = true;
+  /// Per-host breaker tuning (clock_ms injectable for tests).
+  resilience::CircuitBreakerOptions breaker;
+  /// Fault injector consulted at `net.fetch:<url>`; nullptr selects the
+  /// process-wide FaultInjector::instance().
+  resilience::FaultInjector* injector = nullptr;
+};
+
+/// repository::Transport over HTTP against an xpdld server.
+///
+/// `list(root)` expects an `http://host:port[/prefix]` root, fetches its
+/// `/v1/index`, and returns one absolute descriptor URL per entry; those
+/// URLs are the "paths" later passed to `read()`. Thread-safe (the scan
+/// parallelizes read() calls).
+class HttpTransport final : public repository::Transport {
+ public:
+  explicit HttpTransport(HttpTransportOptions options = {});
+  ~HttpTransport() override;
+
+  [[nodiscard]] Result<std::vector<std::string>> list(
+      const std::string& root) override;
+  [[nodiscard]] Result<std::string> read(const std::string& path) override;
+  [[nodiscard]] std::string_view describe() const noexcept override {
+    return "http";
+  }
+
+  /// The breaker guarding `host:port` (created on first use). Exposed so
+  /// tests can assert open/half-open transitions.
+  [[nodiscard]] resilience::CircuitBreaker& breaker_for(
+      const std::string& host_port);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Dispatches each call on is_http_url(): http:// roots and URLs to the
+/// HTTP transport, everything else to the local one.
+class RoutingTransport final : public repository::Transport {
+ public:
+  RoutingTransport(std::unique_ptr<repository::Transport> local,
+                   std::unique_ptr<repository::Transport> http);
+
+  [[nodiscard]] Result<std::vector<std::string>> list(
+      const std::string& root) override;
+  [[nodiscard]] Result<std::string> read(const std::string& path) override;
+  [[nodiscard]] std::string_view describe() const noexcept override {
+    return "routing(local-fs|http)";
+  }
+
+ private:
+  std::unique_ptr<repository::Transport> local_;
+  std::unique_ptr<repository::Transport> http_;
+};
+
+/// The tools' transport when the search path may contain http:// roots:
+/// FaultInjectingTransport(RoutingTransport(LocalFs, Http)) — the same
+/// fault seam as make_default_transport() plus remote support.
+[[nodiscard]] std::unique_ptr<repository::Transport> make_http_aware_transport(
+    HttpTransportOptions options = {});
+
+/// Default ETag cache directory: $XPDL_CACHE_DIR/net when the variable
+/// is set, else `.xpdl.cache/net`.
+[[nodiscard]] std::string default_net_cache_dir();
+
+}  // namespace xpdl::net

@@ -1,0 +1,93 @@
+// The model-repository HTTP service behind `xpdld` (xpdl::net).
+//
+// Serves a scanned repository over the endpoints documented in
+// docs/server.md:
+//
+//   GET /healthz                     liveness probe ("ok")
+//   GET /metrics                     xpdl::obs counters/gauges/histograms
+//                                    as JSON (chunked transfer coding)
+//   GET /v1/index                    JSON listing of every descriptor
+//   GET /v1/descriptors/<name>       raw .xpdl bytes, content-hash ETag,
+//                                    If-None-Match → 304
+//   GET /v1/models/<ref>             composed runtime artifact (served
+//                                    from the snapshot cache, compiled on
+//                                    miss, memoized per ref)
+//   GET /v1/query?model=REF&q=QUERY  query engine over a composed model
+//
+// The service is the pure request→response core: it owns the scanned
+// Repository and is driven either by HttpServer (xpdld) or directly by
+// tests, which exercise every endpoint without sockets.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "xpdl/net/http.h"
+#include "xpdl/repository/repository.h"
+
+namespace xpdl::net {
+
+/// A descriptor prepared for serving: exact on-disk bytes + strong ETag.
+struct ServedDescriptor {
+  repository::DescriptorInfo info;
+  std::string bytes;
+  std::string etag;
+};
+
+class RepoService {
+ public:
+  /// Scans `roots` (per `scan`) and loads every indexed descriptor's raw
+  /// bytes for byte-exact serving. Scan degradation propagates into
+  /// `report` (when non-null) exactly as in the CLI tools.
+  [[nodiscard]] static Result<std::unique_ptr<RepoService>> create(
+      std::vector<std::string> roots, const repository::ScanOptions& scan,
+      repository::ScanReport* report = nullptr);
+
+  /// The HttpServer handler: routes one request. Thread-safe.
+  [[nodiscard]] Response handle(const Request& request);
+
+  /// Number of descriptors being served.
+  [[nodiscard]] std::size_t descriptor_count() const noexcept {
+    return descriptors_.size();
+  }
+
+  [[nodiscard]] repository::Repository& repository() noexcept {
+    return *repo_;
+  }
+
+ private:
+  RepoService() = default;
+
+  [[nodiscard]] Response handle_index(const Request& request) const;
+  [[nodiscard]] Response handle_descriptor(const Request& request,
+                                           std::string_view name);
+  [[nodiscard]] Response handle_model(const Request& request,
+                                      std::string_view ref);
+  [[nodiscard]] Response handle_query(const Request& request);
+  [[nodiscard]] Response handle_metrics() const;
+
+  std::unique_ptr<repository::Repository> repo_;
+  std::map<std::string, ServedDescriptor, std::less<>> descriptors_;
+  std::string index_json_;  ///< prebuilt /v1/index body
+
+  /// Composition is memoized per ref; the mutex serializes misses (the
+  /// composer shares the repository instance).
+  struct Artifact {
+    std::string bytes;
+    std::string etag;
+  };
+  std::mutex compose_mutex_;
+  std::map<std::string, Artifact, std::less<>> artifacts_;
+};
+
+/// Strong quoted ETag for a byte string: "\"h<fnv1a64 hex>\"".
+[[nodiscard]] std::string strong_etag(std::string_view bytes);
+
+/// Shared error shape: JSON {"error": <code name>, "message": ...} with
+/// the matching HTTP status.
+[[nodiscard]] Response error_response(int status, std::string_view message);
+
+}  // namespace xpdl::net

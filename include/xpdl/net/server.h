@@ -1,0 +1,80 @@
+// Blocking HTTP/1.1 server with a fixed worker pool (xpdl::net).
+//
+// The serving model is deliberately boring: one acceptor thread hands
+// connections to a fixed pool of workers over a condition-variable
+// queue; each worker runs a keep-alive read/handle/write loop with I/O
+// timeouts. No event loop, no speculative reads — throughput on the
+// repository workload is bounded by descriptor hashing and composition,
+// not by connection juggling (see bench_net / EXPERIMENTS.md E17).
+//
+// Observability: every request bumps `net.server.requests`, its wall
+// time lands in the `net.server.request_us` histogram, and responses
+// count per status class (`net.server.status_2xx`, ...). /metrics in
+// repo_service.h exports all of it as JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "xpdl/net/http.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via HttpServer::port().
+  std::uint16_t port = 0;
+  /// Worker threads (0 = min(hardware threads, 8)).
+  std::size_t threads = 0;
+  /// Per-connection receive/send timeout.
+  double io_timeout_ms = 5000.0;
+  /// Caps that turn hostile inputs into 431/413 instead of allocations.
+  std::size_t max_header_bytes = 16384;
+  std::size_t max_body_bytes = 1 << 20;
+  /// Stop after serving this many requests (0 = run until stop()). Used
+  /// by tests and benchmarks for deterministic shutdown.
+  std::uint64_t max_requests = 0;
+};
+
+/// Maps one request to one response. Must be thread-safe: workers invoke
+/// it concurrently.
+using Handler = std::function<Response(const Request&)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(ServerOptions options = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, then spawns the acceptor and worker threads. Fails (without
+  /// threads) when the address cannot be bound.
+  [[nodiscard]] Status start(Handler handler);
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Asks the serving loops to wind down without joining them (safe to
+  /// call from a worker, e.g. when max_requests is reached).
+  void request_stop();
+
+  /// Blocks until request_stop() was called (or max_requests reached).
+  void wait();
+
+  /// Full shutdown: request_stop() + join all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// Requests served so far.
+  [[nodiscard]] std::uint64_t served() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xpdl::net

@@ -1,0 +1,85 @@
+// Thin POSIX TCP socket wrappers for xpdl::net.
+//
+// Blocking sockets with send/receive timeouts, wrapped move-only so fds
+// can never leak through the Status-based error paths. No external
+// dependencies: everything resolves to <sys/socket.h> syscalls. The
+// server accepts with a poll() timeout so stop() never races a blocked
+// accept; clients use the OS connect timeout (loopback and LAN mirrors
+// resolve instantly, WAN mirrors fail fast via the I/O timeout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::net {
+
+/// A connected TCP socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Applies `ms` as both the receive and the send timeout.
+  [[nodiscard]] Status set_timeout_ms(double ms) const;
+
+  /// Reads up to `n` bytes; returns 0 at orderly EOF. A timeout or reset
+  /// surfaces as kUnavailable (the retryable class).
+  [[nodiscard]] Result<std::size_t> read_some(char* buffer, std::size_t n);
+
+  /// Writes all of `data` (looping over partial sends, SIGPIPE-safe).
+  [[nodiscard]] Status write_all(std::string_view data);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IPs and names via getaddrinfo).
+[[nodiscard]] Result<Socket> connect_tcp(const std::string& host,
+                                         std::uint16_t port,
+                                         double timeout_ms);
+
+/// A listening TCP socket. Binding port 0 picks an ephemeral port, read
+/// back through port() — the tests and the CI smoke step depend on it.
+class Listener {
+ public:
+  Listener() noexcept = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { close(); }
+
+  [[nodiscard]] static Result<Listener> bind_tcp(const std::string& host,
+                                                 std::uint16_t port,
+                                                 int backlog = 64);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection. Sets `timed_out` and
+  /// returns an invalid Socket when nothing arrived (not an error — the
+  /// accept loop uses it to poll its stop flag).
+  [[nodiscard]] Result<Socket> accept_with_timeout(double timeout_ms,
+                                                   bool& timed_out);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace xpdl::net

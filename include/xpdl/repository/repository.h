@@ -95,6 +95,13 @@ class Repository {
 
   /// Replaces the descriptor transport (default: LocalFsTransport behind
   /// the fault-injection seam, see make_default_transport()).
+  ///
+  /// Contract: swapping the transport invalidates everything previously
+  /// fetched through the old one — the repository is marked unscanned
+  /// (the next lookup() re-scans) and the load_file() memo is cleared,
+  /// so no call after set_transport() can serve bytes the new transport
+  /// never saw. Install the transport *before* the first scan to avoid
+  /// paying for a second one.
   void set_transport(std::unique_ptr<Transport> transport);
 
   /// Scans all roots for descriptor files and indexes them by reference

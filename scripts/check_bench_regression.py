@@ -8,11 +8,15 @@ fraction. Stdlib only, so it runs anywhere CI does.
 
 Usage:
   check_bench_regression.py --baseline-dir bench/baselines \
-      [--threshold 0.25] BENCH_parse.json BENCH_toolchain.json
+      [--threshold 0.25] [--threshold-for BENCH_net.json=0.5] \
+      BENCH_parse.json BENCH_toolchain.json BENCH_net.json
 
 Benchmarks present only on one side are reported but never fail the
 gate (new benchmarks need a baseline update, retired ones a cleanup —
-both intentional, reviewable changes).
+both intentional, reviewable changes). --threshold-for overrides the
+threshold for one result file: suites dominated by loopback-TCP
+round-trips (BENCH_net.json) jitter far more run-to-run on shared
+runners than the CPU-bound suites, so they gate at a looser bound.
 """
 
 import argparse
@@ -37,11 +41,27 @@ def main():
         default=0.25,
         help="maximum allowed fractional ops/s regression (default 0.25)",
     )
+    parser.add_argument(
+        "--threshold-for",
+        action="append",
+        default=[],
+        metavar="FILE=FRACTION",
+        help="per-file threshold override, e.g. BENCH_net.json=0.5 "
+        "(repeatable)",
+    )
     args = parser.parse_args()
+
+    overrides = {}
+    for spec in args.threshold_for:
+        file_name, sep, value = spec.partition("=")
+        if not sep:
+            parser.error(f"--threshold-for expects FILE=FRACTION, got {spec!r}")
+        overrides[file_name] = float(value)
 
     failures = []
     for result_path in args.results:
         name = os.path.basename(result_path)
+        threshold = overrides.get(name, args.threshold)
         baseline_path = os.path.join(args.baseline_dir, name)
         if not os.path.exists(baseline_path):
             print(f"note: no baseline for {name}, skipping")
@@ -58,11 +78,12 @@ def main():
                 continue
             ratio = cur_ops / base_ops
             status = "ok"
-            if ratio < 1.0 - args.threshold:
+            if ratio < 1.0 - threshold:
                 status = "REGRESSION"
                 failures.append(
                     f"{name}: {bench}: {base_ops:.4g} -> {cur_ops:.4g} ops/s "
-                    f"({(1.0 - ratio) * 100:.1f}% slower)"
+                    f"({(1.0 - ratio) * 100:.1f}% slower, "
+                    f"allowed {threshold * 100:.0f}%)"
                 )
             print(
                 f"{status:>10}  {bench}: {cur_ops:.4g} ops/s "
@@ -72,8 +93,8 @@ def main():
             print(f"note: {bench} has no baseline entry yet")
 
     if failures:
-        print(f"\n{len(failures)} regression(s) beyond "
-              f"{args.threshold * 100:.0f}%:", file=sys.stderr)
+        print(f"\n{len(failures)} regression(s) beyond the allowed "
+              "threshold:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1

@@ -1,0 +1,93 @@
+#include "xpdl/net/client.h"
+
+#include <utility>
+
+#include "xpdl/net/socket.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
+
+namespace xpdl::net {
+
+Result<Response> HttpClient::get(const std::string& url,
+                                 const std::vector<Header>& extra_headers) {
+  obs::Span span("net.client.get");
+  if (span.active()) span.arg("url", url);
+  XPDL_ASSIGN_OR_RETURN(Url parsed, parse_url(url));
+
+  Request request;
+  request.method = "GET";
+  request.target = parsed.path_query;
+  request.set_header("Host",
+                     parsed.host + ":" + std::to_string(parsed.port));
+  request.set_header("User-Agent", "xpdl-net/1");
+  request.set_header("Accept", "*/*");
+  request.set_header("Connection", "close");
+  for (const Header& h : extra_headers) request.set_header(h.name, h.value);
+
+  std::uint64_t start = obs::now_ns();
+  XPDL_ASSIGN_OR_RETURN(
+      Socket conn, connect_tcp(parsed.host, parsed.port, options_.timeout_ms));
+  XPDL_RETURN_IF_ERROR(conn.write_all(write_request(request)));
+
+  // Read the whole exchange to EOF: the server honours our
+  // `Connection: close`, so EOF delimits the response even without a
+  // Content-Length (and chunked bodies arrive complete).
+  std::string raw;
+  char chunk[16384];
+  for (;;) {
+    auto got = conn.read_some(chunk, sizeof chunk);
+    if (!got.is_ok()) {
+      return std::move(got).status().with_context("reading response from '" +
+                                                  url + "'");
+    }
+    if (*got == 0) break;
+    raw.append(chunk, *got);
+    if (raw.size() > options_.max_body_bytes + 65536) {
+      // Body cap plus header allowance; precise enough for a repository
+      // client.
+      return Status(ErrorCode::kIoError,
+                    "response from '" + url + "' exceeds the size cap");
+    }
+  }
+
+  std::size_t head_end = find_head_end(raw);
+  if (head_end == std::string::npos) {
+    return Status(ErrorCode::kUnavailable,
+                  "truncated response from '" + url + "'");
+  }
+  auto response = parse_response_head(raw.substr(0, head_end));
+  if (!response.is_ok()) {
+    return std::move(response).status().with_context(
+        "parsing response from '" + url + "'");
+  }
+  std::string_view rest = std::string_view(raw).substr(head_end);
+  if (iequals(response->header("Transfer-Encoding"), "chunked")) {
+    auto body = decode_chunked(rest);
+    if (!body.is_ok()) {
+      return std::move(body).status().with_context(
+          "decoding chunked response from '" + url + "'");
+    }
+    response->body = std::move(*body);
+  } else if (!response->header("Content-Length").empty()) {
+    XPDL_ASSIGN_OR_RETURN(std::size_t length, content_length(*response));
+    if (rest.size() < length) {
+      return Status(ErrorCode::kUnavailable,
+                    "truncated response body from '" + url + "' (" +
+                        std::to_string(rest.size()) + " of " +
+                        std::to_string(length) + " bytes)");
+    }
+    response->body = std::string(rest.substr(0, length));
+  } else {
+    response->body = std::string(rest);
+  }
+
+  XPDL_OBS_COUNT("net.client.requests", 1);
+  XPDL_OBS_COUNT("net.client.bytes_received", raw.size());
+  static obs::Histogram& latency = obs::histogram("net.client.request_us");
+  latency.record((obs::now_ns() - start) / 1000);
+  if (span.active()) span.arg("status", std::uint64_t{
+                                  static_cast<std::uint64_t>(response->status)});
+  return std::move(*response);
+}
+
+}  // namespace xpdl::net

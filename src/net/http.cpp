@@ -1,0 +1,487 @@
+#include "xpdl/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace xpdl::net {
+
+namespace {
+
+[[nodiscard]] char lower(char c) noexcept {
+  return static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+}
+
+[[nodiscard]] bool is_token_char(char c) noexcept {
+  // RFC 9110 token characters (the subset that matters for methods and
+  // header names).
+  if (std::isalnum(static_cast<unsigned char>(c)) != 0) return true;
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) !=
+         std::string_view::npos;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits the head into lines, tolerating CRLF and bare LF endings.
+[[nodiscard]] std::vector<std::string_view> split_lines(
+    std::string_view head) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t nl = head.find('\n', pos);
+    if (nl == std::string_view::npos) nl = head.size();
+    std::string_view line = head.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) lines.push_back(line);
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+[[nodiscard]] Status parse_header_lines(
+    const std::vector<std::string_view>& lines, std::size_t first,
+    std::vector<Header>& out) {
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status(ErrorCode::kParseError,
+                    "malformed header line '" + std::string(line) + "'");
+    }
+    std::string_view name = line.substr(0, colon);
+    for (char c : name) {
+      if (!is_token_char(c)) {
+        return Status(ErrorCode::kParseError,
+                      "invalid header name '" + std::string(name) + "'");
+      }
+    }
+    out.push_back(Header{std::string(name),
+                         std::string(trim(line.substr(colon + 1)))});
+  }
+  return Status::ok();
+}
+
+[[nodiscard]] std::string_view find_header(
+    const std::vector<Header>& headers, std::string_view name) noexcept {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) return h.value;
+  }
+  return {};
+}
+
+void set_header_in(std::vector<Header>& headers, std::string_view name,
+                   std::string_view value) {
+  for (Header& h : headers) {
+    if (iequals(h.name, name)) {
+      h.value = std::string(value);
+      return;
+    }
+  }
+  headers.push_back(Header{std::string(name), std::string(value)});
+}
+
+[[nodiscard]] Result<std::size_t> parse_content_length(
+    std::string_view value) {
+  if (value.empty()) return std::size_t{0};
+  std::size_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status(ErrorCode::kParseError,
+                    "malformed Content-Length '" + std::string(value) + "'");
+    }
+    if (n > (std::size_t{1} << 40)) {
+      return Status(ErrorCode::kParseError, "Content-Length out of range");
+    }
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return n;
+}
+
+void append_headers(std::string& out, const std::vector<Header>& headers) {
+  for (const Header& h : headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+}
+
+[[nodiscard]] int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view Request::header(std::string_view name) const noexcept {
+  return find_header(headers, name);
+}
+
+void Request::set_header(std::string_view name, std::string_view value) {
+  set_header_in(headers, name, value);
+}
+
+std::string_view Request::path() const noexcept {
+  std::string_view t = target;
+  std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view Request::query() const noexcept {
+  std::string_view t = target;
+  std::size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view{} : t.substr(q + 1);
+}
+
+std::string_view Response::header(std::string_view name) const noexcept {
+  return find_header(headers, name);
+}
+
+void Response::set_header(std::string_view name, std::string_view value) {
+  set_header_in(headers, name, value);
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+ErrorCode error_code_for_status(int status) noexcept {
+  if (status < 400) return ErrorCode::kOk;
+  if (status == 404) return ErrorCode::kNotFound;
+  if (status == 400) return ErrorCode::kInvalidArgument;
+  if (status < 500) return ErrorCode::kIoError;
+  return ErrorCode::kUnavailable;
+}
+
+std::size_t find_head_end(std::string_view buffer) noexcept {
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    if (buffer[i] != '\n') continue;
+    if (i + 1 < buffer.size() && buffer[i + 1] == '\n') return i + 2;
+    if (i + 2 < buffer.size() && buffer[i + 1] == '\r' &&
+        buffer[i + 2] == '\n') {
+      return i + 3;
+    }
+  }
+  return std::string::npos;
+}
+
+Result<Request> parse_request_head(std::string_view head) {
+  std::vector<std::string_view> lines = split_lines(head);
+  if (lines.empty()) {
+    return Status(ErrorCode::kParseError, "empty request");
+  }
+  std::string_view line = lines[0];
+  std::size_t sp1 = line.find(' ');
+  std::size_t sp2 = sp1 == std::string_view::npos
+                        ? std::string_view::npos
+                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status(ErrorCode::kParseError,
+                  "malformed request line '" + std::string(line) + "'");
+  }
+  Request request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.method.empty() ||
+      !std::all_of(request.method.begin(), request.method.end(),
+                   is_token_char)) {
+    return Status(ErrorCode::kParseError,
+                  "malformed method '" + request.method + "'");
+  }
+  if (request.target.empty() || request.target[0] != '/') {
+    return Status(ErrorCode::kParseError,
+                  "unsupported request target '" + request.target + "'");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Status(ErrorCode::kParseError,
+                  "unsupported HTTP version '" + request.version + "'");
+  }
+  XPDL_RETURN_IF_ERROR(parse_header_lines(lines, 1, request.headers));
+  return request;
+}
+
+Result<Response> parse_response_head(std::string_view head) {
+  std::vector<std::string_view> lines = split_lines(head);
+  if (lines.empty()) {
+    return Status(ErrorCode::kParseError, "empty response");
+  }
+  std::string_view line = lines[0];
+  if (line.rfind("HTTP/1.", 0) != 0) {
+    return Status(ErrorCode::kParseError,
+                  "malformed status line '" + std::string(line) + "'");
+  }
+  std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 + 4 > line.size()) {
+    return Status(ErrorCode::kParseError,
+                  "malformed status line '" + std::string(line) + "'");
+  }
+  std::string_view code = line.substr(sp1 + 1, 3);
+  int status = 0;
+  for (char c : code) {
+    if (c < '0' || c > '9') {
+      return Status(ErrorCode::kParseError,
+                    "malformed status code '" + std::string(code) + "'");
+    }
+    status = status * 10 + (c - '0');
+  }
+  Response response;
+  response.status = status;
+  XPDL_RETURN_IF_ERROR(parse_header_lines(lines, 1, response.headers));
+  return response;
+}
+
+Result<std::size_t> content_length(const Request& request) {
+  return parse_content_length(request.header("Content-Length"));
+}
+
+Result<std::size_t> content_length(const Response& response) {
+  return parse_content_length(response.header("Content-Length"));
+}
+
+std::string encode_chunked(std::string_view body, std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 16384;
+  std::string out;
+  out.reserve(body.size() + 32);
+  std::size_t pos = 0;
+  char size_buf[20];
+  while (pos < body.size()) {
+    std::size_t n = std::min(chunk_size, body.size() - pos);
+    std::snprintf(size_buf, sizeof size_buf, "%zx\r\n", n);
+    out += size_buf;
+    out += body.substr(pos, n);
+    out += "\r\n";
+    pos += n;
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+Result<std::string> decode_chunked(std::string_view raw) {
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t nl = raw.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      return Status(ErrorCode::kParseError, "truncated chunk size line");
+    }
+    std::string_view size_line = raw.substr(pos, nl - pos);
+    if (!size_line.empty() && size_line.back() == '\r') {
+      size_line.remove_suffix(1);
+    }
+    // Chunk extensions (";...") are permitted and ignored.
+    if (std::size_t semi = size_line.find(';');
+        semi != std::string_view::npos) {
+      size_line = size_line.substr(0, semi);
+    }
+    if (size_line.empty()) {
+      return Status(ErrorCode::kParseError, "empty chunk size line");
+    }
+    std::size_t size = 0;
+    for (char c : size_line) {
+      int d = hex_digit(c);
+      if (d < 0) {
+        return Status(ErrorCode::kParseError,
+                      "malformed chunk size '" + std::string(size_line) +
+                          "'");
+      }
+      if (size > (std::size_t{1} << 40)) {
+        return Status(ErrorCode::kParseError, "chunk size out of range");
+      }
+      size = size * 16 + static_cast<std::size_t>(d);
+    }
+    pos = nl + 1;
+    if (size == 0) return out;  // final chunk; trailers ignored
+    if (pos + size > raw.size()) {
+      return Status(ErrorCode::kParseError, "truncated chunk data");
+    }
+    out.append(raw.substr(pos, size));
+    pos += size;
+    // Consume the CRLF (or LF) after the chunk data.
+    if (pos < raw.size() && raw[pos] == '\r') ++pos;
+    if (pos >= raw.size() || raw[pos] != '\n') {
+      return Status(ErrorCode::kParseError, "missing chunk terminator");
+    }
+    ++pos;
+  }
+}
+
+std::string write_response(const Response& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(reason_phrase(response.status)) + "\r\n";
+  append_headers(out, response.headers);
+  // A 304 carries no body by definition; everything else declares how the
+  // body ends.
+  if (response.status == 304 || response.status == 204) {
+    out += "\r\n";
+    return out;
+  }
+  if (response.chunked) {
+    out += "Transfer-Encoding: chunked\r\n\r\n";
+    out += encode_chunked(response.body);
+  } else {
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n\r\n";
+    out += response.body;
+  }
+  return out;
+}
+
+std::string write_request(const Request& request) {
+  std::string out =
+      request.method + " " + request.target + " " + request.version + "\r\n";
+  append_headers(out, request.headers);
+  if (!request.body.empty()) {
+    out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      int hi = hex_digit(text[i + 1]);
+      int lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view text) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    bool unreserved = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                      c == '-' || c == '_' || c == '.' || c == '~';
+    if (unreserved) {
+      out += c;
+    } else {
+      auto u = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[u >> 4];
+      out += kHex[u & 0xF];
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string, std::less<>> parse_query(
+    std::string_view query) {
+  std::map<std::string, std::string, std::less<>> out;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    std::string_view pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out.insert_or_assign(url_decode(pair), std::string());
+      } else {
+        out.insert_or_assign(url_decode(pair.substr(0, eq)),
+                             url_decode(pair.substr(eq + 1)));
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+Result<Url> parse_url(std::string_view url) {
+  if (!is_http_url(url)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "not an http:// URL: '" + std::string(url) + "'");
+  }
+  std::string_view rest = url.substr(7);  // past "http://"
+  std::size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  if (authority.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "missing host in URL '" + std::string(url) + "'");
+  }
+  Url out;
+  std::size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    out.host = std::string(authority);
+  } else {
+    out.host = std::string(authority.substr(0, colon));
+    std::string_view port = authority.substr(colon + 1);
+    unsigned value = 0;
+    if (port.empty() || port.size() > 5) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "malformed port in URL '" + std::string(url) + "'");
+    }
+    for (char c : port) {
+      if (c < '0' || c > '9') {
+        return Status(ErrorCode::kInvalidArgument,
+                      "malformed port in URL '" + std::string(url) + "'");
+      }
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value == 0 || value > 65535) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "port out of range in URL '" + std::string(url) + "'");
+    }
+    out.port = static_cast<std::uint16_t>(value);
+  }
+  if (out.host.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "missing host in URL '" + std::string(url) + "'");
+  }
+  if (slash != std::string_view::npos) {
+    out.path_query = std::string(rest.substr(slash));
+  }
+  return out;
+}
+
+bool is_http_url(std::string_view text) noexcept {
+  return text.rfind("http://", 0) == 0;
+}
+
+}  // namespace xpdl::net

@@ -1,0 +1,247 @@
+#include "xpdl/net/http_transport.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "xpdl/cache/cache.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/util/io.h"
+#include "xpdl/util/json.h"
+
+namespace xpdl::net {
+
+namespace {
+
+constexpr std::string_view kCacheMagic = "XPDLNET1";
+
+[[nodiscard]] std::string strip_trailing_slash(std::string url) {
+  while (url.size() > sizeof("http://") && url.back() == '/') {
+    url.pop_back();
+  }
+  return url;
+}
+
+/// One cache file per URL, named by the URL's hash.
+[[nodiscard]] std::string cache_path_for(const std::string& dir,
+                                         const std::string& url) {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.http",
+                static_cast<unsigned long long>(cache::fnv1a64(url)));
+  return dir + "/" + name;
+}
+
+struct CacheEntry {
+  std::string etag;
+  std::string bytes;
+};
+
+/// Cache file format: "XPDLNET1\n<etag>\n<bytes>".
+[[nodiscard]] bool load_cache_entry(const std::string& path,
+                                    CacheEntry& entry) {
+  auto raw = io::read_file(path);
+  if (!raw.is_ok()) return false;
+  std::size_t first_nl = raw->find('\n');
+  if (first_nl == std::string::npos ||
+      std::string_view(*raw).substr(0, first_nl) != kCacheMagic) {
+    return false;
+  }
+  std::size_t second_nl = raw->find('\n', first_nl + 1);
+  if (second_nl == std::string::npos) return false;
+  entry.etag = raw->substr(first_nl + 1, second_nl - first_nl - 1);
+  entry.bytes = raw->substr(second_nl + 1);
+  return !entry.etag.empty();
+}
+
+void store_cache_entry(const std::string& dir, const std::string& path,
+                       std::string_view etag, std::string_view bytes) {
+  if (etag.empty()) return;
+  if (!io::make_directories(dir).is_ok()) return;
+  std::string blob;
+  blob.reserve(kCacheMagic.size() + etag.size() + bytes.size() + 2);
+  blob.append(kCacheMagic);
+  blob += '\n';
+  blob += etag;
+  blob += '\n';
+  blob += bytes;
+  // Temp-file + rename so a concurrent reader never sees a torn entry.
+  std::string tmp = path + ".tmp";
+  if (!io::write_file(tmp, blob).is_ok()) return;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  XPDL_OBS_COUNT("net.transport.cache_stores", 1);
+}
+
+}  // namespace
+
+std::string default_net_cache_dir() {
+  const char* env = std::getenv("XPDL_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') {
+    return std::string(env) + "/net";
+  }
+  return ".xpdl.cache/net";
+}
+
+struct HttpTransport::Impl {
+  HttpTransportOptions options;
+  HttpClient client;
+  std::string cache_dir;
+
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers;
+
+  explicit Impl(HttpTransportOptions opts)
+      : options(std::move(opts)),
+        client(options.client),
+        cache_dir(options.cache_dir.empty() ? default_net_cache_dir()
+                                            : options.cache_dir) {}
+
+  [[nodiscard]] resilience::FaultInjector& injector() {
+    return options.injector != nullptr ? *options.injector
+                                       : resilience::FaultInjector::instance();
+  }
+
+  [[nodiscard]] resilience::CircuitBreaker& breaker(
+      const std::string& host_port) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = breakers.find(host_port);
+    if (it == breakers.end()) {
+      it = breakers
+               .emplace(host_port,
+                        std::make_unique<resilience::CircuitBreaker>(
+                            "net." + host_port, options.breaker))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// The guarded fetch: fault site, breaker, conditional request, cache.
+  [[nodiscard]] Result<std::string> fetch(const std::string& url) {
+    XPDL_ASSIGN_OR_RETURN(Url parsed, parse_url(url));
+    std::string host_port = parsed.host + ":" + std::to_string(parsed.port);
+    resilience::CircuitBreaker& guard = breaker(host_port);
+    XPDL_RETURN_IF_ERROR(guard.acquire());
+
+    // Injected faults count as breaker failures: they model the network,
+    // not the server's application layer.
+    if (Status injected = injector().check("net.fetch:" + url);
+        !injected.is_ok()) {
+      guard.record(injected);
+      return injected;
+    }
+
+    CacheEntry cached;
+    bool have_cached = false;
+    std::string cache_file;
+    if (options.use_cache) {
+      cache_file = cache_path_for(cache_dir, url);
+      have_cached = load_cache_entry(cache_file, cached);
+    }
+
+    std::vector<Header> headers;
+    if (have_cached) {
+      headers.push_back({"If-None-Match", cached.etag});
+      XPDL_OBS_COUNT("net.transport.conditional_requests", 1);
+    }
+    XPDL_OBS_COUNT("net.transport.fetches", 1);
+    auto response = client.get(url, headers);
+    if (!response.is_ok()) {
+      guard.record(response.status());
+      return std::move(response).status();
+    }
+
+    if (response->status == 304 && have_cached) {
+      guard.record(Status::ok());
+      XPDL_OBS_COUNT("net.transport.not_modified", 1);
+      return std::move(cached.bytes);
+    }
+    if (response->status >= 200 && response->status < 300) {
+      guard.record(Status::ok());
+      if (options.use_cache) {
+        store_cache_entry(cache_dir, cache_file, response->header("ETag"),
+                          response->body);
+      }
+      return std::move(response->body);
+    }
+
+    Status failure(error_code_for_status(response->status),
+                   "GET '" + url + "' failed: HTTP " +
+                       std::to_string(response->status) + " " +
+                       std::string(reason_phrase(response->status)));
+    // 4xx means the server answered deterministically — the host is
+    // healthy, so the breaker records success; 5xx counts against it.
+    guard.record(response->status < 500 ? Status::ok() : failure);
+    XPDL_OBS_COUNT("net.transport.http_errors", 1);
+    return failure;
+  }
+};
+
+HttpTransport::HttpTransport(HttpTransportOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+HttpTransport::~HttpTransport() = default;
+
+resilience::CircuitBreaker& HttpTransport::breaker_for(
+    const std::string& host_port) {
+  return impl_->breaker(host_port);
+}
+
+Result<std::vector<std::string>> HttpTransport::list(const std::string& root) {
+  std::string base = strip_trailing_slash(root);
+  XPDL_ASSIGN_OR_RETURN(std::string body, impl_->fetch(base + "/v1/index"));
+  auto index = json::parse(body);
+  if (!index.is_ok()) {
+    return std::move(index).status().with_context(
+        "parsing repository index from '" + base + "'");
+  }
+  const json::Value* descriptors = index->find("descriptors");
+  if (descriptors == nullptr || !descriptors->is_array()) {
+    return Status(ErrorCode::kParseError,
+                  "repository index from '" + base +
+                      "' has no 'descriptors' array");
+  }
+  std::vector<std::string> urls;
+  urls.reserve(descriptors->as_array().size());
+  for (const json::Value& entry : descriptors->as_array()) {
+    const json::Value* path = entry.find("path");
+    if (path == nullptr || !path->is_string()) {
+      return Status(ErrorCode::kParseError,
+                    "repository index entry from '" + base +
+                        "' has no 'path' string");
+    }
+    urls.push_back(base + path->as_string());
+  }
+  return urls;
+}
+
+Result<std::string> HttpTransport::read(const std::string& path) {
+  return impl_->fetch(path);
+}
+
+RoutingTransport::RoutingTransport(
+    std::unique_ptr<repository::Transport> local,
+    std::unique_ptr<repository::Transport> http)
+    : local_(std::move(local)), http_(std::move(http)) {}
+
+Result<std::vector<std::string>> RoutingTransport::list(
+    const std::string& root) {
+  return is_http_url(root) ? http_->list(root) : local_->list(root);
+}
+
+Result<std::string> RoutingTransport::read(const std::string& path) {
+  return is_http_url(path) ? http_->read(path) : local_->read(path);
+}
+
+std::unique_ptr<repository::Transport> make_http_aware_transport(
+    HttpTransportOptions options) {
+  return std::make_unique<repository::FaultInjectingTransport>(
+      std::make_unique<RoutingTransport>(
+          std::make_unique<repository::LocalFsTransport>(),
+          std::make_unique<HttpTransport>(std::move(options))));
+}
+
+}  // namespace xpdl::net

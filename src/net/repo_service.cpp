@@ -1,0 +1,340 @@
+#include "xpdl/net/repo_service.h"
+
+#include <utility>
+
+#include "xpdl/cache/cache.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
+#include "xpdl/query/query.h"
+#include "xpdl/runtime/model.h"
+#include "xpdl/util/io.h"
+#include "xpdl/util/json.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::net {
+
+namespace {
+
+[[nodiscard]] int status_for_error(const Status& status) noexcept {
+  switch (status.code()) {
+    case ErrorCode::kUnresolvedRef:
+    case ErrorCode::kNotFound:
+      return 404;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+      return 400;
+    case ErrorCode::kUnavailable:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+[[nodiscard]] Response from_status(const Status& status) {
+  Response response = error_response(status_for_error(status),
+                                     status.to_string());
+  return response;
+}
+
+/// True when the If-None-Match header revalidates `etag`.
+[[nodiscard]] bool etag_matches(const Request& request,
+                                std::string_view etag) noexcept {
+  std::string_view header = request.header("If-None-Match");
+  if (header.empty()) return false;
+  if (header == "*") return true;
+  // A comma-separated list of entity tags; exact strong comparison.
+  std::size_t pos = 0;
+  while (pos < header.size()) {
+    std::size_t comma = header.find(',', pos);
+    if (comma == std::string_view::npos) comma = header.size();
+    std::string_view candidate = header.substr(pos, comma - pos);
+    while (!candidate.empty() && candidate.front() == ' ') {
+      candidate.remove_prefix(1);
+    }
+    while (!candidate.empty() && candidate.back() == ' ') {
+      candidate.remove_suffix(1);
+    }
+    if (candidate == etag) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+[[nodiscard]] Response not_modified(std::string_view etag) {
+  Response response;
+  response.status = 304;
+  response.set_header("ETag", etag);
+  return response;
+}
+
+void add_histogram(json::Value& out, const obs::Histogram& h) {
+  out["count"] = h.count();
+  out["mean"] = h.mean();
+  out["p50"] = h.percentile(0.50);
+  out["p95"] = h.percentile(0.95);
+  out["max"] = h.max();
+}
+
+}  // namespace
+
+std::string strong_etag(std::string_view bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "\"h%016llx\"",
+                static_cast<unsigned long long>(cache::fnv1a64(bytes)));
+  return std::string(buf);
+}
+
+Response error_response(int status, std::string_view message) {
+  Response response;
+  response.status = status;
+  json::Value body;
+  body["error"] = std::string(to_string(error_code_for_status(status)));
+  body["message"] = std::string(message);
+  body["status"] = status;
+  response.body = json::write(body) + "\n";
+  response.set_header("Content-Type", "application/json");
+  return response;
+}
+
+Result<std::unique_ptr<RepoService>> RepoService::create(
+    std::vector<std::string> roots, const repository::ScanOptions& scan,
+    repository::ScanReport* report) {
+  obs::Span span("net.service.create");
+  auto service = std::unique_ptr<RepoService>(new RepoService());
+  service->repo_ = std::make_unique<repository::Repository>(std::move(roots));
+  XPDL_ASSIGN_OR_RETURN(repository::ScanReport scan_report,
+                        service->repo_->scan(scan));
+  if (report != nullptr) *report = std::move(scan_report);
+
+  // Load every indexed descriptor's raw bytes once: the descriptor
+  // endpoint serves them verbatim, so a remote scan sees byte-identical
+  // content (and the same content-hash keys) as a local one.
+  json::Value index;
+  json::Array listing;
+  for (const repository::DescriptorInfo& info :
+       service->repo_->descriptors()) {
+    ServedDescriptor served;
+    served.info = info;
+    if (info.path == "<memory>") {
+      auto element = service->repo_->lookup(info.reference_name);
+      if (!element.is_ok()) return std::move(element).status();
+      served.bytes = xml::write(**element);
+    } else {
+      XPDL_ASSIGN_OR_RETURN(served.bytes, io::read_file(info.path));
+    }
+    served.etag = strong_etag(served.bytes);
+
+    json::Value entry;
+    entry["name"] = info.reference_name;
+    entry["tag"] = info.tag;
+    entry["meta"] = info.is_meta;
+    entry["etag"] = served.etag;
+    entry["path"] = "/v1/descriptors/" + url_encode(info.reference_name);
+    entry["bytes"] = std::uint64_t{served.bytes.size()};
+    listing.push_back(std::move(entry));
+    service->descriptors_.emplace(info.reference_name, std::move(served));
+  }
+  index["count"] = std::uint64_t{service->descriptors_.size()};
+  index["descriptors"] = std::move(listing);
+  service->index_json_ = json::write(index, 2) + "\n";
+  XPDL_OBS_GAUGE_SET("net.server.descriptors",
+                     static_cast<double>(service->descriptors_.size()));
+  return service;
+}
+
+Response RepoService::handle(const Request& request) {
+  if (request.method != "GET") {
+    Response response =
+        error_response(405, "only GET is supported by the model repository");
+    response.set_header("Allow", "GET");
+    return response;
+  }
+  std::string path = url_decode(request.path());
+  if (path == "/healthz") {
+    Response response;
+    response.body = "ok\n";
+    response.set_header("Content-Type", "text/plain; charset=utf-8");
+    return response;
+  }
+  if (path == "/metrics") return handle_metrics();
+  if (path == "/v1/index") return handle_index(request);
+  if (constexpr std::string_view kDescriptors = "/v1/descriptors/";
+      path.rfind(kDescriptors, 0) == 0) {
+    return handle_descriptor(
+        request, std::string_view(path).substr(kDescriptors.size()));
+  }
+  if (constexpr std::string_view kModels = "/v1/models/";
+      path.rfind(kModels, 0) == 0) {
+    return handle_model(request,
+                        std::string_view(path).substr(kModels.size()));
+  }
+  if (path == "/v1/query") return handle_query(request);
+  return error_response(404, "no such endpoint: '" + path + "'");
+}
+
+Response RepoService::handle_index(const Request& request) const {
+  XPDL_OBS_COUNT("net.server.index_requests", 1);
+  std::string etag = strong_etag(index_json_);
+  if (etag_matches(request, etag)) return not_modified(etag);
+  Response response;
+  response.body = index_json_;
+  response.set_header("Content-Type", "application/json");
+  response.set_header("ETag", std::move(etag));
+  return response;
+}
+
+Response RepoService::handle_descriptor(const Request& request,
+                                        std::string_view name) {
+  auto it = descriptors_.find(name);
+  if (it == descriptors_.end()) {
+    XPDL_OBS_COUNT("net.server.descriptor_misses", 1);
+    return error_response(
+        404, "no descriptor named '" + std::string(name) + "'");
+  }
+  const ServedDescriptor& served = it->second;
+  if (etag_matches(request, served.etag)) {
+    XPDL_OBS_COUNT("net.server.descriptor_not_modified", 1);
+    return not_modified(served.etag);
+  }
+  XPDL_OBS_COUNT("net.server.descriptor_hits", 1);
+  Response response;
+  response.body = served.bytes;
+  response.set_header("Content-Type", "application/xml");
+  response.set_header("ETag", served.etag);
+  response.set_header("X-XPDL-Kind", served.info.is_meta ? "meta" : "model");
+  return response;
+}
+
+Response RepoService::handle_model(const Request& request,
+                                   std::string_view ref) {
+  obs::Span span("net.service.model");
+  std::lock_guard<std::mutex> lock(compose_mutex_);
+  auto it = artifacts_.find(ref);
+  if (it == artifacts_.end()) {
+    XPDL_OBS_COUNT("net.server.model_compiles", 1);
+    compose::Composer composer(*repo_);
+    auto artifact = composer.compose_runtime(ref);
+    if (!artifact.is_ok()) return from_status(artifact.status());
+    Artifact entry;
+    entry.etag = strong_etag(artifact->bytes);
+    entry.bytes = std::move(artifact->bytes);
+    it = artifacts_.emplace(std::string(ref), std::move(entry)).first;
+  } else {
+    XPDL_OBS_COUNT("net.server.model_memo_hits", 1);
+  }
+  if (etag_matches(request, it->second.etag)) {
+    return not_modified(it->second.etag);
+  }
+  Response response;
+  response.body = it->second.bytes;
+  response.set_header("Content-Type", "application/octet-stream");
+  response.set_header("ETag", it->second.etag);
+  return response;
+}
+
+Response RepoService::handle_query(const Request& request) {
+  obs::Span span("net.service.query");
+  XPDL_OBS_COUNT("net.server.query_requests", 1);
+  auto params = parse_query(request.query());
+  auto model_it = params.find("model");
+  auto q_it = params.find("q");
+  if (model_it == params.end() || model_it->second.empty() ||
+      q_it == params.end() || q_it->second.empty()) {
+    return error_response(
+        400, "the query endpoint requires 'model' and 'q' parameters");
+  }
+
+  // Reuse the memoized artifact; the runtime model is rebuilt from its
+  // bytes (cheap: one arena deserialization).
+  Request artifact_request;
+  Response artifact = handle_model(artifact_request, model_it->second);
+  if (artifact.status != 200) return artifact;
+  auto model = runtime::Model::deserialize(artifact.body);
+  if (!model.is_ok()) return from_status(model.status());
+  auto nodes = query::select(*model, q_it->second);
+  if (!nodes.is_ok()) {
+    Status st = nodes.status();
+    // A malformed query is caller error, not server error.
+    return error_response(400, st.to_string());
+  }
+
+  json::Value body;
+  body["model"] = model_it->second;
+  body["query"] = q_it->second;
+  body["count"] = std::uint64_t{nodes->size()};
+  json::Array results;
+  for (const runtime::Node& node : *nodes) {
+    json::Value entry;
+    entry["tag"] = node.tag();
+    if (!node.id().empty()) entry["id"] = node.id();
+    if (!node.name().empty()) entry["name"] = node.name();
+    if (!node.type().empty()) entry["type"] = node.type();
+    results.push_back(std::move(entry));
+  }
+  body["results"] = std::move(results);
+  Response response;
+  response.body = json::write(body, 2) + "\n";
+  response.set_header("Content-Type", "application/json");
+  return response;
+}
+
+Response RepoService::handle_metrics() const {
+  json::Value counters;
+  json::Value gauges;
+  json::Value histograms;
+  for (const obs::MetricInfo& metric : obs::Registry::instance().metrics()) {
+    switch (metric.type) {
+      case obs::MetricInfo::Type::kCounter:
+        if (metric.counter->value() != 0) {
+          counters[metric.name] = metric.counter->value();
+        }
+        break;
+      case obs::MetricInfo::Type::kGauge:
+        if (metric.gauge->value() != 0.0) {
+          gauges[metric.name] = metric.gauge->value();
+        }
+        break;
+      case obs::MetricInfo::Type::kHistogram:
+        if (metric.histogram->count() != 0) {
+          add_histogram(histograms[metric.name], *metric.histogram);
+        }
+        break;
+    }
+  }
+  json::Value body;
+  body["counters"] = std::move(counters);
+  body["gauges"] = std::move(gauges);
+  body["histograms"] = std::move(histograms);
+
+  // Derived convenience block: the numbers a dashboard wants first.
+  auto counter_value = [](std::string_view name) {
+    return obs::Registry::instance().counter(name).value();
+  };
+  json::Value server;
+  server["requests_total"] = counter_value("net.server.requests");
+  server["descriptors_served"] = counter_value("net.server.descriptor_hits");
+  server["descriptors_not_modified"] =
+      counter_value("net.server.descriptor_not_modified");
+  std::uint64_t cache_hits = counter_value("cache.hits");
+  std::uint64_t cache_misses = counter_value("cache.misses");
+  server["cache_hits"] = cache_hits;
+  server["cache_misses"] = cache_misses;
+  server["cache_hit_ratio"] =
+      cache_hits + cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  body["server"] = std::move(server);
+
+  Response response;
+  response.body = json::write(body, 2) + "\n";
+  response.set_header("Content-Type", "application/json");
+  // The metrics payload grows with the registry; serve it chunked so the
+  // transfer-coding path stays exercised in production, not only in
+  // tests.
+  response.chunked = true;
+  return response;
+}
+
+}  // namespace xpdl::net

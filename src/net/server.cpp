@@ -1,0 +1,253 @@
+#include "xpdl/net/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "xpdl/net/socket.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
+
+namespace xpdl::net {
+
+namespace {
+
+[[nodiscard]] std::size_t default_workers() {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 2;
+  return std::min<std::size_t>(hw, 8);
+}
+
+[[nodiscard]] Response plain_error(int status, std::string_view message) {
+  Response response;
+  response.status = status;
+  response.set_header("Content-Type", "text/plain; charset=utf-8");
+  response.body = std::string(message);
+  response.body += '\n';
+  return response;
+}
+
+void count_status(int status) {
+  if (status < 300) {
+    XPDL_OBS_COUNT("net.server.status_2xx", 1);
+  } else if (status < 400) {
+    XPDL_OBS_COUNT("net.server.status_3xx", 1);
+  } else if (status < 500) {
+    XPDL_OBS_COUNT("net.server.status_4xx", 1);
+  } else {
+    XPDL_OBS_COUNT("net.server.status_5xx", 1);
+  }
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  ServerOptions options;
+  Handler handler;
+  Listener listener;
+  std::vector<std::thread> threads;
+
+  std::mutex mutex;
+  std::condition_variable queue_cv;
+  std::condition_variable stop_cv;
+  std::deque<Socket> pending;
+  bool stop_requested = false;
+  bool started = false;
+  std::atomic<std::uint64_t> served{0};
+
+  void accept_loop() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stop_requested) return;
+      }
+      bool timed_out = false;
+      auto conn = listener.accept_with_timeout(100.0, timed_out);
+      if (!conn.is_ok()) return;  // listener closed or fatal
+      if (timed_out || !conn->valid()) continue;
+      XPDL_OBS_COUNT("net.server.connections", 1);
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(std::move(*conn));
+      queue_cv.notify_one();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Socket conn;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_cv.wait(lock,
+                      [&] { return stop_requested || !pending.empty(); });
+        if (pending.empty()) return;  // stopping and drained
+        conn = std::move(pending.front());
+        pending.pop_front();
+      }
+      serve_connection(conn);
+    }
+  }
+
+  /// One keep-alive connection: parse, dispatch, write, repeat.
+  void serve_connection(Socket& conn) {
+    if (!conn.set_timeout_ms(options.io_timeout_ms).is_ok()) return;
+    std::string buffer;
+    char chunk[8192];
+    for (;;) {
+      // Read until the header section is complete.
+      std::size_t head_end;
+      while ((head_end = find_head_end(buffer)) == std::string::npos) {
+        if (buffer.size() > options.max_header_bytes) {
+          (void)conn.write_all(
+              write_response(plain_error(431, "header section too large")));
+          return;
+        }
+        auto got = conn.read_some(chunk, sizeof chunk);
+        if (!got.is_ok() || *got == 0) return;  // EOF, timeout or reset
+        buffer.append(chunk, *got);
+      }
+      auto request = parse_request_head(buffer.substr(0, head_end));
+      if (!request.is_ok()) {
+        XPDL_OBS_COUNT("net.server.bad_requests", 1);
+        count_status(400);
+        (void)conn.write_all(
+            write_response(plain_error(400, request.status().message())));
+        return;
+      }
+      if (!request->header("Transfer-Encoding").empty()) {
+        count_status(501);
+        (void)conn.write_all(write_response(
+            plain_error(501, "chunked request bodies not supported")));
+        return;
+      }
+      auto body_len = content_length(*request);
+      if (!body_len.is_ok()) {
+        count_status(400);
+        (void)conn.write_all(
+            write_response(plain_error(400, body_len.status().message())));
+        return;
+      }
+      if (*body_len > options.max_body_bytes) {
+        count_status(413);
+        (void)conn.write_all(
+            write_response(plain_error(413, "request body too large")));
+        return;
+      }
+      while (buffer.size() - head_end < *body_len) {
+        auto got = conn.read_some(chunk, sizeof chunk);
+        if (!got.is_ok() || *got == 0) return;
+        buffer.append(chunk, *got);
+      }
+      request->body = buffer.substr(head_end, *body_len);
+      buffer.erase(0, head_end + *body_len);
+
+      Response response = dispatch(*request);
+      bool keep_alive =
+          request->version == "HTTP/1.1" &&
+          !iequals(request->header("Connection"), "close") &&
+          response.status < 500;
+      response.set_header("Connection", keep_alive ? "keep-alive" : "close");
+      if (!conn.write_all(write_response(response)).is_ok()) return;
+
+      std::uint64_t total =
+          served.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.max_requests != 0 && total >= options.max_requests) {
+        request_stop_impl();
+        return;
+      }
+      if (!keep_alive) return;
+    }
+  }
+
+  [[nodiscard]] Response dispatch(const Request& request) {
+    obs::Span span("net.server.request");
+    if (span.active()) span.arg("target", request.target);
+    std::uint64_t start = obs::now_ns();
+    Response response;
+    try {
+      response = handler(request);
+    } catch (const std::exception& e) {
+      response = plain_error(500, std::string("handler failed: ") + e.what());
+    } catch (...) {
+      response = plain_error(500, "handler failed");
+    }
+    XPDL_OBS_COUNT("net.server.requests", 1);
+    static obs::Histogram& latency = obs::histogram("net.server.request_us");
+    latency.record((obs::now_ns() - start) / 1000);
+    count_status(response.status);
+    if (response.header("Server").empty()) {
+      response.set_header("Server", "xpdld");
+    }
+    return response;
+  }
+
+  void request_stop_impl() {
+    std::lock_guard<std::mutex> lock(mutex);
+    stop_requested = true;
+    queue_cv.notify_all();
+    stop_cv.notify_all();
+  }
+};
+
+HttpServer::HttpServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = std::move(options);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start(Handler handler) {
+  XPDL_ASSIGN_OR_RETURN(
+      impl_->listener,
+      Listener::bind_tcp(impl_->options.host, impl_->options.port));
+  impl_->handler = std::move(handler);
+  impl_->started = true;
+  std::size_t workers = impl_->options.threads != 0
+                            ? impl_->options.threads
+                            : default_workers();
+  XPDL_OBS_GAUGE_SET("net.server.workers", static_cast<double>(workers));
+  impl_->threads.reserve(workers + 1);
+  impl_->threads.emplace_back([impl = impl_.get()] { impl->accept_loop(); });
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back(
+        [impl = impl_.get()] { impl->worker_loop(); });
+  }
+  return Status::ok();
+}
+
+std::uint16_t HttpServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+void HttpServer::request_stop() { impl_->request_stop_impl(); }
+
+void HttpServer::wait() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stop_cv.wait(lock, [&] { return impl_->stop_requested; });
+}
+
+void HttpServer::stop() {
+  if (!impl_->started) return;
+  impl_->request_stop_impl();
+  impl_->listener.close();
+  for (std::thread& t : impl_->threads) {
+    if (t.joinable()) t.join();
+  }
+  impl_->threads.clear();
+  impl_->started = false;
+}
+
+bool HttpServer::running() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->started && !impl_->stop_requested;
+}
+
+std::uint64_t HttpServer::served() const noexcept {
+  return impl_->served.load(std::memory_order_relaxed);
+}
+
+}  // namespace xpdl::net

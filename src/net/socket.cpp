@@ -1,0 +1,215 @@
+#include "xpdl/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xpdl::net {
+
+namespace {
+
+[[nodiscard]] Status errno_status(std::string_view what, int err) {
+  // Timeouts and resets are the transient class the retry policy acts
+  // on; everything else is a plain I/O error.
+  ErrorCode code = (err == EAGAIN || err == EWOULDBLOCK || err == EINTR ||
+                    err == ECONNRESET || err == ECONNREFUSED ||
+                    err == EPIPE || err == ETIMEDOUT || err == ENETUNREACH)
+                       ? ErrorCode::kUnavailable
+                       : ErrorCode::kIoError;
+  return Status(code, std::string(what) + ": " + std::strerror(err));
+}
+
+[[nodiscard]] Status apply_timeout(int fd, int option, double ms) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec =
+        static_cast<suseconds_t>((ms - static_cast<double>(tv.tv_sec) *
+                                           1000.0) *
+                                 1000.0);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv) != 0) {
+    return errno_status("setsockopt", errno);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Socket::set_timeout_ms(double ms) const {
+  XPDL_RETURN_IF_ERROR(apply_timeout(fd_, SO_RCVTIMEO, ms));
+  return apply_timeout(fd_, SO_SNDTIMEO, ms);
+}
+
+Result<std::size_t> Socket::read_some(char* buffer, std::size_t n) {
+  for (;;) {
+    ssize_t got = ::recv(fd_, buffer, n, 0);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    return errno_status("recv", errno);
+  }
+}
+
+Status Socket::write_all(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send", errno);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> connect_tcp(const std::string& host, std::uint16_t port,
+                           double timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  std::string service = std::to_string(port);
+  if (int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                             &results);
+      rc != 0) {
+    return Status(ErrorCode::kUnavailable,
+                  "resolving '" + host + "': " + ::gai_strerror(rc));
+  }
+  Status last(ErrorCode::kUnavailable, "no addresses for '" + host + "'");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = errno_status("socket", errno);
+      continue;
+    }
+    Socket sock(fd);
+    if (Status st = sock.set_timeout_ms(timeout_ms); !st.is_ok()) {
+      last = std::move(st);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      ::freeaddrinfo(results);
+      return sock;
+    }
+    last = errno_status("connecting to " + host + ":" + service, errno);
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Result<Listener> Listener::bind_tcp(const std::string& host,
+                                    std::uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket", errno);
+  Listener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "invalid listen address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return errno_status("binding " + host + ":" + std::to_string(port),
+                        errno);
+  }
+  if (::listen(fd, backlog) != 0) return errno_status("listen", errno);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return errno_status("getsockname", errno);
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::accept_with_timeout(double timeout_ms,
+                                             bool& timed_out) {
+  timed_out = false;
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc == 0) {
+    timed_out = true;
+    return Socket();
+  }
+  if (rc < 0) {
+    if (errno == EINTR) {
+      timed_out = true;
+      return Socket();
+    }
+    return errno_status("poll", errno);
+  }
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      timed_out = true;
+      return Socket();
+    }
+    return errno_status("accept", errno);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace xpdl::net

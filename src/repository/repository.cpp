@@ -59,6 +59,11 @@ void Repository::add_root(std::string directory) {
 void Repository::set_transport(std::unique_ptr<Transport> transport) {
   transport_ = std::move(transport);
   scanned_ = false;
+  // load_file() memoizes path → reference name; those results came
+  // through the *old* transport, so serving them after a swap would
+  // return stale bytes. The next scan() clears entries_ anyway, but
+  // load_file() is callable without a scan — drop the memo now.
+  loaded_files_.clear();
 }
 
 std::vector<std::string> ScanReport::to_warnings() const {

@@ -67,6 +67,38 @@ inline void warn(std::string_view tool, std::string_view message) {
                static_cast<int>(message.size()), message.data());
 }
 
+/// Parses a worker-thread count from `--jobs`/`-j` or the XPDL_JOBS
+/// environment variable: a positive decimal integer. Anything else —
+/// including 0 and negative values — is a usage error (exit kExitUsage):
+/// 0 would silently mean "default" and hide typos. `source` names where
+/// the value came from ("--jobs", "XPDL_JOBS") for the diagnostic.
+inline std::size_t parse_jobs_or_exit(std::string_view tool,
+                                      std::string_view source,
+                                      const char* text) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(text, &end, 10);
+  bool digits = text[0] >= '0' && text[0] <= '9';
+  if (!digits || end == text || *end != '\0' || v == 0) {
+    std::fprintf(stderr,
+                 "%.*s: invalid %.*s value '%s' (expected a positive "
+                 "thread count)\n",
+                 static_cast<int>(tool.size()), tool.data(),
+                 static_cast<int>(source.size()), source.data(), text);
+    std::exit(kExitUsage);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Worker-thread count from XPDL_JOBS (0 = unset, use the default).
+/// Every place that accepts --jobs honours this variable, and an invalid
+/// value exits with kExitUsage rather than silently misconfiguring a
+/// scan or pool.
+inline std::size_t jobs_from_env(std::string_view tool) {
+  const char* env = std::getenv("XPDL_JOBS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  return parse_jobs_or_exit(tool, "XPDL_JOBS", env);
+}
+
 /// Shared resilience flags. Construction installs any XPDL_FAULTS
 /// environment plan into the process-wide FaultInjector (mirroring how
 /// ToolSession honours XPDL_STATS/XPDL_TRACE); parse_flag() consumes
@@ -132,7 +164,10 @@ class ResilienceFlags {
 ///   --cache-dir DIR  snapshot location (default: $XPDL_CACHE_DIR or
 ///                    <first repo root>/.xpdl.cache)
 ///   --jobs N         worker threads for the repository scan's parse
-///                    phase (default 0 = one per hardware thread)
+///                    phase (N >= 1; default: one per hardware thread).
+///                    The XPDL_JOBS environment variable sets the same
+///                    default everywhere --jobs is accepted; the flag
+///                    wins when both are given.
 ///
 /// so every tool exposes the same performance surface. The cache is on
 /// by default in the tools: results are byte-identical warm or cold, so
@@ -140,7 +175,8 @@ class ResilienceFlags {
 class PerfFlags {
  public:
   explicit PerfFlags(std::string tool_name)
-      : tool_name_(std::move(tool_name)) {}
+      : tool_name_(std::move(tool_name)),
+        threads_(jobs_from_env(tool_name_)) {}
 
   /// Consumes a perf flag at argv[i], advancing i past any value.
   /// Returns false (leaving i untouched) for other options.
@@ -165,14 +201,7 @@ class PerfFlags {
                      tool_name_.c_str(), std::string(a).c_str());
         std::exit(kExitUsage);
       }
-      char* end = nullptr;
-      unsigned long v = std::strtoul(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0') {
-        std::fprintf(stderr, "%s: invalid thread count '%s'\n",
-                     tool_name_.c_str(), argv[i]);
-        std::exit(kExitUsage);
-      }
-      threads_ = static_cast<std::size_t>(v);
+      threads_ = parse_jobs_or_exit(tool_name_, a, argv[++i]);
       return true;
     }
     return false;

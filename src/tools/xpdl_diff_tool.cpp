@@ -15,6 +15,7 @@
 
 #include "tool_common.h"
 #include "xpdl/diff/diff.h"
+#include "xpdl/net/http_transport.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/xml/xml.h"
@@ -52,6 +53,8 @@ int main(int argc, char** argv) {
   const xpdl::xml::Element* right = nullptr;
   xpdl::xml::Document doc_a, doc_b;
   xpdl::repository::Repository repo(repos);
+  // http:// --repo entries resolve against a remote xpdld repository.
+  repo.set_transport(xpdl::net::make_http_aware_transport());
   if (!repos.empty()) {
     xpdl::repository::ScanOptions scan_options;
     scan_options.strict = rflags.strict();

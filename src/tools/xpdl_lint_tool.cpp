@@ -22,6 +22,7 @@
 #include "tool_common.h"
 #include "xpdl/analysis/analysis.h"
 #include "xpdl/analysis/sarif.h"
+#include "xpdl/net/http_transport.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/util/io.h"
@@ -85,6 +86,8 @@ int main(int argc, char** argv) {
   xpdl::obs::ToolSession obs("xpdl-lint");
   tools::ResilienceFlags rflags("xpdl-lint");
   tools::PerfFlags pflags("xpdl-lint");
+  // XPDL_JOBS seeds the analysis pool too; --jobs / --serial override.
+  options.threads = tools::jobs_from_env("xpdl-lint");
   for (int i = 1; i < argc; ++i) {
     std::string_view a = argv[i];
     if (a == "--repo" && i + 1 < argc) {
@@ -112,12 +115,7 @@ int main(int argc, char** argv) {
     } else if (a == "--list-rules") {
       return list_rules();
     } else if (a == "--jobs" && i + 1 < argc) {
-      auto n = xpdl::strings::parse_double(argv[++i]);
-      if (!n.is_ok() || *n < 1) {
-        std::fputs("xpdl-lint: --jobs expects a positive integer\n", stderr);
-        return usage();
-      }
-      options.threads = static_cast<std::size_t>(*n);
+      options.threads = tools::parse_jobs_or_exit("xpdl-lint", a, argv[++i]);
     } else if (a == "--serial") {
       options.threads = 1;
     } else if (a == "--no-models") {
@@ -144,6 +142,8 @@ int main(int argc, char** argv) {
   obs.begin();
 
   xpdl::repository::Repository repo(repos);
+  // http:// --repo entries resolve against a remote xpdld repository.
+  repo.set_transport(xpdl::net::make_http_aware_transport());
   xpdl::repository::ScanOptions scan_options;
   scan_options.strict = rflags.strict();
   pflags.apply(scan_options);

@@ -30,6 +30,7 @@
 #include "xpdl/microbench/drivergen.h"
 #include "xpdl/microbench/simmachine.h"
 #include "xpdl/model/power.h"
+#include "xpdl/net/http_transport.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/pdl/pdl.h"
 #include "xpdl/repository/repository.h"
@@ -147,6 +148,9 @@ int main(int argc, char** argv) {
   obs.begin();
 
   xpdl::repository::Repository repo(args.repos);
+  // http:// entries in the search path resolve against a remote xpdld
+  // repository; plain directories keep using the local transport.
+  repo.set_transport(xpdl::net::make_http_aware_transport());
   xpdl::repository::ScanOptions scan_options;
   scan_options.strict = rflags.strict();
   pflags.apply(scan_options);

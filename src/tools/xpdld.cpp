@@ -1,0 +1,176 @@
+// xpdld -- the XPDL model repository server (Sec. III).
+//
+// Serves a scanned repository over HTTP so remote tools can resolve
+// their model search path against this machine: raw descriptors with
+// content-hash ETags, the JSON index, composed runtime artifacts
+// (snapshot-cache backed) and the query engine. See docs/server.md for
+// the endpoint reference.
+//
+// Usage:
+//   xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]
+//         [--port-file FILE] [--max-requests N] [--quiet]
+//         [--jobs N] [--stats] [--trace FILE.json]
+//         [--strict] [--keep-going] [--fault-plan SPEC]
+//         [--no-cache] [--cache-dir DIR]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// bound port as a single line once the server is listening, so scripts
+// can start xpdld in the background and discover where it landed.
+// --max-requests N shuts the server down after N requests (smoke tests).
+// --jobs / XPDL_JOBS size both the scan's parse pool and the HTTP worker
+// pool. Exit status (tool_common.h contract): 0 clean shutdown
+// (including degraded scans under the default lenient mode), 1 when the
+// repository could not be served, 2 usage.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tool_common.h"
+#include "xpdl/net/repo_service.h"
+#include "xpdl/net/server.h"
+#include "xpdl/obs/report.h"
+#include "xpdl/util/io.h"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+void usage() {
+  std::fputs(
+      "usage: xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]\n"
+      "             [--port-file FILE] [--max-requests N] [--quiet]\n"
+      "             [--jobs N] [--stats] [--trace FILE.json]\n"
+      "             [--strict] [--keep-going] [--fault-plan SPEC]\n"
+      "             [--no-cache] [--cache-dir DIR]\n",
+      stderr);
+}
+
+int fail(const xpdl::Status& status) {
+  return xpdl::tools::fail_with("xpdld", status);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> repos;
+  xpdl::net::ServerOptions server_options;
+  std::string port_file;
+  bool quiet = false;
+  xpdl::obs::ToolSession obs("xpdld");
+  xpdl::tools::ResilienceFlags rflags("xpdld");
+  xpdl::tools::PerfFlags pflags("xpdld");
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--repo") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      repos.emplace_back(v);
+    } else if (a == "--host") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      server_options.host = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      char* end = nullptr;
+      unsigned long p = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || p > 65535) {
+        std::fprintf(stderr, "xpdld: invalid port '%s'\n", v);
+        return 2;
+      }
+      server_options.port = static_cast<std::uint16_t>(p);
+    } else if (a == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      port_file = v;
+    } else if (a == "--max-requests") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      char* end = nullptr;
+      server_options.max_requests = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "xpdld: invalid request count '%s'\n", v);
+        return 2;
+      }
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (obs.parse_flag(argc, argv, i) ||
+               rflags.parse_flag(argc, argv, i) ||
+               pflags.parse_flag(argc, argv, i)) {
+      continue;
+    } else {
+      std::fprintf(stderr, "xpdld: unknown option '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+  if (repos.empty()) {
+    std::fputs("xpdld: at least one --repo is required\n", stderr);
+    usage();
+    return 2;
+  }
+  obs.begin();
+
+  xpdl::repository::ScanOptions scan_options;
+  scan_options.strict = rflags.strict();
+  pflags.apply(scan_options);
+  // --jobs / XPDL_JOBS also size the HTTP worker pool.
+  server_options.threads = pflags.threads();
+
+  xpdl::repository::ScanReport scan_report;
+  auto service = xpdl::net::RepoService::create(repos, scan_options,
+                                                &scan_report);
+  if (!service.is_ok()) return fail(service.status());
+  for (const std::string& w : scan_report.to_warnings()) {
+    xpdl::tools::warn("xpdld", w);
+  }
+
+  xpdl::net::HttpServer server(server_options);
+  if (auto st = server.start([svc = service->get()](
+                                 const xpdl::net::Request& request) {
+        return svc->handle(request);
+      });
+      !st.is_ok()) {
+    return fail(st);
+  }
+  if (!port_file.empty()) {
+    if (auto st = xpdl::io::write_file(
+            port_file, std::to_string(server.port()) + "\n");
+        !st.is_ok()) {
+      server.stop();
+      return fail(st);
+    }
+  }
+  if (!quiet) {
+    std::printf("xpdld: serving %zu descriptor(s) on http://%s:%u\n",
+                (*service)->descriptor_count(), server_options.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Serve until a signal arrives or --max-requests trips request_stop().
+  while (server.running() && !g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::uint64_t served = server.served();
+  server.stop();
+  if (!quiet) {
+    std::printf("xpdld: shut down after %llu request(s)\n",
+                static_cast<unsigned long long>(served));
+  }
+  return 0;
+}

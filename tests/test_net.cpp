@@ -1,0 +1,633 @@
+// Tests for xpdl::net — the HTTP message layer, the loopback server
+// behind xpdld, and the HttpTransport that lets a repository scan run
+// against a remote model server. The load-bearing claims: bytes served
+// over HTTP are identical to the on-disk descriptors, a composed model
+// fetched remotely is byte-identical to a local compile, a warm ETag
+// scan issues only conditional requests, and the resilience stack
+// (retry, circuit breaker, degraded scan) works over the network seam.
+#include "xpdl/net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/net/client.h"
+#include "xpdl/net/http_transport.h"
+#include "xpdl/net/repo_service.h"
+#include "xpdl/net/server.h"
+#include "xpdl/net/socket.h"
+#include "xpdl/obs/metrics.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/resilience/breaker.h"
+#include "xpdl/resilience/fault.h"
+#include "xpdl/util/io.h"
+#include "xpdl/util/json.h"
+
+namespace xpdl::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temporary directory tree, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("xpdl_net_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, std::string_view contents) {
+    fs::path p = dir_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << contents;
+  }
+
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+constexpr std::string_view kCpu = R"(<?xml version="1.0"?>
+<cpu name="net_cpu" frequency="2.0" frequency_unit="GHz">
+  <core frequency="2.0" frequency_unit="GHz" />
+  <cache name="L2" size="1" unit="MiB" sets="8" replacement="LRU" />
+</cpu>
+)";
+
+constexpr std::string_view kSystem = R"(<?xml version="1.0"?>
+<system id="net_system">
+  <socket><cpu id="c1" type="net_cpu" /></socket>
+</system>
+)";
+
+void write_demo_repo(TempDir& dir) {
+  dir.write("net_cpu.xpdl", kCpu);
+  dir.write("net_system.xpdl", kSystem);
+}
+
+[[nodiscard]] std::uint64_t counter_value(std::string_view name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+/// A RepoService served over a loopback HttpServer on an ephemeral port.
+struct ServedRepo {
+  std::unique_ptr<RepoService> service;
+  HttpServer server;
+  std::string base_url;
+  std::string host_port;
+
+  static std::unique_ptr<ServedRepo> start(const std::string& root) {
+    auto out = std::make_unique<ServedRepo>();
+    auto service =
+        RepoService::create({root}, repository::ScanOptions{}, nullptr);
+    EXPECT_TRUE(service.is_ok()) << service.status().to_string();
+    if (!service.is_ok()) return nullptr;
+    out->service = std::move(*service);
+    Status st = out->server.start(
+        [svc = out->service.get()](const Request& r) {
+          return svc->handle(r);
+        });
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+    if (!st.is_ok()) return nullptr;
+    out->host_port = "127.0.0.1:" + std::to_string(out->server.port());
+    out->base_url = "http://" + out->host_port;
+    return out;
+  }
+};
+
+// --- message layer ------------------------------------------------------
+
+TEST(HttpMessages, ParsesRequestHead) {
+  auto req = parse_request_head(
+      "GET /v1/index?x=1 HTTP/1.1\r\nHost: h\r\nIf-None-Match: \"e\"\r\n\r\n");
+  ASSERT_TRUE(req.is_ok()) << req.status().to_string();
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path(), "/v1/index");
+  EXPECT_EQ(req->query(), "x=1");
+  EXPECT_EQ(req->header("host"), "h");            // case-insensitive
+  EXPECT_EQ(req->header("If-None-Match"), "\"e\"");
+  EXPECT_EQ(req->header("absent"), "");
+}
+
+TEST(HttpMessages, ParsesResponseHead) {
+  auto resp = parse_response_head(
+      "HTTP/1.1 304 Not Modified\r\nETag: \"h1\"\r\n\r\n");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 304);
+  EXPECT_EQ(resp->header("etag"), "\"h1\"");
+}
+
+TEST(HttpMessages, RejectsMalformedHeads) {
+  // A grab bag of malformed heads; each must fail cleanly, never crash.
+  const std::string_view cases[] = {
+      "",
+      "\r\n",
+      "GET\r\n",
+      "GET /\r\n",
+      "/index HTTP/1.1\r\n",
+      "GET\t/\tHTTP/1.1\r\n",
+      "GET / HTTP/1.1\r\nno-colon-header\r\n",
+      "GET / FTP/9.9\r\n",
+      " GET / HTTP/1.1\r\n",
+      "GET / HTTP/1.1\r\n: novalue\r\n",
+      std::string_view("GET \0 HTTP/1.1\r\n", 16),
+  };
+  for (std::string_view c : cases) {
+    auto req = parse_request_head(c);
+    EXPECT_FALSE(req.is_ok()) << "accepted: '" << c << "'";
+    if (!req.is_ok()) {
+      EXPECT_EQ(req.status().code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(HttpMessages, FindHeadEndHandlesBothLineEndings) {
+  EXPECT_EQ(find_head_end("GET / HTTP/1.1\r\n\r\nbody"), 18u);
+  EXPECT_EQ(find_head_end("GET / HTTP/1.1\n\nbody"), 16u);
+  EXPECT_EQ(find_head_end("GET / HTTP/1.1\r\n"), std::string::npos);
+}
+
+TEST(HttpMessages, ChunkedRoundTrip) {
+  std::string body;
+  for (int i = 0; i < 100000; ++i) body += static_cast<char>('a' + i % 26);
+  std::string wire = encode_chunked(body, 4096);
+  auto decoded = decode_chunked(wire);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, body);
+
+  // Empty body still terminates properly.
+  auto empty = decode_chunked(encode_chunked(""));
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_EQ(*empty, "");
+}
+
+TEST(HttpMessages, DecodeChunkedRejectsGarbage) {
+  EXPECT_FALSE(decode_chunked("nothex\r\nabc\r\n0\r\n\r\n").is_ok());
+  EXPECT_FALSE(decode_chunked("5\r\nab").is_ok());      // truncated data
+  EXPECT_FALSE(decode_chunked("5\r\nabcde\r\n").is_ok());  // no 0-chunk
+}
+
+TEST(HttpMessages, UrlParsing) {
+  auto url = parse_url("http://example.org:8080/v1/index?x=1");
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->host, "example.org");
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->path_query, "/v1/index?x=1");
+
+  auto bare = parse_url("http://h");
+  ASSERT_TRUE(bare.is_ok());
+  EXPECT_EQ(bare->port, 80);
+  EXPECT_EQ(bare->path_query, "/");
+
+  EXPECT_FALSE(parse_url("https://secure").is_ok());
+  EXPECT_FALSE(parse_url("ftp://x").is_ok());
+  EXPECT_FALSE(parse_url("http://").is_ok());
+  EXPECT_FALSE(parse_url("http://h:notaport/").is_ok());
+
+  EXPECT_TRUE(is_http_url("http://h/x"));
+  EXPECT_FALSE(is_http_url("/plain/dir"));
+}
+
+TEST(HttpMessages, QueryStringParsing) {
+  auto q = parse_query("model=net%20sys&q=%2F%2Fcpu&empty=");
+  EXPECT_EQ(q["model"], "net sys");
+  EXPECT_EQ(q["q"], "//cpu");
+  EXPECT_EQ(q["empty"], "");
+  EXPECT_EQ(url_decode(url_encode("a b/c?d=e&f")), "a b/c?d=e&f");
+}
+
+TEST(HttpMessages, StatusToErrorCodeMapping) {
+  EXPECT_EQ(error_code_for_status(200), ErrorCode::kOk);
+  EXPECT_EQ(error_code_for_status(304), ErrorCode::kOk);
+  EXPECT_EQ(error_code_for_status(404), ErrorCode::kNotFound);
+  EXPECT_EQ(error_code_for_status(400), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(error_code_for_status(405), ErrorCode::kIoError);
+  EXPECT_EQ(error_code_for_status(500), ErrorCode::kUnavailable);
+  EXPECT_EQ(error_code_for_status(503), ErrorCode::kUnavailable);
+}
+
+// --- loopback server ----------------------------------------------------
+
+TEST(Server, ServesDescriptorBytesIdentically) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto resp = client.get(served->base_url + "/v1/descriptors/net_cpu");
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  EXPECT_EQ(resp->status, 200);
+  auto on_disk = io::read_file(repo.path() + "/net_cpu.xpdl");
+  ASSERT_TRUE(on_disk.is_ok());
+  EXPECT_EQ(resp->body, *on_disk);  // byte-identical to the source file
+  EXPECT_FALSE(resp->header("ETag").empty());
+  EXPECT_EQ(resp->header("ETag"), strong_etag(*on_disk));
+}
+
+TEST(Server, EtagRevalidationReturns304) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto first = client.get(served->base_url + "/v1/descriptors/net_system");
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_EQ(first->status, 200);
+  std::string etag(first->header("ETag"));
+
+  auto second = client.get(served->base_url + "/v1/descriptors/net_system",
+                           {{"If-None-Match", etag}});
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->status, 304);
+  EXPECT_TRUE(second->body.empty());
+  EXPECT_EQ(second->header("ETag"), etag);
+
+  // A stale validator still gets the full representation.
+  auto stale = client.get(served->base_url + "/v1/descriptors/net_system",
+                          {{"If-None-Match", "\"h0000000000000000\""}});
+  ASSERT_TRUE(stale.is_ok());
+  EXPECT_EQ(stale->status, 200);
+}
+
+TEST(Server, ErrorStatusesMapToErrorCodes) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto missing = client.get(served->base_url + "/v1/descriptors/no_such");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(error_code_for_status(missing->status), ErrorCode::kNotFound);
+  auto body = json::parse(missing->body);
+  ASSERT_TRUE(body.is_ok()) << "error body must be JSON";
+  EXPECT_EQ(body->find("error")->as_string(), "not-found");
+
+  auto bad = client.get(served->base_url + "/v1/query?model=net_system");
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(error_code_for_status(bad->status), ErrorCode::kInvalidArgument);
+
+  auto unknown = client.get(served->base_url + "/nope");
+  ASSERT_TRUE(unknown.is_ok());
+  EXPECT_EQ(unknown->status, 404);
+}
+
+TEST(Server, IndexListsEveryDescriptor) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto resp = client.get(served->base_url + "/v1/index");
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_EQ(resp->status, 200);
+  auto index = json::parse(resp->body);
+  ASSERT_TRUE(index.is_ok());
+  EXPECT_EQ(index->find("count")->as_number(), 2.0);
+  const json::Value* listing = index->find("descriptors");
+  ASSERT_NE(listing, nullptr);
+  ASSERT_EQ(listing->as_array().size(), 2u);
+  for (const json::Value& entry : listing->as_array()) {
+    EXPECT_TRUE(entry.find("name") != nullptr);
+    EXPECT_TRUE(entry.find("etag") != nullptr);
+    const json::Value* path = entry.find("path");
+    ASSERT_NE(path, nullptr);
+    EXPECT_EQ(path->as_string().rfind("/v1/descriptors/", 0), 0u);
+  }
+
+  // The index itself revalidates.
+  auto conditional = client.get(
+      served->base_url + "/v1/index",
+      {{"If-None-Match", std::string(resp->header("ETag"))}});
+  ASSERT_TRUE(conditional.is_ok());
+  EXPECT_EQ(conditional->status, 304);
+}
+
+TEST(Server, ModelEndpointMatchesLocalCompile) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  repository::Repository local({repo.path()});
+  ASSERT_TRUE(local.scan(repository::ScanOptions{}).is_ok());
+  auto artifact = compose::Composer(local).compose_runtime("net_system");
+  ASSERT_TRUE(artifact.is_ok()) << artifact.status().to_string();
+
+  HttpClient client;
+  auto resp = client.get(served->base_url + "/v1/models/net_system");
+  ASSERT_TRUE(resp.is_ok()) << resp.status().to_string();
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, artifact->bytes);  // byte-identical artifact
+
+  // Artifact ETags revalidate like descriptors.
+  auto cond = client.get(
+      served->base_url + "/v1/models/net_system",
+      {{"If-None-Match", std::string(resp->header("ETag"))}});
+  ASSERT_TRUE(cond.is_ok());
+  EXPECT_EQ(cond->status, 304);
+
+  auto missing = client.get(served->base_url + "/v1/models/no_such");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(Server, QueryEndpointSelectsNodes) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto resp = client.get(served->base_url +
+                         "/v1/query?model=net_system&q=" + url_encode("//cpu"));
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_EQ(resp->status, 200) << resp->body;
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_GE(body->find("count")->as_number(), 1.0);
+}
+
+TEST(Server, MetricsExposesRequestCountsAndLatency) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  ASSERT_TRUE(client.get(served->base_url + "/healthz").is_ok());
+  auto resp = client.get(served->base_url + "/metrics");
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_EQ(resp->status, 200);
+  // /metrics is served chunked; a parseable body proves the codec.
+  auto metrics = json::parse(resp->body);
+  ASSERT_TRUE(metrics.is_ok()) << resp->body.substr(0, 200);
+  const json::Value* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->find("net.server.requests")->as_number(), 1.0);
+  const json::Value* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* latency = histograms->find("net.server.request_us");
+  ASSERT_NE(latency, nullptr) << "latency histogram missing";
+  EXPECT_GE(latency->find("count")->as_number(), 1.0);
+  EXPECT_GE(latency->find("p95")->as_number(),
+            latency->find("p50")->as_number());
+  const json::Value* server_block = metrics->find("server");
+  ASSERT_NE(server_block, nullptr);
+  EXPECT_TRUE(server_block->find("cache_hit_ratio") != nullptr);
+}
+
+TEST(Server, SurvivesMalformedRequestFuzz) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  struct Case {
+    std::string raw;
+    std::string expect_status;  // "" = connection may just close
+  };
+  std::string huge_header = "GET / HTTP/1.1\r\nX-Pad: ";
+  // Must comfortably exceed max_header_bytes *before* the final blank
+  // line can arrive, so the 431 cap (not the parser) answers.
+  huge_header.append(40000, 'x');
+  huge_header += "\r\n\r\n";
+  const Case cases[] = {
+      {"GARBAGE\r\n\r\n", "400"},
+      {"GET\t/\tHTTP/1.1\r\n\r\n", "400"},
+      {"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", "400"},
+      {"GET / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n", "413"},
+      {"POST /v1/index HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       "501"},
+      {huge_header, "431"},
+      {std::string("\0\0\0\0\r\n\r\n", 8), "400"},
+  };
+  for (const Case& c : cases) {
+    auto conn = connect_tcp("127.0.0.1", served->server.port(), 2000.0);
+    ASSERT_TRUE(conn.is_ok());
+    ASSERT_TRUE(conn->set_timeout_ms(2000.0).is_ok());
+    ASSERT_TRUE(conn->write_all(c.raw).is_ok());
+    std::string reply;
+    char buf[4096];
+    for (;;) {
+      auto got = conn->read_some(buf, sizeof buf);
+      if (!got.is_ok() || *got == 0) break;
+      reply.append(buf, *got);
+    }
+    ASSERT_FALSE(reply.empty()) << "no reply for: " << c.raw.substr(0, 40);
+    EXPECT_EQ(reply.rfind("HTTP/1.1 " + c.expect_status, 0), 0u)
+        << "got: " << reply.substr(0, 60);
+  }
+  // The server is still healthy after all of that.
+  HttpClient client;
+  auto health = client.get(served->base_url + "/healthz");
+  ASSERT_TRUE(health.is_ok());
+  EXPECT_EQ(health->status, 200);
+}
+
+// --- HttpTransport: remote scans ----------------------------------------
+
+TEST(Transport, HttpScanMatchesLocalScan) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  // Local reference scan + compile.
+  repository::Repository local({repo.path()});
+  auto local_report = local.scan(repository::ScanOptions{});
+  ASSERT_TRUE(local_report.is_ok());
+  auto local_artifact =
+      compose::Composer(local).compose_runtime("net_system");
+  ASSERT_TRUE(local_artifact.is_ok());
+
+  // Remote scan through the HTTP transport.
+  repository::Repository remote({served->base_url});
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  remote.set_transport(make_http_aware_transport(options));
+  auto remote_report = remote.scan(repository::ScanOptions{});
+  ASSERT_TRUE(remote_report.is_ok()) << remote_report.status().to_string();
+  EXPECT_EQ(remote_report->indexed, local_report->indexed);
+  EXPECT_EQ(remote.size(), local.size());
+
+  auto remote_artifact =
+      compose::Composer(remote).compose_runtime("net_system");
+  ASSERT_TRUE(remote_artifact.is_ok())
+      << remote_artifact.status().to_string();
+  // The composed runtime artifact is byte-identical to the local one,
+  // and so are its replayed diagnostics.
+  EXPECT_EQ(remote_artifact->bytes, local_artifact->bytes);
+  EXPECT_EQ(remote_artifact->warnings, local_artifact->warnings);
+}
+
+TEST(Transport, WarmScanSendsOnlyConditionalRequests) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+
+  // Cold scan: every descriptor transfers in full (200).
+  std::uint64_t hits0 = counter_value("net.server.descriptor_hits");
+  std::uint64_t nm0 = counter_value("net.server.descriptor_not_modified");
+  repository::Repository cold({served->base_url});
+  cold.set_transport(make_http_aware_transport(options));
+  ASSERT_TRUE(cold.scan(repository::ScanOptions{}).is_ok());
+  std::uint64_t cold_hits =
+      counter_value("net.server.descriptor_hits") - hits0;
+  EXPECT_EQ(cold_hits, 2u);
+
+  // Warm scan from a fresh process-equivalent (new Repository, same
+  // on-disk ETag cache): only conditional requests, all answered 304.
+  std::uint64_t hits1 = counter_value("net.server.descriptor_hits");
+  std::uint64_t nm1 = counter_value("net.server.descriptor_not_modified");
+  std::uint64_t cond1 = counter_value("net.transport.conditional_requests");
+  repository::Repository warm({served->base_url});
+  warm.set_transport(make_http_aware_transport(options));
+  ASSERT_TRUE(warm.scan(repository::ScanOptions{}).is_ok());
+  EXPECT_EQ(counter_value("net.server.descriptor_hits") - hits1, 0u)
+      << "warm scan re-transferred descriptor bodies";
+  EXPECT_EQ(counter_value("net.server.descriptor_not_modified") - nm1, 2u);
+  // Index + two descriptors: every request carried a validator.
+  EXPECT_EQ(counter_value("net.transport.conditional_requests") - cond1, 3u);
+  EXPECT_EQ(warm.size(), 2u);
+  (void)nm0;
+}
+
+// --- resilience over the network ----------------------------------------
+
+TEST(Resilience, ScanRetriesTransientNetworkFaults) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  resilience::FaultInjector injector;
+  resilience::FaultPlan plan;
+  plan.fail_n = 2;  // first two fetches die, then the mirror recovers
+  injector.set_plan("net.fetch:*", plan);
+
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  options.injector = &injector;
+  repository::Repository remote({served->base_url});
+  remote.set_transport(make_http_aware_transport(options));
+
+  repository::ScanOptions scan;
+  scan.retry.sleep = false;  // deterministic, no wall-clock backoff
+  auto report = remote.scan(scan);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->indexed, 2u);
+  EXPECT_GE(report->transport_retries, 2u);
+  EXPECT_EQ(injector.total_injected(), 2u);
+}
+
+TEST(Resilience, BreakerOpensFailsFastAndRecovers) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  double now_ms = 0.0;
+  resilience::FaultInjector injector;
+  resilience::FaultPlan plan;
+  plan.fail_n = 2;
+  std::string url = served->base_url + "/v1/descriptors/net_cpu";
+  injector.set_plan("net.fetch:" + url, plan);
+
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  options.injector = &injector;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration_ms = 1000.0;
+  options.breaker.half_open_successes = 1;
+  options.breaker.clock_ms = [&now_ms] { return now_ms; };
+  HttpTransport transport(options);
+
+  // Two injected failures trip the breaker open.
+  EXPECT_FALSE(transport.read(url).is_ok());
+  EXPECT_FALSE(transport.read(url).is_ok());
+  auto& breaker = transport.breaker_for(served->host_port);
+  EXPECT_EQ(breaker.state(), resilience::CircuitBreaker::State::kOpen);
+
+  // While open: fail fast, the injector is not even consulted.
+  std::uint64_t injected_before = injector.total_injected();
+  auto fast = transport.read(url);
+  ASSERT_FALSE(fast.is_ok());
+  EXPECT_EQ(fast.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(injector.total_injected(), injected_before);
+
+  // After the open window a trial call goes through (the plan's budget
+  // is exhausted, the server answers) and one success closes it again.
+  now_ms += 1500.0;
+  auto recovered = transport.read(url);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(*recovered, std::string(kCpu));
+  EXPECT_EQ(breaker.state(), resilience::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(Resilience, KeepGoingQuarantinesUnreachableDescriptor) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  resilience::FaultInjector injector;
+  resilience::FaultPlan plan;
+  plan.fail_n = 1000000;  // this descriptor's mirror is simply down
+  std::string bad_url = served->base_url + "/v1/descriptors/net_cpu";
+  injector.set_plan("net.fetch:" + bad_url, plan);
+
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  options.injector = &injector;
+  repository::Repository remote({served->base_url});
+  remote.set_transport(make_http_aware_transport(options));
+
+  repository::ScanOptions scan;
+  scan.retry.sleep = false;
+  scan.retry.max_attempts = 2;
+  auto report = remote.scan(scan);  // default lenient mode == --keep-going
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->degraded());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_EQ(report->quarantined[0].path, bad_url);
+  EXPECT_EQ(report->quarantined[0].reason.code(), ErrorCode::kUnavailable);
+  // The reachable descriptor still serves.
+  EXPECT_TRUE(remote.lookup("net_system").is_ok());
+
+  // --strict (fail-fast) refuses the degraded result outright.
+  repository::Repository strict_remote({served->base_url});
+  strict_remote.set_transport(make_http_aware_transport(options));
+  repository::ScanOptions strict_scan = scan;
+  strict_scan.strict = true;
+  EXPECT_FALSE(strict_remote.scan(strict_scan).is_ok());
+}
+
+}  // namespace
+}  // namespace xpdl::net

@@ -172,6 +172,33 @@ TEST(Repository, LoadFileRegistersTopLevelModel) {
   EXPECT_EQ((*loaded)->tag(), "system");
 }
 
+TEST(Repository, SetTransportInvalidatesLoadFileMemo) {
+  TempRepo tmp;
+  tmp.write("sys.xpdl", "<system id=\"memoized\" rev=\"1\"><socket>"
+                        "<cpu id=\"c\"/></socket></system>");
+  Repository repo;
+  std::string path = tmp.path() + "/sys.xpdl";
+  auto first = repo.load_file(path);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ((*first)->attribute("rev"), "1");
+
+  // The world changes while the memo still points at rev 1.
+  tmp.write("sys.xpdl", "<system id=\"memoized\" rev=\"2\"><socket>"
+                        "<cpu id=\"c\"/></socket></system>");
+  // Same path, same repo: the memo (correctly) serves the cached parse.
+  auto memoized = repo.load_file(path);
+  ASSERT_TRUE(memoized.is_ok());
+  EXPECT_EQ((*memoized)->attribute("rev"), "1");
+
+  // Swapping the transport invalidates everything fetched through the
+  // old one — including the load_file memo (see the set_transport
+  // contract in repository.h). The reload must see the new content.
+  repo.set_transport(make_default_transport());
+  auto reloaded = repo.load_file(path);
+  ASSERT_TRUE(reloaded.is_ok()) << reloaded.status().to_string();
+  EXPECT_EQ((*reloaded)->attribute("rev"), "2");
+}
+
 TEST(Repository, AddDescriptorInjectsInMemoryModels) {
   Repository repo;
   auto doc = xml::parse("<memory name=\"TestMem\" size=\"1\" unit=\"GB\"/>");
