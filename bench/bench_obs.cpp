@@ -5,9 +5,16 @@
 // for un-observed runs; must be near-zero), spans with timing enabled
 // (--stats), and spans under full trace collection (--trace). The
 // disabled-span number is what every un-observed toolchain run pays.
+// Also measured here: the v2 observability surfaces — flight-recorder
+// appends (always-on in xpdld), the structured event log's write path
+// (to /dev/null, isolating formatting + write(2)), and a full Prometheus
+// text render of the registry (the per-scrape cost of /metrics).
 #include <benchmark/benchmark.h>
 
+#include "xpdl/obs/eventlog.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/metrics.h"
+#include "xpdl/obs/prometheus.h"
 #include "xpdl/obs/trace.h"
 #include "xpdl/xml/xml.h"
 
@@ -114,6 +121,67 @@ void BM_ParseTimingOn(benchmark::State& state) {
                           static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_ParseTimingOn);
+
+void BM_FlightRecord(benchmark::State& state) {
+  xpdl::obs::FlightRecorder& fr = xpdl::obs::FlightRecorder::instance();
+  fr.enable(4096);
+  for (auto _ : state) {
+    fr.record(xpdl::obs::FlightRecorder::Kind::kEvent, "bench.obs.flight",
+              42);
+  }
+  fr.disable();
+  fr.clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecord);
+
+void BM_SpanFlightOnly(benchmark::State& state) {
+  // The always-on daemon configuration: timing off, flight ring on. This
+  // is what every span in an un-traced xpdld request costs.
+  xpdl::obs::set_timing_enabled(false);
+  xpdl::obs::FlightRecorder& fr = xpdl::obs::FlightRecorder::instance();
+  fr.enable(4096);
+  for (auto _ : state) {
+    xpdl::obs::Span span("bench.obs.span");
+    benchmark::DoNotOptimize(span.active());
+  }
+  fr.disable();
+  fr.clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanFlightOnly);
+
+void BM_EventLogRequest(benchmark::State& state) {
+  xpdl::obs::EventLog& log = xpdl::obs::EventLog::instance();
+  if (auto st = log.open("/dev/null"); !st.is_ok()) {
+    state.SkipWithError(st.to_string().c_str());
+    return;
+  }
+  xpdl::obs::EventLog::Request r;
+  r.method = "GET";
+  r.path = "/v1/descriptors/bench";
+  r.status = 200;
+  r.bytes = 1024;
+  r.duration_us = 85;
+  r.trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  for (auto _ : state) {
+    log.log_request(r);
+  }
+  log.close();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLogRequest);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  // Render whatever the registry holds by this point (the benchmarks
+  // above populated it) — representative of a live /metrics scrape.
+  for (auto _ : state) {
+    std::string text = xpdl::obs::prometheus_text();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrometheusRender);
 
 }  // namespace
 

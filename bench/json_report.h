@@ -4,11 +4,12 @@
 // unchanged) while teeing every measurement into a compact JSON file:
 //
 //   {"benchmarks": [{"name": "...", "ops_per_s": ..., "real_ns_per_op":
-//    ..., "p50_ns": ..., "p95_ns": ..., "samples": N}, ...]}
+//    ..., "p50_ns": ..., "p95_ns": ..., "p99_ns": ..., "samples": N},
+//    ...]}
 //
 // With --benchmark_repetitions=N the percentiles are taken across the N
-// repetition samples; a single run degenerates to p50 == p95 == the one
-// measurement (documented in docs/performance.md). The output path
+// repetition samples; a single run degenerates to p50 == p95 == p99 ==
+// the one measurement (documented in docs/performance.md). The output path
 // defaults to BENCH_<suite>.json in the working directory and can be
 // redirected with $XPDL_BENCH_JSON_DIR. scripts/check_bench_regression.py
 // compares these files against the checked-in bench/baselines/.
@@ -55,15 +56,17 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       };
       double p50 = pct(0.50);
       double p95 = pct(0.95);
+      double p99 = pct(0.99);
       double mean = 0;
       for (double v : s) mean += v;
       mean /= static_cast<double>(s.size());
       std::fprintf(f,
                    "%s\n    {\"name\": \"%s\", \"ops_per_s\": %.6g, "
                    "\"real_ns_per_op\": %.6g, \"p50_ns\": %.6g, "
-                   "\"p95_ns\": %.6g, \"samples\": %zu}",
+                   "\"p95_ns\": %.6g, \"p99_ns\": %.6g, \"samples\": %zu}",
                    first ? "" : ",", name.c_str(),
-                   mean > 0 ? 1e9 / mean : 0.0, mean, p50, p95, s.size());
+                   mean > 0 ? 1e9 / mean : 0.0, mean, p50, p95, p99,
+                   s.size());
       first = false;
     }
     std::fprintf(f, "\n  ]\n}\n");

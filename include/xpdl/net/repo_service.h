@@ -4,8 +4,12 @@
 // docs/server.md:
 //
 //   GET /healthz                     liveness probe ("ok")
-//   GET /metrics                     xpdl::obs counters/gauges/histograms
-//                                    as JSON (chunked transfer coding)
+//   GET /metrics                     xpdl::obs counters/gauges/histograms.
+//                                    JSON by default (chunked transfer
+//                                    coding); Prometheus text exposition
+//                                    0.0.4 when the Accept header prefers
+//                                    text/plain
+//   GET /debug/flight                the flight recorder's ring as JSON
 //   GET /v1/index                    JSON listing of every descriptor
 //   GET /v1/descriptors/<name>       raw .xpdl bytes, content-hash ETag,
 //                                    If-None-Match → 304
@@ -67,7 +71,8 @@ class RepoService {
   [[nodiscard]] Response handle_model(const Request& request,
                                       std::string_view ref);
   [[nodiscard]] Response handle_query(const Request& request);
-  [[nodiscard]] Response handle_metrics() const;
+  [[nodiscard]] Response handle_metrics(const Request& request) const;
+  [[nodiscard]] Response handle_flight() const;
 
   std::unique_ptr<repository::Repository> repo_;
   std::map<std::string, ServedDescriptor, std::less<>> descriptors_;

@@ -1,0 +1,90 @@
+// W3C Trace Context for cross-process span propagation (xpdl::obs).
+//
+// A TraceContext identifies one position in a distributed trace: the
+// 128-bit trace id shared by every span of the request, plus the 64-bit
+// id of the span that is current at the propagation point. It crosses
+// process boundaries as a `traceparent` HTTP header (W3C Trace Context,
+// version 00):
+//
+//   traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//                ^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ span-id ^^^^^^ ^^
+//             version                                            trace-flags
+//
+// The client side (HttpTransport) injects current_traceparent() into
+// outgoing requests; the server side (HttpServer) parses the header and
+// installs a ScopedRemoteParent for the duration of the request, so
+// every server-side span joins the caller's trace: same trace id, the
+// caller's span as parent. xpdl-trace merge then stitches the two
+// processes' Chrome trace files into a single timeline using the flow
+// events emitted for the propagation edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xpdl::obs {
+
+/// One point in a distributed trace. A context with trace_id_hi ==
+/// trace_id_lo == 0 or span_id == 0 is invalid per the W3C spec.
+struct TraceContext {
+  std::uint64_t trace_id_hi = 0;  ///< high 8 bytes of the 16-byte trace id
+  std::uint64_t trace_id_lo = 0;  ///< low 8 bytes
+  std::uint64_t span_id = 0;      ///< the current (parent-to-be) span
+  std::uint8_t flags = 0x01;      ///< trace-flags; bit 0 = sampled
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_id_hi != 0 || trace_id_lo != 0) && span_id != 0;
+  }
+  [[nodiscard]] bool sampled() const noexcept { return (flags & 0x01) != 0; }
+
+  /// Lower-case hex trace id (32 chars), e.g. for log correlation.
+  [[nodiscard]] std::string trace_id_hex() const;
+};
+
+/// Serializes `ctx` as a version-00 traceparent header value.
+[[nodiscard]] std::string format_traceparent(const TraceContext& ctx);
+
+/// Parses a traceparent header value. Unknown versions are accepted as
+/// long as the version-00 prefix fields parse (per spec); a malformed
+/// header or the all-zero ids yield `false` and leave `out` untouched.
+[[nodiscard]] bool parse_traceparent(std::string_view header,
+                                     TraceContext& out);
+
+/// A fresh random (non-zero) trace context, independent of any tracer
+/// state. Thread-safe.
+[[nodiscard]] TraceContext make_trace_context();
+
+/// A fresh non-zero span id. Thread-safe, unique per process.
+[[nodiscard]] std::uint64_t next_span_id();
+
+/// The calling thread's current trace position: the innermost open span
+/// when spans are recording, else the adopted remote context, else a
+/// fresh random context (so callers can always stamp outgoing requests
+/// and log lines with a usable trace id).
+[[nodiscard]] TraceContext current_context();
+
+/// format_traceparent(current_context()) — the header value to inject
+/// into an outgoing request.
+[[nodiscard]] std::string current_traceparent();
+
+/// Adopts a remote caller's context on this thread for the current
+/// scope: spans opened while the guard lives use the remote trace id and
+/// parent their top level onto the remote span. Used by the HTTP server
+/// around each request dispatch; nesting restores the previous context.
+class ScopedRemoteParent {
+ public:
+  explicit ScopedRemoteParent(const TraceContext& remote);
+  ~ScopedRemoteParent();
+  ScopedRemoteParent(const ScopedRemoteParent&) = delete;
+  ScopedRemoteParent& operator=(const ScopedRemoteParent&) = delete;
+
+ private:
+  TraceContext previous_;
+  bool had_previous_ = false;
+};
+
+/// The thread's adopted remote context (invalid context when none).
+[[nodiscard]] TraceContext remote_parent_context();
+
+}  // namespace xpdl::obs

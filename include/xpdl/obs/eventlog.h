@@ -1,0 +1,77 @@
+// Structured JSONL event log (xpdl::obs).
+//
+// An append-only log of one JSON object per line, designed for the
+// server's access log (xpdld --access-log) but usable for any structured
+// event stream. The write path is wait-free from the caller's view: the
+// line is formatted on the caller's stack/heap, then handed to the
+// kernel with a single write(2) on an O_APPEND descriptor, so concurrent
+// writers never interleave within a line and no user-space lock is
+// taken. A sampling knob (`sample_every`) keeps high-QPS servers cheap:
+// every Nth record is written, chosen by an atomic counter so the sample
+// is deterministic and evenly spaced, not random.
+//
+// Schema of a request record (see docs/observability.md):
+//   {"ts_us":..., "method":"GET", "path":"/metrics", "status":200,
+//    "bytes":512, "duration_us":84, "trace_id":"<32 hex>",
+//    "faults_injected":2}
+// trace_id and faults_injected are omitted when empty/zero to keep the
+// common-case line compact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "xpdl/util/status.h"
+
+namespace xpdl::obs {
+
+class EventLog {
+ public:
+  /// One HTTP request, as logged by the server dispatch loop.
+  struct Request {
+    std::string_view method;
+    std::string_view path;
+    int status = 0;
+    std::uint64_t bytes = 0;        ///< response body bytes
+    std::uint64_t duration_us = 0;
+    std::string_view trace_id;      ///< 32-hex W3C trace id, may be empty
+    std::uint64_t faults_injected = 0;  ///< fault-site verdicts during request
+  };
+
+  static EventLog& instance();
+
+  /// Opens `path` for appending and starts accepting records; keeps at
+  /// most one file open (a second open() closes the first). A
+  /// `sample_every` of N writes every Nth record (1 = all, 0 behaves
+  /// like 1).
+  [[nodiscard]] Status open(const std::string& path,
+                            std::uint64_t sample_every = 1);
+  void close() noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Appends one record for `r` (subject to sampling). Timestamp is
+  /// wall-clock microseconds at call time. Safe from any thread.
+  void log_request(const Request& r) noexcept;
+
+  /// Appends an arbitrary pre-formatted JSON object line (subject to
+  /// sampling). `json_object` must be a complete object without the
+  /// trailing newline.
+  void log_line(std::string_view json_object) noexcept;
+
+  /// Records accepted (written) and skipped by sampling, for /metrics.
+  [[nodiscard]] std::uint64_t written() const noexcept;
+  [[nodiscard]] std::uint64_t sampled_out() const noexcept;
+
+ private:
+  EventLog() = default;
+
+  std::atomic<int> fd_{-1};
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> sampled_out_{0};
+};
+
+}  // namespace xpdl::obs

@@ -1,0 +1,105 @@
+// Crash flight recorder (xpdl::obs).
+//
+// A fixed-size in-memory ring of the most recent spans and events,
+// cheap enough to leave always-on in a production daemon: recording is
+// one relaxed fetch_add plus a bounded memcpy into preallocated slots,
+// no locks, no allocation. When the process wedges or dies, the ring is
+// the post-mortem: it can be dumped
+//
+//   * on demand (xpdld's /debug/flight endpoint, FlightRecorder::dump),
+//   * from a fatal-signal handler (install_crash_handlers: SIGSEGV,
+//     SIGABRT, SIGBUS, SIGFPE) using only async-signal-safe calls, and
+//   * on graceful SIGTERM shutdown (xpdld writes it before exiting).
+//
+// Entries may be torn while the ring wraps under concurrent writers;
+// the dump is a best-effort post-mortem aid, not an audit log, and the
+// sequence numbers let a reader discard entries that look implausible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/util/json.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::obs {
+
+class FlightRecorder {
+ public:
+  /// Fixed name capacity per entry; longer names are truncated.
+  static constexpr std::size_t kNameBytes = 47;
+
+  enum class Kind : std::uint8_t {
+    kSpan = 0,     ///< a completed tracing span (value = duration_us)
+    kEvent = 1,    ///< a point event (value = caller-defined)
+    kRequest = 2,  ///< an HTTP request (value = duration_us, status set)
+  };
+
+  struct Entry {
+    std::uint64_t seq = 0;    ///< global order; 0 = slot never written
+    std::uint64_t ts_ns = 0;  ///< steady clock (obs::now_ns) at record time
+    std::uint64_t value = 0;
+    std::uint32_t tid = 0;    ///< OS thread id (gettid)
+    std::uint16_t status = 0;
+    std::uint8_t kind = 0;
+    char name[kNameBytes + 1] = {};
+  };
+
+  static FlightRecorder& instance();
+
+  /// Allocates the ring (rounded up to a power of two) and turns
+  /// recording on. Idempotent; a second call with a different capacity
+  /// keeps the first ring.
+  void enable(std::size_t capacity = 4096);
+  void disable() noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Appends one entry. Lock-free, allocation-free; no-op while
+  /// disabled.
+  void record(Kind kind, std::string_view name, std::uint64_t value = 0,
+              std::uint16_t status = 0) noexcept;
+
+  /// The ring's current contents in record order (oldest first).
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+  /// snapshot() as JSON: {"entries": [...], "recorded": N, "capacity": C}.
+  [[nodiscard]] json::Value to_json() const;
+
+  /// Writes to_json() to `path` (pretty-printed).
+  [[nodiscard]] Status dump(const std::string& path) const;
+
+  /// Async-signal-safe dump: writes one JSON object per line to `fd`
+  /// using only write(2) and stack buffers. Safe to call from a fatal
+  /// signal handler.
+  void dump_signal_safe(int fd) const noexcept;
+
+  /// Installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that write the ring
+  /// to `path` (truncating) and then re-raise the signal with default
+  /// disposition, so cores and exit codes are unaffected. `path` is
+  /// copied into static storage; call once from main().
+  static void install_crash_handlers(const std::string& path);
+
+  /// Entries recorded over the recorder's lifetime (may exceed capacity).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+
+  /// Drops all entries (capacity and enabled state survive). Tests.
+  void clear() noexcept;
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<Entry*> ring_{nullptr};
+  std::atomic<std::size_t> mask_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<bool> enabled_{false};
+};
+
+/// Lock-free global check used by Span: true once
+/// FlightRecorder::instance().enable() ran.
+[[nodiscard]] bool flight_enabled() noexcept;
+
+}  // namespace xpdl::obs

@@ -1,0 +1,50 @@
+// Prometheus text exposition (xpdl::obs).
+//
+// Renders the metric registry in the Prometheus text exposition format,
+// version 0.0.4 (the format every Prometheus server scrapes):
+//
+//   # HELP xpdl_cache_hits_total xpdl metric cache.hits
+//   # TYPE xpdl_cache_hits_total counter
+//   xpdl_cache_hits_total 42
+//
+// Mapping rules:
+//   * names: prefixed `xpdl_`, '.' and any other non [a-zA-Z0-9_:] byte
+//     become '_' (so `net.server.requests` -> `xpdl_net_server_requests`),
+//   * counters gain the conventional `_total` suffix,
+//   * gauges expose their raw double value,
+//   * histograms become cumulative `le` bucket series derived from the
+//     fixed log2 buckets (only buckets up to the highest occupied one are
+//     emitted, plus the mandatory `+Inf`), with `_sum` and `_count`.
+//
+// Output is deterministic: families are sorted by original metric name,
+// and every value is formatted the same way on every run, so golden-file
+// tests are stable. xpdld's /metrics endpoint serves this format when the
+// request's Accept header prefers text/plain (see docs/server.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/obs/metrics.h"
+
+namespace xpdl::obs {
+
+/// The exposition content type, to be sent as the HTTP Content-Type.
+inline constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Sanitized Prometheus name for an xpdl metric name (no type suffix):
+/// `xpdl_` prefix, every byte outside [a-zA-Z0-9_:] replaced with '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Renders `metrics` (as returned by Registry::metrics()) in text
+/// exposition format 0.0.4. Pure function of its input — used directly
+/// by golden-file tests.
+[[nodiscard]] std::string to_prometheus_text(
+    const std::vector<MetricInfo>& metrics);
+
+/// to_prometheus_text(Registry::instance().metrics()).
+[[nodiscard]] std::string prometheus_text();
+
+}  // namespace xpdl::obs

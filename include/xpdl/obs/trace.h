@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xpdl/obs/context.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/util/json.h"
 #include "xpdl/util/status.h"
@@ -27,11 +29,22 @@
 namespace xpdl::obs {
 
 /// One completed span, in Chrome trace_event "X" (complete event) terms.
+/// Every span carries a process-unique id and its parent's id (0 at top
+/// level); when the parent is a *remote* caller — adopted from a W3C
+/// traceparent header, see context.h — `remote_parent` is set and the
+/// Chrome export emits a flow-event edge so xpdl-trace merge can stitch
+/// the client's and server's files into one timeline.
 struct TraceEvent {
   std::string name;
   std::uint32_t tid = 0;       ///< sequential per-process thread id
   std::uint64_t start_ns = 0;  ///< steady-clock, relative to trace start
   std::uint64_t duration_ns = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;     ///< 0 = a root span
+  std::uint64_t trace_id_hi = 0;        ///< distributed trace id
+  std::uint64_t trace_id_lo = 0;
+  bool remote_parent = false;  ///< parent span lives in another process
+  bool flow_out = false;       ///< span injected its context downstream
   std::vector<std::pair<std::string, json::Value>> args;
 };
 
@@ -52,8 +65,14 @@ class Tracer {
   static Tracer& instance();
 
   /// Starts collecting trace events (implies set_timing_enabled(true)).
-  /// `process_name` labels the process in the trace viewer.
+  /// `process_name` labels the process in the trace viewer. Also stamps
+  /// the wall-clock base (for xpdl-trace merge time alignment).
   void start(std::string process_name = "xpdl");
+
+  /// The stable per-process trace id new root spans are tagged with
+  /// (lazily generated, random). Server-side spans adopted from a remote
+  /// caller use the caller's trace id instead.
+  [[nodiscard]] TraceContext process_context() const;
   /// Stops collecting (timing stays enabled until disabled explicitly).
   void stop();
   [[nodiscard]] bool collecting() const noexcept;
@@ -92,7 +111,9 @@ class Tracer {
 class Span {
  public:
   explicit Span(std::string_view name) {
-    if (timing_enabled()) begin(name);
+    // The flight recorder keeps span timing on even when --stats/--trace
+    // style timing is off, so a wedged daemon still has recent history.
+    if (timing_enabled() || flight_enabled()) begin(name);
   }
   ~Span() {
     if (active_) end();
@@ -103,18 +124,40 @@ class Span {
   /// Attaches a key/value argument shown in the trace viewer. No-op when
   /// the span is inactive.
   void arg(std::string_view key, json::Value value) {
-    if (active_) args_.emplace_back(std::string(key), std::move(value));
+    if (active_ && timing_) {
+      args_.emplace_back(std::string(key), std::move(value));
+    }
   }
 
   /// True when this span is recording (timing was enabled at entry).
   [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Marks this span as a cross-process injection point: the Chrome
+  /// export emits a flow-start edge here, which the receiving process's
+  /// adopted span closes. Called by HttpTransport after injecting a
+  /// traceparent header derived from context().
+  void mark_flow_out() noexcept { flow_out_ = true; }
+
+  /// This span's position in the distributed trace (its own id as the
+  /// propagation parent). Invalid while the span is not recording.
+  [[nodiscard]] TraceContext context() const noexcept;
+
+  /// Process-unique id of this span (0 while not recording).
+  [[nodiscard]] std::uint64_t span_id() const noexcept { return span_id_; }
 
  private:
   void begin(std::string_view name);
   void end();
 
   bool active_ = false;
+  bool timing_ = false;  ///< recording to the tracer, not just the flight ring
+  bool flow_out_ = false;
+  bool remote_parent_ = false;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  std::uint64_t trace_id_hi_ = 0;
+  std::uint64_t trace_id_lo_ = 0;
   std::string name_;
   std::vector<std::pair<std::string, json::Value>> args_;
 };
@@ -125,6 +168,9 @@ class Span {
   explicit Span(std::string_view) {}
   void arg(std::string_view, json::Value) {}
   [[nodiscard]] bool active() const noexcept { return false; }
+  void mark_flow_out() noexcept {}
+  [[nodiscard]] TraceContext context() const noexcept { return {}; }
+  [[nodiscard]] std::uint64_t span_id() const noexcept { return 0; }
 };
 #endif
 

@@ -13,8 +13,10 @@
 //      half-open --(any failure)----------> open
 //
 // The clock is injectable so tests drive transitions deterministically.
-// State is exported as an xpdl::obs gauge (`resilience.breaker.<name>`:
-// 0 closed, 1 half-open, 2 open) plus rejection/trip counters.
+// State is exported as an xpdl::obs gauge registered at construction
+// (`resilience.breaker.state.<name>`: 0 closed, 1 half-open, 2 open) —
+// so even an always-healthy breaker shows up in /metrics — plus
+// rejection/trip counters.
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,13 @@ both intentional, reviewable changes). --threshold-for overrides the
 threshold for one result file: suites dominated by loopback-TCP
 round-trips (BENCH_net.json) jitter far more run-to-run on shared
 runners than the CPU-bound suites, so they gate at a looser bound.
+
+Besides throughput, the gate watches the latency tail: when both sides
+carry p99_ns (json_report.h emits p50/p95/p99), a benchmark whose p99
+grew by more than --tail-threshold (default 1.0 = doubling) fails too.
+The tail bound is intentionally loose — p99 across a handful of
+repetitions is noisy — it exists to catch order-of-magnitude tail
+blowups (a new lock on the hot path), not percent-level drift.
 """
 
 import argparse
@@ -48,6 +55,13 @@ def main():
         metavar="FILE=FRACTION",
         help="per-file threshold override, e.g. BENCH_net.json=0.5 "
         "(repeatable)",
+    )
+    parser.add_argument(
+        "--tail-threshold",
+        type=float,
+        default=1.0,
+        help="maximum allowed fractional p99_ns growth when both sides "
+        "report it (default 1.0, i.e. p99 may double)",
     )
     args = parser.parse_args()
 
@@ -85,6 +99,17 @@ def main():
                     f"({(1.0 - ratio) * 100:.1f}% slower, "
                     f"allowed {threshold * 100:.0f}%)"
                 )
+            base_p99 = base.get("p99_ns", 0.0)
+            cur_p99 = current[bench].get("p99_ns", 0.0)
+            if base_p99 > 0 and cur_p99 > 0:
+                tail_ratio = cur_p99 / base_p99
+                if tail_ratio > 1.0 + args.tail_threshold:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{name}: {bench}: p99 {base_p99:.4g} -> "
+                        f"{cur_p99:.4g} ns ({tail_ratio:.2f}x, allowed "
+                        f"{1.0 + args.tail_threshold:.2f}x)"
+                    )
             print(
                 f"{status:>10}  {bench}: {cur_ops:.4g} ops/s "
                 f"(baseline {base_ops:.4g}, x{ratio:.2f})"

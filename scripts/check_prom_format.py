@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format 0.0.4.
+
+Reads an exposition (file argument or stdin) — e.g. the output of
+`curl -H 'Accept: text/plain' http://host:port/metrics` against xpdld —
+and checks the structural rules a real Prometheus scraper enforces:
+
+  * metric and label names match the allowed grammar,
+  * every sample parses as `name[{labels}] value [timestamp]` with a
+    float-parseable value,
+  * `# TYPE` declares a known type and precedes its family's samples,
+  * no family is declared twice and no exact sample repeats,
+  * counter sample names end in `_total`,
+  * histograms carry `_bucket` series with non-decreasing cumulative
+    counts, an `le="+Inf"` bucket equal to `_count`, and `_sum`/`_count`.
+
+Stdlib only, so it runs anywhere CI does. Exit status: 0 valid, 1 when
+any rule is violated (all violations are listed), 2 usage/IO error.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def family_of(name):
+    """The metric family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        try:
+            with open(sys.argv[1], "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_prom_format: {e}", file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    types = {}  # family -> declared type
+    seen_samples = set()
+    samples = []  # (family, name, labels-dict, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Other comments are legal and ignored.
+                continue
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: bad metric name in {kind}: "
+                              f"{name!r}")
+                continue
+            if kind == "TYPE":
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {declared!r} "
+                                  f"for {name}")
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                if any(f == name for f, _, _, _ in samples):
+                    errors.append(f"line {lineno}: TYPE for {name} after its "
+                                  "samples")
+                types[name] = declared
+            continue
+        m = SAMPLE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = re.sub(LABEL_PAIR, "", raw_labels)
+            if consumed.strip(", \t"):
+                errors.append(f"line {lineno}: malformed labels: "
+                              f"{raw_labels!r}")
+            for lname, lvalue in LABEL_PAIR.findall(raw_labels):
+                if not LABEL_NAME.match(lname):
+                    errors.append(f"line {lineno}: bad label name {lname!r}")
+                labels[lname] = lvalue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: unparseable value "
+                          f"{m.group('value')!r}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{labels}")
+        seen_samples.add(key)
+        samples.append((family_of(name), name, labels, value))
+
+    # Per-family structural checks.
+    families = {}
+    for family, name, labels, value in samples:
+        families.setdefault(family, []).append((name, labels, value))
+    for family, rows in sorted(families.items()):
+        declared = types.get(family, types.get(family_of(family)))
+        if declared == "counter":
+            for name, _, value in rows:
+                if not name.endswith("_total"):
+                    errors.append(f"{family}: counter sample {name} does not "
+                                  "end in _total")
+                if value < 0:
+                    errors.append(f"{family}: counter value {value} < 0")
+        if declared == "histogram":
+            buckets = [(labels.get("le"), value)
+                       for name, labels, value in rows
+                       if name == family + "_bucket"]
+            counts = [value for name, _, value in rows
+                      if name == family + "_count"]
+            sums = [value for name, _, value in rows
+                    if name == family + "_sum"]
+            if not buckets:
+                errors.append(f"{family}: histogram without _bucket series")
+                continue
+            if len(counts) != 1 or len(sums) != 1:
+                errors.append(f"{family}: histogram needs exactly one _sum "
+                              "and one _count")
+                continue
+            if buckets[-1][0] != "+Inf":
+                errors.append(f"{family}: last bucket must be le=\"+Inf\"")
+            prev = -1.0
+            for le, value in buckets:
+                if le is None:
+                    errors.append(f"{family}: _bucket without an le label")
+                    continue
+                if value < prev:
+                    errors.append(f"{family}: bucket le={le} count {value} "
+                                  f"decreases (previous {prev})")
+                prev = value
+            inf = [v for le, v in buckets if le == "+Inf"]
+            if inf and inf[0] != counts[0]:
+                errors.append(f"{family}: le=\"+Inf\" bucket ({inf[0]}) != "
+                              f"_count ({counts[0]})")
+
+    if errors:
+        for e in errors:
+            print(f"check_prom_format: {e}", file=sys.stderr)
+        print(f"check_prom_format: {len(errors)} violation(s) in "
+              f"{len(samples)} sample(s)", file=sys.stderr)
+        return 1
+    print(f"check_prom_format: OK ({len(samples)} samples, "
+          f"{len(families)} families, {len(types)} typed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <utility>
 
 #include "xpdl/cache/cache.h"
 #include "xpdl/obs/metrics.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/util/io.h"
 #include "xpdl/util/json.h"
 
@@ -74,6 +76,18 @@ void store_cache_entry(const std::string& dir, const std::string& path,
     return;
   }
   XPDL_OBS_COUNT("net.transport.cache_stores", 1);
+  // Entry-count gauge for /metrics. Stores are rare (fresh 200s with an
+  // ETag), so a directory listing here is off the hot path.
+  std::error_code ec;
+  std::uint64_t entries = 0;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    ++entries;
+  }
+  if (!ec) {
+    XPDL_OBS_GAUGE_SET("net.transport.cache_entries",
+                       static_cast<double>(entries));
+  }
 }
 
 }  // namespace
@@ -121,6 +135,8 @@ struct HttpTransport::Impl {
 
   /// The guarded fetch: fault site, breaker, conditional request, cache.
   [[nodiscard]] Result<std::string> fetch(const std::string& url) {
+    obs::Span span("net.fetch");
+    span.arg("url", url);
     XPDL_ASSIGN_OR_RETURN(Url parsed, parse_url(url));
     std::string host_port = parsed.host + ":" + std::to_string(parsed.port);
     resilience::CircuitBreaker& guard = breaker(host_port);
@@ -143,6 +159,18 @@ struct HttpTransport::Impl {
     }
 
     std::vector<Header> headers;
+    // Cross-process trace propagation (W3C Trace Context): the server
+    // parses this header and parents its spans onto our fetch span, so
+    // xpdl-trace merge can stitch both processes into one timeline. When
+    // no span is recording, a fresh context still gives the server a
+    // trace id to log.
+    if (span.active()) {
+      headers.push_back(
+          {"traceparent", obs::format_traceparent(span.context())});
+      span.mark_flow_out();
+    } else {
+      headers.push_back({"traceparent", obs::current_traceparent()});
+    }
     if (have_cached) {
       headers.push_back({"If-None-Match", cached.etag});
       XPDL_OBS_COUNT("net.transport.conditional_requests", 1);

@@ -4,7 +4,10 @@
 
 #include "xpdl/cache/cache.h"
 #include "xpdl/compose/compose.h"
+#include "xpdl/obs/eventlog.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/metrics.h"
+#include "xpdl/obs/prometheus.h"
 #include "xpdl/obs/trace.h"
 #include "xpdl/query/query.h"
 #include "xpdl/runtime/model.h"
@@ -73,7 +76,35 @@ void add_histogram(json::Value& out, const obs::Histogram& h) {
   out["mean"] = h.mean();
   out["p50"] = h.percentile(0.50);
   out["p95"] = h.percentile(0.95);
+  out["p99"] = h.percentile(0.99);
   out["max"] = h.max();
+}
+
+/// RED metrics (rate, errors, duration) per endpoint, under
+/// net.server.ep.<endpoint>.*. Uses the registry's by-name lookup rather
+/// than cached references: the set of endpoints is open-ended and the
+/// lookup lock is cheap next to the socket round trip.
+void record_endpoint(std::string_view endpoint, int status,
+                     std::uint64_t duration_us) {
+  std::string base = "net.server.ep.";
+  base += endpoint;
+  obs::counter(base + ".requests").add(1);
+  if (status >= 500) {
+    obs::counter(base + ".errors_5xx").add(1);
+  } else if (status >= 400) {
+    obs::counter(base + ".errors_4xx").add(1);
+  }
+  obs::histogram(base + ".duration_us").record(duration_us);
+}
+
+/// True when the request's Accept header asks for the Prometheus text
+/// exposition rather than the default JSON: any listed media range of
+/// text/plain or text/* does (a plain scrape sends `Accept: text/plain`
+/// or a quality list; Prometheus itself accepts the 0.0.4 content type).
+[[nodiscard]] bool wants_prometheus(const Request& request) noexcept {
+  std::string_view accept = request.header("Accept");
+  return accept.find("text/plain") != std::string_view::npos ||
+         accept.find("text/*") != std::string_view::npos;
 }
 
 }  // namespace
@@ -144,33 +175,56 @@ Result<std::unique_ptr<RepoService>> RepoService::create(
 }
 
 Response RepoService::handle(const Request& request) {
-  if (request.method != "GET") {
-    Response response =
-        error_response(405, "only GET is supported by the model repository");
-    response.set_header("Allow", "GET");
-    return response;
-  }
-  std::string path = url_decode(request.path());
-  if (path == "/healthz") {
-    Response response;
-    response.body = "ok\n";
-    response.set_header("Content-Type", "text/plain; charset=utf-8");
-    return response;
-  }
-  if (path == "/metrics") return handle_metrics();
-  if (path == "/v1/index") return handle_index(request);
-  if (constexpr std::string_view kDescriptors = "/v1/descriptors/";
-      path.rfind(kDescriptors, 0) == 0) {
-    return handle_descriptor(
-        request, std::string_view(path).substr(kDescriptors.size()));
-  }
-  if (constexpr std::string_view kModels = "/v1/models/";
-      path.rfind(kModels, 0) == 0) {
-    return handle_model(request,
-                        std::string_view(path).substr(kModels.size()));
-  }
-  if (path == "/v1/query") return handle_query(request);
-  return error_response(404, "no such endpoint: '" + path + "'");
+  std::uint64_t start = obs::now_ns();
+  std::string_view endpoint = "other";
+  Response response = [&]() -> Response {
+    if (request.method != "GET") {
+      Response r = error_response(
+          405, "only GET is supported by the model repository");
+      r.set_header("Allow", "GET");
+      return r;
+    }
+    std::string path = url_decode(request.path());
+    if (path == "/healthz") {
+      endpoint = "healthz";
+      Response r;
+      r.body = "ok\n";
+      r.set_header("Content-Type", "text/plain; charset=utf-8");
+      return r;
+    }
+    if (path == "/metrics") {
+      endpoint = "metrics";
+      return handle_metrics(request);
+    }
+    if (path == "/debug/flight") {
+      endpoint = "flight";
+      return handle_flight();
+    }
+    if (path == "/v1/index") {
+      endpoint = "index";
+      return handle_index(request);
+    }
+    if (constexpr std::string_view kDescriptors = "/v1/descriptors/";
+        path.rfind(kDescriptors, 0) == 0) {
+      endpoint = "descriptors";
+      return handle_descriptor(
+          request, std::string_view(path).substr(kDescriptors.size()));
+    }
+    if (constexpr std::string_view kModels = "/v1/models/";
+        path.rfind(kModels, 0) == 0) {
+      endpoint = "models";
+      return handle_model(request,
+                          std::string_view(path).substr(kModels.size()));
+    }
+    if (path == "/v1/query") {
+      endpoint = "query";
+      return handle_query(request);
+    }
+    return error_response(404, "no such endpoint: '" + path + "'");
+  }();
+  record_endpoint(endpoint, response.status,
+                  (obs::now_ns() - start) / 1000);
+  return response;
 }
 
 Response RepoService::handle_index(const Request& request) const {
@@ -220,6 +274,8 @@ Response RepoService::handle_model(const Request& request,
     entry.etag = strong_etag(artifact->bytes);
     entry.bytes = std::move(artifact->bytes);
     it = artifacts_.emplace(std::string(ref), std::move(entry)).first;
+    XPDL_OBS_GAUGE_SET("net.server.artifacts_cached",
+                       static_cast<double>(artifacts_.size()));
   } else {
     XPDL_OBS_COUNT("net.server.model_memo_hits", 1);
   }
@@ -279,7 +335,39 @@ Response RepoService::handle_query(const Request& request) {
   return response;
 }
 
-Response RepoService::handle_metrics() const {
+Response RepoService::handle_metrics(const Request& request) const {
+  auto counter_value = [](std::string_view name) {
+    return obs::Registry::instance().counter(name).value();
+  };
+  // Exposition-time gauges: cheap derived values refreshed on every
+  // scrape so both formats see them.
+  std::uint64_t cache_hits = counter_value("cache.hits");
+  std::uint64_t cache_misses = counter_value("cache.misses");
+  double cache_hit_ratio =
+      cache_hits + cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  XPDL_OBS_GAUGE_SET("cache.hit_ratio", cache_hit_ratio);
+  XPDL_OBS_GAUGE_SET(
+      "obs.flight.recorded",
+      obs::flight_enabled()
+          ? static_cast<double>(obs::FlightRecorder::instance().recorded())
+          : 0.0);
+  XPDL_OBS_GAUGE_SET(
+      "obs.eventlog.written",
+      static_cast<double>(obs::EventLog::instance().written()));
+
+  // Content negotiation: Prometheus scrapes announce text/plain and get
+  // the 0.0.4 text exposition; everything else gets the JSON document.
+  if (wants_prometheus(request)) {
+    Response response;
+    response.body = obs::prometheus_text();
+    response.set_header("Content-Type",
+                        std::string(obs::kPrometheusContentType));
+    return response;
+  }
+
   json::Value counters;
   json::Value gauges;
   json::Value histograms;
@@ -291,9 +379,9 @@ Response RepoService::handle_metrics() const {
         }
         break;
       case obs::MetricInfo::Type::kGauge:
-        if (metric.gauge->value() != 0.0) {
-          gauges[metric.name] = metric.gauge->value();
-        }
+        // Gauges are never skipped when zero: a circuit breaker gauge of
+        // 0 means "closed", which is signal, not absence.
+        gauges[metric.name] = metric.gauge->value();
         break;
       case obs::MetricInfo::Type::kHistogram:
         if (metric.histogram->count() != 0) {
@@ -308,23 +396,14 @@ Response RepoService::handle_metrics() const {
   body["histograms"] = std::move(histograms);
 
   // Derived convenience block: the numbers a dashboard wants first.
-  auto counter_value = [](std::string_view name) {
-    return obs::Registry::instance().counter(name).value();
-  };
   json::Value server;
   server["requests_total"] = counter_value("net.server.requests");
   server["descriptors_served"] = counter_value("net.server.descriptor_hits");
   server["descriptors_not_modified"] =
       counter_value("net.server.descriptor_not_modified");
-  std::uint64_t cache_hits = counter_value("cache.hits");
-  std::uint64_t cache_misses = counter_value("cache.misses");
   server["cache_hits"] = cache_hits;
   server["cache_misses"] = cache_misses;
-  server["cache_hit_ratio"] =
-      cache_hits + cache_misses == 0
-          ? 0.0
-          : static_cast<double>(cache_hits) /
-                static_cast<double>(cache_hits + cache_misses);
+  server["cache_hit_ratio"] = cache_hit_ratio;
   body["server"] = std::move(server);
 
   Response response;
@@ -334,6 +413,15 @@ Response RepoService::handle_metrics() const {
   // transfer-coding path stays exercised in production, not only in
   // tests.
   response.chunked = true;
+  return response;
+}
+
+Response RepoService::handle_flight() const {
+  json::Value body = obs::FlightRecorder::instance().to_json();
+  body["enabled"] = obs::flight_enabled();
+  Response response;
+  response.body = json::write(body, 1) + "\n";
+  response.set_header("Content-Type", "application/json");
   return response;
 }
 

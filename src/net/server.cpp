@@ -5,11 +5,13 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "xpdl/net/socket.h"
+#include "xpdl/obs/eventlog.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
 
@@ -164,9 +166,21 @@ struct HttpServer::Impl {
   }
 
   [[nodiscard]] Response dispatch(const Request& request) {
+    // Adopt the caller's W3C trace context (if any) before opening the
+    // request span, so every span of this request — including the ones
+    // the handler opens — joins the caller's trace.
+    obs::TraceContext remote;
+    bool have_remote =
+        obs::parse_traceparent(request.header("traceparent"), remote);
+    std::optional<obs::ScopedRemoteParent> adopt;
+    if (have_remote) adopt.emplace(remote);
+
     obs::Span span("net.server.request");
     if (span.active()) span.arg("target", request.target);
     std::uint64_t start = obs::now_ns();
+    static obs::Counter& faults_counter =
+        obs::counter("resilience.faults.injected");
+    std::uint64_t faults_before = faults_counter.value();
     Response response;
     try {
       response = handler(request);
@@ -175,12 +189,41 @@ struct HttpServer::Impl {
     } catch (...) {
       response = plain_error(500, "handler failed");
     }
+    std::uint64_t duration_us = (obs::now_ns() - start) / 1000;
     XPDL_OBS_COUNT("net.server.requests", 1);
     static obs::Histogram& latency = obs::histogram("net.server.request_us");
-    latency.record((obs::now_ns() - start) / 1000);
+    latency.record(duration_us);
     count_status(response.status);
     if (response.header("Server").empty()) {
       response.set_header("Server", "xpdld");
+    }
+
+    // Echo the trace id the request ran under, so even a client that
+    // records no trace of its own can correlate with the server's logs.
+    obs::TraceContext ctx = have_remote ? remote : span.context();
+    std::string trace_id;
+    if (ctx.valid()) {
+      trace_id = ctx.trace_id_hex();
+      response.set_header("X-XPDL-Trace-Id", trace_id);
+    }
+
+    if (obs::flight_enabled()) {
+      obs::FlightRecorder::instance().record(
+          obs::FlightRecorder::Kind::kRequest, request.target, duration_us,
+          static_cast<std::uint16_t>(response.status));
+    }
+    if (obs::EventLog::instance().enabled()) {
+      obs::EventLog::Request record;
+      record.method = request.method;
+      record.path = request.target;
+      record.status = response.status;
+      record.bytes = response.body.size();
+      record.duration_us = duration_us;
+      record.trace_id = trace_id;
+      // Process-wide delta: attributes faults of concurrent requests to
+      // this record too — documented as approximate (docs/observability.md).
+      record.faults_injected = faults_counter.value() - faults_before;
+      obs::EventLog::instance().log_request(record);
     }
     return response;
   }

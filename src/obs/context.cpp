@@ -1,0 +1,147 @@
+#include "xpdl/obs/context.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace xpdl::obs {
+
+namespace {
+
+/// splitmix64: tiny, well-mixed generator used to derive unique ids from
+/// an atomic counter without coordination between threads.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t process_seed() {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    std::uint64_t s = (std::uint64_t{rd()} << 32) ^ rd();
+    s ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return splitmix64(s);
+  }();
+  return seed;
+}
+
+[[nodiscard]] std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  std::uint64_t id = splitmix64(
+      process_seed() ^ counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;  // ids of 0 mean "absent" throughout
+}
+
+void hex16(std::uint64_t v, char* out) noexcept {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+}
+
+[[nodiscard]] bool parse_hex(std::string_view text, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;  // upper-case hex is invalid per the W3C spec
+    }
+  }
+  out = v;
+  return true;
+}
+
+/// The thread's adopted remote context; span_id == 0 means "none".
+thread_local TraceContext t_remote_parent{0, 0, 0, 0x01};
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  char buf[33];
+  hex16(trace_id_hi, buf);
+  hex16(trace_id_lo, buf + 16);
+  buf[32] = '\0';
+  return std::string(buf, 32);
+}
+
+std::string format_traceparent(const TraceContext& ctx) {
+  // 00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+  char buf[56];
+  buf[0] = '0';
+  buf[1] = '0';
+  buf[2] = '-';
+  hex16(ctx.trace_id_hi, buf + 3);
+  hex16(ctx.trace_id_lo, buf + 19);
+  buf[35] = '-';
+  hex16(ctx.span_id, buf + 36);
+  buf[52] = '-';
+  static constexpr char kDigits[] = "0123456789abcdef";
+  buf[53] = kDigits[(ctx.flags >> 4) & 0xF];
+  buf[54] = kDigits[ctx.flags & 0xF];
+  buf[55] = '\0';
+  return std::string(buf, 55);
+}
+
+bool parse_traceparent(std::string_view header, TraceContext& out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2); a version
+  // other than 00 may carry a suffix, which we ignore per spec.
+  if (header.size() < 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  std::uint64_t version = 0;
+  if (!parse_hex(header.substr(0, 2), version)) return false;
+  if (version == 0xFF) return false;  // forbidden version value
+  if (version == 0 && header.size() != 55) return false;
+  if (header.size() > 55 && header[55] != '-') return false;
+  TraceContext ctx;
+  std::uint64_t flags = 0;
+  if (!parse_hex(header.substr(3, 16), ctx.trace_id_hi) ||
+      !parse_hex(header.substr(19, 16), ctx.trace_id_lo) ||
+      !parse_hex(header.substr(36, 16), ctx.span_id) ||
+      !parse_hex(header.substr(53, 2), flags)) {
+    return false;
+  }
+  ctx.flags = static_cast<std::uint8_t>(flags);
+  if (!ctx.valid()) return false;  // all-zero ids are invalid
+  out = ctx;
+  return true;
+}
+
+TraceContext make_trace_context() {
+  TraceContext ctx;
+  ctx.trace_id_hi = next_id();
+  ctx.trace_id_lo = next_id();
+  ctx.span_id = next_id();
+  ctx.flags = 0x01;
+  return ctx;
+}
+
+std::uint64_t next_span_id() { return next_id(); }
+
+std::string current_traceparent() {
+  return format_traceparent(current_context());
+}
+
+ScopedRemoteParent::ScopedRemoteParent(const TraceContext& remote) {
+  had_previous_ = t_remote_parent.valid();
+  if (had_previous_) previous_ = t_remote_parent;
+  t_remote_parent = remote;
+}
+
+ScopedRemoteParent::~ScopedRemoteParent() {
+  t_remote_parent = had_previous_ ? previous_ : TraceContext{0, 0, 0, 0x01};
+}
+
+TraceContext remote_parent_context() { return t_remote_parent; }
+
+}  // namespace xpdl::obs

@@ -1,0 +1,120 @@
+#include "xpdl/obs/eventlog.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "xpdl/util/json.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t wall_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+EventLog& EventLog::instance() {
+  static EventLog log;
+  return log;
+}
+
+Status EventLog::open(const std::string& path, std::uint64_t sample_every) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  strings::format("event log: cannot open %s", path.c_str()));
+  }
+  sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+  int previous = fd_.exchange(fd, std::memory_order_acq_rel);
+  if (previous >= 0) ::close(previous);
+  return Status::ok();
+}
+
+void EventLog::close() noexcept {
+  int previous = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (previous >= 0) ::close(previous);
+}
+
+bool EventLog::enabled() const noexcept {
+  return fd_.load(std::memory_order_relaxed) >= 0;
+}
+
+void EventLog::log_request(const Request& r) noexcept {
+  if (!enabled()) return;
+  // Format outside the sampling gate would waste work; gate first.
+  std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % every != 0) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  char prefix[96];
+  int n = std::snprintf(prefix, sizeof prefix, "{\"ts_us\":%" PRIu64,
+                        wall_us());
+  std::string line(prefix, static_cast<std::size_t>(n > 0 ? n : 0));
+  line += ",\"method\":\"";
+  line += json::escape(r.method);
+  line += "\",\"path\":\"";
+  line += json::escape(r.path);
+  line += "\"";
+  char fields[160];
+  n = std::snprintf(fields, sizeof fields,
+                    ",\"status\":%d,\"bytes\":%" PRIu64
+                    ",\"duration_us\":%" PRIu64,
+                    r.status, r.bytes, r.duration_us);
+  line.append(fields, static_cast<std::size_t>(n > 0 ? n : 0));
+  if (!r.trace_id.empty()) {
+    line += ",\"trace_id\":\"";
+    line += json::escape(r.trace_id);
+    line += "\"";
+  }
+  if (r.faults_injected != 0) {
+    n = std::snprintf(fields, sizeof fields, ",\"faults_injected\":%" PRIu64,
+                      r.faults_injected);
+    line.append(fields, static_cast<std::size_t>(n > 0 ? n : 0));
+  }
+  line += "}\n";
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  ssize_t written = ::write(fd, line.data(), line.size());
+  (void)written;  // best effort; an access log must never fail a request
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::log_line(std::string_view json_object) noexcept {
+  if (!enabled()) return;
+  std::uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % every != 0) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::string line(json_object);
+  line += '\n';
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  ssize_t written = ::write(fd, line.data(), line.size());
+  (void)written;
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t EventLog::written() const noexcept {
+  return written_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EventLog::sampled_out() const noexcept {
+  return sampled_out_.load(std::memory_order_relaxed);
+}
+
+}  // namespace xpdl::obs

@@ -1,0 +1,255 @@
+#include "xpdl/obs/flight.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "xpdl/obs/trace.h"
+#include "xpdl/util/io.h"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
+
+namespace xpdl::obs {
+
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+
+[[nodiscard]] std::uint32_t os_thread_id() noexcept {
+#if defined(__linux__)
+  thread_local std::uint32_t tid =
+      static_cast<std::uint32_t>(::syscall(SYS_gettid));
+  return tid;
+#else
+  thread_local std::uint32_t tid = [] {
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }();
+  return tid;
+#endif
+}
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// --- async-signal-safe formatting helpers --------------------------------
+
+/// Appends `v` in decimal to `buf` at `pos` (buf must be large enough).
+void append_u64(char* buf, std::size_t& pos, std::uint64_t v) noexcept {
+  char digits[20];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) buf[pos++] = digits[--n];
+}
+
+void append_str(char* buf, std::size_t& pos, const char* s) noexcept {
+  while (*s != '\0') buf[pos++] = *s++;
+}
+
+/// Appends a JSON-safe rendering of `name`: printable ASCII minus quote
+/// and backslash; everything else becomes '.'.
+void append_name(char* buf, std::size_t& pos, const char* name) noexcept {
+  for (std::size_t i = 0; i < FlightRecorder::kNameBytes && name[i] != '\0';
+       ++i) {
+    char c = name[i];
+    buf[pos++] = (c >= 0x20 && c < 0x7F && c != '"' && c != '\\') ? c : '.';
+  }
+}
+
+[[nodiscard]] const char* kind_name(std::uint8_t kind) noexcept {
+  switch (static_cast<FlightRecorder::Kind>(kind)) {
+    case FlightRecorder::Kind::kSpan: return "span";
+    case FlightRecorder::Kind::kEvent: return "event";
+    case FlightRecorder::Kind::kRequest: return "request";
+  }
+  return "unknown";
+}
+
+// --- crash handler state --------------------------------------------------
+
+char g_crash_dump_path[512] = {};
+struct sigaction g_previous_actions[32];
+
+void crash_handler(int signo) {
+  // Restore default disposition first so a second fault cannot recurse.
+  std::signal(signo, SIG_DFL);
+  if (g_crash_dump_path[0] != '\0') {
+    int fd = ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      FlightRecorder::instance().dump_signal_safe(fd);
+      ::close(fd);
+    }
+  }
+  ::raise(signo);
+}
+
+}  // namespace
+
+bool flight_enabled() noexcept {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(std::size_t capacity) {
+  if (ring_.load(std::memory_order_acquire) == nullptr) {
+    if (capacity == 0) capacity = 4096;
+    std::size_t cap = round_up_pow2(capacity);
+    // The ring leaks on purpose: the crash handler may read it at any
+    // point of process teardown, so it must never be freed.
+    Entry* ring = new Entry[cap]();
+    mask_.store(cap - 1, std::memory_order_relaxed);
+    ring_.store(ring, std::memory_order_release);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  g_flight_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() noexcept {
+  enabled_.store(false, std::memory_order_relaxed);
+  g_flight_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const noexcept {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::capacity() const noexcept {
+  return ring_.load(std::memory_order_acquire) == nullptr
+             ? 0
+             : mask_.load(std::memory_order_relaxed) + 1;
+}
+
+void FlightRecorder::record(Kind kind, std::string_view name,
+                            std::uint64_t value,
+                            std::uint16_t status) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Entry* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Entry& slot = ring[seq & mask_.load(std::memory_order_relaxed)];
+  // Mark the slot as in-flight so a concurrent snapshot skips it, then
+  // publish the sequence number last.
+  slot.seq = 0;
+  slot.ts_ns = now_ns();
+  slot.value = value;
+  slot.tid = os_thread_id();
+  slot.status = status;
+  slot.kind = static_cast<std::uint8_t>(kind);
+  std::size_t n = std::min(name.size(), kNameBytes);
+  std::memcpy(slot.name, name.data(), n);
+  slot.name[n] = '\0';
+  std::atomic_ref<std::uint64_t>(slot.seq).store(seq,
+                                                 std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::vector<Entry> out;
+  const Entry* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return out;
+  std::size_t cap = mask_.load(std::memory_order_relaxed) + 1;
+  out.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    Entry e = ring[i];
+    if (e.seq != 0) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  return out;
+}
+
+json::Value FlightRecorder::to_json() const {
+  json::Value doc;
+  json::Array entries;
+  for (const Entry& e : snapshot()) {
+    json::Value entry;
+    entry["seq"] = e.seq;
+    entry["ts_ns"] = e.ts_ns;
+    entry["kind"] = kind_name(e.kind);
+    entry["name"] = std::string(e.name);
+    entry["tid"] = std::uint64_t{e.tid};
+    entry["value"] = e.value;
+    if (e.status != 0) entry["status"] = std::uint64_t{e.status};
+    entries.push_back(std::move(entry));
+  }
+  doc["recorded"] = recorded();
+  doc["capacity"] = std::uint64_t{capacity()};
+  doc["entries"] = std::move(entries);
+  return doc;
+}
+
+Status FlightRecorder::dump(const std::string& path) const {
+  return io::write_file(path, json::write(to_json(), 1) + "\n");
+}
+
+void FlightRecorder::dump_signal_safe(int fd) const noexcept {
+  const Entry* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  std::size_t cap = mask_.load(std::memory_order_relaxed) + 1;
+  // One JSONL record per entry, formatted on the stack. Ordering is left
+  // to the reader (entries carry seq): no sort, no allocation here.
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Entry& e = ring[i];
+    if (e.seq == 0) continue;
+    char line[256];
+    std::size_t pos = 0;
+    append_str(line, pos, "{\"seq\":");
+    append_u64(line, pos, e.seq);
+    append_str(line, pos, ",\"ts_ns\":");
+    append_u64(line, pos, e.ts_ns);
+    append_str(line, pos, ",\"kind\":\"");
+    append_str(line, pos, kind_name(e.kind));
+    append_str(line, pos, "\",\"name\":\"");
+    append_name(line, pos, e.name);
+    append_str(line, pos, "\",\"tid\":");
+    append_u64(line, pos, e.tid);
+    append_str(line, pos, ",\"value\":");
+    append_u64(line, pos, e.value);
+    append_str(line, pos, ",\"status\":");
+    append_u64(line, pos, e.status);
+    append_str(line, pos, "}\n");
+    ssize_t written = ::write(fd, line, pos);
+    (void)written;  // best effort: a failed write cannot be reported here
+  }
+}
+
+void FlightRecorder::install_crash_handlers(const std::string& path) {
+  std::size_t n = std::min(path.size(), sizeof(g_crash_dump_path) - 1);
+  std::memcpy(g_crash_dump_path, path.data(), n);
+  g_crash_dump_path[n] = '\0';
+  struct sigaction action = {};
+  action.sa_handler = crash_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(signo, &action,
+                signo < 32 ? &g_previous_actions[signo] : nullptr);
+  }
+}
+
+std::uint64_t FlightRecorder::recorded() const noexcept {
+  return next_seq_.load(std::memory_order_relaxed) - 1;
+}
+
+void FlightRecorder::clear() noexcept {
+  Entry* ring = ring_.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  std::size_t cap = mask_.load(std::memory_order_relaxed) + 1;
+  for (std::size_t i = 0; i < cap; ++i) ring[i].seq = 0;
+}
+
+}  // namespace xpdl::obs

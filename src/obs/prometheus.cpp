@@ -1,0 +1,166 @@
+#include "xpdl/obs/prometheus.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace xpdl::obs {
+
+namespace {
+
+/// Formats a gauge value: integral values without a fractional part
+/// (Prometheus parses both), everything else with enough digits to
+/// round-trip a double.
+[[nodiscard]] std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  double integral = 0.0;
+  if (std::modf(v, &integral) == 0.0 && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[nodiscard]] std::string format_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+/// Escapes a HELP text: per the exposition format, backslash and
+/// newline must be escaped in HELP lines.
+[[nodiscard]] std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_family_header(std::string& out, const std::string& prom_name,
+                          std::string_view original, const char* type) {
+  out += "# HELP ";
+  out += prom_name;
+  out += " xpdl metric ";
+  out += escape_help(original);
+  out += '\n';
+  out += "# TYPE ";
+  out += prom_name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const std::string& prom_name,
+                      std::string_view original, const Histogram& h) {
+  append_family_header(out, prom_name, original, "histogram");
+  // Cumulative buckets over the fixed log2 grid: emit up to the highest
+  // occupied bucket so an idle histogram is just {+Inf, sum, count}.
+  std::size_t highest = 0;
+  bool any = false;
+  for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+    if (h.bucket(i) != 0) {
+      highest = i;
+      any = true;
+    }
+  }
+  std::uint64_t cumulative = 0;
+  if (any) {
+    for (std::size_t i = 0; i <= highest && i < Histogram::kBuckets; ++i) {
+      cumulative += h.bucket(i);
+      out += prom_name;
+      out += "_bucket{le=\"";
+      out += format_u64(Histogram::bucket_max(i));
+      out += "\"} ";
+      out += format_u64(cumulative);
+      out += '\n';
+    }
+  }
+  std::uint64_t count = h.count();
+  out += prom_name;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += format_u64(count);
+  out += '\n';
+  out += prom_name;
+  out += "_sum ";
+  out += format_u64(h.sum());
+  out += '\n';
+  out += prom_name;
+  out += "_count ";
+  out += format_u64(count);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "xpdl_";
+  out.reserve(name.size() + 5);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(const std::vector<MetricInfo>& metrics) {
+  std::vector<const MetricInfo*> sorted;
+  sorted.reserve(metrics.size());
+  for (const MetricInfo& m : metrics) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricInfo* a, const MetricInfo* b) {
+              return a->name < b->name;
+            });
+
+  std::string out;
+  for (const MetricInfo* m : sorted) {
+    switch (m->type) {
+      case MetricInfo::Type::kCounter: {
+        if (m->counter == nullptr) break;
+        std::string prom = prometheus_name(m->name) + "_total";
+        append_family_header(out, prom, m->name, "counter");
+        out += prom;
+        out += ' ';
+        out += format_u64(m->counter->value());
+        out += '\n';
+        break;
+      }
+      case MetricInfo::Type::kGauge: {
+        if (m->gauge == nullptr) break;
+        std::string prom = prometheus_name(m->name);
+        append_family_header(out, prom, m->name, "gauge");
+        out += prom;
+        out += ' ';
+        out += format_value(m->gauge->value());
+        out += '\n';
+        break;
+      }
+      case MetricInfo::Type::kHistogram: {
+        if (m->histogram == nullptr) break;
+        append_histogram(out, prometheus_name(m->name), m->name,
+                         *m->histogram);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text() {
+  return to_prometheus_text(Registry::instance().metrics());
+}
+
+}  // namespace xpdl::obs

@@ -66,12 +66,17 @@ std::string format_metrics(const ReportOptions& options) {
       case MetricInfo::Type::kHistogram: {
         const Histogram& h = *m.histogram;
         if (h.count() == 0 && options.skip_zero) break;
+        // p50/p95/p99: the same percentile triple every other exposition
+        // surface reports (/metrics JSON, bench JSON), so numbers line up
+        // across reports. A single-sample histogram renders like any
+        // other: all three percentiles collapse onto that sample's
+        // bucket.
         histograms += strings::format(
-            "  %-40s n=%-8llu mean=%-10.1f p50=%-8llu p90=%-8llu "
+            "  %-40s n=%-8llu mean=%-10.1f p50=%-8llu p95=%-8llu "
             "p99=%-8llu max=%llu\n",
             m.name.c_str(), static_cast<unsigned long long>(h.count()),
             h.mean(), static_cast<unsigned long long>(h.percentile(0.50)),
-            static_cast<unsigned long long>(h.percentile(0.90)),
+            static_cast<unsigned long long>(h.percentile(0.95)),
             static_cast<unsigned long long>(h.percentile(0.99)),
             static_cast<unsigned long long>(h.max()));
         break;

@@ -18,12 +18,15 @@ std::uint64_t now_ns() noexcept {
 
 namespace {
 
-/// Per-thread span state: a sequential thread id for the trace, and the
+/// Per-thread span state: a sequential thread id for the trace, the
 /// stack of open span names (string_views into the live Span objects;
-/// children always end before their parent, so the views stay valid).
+/// children always end before their parent, so the views stay valid),
+/// and the parallel stack of their span ids (for parent links and
+/// cross-process context propagation).
 struct ThreadState {
   std::uint32_t tid;
   std::vector<std::string_view> stack;
+  std::vector<std::uint64_t> span_ids;
 };
 
 [[maybe_unused]] ThreadState& thread_state() {
@@ -47,9 +50,36 @@ struct Tracer::Impl {
   bool collecting = false;
   std::string process_name = "xpdl";
   std::uint64_t base_ns = 0;
+  std::uint64_t base_unix_us = 0;  ///< wall clock at start(), for merging
   std::vector<TraceEvent> events;
   PhaseNode phase_root;
 };
+
+namespace {
+
+/// The per-process trace id: stable for the process lifetime, random.
+const TraceContext& process_trace_context() {
+  static const TraceContext ctx = make_trace_context();
+  return ctx;
+}
+
+}  // namespace
+
+TraceContext Tracer::process_context() const { return process_trace_context(); }
+
+TraceContext current_context() {
+  ThreadState& state = thread_state();
+  TraceContext remote = remote_parent_context();
+  if (!state.span_ids.empty()) {
+    TraceContext ctx = remote.valid() ? remote : process_trace_context();
+    ctx.span_id = state.span_ids.back();
+    return ctx;
+  }
+  if (remote.valid()) return remote;
+  // No trace position at all: mint a one-off context so callers can
+  // still correlate an outgoing request with server-side logs.
+  return make_trace_context();
+}
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
@@ -67,7 +97,13 @@ void Tracer::start(std::string process_name) {
     std::lock_guard<std::mutex> lock(i.mutex);
     i.collecting = true;
     i.process_name = std::move(process_name);
-    if (i.base_ns == 0) i.base_ns = now_ns();
+    if (i.base_ns == 0) {
+      i.base_ns = now_ns();
+      i.base_unix_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+    }
   }
   set_timing_enabled(true);
 }
@@ -148,24 +184,68 @@ json::Value Tracer::to_chrome_json() const {
     meta["args"]["name"] = i.process_name;
     events.push_back(std::move(meta));
   }
+  auto hex_id = [](std::uint64_t v) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
   for (const TraceEvent& e : i.events) {
+    double ts = static_cast<double>(e.start_ns) / 1000.0;
     json::Value ev;
     ev["name"] = e.name;
     ev["cat"] = "xpdl";
     ev["ph"] = "X";
-    ev["ts"] = static_cast<double>(e.start_ns) / 1000.0;
+    ev["ts"] = ts;
     ev["dur"] = static_cast<double>(e.duration_ns) / 1000.0;
     ev["pid"] = 1;
     ev["tid"] = static_cast<std::uint64_t>(e.tid);
-    if (!e.args.empty()) {
-      json::Value& args = ev["args"];
-      for (const auto& [key, value] : e.args) args[key] = value;
+    json::Value& args = ev["args"];
+    args["span_id"] = hex_id(e.span_id);
+    if (e.parent_span_id != 0) {
+      args["parent_span_id"] = hex_id(e.parent_span_id);
     }
+    for (const auto& [key, value] : e.args) args[key] = value;
     events.push_back(std::move(ev));
+
+    // Cross-process propagation edges as Chrome flow events: the
+    // injecting span starts a flow under its own id; a span whose parent
+    // was adopted from a remote traceparent finishes the flow under the
+    // *parent's* id. After xpdl-trace merge the ids match up and the
+    // viewer draws an arrow from client fetch to server handling.
+    if (e.flow_out) {
+      json::Value flow;
+      flow["name"] = e.name;
+      flow["cat"] = "xpdl.flow";
+      flow["ph"] = "s";
+      flow["id"] = hex_id(e.span_id);
+      flow["ts"] = ts;
+      flow["pid"] = 1;
+      flow["tid"] = static_cast<std::uint64_t>(e.tid);
+      events.push_back(std::move(flow));
+    }
+    if (e.remote_parent) {
+      json::Value flow;
+      flow["name"] = e.name;
+      flow["cat"] = "xpdl.flow";
+      flow["ph"] = "f";
+      flow["bp"] = "e";
+      flow["id"] = hex_id(e.parent_span_id);
+      flow["ts"] = ts;
+      flow["pid"] = 1;
+      flow["tid"] = static_cast<std::uint64_t>(e.tid);
+      events.push_back(std::move(flow));
+    }
   }
   json::Value doc;
   doc["traceEvents"] = json::Value(std::move(events));
   doc["displayTimeUnit"] = "ms";
+  // Extension keys (ignored by the Chrome viewer): the wall-clock base
+  // lets xpdl-trace merge align two processes' relative timestamps; the
+  // process's root trace id and name label the file for correlation.
+  doc["xpdlBaseUnixUs"] = i.base_unix_us;
+  doc["xpdlTraceId"] = process_trace_context().trace_id_hex();
+  doc["xpdlProcessName"] = i.process_name;
   return doc;
 }
 
@@ -179,6 +259,7 @@ void Tracer::reset() {
   i.events.clear();
   i.phase_root = PhaseNode{};
   i.base_ns = 0;
+  i.base_unix_us = 0;
 }
 
 // ===========================================================================
@@ -188,29 +269,86 @@ void Tracer::reset() {
 
 void Span::begin(std::string_view name) {
   active_ = true;
+  timing_ = timing_enabled();
   name_ = std::string(name);
-  thread_state().stack.push_back(name_);
+  span_id_ = next_span_id();
+  if (timing_) {
+    // Parent link: the innermost open span on this thread; at top level,
+    // an adopted remote caller (see context.h). Root spans with no
+    // remote context are tagged with the process trace id.
+    ThreadState& state = thread_state();
+    TraceContext remote = remote_parent_context();
+    if (!state.span_ids.empty()) {
+      parent_span_id_ = state.span_ids.back();
+      remote_parent_ = false;
+    } else if (remote.valid()) {
+      parent_span_id_ = remote.span_id;
+      remote_parent_ = true;
+    } else {
+      parent_span_id_ = 0;
+      remote_parent_ = false;
+    }
+    const TraceContext& trace =
+        remote.valid() ? remote : Tracer::instance().process_context();
+    trace_id_hi_ = trace.trace_id_hi;
+    trace_id_lo_ = trace.trace_id_lo;
+    state.stack.push_back(name_);
+    state.span_ids.push_back(span_id_);
+  }
   start_ns_ = now_ns();
 }
 
 void Span::end() {
   std::uint64_t end_ns = now_ns();
   std::uint64_t duration = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
-  ThreadState& state = thread_state();
 
-  TraceEvent event;
-  event.name = name_;
-  event.tid = state.tid;
-  event.start_ns = start_ns_;
-  event.duration_ns = duration;
-  event.args = std::move(args_);
-  Tracer::instance().record(std::move(event), state.stack);
+  if (timing_) {
+    ThreadState& state = thread_state();
+    TraceEvent event;
+    event.name = name_;
+    event.tid = state.tid;
+    event.start_ns = start_ns_;
+    event.duration_ns = duration;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
+    event.trace_id_hi = trace_id_hi_;
+    event.trace_id_lo = trace_id_lo_;
+    event.remote_parent = remote_parent_;
+    event.flow_out = flow_out_;
+    event.args = std::move(args_);
+    Tracer::instance().record(std::move(event), state.stack);
 
-  // Duration histogram per span name, in microseconds.
-  histogram(name_ + ".duration_us").record(duration / 1000);
+    // Duration histogram per span name, in microseconds.
+    histogram(name_ + ".duration_us").record(duration / 1000);
 
-  if (!state.stack.empty()) state.stack.pop_back();
+    if (!state.stack.empty()) state.stack.pop_back();
+    if (!state.span_ids.empty()) state.span_ids.pop_back();
+  }
+
+  // The flight ring sees every span, timed or not: in an un-observed
+  // daemon it is the only record of what ran right before a crash.
+  if (flight_enabled()) {
+    FlightRecorder::instance().record(FlightRecorder::Kind::kSpan, name_,
+                                      duration / 1000);
+  }
   active_ = false;
+}
+
+TraceContext Span::context() const noexcept {
+  if (!active_) return {};
+  TraceContext ctx;
+  if (timing_) {
+    ctx.trace_id_hi = trace_id_hi_;
+    ctx.trace_id_lo = trace_id_lo_;
+  } else {
+    TraceContext remote = remote_parent_context();
+    const TraceContext& trace =
+        remote.valid() ? remote : process_trace_context();
+    ctx.trace_id_hi = trace.trace_id_hi;
+    ctx.trace_id_lo = trace.trace_id_lo;
+  }
+  ctx.span_id = span_id_;
+  return ctx;
 }
 
 #endif  // XPDL_OBS_ENABLED

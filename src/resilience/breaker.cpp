@@ -29,6 +29,12 @@ CircuitBreaker::CircuitBreaker(std::string name,
                                CircuitBreakerOptions options)
     : name_(std::move(name)), options_(std::move(options)) {
   if (!options_.clock_ms) options_.clock_ms = steady_now_ms;
+  // Register the state gauge up front: a breaker that never leaves
+  // closed (state 0) must still be visible to /metrics, not appear only
+  // after its first trip.
+#if XPDL_OBS_ENABLED
+  obs::gauge("resilience.breaker.state." + name_).set(0.0);
+#endif
 }
 
 double CircuitBreaker::now_ms() const { return options_.clock_ms(); }
@@ -36,7 +42,7 @@ double CircuitBreaker::now_ms() const { return options_.clock_ms(); }
 void CircuitBreaker::transition_locked(State next) {
   state_ = next;
 #if XPDL_OBS_ENABLED
-  obs::gauge("resilience.breaker." + name_)
+  obs::gauge("resilience.breaker.state." + name_)
       .set(static_cast<double>(static_cast<std::uint8_t>(next)));
 #endif
 }

@@ -1,0 +1,191 @@
+// xpdl-trace -- stitch per-process Chrome trace files into one timeline.
+//
+// Usage:
+//   xpdl-trace merge [-o OUT.json] FILE.json...
+//
+// Every xpdl tool and xpdld can write a Chrome trace_event file for its
+// own process (--trace / --trace-file). When a request crosses processes
+// — xpdlc fetching descriptors from a remote xpdld — each side records
+// its half, stamped with extension keys the Chrome viewer ignores:
+// `xpdlBaseUnixUs` (wall clock at trace start) and the flow events
+// emitted at traceparent injection/adoption points. `merge` loads the
+// files, gives each process a distinct pid, aligns their relative
+// timestamps on the shared wall clock, and concatenates the events, so
+// chrome://tracing or ui.perfetto.dev shows the server's compose/cache
+// spans under the client's fetch span, connected by flow arrows.
+//
+// Exit status: 0 merged, 1 unreadable/unparseable input, 2 usage.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xpdl/util/io.h"
+#include "xpdl/util/json.h"
+#include "xpdl/util/status.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitDataError = 1;
+constexpr int kExitUsage = 2;
+
+int usage() {
+  std::fputs("usage: xpdl-trace merge [-o OUT.json] FILE.json...\n", stderr);
+  return kExitUsage;
+}
+
+/// One input trace file, decoded.
+struct InputTrace {
+  std::string path;
+  std::string process_name;
+  double base_unix_us = 0.0;
+  xpdl::json::Array events;
+};
+
+[[nodiscard]] double number_or(const xpdl::json::Value& doc,
+                               std::string_view key, double fallback) {
+  const xpdl::json::Value* v = doc.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string_view(argv[1]) != "merge") return usage();
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a == "-o" || a == "--output") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<InputTrace> traces;
+  traces.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    auto text = xpdl::io::read_file(path);
+    if (!text.is_ok()) {
+      std::fprintf(stderr, "xpdl-trace: error: %s\n",
+                   text.status().to_string().c_str());
+      return kExitDataError;
+    }
+    auto doc = xpdl::json::parse(*text);
+    if (!doc.is_ok()) {
+      std::fprintf(stderr, "xpdl-trace: error: %s: %s\n", path.c_str(),
+                   doc.status().to_string().c_str());
+      return kExitDataError;
+    }
+    InputTrace in;
+    in.path = path;
+    in.base_unix_us = number_or(*doc, "xpdlBaseUnixUs", 0.0);
+    const xpdl::json::Value* name = doc->find("xpdlProcessName");
+    in.process_name = (name != nullptr && name->is_string())
+                          ? name->as_string()
+                          : path;
+    const xpdl::json::Value* events = doc->find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "xpdl-trace: error: %s: no traceEvents array\n",
+                   path.c_str());
+      return kExitDataError;
+    }
+    in.events = events->as_array();
+    traces.push_back(std::move(in));
+  }
+
+  // Align on the earliest wall-clock base; files without a base (foreign
+  // Chrome traces) keep their own timeline and get a warning.
+  double min_base = 0.0;
+  for (const InputTrace& t : traces) {
+    if (t.base_unix_us > 0.0 &&
+        (min_base == 0.0 || t.base_unix_us < min_base)) {
+      min_base = t.base_unix_us;
+    }
+  }
+
+  xpdl::json::Array merged;
+  std::set<std::string> flow_starts;
+  std::set<std::string> flow_ends;
+  for (std::size_t pi = 0; pi < traces.size(); ++pi) {
+    InputTrace& t = traces[pi];
+    double shift = 0.0;
+    if (t.base_unix_us > 0.0) {
+      shift = t.base_unix_us - min_base;
+    } else {
+      std::fprintf(stderr,
+                   "xpdl-trace: warning: %s has no xpdlBaseUnixUs; its "
+                   "timestamps are not aligned with the other files\n",
+                   t.path.c_str());
+    }
+    std::uint64_t pid = pi + 1;
+    bool has_process_meta = false;
+    for (xpdl::json::Value& ev : t.events) {
+      ev["pid"] = pid;
+      const xpdl::json::Value* ph = ev.find("ph");
+      std::string phase =
+          (ph != nullptr && ph->is_string()) ? ph->as_string() : "";
+      if (phase == "M") {
+        const xpdl::json::Value* mname = ev.find("name");
+        if (mname != nullptr && mname->is_string() &&
+            mname->as_string() == "process_name") {
+          has_process_meta = true;
+        }
+        merged.push_back(std::move(ev));
+        continue;
+      }
+      const xpdl::json::Value* ts = ev.find("ts");
+      if (ts != nullptr && ts->is_number()) {
+        ev["ts"] = ts->as_number() + shift;
+      }
+      const xpdl::json::Value* id = ev.find("id");
+      if (id != nullptr && id->is_string()) {
+        if (phase == "s") flow_starts.insert(id->as_string());
+        if (phase == "f") flow_ends.insert(id->as_string());
+      }
+      merged.push_back(std::move(ev));
+    }
+    if (!has_process_meta) {
+      xpdl::json::Value meta;
+      meta["name"] = "process_name";
+      meta["ph"] = "M";
+      meta["pid"] = pid;
+      meta["tid"] = 0;
+      meta["args"]["name"] = t.process_name;
+      merged.push_back(std::move(meta));
+    }
+  }
+
+  std::size_t linked = 0;
+  for (const std::string& id : flow_ends) {
+    if (flow_starts.count(id) != 0) ++linked;
+  }
+  std::fprintf(stderr,
+               "xpdl-trace: merged %zu file(s), %zu event(s), %zu "
+               "cross-process flow edge(s) linked\n",
+               traces.size(), merged.size(), linked);
+
+  xpdl::json::Value doc;
+  doc["traceEvents"] = xpdl::json::Value(std::move(merged));
+  doc["displayTimeUnit"] = "ms";
+  doc["xpdlMergedFrom"] = [&] {
+    xpdl::json::Array from;
+    for (const InputTrace& t : traces) from.push_back(t.process_name);
+    return xpdl::json::Value(std::move(from));
+  }();
+  std::string text = xpdl::json::write(doc, 1) + "\n";
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else if (xpdl::Status st = xpdl::io::write_file(out_path, text);
+             !st.is_ok()) {
+    std::fprintf(stderr, "xpdl-trace: error: %s\n", st.to_string().c_str());
+    return kExitDataError;
+  }
+  return kExitOk;
+}

@@ -10,6 +10,8 @@
 //   xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]
 //         [--port-file FILE] [--max-requests N] [--quiet]
 //         [--jobs N] [--stats] [--trace FILE.json]
+//         [--access-log FILE] [--access-log-sample N]
+//         [--flight-dump FILE] [--no-flight]
 //         [--strict] [--keep-going] [--fault-plan SPEC]
 //         [--no-cache] [--cache-dir DIR]
 //
@@ -18,9 +20,16 @@
 // can start xpdld in the background and discover where it landed.
 // --max-requests N shuts the server down after N requests (smoke tests).
 // --jobs / XPDL_JOBS size both the scan's parse pool and the HTTP worker
-// pool. Exit status (tool_common.h contract): 0 clean shutdown
-// (including degraded scans under the default lenient mode), 1 when the
-// repository could not be served, 2 usage.
+// pool.
+//
+// Observability (docs/observability.md): the flight recorder is on by
+// default — a fixed ring of recent spans/requests dumped to
+// --flight-dump (default xpdld-flight.json) on a fatal signal and on
+// shutdown, and served live at /debug/flight; --no-flight turns it off.
+// --access-log appends one JSON object per request; --access-log-sample
+// N keeps every Nth record. Exit status (tool_common.h contract): 0
+// clean shutdown (including degraded scans under the default lenient
+// mode), 1 when the repository could not be served, 2 usage.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -32,6 +41,8 @@
 #include "tool_common.h"
 #include "xpdl/net/repo_service.h"
 #include "xpdl/net/server.h"
+#include "xpdl/obs/eventlog.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/util/io.h"
 
@@ -46,6 +57,8 @@ void usage() {
       "usage: xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]\n"
       "             [--port-file FILE] [--max-requests N] [--quiet]\n"
       "             [--jobs N] [--stats] [--trace FILE.json]\n"
+      "             [--access-log FILE] [--access-log-sample N]\n"
+      "             [--flight-dump FILE] [--no-flight]\n"
       "             [--strict] [--keep-going] [--fault-plan SPEC]\n"
       "             [--no-cache] [--cache-dir DIR]\n",
       stderr);
@@ -61,6 +74,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> repos;
   xpdl::net::ServerOptions server_options;
   std::string port_file;
+  std::string access_log;
+  std::uint64_t access_log_sample = 1;
+  std::string flight_dump = "xpdld-flight.json";
+  bool flight = true;
   bool quiet = false;
   xpdl::obs::ToolSession obs("xpdld");
   xpdl::tools::ResilienceFlags rflags("xpdld");
@@ -103,6 +120,26 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--access-log") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      access_log = v;
+    } else if (a == "--access-log-sample") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      char* end = nullptr;
+      access_log_sample = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || access_log_sample == 0) {
+        std::fprintf(stderr, "xpdld: invalid sample rate '%s' (want N >= 1)\n",
+                     v);
+        return 2;
+      }
+    } else if (a == "--flight-dump") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      flight_dump = v;
+    } else if (a == "--no-flight") {
+      flight = false;
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -122,6 +159,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs.begin();
+
+  // Flight recorder: on by default, dumped from fatal-signal handlers
+  // and on graceful shutdown. Cheap enough to always leave running.
+  if (flight) {
+    xpdl::obs::FlightRecorder::instance().enable();
+    xpdl::obs::FlightRecorder::install_crash_handlers(flight_dump);
+  }
+  if (!access_log.empty()) {
+    if (auto st = xpdl::obs::EventLog::instance().open(access_log,
+                                                       access_log_sample);
+        !st.is_ok()) {
+      return fail(st);
+    }
+  }
 
   xpdl::repository::ScanOptions scan_options;
   scan_options.strict = rflags.strict();
@@ -168,6 +219,15 @@ int main(int argc, char** argv) {
   }
   std::uint64_t served = server.served();
   server.stop();
+  if (flight) {
+    // The graceful-shutdown dump mirrors the crash path: the last thing
+    // the daemon did is on disk either way.
+    if (auto st = xpdl::obs::FlightRecorder::instance().dump(flight_dump);
+        !st.is_ok()) {
+      xpdl::tools::warn("xpdld", st.to_string());
+    }
+  }
+  xpdl::obs::EventLog::instance().close();
   if (!quiet) {
     std::printf("xpdld: shut down after %llu request(s)\n",
                 static_cast<unsigned long long>(served));

@@ -22,7 +22,11 @@
 #include "xpdl/net/repo_service.h"
 #include "xpdl/net/server.h"
 #include "xpdl/net/socket.h"
+#include "xpdl/obs/context.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/metrics.h"
+#include "xpdl/obs/prometheus.h"
+#include "xpdl/obs/trace.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/resilience/breaker.h"
 #include "xpdl/resilience/fault.h"
@@ -392,6 +396,166 @@ TEST(Server, MetricsExposesRequestCountsAndLatency) {
   ASSERT_NE(server_block, nullptr);
   EXPECT_TRUE(server_block->find("cache_hit_ratio") != nullptr);
 }
+
+TEST(Server, MetricsContentNegotiationServesPrometheus) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  ASSERT_TRUE(client.get(served->base_url + "/healthz").is_ok());
+
+  // A Prometheus scraper announces text/plain and gets the 0.0.4 text
+  // exposition, unchunked.
+  auto prom = client.get(served->base_url + "/metrics",
+                         {{"Accept", "text/plain"}});
+  ASSERT_TRUE(prom.is_ok()) << prom.status().to_string();
+  ASSERT_EQ(prom->status, 200);
+  EXPECT_EQ(prom->header("Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(prom->body.find("# TYPE xpdl_net_server_requests_total counter"),
+            std::string::npos)
+      << prom->body.substr(0, 400);
+  EXPECT_NE(
+      prom->body.find("xpdl_net_server_request_us_bucket{le=\"+Inf\"}"),
+      std::string::npos);
+  EXPECT_NE(prom->body.find("xpdl_net_server_request_us_sum"),
+            std::string::npos);
+
+  // Without the Accept preference the endpoint stays JSON, with the full
+  // p50/p95/p99 percentile triple and the gauges block (never skipped at
+  // zero — a breaker gauge of 0 means "closed").
+  auto js = client.get(served->base_url + "/metrics");
+  ASSERT_TRUE(js.is_ok());
+  ASSERT_EQ(js->status, 200);
+  EXPECT_EQ(js->header("Content-Type"), "application/json");
+  auto metrics = json::parse(js->body);
+  ASSERT_TRUE(metrics.is_ok()) << js->body.substr(0, 200);
+  const json::Value* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* latency = histograms->find("net.server.request_us");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(latency->find("p99"), nullptr) << "p99 missing from /metrics";
+  EXPECT_GE(latency->find("p99")->as_number(),
+            latency->find("p95")->as_number());
+  const json::Value* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("cache.hit_ratio"), nullptr);
+}
+
+TEST(Server, EchoesTraceIdHeader) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto resp = client.get(
+      served->base_url + "/healthz",
+      {{"traceparent",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}});
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_EQ(resp->status, 200);
+  // The server echoes the trace id the request ran under, so clients
+  // that record nothing locally can still correlate with server logs.
+  EXPECT_EQ(resp->header("X-XPDL-Trace-Id"),
+            "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(Server, DebugFlightEndpointExposesRecentRequests) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  fr.enable(64);
+  fr.clear();
+
+  HttpClient client;
+  ASSERT_TRUE(client.get(served->base_url + "/healthz").is_ok());
+  auto resp = client.get(served->base_url + "/debug/flight");
+  fr.disable();
+  fr.clear();
+  ASSERT_TRUE(resp.is_ok());
+  ASSERT_EQ(resp->status, 200);
+  auto body = json::parse(resp->body);
+  ASSERT_TRUE(body.is_ok()) << resp->body.substr(0, 200);
+  EXPECT_TRUE(body->find("enabled")->as_bool());
+  const json::Value* entries = body->find("entries");
+  ASSERT_NE(entries, nullptr);
+  bool saw_healthz = false;
+  for (const json::Value& entry : entries->as_array()) {
+    const json::Value* name = entry.find("name");
+    if (name != nullptr && name->as_string() == "/healthz") {
+      saw_healthz = true;
+      EXPECT_EQ(entry.find("kind")->as_string(), "request");
+      EXPECT_DOUBLE_EQ(entry.find("status")->as_number(), 200.0);
+    }
+  }
+  EXPECT_TRUE(saw_healthz) << "flight ring lost the /healthz request";
+}
+
+#if XPDL_OBS_ENABLED
+
+TEST(Server, TransportPropagatesTraceToServerSpans) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+  TempDir net_cache;
+
+  // Record client and server spans into the (process-global) tracer
+  // while a remote scan runs over loopback HTTP.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.start("trace-propagation-test");
+  struct StopTracing {  // timing is process-global; never leak it enabled
+    ~StopTracing() {
+      obs::Tracer::instance().stop();
+      obs::set_timing_enabled(false);
+    }
+  } stop_tracing;
+
+  repository::Repository remote({served->base_url});
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  remote.set_transport(make_http_aware_transport(options));
+  ASSERT_TRUE(remote.scan(repository::ScanOptions{}).is_ok());
+
+  tracer.stop();
+  obs::set_timing_enabled(false);
+
+  std::vector<const obs::TraceEvent*> fetches;
+  std::vector<const obs::TraceEvent*> serves;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.name == "net.fetch") fetches.push_back(&e);
+    if (e.name == "net.server.request") serves.push_back(&e);
+  }
+  ASSERT_FALSE(fetches.empty()) << "no client fetch spans recorded";
+  ASSERT_FALSE(serves.empty()) << "no server request spans recorded";
+
+  // Every server-side request span must be a child of the client fetch
+  // span that carried its traceparent: remote parent flag set, parent
+  // span id equal to a fetch span's id, trace ids identical.
+  for (const obs::TraceEvent* s : serves) {
+    EXPECT_TRUE(s->remote_parent);
+    const obs::TraceEvent* parent = nullptr;
+    for (const obs::TraceEvent* f : fetches) {
+      if (f->span_id == s->parent_span_id) parent = f;
+    }
+    ASSERT_NE(parent, nullptr)
+        << "server span is not a child of any client fetch span";
+    EXPECT_EQ(s->trace_id_hi, parent->trace_id_hi);
+    EXPECT_EQ(s->trace_id_lo, parent->trace_id_lo);
+    // The client span knows it injected its context downstream, which
+    // becomes the flow arrow in the merged Chrome trace.
+    EXPECT_TRUE(parent->flow_out);
+  }
+}
+
+#endif  // XPDL_OBS_ENABLED
 
 TEST(Server, SurvivesMalformedRequestFuzz) {
   TempDir repo;

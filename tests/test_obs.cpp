@@ -1,17 +1,29 @@
 // Tests for the observability layer (xpdl::obs): metrics registry,
-// histogram bucketing, span nesting / phase aggregation, and the Chrome
-// trace_event JSON export (round-tripped through xpdl::json).
+// histogram bucketing, span nesting / phase aggregation, the Chrome
+// trace_event JSON export (round-tripped through xpdl::json), W3C trace
+// context propagation, Prometheus text exposition, the flight recorder
+// and the structured event log.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "xpdl/obs/context.h"
+#include "xpdl/obs/eventlog.h"
+#include "xpdl/obs/flight.h"
 #include "xpdl/obs/metrics.h"
+#include "xpdl/obs/prometheus.h"
 #include "xpdl/obs/report.h"
 #include "xpdl/obs/trace.h"
+#include "xpdl/util/io.h"
 #include "xpdl/util/json.h"
 
 namespace obs = xpdl::obs;
 namespace json = xpdl::json;
+namespace io = xpdl::io;
 
 namespace {
 
@@ -303,6 +315,345 @@ TEST(Json, IntegersWriteExactly) {
   v["n"] = json::Value(std::uint64_t{1234567});
   v["f"] = json::Value(2.5);
   EXPECT_EQ(json::write(v), R"({"f":2.5,"n":1234567})");
+}
+
+// ===========================================================================
+// W3C trace context
+
+TEST(TraceContext, FormatParseRoundTrip) {
+  obs::TraceContext ctx;
+  ctx.trace_id_hi = 0x4bf92f3577b34da6ULL;
+  ctx.trace_id_lo = 0xa3ce929d0e0e4736ULL;
+  ctx.span_id = 0x00f067aa0ba902b7ULL;
+  ctx.flags = 0x01;
+  std::string header = obs::format_traceparent(ctx);
+  EXPECT_EQ(header,
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+
+  obs::TraceContext parsed;
+  ASSERT_TRUE(obs::parse_traceparent(header, parsed));
+  EXPECT_EQ(parsed.trace_id_hi, ctx.trace_id_hi);
+  EXPECT_EQ(parsed.trace_id_lo, ctx.trace_id_lo);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+  EXPECT_EQ(parsed.flags, 0x01);
+  EXPECT_TRUE(parsed.sampled());
+  EXPECT_EQ(parsed.trace_id_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(TraceContext, ParseRejectsMalformedHeaders) {
+  obs::TraceContext out;
+  out.span_id = 0xDEAD;  // must stay untouched on every failed parse
+  const char* bad[] = {
+      "",
+      "00",
+      // Upper-case hex is invalid per the W3C spec.
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // Version ff is forbidden.
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // All-zero trace id / span id are invalid.
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+      // Dashes in the wrong places.
+      "00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7-01",
+      // Version 00 must be exactly 55 chars; suffixes need a dash.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x",
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01xx",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(obs::parse_traceparent(header, out)) << header;
+    EXPECT_EQ(out.span_id, 0xDEADu) << header;
+  }
+  // A future version with a dash-separated suffix parses (per spec the
+  // version-00 prefix is forward compatible).
+  EXPECT_TRUE(obs::parse_traceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+      out));
+  EXPECT_EQ(out.span_id, 0x00f067aa0ba902b7ULL);
+}
+
+TEST(TraceContext, FreshContextsAreValidAndDistinct) {
+  obs::TraceContext a = obs::make_trace_context();
+  obs::TraceContext b = obs::make_trace_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id_hex(), b.trace_id_hex());
+  EXPECT_NE(obs::next_span_id(), obs::next_span_id());
+
+  // Even with no span open and no remote parent, the current header is
+  // well-formed so outgoing requests can always be stamped.
+  obs::TraceContext current;
+  EXPECT_TRUE(obs::parse_traceparent(obs::current_traceparent(), current));
+}
+
+#if XPDL_OBS_ENABLED
+
+TEST(TraceContext, SpansAdoptRemoteParent) {
+  TimingGuard guard(true);
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.reset();
+  tracer.start("adopt-test");
+
+  obs::TraceContext remote;
+  ASSERT_TRUE(obs::parse_traceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", remote));
+  {
+    obs::ScopedRemoteParent adopt(remote);
+    EXPECT_EQ(obs::remote_parent_context().span_id, remote.span_id);
+    obs::Span root("adopted_root");
+    // Inside the span, the current context is the span itself, under the
+    // remote trace id — exactly what a further downstream call would see.
+    obs::TraceContext current = obs::current_context();
+    EXPECT_EQ(current.trace_id_hi, remote.trace_id_hi);
+    EXPECT_EQ(current.span_id, root.span_id());
+    { obs::Span child("adopted_child"); }
+  }
+  tracer.stop();
+  EXPECT_FALSE(obs::remote_parent_context().valid());
+
+  const obs::TraceEvent* root_ev = nullptr;
+  const obs::TraceEvent* child_ev = nullptr;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.name == "adopted_root") root_ev = &e;
+    if (e.name == "adopted_child") child_ev = &e;
+  }
+  ASSERT_NE(root_ev, nullptr);
+  ASSERT_NE(child_ev, nullptr);
+  // The top-level span parents onto the remote caller's span and joins
+  // its trace; the nested span parents locally but keeps the trace id.
+  EXPECT_TRUE(root_ev->remote_parent);
+  EXPECT_EQ(root_ev->parent_span_id, remote.span_id);
+  EXPECT_EQ(root_ev->trace_id_hi, remote.trace_id_hi);
+  EXPECT_EQ(root_ev->trace_id_lo, remote.trace_id_lo);
+  EXPECT_FALSE(child_ev->remote_parent);
+  EXPECT_EQ(child_ev->parent_span_id, root_ev->span_id);
+  EXPECT_EQ(child_ev->trace_id_hi, remote.trace_id_hi);
+}
+
+#endif  // XPDL_OBS_ENABLED
+
+// ===========================================================================
+// Prometheus exposition
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("net.server.requests"),
+            "xpdl_net_server_requests");
+  EXPECT_EQ(obs::prometheus_name("already_clean:name"),
+            "xpdl_already_clean:name");
+  EXPECT_EQ(obs::prometheus_name("weird-name#1 "), "xpdl_weird_name_1_");
+}
+
+TEST(Prometheus, GoldenExposition) {
+  // Rendered from locally-constructed metrics (not the global registry)
+  // so the expected text is stable no matter what other tests record.
+  obs::Counter requests;
+  requests.add(42);
+  obs::Gauge temperature;
+  temperature.set(2.5);
+  obs::Gauge weird;
+  weird.set(1.0);
+  obs::Histogram latency;
+  latency.record(0);
+  latency.record(3);
+  latency.record(3);
+  latency.record(100);
+
+  std::vector<obs::MetricInfo> metrics;
+  metrics.push_back({"demo.requests", obs::MetricInfo::Type::kCounter,
+                     &requests, nullptr, nullptr});
+  metrics.push_back({"demo.temperature", obs::MetricInfo::Type::kGauge,
+                     nullptr, &temperature, nullptr});
+  metrics.push_back({"demo.weird-name#1", obs::MetricInfo::Type::kGauge,
+                     nullptr, &weird, nullptr});
+  metrics.push_back({"demo.latency_us", obs::MetricInfo::Type::kHistogram,
+                     nullptr, nullptr, &latency});
+
+  auto expected = io::read_file(XPDL_PROM_GOLDEN);
+  ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+  EXPECT_EQ(obs::to_prometheus_text(metrics), *expected);
+}
+
+TEST(Prometheus, EmptyHistogramStillWellFormed) {
+  obs::Histogram idle;
+  std::vector<obs::MetricInfo> metrics;
+  metrics.push_back({"demo.idle", obs::MetricInfo::Type::kHistogram, nullptr,
+                     nullptr, &idle});
+  EXPECT_EQ(obs::to_prometheus_text(metrics),
+            "# HELP xpdl_demo_idle xpdl metric demo.idle\n"
+            "# TYPE xpdl_demo_idle histogram\n"
+            "xpdl_demo_idle_bucket{le=\"+Inf\"} 0\n"
+            "xpdl_demo_idle_sum 0\n"
+            "xpdl_demo_idle_count 0\n");
+}
+
+// ===========================================================================
+// Flight recorder
+
+// The flight recorder is process-global and (like timing) makes Span
+// constructors active; every test turns it back off on the way out.
+struct FlightGuard {
+  ~FlightGuard() {
+    obs::FlightRecorder::instance().disable();
+    obs::FlightRecorder::instance().clear();
+  }
+};
+
+TEST(FlightRecorder, RecordSnapshotDumpRoundTrip) {
+  FlightGuard guard;
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  fr.enable(8);
+  fr.clear();
+  ASSERT_TRUE(fr.enabled());
+  ASSERT_TRUE(obs::flight_enabled());
+
+  fr.record(obs::FlightRecorder::Kind::kEvent, "alpha", 1);
+  fr.record(obs::FlightRecorder::Kind::kRequest, "/v1/index", 250, 200);
+  std::string long_name(80, 'x');
+  fr.record(obs::FlightRecorder::Kind::kSpan, long_name, 7);
+
+  std::vector<obs::FlightRecorder::Entry> entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_LT(entries[0].seq, entries[1].seq);  // oldest first
+  EXPECT_LT(entries[1].seq, entries[2].seq);
+  EXPECT_STREQ(entries[0].name, "alpha");
+  EXPECT_EQ(entries[1].status, 200);
+  EXPECT_EQ(std::string(entries[2].name),
+            long_name.substr(0, obs::FlightRecorder::kNameBytes));
+
+  json::Value doc = fr.to_json();
+  const json::Value* arr = doc.find("entries");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->as_array().size(), 3u);
+
+  // dump() writes the same document to disk.
+  std::string path = ::testing::TempDir() + "xpdl_flight_test.json";
+  ASSERT_TRUE(fr.dump(path).is_ok());
+  auto text = io::read_file(path);
+  ASSERT_TRUE(text.is_ok());
+  auto parsed = json::parse(*text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->find("entries")->as_array().size(), 3u);
+  std::remove(path.c_str());
+
+  // The async-signal-safe dump emits one JSON object per line.
+  std::string safe_path = ::testing::TempDir() + "xpdl_flight_sig.jsonl";
+  int fd = ::open(safe_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  fr.dump_signal_safe(fd);
+  ::close(fd);
+  auto lines = io::read_file(safe_path);
+  ASSERT_TRUE(lines.is_ok());
+  std::size_t objects = 0;
+  std::size_t start = 0;
+  const std::string& body = *lines;
+  while (start < body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    std::string line = body.substr(start, end - start);
+    if (!line.empty()) {
+      auto obj = json::parse(line);
+      EXPECT_TRUE(obj.is_ok()) << line;
+      ++objects;
+    }
+    start = end + 1;
+  }
+  EXPECT_GE(objects, 3u);
+  std::remove(safe_path.c_str());
+
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewest) {
+  FlightGuard guard;
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  fr.enable(8);
+  fr.clear();
+  std::uint64_t base = fr.recorded();
+  for (int i = 0; i < 20; ++i) {
+    fr.record(obs::FlightRecorder::Kind::kEvent, "wrap",
+              static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(fr.recorded(), base + 20);
+  std::vector<obs::FlightRecorder::Entry> entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), fr.capacity());
+  // The survivors are the newest writes, still in order.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, entries[i - 1].seq + 1);
+  }
+  EXPECT_EQ(entries.back().value, 19u);
+}
+
+#if XPDL_OBS_ENABLED
+
+TEST(FlightRecorder, SpansRecordEvenWithoutTiming) {
+  FlightGuard guard;
+  TimingGuard timing(false);  // flight alone must activate spans
+  obs::FlightRecorder& fr = obs::FlightRecorder::instance();
+  fr.enable(8);
+  fr.clear();
+  { obs::Span span("flight_only_span"); }
+  std::vector<obs::FlightRecorder::Entry> entries = fr.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_STREQ(entries[0].name, "flight_only_span");
+  EXPECT_EQ(entries[0].kind,
+            static_cast<std::uint8_t>(obs::FlightRecorder::Kind::kSpan));
+}
+
+#endif  // XPDL_OBS_ENABLED
+
+// ===========================================================================
+// Event log
+
+TEST(EventLog, WritesSampledJsonl) {
+  std::string path = ::testing::TempDir() + "xpdl_eventlog_test.jsonl";
+  std::remove(path.c_str());
+  obs::EventLog& log = obs::EventLog::instance();
+  xpdl::Status st = log.open(path, 2);  // every 2nd record
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(log.enabled());
+
+  for (int i = 0; i < 4; ++i) {
+    obs::EventLog::Request r;
+    r.method = "GET";
+    r.path = "/v1/index";
+    r.status = 200;
+    r.bytes = static_cast<std::uint64_t>(10 + i);
+    r.duration_us = 5;
+    r.trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+    r.faults_injected = 1;
+    log.log_request(r);
+  }
+  log.close();
+  EXPECT_FALSE(log.enabled());
+
+  auto text = io::read_file(path);
+  ASSERT_TRUE(text.is_ok());
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  const std::string& body = *text;
+  while (start < body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    std::string line = body.substr(start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      auto parsed = json::parse(line);
+      ASSERT_TRUE(parsed.is_ok()) << line;
+      EXPECT_EQ(parsed->find("method")->as_string(), "GET");
+      EXPECT_EQ(parsed->find("path")->as_string(), "/v1/index");
+      EXPECT_DOUBLE_EQ(parsed->find("status")->as_number(), 200.0);
+      EXPECT_EQ(parsed->find("trace_id")->as_string(),
+                "4bf92f3577b34da6a3ce929d0e0e4736");
+      ASSERT_NE(parsed->find("ts_us"), nullptr);
+      ASSERT_NE(parsed->find("duration_us"), nullptr);
+      ASSERT_NE(parsed->find("faults_injected"), nullptr);
+    }
+    start = end + 1;
+  }
+  // 4 records at sample_every=2 -> exactly 2 lines on disk.
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
