@@ -32,6 +32,33 @@ struct Header {
 /// Case-insensitive ASCII string comparison (header names, token values).
 [[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
 
+/// A monotonic per-request time budget, carried on the Request so every
+/// handler layer (routing, compose, query) can bail out cooperatively
+/// instead of running unbounded. Default-constructed budgets are
+/// unbounded; with_ms() anchors a deadline `ms` from now on the steady
+/// clock (ms <= 0 yields an already-expired budget — useful in tests).
+class RequestBudget {
+ public:
+  RequestBudget() = default;  ///< unbounded
+
+  [[nodiscard]] static RequestBudget with_ms(double ms) noexcept;
+
+  [[nodiscard]] bool bounded() const noexcept { return deadline_ns_ != 0; }
+  /// True when a bounded budget's deadline has passed.
+  [[nodiscard]] bool expired() const noexcept;
+  /// Milliseconds left; a large positive value when unbounded, <= 0 when
+  /// expired.
+  [[nodiscard]] double remaining_ms() const noexcept;
+
+ private:
+  std::uint64_t deadline_ns_ = 0;  ///< steady-clock ns; 0 = unbounded
+};
+
+/// Parses a Retry-After header value into milliseconds. Only the
+/// delta-seconds form is supported (the HTTP-date form is not; xpdld
+/// never emits it); absent, malformed or negative values yield 0.
+[[nodiscard]] double parse_retry_after_ms(std::string_view value) noexcept;
+
 /// An HTTP request. `target` is the raw request target (path + optional
 /// '?query'); path()/query() split it.
 struct Request {
@@ -40,6 +67,9 @@ struct Request {
   std::string version = "HTTP/1.1";
   std::vector<Header> headers;
   std::string body;
+  /// Time budget for handling this request (unbounded by default; the
+  /// server sets it from ServerOptions::request_deadline_ms).
+  RequestBudget budget;
 
   /// Value of the first header with this (case-insensitive) name, or "".
   [[nodiscard]] std::string_view header(std::string_view name) const noexcept;

@@ -67,6 +67,12 @@ class HttpTransport final : public repository::Transport {
     return "http";
   }
 
+  /// A 503/429 Retry-After from the most recent failed fetch on this
+  /// thread, in milliseconds (0 = none). Thread-local: the repository
+  /// scan retries each descriptor on the thread that fetched it, so the
+  /// hint always describes the caller's own last failure.
+  [[nodiscard]] double retry_after_hint_ms() const noexcept override;
+
   /// The breaker guarding `host:port` (created on first use). Exposed so
   /// tests can assert open/half-open transitions.
   [[nodiscard]] resilience::CircuitBreaker& breaker_for(
@@ -89,6 +95,10 @@ class RoutingTransport final : public repository::Transport {
   [[nodiscard]] Result<std::string> read(const std::string& path) override;
   [[nodiscard]] std::string_view describe() const noexcept override {
     return "routing(local-fs|http)";
+  }
+  [[nodiscard]] double retry_after_hint_ms() const noexcept override {
+    // Only the HTTP side ever produces server hints.
+    return http_->retry_after_hint_ms();
   }
 
  private:

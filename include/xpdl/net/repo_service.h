@@ -23,6 +23,7 @@
 // tests, which exercise every endpoint without sockets.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,14 @@ class RepoService {
   /// The HttpServer handler: routes one request. Thread-safe.
   [[nodiscard]] Response handle(const Request& request);
 
+  /// Hooks /healthz into the server's drain state: while `provider`
+  /// returns true the probe answers "draining" instead of "ok", so load
+  /// balancers stop routing before the listener goes away. Call before
+  /// serving starts (not synchronized against handle()).
+  void set_draining_provider(std::function<bool()> provider) {
+    draining_ = std::move(provider);
+  }
+
   /// Number of descriptors being served.
   [[nodiscard]] std::size_t descriptor_count() const noexcept {
     return descriptors_.size();
@@ -77,6 +86,7 @@ class RepoService {
   std::unique_ptr<repository::Repository> repo_;
   std::map<std::string, ServedDescriptor, std::less<>> descriptors_;
   std::string index_json_;  ///< prebuilt /v1/index body
+  std::function<bool()> draining_;  ///< /healthz drain signal (optional)
 
   /// Composition is memoized per ref; the mutex serializes misses (the
   /// composer shares the repository instance).

@@ -37,6 +37,27 @@ struct ServerOptions {
   /// Stop after serving this many requests (0 = run until stop()). Used
   /// by tests and benchmarks for deterministic shutdown.
   std::uint64_t max_requests = 0;
+  /// Admission control: when this many accepted connections are already
+  /// queued, new ones are answered `503` + jittered `Retry-After` and
+  /// closed instead of queued (0 = unbounded, the pre-overload-contract
+  /// behavior). Every shed bumps `net.server.shed_total`.
+  std::size_t max_pending = 1024;
+  /// Concurrency gate: a connection popped while this many are already
+  /// being served is shed with `503` + `Retry-After`. 0 disables the
+  /// gate (the worker-pool size already bounds concurrency); set it
+  /// below the pool size to reserve workers.
+  std::size_t max_inflight = 0;
+  /// Per-request handling budget, exposed to handlers as
+  /// `Request::budget` (0 = unbounded). Handlers that honor the budget
+  /// (RepoService does) answer `503` + `Retry-After` once it expires.
+  double request_deadline_ms = 0.0;
+  /// Slow-loris defense: a request's header section must arrive within
+  /// this window of its *first byte* (idle keep-alive waits are not
+  /// counted) or the connection is answered `408` (0 = disabled).
+  double header_deadline_ms = 2000.0;
+  /// After request_drain(): in-flight and queued requests get this long
+  /// to finish before the server stops anyway (0 = wait forever).
+  double drain_timeout_ms = 5000.0;
 };
 
 /// Maps one request to one response. Must be thread-safe: workers invoke
@@ -60,6 +81,17 @@ class HttpServer {
   /// Asks the serving loops to wind down without joining them (safe to
   /// call from a worker, e.g. when max_requests is reached).
   void request_stop();
+
+  /// Graceful drain (the SIGTERM path): new connections are shed with
+  /// `503` + `Retry-After`, queued and in-flight requests finish (up to
+  /// ServerOptions::drain_timeout_ms), then the server stops as if
+  /// request_stop() had been called — wait() unblocks and stop() joins.
+  /// `net.server.drain_us` records the drain duration. Idempotent;
+  /// non-blocking.
+  void request_drain();
+
+  /// True between request_drain() and the resulting stop.
+  [[nodiscard]] bool draining() const noexcept;
 
   /// Blocks until request_stop() was called (or max_requests reached).
   void wait();

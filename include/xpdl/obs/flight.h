@@ -83,6 +83,13 @@ class FlightRecorder {
   /// copied into static storage; call once from main().
   static void install_crash_handlers(const std::string& path);
 
+  /// Registers one file to unlink(2) from the fatal-signal path — the
+  /// daemon's --port-file, which must not outlive the process it
+  /// advertises. Async-signal-safe by construction (static buffer +
+  /// unlink). "" clears it. Complements install_crash_handlers(), which
+  /// must also have been called for the cleanup to run on a crash.
+  static void set_crash_cleanup_path(const std::string& path);
+
   /// Entries recorded over the recorder's lifetime (may exceed capacity).
   [[nodiscard]] std::uint64_t recorded() const noexcept;
 

@@ -34,6 +34,15 @@ class Transport {
 
   /// Human-readable transport kind for diagnostics ("local-fs", ...).
   [[nodiscard]] virtual std::string_view describe() const noexcept = 0;
+
+  /// Server-provided backoff hint attached to the most recent failed
+  /// call *on this thread* (an HTTP 503/429 Retry-After), milliseconds;
+  /// 0 when the last failure carried none. RetryPolicy consumers install
+  /// this as a hint provider so the next backoff honors the server's
+  /// request instead of hammering an overloaded mirror.
+  [[nodiscard]] virtual double retry_after_hint_ms() const noexcept {
+    return 0.0;
+  }
 };
 
 /// Reads descriptors from local directory trees (the default).
@@ -62,6 +71,9 @@ class FaultInjectingTransport final : public Transport {
   [[nodiscard]] Result<std::string> read(const std::string& path) override;
   [[nodiscard]] std::string_view describe() const noexcept override {
     return "fault-injecting";
+  }
+  [[nodiscard]] double retry_after_hint_ms() const noexcept override {
+    return inner_->retry_after_hint_ms();
   }
 
  private:

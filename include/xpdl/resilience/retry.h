@@ -61,6 +61,14 @@ class RetryPolicy {
   /// Replaces the retryable-error predicate (default_retryable otherwise).
   void set_classifier(Classifier classifier);
 
+  /// A source of server backoff hints (e.g. a transport's Retry-After
+  /// from the failure just observed), milliseconds; consulted before
+  /// each backoff. The effective delay is max(jittered, hint) and stays
+  /// subject to `deadline_ms` — the loop never waits (or retries) past
+  /// the caller's own deadline to honor a server's.
+  using HintProvider = std::function<double()>;
+  void set_hint_provider(HintProvider provider);
+
   /// Runs `fn` until it returns OK, a non-retryable failure, or the
   /// attempt/deadline budget is exhausted; returns the final status.
   /// `op` labels the operation in diagnostics.
@@ -89,6 +97,7 @@ class RetryPolicy {
   struct RunStats {
     int attempts = 0;          ///< tries performed (>= 1)
     int retries = 0;           ///< attempts - 1, when any were needed
+    int hinted = 0;            ///< backoffs stretched by a server hint
     double total_backoff_ms = 0.0;
     bool exhausted = false;    ///< gave up on a retryable failure
   };
@@ -103,6 +112,7 @@ class RetryPolicy {
 
   RetryOptions options_;
   Classifier classifier_;
+  HintProvider hint_;
   std::uint64_t rng_state_;
   RunStats last_;
 };

@@ -16,6 +16,12 @@ namespace xpdl::io {
 [[nodiscard]] Status write_file(const std::string& path,
                                 std::string_view contents);
 
+/// write_file plus fsync(2) before close: for files that are about to be
+/// renamed into place and must never be observed half-written after a
+/// crash — the rename publishes only fully durable bytes.
+[[nodiscard]] Status write_file_durable(const std::string& path,
+                                        std::string_view contents);
+
 /// True if a regular file exists at `path`.
 [[nodiscard]] bool file_exists(const std::string& path);
 

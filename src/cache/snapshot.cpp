@@ -227,8 +227,15 @@ std::unique_ptr<xml::Element> read_tree(
   return root;
 }
 
+/// Rejection classification for loads: *corrupt* snapshots (bad magic,
+/// checksum mismatch, truncation, structural damage) are quarantined so
+/// the bad bytes are parsed at most once; *stale* ones (older format
+/// version, different schema fingerprint, kind/key mismatch) are valid
+/// files that simply no longer apply — a plain miss, overwritten by the
+/// next store.
 std::optional<Snapshot> deserialize(std::string_view data, Kind kind,
-                                    std::uint64_t key) {
+                                    std::uint64_t key, bool& corrupt) {
+  corrupt = true;
   if (data.size() < kMagic.size() + 4 ||
       data.substr(0, kMagic.size()) != kMagic) {
     return std::nullopt;
@@ -239,12 +246,18 @@ std::optional<Snapshot> deserialize(std::string_view data, Kind kind,
   Cursor check{tail};
   if (check.u32() != fnv1a32(body)) return std::nullopt;
 
+  // Checksummed clean from here on: any header mismatch below means the
+  // snapshot is intact but written by a different world — stale.
+  corrupt = false;
   Cursor c{body};
   if (c.u32() != kFormatVersion) return std::nullopt;
   if (c.u64() != schema_fingerprint()) return std::nullopt;
   std::string_view k = c.bytes(1);
   if (!c.ok || k[0] != static_cast<char>(kind)) return std::nullopt;
   if (c.u64() != key) return std::nullopt;
+
+  // A structural failure past an intact checksum is producer damage.
+  corrupt = true;
 
   std::uint32_t string_count = c.u32();
   if (!c.ok || string_count > kMaxCount) return std::nullopt;
@@ -271,6 +284,7 @@ std::optional<Snapshot> deserialize(std::string_view data, Kind kind,
   if (!c.ok || snap.root == nullptr || c.pos != body.size()) {
     return std::nullopt;
   }
+  corrupt = false;
   return snap;
 }
 
@@ -300,7 +314,9 @@ std::string serialize_blob(Kind kind, std::uint64_t key,
 }
 
 std::optional<BlobSnapshot> deserialize_blob(std::string_view data, Kind kind,
-                                             std::uint64_t key) {
+                                             std::uint64_t key,
+                                             bool& corrupt) {
+  corrupt = true;
   if (data.size() < kMagic.size() + 4 ||
       data.substr(0, kMagic.size()) != kMagic) {
     return std::nullopt;
@@ -311,6 +327,7 @@ std::optional<BlobSnapshot> deserialize_blob(std::string_view data, Kind kind,
   Cursor check{tail};
   if (check.u32() != chunked_checksum(body)) return std::nullopt;
 
+  corrupt = false;  // intact; header mismatches below are staleness
   Cursor c{body};
   if (c.u32() != kFormatVersion) return std::nullopt;
   if (c.u64() != schema_fingerprint()) return std::nullopt;
@@ -318,6 +335,7 @@ std::optional<BlobSnapshot> deserialize_blob(std::string_view data, Kind kind,
   if (!c.ok || k[0] != static_cast<char>(kind)) return std::nullopt;
   if (c.u64() != key) return std::nullopt;
 
+  corrupt = true;  // structural damage past an intact checksum
   BlobSnapshot snap;
   std::uint32_t warning_count = c.u32();
   if (!c.ok || warning_count > kMaxCount) return std::nullopt;
@@ -337,7 +355,18 @@ std::optional<BlobSnapshot> deserialize_blob(std::string_view data, Kind kind,
   std::string_view bytes = c.bytes(static_cast<std::size_t>(byte_count));
   if (!c.ok || c.pos != body.size()) return std::nullopt;
   snap.bytes.assign(bytes);
+  corrupt = false;
   return snap;
+}
+
+/// Moves a corrupt snapshot aside to `<path>.corrupt` so its bytes are
+/// parsed exactly once: the next load is a plain file-not-found miss,
+/// and the evidence survives for postmortems (a later corrupt snapshot
+/// of the same name replaces it).
+void quarantine(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".corrupt", ec);
+  if (!ec) XPDL_OBS_COUNT("cache.quarantined", 1);
 }
 
 }  // namespace
@@ -395,17 +424,25 @@ std::optional<Snapshot> SnapshotCache::load(Kind kind, std::uint64_t key) {
     XPDL_OBS_COUNT("cache.disabled_loads", 1);
     return std::nullopt;
   }
-  auto text = io::read_file(path_for(kind, key));
+  std::string path = path_for(kind, key);
+  auto text = io::read_file(path);
   if (!text.is_ok()) {
     XPDL_OBS_COUNT("cache.misses", 1);
     return std::nullopt;
   }
-  auto snap = deserialize(*text, kind, key);
+  bool corrupt = false;
+  auto snap = deserialize(*text, kind, key, corrupt);
   if (!snap.has_value()) {
-    // Truncated, corrupt, wrong format version or wrong schema: callers
-    // fall back to the XML parse and overwrite the snapshot.
-    XPDL_OBS_COUNT("cache.corrupt", 1);
+    // Either way the caller falls back to the XML parse; a corrupt file
+    // (bad checksum/truncation) is additionally quarantined so its bytes
+    // are never re-parsed, while a stale one is simply overwritten.
     XPDL_OBS_COUNT("cache.misses", 1);
+    if (corrupt) {
+      XPDL_OBS_COUNT("cache.corrupt", 1);
+      quarantine(path);
+    } else {
+      XPDL_OBS_COUNT("cache.stale", 1);
+    }
     return std::nullopt;
   }
   XPDL_OBS_COUNT("cache.hits", 1);
@@ -425,15 +462,22 @@ std::optional<BlobSnapshot> SnapshotCache::load_blob(Kind kind,
     XPDL_OBS_COUNT("cache.disabled_loads", 1);
     return std::nullopt;
   }
-  auto text = io::read_file(path_for(kind, key));
+  std::string path = path_for(kind, key);
+  auto text = io::read_file(path);
   if (!text.is_ok()) {
     XPDL_OBS_COUNT("cache.misses", 1);
     return std::nullopt;
   }
-  auto snap = deserialize_blob(*text, kind, key);
+  bool corrupt = false;
+  auto snap = deserialize_blob(*text, kind, key, corrupt);
   if (!snap.has_value()) {
-    XPDL_OBS_COUNT("cache.corrupt", 1);
     XPDL_OBS_COUNT("cache.misses", 1);
+    if (corrupt) {
+      XPDL_OBS_COUNT("cache.corrupt", 1);
+      quarantine(path);
+    } else {
+      XPDL_OBS_COUNT("cache.stale", 1);
+    }
     return std::nullopt;
   }
   XPDL_OBS_COUNT("cache.hits", 1);
@@ -454,7 +498,11 @@ void SnapshotCache::store_encoded(Kind kind, std::uint64_t key,
   }
   std::string path = path_for(kind, key);
   std::string tmp = path + ".tmp" + std::to_string(::getpid());
-  if (!io::write_file(tmp, encoded).is_ok()) {
+  // Durable write (fsync before close) so the rename below can never
+  // publish a half-written snapshot across a crash: rename is atomic
+  // with respect to readers, but only durability makes it atomic with
+  // respect to power loss.
+  if (!io::write_file_durable(tmp, encoded).is_ok()) {
     XPDL_OBS_COUNT("cache.store_failures", 1);
     return;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 
 namespace xpdl::net {
@@ -170,6 +171,7 @@ std::string_view reason_phrase(int status) noexcept {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
@@ -184,6 +186,53 @@ ErrorCode error_code_for_status(int status) noexcept {
   if (status == 400) return ErrorCode::kInvalidArgument;
   if (status < 500) return ErrorCode::kIoError;
   return ErrorCode::kUnavailable;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RequestBudget RequestBudget::with_ms(double ms) noexcept {
+  RequestBudget budget;
+  std::uint64_t now = steady_now_ns();
+  std::uint64_t delta =
+      ms > 0.0 ? static_cast<std::uint64_t>(ms * 1e6) : std::uint64_t{0};
+  budget.deadline_ns_ = now + delta;
+  // A deadline of exactly "now" could collide with the 0 = unbounded
+  // sentinel only if the steady clock reads 0 at process start; nudge.
+  if (budget.deadline_ns_ == 0) budget.deadline_ns_ = 1;
+  return budget;
+}
+
+bool RequestBudget::expired() const noexcept {
+  return deadline_ns_ != 0 && steady_now_ns() >= deadline_ns_;
+}
+
+double RequestBudget::remaining_ms() const noexcept {
+  if (deadline_ns_ == 0) return 1e18;  // unbounded
+  std::uint64_t now = steady_now_ns();
+  if (now >= deadline_ns_) {
+    return -static_cast<double>(now - deadline_ns_) / 1e6;
+  }
+  return static_cast<double>(deadline_ns_ - now) / 1e6;
+}
+
+double parse_retry_after_ms(std::string_view value) noexcept {
+  value = trim(value);
+  if (value.empty() || value.size() > 9) return 0.0;
+  double seconds = 0.0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return 0.0;  // HTTP-date form: unsupported
+    seconds = seconds * 10.0 + (c - '0');
+  }
+  return seconds * 1000.0;
 }
 
 std::size_t find_head_end(std::string_view buffer) noexcept {

@@ -1,5 +1,6 @@
 #include "xpdl/net/http_transport.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +19,13 @@ namespace xpdl::net {
 namespace {
 
 constexpr std::string_view kCacheMagic = "XPDLNET1";
+
+/// Server backoff hints are per failing call and consumed by the retry
+/// loop running on the same thread; a hint above this cap is clamped so
+/// a misconfigured server cannot park a scan for minutes.
+constexpr double kMaxRetryAfterHintMs = 30'000.0;
+
+thread_local double t_retry_after_hint_ms = 0.0;
 
 [[nodiscard]] std::string strip_trailing_slash(std::string url) {
   while (url.size() > sizeof("http://") && url.back() == '/') {
@@ -137,6 +145,8 @@ struct HttpTransport::Impl {
   [[nodiscard]] Result<std::string> fetch(const std::string& url) {
     obs::Span span("net.fetch");
     span.arg("url", url);
+    // The hint describes the *most recent* failure on this thread only.
+    t_retry_after_hint_ms = 0.0;
     XPDL_ASSIGN_OR_RETURN(Url parsed, parse_url(url));
     std::string host_port = parsed.host + ":" + std::to_string(parsed.port);
     resilience::CircuitBreaker& guard = breaker(host_port);
@@ -196,12 +206,23 @@ struct HttpTransport::Impl {
       return std::move(response->body);
     }
 
+    // An overloaded server's shed (503/429) carries a Retry-After hint:
+    // remember it for the retry loop on this thread, so the next backoff
+    // waits at least as long as the server asked for.
+    if (response->status == 503 || response->status == 429) {
+      double hint_ms = parse_retry_after_ms(response->header("Retry-After"));
+      if (hint_ms > 0.0) {
+        t_retry_after_hint_ms = std::min(hint_ms, kMaxRetryAfterHintMs);
+        XPDL_OBS_COUNT("net.transport.retry_after_hints", 1);
+      }
+    }
     Status failure(error_code_for_status(response->status),
                    "GET '" + url + "' failed: HTTP " +
                        std::to_string(response->status) + " " +
                        std::string(reason_phrase(response->status)));
     // 4xx means the server answered deterministically — the host is
-    // healthy, so the breaker records success; 5xx counts against it.
+    // healthy, so the breaker records success; 5xx (including a 503
+    // shed) counts against the per-host breaker.
     guard.record(response->status < 500 ? Status::ok() : failure);
     XPDL_OBS_COUNT("net.transport.http_errors", 1);
     return failure;
@@ -212,6 +233,10 @@ HttpTransport::HttpTransport(HttpTransportOptions options)
     : impl_(std::make_unique<Impl>(std::move(options))) {}
 
 HttpTransport::~HttpTransport() = default;
+
+double HttpTransport::retry_after_hint_ms() const noexcept {
+  return t_retry_after_hint_ms;
+}
 
 resilience::CircuitBreaker& HttpTransport::breaker_for(
     const std::string& host_port) {

@@ -97,6 +97,16 @@ void record_endpoint(std::string_view endpoint, int status,
   obs::histogram(base + ".duration_us").record(duration_us);
 }
 
+/// Shared 503 shape for budget exhaustion: the client should back off
+/// briefly and retry, exactly as for an admission-control shed.
+[[nodiscard]] Response deadline_exceeded_response(std::string_view where) {
+  XPDL_OBS_COUNT("net.server.deadline_exceeded", 1);
+  Response response = error_response(
+      503, "request deadline exceeded " + std::string(where));
+  response.set_header("Retry-After", "1");
+  return response;
+}
+
 /// True when the request's Accept header asks for the Prometheus text
 /// exposition rather than the default JSON: any listed media range of
 /// text/plain or text/* does (a plain scrape sends `Accept: text/plain`
@@ -184,11 +194,17 @@ Response RepoService::handle(const Request& request) {
       r.set_header("Allow", "GET");
       return r;
     }
+    // The cooperative half of the server's deadline contract: a request
+    // whose budget is already spent (queueing, header read, body read)
+    // is answered 503 before any expensive work starts.
+    if (request.budget.expired()) {
+      return deadline_exceeded_response("before handling began");
+    }
     std::string path = url_decode(request.path());
     if (path == "/healthz") {
       endpoint = "healthz";
       Response r;
-      r.body = "ok\n";
+      r.body = (draining_ && draining_()) ? "draining\n" : "ok\n";
       r.set_header("Content-Type", "text/plain; charset=utf-8");
       return r;
     }
@@ -266,6 +282,13 @@ Response RepoService::handle_model(const Request& request,
   std::lock_guard<std::mutex> lock(compose_mutex_);
   auto it = artifacts_.find(ref);
   if (it == artifacts_.end()) {
+    // The cold compose is the slowest path in the service and the lock
+    // above can queue requests behind it: re-check the budget now so a
+    // request that waited its deadline away sheds instead of composing.
+    if (request.budget.expired()) {
+      return deadline_exceeded_response("waiting to compose '" +
+                                        std::string(ref) + "'");
+    }
     XPDL_OBS_COUNT("net.server.model_compiles", 1);
     compose::Composer composer(*repo_);
     auto artifact = composer.compose_runtime(ref);
@@ -302,8 +325,10 @@ Response RepoService::handle_query(const Request& request) {
   }
 
   // Reuse the memoized artifact; the runtime model is rebuilt from its
-  // bytes (cheap: one arena deserialization).
+  // bytes (cheap: one arena deserialization). The budget rides along so
+  // a cold compose on behalf of a query stays bounded too.
   Request artifact_request;
+  artifact_request.budget = request.budget;
   Response artifact = handle_model(artifact_request, model_it->second);
   if (artifact.status != 200) return artifact;
   auto model = runtime::Model::deserialize(artifact.body);
@@ -404,6 +429,15 @@ Response RepoService::handle_metrics(const Request& request) const {
   server["cache_hits"] = cache_hits;
   server["cache_misses"] = cache_misses;
   server["cache_hit_ratio"] = cache_hit_ratio;
+  // Degradation signals are always present here, even at zero — the
+  // counters section elides zero values, but "no request was ever shed"
+  // is exactly what an operator dashboard needs to see spelled out.
+  server["shed_total"] = counter_value("net.server.shed_total");
+  server["deadline_exceeded"] = counter_value("net.server.deadline_exceeded");
+  server["inflight"] =
+      obs::Registry::instance().gauge("net.server.inflight").value();
+  server["drain_us"] =
+      obs::Registry::instance().gauge("net.server.drain_us").value();
   body["server"] = std::move(server);
 
   Response response;

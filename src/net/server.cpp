@@ -60,22 +60,86 @@ struct HttpServer::Impl {
   std::deque<Socket> pending;
   bool stop_requested = false;
   bool started = false;
+  std::atomic<bool> draining{false};
+  std::uint64_t drain_start_ns = 0;  ///< guarded by `mutex`
+  /// Connections currently held by workers (from pop to completion).
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::uint64_t> shed_rng{0x9E3779B97F4A7C15ull};
   std::atomic<std::uint64_t> served{0};
+
+  /// Retry-After for shed responses: 1..3 s, jittered so a herd of shed
+  /// clients does not come back in lockstep.
+  [[nodiscard]] unsigned jittered_retry_after_s() noexcept {
+    std::uint64_t x = shed_rng.load(std::memory_order_relaxed);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    shed_rng.store(x, std::memory_order_relaxed);
+    return 1 + static_cast<unsigned>((x * 0x2545F4914F6CDD1Dull) % 3);
+  }
+
+  /// Answers an over-capacity (or draining) connection with a canned
+  /// 503 + Retry-After and closes it. The write gets a short timeout so
+  /// a stalled peer cannot hold the accept loop.
+  void shed_connection(Socket& conn, std::string_view why) {
+    XPDL_OBS_COUNT("net.server.shed_total", 1);
+    count_status(503);
+    (void)conn.set_timeout_ms(std::min(options.io_timeout_ms, 1000.0));
+    Response response = plain_error(503, why);
+    response.set_header("Retry-After",
+                        std::to_string(jittered_retry_after_s()));
+    response.set_header("Connection", "close");
+    (void)conn.write_all(write_response(response));
+  }
 
   void accept_loop() {
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (stop_requested) return;
+        if (draining.load(std::memory_order_relaxed)) {
+          std::uint64_t now = obs::now_ns();
+          bool done = pending.empty() &&
+                      inflight.load(std::memory_order_acquire) == 0;
+          bool timed_out_drain =
+              options.drain_timeout_ms > 0.0 &&
+              now - drain_start_ns >
+                  static_cast<std::uint64_t>(options.drain_timeout_ms * 1e6);
+          if (done || timed_out_drain) {
+            XPDL_OBS_GAUGE_SET(
+                "net.server.drain_us",
+                static_cast<double>((now - drain_start_ns) / 1000));
+            if (timed_out_drain && !done) {
+              XPDL_OBS_COUNT("net.server.drain_timeouts", 1);
+            }
+            stop_requested = true;
+            queue_cv.notify_all();
+            stop_cv.notify_all();
+            return;
+          }
+        }
       }
       bool timed_out = false;
       auto conn = listener.accept_with_timeout(100.0, timed_out);
       if (!conn.is_ok()) return;  // listener closed or fatal
       if (timed_out || !conn->valid()) continue;
       XPDL_OBS_COUNT("net.server.connections", 1);
-      std::lock_guard<std::mutex> lock(mutex);
-      pending.push_back(std::move(*conn));
-      queue_cv.notify_one();
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        shed = draining.load(std::memory_order_relaxed) ||
+               (options.max_pending != 0 &&
+                pending.size() >= options.max_pending);
+        if (!shed) {
+          pending.push_back(std::move(*conn));
+          queue_cv.notify_one();
+        }
+      }
+      if (shed) {
+        shed_connection(*conn, draining.load(std::memory_order_relaxed)
+                                   ? "server is draining, retry elsewhere"
+                                   : "server overloaded, retry later");
+      }
     }
   }
 
@@ -89,8 +153,23 @@ struct HttpServer::Impl {
         if (pending.empty()) return;  // stopping and drained
         conn = std::move(pending.front());
         pending.pop_front();
+        // Claimed under the queue lock so the drain coordinator never
+        // observes "queue empty, nothing in flight" while a connection
+        // is in hand-off between the two.
+        inflight.fetch_add(1, std::memory_order_release);
       }
-      serve_connection(conn);
+      std::size_t current = inflight.load(std::memory_order_relaxed);
+      XPDL_OBS_GAUGE_SET("net.server.inflight",
+                         static_cast<double>(current));
+      if (options.max_inflight != 0 && current > options.max_inflight) {
+        shed_connection(conn, "server at concurrency limit, retry later");
+      } else {
+        serve_connection(conn);
+      }
+      XPDL_OBS_GAUGE_SET(
+          "net.server.inflight",
+          static_cast<double>(
+              inflight.fetch_sub(1, std::memory_order_release) - 1));
     }
   }
 
@@ -100,7 +179,14 @@ struct HttpServer::Impl {
     std::string buffer;
     char chunk[8192];
     for (;;) {
-      // Read until the header section is complete.
+      // Read until the header section is complete. The header-completion
+      // deadline starts at the request's first byte — not while the
+      // connection idles between keep-alive requests — so a slow-loris
+      // client trickling header bytes is answered 408 after
+      // header_deadline_ms instead of holding this worker for
+      // io_timeout_ms per byte.
+      std::uint64_t head_start_ns = buffer.empty() ? 0 : obs::now_ns();
+      bool timeout_narrowed = false;
       std::size_t head_end;
       while ((head_end = find_head_end(buffer)) == std::string::npos) {
         if (buffer.size() > options.max_header_bytes) {
@@ -108,9 +194,47 @@ struct HttpServer::Impl {
               write_response(plain_error(431, "header section too large")));
           return;
         }
+        if (head_start_ns != 0 && options.header_deadline_ms > 0.0) {
+          double remaining_ms =
+              options.header_deadline_ms -
+              static_cast<double>(obs::now_ns() - head_start_ns) / 1e6;
+          if (remaining_ms <= 0.0) {
+            XPDL_OBS_COUNT("net.server.header_timeouts", 1);
+            count_status(408);
+            Response timeout_response =
+                plain_error(408, "request header not received in time");
+            timeout_response.set_header("Connection", "close");
+            (void)conn.write_all(write_response(timeout_response));
+            return;
+          }
+          if (remaining_ms < options.io_timeout_ms) {
+            // Bound the next read by what is left of the header window.
+            (void)conn.set_timeout_ms(remaining_ms);
+            timeout_narrowed = true;
+          }
+        }
         auto got = conn.read_some(chunk, sizeof chunk);
-        if (!got.is_ok() || *got == 0) return;  // EOF, timeout or reset
+        if (!got.is_ok() || *got == 0) {
+          // A read cut short by the narrowed header window is the slow
+          // loris case; a plain idle timeout or EOF just closes.
+          if (timeout_narrowed && head_start_ns != 0 &&
+              static_cast<double>(obs::now_ns() - head_start_ns) / 1e6 >=
+                  options.header_deadline_ms) {
+            XPDL_OBS_COUNT("net.server.header_timeouts", 1);
+            count_status(408);
+            Response timeout_response =
+                plain_error(408, "request header not received in time");
+            timeout_response.set_header("Connection", "close");
+            (void)conn.write_all(write_response(timeout_response));
+          }
+          return;
+        }
+        if (head_start_ns == 0) head_start_ns = obs::now_ns();
         buffer.append(chunk, *got);
+      }
+      if (timeout_narrowed &&
+          !conn.set_timeout_ms(options.io_timeout_ms).is_ok()) {
+        return;
       }
       auto request = parse_request_head(buffer.substr(0, head_end));
       if (!request.is_ok()) {
@@ -147,11 +271,17 @@ struct HttpServer::Impl {
       request->body = buffer.substr(head_end, *body_len);
       buffer.erase(0, head_end + *body_len);
 
+      if (options.request_deadline_ms > 0.0) {
+        request->budget = RequestBudget::with_ms(options.request_deadline_ms);
+      }
       Response response = dispatch(*request);
       bool keep_alive =
           request->version == "HTTP/1.1" &&
           !iequals(request->header("Connection"), "close") &&
-          response.status < 500;
+          response.status < 500 &&
+          // While draining, finish this response but take no more work
+          // on the connection — the client must reconnect elsewhere.
+          !draining.load(std::memory_order_relaxed);
       response.set_header("Connection", keep_alive ? "keep-alive" : "close");
       if (!conn.write_all(write_response(response)).is_ok()) return;
 
@@ -234,6 +364,17 @@ struct HttpServer::Impl {
     queue_cv.notify_all();
     stop_cv.notify_all();
   }
+
+  void request_drain_impl() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (stop_requested || draining.load(std::memory_order_relaxed)) return;
+    drain_start_ns = obs::now_ns();
+    draining.store(true, std::memory_order_relaxed);
+    // The accept loop is the drain coordinator: it sheds new
+    // connections, watches pending + inflight reach zero (or the drain
+    // timeout), and then flips stop_requested itself.
+    queue_cv.notify_all();
+  }
 };
 
 HttpServer::HttpServer(ServerOptions options)
@@ -253,6 +394,12 @@ Status HttpServer::start(Handler handler) {
                             ? impl_->options.threads
                             : default_workers();
   XPDL_OBS_GAUGE_SET("net.server.workers", static_cast<double>(workers));
+  // Register the degradation signals up front so every surface
+  // (/metrics JSON, Prometheus text, --stats) exports them from request
+  // zero — a dashboard should see shed_total=0, not an absent series.
+  obs::counter("net.server.shed_total");
+  XPDL_OBS_GAUGE_SET("net.server.inflight", 0.0);
+  XPDL_OBS_GAUGE_SET("net.server.drain_us", 0.0);
   impl_->threads.reserve(workers + 1);
   impl_->threads.emplace_back([impl = impl_.get()] { impl->accept_loop(); });
   for (std::size_t i = 0; i < workers; ++i) {
@@ -267,6 +414,12 @@ std::uint16_t HttpServer::port() const noexcept {
 }
 
 void HttpServer::request_stop() { impl_->request_stop_impl(); }
+
+void HttpServer::request_drain() { impl_->request_drain_impl(); }
+
+bool HttpServer::draining() const noexcept {
+  return impl_->draining.load(std::memory_order_relaxed);
+}
 
 void HttpServer::wait() {
   std::unique_lock<std::mutex> lock(impl_->mutex);

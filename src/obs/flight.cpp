@@ -79,6 +79,7 @@ void append_name(char* buf, std::size_t& pos, const char* name) noexcept {
 // --- crash handler state --------------------------------------------------
 
 char g_crash_dump_path[512] = {};
+char g_crash_cleanup_path[512] = {};
 struct sigaction g_previous_actions[32];
 
 void crash_handler(int signo) {
@@ -90,6 +91,9 @@ void crash_handler(int signo) {
       FlightRecorder::instance().dump_signal_safe(fd);
       ::close(fd);
     }
+  }
+  if (g_crash_cleanup_path[0] != '\0') {
+    ::unlink(g_crash_cleanup_path);  // async-signal-safe
   }
   ::raise(signo);
 }
@@ -239,6 +243,12 @@ void FlightRecorder::install_crash_handlers(const std::string& path) {
     ::sigaction(signo, &action,
                 signo < 32 ? &g_previous_actions[signo] : nullptr);
   }
+}
+
+void FlightRecorder::set_crash_cleanup_path(const std::string& path) {
+  std::size_t n = std::min(path.size(), sizeof(g_crash_cleanup_path) - 1);
+  std::memcpy(g_crash_cleanup_path, path.data(), n);
+  g_crash_cleanup_path[n] = '\0';
 }
 
 std::uint64_t FlightRecorder::recorded() const noexcept {

@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 namespace xpdl::obs {
 
@@ -130,7 +131,16 @@ std::string to_prometheus_text(const std::vector<MetricInfo>& metrics) {
     switch (m->type) {
       case MetricInfo::Type::kCounter: {
         if (m->counter == nullptr) break;
-        std::string prom = prometheus_name(m->name) + "_total";
+        std::string prom = prometheus_name(m->name);
+        // Counters get the conventional _total suffix — once: a source
+        // name that already ends in _total (net.server.shed_total) must
+        // not become _total_total.
+        constexpr std::string_view kSuffix = "_total";
+        if (prom.size() < kSuffix.size() ||
+            prom.compare(prom.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0) {
+          prom += kSuffix;
+        }
         append_family_header(out, prom, m->name, "counter");
         out += prom;
         out += ' ';

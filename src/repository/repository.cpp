@@ -145,6 +145,10 @@ Result<ScanReport> Repository::scan(const ScanOptions& options) {
   std::vector<Event> events;
   std::vector<ScanReport::Quarantined> root_failures;
   resilience::RetryPolicy retry(options.retry);
+  // Overloaded remote roots answer 503 + Retry-After; the transport
+  // remembers the hint per thread and the policy stretches its backoff
+  // to match (bounded by the retry deadline).
+  retry.set_hint_provider([this] { return transport_->retry_after_hint_ms(); });
 
   for (std::size_t r = 0; r < search_path_.size(); ++r) {
     const std::string& root = search_path_[r];
@@ -188,6 +192,11 @@ Result<ScanReport> Repository::scan(const ScanOptions& options) {
     const std::string& f = tasks[i].path;
     Parsed& slot = slots[i];
     resilience::RetryPolicy file_retry(options.retry);
+    // Same server-hint plumbing as the listing phase; the hint is
+    // thread-local in the transport and this policy runs on the thread
+    // that performs the read, so the pairing is exact.
+    file_retry.set_hint_provider(
+        [this] { return transport_->retry_after_hint_ms(); });
     auto text = file_retry.run_result(
         "reading repository file '" + f + "'",
         [&] { return transport_->read(f); });

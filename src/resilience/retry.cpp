@@ -28,6 +28,10 @@ void RetryPolicy::set_classifier(Classifier classifier) {
                            : Classifier(default_retryable);
 }
 
+void RetryPolicy::set_hint_provider(HintProvider provider) {
+  hint_ = std::move(provider);
+}
+
 double RetryPolicy::nominal_backoff_ms(int retry_index) const noexcept {
   double backoff = options_.initial_backoff_ms;
   for (int i = 0; i < retry_index; ++i) {
@@ -69,6 +73,18 @@ Status RetryPolicy::run(std::string_view op,
     }
     if (attempt >= max_attempts) break;
     double backoff_ms = jittered_backoff_ms(attempt - 1);
+    // A server backoff hint (Retry-After on the failure just observed)
+    // stretches — never shrinks — the delay; the deadline check below
+    // still applies, so a long hint ends the loop rather than overrun
+    // the caller's budget.
+    if (hint_) {
+      double hint_ms = hint_();
+      if (hint_ms > backoff_ms) {
+        backoff_ms = hint_ms;
+        ++last_.hinted;
+        XPDL_OBS_COUNT("resilience.retry.hinted", 1);
+      }
+    }
     if (options_.deadline_ms > 0.0 &&
         last_.total_backoff_ms + backoff_ms > options_.deadline_ms) {
       break;

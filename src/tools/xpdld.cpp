@@ -9,6 +9,9 @@
 // Usage:
 //   xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]
 //         [--port-file FILE] [--max-requests N] [--quiet]
+//         [--max-pending N] [--max-inflight N]
+//         [--request-deadline-ms MS] [--header-deadline-ms MS]
+//         [--drain-timeout-ms MS]
 //         [--jobs N] [--stats] [--trace FILE.json]
 //         [--access-log FILE] [--access-log-sample N]
 //         [--flight-dump FILE] [--no-flight]
@@ -17,10 +20,20 @@
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port as a single line once the server is listening, so scripts
-// can start xpdld in the background and discover where it landed.
+// can start xpdld in the background and discover where it landed; the
+// file is removed on every exit path, including fatal signals.
 // --max-requests N shuts the server down after N requests (smoke tests).
 // --jobs / XPDL_JOBS size both the scan's parse pool and the HTTP worker
 // pool.
+//
+// Overload & degradation (docs/robustness.md): --max-pending bounds the
+// accepted-connection queue and --max-inflight the serving concurrency —
+// beyond either, requests are shed with 503 + Retry-After instead of
+// queued. --request-deadline-ms bounds each request's handling time,
+// --header-deadline-ms cuts off slow-loris clients with 408. SIGTERM
+// drains: /healthz flips to "draining", new connections shed, in-flight
+// requests finish (up to --drain-timeout-ms), then the daemon flight-
+// dumps and exits 0. SIGINT still stops immediately.
 //
 // Observability (docs/observability.md): the flight recorder is on by
 // default — a fixed ring of recent spans/requests dumped to
@@ -34,6 +47,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,14 +62,19 @@
 
 namespace {
 
-std::atomic<bool> g_interrupted{false};
+// The last signal received (0 = none). SIGTERM starts a graceful drain;
+// SIGINT stops immediately. Plain store: the main loop polls.
+std::atomic<int> g_signal{0};
 
-void on_signal(int) { g_interrupted.store(true); }
+void on_signal(int signo) { g_signal.store(signo); }
 
 void usage() {
   std::fputs(
       "usage: xpdld --repo DIR [--repo DIR]... [--host ADDR] [--port N]\n"
       "             [--port-file FILE] [--max-requests N] [--quiet]\n"
+      "             [--max-pending N] [--max-inflight N]\n"
+      "             [--request-deadline-ms MS] [--header-deadline-ms MS]\n"
+      "             [--drain-timeout-ms MS]\n"
       "             [--jobs N] [--stats] [--trace FILE.json]\n"
       "             [--access-log FILE] [--access-log-sample N]\n"
       "             [--flight-dump FILE] [--no-flight]\n"
@@ -67,6 +86,15 @@ void usage() {
 int fail(const xpdl::Status& status) {
   return xpdl::tools::fail_with("xpdld", status);
 }
+
+/// Removes the --port-file on every normal exit path; the fatal-signal
+/// path is covered by FlightRecorder::set_crash_cleanup_path.
+struct PortFileGuard {
+  std::string path;
+  ~PortFileGuard() {
+    if (!path.empty()) ::std::remove(path.c_str());
+  }
+};
 
 }  // namespace
 
@@ -118,6 +146,39 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "xpdld: invalid request count '%s'\n", v);
         return 2;
       }
+    } else if (a == "--max-pending" || a == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      char* end = nullptr;
+      unsigned long n = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "xpdld: invalid count '%s' for %s\n", v,
+                     std::string(a).c_str());
+        return 2;
+      }
+      if (a == "--max-pending") {
+        server_options.max_pending = static_cast<std::size_t>(n);
+      } else {
+        server_options.max_inflight = static_cast<std::size_t>(n);
+      }
+    } else if (a == "--request-deadline-ms" || a == "--header-deadline-ms" ||
+               a == "--drain-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      char* end = nullptr;
+      double ms = std::strtod(v, &end);
+      if (end == v || *end != '\0' || ms < 0) {
+        std::fprintf(stderr, "xpdld: invalid duration '%s' for %s\n", v,
+                     std::string(a).c_str());
+        return 2;
+      }
+      if (a == "--request-deadline-ms") {
+        server_options.request_deadline_ms = ms;
+      } else if (a == "--header-deadline-ms") {
+        server_options.header_deadline_ms = ms;
+      } else {
+        server_options.drain_timeout_ms = ms;
+      }
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--access-log") {
@@ -161,11 +222,12 @@ int main(int argc, char** argv) {
   obs.begin();
 
   // Flight recorder: on by default, dumped from fatal-signal handlers
-  // and on graceful shutdown. Cheap enough to always leave running.
-  if (flight) {
-    xpdl::obs::FlightRecorder::instance().enable();
-    xpdl::obs::FlightRecorder::install_crash_handlers(flight_dump);
-  }
+  // and on graceful shutdown. Cheap enough to always leave running. The
+  // crash handlers install even under --no-flight (with an empty dump
+  // path) so the --port-file is unlinked on a fatal signal either way.
+  if (flight) xpdl::obs::FlightRecorder::instance().enable();
+  xpdl::obs::FlightRecorder::install_crash_handlers(
+      flight ? flight_dump : std::string());
   if (!access_log.empty()) {
     if (auto st = xpdl::obs::EventLog::instance().open(access_log,
                                                        access_log_sample);
@@ -189,6 +251,10 @@ int main(int argc, char** argv) {
   }
 
   xpdl::net::HttpServer server(server_options);
+  // /healthz reports "draining" the moment SIGTERM flips the server, so
+  // load balancers stop routing before the listener closes.
+  (*service)->set_draining_provider(
+      [&server] { return server.draining(); });
   if (auto st = server.start([svc = service->get()](
                                  const xpdl::net::Request& request) {
         return svc->handle(request);
@@ -196,6 +262,7 @@ int main(int argc, char** argv) {
       !st.is_ok()) {
     return fail(st);
   }
+  PortFileGuard port_file_guard;
   if (!port_file.empty()) {
     if (auto st = xpdl::io::write_file(
             port_file, std::to_string(server.port()) + "\n");
@@ -203,6 +270,8 @@ int main(int argc, char** argv) {
       server.stop();
       return fail(st);
     }
+    port_file_guard.path = port_file;
+    xpdl::obs::FlightRecorder::set_crash_cleanup_path(port_file);
   }
   if (!quiet) {
     std::printf("xpdld: serving %zu descriptor(s) on http://%s:%u\n",
@@ -214,7 +283,23 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   // Serve until a signal arrives or --max-requests trips request_stop().
-  while (server.running() && !g_interrupted.load()) {
+  // SIGINT stops immediately; SIGTERM drains — the server sheds new
+  // connections, finishes in-flight requests (bounded by
+  // --drain-timeout-ms) and then stops itself, so we keep looping on
+  // running() until the drain completes.
+  bool draining = false;
+  while (server.running()) {
+    int signo = g_signal.load();
+    if (signo == SIGINT) break;
+    if (signo == SIGTERM && !draining) {
+      draining = true;
+      if (!quiet) {
+        std::printf("xpdld: draining (SIGTERM), waiting for in-flight "
+                    "requests\n");
+        std::fflush(stdout);
+      }
+      server.request_drain();
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::uint64_t served = server.served();

@@ -1,5 +1,10 @@
 #include "xpdl/util/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -31,6 +36,44 @@ Status write_file(const std::string& path, std::string_view contents) {
   out.flush();
   if (!out) {
     return Status(ErrorCode::kIoError, "write failure",
+                  SourceLocation{path, 0, 0});
+  }
+  return Status::ok();
+}
+
+Status write_file_durable(const std::string& path,
+                          std::string_view contents) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("cannot open file for writing: ") +
+                      std::strerror(errno),
+                  SourceLocation{path, 0, 0});
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written,
+                        contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status(ErrorCode::kIoError,
+                    std::string("write failure: ") + std::strerror(saved),
+                    SourceLocation{path, 0, 0});
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status(ErrorCode::kIoError,
+                  std::string("fsync failure: ") + std::strerror(saved),
+                  SourceLocation{path, 0, 0});
+  }
+  if (::close(fd) != 0) {
+    return Status(ErrorCode::kIoError,
+                  std::string("close failure: ") + std::strerror(errno),
                   SourceLocation{path, 0, 0});
   }
   return Status::ok();

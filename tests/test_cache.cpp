@@ -14,6 +14,7 @@
 
 #include "synthetic_repo.h"
 #include "xpdl/compose/compose.h"
+#include "xpdl/obs/metrics.h"
 #include "xpdl/query/query.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
@@ -153,6 +154,85 @@ TEST(Snapshots, CorruptAndTruncatedFilesAreMisses) {
   // A correct store overwrites the wreckage.
   cache.store(Kind::kDescriptor, 99, *parsed.value().root, {});
   EXPECT_TRUE(cache.load(Kind::kDescriptor, 99).has_value());
+}
+
+TEST(Snapshots, CorruptSnapshotIsQuarantinedOnce) {
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  Options options{true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  cache.store(Kind::kDescriptor, 123, *parsed.value().root, {});
+
+  fs::path snap_path;
+  for (const auto& e : fs::directory_iterator(options.directory)) {
+    if (e.path().extension() == ".snap") snap_path = e.path();
+  }
+  ASSERT_FALSE(snap_path.empty());
+  std::string bytes;
+  {
+    std::ifstream in(snap_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // A torn write: the checksum tail never made it to disk.
+  std::ofstream(snap_path, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 7);
+
+  obs::Counter& corrupt = obs::counter("cache.corrupt");
+  obs::Counter& quarantined = obs::counter("cache.quarantined");
+  std::uint64_t corrupt0 = corrupt.value();
+  std::uint64_t quarantined0 = quarantined.value();
+
+  // First load: a miss, counted corrupt, the wreckage moved aside.
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 123).has_value());
+  EXPECT_EQ(corrupt.value(), corrupt0 + 1);
+  EXPECT_EQ(quarantined.value(), quarantined0 + 1);
+  EXPECT_FALSE(fs::exists(snap_path));
+  fs::path aside = snap_path;
+  aside += ".corrupt";
+  EXPECT_TRUE(fs::exists(aside)) << "corrupt snapshot not quarantined";
+
+  // Second load: a plain file-missing miss. The damaged bytes are never
+  // re-parsed and never re-quarantined.
+  EXPECT_FALSE(cache.load(Kind::kDescriptor, 123).has_value());
+  EXPECT_EQ(corrupt.value(), corrupt0 + 1);
+  EXPECT_EQ(quarantined.value(), quarantined0 + 1);
+
+  // A fresh store writes straight to the original path and hits again.
+  cache.store(Kind::kDescriptor, 123, *parsed.value().root, {});
+  EXPECT_TRUE(cache.load(Kind::kDescriptor, 123).has_value());
+}
+
+TEST(Snapshots, StaleSnapshotIsNotQuarantined) {
+  // A snapshot with an intact checksum but the wrong identity (here: a
+  // descriptor snapshot copied over a model snapshot's path) is *stale*,
+  // not corrupt: a plain miss, left in place to be overwritten.
+  TempDir tmp;
+  auto parsed = xml::parse(std::string(kCpu));
+  ASSERT_TRUE(parsed.is_ok());
+  Options options{true, tmp.path() + "/cache"};
+  SnapshotCache cache(tmp.path(), options);
+  cache.store(Kind::kDescriptor, 55, *parsed.value().root, {});
+
+  fs::path snap_path;
+  for (const auto& e : fs::directory_iterator(options.directory)) {
+    if (e.path().extension() == ".snap") snap_path = e.path();
+  }
+  ASSERT_FALSE(snap_path.empty());
+  // Kind is the first character of the filename (see path_for).
+  std::string model_name = snap_path.filename().string();
+  model_name[0] = static_cast<char>(Kind::kModel);
+  fs::copy_file(snap_path, snap_path.parent_path() / model_name);
+
+  obs::Counter& stale = obs::counter("cache.stale");
+  obs::Counter& quarantined = obs::counter("cache.quarantined");
+  std::uint64_t stale0 = stale.value();
+  std::uint64_t quarantined0 = quarantined.value();
+  EXPECT_FALSE(cache.load(Kind::kModel, 55).has_value());
+  EXPECT_EQ(stale.value(), stale0 + 1);
+  EXPECT_EQ(quarantined.value(), quarantined0);
+  EXPECT_TRUE(fs::exists(snap_path.parent_path() / model_name))
+      << "stale snapshot must stay in place";
 }
 
 TEST(Snapshots, DisabledCacheNeverReadsOrWrites) {
@@ -506,6 +586,12 @@ TEST(BlobSnapshots, CorruptBlobIsAMiss) {
     f.put('y');
   }
   EXPECT_FALSE(cache.load_blob(Kind::kRuntime, 5).has_value());
+  // The corrupt file is quarantined out of the way, so the slot is empty
+  // until the next store.
+  EXPECT_FALSE(fs::exists(snap));
+  EXPECT_TRUE(fs::exists(snap.string() + ".corrupt"));
+
+  cache.store_blob(Kind::kRuntime, 5, in);
   fs::resize_file(snap, size / 3);  // truncation too
   EXPECT_FALSE(cache.load_blob(Kind::kRuntime, 5).has_value());
 

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "xpdl/compose/compose.h"
@@ -91,8 +94,16 @@ struct ServedRepo {
   std::string base_url;
   std::string host_port;
 
+  ServedRepo() = default;
+  explicit ServedRepo(ServerOptions options) : server(std::move(options)) {}
+
   static std::unique_ptr<ServedRepo> start(const std::string& root) {
-    auto out = std::make_unique<ServedRepo>();
+    return start(root, ServerOptions{});
+  }
+
+  static std::unique_ptr<ServedRepo> start(const std::string& root,
+                                           ServerOptions options) {
+    auto out = std::make_unique<ServedRepo>(std::move(options));
     auto service =
         RepoService::create({root}, repository::ScanOptions{}, nullptr);
     EXPECT_TRUE(service.is_ok()) << service.status().to_string();
@@ -109,6 +120,18 @@ struct ServedRepo {
     return out;
   }
 };
+
+/// Reads until the peer closes (shed/408 responses always close).
+[[nodiscard]] std::string read_until_close(Socket& conn) {
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    auto got = conn.read_some(buf, sizeof buf);
+    if (!got.is_ok() || *got == 0) break;
+    reply.append(buf, *got);
+  }
+  return reply;
+}
 
 // --- message layer ------------------------------------------------------
 
@@ -219,6 +242,39 @@ TEST(HttpMessages, StatusToErrorCodeMapping) {
   EXPECT_EQ(error_code_for_status(405), ErrorCode::kIoError);
   EXPECT_EQ(error_code_for_status(500), ErrorCode::kUnavailable);
   EXPECT_EQ(error_code_for_status(503), ErrorCode::kUnavailable);
+}
+
+TEST(HttpMessages, RetryAfterParsing) {
+  // Only the delta-seconds form; everything else degrades to "no hint".
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("2"), 2000.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms(" 10 "), 10000.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("0"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms(""), 0.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("banana"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("-1"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("2.5"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_retry_after_ms("9999999999"), 0.0);
+  EXPECT_DOUBLE_EQ(
+      parse_retry_after_ms("Wed, 21 Oct 2015 07:28:00 GMT"), 0.0);
+}
+
+TEST(HttpMessages, RequestBudgetLifecycle) {
+  RequestBudget unbounded;
+  EXPECT_FALSE(unbounded.bounded());
+  EXPECT_FALSE(unbounded.expired());
+  EXPECT_GT(unbounded.remaining_ms(), 1e9);
+
+  RequestBudget spent = RequestBudget::with_ms(0);
+  EXPECT_TRUE(spent.bounded());
+  EXPECT_TRUE(spent.expired());
+  EXPECT_LE(spent.remaining_ms(), 0.0);
+  EXPECT_TRUE(RequestBudget::with_ms(-5).expired());
+
+  RequestBudget generous = RequestBudget::with_ms(60000);
+  EXPECT_TRUE(generous.bounded());
+  EXPECT_FALSE(generous.expired());
+  EXPECT_GT(generous.remaining_ms(), 1000.0);
+  EXPECT_LE(generous.remaining_ms(), 60000.0);
 }
 
 // --- loopback server ----------------------------------------------------
@@ -605,6 +661,258 @@ TEST(Server, SurvivesMalformedRequestFuzz) {
   EXPECT_EQ(health->status, 200);
 }
 
+// --- overload protection & graceful degradation -------------------------
+
+TEST(Server, SlowLorisHeaderTimesOutWith408) {
+  TempDir repo;
+  write_demo_repo(repo);
+  ServerOptions options;
+  options.header_deadline_ms = 300.0;
+  options.io_timeout_ms = 5000.0;
+  auto served = ServedRepo::start(repo.path(), options);
+  ASSERT_NE(served, nullptr);
+
+  std::uint64_t timeouts0 = counter_value("net.server.header_timeouts");
+  auto conn = connect_tcp("127.0.0.1", served->server.port(), 2000.0);
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(conn->set_timeout_ms(5000.0).is_ok());
+  std::uint64_t start = obs::now_ns();
+  // Trickle a partial request line and then stall: the header window
+  // (300 ms), not io_timeout_ms, must cut this off.
+  ASSERT_TRUE(conn->write_all("GET /healthz HT").is_ok());
+  std::string reply = read_until_close(*conn);
+  double elapsed_ms = static_cast<double>(obs::now_ns() - start) / 1e6;
+  EXPECT_EQ(reply.rfind("HTTP/1.1 408", 0), 0u) << reply.substr(0, 60);
+  EXPECT_LT(elapsed_ms, 3000.0) << "408 came from io_timeout, not the "
+                                   "header deadline";
+  EXPECT_GT(counter_value("net.server.header_timeouts"), timeouts0);
+
+  // The pool is unharmed: a well-formed request still answers.
+  HttpClient client;
+  auto health = client.get(served->base_url + "/healthz");
+  ASSERT_TRUE(health.is_ok());
+  EXPECT_EQ(health->status, 200);
+}
+
+TEST(Server, ShedsWhenPendingQueueIsFull) {
+  ServerOptions options;
+  options.threads = 1;
+  options.max_pending = 1;
+  std::mutex m;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  HttpServer server(options);
+  ASSERT_TRUE(server
+                  .start([&](const Request&) {
+                    {
+                      std::lock_guard<std::mutex> lock(m);
+                      entered = true;
+                    }
+                    cv.notify_all();
+                    std::unique_lock<std::mutex> lock(m);
+                    cv.wait(lock, [&] { return release; });
+                    Response r;
+                    r.body = "done\n";
+                    return r;
+                  })
+                  .is_ok());
+
+  const std::string raw =
+      "GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  std::uint64_t shed0 = counter_value("net.server.shed_total");
+
+  // c1 occupies the only worker (the handler blocks on the latch)...
+  auto c1 = connect_tcp("127.0.0.1", server.port(), 2000.0);
+  ASSERT_TRUE(c1.is_ok());
+  ASSERT_TRUE(c1->set_timeout_ms(10000.0).is_ok());
+  ASSERT_TRUE(c1->write_all(raw).is_ok());
+  {
+    std::unique_lock<std::mutex> lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return entered; }));
+  }
+  // ...c2 fills the single pending slot...
+  auto c2 = connect_tcp("127.0.0.1", server.port(), 2000.0);
+  ASSERT_TRUE(c2.is_ok());
+  ASSERT_TRUE(c2->set_timeout_ms(10000.0).is_ok());
+  ASSERT_TRUE(c2->write_all(raw).is_ok());
+  // ...and c3 is over capacity: shed at accept with 503 + Retry-After.
+  auto c3 = connect_tcp("127.0.0.1", server.port(), 2000.0);
+  ASSERT_TRUE(c3.is_ok());
+  ASSERT_TRUE(c3->set_timeout_ms(10000.0).is_ok());
+  std::string shed_reply = read_until_close(*c3);
+  EXPECT_EQ(shed_reply.rfind("HTTP/1.1 503", 0), 0u)
+      << shed_reply.substr(0, 60);
+  auto shed_head = parse_response_head(
+      shed_reply.substr(0, find_head_end(shed_reply)));
+  ASSERT_TRUE(shed_head.is_ok());
+  double retry_after_ms =
+      parse_retry_after_ms(shed_head->header("Retry-After"));
+  EXPECT_GE(retry_after_ms, 1000.0);
+  EXPECT_LE(retry_after_ms, 3000.0);
+  EXPECT_EQ(counter_value("net.server.shed_total"), shed0 + 1);
+
+  // Releasing the latch drains the queue: both accepted requests finish.
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(read_until_close(*c1).rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_EQ(read_until_close(*c2).rfind("HTTP/1.1 200", 0), 0u);
+  server.stop();
+}
+
+TEST(Server, DrainFinishesInflightShedsNewAndStops) {
+  ServerOptions options;
+  options.threads = 2;
+  options.drain_timeout_ms = 10000.0;
+  std::mutex m;
+  std::condition_variable cv;
+  bool entered = false;
+  HttpServer server(options);
+  ASSERT_TRUE(server
+                  .start([&](const Request&) {
+                    {
+                      std::lock_guard<std::mutex> lock(m);
+                      entered = true;
+                    }
+                    cv.notify_all();
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(500));
+                    Response r;
+                    r.body = "slow done\n";
+                    return r;
+                  })
+                  .is_ok());
+  std::string base =
+      "http://127.0.0.1:" + std::to_string(server.port());
+
+  Result<Response> inflight = Status::ok();
+  std::thread requester([&] {
+    HttpClient client;
+    inflight = client.get(base + "/work");
+  });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return entered; }));
+  }
+
+  server.request_drain();
+  EXPECT_TRUE(server.draining());
+
+  // A connection arriving mid-drain is shed, not queued.
+  auto late = connect_tcp("127.0.0.1", server.port(), 2000.0);
+  ASSERT_TRUE(late.is_ok());
+  ASSERT_TRUE(late->set_timeout_ms(5000.0).is_ok());
+  std::string shed_reply = read_until_close(*late);
+  EXPECT_EQ(shed_reply.rfind("HTTP/1.1 503", 0), 0u)
+      << shed_reply.substr(0, 60);
+  EXPECT_NE(shed_reply.find("Retry-After:"), std::string::npos);
+
+  // The in-flight request is not a casualty: it completes normally, but
+  // on a connection the server closes (no keep-alive during drain).
+  requester.join();
+  ASSERT_TRUE(inflight.is_ok()) << inflight.status().to_string();
+  EXPECT_EQ(inflight->status, 200);
+  EXPECT_EQ(inflight->body, "slow done\n");
+  EXPECT_EQ(inflight->header("Connection"), "close");
+
+  // Once in-flight work is gone the server stops itself and records how
+  // long the drain took.
+  server.wait();
+  EXPECT_FALSE(server.running());
+  EXPECT_GT(obs::Registry::instance().gauge("net.server.drain_us").value(),
+            0.0);
+  server.stop();
+}
+
+TEST(Server, RepoServiceHonorsRequestBudget) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto service =
+      RepoService::create({repo.path()}, repository::ScanOptions{}, nullptr);
+  ASSERT_TRUE(service.is_ok());
+
+  std::uint64_t exceeded0 = counter_value("net.server.deadline_exceeded");
+  Request request;
+  request.target = "/v1/models/net_system";
+  request.budget = RequestBudget::with_ms(0);  // spent before handling
+  Response response = (*service)->handle(request);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_FALSE(response.header("Retry-After").empty());
+  EXPECT_EQ(counter_value("net.server.deadline_exceeded"), exceeded0 + 1);
+
+  // An unbounded budget (the default) composes normally.
+  Request unbounded;
+  unbounded.target = "/v1/models/net_system";
+  EXPECT_EQ((*service)->handle(unbounded).status, 200);
+}
+
+TEST(Server, HealthzReportsDraining) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto service =
+      RepoService::create({repo.path()}, repository::ScanOptions{}, nullptr);
+  ASSERT_TRUE(service.is_ok());
+
+  bool draining = false;
+  (*service)->set_draining_provider([&] { return draining; });
+  Request health;
+  health.target = "/healthz";
+  EXPECT_EQ((*service)->handle(health).body, "ok\n");
+  draining = true;
+  Response drained = (*service)->handle(health);
+  // Stays 200 — load balancers read the body; the socket still works.
+  EXPECT_EQ(drained.status, 200);
+  EXPECT_EQ(drained.body, "draining\n");
+}
+
+TEST(Server, MetricsExposeDegradationSignals) {
+  TempDir repo;
+  write_demo_repo(repo);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto js = client.get(served->base_url + "/metrics");
+  ASSERT_TRUE(js.is_ok());
+  ASSERT_EQ(js->status, 200);
+  auto metrics = json::parse(js->body);
+  ASSERT_TRUE(metrics.is_ok()) << js->body.substr(0, 200);
+  // The gauges block always carries the live degradation dials...
+  const json::Value* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("net.server.inflight"), nullptr);
+  EXPECT_NE(gauges->find("net.server.drain_us"), nullptr);
+  // ...and the derived server block spells them out even at zero (the
+  // counters section elides zero values; "nothing was ever shed" must
+  // still be visible).
+  const json::Value* server_block = metrics->find("server");
+  ASSERT_NE(server_block, nullptr);
+  ASSERT_NE(server_block->find("shed_total"), nullptr);
+  ASSERT_NE(server_block->find("deadline_exceeded"), nullptr);
+  ASSERT_NE(server_block->find("inflight"), nullptr);
+  ASSERT_NE(server_block->find("drain_us"), nullptr);
+
+  // The Prometheus exposition exports the same series (shed_total keeps
+  // a single _total suffix).
+  auto prom = client.get(served->base_url + "/metrics",
+                         {{"Accept", "text/plain"}});
+  ASSERT_TRUE(prom.is_ok());
+  ASSERT_EQ(prom->status, 200);
+  EXPECT_NE(prom->body.find("# TYPE xpdl_net_server_shed_total counter"),
+            std::string::npos);
+  EXPECT_EQ(prom->body.find("xpdl_net_server_shed_total_total"),
+            std::string::npos);
+  EXPECT_NE(prom->body.find("# TYPE xpdl_net_server_inflight gauge"),
+            std::string::npos);
+  EXPECT_NE(prom->body.find("# TYPE xpdl_net_server_drain_us gauge"),
+            std::string::npos);
+}
+
 // --- HttpTransport: remote scans ----------------------------------------
 
 TEST(Transport, HttpScanMatchesLocalScan) {
@@ -791,6 +1099,54 @@ TEST(Resilience, KeepGoingQuarantinesUnreachableDescriptor) {
   repository::ScanOptions strict_scan = scan;
   strict_scan.strict = true;
   EXPECT_FALSE(strict_remote.scan(strict_scan).is_ok());
+}
+
+TEST(Resilience, TransportCapturesRetryAfterHints) {
+  // A hand-rolled origin that sheds one path with an explicit backoff
+  // hint, parks another behind an absurd one, and serves the rest.
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .start([](const Request& r) {
+                    Response resp;
+                    if (r.path() == "/v1/descriptors/busy") {
+                      resp.status = 503;
+                      resp.set_header("Retry-After", "2");
+                      resp.body = "overloaded\n";
+                    } else if (r.path() == "/v1/descriptors/hostile") {
+                      resp.status = 503;
+                      resp.set_header("Retry-After", "600");
+                      resp.body = "come back in ten minutes\n";
+                    } else {
+                      resp.body = "ok\n";
+                    }
+                    return resp;
+                  })
+                  .is_ok());
+  TempDir net_cache;
+  HttpTransportOptions options;
+  options.cache_dir = net_cache.path();
+  HttpTransport transport(options);
+  std::string base = "http://127.0.0.1:" + std::to_string(server.port());
+
+  // A shed response surfaces its hint through the transport.
+  std::uint64_t hints0 = counter_value("net.transport.retry_after_hints");
+  auto shed = transport.read(base + "/v1/descriptors/busy");
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.status().code(), ErrorCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(transport.retry_after_hint_ms(), 2000.0);
+  EXPECT_EQ(counter_value("net.transport.retry_after_hints"), hints0 + 1);
+
+  // A hostile hint is clamped so a misbehaving server cannot park
+  // clients for minutes.
+  auto hostile = transport.read(base + "/v1/descriptors/hostile");
+  ASSERT_FALSE(hostile.is_ok());
+  EXPECT_DOUBLE_EQ(transport.retry_after_hint_ms(), 30000.0);
+
+  // The hint is per-fetch state: a successful fetch clears it.
+  auto fine = transport.read(base + "/v1/descriptors/fine");
+  ASSERT_TRUE(fine.is_ok()) << fine.status().to_string();
+  EXPECT_DOUBLE_EQ(transport.retry_after_hint_ms(), 0.0);
+  server.stop();
 }
 
 }  // namespace

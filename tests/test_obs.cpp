@@ -457,6 +457,15 @@ TEST(Prometheus, GoldenExposition) {
   latency.record(3);
   latency.record(3);
   latency.record(100);
+  // The overload-protection signals (docs/robustness.md). shed_total
+  // already carries the conventional counter suffix; the exporter must
+  // not double it into _total_total.
+  obs::Counter shed;
+  shed.add(3);
+  obs::Gauge inflight;
+  inflight.set(2.0);
+  obs::Gauge drain_us;
+  drain_us.set(1250.5);
 
   std::vector<obs::MetricInfo> metrics;
   metrics.push_back({"demo.requests", obs::MetricInfo::Type::kCounter,
@@ -467,6 +476,12 @@ TEST(Prometheus, GoldenExposition) {
                      nullptr, &weird, nullptr});
   metrics.push_back({"demo.latency_us", obs::MetricInfo::Type::kHistogram,
                      nullptr, nullptr, &latency});
+  metrics.push_back({"net.server.shed_total", obs::MetricInfo::Type::kCounter,
+                     &shed, nullptr, nullptr});
+  metrics.push_back({"net.server.inflight", obs::MetricInfo::Type::kGauge,
+                     nullptr, &inflight, nullptr});
+  metrics.push_back({"net.server.drain_us", obs::MetricInfo::Type::kGauge,
+                     nullptr, &drain_us, nullptr});
 
   auto expected = io::read_file(XPDL_PROM_GOLDEN);
   ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();

@@ -292,6 +292,71 @@ TEST(RetryPolicy, RetriesAreVisibleThroughObs) {
   EXPECT_EQ(retries.value(), before + 1);
 }
 
+TEST(RetryPolicy, ServerHintStretchesBackoff) {
+  RetryOptions options = fast_retry();
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 1.0;
+  options.max_backoff_ms = 4.0;
+  options.jitter = 0.0;
+  RetryPolicy retry(options);
+  // The server keeps asking for 50 ms — far above the 1/2 ms schedule —
+  // so every backoff is stretched to the hint.
+  retry.set_hint_provider([] { return 50.0; });
+  int calls = 0;
+  (void)retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kUnavailable, "shed");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retry.last_run().hinted, 2);
+  EXPECT_DOUBLE_EQ(retry.last_run().total_backoff_ms, 100.0);
+}
+
+TEST(RetryPolicy, SmallHintDoesNotShrinkBackoff) {
+  RetryOptions options = fast_retry();
+  options.max_attempts = 2;
+  options.initial_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  RetryPolicy retry(options);
+  retry.set_hint_provider([] { return 1.0; });  // below the schedule
+  (void)retry.run("op", [] { return Status(ErrorCode::kUnavailable, "x"); });
+  EXPECT_EQ(retry.last_run().hinted, 0);
+  EXPECT_DOUBLE_EQ(retry.last_run().total_backoff_ms, 10.0);
+}
+
+TEST(RetryPolicy, HintNeverOverridesCallerDeadline) {
+  RetryOptions options = fast_retry();
+  options.max_attempts = 10;
+  options.initial_backoff_ms = 10.0;
+  options.jitter = 0.0;
+  options.deadline_ms = 35.0;
+  RetryPolicy retry(options);
+  // A 30 ms hint on every failure: the first stretched wait (30) fits
+  // the 35 ms budget, the second (30 more) would not — the loop gives
+  // up rather than waiting past the caller's deadline for the server's.
+  retry.set_hint_provider([] { return 30.0; });
+  int calls = 0;
+  Status st = retry.run("op", [&] {
+    ++calls;
+    return Status(ErrorCode::kUnavailable, "shed");
+  });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(retry.last_run().exhausted);
+  EXPECT_LE(retry.last_run().total_backoff_ms, options.deadline_ms);
+}
+
+TEST(RetryPolicy, HintedBackoffsAreVisibleThroughObs) {
+  obs::Counter& hinted = obs::counter("resilience.retry.hinted");
+  std::uint64_t before = hinted.value();
+  RetryOptions options = fast_retry();
+  options.max_attempts = 2;
+  RetryPolicy retry(options);
+  retry.set_hint_provider([] { return 500.0; });
+  (void)retry.run("op", [] { return Status(ErrorCode::kUnavailable, "x"); });
+  EXPECT_EQ(hinted.value(), before + 1);
+}
+
 TEST(DefaultRetryable, ClassifiesCodes) {
   EXPECT_TRUE(default_retryable(Status(ErrorCode::kIoError, "x")));
   EXPECT_TRUE(default_retryable(Status(ErrorCode::kUnavailable, "x")));
