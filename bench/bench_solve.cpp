@@ -1,0 +1,159 @@
+// E18 — Constraint solving over configurable parameter spaces
+// (xpdl::solve, Sec. IV): interval propagation + branch-and-prune vs the
+// seed's exhaustive enumeration, on spaces the enumerator could not
+// touch (the seed analyses bailed out above 2^16 points).
+#include <benchmark/benchmark.h>
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "json_report.h"
+#include "xpdl/compose/compose.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/solve/solve.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+using xpdl::solve::Domain;
+using xpdl::solve::Problem;
+using xpdl::solve::Solver;
+using xpdl::solve::Verdict;
+
+xpdl::expr::Expression parse(const char* text) {
+  auto e = xpdl::expr::Expression::parse(text);
+  assert(e.is_ok());
+  return std::move(e).value();
+}
+
+/// `dims` variables with `per_dim` values each plus one constraint.
+Problem grid_problem(int dims, int per_dim, const char* constraint) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(per_dim));
+  for (int i = 0; i < per_dim; ++i) values.push_back(i);
+  Problem p;
+  const char* names[] = {"a", "b", "c", "d"};
+  for (int v = 0; v < dims; ++v) {
+    p.add_variable(names[v], Domain::values(values));
+  }
+  p.add_constraint(parse(constraint));
+  return p;
+}
+
+// Satisfiability of a 128^3 = 2,097,152-point space with a small valid
+// core: propagation narrows, search finds a witness.
+void BM_SatisfiableBigSpace(benchmark::State& state) {
+  Problem p = grid_problem(3, 128, "a + b + c <= 10");
+  Solver solver;
+  for (auto _ : state) {
+    auto out = solver.satisfiable(p);
+    if (out.verdict != Verdict::kSat) state.SkipWithError("expected sat");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SatisfiableBigSpace)->Unit(benchmark::kMicrosecond);
+
+// Refutation of the same space: the interval bound proves emptiness
+// without visiting a single point.
+void BM_UnsatByPropagation(benchmark::State& state) {
+  Problem p = grid_problem(3, 128, "a + b + c > 1000");
+  Solver solver;
+  for (auto _ : state) {
+    auto out = solver.satisfiable(p);
+    if (out.verdict != Verdict::kUnsat) state.SkipWithError("expected unsat");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_UnsatByPropagation)->Unit(benchmark::kMicrosecond);
+
+// Validity (vacuity) of a constraint over the full space by forward
+// interval evaluation.
+void BM_ValidByForwardEvaluation(benchmark::State& state) {
+  Problem p = grid_problem(3, 128, "a + b + c < 1000");
+  Solver solver;
+  for (auto _ : state) {
+    auto out = solver.implied(p, 0);
+    if (out.verdict != Verdict::kValid) state.SkipWithError("expected valid");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ValidByForwardEvaluation)->Unit(benchmark::kMicrosecond);
+
+// The same satisfiability question on a space small enough for the seed
+// semantics: solver vs the exhaustive oracle (the seed's strategy).
+void BM_SolverSmallSpace(benchmark::State& state) {
+  Problem p = grid_problem(3, 24, "a + b + c == 60");
+  Solver solver;
+  for (auto _ : state) {
+    auto out = solver.satisfiable(p);
+    if (out.verdict != Verdict::kSat) state.SkipWithError("expected sat");
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SolverSmallSpace)->Unit(benchmark::kMicrosecond);
+
+void BM_BruteForceSmallSpace(benchmark::State& state) {
+  Problem p = grid_problem(3, 24, "a + b + c == 60");
+  for (auto _ : state) {
+    auto report = xpdl::solve::brute_force(p);
+    if (report.satisfied == 0) state.SkipWithError("expected sat");
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["points"] = 24.0 * 24.0 * 24.0;
+}
+BENCHMARK(BM_BruteForceSmallSpace)->Unit(benchmark::kMicrosecond);
+
+// Propagation-pruned enumeration through the compose API: a 256^3
+// declared space (16x the raw enumeration limit) whose valid core is the
+// 286-point simplex a + b + c <= 10.
+void BM_PruneAndEnumerate(benchmark::State& state) {
+  std::string range = "0";
+  for (int i = 1; i < 256; ++i) range += ", " + std::to_string(i);
+  std::string text = "<device name=\"D\">";
+  for (const char* name : {"a", "b", "c"}) {
+    text += "<param name=\"" + std::string(name) +
+            "\" configurable=\"true\" type=\"integer\" range=\"" + range +
+            "\"/>";
+  }
+  text +=
+      "<constraints><constraint expr=\"a + b + c &lt;= 10\"/>"
+      "</constraints></device>";
+  auto doc = xpdl::xml::parse(text);
+  assert(doc.is_ok());
+  for (auto _ : state) {
+    auto configs =
+        xpdl::compose::enumerate_configurations(*doc.value().root, nullptr);
+    if (!configs.is_ok() || configs->size() != 286) {
+      state.SkipWithError("expected 286 configurations");
+    }
+    benchmark::DoNotOptimize(configs);
+  }
+}
+BENCHMARK(BM_PruneAndEnumerate)->Unit(benchmark::kMicrosecond);
+
+// First-witness search on the shipped Kepler meta-model, inheritance
+// flattening included.
+void BM_KeplerFirstConfiguration(benchmark::State& state) {
+  xpdl::repository::Repository repo({XPDL_MODELS_DIR});
+  auto scan = repo.scan();
+  assert(scan.is_ok());
+  auto meta = repo.lookup("Nvidia_Kepler");
+  assert(meta.is_ok());
+  for (auto _ : state) {
+    auto first = xpdl::compose::first_configuration(**meta, &repo);
+    if (!first.is_ok() || !first->has_value()) {
+      state.SkipWithError("expected a configuration");
+    }
+    benchmark::DoNotOptimize(first);
+  }
+}
+BENCHMARK(BM_KeplerFirstConfiguration)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E18: constraint solving over parameter spaces ==\n");
+  return xpdl::benchjson::run_with_json_report(argc, argv, "solve");
+}

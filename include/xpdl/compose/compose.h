@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -154,8 +155,19 @@ struct Configuration {
 /// Enumerates all configurations of the configurable parameters declared
 /// directly on `meta` (after inheritance flattening if `repo` is given)
 /// that satisfy every constraint. Listing 8's Kepler yields exactly the
-/// three valid L1/shared-memory splits.
+/// three valid L1/shared-memory splits. The declared domains are narrowed
+/// by interval propagation (xpdl::solve) before enumeration, so declared
+/// spaces far beyond `Options::max_configurations` succeed whenever their
+/// constrained core is small enough.
 [[nodiscard]] Result<std::vector<Configuration>> enumerate_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const Options& options = {});
+
+/// Finds one valid configuration of `meta` without enumerating: a
+/// branch-and-prune search over the declared ranges. Returns nullopt when
+/// the constraints admit no configuration, and kUnavailable when the
+/// solver budget runs out before a definite answer.
+[[nodiscard]] Result<std::optional<Configuration>> first_configuration(
     const xml::Element& meta, repository::Repository* repo,
     const Options& options = {});
 

@@ -17,6 +17,10 @@
 //                                    from the snapshot cache, compiled on
 //                                    miss, memoized per ref)
 //   GET /v1/query?model=REF&q=QUERY  query engine over a composed model
+//   GET /v1/configure/<ref>          valid configurations of a meta-model's
+//                                    parameter space, decided by xpdl::solve
+//                                    (?mode=all|first, ?limit=N caps the
+//                                    returned list)
 //
 // The service is the pure request→response core: it owns the scanned
 // Repository and is driven either by HttpServer (xpdld) or directly by
@@ -80,6 +84,8 @@ class RepoService {
   [[nodiscard]] Response handle_model(const Request& request,
                                       std::string_view ref);
   [[nodiscard]] Response handle_query(const Request& request);
+  [[nodiscard]] Response handle_configure(const Request& request,
+                                          std::string_view ref);
   [[nodiscard]] Response handle_metrics(const Request& request) const;
   [[nodiscard]] Response handle_flight() const;
 

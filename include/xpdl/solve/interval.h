@@ -1,0 +1,204 @@
+// Interval arithmetic for constraint propagation.
+//
+// `xpdl::solve` reasons about XPDL configuration constraints (Listing 8)
+// without enumerating the cross product of the declared parameter ranges.
+// The primitive it works with is the closed interval [lo, hi] over
+// doubles. Operations are *conservative*: the result interval contains
+// every value the exact operation can produce over the operand intervals,
+// but may be wider (no outward rounding is performed — XPDL constraints
+// compare machine-representable SI values, and the final word on any
+// single point is always the exact `expr` evaluator).
+//
+// The empty interval is canonically {+inf, -inf} (lo > hi). Division and
+// the partial functions (sqrt, log2, %) return the hull of the *defined*
+// results; whether an operand admits undefined points is tracked
+// separately by the propagator (see `solve.h`).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xpdl::solve {
+
+/// A closed interval [lo, hi]. lo > hi encodes the empty set.
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static constexpr Interval empty() noexcept { return {}; }
+  [[nodiscard]] static constexpr Interval whole() noexcept {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  [[nodiscard]] static constexpr Interval singleton(double v) noexcept {
+    return {v, v};
+  }
+
+  [[nodiscard]] constexpr bool is_empty() const noexcept { return lo > hi; }
+  [[nodiscard]] constexpr bool is_singleton() const noexcept {
+    return lo == hi;
+  }
+  [[nodiscard]] constexpr bool contains(double v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] double width() const noexcept {
+    return is_empty() ? 0.0 : hi - lo;
+  }
+  [[nodiscard]] double midpoint() const noexcept {
+    if (lo == -std::numeric_limits<double>::infinity() ||
+        hi == std::numeric_limits<double>::infinity()) {
+      if (std::isfinite(lo)) return lo;
+      if (std::isfinite(hi)) return hi;
+      return 0.0;
+    }
+    return lo + (hi - lo) / 2.0;
+  }
+
+  friend constexpr bool operator==(const Interval& a,
+                                   const Interval& b) noexcept {
+    return (a.is_empty() && b.is_empty()) || (a.lo == b.lo && a.hi == b.hi);
+  }
+};
+
+[[nodiscard]] constexpr Interval intersect(Interval a, Interval b) noexcept {
+  Interval r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return r.is_empty() ? Interval::empty() : r;
+}
+
+[[nodiscard]] constexpr Interval hull(Interval a, Interval b) noexcept {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+[[nodiscard]] inline Interval neg(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  return {-a.hi, -a.lo};
+}
+
+[[nodiscard]] inline Interval add(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {a.lo + b.lo, a.hi + b.hi};
+}
+
+[[nodiscard]] inline Interval sub(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {a.lo - b.hi, a.hi - b.lo};
+}
+
+[[nodiscard]] inline Interval mul(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  double lo = c[0];
+  double hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) return Interval::whole();  // inf * 0 at a bound
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+/// Extended division: hull of a/b over b's nonzero values. When b
+/// straddles zero the defined quotients are unbounded in both directions,
+/// so the hull is the whole line. Empty when b == {0}.
+[[nodiscard]] inline Interval div(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (b.lo == 0.0 && b.hi == 0.0) return Interval::empty();
+  if (b.lo < 0.0 && b.hi > 0.0) return Interval::whole();
+  // b touches zero at one end: the quotient is unbounded on that side.
+  if (b.lo == 0.0 || b.hi == 0.0) {
+    if (a.lo == 0.0 && a.hi == 0.0) return Interval::singleton(0.0);
+    return Interval::whole();
+  }
+  const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  double lo = c[0];
+  double hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) return Interval::whole();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+[[nodiscard]] inline Interval abs(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  if (a.lo >= 0.0) return a;
+  if (a.hi <= 0.0) return {-a.hi, -a.lo};
+  return {0.0, std::max(-a.lo, a.hi)};
+}
+
+/// Hull of sqrt over the nonnegative part of a; empty if a < 0 throughout.
+[[nodiscard]] inline Interval sqrt(Interval a) noexcept {
+  if (a.is_empty() || a.hi < 0.0) return Interval::empty();
+  return {std::sqrt(std::max(a.lo, 0.0)), std::sqrt(a.hi)};
+}
+
+/// Hull of log2 over the positive part of a; empty if a <= 0 throughout.
+[[nodiscard]] inline Interval log2(Interval a) noexcept {
+  if (a.is_empty() || a.hi <= 0.0) return Interval::empty();
+  if (a.lo <= 0.0) {
+    return {-std::numeric_limits<double>::infinity(), std::log2(a.hi)};
+  }
+  return {std::log2(a.lo), std::log2(a.hi)};
+}
+
+[[nodiscard]] inline Interval floor(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  return {std::floor(a.lo), std::floor(a.hi)};
+}
+
+[[nodiscard]] inline Interval ceil(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  return {std::ceil(a.lo), std::ceil(a.hi)};
+}
+
+[[nodiscard]] inline Interval round(Interval a) noexcept {
+  if (a.is_empty()) return Interval::empty();
+  return {std::round(a.lo), std::round(a.hi)};
+}
+
+/// Conservative hull for a % b (C fmod semantics: result has the sign of
+/// a, |result| < |b|). Bounded by both |a| and |b|.
+[[nodiscard]] inline Interval mod(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const double bmag = std::max(std::abs(b.lo), std::abs(b.hi));
+  const double amag = std::max(std::abs(a.lo), std::abs(a.hi));
+  const double m = std::min(bmag, amag);
+  double lo = a.lo < 0.0 ? -m : 0.0;
+  double hi = a.hi > 0.0 ? m : 0.0;
+  return {lo, hi};
+}
+
+/// Conservative hull for pow(a, b). Exact-ish when a >= 0; when a admits
+/// negative bases the result may be anything (std::pow of a negative base
+/// with a fractional exponent is a domain error), so return the whole
+/// line and let the caller flag the error possibility.
+[[nodiscard]] inline Interval pow(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (a.lo < 0.0) return Interval::whole();
+  const double c[4] = {std::pow(a.lo, b.lo), std::pow(a.lo, b.hi),
+                       std::pow(a.hi, b.lo), std::pow(a.hi, b.hi)};
+  double lo = c[0];
+  double hi = c[0];
+  for (double v : c) {
+    if (std::isnan(v)) return Interval::whole();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+[[nodiscard]] inline Interval min(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+[[nodiscard]] inline Interval max(Interval a, Interval b) noexcept {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace xpdl::solve

@@ -1,0 +1,292 @@
+// Constraint solving over XPDL parameter scopes.
+//
+// XPDL meta-models (Sec. IV, Listing 8) declare configurable parameter
+// spaces: `<param>` ranges, `<const>` bindings and `<constraint>`
+// expressions. The seed analyses decided satisfiability questions by
+// enumerating the cross product of the declared domains, which caps out
+// at a few tens of thousands of points. `xpdl::solve` replaces that with
+// interval constraint propagation and search:
+//
+//  * `Domain` — a variable's admissible values: either a finite,
+//    sorted-unique set (the usual case: `range="16, 32, 48"`) or a
+//    continuous closed interval.
+//  * `Problem` — variables plus constraints compiled from the
+//    `expr::Expression` AST into flat tapes with index-aligned variable
+//    slots (no string lookups on the hot path).
+//  * `Solver` — HC4-style propagation (forward interval evaluation,
+//    backward projection through arithmetic and boolean nodes) inside a
+//    branch-and-prune search with conflict-driven backjumping and nogood
+//    learning. Answers are *definite*: SAT comes with a witness checked
+//    by the exact evaluator, UNSAT with a minimized conflicting
+//    constraint set, VALID means exact truth at every point of the
+//    space. UNKNOWN is returned only when the node budget runs out or a
+//    continuous domain resists refutation below the split epsilon.
+//
+// Evaluation errors (division by zero at a point, sqrt of a negative
+// value...) are handled the way the exact evaluator sees them: an error
+// point never satisfies a constraint, and therefore also refutes
+// validity. `Solver::find_evaluation_error` searches for such points
+// explicitly so analyses can surface them instead of silently folding
+// them into "unsatisfied".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/solve/interval.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::solve {
+
+/// A variable's admissible values: a finite enumerated set (sorted,
+/// deduplicated) or a continuous closed interval.
+class Domain {
+ public:
+  Domain() = default;
+
+  [[nodiscard]] static Domain interval(double lo, double hi);
+  [[nodiscard]] static Domain values(std::vector<double> values);
+  [[nodiscard]] static Domain singleton(double v);
+
+  [[nodiscard]] bool is_finite() const noexcept { return finite_; }
+  [[nodiscard]] bool is_empty() const noexcept;
+  [[nodiscard]] bool is_singleton() const noexcept;
+  /// The single value of a singleton domain.
+  [[nodiscard]] double value() const noexcept;
+  /// Number of values of a finite domain (continuous domains have none).
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  /// The values of a finite domain, sorted and deduplicated.
+  [[nodiscard]] const std::vector<double>& finite_values() const noexcept {
+    return values_;
+  }
+  /// Interval hull of the domain.
+  [[nodiscard]] Interval bounds() const noexcept { return bounds_; }
+  /// Membership test (binary search for finite domains).
+  [[nodiscard]] bool contains(double v) const noexcept;
+
+  /// Intersects the domain with `iv`; returns true if it narrowed.
+  bool restrict_to(Interval iv);
+
+ private:
+  bool finite_ = false;
+  std::vector<double> values_;  ///< finite domains: sorted unique values
+  Interval bounds_ = Interval::empty();
+};
+
+/// One solver variable.
+struct SolveVariable {
+  std::string name;
+  Domain domain;
+};
+
+/// Solver answer kinds.
+enum class Verdict : std::uint8_t {
+  kSat,      ///< a satisfying point exists (witness attached)
+  kUnsat,    ///< no point satisfies (conflict core attached)
+  kValid,    ///< the target holds, error-free, at every point
+  kUnknown,  ///< budget exhausted / continuous split floor reached
+};
+
+[[nodiscard]] std::string_view to_string(Verdict v) noexcept;
+
+/// Work counters of one solver run (also mirrored into `solve.*` obs
+/// counters).
+struct SolveStats {
+  std::uint64_t propagations = 0;  ///< HC4 constraint revisions
+  std::uint64_t splits = 0;        ///< search branchings
+  std::uint64_t nogoods = 0;       ///< nogoods learned
+  std::uint64_t nogood_hits = 0;   ///< branches pruned by a nogood
+  std::uint64_t nodes = 0;         ///< search nodes visited
+};
+
+/// Result of one solver query.
+struct Outcome {
+  Verdict verdict = Verdict::kUnknown;
+  /// kSat: a satisfying point (satisfiable) or a counterexample
+  /// (implied/find_evaluation_error); name/value pairs in variable order.
+  std::vector<std::pair<std::string, double>> witness;
+  /// Nonempty when the witness is an evaluation-error point: the exact
+  /// evaluator's message (e.g. "division by zero in expression").
+  std::string witness_error;
+  /// kUnsat: indices of a conflicting constraint subset, minimized when
+  /// `Options::minimize_core` is set; ascending.
+  std::vector<std::size_t> conflict_core;
+  SolveStats stats;
+};
+
+namespace internal {
+
+/// Flattened expression opcode. `kError` stands for nodes whose exact
+/// evaluation always fails (unknown function, bad arity) — interval
+/// evaluation treats them as "any value, may error".
+enum class Op : std::uint8_t {
+  kNumber, kVariable, kNegate, kNot,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kMin, kMax, kAbs, kFloor, kCeil, kRound, kSqrt, kPow, kLog2,
+  kError,
+};
+
+struct TapeNode {
+  Op op = Op::kError;
+  double number = 0.0;             ///< kNumber
+  std::int32_t var = -1;           ///< kVariable: problem variable index
+  std::vector<std::int32_t> kids;  ///< child node indices
+  std::string text;                ///< kError: the evaluator's message
+};
+
+/// One compiled constraint: a self-contained tape over the problem's
+/// variable slots, plus the original source text for diagnostics.
+struct Tape {
+  std::vector<TapeNode> nodes;
+  std::int32_t root = -1;
+  std::string source;
+  bool may_error = false;          ///< contains / % sqrt log2 pow or kError
+  std::vector<std::int32_t> vars;  ///< referenced variables, ascending unique
+};
+
+}  // namespace internal
+
+/// A constraint problem: variables with domains plus compiled constraints.
+class Problem {
+ public:
+  /// Adds a variable; returns its index. Names should be unique (lookups
+  /// return the first match).
+  std::size_t add_variable(std::string name, Domain domain);
+
+  /// Index of the named variable, or -1.
+  [[nodiscard]] std::int32_t find_variable(std::string_view name) const noexcept;
+
+  /// Compiles `expression` against the variables added so far and appends
+  /// it; returns the constraint index. Free variables with no matching
+  /// problem variable, unknown functions and arity mismatches compile to
+  /// always-error nodes, mirroring the exact evaluator's per-point
+  /// behavior (short-circuiting may still skip them).
+  std::size_t add_constraint(const expr::Expression& expression);
+
+  [[nodiscard]] const std::vector<SolveVariable>& variables() const noexcept {
+    return vars_;
+  }
+  [[nodiscard]] std::size_t constraint_count() const noexcept {
+    return tapes_.size();
+  }
+  [[nodiscard]] const std::string& constraint_source(std::size_t c) const {
+    return tapes_[c].source;
+  }
+  /// True if constraint `c` contains an operation that can fail at a
+  /// point (division, modulo, sqrt, log2, pow, or an unresolvable node).
+  [[nodiscard]] bool constraint_may_error(std::size_t c) const {
+    return tapes_[c].may_error;
+  }
+  /// Indices of the variables constraint `c` references (ascending).
+  [[nodiscard]] const std::vector<std::int32_t>& constraint_variables(
+      std::size_t c) const {
+    return tapes_[c].vars;
+  }
+
+  [[nodiscard]] const Domain& domain(std::size_t var) const {
+    return vars_[var].domain;
+  }
+  void set_domain(std::size_t var, Domain d) {
+    vars_[var].domain = std::move(d);
+  }
+
+  /// Exact evaluation of constraint `c` at a point (one value per
+  /// variable, index-aligned). Replicates `expr::Expression`'s semantics
+  /// bit for bit: short-circuit `&&`/`||`, error messages included.
+  [[nodiscard]] Result<bool> eval_constraint(
+      std::size_t c, const std::vector<double>& values) const;
+
+  /// Saturating product of the finite domain sizes; `kHugeSpace` when any
+  /// domain is continuous (or empty product overflows).
+  static constexpr std::uint64_t kHugeSpace = UINT64_MAX;
+  [[nodiscard]] std::uint64_t space_size() const noexcept;
+
+  /// Builds a problem from a parsed parameter scope: bound params become
+  /// singletons, ranged params finite sets. Fails with kUnresolvedRef if
+  /// a constraint references a parameter the scope does not give a value
+  /// or range (the scope is then undecidable, e.g. inherited bindings).
+  [[nodiscard]] static Result<Problem> from_scope(
+      const model::ParamScope& scope);
+
+  [[nodiscard]] const internal::Tape& tape(std::size_t c) const {
+    return tapes_[c];
+  }
+
+ private:
+  std::vector<SolveVariable> vars_;
+  std::vector<internal::Tape> tapes_;
+};
+
+/// Interval propagation + branch-and-prune search.
+class Solver {
+ public:
+  struct Options {
+    /// Search node budget before giving up with kUnknown.
+    std::uint64_t max_nodes = 200000;
+    /// Continuous intervals narrower than this are not split further.
+    double epsilon = 1e-9;
+    /// Shrink UNSAT conflict cores by deletion (re-solving without each
+    /// constraint in turn).
+    bool minimize_core = true;
+    /// Learn nogoods from conflicts and prune repeated assignments.
+    bool learn_nogoods = true;
+  };
+
+  Solver() = default;
+  explicit Solver(Options options) : options_(options) {}
+
+  /// Is the conjunction of all constraints satisfiable over the domains?
+  /// kSat (witness), kUnsat (conflict core) or kUnknown.
+  [[nodiscard]] Outcome satisfiable(const Problem& problem) const;
+
+  /// Does the conjunction of all constraints *except* `target` imply
+  /// `target`? kValid, kSat (the witness is a counterexample: all other
+  /// constraints hold but `target` is false — or errors, see
+  /// `witness_error`) or kUnknown. With a single constraint this decides
+  /// vacuity: kValid means the constraint restricts nothing.
+  [[nodiscard]] Outcome implied(const Problem& problem,
+                                std::size_t target) const;
+
+  /// Searches for a point where constraint `target` fails to evaluate
+  /// (division by zero, ...). kSat: found (witness + witness_error),
+  /// kUnsat: provably none, kUnknown: budget exhausted.
+  [[nodiscard]] Outcome find_evaluation_error(const Problem& problem,
+                                              std::size_t target) const;
+
+  /// Propagation-only fixpoint: narrows every variable's domain in place
+  /// to the values not excluded by any single constraint. Returns false
+  /// if some domain became empty (the problem is UNSAT). Never splits.
+  bool prune(Problem& problem) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Exhaustive enumeration oracle (test-only reference semantics; explodes
+/// on big spaces — callers must check `Problem::space_size()` first).
+struct BruteForceReport {
+  std::uint64_t points = 0;
+  std::uint64_t satisfied = 0;  ///< all targeted constraints exactly true
+  std::uint64_t errored = 0;    ///< some targeted constraint failed to eval
+  std::vector<std::pair<std::string, double>> first_error_point;
+  std::string first_error;
+};
+
+/// Enumerates the full cross product and evaluates every constraint at
+/// every point (conjunction semantics; error points count as unsatisfied).
+[[nodiscard]] BruteForceReport brute_force(const Problem& problem);
+
+/// Same, for a single constraint.
+[[nodiscard]] BruteForceReport brute_force(const Problem& problem,
+                                           std::size_t target);
+
+}  // namespace xpdl::solve

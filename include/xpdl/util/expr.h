@@ -81,6 +81,11 @@ class Expression {
   /// The original source text.
   [[nodiscard]] const std::string& source() const noexcept { return source_; }
 
+  /// Read-only access to the AST root. Consumers (e.g. `xpdl::solve`)
+  /// compile the tree into their own representation; the node graph is
+  /// owned by the expression and immutable after parse.
+  [[nodiscard]] const Node& root() const noexcept { return *root_; }
+
   /// True if the expression consists of a single number.
   [[nodiscard]] bool is_constant() const noexcept;
 

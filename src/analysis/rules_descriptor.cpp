@@ -11,6 +11,7 @@
 #include "xpdl/model/ir.h"
 #include "xpdl/model/power.h"
 #include "xpdl/schema/schema.h"
+#include "xpdl/solve/solve.h"
 #include "xpdl/util/expr.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/util/units.h"
@@ -409,83 +410,78 @@ class UnknownRoleRule final : public internal::RuleBase {
 
 // --- constraint satisfiability ------------------------------------------
 
-/// Outcome of enumerating one constraint over the declared ranges of its
+/// Solver verdicts for one constraint over the declared ranges of its
 /// free parameters.
 struct ConstraintVerdict {
   const model::Constraint* constraint = nullptr;
   std::vector<std::string> variables;
-  std::size_t configurations = 0;  ///< points enumerated
-  std::size_t satisfied = 0;
+  /// Size of the declared cross product (range entries counted as
+  /// written, duplicates included) — saturating; used for diagnostics.
+  std::uint64_t configurations = 0;
   bool has_choice = false;  ///< at least one variable had > 1 value
   bool decidable = false;   ///< every variable had a value or a range
+  solve::Verdict satisfiable = solve::Verdict::kUnknown;
+  solve::Verdict vacuous = solve::Verdict::kUnknown;
+  solve::Outcome error;  ///< evaluation-error search result
 };
 
-/// Enumerates the cross product of the declared parameter domains and
-/// counts satisfying assignments. Constraints referencing parameters the
-/// scope does not bind (e.g. inherited ones) are reported undecidable and
-/// skipped by both rules.
+/// Decides each constraint with interval propagation + search
+/// (xpdl::solve) instead of enumerating the cross product; the seed
+/// implementation bailed out above 2^16 points, the solver handles
+/// arbitrarily large declared spaces. Constraints referencing parameters
+/// the scope does not bind (e.g. inherited ones) stay undecidable and
+/// are skipped by every rule.
 std::vector<ConstraintVerdict> evaluate_scope(const model::ParamScope& scope) {
-  constexpr std::size_t kMaxConfigurations = 1u << 16;
   std::vector<ConstraintVerdict> verdicts;
+  solve::Solver solver;
   for (const model::Constraint& c : scope.constraints) {
     ConstraintVerdict v;
     v.constraint = &c;
     v.variables = c.expression.variables();
-    std::vector<std::vector<double>> domains;
+    solve::Problem problem;
     v.decidable = true;
+    v.configurations = 1;
     for (const std::string& name : v.variables) {
       const model::Param* p = scope.find(name);
+      std::uint64_t declared = 1;
       if (p == nullptr) {
         v.decidable = false;
         break;
       }
       if (p->is_bound()) {
-        domains.push_back({*p->value_si});
+        problem.add_variable(name, solve::Domain::singleton(*p->value_si));
       } else if (!p->range_si.empty()) {
-        domains.push_back(p->range_si);
+        problem.add_variable(name, solve::Domain::values(p->range_si));
+        declared = p->range_si.size();
         if (p->range_si.size() > 1) v.has_choice = true;
       } else {
         v.decidable = false;
         break;
       }
+      v.configurations = v.configurations > UINT64_MAX / declared
+                             ? UINT64_MAX
+                             : v.configurations * declared;
     }
     if (v.decidable) {
-      std::size_t total = 1;
-      for (const auto& d : domains) {
-        if (total > kMaxConfigurations / std::max<std::size_t>(d.size(), 1)) {
-          total = kMaxConfigurations + 1;
-          break;
-        }
-        total *= d.size();
-      }
-      if (total > kMaxConfigurations) {
-        v.decidable = false;  // space too large to enumerate statically
-      } else {
-        std::map<std::string, double, std::less<>> binding;
-        std::vector<std::size_t> idx(domains.size(), 0);
-        for (std::size_t point = 0; point < total; ++point) {
-          std::size_t rest = point;
-          for (std::size_t d = 0; d < domains.size(); ++d) {
-            binding[v.variables[d]] = domains[d][rest % domains[d].size()];
-            rest /= domains[d].size();
-          }
-          auto ok = c.expression.evaluate_bool(
-              [&](std::string_view name) -> Result<double> {
-                auto it = binding.find(name);
-                if (it == binding.end()) {
-                  return Status(ErrorCode::kNotFound,
-                                "unbound variable " + std::string(name));
-                }
-                return it->second;
-              });
-          ++v.configurations;
-          if (ok.is_ok() && *ok) ++v.satisfied;
-        }
-      }
+      problem.add_constraint(c.expression);
+      v.satisfiable = solver.satisfiable(problem).verdict;
+      v.vacuous = solver.implied(problem, 0).verdict;
+      v.error = solver.find_evaluation_error(problem, 0);
     }
     verdicts.push_back(std::move(v));
   }
   return verdicts;
+}
+
+/// "a = 0, b = 2" for a solver witness.
+std::string format_point(
+    const std::vector<std::pair<std::string, double>>& point) {
+  std::string out;
+  for (const auto& [name, value] : point) {
+    if (!out.empty()) out += ", ";
+    out += name + " = " + strings::format("%g", value);
+  }
+  return out;
 }
 
 std::string join_variables(const std::vector<std::string>& vars) {
@@ -511,7 +507,7 @@ class ConstraintUnsatisfiableRule final : public internal::RuleBase {
       auto scope = model::parse_param_scope(e);
       if (!scope.is_ok() || scope->constraints.empty()) return;
       for (const ConstraintVerdict& v : evaluate_scope(*scope)) {
-        if (!v.decidable || v.satisfied > 0) continue;
+        if (!v.decidable || v.satisfiable != solve::Verdict::kUnsat) continue;
         sink.report(info(),
                     "constraint '" + v.constraint->expression.source() +
                         "' is satisfied by none of the " +
@@ -540,7 +536,7 @@ class ConstraintVacuousRule final : public internal::RuleBase {
       if (!scope.is_ok() || scope->constraints.empty()) return;
       for (const ConstraintVerdict& v : evaluate_scope(*scope)) {
         if (!v.decidable || !v.has_choice ||
-            v.satisfied != v.configurations || v.configurations == 0) {
+            v.vacuous != solve::Verdict::kValid) {
           continue;
         }
         sink.report(info(),
@@ -551,6 +547,136 @@ class ConstraintVacuousRule final : public internal::RuleBase {
                         join_variables(v.variables) +
                         "}; it does not restrict the configuration space",
                     v.constraint->location);
+      }
+    });
+  }
+};
+
+class ConstraintEvaluationErrorRule final : public internal::RuleBase {
+ public:
+  ConstraintEvaluationErrorRule()
+      : RuleBase("constraint-evaluation-error", RuleScope::kDescriptor,
+                 Severity::kNote,
+                 "constraint fails to evaluate (division by zero, ...) at "
+                 "some point of the declared parameter ranges; such points "
+                 "never satisfy it") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto scope = model::parse_param_scope(e);
+      if (!scope.is_ok() || scope->constraints.empty()) return;
+      for (const ConstraintVerdict& v : evaluate_scope(*scope)) {
+        if (!v.decidable || v.error.verdict != solve::Verdict::kSat) continue;
+        sink.report(info(),
+                    "constraint '" + v.constraint->expression.source() +
+                        "' fails to evaluate at {" +
+                        format_point(v.error.witness) + "}: " +
+                        v.error.witness_error +
+                        "; points where evaluation fails never satisfy the "
+                        "constraint",
+                    v.constraint->location);
+      }
+    });
+  }
+};
+
+class ConstraintRedundantRule final : public internal::RuleBase {
+ public:
+  ConstraintRedundantRule()
+      : RuleBase("constraint-redundant", RuleScope::kDescriptor,
+                 Severity::kNote,
+                 "constraint is implied by the other constraints of its "
+                 "scope; removing it leaves the configuration space "
+                 "unchanged") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto scope = model::parse_param_scope(e);
+      if (!scope.is_ok() || scope->constraints.size() < 2) return;
+      auto problem = solve::Problem::from_scope(*scope);
+      if (!problem.is_ok()) return;  // undecidable (unbound parameter)
+      solve::Solver solver;
+      // In an unsatisfiable scope every constraint is (vacuously) implied
+      // by the rest; constraint-unsatisfiable reports that louder.
+      if (solver.satisfiable(*problem).verdict != solve::Verdict::kSat) return;
+      for (std::size_t i = 0; i < problem->constraint_count(); ++i) {
+        if (solver.implied(*problem, i).verdict != solve::Verdict::kValid) {
+          continue;
+        }
+        // A constraint that already holds over the raw declared domains
+        // is vacuous, not redundant; constraint-vacuous covers it.
+        solve::Problem alone;
+        for (const solve::SolveVariable& var : problem->variables()) {
+          alone.add_variable(var.name, var.domain);
+        }
+        alone.add_constraint(scope->constraints[i].expression);
+        if (solver.implied(alone, 0).verdict == solve::Verdict::kValid) {
+          continue;
+        }
+        sink.report(info(),
+                    "constraint '" + problem->constraint_source(i) +
+                        "' is implied by the other constraint(s) of this "
+                        "scope; removing it leaves the configuration space "
+                        "unchanged",
+                    scope->constraints[i].location);
+      }
+    });
+  }
+};
+
+class ParamRangeUnreachableRule final : public internal::RuleBase {
+ public:
+  ParamRangeUnreachableRule()
+      : RuleBase("param-range-unreachable", RuleScope::kDescriptor,
+                 Severity::kWarning,
+                 "declared range value can appear in no configuration "
+                 "satisfying the scope's constraints") {}
+
+  void analyze_descriptor(const DescriptorContext& ctx,
+                          Sink& sink) const override {
+    walk(ctx.root, [&](const xml::Element& e) {
+      auto scope = model::parse_param_scope(e);
+      if (!scope.is_ok() || scope->constraints.empty()) return;
+      auto problem = solve::Problem::from_scope(*scope);
+      if (!problem.is_ok()) return;  // undecidable (unbound parameter)
+      solve::Solver solver;
+      // If the whole space is unsatisfiable every value is "unreachable";
+      // constraint-unsatisfiable already reports that louder.
+      if (solver.satisfiable(*problem).verdict != solve::Verdict::kSat) return;
+      for (std::size_t var = 0; var < problem->variables().size(); ++var) {
+        const solve::Domain full = problem->domain(var);
+        if (!full.is_finite() || full.size() < 2) continue;
+        const model::Param* p =
+            scope->find(problem->variables()[var].name);
+        if (p == nullptr || p->is_bound()) continue;
+        std::vector<double> unreachable;
+        for (double value : full.finite_values()) {
+          problem->set_domain(var, solve::Domain::singleton(value));
+          if (solver.satisfiable(*problem).verdict ==
+              solve::Verdict::kUnsat) {
+            unreachable.push_back(value);
+          }
+        }
+        problem->set_domain(var, full);
+        if (unreachable.empty()) continue;
+        constexpr std::size_t kMaxListed = 8;
+        std::string values;
+        for (std::size_t i = 0;
+             i < unreachable.size() && i < kMaxListed; ++i) {
+          if (!values.empty()) values += ", ";
+          values += strings::format("%g", unreachable[i]);
+        }
+        if (unreachable.size() > kMaxListed) {
+          values += strings::format(
+              ", ... %zu more", unreachable.size() - kMaxListed);
+        }
+        sink.report(info(),
+                    "parameter '" + p->name + "' range value(s) {" + values +
+                        "} can appear in no configuration satisfying the "
+                        "constraints; the range can be tightened",
+                    p->location);
       }
     });
   }
@@ -577,6 +703,9 @@ void register_descriptor_rules(Registry& registry) {
   add(std::make_unique<UnknownRoleRule>());
   add(std::make_unique<ConstraintUnsatisfiableRule>());
   add(std::make_unique<ConstraintVacuousRule>());
+  add(std::make_unique<ConstraintEvaluationErrorRule>());
+  add(std::make_unique<ConstraintRedundantRule>());
+  add(std::make_unique<ParamRangeUnreachableRule>());
 }
 
 }  // namespace internal

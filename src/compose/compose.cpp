@@ -6,6 +6,7 @@
 #include "xpdl/cache/cache.h"
 #include "xpdl/obs/metrics.h"
 #include "xpdl/obs/trace.h"
+#include "xpdl/solve/solve.h"
 #include "xpdl/util/strings.h"
 #include "xpdl/util/units.h"
 
@@ -635,9 +636,24 @@ Result<ComposedModel> Composer::compose(const xml::Element& root) {
 // ===========================================================================
 // Configuration enumeration
 
-Result<std::vector<Configuration>> enumerate_configurations(
-    const xml::Element& meta, repository::Repository* repo,
-    const Options& options) {
+namespace {
+
+/// The configurable space of one meta-model, compiled for xpdl::solve:
+/// bound params become singleton variables, open configurable ranges
+/// become finite domains, constraints become tapes. Params with neither
+/// a value nor a range stay out — constraints over them compile to error
+/// nodes and never hold, matching the seed's unresolved-parameter path.
+struct ConfigSpace {
+  ParamScope scope;
+  std::vector<std::size_t> open;       ///< indices into scope.params
+  std::vector<std::int32_t> open_var;  ///< problem variable per open param
+  solve::Problem problem;
+  std::vector<double> point;           ///< eval template, fixed slots set
+};
+
+Result<ConfigSpace> build_config_space(const xml::Element& meta,
+                                       repository::Repository* repo,
+                                       const Options& options) {
   // Flatten inheritance if possible so inherited params/constraints count.
   std::unique_ptr<xml::Element> flattened;
   const xml::Element* source = &meta;
@@ -654,40 +670,79 @@ Result<std::vector<Configuration>> enumerate_configurations(
     source = flattened.get();
   }
 
-  XPDL_ASSIGN_OR_RETURN(ParamScope scope, model::parse_param_scope(*source));
-  std::vector<const Param*> open;
-  std::map<std::string, double, std::less<>> fixed;
-  for (const Param& p : scope.params) {
+  ConfigSpace cs;
+  XPDL_ASSIGN_OR_RETURN(cs.scope, model::parse_param_scope(*source));
+  for (std::size_t i = 0; i < cs.scope.params.size(); ++i) {
+    const Param& p = cs.scope.params[i];
+    if (cs.problem.find_variable(p.name) >= 0) continue;  // first one wins
     if (p.is_bound()) {
-      fixed.emplace(p.name, *p.value_si);
+      cs.problem.add_variable(p.name, solve::Domain::singleton(*p.value_si));
     } else if (p.configurable && !p.range_si.empty()) {
-      open.push_back(&p);
+      cs.open.push_back(i);
+      cs.open_var.push_back(static_cast<std::int32_t>(
+          cs.problem.add_variable(p.name, solve::Domain::values(p.range_si))));
     }
+  }
+  for (const model::Constraint& c : cs.scope.constraints) {
+    cs.problem.add_constraint(c.expression);
+  }
+  cs.point.resize(cs.problem.variables().size(), 0.0);
+  for (std::size_t v = 0; v < cs.problem.variables().size(); ++v) {
+    const solve::Domain& d = cs.problem.domain(v);
+    if (d.is_singleton()) cs.point[v] = d.value();
+  }
+  return cs;
+}
+
+}  // namespace
+
+Result<std::vector<Configuration>> enumerate_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const Options& options) {
+  XPDL_ASSIGN_OR_RETURN(ConfigSpace cs,
+                        build_config_space(meta, repo, options));
+
+  // Narrow the declared domains by interval propagation before
+  // enumerating: values no completion can make valid disappear up front,
+  // so declared spaces far beyond `max_configurations` still enumerate
+  // whenever their constrained core is small enough.
+  solve::Solver solver;
+  solve::Problem pruned = cs.problem;
+  const bool feasible = solver.prune(pruned);
+
+  std::vector<std::vector<double>> domains;  // surviving values, range order
+  std::uint64_t total = feasible ? 1 : 0;
+  for (std::size_t i = 0; i < cs.open.size(); ++i) {
+    const Param& p = cs.scope.params[cs.open[i]];
+    const solve::Domain& d =
+        pruned.domain(static_cast<std::size_t>(cs.open_var[i]));
+    std::vector<double> keep;
+    for (double v : p.range_si) {
+      if (d.contains(v)) keep.push_back(v);
+    }
+    if (total != 0) {
+      total = keep.empty() ? 0
+              : total > UINT64_MAX / keep.size() ? UINT64_MAX
+                                                 : total * keep.size();
+    }
+    domains.push_back(std::move(keep));
+  }
+  if (total == 0) return std::vector<Configuration>{};
+  if (total > options.max_configurations) {
+    return Status(ErrorCode::kConstraintViolation,
+                  "configuration space exceeds the enumeration limit");
   }
 
   std::vector<Configuration> result;
-  std::vector<std::size_t> idx(open.size(), 0);
-  std::size_t tried = 0;
-  if (open.empty()) {
-    // Zero open parameters: the single (possibly empty) configuration is
-    // valid iff all fully bound constraints hold — checked below once.
-  }
+  std::vector<std::size_t> idx(domains.size(), 0);
+  std::vector<double> point = cs.point;
   while (true) {
-    if (++tried > options.max_configurations) {
-      return Status(ErrorCode::kConstraintViolation,
-                    "configuration space exceeds the enumeration limit");
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      point[static_cast<std::size_t>(cs.open_var[i])] = domains[i][idx[i]];
     }
-    auto resolver = [&](std::string_view name) -> Result<double> {
-      for (std::size_t i = 0; i < open.size(); ++i) {
-        if (open[i]->name == name) return open[i]->range_si[idx[i]];
-      }
-      if (auto it = fixed.find(name); it != fixed.end()) return it->second;
-      return Status(ErrorCode::kUnresolvedRef,
-                    "parameter '" + std::string(name) + "' is not bound");
-    };
     bool ok = true;
-    for (const model::Constraint& c : scope.constraints) {
-      auto holds = c.expression.evaluate_bool(resolver);
+    for (std::size_t c = 0; c < cs.problem.constraint_count(); ++c) {
+      auto holds = cs.problem.eval_constraint(c, point);
       if (!holds.is_ok() || !holds.value()) {
         ok = false;
         break;
@@ -695,21 +750,44 @@ Result<std::vector<Configuration>> enumerate_configurations(
     }
     if (ok) {
       Configuration conf;
-      for (std::size_t i = 0; i < open.size(); ++i) {
-        conf.values_si.emplace(open[i]->name, open[i]->range_si[idx[i]]);
+      for (std::size_t i = 0; i < domains.size(); ++i) {
+        conf.values_si.emplace(cs.scope.params[cs.open[i]].name,
+                               domains[i][idx[i]]);
       }
       result.push_back(std::move(conf));
     }
-    if (open.empty()) break;
     std::size_t k = 0;
     while (k < idx.size()) {
-      if (++idx[k] < open[k]->range_si.size()) break;
+      if (++idx[k] < domains[k].size()) break;
       idx[k] = 0;
       ++k;
     }
     if (k == idx.size()) break;
   }
   return result;
+}
+
+Result<std::optional<Configuration>> first_configuration(
+    const xml::Element& meta, repository::Repository* repo,
+    const Options& options) {
+  XPDL_ASSIGN_OR_RETURN(ConfigSpace cs,
+                        build_config_space(meta, repo, options));
+  solve::Solver solver;
+  solve::Outcome out = solver.satisfiable(cs.problem);
+  if (out.verdict == solve::Verdict::kUnsat) {
+    return std::optional<Configuration>{};
+  }
+  if (out.verdict != solve::Verdict::kSat) {
+    return Status(ErrorCode::kUnavailable,
+                  "configuration search exceeded the solver budget");
+  }
+  Configuration conf;
+  for (std::size_t i = 0; i < cs.open.size(); ++i) {
+    conf.values_si.emplace(
+        cs.scope.params[cs.open[i]].name,
+        out.witness[static_cast<std::size_t>(cs.open_var[i])].second);
+  }
+  return std::optional<Configuration>(std::move(conf));
 }
 
 }  // namespace xpdl::compose

@@ -13,6 +13,7 @@
 #include "xpdl/runtime/model.h"
 #include "xpdl/util/io.h"
 #include "xpdl/util/json.h"
+#include "xpdl/util/strings.h"
 #include "xpdl/xml/xml.h"
 
 namespace xpdl::net {
@@ -27,6 +28,8 @@ namespace {
     case ErrorCode::kInvalidArgument:
     case ErrorCode::kParseError:
       return 400;
+    case ErrorCode::kConstraintViolation:
+      return 409;  // e.g. a configuration space beyond the enumeration limit
     case ErrorCode::kUnavailable:
       return 503;
     default:
@@ -236,6 +239,12 @@ Response RepoService::handle(const Request& request) {
       endpoint = "query";
       return handle_query(request);
     }
+    if (constexpr std::string_view kConfigure = "/v1/configure/";
+        path.rfind(kConfigure, 0) == 0) {
+      endpoint = "configure";
+      return handle_configure(
+          request, std::string_view(path).substr(kConfigure.size()));
+    }
     return error_response(404, "no such endpoint: '" + path + "'");
   }();
   record_endpoint(endpoint, response.status,
@@ -354,6 +363,69 @@ Response RepoService::handle_query(const Request& request) {
     results.push_back(std::move(entry));
   }
   body["results"] = std::move(results);
+  Response response;
+  response.body = json::write(body, 2) + "\n";
+  response.set_header("Content-Type", "application/json");
+  return response;
+}
+
+Response RepoService::handle_configure(const Request& request,
+                                       std::string_view ref) {
+  obs::Span span("net.service.configure");
+  XPDL_OBS_COUNT("net.server.configure_requests", 1);
+  auto params = parse_query(request.query());
+  std::string mode = "all";
+  if (auto it = params.find("mode"); it != params.end()) mode = it->second;
+  if (mode != "all" && mode != "first") {
+    return error_response(400, "mode must be 'all' or 'first'");
+  }
+  std::size_t limit = 1000;
+  if (auto it = params.find("limit"); it != params.end()) {
+    auto parsed = strings::parse_double(it->second);
+    if (!parsed.is_ok() || *parsed < 0) {
+      return error_response(400, "limit must be a non-negative number");
+    }
+    limit = static_cast<std::size_t>(*parsed);
+  }
+  // Solving shares the composer (inheritance flattening) with the model
+  // endpoint; serialize with it and shed expired requests first.
+  std::lock_guard<std::mutex> lock(compose_mutex_);
+  if (request.budget.expired()) {
+    return deadline_exceeded_response("waiting to configure '" +
+                                      std::string(ref) + "'");
+  }
+  auto meta = repo_->lookup(ref);
+  if (!meta.is_ok()) return from_status(meta.status());
+
+  json::Value body;
+  body["ref"] = std::string(ref);
+  body["mode"] = mode;
+  auto to_json = [](const compose::Configuration& c) {
+    json::Value v;
+    for (const auto& [name, value] : c.values_si) v[name] = value;
+    return v;
+  };
+  json::Array configurations;
+  if (mode == "first") {
+    auto first = compose::first_configuration(**meta, repo_.get());
+    if (!first.is_ok()) return from_status(first.status());
+    body["satisfiable"] = first->has_value();
+    body["count"] = std::uint64_t{first->has_value() ? 1u : 0u};
+    if (first->has_value()) configurations.push_back(to_json(**first));
+  } else {
+    auto all = compose::enumerate_configurations(**meta, repo_.get());
+    if (!all.is_ok()) return from_status(all.status());
+    body["satisfiable"] = !all->empty();
+    body["count"] = std::uint64_t{all->size()};
+    for (const compose::Configuration& c : *all) {
+      if (configurations.size() >= limit) {
+        body["truncated"] = true;
+        break;
+      }
+      configurations.push_back(to_json(c));
+    }
+  }
+  body["configurations"] = std::move(configurations);
   Response response;
   response.body = json::write(body, 2) + "\n";
   response.set_header("Content-Type", "application/json");

@@ -1,0 +1,1324 @@
+#include "xpdl/solve/solve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "xpdl/obs/metrics.h"
+
+namespace xpdl::solve {
+namespace {
+
+using internal::Op;
+using internal::Tape;
+using internal::TapeNode;
+
+// --- domains --------------------------------------------------------------
+
+std::vector<double> sorted_unique(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+Domain Domain::interval(double lo, double hi) {
+  Domain d;
+  d.finite_ = false;
+  d.bounds_ = lo <= hi ? Interval{lo, hi} : Interval::empty();
+  return d;
+}
+
+Domain Domain::values(std::vector<double> values) {
+  Domain d;
+  d.finite_ = true;
+  d.values_ = sorted_unique(std::move(values));
+  d.bounds_ = d.values_.empty()
+                  ? Interval::empty()
+                  : Interval{d.values_.front(), d.values_.back()};
+  return d;
+}
+
+Domain Domain::singleton(double v) { return values({v}); }
+
+bool Domain::is_empty() const noexcept {
+  return finite_ ? values_.empty() : bounds_.is_empty();
+}
+
+bool Domain::is_singleton() const noexcept {
+  return finite_ ? values_.size() == 1 : bounds_.is_singleton();
+}
+
+double Domain::value() const noexcept {
+  return finite_ ? values_.front() : bounds_.lo;
+}
+
+bool Domain::contains(double v) const noexcept {
+  if (!finite_) return bounds_.contains(v);
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool Domain::restrict_to(Interval iv) {
+  if (!finite_) {
+    Interval narrowed = intersect(bounds_, iv);
+    if (narrowed == bounds_) return false;
+    bounds_ = narrowed;
+    return true;
+  }
+  auto first = std::lower_bound(values_.begin(), values_.end(), iv.lo);
+  auto last = std::upper_bound(first, values_.end(), iv.hi);
+  if (first == values_.begin() && last == values_.end()) return false;
+  values_.assign(first, last);
+  bounds_ = values_.empty() ? Interval::empty()
+                            : Interval{values_.front(), values_.back()};
+  return true;
+}
+
+std::string_view to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kSat: return "sat";
+    case Verdict::kUnsat: return "unsat";
+    case Verdict::kValid: return "valid";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+// --- tape compilation -----------------------------------------------------
+
+namespace {
+
+bool op_may_error(Op op) {
+  switch (op) {
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kSqrt:
+    case Op::kLog2:
+    case Op::kPow:
+    case Op::kError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int32_t emit(Tape& tape, TapeNode node) {
+  if (op_may_error(node.op)) tape.may_error = true;
+  tape.nodes.push_back(std::move(node));
+  return static_cast<std::int32_t>(tape.nodes.size() - 1);
+}
+
+std::int32_t emit_error(Tape& tape, std::string message) {
+  TapeNode n;
+  n.op = Op::kError;
+  n.text = std::move(message);
+  return emit(tape, std::move(n));
+}
+
+std::int32_t compile_node(const expr::Node& n,
+                          const std::vector<SolveVariable>& vars, Tape& tape) {
+  switch (n.kind) {
+    case expr::NodeKind::kNumber: {
+      TapeNode t;
+      t.op = Op::kNumber;
+      t.number = n.number;
+      return emit(tape, std::move(t));
+    }
+    case expr::NodeKind::kVariable: {
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].name == n.symbol) {
+          TapeNode t;
+          t.op = Op::kVariable;
+          t.var = static_cast<std::int32_t>(i);
+          auto idx = static_cast<std::int32_t>(i);
+          if (std::find(tape.vars.begin(), tape.vars.end(), idx) ==
+              tape.vars.end()) {
+            tape.vars.push_back(idx);
+          }
+          return emit(tape, std::move(t));
+        }
+      }
+      return emit_error(tape, "unbound variable " + n.symbol);
+    }
+    case expr::NodeKind::kUnaryOp: {
+      std::int32_t child = compile_node(*n.children[0], vars, tape);
+      TapeNode t;
+      t.op = n.symbol == "-" ? Op::kNegate : Op::kNot;
+      t.kids = {child};
+      return emit(tape, std::move(t));
+    }
+    case expr::NodeKind::kBinaryOp: {
+      std::int32_t a = compile_node(*n.children[0], vars, tape);
+      std::int32_t b = compile_node(*n.children[1], vars, tape);
+      TapeNode t;
+      t.kids = {a, b};
+      if (n.symbol == "+") t.op = Op::kAdd;
+      else if (n.symbol == "-") t.op = Op::kSub;
+      else if (n.symbol == "*") t.op = Op::kMul;
+      else if (n.symbol == "/") t.op = Op::kDiv;
+      else if (n.symbol == "%") t.op = Op::kMod;
+      else if (n.symbol == "==") t.op = Op::kEq;
+      else if (n.symbol == "!=") t.op = Op::kNe;
+      else if (n.symbol == "<") t.op = Op::kLt;
+      else if (n.symbol == "<=") t.op = Op::kLe;
+      else if (n.symbol == ">") t.op = Op::kGt;
+      else if (n.symbol == ">=") t.op = Op::kGe;
+      else if (n.symbol == "&&") t.op = Op::kAnd;
+      else if (n.symbol == "||") t.op = Op::kOr;
+      else return emit_error(tape, "unknown operator " + n.symbol);
+      return emit(tape, std::move(t));
+    }
+    case expr::NodeKind::kCall: {
+      const std::size_t argc = n.children.size();
+      auto fixed_arity = [&](Op op, std::size_t want) -> std::int32_t {
+        if (argc != want) {
+          return emit_error(
+              tape, "function '" + n.symbol + "' expects " +
+                        std::to_string(want) + " argument(s), got " +
+                        std::to_string(argc));
+        }
+        TapeNode t;
+        t.op = op;
+        for (const auto& c : n.children) {
+          t.kids.push_back(compile_node(*c, vars, tape));
+        }
+        return emit(tape, std::move(t));
+      };
+      if (n.symbol == "min" || n.symbol == "max") {
+        if (argc == 0) {
+          return emit_error(tape,
+                            n.symbol + "() requires at least one argument");
+        }
+        TapeNode t;
+        t.op = n.symbol == "min" ? Op::kMin : Op::kMax;
+        for (const auto& c : n.children) {
+          t.kids.push_back(compile_node(*c, vars, tape));
+        }
+        return emit(tape, std::move(t));
+      }
+      if (n.symbol == "abs") return fixed_arity(Op::kAbs, 1);
+      if (n.symbol == "floor") return fixed_arity(Op::kFloor, 1);
+      if (n.symbol == "ceil") return fixed_arity(Op::kCeil, 1);
+      if (n.symbol == "round") return fixed_arity(Op::kRound, 1);
+      if (n.symbol == "sqrt") return fixed_arity(Op::kSqrt, 1);
+      if (n.symbol == "log2") return fixed_arity(Op::kLog2, 1);
+      if (n.symbol == "pow") return fixed_arity(Op::kPow, 2);
+      return emit_error(tape, "unknown function '" + n.symbol + "'");
+    }
+  }
+  return emit_error(tape, "corrupt expression node");
+}
+
+// --- exact evaluation (mirrors expr::eval) --------------------------------
+
+Result<double> eval_exact(const Tape& tape, std::int32_t idx,
+                          const std::vector<double>& values) {
+  const TapeNode& n = tape.nodes[idx];
+  switch (n.op) {
+    case Op::kNumber:
+      return n.number;
+    case Op::kVariable:
+      return values[n.var];
+    case Op::kNegate: {
+      XPDL_ASSIGN_OR_RETURN(double v, eval_exact(tape, n.kids[0], values));
+      return -v;
+    }
+    case Op::kNot: {
+      XPDL_ASSIGN_OR_RETURN(double v, eval_exact(tape, n.kids[0], values));
+      return v == 0.0 ? 1.0 : 0.0;
+    }
+    case Op::kAnd: {
+      XPDL_ASSIGN_OR_RETURN(double a, eval_exact(tape, n.kids[0], values));
+      if (a == 0.0) return 0.0;
+      XPDL_ASSIGN_OR_RETURN(double b, eval_exact(tape, n.kids[1], values));
+      return b != 0.0 ? 1.0 : 0.0;
+    }
+    case Op::kOr: {
+      XPDL_ASSIGN_OR_RETURN(double a, eval_exact(tape, n.kids[0], values));
+      if (a != 0.0) return 1.0;
+      XPDL_ASSIGN_OR_RETURN(double b, eval_exact(tape, n.kids[1], values));
+      return b != 0.0 ? 1.0 : 0.0;
+    }
+    case Op::kError:
+      return Status(n.text.find("unknown function") != std::string::npos
+                        ? ErrorCode::kUnresolvedRef
+                        : n.text.rfind("unbound variable", 0) == 0
+                              ? ErrorCode::kNotFound
+                              : ErrorCode::kParseError,
+                    n.text);
+    default:
+      break;
+  }
+  // Strict operators: evaluate every child first.
+  double args[2] = {0.0, 0.0};
+  double acc = 0.0;
+  if (n.op == Op::kMin || n.op == Op::kMax) {
+    for (std::size_t i = 0; i < n.kids.size(); ++i) {
+      XPDL_ASSIGN_OR_RETURN(double v, eval_exact(tape, n.kids[i], values));
+      if (i == 0) acc = v;
+      else acc = n.op == Op::kMin ? std::min(acc, v) : std::max(acc, v);
+    }
+    return acc;
+  }
+  for (std::size_t i = 0; i < n.kids.size(); ++i) {
+    XPDL_ASSIGN_OR_RETURN(args[i], eval_exact(tape, n.kids[i], values));
+  }
+  const double a = args[0];
+  const double b = args[1];
+  switch (n.op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv:
+      if (b == 0.0) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "division by zero in expression");
+      }
+      return a / b;
+    case Op::kMod:
+      if (b == 0.0) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "modulo by zero in expression");
+      }
+      return std::fmod(a, b);
+    case Op::kEq: return a == b ? 1.0 : 0.0;
+    case Op::kNe: return a != b ? 1.0 : 0.0;
+    case Op::kLt: return a < b ? 1.0 : 0.0;
+    case Op::kLe: return a <= b ? 1.0 : 0.0;
+    case Op::kGt: return a > b ? 1.0 : 0.0;
+    case Op::kGe: return a >= b ? 1.0 : 0.0;
+    case Op::kAbs: return std::fabs(a);
+    case Op::kFloor: return std::floor(a);
+    case Op::kCeil: return std::ceil(a);
+    case Op::kRound: return std::round(a);
+    case Op::kSqrt:
+      if (a < 0) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "sqrt of negative value");
+      }
+      return std::sqrt(a);
+    case Op::kLog2:
+      if (a <= 0) {
+        return Status(ErrorCode::kConstraintViolation,
+                      "log2 of non-positive value");
+      }
+      return std::log2(a);
+    case Op::kPow:
+      return std::pow(a, b);
+    default:
+      return Status(ErrorCode::kInternal, "corrupt tape node");
+  }
+}
+
+// --- forward interval evaluation ------------------------------------------
+
+/// Interval value of a subexpression over a box, plus whether any point
+/// of the box can make its exact evaluation fail.
+struct FwdVal {
+  Interval iv = Interval::empty();
+  bool err = false;
+};
+
+bool definitely_true(const FwdVal& v) {
+  return !v.err && !v.iv.is_empty() && !v.iv.contains(0.0);
+}
+bool definitely_false(const FwdVal& v) {
+  return !v.err && v.iv == Interval::singleton(0.0);
+}
+
+/// Truth of the *defined* values only (error points tracked separately).
+bool val_true(Interval iv) { return !iv.is_empty() && !iv.contains(0.0); }
+bool val_false(Interval iv) { return iv == Interval::singleton(0.0); }
+
+/// Truth interval from a known-boolean outcome.
+Interval bool_iv(bool can_be_false, bool can_be_true) {
+  if (can_be_false && can_be_true) return {0.0, 1.0};
+  if (can_be_true) return Interval::singleton(1.0);
+  if (can_be_false) return Interval::singleton(0.0);
+  return Interval::empty();
+}
+
+void forward_eval(const Tape& tape, const std::vector<Interval>& box,
+                  std::vector<FwdVal>& out) {
+  out.resize(tape.nodes.size());
+  // Children always precede their parent in the tape (post-order emit).
+  for (std::size_t i = 0; i < tape.nodes.size(); ++i) {
+    const TapeNode& n = tape.nodes[i];
+    FwdVal r;
+    auto kid = [&](std::size_t k) -> const FwdVal& { return out[n.kids[k]]; };
+    switch (n.op) {
+      case Op::kNumber:
+        r.iv = Interval::singleton(n.number);
+        break;
+      case Op::kVariable:
+        r.iv = box[n.var];
+        break;
+      case Op::kNegate:
+        r.iv = neg(kid(0).iv);
+        r.err = kid(0).err;
+        break;
+      case Op::kNot: {
+        const FwdVal& c = kid(0);
+        r.err = c.err;
+        if (c.iv.is_empty()) r.iv = Interval::empty();
+        else if (val_false(c.iv)) r.iv = Interval::singleton(1.0);
+        else if (val_true(c.iv)) r.iv = Interval::singleton(0.0);
+        else r.iv = {0.0, 1.0};
+        break;
+      }
+      case Op::kAdd:
+        r.iv = add(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err;
+        break;
+      case Op::kSub:
+        r.iv = sub(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err;
+        break;
+      case Op::kMul:
+        r.iv = mul(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err;
+        break;
+      case Op::kDiv:
+        r.iv = div(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err || kid(1).iv.contains(0.0);
+        break;
+      case Op::kMod:
+        r.iv = mod(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err || kid(1).iv.contains(0.0);
+        break;
+      case Op::kEq: {
+        Interval a = kid(0).iv;
+        Interval b = kid(1).iv;
+        r.err = kid(0).err || kid(1).err;
+        if (a.is_empty() || b.is_empty()) r.iv = Interval::empty();
+        else if (intersect(a, b).is_empty()) r.iv = Interval::singleton(0.0);
+        else if (a.is_singleton() && b.is_singleton() && a.lo == b.lo)
+          r.iv = Interval::singleton(1.0);
+        else r.iv = {0.0, 1.0};
+        break;
+      }
+      case Op::kNe: {
+        Interval a = kid(0).iv;
+        Interval b = kid(1).iv;
+        r.err = kid(0).err || kid(1).err;
+        if (a.is_empty() || b.is_empty()) r.iv = Interval::empty();
+        else if (intersect(a, b).is_empty()) r.iv = Interval::singleton(1.0);
+        else if (a.is_singleton() && b.is_singleton() && a.lo == b.lo)
+          r.iv = Interval::singleton(0.0);
+        else r.iv = {0.0, 1.0};
+        break;
+      }
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        Interval a = kid(0).iv;
+        Interval b = kid(1).iv;
+        if (n.op == Op::kGt || n.op == Op::kGe) std::swap(a, b);
+        const bool strict = n.op == Op::kLt || n.op == Op::kGt;
+        r.err = kid(0).err || kid(1).err;
+        if (a.is_empty() || b.is_empty()) {
+          r.iv = Interval::empty();
+        } else {
+          // Now deciding a < b (strict) or a <= b.
+          const bool always = strict ? a.hi < b.lo : a.hi <= b.lo;
+          const bool never = strict ? a.lo >= b.hi : a.lo > b.hi;
+          r.iv = always ? Interval::singleton(1.0)
+                        : never ? Interval::singleton(0.0)
+                                : Interval{0.0, 1.0};
+        }
+        break;
+      }
+      case Op::kAnd: {
+        // Short-circuit semantics: b runs only where a is defined and
+        // truthy. An empty side means "always errors when evaluated".
+        const FwdVal& a = kid(0);
+        const FwdVal& b = kid(1);
+        if (a.iv.is_empty()) {
+          r.iv = Interval::empty();
+          r.err = true;
+        } else if (val_false(a.iv)) {
+          r.iv = Interval::singleton(0.0);  // b never runs on defined points
+          r.err = a.err;
+        } else {
+          const bool can_true = !b.iv.is_empty() && !val_false(b.iv);
+          const bool can_false =
+              a.iv.contains(0.0) || (!b.iv.is_empty() && b.iv.contains(0.0));
+          r.err = a.err || b.err || b.iv.is_empty();
+          r.iv = bool_iv(can_false, can_true);
+        }
+        break;
+      }
+      case Op::kOr: {
+        const FwdVal& a = kid(0);
+        const FwdVal& b = kid(1);
+        if (a.iv.is_empty()) {
+          r.iv = Interval::empty();
+          r.err = true;
+        } else if (val_true(a.iv)) {
+          r.iv = Interval::singleton(1.0);  // b never runs on defined points
+          r.err = a.err;
+        } else {
+          const bool can_true =
+              !val_false(a.iv) || (!b.iv.is_empty() && !val_false(b.iv));
+          const bool can_false =
+              a.iv.contains(0.0) && !b.iv.is_empty() && b.iv.contains(0.0);
+          r.err = a.err ||
+                  (a.iv.contains(0.0) && (b.err || b.iv.is_empty()));
+          r.iv = bool_iv(can_false, can_true);
+        }
+        break;
+      }
+      case Op::kMin:
+      case Op::kMax: {
+        r = kid(0);
+        for (std::size_t k = 1; k < n.kids.size(); ++k) {
+          r.iv = n.op == Op::kMin ? min(r.iv, kid(k).iv)
+                                  : max(r.iv, kid(k).iv);
+          r.err = r.err || kid(k).err;
+        }
+        break;
+      }
+      case Op::kAbs:
+        r.iv = abs(kid(0).iv);
+        r.err = kid(0).err;
+        break;
+      case Op::kFloor:
+        r.iv = floor(kid(0).iv);
+        r.err = kid(0).err;
+        break;
+      case Op::kCeil:
+        r.iv = ceil(kid(0).iv);
+        r.err = kid(0).err;
+        break;
+      case Op::kRound:
+        r.iv = round(kid(0).iv);
+        r.err = kid(0).err;
+        break;
+      case Op::kSqrt:
+        r.iv = sqrt(kid(0).iv);
+        r.err = kid(0).err || kid(0).iv.lo < 0.0;
+        break;
+      case Op::kLog2:
+        r.iv = log2(kid(0).iv);
+        r.err = kid(0).err || kid(0).iv.lo <= 0.0;
+        break;
+      case Op::kPow:
+        r.iv = pow(kid(0).iv, kid(1).iv);
+        r.err = kid(0).err || kid(1).err || kid(0).iv.lo < 0.0;
+        break;
+      case Op::kError:
+        r.iv = Interval::whole();
+        r.err = true;
+        break;
+    }
+    // Invariant: an empty value set means evaluation cannot succeed there.
+    if (r.iv.is_empty()) r.err = true;
+    out[i] = r;
+  }
+}
+
+// --- backward projection (HC4 revise) -------------------------------------
+//
+// Narrows the box so it keeps every point where the root's *value* meets
+// the requirement. Error points carry no value, so backward projection
+// may prune them; callers only run it in contexts where that is sound
+// (an error point never satisfies a constraint).
+
+struct Reviser {
+  const Tape& tape;
+  const std::vector<FwdVal>& fwd;
+  std::vector<Interval>& box;
+  bool conflict = false;
+
+  void narrow_var(std::int32_t var, Interval req) {
+    Interval n = intersect(box[var], req);
+    if (n.is_empty()) conflict = true;
+    box[var] = n;
+  }
+
+  /// Requires node `idx`'s value to lie in `req`.
+  void narrow_num(std::int32_t idx, Interval req) {
+    if (conflict) return;
+    const TapeNode& n = tape.nodes[idx];
+    Interval cur = intersect(fwd[idx].iv, req);
+    if (cur.is_empty()) {
+      // No defined value of this subtree meets the requirement. Without
+      // possible error points that is a contradiction; with them, the
+      // subtree can still "evaluate" to an error — not a value conflict
+      // we can act on, but any surviving point fails the constraint
+      // anyway, so pruning the box to empty stays sound here.
+      conflict = true;
+      return;
+    }
+    switch (n.op) {
+      case Op::kVariable:
+        narrow_var(n.var, cur);
+        return;
+      case Op::kNegate:
+        narrow_num(n.kids[0], neg(cur));
+        return;
+      case Op::kAdd:
+        narrow_num(n.kids[0], sub(cur, fwd[n.kids[1]].iv));
+        narrow_num(n.kids[1], sub(cur, fwd[n.kids[0]].iv));
+        return;
+      case Op::kSub:
+        narrow_num(n.kids[0], add(cur, fwd[n.kids[1]].iv));
+        narrow_num(n.kids[1], sub(fwd[n.kids[0]].iv, cur));
+        return;
+      case Op::kMul: {
+        Interval a = div(cur, fwd[n.kids[1]].iv);
+        Interval b = div(cur, fwd[n.kids[0]].iv);
+        // Extended division yields the whole line (no information) when
+        // the divisor straddles zero; 0/0 additionally loses the zero
+        // solution, so only narrow through a non-zero-straddling factor.
+        if (!fwd[n.kids[1]].iv.contains(0.0)) narrow_num(n.kids[0], a);
+        if (!fwd[n.kids[0]].iv.contains(0.0)) narrow_num(n.kids[1], b);
+        return;
+      }
+      case Op::kDiv:
+        narrow_num(n.kids[0], mul(cur, fwd[n.kids[1]].iv));
+        if (!cur.contains(0.0)) {
+          narrow_num(n.kids[1], div(fwd[n.kids[0]].iv, cur));
+        }
+        return;
+      case Op::kAbs: {
+        if (cur.hi < 0.0) {
+          conflict = true;
+          return;
+        }
+        Interval pos = intersect(cur, {0.0, cur.hi});
+        narrow_num(n.kids[0], hull(pos, neg(pos)));
+        return;
+      }
+      case Op::kSqrt: {
+        Interval pos = intersect(cur, {0.0, cur.hi});
+        if (pos.is_empty()) {
+          conflict = true;
+          return;
+        }
+        narrow_num(n.kids[0], {pos.lo * pos.lo, pos.hi * pos.hi});
+        return;
+      }
+      case Op::kLog2:
+        narrow_num(n.kids[0], {std::exp2(cur.lo), std::exp2(cur.hi)});
+        return;
+      case Op::kFloor:
+        narrow_num(n.kids[0], {cur.lo, cur.hi + 1.0});
+        return;
+      case Op::kCeil:
+        narrow_num(n.kids[0], {cur.lo - 1.0, cur.hi});
+        return;
+      case Op::kRound:
+        narrow_num(n.kids[0], {cur.lo - 0.5, cur.hi + 0.5});
+        return;
+      case Op::kMin:
+        for (std::int32_t k : n.kids) {
+          narrow_num(k, {cur.lo, std::numeric_limits<double>::infinity()});
+        }
+        return;
+      case Op::kMax:
+        for (std::int32_t k : n.kids) {
+          narrow_num(k, {-std::numeric_limits<double>::infinity(), cur.hi});
+        }
+        return;
+      default:
+        return;  // kNumber (already consistent), kMod, kPow, kError, bools
+    }
+  }
+
+  /// Requires node `idx` to be truthy (`want` = true) or falsy.
+  void require(std::int32_t idx, bool want) {
+    if (conflict) return;
+    const TapeNode& n = tape.nodes[idx];
+    const FwdVal& v = fwd[idx];
+    if (want ? definitely_false(v) : definitely_true(v)) {
+      conflict = true;
+      return;
+    }
+    switch (n.op) {
+      case Op::kNot:
+        require(n.kids[0], !want);
+        return;
+      case Op::kAnd:
+        if (want) {
+          require(n.kids[0], true);
+          require(n.kids[1], true);
+        } else {
+          if (definitely_true(fwd[n.kids[0]])) require(n.kids[1], false);
+          else if (definitely_true(fwd[n.kids[1]])) require(n.kids[0], false);
+        }
+        return;
+      case Op::kOr:
+        if (want) {
+          if (definitely_false(fwd[n.kids[0]])) require(n.kids[1], true);
+          else if (definitely_false(fwd[n.kids[1]])) require(n.kids[0], true);
+        } else {
+          require(n.kids[0], false);
+          require(n.kids[1], false);
+        }
+        return;
+      case Op::kEq:
+      case Op::kNe: {
+        const bool eq = (n.op == Op::kEq) == want;
+        if (eq) {
+          Interval m = intersect(fwd[n.kids[0]].iv, fwd[n.kids[1]].iv);
+          if (m.is_empty()) {
+            conflict = true;
+            return;
+          }
+          narrow_num(n.kids[0], m);
+          narrow_num(n.kids[1], m);
+        }
+        return;  // disequality: an interval cannot exclude one point
+      }
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        std::int32_t a = n.kids[0];
+        std::int32_t b = n.kids[1];
+        bool le = n.op == Op::kLt || n.op == Op::kLe;  // a <(=) b form
+        if (n.op == Op::kGt || n.op == Op::kGe) le = false;
+        bool holds = want;
+        // Normalize to: a <= b must `holds` (strictness is relaxed to the
+        // closed form — sound, just slightly less tight).
+        if (!le) {
+          std::swap(a, b);
+        }
+        const double inf = std::numeric_limits<double>::infinity();
+        if (holds) {
+          narrow_num(a, {-inf, fwd[b].iv.hi});
+          narrow_num(b, {fwd[a].iv.lo, inf});
+        } else {  // a > b (relaxed: a >= b)
+          narrow_num(a, {fwd[b].iv.lo, inf});
+          narrow_num(b, {-inf, fwd[a].iv.hi});
+        }
+        return;
+      }
+      default:
+        // Numeric node used as a boolean: falsy pins it to zero; truthy
+        // cannot be represented as one interval (it would need a hole).
+        if (!want) narrow_num(idx, Interval::singleton(0.0));
+        return;
+    }
+  }
+};
+
+// --- search ---------------------------------------------------------------
+
+constexpr std::size_t kMaxMaskVars = 64;
+constexpr std::size_t kMaxNogoods = 4096;
+constexpr int kMaxPropagationRounds = 64;
+
+enum class Goal : std::uint8_t {
+  kSatisfy,         ///< point where all active constraints hold
+  kCounterexample,  ///< active constraints hold, target false or errors
+  kFindError,       ///< point where target fails to evaluate
+};
+
+struct Search {
+  const Problem& p;
+  const Solver::Options& opt;
+  Goal goal;
+  std::vector<std::uint8_t> active;  ///< per-constraint: propagate + check
+  std::int32_t target = -1;          ///< kCounterexample / kFindError
+  bool target_error_free = false;    ///< target tape has no partial ops
+
+  SolveStats stats;
+  bool out_of_budget = false;
+  bool inexact = false;  ///< a continuous box was abandoned unresolved
+  bool found = false;
+  std::vector<double> found_point;
+  std::string found_error;
+
+  /// Per-variable mask of the decision variables its current domain
+  /// depends on (coarse CBJ explanations; only tracked for <= 64 vars).
+  bool track_masks = false;
+  std::vector<std::uint64_t> deps;
+
+  struct Nogood {
+    std::vector<std::pair<std::int32_t, double>> assignment;  // sorted by var
+  };
+  std::vector<Nogood> nogoods;
+  std::vector<std::pair<std::int32_t, double>> trail;  ///< decisions, in order
+
+  std::vector<FwdVal> fwd_scratch;
+
+  explicit Search(const Problem& problem, const Solver::Options& options,
+                  Goal g)
+      : p(problem), opt(options), goal(g) {
+    active.assign(p.constraint_count(), 1);
+    track_masks = p.variables().size() <= kMaxMaskVars;
+    deps.assign(p.variables().size(), 0);
+  }
+
+  std::uint64_t vars_mask(const std::vector<std::int32_t>& vars) const {
+    std::uint64_t m = 0;
+    if (!track_masks) return ~0ULL;
+    for (std::int32_t v : vars) m |= deps[v];
+    return m;
+  }
+
+  /// One HC4 revision of constraint `c` over `domains`. Returns false on
+  /// conflict; sets `*narrowed` if any domain changed.
+  bool revise(std::size_t c, std::vector<Domain>& domains, bool require_true,
+              bool* narrowed) {
+    const Tape& tape = p.tape(c);
+    std::vector<Interval> box(domains.size());
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      box[i] = domains[i].bounds();
+    }
+    forward_eval(tape, box, fwd_scratch);
+    ++stats.propagations;
+    const FwdVal& root = fwd_scratch[tape.root];
+    if (require_true) {
+      // A point satisfies only with an exact, nonzero value: a root whose
+      // defined values are all zero — or that has none — conflicts even
+      // if some points error instead (errors never satisfy either).
+      if (root.iv.is_empty() || root.iv == Interval::singleton(0.0)) {
+        return false;
+      }
+    } else if (definitely_true(root)) {
+      return false;
+    }
+    Reviser rev{tape, fwd_scratch, box};
+    rev.require(tape.root, require_true);
+    if (rev.conflict) return false;
+    for (std::int32_t v : tape.vars) {
+      if (domains[v].restrict_to(box[v])) {
+        *narrowed = true;
+        if (track_masks) {
+          std::uint64_t m = deps[v];
+          for (std::int32_t u : tape.vars) m |= deps[u];
+          deps[v] = m;
+        }
+        if (domains[v].is_empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Propagation fixpoint over all applicable constraints. Returns the
+  /// conflict mask on failure, 0 on success (`*failed` distinguishes).
+  std::uint64_t propagate(std::vector<Domain>& domains, bool* failed) {
+    *failed = false;
+    for (int round = 0; round < kMaxPropagationRounds; ++round) {
+      bool narrowed = false;
+      for (std::size_t c = 0; c < p.constraint_count(); ++c) {
+        if (!active[c]) continue;
+        if (!revise(c, domains, /*require_true=*/true, &narrowed)) {
+          *failed = true;
+          return vars_mask(p.constraint_variables(c)) |
+                 (track_masks ? 0 : ~0ULL);
+        }
+      }
+      if (goal == Goal::kCounterexample && target_error_free) {
+        // The counterexample point must make the target false; narrowing
+        // by value is sound only when the target cannot error.
+        if (!revise(static_cast<std::size_t>(target), domains,
+                    /*require_true=*/false, &narrowed)) {
+          *failed = true;
+          return vars_mask(p.constraint_variables(target));
+        }
+      }
+      if (!narrowed) break;
+    }
+    return 0;
+  }
+
+  /// Box-level pruning tests specific to the goal. Returns true (and the
+  /// mask) when the box provably contains no goal point.
+  bool prune_box(std::vector<Domain>& domains, std::uint64_t* mask) {
+    if (goal == Goal::kCounterexample || goal == Goal::kFindError) {
+      const Tape& tape = p.tape(target);
+      std::vector<Interval> box(domains.size());
+      for (std::size_t i = 0; i < domains.size(); ++i) {
+        box[i] = domains[i].bounds();
+      }
+      forward_eval(tape, box, fwd_scratch);
+      const FwdVal& root = fwd_scratch[tape.root];
+      if (goal == Goal::kCounterexample) {
+        // Definitely true and error-free everywhere: no counterexample.
+        if (definitely_true(root) && !root.err) {
+          *mask = vars_mask(tape.vars);
+          return true;
+        }
+      } else {
+        if (!root.err) {  // no point of this box can fail to evaluate
+          *mask = vars_mask(tape.vars);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Checks the fully-assigned point. Returns true if it is a goal point
+  /// (search stops); otherwise fills the conflict mask.
+  bool check_leaf(const std::vector<Domain>& domains, std::uint64_t* mask,
+                  bool* leaf_exact) {
+    std::vector<double> point(domains.size());
+    *leaf_exact = true;
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      point[i] = domains[i].is_finite() ? domains[i].value()
+                                        : domains[i].bounds().midpoint();
+      if (!domains[i].is_finite() && !domains[i].bounds().is_singleton()) {
+        *leaf_exact = false;  // midpoint sample of a continuous interval
+      }
+    }
+    auto fail_constraint = [&](std::size_t c) {
+      *mask = vars_mask(p.constraint_variables(c));
+    };
+    if (goal == Goal::kFindError) {
+      auto r = eval_exact(p.tape(target), p.tape(target).root, point);
+      if (!r.is_ok()) {
+        found = true;
+        found_point = std::move(point);
+        found_error = r.status().message();
+        return true;
+      }
+      fail_constraint(target);
+      return false;
+    }
+    for (std::size_t c = 0; c < p.constraint_count(); ++c) {
+      if (!active[c]) continue;
+      auto r = eval_exact(p.tape(c), p.tape(c).root, point);
+      if (!r.is_ok() || *r == 0.0) {
+        fail_constraint(c);
+        return false;
+      }
+    }
+    if (goal == Goal::kCounterexample) {
+      auto r = eval_exact(p.tape(target), p.tape(target).root, point);
+      if (r.is_ok() && *r != 0.0) {
+        fail_constraint(target);
+        return false;
+      }
+      found = true;
+      found_point = std::move(point);
+      if (!r.is_ok()) found_error = r.status().message();
+      return true;
+    }
+    found = true;
+    found_point = std::move(point);
+    return true;
+  }
+
+  std::int32_t pick_branch_variable(const std::vector<Domain>& domains) {
+    std::int32_t best = -1;
+    std::size_t best_size = SIZE_MAX;
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      const Domain& d = domains[i];
+      if (!d.is_finite() || d.size() <= 1) continue;
+      if (d.size() < best_size) {
+        best = static_cast<std::int32_t>(i);
+        best_size = d.size();
+      }
+    }
+    if (best >= 0) return best;
+    double best_width = opt.epsilon;
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      const Domain& d = domains[i];
+      if (d.is_finite()) continue;
+      if (d.bounds().width() > best_width) {
+        best = static_cast<std::int32_t>(i);
+        best_width = d.bounds().width();
+      }
+    }
+    return best;
+  }
+
+  bool matches_nogood(std::int32_t var, double value) {
+    if (nogoods.empty()) return false;
+    // The candidate assignment is the trail plus (var, value); a nogood
+    // matches when it is a subset of that.
+    auto assigned = [&](std::int32_t v, double* out) {
+      if (v == var) {
+        *out = value;
+        return true;
+      }
+      for (const auto& [tv, tval] : trail) {
+        if (tv == v) {
+          *out = tval;
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const Nogood& ng : nogoods) {
+      bool subset = true;
+      for (const auto& [v, val] : ng.assignment) {
+        double cur = 0.0;
+        if (!assigned(v, &cur) || cur != val) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        ++stats.nogood_hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void learn_nogood(std::uint64_t mask, std::int32_t branch_var) {
+    if (!opt.learn_nogoods || !track_masks) return;
+    if (nogoods.size() >= kMaxNogoods) return;
+    Nogood ng;
+    for (const auto& [v, val] : trail) {
+      if (v != branch_var && (mask & (1ULL << v)) != 0) {
+        ng.assignment.emplace_back(v, val);
+      }
+    }
+    if (ng.assignment.empty()) return;
+    ++stats.nogoods;
+    nogoods.push_back(std::move(ng));
+  }
+
+  /// Branch-and-prune. Returns the conflict mask of the subtree (the
+  /// decision variables the failure depends on); 0 with `found` set on
+  /// success; anything with `out_of_budget` on abort.
+  std::uint64_t search(std::vector<Domain> domains) {
+    if (++stats.nodes > opt.max_nodes) {
+      out_of_budget = true;
+      return ~0ULL;
+    }
+    bool failed = false;
+    std::uint64_t mask = propagate(domains, &failed);
+    if (failed) return mask;
+    if (prune_box(domains, &mask)) return mask;
+    const std::int32_t var = pick_branch_variable(domains);
+    if (var < 0) {
+      bool leaf_exact = true;
+      if (check_leaf(domains, &mask, &leaf_exact)) return 0;
+      if (!leaf_exact) inexact = true;
+      return mask;
+    }
+    ++stats.splits;
+    const Domain& d = domains[var];
+    if (!d.is_finite()) {
+      // Bisect a continuous interval; conflicts union, no value nogoods.
+      Interval b = d.bounds();
+      const double mid = b.midpoint();
+      std::uint64_t acc = 0;
+      const std::uint64_t saved = track_masks ? deps[var] : 0;
+      for (int half = 0; half < 2; ++half) {
+        std::vector<Domain> child = domains;
+        child[var] = half == 0 ? Domain::interval(b.lo, mid)
+                               : Domain::interval(mid, b.hi);
+        if (track_masks) deps[var] = saved | (1ULL << var);
+        std::uint64_t m = search(std::move(child));
+        if (found || out_of_budget) return m;
+        acc |= m;
+      }
+      if (track_masks) deps[var] = saved;
+      return acc;
+    }
+    const std::vector<double> values = d.finite_values();
+    std::uint64_t acc = 0;
+    const std::uint64_t bit = track_masks ? 1ULL << var : ~0ULL;
+    std::uint64_t saved_dep = track_masks ? deps[var] : 0;
+    for (double value : values) {
+      if (opt.learn_nogoods && matches_nogood(var, value)) continue;
+      std::vector<Domain> child = domains;
+      child[var] = Domain::singleton(value);
+      if (track_masks) deps[var] = saved_dep | bit;
+      trail.emplace_back(var, value);
+      std::uint64_t m = search(std::move(child));
+      trail.pop_back();
+      if (found || out_of_budget) return m;
+      if (track_masks && (m & bit) == 0) {
+        // The conflict does not involve this decision: every sibling
+        // value fails the same way — backjump past this variable.
+        if (track_masks) deps[var] = saved_dep;
+        return m;
+      }
+      acc |= m;
+    }
+    if (track_masks) deps[var] = saved_dep;
+    acc &= ~bit;
+    learn_nogood(acc | bit, var);
+    return acc;
+  }
+};
+
+std::vector<std::pair<std::string, double>> witness_of(
+    const Problem& p, const std::vector<double>& point) {
+  std::vector<std::pair<std::string, double>> w;
+  w.reserve(point.size());
+  for (std::size_t i = 0; i < point.size(); ++i) {
+    w.emplace_back(p.variables()[i].name, point[i]);
+  }
+  return w;
+}
+
+void record_obs(const SolveStats& stats, Verdict verdict) {
+  XPDL_OBS_COUNT("solve.queries", 1);
+  XPDL_OBS_COUNT("solve.propagations",
+                 static_cast<std::int64_t>(stats.propagations));
+  XPDL_OBS_COUNT("solve.splits", static_cast<std::int64_t>(stats.splits));
+  XPDL_OBS_COUNT("solve.nogoods", static_cast<std::int64_t>(stats.nogoods));
+  XPDL_OBS_COUNT("solve.nogood_hits",
+                 static_cast<std::int64_t>(stats.nogood_hits));
+  switch (verdict) {
+    case Verdict::kSat: XPDL_OBS_COUNT("solve.verdict.sat", 1); break;
+    case Verdict::kUnsat: XPDL_OBS_COUNT("solve.verdict.unsat", 1); break;
+    case Verdict::kValid: XPDL_OBS_COUNT("solve.verdict.valid", 1); break;
+    case Verdict::kUnknown: XPDL_OBS_COUNT("solve.verdict.unknown", 1); break;
+  }
+}
+
+std::vector<Domain> initial_domains(const Problem& p) {
+  std::vector<Domain> domains;
+  domains.reserve(p.variables().size());
+  for (const SolveVariable& v : p.variables()) domains.push_back(v.domain);
+  return domains;
+}
+
+/// One satisfiability run with a constraint activation mask.
+Outcome run_satisfiable(const Problem& p, const Solver::Options& opt,
+                        const std::vector<std::uint8_t>& active_mask) {
+  Search s(p, opt, Goal::kSatisfy);
+  s.active = active_mask;
+  s.search(initial_domains(p));
+  Outcome out;
+  out.stats = s.stats;
+  if (s.found) {
+    out.verdict = Verdict::kSat;
+    out.witness = witness_of(p, s.found_point);
+  } else if (s.out_of_budget || s.inexact) {
+    out.verdict = Verdict::kUnknown;
+  } else {
+    out.verdict = Verdict::kUnsat;
+    for (std::size_t c = 0; c < p.constraint_count(); ++c) {
+      if (active_mask[c]) out.conflict_core.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- Problem --------------------------------------------------------------
+
+std::size_t Problem::add_variable(std::string name, Domain domain) {
+  vars_.push_back(SolveVariable{std::move(name), std::move(domain)});
+  return vars_.size() - 1;
+}
+
+std::int32_t Problem::find_variable(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+std::size_t Problem::add_constraint(const expr::Expression& expression) {
+  Tape tape;
+  tape.source = expression.source();
+  tape.root = compile_node(expression.root(), vars_, tape);
+  std::sort(tape.vars.begin(), tape.vars.end());
+  tapes_.push_back(std::move(tape));
+  return tapes_.size() - 1;
+}
+
+Result<bool> Problem::eval_constraint(std::size_t c,
+                                      const std::vector<double>& values) const {
+  XPDL_ASSIGN_OR_RETURN(double v,
+                        eval_exact(tapes_[c], tapes_[c].root, values));
+  return v != 0.0;
+}
+
+std::uint64_t Problem::space_size() const noexcept {
+  std::uint64_t total = 1;
+  for (const SolveVariable& v : vars_) {
+    if (!v.domain.is_finite()) return kHugeSpace;
+    const auto n = static_cast<std::uint64_t>(v.domain.size());
+    if (n == 0) return 0;
+    if (total > kHugeSpace / n) return kHugeSpace;
+    total *= n;
+  }
+  return total;
+}
+
+Result<Problem> Problem::from_scope(const model::ParamScope& scope) {
+  Problem p;
+  for (const model::Param& param : scope.params) {
+    if (p.find_variable(param.name) >= 0) continue;  // first one wins
+    if (param.is_bound()) {
+      p.add_variable(param.name, Domain::singleton(*param.value_si));
+    } else if (!param.range_si.empty()) {
+      p.add_variable(param.name, Domain::values(param.range_si));
+    }
+    // Params with neither a value nor a range stay out: constraints over
+    // them are undecidable in this scope.
+  }
+  for (const model::Constraint& c : scope.constraints) {
+    for (const std::string& name : c.expression.variables()) {
+      if (p.find_variable(name) < 0) {
+        return Status(ErrorCode::kUnresolvedRef,
+                      "constraint '" + c.expression.source() +
+                          "' references parameter '" + name +
+                          "' which has no value or range in this scope");
+      }
+    }
+    p.add_constraint(c.expression);
+  }
+  return p;
+}
+
+// --- Solver ---------------------------------------------------------------
+
+Outcome Solver::satisfiable(const Problem& problem) const {
+  std::vector<std::uint8_t> all(problem.constraint_count(), 1);
+  Outcome out = run_satisfiable(problem, options_, all);
+  if (out.verdict == Verdict::kUnsat && options_.minimize_core &&
+      problem.constraint_count() > 1 &&
+      problem.constraint_count() <= kMaxMaskVars) {
+    // Deletion-based core minimization: drop each constraint in turn and
+    // keep it dropped while the rest stays (provably) UNSAT.
+    std::vector<std::uint8_t> mask = all;
+    for (std::size_t c = 0; c < problem.constraint_count(); ++c) {
+      mask[c] = 0;
+      Outcome sub = run_satisfiable(problem, options_, mask);
+      out.stats.propagations += sub.stats.propagations;
+      out.stats.splits += sub.stats.splits;
+      out.stats.nodes += sub.stats.nodes;
+      if (sub.verdict != Verdict::kUnsat) mask[c] = 1;  // needed in the core
+    }
+    out.conflict_core.clear();
+    for (std::size_t c = 0; c < problem.constraint_count(); ++c) {
+      if (mask[c]) out.conflict_core.push_back(c);
+    }
+  }
+  record_obs(out.stats, out.verdict);
+  return out;
+}
+
+Outcome Solver::implied(const Problem& problem, std::size_t target) const {
+  Search s(problem, options_, Goal::kCounterexample);
+  s.active[target] = 0;
+  s.target = static_cast<std::int32_t>(target);
+  s.target_error_free = !problem.constraint_may_error(target);
+  s.search(initial_domains(problem));
+  Outcome out;
+  out.stats = s.stats;
+  if (s.found) {
+    out.verdict = Verdict::kSat;
+    out.witness = witness_of(problem, s.found_point);
+    out.witness_error = s.found_error;
+  } else if (s.out_of_budget || s.inexact) {
+    out.verdict = Verdict::kUnknown;
+  } else {
+    out.verdict = Verdict::kValid;
+  }
+  record_obs(out.stats, out.verdict);
+  return out;
+}
+
+Outcome Solver::find_evaluation_error(const Problem& problem,
+                                      std::size_t target) const {
+  Outcome out;
+  if (!problem.constraint_may_error(target)) {
+    out.verdict = Verdict::kUnsat;  // no partial operation anywhere
+    record_obs(out.stats, out.verdict);
+    return out;
+  }
+  Search s(problem, options_, Goal::kFindError);
+  s.active.assign(problem.constraint_count(), 0);  // no assumptions
+  s.target = static_cast<std::int32_t>(target);
+  s.search(initial_domains(problem));
+  out.stats = s.stats;
+  if (s.found) {
+    out.verdict = Verdict::kSat;
+    out.witness = witness_of(problem, s.found_point);
+    out.witness_error = s.found_error;
+  } else if (s.out_of_budget || s.inexact) {
+    out.verdict = Verdict::kUnknown;
+  } else {
+    out.verdict = Verdict::kUnsat;
+  }
+  record_obs(out.stats, out.verdict);
+  return out;
+}
+
+bool Solver::prune(Problem& problem) const {
+  Search s(problem, options_, Goal::kSatisfy);
+  std::vector<Domain> domains = initial_domains(problem);
+  bool failed = false;
+  s.propagate(domains, &failed);
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    problem.set_domain(i, domains[i]);
+  }
+  XPDL_OBS_COUNT("solve.queries", 1);
+  XPDL_OBS_COUNT("solve.propagations",
+                 static_cast<std::int64_t>(s.stats.propagations));
+  return !failed;
+}
+
+// --- brute force oracle ---------------------------------------------------
+
+namespace {
+
+BruteForceReport brute_force_impl(const Problem& p,
+                                  const std::vector<std::size_t>& targets) {
+  BruteForceReport report;
+  const std::size_t n = p.variables().size();
+  std::uint64_t total = 1;
+  for (const SolveVariable& v : p.variables()) {
+    if (!v.domain.is_finite() || v.domain.size() == 0) return report;
+    total *= v.domain.size();
+  }
+  std::vector<double> point(n);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::uint64_t rest = i;
+    for (std::size_t d = 0; d < n; ++d) {
+      const auto& values = p.variables()[d].domain.finite_values();
+      point[d] = values[rest % values.size()];
+      rest /= values.size();
+    }
+    ++report.points;
+    bool all_true = true;
+    bool errored = false;
+    std::string error;
+    for (std::size_t c : targets) {
+      auto r = p.eval_constraint(c, point);
+      if (!r.is_ok()) {
+        errored = true;
+        all_true = false;
+        error = r.status().message();
+        break;
+      }
+      if (!*r) {
+        all_true = false;
+        break;
+      }
+    }
+    if (errored) {
+      ++report.errored;
+      if (report.first_error.empty()) {
+        report.first_error = error;
+        report.first_error_point = witness_of(p, point);
+      }
+    }
+    if (all_true) ++report.satisfied;
+  }
+  return report;
+}
+
+}  // namespace
+
+BruteForceReport brute_force(const Problem& problem) {
+  std::vector<std::size_t> all(problem.constraint_count());
+  for (std::size_t c = 0; c < all.size(); ++c) all[c] = c;
+  return brute_force_impl(problem, all);
+}
+
+BruteForceReport brute_force(const Problem& problem, std::size_t target) {
+  return brute_force_impl(problem, {target});
+}
+
+}  // namespace xpdl::solve

@@ -10,6 +10,7 @@
 // Usage:
 //   xpdlc --repo DIR [--repo DIR]... (--model REF | --file PATH)
 //         [--out FILE.xpdlrt] [--bootstrap] [--drivers DIR]
+//         [--configurations[=all|first]]
 //         [--print-xml] [--quiet] [--stats] [--trace FILE.json]
 //         [--strict] [--keep-going] [--fault-plan SPEC]
 //
@@ -36,6 +37,7 @@
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
 #include "xpdl/util/io.h"
+#include "xpdl/util/strings.h"
 #include "xpdl/views/views.h"
 #include "xpdl/xml/xml.h"
 
@@ -50,6 +52,7 @@ struct Args {
   std::string drivers_dir;
   std::string dot_out;
   std::string uml_out;
+  std::string configurations;  ///< "", "all" or "first"
   bool bootstrap = false;
   bool analyze = false;
   bool print_xml = false;
@@ -63,6 +66,7 @@ void usage() {
       "             [--out FILE.xpdlrt] [--bootstrap] [--analyze]\n"
       "             [--drivers DIR]\n"
       "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
+      "             [--configurations[=all|first]]\n"
       "             [--quiet] [--stats] [--trace FILE.json]\n"
       "             [--strict] [--keep-going] [--fault-plan SPEC]\n"
       "             [--no-cache] [--cache-dir DIR] [--jobs N]\n",
@@ -117,6 +121,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) { usage(); return 2; }
       args.uml_out = v;
+    } else if (a == "--configurations" || a == "--configurations=all") {
+      args.configurations = "all";
+    } else if (a == "--configurations=first") {
+      args.configurations = "first";
     } else if (a == "--bootstrap") {
       args.bootstrap = true;
     } else if (a == "--analyze") {
@@ -200,6 +208,41 @@ int main(int argc, char** argv) {
     if (!loaded.is_ok()) return fail(loaded.status());
     ref = std::string(loaded.value()->attribute_or(
         "id", loaded.value()->attribute_or("name", "")));
+  }
+
+  if (!args.configurations.empty()) {
+    // Configuration-space mode: solve the declared parameter space of the
+    // referenced meta-model instead of composing it. `first` searches for
+    // one witness (branch-and-prune, no enumeration); `all` enumerates the
+    // propagation-pruned space.
+    auto meta = repo.lookup(ref);
+    if (!meta.is_ok()) return fail(meta.status());
+    auto print_configuration = [](const xpdl::compose::Configuration& c) {
+      std::string line;
+      for (const auto& [name, value] : c.values_si) {
+        if (!line.empty()) line += ", ";
+        line += name + " = " + xpdl::strings::format("%g", value);
+      }
+      std::printf("  %s\n", line.c_str());
+    };
+    if (args.configurations == "first") {
+      auto first = xpdl::compose::first_configuration(**meta, &repo);
+      if (!first.is_ok()) return fail(first.status());
+      if (!first->has_value()) {
+        std::printf("xpdlc: '%s' has no valid configuration\n", ref.c_str());
+      } else {
+        std::printf("xpdlc: first valid configuration of '%s':\n",
+                    ref.c_str());
+        print_configuration(**first);
+      }
+      return 0;
+    }
+    auto configs = xpdl::compose::enumerate_configurations(**meta, &repo);
+    if (!configs.is_ok()) return fail(configs.status());
+    std::printf("xpdlc: '%s' has %zu valid configuration(s)\n", ref.c_str(),
+                configs->size());
+    for (const auto& c : *configs) print_configuration(c);
+    return 0;
   }
 
   xpdl::compose::Composer composer(repo);

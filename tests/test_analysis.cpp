@@ -54,15 +54,17 @@ Report analyze_fixture_repo(Options options = {}) {
 TEST(Registry, BuiltInRulesAreRegisteredAndSorted) {
   const char* expected[] = {
       "bandwidth-downgrade",      "compose-error",
+      "constraint-evaluation-error", "constraint-redundant",
       "constraint-unsatisfiable", "constraint-vacuous",
       "duplicate-sibling-id",     "energy-table-non-monotone",
       "extends-cycle",            "extends-diamond",
       "extends-unit-conflict",    "fsm-domain-unknown",
       "fsm-not-strongly-connected", "group-without-prefix",
-      "missing-unit",             "placeholder-without-mb",
-      "power-sanity",             "quarantined-file",
-      "unit-dimension-mismatch",  "unknown-role",
-      "unreferenced-meta",        "unresolved-type",
+      "missing-unit",             "param-range-unreachable",
+      "placeholder-without-mb",   "power-sanity",
+      "quarantined-file",         "unit-dimension-mismatch",
+      "unknown-role",             "unreferenced-meta",
+      "unresolved-type",
   };
   std::vector<const AnalysisRule*> rules = Registry::instance().rules();
   ASSERT_EQ(rules.size(), std::size(expected));
@@ -206,6 +208,119 @@ TEST(Constraints, UnsatisfiableIsErrorVacuousIsNote) {
   EXPECT_FALSE(has_rule(open, "constraint-vacuous"));
 }
 
+TEST(Constraints, SolverDecidesSpacesBeyondTheEnumerationCap) {
+  // 40^4 = 2,560,000 configurations — the seed enumerator bailed out at
+  // 2^16 and stayed silent; the solver returns definite verdicts.
+  std::string range = "1";
+  for (int i = 2; i <= 40; ++i) range += ", " + std::to_string(i);
+  std::string params;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    params += "<param name=\"" + std::string(name) +
+              "\" configurable=\"true\" type=\"integer\" range=\"" + range +
+              "\"/>";
+  }
+  auto unsat = analyze_text(
+      "<cpu name=\"c\">" + params +
+      R"(<constraints><constraint expr="a + b + c + d &gt; 1000"/></constraints></cpu>)");
+  const Finding* f = find_rule(unsat, "constraint-unsatisfiable");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("2560000 configuration(s)"), std::string::npos)
+      << f->message;
+
+  auto vacuous = analyze_text(
+      "<cpu name=\"c\">" + params +
+      R"(<constraints><constraint expr="a + b + c + d &lt; 1000"/></constraints></cpu>)");
+  const Finding* v = find_rule(vacuous, "constraint-vacuous");
+  ASSERT_NE(v, nullptr);
+  EXPECT_NE(v->message.find("2560000 configuration(s)"), std::string::npos)
+      << v->message;
+}
+
+TEST(Constraints, RedundantConstraintIsReportedOnce) {
+  auto report = analyze_text(R"(
+    <cpu name="c">
+      <param name="a" configurable="true" type="integer" range="1, 2, 3, 4"/>
+      <param name="b" configurable="true" type="integer" range="1, 2, 3, 4"/>
+      <constraints>
+        <constraint expr="a + b &lt;= 5"/>
+        <constraint expr="a + b &lt; 7"/>
+      </constraints>
+    </cpu>)");
+  const Finding* f = find_rule(report, "constraint-redundant");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_NE(f->message.find("a + b < 7"), std::string::npos) << f->message;
+  // The restricting constraint itself is not redundant.
+  std::size_t count = 0;
+  for (const Finding& g : report) {
+    if (g.rule == "constraint-redundant") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  // Vacuous constraints are reported as vacuous, not redundant.
+  auto vac = analyze_text(R"(
+    <cpu name="c">
+      <param name="a" configurable="true" type="integer" range="1, 2"/>
+      <constraints>
+        <constraint expr="a &lt;= 1"/>
+        <constraint expr="a &gt; 0"/>
+      </constraints>
+    </cpu>)");
+  EXPECT_FALSE(has_rule(vac, "constraint-redundant"));
+  EXPECT_TRUE(has_rule(vac, "constraint-vacuous"));
+}
+
+TEST(Constraints, UnreachableRangeValuesAreWarned) {
+  auto report = analyze_text(R"(
+    <cpu name="c">
+      <const name="total" size="64" unit="KB"/>
+      <param name="l1" configurable="true" type="msize"
+             range="16, 32, 48, 96" unit="KB"/>
+      <param name="sp" configurable="true" type="msize"
+             range="16, 32, 48" unit="KB"/>
+      <constraints><constraint expr="l1 + sp == total"/></constraints>
+    </cpu>)");
+  const Finding* f = find_rule(report, "param-range-unreachable");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_NE(f->message.find("'l1'"), std::string::npos) << f->message;
+  // Only l1 has an unreachable value; sp is fully reachable.
+  std::size_t count = 0;
+  for (const Finding& g : report) {
+    if (g.rule == "param-range-unreachable") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  // A fully-reachable scope (the Kepler pattern) stays silent.
+  auto kepler = analyze_text(R"(
+    <cpu name="c">
+      <const name="total" size="64" unit="KB"/>
+      <param name="l1" configurable="true" type="msize"
+             range="16, 32, 48" unit="KB"/>
+      <param name="sp" configurable="true" type="msize"
+             range="16, 32, 48" unit="KB"/>
+      <constraints><constraint expr="l1 + sp == total"/></constraints>
+    </cpu>)");
+  EXPECT_FALSE(has_rule(kepler, "param-range-unreachable"));
+}
+
+TEST(Constraints, EvaluationErrorPointsAreSurfacedNotSwallowed) {
+  auto report = analyze_text(R"(
+    <cpu name="c">
+      <const name="total" size="64" unit="KB"/>
+      <param name="d" configurable="true" type="integer" range="0, 2"/>
+      <constraints><constraint expr="total / d &gt; 0"/></constraints>
+    </cpu>)");
+  const Finding* f = find_rule(report, "constraint-evaluation-error");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_NE(f->message.find("division by zero"), std::string::npos)
+      << f->message;
+  EXPECT_NE(f->message.find("d = 0"), std::string::npos) << f->message;
+  // The error point never satisfies the constraint, but d = 2 does:
+  // neither unsatisfiable nor vacuous.
+  EXPECT_FALSE(has_rule(report, "constraint-unsatisfiable"));
+  EXPECT_FALSE(has_rule(report, "constraint-vacuous"));
+}
+
 TEST(UnknownRole, CaseInsensitiveWithHelpfulMessage) {
   for (const char* role : {"master", "Master", "WORKER", "Hybrid"}) {
     auto ok = analyze_text("<cpu name=\"c\" role=\"" + std::string(role) +
@@ -224,13 +339,17 @@ TEST(UnknownRole, CaseInsensitiveWithHelpfulMessage) {
 TEST(FixtureRepo, EveryNewPassHasAFailingFixture) {
   Report report = analyze_fixture_repo();
   for (const char* rule :
-       {"constraint-unsatisfiable", "constraint-vacuous", "extends-cycle",
+       {"constraint-unsatisfiable", "constraint-vacuous",
+        "constraint-redundant", "constraint-evaluation-error",
+        "param-range-unreachable", "extends-cycle",
         "extends-diamond", "extends-unit-conflict", "bandwidth-downgrade",
         "power-sanity", "energy-table-non-monotone"}) {
     EXPECT_TRUE(has_rule(report.findings, rule)) << rule;
   }
   EXPECT_EQ(report.count(Severity::kError), 4u);
-  EXPECT_EQ(report.count(Severity::kWarning), 3u);
+  // big_space.xpdl (3 params with pruned tails) + unreachable.xpdl (l1)
+  // + diverror.xpdl (d = 0) on top of the three seed warnings.
+  EXPECT_EQ(report.count(Severity::kWarning), 8u);
   EXPECT_GT(report.models_composed, 0u);
 }
 

@@ -241,6 +241,82 @@ TEST(Enumerate, UnsatisfiableYieldsEmpty) {
   EXPECT_TRUE(configs->empty());
 }
 
+namespace {
+
+/// A declared space of `per_dim`^3 points whose valid core is the simplex
+/// a + b + c <= `cap` (values 0..per_dim-1 per axis).
+std::string big_space_text(int per_dim, int cap) {
+  std::string range = "0";
+  for (int i = 1; i < per_dim; ++i) range += ", " + std::to_string(i);
+  std::string text = "<device name=\"D\">";
+  for (const char* name : {"a", "b", "c"}) {
+    text += "<param name=\"" + std::string(name) +
+            "\" configurable=\"true\" type=\"integer\" range=\"" + range +
+            "\"/>";
+  }
+  text += "<constraints><constraint expr=\"a + b + c &lt;= " +
+          std::to_string(cap) + "\"/></constraints></device>";
+  return text;
+}
+
+}  // namespace
+
+TEST(Enumerate, SolverPruningEnumeratesSpacesBeyondTheRawLimit) {
+  // 256^3 = 16,777,216 declared points — 16x the default enumeration
+  // limit. Propagation narrows each axis to 0..10 before enumeration, so
+  // the call succeeds and yields exactly the simplex points.
+  auto doc = xml::parse(big_space_text(256, 10));
+  ASSERT_TRUE(doc.is_ok());
+  auto configs = enumerate_configurations(*doc.value().root, nullptr);
+  ASSERT_TRUE(configs.is_ok()) << configs.status().to_string();
+  // |{a,b,c >= 0, a+b+c <= 10}| = C(13,3) = 286.
+  EXPECT_EQ(configs->size(), 286u);
+  for (const Configuration& c : *configs) {
+    EXPECT_LE(c.values_si.at("a") + c.values_si.at("b") + c.values_si.at("c"),
+              10.0);
+  }
+
+  // The same declared space with a loose constraint still overflows: the
+  // valid core itself is bigger than the limit.
+  auto loose = xml::parse(big_space_text(256, 3 * 255));
+  ASSERT_TRUE(loose.is_ok());
+  auto too_big = enumerate_configurations(*loose.value().root, nullptr);
+  ASSERT_FALSE(too_big.is_ok());
+  EXPECT_EQ(too_big.status().code(), ErrorCode::kConstraintViolation);
+}
+
+TEST(FirstConfiguration, FindsAWitnessWithoutEnumerating) {
+  // 4096^3 points: enumeration is hopeless, search is immediate.
+  auto doc = xml::parse(big_space_text(4096, 100));
+  ASSERT_TRUE(doc.is_ok());
+  auto first = first_configuration(*doc.value().root, nullptr);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  ASSERT_TRUE(first->has_value());
+  const Configuration& c = **first;
+  EXPECT_LE(c.values_si.at("a") + c.values_si.at("b") + c.values_si.at("c"),
+            100.0);
+
+  auto unsat_doc = xml::parse(R"(
+    <device name="D">
+      <param name="a" configurable="true" range="1, 2"/>
+      <constraints><constraint expr="a > 10"/></constraints>
+    </device>)");
+  auto none = first_configuration(*unsat_doc.value().root, nullptr);
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(FirstConfiguration, KeplerWitnessSatisfiesThePartitionConstraint) {
+  auto meta = shipped_repo().lookup("Nvidia_Kepler");
+  ASSERT_TRUE(meta.is_ok());
+  auto first = first_configuration(**meta, &shipped_repo());
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_DOUBLE_EQ((*first)->values_si.at("L1size") +
+                       (*first)->values_si.at("shmsize"),
+                   64000.0);
+}
+
 TEST(Substitution, UnboundStructuralParameterFailsByDefault) {
   auto result = compose_text(R"(
     <cpu id="c">

@@ -424,6 +424,65 @@ TEST(Server, QueryEndpointSelectsNodes) {
   EXPECT_GE(body->find("count")->as_number(), 1.0);
 }
 
+TEST(Server, ConfigureEndpointSolvesParameterSpaces) {
+  TempDir repo;
+  write_demo_repo(repo);
+  repo.write("net_meta.xpdl", R"(<?xml version="1.0"?>
+<device name="net_meta">
+  <const name="total" size="64" unit="KB"/>
+  <param name="l1" configurable="true" type="msize"
+         range="16, 32, 48" unit="KB"/>
+  <param name="sp" configurable="true" type="msize"
+         range="16, 32, 48" unit="KB"/>
+  <constraints><constraint expr="l1 + sp == total"/></constraints>
+</device>
+)");
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  auto all = client.get(served->base_url + "/v1/configure/net_meta");
+  ASSERT_TRUE(all.is_ok()) << all.status().to_string();
+  ASSERT_EQ(all->status, 200) << all->body;
+  auto body = json::parse(all->body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("count")->as_number(), 3.0);
+  EXPECT_TRUE(body->find("satisfiable")->as_bool());
+  ASSERT_EQ(body->find("configurations")->as_array().size(), 3u);
+  for (const json::Value& c : body->find("configurations")->as_array()) {
+    EXPECT_DOUBLE_EQ(
+        c.find("l1")->as_number() + c.find("sp")->as_number(), 64000.0);
+  }
+
+  auto first =
+      client.get(served->base_url + "/v1/configure/net_meta?mode=first");
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_EQ(first->status, 200) << first->body;
+  body = json::parse(first->body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("count")->as_number(), 1.0);
+  ASSERT_EQ(body->find("configurations")->as_array().size(), 1u);
+
+  auto limited =
+      client.get(served->base_url + "/v1/configure/net_meta?limit=1");
+  ASSERT_TRUE(limited.is_ok());
+  ASSERT_EQ(limited->status, 200);
+  body = json::parse(limited->body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("count")->as_number(), 3.0);  // full count reported
+  EXPECT_EQ(body->find("configurations")->as_array().size(), 1u);
+  EXPECT_TRUE(body->find("truncated")->as_bool());
+
+  auto missing = client.get(served->base_url + "/v1/configure/no_such");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto bad_mode =
+      client.get(served->base_url + "/v1/configure/net_meta?mode=banana");
+  ASSERT_TRUE(bad_mode.is_ok());
+  EXPECT_EQ(bad_mode->status, 400);
+}
+
 TEST(Server, MetricsExposesRequestCountsAndLatency) {
   TempDir repo;
   write_demo_repo(repo);

@@ -1,0 +1,500 @@
+// Tests for xpdl::solve: interval arithmetic, domains, tape compilation
+// fidelity to the exact expr evaluator, HC4 propagation, branch-and-prune
+// search (SAT/UNSAT/VALID with witnesses and minimized cores), evaluation
+// error discovery, and a seeded property test asserting verdict equality
+// with brute-force enumeration on random small parameter scopes
+// (XPDL_SOLVE_PROPERTY_CASES overrides the case count).
+#include "xpdl/solve/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "xpdl/model/ir.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::solve {
+namespace {
+
+expr::Expression parse(std::string_view text) {
+  auto e = expr::Expression::parse(text);
+  EXPECT_TRUE(e.is_ok()) << (e.is_ok() ? "" : e.status().to_string());
+  return std::move(*e);
+}
+
+Problem make_problem(
+    std::vector<std::pair<std::string, Domain>> vars,
+    const std::vector<std::string>& constraints) {
+  Problem p;
+  for (auto& [name, domain] : vars) {
+    p.add_variable(std::move(name), std::move(domain));
+  }
+  for (const std::string& c : constraints) p.add_constraint(parse(c));
+  return p;
+}
+
+double witness_value(const Outcome& out, std::string_view name) {
+  for (const auto& [n, v] : out.witness) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "no witness value for " << name;
+  return 0.0;
+}
+
+// --- intervals ------------------------------------------------------------
+
+TEST(Interval, ArithmeticHulls) {
+  Interval a{1.0, 2.0};
+  Interval b{-3.0, 4.0};
+  EXPECT_EQ(add(a, b), (Interval{-2.0, 6.0}));
+  EXPECT_EQ(sub(a, b), (Interval{-3.0, 5.0}));
+  EXPECT_EQ(mul(a, b), (Interval{-6.0, 8.0}));
+  EXPECT_EQ(neg(a), (Interval{-2.0, -1.0}));
+  EXPECT_EQ(abs(Interval{-3.0, 2.0}), (Interval{0.0, 3.0}));
+}
+
+TEST(Interval, ExtendedDivision) {
+  // Divisor excludes zero: ordinary quotient hull.
+  EXPECT_EQ(div(Interval{6.0, 12.0}, Interval{2.0, 3.0}),
+            (Interval{2.0, 6.0}));
+  // Divisor straddles zero: no information.
+  EXPECT_EQ(div(Interval{1.0, 2.0}, Interval{-1.0, 1.0}), Interval::whole());
+  // Divisor is exactly {0}: no defined quotient at all.
+  EXPECT_TRUE(div(Interval{1.0, 2.0}, Interval::singleton(0.0)).is_empty());
+}
+
+TEST(Interval, EmptinessPropagates) {
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_TRUE(add(Interval::empty(), Interval{0.0, 1.0}).is_empty());
+  EXPECT_TRUE(intersect(Interval{0.0, 1.0}, Interval{2.0, 3.0}).is_empty());
+  EXPECT_EQ(hull(Interval::empty(), Interval{1.0, 2.0}), (Interval{1.0, 2.0}));
+}
+
+// --- domains --------------------------------------------------------------
+
+TEST(Domain, FiniteValuesAreSortedUnique) {
+  Domain d = Domain::values({48.0, 16.0, 32.0, 16.0});
+  EXPECT_TRUE(d.is_finite());
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.finite_values(), (std::vector<double>{16.0, 32.0, 48.0}));
+  EXPECT_EQ(d.bounds(), (Interval{16.0, 48.0}));
+  EXPECT_TRUE(d.contains(32.0));
+  EXPECT_FALSE(d.contains(20.0));
+}
+
+TEST(Domain, RestrictFiltersFiniteSets) {
+  Domain d = Domain::values({1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(d.restrict_to(Interval{1.5, 3.5}));
+  EXPECT_EQ(d.finite_values(), (std::vector<double>{2.0, 3.0}));
+  EXPECT_FALSE(d.restrict_to(Interval{0.0, 10.0}));  // no change
+  EXPECT_TRUE(d.restrict_to(Interval{5.0, 6.0}));
+  EXPECT_TRUE(d.is_empty());
+}
+
+TEST(Domain, ContinuousIntervalNarrowing) {
+  Domain d = Domain::interval(0.0, 10.0);
+  EXPECT_FALSE(d.is_finite());
+  EXPECT_TRUE(d.restrict_to(Interval{4.0, 20.0}));
+  EXPECT_EQ(d.bounds(), (Interval{4.0, 10.0}));
+}
+
+// --- exact tape evaluation fidelity ---------------------------------------
+
+TEST(Tape, ExactEvalMatchesExpressionEvaluator) {
+  const char* cases[] = {
+      "a + b * 2 - -c",      "a / b",
+      "a % b",               "min(a, b, c) <= max(a, b)",
+      "abs(a - b) > 1",      "floor(a / 2) == ceil(b / 2)",
+      "sqrt(a) < 3",         "log2(b) >= 1",
+      "pow(a, 2) != b",      "a > 1 && b < 4 || !c",
+      "round(a) == a",
+  };
+  const double values[][3] = {
+      {2.0, 4.0, 1.0}, {0.0, 3.0, -2.0}, {5.0, 2.0, 0.0}, {-1.0, 1.0, 7.0}};
+  for (const char* text : cases) {
+    expr::Expression e = parse(text);
+    Problem p;
+    p.add_variable("a", Domain::interval(-10, 10));
+    p.add_variable("b", Domain::interval(-10, 10));
+    p.add_variable("c", Domain::interval(-10, 10));
+    std::size_t c = p.add_constraint(e);
+    for (const double* v : values) {
+      std::vector<double> point{v[0], v[1], v[2]};
+      auto expected = e.evaluate_bool([&](std::string_view name) -> Result<double> {
+        if (name == "a") return v[0];
+        if (name == "b") return v[1];
+        return v[2];
+      });
+      auto got = p.eval_constraint(c, point);
+      ASSERT_EQ(expected.is_ok(), got.is_ok()) << text;
+      if (expected.is_ok()) {
+        EXPECT_EQ(*expected, *got) << text;
+      } else {
+        EXPECT_EQ(expected.status().message(), got.status().message()) << text;
+      }
+    }
+  }
+}
+
+TEST(Tape, ShortCircuitSkipsErrors) {
+  // The && short-circuits before the division errors, exactly like the
+  // expr evaluator; a strict tape evaluation would report the error.
+  Problem p;
+  p.add_variable("x", Domain::values({0.0, 1.0}));
+  std::size_t c = p.add_constraint(parse("x == 0 || 1 / x > 0"));
+  auto at0 = p.eval_constraint(c, {0.0});
+  ASSERT_TRUE(at0.is_ok());
+  EXPECT_TRUE(*at0);
+  auto at1 = p.eval_constraint(c, {1.0});
+  ASSERT_TRUE(at1.is_ok());
+  EXPECT_TRUE(*at1);
+}
+
+TEST(Tape, UnknownFunctionsCompileToErrors) {
+  Problem p;
+  p.add_variable("x", Domain::values({1.0}));
+  std::size_t c = p.add_constraint(parse("frob(x) > 0"));
+  EXPECT_TRUE(p.constraint_may_error(c));
+  auto r = p.eval_constraint(c, {1.0});
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnresolvedRef);
+}
+
+// --- solver: finite domains -----------------------------------------------
+
+TEST(Solver, KeplerStyleSplitIsSat) {
+  Problem p = make_problem(
+      {{"L1size", Domain::values({16000, 32000, 48000})},
+       {"shmsize", Domain::values({16000, 32000, 48000})},
+       {"total", Domain::singleton(64000)}},
+      {"L1size + shmsize == total"});
+  Outcome out = Solver().satisfiable(p);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(out, "L1size") + witness_value(out, "shmsize"),
+            64000.0);
+}
+
+TEST(Solver, UnsatWithMinimizedCore) {
+  Problem p = make_problem({{"a", Domain::values({1.0, 2.0, 3.0})},
+                            {"b", Domain::values({1.0, 2.0})}},
+                           {"a == 1", "a == 2", "b >= 1"});
+  Outcome out = Solver().satisfiable(p);
+  ASSERT_EQ(out.verdict, Verdict::kUnsat);
+  // b >= 1 is satisfiable on its own and must be minimized away.
+  EXPECT_EQ(out.conflict_core, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Solver, PropagationAlonePrunesBigSpaces) {
+  // 128^3 ≈ 2M points; interval propagation must decide without search.
+  std::vector<double> big;
+  for (int i = 0; i < 128; ++i) big.push_back(i);
+  Solver::Options opts;
+  opts.max_nodes = 64;  // tiny budget: enumeration would blow through it
+  Problem unsat = make_problem({{"a", Domain::values(big)},
+                                {"b", Domain::values(big)},
+                                {"c", Domain::values(big)}},
+                               {"a + b + c > 1000"});
+  EXPECT_EQ(Solver(opts).satisfiable(unsat).verdict, Verdict::kUnsat);
+  Problem valid = make_problem({{"a", Domain::values(big)},
+                                {"b", Domain::values(big)},
+                                {"c", Domain::values(big)}},
+                               {"a + b + c < 1000"});
+  EXPECT_EQ(Solver(opts).implied(valid, 0).verdict, Verdict::kValid);
+}
+
+TEST(Solver, ImpliedFindsCounterexample) {
+  Problem p = make_problem({{"n", Domain::values({1, 2, 4, 6, 8})}},
+                           {"n <= 4", "n < 8"});
+  Solver solver;
+  // n < 8 is implied by n <= 4 ...
+  EXPECT_EQ(solver.implied(p, 1).verdict, Verdict::kValid);
+  // ... but not the other way around: n = 6 satisfies n < 8 only.
+  Outcome out = solver.implied(p, 0);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(out, "n"), 6.0);
+  EXPECT_TRUE(out.witness_error.empty());
+}
+
+TEST(Solver, ErrorPointRefutesValidity) {
+  // 1/x > 0 is true at every point where it evaluates, but errors at
+  // x = 0 — an error point never satisfies, so the constraint is not
+  // vacuously true over {0, 1}.
+  Problem p = make_problem({{"x", Domain::values({0.0, 1.0})}},
+                           {"1 / x > 0"});
+  Solver solver;
+  Outcome sat = solver.satisfiable(p);
+  ASSERT_EQ(sat.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(sat, "x"), 1.0);
+  Outcome implied = solver.implied(p, 0);
+  ASSERT_EQ(implied.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(implied, "x"), 0.0);
+  EXPECT_EQ(implied.witness_error, "division by zero in expression");
+}
+
+TEST(Solver, FindEvaluationError) {
+  Problem p = make_problem({{"a", Domain::values({1, 2, 3, 4})},
+                            {"b", Domain::values({1, 2, 3, 4})}},
+                           {"10 / (a - b) > 0"});
+  Outcome out = Solver().find_evaluation_error(p, 0);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(out, "a"), witness_value(out, "b"));
+  EXPECT_EQ(out.witness_error, "division by zero in expression");
+
+  Problem clean = make_problem({{"a", Domain::values({1, 2, 3, 4})}},
+                               {"a + 1 > 0"});
+  EXPECT_EQ(Solver().find_evaluation_error(clean, 0).verdict, Verdict::kUnsat);
+
+  Problem never = make_problem({{"a", Domain::values({1, 2, 3, 4})}},
+                               {"10 / (a + 1) > 0"});
+  EXPECT_EQ(Solver().find_evaluation_error(never, 0).verdict, Verdict::kUnsat);
+}
+
+TEST(Solver, PruneNarrowsDomainsInPlace) {
+  Problem p = make_problem({{"a", Domain::values({0, 5, 10, 20, 40})},
+                            {"b", Domain::values({0, 5, 10, 20, 40})}},
+                           {"a + b <= 10"});
+  EXPECT_TRUE(Solver().prune(p));
+  EXPECT_EQ(p.domain(0).finite_values(), (std::vector<double>{0, 5, 10}));
+  EXPECT_EQ(p.domain(1).finite_values(), (std::vector<double>{0, 5, 10}));
+
+  Problem empty = make_problem({{"a", Domain::values({0, 1})}}, {"a > 5"});
+  EXPECT_FALSE(Solver().prune(empty));
+}
+
+TEST(Solver, NoConstraintsIsTriviallySat) {
+  Problem p = make_problem({{"a", Domain::values({3.0, 7.0})}}, {});
+  Outcome out = Solver().satisfiable(p);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  EXPECT_EQ(witness_value(out, "a"), 3.0);
+}
+
+TEST(Solver, ConstantConstraints) {
+  Problem t = make_problem({}, {"1 < 2"});
+  EXPECT_EQ(Solver().satisfiable(t).verdict, Verdict::kSat);
+  EXPECT_EQ(Solver().implied(t, 0).verdict, Verdict::kValid);
+  Problem f = make_problem({}, {"1 > 2"});
+  EXPECT_EQ(Solver().satisfiable(f).verdict, Verdict::kUnsat);
+  EXPECT_EQ(Solver().implied(f, 0).verdict, Verdict::kSat);  // counterexample
+}
+
+TEST(Solver, StatsAreReported) {
+  Problem p = make_problem({{"a", Domain::values({1, 2, 3, 4, 5})},
+                            {"b", Domain::values({1, 2, 3, 4, 5})}},
+                           {"a + b == 7", "a - b == 1"});
+  Outcome out = Solver().satisfiable(p);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  EXPECT_GT(out.stats.propagations, 0u);
+  EXPECT_GT(out.stats.nodes, 0u);
+}
+
+// --- solver: continuous domains -------------------------------------------
+
+TEST(Solver, ContinuousIntervalSat) {
+  Problem p = make_problem({{"x", Domain::interval(0.0, 10.0)}},
+                           {"x >= 2 && x <= 3"});
+  Outcome out = Solver().satisfiable(p);
+  ASSERT_EQ(out.verdict, Verdict::kSat);
+  double x = witness_value(out, "x");
+  EXPECT_GE(x, 2.0);
+  EXPECT_LE(x, 3.0);
+}
+
+TEST(Solver, ContinuousValidByForwardEvaluation) {
+  Problem p = make_problem({{"x", Domain::interval(0.0, 1e9)}}, {"x >= 0"});
+  Solver::Options opts;
+  opts.max_nodes = 16;
+  EXPECT_EQ(Solver(opts).implied(p, 0).verdict, Verdict::kValid);
+}
+
+TEST(Solver, ContinuousUnsatByPropagation) {
+  Problem p = make_problem({{"x", Domain::interval(0.0, 5.0)}}, {"x > 7"});
+  EXPECT_EQ(Solver().satisfiable(p).verdict, Verdict::kUnsat);
+}
+
+TEST(Solver, BudgetExhaustionIsUnknown) {
+  std::vector<double> big;
+  for (int i = 0; i < 64; ++i) big.push_back(i);
+  // Parity-style constraint that propagation cannot tighten: search has
+  // to enumerate, and a 2-node budget cannot finish.
+  Problem p = make_problem({{"a", Domain::values(big)},
+                            {"b", Domain::values(big)},
+                            {"c", Domain::values(big)}},
+                           {"(a + b + c) % 61 == 60"});
+  Solver::Options opts;
+  opts.max_nodes = 2;
+  EXPECT_EQ(Solver(opts).satisfiable(p).verdict, Verdict::kUnknown);
+}
+
+// --- from_scope -----------------------------------------------------------
+
+model::ParamScope parse_scope(std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  EXPECT_TRUE(doc.is_ok());
+  auto scope = model::parse_param_scope(*doc.value().root);
+  EXPECT_TRUE(scope.is_ok())
+      << (scope.is_ok() ? "" : scope.status().to_string());
+  return std::move(*scope);
+}
+
+TEST(FromScope, BuildsDomainsFromParamsAndConsts) {
+  model::ParamScope scope = parse_scope(R"(
+    <core name="m">
+      <const name="total" value="64" unit="KB" type="msize"/>
+      <param name="l1" type="msize" unit="KB" range="16, 32, 48" configurable="true"/>
+      <constraints>
+        <constraint expr="l1 &lt; total"/>
+      </constraints>
+    </core>)");
+  auto p = Problem::from_scope(scope);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p->variables().size(), 2u);
+  EXPECT_EQ(p->constraint_count(), 1u);
+  EXPECT_EQ(p->space_size(), 3u);
+  EXPECT_EQ(Solver().satisfiable(*p).verdict, Verdict::kSat);
+}
+
+TEST(FromScope, UnresolvableConstraintFails) {
+  model::ParamScope scope = parse_scope(R"(
+    <core name="m">
+      <param name="l1" type="msize" range="16, 32" configurable="true"/>
+      <constraints>
+        <constraint expr="l1 + inherited &lt; 64"/>
+      </constraints>
+    </core>)");
+  auto p = Problem::from_scope(scope);
+  ASSERT_FALSE(p.is_ok());
+  EXPECT_EQ(p.status().code(), ErrorCode::kUnresolvedRef);
+}
+
+// --- property test: solver vs brute force ---------------------------------
+
+class PropertyRng {
+ public:
+  explicit PropertyRng(std::uint32_t seed) : gen_(seed) {}
+
+  int uniform(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(gen_);
+  }
+  double value() { return uniform(-3, 5); }
+
+  std::string term(const std::vector<std::string>& names) {
+    switch (uniform(0, 5)) {
+      case 0: return std::to_string(uniform(-3, 5));
+      case 1: case 2: case 3:
+        return names[uniform(0, static_cast<int>(names.size()) - 1)];
+      case 4:
+        return names[uniform(0, static_cast<int>(names.size()) - 1)] + " + " +
+               std::to_string(uniform(0, 3));
+      default:
+        // Division keeps error points in play.
+        return std::to_string(uniform(1, 6)) + " / " +
+               names[uniform(0, static_cast<int>(names.size()) - 1)];
+    }
+  }
+
+  std::string comparison(const std::vector<std::string>& names) {
+    static const char* ops[] = {"==", "!=", "<", "<=", ">", ">="};
+    return term(names) + " " + ops[uniform(0, 5)] + " " + term(names);
+  }
+
+  std::string constraint(const std::vector<std::string>& names) {
+    std::string c = comparison(names);
+    while (uniform(0, 2) == 0) {
+      c += uniform(0, 1) == 0 ? " && " : " || ";
+      c += comparison(names);
+    }
+    return c;
+  }
+
+ private:
+  std::mt19937 gen_;
+};
+
+TEST(Property, SolverAgreesWithBruteForce) {
+  int cases = 200;
+  if (const char* env = std::getenv("XPDL_SOLVE_PROPERTY_CASES")) {
+    cases = std::atoi(env);
+  }
+  std::mt19937 seeder(20150813);  // paper's conference year, fixed seed
+  for (int i = 0; i < cases; ++i) {
+    PropertyRng rng(seeder());
+    const int nvars = rng.uniform(1, 4);
+    std::vector<std::string> names;
+    Problem p;
+    for (int v = 0; v < nvars; ++v) {
+      names.push_back(std::string(1, static_cast<char>('a' + v)));
+      if (rng.uniform(0, 3) == 0) {
+        p.add_variable(names.back(), Domain::singleton(rng.value()));
+      } else {
+        const int n = rng.uniform(1, 4);
+        std::vector<double> values;
+        for (int k = 0; k < n; ++k) values.push_back(rng.value());
+        p.add_variable(names.back(), Domain::values(std::move(values)));
+      }
+    }
+    const int ncons = rng.uniform(1, 3);
+    std::vector<std::string> sources;
+    for (int c = 0; c < ncons; ++c) {
+      sources.push_back(rng.constraint(names));
+      p.add_constraint(parse(sources.back()));
+    }
+    SCOPED_TRACE("case " + std::to_string(i) + ": " +
+                 [&] {
+                   std::string all;
+                   for (const auto& s : sources) all += "[" + s + "] ";
+                   for (const auto& v : p.variables()) {
+                     all += v.name + "={";
+                     for (double d : v.domain.finite_values()) {
+                       all += std::to_string(d) + ",";
+                     }
+                     all += "} ";
+                   }
+                   return all;
+                 }());
+
+    Solver solver;
+    // Conjunction satisfiability vs exhaustive enumeration.
+    BruteForceReport all = brute_force(p);
+    Outcome sat = solver.satisfiable(p);
+    ASSERT_NE(sat.verdict, Verdict::kUnknown);
+    EXPECT_EQ(sat.verdict == Verdict::kSat, all.satisfied > 0);
+    if (sat.verdict == Verdict::kSat) {
+      // The witness must check out under exact evaluation.
+      std::vector<double> point;
+      for (const auto& [name, value] : sat.witness) point.push_back(value);
+      for (std::size_t c = 0; c < p.constraint_count(); ++c) {
+        auto ok = p.eval_constraint(c, point);
+        ASSERT_TRUE(ok.is_ok());
+        EXPECT_TRUE(*ok);
+      }
+    }
+    // Per-constraint SAT/VALID verdicts.
+    for (std::size_t c = 0; c < p.constraint_count(); ++c) {
+      Problem single;
+      for (const auto& v : p.variables()) {
+        single.add_variable(v.name, v.domain);
+      }
+      single.add_constraint(parse(sources[c]));
+      BruteForceReport one = brute_force(single, 0);
+      Outcome csat = solver.satisfiable(single);
+      ASSERT_NE(csat.verdict, Verdict::kUnknown);
+      EXPECT_EQ(csat.verdict == Verdict::kSat, one.satisfied > 0);
+      Outcome cvalid = solver.implied(single, 0);
+      ASSERT_NE(cvalid.verdict, Verdict::kUnknown);
+      EXPECT_EQ(cvalid.verdict == Verdict::kValid,
+                one.satisfied == one.points)
+          << "satisfied " << one.satisfied << " of " << one.points;
+      // Error discovery agrees with enumeration too.
+      Outcome err = solver.find_evaluation_error(single, 0);
+      ASSERT_NE(err.verdict, Verdict::kUnknown);
+      EXPECT_EQ(err.verdict == Verdict::kSat, one.errored > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpdl::solve
