@@ -79,12 +79,18 @@ struct Interval {
 
 [[nodiscard]] inline Interval add(Interval a, Interval b) noexcept {
   if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {a.lo + b.lo, a.hi + b.hi};
+  Interval r{a.lo + b.lo, a.hi + b.hi};
+  // inf + -inf at a bound (e.g. adding opposite overflow hulls): no
+  // information, but keep the no-NaN representation invariant.
+  if (std::isnan(r.lo) || std::isnan(r.hi)) return Interval::whole();
+  return r;
 }
 
 [[nodiscard]] inline Interval sub(Interval a, Interval b) noexcept {
   if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {a.lo - b.hi, a.hi - b.lo};
+  Interval r{a.lo - b.hi, a.hi - b.lo};
+  if (std::isnan(r.lo) || std::isnan(r.hi)) return Interval::whole();
+  return r;
 }
 
 [[nodiscard]] inline Interval mul(Interval a, Interval b) noexcept {

@@ -597,7 +597,8 @@ class ConstraintRedundantRule final : public internal::RuleBase {
       if (!scope.is_ok() || scope->constraints.size() < 2) return;
       auto problem = solve::Problem::from_scope(*scope);
       if (!problem.is_ok()) return;  // undecidable (unbound parameter)
-      solve::Solver solver;
+      // Verdict-only queries: no caller reads the conflict core here.
+      solve::Solver solver(solve::Solver::Options{.minimize_core = false});
       // In an unsatisfiable scope every constraint is (vacuously) implied
       // by the rest; constraint-unsatisfiable reports that louder.
       if (solver.satisfiable(*problem).verdict != solve::Verdict::kSat) return;
@@ -641,7 +642,9 @@ class ParamRangeUnreachableRule final : public internal::RuleBase {
       if (!scope.is_ok() || scope->constraints.empty()) return;
       auto problem = solve::Problem::from_scope(*scope);
       if (!problem.is_ok()) return;  // undecidable (unbound parameter)
-      solve::Solver solver;
+      // Verdict-only queries: core minimization would re-solve each
+      // UNSAT sub-space once per constraint for a core nobody reads.
+      solve::Solver solver(solve::Solver::Options{.minimize_core = false});
       // If the whole space is unsatisfiable every value is "unreachable";
       // constraint-unsatisfiable already reports that louder.
       if (solver.satisfiable(*problem).verdict != solve::Verdict::kSat) return;

@@ -772,7 +772,9 @@ Result<std::optional<Configuration>> first_configuration(
     const Options& options) {
   XPDL_ASSIGN_OR_RETURN(ConfigSpace cs,
                         build_config_space(meta, repo, options));
-  solve::Solver solver;
+  // Only the verdict/witness is consumed: skip deletion-based core
+  // minimization, which re-solves the UNSAT space once per constraint.
+  solve::Solver solver(solve::Solver::Options{.minimize_core = false});
   solve::Outcome out = solver.satisfiable(cs.problem);
   if (out.verdict == solve::Verdict::kUnsat) {
     return std::optional<Configuration>{};

@@ -1,5 +1,7 @@
 #include "xpdl/net/repo_service.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "xpdl/cache/cache.h"
@@ -381,11 +383,13 @@ Response RepoService::handle_configure(const Request& request,
   }
   std::size_t limit = 1000;
   if (auto it = params.find("limit"); it != params.end()) {
-    auto parsed = strings::parse_double(it->second);
-    if (!parsed.is_ok() || *parsed < 0) {
-      return error_response(400, "limit must be a non-negative number");
+    auto parsed = strings::parse_uint(it->second);
+    if (!parsed.is_ok()) {
+      return error_response(400, "limit must be a non-negative integer");
     }
-    limit = static_cast<std::size_t>(*parsed);
+    constexpr std::uint64_t kMaxLimit =
+        std::numeric_limits<std::size_t>::max();
+    limit = static_cast<std::size_t>(std::min(*parsed, kMaxLimit));
   }
   // Solving shares the composer (inheritance flattening) with the model
   // endpoint; serialize with it and shed expired requests first.

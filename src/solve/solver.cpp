@@ -930,7 +930,13 @@ struct Search {
     return best;
   }
 
-  bool matches_nogood(std::int32_t var, double value) {
+  /// Returns true when a stored nogood is a subset of the trail plus
+  /// (var, value); `*mask_out` then holds the decision variables the
+  /// refutation depends on — every variable of the matched nogood's
+  /// assignment plus its dependency set — so the caller can charge the
+  /// skipped value to the ancestors the nogood was learned from.
+  bool matches_nogood(std::int32_t var, double value,
+                      std::uint64_t* mask_out) {
     if (nogoods.empty()) return false;
     // The candidate assignment is the trail plus (var, value); a nogood
     // matches when it is a subset of that.
@@ -958,6 +964,13 @@ struct Search {
       }
       if (subset) {
         ++stats.nogood_hits;
+        // Nogoods only exist when track_masks, so every assignment
+        // variable fits in the mask and is on the trail (or is `var`).
+        std::uint64_t m = 0;
+        for (const auto& [v, val] : ng.assignment) {
+          m |= (1ULL << v) | deps[v];
+        }
+        *mask_out = m;
         return true;
       }
     }
@@ -985,6 +998,14 @@ struct Search {
     if (++stats.nodes > opt.max_nodes) {
       out_of_budget = true;
       return ~0ULL;
+    }
+    // An empty domain (possible only via Problem::add_variable with an
+    // empty value set — propagation and branching never produce one) is
+    // an immediate conflict; without this check pick_branch_variable
+    // would treat it as assigned and check_leaf would read a value from
+    // an empty vector.
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      if (domains[i].is_empty()) return track_masks ? deps[i] : ~0ULL;
     }
     bool failed = false;
     std::uint64_t mask = propagate(domains, &failed);
@@ -1022,7 +1043,16 @@ struct Search {
     const std::uint64_t bit = track_masks ? 1ULL << var : ~0ULL;
     std::uint64_t saved_dep = track_masks ? deps[var] : 0;
     for (double value : values) {
-      if (opt.learn_nogoods && matches_nogood(var, value)) continue;
+      if (opt.learn_nogoods) {
+        std::uint64_t skip_mask = 0;
+        if (matches_nogood(var, value, &skip_mask)) {
+          // The skip is a refutation that depends on the nogood's
+          // ancestor decisions: without them in `acc` the backjump
+          // below could leap past a decision this subtree relied on.
+          acc |= skip_mask;
+          continue;
+        }
+      }
       std::vector<Domain> child = domains;
       child[var] = Domain::singleton(value);
       if (track_masks) deps[var] = saved_dep | bit;
