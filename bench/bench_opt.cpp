@@ -1,0 +1,221 @@
+// E20 — Optimization over the runtime model (xpdl::opt, Sec. V): the
+// compile-once/query-many DVFS engine against the shipped E5-2630L
+// power model, branch-and-bound vs the exhaustive oracle, and
+// branch-and-bound configuration ranking on a declared space the
+// enumerator could not touch. The single-query DVFS rate is the number
+// the batch service story rests on (>= 1000 queries/s, gated by
+// bench/baselines/BENCH_opt.json).
+#include <benchmark/benchmark.h>
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "json_report.h"
+#include "xpdl/model/power.h"
+#include "xpdl/opt/engine.h"
+#include "xpdl/opt/opt.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/xml/xml.h"
+
+namespace {
+
+using xpdl::opt::Backend;
+using xpdl::opt::Choice;
+using xpdl::opt::Combine;
+using xpdl::opt::DvfsQuery;
+using xpdl::opt::Engine;
+using xpdl::opt::Optimizer;
+using xpdl::opt::Problem;
+
+xpdl::expr::Expression parse(const char* text) {
+  auto e = xpdl::expr::Expression::parse(text);
+  assert(e.is_ok());
+  return std::move(e).value();
+}
+
+xpdl::model::PowerModel e5_power_model() {
+  auto doc = xpdl::xml::parse_file(std::string(XPDL_MODELS_DIR) +
+                                   "/power/power_model_E5_2630L.xpdl");
+  assert(doc.is_ok());
+  auto pm = xpdl::model::PowerModel::parse(*doc.value().root);
+  assert(pm.is_ok());
+  return *std::move(pm);
+}
+
+// Compilation cost paid once per model: parsing the state machines and
+// deriving the per-state rate tables. Amortized over every query below.
+void BM_EngineCompile(benchmark::State& state) {
+  xpdl::model::PowerModel pm = e5_power_model();
+  for (auto _ : state) {
+    auto engine = Engine::from_power_model(pm);
+    if (!engine.is_ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(engine);
+  }
+}
+BENCHMARK(BM_EngineCompile)->Unit(benchmark::kMicrosecond);
+
+// The headline number: one deadline-constrained minimum-energy DVFS
+// query against the compiled engine (4 governed core domains x 4
+// runnable P-states). The batch service promises >= 1000 of these per
+// second; the baseline gate holds the line.
+void BM_DvfsSingleQuery(benchmark::State& state) {
+  auto engine = Engine::from_power_model(e5_power_model());
+  assert(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  query.deadline_s = 0.6;  // forces P3 on every core
+  for (auto _ : state) {
+    auto plan = engine->minimize_energy(query);
+    if (!plan.is_ok() || !plan->feasible) {
+      state.SkipWithError("expected a feasible plan");
+    }
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["queries_per_s"] =
+      benchmark::Counter(1, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DvfsSingleQuery)->Unit(benchmark::kMicrosecond);
+
+// Unconstrained query: no deadline limit means the bound prunes almost
+// everything after the first (slowest-state) incumbent.
+void BM_DvfsUnconstrainedQuery(benchmark::State& state) {
+  auto engine = Engine::from_power_model(e5_power_model());
+  assert(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  for (auto _ : state) {
+    auto plan = engine->minimize_energy(query);
+    if (!plan.is_ok() || !plan->feasible) {
+      state.SkipWithError("expected a feasible plan");
+    }
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_DvfsUnconstrainedQuery)->Unit(benchmark::kMicrosecond);
+
+// Full energy/makespan Pareto front of one query (the four uniform
+// state assignments on the E5 model).
+void BM_DvfsParetoFront(benchmark::State& state) {
+  auto engine = Engine::from_power_model(e5_power_model());
+  assert(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  for (auto _ : state) {
+    auto front = engine->pareto(query);
+    if (!front.is_ok() || front->size() != 4) {
+      state.SkipWithError("expected a 4-point front");
+    }
+    benchmark::DoNotOptimize(front);
+  }
+}
+BENCHMARK(BM_DvfsParetoFront)->Unit(benchmark::kMicrosecond);
+
+/// `dims` variables with `per_dim` integer-valued choices, an additive
+/// cost table that rewards high indices cheaply, and one coupling
+/// constraint — enough structure for the bound to bite.
+Problem synthetic_problem(int dims, int per_dim) {
+  Problem p;
+  std::vector<std::vector<double>> terms;
+  for (int v = 0; v < dims; ++v) {
+    std::vector<Choice> choices;
+    std::vector<double> row;
+    for (int c = 0; c < per_dim; ++c) {
+      choices.push_back({"c" + std::to_string(c), static_cast<double>(c)});
+      // Distinct per-variable cost landscape; minimum away from 0.
+      row.push_back(static_cast<double>((c * (v + 3)) % per_dim) + 0.25 * c);
+    }
+    p.add_variable("x" + std::to_string(v), std::move(choices));
+    terms.push_back(std::move(row));
+  }
+  auto obj = p.add_table_objective("cost", Combine::kSum, std::move(terms));
+  assert(obj.is_ok());
+  std::string sum = "x0";
+  for (int v = 1; v < dims; ++v) sum += " + x" + std::to_string(v);
+  auto c = p.add_constraint(parse((sum + " >= 4").c_str()));
+  assert(c.is_ok());
+  return p;
+}
+
+// Branch-and-bound on a 12^6 (~3M point) space: bound + propagation
+// pruning visit a tiny fraction of it.
+void BM_BranchAndBound12pow6(benchmark::State& state) {
+  Problem p = synthetic_problem(6, 12);
+  Optimizer optimizer;
+  for (auto _ : state) {
+    auto out = optimizer.minimize(p, 0);
+    if (!out.is_ok() || !out->best.has_value()) {
+      state.SkipWithError("expected an optimum");
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BranchAndBound12pow6)->Unit(benchmark::kMicrosecond);
+
+// The exhaustive oracle on a space small enough for it (12^4 = 20736
+// points): what every query would cost without the pruning engines.
+void BM_Exhaustive12pow4(benchmark::State& state) {
+  Problem p = synthetic_problem(4, 12);
+  Optimizer optimizer(
+      {.backend = Backend::kExhaustive, .max_nodes = 4'000'000});
+  for (auto _ : state) {
+    auto out = optimizer.minimize(p, 0);
+    if (!out.is_ok() || !out->best.has_value()) {
+      state.SkipWithError("expected an optimum");
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["points"] = 12.0 * 12.0 * 12.0 * 12.0;
+}
+BENCHMARK(BM_Exhaustive12pow4)->Unit(benchmark::kMicrosecond);
+
+// Branch-and-bound on the same small space, for the apples-to-apples
+// backend ratio.
+void BM_BranchAndBound12pow4(benchmark::State& state) {
+  Problem p = synthetic_problem(4, 12);
+  Optimizer optimizer;
+  for (auto _ : state) {
+    auto out = optimizer.minimize(p, 0);
+    if (!out.is_ok() || !out->best.has_value()) {
+      state.SkipWithError("expected an optimum");
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BranchAndBound12pow4)->Unit(benchmark::kMicrosecond);
+
+// Best-N configuration ranking over a declared 64^3 parameter space
+// through the meta-model path (`--configurations=best`, `mode=best`):
+// branch-and-bound never enumerates the 262,144 declared points.
+void BM_RankConfigurations64pow3(benchmark::State& state) {
+  std::string range = "1";
+  for (int i = 2; i <= 64; ++i) range += ", " + std::to_string(i);
+  std::string text = "<device name=\"D\">";
+  for (const char* name : {"a", "b", "c"}) {
+    text += "<param name=\"" + std::string(name) +
+            "\" configurable=\"true\" type=\"integer\" range=\"" + range +
+            "\"/>";
+  }
+  text +=
+      "<constraints><constraint expr=\"a * b &lt;= 256\"/>"
+      "</constraints></device>";
+  auto doc = xpdl::xml::parse(text);
+  assert(doc.is_ok());
+  xpdl::expr::Expression objective = parse("c / (a * b)");
+  for (auto _ : state) {
+    auto ranked = xpdl::opt::rank_configurations(*doc.value().root, nullptr,
+                                                 objective, 3);
+    if (!ranked.is_ok() || ranked->size() != 3) {
+      state.SkipWithError("expected 3 ranked configurations");
+    }
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_RankConfigurations64pow3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== E20: optimization over the runtime model ==\n");
+  return xpdl::benchjson::run_with_json_report(argc, argv, "opt");
+}

@@ -4,13 +4,19 @@
 //
 //   $ ./energy_tuning
 //
-// For a batch of jobs with different deadlines, the planner consults the
-// E5-2630L power state machine (states, powers, transition overheads)
-// and prints the chosen schedule next to naive race-to-idle.
+// The E5-2630L power state machine (states, powers) is compiled once
+// into an `xpdl::opt::Engine`; every job in the batch then becomes one
+// optimization query: minimum-energy P-state per core domain subject to
+// the job's deadline, printed next to naive race-to-idle (run everything
+// in the fastest state). The energy/makespan Pareto front shows the
+// whole trade-off curve the per-job queries pick from.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "xpdl/energy/energy.h"
 #include "xpdl/model/power.h"
+#include "xpdl/opt/engine.h"
 #include "xpdl/repository/repository.h"
 
 int main() {
@@ -25,26 +31,46 @@ int main() {
     return 1;
   }
   auto pm = xpdl::model::PowerModel::parse(**pm_doc);
-  if (!pm.is_ok() || pm->state_machines.empty()) {
-    std::fprintf(stderr, "no power state machine in the model\n");
+  if (!pm.is_ok()) {
+    std::fprintf(stderr, "%s\n", pm.status().to_string().c_str());
     return 1;
   }
-  const xpdl::model::PowerStateMachine& fsm = pm->state_machines.front();
-  xpdl::energy::DvfsPlanner planner(fsm);
 
-  std::printf("power states of '%s':\n", fsm.name.c_str());
-  for (const auto* s : planner.states_by_frequency()) {
-    std::printf("  %-3s %4.1f GHz  %5.1f W\n", s->name.c_str(),
-                s->frequency_hz / 1e9, s->power_w);
+  // Compile once; every query below reuses the cached per-state rates.
+  auto engine = xpdl::opt::Engine::from_power_model(*pm);
+  if (!engine.is_ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("compiled '%s': %zu governed domain instance(s)\n",
+              pm->identity.name.c_str(), engine->domains().size());
+
+  // The energy/makespan Pareto front of a reference workload (1 Gcycle
+  // per core): every deadline-constrained optimum below is one of these
+  // non-dominated points.
+  xpdl::opt::DvfsQuery reference;
+  reference.cycles = 1e9;
+  auto front = engine->pareto(reference);
+  if (!front.is_ok()) {
+    std::fprintf(stderr, "%s\n", front.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nPareto front for 1 Gcycle/core (energy vs makespan):\n");
+  for (const xpdl::opt::DvfsPlan& p : *front) {
+    std::printf("  %8.2f J  %6.3f s  (", p.energy_j, p.time_s);
+    for (std::size_t i = 0; i < p.per_domain.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : " ", p.per_domain[i].state.c_str());
+    }
+    std::printf(")\n");
   }
 
   struct Job {
     const char* name;
-    double cycles;
+    double cycles;  ///< per core domain
     double deadline_s;
   };
   const Job jobs[] = {
-      {"frame_decode", 0.6e9, 0.30},
+      {"frame_decode", 0.6e9, 0.31},
       {"batch_filter", 2.4e9, 1.25},
       {"nightly_index", 12.0e9, 10.0},
       {"tight_control", 1.2e9, 0.52},
@@ -53,35 +79,62 @@ int main() {
   std::printf("\n%-14s %9s | race-to-idle | optimal schedule\n", "job",
               "deadline");
   for (const Job& job : jobs) {
-    xpdl::energy::Workload w{.cycles = job.cycles,
-                             .deadline_s = job.deadline_s,
-                             .idle_power_w = 2.0};  // C1 sleep power
-    auto race = planner.single_state("P4", w);
-    auto best = planner.best_two_state(w, "P4");
+    xpdl::opt::DvfsQuery query;
+    query.cycles = job.cycles;
+    query.deadline_s = job.deadline_s;
+    auto best = engine->minimize_energy(query);
+    if (!best.is_ok()) {
+      std::fprintf(stderr, "%s\n", best.status().to_string().c_str());
+      return 1;
+    }
+    // Race-to-idle: the minimum-makespan end of the job's Pareto front
+    // (every core in the fastest state).
+    xpdl::opt::DvfsQuery race_query;
+    race_query.cycles = job.cycles;
+    auto race_front = engine->pareto(race_query);
+    if (!race_front.is_ok() || race_front->empty()) {
+      std::fprintf(stderr, "no Pareto front for '%s'\n", job.name);
+      return 1;
+    }
+    const xpdl::opt::DvfsPlan& race = race_front->back();
     std::printf("%-14s %7.2f s |", job.name, job.deadline_s);
-    if (race.is_ok() && race->feasible) {
-      std::printf(" %9.2f J |", race->energy_j);
+    if (race.time_s <= job.deadline_s) {
+      std::printf(" %9.2f J |", race.energy_j);
     } else {
       std::printf(" %10s |", "infeasible");
     }
-    if (!best.is_ok()) {
+    if (!best->feasible) {
       std::printf(" infeasible\n");
       continue;
     }
-    std::printf(" %7.2f J  (", best->energy_j);
-    bool first = true;
-    for (const auto& leg : best->legs) {
-      if (leg.duration_s < 1e-9) continue;
-      std::printf("%s%s %.2fs", first ? "" : ", ", leg.state.c_str(),
-                  leg.duration_s);
-      first = false;
-    }
-    std::printf(")");
-    if (race.is_ok() && race->feasible && best->energy_j < race->energy_j) {
+    std::printf(" %7.2f J  (%s, %.2f s)", best->energy_j,
+                best->per_domain.front().state.c_str(), best->time_s);
+    if (race.time_s <= job.deadline_s && best->energy_j < race.energy_j) {
       std::printf("  saves %.1f%%",
-                  (race->energy_j - best->energy_j) / race->energy_j * 100);
+                  (race.energy_j - best->energy_j) / race.energy_j * 100);
     }
     std::printf("\n");
+  }
+
+  // Heterogeneous work: a pipeline whose first core carries 2x the
+  // cycles. The optimizer picks a faster state for that core only
+  // instead of overclocking all four.
+  if (!engine->domains().empty()) {
+    xpdl::opt::DvfsQuery skew;
+    skew.cycles = 1e9;
+    skew.deadline_s = 0.9;
+    skew.cycles_by_domain[engine->domains().front()] = 2e9;
+    auto plan = engine->minimize_energy(skew);
+    if (plan.is_ok() && plan->feasible) {
+      std::printf("\nskewed pipeline (core 0 at 2 Gcycles, deadline %.2f s):\n",
+                  skew.deadline_s);
+      for (const xpdl::opt::DomainPlan& d : plan->per_domain) {
+        std::printf("  %-10s %-3s %6.3f s  %6.2f J\n", d.domain.c_str(),
+                    d.state.c_str(), d.time_s, d.energy_j);
+      }
+      std::printf("  total %.2f J, makespan %.3f s\n", plan->energy_j,
+                  plan->time_s);
+    }
   }
 
   // Power-domain gating on the Myriad1 (Listing 12): when is CMX allowed

@@ -10,8 +10,11 @@
 #include <cstdio>
 #include <string>
 
+#include <map>
+
 #include "xpdl/composition/spmv.h"
 #include "xpdl/compose/compose.h"
+#include "xpdl/opt/engine.h"
 #include "xpdl/repository/repository.h"
 
 int main(int argc, char** argv) {
@@ -46,6 +49,11 @@ int main(int argc, char** argv) {
 
   const std::size_t n = 2048;
   std::vector<double> x(n, 1.0);
+  // Per-phase admissible variants and their predicted costs, fed to the
+  // optimizer below. Energy is modeled from the predicted time at a
+  // nominal power per variant class (offload burns the accelerator's
+  // envelope, CPU variants the host's).
+  std::map<std::string, std::vector<xpdl::opt::Variant>, std::less<>> phases;
   std::printf("\n%8s  %10s  %-13s %12s   rejected variants\n", "density",
               "nnz", "choice", "time");
   for (double density : {0.002, 0.02, 0.2, 1.0}) {
@@ -69,7 +77,42 @@ int main(int argc, char** argv) {
       std::printf("[%s] ", name.c_str());
     }
     std::printf("\n");
+    char phase_name[32];
+    std::snprintf(phase_name, sizeof phase_name, "d%.3f", density);
+    std::vector<xpdl::opt::Variant>& options = phases[phase_name];
+    for (const auto& [name, cost_s] : decision->considered) {
+      double power_w = name == "gpu_offload" ? 75.0 : 20.0;
+      options.push_back({name, cost_s, cost_s * power_w});
+    }
   }
   std::printf("\n(*) modeled time: the GPU is simulated per DESIGN.md.\n");
+
+  // Whole-batch plan through xpdl::opt: one decision variable per
+  // density phase, each admissible variant a choice with its predicted
+  // time/energy. Minimizing "energy_j" (phases add) and "time_s"
+  // (parallel phases bottleneck on the slowest) can disagree with the
+  // per-call greedy pick above when a slightly slower variant is much
+  // cheaper in energy.
+  auto problem = xpdl::opt::variant_problem(phases);
+  if (problem.is_ok() && problem->variables().size() == phases.size()) {
+    xpdl::opt::Optimizer optimizer;
+    auto by_energy = optimizer.minimize(
+        *problem, static_cast<std::size_t>(problem->find_objective("energy_j")));
+    auto by_time = optimizer.minimize(
+        *problem, static_cast<std::size_t>(problem->find_objective("time_s")));
+    if (by_energy.is_ok() && by_energy->best.has_value() && by_time.is_ok() &&
+        by_time->best.has_value()) {
+      std::printf("\nbatch plan (xpdl::opt over predicted costs):\n");
+      std::printf("  energy-minimal (%.3f mJ):", by_energy->best->value * 1e3);
+      for (const auto& [phase, variant] : by_energy->best->assignment) {
+        std::printf(" %s=%s", phase.c_str(), variant.c_str());
+      }
+      std::printf("\n  time-minimal   (%.3f ms):", by_time->best->value * 1e3);
+      for (const auto& [phase, variant] : by_time->best->assignment) {
+        std::printf(" %s=%s", phase.c_str(), variant.c_str());
+      }
+      std::printf("\n");
+    }
+  }
   return 0;
 }

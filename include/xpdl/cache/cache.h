@@ -75,6 +75,12 @@ struct BlobSnapshot {
 struct Options {
   bool enabled = true;
   std::string directory;  ///< empty: $XPDL_CACHE_DIR or <root>/.xpdl.cache
+  /// Sources smaller than this are never snapshotted: restoring a tree
+  /// snapshot pays a second file open plus the same node-by-node rebuild
+  /// the parser pays, which only amortizes above roughly 1 KiB of XML
+  /// (measured crossover — see EXPERIMENTS.md E16). Callers skip both
+  /// load and store below the threshold; 0 snapshots everything.
+  std::size_t min_source_bytes = 1024;
 };
 
 /// True when $XPDL_NO_CACHE is set to a non-empty value.
@@ -89,6 +95,13 @@ class SnapshotCache {
 
   /// Disabled caches miss on every load and drop every store.
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// True when a source of `source_bytes` is too small for a snapshot to
+  /// beat re-parsing (see Options::min_source_bytes). Callers bypass the
+  /// cache entirely for such sources.
+  [[nodiscard]] bool below_threshold(std::size_t source_bytes) const noexcept {
+    return source_bytes < min_source_bytes_;
+  }
   [[nodiscard]] const std::string& directory() const noexcept {
     return directory_;
   }
@@ -113,6 +126,7 @@ class SnapshotCache {
 
   bool enabled_;
   std::string directory_;
+  std::size_t min_source_bytes_;
 };
 
 }  // namespace xpdl::cache

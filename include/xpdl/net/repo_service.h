@@ -19,8 +19,14 @@
 //   GET /v1/query?model=REF&q=QUERY  query engine over a composed model
 //   GET /v1/configure/<ref>          valid configurations of a meta-model's
 //                                    parameter space, decided by xpdl::solve
-//                                    (?mode=all|first, ?limit=N caps the
-//                                    returned list)
+//                                    (?mode=all|first|best, ?limit=N caps the
+//                                    returned list; mode=best ranks by the
+//                                    required ?objective=EXPR via xpdl::opt)
+//   POST /v1/optimize/<ref>          DVFS optimization over the composed
+//                                    model's power state machines (JSON body:
+//                                    objective, cycles, deadline_s,
+//                                    cycles_by_domain, constraints). The
+//                                    compiled opt::Engine is memoized per ref
 //
 // The service is the pure request→response core: it owns the scanned
 // Repository and is driven either by HttpServer (xpdld) or directly by
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "xpdl/net/http.h"
+#include "xpdl/opt/engine.h"
 #include "xpdl/repository/repository.h"
 
 namespace xpdl::net {
@@ -86,6 +93,8 @@ class RepoService {
   [[nodiscard]] Response handle_query(const Request& request);
   [[nodiscard]] Response handle_configure(const Request& request,
                                           std::string_view ref);
+  [[nodiscard]] Response handle_optimize(const Request& request,
+                                         std::string_view ref);
   [[nodiscard]] Response handle_metrics(const Request& request) const;
   [[nodiscard]] Response handle_flight() const;
 
@@ -102,6 +111,9 @@ class RepoService {
   };
   std::mutex compose_mutex_;
   std::map<std::string, Artifact, std::less<>> artifacts_;
+  /// Compiled DVFS engines, memoized per ref (the batch-service pattern:
+  /// compile once, answer every optimize query from the rate cache).
+  std::map<std::string, opt::Engine, std::less<>> engines_;
 };
 
 /// Strong quoted ETag for a byte string: "\"h<fnv1a64 hex>\"".

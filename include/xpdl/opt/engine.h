@@ -1,0 +1,173 @@
+// Compiling XPDL models into optimization problems, and the batch
+// engine that answers many queries against one compiled model.
+//
+// Three compilers cover the paper's Sec. V use cases:
+//
+//  * DVFS state selection — `Engine::from_power_model` reads the power
+//    state machines of a `<power_model>` (Listing 13) and caches, per
+//    governed domain instance and runnable state, the energy-per-cycle
+//    (power/frequency) and seconds-per-cycle (1/frequency) rates. Each
+//    `DvfsQuery` (cycles of work, optional deadline) then scales those
+//    rates into a fresh `opt::Problem` in microseconds — one loaded
+//    model answers thousands of optimization queries per second
+//    (`bench_opt` gates this).
+//  * Multi-variant selection — `variant_problem` builds the PEPPHER-style
+//    discrete choice between implementation variants with predicted
+//    time/energy per variant.
+//  * Parameter configuration — `configuration_problem` turns a
+//    meta-model's configurable `<param>` space (Listing 8) plus an
+//    objective expression into a problem whose optimum is the
+//    energy-/cost-minimal valid configuration, and
+//    `rank_configurations` returns the best-N valid configurations —
+//    `xpdlc --configurations=best[:N]` and `mode=best` on
+//    `/v1/configure`.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/model/power.h"
+#include "xpdl/opt/opt.h"
+#include "xpdl/repository/repository.h"
+#include "xpdl/util/status.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::opt {
+
+/// One DVFS optimization query against a compiled power model.
+struct DvfsQuery {
+  /// Work per power-domain instance, in frequency-independent cycles.
+  double cycles = 0.0;
+  /// Completion deadline on the makespan; 0 = unconstrained.
+  double deadline_s = 0.0;
+  /// Per-domain-instance overrides of `cycles` (instance name as in
+  /// `Engine::domains()`, e.g. "core_pd2").
+  std::map<std::string, double, std::less<>> cycles_by_domain;
+};
+
+/// The chosen state of one power-domain instance.
+struct DomainPlan {
+  std::string domain;  ///< instance name
+  std::string state;   ///< chosen power state
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Answer to a DVFS query.
+struct DvfsPlan {
+  bool feasible = false;
+  std::vector<DomainPlan> per_domain;
+  double energy_j = 0.0;  ///< total dynamic energy (sum over domains)
+  double time_s = 0.0;    ///< makespan (max over domains)
+  Stats stats;
+};
+
+/// Batch optimization service over one compiled model. Compilation
+/// (parsing the power model, expanding domain groups, deriving the
+/// per-state rate tables) happens once; every query only scales rates
+/// and searches. Thread-compatible: concurrent queries against one
+/// const Engine are safe.
+class Engine {
+ public:
+  /// Objective indices of every compiled DVFS problem.
+  static constexpr std::size_t kEnergyObjective = 0;
+  static constexpr std::size_t kMakespanObjective = 1;
+
+  /// Compiles the state machines of one power model. Each machine
+  /// governs every instance of its power domain (group members expand,
+  /// Listing 12); a machine whose domain is absent from the domain set
+  /// governs one anonymous instance. States with frequency 0 (sleep
+  /// states) are not runnable choices. Fails when no machine has a
+  /// runnable state.
+  [[nodiscard]] static Result<Engine> from_power_model(
+      const model::PowerModel& pm);
+
+  /// Compiles every `<power_model>` element found in `root`'s subtree
+  /// (e.g. a composed system) into one joint problem space.
+  [[nodiscard]] static Result<Engine> from_element(const xml::Element& root);
+
+  /// The governed domain instances, in variable order.
+  [[nodiscard]] const std::vector<std::string>& domains() const noexcept {
+    return domains_;
+  }
+
+  /// Builds the query's problem: one variable per domain instance,
+  /// objectives kEnergyObjective (sum) and kMakespanObjective (max), the
+  /// deadline as a makespan limit. Public so callers can add constraints
+  /// before optimizing.
+  [[nodiscard]] Result<Problem> compile(const DvfsQuery& query) const;
+
+  /// Minimum-energy state assignment meeting the deadline.
+  /// `plan.feasible == false` when no assignment meets it.
+  [[nodiscard]] Result<DvfsPlan> minimize_energy(
+      const DvfsQuery& query, const Optimizer::Options& options = {}) const;
+
+  /// The energy/makespan Pareto front of the query (the deadline, if
+  /// set, still limits makespan).
+  [[nodiscard]] Result<std::vector<DvfsPlan>> pareto(
+      const DvfsQuery& query, const Optimizer::Options& options = {}) const;
+
+ private:
+  struct StateRate {
+    std::string name;
+    double frequency_hz = 0.0;
+    double joules_per_cycle = 0.0;
+    double seconds_per_cycle = 0.0;
+  };
+  struct Instance {
+    std::string name;               ///< domain instance
+    std::size_t machine = 0;        ///< index into rates_
+  };
+
+  [[nodiscard]] DvfsPlan to_plan(const DvfsQuery& query,
+                                 const Solution& solution) const;
+
+  std::vector<std::vector<StateRate>> rates_;  ///< per machine
+  std::vector<Instance> instances_;
+  std::vector<std::string> domains_;  ///< instance names, variable order
+};
+
+/// One implementation variant of a multi-variant component with its
+/// predicted costs (PEPPHER/SpMV-style).
+struct Variant {
+  std::string name;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Builds the discrete variant-selection problem: one variable per
+/// component (in map order), objectives "energy_j" (sum, index 0) and
+/// "time_s" (max, index 1) — parallel components bottleneck on the
+/// slowest, energies add.
+[[nodiscard]] Result<Problem> variant_problem(
+    const std::map<std::string, std::vector<Variant>, std::less<>>&
+        components);
+
+/// A ranked valid configuration of a meta-model parameter space.
+struct RankedConfiguration {
+  std::map<std::string, double> values_si;  ///< open param values by name
+  double objective = 0.0;
+};
+
+/// Builds the configuration problem of `meta`'s declared parameter space
+/// (inheritance flattened through `repo` when given, exactly as
+/// `compose::enumerate_configurations`): variables are the open
+/// configurable params, constraints the scope's `<constraint>`s,
+/// objective 0 the given expression over the params. Fails with
+/// kUnresolvedRef when the objective references a name with no value or
+/// range in the scope.
+[[nodiscard]] Result<Problem> configuration_problem(
+    const xml::Element& meta, repository::Repository* repo,
+    const expr::Expression& objective);
+
+/// The `n` best valid configurations by the objective, ascending —
+/// branch-and-bound, no enumeration of the declared space.
+[[nodiscard]] Result<std::vector<RankedConfiguration>> rank_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const expr::Expression& objective, std::size_t n,
+    const Optimizer::Options& options = {});
+
+}  // namespace xpdl::opt

@@ -1,0 +1,240 @@
+// Discrete optimization over XPDL runtime models (Sec. V).
+//
+// The paper's platform descriptions exist *to be optimized over*: DVFS
+// power-state selection under a deadline, PEPPHER-style multi-variant
+// component choice, energy-minimal parameter configuration. `xpdl::opt`
+// is the layer that compiles those questions into an explicit discrete
+// optimization `Problem` and answers them with three backends:
+//
+//  * exhaustive — enumerates the cross product in lexicographic choice
+//    order (the test oracle; callers must check `Problem::space_size()`).
+//  * branch-and-bound — depth-first search over the choice space with
+//    two pruning engines: per-variable additive/max objective bounds
+//    (the incumbent cost prunes every subtree whose bound cannot beat
+//    it), and `xpdl::solve` interval propagation over the problem's
+//    expression constraints — the incumbent tightens a compiled bound
+//    constraint (`objective < __xpdl_opt_bound`) so HC4 propagation
+//    removes choice values no better-than-incumbent completion can use.
+//    Returns the same optimum as the exhaustive backend: bounds are
+//    conservative and propagation never removes a feasible point.
+//  * Pareto enumeration — the non-dominated front of two objectives
+//    (energy vs makespan, optihood-style), with dominance pruning
+//    against the archive during the same branch-and-bound walk.
+//
+// A `Problem` has decision variables with finite labeled choices (a
+// power state, a component variant, a parameter value). Objectives are
+// either *tables* (a cost per (variable, choice), combined by sum or
+// max — how model-derived energy and makespan enter) or *expressions*
+// over the choice values (how `<param>` objectives enter). Expression
+// constraints from `<constraint>` declarations restrict feasibility;
+// per-objective limits (a deadline) restrict it numerically.
+//
+// A point where a constraint or an objective expression fails to
+// evaluate (division by zero...) is infeasible — identical semantics in
+// all backends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xpdl/solve/solve.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/util/status.h"
+
+namespace xpdl::opt {
+
+/// One admissible choice of a decision variable: a human-readable label
+/// (power state name, variant name, value text) plus the numeric value
+/// expression constraints and objectives see.
+struct Choice {
+  std::string label;
+  double value = 0.0;
+};
+
+/// A decision variable with its finite choice set.
+struct DecisionVariable {
+  std::string name;
+  std::vector<Choice> choices;
+};
+
+/// How a table objective combines its per-variable terms.
+enum class Combine : std::uint8_t {
+  kSum,  ///< additive cost (energy, static power)
+  kMax,  ///< bottleneck cost (makespan across parallel domains)
+};
+
+/// A discrete optimization problem. Build order: all variables first,
+/// then objectives / constraints / limits.
+class Problem {
+ public:
+  /// One objective: either a cost table over (variable, choice) combined
+  /// by `combine`, or an expression over the chosen values.
+  struct Objective {
+    std::string name;
+    Combine combine = Combine::kSum;
+    double constant = 0.0;
+    /// Table objectives: [var][choice]; empty for expression objectives.
+    std::vector<std::vector<double>> terms;
+    /// Expression objectives: evaluated over the choice values.
+    std::optional<expr::Expression> expression;
+    /// Inclusive upper bound on feasible values, if limited.
+    std::optional<double> limit;
+  };
+
+  /// Adds a decision variable; returns its index. At least one choice is
+  /// required (validated by the backends).
+  std::size_t add_variable(std::string name, std::vector<Choice> choices);
+
+  /// Adds a table objective: `terms[var][choice]` must match the current
+  /// variable/choice shape exactly. Returns the objective index.
+  [[nodiscard]] Result<std::size_t> add_table_objective(
+      std::string name, Combine combine,
+      std::vector<std::vector<double>> terms, double constant = 0.0);
+
+  /// Adds an objective computed by evaluating `expression` over the
+  /// chosen values (by variable name). Fails if the expression references
+  /// a name that is not a decision variable.
+  [[nodiscard]] Result<std::size_t> add_expression_objective(
+      std::string name, const expr::Expression& expression);
+
+  /// Adds a feasibility constraint over the chosen values. Fails if the
+  /// expression references a name that is not a decision variable.
+  [[nodiscard]] Result<std::size_t> add_constraint(
+      const expr::Expression& expression);
+
+  /// Caps objective `objective` at `max_value` (inclusive): points above
+  /// it are infeasible. A deadline is `limit(time, deadline_s)`.
+  void add_limit(std::size_t objective, double max_value);
+
+  [[nodiscard]] const std::vector<DecisionVariable>& variables()
+      const noexcept {
+    return vars_;
+  }
+  [[nodiscard]] std::size_t objective_count() const noexcept {
+    return objectives_.size();
+  }
+  [[nodiscard]] const std::string& objective_name(std::size_t o) const {
+    return objectives_[o].name;
+  }
+  /// Index of the named objective, or -1.
+  [[nodiscard]] std::int32_t find_objective(
+      std::string_view name) const noexcept;
+  [[nodiscard]] const Objective& objective(std::size_t o) const {
+    return objectives_[o];
+  }
+  [[nodiscard]] std::size_t constraint_count() const noexcept {
+    return constraints_.size();
+  }
+  [[nodiscard]] const std::vector<expr::Expression>& constraints()
+      const noexcept {
+    return constraints_;
+  }
+
+  /// Saturating product of the choice counts.
+  static constexpr std::uint64_t kHugeSpace = UINT64_MAX;
+  [[nodiscard]] std::uint64_t space_size() const noexcept;
+
+  /// Exact objective value at a full assignment (one choice index per
+  /// variable). Fails when an expression objective fails to evaluate.
+  [[nodiscard]] Result<double> objective_value(
+      std::size_t objective, const std::vector<std::size_t>& point) const;
+
+  /// True when every constraint holds and every limited objective is
+  /// within its limit at the point. Evaluation errors are infeasible.
+  [[nodiscard]] bool feasible(const std::vector<std::size_t>& point) const;
+
+ private:
+  std::vector<DecisionVariable> vars_;
+  std::vector<Objective> objectives_;
+  std::vector<expr::Expression> constraints_;
+};
+
+/// Backend selection.
+enum class Backend : std::uint8_t {
+  kBranchAndBound,  ///< the default: bound + propagation pruning
+  kExhaustive,      ///< full enumeration (test oracle, small spaces only)
+};
+
+/// Work counters of one optimization run (mirrored into `opt.*` obs
+/// counters).
+struct Stats {
+  std::uint64_t nodes = 0;              ///< search nodes visited
+  std::uint64_t leaves = 0;             ///< full assignments evaluated
+  std::uint64_t pruned_bound = 0;       ///< subtrees cut by the incumbent
+  std::uint64_t pruned_infeasible = 0;  ///< subtrees cut by propagation/limits
+  std::uint64_t propagations = 0;       ///< xpdl::solve propagation rounds
+  std::uint64_t incumbents = 0;         ///< incumbent improvements
+};
+
+/// One feasible point with its objective values.
+struct Solution {
+  /// Choice index per variable (variable order).
+  std::vector<std::size_t> choice;
+  /// (variable name, choice label) per variable, for display.
+  std::vector<std::pair<std::string, std::string>> assignment;
+  /// Every objective's exact value at the point (objective order).
+  std::vector<double> values;
+  /// The optimized objective's value (== values[objective]).
+  double value = 0.0;
+};
+
+/// Result of a single-objective minimization.
+struct MinimizeResult {
+  /// The optimum, or nullopt when no feasible point exists.
+  std::optional<Solution> best;
+  Stats stats;
+  /// True when the node budget ran out before the search completed; the
+  /// reported best (if any) is then only an upper bound.
+  bool exhausted_budget = false;
+};
+
+/// Result of a Pareto-front enumeration.
+struct ParetoResult {
+  /// Non-dominated points, sorted by the first objective ascending (ties
+  /// by the second descending — the canonical staircase). One witness per
+  /// distinct value vector: the lexicographically first choice.
+  std::vector<Solution> front;
+  Stats stats;
+  bool exhausted_budget = false;
+};
+
+/// The optimization driver.
+class Optimizer {
+ public:
+  struct Options {
+    Backend backend = Backend::kBranchAndBound;
+    /// Node budget; beyond it the search stops with exhausted_budget.
+    std::uint64_t max_nodes = 4'000'000;
+    /// The exhaustive backend refuses spaces larger than this.
+    std::uint64_t max_exhaustive_points = 1u << 22;
+  };
+
+  Optimizer() = default;
+  explicit Optimizer(Options options) : options_(options) {}
+
+  /// Minimizes `objective`. The witness is the lexicographically first
+  /// optimal point (identical across backends).
+  [[nodiscard]] Result<MinimizeResult> minimize(const Problem& problem,
+                                                std::size_t objective) const;
+
+  /// The `n` best feasible points by (value, lexicographic choice),
+  /// ascending — `--configurations=best:N`. Identical across backends.
+  [[nodiscard]] Result<std::vector<Solution>> minimize_top(
+      const Problem& problem, std::size_t objective, std::size_t n) const;
+
+  /// Enumerates the Pareto front minimizing `objective_a` and
+  /// `objective_b` jointly.
+  [[nodiscard]] Result<ParetoResult> pareto(const Problem& problem,
+                                            std::size_t objective_a,
+                                            std::size_t objective_b) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace xpdl::opt

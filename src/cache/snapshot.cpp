@@ -399,7 +399,8 @@ bool env_disabled() noexcept {
 
 SnapshotCache::SnapshotCache(std::string_view default_root,
                              const Options& options)
-    : enabled_(options.enabled && !env_disabled()) {
+    : enabled_(options.enabled && !env_disabled()),
+      min_source_bytes_(options.min_source_bytes) {
   if (!options.directory.empty()) {
     directory_ = options.directory;
   } else if (const char* env = std::getenv("XPDL_CACHE_DIR");

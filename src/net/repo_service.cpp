@@ -193,7 +193,12 @@ Response RepoService::handle(const Request& request) {
   std::uint64_t start = obs::now_ns();
   std::string_view endpoint = "other";
   Response response = [&]() -> Response {
-    if (request.method != "GET") {
+    std::string path = url_decode(request.path());
+    constexpr std::string_view kOptimize = "/v1/optimize/";
+    const bool is_optimize = path.rfind(kOptimize, 0) == 0;
+    // Every endpoint is GET except /v1/optimize, which takes a JSON body
+    // (the handler itself rejects non-POST methods there).
+    if (request.method != "GET" && !is_optimize) {
       Response r = error_response(
           405, "only GET is supported by the model repository");
       r.set_header("Allow", "GET");
@@ -205,7 +210,11 @@ Response RepoService::handle(const Request& request) {
     if (request.budget.expired()) {
       return deadline_exceeded_response("before handling began");
     }
-    std::string path = url_decode(request.path());
+    if (is_optimize) {
+      endpoint = "optimize";
+      return handle_optimize(
+          request, std::string_view(path).substr(kOptimize.size()));
+    }
     if (path == "/healthz") {
       endpoint = "healthz";
       Response r;
@@ -378,8 +387,8 @@ Response RepoService::handle_configure(const Request& request,
   auto params = parse_query(request.query());
   std::string mode = "all";
   if (auto it = params.find("mode"); it != params.end()) mode = it->second;
-  if (mode != "all" && mode != "first") {
-    return error_response(400, "mode must be 'all' or 'first'");
+  if (mode != "all" && mode != "first" && mode != "best") {
+    return error_response(400, "mode must be 'all', 'first' or 'best'");
   }
   std::size_t limit = 1000;
   if (auto it = params.find("limit"); it != params.end()) {
@@ -410,7 +419,41 @@ Response RepoService::handle_configure(const Request& request,
     return v;
   };
   json::Array configurations;
-  if (mode == "first") {
+  if (mode == "best") {
+    // Ranked mode: branch-and-bound over the declared space via
+    // xpdl::opt — the `limit` best valid configurations by the objective
+    // expression, ascending.
+    auto obj_it = params.find("objective");
+    if (obj_it == params.end() || obj_it->second.empty()) {
+      return error_response(
+          400, "mode=best requires an 'objective' expression parameter");
+    }
+    auto objective = expr::Expression::parse(obj_it->second);
+    if (!objective.is_ok()) {
+      return error_response(400, objective.status().to_string());
+    }
+    auto ranked = opt::rank_configurations(**meta, repo_.get(), *objective,
+                                           std::max<std::size_t>(limit, 1));
+    if (!ranked.is_ok()) {
+      // The ref resolved above, so an unresolved name here is the
+      // caller's objective referencing an unknown parameter.
+      if (ranked.status().code() == ErrorCode::kUnresolvedRef) {
+        return error_response(400, ranked.status().to_string());
+      }
+      return from_status(ranked.status());
+    }
+    body["objective"] = obj_it->second;
+    body["satisfiable"] = !ranked->empty();
+    body["count"] = std::uint64_t{ranked->size()};
+    for (const opt::RankedConfiguration& rc : *ranked) {
+      json::Value entry;
+      json::Value values;
+      for (const auto& [name, value] : rc.values_si) values[name] = value;
+      entry["values"] = std::move(values);
+      entry["objective"] = rc.objective;
+      configurations.push_back(std::move(entry));
+    }
+  } else if (mode == "first") {
     auto first = compose::first_configuration(**meta, repo_.get());
     if (!first.is_ok()) return from_status(first.status());
     body["satisfiable"] = first->has_value();
@@ -430,6 +473,178 @@ Response RepoService::handle_configure(const Request& request,
     }
   }
   body["configurations"] = std::move(configurations);
+  Response response;
+  response.body = json::write(body, 2) + "\n";
+  response.set_header("Content-Type", "application/json");
+  return response;
+}
+
+Response RepoService::handle_optimize(const Request& request,
+                                      std::string_view ref) {
+  obs::Span span("net.service.optimize");
+  XPDL_OBS_COUNT("net.server.optimize_requests", 1);
+  if (request.method != "POST") {
+    Response r = error_response(405, "/v1/optimize requires POST");
+    r.set_header("Allow", "POST");
+    return r;
+  }
+  if (ref.empty()) {
+    return error_response(400, "/v1/optimize/<ref> requires a model ref");
+  }
+
+  // The body is an optional JSON object; an empty body means "minimum
+  // energy for the default workload".
+  std::string objective = "energy";
+  opt::DvfsQuery query;
+  query.cycles = 1e9;
+  std::vector<expr::Expression> constraints;
+  if (!request.body.empty()) {
+    auto parsed = json::parse(request.body);
+    if (!parsed.is_ok()) {
+      return error_response(400, parsed.status().to_string());
+    }
+    if (!parsed->is_object()) {
+      return error_response(400, "the optimize body must be a JSON object");
+    }
+    if (const json::Value* v = parsed->find("objective")) {
+      if (!v->is_string()) {
+        return error_response(400, "'objective' must be a string");
+      }
+      objective = v->as_string();
+    }
+    if (const json::Value* v = parsed->find("cycles")) {
+      if (!v->is_number()) {
+        return error_response(400, "'cycles' must be a number");
+      }
+      query.cycles = v->as_number();
+    }
+    if (const json::Value* v = parsed->find("deadline_s")) {
+      if (!v->is_number()) {
+        return error_response(400, "'deadline_s' must be a number");
+      }
+      query.deadline_s = v->as_number();
+    }
+    if (const json::Value* v = parsed->find("cycles_by_domain")) {
+      if (!v->is_object()) {
+        return error_response(
+            400, "'cycles_by_domain' must map domain names to numbers");
+      }
+      for (const auto& [name, cycles] : v->as_object()) {
+        if (!cycles.is_number()) {
+          return error_response(
+              400, "'cycles_by_domain' must map domain names to numbers");
+        }
+        query.cycles_by_domain[name] = cycles.as_number();
+      }
+    }
+    if (const json::Value* v = parsed->find("constraints")) {
+      if (!v->is_array()) {
+        return error_response(
+            400, "'constraints' must be an array of expression strings");
+      }
+      for (const json::Value& c : v->as_array()) {
+        if (!c.is_string()) {
+          return error_response(
+              400, "'constraints' must be an array of expression strings");
+        }
+        auto expression = expr::Expression::parse(c.as_string());
+        if (!expression.is_ok()) {
+          return error_response(400, expression.status().to_string());
+        }
+        constraints.push_back(*std::move(expression));
+      }
+    }
+  }
+  if (objective != "energy" && objective != "makespan" &&
+      objective != "pareto") {
+    return error_response(
+        400, "objective must be 'energy', 'makespan' or 'pareto'");
+  }
+
+  // Engine compilation shares the composer with the model endpoint;
+  // serialize with it and shed requests that spent their deadline in the
+  // queue. The compiled engine is memoized per ref — the batch-service
+  // pattern: every later query only scales cached rates.
+  std::lock_guard<std::mutex> lock(compose_mutex_);
+  if (request.budget.expired()) {
+    return deadline_exceeded_response("waiting to optimize '" +
+                                      std::string(ref) + "'");
+  }
+  auto it = engines_.find(ref);
+  if (it == engines_.end()) {
+    XPDL_OBS_COUNT("net.server.optimize_compiles", 1);
+    compose::Composer composer(*repo_);
+    auto composed = composer.compose(ref);
+    if (!composed.is_ok()) return from_status(composed.status());
+    auto engine = opt::Engine::from_element(composed->root());
+    if (!engine.is_ok()) return from_status(engine.status());
+    it = engines_.emplace(std::string(ref), *std::move(engine)).first;
+  } else {
+    XPDL_OBS_COUNT("net.server.optimize_memo_hits", 1);
+  }
+  const opt::Engine& engine = it->second;
+
+  auto problem = engine.compile(query);
+  if (!problem.is_ok()) return from_status(problem.status());
+  for (const expr::Expression& c : constraints) {
+    // An unknown name in a caller-supplied constraint is caller error;
+    // from_status would map kUnresolvedRef to 404 (reserved here for the
+    // model ref itself).
+    if (auto added = problem->add_constraint(c); !added.is_ok()) {
+      return error_response(400, added.status().to_string());
+    }
+  }
+
+  json::Value body;
+  body["ref"] = std::string(ref);
+  body["objective"] = objective;
+  auto states_json = [](const opt::Solution& s) {
+    json::Value states;
+    for (const auto& [domain, state] : s.assignment) states[domain] = state;
+    return states;
+  };
+  auto stats_json = [](const opt::Stats& s) {
+    json::Value v;
+    v["nodes"] = s.nodes;
+    v["leaves"] = s.leaves;
+    v["pruned_bound"] = s.pruned_bound;
+    v["pruned_infeasible"] = s.pruned_infeasible;
+    v["propagations"] = s.propagations;
+    return v;
+  };
+  opt::Optimizer optimizer;
+  if (objective == "pareto") {
+    auto result = optimizer.pareto(*problem, opt::Engine::kEnergyObjective,
+                                   opt::Engine::kMakespanObjective);
+    if (!result.is_ok()) return from_status(result.status());
+    json::Array front;
+    for (const opt::Solution& point : result->front) {
+      json::Value entry;
+      entry["energy_j"] = point.values[opt::Engine::kEnergyObjective];
+      entry["time_s"] = point.values[opt::Engine::kMakespanObjective];
+      entry["states"] = states_json(point);
+      front.push_back(std::move(entry));
+    }
+    body["count"] = std::uint64_t{result->front.size()};
+    body["front"] = std::move(front);
+    body["stats"] = stats_json(result->stats);
+  } else {
+    std::size_t target = objective == "energy"
+                             ? opt::Engine::kEnergyObjective
+                             : opt::Engine::kMakespanObjective;
+    auto result = optimizer.minimize(*problem, target);
+    if (!result.is_ok()) return from_status(result.status());
+    if (result->exhausted_budget) {
+      return error_response(503, "optimization exceeded the node budget");
+    }
+    body["feasible"] = result->best.has_value();
+    if (result->best.has_value()) {
+      body["energy_j"] = result->best->values[opt::Engine::kEnergyObjective];
+      body["time_s"] = result->best->values[opt::Engine::kMakespanObjective];
+      body["states"] = states_json(*result->best);
+    }
+    body["stats"] = stats_json(result->stats);
+  }
   Response response;
   response.body = json::write(body, 2) + "\n";
   response.set_header("Content-Type", "application/json");

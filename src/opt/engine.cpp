@@ -1,0 +1,367 @@
+// Compiling XPDL models into opt::Problems (see include/xpdl/opt/engine.h):
+// the DVFS batch engine, PEPPHER-style variant selection, and the ranked
+// configuration space shared by `xpdlc --configurations=best` and the
+// server's `mode=best`.
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xpdl/compose/compose.h"
+#include "xpdl/model/ir.h"
+#include "xpdl/opt/engine.h"
+#include "xpdl/util/strings.h"
+
+namespace xpdl::opt {
+
+namespace {
+
+/// True when `name` is `prototype` followed by a member rank — how
+/// `PowerDomainSet::expanded()` names group members (core_pd0, core_pd1).
+bool is_group_member(std::string_view name, std::string_view prototype) {
+  if (name.size() <= prototype.size()) return false;
+  if (name.substr(0, prototype.size()) != prototype) return false;
+  for (char c : name.substr(prototype.size())) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Engine> Engine::from_power_model(const model::PowerModel& pm) {
+  Engine e;
+  const std::vector<model::PowerDomain> expanded =
+      pm.domains.has_value() ? pm.domains->expanded()
+                             : std::vector<model::PowerDomain>{};
+  for (const model::PowerStateMachine& m : pm.state_machines) {
+    std::vector<StateRate> rates;
+    for (const model::PowerState& s : m.states) {
+      if (s.frequency_hz <= 0.0) continue;  // sleep states are not runnable
+      rates.push_back({s.name, s.frequency_hz, s.power_w / s.frequency_hz,
+                       1.0 / s.frequency_hz});
+    }
+    if (rates.empty()) continue;  // nothing to choose for this machine
+    const std::size_t machine = e.rates_.size();
+    e.rates_.push_back(std::move(rates));
+    std::size_t matched = 0;
+    for (const model::PowerDomain& d : expanded) {
+      if (d.name == m.power_domain ||
+          is_group_member(d.name, m.power_domain)) {
+        e.instances_.push_back({d.name, machine});
+        ++matched;
+      }
+    }
+    if (matched == 0) {
+      // No declared domain instance: the machine still governs one
+      // anonymous instance (descriptors without a <power_domains> set).
+      e.instances_.push_back(
+          {m.power_domain.empty() ? m.name : m.power_domain, machine});
+    }
+  }
+  if (e.instances_.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "power model '" + pm.identity.name +
+                      "' has no runnable power states to optimize over");
+  }
+  e.domains_.reserve(e.instances_.size());
+  for (const Instance& i : e.instances_) e.domains_.push_back(i.name);
+  return e;
+}
+
+Result<Engine> Engine::from_element(const xml::Element& root) {
+  std::vector<model::PowerModel> models;
+  const std::function<Status(const xml::Element&)> visit =
+      [&](const xml::Element& e) -> Status {
+    if (e.tag() == "power_model") {
+      XPDL_ASSIGN_OR_RETURN(model::PowerModel pm, model::PowerModel::parse(e));
+      models.push_back(std::move(pm));
+      return Status::ok();
+    }
+    for (const auto& child : e.children()) {
+      XPDL_RETURN_IF_ERROR(visit(*child));
+    }
+    return Status::ok();
+  };
+  XPDL_RETURN_IF_ERROR(visit(root));
+  if (models.empty()) {
+    return Status(ErrorCode::kNotFound,
+                  "no <power_model> element in the model");
+  }
+  Engine joint;
+  for (const model::PowerModel& pm : models) {
+    auto part = from_power_model(pm);
+    if (!part.is_ok()) {
+      if (models.size() == 1) return part.status();
+      continue;  // a model without runnable states adds no variables
+    }
+    Engine& e = part.value();
+    const std::size_t base = joint.rates_.size();
+    for (auto& r : e.rates_) joint.rates_.push_back(std::move(r));
+    for (Instance& i : e.instances_) {
+      // Disambiguate colliding instance names across models.
+      std::string name = i.name;
+      while (std::any_of(joint.instances_.begin(), joint.instances_.end(),
+                         [&](const Instance& j) { return j.name == name; })) {
+        name = pm.identity.name + "." + name;
+      }
+      joint.instances_.push_back({std::move(name), base + i.machine});
+    }
+  }
+  if (joint.instances_.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "no power model has a runnable power state");
+  }
+  joint.domains_.reserve(joint.instances_.size());
+  for (const Instance& i : joint.instances_) joint.domains_.push_back(i.name);
+  return joint;
+}
+
+Result<Problem> Engine::compile(const DvfsQuery& query) const {
+  Problem p;
+  std::vector<std::vector<double>> energy(instances_.size());
+  std::vector<std::vector<double>> time(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    double cycles = query.cycles;
+    if (auto it = query.cycles_by_domain.find(inst.name);
+        it != query.cycles_by_domain.end()) {
+      cycles = it->second;
+    }
+    if (!(cycles >= 0.0) || !std::isfinite(cycles)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "cycle count for domain '" + inst.name +
+                        "' must be finite and nonnegative");
+    }
+    const std::vector<StateRate>& rates = rates_[inst.machine];
+    std::vector<Choice> choices;
+    choices.reserve(rates.size());
+    energy[i].reserve(rates.size());
+    time[i].reserve(rates.size());
+    for (const StateRate& r : rates) {
+      choices.push_back({r.name, r.frequency_hz});
+      energy[i].push_back(cycles * r.joules_per_cycle);
+      time[i].push_back(cycles * r.seconds_per_cycle);
+    }
+    p.add_variable(inst.name, std::move(choices));
+  }
+  XPDL_ASSIGN_OR_RETURN(
+      std::size_t eo,
+      p.add_table_objective("energy_j", Combine::kSum, std::move(energy)));
+  XPDL_ASSIGN_OR_RETURN(
+      std::size_t to,
+      p.add_table_objective("time_s", Combine::kMax, std::move(time)));
+  (void)eo;
+  (void)to;
+  if (query.deadline_s > 0.0) p.add_limit(kMakespanObjective, query.deadline_s);
+  return p;
+}
+
+DvfsPlan Engine::to_plan(const DvfsQuery& query,
+                         const Solution& solution) const {
+  DvfsPlan plan;
+  plan.feasible = true;
+  plan.energy_j = solution.values[kEnergyObjective];
+  plan.time_s = solution.values[kMakespanObjective];
+  plan.per_domain.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    double cycles = query.cycles;
+    if (auto it = query.cycles_by_domain.find(inst.name);
+        it != query.cycles_by_domain.end()) {
+      cycles = it->second;
+    }
+    const StateRate& r = rates_[inst.machine][solution.choice[i]];
+    plan.per_domain.push_back({inst.name, r.name, cycles * r.seconds_per_cycle,
+                               cycles * r.joules_per_cycle});
+  }
+  return plan;
+}
+
+Result<DvfsPlan> Engine::minimize_energy(
+    const DvfsQuery& query, const Optimizer::Options& options) const {
+  XPDL_ASSIGN_OR_RETURN(Problem problem, compile(query));
+  Optimizer optimizer(options);
+  XPDL_ASSIGN_OR_RETURN(MinimizeResult result,
+                        optimizer.minimize(problem, kEnergyObjective));
+  if (result.exhausted_budget) {
+    return Status(ErrorCode::kUnavailable,
+                  "optimization exceeded the node budget");
+  }
+  if (!result.best.has_value()) {
+    DvfsPlan plan;
+    plan.stats = result.stats;
+    return plan;  // feasible == false: no state meets the deadline
+  }
+  DvfsPlan plan = to_plan(query, *result.best);
+  plan.stats = result.stats;
+  return plan;
+}
+
+Result<std::vector<DvfsPlan>> Engine::pareto(
+    const DvfsQuery& query, const Optimizer::Options& options) const {
+  XPDL_ASSIGN_OR_RETURN(Problem problem, compile(query));
+  Optimizer optimizer(options);
+  XPDL_ASSIGN_OR_RETURN(
+      ParetoResult result,
+      optimizer.pareto(problem, kEnergyObjective, kMakespanObjective));
+  if (result.exhausted_budget) {
+    return Status(ErrorCode::kUnavailable,
+                  "optimization exceeded the node budget");
+  }
+  std::vector<DvfsPlan> plans;
+  plans.reserve(result.front.size());
+  for (const Solution& s : result.front) {
+    DvfsPlan plan = to_plan(query, s);
+    plan.stats = result.stats;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+Result<Problem> variant_problem(
+    const std::map<std::string, std::vector<Variant>, std::less<>>&
+        components) {
+  if (components.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "variant selection needs at least one component");
+  }
+  Problem p;
+  std::vector<std::vector<double>> energy;
+  std::vector<std::vector<double>> time;
+  for (const auto& [component, variants] : components) {
+    if (variants.empty()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "component '" + component + "' has no variants");
+    }
+    std::vector<Choice> choices;
+    std::vector<double> e;
+    std::vector<double> t;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      // The choice value is the variant's rank, so constraints can pin or
+      // exclude variants by index.
+      choices.push_back({variants[i].name, static_cast<double>(i)});
+      e.push_back(variants[i].energy_j);
+      t.push_back(variants[i].time_s);
+    }
+    p.add_variable(component, std::move(choices));
+    energy.push_back(std::move(e));
+    time.push_back(std::move(t));
+  }
+  XPDL_ASSIGN_OR_RETURN(
+      std::size_t energy_index,
+      p.add_table_objective("energy_j", Combine::kSum, std::move(energy)));
+  XPDL_ASSIGN_OR_RETURN(
+      std::size_t time_index,
+      p.add_table_objective("time_s", Combine::kMax, std::move(time)));
+  (void)energy_index;
+  (void)time_index;
+  return p;
+}
+
+namespace {
+
+/// The configuration problem plus the open-parameter variable indices —
+/// what `rank_configurations` reports (bound params stay out of the
+/// result, exactly like `compose::enumerate_configurations`).
+struct ConfigurationBuild {
+  Problem problem;
+  std::vector<std::size_t> open_vars;
+};
+
+Result<ConfigurationBuild> build_configuration(
+    const xml::Element& meta, repository::Repository* repo,
+    const expr::Expression& objective) {
+  // Flatten inheritance when possible so inherited params and constraints
+  // participate, mirroring compose::enumerate_configurations.
+  std::unique_ptr<xml::Element> flattened;
+  const xml::Element* source = &meta;
+  if (repo != nullptr && meta.has_attribute("extends")) {
+    compose::Composer composer(*repo, [] {
+      compose::Options o;
+      o.require_bound_params = false;
+      o.run_static_analysis = false;
+      return o;
+    }());
+    XPDL_ASSIGN_OR_RETURN(compose::ComposedModel composed,
+                          composer.compose(meta));
+    flattened = composed.root().clone();
+    source = flattened.get();
+  }
+
+  ConfigurationBuild build;
+  XPDL_ASSIGN_OR_RETURN(model::ParamScope scope,
+                        model::parse_param_scope(*source));
+  const auto have = [&](std::string_view name) {
+    for (const DecisionVariable& v : build.problem.variables()) {
+      if (v.name == name) return true;
+    }
+    return false;
+  };
+  for (const model::Param& p : scope.params) {
+    if (have(p.name)) continue;  // first declaration wins
+    if (p.is_bound()) {
+      build.problem.add_variable(
+          p.name, {{strings::format("%g", *p.value_si), *p.value_si}});
+    } else if (p.configurable && !p.range_si.empty()) {
+      std::vector<Choice> choices;
+      choices.reserve(p.range_si.size());
+      for (double v : p.range_si) {
+        choices.push_back({strings::format("%g", v), v});
+      }
+      build.open_vars.push_back(
+          build.problem.add_variable(p.name, std::move(choices)));
+    }
+  }
+  for (const model::Constraint& c : scope.constraints) {
+    XPDL_ASSIGN_OR_RETURN(std::size_t constraint_index,
+                          build.problem.add_constraint(c.expression));
+    (void)constraint_index;
+  }
+  XPDL_ASSIGN_OR_RETURN(
+      std::size_t objective_index,
+      build.problem.add_expression_objective("objective", objective));
+  (void)objective_index;
+  return build;
+}
+
+}  // namespace
+
+Result<Problem> configuration_problem(const xml::Element& meta,
+                                      repository::Repository* repo,
+                                      const expr::Expression& objective) {
+  XPDL_ASSIGN_OR_RETURN(ConfigurationBuild build,
+                        build_configuration(meta, repo, objective));
+  return std::move(build.problem);
+}
+
+Result<std::vector<RankedConfiguration>> rank_configurations(
+    const xml::Element& meta, repository::Repository* repo,
+    const expr::Expression& objective, std::size_t n,
+    const Optimizer::Options& options) {
+  XPDL_ASSIGN_OR_RETURN(ConfigurationBuild build,
+                        build_configuration(meta, repo, objective));
+  Optimizer optimizer(options);
+  XPDL_ASSIGN_OR_RETURN(std::vector<Solution> top,
+                        optimizer.minimize_top(build.problem, 0, n));
+  std::vector<RankedConfiguration> ranked;
+  ranked.reserve(top.size());
+  for (const Solution& s : top) {
+    RankedConfiguration rc;
+    rc.objective = s.value;
+    for (std::size_t v : build.open_vars) {
+      rc.values_si.emplace(build.problem.variables()[v].name,
+                           build.problem.variables()[v].choices[s.choice[v]]
+                               .value);
+    }
+    ranked.push_back(std::move(rc));
+  }
+  return ranked;
+}
+
+}  // namespace xpdl::opt

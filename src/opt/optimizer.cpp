@@ -1,0 +1,685 @@
+// The optimization backends (see include/xpdl/opt/opt.h):
+//
+//  * exhaustive — lexicographic odometer over the full choice space.
+//  * branch-and-bound — DFS in choice-index order. Two pruning engines:
+//    objective lower bounds (tables: constant + sum/max of the per-variable
+//    minima over the still-live choices; expressions: forward interval
+//    evaluation of the compiled tape over the live hulls), and — when the
+//    problem has expression constraints — `xpdl::solve` HC4 propagation on
+//    a mirrored solve problem whose domains are reset to the live values
+//    at every node. The incumbent tightens a synthesized bound constraint
+//    `(objective) < __xpdl_opt_bound` (the bound variable's singleton
+//    domain *is* the incumbent cost), so propagation deletes choice values
+//    that no better-than-incumbent completion can use.
+//
+// Both backends visit full assignments in the same lexicographic order
+// and accept through the same exact-evaluation path, so they return the
+// identical optimum and the identical (lexicographically first) witness —
+// the property sweep in tests/test_opt.cpp pins this.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xpdl/obs/metrics.h"
+#include "xpdl/opt/opt.h"
+#include "xpdl/solve/interval.h"
+#include "xpdl/solve/solve.h"
+#include "xpdl/util/expr.h"
+
+namespace xpdl::opt {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Name of the synthesized solve variable carrying the incumbent cost.
+constexpr std::string_view kBoundVariable = "__xpdl_opt_bound";
+
+// ---------------------------------------------------------------------------
+// Forward interval evaluation of a compiled solve tape over a box.
+//
+// Returns a superset of the values the expression can take when each
+// variable ranges over its hull. The empty interval means the expression
+// has *no* defined value anywhere in the box (every point errors) — the
+// per-operation emptiness rules below are only ever that strong (e.g.
+// division returns empty only when the divisor is identically zero).
+
+using solve::Interval;
+using solve::internal::Op;
+using solve::internal::Tape;
+
+/// Three-valued truth of a boolean-producing interval.
+struct Truth {
+  bool may_true = true;
+  bool may_false = true;
+};
+
+Truth truth_of(Interval v) {
+  if (v.is_empty()) return {false, false};
+  return {!(v.lo == 0.0 && v.hi == 0.0), v.contains(0.0)};
+}
+
+Interval from_truth(Truth t) {
+  if (!t.may_true && !t.may_false) return Interval::empty();
+  if (!t.may_false) return Interval::singleton(1.0);
+  if (!t.may_true) return Interval::singleton(0.0);
+  return {0.0, 1.0};
+}
+
+Interval forward_eval(const Tape& tape, std::int32_t node,
+                      const std::vector<Interval>& box) {
+  const solve::internal::TapeNode& n = tape.nodes[static_cast<std::size_t>(node)];
+  const auto kid = [&](std::size_t k) {
+    return forward_eval(tape, n.kids[k], box);
+  };
+  switch (n.op) {
+    case Op::kNumber:
+      // A NaN literal cannot come out of the parser, but stay
+      // conservative: NaN is a defined (if useless) value, not an error.
+      return std::isnan(n.number) ? Interval::whole()
+                                  : Interval::singleton(n.number);
+    case Op::kVariable:
+      return box[static_cast<std::size_t>(n.var)];
+    case Op::kNegate:
+      return solve::neg(kid(0));
+    case Op::kNot: {
+      const Truth t = truth_of(kid(0));
+      // !x is true iff x == 0.
+      return from_truth({t.may_false, t.may_true});
+    }
+    case Op::kAdd:
+      return solve::add(kid(0), kid(1));
+    case Op::kSub:
+      return solve::sub(kid(0), kid(1));
+    case Op::kMul:
+      return solve::mul(kid(0), kid(1));
+    case Op::kDiv:
+      return solve::div(kid(0), kid(1));
+    case Op::kMod:
+      return solve::mod(kid(0), kid(1));
+    case Op::kEq: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.hi < b.lo || b.hi < a.lo) return Interval::singleton(0.0);
+      if (a.is_singleton() && b.is_singleton() && a.lo == b.lo) {
+        return Interval::singleton(1.0);
+      }
+      return {0.0, 1.0};
+    }
+    case Op::kNe: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.hi < b.lo || b.hi < a.lo) return Interval::singleton(1.0);
+      if (a.is_singleton() && b.is_singleton() && a.lo == b.lo) {
+        return Interval::singleton(0.0);
+      }
+      return {0.0, 1.0};
+    }
+    case Op::kLt: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.hi < b.lo) return Interval::singleton(1.0);
+      if (a.lo >= b.hi) return Interval::singleton(0.0);
+      return {0.0, 1.0};
+    }
+    case Op::kLe: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.hi <= b.lo) return Interval::singleton(1.0);
+      if (a.lo > b.hi) return Interval::singleton(0.0);
+      return {0.0, 1.0};
+    }
+    case Op::kGt: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.lo > b.hi) return Interval::singleton(1.0);
+      if (a.hi <= b.lo) return Interval::singleton(0.0);
+      return {0.0, 1.0};
+    }
+    case Op::kGe: {
+      const Interval a = kid(0);
+      const Interval b = kid(1);
+      if (a.is_empty() || b.is_empty()) return Interval::empty();
+      if (a.lo >= b.hi) return Interval::singleton(1.0);
+      if (a.hi < b.lo) return Interval::singleton(0.0);
+      return {0.0, 1.0};
+    }
+    case Op::kAnd: {
+      // Exact semantics short-circuit: a false left operand yields 0
+      // without touching the right one, an erroring left operand always
+      // errors. Mirror that so emptiness stays sound.
+      const Truth a = truth_of(kid(0));
+      if (!a.may_true && !a.may_false) return Interval::empty();
+      if (!a.may_true) return Interval::singleton(0.0);
+      const Truth b = truth_of(kid(1));
+      const bool may_true = a.may_true && b.may_true;
+      const bool may_false = a.may_false || b.may_false;
+      return from_truth({may_true, may_false});
+    }
+    case Op::kOr: {
+      const Truth a = truth_of(kid(0));
+      if (!a.may_true && !a.may_false) return Interval::empty();
+      if (!a.may_false) return Interval::singleton(1.0);
+      const Truth b = truth_of(kid(1));
+      const bool may_true = a.may_true || b.may_true;
+      const bool may_false = a.may_false && b.may_false;
+      return from_truth({may_true, may_false});
+    }
+    case Op::kMin:
+      return solve::min(kid(0), kid(1));
+    case Op::kMax:
+      return solve::max(kid(0), kid(1));
+    case Op::kAbs:
+      return solve::abs(kid(0));
+    case Op::kFloor:
+      return solve::floor(kid(0));
+    case Op::kCeil:
+      return solve::ceil(kid(0));
+    case Op::kRound:
+      return solve::round(kid(0));
+    case Op::kSqrt:
+      return solve::sqrt(kid(0));
+    case Op::kPow:
+      return solve::pow(kid(0), kid(1));
+    case Op::kLog2:
+      return solve::log2(kid(0));
+    case Op::kError:
+      return Interval::empty();
+  }
+  return Interval::whole();
+}
+
+// ---------------------------------------------------------------------------
+// The mirrored solve problem used for constraint propagation.
+
+struct Mirror {
+  bool active = false;
+  solve::Problem base;  ///< variables 0..n-1 align with the opt variables
+  /// Index of the `__xpdl_opt_bound` variable, or -1 when the minimized
+  /// objective is a table (tables are bounded directly, not via solve).
+  std::int32_t bound_var = -1;
+  /// Synthesized limit variables and their fixed values; propagation may
+  /// wipe them out at an infeasible node, so every node restores them.
+  std::vector<std::pair<std::size_t, double>> fixed;
+};
+
+/// One compiled expression objective: a tape whose variable slots align
+/// with the opt variable indices.
+struct CompiledExpression {
+  solve::Problem holder;  ///< owns the tape
+  const Tape* tape = nullptr;
+};
+
+enum class Mode : std::uint8_t { kMinimize, kTop, kPareto };
+
+struct Search {
+  const Problem& problem;
+  const Optimizer::Options& options;
+  Mode mode = Mode::kMinimize;
+  std::size_t target_a = 0;  ///< minimized objective (first, for pareto)
+  std::size_t target_b = 0;  ///< second pareto objective
+  std::size_t top_n = 1;     ///< capacity in kTop mode
+
+  Stats stats;
+  bool exhausted = false;
+
+  /// Objectives whose lower bound is worth computing at every node: the
+  /// minimized target(s) plus every limited objective.
+  std::vector<std::size_t> bounded;
+  /// Compiled tapes of the expression objectives (empty slot otherwise).
+  std::vector<CompiledExpression> compiled;
+
+  Mirror mirror;
+  solve::Solver propagator;
+
+  /// kMinimize: the incumbent. kTop: up to `top_n` solutions sorted by
+  /// (value asc, arrival == lexicographic order). kPareto: the archive.
+  std::vector<Solution> pool;
+
+  std::vector<std::size_t> prefix;  ///< fixed choice per assigned variable
+
+  explicit Search(const Problem& p, const Optimizer::Options& o)
+      : problem(p), options(o) {}
+
+  // -- setup ----------------------------------------------------------------
+
+  Status prepare() {
+    const auto& vars = problem.variables();
+    for (const DecisionVariable& v : vars) {
+      if (v.choices.empty()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "variable '" + v.name + "' has no choices");
+      }
+    }
+    bounded.push_back(target_a);
+    if (mode == Mode::kPareto && target_b != target_a) {
+      bounded.push_back(target_b);
+    }
+    for (std::size_t o = 0; o < problem.objective_count(); ++o) {
+      if (problem.objective(o).limit.has_value() &&
+          std::find(bounded.begin(), bounded.end(), o) == bounded.end()) {
+        bounded.push_back(o);
+      }
+    }
+    compiled.resize(problem.objective_count());
+    for (std::size_t o : bounded) {
+      const auto& obj = problem.objective(o);
+      if (!obj.expression.has_value()) continue;
+      CompiledExpression ce;
+      for (const DecisionVariable& v : vars) {
+        ce.holder.add_variable(v.name, solve::Domain::interval(-kInf, kInf));
+      }
+      ce.holder.add_constraint(*obj.expression);
+      compiled[o].holder = std::move(ce.holder);
+      compiled[o].tape = &compiled[o].holder.tape(0);
+    }
+    return Status::ok();
+  }
+
+  Status build_mirror() {
+    const bool target_is_expr =
+        problem.objective(target_a).expression.has_value() &&
+        mode != Mode::kPareto;
+    bool expr_limit = false;
+    for (std::size_t o = 0; o < problem.objective_count(); ++o) {
+      expr_limit |= problem.objective(o).expression.has_value() &&
+                    problem.objective(o).limit.has_value();
+    }
+    if (problem.constraint_count() == 0 && !target_is_expr && !expr_limit) {
+      return Status::ok();  // nothing propagation could use
+    }
+    for (const DecisionVariable& v : problem.variables()) {
+      std::vector<double> values;
+      values.reserve(v.choices.size());
+      for (const Choice& c : v.choices) values.push_back(c.value);
+      mirror.base.add_variable(v.name, solve::Domain::values(std::move(values)));
+    }
+    for (const expr::Expression& c : problem.constraints()) {
+      mirror.base.add_constraint(c);
+    }
+    for (std::size_t o = 0; o < problem.objective_count(); ++o) {
+      if (!problem.objective(o).expression.has_value() ||
+          !problem.objective(o).limit.has_value()) {
+        continue;
+      }
+      const std::string name =
+          "__xpdl_opt_limit_" + std::to_string(o);
+      mirror.fixed.emplace_back(
+          mirror.base.add_variable(
+              name, solve::Domain::singleton(*problem.objective(o).limit)),
+          *problem.objective(o).limit);
+      XPDL_ASSIGN_OR_RETURN(
+          expr::Expression capped,
+          expr::Expression::parse(
+              "(" + problem.objective(o).expression->source() + ") <= " +
+              name));
+      mirror.base.add_constraint(capped);
+    }
+    if (target_is_expr) {
+      mirror.bound_var = static_cast<std::int32_t>(mirror.base.add_variable(
+          std::string(kBoundVariable), solve::Domain::singleton(kInf)));
+      XPDL_ASSIGN_OR_RETURN(
+          expr::Expression bound,
+          expr::Expression::parse(
+              "(" + problem.objective(target_a).expression->source() +
+              ") < " + std::string(kBoundVariable)));
+      mirror.base.add_constraint(bound);
+    }
+    mirror.active = true;
+    return Status::ok();
+  }
+
+  // -- incumbent / archive --------------------------------------------------
+
+  /// The cost a new point must beat strictly; +inf while unbounded.
+  double scalar_bound() const {
+    if (mode == Mode::kMinimize) {
+      return pool.empty() ? kInf : pool.front().value;
+    }
+    if (mode == Mode::kTop) {
+      return pool.size() < top_n ? kInf : pool.back().value;
+    }
+    return kInf;
+  }
+
+  Result<Solution> leaf_solution() {
+    Solution s;
+    s.choice = prefix;
+    const auto& vars = problem.variables();
+    s.assignment.reserve(vars.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      s.assignment.emplace_back(vars[v].name,
+                                vars[v].choices[prefix[v]].label);
+    }
+    s.values.reserve(problem.objective_count());
+    for (std::size_t o = 0; o < problem.objective_count(); ++o) {
+      XPDL_ASSIGN_OR_RETURN(double value, problem.objective_value(o, prefix));
+      s.values.push_back(value);
+    }
+    s.value = s.values[target_a];
+    return s;
+  }
+
+  void accept_leaf() {
+    ++stats.leaves;
+    if (!problem.feasible(prefix)) return;
+    auto solution = leaf_solution();
+    if (!solution.is_ok()) return;  // an objective errors: infeasible
+    Solution s = std::move(solution).value();
+    switch (mode) {
+      case Mode::kMinimize:
+        // Strictly better only: ties keep the earlier (lexicographically
+        // first) witness.
+        if (pool.empty() || s.value < pool.front().value) {
+          pool.assign(1, std::move(s));
+          ++stats.incumbents;
+        }
+        break;
+      case Mode::kTop: {
+        if (pool.size() >= top_n && !(s.value < pool.back().value)) break;
+        // upper_bound keeps arrival (= lexicographic) order among equal
+        // values.
+        auto at = std::upper_bound(
+            pool.begin(), pool.end(), s.value,
+            [](double v, const Solution& q) { return v < q.value; });
+        pool.insert(at, std::move(s));
+        if (pool.size() > top_n) pool.pop_back();
+        ++stats.incumbents;
+        break;
+      }
+      case Mode::kPareto: {
+        const double a = s.values[target_a];
+        const double b = s.values[target_b];
+        for (const Solution& q : pool) {
+          if (q.values[target_a] <= a && q.values[target_b] <= b) {
+            return;  // weakly dominated (covers exact duplicates)
+          }
+        }
+        std::erase_if(pool, [&](const Solution& q) {
+          return a <= q.values[target_a] && b <= q.values[target_b];
+        });
+        pool.push_back(std::move(s));
+        ++stats.incumbents;
+        break;
+      }
+    }
+  }
+
+  // -- node pruning ---------------------------------------------------------
+
+  /// Lower bound of objective `o` over the remaining live choices; empty
+  /// optional when every completion errors (expression objectives only).
+  std::optional<double> lower_bound(
+      std::size_t o, const std::vector<std::vector<std::size_t>>& live) {
+    const auto& obj = problem.objective(o);
+    const auto& vars = problem.variables();
+    if (obj.expression.has_value()) {
+      std::vector<Interval> box(vars.size());
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        double lo = kInf;
+        double hi = -kInf;
+        for (std::size_t c : live[v]) {
+          lo = std::min(lo, vars[v].choices[c].value);
+          hi = std::max(hi, vars[v].choices[c].value);
+        }
+        box[v] = {lo, hi};
+      }
+      const Tape& tape = *compiled[o].tape;
+      const Interval r = forward_eval(tape, tape.root, box);
+      if (r.is_empty()) return std::nullopt;
+      return r.lo;
+    }
+    // Table: the per-variable minima combine monotonically, and summing in
+    // variable order under IEEE rounding never exceeds the exact sum at
+    // any completion built from the same choices.
+    double acc = obj.constant;
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      double m = kInf;
+      for (std::size_t c : live[v]) m = std::min(m, obj.terms[v][c]);
+      acc = obj.combine == Combine::kSum ? acc + m : std::max(acc, m);
+    }
+    return acc;
+  }
+
+  /// True when the subtree cannot contain an accepted point. Branches on
+  /// the mode's acceptance rule with the lower bounds of the minimized
+  /// objectives.
+  bool bound_pruned(const std::vector<double>& lb) {
+    switch (mode) {
+      case Mode::kMinimize:
+      case Mode::kTop:
+        return !(lb[0] < scalar_bound());
+      case Mode::kPareto: {
+        const double a = lb[0];
+        const double b = lb[1];
+        for (const Solution& q : pool) {
+          if (q.values[target_a] <= a && q.values[target_b] <= b) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  /// Runs solve propagation on the mirror over the live values and filters
+  /// the live sets in place. Returns false when the node is infeasible.
+  bool propagate(std::vector<std::vector<std::size_t>>& live) {
+    const auto& vars = problem.variables();
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      std::vector<double> values;
+      values.reserve(live[v].size());
+      for (std::size_t c : live[v]) values.push_back(vars[v].choices[c].value);
+      mirror.base.set_domain(v, solve::Domain::values(std::move(values)));
+    }
+    for (const auto& [fv, value] : mirror.fixed) {
+      mirror.base.set_domain(fv, solve::Domain::singleton(value));
+    }
+    if (mirror.bound_var >= 0) {
+      mirror.base.set_domain(static_cast<std::size_t>(mirror.bound_var),
+                             solve::Domain::singleton(scalar_bound()));
+    }
+    ++stats.propagations;
+    if (!propagator.prune(mirror.base)) return false;
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      const solve::Domain& d = mirror.base.domain(v);
+      std::erase_if(live[v], [&](std::size_t c) {
+        return !d.contains(vars[v].choices[c].value);
+      });
+      if (live[v].empty()) return false;
+    }
+    return true;
+  }
+
+  // -- the walk -------------------------------------------------------------
+
+  void dfs(std::size_t depth, std::vector<std::vector<std::size_t>> live) {
+    if (exhausted) return;
+    if (++stats.nodes > options.max_nodes) {
+      exhausted = true;
+      return;
+    }
+    if (mirror.active && !propagate(live)) {
+      ++stats.pruned_infeasible;
+      return;
+    }
+    std::vector<double> lb;
+    lb.reserve(bounded.size());
+    for (std::size_t i = 0; i < bounded.size(); ++i) {
+      const std::size_t o = bounded[i];
+      const auto bound = lower_bound(o, live);
+      if (!bound.has_value()) {
+        ++stats.pruned_infeasible;  // the objective errors everywhere
+        return;
+      }
+      const auto& limit = problem.objective(o).limit;
+      if (limit.has_value() && *bound > *limit) {
+        ++stats.pruned_infeasible;
+        return;
+      }
+      lb.push_back(*bound);
+    }
+    if (bound_pruned(lb)) {
+      ++stats.pruned_bound;
+      return;
+    }
+    if (depth == problem.variables().size()) {
+      accept_leaf();
+      return;
+    }
+    std::vector<std::size_t> branch = std::move(live[depth]);
+    for (std::size_t c : branch) {
+      live[depth].assign(1, c);
+      prefix.push_back(c);
+      dfs(depth + 1, live);
+      prefix.pop_back();
+      if (exhausted) return;
+    }
+  }
+
+  Status run_branch_and_bound() {
+    XPDL_RETURN_IF_ERROR(prepare());
+    XPDL_RETURN_IF_ERROR(build_mirror());
+    const auto& vars = problem.variables();
+    std::vector<std::vector<std::size_t>> live(vars.size());
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      live[v].resize(vars[v].choices.size());
+      for (std::size_t c = 0; c < live[v].size(); ++c) live[v][c] = c;
+    }
+    prefix.clear();
+    prefix.reserve(vars.size());
+    dfs(0, std::move(live));
+    return Status::ok();
+  }
+
+  Status run_exhaustive() {
+    XPDL_RETURN_IF_ERROR(prepare());
+    const std::uint64_t points = problem.space_size();
+    if (points > options.max_exhaustive_points) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "choice space of " + std::to_string(points) +
+                        " points exceeds the exhaustive backend's limit of " +
+                        std::to_string(options.max_exhaustive_points));
+    }
+    const auto& vars = problem.variables();
+    prefix.assign(vars.size(), 0);
+    while (true) {
+      ++stats.nodes;
+      accept_leaf();
+      // Lexicographic odometer: the last variable spins fastest.
+      std::size_t v = vars.size();
+      while (v > 0) {
+        --v;
+        if (++prefix[v] < vars[v].choices.size()) break;
+        prefix[v] = 0;
+        if (v == 0) return Status::ok();
+      }
+      if (vars.empty()) return Status::ok();
+    }
+  }
+
+  Status run(Backend backend) {
+    return backend == Backend::kExhaustive ? run_exhaustive()
+                                           : run_branch_and_bound();
+  }
+};
+
+void record(std::string_view api, const Stats& stats) {
+  XPDL_OBS_COUNT("opt.queries", 1);
+  XPDL_OBS_COUNT(api, 1);
+  XPDL_OBS_COUNT("opt.nodes", static_cast<std::int64_t>(stats.nodes));
+  XPDL_OBS_COUNT("opt.leaves", static_cast<std::int64_t>(stats.leaves));
+  XPDL_OBS_COUNT("opt.pruned_bound",
+                 static_cast<std::int64_t>(stats.pruned_bound));
+  XPDL_OBS_COUNT("opt.pruned_infeasible",
+                 static_cast<std::int64_t>(stats.pruned_infeasible));
+  XPDL_OBS_COUNT("opt.propagations",
+                 static_cast<std::int64_t>(stats.propagations));
+  XPDL_OBS_COUNT("opt.incumbents",
+                 static_cast<std::int64_t>(stats.incumbents));
+}
+
+Status check_objective(const Problem& problem, std::size_t objective) {
+  if (objective >= problem.objective_count()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "objective index " + std::to_string(objective) +
+                      " out of range (" +
+                      std::to_string(problem.objective_count()) +
+                      " objectives)");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<MinimizeResult> Optimizer::minimize(const Problem& problem,
+                                           std::size_t objective) const {
+  XPDL_RETURN_IF_ERROR(check_objective(problem, objective));
+  Search search(problem, options_);
+  search.mode = Mode::kMinimize;
+  search.target_a = objective;
+  XPDL_RETURN_IF_ERROR(search.run(options_.backend));
+  record("opt.minimize", search.stats);
+  MinimizeResult result;
+  result.stats = search.stats;
+  result.exhausted_budget = search.exhausted;
+  if (!search.pool.empty()) result.best = std::move(search.pool.front());
+  return result;
+}
+
+Result<std::vector<Solution>> Optimizer::minimize_top(const Problem& problem,
+                                                      std::size_t objective,
+                                                      std::size_t n) const {
+  XPDL_RETURN_IF_ERROR(check_objective(problem, objective));
+  if (n == 0) return std::vector<Solution>{};
+  Search search(problem, options_);
+  search.mode = Mode::kTop;
+  search.target_a = objective;
+  search.top_n = n;
+  XPDL_RETURN_IF_ERROR(search.run(options_.backend));
+  record("opt.top", search.stats);
+  if (search.exhausted) {
+    return Status(ErrorCode::kUnavailable,
+                  "optimization exceeded the node budget");
+  }
+  return std::move(search.pool);
+}
+
+Result<ParetoResult> Optimizer::pareto(const Problem& problem,
+                                       std::size_t objective_a,
+                                       std::size_t objective_b) const {
+  XPDL_RETURN_IF_ERROR(check_objective(problem, objective_a));
+  XPDL_RETURN_IF_ERROR(check_objective(problem, objective_b));
+  if (objective_a == objective_b) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "pareto needs two distinct objectives");
+  }
+  Search search(problem, options_);
+  search.mode = Mode::kPareto;
+  search.target_a = objective_a;
+  search.target_b = objective_b;
+  XPDL_RETURN_IF_ERROR(search.run(options_.backend));
+  record("opt.pareto", search.stats);
+  ParetoResult result;
+  result.stats = search.stats;
+  result.exhausted_budget = search.exhausted;
+  result.front = std::move(search.pool);
+  // The canonical staircase: first objective ascending. Ties cannot
+  // survive in the archive (equal-a points dominate one another), so the
+  // order is total.
+  std::sort(result.front.begin(), result.front.end(),
+            [&](const Solution& x, const Solution& y) {
+              return x.values[objective_a] < y.values[objective_a];
+            });
+  return result;
+}
+
+}  // namespace xpdl::opt

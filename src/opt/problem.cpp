@@ -1,0 +1,173 @@
+// opt::Problem — the explicit discrete optimization problem (see
+// include/xpdl/opt/opt.h). Exact-evaluation semantics live here; the
+// search backends are in optimizer.cpp.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "xpdl/opt/opt.h"
+
+namespace xpdl::opt {
+
+namespace {
+
+/// Resolver over a full assignment: variable name -> chosen value.
+expr::VariableResolver make_resolver(
+    const std::vector<DecisionVariable>& vars,
+    const std::vector<std::size_t>& point,
+    std::map<std::string_view, double>& cache) {
+  cache.clear();
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    // First variable of a name wins, matching solve::Problem lookups.
+    cache.emplace(vars[v].name, vars[v].choices[point[v]].value);
+  }
+  return [&cache](std::string_view name) -> Result<double> {
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "unknown variable '" + std::string(name) + "'");
+    }
+    return it->second;
+  };
+}
+
+}  // namespace
+
+std::size_t Problem::add_variable(std::string name,
+                                  std::vector<Choice> choices) {
+  vars_.push_back({std::move(name), std::move(choices)});
+  return vars_.size() - 1;
+}
+
+Result<std::size_t> Problem::add_table_objective(
+    std::string name, Combine combine, std::vector<std::vector<double>> terms,
+    double constant) {
+  if (terms.size() != vars_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "objective '" + name + "': " + std::to_string(terms.size()) +
+                      " term rows for " + std::to_string(vars_.size()) +
+                      " variables");
+  }
+  for (std::size_t v = 0; v < terms.size(); ++v) {
+    if (terms[v].size() != vars_[v].choices.size()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "objective '" + name + "': row for variable '" +
+                        vars_[v].name + "' has " +
+                        std::to_string(terms[v].size()) + " terms for " +
+                        std::to_string(vars_[v].choices.size()) + " choices");
+    }
+  }
+  Objective o;
+  o.name = std::move(name);
+  o.combine = combine;
+  o.constant = constant;
+  o.terms = std::move(terms);
+  objectives_.push_back(std::move(o));
+  return objectives_.size() - 1;
+}
+
+Result<std::size_t> Problem::add_expression_objective(
+    std::string name, const expr::Expression& expression) {
+  for (const std::string& ref : expression.variables()) {
+    const auto known = [&] {
+      for (const DecisionVariable& v : vars_) {
+        if (v.name == ref) return true;
+      }
+      return false;
+    }();
+    if (!known) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "objective '" + name + "' references '" + ref +
+                        "', which is not a decision variable");
+    }
+  }
+  Objective o;
+  o.name = std::move(name);
+  o.expression = expression;
+  objectives_.push_back(std::move(o));
+  return objectives_.size() - 1;
+}
+
+Result<std::size_t> Problem::add_constraint(
+    const expr::Expression& expression) {
+  for (const std::string& ref : expression.variables()) {
+    const auto known = [&] {
+      for (const DecisionVariable& v : vars_) {
+        if (v.name == ref) return true;
+      }
+      return false;
+    }();
+    if (!known) {
+      return Status(ErrorCode::kUnresolvedRef,
+                    "constraint '" + expression.source() + "' references '" +
+                        ref + "', which is not a decision variable");
+    }
+  }
+  constraints_.push_back(expression);
+  return constraints_.size() - 1;
+}
+
+void Problem::add_limit(std::size_t objective, double max_value) {
+  objectives_[objective].limit = max_value;
+}
+
+std::int32_t Problem::find_objective(std::string_view name) const noexcept {
+  for (std::size_t o = 0; o < objectives_.size(); ++o) {
+    if (objectives_[o].name == name) return static_cast<std::int32_t>(o);
+  }
+  return -1;
+}
+
+std::uint64_t Problem::space_size() const noexcept {
+  std::uint64_t total = 1;
+  for (const DecisionVariable& v : vars_) {
+    const std::uint64_t n = v.choices.size();
+    if (n == 0) return 0;
+    if (total > kHugeSpace / n) return kHugeSpace;
+    total *= n;
+  }
+  return total;
+}
+
+Result<double> Problem::objective_value(
+    std::size_t objective, const std::vector<std::size_t>& point) const {
+  if (point.size() != vars_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "point has " + std::to_string(point.size()) +
+                      " choices for " + std::to_string(vars_.size()) +
+                      " variables");
+  }
+  const Objective& o = objectives_[objective];
+  if (o.expression.has_value()) {
+    std::map<std::string_view, double> cache;
+    return o.expression->evaluate(make_resolver(vars_, point, cache));
+  }
+  double acc = o.constant;
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    const double t = o.terms[v][point[v]];
+    acc = o.combine == Combine::kSum ? acc + t : std::max(acc, t);
+  }
+  return acc;
+}
+
+bool Problem::feasible(const std::vector<std::size_t>& point) const {
+  if (point.size() != vars_.size()) return false;
+  std::map<std::string_view, double> cache;
+  for (const expr::Expression& c : constraints_) {
+    auto holds = c.evaluate_bool(make_resolver(vars_, point, cache));
+    if (!holds.is_ok() || !holds.value()) return false;
+  }
+  for (std::size_t o = 0; o < objectives_.size(); ++o) {
+    if (!objectives_[o].limit.has_value()) continue;
+    auto value = objective_value(o, point);
+    // NaN compares false against the limit, so error points and undefined
+    // values are both infeasible here.
+    if (!value.is_ok() || !(value.value() <= *objectives_[o].limit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xpdl::opt

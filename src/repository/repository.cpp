@@ -207,14 +207,19 @@ Result<ScanReport> Repository::scan(const ScanOptions& options) {
     }
     slot.read_ok = true;
     slot.key = cache::content_key(f, *text);
-    if (auto snap = snapshots.load(cache::Kind::kDescriptor, slot.key)) {
-      slot.root = std::move(snap->root);
-      slot.warnings = std::move(snap->warnings);
-      slot.from_cache = true;
-      return;
+    // Tiny descriptors re-parse faster than their snapshot restores
+    // (second open + the same tree rebuild); bypass the cache for them.
+    const bool snapshot_pays = !snapshots.below_threshold(text->size());
+    if (snapshot_pays) {
+      if (auto snap = snapshots.load(cache::Kind::kDescriptor, slot.key)) {
+        slot.root = std::move(snap->root);
+        slot.warnings = std::move(snap->warnings);
+        slot.from_cache = true;
+        return;
+      }
     }
     slot.status = parse_and_validate(f, *text, slot.root, slot.warnings);
-    if (slot.status.is_ok()) {
+    if (slot.status.is_ok() && snapshot_pays) {
       // Only clean parses are snapshotted; their warnings ride along so
       // a warm run replays identical diagnostics.
       snapshots.store(cache::Kind::kDescriptor, slot.key, *slot.root,
@@ -314,7 +319,10 @@ Result<const xml::Element*> Repository::load_file(const std::string& path) {
 
   std::unique_ptr<xml::Element> root;
   std::vector<std::string> file_warnings;
-  if (auto snap = snapshots.load(cache::Kind::kDescriptor, key)) {
+  const bool snapshot_pays = !snapshots.below_threshold(text.size());
+  std::optional<cache::Snapshot> snap;
+  if (snapshot_pays) snap = snapshots.load(cache::Kind::kDescriptor, key);
+  if (snap) {
     root = std::move(snap->root);
     file_warnings = std::move(snap->warnings);
   } else {
@@ -323,7 +331,9 @@ Result<const xml::Element*> Repository::load_file(const std::string& path) {
       for (std::string& w : file_warnings) warnings_.push_back(std::move(w));
       return st;
     }
-    snapshots.store(cache::Kind::kDescriptor, key, *root, file_warnings);
+    if (snapshot_pays) {
+      snapshots.store(cache::Kind::kDescriptor, key, *root, file_warnings);
+    }
   }
   for (std::string& w : file_warnings) warnings_.push_back(std::move(w));
 

@@ -532,6 +532,30 @@ struct Reviser {
   std::vector<Interval>& box;
   bool conflict = false;
 
+  /// Magnitude scale of an interval's finite bounds (0 when none).
+  static double mag(Interval iv) noexcept {
+    double m = 0.0;
+    if (std::isfinite(iv.lo)) m = std::max(m, std::fabs(iv.lo));
+    if (std::isfinite(iv.hi)) m = std::max(m, std::fabs(iv.hi));
+    return m;
+  }
+
+  /// Outward widening of a backward-projected requirement. The forward
+  /// tape evaluates in round-to-nearest doubles, so inverting it with
+  /// the same arithmetic can miss the true preimage by a few ulps of
+  /// the *intermediate* magnitudes (requiring x from `c - x = r`
+  /// round-trips through |c|, which may dwarf |x|). Pruning may only
+  /// drop points that definitely violate the constraint, so pad the
+  /// requirement by a relative epsilon of every involved magnitude —
+  /// the exact evaluator has the final word at any single point anyway.
+  static Interval widen(Interval r, double scale) noexcept {
+    if (r.is_empty()) return r;
+    const double eps = 16.0 * std::numeric_limits<double>::epsilon() *
+                           std::max(mag(r), scale) +
+                       std::numeric_limits<double>::denorm_min();
+    return {r.lo - eps, r.hi + eps};
+  }
+
   void narrow_var(std::int32_t var, Interval req) {
     Interval n = intersect(box[var], req);
     if (n.is_empty()) conflict = true;
@@ -559,17 +583,23 @@ struct Reviser {
       case Op::kNegate:
         narrow_num(n.kids[0], neg(cur));
         return;
-      case Op::kAdd:
-        narrow_num(n.kids[0], sub(cur, fwd[n.kids[1]].iv));
-        narrow_num(n.kids[1], sub(cur, fwd[n.kids[0]].iv));
+      case Op::kAdd: {
+        const Interval l = fwd[n.kids[0]].iv;
+        const Interval r = fwd[n.kids[1]].iv;
+        narrow_num(n.kids[0], widen(sub(cur, r), std::max(mag(cur), mag(r))));
+        narrow_num(n.kids[1], widen(sub(cur, l), std::max(mag(cur), mag(l))));
         return;
-      case Op::kSub:
-        narrow_num(n.kids[0], add(cur, fwd[n.kids[1]].iv));
-        narrow_num(n.kids[1], sub(fwd[n.kids[0]].iv, cur));
+      }
+      case Op::kSub: {
+        const Interval l = fwd[n.kids[0]].iv;
+        const Interval r = fwd[n.kids[1]].iv;
+        narrow_num(n.kids[0], widen(add(cur, r), std::max(mag(cur), mag(r))));
+        narrow_num(n.kids[1], widen(sub(l, cur), std::max(mag(cur), mag(l))));
         return;
+      }
       case Op::kMul: {
-        Interval a = div(cur, fwd[n.kids[1]].iv);
-        Interval b = div(cur, fwd[n.kids[0]].iv);
+        Interval a = widen(div(cur, fwd[n.kids[1]].iv), 0.0);
+        Interval b = widen(div(cur, fwd[n.kids[0]].iv), 0.0);
         // Extended division yields the whole line (no information) when
         // the divisor straddles zero; 0/0 additionally loses the zero
         // solution, so only narrow through a non-zero-straddling factor.
@@ -578,9 +608,9 @@ struct Reviser {
         return;
       }
       case Op::kDiv:
-        narrow_num(n.kids[0], mul(cur, fwd[n.kids[1]].iv));
+        narrow_num(n.kids[0], widen(mul(cur, fwd[n.kids[1]].iv), 0.0));
         if (!cur.contains(0.0)) {
-          narrow_num(n.kids[1], div(fwd[n.kids[0]].iv, cur));
+          narrow_num(n.kids[1], widen(div(fwd[n.kids[0]].iv, cur), 0.0));
         }
         return;
       case Op::kAbs: {
@@ -598,11 +628,11 @@ struct Reviser {
           conflict = true;
           return;
         }
-        narrow_num(n.kids[0], {pos.lo * pos.lo, pos.hi * pos.hi});
+        narrow_num(n.kids[0], widen({pos.lo * pos.lo, pos.hi * pos.hi}, 0.0));
         return;
       }
       case Op::kLog2:
-        narrow_num(n.kids[0], {std::exp2(cur.lo), std::exp2(cur.hi)});
+        narrow_num(n.kids[0], widen({std::exp2(cur.lo), std::exp2(cur.hi)}, 0.0));
         return;
       case Op::kFloor:
         narrow_num(n.kids[0], {cur.lo, cur.hi + 1.0});

@@ -33,6 +33,8 @@
 #include "xpdl/model/power.h"
 #include "xpdl/net/http_transport.h"
 #include "xpdl/obs/report.h"
+#include "xpdl/opt/engine.h"
+#include "xpdl/util/expr.h"
 #include "xpdl/pdl/pdl.h"
 #include "xpdl/repository/repository.h"
 #include "xpdl/runtime/model.h"
@@ -52,7 +54,12 @@ struct Args {
   std::string drivers_dir;
   std::string dot_out;
   std::string uml_out;
-  std::string configurations;  ///< "", "all" or "first"
+  std::string configurations;  ///< "", "all", "first" or "best"
+  std::size_t best_n = 1;      ///< N of --configurations=best:N
+  std::string objective;       ///< expression for --configurations=best
+  std::string optimize;        ///< "", "energy", "makespan" or "pareto"
+  double cycles = 1e9;         ///< work per power domain for --optimize
+  double deadline_s = 0.0;     ///< makespan limit for --optimize (0 = none)
   bool bootstrap = false;
   bool analyze = false;
   bool print_xml = false;
@@ -66,7 +73,10 @@ void usage() {
       "             [--out FILE.xpdlrt] [--bootstrap] [--analyze]\n"
       "             [--drivers DIR]\n"
       "             [--dot FILE.dot] [--uml FILE.puml] [--print-xml]\n"
-      "             [--configurations[=all|first]]\n"
+      "             [--configurations[=all|first|best[:N]]]\n"
+      "             [--objective EXPR]\n"
+      "             [--optimize=energy|makespan|pareto]\n"
+      "             [--cycles N] [--deadline SECONDS]\n"
       "             [--quiet] [--stats] [--trace FILE.json]\n"
       "             [--strict] [--keep-going] [--fault-plan SPEC]\n"
       "             [--no-cache] [--cache-dir DIR] [--jobs N]\n",
@@ -125,6 +135,33 @@ int main(int argc, char** argv) {
       args.configurations = "all";
     } else if (a == "--configurations=first") {
       args.configurations = "first";
+    } else if (a.rfind("--configurations=best", 0) == 0) {
+      args.configurations = "best";
+      std::string_view rest = a.substr(std::strlen("--configurations=best"));
+      if (!rest.empty()) {
+        if (rest[0] != ':') { usage(); return 2; }
+        char* end = nullptr;
+        args.best_n = std::strtoul(rest.data() + 1, &end, 10);
+        if (end != rest.data() + rest.size() || args.best_n == 0) {
+          usage();
+          return 2;
+        }
+      }
+    } else if (a == "--objective") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.objective = v;
+    } else if (a == "--optimize=energy" || a == "--optimize=makespan" ||
+               a == "--optimize=pareto") {
+      args.optimize = a.substr(std::strlen("--optimize="));
+    } else if (a == "--cycles") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.cycles = std::strtod(v, nullptr);
+    } else if (a == "--deadline") {
+      const char* v = next();
+      if (v == nullptr) { usage(); return 2; }
+      args.deadline_s = std::strtod(v, nullptr);
     } else if (a == "--bootstrap") {
       args.bootstrap = true;
     } else if (a == "--analyze") {
@@ -225,6 +262,35 @@ int main(int argc, char** argv) {
       }
       std::printf("  %s\n", line.c_str());
     };
+    if (args.configurations == "best") {
+      // Ranked mode: branch-and-bound over the declared space, no
+      // enumeration — the N best valid configurations by the objective.
+      if (args.objective.empty()) {
+        std::fprintf(stderr,
+                     "xpdlc: --configurations=best needs --objective EXPR\n");
+        return 2;
+      }
+      auto objective = xpdl::expr::Expression::parse(args.objective);
+      if (!objective.is_ok()) return fail(objective.status());
+      auto ranked = xpdl::opt::rank_configurations(**meta, &repo, *objective,
+                                                   args.best_n);
+      if (!ranked.is_ok()) return fail(ranked.status());
+      if (ranked->empty()) {
+        std::printf("xpdlc: '%s' has no valid configuration\n", ref.c_str());
+        return 0;
+      }
+      std::printf("xpdlc: best %zu configuration(s) of '%s' by '%s':\n",
+                  ranked->size(), ref.c_str(), args.objective.c_str());
+      for (const auto& rc : *ranked) {
+        std::string line;
+        for (const auto& [name, value] : rc.values_si) {
+          if (!line.empty()) line += ", ";
+          line += name + " = " + xpdl::strings::format("%g", value);
+        }
+        std::printf("  objective = %g: %s\n", rc.objective, line.c_str());
+      }
+      return 0;
+    }
     if (args.configurations == "first") {
       auto first = xpdl::compose::first_configuration(**meta, &repo);
       if (!first.is_ok()) return fail(first.status());
@@ -255,7 +321,7 @@ int main(int argc, char** argv) {
   const bool out_only = !args.out.empty() && !args.analyze &&
                         args.drivers_dir.empty() && !args.bootstrap &&
                         args.dot_out.empty() && args.uml_out.empty() &&
-                        !args.print_xml;
+                        !args.print_xml && args.optimize.empty();
   if (out_only) {
     auto artifact = composer.compose_runtime(ref);
     if (!artifact.is_ok()) return fail(artifact.status());
@@ -285,6 +351,75 @@ int main(int argc, char** argv) {
                 composed->ids().size());
     for (const std::string& w : composed->warnings()) {
       std::printf("xpdlc: note: %s\n", w.c_str());
+    }
+  }
+
+  if (!args.optimize.empty()) {
+    // DVFS optimization over the composed model's power state machines
+    // (Sec. V): pick a power state per domain instance minimizing the
+    // requested objective under the optional deadline.
+    auto engine = xpdl::opt::Engine::from_element(composed->root());
+    if (!engine.is_ok()) return fail(engine.status());
+    xpdl::opt::DvfsQuery query;
+    query.cycles = args.cycles;
+    query.deadline_s = args.deadline_s;
+    if (args.optimize == "pareto") {
+      auto front = engine->pareto(query);
+      if (!front.is_ok()) return fail(front.status());
+      std::printf("xpdlc: energy/makespan Pareto front of '%s' "
+                  "(%zu point(s), cycles=%g):\n",
+                  ref.c_str(), front->size(), args.cycles);
+      for (const auto& plan : *front) {
+        std::string states;
+        for (const auto& d : plan.per_domain) {
+          if (!states.empty()) states += ", ";
+          states += d.domain + "=" + d.state;
+        }
+        std::printf("  energy %.6g J, makespan %.6g s: %s\n", plan.energy_j,
+                    plan.time_s, states.c_str());
+      }
+    } else if (args.optimize == "energy") {
+      auto plan = engine->minimize_energy(query);
+      if (!plan.is_ok()) return fail(plan.status());
+      if (!plan->feasible) {
+        std::printf("xpdlc: no power-state assignment of '%s' meets the "
+                    "deadline of %g s\n",
+                    ref.c_str(), args.deadline_s);
+        return xpdl::tools::kExitDataError;
+      }
+      std::printf("xpdlc: minimum-energy plan for '%s' (cycles=%g%s):\n",
+                  ref.c_str(), args.cycles,
+                  args.deadline_s > 0.0
+                      ? xpdl::strings::format(", deadline=%g s",
+                                              args.deadline_s)
+                            .c_str()
+                      : "");
+      for (const auto& d : plan->per_domain) {
+        std::printf("  %s: %s (%.6g s, %.6g J)\n", d.domain.c_str(),
+                    d.state.c_str(), d.time_s, d.energy_j);
+      }
+      std::printf("  total energy %.6g J, makespan %.6g s\n", plan->energy_j,
+                  plan->time_s);
+    } else {  // makespan
+      auto problem = engine->compile(query);
+      if (!problem.is_ok()) return fail(problem.status());
+      xpdl::opt::Optimizer optimizer;
+      auto result = optimizer.minimize(
+          *problem, xpdl::opt::Engine::kMakespanObjective);
+      if (!result.is_ok()) return fail(result.status());
+      if (!result->best.has_value()) {
+        std::printf("xpdlc: '%s' has no feasible power-state assignment\n",
+                    ref.c_str());
+        return xpdl::tools::kExitDataError;
+      }
+      std::printf("xpdlc: minimum-makespan plan for '%s' (cycles=%g):\n",
+                  ref.c_str(), args.cycles);
+      for (const auto& [domain, state] : result->best->assignment) {
+        std::printf("  %s: %s\n", domain.c_str(), state.c_str());
+      }
+      std::printf(
+          "  makespan %.6g s, energy %.6g J\n", result->best->value,
+          result->best->values[xpdl::opt::Engine::kEnergyObjective]);
     }
   }
 

@@ -268,6 +268,9 @@ repository::ScanOptions cached_scan(const std::string& dir,
   options.threads = threads;
   options.cache.enabled = true;
   options.cache.directory = dir;
+  // The fixtures here are deliberately tiny; disable the size threshold
+  // so every file is snapshot-eligible and hit/miss counts are exact.
+  options.cache.min_source_bytes = 0;
   return options;
 }
 
@@ -296,6 +299,39 @@ TEST(CachedScan, WarmScanHitsAndMatchesColdScan) {
   EXPECT_EQ(cold.warnings(), warm.warnings());
   ASSERT_TRUE(cold.content_digest_valid());
   ASSERT_TRUE(warm.content_digest_valid());
+  EXPECT_EQ(cold.content_digest(), warm.content_digest());
+}
+
+TEST(CachedScan, TinySourcesBypassTheSnapshotCache) {
+  // Restoring a descriptor snapshot pays a second file open plus the
+  // same tree rebuild the parser pays, so below min_source_bytes the
+  // scan must neither store nor load snapshots — only files above the
+  // threshold use the cache (EXPERIMENTS.md E16 measures the crossover).
+  std::string big(kCpu);
+  big += "<!-- " + std::string(1600, 'x') + " -->\n";
+  TempDir repo_dir;
+  repo_dir.write("tiny.xpdl", kSystem);  // well under 1 KiB
+  repo_dir.write("big.xpdl", big);       // well over
+  TempDir cache_dir;
+  repository::ScanOptions options = cached_scan(cache_dir.path());
+  options.cache.min_source_bytes = 1024;
+
+  repository::Repository cold({repo_dir.path()});
+  auto cold_report = cold.scan(options);
+  ASSERT_TRUE(cold_report.is_ok());
+  EXPECT_EQ(cold_report->cache_hits, 0u);
+  EXPECT_EQ(cold_report->cache_misses, 2u);
+  EXPECT_EQ(snap_files(cache_dir.path()), 1u);  // only big.xpdl stored
+
+  repository::Repository warm({repo_dir.path()});
+  auto warm_report = warm.scan(options);
+  ASSERT_TRUE(warm_report.is_ok());
+  EXPECT_EQ(warm_report->cache_hits, 1u);    // big.xpdl restored
+  EXPECT_EQ(warm_report->cache_misses, 1u);  // tiny.xpdl re-parsed
+  EXPECT_EQ(snap_files(cache_dir.path()), 1u);
+  EXPECT_EQ(cold.size(), warm.size());
+  EXPECT_EQ(cold.warnings(), warm.warnings());
+  ASSERT_TRUE(cold.content_digest_valid());
   EXPECT_EQ(cold.content_digest(), warm.content_digest());
 }
 

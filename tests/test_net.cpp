@@ -483,6 +483,191 @@ TEST(Server, ConfigureEndpointSolvesParameterSpaces) {
   EXPECT_EQ(bad_mode->status, 400);
 }
 
+TEST(Server, ConfigureModeBestRanksByObjective) {
+  TempDir repo;
+  write_demo_repo(repo);
+  repo.write("net_tune.xpdl", R"(<?xml version="1.0"?>
+<device name="net_tune">
+  <param name="cores" configurable="true" type="integer" range="1, 2, 4"/>
+  <param name="freq" configurable="true" type="integer" range="1, 2, 3"/>
+  <constraints><constraint expr="cores * freq &lt;= 8"/></constraints>
+</device>
+)");
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  HttpClient client;
+  // Minimize 24 / (cores * freq): best valid point is cores=4, freq=2.
+  auto best = client.get(served->base_url +
+                         "/v1/configure/net_tune?mode=best&limit=2"
+                         "&objective=24%20/%20(cores%20*%20freq)");
+  ASSERT_TRUE(best.is_ok()) << best.status().to_string();
+  ASSERT_EQ(best->status, 200) << best->body;
+  auto body = json::parse(best->body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_TRUE(body->find("satisfiable")->as_bool());
+  const json::Array& ranked = body->find("configurations")->as_array();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked[0].find("objective")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(ranked[0].find("values")->find("cores")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(ranked[0].find("values")->find("freq")->as_number(), 2.0);
+  EXPECT_LE(ranked[0].find("objective")->as_number(),
+            ranked[1].find("objective")->as_number());
+
+  // mode=best without an objective is caller error.
+  auto missing =
+      client.get(served->base_url + "/v1/configure/net_tune?mode=best");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_EQ(missing->status, 400);
+
+  // An objective over an unknown parameter is caller error too.
+  auto unknown = client.get(served->base_url +
+                            "/v1/configure/net_tune?mode=best&objective=bogus");
+  ASSERT_TRUE(unknown.is_ok());
+  EXPECT_EQ(unknown->status, 400) << unknown->body;
+}
+
+constexpr std::string_view kNetPowerModel = R"(<?xml version="1.0"?>
+<power_model name="net_pm">
+  <power_state_machine name="psm" power_domain="pd0">
+    <power_states>
+      <power_state name="LO" frequency="1" frequency_unit="GHz"
+                   power="10" power_unit="W"/>
+      <power_state name="HI" frequency="2" frequency_unit="GHz"
+                   power="30" power_unit="W"/>
+    </power_states>
+  </power_state_machine>
+</power_model>
+)";
+
+TEST(Server, OptimizeEndpointAnswersDvfsPlans) {
+  TempDir repo;
+  write_demo_repo(repo);
+  repo.write("net_pm.xpdl", kNetPowerModel);
+  auto service =
+      RepoService::create({repo.path()}, repository::ScanOptions{}, nullptr);
+  ASSERT_TRUE(service.is_ok()) << service.status().to_string();
+
+  auto post = [&](std::string_view ref, std::string_view body) {
+    Request request;
+    request.method = "POST";
+    request.target = "/v1/optimize/" + std::string(ref);
+    request.body = std::string(body);
+    return (*service)->handle(request);
+  };
+
+  // Minimum energy under a deadline only HI meets: 30 W / 2 GHz * 1e9
+  // cycles = 15 J in 0.5 s.
+  Response energy = post(
+      "net_pm", R"({"objective": "energy", "cycles": 1e9, "deadline_s": 0.75})");
+  ASSERT_EQ(energy.status, 200) << energy.body;
+  auto body = json::parse(energy.body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_TRUE(body->find("feasible")->as_bool());
+  EXPECT_DOUBLE_EQ(body->find("energy_j")->as_number(), 15.0);
+  EXPECT_DOUBLE_EQ(body->find("time_s")->as_number(), 0.5);
+  EXPECT_EQ(body->find("states")->find("pd0")->as_string(), "HI");
+  EXPECT_NE(body->find("stats"), nullptr);
+
+  // An empty body defaults to minimum energy: LO wins unconstrained.
+  Response defaults = post("net_pm", "");
+  ASSERT_EQ(defaults.status, 200) << defaults.body;
+  body = json::parse(defaults.body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("states")->find("pd0")->as_string(), "LO");
+
+  // An impossible deadline is a well-formed infeasible answer, not an
+  // error.
+  Response infeasible =
+      post("net_pm", R"({"cycles": 1e9, "deadline_s": 0.1})");
+  ASSERT_EQ(infeasible.status, 200) << infeasible.body;
+  body = json::parse(infeasible.body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_FALSE(body->find("feasible")->as_bool());
+  EXPECT_EQ(body->find("states"), nullptr);
+
+  // The Pareto front of a 2-state machine is both states.
+  Response pareto = post("net_pm", R"({"objective": "pareto"})");
+  ASSERT_EQ(pareto.status, 200) << pareto.body;
+  body = json::parse(pareto.body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("count")->as_number(), 2.0);
+  const json::Array& front = body->find("front")->as_array();
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_LT(front[0].find("energy_j")->as_number(),
+            front[1].find("energy_j")->as_number());
+  EXPECT_GT(front[0].find("time_s")->as_number(),
+            front[1].find("time_s")->as_number());
+
+  // Constraints over the domain names (values = chosen frequency in Hz).
+  Response constrained =
+      post("net_pm", R"({"constraints": ["pd0 >= 1.5e9"]})");
+  ASSERT_EQ(constrained.status, 200) << constrained.body;
+  body = json::parse(constrained.body);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body->find("states")->find("pd0")->as_string(), "HI");
+
+  // Error mapping: unknown ref -> 404; a model without a power model ->
+  // 404; bad objective / malformed JSON / unknown constraint name -> 400;
+  // GET -> 405 with Allow: POST.
+  EXPECT_EQ(post("no_such_model", "").status, 404);
+  EXPECT_EQ(post("net_system", "").status, 404);
+  EXPECT_EQ(post("net_pm", R"({"objective": "speed"})").status, 400);
+  EXPECT_EQ(post("net_pm", "{not json").status, 400);
+  EXPECT_EQ(post("net_pm", R"({"constraints": ["bogus > 1"]})").status, 400);
+  Request get;
+  get.target = "/v1/optimize/net_pm";
+  Response not_post = (*service)->handle(get);
+  EXPECT_EQ(not_post.status, 405);
+  EXPECT_EQ(not_post.header("Allow"), "POST");
+
+  // A request whose deadline is already spent sheds 503 with Retry-After
+  // before any optimization work starts.
+  Request expired;
+  expired.method = "POST";
+  expired.target = "/v1/optimize/net_pm";
+  expired.budget = RequestBudget::with_ms(0);
+  Response shed = (*service)->handle(expired);
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.header("Retry-After"), "1");
+
+  // The compiled engine is memoized per ref: the repeated requests above
+  // compiled net_pm once and hit the memo after that.
+  EXPECT_GE(counter_value("net.server.optimize_memo_hits"), 1u);
+  EXPECT_GE(counter_value("opt.queries"), 1u);
+}
+
+TEST(Server, OptimizeEndpointOverHttpPost) {
+  TempDir repo;
+  write_demo_repo(repo);
+  repo.write("net_pm.xpdl", kNetPowerModel);
+  auto served = ServedRepo::start(repo.path());
+  ASSERT_NE(served, nullptr);
+
+  // HttpClient is GET-only; drive the POST at the socket level.
+  const std::string payload =
+      R"({"objective": "energy", "cycles": 1e9, "deadline_s": 0.75})";
+  std::string raw = "POST /v1/optimize/net_pm HTTP/1.1\r\n";
+  raw += "Host: " + served->host_port + "\r\n";
+  raw += "Content-Type: application/json\r\n";
+  raw += "Content-Length: " + std::to_string(payload.size()) + "\r\n";
+  raw += "Connection: close\r\n\r\n";
+  raw += payload;
+  auto conn = connect_tcp("127.0.0.1", served->server.port(), 2000.0);
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(conn->set_timeout_ms(2000.0).is_ok());
+  ASSERT_TRUE(conn->write_all(raw).is_ok());
+  std::string reply = read_until_close(*conn);
+  ASSERT_EQ(reply.rfind("HTTP/1.1 200", 0), 0u) << reply.substr(0, 120);
+  std::size_t head_end = reply.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  auto body = json::parse(reply.substr(head_end + 4));
+  ASSERT_TRUE(body.is_ok()) << reply.substr(head_end + 4, 200);
+  EXPECT_TRUE(body->find("feasible")->as_bool());
+  EXPECT_NEAR(body->find("energy_j")->as_number(), 15.0, 1e-9);
+  EXPECT_EQ(body->find("states")->find("pd0")->as_string(), "HI");
+}
+
 TEST(Server, MetricsExposesRequestCountsAndLatency) {
   TempDir repo;
   write_demo_repo(repo);

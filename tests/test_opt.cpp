@@ -1,0 +1,588 @@
+// Tests for xpdl::opt: the optimization problem model, the two search
+// backends (branch-and-bound must be an exact drop-in for the
+// exhaustive oracle — value AND witness), Pareto enumeration, and the
+// model compilers (DVFS engine, variant selection, configuration
+// ranking).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xpdl/model/power.h"
+#include "xpdl/opt/engine.h"
+#include "xpdl/opt/opt.h"
+#include "xpdl/util/expr.h"
+#include "xpdl/xml/xml.h"
+
+namespace xpdl::opt {
+namespace {
+
+expr::Expression parse_expr(std::string_view text) {
+  auto e = expr::Expression::parse(text);
+  EXPECT_TRUE(e.is_ok()) << (e.is_ok() ? "" : e.status().to_string());
+  return *std::move(e);
+}
+
+std::unique_ptr<xml::Element> elem(std::string_view text) {
+  auto doc = xml::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << (doc.is_ok() ? "" : doc.status().to_string());
+  return std::move(doc.value().root);
+}
+
+/// A tiny 2x2 problem with a known optimum: energy table
+///   x: {a: 3, b: 1}, y: {a: 2, b: 5}; min = b,a = 3.
+Problem tiny_problem() {
+  Problem p;
+  p.add_variable("x", {{"a", 0.0}, {"b", 1.0}});
+  p.add_variable("y", {{"a", 0.0}, {"b", 1.0}});
+  auto obj = p.add_table_objective("energy", Combine::kSum,
+                                   {{3.0, 1.0}, {2.0, 5.0}});
+  EXPECT_TRUE(obj.is_ok());
+  return p;
+}
+
+TEST(Problem, TableObjectiveShapeValidated) {
+  Problem p;
+  p.add_variable("x", {{"a", 0.0}, {"b", 1.0}});
+  // Wrong variable count.
+  EXPECT_FALSE(p.add_table_objective("e", Combine::kSum, {}).is_ok());
+  // Wrong choice count.
+  EXPECT_FALSE(
+      p.add_table_objective("e", Combine::kSum, {{1.0}}).is_ok());
+  EXPECT_TRUE(
+      p.add_table_objective("e", Combine::kSum, {{1.0, 2.0}}).is_ok());
+}
+
+TEST(Problem, ExpressionObjectiveRejectsUnknownNames) {
+  Problem p;
+  p.add_variable("x", {{"a", 1.0}});
+  auto bad = p.add_expression_objective("o", parse_expr("x + bogus"));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kUnresolvedRef);
+  EXPECT_TRUE(p.add_expression_objective("o", parse_expr("x * 2")).is_ok());
+}
+
+TEST(Problem, ConstraintRejectsUnknownNames) {
+  Problem p;
+  p.add_variable("x", {{"a", 1.0}});
+  EXPECT_FALSE(p.add_constraint(parse_expr("y < 2")).is_ok());
+  EXPECT_TRUE(p.add_constraint(parse_expr("x < 2")).is_ok());
+}
+
+TEST(Problem, ObjectiveValueAndFeasible) {
+  Problem p = tiny_problem();
+  auto v = p.objective_value(0, {0, 1});
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_DOUBLE_EQ(*v, 8.0);  // x=a (3) + y=b (5)
+  ASSERT_TRUE(p.add_constraint(parse_expr("x + y < 2")).is_ok());
+  EXPECT_TRUE(p.feasible({0, 0}));   // 0 + 0 < 2
+  EXPECT_FALSE(p.feasible({1, 1}));  // 1 + 1 < 2 is false
+}
+
+TEST(Problem, SpaceSizeSaturates) {
+  Problem p;
+  std::vector<Choice> choices;
+  for (int i = 0; i < 1000; ++i) {
+    choices.push_back({"c" + std::to_string(i), double(i)});
+  }
+  for (int v = 0; v < 10; ++v) p.add_variable("v" + std::to_string(v), choices);
+  EXPECT_EQ(p.space_size(), Problem::kHugeSpace);  // 1000^10 overflows
+}
+
+TEST(Optimizer, TinyProblemOptimum) {
+  Problem p = tiny_problem();
+  for (Backend backend : {Backend::kBranchAndBound, Backend::kExhaustive}) {
+    Optimizer::Options options;
+    options.backend = backend;
+    auto r = Optimizer(options).minimize(p, 0);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    ASSERT_TRUE(r->best.has_value());
+    EXPECT_DOUBLE_EQ(r->best->value, 3.0);
+    EXPECT_EQ(r->best->choice, (std::vector<std::size_t>{1, 0}));
+    EXPECT_EQ(r->best->assignment[0].second, "b");
+    EXPECT_FALSE(r->exhausted_budget);
+  }
+}
+
+TEST(Optimizer, LimitBelowMinimumIsInfeasible) {
+  Problem p = tiny_problem();
+  p.add_limit(0, 2.5);  // min is 3
+  auto r = Optimizer().minimize(p, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r->best.has_value());
+}
+
+TEST(Optimizer, MinimizeTopIsSortedAndDeterministic) {
+  Problem p = tiny_problem();
+  auto top = Optimizer().minimize_top(p, 0, 3);
+  ASSERT_TRUE(top.is_ok());
+  ASSERT_EQ(top->size(), 3u);  // 4 points, top 3
+  EXPECT_DOUBLE_EQ((*top)[0].value, 3.0);
+  EXPECT_DOUBLE_EQ((*top)[1].value, 5.0);
+  EXPECT_DOUBLE_EQ((*top)[2].value, 6.0);
+  for (std::size_t i = 1; i < top->size(); ++i) {
+    EXPECT_LE((*top)[i - 1].value, (*top)[i].value);
+  }
+}
+
+TEST(Optimizer, ExhaustiveRefusesHugeSpaces) {
+  Problem p;
+  std::vector<Choice> choices;
+  for (int i = 0; i < 256; ++i) {
+    choices.push_back({std::to_string(i), double(i)});
+  }
+  for (int v = 0; v < 4; ++v) {  // 256^4 = 2^32 > default cap 2^22
+    p.add_variable("v" + std::to_string(v), choices);
+  }
+  auto obj = p.add_expression_objective("o", parse_expr("v0"));
+  ASSERT_TRUE(obj.is_ok());
+  Optimizer::Options options;
+  options.backend = Backend::kExhaustive;
+  auto r = Optimizer(options).minimize(p, 0);
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(Optimizer, NodeBudgetReportsExhaustion) {
+  Problem p = tiny_problem();
+  Optimizer::Options options;
+  options.max_nodes = 1;
+  auto r = Optimizer(options).minimize(p, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->exhausted_budget);
+}
+
+// ---------------------------------------------------------------------------
+// The property sweep: on random problems (random tables, random
+// expression objectives with division — i.e. evaluation-error points —
+// random constraints, random limits), branch-and-bound must return
+// exactly what exhaustive enumeration returns: same feasibility, same
+// optimal value, same lexicographic witness, same top-N, same Pareto
+// front. XPDL_OPT_PROPERTY_CASES overrides the case count (the
+// sanitizer CI jobs raise it).
+// ---------------------------------------------------------------------------
+
+struct RandomProblem {
+  Problem problem;
+  std::string description;
+};
+
+std::string random_leaf(std::mt19937& rng, const std::vector<std::string>& vars) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  if (coin(rng) == 0) {
+    std::uniform_int_distribution<int> lit(0, 9);
+    return std::to_string(lit(rng));
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, vars.size() - 1);
+  return vars[pick(rng)];
+}
+
+std::string random_arith(std::mt19937& rng,
+                         const std::vector<std::string>& vars, int depth) {
+  if (depth == 0) return random_leaf(rng, vars);
+  static const char* kOps[] = {"+", "-", "*", "/"};
+  std::uniform_int_distribution<int> op(0, 3);
+  return "(" + random_arith(rng, vars, depth - 1) + " " + kOps[op(rng)] +
+         " " + random_arith(rng, vars, depth - 1) + ")";
+}
+
+std::string random_comparison(std::mt19937& rng,
+                              const std::vector<std::string>& vars) {
+  static const char* kCmp[] = {"<", "<=", ">", ">="};
+  std::uniform_int_distribution<int> cmp(0, 3);
+  return random_arith(rng, vars, 1) + " " + kCmp[cmp(rng)] + " " +
+         random_arith(rng, vars, 1);
+}
+
+RandomProblem random_problem(std::mt19937& rng) {
+  RandomProblem out;
+  std::uniform_int_distribution<int> nvars_d(1, 4);
+  std::uniform_int_distribution<int> nchoices_d(1, 4);
+  std::uniform_int_distribution<int> value_d(-3, 8);
+  int nvars = nvars_d(rng);
+  std::vector<std::string> names;
+  for (int v = 0; v < nvars; ++v) {
+    std::string name = "x" + std::to_string(v);
+    int nchoices = nchoices_d(rng);
+    std::vector<Choice> choices;
+    for (int c = 0; c < nchoices; ++c) {
+      // Duplicate values are allowed and exercise tie-breaking.
+      choices.push_back({name + "c" + std::to_string(c),
+                         static_cast<double>(value_d(rng))});
+    }
+    out.problem.add_variable(name, std::move(choices));
+    names.push_back(std::move(name));
+  }
+
+  // Objective 0: a table objective (random combine, random terms with a
+  // quarter-step grid so sums stay exact in binary floating point).
+  std::uniform_int_distribution<int> term_d(-20, 40);
+  std::uniform_int_distribution<int> coin(0, 1);
+  Combine combine = coin(rng) == 0 ? Combine::kSum : Combine::kMax;
+  std::vector<std::vector<double>> terms;
+  for (const DecisionVariable& var : out.problem.variables()) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < var.choices.size(); ++c) {
+      row.push_back(term_d(rng) / 4.0);
+    }
+    terms.push_back(std::move(row));
+  }
+  auto table = out.problem.add_table_objective("table", combine,
+                                               std::move(terms));
+  EXPECT_TRUE(table.is_ok());
+
+  // Objective 1: a random arithmetic expression over the variables.
+  // Division is in the grammar on purpose: x/0 points must be treated
+  // as infeasible identically by both backends.
+  std::string source = random_arith(rng, names, 2);
+  auto expr_obj = out.problem.add_expression_objective(
+      "expr", parse_expr(source));
+  EXPECT_TRUE(expr_obj.is_ok());
+  out.description = "objective " + source;
+
+  std::uniform_int_distribution<int> nconstraints_d(0, 2);
+  int nconstraints = nconstraints_d(rng);
+  for (int c = 0; c < nconstraints; ++c) {
+    std::string comparison = random_comparison(rng, names);
+    auto added = out.problem.add_constraint(parse_expr(comparison));
+    EXPECT_TRUE(added.is_ok());
+    out.description += "; constraint " + comparison;
+  }
+
+  if (coin(rng) == 0) {
+    std::uniform_int_distribution<int> limit_d(-10, 20);
+    double limit = limit_d(rng);
+    out.problem.add_limit(0, limit);
+    out.description += "; limit table <= " + std::to_string(limit);
+  }
+  return out;
+}
+
+int property_cases() {
+  if (const char* env = std::getenv("XPDL_OPT_PROPERTY_CASES")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 200;
+}
+
+void expect_same_solution(const Solution& a, const Solution& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.choice, b.choice) << context;
+  EXPECT_EQ(a.values, b.values) << context;
+  EXPECT_EQ(a.value, b.value) << context;
+}
+
+TEST(OptimizerProperty, BranchAndBoundMatchesExhaustive) {
+  std::mt19937 rng(0xC0FFEE);
+  Optimizer bnb;
+  Optimizer::Options exhaustive_options;
+  exhaustive_options.backend = Backend::kExhaustive;
+  Optimizer exhaustive(exhaustive_options);
+  const int cases = property_cases();
+  for (int i = 0; i < cases; ++i) {
+    RandomProblem rp = random_problem(rng);
+    std::string context =
+        "case " + std::to_string(i) + ": " + rp.description;
+
+    for (std::size_t objective : {std::size_t{0}, std::size_t{1}}) {
+      auto got = bnb.minimize(rp.problem, objective);
+      auto want = exhaustive.minimize(rp.problem, objective);
+      ASSERT_TRUE(got.is_ok()) << context;
+      ASSERT_TRUE(want.is_ok()) << context;
+      ASSERT_EQ(got->best.has_value(), want->best.has_value()) << context;
+      if (want->best.has_value()) {
+        expect_same_solution(*got->best, *want->best, context);
+      }
+
+      auto got_top = bnb.minimize_top(rp.problem, objective, 3);
+      auto want_top = exhaustive.minimize_top(rp.problem, objective, 3);
+      ASSERT_TRUE(got_top.is_ok()) << context;
+      ASSERT_TRUE(want_top.is_ok()) << context;
+      ASSERT_EQ(got_top->size(), want_top->size()) << context;
+      for (std::size_t k = 0; k < want_top->size(); ++k) {
+        expect_same_solution((*got_top)[k], (*want_top)[k], context);
+      }
+    }
+
+    auto got_front = bnb.pareto(rp.problem, 0, 1);
+    auto want_front = exhaustive.pareto(rp.problem, 0, 1);
+    ASSERT_TRUE(got_front.is_ok()) << context;
+    ASSERT_TRUE(want_front.is_ok()) << context;
+    ASSERT_EQ(got_front->front.size(), want_front->front.size()) << context;
+    for (std::size_t k = 0; k < want_front->front.size(); ++k) {
+      expect_same_solution(got_front->front[k], want_front->front[k],
+                           context);
+    }
+  }
+}
+
+// The Pareto front's own invariants, checked against a from-scratch
+// enumeration: mutual non-dominance, staircase order, and completeness
+// (every feasible point is weakly dominated by a front point).
+TEST(OptimizerProperty, ParetoFrontIsNonDominatedAndComplete) {
+  std::mt19937 rng(0xBADC0DE);
+  Optimizer optimizer;
+  const int cases = std::max(1, property_cases() / 4);
+  for (int i = 0; i < cases; ++i) {
+    RandomProblem rp = random_problem(rng);
+    std::string context =
+        "case " + std::to_string(i) + ": " + rp.description;
+    auto result = optimizer.pareto(rp.problem, 0, 1);
+    ASSERT_TRUE(result.is_ok()) << context;
+    const std::vector<Solution>& front = result->front;
+
+    for (std::size_t a = 0; a < front.size(); ++a) {
+      if (a > 0) {
+        // Staircase: first objective strictly ascending, second strictly
+        // descending (distinct value vectors only).
+        EXPECT_LT(front[a - 1].values[0], front[a].values[0]) << context;
+        EXPECT_GT(front[a - 1].values[1], front[a].values[1]) << context;
+      }
+    }
+
+    // Completeness: walk every full assignment by hand.
+    std::vector<std::size_t> point(rp.problem.variables().size(), 0);
+    bool done = rp.problem.variables().empty();
+    while (!done) {
+      if (rp.problem.feasible(point)) {
+        auto v0 = rp.problem.objective_value(0, point);
+        auto v1 = rp.problem.objective_value(1, point);
+        if (v0.is_ok() && v1.is_ok()) {
+          bool dominated = false;
+          for (const Solution& s : front) {
+            if (s.values[0] <= *v0 && s.values[1] <= *v1) {
+              dominated = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(dominated)
+              << context << " point (" << *v0 << ", " << *v1
+              << ") not covered by the front";
+        }
+      }
+      // Lexicographic odometer.
+      std::size_t d = point.size();
+      while (d > 0) {
+        --d;
+        if (++point[d] < rp.problem.variables()[d].choices.size()) break;
+        point[d] = 0;
+        if (d == 0) done = true;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The DVFS engine against the shipped E5-2630L power model.
+// ---------------------------------------------------------------------------
+
+model::PowerModel load_e5_power_model() {
+  auto doc = xml::parse_file(std::string(XPDL_MODELS_DIR) +
+                             "/power/power_model_E5_2630L.xpdl");
+  EXPECT_TRUE(doc.is_ok());
+  auto pm = model::PowerModel::parse(*doc.value().root);
+  EXPECT_TRUE(pm.is_ok()) << (pm.is_ok() ? "" : pm.status().to_string());
+  return *std::move(pm);
+}
+
+TEST(Engine, CompilesE5PowerModel) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  // The group `core_pds` (quantity 4, prototype core_pd) expands into
+  // four governed instances; the sleep state C1 (frequency 0) is not a
+  // runnable choice.
+  EXPECT_EQ(engine->domains().size(), 4u);
+  DvfsQuery query;
+  query.cycles = 1e9;
+  auto problem = engine->compile(query);
+  ASSERT_TRUE(problem.is_ok());
+  EXPECT_EQ(problem->variables().size(), 4u);
+  for (const DecisionVariable& v : problem->variables()) {
+    EXPECT_EQ(v.choices.size(), 4u);  // P1..P4, no C1
+  }
+}
+
+TEST(Engine, UnconstrainedMinimumIsSlowestState) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  auto plan = engine->minimize_energy(query);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_TRUE(plan->feasible);
+  // P1: 20 W / 1.2 GHz * 1e9 cycles * 4 cores = 66.67 J.
+  EXPECT_NEAR(plan->energy_j, 4.0 * 20.0 / 1.2, 1e-9);
+  for (const DomainPlan& d : plan->per_domain) EXPECT_EQ(d.state, "P1");
+}
+
+TEST(Engine, DeadlineForcesFasterStates) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  query.deadline_s = 0.6;  // P1 (0.83 s) and P2 (0.63 s) miss it
+  auto plan = engine->minimize_energy(query);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_TRUE(plan->feasible);
+  EXPECT_NEAR(plan->energy_j, 76.0, 1e-9);  // P3: 38 W / 2 GHz * 4
+  EXPECT_NEAR(plan->time_s, 0.5, 1e-12);
+  for (const DomainPlan& d : plan->per_domain) EXPECT_EQ(d.state, "P3");
+}
+
+TEST(Engine, ImpossibleDeadlineIsInfeasibleNotAnError) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  query.deadline_s = 0.1;  // even P4 (2.4 GHz) needs 0.417 s
+  auto plan = engine->minimize_energy(query);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_FALSE(plan->feasible);
+}
+
+TEST(Engine, PerDomainCyclesOverride) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  query.deadline_s = 0.6;
+  // One core has twice the work: it must clock up to P4 (2.4 GHz,
+  // 0.833 s... no: 2e9 / 2.4e9 = 0.833 s > 0.6) — infeasible; at
+  // 1.2e9 cycles it needs >= 2e9 Hz, i.e. P3 or P4.
+  query.cycles_by_domain[engine->domains()[0]] = 1.2e9;
+  auto plan = engine->minimize_energy(query);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_TRUE(plan->feasible);
+  EXPECT_EQ(plan->per_domain[0].state, "P4");
+  for (std::size_t d = 1; d < plan->per_domain.size(); ++d) {
+    EXPECT_EQ(plan->per_domain[d].state, "P3");
+  }
+}
+
+TEST(Engine, ParetoFrontIsTheFourUniformStates) {
+  auto engine = Engine::from_power_model(load_e5_power_model());
+  ASSERT_TRUE(engine.is_ok());
+  DvfsQuery query;
+  query.cycles = 1e9;
+  auto front = engine->pareto(query);
+  ASSERT_TRUE(front.is_ok()) << front.status().to_string();
+  // With identical per-core tables, mixed assignments are dominated by
+  // uniform ones: the front is exactly P1..P4 everywhere.
+  ASSERT_EQ(front->size(), 4u);
+  double prev_energy = -1.0, prev_time = 1e30;
+  for (const DvfsPlan& plan : *front) {
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GT(plan.energy_j, prev_energy);
+    EXPECT_LT(plan.time_s, prev_time);
+    prev_energy = plan.energy_j;
+    prev_time = plan.time_s;
+    for (std::size_t d = 1; d < plan.per_domain.size(); ++d) {
+      EXPECT_EQ(plan.per_domain[d].state, plan.per_domain[0].state);
+    }
+  }
+}
+
+TEST(Engine, FromElementFindsNestedPowerModels) {
+  auto root = elem(R"(
+    <system name="s">
+      <node name="n">
+        <power_model name="pm">
+          <power_state_machine name="m" power_domain="pd">
+            <power_states>
+              <power_state name="LO" frequency="1" frequency_unit="GHz"
+                           power="10" power_unit="W" />
+              <power_state name="HI" frequency="2" frequency_unit="GHz"
+                           power="30" power_unit="W" />
+            </power_states>
+          </power_state_machine>
+        </power_model>
+      </node>
+    </system>)");
+  auto engine = Engine::from_element(*root);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  ASSERT_EQ(engine->domains().size(), 1u);
+  DvfsQuery query;
+  query.cycles = 1e9;
+  query.deadline_s = 0.75;  // LO needs 1 s: must pick HI
+  auto plan = engine->minimize_energy(query);
+  ASSERT_TRUE(plan.is_ok());
+  ASSERT_TRUE(plan->feasible);
+  EXPECT_EQ(plan->per_domain[0].state, "HI");
+  EXPECT_NEAR(plan->energy_j, 15.0, 1e-9);  // 30 W / 2 GHz * 1e9
+}
+
+TEST(Engine, FromElementWithoutPowerModelIsNotFound) {
+  auto root = elem("<system name='s'><node name='n'/></system>");
+  auto engine = Engine::from_element(*root);
+  ASSERT_FALSE(engine.is_ok());
+  EXPECT_EQ(engine.status().code(), ErrorCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Variant selection and configuration ranking.
+// ---------------------------------------------------------------------------
+
+TEST(VariantProblem, PicksEnergyMinimalCombination) {
+  std::map<std::string, std::vector<Variant>, std::less<>> components;
+  components["fft"] = {{"cpu", 2.0, 8.0}, {"gpu", 0.5, 12.0}};
+  components["spmv"] = {{"csr", 1.0, 3.0}, {"ell", 0.8, 5.0}};
+  auto problem = variant_problem(components);
+  ASSERT_TRUE(problem.is_ok()) << problem.status().to_string();
+  ASSERT_EQ(problem->variables().size(), 2u);
+
+  Optimizer optimizer;
+  auto energy = optimizer.minimize(*problem, 0);
+  ASSERT_TRUE(energy.is_ok());
+  ASSERT_TRUE(energy->best.has_value());
+  EXPECT_DOUBLE_EQ(energy->best->value, 11.0);  // cpu (8) + csr (3)
+
+  // Makespan combines by max: gpu (0.5) with ell (0.8) -> 0.8 s.
+  auto time = optimizer.minimize(*problem, 1);
+  ASSERT_TRUE(time.is_ok());
+  ASSERT_TRUE(time->best.has_value());
+  EXPECT_DOUBLE_EQ(time->best->value, 0.8);
+}
+
+constexpr const char* kConfigurableCpu = R"(
+  <cpu name="tune_me">
+    <param name="cores" configurable="true" type="integer"
+           range="1, 2, 4" />
+    <param name="freq" configurable="true" type="integer"
+           range="1, 2, 3" />
+    <param name="fixed_cost" value="10" />
+    <constraints>
+      <constraint expr="cores * freq &lt;= 8" />
+    </constraints>
+  </cpu>)";
+
+TEST(ConfigurationProblem, RanksByObjective) {
+  auto meta = elem(kConfigurableCpu);
+  // Minimize a "runtime" proxy: work / (cores * freq), constraint keeps
+  // (4, 3) out.
+  auto objective = expr::Expression::parse("24 / (cores * freq)");
+  ASSERT_TRUE(objective.is_ok());
+  auto ranked = rank_configurations(*meta, nullptr, *objective, 3);
+  ASSERT_TRUE(ranked.is_ok()) << ranked.status().to_string();
+  ASSERT_EQ(ranked->size(), 3u);
+  // Best valid: cores=4, freq=2 -> 24/8 = 3 (cores*freq=8 allowed).
+  EXPECT_DOUBLE_EQ((*ranked)[0].objective, 3.0);
+  EXPECT_DOUBLE_EQ((*ranked)[0].values_si.at("cores"), 4.0);
+  EXPECT_DOUBLE_EQ((*ranked)[0].values_si.at("freq"), 2.0);
+  // Ascending objective.
+  EXPECT_LE((*ranked)[0].objective, (*ranked)[1].objective);
+  EXPECT_LE((*ranked)[1].objective, (*ranked)[2].objective);
+}
+
+TEST(ConfigurationProblem, ObjectiveOverUnknownNameFails) {
+  auto meta = elem(kConfigurableCpu);
+  auto objective = expr::Expression::parse("bogus * 2");
+  ASSERT_TRUE(objective.is_ok());
+  auto ranked = rank_configurations(*meta, nullptr, *objective, 1);
+  ASSERT_FALSE(ranked.is_ok());
+  EXPECT_EQ(ranked.status().code(), ErrorCode::kUnresolvedRef);
+}
+
+}  // namespace
+}  // namespace xpdl::opt
